@@ -1,0 +1,52 @@
+//===- bench/BenchUtil.h - Shared bench output helpers ----------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formatting helpers shared by the per-figure/per-table bench binaries.
+/// Each binary regenerates one evaluation artifact of the paper and prints
+/// it in a self-describing text form captured into EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_BENCH_BENCHUTIL_H
+#define MCO_BENCH_BENCHUTIL_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace mco {
+namespace benchutil {
+
+inline void banner(const std::string &Title, const std::string &PaperRef) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s\n", Title.c_str());
+  std::printf("Reproduces: %s\n", PaperRef.c_str());
+  std::printf("==============================================================="
+              "=\n");
+}
+
+inline void section(const std::string &Name) {
+  std::printf("\n--- %s ---\n", Name.c_str());
+}
+
+inline double kb(uint64_t Bytes) { return double(Bytes) / 1024.0; }
+inline double mb(uint64_t Bytes) { return double(Bytes) / (1024.0 * 1024.0); }
+
+inline double percent(uint64_t Part, uint64_t Whole) {
+  return Whole == 0 ? 0.0 : 100.0 * double(Part) / double(Whole);
+}
+
+inline double savingPercent(uint64_t Before, uint64_t After) {
+  return Before == 0 ? 0.0
+                     : 100.0 * double(Before - After) / double(Before);
+}
+
+} // namespace benchutil
+} // namespace mco
+
+#endif // MCO_BENCH_BENCHUTIL_H

@@ -1,0 +1,108 @@
+//===- bench/micro_outliner.cpp - google-benchmark micro-benchmarks -------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Throughput micro-benchmarks of the outlining machinery itself (the
+/// Section VII-C build-time costs in miniature): suffix-tree construction,
+/// repeated-substring enumeration, one outlining round, and liveness
+/// recomputation, across corpus sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "linker/Linker.h"
+#include "mir/Liveness.h"
+#include "outliner/InstructionMapper.h"
+#include "outliner/MachineOutliner.h"
+#include "support/Random.h"
+#include "support/SuffixTree.h"
+#include "synth/CorpusSynthesizer.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mco;
+
+namespace {
+
+std::vector<unsigned> randomString(size_t N, unsigned Alphabet) {
+  Rng R(42);
+  std::vector<unsigned> S;
+  S.reserve(N + 1);
+  for (size_t I = 0; I < N; ++I)
+    S.push_back(static_cast<unsigned>(R.nextBounded(Alphabet)));
+  S.push_back(1u << 30);
+  return S;
+}
+
+void BM_SuffixTreeBuild(benchmark::State &State) {
+  auto S = randomString(static_cast<size_t>(State.range(0)), 64);
+  for (auto _ : State) {
+    SuffixTree T(S);
+    benchmark::DoNotOptimize(T.numNodes());
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_SuffixTreeBuild)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_RepeatedSubstrings(benchmark::State &State) {
+  auto S = randomString(static_cast<size_t>(State.range(0)), 16);
+  SuffixTree T(S);
+  for (auto _ : State) {
+    auto Reps = T.repeatedSubstrings(2);
+    benchmark::DoNotOptimize(Reps.size());
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_RepeatedSubstrings)->Arg(1 << 12)->Arg(1 << 15);
+
+AppProfile scaledProfile(int Modules) {
+  AppProfile P = AppProfile::uberRider();
+  P.NumModules = Modules;
+  return P;
+}
+
+void BM_InstructionMapper(benchmark::State &State) {
+  auto Prog =
+      CorpusSynthesizer(scaledProfile(static_cast<int>(State.range(0))))
+          .generate();
+  linkProgram(*Prog);
+  for (auto _ : State) {
+    InstructionMapper Mapper(*Prog->Modules[0]);
+    benchmark::DoNotOptimize(Mapper.string().size());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          Prog->Modules[0]->numInstrs());
+}
+BENCHMARK(BM_InstructionMapper)->Arg(8)->Arg(24);
+
+void BM_OutlinerRound(benchmark::State &State) {
+  const AppProfile P = scaledProfile(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto Prog = CorpusSynthesizer(P).generate();
+    Module &Linked = linkProgram(*Prog);
+    State.ResumeTiming();
+    OutlineRoundStats S = runOutlinerRound(*Prog, Linked, 1);
+    benchmark::DoNotOptimize(S.FunctionsCreated);
+  }
+}
+BENCHMARK(BM_OutlinerRound)->Arg(8)->Arg(24)->Unit(benchmark::kMillisecond);
+
+void BM_Liveness(benchmark::State &State) {
+  auto Prog = CorpusSynthesizer(scaledProfile(8)).generate();
+  Module &Linked = linkProgram(*Prog);
+  for (auto _ : State) {
+    uint64_t Sum = 0;
+    for (const MachineFunction &MF : Linked.Functions) {
+      Liveness LV(MF);
+      Sum += LV.blockLiveOut(0);
+    }
+    benchmark::DoNotOptimize(Sum);
+  }
+}
+BENCHMARK(BM_Liveness)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

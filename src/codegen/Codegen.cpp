@@ -1,0 +1,224 @@
+//===- codegen/Codegen.cpp - IR to machine-code lowering ------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Codegen.h"
+
+#include "mir/MIRBuilder.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace mco;
+using namespace mco::ir;
+
+namespace {
+
+Cond predToCond(Pred P) {
+  switch (P) {
+  case Pred::EQ:  return Cond::EQ;
+  case Pred::NE:  return Cond::NE;
+  case Pred::LT:  return Cond::LT;
+  case Pred::LE:  return Cond::LE;
+  case Pred::GT:  return Cond::GT;
+  case Pred::GE:  return Cond::GE;
+  case Pred::ULT: return Cond::LO;
+  case Pred::UGE: return Cond::HS;
+  }
+  return Cond::EQ;
+}
+
+int64_t alignTo16(int64_t N) { return (N + 15) & ~int64_t(15); }
+
+/// Per-function lowering state.
+class FunctionLowering {
+public:
+  FunctionLowering(Program &Prog, const IRFunction &F) : Prog(Prog), F(F) {
+    // Assign alloca offsets and detect calls.
+    for (const IRBlock &B : F.Blocks)
+      for (const IRInstr &I : B.Instrs) {
+        if (I.Op == IROp::Alloca) {
+          AllocaOffsets[I.Result] = AllocaBytes;
+          AllocaBytes += (I.Imm + 7) & ~int64_t(7);
+        } else if (I.Op == IROp::Call) {
+          HasCalls = true;
+        }
+      }
+    SlotBase = AllocaBytes;
+    SavedLROffset = SlotBase + 8 * int64_t(F.NumValues);
+    FrameSize = alignTo16(SavedLROffset + (HasCalls ? 8 : 0));
+    if (FrameSize == 0)
+      FrameSize = 16;
+  }
+
+  MachineFunction run(uint32_t OriginModule) {
+    MachineFunction MF;
+    MF.Name = Prog.internSymbol(F.Name);
+    MF.OriginModule = OriginModule;
+    for (size_t I = 0; I < F.Blocks.size(); ++I)
+      MF.addBlock();
+
+    for (uint32_t B = 0; B < F.Blocks.size(); ++B) {
+      MIRBuilder MB(MF.Blocks[B]);
+      if (B == 0)
+        emitPrologue(MB);
+      for (const IRInstr &I : F.Blocks[B].Instrs)
+        emitInstr(MB, I);
+    }
+    return MF;
+  }
+
+private:
+  int64_t slot(Value V) const { return SlotBase + 8 * int64_t(V); }
+
+  void emitPrologue(MIRBuilder &B) {
+    B.subri(Reg::SP, Reg::SP, FrameSize);
+    if (HasCalls)
+      B.str(LR, Reg::SP, SavedLROffset);
+    for (uint32_t I = 0; I < F.NumParams; ++I)
+      B.str(xreg(I), Reg::SP, slot(I));
+  }
+
+  void emitEpilogue(MIRBuilder &B) {
+    if (HasCalls)
+      B.ldr(LR, Reg::SP, SavedLROffset);
+    B.addri(Reg::SP, Reg::SP, FrameSize);
+    B.ret();
+  }
+
+  /// Loads value \p V into register \p R.
+  void loadVal(MIRBuilder &B, Reg R, Value V) {
+    B.ldr(R, Reg::SP, slot(V));
+  }
+  /// Stores register \p R into value \p V's slot.
+  void storeVal(MIRBuilder &B, Reg R, Value V) {
+    B.str(R, Reg::SP, slot(V));
+  }
+
+  void emitInstr(MIRBuilder &B, const IRInstr &I) {
+    switch (I.Op) {
+    case IROp::Const:
+      B.movri(Reg::X8, I.Imm);
+      storeVal(B, Reg::X8, I.Result);
+      break;
+    case IROp::Add:
+    case IROp::Sub:
+    case IROp::Mul:
+    case IROp::SDiv:
+    case IROp::And:
+    case IROp::Or:
+    case IROp::Xor:
+    case IROp::Shl:
+    case IROp::AShr: {
+      loadVal(B, Reg::X8, I.Args[0]);
+      loadVal(B, Reg::X9, I.Args[1]);
+      switch (I.Op) {
+      case IROp::Add:  B.addrr(Reg::X8, Reg::X8, Reg::X9); break;
+      case IROp::Sub:  B.subrr(Reg::X8, Reg::X8, Reg::X9); break;
+      case IROp::Mul:  B.mulrr(Reg::X8, Reg::X8, Reg::X9); break;
+      case IROp::SDiv: B.sdivrr(Reg::X8, Reg::X8, Reg::X9); break;
+      case IROp::And:  B.andrr(Reg::X8, Reg::X8, Reg::X9); break;
+      case IROp::Or:   B.orrrr(Reg::X8, Reg::X8, Reg::X9); break;
+      case IROp::Xor:  B.eorrr(Reg::X8, Reg::X8, Reg::X9); break;
+      case IROp::Shl:  B.lslrr(Reg::X8, Reg::X8, Reg::X9); break;
+      case IROp::AShr: B.asrrr(Reg::X8, Reg::X8, Reg::X9); break;
+      default: break;
+      }
+      storeVal(B, Reg::X8, I.Result);
+      break;
+    }
+    case IROp::SRem:
+      // r = a - (a / b) * b via sdiv + msub.
+      loadVal(B, Reg::X8, I.Args[0]);
+      loadVal(B, Reg::X9, I.Args[1]);
+      B.sdivrr(Reg::X10, Reg::X8, Reg::X9);
+      B.msub(Reg::X8, Reg::X10, Reg::X9, Reg::X8);
+      storeVal(B, Reg::X8, I.Result);
+      break;
+    case IROp::ICmp:
+      loadVal(B, Reg::X8, I.Args[0]);
+      loadVal(B, Reg::X9, I.Args[1]);
+      B.cmprr(Reg::X8, Reg::X9);
+      B.cset(Reg::X8, predToCond(I.P));
+      storeVal(B, Reg::X8, I.Result);
+      break;
+    case IROp::Select:
+      loadVal(B, Reg::X8, I.Args[0]);
+      loadVal(B, Reg::X9, I.Args[1]);
+      loadVal(B, Reg::X10, I.Args[2]);
+      B.cmpri(Reg::X8, 0);
+      B.csel(Reg::X8, Reg::X9, Reg::X10, Cond::NE);
+      storeVal(B, Reg::X8, I.Result);
+      break;
+    case IROp::Alloca:
+      B.addri(Reg::X8, Reg::SP, AllocaOffsets.at(I.Result));
+      storeVal(B, Reg::X8, I.Result);
+      break;
+    case IROp::Load:
+      loadVal(B, Reg::X8, I.Args[0]);
+      B.ldr(Reg::X8, Reg::X8, 0);
+      storeVal(B, Reg::X8, I.Result);
+      break;
+    case IROp::Store:
+      loadVal(B, Reg::X8, I.Args[0]);
+      loadVal(B, Reg::X9, I.Args[1]);
+      B.str(Reg::X8, Reg::X9, 0);
+      break;
+    case IROp::GlobalAddr:
+      B.adr(Reg::X8, Prog.internSymbol(I.Callee));
+      storeVal(B, Reg::X8, I.Result);
+      break;
+    case IROp::Call: {
+      assert(I.Args.size() <= 8 && "too many call arguments");
+      for (size_t A = 0; A < I.Args.size(); ++A)
+        loadVal(B, xreg(static_cast<unsigned>(A)), I.Args[A]);
+      B.bl(Prog.internSymbol(I.Callee));
+      storeVal(B, Reg::X0, I.Result);
+      break;
+    }
+    case IROp::Ret:
+      loadVal(B, Reg::X0, I.Args[0]);
+      emitEpilogue(B);
+      break;
+    case IROp::Br:
+      B.b(I.B0);
+      break;
+    case IROp::CondBr:
+      loadVal(B, Reg::X8, I.Args[0]);
+      B.cbnz(Reg::X8, I.B0);
+      B.b(I.B1);
+      break;
+    }
+  }
+
+  Program &Prog;
+  const IRFunction &F;
+  std::unordered_map<Value, int64_t> AllocaOffsets;
+  int64_t AllocaBytes = 0;
+  int64_t SlotBase = 0;
+  int64_t SavedLROffset = 0;
+  int64_t FrameSize = 0;
+  bool HasCalls = false;
+};
+
+} // namespace
+
+MachineFunction mco::lowerFunction(Program &Prog, const IRFunction &F,
+                                   uint32_t OriginModule) {
+  return FunctionLowering(Prog, F).run(OriginModule);
+}
+
+void mco::lowerModule(Program &Prog, Module &M, const IRModule &IRM,
+                      uint32_t OriginModule) {
+  for (const IRFunction &F : IRM.Functions)
+    M.Functions.push_back(lowerFunction(Prog, F, OriginModule));
+  for (const IRGlobal &G : IRM.Globals) {
+    GlobalData GD;
+    GD.Name = Prog.internSymbol(G.Name);
+    GD.Bytes = G.Bytes;
+    GD.OriginModule = OriginModule;
+    M.Globals.push_back(GD);
+  }
+}

@@ -1,0 +1,39 @@
+//===- codegen/Codegen.h - IR to machine-code lowering ----------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the mid-level IR to the AArch64-flavoured machine IR. The code
+/// generator is deliberately -O0-shaped: every value lives in a stack slot
+/// and is loaded into scratch registers around each operation. Besides
+/// being simple and obviously correct, this style produces exactly the
+/// highly repetitive machine code (argument marshalling, slot traffic,
+/// call sequences) that the paper shows outlining thrives on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_CODEGEN_CODEGEN_H
+#define MCO_CODEGEN_CODEGEN_H
+
+#include "ir/IR.h"
+#include "mir/Program.h"
+
+namespace mco {
+
+/// Lowers every function and global of \p IRM into machine module \p M
+/// (owned by \p Prog). Function and global symbols are interned in \p Prog.
+///
+/// \param OriginModule recorded on emitted functions/globals for the
+///        linker's data-affinity layout.
+void lowerModule(Program &Prog, Module &M, const ir::IRModule &IRM,
+                 uint32_t OriginModule = 0);
+
+/// Lowers one function (exposed for tests).
+MachineFunction lowerFunction(Program &Prog, const ir::IRFunction &F,
+                              uint32_t OriginModule = 0);
+
+} // namespace mco
+
+#endif // MCO_CODEGEN_CODEGEN_H

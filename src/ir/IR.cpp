@@ -1,0 +1,67 @@
+//===- ir/IR.cpp - IR verification and helpers ----------------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include <cstring>
+
+using namespace mco;
+using namespace mco::ir;
+
+IRGlobal IRGlobal::fromWords(const std::string &Name,
+                             const std::vector<int64_t> &Words) {
+  IRGlobal G;
+  G.Name = Name;
+  G.Bytes.resize(Words.size() * 8);
+  for (size_t I = 0; I < Words.size(); ++I)
+    std::memcpy(G.Bytes.data() + I * 8, &Words[I], 8);
+  return G;
+}
+
+const IRFunction *IRModule::findFunction(const std::string &Name) const {
+  for (const IRFunction &F : Functions)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+std::string mco::ir::verify(const IRModule &M) {
+  for (const IRFunction &F : M.Functions) {
+    if (F.Blocks.empty())
+      return "function '" + F.Name + "' has no blocks";
+    for (size_t B = 0; B < F.Blocks.size(); ++B) {
+      const IRBlock &Blk = F.Blocks[B];
+      std::string Where =
+          "function '" + F.Name + "' block " + std::to_string(B);
+      if (Blk.Instrs.empty())
+        return Where + " is empty";
+      for (size_t I = 0; I < Blk.Instrs.size(); ++I) {
+        const IRInstr &Ins = Blk.Instrs[I];
+        const bool IsLast = I + 1 == Blk.Instrs.size();
+        if (Ins.isTerminator() != IsLast)
+          return Where + " instr " + std::to_string(I) +
+                 (IsLast ? " does not end with a terminator"
+                         : " has a terminator in the middle");
+        if (Ins.Result != NoValue && Ins.Result >= F.NumValues)
+          return Where + " result id out of range";
+        for (Value V : Ins.Args)
+          if (V >= F.NumValues)
+            return Where + " operand id out of range";
+        if (Ins.Op == IROp::Br || Ins.Op == IROp::CondBr) {
+          if (Ins.B0 >= F.Blocks.size())
+            return Where + " branch target B0 out of range";
+          if (Ins.Op == IROp::CondBr && Ins.B1 >= F.Blocks.size())
+            return Where + " branch target B1 out of range";
+        }
+        if (Ins.Op == IROp::Call && Ins.Args.size() > 8)
+          return Where + " call with more than 8 arguments";
+        if (Ins.Op == IROp::Alloca && Ins.Imm <= 0)
+          return Where + " alloca with non-positive size";
+      }
+    }
+  }
+  return "";
+}

@@ -1,0 +1,116 @@
+//===- ir/IR.h - A small mid-level IR ---------------------------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small mid-level IR (all values are i64; pointers are
+/// integers) playing the role SIL/LLVM-IR play in the paper's pipeline
+/// (Fig. 3). The 26 Swift algorithm benchmarks of Table IV are written
+/// against this IR and lowered to machine code by src/codegen, so the
+/// outliner is exercised on organically compiled code, not only on
+/// synthesized idioms.
+///
+/// Values are function-local dense ids: parameters take ids
+/// [0, NumParams), every instruction with a result allocates the next id.
+/// There are no phis; locals live in Alloca slots (as -O0 compilers do),
+/// which keeps lowering simple and — usefully for this paper — produces
+/// the repetitive machine code that outlining feeds on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_IR_IR_H
+#define MCO_IR_IR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mco {
+namespace ir {
+
+/// A function-local value id.
+using Value = uint32_t;
+
+/// Marker for "no value".
+inline constexpr Value NoValue = UINT32_MAX;
+
+/// Comparison predicates (signed, plus unsigned below/above-or-equal).
+enum class Pred : uint8_t { EQ, NE, LT, LE, GT, GE, ULT, UGE };
+
+/// Instruction opcodes.
+enum class IROp : uint8_t {
+  Const,      ///< Result = Imm
+  Add, Sub, Mul, SDiv, SRem, And, Or, Xor, Shl, AShr,
+  ICmp,       ///< Result = Args[0] <Pred> Args[1] ? 1 : 0
+  Select,     ///< Result = Args[0] ? Args[1] : Args[2]
+  Alloca,     ///< Result = address of a fresh Imm-byte stack region
+  Load,       ///< Result = mem64[Args[0]]
+  Store,      ///< mem64[Args[1]] = Args[0]
+  GlobalAddr, ///< Result = address of global symbol Callee
+  Call,       ///< Result = callee(Args...); Callee names the function
+  Ret,        ///< return Args[0]
+  Br,         ///< goto B0
+  CondBr,     ///< if (Args[0]) goto B0 else goto B1
+};
+
+/// One IR instruction.
+struct IRInstr {
+  IROp Op;
+  Value Result = NoValue;
+  std::vector<Value> Args;
+  int64_t Imm = 0;
+  Pred P = Pred::EQ;
+  /// Symbol name for Call / GlobalAddr.
+  std::string Callee;
+  uint32_t B0 = 0;
+  uint32_t B1 = 0;
+
+  bool isTerminator() const {
+    return Op == IROp::Ret || Op == IROp::Br || Op == IROp::CondBr;
+  }
+};
+
+/// A basic block: a straight-line instruction list ending in a terminator.
+struct IRBlock {
+  std::vector<IRInstr> Instrs;
+};
+
+/// An IR function.
+struct IRFunction {
+  std::string Name;
+  uint32_t NumParams = 0;
+  /// Total values (params + instruction results); assigned by IRBuilder.
+  uint32_t NumValues = 0;
+  std::vector<IRBlock> Blocks;
+};
+
+/// A global: \p Bytes of initialized data.
+struct IRGlobal {
+  std::string Name;
+  std::vector<uint8_t> Bytes;
+
+  /// Convenience: builds a global holding \p Words as little-endian i64s.
+  static IRGlobal fromWords(const std::string &Name,
+                            const std::vector<int64_t> &Words);
+};
+
+/// An IR module.
+struct IRModule {
+  std::string Name;
+  std::vector<IRFunction> Functions;
+  std::vector<IRGlobal> Globals;
+
+  const IRFunction *findFunction(const std::string &Name) const;
+};
+
+/// Checks structural invariants (blocks terminated exactly once, value ids
+/// in range, branch targets valid). \returns an empty string when valid,
+/// else a diagnostic.
+std::string verify(const IRModule &M);
+
+} // namespace ir
+} // namespace mco
+
+#endif // MCO_IR_IR_H

@@ -1,0 +1,191 @@
+//===- ir/IRBuilder.h - IR construction -------------------------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builder for the mid-level IR. Usage:
+/// \code
+///   IRModule M;
+///   IRBuilder B(M, "gcd", /*NumParams=*/2);
+///   Value A = B.param(0), Bv = B.param(1);
+///   ...
+///   B.ret(A);
+///   B.finish();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_IR_IRBUILDER_H
+#define MCO_IR_IRBUILDER_H
+
+#include "ir/IR.h"
+
+#include <cassert>
+
+namespace mco {
+namespace ir {
+
+/// Builds one function at a time into an IRModule.
+class IRBuilder {
+public:
+  IRBuilder(IRModule &M, const std::string &Name, uint32_t NumParams)
+      : M(M) {
+    F.Name = Name;
+    F.NumParams = NumParams;
+    F.NumValues = NumParams;
+    newBlock(); // Entry.
+  }
+
+  /// Appends the finished function to the module. Must be called exactly
+  /// once, after the last instruction.
+  void finish() {
+    assert(!Finished && "finish() called twice");
+    Finished = true;
+    M.Functions.push_back(std::move(F));
+  }
+
+  /// \returns the id of parameter \p I.
+  Value param(uint32_t I) const {
+    assert(I < F.NumParams && "no such parameter");
+    return I;
+  }
+
+  /// Starts a new block and \returns its index.
+  uint32_t newBlock() {
+    F.Blocks.emplace_back();
+    Cur = static_cast<uint32_t>(F.Blocks.size()) - 1;
+    return Cur;
+  }
+
+  /// Switches insertion to block \p B.
+  void setBlock(uint32_t B) {
+    assert(B < F.Blocks.size() && "no such block");
+    Cur = B;
+  }
+
+  uint32_t currentBlock() const { return Cur; }
+
+  Value constInt(int64_t V) {
+    IRInstr I{IROp::Const};
+    I.Imm = V;
+    return emitWithResult(std::move(I));
+  }
+
+  Value add(Value A, Value B) { return binop(IROp::Add, A, B); }
+  Value sub(Value A, Value B) { return binop(IROp::Sub, A, B); }
+  Value mul(Value A, Value B) { return binop(IROp::Mul, A, B); }
+  Value sdiv(Value A, Value B) { return binop(IROp::SDiv, A, B); }
+  Value srem(Value A, Value B) { return binop(IROp::SRem, A, B); }
+  Value and_(Value A, Value B) { return binop(IROp::And, A, B); }
+  Value or_(Value A, Value B) { return binop(IROp::Or, A, B); }
+  Value xor_(Value A, Value B) { return binop(IROp::Xor, A, B); }
+  Value shl(Value A, Value B) { return binop(IROp::Shl, A, B); }
+  Value ashr(Value A, Value B) { return binop(IROp::AShr, A, B); }
+
+  Value icmp(Pred P, Value A, Value B) {
+    IRInstr I{IROp::ICmp};
+    I.Args = {A, B};
+    I.P = P;
+    return emitWithResult(std::move(I));
+  }
+
+  Value select(Value C, Value A, Value B) {
+    IRInstr I{IROp::Select};
+    I.Args = {C, A, B};
+    return emitWithResult(std::move(I));
+  }
+
+  /// Allocates \p Bytes of stack and \returns its address.
+  Value alloca_(int64_t Bytes) {
+    assert(Bytes > 0 && "empty alloca");
+    IRInstr I{IROp::Alloca};
+    I.Imm = Bytes;
+    return emitWithResult(std::move(I));
+  }
+
+  Value load(Value Ptr) {
+    IRInstr I{IROp::Load};
+    I.Args = {Ptr};
+    return emitWithResult(std::move(I));
+  }
+
+  void store(Value V, Value Ptr) {
+    IRInstr I{IROp::Store};
+    I.Args = {V, Ptr};
+    emit(std::move(I));
+  }
+
+  Value globalAddr(const std::string &Name) {
+    IRInstr I{IROp::GlobalAddr};
+    I.Callee = Name;
+    return emitWithResult(std::move(I));
+  }
+
+  Value call(const std::string &Callee, const std::vector<Value> &Args) {
+    assert(Args.size() <= 8 && "at most 8 register arguments");
+    IRInstr I{IROp::Call};
+    I.Callee = Callee;
+    I.Args = Args;
+    return emitWithResult(std::move(I));
+  }
+
+  void ret(Value V) {
+    IRInstr I{IROp::Ret};
+    I.Args = {V};
+    emit(std::move(I));
+  }
+
+  void br(uint32_t B) {
+    IRInstr I{IROp::Br};
+    I.B0 = B;
+    emit(std::move(I));
+  }
+
+  void condBr(Value C, uint32_t IfTrue, uint32_t IfFalse) {
+    IRInstr I{IROp::CondBr};
+    I.Args = {C};
+    I.B0 = IfTrue;
+    I.B1 = IfFalse;
+    emit(std::move(I));
+  }
+
+  // Pointer convenience: P + Index*8 and typed element access.
+  Value gep(Value P, Value Index) {
+    Value Eight = constInt(8);
+    Value Off = mul(Index, Eight);
+    return add(P, Off);
+  }
+  Value loadIdx(Value P, Value Index) { return load(gep(P, Index)); }
+  void storeIdx(Value V, Value P, Value Index) { store(V, gep(P, Index)); }
+
+private:
+  Value binop(IROp Op, Value A, Value B) {
+    IRInstr I{Op};
+    I.Args = {A, B};
+    return emitWithResult(std::move(I));
+  }
+
+  void emit(IRInstr I) {
+    assert(!Finished && "builder already finished");
+    F.Blocks[Cur].Instrs.push_back(std::move(I));
+  }
+
+  Value emitWithResult(IRInstr I) {
+    I.Result = F.NumValues++;
+    Value R = I.Result;
+    emit(std::move(I));
+    return R;
+  }
+
+  IRModule &M;
+  IRFunction F;
+  uint32_t Cur = 0;
+  bool Finished = false;
+};
+
+} // namespace ir
+} // namespace mco
+
+#endif // MCO_IR_IRBUILDER_H

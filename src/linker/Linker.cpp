@@ -1,0 +1,105 @@
+//===- linker/Linker.cpp - Module merging & image layout ------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "linker/Linker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+using namespace mco;
+
+Module &mco::linkProgram(Program &Prog, DataLayoutMode Mode) {
+  auto Linked = std::make_unique<Module>();
+  Linked->Name = "linked";
+
+  for (auto &M : Prog.Modules) {
+    for (MachineFunction &MF : M->Functions)
+      Linked->Functions.push_back(std::move(MF));
+    for (GlobalData &G : M->Globals)
+      Linked->Globals.push_back(std::move(G));
+  }
+
+  if (Mode == DataLayoutMode::Interleaved) {
+    // Stock llvm-link behaviour modeled as an affinity-destroying shuffle:
+    // order globals by a hash of their symbol id, mixing modules together.
+    std::sort(Linked->Globals.begin(), Linked->Globals.end(),
+              [](const GlobalData &A, const GlobalData &B) {
+                auto H = [](uint32_t X) {
+                  X ^= X >> 16;
+                  X *= 0x7FEB352Du;
+                  X ^= X >> 15;
+                  X *= 0x846CA68Bu;
+                  X ^= X >> 16;
+                  return X;
+                };
+                uint32_t HA = H(A.Name), HB = H(B.Name);
+                if (HA != HB)
+                  return HA < HB;
+                return A.Name < B.Name;
+              });
+  } else {
+    // Preserve module affinity: stable order by origin module.
+    std::stable_sort(Linked->Globals.begin(), Linked->Globals.end(),
+                     [](const GlobalData &A, const GlobalData &B) {
+                       return A.OriginModule < B.OriginModule;
+                     });
+  }
+
+  Prog.Modules.clear();
+  Prog.Modules.push_back(std::move(Linked));
+  return *Prog.Modules.back();
+}
+
+BinaryImage::BinaryImage(const Program &Prog) {
+  uint64_t Addr = TextBase;
+  for (const auto &M : Prog.Modules) {
+    for (const MachineFunction &MF : M->Functions) {
+      FuncLayout FL;
+      FL.MF = &MF;
+      FL.Addr = Addr;
+      for (const MachineBasicBlock &MBB : MF.Blocks) {
+        FL.BlockAddrs.push_back(Addr);
+        for (const MachineInstr &MI : MBB.Instrs) {
+          FlatInstrs.push_back(&MI);
+          FlatFuncIdx.push_back(static_cast<uint32_t>(Funcs.size()));
+          Addr += InstrBytes;
+        }
+      }
+      auto [It, Inserted] =
+          SymToFunc.emplace(MF.Name, static_cast<uint32_t>(Funcs.size()));
+      (void)It;
+      if (!Inserted) {
+        std::fprintf(stderr, "linker error: duplicate symbol '%s'\n",
+                     Prog.symbolName(MF.Name).c_str());
+        std::abort();
+      }
+      Funcs.push_back(std::move(FL));
+    }
+  }
+  CodeBytes = Addr - TextBase;
+
+  // Data begins at the next page boundary.
+  DataBaseAddr = (Addr + PageSize - 1) & ~(PageSize - 1);
+  uint64_t DAddr = DataBaseAddr;
+  for (const auto &M : Prog.Modules) {
+    for (const GlobalData &G : M->Globals) {
+      // 8-byte align each global.
+      DAddr = (DAddr + 7) & ~uint64_t(7);
+      Data.push_back(DataEntry{&G, DAddr});
+      bool Inserted = SymToData.emplace(G.Name, DAddr).second;
+      if (!Inserted) {
+        std::fprintf(stderr, "linker error: duplicate global '%s'\n",
+                     Prog.symbolName(G.Name).c_str());
+        std::abort();
+      }
+      DAddr += G.Bytes.size();
+    }
+  }
+  DataBytes = DAddr - DataBaseAddr;
+}

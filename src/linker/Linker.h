@@ -1,0 +1,137 @@
+//===- linker/Linker.h - Module merging & image layout ----------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two linker roles from the paper's pipelines:
+///
+///  1. `linkProgram` is the llvm-link analogue: it merges every module of a
+///     Program into one module. Its data-layout mode reproduces the paper's
+///     Section VI production incident — the default merge interleaves
+///     globals from different modules, destroying programmer-driven data
+///     affinity and causing page faults; `PreserveModuleOrder` is the
+///     paper's upstreamed fix.
+///
+///  2. `buildImage` is the system-linker analogue: it assigns every
+///     function and global a virtual address and resolves symbols. It
+///     deliberately does *not* deduplicate identical outlined clones from
+///     different modules (real linkers keep local symbols), which is why
+///     the per-module pipeline loses to whole-program outlining (Fig. 12).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_LINKER_LINKER_H
+#define MCO_LINKER_LINKER_H
+
+#include "mir/Program.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mco {
+
+/// How `linkProgram` orders global data from different modules.
+enum class DataLayoutMode : uint8_t {
+  /// Globals from the same origin module stay adjacent (the paper's fix).
+  PreserveModuleOrder,
+  /// Globals are interleaved across modules (hash order) — models stock
+  /// llvm-link's affinity-destroying behaviour.
+  Interleaved,
+};
+
+/// Merges all modules of \p Prog into a single module named "linked".
+/// The old modules are destroyed; \returns the merged module.
+Module &linkProgram(Program &Prog,
+                    DataLayoutMode Mode = DataLayoutMode::PreserveModuleOrder);
+
+/// A fully laid out binary: every instruction has a 4-byte-aligned virtual
+/// address; every global has a data address.
+class BinaryImage {
+public:
+  /// Default bases; data follows text at the next page boundary.
+  static constexpr uint64_t TextBase = 0x100000000ull;
+  static constexpr uint64_t PageSize = 0x4000; // 16 KiB, as on iOS.
+
+  /// Lays out every function of every module of \p Prog (in module order)
+  /// and every global (in each module's stored order — run linkProgram
+  /// first to apply a data-layout policy program-wide).
+  ///
+  /// \p Prog must outlive the image. Aborts on duplicate function symbols.
+  explicit BinaryImage(const Program &Prog);
+
+  /// \returns the address of function \p Sym, or 0 if undefined (e.g. a
+  /// runtime builtin the simulator provides).
+  uint64_t functionAddr(uint32_t Sym) const {
+    auto It = SymToFunc.find(Sym);
+    return It == SymToFunc.end() ? 0 : Funcs[It->second].Addr;
+  }
+
+  /// \returns the data address of global \p Sym, or 0 if undefined.
+  uint64_t globalAddr(uint32_t Sym) const {
+    auto It = SymToData.find(Sym);
+    return It == SymToData.end() ? 0 : It->second;
+  }
+
+  /// \returns the instruction at \p Addr, or nullptr when \p Addr is not a
+  /// laid-out instruction address.
+  const MachineInstr *instrAt(uint64_t Addr) const {
+    if (Addr < TextBase)
+      return nullptr;
+    uint64_t Idx = (Addr - TextBase) / InstrBytes;
+    return Idx < FlatInstrs.size() ? FlatInstrs[Idx] : nullptr;
+  }
+
+  /// \returns the index (into funcs()) of the function containing \p Addr.
+  uint32_t functionIndexAt(uint64_t Addr) const {
+    uint64_t Idx = (Addr - TextBase) / InstrBytes;
+    return FlatFuncIdx[Idx];
+  }
+
+  /// \returns the address of block \p Block of the function at index
+  /// \p FuncIdx.
+  uint64_t blockAddr(uint32_t FuncIdx, uint32_t Block) const {
+    return Funcs[FuncIdx].BlockAddrs[Block];
+  }
+
+  struct FuncLayout {
+    const MachineFunction *MF;
+    uint64_t Addr;
+    std::vector<uint64_t> BlockAddrs;
+  };
+  const std::vector<FuncLayout> &funcs() const { return Funcs; }
+
+  struct DataEntry {
+    const GlobalData *G;
+    uint64_t Addr;
+  };
+  const std::vector<DataEntry> &dataEntries() const { return Data; }
+
+  uint64_t codeSize() const { return CodeBytes; }
+  uint64_t dataSize() const { return DataBytes; }
+  uint64_t dataBase() const { return DataBaseAddr; }
+  uint64_t dataEnd() const { return DataBaseAddr + DataBytes; }
+
+  /// The whole-binary size: code + data + a fixed resource overhead used
+  /// when the benches report "binary size" versus "code size".
+  uint64_t binarySize(uint64_t ResourceBytes = 0) const {
+    return CodeBytes + DataBytes + ResourceBytes;
+  }
+
+private:
+  std::vector<FuncLayout> Funcs;
+  std::unordered_map<uint32_t, uint32_t> SymToFunc;
+  std::vector<DataEntry> Data;
+  std::unordered_map<uint32_t, uint64_t> SymToData;
+  std::vector<const MachineInstr *> FlatInstrs;
+  std::vector<uint32_t> FlatFuncIdx;
+  uint64_t CodeBytes = 0;
+  uint64_t DataBytes = 0;
+  uint64_t DataBaseAddr = 0;
+};
+
+} // namespace mco
+
+#endif // MCO_LINKER_LINKER_H

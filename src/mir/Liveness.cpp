@@ -1,0 +1,58 @@
+//===- mir/Liveness.cpp - Physical register liveness ---------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mir/Liveness.h"
+
+#include <cassert>
+
+using namespace mco;
+
+void Liveness::recompute(const MachineFunction &MF) {
+  const size_t NumBlocks = MF.Blocks.size();
+  BlockLiveOut.assign(NumBlocks, 0);
+  LiveBefore.assign(NumBlocks, {});
+  LiveAfter.assign(NumBlocks, {});
+
+  // Per-block gen/kill summaries.
+  std::vector<RegMask> Gen(NumBlocks, 0), Kill(NumBlocks, 0);
+  for (size_t B = 0; B < NumBlocks; ++B) {
+    RegMask G = 0, K = 0;
+    for (const MachineInstr &MI : MF.Blocks[B].Instrs) {
+      G |= MI.uses() & ~K;
+      K |= MI.defs();
+    }
+    Gen[B] = G;
+    Kill[B] = K;
+  }
+
+  // Iterate to a fixed point (programs are shallow; converges fast).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t B = NumBlocks; B-- > 0;) {
+      RegMask Out = 0;
+      for (uint32_t S : MF.successors(static_cast<uint32_t>(B)))
+        Out |= Gen[S] | (BlockLiveOut[S] & ~Kill[S]);
+      if (Out != BlockLiveOut[B]) {
+        BlockLiveOut[B] = Out;
+        Changed = true;
+      }
+    }
+  }
+
+  // Per-instruction sets via a backward walk within each block.
+  for (size_t B = 0; B < NumBlocks; ++B) {
+    const auto &Instrs = MF.Blocks[B].Instrs;
+    LiveBefore[B].assign(Instrs.size(), 0);
+    LiveAfter[B].assign(Instrs.size(), 0);
+    RegMask Live = BlockLiveOut[B];
+    for (size_t I = Instrs.size(); I-- > 0;) {
+      LiveAfter[B][I] = Live;
+      Live = (Live & ~Instrs[I].defs()) | Instrs[I].uses();
+      LiveBefore[B][I] = Live;
+    }
+  }
+}

@@ -1,0 +1,65 @@
+//===- mir/Liveness.h - Physical register liveness --------------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward dataflow liveness over physical registers, per function. The
+/// machine outliner depends on liveness in three places (paper Section V-B
+/// notes the candidate liveness update as the key engineering change for
+/// repeated outlining):
+///   - deciding whether LR's value is live across a candidate (call class),
+///   - finding a free register to save LR into (RegSave class),
+///   - re-validating candidates after call instructions are inserted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_MIR_LIVENESS_H
+#define MCO_MIR_LIVENESS_H
+
+#include "mir/MachineFunction.h"
+
+#include <vector>
+
+namespace mco {
+
+/// Liveness information for one machine function.
+///
+/// The analysis is conservative: calls clobber the caller-saved set and use
+/// the argument registers; returns use the result, LR, SP, and callee-saved
+/// registers.
+class Liveness {
+public:
+  explicit Liveness(const MachineFunction &MF) { recompute(MF); }
+
+  /// Recomputes everything; called once per outlining round (liveness must
+  /// be up to date after calls are introduced — paper Section V-B).
+  void recompute(const MachineFunction &MF);
+
+  /// \returns the registers live immediately *before* instruction
+  /// \p InstrIdx of block \p BlockIdx.
+  RegMask liveBefore(uint32_t BlockIdx, uint32_t InstrIdx) const {
+    return LiveBefore[BlockIdx][InstrIdx];
+  }
+
+  /// \returns the registers live immediately *after* instruction
+  /// \p InstrIdx of block \p BlockIdx.
+  RegMask liveAfter(uint32_t BlockIdx, uint32_t InstrIdx) const {
+    return LiveAfter[BlockIdx][InstrIdx];
+  }
+
+  /// \returns the live-out set of block \p BlockIdx.
+  RegMask blockLiveOut(uint32_t BlockIdx) const {
+    return BlockLiveOut[BlockIdx];
+  }
+
+private:
+  std::vector<RegMask> BlockLiveOut;
+  std::vector<std::vector<RegMask>> LiveBefore;
+  std::vector<std::vector<RegMask>> LiveAfter;
+};
+
+} // namespace mco
+
+#endif // MCO_MIR_LIVENESS_H

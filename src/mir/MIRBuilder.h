@@ -1,0 +1,161 @@
+//===- mir/MIRBuilder.h - Convenience instruction emission ------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin builder over a MachineBasicBlock used by the code generator, the
+/// corpus synthesizer, and the tests. Each method emits one instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_MIR_MIRBUILDER_H
+#define MCO_MIR_MIRBUILDER_H
+
+#include "mir/MachineFunction.h"
+
+namespace mco {
+
+/// Emits instructions at the end of a block. Reposition with setBlock().
+class MIRBuilder {
+public:
+  explicit MIRBuilder(MachineBasicBlock &MBB) : MBB(&MBB) {}
+
+  void setBlock(MachineBasicBlock &B) { MBB = &B; }
+  MachineBasicBlock &block() { return *MBB; }
+
+  using MO = MachineOperand;
+
+  void movri(Reg D, int64_t Imm) {
+    MBB->push(MachineInstr(Opcode::MOVri, MO::reg(D), MO::imm(Imm)));
+  }
+  void movrr(Reg D, Reg S) {
+    MBB->push(MachineInstr(Opcode::MOVrr, MO::reg(D), MO::reg(S)));
+  }
+  void addri(Reg D, Reg S, int64_t Imm) {
+    MBB->push(
+        MachineInstr(Opcode::ADDri, MO::reg(D), MO::reg(S), MO::imm(Imm)));
+  }
+  void addrr(Reg D, Reg A, Reg B) {
+    MBB->push(
+        MachineInstr(Opcode::ADDrr, MO::reg(D), MO::reg(A), MO::reg(B)));
+  }
+  void subri(Reg D, Reg S, int64_t Imm) {
+    MBB->push(
+        MachineInstr(Opcode::SUBri, MO::reg(D), MO::reg(S), MO::imm(Imm)));
+  }
+  void subrr(Reg D, Reg A, Reg B) {
+    MBB->push(
+        MachineInstr(Opcode::SUBrr, MO::reg(D), MO::reg(A), MO::reg(B)));
+  }
+  void mulrr(Reg D, Reg A, Reg B) {
+    MBB->push(
+        MachineInstr(Opcode::MULrr, MO::reg(D), MO::reg(A), MO::reg(B)));
+  }
+  void sdivrr(Reg D, Reg A, Reg B) {
+    MBB->push(
+        MachineInstr(Opcode::SDIVrr, MO::reg(D), MO::reg(A), MO::reg(B)));
+  }
+  void msub(Reg D, Reg A, Reg B, Reg C) {
+    MBB->push(MachineInstr(Opcode::MSUBrr, MO::reg(D), MO::reg(A), MO::reg(B),
+                           MO::reg(C)));
+  }
+  void andrr(Reg D, Reg A, Reg B) {
+    MBB->push(
+        MachineInstr(Opcode::ANDrr, MO::reg(D), MO::reg(A), MO::reg(B)));
+  }
+  void orrrr(Reg D, Reg A, Reg B) {
+    MBB->push(
+        MachineInstr(Opcode::ORRrr, MO::reg(D), MO::reg(A), MO::reg(B)));
+  }
+  void eorrr(Reg D, Reg A, Reg B) {
+    MBB->push(
+        MachineInstr(Opcode::EORrr, MO::reg(D), MO::reg(A), MO::reg(B)));
+  }
+  void lslri(Reg D, Reg S, int64_t Imm) {
+    MBB->push(
+        MachineInstr(Opcode::LSLri, MO::reg(D), MO::reg(S), MO::imm(Imm)));
+  }
+  void asrri(Reg D, Reg S, int64_t Imm) {
+    MBB->push(
+        MachineInstr(Opcode::ASRri, MO::reg(D), MO::reg(S), MO::imm(Imm)));
+  }
+  void lslrr(Reg D, Reg A, Reg B) {
+    MBB->push(
+        MachineInstr(Opcode::LSLrr, MO::reg(D), MO::reg(A), MO::reg(B)));
+  }
+  void asrrr(Reg D, Reg A, Reg B) {
+    MBB->push(
+        MachineInstr(Opcode::ASRrr, MO::reg(D), MO::reg(A), MO::reg(B)));
+  }
+  void cmpri(Reg A, int64_t Imm) {
+    MBB->push(MachineInstr(Opcode::CMPri, MO::reg(A), MO::imm(Imm)));
+  }
+  void cmprr(Reg A, Reg B) {
+    MBB->push(MachineInstr(Opcode::CMPrr, MO::reg(A), MO::reg(B)));
+  }
+  void cset(Reg D, Cond C) {
+    MBB->push(MachineInstr(Opcode::CSET, MO::reg(D), MO::cond(C)));
+  }
+  void csel(Reg D, Reg A, Reg B, Cond C) {
+    MBB->push(MachineInstr(Opcode::CSEL, MO::reg(D), MO::reg(A), MO::reg(B),
+                           MO::cond(C)));
+  }
+  void ldr(Reg D, Reg Base, int64_t Off) {
+    MBB->push(
+        MachineInstr(Opcode::LDRui, MO::reg(D), MO::reg(Base), MO::imm(Off)));
+  }
+  void str(Reg S, Reg Base, int64_t Off) {
+    MBB->push(
+        MachineInstr(Opcode::STRui, MO::reg(S), MO::reg(Base), MO::imm(Off)));
+  }
+  void ldp(Reg D1, Reg D2, Reg Base, int64_t Off) {
+    MBB->push(MachineInstr(Opcode::LDPui, MO::reg(D1), MO::reg(D2),
+                           MO::reg(Base), MO::imm(Off)));
+  }
+  void stp(Reg S1, Reg S2, Reg Base, int64_t Off) {
+    MBB->push(MachineInstr(Opcode::STPui, MO::reg(S1), MO::reg(S2),
+                           MO::reg(Base), MO::imm(Off)));
+  }
+  void strpre(Reg S, Reg Base, int64_t Off) {
+    MBB->push(MachineInstr(Opcode::STRpre, MO::reg(S), MO::reg(Base),
+                           MO::imm(Off)));
+  }
+  void ldrpost(Reg D, Reg Base, int64_t Off) {
+    MBB->push(MachineInstr(Opcode::LDRpost, MO::reg(D), MO::reg(Base),
+                           MO::imm(Off)));
+  }
+  void adr(Reg D, uint32_t Sym) {
+    MBB->push(MachineInstr(Opcode::ADR, MO::reg(D), MO::sym(Sym)));
+  }
+  void b(uint32_t Block) {
+    MBB->push(MachineInstr(Opcode::B, MO::block(Block)));
+  }
+  void bcc(Cond C, uint32_t Block) {
+    MBB->push(MachineInstr(Opcode::Bcc, MO::cond(C), MO::block(Block)));
+  }
+  void cbz(Reg R, uint32_t Block) {
+    MBB->push(MachineInstr(Opcode::CBZ, MO::reg(R), MO::block(Block)));
+  }
+  void cbnz(Reg R, uint32_t Block) {
+    MBB->push(MachineInstr(Opcode::CBNZ, MO::reg(R), MO::block(Block)));
+  }
+  void bl(uint32_t Sym) {
+    MBB->push(MachineInstr(Opcode::BL, MO::sym(Sym)));
+  }
+  void blr(Reg R) { MBB->push(MachineInstr(Opcode::BLR, MO::reg(R))); }
+  void btail(uint32_t Sym) {
+    MBB->push(MachineInstr(Opcode::Btail, MO::sym(Sym)));
+  }
+  void br(Reg R) { MBB->push(MachineInstr(Opcode::BR, MO::reg(R))); }
+  void ret() { MBB->push(MachineInstr(Opcode::RET)); }
+  void nop() { MBB->push(MachineInstr(Opcode::NOP)); }
+
+private:
+  MachineBasicBlock *MBB;
+};
+
+} // namespace mco
+
+#endif // MCO_MIR_MIRBUILDER_H

@@ -1,0 +1,330 @@
+//===- mir/MIRParser.cpp - Textual MIR parsing ----------------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mir/MIRParser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+using namespace mco;
+
+namespace {
+
+/// Trims ASCII whitespace from both ends.
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t\r\n");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t\r\n");
+  return S.substr(B, E - B + 1);
+}
+
+bool parseReg(const std::string &Tok, Reg &Out) {
+  static const std::unordered_map<std::string, Reg> Names = [] {
+    std::unordered_map<std::string, Reg> M;
+    for (unsigned I = 0; I <= 30; ++I)
+      M["x" + std::to_string(I)] = xreg(I);
+    M["sp"] = Reg::SP;
+    M["xzr"] = Reg::XZR;
+    M["nzcv"] = Reg::NZCV;
+    return M;
+  }();
+  auto It = Names.find(Tok);
+  if (It == Names.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
+bool parseCond(const std::string &Tok, Cond &Out) {
+  static const std::unordered_map<std::string, Cond> Names = {
+      {"eq", Cond::EQ}, {"ne", Cond::NE}, {"lt", Cond::LT},
+      {"le", Cond::LE}, {"gt", Cond::GT}, {"ge", Cond::GE},
+      {"lo", Cond::LO}, {"hs", Cond::HS}};
+  auto It = Names.find(Tok);
+  if (It == Names.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
+/// Splits an operand list on commas (the printer never emits commas
+/// inside operands).
+std::vector<std::string> splitOperands(const std::string &S) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == ',') {
+      Out.push_back(trim(Cur));
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  Cur = trim(Cur);
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
+
+/// Parser state for one module.
+class ModuleParser {
+public:
+  ModuleParser(Program &Prog, Module &M) : Prog(Prog), M(M) {}
+
+  std::string parse(const std::string &Text) {
+    std::istringstream In(Text);
+    std::string Line;
+    unsigned LineNo = 0;
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      std::string Err = parseLine(trim(Line));
+      if (!Err.empty())
+        return "line " + std::to_string(LineNo) + ": " + Err;
+    }
+    return "";
+  }
+
+private:
+  using MO = MachineOperand;
+
+  MachineBasicBlock &currentBlock() {
+    return M.Functions.back().Blocks.back();
+  }
+
+  std::string parseLine(const std::string &Line) {
+    if (Line.empty())
+      return "";
+    if (Line[0] == ';') {
+      // "; module <name>" or a comment.
+      if (Line.rfind("; module ", 0) == 0)
+        M.Name = trim(Line.substr(9));
+      return "";
+    }
+    // ".LBB<k>:" starts a new block of the current function.
+    if (Line.rfind(".LBB", 0) == 0 && Line.back() == ':') {
+      if (M.Functions.empty())
+        return "block label outside a function";
+      M.Functions.back().addBlock();
+      return "";
+    }
+    // "<name>: .space N" declares a global.
+    size_t Colon = Line.find(':');
+    if (Colon != std::string::npos &&
+        Line.find(".space", Colon) != std::string::npos) {
+      GlobalData G;
+      G.Name = Prog.internSymbol(trim(Line.substr(0, Colon)));
+      size_t SpacePos = Line.find(".space", Colon) + 6;
+      G.Bytes.assign(
+          static_cast<size_t>(std::strtoull(
+              trim(Line.substr(SpacePos)).c_str(), nullptr, 10)),
+          0);
+      M.Globals.push_back(std::move(G));
+      return "";
+    }
+    // "<name>:" starts a function.
+    if (Colon == Line.size() - 1 && Colon != std::string::npos) {
+      MachineFunction MF;
+      std::string Name = trim(Line.substr(0, Colon));
+      MF.Name = Prog.internSymbol(Name);
+      MF.IsOutlined = Name.rfind("OUTLINED_FUNCTION", 0) == 0;
+      MF.addBlock();
+      M.Functions.push_back(std::move(MF));
+      return "";
+    }
+    // Otherwise: an instruction line.
+    if (M.Functions.empty())
+      return "instruction outside a function";
+    return parseInstr(Line);
+  }
+
+  std::string regOp(const std::string &Tok, MO &Out) {
+    Reg R;
+    if (!parseReg(Tok, R))
+      return "expected register, got '" + Tok + "'";
+    Out = MO::reg(R);
+    return "";
+  }
+  std::string immOp(const std::string &Tok, MO &Out) {
+    if (Tok.empty() || Tok[0] != '#')
+      return "expected immediate, got '" + Tok + "'";
+    Out = MO::imm(std::strtoll(Tok.c_str() + 1, nullptr, 10));
+    return "";
+  }
+  std::string blockOp(const std::string &Tok, MO &Out) {
+    if (Tok.rfind(".LBB", 0) != 0)
+      return "expected block label, got '" + Tok + "'";
+    Out = MO::block(
+        static_cast<uint32_t>(std::strtoul(Tok.c_str() + 4, nullptr, 10)));
+    return "";
+  }
+  std::string condOp(const std::string &Tok, MO &Out) {
+    Cond C;
+    if (!parseCond(Tok, C))
+      return "expected condition, got '" + Tok + "'";
+    Out = MO::cond(C);
+    return "";
+  }
+  std::string symOp(const std::string &Tok, MO &Out) {
+    if (Tok.empty())
+      return "expected symbol";
+    Out = MO::sym(Prog.internSymbol(Tok));
+    return "";
+  }
+
+  std::string parseInstr(const std::string &Line) {
+    size_t Sp = Line.find_first_of(" \t");
+    std::string Mn = Sp == std::string::npos ? Line : Line.substr(0, Sp);
+    std::vector<std::string> Ops =
+        Sp == std::string::npos
+            ? std::vector<std::string>{}
+            : splitOperands(trim(Line.substr(Sp)));
+    const size_t N = Ops.size();
+    for (const std::string &O : Ops)
+      if (O.empty())
+        return "empty operand";
+    auto IsImm = [&](size_t I) { return I < N && Ops[I][0] == '#'; };
+
+    // Resolve (mnemonic, arity, operand shapes) to an opcode with the
+    // operand kind string: r = register, i = immediate, b = block,
+    // c = condition, s = symbol.
+    Opcode Op;
+    std::string Kinds;
+    if (Mn == "mov" && N == 2) {
+      Op = Opcode::MOVri; Kinds = "ri";
+    } else if (Mn == "orr" && N == 2) {
+      Op = Opcode::MOVrr; Kinds = "rr";
+    } else if (Mn == "orr" && N == 3) {
+      Op = Opcode::ORRrr; Kinds = "rrr";
+    } else if ((Mn == "add" || Mn == "sub" || Mn == "lsl" || Mn == "asr") &&
+               N == 3) {
+      bool Imm = IsImm(2);
+      if (Mn == "add") Op = Imm ? Opcode::ADDri : Opcode::ADDrr;
+      else if (Mn == "sub") Op = Imm ? Opcode::SUBri : Opcode::SUBrr;
+      else if (Mn == "lsl") Op = Imm ? Opcode::LSLri : Opcode::LSLrr;
+      else Op = Imm ? Opcode::ASRri : Opcode::ASRrr;
+      Kinds = Imm ? "rri" : "rrr";
+    } else if (Mn == "mul" && N == 3) {
+      Op = Opcode::MULrr; Kinds = "rrr";
+    } else if (Mn == "sdiv" && N == 3) {
+      Op = Opcode::SDIVrr; Kinds = "rrr";
+    } else if (Mn == "msub" && N == 4) {
+      Op = Opcode::MSUBrr; Kinds = "rrrr";
+    } else if (Mn == "and" && N == 3) {
+      Op = Opcode::ANDrr; Kinds = "rrr";
+    } else if (Mn == "eor" && N == 3) {
+      Op = Opcode::EORrr; Kinds = "rrr";
+    } else if (Mn == "cmp" && N == 2) {
+      bool Imm = IsImm(1);
+      Op = Imm ? Opcode::CMPri : Opcode::CMPrr;
+      Kinds = Imm ? "ri" : "rr";
+    } else if (Mn == "cset" && N == 2) {
+      Op = Opcode::CSET; Kinds = "rc";
+    } else if (Mn == "csel" && N == 4) {
+      Op = Opcode::CSEL; Kinds = "rrrc";
+    } else if (Mn == "ldr" && N == 3) {
+      Op = Opcode::LDRui; Kinds = "rri";
+    } else if (Mn == "str" && N == 3) {
+      Op = Opcode::STRui; Kinds = "rri";
+    } else if (Mn == "ldp" && N == 4) {
+      Op = Opcode::LDPui; Kinds = "rrri";
+    } else if (Mn == "stp" && N == 4) {
+      Op = Opcode::STPui; Kinds = "rrri";
+    } else if (Mn == "str!" && N == 3) {
+      Op = Opcode::STRpre; Kinds = "rri";
+    } else if (Mn == "ldr+" && N == 3) {
+      Op = Opcode::LDRpost; Kinds = "rri";
+    } else if (Mn == "adr" && N == 2) {
+      Op = Opcode::ADR; Kinds = "rs";
+    } else if (Mn == "b" && N == 1) {
+      Op = Opcode::B; Kinds = "b";
+    } else if (Mn == "b.cc" && N == 2) {
+      Op = Opcode::Bcc; Kinds = "cb";
+    } else if ((Mn == "cbz" || Mn == "cbnz") && N == 2) {
+      Op = Mn == "cbz" ? Opcode::CBZ : Opcode::CBNZ;
+      Kinds = "rb";
+    } else if (Mn == "b.tail" && N == 1) {
+      Op = Opcode::Btail; Kinds = "s";
+    } else if (Mn == "bl" && N == 1) {
+      Op = Opcode::BL; Kinds = "s";
+    } else if (Mn == "blr" && N == 1) {
+      Op = Opcode::BLR; Kinds = "r";
+    } else if (Mn == "br" && N == 1) {
+      Op = Opcode::BR; Kinds = "r";
+    } else if (Mn == "ret" && N == 0) {
+      Op = Opcode::RET; Kinds = "";
+    } else if (Mn == "nop" && N == 0) {
+      Op = Opcode::NOP; Kinds = "";
+    } else {
+      return "unknown instruction '" + Mn + "' with " +
+             std::to_string(N) + " operand(s)";
+    }
+
+    MO Parsed[4];
+    for (size_t I = 0; I < Kinds.size(); ++I) {
+      std::string Err;
+      switch (Kinds[I]) {
+      case 'r': Err = regOp(Ops[I], Parsed[I]); break;
+      case 'i': Err = immOp(Ops[I], Parsed[I]); break;
+      case 'b': Err = blockOp(Ops[I], Parsed[I]); break;
+      case 'c': Err = condOp(Ops[I], Parsed[I]); break;
+      case 's': Err = symOp(Ops[I], Parsed[I]); break;
+      }
+      if (!Err.empty())
+        return Err;
+    }
+
+    MachineInstr MI;
+    switch (Kinds.size()) {
+    case 0: MI = MachineInstr(Op); break;
+    case 1: MI = MachineInstr(Op, Parsed[0]); break;
+    case 2: MI = MachineInstr(Op, Parsed[0], Parsed[1]); break;
+    case 3: MI = MachineInstr(Op, Parsed[0], Parsed[1], Parsed[2]); break;
+    default:
+      MI = MachineInstr(Op, Parsed[0], Parsed[1], Parsed[2], Parsed[3]);
+      break;
+    }
+    currentBlock().push(MI);
+    return "";
+  }
+
+  Program &Prog;
+  Module &M;
+};
+
+} // namespace
+
+ParseResult mco::parseModule(Program &Prog, const std::string &Text) {
+  ParseResult R;
+  Module &M = Prog.addModule("parsed");
+  ModuleParser P(Prog, M);
+  R.Error = P.parse(Text);
+  if (!R.Error.empty()) {
+    Prog.Modules.pop_back();
+    return R;
+  }
+  // The text format does not carry outlined-frame metadata; infer it from
+  // the body shape so verification and further outlining rounds work on
+  // reloaded modules.
+  for (MachineFunction &MF : M.Functions) {
+    if (!MF.IsOutlined || MF.Blocks.empty() || MF.Blocks[0].empty())
+      continue;
+    const MachineBasicBlock &B = MF.Blocks[0];
+    const MachineInstr &Last = B.Instrs.back();
+    if (Last.opcode() == Opcode::Btail)
+      MF.FrameKind = OutlinedFrameKind::Thunk;
+    else if (B.size() >= 3 && B.Instrs.front().opcode() == Opcode::STRpre &&
+             B.Instrs[B.size() - 2].opcode() == Opcode::LDRpost)
+      MF.FrameKind = OutlinedFrameKind::SavesLRInFrame;
+    else
+      MF.FrameKind = OutlinedFrameKind::AppendedRet;
+  }
+  R.M = &M;
+  return R;
+}

@@ -1,0 +1,48 @@
+//===- mir/MIRParser.h - Textual MIR parsing --------------------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the assembly-like text emitted by MIRPrinter back into machine
+/// modules, closing the round trip: modules can be dumped, stored as test
+/// fixtures, edited by hand, and reloaded. The grammar is exactly the
+/// printer's output format:
+///
+///   ; module <name>
+///   <function>:
+///     <mnemonic> <operands...>
+///   .LBB<k>:
+///     ...
+///   <global>: .space <bytes>
+///
+/// Operands: registers (x0..x30, sp, xzr), immediates (#N), block labels
+/// (.LBBk), condition codes (eq, ne, ...), and symbol names.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_MIR_MIRPARSER_H
+#define MCO_MIR_MIRPARSER_H
+
+#include "mir/Program.h"
+
+#include <string>
+
+namespace mco {
+
+/// Result of a parse: the module (appended to \p Prog) or a diagnostic.
+struct ParseResult {
+  Module *M = nullptr;
+  /// Empty on success; otherwise "line N: message".
+  std::string Error;
+
+  explicit operator bool() const { return Error.empty(); }
+};
+
+/// Parses \p Text as one module and appends it to \p Prog.
+ParseResult parseModule(Program &Prog, const std::string &Text);
+
+} // namespace mco
+
+#endif // MCO_MIR_MIRPARSER_H

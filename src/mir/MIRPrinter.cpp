@@ -1,0 +1,68 @@
+//===- mir/MIRPrinter.cpp - Textual MIR dumps ----------------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mir/MIRPrinter.h"
+
+using namespace mco;
+
+std::string mco::printInstr(const MachineInstr &MI, const Program &Prog) {
+  std::string S = opcodeName(MI.opcode());
+  // Pad mnemonics for readability.
+  while (S.size() < 6)
+    S += ' ';
+  for (unsigned I = 0; I < MI.numOperands(); ++I) {
+    S += I == 0 ? " " : ", ";
+    const MachineOperand &O = MI.operand(I);
+    switch (O.K) {
+    case MachineOperand::Kind::Register:
+      S += regName(O.getReg());
+      break;
+    case MachineOperand::Kind::Immediate:
+      S += "#" + std::to_string(O.getImm());
+      break;
+    case MachineOperand::Kind::Symbol:
+      S += Prog.symbolName(O.getSym());
+      break;
+    case MachineOperand::Kind::Block:
+      S += ".LBB" + std::to_string(O.getBlock());
+      break;
+    case MachineOperand::Kind::CondK:
+      S += condName(O.getCond());
+      break;
+    case MachineOperand::Kind::None:
+      S += "<none>";
+      break;
+    }
+  }
+  return S;
+}
+
+std::string mco::printFunction(const MachineFunction &MF, const Program &Prog) {
+  std::string S = Prog.symbolName(MF.Name) + ":\n";
+  for (size_t B = 0; B < MF.Blocks.size(); ++B) {
+    if (B != 0)
+      S += ".LBB" + std::to_string(B) + ":\n";
+    for (const MachineInstr &MI : MF.Blocks[B].Instrs) {
+      S += "  ";
+      S += printInstr(MI, Prog);
+      S += '\n';
+    }
+  }
+  return S;
+}
+
+std::string mco::printModule(const Module &M, const Program &Prog) {
+  std::string S = "; module " + M.Name + "\n";
+  for (const MachineFunction &MF : M.Functions) {
+    S += printFunction(MF, Prog);
+    S += '\n';
+  }
+  for (const GlobalData &G : M.Globals) {
+    S += Prog.symbolName(G.Name) + ": .space " +
+         std::to_string(G.Bytes.size()) + "\n";
+  }
+  return S;
+}

@@ -1,0 +1,34 @@
+//===- mir/MIRPrinter.h - Textual MIR dumps ---------------------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders machine instructions, functions, and modules as AArch64-style
+/// assembly text, used by the examples, tests, and the statistics pass's
+/// pattern listings (paper Listings 1-8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_MIR_MIRPRINTER_H
+#define MCO_MIR_MIRPRINTER_H
+
+#include "mir/Program.h"
+
+#include <string>
+
+namespace mco {
+
+/// \returns one-line assembly text for \p MI. \p Prog resolves symbol ids.
+std::string printInstr(const MachineInstr &MI, const Program &Prog);
+
+/// \returns a full textual listing of \p MF.
+std::string printFunction(const MachineFunction &MF, const Program &Prog);
+
+/// \returns a full textual listing of \p M (functions then globals).
+std::string printModule(const Module &M, const Program &Prog);
+
+} // namespace mco
+
+#endif // MCO_MIR_MIRPRINTER_H

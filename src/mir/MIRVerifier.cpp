@@ -1,0 +1,205 @@
+//===- mir/MIRVerifier.cpp - Machine-code structural verifier -------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mir/MIRVerifier.h"
+
+#include <unordered_set>
+
+using namespace mco;
+
+namespace {
+
+using OK = MachineOperand::Kind;
+
+/// Expected operand signature per opcode; N = None terminates.
+struct Signature {
+  OK Ops[4];
+  unsigned Count;
+};
+
+bool signatureFor(Opcode Op, Signature &Sig) {
+  auto Make = [&Sig](std::initializer_list<OK> Kinds) {
+    Sig.Count = 0;
+    for (OK K : Kinds)
+      Sig.Ops[Sig.Count++] = K;
+    return true;
+  };
+  switch (Op) {
+  case Opcode::MOVri:
+    return Make({OK::Register, OK::Immediate});
+  case Opcode::MOVrr:
+    return Make({OK::Register, OK::Register});
+  case Opcode::ADDri:
+  case Opcode::SUBri:
+  case Opcode::LSLri:
+  case Opcode::ASRri:
+    return Make({OK::Register, OK::Register, OK::Immediate});
+  case Opcode::ADDrr:
+  case Opcode::SUBrr:
+  case Opcode::MULrr:
+  case Opcode::SDIVrr:
+  case Opcode::ANDrr:
+  case Opcode::ORRrr:
+  case Opcode::EORrr:
+  case Opcode::LSLrr:
+  case Opcode::ASRrr:
+    return Make({OK::Register, OK::Register, OK::Register});
+  case Opcode::MSUBrr:
+    return Make({OK::Register, OK::Register, OK::Register, OK::Register});
+  case Opcode::CMPri:
+    return Make({OK::Register, OK::Immediate});
+  case Opcode::CMPrr:
+    return Make({OK::Register, OK::Register});
+  case Opcode::CSET:
+    return Make({OK::Register, OK::CondK});
+  case Opcode::CSEL:
+    return Make({OK::Register, OK::Register, OK::Register, OK::CondK});
+  case Opcode::LDRui:
+  case Opcode::STRui:
+  case Opcode::STRpre:
+  case Opcode::LDRpost:
+    return Make({OK::Register, OK::Register, OK::Immediate});
+  case Opcode::LDPui:
+  case Opcode::STPui:
+    return Make({OK::Register, OK::Register, OK::Register, OK::Immediate});
+  case Opcode::ADR:
+    return Make({OK::Register, OK::Symbol});
+  case Opcode::B:
+    return Make({OK::Block});
+  case Opcode::Bcc:
+    return Make({OK::CondK, OK::Block});
+  case Opcode::CBZ:
+  case Opcode::CBNZ:
+    return Make({OK::Register, OK::Block});
+  case Opcode::Btail:
+  case Opcode::BL:
+    return Make({OK::Symbol});
+  case Opcode::BLR:
+  case Opcode::BR:
+    return Make({OK::Register});
+  case Opcode::RET:
+  case Opcode::NOP:
+    return Make({});
+  }
+  return false;
+}
+
+/// Runtime symbols the simulator provides.
+bool isRuntimeBuiltin(const std::string &Name) {
+  static const std::unordered_set<std::string> Builtins = {
+      "swift_retain",      "swift_release", "objc_retain",
+      "objc_release",      "swift_allocObject",
+      "swift_deallocObject", "malloc",      "free"};
+  return Builtins.count(Name) != 0;
+}
+
+} // namespace
+
+std::string mco::verifyFunction(const Program &Prog,
+                                const MachineFunction &MF) {
+  const std::string FnName = Prog.symbolName(MF.Name);
+  if (MF.Blocks.empty())
+    return "function '" + FnName + "' has no blocks";
+
+  for (uint32_t B = 0; B < MF.Blocks.size(); ++B) {
+    const MachineBasicBlock &MBB = MF.Blocks[B];
+    std::string Where = "function '" + FnName + "' block " +
+                        std::to_string(B);
+    bool SeenUnconditional = false;
+    for (uint32_t I = 0; I < MBB.size(); ++I) {
+      const MachineInstr &MI = MBB.Instrs[I];
+      std::string At = Where + " instr " + std::to_string(I);
+
+      if (SeenUnconditional)
+        return At + " is unreachable (follows an unconditional transfer)";
+
+      Signature Sig;
+      if (!signatureFor(MI.opcode(), Sig))
+        return At + " has an unknown opcode";
+      if (MI.numOperands() != Sig.Count)
+        return At + " has " + std::to_string(MI.numOperands()) +
+               " operands, expected " + std::to_string(Sig.Count);
+      for (unsigned O = 0; O < Sig.Count; ++O) {
+        if (MI.operand(O).K != Sig.Ops[O])
+          return At + " operand " + std::to_string(O) +
+                 " has the wrong kind";
+        if (MI.operand(O).isReg() && MI.operand(O).getReg() == Reg::None)
+          return At + " operand " + std::to_string(O) + " is Reg::None";
+        if (MI.operand(O).isBlock() &&
+            MI.operand(O).getBlock() >= MF.Blocks.size())
+          return At + " branches to nonexistent block " +
+                 std::to_string(MI.operand(O).getBlock());
+        if (MI.operand(O).isSym() &&
+            MI.operand(O).getSym() >= Prog.numSymbols())
+          return At + " references an uninterned symbol id";
+      }
+      if (MI.isUnconditionalTransfer())
+        SeenUnconditional = true;
+    }
+  }
+
+  // Outlined-frame shape consistency.
+  if (MF.IsOutlined) {
+    const MachineBasicBlock &Body = MF.Blocks.front();
+    if (Body.empty())
+      return "outlined function '" + FnName + "' is empty";
+    const MachineInstr &Last = Body.Instrs.back();
+    switch (MF.FrameKind) {
+    case OutlinedFrameKind::NotOutlined:
+      return "outlined function '" + FnName + "' lacks a frame kind";
+    case OutlinedFrameKind::TailCall:
+    case OutlinedFrameKind::AppendedRet:
+      // A later outlining round may have turned the trailing [seq, RET]
+      // into a tail call to another outlined function that returns on
+      // this function's behalf.
+      if (!Last.isReturn() && Last.opcode() != Opcode::Btail)
+        return "outlined function '" + FnName + "' must end with RET";
+      break;
+    case OutlinedFrameKind::Thunk:
+      if (Last.opcode() != Opcode::Btail)
+        return "thunk '" + FnName + "' must end with a tail call";
+      break;
+    case OutlinedFrameKind::SavesLRInFrame:
+      if (!Last.isReturn() || Body.size() < 3 ||
+          Body.Instrs.front().opcode() != Opcode::STRpre ||
+          Body.Instrs[Body.size() - 2].opcode() != Opcode::LDRpost)
+        return "LR-saving frame of '" + FnName + "' is malformed";
+      break;
+    }
+  }
+  return "";
+}
+
+std::string mco::verifyModule(const Program &Prog, const Module &M,
+                              const VerifyOptions &Opts) {
+  for (const MachineFunction &MF : M.Functions) {
+    std::string Err = verifyFunction(Prog, MF);
+    if (!Err.empty())
+      return Err;
+  }
+
+  if (Opts.CheckSymbolResolution) {
+    std::unordered_set<uint32_t> Defined;
+    for (const MachineFunction &MF : M.Functions)
+      Defined.insert(MF.Name);
+    for (const GlobalData &G : M.Globals)
+      Defined.insert(G.Name);
+    for (const MachineFunction &MF : M.Functions)
+      for (const MachineBasicBlock &MBB : MF.Blocks)
+        for (const MachineInstr &MI : MBB.Instrs)
+          for (unsigned O = 0; O < MI.numOperands(); ++O) {
+            if (!MI.operand(O).isSym())
+              continue;
+            uint32_t Sym = MI.operand(O).getSym();
+            if (!Defined.count(Sym) &&
+                !isRuntimeBuiltin(Prog.symbolName(Sym)))
+              return "function '" + Prog.symbolName(MF.Name) +
+                     "' references undefined symbol '" +
+                     Prog.symbolName(Sym) + "'";
+          }
+  }
+  return "";
+}

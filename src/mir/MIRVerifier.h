@@ -1,0 +1,51 @@
+//===- mir/MIRVerifier.h - Machine-code structural verifier -----*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verification of machine modules, run after synthesis,
+/// lowering, and every outlining round in the test suite. Checks:
+///
+///  - every operand kind matches its opcode's expected signature;
+///  - block operands reference existing blocks of the same function;
+///  - no instruction follows an unconditional control transfer in a block
+///    (unreachable tails indicate a broken rewrite);
+///  - every referenced symbol is either defined in the module or one of
+///    the known runtime builtins (a whole-program check used after
+///    linking);
+///  - outlined functions carry a frame shape consistent with their
+///    recorded OutlinedFrameKind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_MIR_MIRVERIFIER_H
+#define MCO_MIR_MIRVERIFIER_H
+
+#include "mir/Program.h"
+
+#include <string>
+
+namespace mco {
+
+/// Options for verification strictness.
+struct VerifyOptions {
+  /// Require every BL/Btail/ADR symbol to resolve to a module definition
+  /// or a runtime builtin (enable after linking; per-module code may
+  /// legitimately reference other modules).
+  bool CheckSymbolResolution = false;
+};
+
+/// Verifies \p MF in isolation. \returns "" when valid, else a diagnostic
+/// naming the function, block, and instruction.
+std::string verifyFunction(const Program &Prog, const MachineFunction &MF);
+
+/// Verifies every function of \p M (plus symbol resolution if requested).
+/// \returns "" when valid, else the first diagnostic.
+std::string verifyModule(const Program &Prog, const Module &M,
+                         const VerifyOptions &Opts = {});
+
+} // namespace mco
+
+#endif // MCO_MIR_MIRVERIFIER_H

@@ -1,0 +1,88 @@
+//===- mir/MachineFunction.h - Blocks, functions ----------------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine basic blocks and machine functions. A function is a list of
+/// blocks; block 0 is the entry. Control flow between blocks is expressed by
+/// branch instructions carrying Block operands, with implicit fallthrough
+/// from a block whose last instruction can fall through.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_MIR_MACHINEFUNCTION_H
+#define MCO_MIR_MACHINEFUNCTION_H
+
+#include "mir/MachineInstr.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mco {
+
+/// A straight-line sequence of machine instructions.
+class MachineBasicBlock {
+public:
+  std::vector<MachineInstr> Instrs;
+
+  unsigned size() const { return static_cast<unsigned>(Instrs.size()); }
+  bool empty() const { return Instrs.empty(); }
+
+  void push(MachineInstr MI) { Instrs.push_back(MI); }
+};
+
+/// How an outlined function must build its frame; meaningful only for
+/// functions created by the outliner.
+enum class OutlinedFrameKind : uint8_t {
+  NotOutlined,   ///< A regular function.
+  AppendedRet,   ///< Body had no terminator; a RET was appended.
+  SavesLRInFrame,///< Body clobbers LR; frame saves/restores LR around it.
+  TailCall,      ///< Body ends with the original RET (no frame added).
+  Thunk,         ///< Body's final call became a tail call.
+};
+
+/// A machine function: named, with an entry block at index 0.
+class MachineFunction {
+public:
+  /// Symbol id of the function's name (see Program::symbolName).
+  uint32_t Name = 0;
+  std::vector<MachineBasicBlock> Blocks;
+  /// True for OUTLINED_FUNCTION_* created by the outliner.
+  bool IsOutlined = false;
+  /// For outlined functions: how many call sites were rewritten to call
+  /// this function (a static hotness proxy used by the outlined-code
+  /// layout optimization, the paper's future work #3).
+  uint32_t OutlinedCallSites = 0;
+  OutlinedFrameKind FrameKind = OutlinedFrameKind::NotOutlined;
+  /// Index of the module this function originated from (set by the
+  /// synthesizer/codegen; preserved by the linker for layout decisions).
+  uint32_t OriginModule = 0;
+
+  MachineBasicBlock &addBlock() {
+    Blocks.emplace_back();
+    return Blocks.back();
+  }
+
+  unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }
+
+  /// \returns the total number of instructions.
+  uint64_t numInstrs() const {
+    uint64_t N = 0;
+    for (const MachineBasicBlock &MBB : Blocks)
+      N += MBB.size();
+    return N;
+  }
+
+  /// \returns the code size in bytes (4 bytes per instruction).
+  uint64_t codeSize() const { return numInstrs() * InstrBytes; }
+
+  /// \returns the block indices control may reach from block \p BlockIdx.
+  std::vector<uint32_t> successors(uint32_t BlockIdx) const;
+};
+
+} // namespace mco
+
+#endif // MCO_MIR_MACHINEFUNCTION_H

@@ -1,0 +1,281 @@
+//===- mir/MachineInstr.cpp - Machine instruction queries ----------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mir/MachineInstr.h"
+#include "mir/MachineFunction.h"
+
+using namespace mco;
+
+const char *mco::regName(Reg R) {
+  static const char *Names[] = {
+      "x0",  "x1",  "x2",  "x3",  "x4",  "x5",  "x6",  "x7",  "x8",
+      "x9",  "x10", "x11", "x12", "x13", "x14", "x15", "x16", "x17",
+      "x18", "x19", "x20", "x21", "x22", "x23", "x24", "x25", "x26",
+      "x27", "x28", "x29", "x30", "sp",  "xzr", "nzcv"};
+  if (R == Reg::None)
+    return "<none>";
+  return Names[regIndex(R)];
+}
+
+const char *mco::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::MOVri:   return "mov";
+  case Opcode::MOVrr:   return "orr";
+  case Opcode::ADDri:   return "add";
+  case Opcode::ADDrr:   return "add";
+  case Opcode::SUBri:   return "sub";
+  case Opcode::SUBrr:   return "sub";
+  case Opcode::MULrr:   return "mul";
+  case Opcode::SDIVrr:  return "sdiv";
+  case Opcode::MSUBrr:  return "msub";
+  case Opcode::ANDrr:   return "and";
+  case Opcode::ORRrr:   return "orr";
+  case Opcode::EORrr:   return "eor";
+  case Opcode::LSLri:   return "lsl";
+  case Opcode::ASRri:   return "asr";
+  case Opcode::LSLrr:   return "lsl";
+  case Opcode::ASRrr:   return "asr";
+  case Opcode::CMPri:   return "cmp";
+  case Opcode::CMPrr:   return "cmp";
+  case Opcode::CSET:    return "cset";
+  case Opcode::CSEL:    return "csel";
+  case Opcode::LDRui:   return "ldr";
+  case Opcode::STRui:   return "str";
+  case Opcode::LDPui:   return "ldp";
+  case Opcode::STPui:   return "stp";
+  case Opcode::STRpre:  return "str!";
+  case Opcode::LDRpost: return "ldr+";
+  case Opcode::ADR:     return "adr";
+  case Opcode::B:       return "b";
+  case Opcode::Bcc:     return "b.cc";
+  case Opcode::CBZ:     return "cbz";
+  case Opcode::CBNZ:    return "cbnz";
+  case Opcode::Btail:   return "b.tail";
+  case Opcode::BL:      return "bl";
+  case Opcode::BLR:     return "blr";
+  case Opcode::BR:      return "br";
+  case Opcode::RET:     return "ret";
+  case Opcode::NOP:     return "nop";
+  }
+  return "<bad-opcode>";
+}
+
+const char *mco::condName(Cond C) {
+  switch (C) {
+  case Cond::EQ: return "eq";
+  case Cond::NE: return "ne";
+  case Cond::LT: return "lt";
+  case Cond::LE: return "le";
+  case Cond::GT: return "gt";
+  case Cond::GE: return "ge";
+  case Cond::LO: return "lo";
+  case Cond::HS: return "hs";
+  }
+  return "<bad-cond>";
+}
+
+Cond mco::invertCond(Cond C) {
+  switch (C) {
+  case Cond::EQ: return Cond::NE;
+  case Cond::NE: return Cond::EQ;
+  case Cond::LT: return Cond::GE;
+  case Cond::LE: return Cond::GT;
+  case Cond::GT: return Cond::LE;
+  case Cond::GE: return Cond::LT;
+  case Cond::LO: return Cond::HS;
+  case Cond::HS: return Cond::LO;
+  }
+  return Cond::EQ;
+}
+
+RegMask MachineInstr::defs() const {
+  auto R = [this](unsigned I) { return Ops[I].getReg(); };
+  switch (Op) {
+  case Opcode::MOVri:
+  case Opcode::ADR:
+  case Opcode::CSET:
+    return regBit(R(0));
+  case Opcode::MOVrr:
+  case Opcode::ADDri:
+  case Opcode::SUBri:
+  case Opcode::LSLri:
+  case Opcode::ASRri:
+  case Opcode::ADDrr:
+  case Opcode::SUBrr:
+  case Opcode::MULrr:
+  case Opcode::SDIVrr:
+  case Opcode::ANDrr:
+  case Opcode::ORRrr:
+  case Opcode::EORrr:
+  case Opcode::LSLrr:
+  case Opcode::ASRrr:
+  case Opcode::MSUBrr:
+  case Opcode::CSEL:
+  case Opcode::LDRui:
+    return regBit(R(0));
+  case Opcode::LDPui:
+    return regBit(R(0)) | regBit(R(1));
+  case Opcode::CMPri:
+  case Opcode::CMPrr:
+    return regBit(Reg::NZCV);
+  case Opcode::STRui:
+  case Opcode::STPui:
+    return 0;
+  case Opcode::STRpre:
+    return regBit(R(1)); // Base register write-back.
+  case Opcode::LDRpost:
+    return regBit(R(0)) | regBit(R(1));
+  case Opcode::BL:
+  case Opcode::BLR:
+    return callClobberedMask();
+  case Opcode::B:
+  case Opcode::Bcc:
+  case Opcode::CBZ:
+  case Opcode::CBNZ:
+  case Opcode::Btail:
+  case Opcode::BR:
+  case Opcode::RET:
+  case Opcode::NOP:
+    return 0;
+  }
+  return 0;
+}
+
+RegMask MachineInstr::uses() const {
+  auto R = [this](unsigned I) { return Ops[I].getReg(); };
+  auto Bit = [](Reg Rg) { return Rg == Reg::XZR ? RegMask(0) : regBit(Rg); };
+  switch (Op) {
+  case Opcode::MOVri:
+  case Opcode::ADR:
+    return 0;
+  case Opcode::CSET:
+    return regBit(Reg::NZCV);
+  case Opcode::MOVrr:
+  case Opcode::ADDri:
+  case Opcode::SUBri:
+  case Opcode::LSLri:
+  case Opcode::ASRri:
+    return Bit(R(1));
+  case Opcode::ADDrr:
+  case Opcode::SUBrr:
+  case Opcode::MULrr:
+  case Opcode::SDIVrr:
+  case Opcode::ANDrr:
+  case Opcode::ORRrr:
+  case Opcode::EORrr:
+  case Opcode::LSLrr:
+  case Opcode::ASRrr:
+    return Bit(R(1)) | Bit(R(2));
+  case Opcode::MSUBrr:
+    return Bit(R(1)) | Bit(R(2)) | Bit(R(3));
+  case Opcode::CSEL:
+    return Bit(R(1)) | Bit(R(2)) | regBit(Reg::NZCV);
+  case Opcode::CMPri:
+    return Bit(R(0));
+  case Opcode::CMPrr:
+    return Bit(R(0)) | Bit(R(1));
+  case Opcode::LDRui:
+    return Bit(R(1));
+  case Opcode::STRui:
+    return Bit(R(0)) | Bit(R(1));
+  case Opcode::LDPui:
+    return Bit(R(2));
+  case Opcode::STPui:
+    return Bit(R(0)) | Bit(R(1)) | Bit(R(2));
+  case Opcode::STRpre:
+    return Bit(R(0)) | Bit(R(1));
+  case Opcode::LDRpost:
+    return Bit(R(1));
+  case Opcode::BL:
+    return callUsedMask();
+  case Opcode::BLR:
+    return Bit(R(0)) | callUsedMask();
+  case Opcode::Btail:
+    // A tail call transfers the caller's return address: the callee
+    // returns through LR, so LR is live at (used by) the tail call.
+    return callUsedMask() | regBit(LR);
+  case Opcode::B:
+    return 0;
+  case Opcode::Bcc:
+    return regBit(Reg::NZCV);
+  case Opcode::CBZ:
+  case Opcode::CBNZ:
+    return Bit(R(0));
+  case Opcode::BR:
+    return Bit(R(0));
+  case Opcode::RET:
+    return retUsedMask();
+  case Opcode::NOP:
+    return 0;
+  }
+  return 0;
+}
+
+bool MachineInstr::usesOrModifiesSP() const {
+  for (unsigned I = 0; I < NumOps; ++I)
+    if (Ops[I].isReg() && Ops[I].getReg() == Reg::SP)
+      return true;
+  return false;
+}
+
+uint64_t MachineInstr::hash() const {
+  // FNV-1a over the structural content.
+  uint64_t H = 0xCBF29CE484222325ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 0x100000001B3ull;
+  };
+  Mix(static_cast<uint64_t>(Op));
+  Mix(NumOps);
+  for (unsigned I = 0; I < NumOps; ++I) {
+    const MachineOperand &O = Ops[I];
+    Mix(static_cast<uint64_t>(O.K));
+    switch (O.K) {
+    case MachineOperand::Kind::Register:
+      Mix(regIndex(O.R));
+      break;
+    case MachineOperand::Kind::CondK:
+      Mix(static_cast<uint64_t>(O.C));
+      break;
+    default:
+      Mix(static_cast<uint64_t>(O.Val));
+      break;
+    }
+  }
+  return H;
+}
+
+std::vector<uint32_t> MachineFunction::successors(uint32_t BlockIdx) const {
+  assert(BlockIdx < Blocks.size() && "block index out of range");
+  const MachineBasicBlock &MBB = Blocks[BlockIdx];
+  std::vector<uint32_t> Succs;
+  bool FallsThrough = true;
+  for (const MachineInstr &MI : MBB.Instrs) {
+    switch (MI.opcode()) {
+    case Opcode::B:
+      Succs.push_back(MI.operand(0).getBlock());
+      FallsThrough = false;
+      break;
+    case Opcode::Bcc:
+      Succs.push_back(MI.operand(1).getBlock());
+      break;
+    case Opcode::CBZ:
+    case Opcode::CBNZ:
+      Succs.push_back(MI.operand(1).getBlock());
+      break;
+    case Opcode::Btail:
+    case Opcode::BR:
+    case Opcode::RET:
+      FallsThrough = false;
+      break;
+    default:
+      break;
+    }
+  }
+  if (FallsThrough && BlockIdx + 1 < Blocks.size())
+    Succs.push_back(BlockIdx + 1);
+  return Succs;
+}

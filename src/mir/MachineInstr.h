@@ -1,0 +1,278 @@
+//===- mir/MachineInstr.h - Machine instructions ----------------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine instructions of the AArch64-flavoured target. Every instruction
+/// encodes to exactly 4 bytes (fixed-width ISA), which is why, as the paper
+/// notes, single-instruction "outlining" can never be profitable: the
+/// replacement call is the same size as the original instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_MIR_MACHINEINSTR_H
+#define MCO_MIR_MACHINEINSTR_H
+
+#include "mir/Register.h"
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+namespace mco {
+
+/// Size in bytes of every machine instruction (fixed-width ISA).
+inline constexpr unsigned InstrBytes = 4;
+
+/// Machine opcodes.
+enum class Opcode : uint8_t {
+  // Moves / arithmetic / logic.
+  MOVri,  ///< MOVri  dst, imm            : dst = imm
+  MOVrr,  ///< MOVrr  dst, src            : dst = src (ORR dst, xzr, src)
+  ADDri,  ///< ADDri  dst, src, imm       : dst = src + imm
+  ADDrr,  ///< ADDrr  dst, a, b           : dst = a + b
+  SUBri,  ///< SUBri  dst, src, imm       : dst = src - imm
+  SUBrr,  ///< SUBrr  dst, a, b           : dst = a - b
+  MULrr,  ///< MULrr  dst, a, b           : dst = a * b
+  SDIVrr, ///< SDIVrr dst, a, b           : dst = a / b (signed, trap-free)
+  MSUBrr, ///< MSUBrr dst, a, b, c        : dst = c - a * b
+  ANDrr,  ///< ANDrr  dst, a, b           : dst = a & b
+  ORRrr,  ///< ORRrr  dst, a, b           : dst = a | b
+  EORrr,  ///< EORrr  dst, a, b           : dst = a ^ b
+  LSLri,  ///< LSLri  dst, src, imm       : dst = src << imm
+  ASRri,  ///< ASRri  dst, src, imm       : dst = src >> imm (arithmetic)
+  LSLrr,  ///< LSLrr  dst, a, b           : dst = a << (b & 63)
+  ASRrr,  ///< ASRrr  dst, a, b           : dst = a >> (b & 63)
+
+  // Compares / conditional materialization (NZCV flags).
+  CMPri,  ///< CMPri  a, imm              : set NZCV from a - imm
+  CMPrr,  ///< CMPrr  a, b                : set NZCV from a - b
+  CSET,   ///< CSET   dst, cond           : dst = cond ? 1 : 0
+  CSEL,   ///< CSEL   dst, a, b, cond     : dst = cond ? a : b
+
+  // Memory. Offsets are in bytes; accesses are 8 bytes wide.
+  LDRui,  ///< LDRui  dst, base, imm      : dst = mem[base + imm]
+  STRui,  ///< STRui  src, base, imm      : mem[base + imm] = src
+  LDPui,  ///< LDPui  d1, d2, base, imm   : d1 = mem[b+i]; d2 = mem[b+i+8]
+  STPui,  ///< STPui  s1, s2, base, imm   : mem[b+i] = s1; mem[b+i+8] = s2
+  STRpre, ///< STRpre src, base, imm      : base += imm; mem[base] = src
+  LDRpost,///< LDRpost dst, base, imm     : dst = mem[base]; base += imm
+
+  // Address materialization.
+  ADR,    ///< ADR    dst, sym            : dst = address of global symbol
+
+  // Control flow.
+  B,      ///< B      block               : unconditional branch
+  Bcc,    ///< Bcc    cond, block         : conditional branch
+  CBZ,    ///< CBZ    reg, block          : branch if reg == 0
+  CBNZ,   ///< CBNZ   reg, block          : branch if reg != 0
+  Btail,  ///< Btail  sym                 : tail-call branch to a function
+  BL,     ///< BL     sym                 : call; LR = return address
+  BLR,    ///< BLR    reg                 : indirect call; LR = return addr
+  BR,     ///< BR     reg                 : indirect branch
+  RET,    ///< RET                        : return through LR
+
+  NOP,    ///< NOP
+};
+
+/// Condition codes for Bcc/CSET/CSEL.
+enum class Cond : uint8_t { EQ, NE, LT, LE, GT, GE, LO, HS };
+
+/// \returns the textual mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// \returns the textual name for \p C.
+const char *condName(Cond C);
+
+/// \returns the inverse condition.
+Cond invertCond(Cond C);
+
+/// One operand of a machine instruction.
+struct MachineOperand {
+  enum class Kind : uint8_t { None, Register, Immediate, Symbol, Block, CondK };
+
+  Kind K = Kind::None;
+  Reg R = Reg::None;
+  Cond C = Cond::EQ;
+  /// Immediate value, symbol id, or block index depending on K.
+  int64_t Val = 0;
+
+  static MachineOperand reg(Reg R) {
+    MachineOperand O;
+    O.K = Kind::Register;
+    O.R = R;
+    return O;
+  }
+  static MachineOperand imm(int64_t V) {
+    MachineOperand O;
+    O.K = Kind::Immediate;
+    O.Val = V;
+    return O;
+  }
+  static MachineOperand sym(uint32_t SymbolId) {
+    MachineOperand O;
+    O.K = Kind::Symbol;
+    O.Val = SymbolId;
+    return O;
+  }
+  static MachineOperand block(uint32_t BlockIdx) {
+    MachineOperand O;
+    O.K = Kind::Block;
+    O.Val = BlockIdx;
+    return O;
+  }
+  static MachineOperand cond(Cond C) {
+    MachineOperand O;
+    O.K = Kind::CondK;
+    O.C = C;
+    return O;
+  }
+
+  bool isReg() const { return K == Kind::Register; }
+  bool isImm() const { return K == Kind::Immediate; }
+  bool isSym() const { return K == Kind::Symbol; }
+  bool isBlock() const { return K == Kind::Block; }
+  bool isCond() const { return K == Kind::CondK; }
+
+  Reg getReg() const {
+    assert(isReg() && "not a register operand");
+    return R;
+  }
+  int64_t getImm() const {
+    assert(isImm() && "not an immediate operand");
+    return Val;
+  }
+  uint32_t getSym() const {
+    assert(isSym() && "not a symbol operand");
+    return static_cast<uint32_t>(Val);
+  }
+  uint32_t getBlock() const {
+    assert(isBlock() && "not a block operand");
+    return static_cast<uint32_t>(Val);
+  }
+  Cond getCond() const {
+    assert(isCond() && "not a condition operand");
+    return C;
+  }
+
+  friend bool operator==(const MachineOperand &A, const MachineOperand &B) {
+    if (A.K != B.K)
+      return false;
+    switch (A.K) {
+    case Kind::None:
+      return true;
+    case Kind::Register:
+      return A.R == B.R;
+    case Kind::CondK:
+      return A.C == B.C;
+    case Kind::Immediate:
+    case Kind::Symbol:
+    case Kind::Block:
+      return A.Val == B.Val;
+    }
+    return false;
+  }
+};
+
+/// A machine instruction: an opcode plus up to four operands.
+class MachineInstr {
+public:
+  static constexpr unsigned MaxOperands = 4;
+
+  MachineInstr() = default;
+  explicit MachineInstr(Opcode Op) : Op(Op) {}
+  MachineInstr(Opcode Op, MachineOperand A) : Op(Op), NumOps(1) {
+    Ops[0] = A;
+  }
+  MachineInstr(Opcode Op, MachineOperand A, MachineOperand B)
+      : Op(Op), NumOps(2) {
+    Ops[0] = A;
+    Ops[1] = B;
+  }
+  MachineInstr(Opcode Op, MachineOperand A, MachineOperand B, MachineOperand C)
+      : Op(Op), NumOps(3) {
+    Ops[0] = A;
+    Ops[1] = B;
+    Ops[2] = C;
+  }
+  MachineInstr(Opcode Op, MachineOperand A, MachineOperand B, MachineOperand C,
+               MachineOperand D)
+      : Op(Op), NumOps(4) {
+    Ops[0] = A;
+    Ops[1] = B;
+    Ops[2] = C;
+    Ops[3] = D;
+  }
+
+  Opcode opcode() const { return Op; }
+  unsigned numOperands() const { return NumOps; }
+
+  const MachineOperand &operand(unsigned I) const {
+    assert(I < NumOps && "operand index out of range");
+    return Ops[I];
+  }
+  MachineOperand &operand(unsigned I) {
+    assert(I < NumOps && "operand index out of range");
+    return Ops[I];
+  }
+
+  /// \returns true if this is any kind of branch/terminator-like control
+  /// transfer (B, Bcc, CBZ, CBNZ, Btail, BR, RET).
+  bool isBranch() const {
+    switch (Op) {
+    case Opcode::B:
+    case Opcode::Bcc:
+    case Opcode::CBZ:
+    case Opcode::CBNZ:
+    case Opcode::Btail:
+    case Opcode::BR:
+    case Opcode::RET:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// \returns true if control never falls through this instruction.
+  bool isUnconditionalTransfer() const {
+    return Op == Opcode::B || Op == Opcode::Btail || Op == Opcode::BR ||
+           Op == Opcode::RET;
+  }
+
+  bool isCall() const { return Op == Opcode::BL || Op == Opcode::BLR; }
+  bool isReturn() const { return Op == Opcode::RET; }
+
+  /// \returns the registers this instruction defines (writes).
+  RegMask defs() const;
+  /// \returns the registers this instruction uses (reads).
+  RegMask uses() const;
+
+  /// \returns true if the instruction reads or writes memory relative to SP,
+  /// or adjusts SP. Such instructions cannot be outlined under a class that
+  /// saves LR to the stack (the save shifts every SP offset by 16).
+  bool usesOrModifiesSP() const;
+
+  /// Exact structural equality (opcode and all operands).
+  friend bool operator==(const MachineInstr &A, const MachineInstr &B) {
+    if (A.Op != B.Op || A.NumOps != B.NumOps)
+      return false;
+    for (unsigned I = 0; I < A.NumOps; ++I)
+      if (!(A.Ops[I] == B.Ops[I]))
+        return false;
+    return true;
+  }
+
+  /// A stable structural hash (used by the instruction mapper).
+  uint64_t hash() const;
+
+private:
+  Opcode Op = Opcode::NOP;
+  uint8_t NumOps = 0;
+  std::array<MachineOperand, MaxOperands> Ops;
+};
+
+} // namespace mco
+
+#endif // MCO_MIR_MACHINEINSTR_H

@@ -1,0 +1,138 @@
+//===- mir/Program.h - Modules, programs, symbols ---------------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Program owns a symbol pool and a list of Modules; each Module owns
+/// machine functions and global data. This mirrors the iOS build pipeline's
+/// unit structure: the app is hundreds of independently compiled modules
+/// that the linker combines into one binary (paper Section II).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_MIR_PROGRAM_H
+#define MCO_MIR_PROGRAM_H
+
+#include "mir/MachineFunction.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mco {
+
+/// A chunk of initialized global data.
+struct GlobalData {
+  uint32_t Name = 0;
+  std::vector<uint8_t> Bytes;
+  /// The module the data was written in; the PreserveModuleOrder data
+  /// layout (paper Section VI) keeps same-module globals adjacent.
+  uint32_t OriginModule = 0;
+};
+
+/// A compilation unit: functions plus global data.
+class Module {
+public:
+  std::string Name;
+  std::vector<MachineFunction> Functions;
+  std::vector<GlobalData> Globals;
+
+  uint64_t numInstrs() const {
+    uint64_t N = 0;
+    for (const MachineFunction &MF : Functions)
+      N += MF.numInstrs();
+    return N;
+  }
+
+  /// \returns the code size in bytes of every function in the module.
+  uint64_t codeSize() const { return numInstrs() * InstrBytes; }
+
+  uint64_t dataSize() const {
+    uint64_t N = 0;
+    for (const GlobalData &G : Globals)
+      N += G.Bytes.size();
+    return N;
+  }
+};
+
+/// A whole program: a symbol pool shared by all modules, plus the modules.
+///
+/// Symbol ids are stable for the lifetime of the Program, so the linker can
+/// merge modules without rewriting instruction operands.
+class Program {
+public:
+  std::vector<std::unique_ptr<Module>> Modules;
+
+  Module &addModule(const std::string &Name) {
+    Modules.push_back(std::make_unique<Module>());
+    Modules.back()->Name = Name;
+    return *Modules.back();
+  }
+
+  /// Interns \p Name, returning its stable symbol id.
+  uint32_t internSymbol(const std::string &Name) {
+    auto It = SymbolIds.find(Name);
+    if (It != SymbolIds.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(SymbolNames.size());
+    SymbolNames.push_back(Name);
+    SymbolIds.emplace(Name, Id);
+    return Id;
+  }
+
+  /// \returns the name for symbol \p Id.
+  const std::string &symbolName(uint32_t Id) const {
+    assert(Id < SymbolNames.size() && "unknown symbol id");
+    return SymbolNames[Id];
+  }
+
+  /// \returns the symbol id if \p Name is interned, or UINT32_MAX.
+  uint32_t lookupSymbol(const std::string &Name) const {
+    auto It = SymbolIds.find(Name);
+    return It == SymbolIds.end() ? UINT32_MAX : It->second;
+  }
+
+  uint32_t numSymbols() const {
+    return static_cast<uint32_t>(SymbolNames.size());
+  }
+
+  /// Total instruction count across all modules.
+  uint64_t numInstrs() const {
+    uint64_t N = 0;
+    for (const auto &M : Modules)
+      N += M->numInstrs();
+    return N;
+  }
+
+  /// Total code size in bytes across all modules.
+  uint64_t codeSize() const { return numInstrs() * InstrBytes; }
+
+  /// Total global data size in bytes across all modules.
+  uint64_t dataSize() const {
+    uint64_t N = 0;
+    for (const auto &M : Modules)
+      N += M->dataSize();
+    return N;
+  }
+
+  /// Creates a unique name for round-\p Round outlined function number
+  /// \p Index, mirroring LLVM's OUTLINED_FUNCTION_* naming that app
+  /// developers saw in crash stacks (paper Section VI, challenge 4).
+  std::string makeOutlinedName(unsigned Round, unsigned Index) {
+    return "OUTLINED_FUNCTION_" + std::to_string(Round) + "_" +
+           std::to_string(Index);
+  }
+
+private:
+  std::vector<std::string> SymbolNames;
+  std::unordered_map<std::string, uint32_t> SymbolIds;
+};
+
+} // namespace mco
+
+#endif // MCO_MIR_PROGRAM_H

@@ -1,0 +1,114 @@
+//===- mir/Register.h - AArch64-flavoured register model --------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The physical register file of our AArch64-flavoured machine IR. The
+/// outliner's legality and cost decisions (LR clobbering by BL, free-register
+/// search for RegSave, SP-relative fixups) are all phrased in terms of this
+/// model, mirroring the AAPCS64 conventions the paper relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_MIR_REGISTER_H
+#define MCO_MIR_REGISTER_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace mco {
+
+/// A physical register. X0..X30 are the general-purpose registers; SP is the
+/// stack pointer, XZR the zero register, and NZCV the condition flags.
+enum class Reg : uint8_t {
+  X0 = 0,  X1,  X2,  X3,  X4,  X5,  X6,  X7,
+  X8,      X9,  X10, X11, X12, X13, X14, X15,
+  X16,     X17, X18, X19, X20, X21, X22, X23,
+  X24,     X25, X26, X27, X28, X29, X30,
+  SP,
+  XZR,
+  NZCV,
+  NumRegs,
+  None = 255
+};
+
+/// The link register (holds the return address after BL).
+inline constexpr Reg LR = Reg::X30;
+/// The frame pointer.
+inline constexpr Reg FP = Reg::X29;
+
+inline unsigned regIndex(Reg R) {
+  assert(R != Reg::None && "no index for Reg::None");
+  return static_cast<unsigned>(R);
+}
+
+inline Reg regFromIndex(unsigned Idx) {
+  assert(Idx < static_cast<unsigned>(Reg::NumRegs) && "register index OOB");
+  return static_cast<Reg>(Idx);
+}
+
+/// \returns the general-purpose register Xn. \pre N <= 30.
+inline Reg xreg(unsigned N) {
+  assert(N <= 30 && "no such GPR");
+  return static_cast<Reg>(N);
+}
+
+/// \returns true for X19..X28: preserved across calls per AAPCS64.
+inline bool isCalleeSaved(Reg R) {
+  unsigned I = regIndex(R);
+  return I >= 19 && I <= 28;
+}
+
+/// \returns true for registers a call may clobber (X0..X17, LR, NZCV).
+inline bool isCallerSaved(Reg R) {
+  unsigned I = regIndex(R);
+  return I <= 17 || R == LR || R == Reg::NZCV;
+}
+
+/// \returns true for the integer argument/result registers X0..X7.
+inline bool isArgReg(Reg R) { return regIndex(R) <= 7; }
+
+/// A set of physical registers as a bitmask (NumRegs < 64).
+using RegMask = uint64_t;
+
+inline RegMask regBit(Reg R) { return RegMask(1) << regIndex(R); }
+
+inline bool maskContains(RegMask M, Reg R) { return (M & regBit(R)) != 0; }
+
+/// Registers a call clobbers: X0..X17, X30 (LR), NZCV.
+inline RegMask callClobberedMask() {
+  RegMask M = 0;
+  for (unsigned I = 0; I <= 17; ++I)
+    M |= regBit(xreg(I));
+  M |= regBit(LR);
+  M |= regBit(Reg::NZCV);
+  return M;
+}
+
+/// Registers conservatively read by a call: arguments X0..X7 plus SP.
+inline RegMask callUsedMask() {
+  RegMask M = 0;
+  for (unsigned I = 0; I <= 7; ++I)
+    M |= regBit(xreg(I));
+  M |= regBit(Reg::SP);
+  return M;
+}
+
+/// Registers conservatively live at a return: result X0, LR, SP, and the
+/// callee-saved registers the function must have preserved.
+inline RegMask retUsedMask() {
+  RegMask M = regBit(Reg::X0) | regBit(LR) | regBit(Reg::SP);
+  for (unsigned I = 19; I <= 28; ++I)
+    M |= regBit(xreg(I));
+  M |= regBit(FP);
+  return M;
+}
+
+/// \returns a printable name ("x0".."x30", "sp", "xzr", "nzcv").
+const char *regName(Reg R);
+
+} // namespace mco
+
+#endif // MCO_MIR_REGISTER_H

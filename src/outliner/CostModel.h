@@ -1,0 +1,91 @@
+//===- outliner/CostModel.h - AArch64 outlining cost model ------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The target cost model that drives outlining decisions, mirroring
+/// AArch64's MachineOutliner hooks. Each candidate occurrence is assigned a
+/// *call variant* describing how control transfers into the outlined
+/// function and what it costs at the call site; the outlined function itself
+/// pays a *frame* cost. All costs are in bytes (4 per instruction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_OUTLINER_COSTMODEL_H
+#define MCO_OUTLINER_COSTMODEL_H
+
+#include "mir/Register.h"
+
+#include <cstdint>
+
+namespace mco {
+
+/// How a particular occurrence calls its outlined function.
+enum class CallVariant : uint8_t {
+  /// Sequence ended in RET: replace with a plain branch; the outlined
+  /// function returns on the program's behalf. 4 bytes.
+  TailCall,
+  /// Sequence ended in a (single) call: BL to the outlined function, whose
+  /// final call becomes a tail call. 4 bytes.
+  Thunk,
+  /// LR is dead across the occurrence: a bare BL suffices. 4 bytes.
+  NoLRSave,
+  /// LR is live: stash it in a free scratch register around the BL.
+  /// MOV xN, lr; BL; MOV lr, xN = 12 bytes.
+  RegSave,
+  /// LR is live and no scratch register is free: spill LR to the stack.
+  /// STR lr, [sp, #-16]!; BL; LDR lr, [sp], #16 = 12 bytes. Only legal for
+  /// sequences that never touch SP (the spill shifts every SP offset).
+  SaveLRToStack,
+  /// The sequence contains interior calls that clobber LR, so the outlined
+  /// function must save/restore LR in its own frame; the call site is a
+  /// bare BL. Call site 4 bytes, frame 12 bytes.
+  FrameSavesLR,
+};
+
+/// \returns the bytes the call site costs under \p V.
+inline unsigned callOverheadBytes(CallVariant V) {
+  switch (V) {
+  case CallVariant::TailCall:
+  case CallVariant::Thunk:
+  case CallVariant::NoLRSave:
+  case CallVariant::FrameSavesLR:
+    return 4;
+  case CallVariant::RegSave:
+  case CallVariant::SaveLRToStack:
+    return 12;
+  }
+  return 12;
+}
+
+/// \returns the extra bytes the outlined function's frame costs under \p V
+/// (beyond the sequence itself).
+inline unsigned frameOverheadBytes(CallVariant V) {
+  switch (V) {
+  case CallVariant::TailCall: // Sequence keeps its original RET.
+  case CallVariant::Thunk:    // Final BL becomes a same-size tail branch.
+    return 0;
+  case CallVariant::NoLRSave:
+  case CallVariant::RegSave:
+  case CallVariant::SaveLRToStack:
+    return 4; // Appended RET.
+  case CallVariant::FrameSavesLR:
+    return 12; // STR lr,[sp,#-16]!; ...; LDR lr,[sp],#16; RET.
+  }
+  return 12;
+}
+
+/// The scratch registers eligible to hold LR for RegSave call sites
+/// (caller-saved temporaries; x8 and x16-x18 are reserved by convention).
+inline RegMask regSaveCandidateMask() {
+  RegMask M = 0;
+  for (unsigned I = 9; I <= 15; ++I)
+    M |= regBit(xreg(I));
+  return M;
+}
+
+} // namespace mco
+
+#endif // MCO_OUTLINER_COSTMODEL_H

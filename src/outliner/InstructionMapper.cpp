@@ -1,0 +1,75 @@
+//===- outliner/InstructionMapper.cpp - Program -> integer string --------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "outliner/InstructionMapper.h"
+
+#include <cassert>
+
+using namespace mco;
+
+OutliningLegality mco::classifyInstr(const MachineInstr &MI) {
+  switch (MI.opcode()) {
+  case Opcode::B:
+  case Opcode::Bcc:
+  case Opcode::CBZ:
+  case Opcode::CBNZ:
+  case Opcode::Btail:
+  case Opcode::BR:
+  case Opcode::BLR:
+    // Position-dependent control flow (block-relative targets) or indirect
+    // transfers we cannot prove safe. RET is handled below; BL is legal.
+    return OutliningLegality::IllegalBranch;
+  case Opcode::NOP:
+    return OutliningLegality::IllegalOther;
+  case Opcode::RET:
+  case Opcode::BL:
+    return OutliningLegality::Legal;
+  default:
+    break;
+  }
+  // Any explicit mention of the link register is off limits: the outlining
+  // call sequence manipulates LR itself (this also keeps later rounds from
+  // outlining a RegSave/SaveLRToStack fixup without its call).
+  for (unsigned I = 0; I < MI.numOperands(); ++I)
+    if (MI.operand(I).isReg() && MI.operand(I).getReg() == LR)
+      return OutliningLegality::IllegalUsesLR;
+  return OutliningLegality::Legal;
+}
+
+InstructionMapper::InstructionMapper(const Module &M) {
+  uint64_t Total = M.numInstrs();
+  UnsignedString.reserve(Total + Total / 8);
+  Locations.reserve(Total + Total / 8);
+
+  for (uint32_t F = 0, FE = static_cast<uint32_t>(M.Functions.size()); F != FE;
+       ++F) {
+    const MachineFunction &MF = M.Functions[F];
+    for (uint32_t B = 0, BE = MF.numBlocks(); B != BE; ++B) {
+      const MachineBasicBlock &MBB = MF.Blocks[B];
+      for (uint32_t I = 0, IE = MBB.size(); I != IE; ++I) {
+        const MachineInstr &MI = MBB.Instrs[I];
+        Location Loc{F, B, I, /*IsLegal=*/false};
+        if (classifyInstr(MI) == OutliningLegality::Legal) {
+          Loc.IsLegal = true;
+          auto [It, Inserted] = LegalIds.try_emplace(InstrKey{MI}, NextLegalId);
+          if (Inserted)
+            ++NextLegalId;
+          UnsignedString.push_back(It->second);
+        } else {
+          assert(NextIllegalId > NextLegalId && "id spaces collided");
+          UnsignedString.push_back(NextIllegalId--);
+        }
+        Locations.push_back(Loc);
+      }
+      // Unique terminator after every block: no candidate spans blocks, and
+      // the final element of the whole string is globally unique, which the
+      // suffix tree needs for complete occurrence reporting.
+      assert(NextIllegalId > NextLegalId && "id spaces collided");
+      UnsignedString.push_back(NextIllegalId--);
+      Locations.push_back(Location{F, B, 0, /*IsLegal=*/false});
+    }
+  }
+}

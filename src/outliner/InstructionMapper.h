@@ -1,0 +1,88 @@
+//===- outliner/InstructionMapper.h - Program -> integer string -*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps every machine instruction of a module to an unsigned integer so the
+/// suffix tree can find repeated sequences. Structurally identical *legal*
+/// instructions map to the same integer; every *illegal* instruction and
+/// every basic-block boundary receives a fresh unique integer, which
+/// guarantees no repeated substring ever crosses an illegal instruction or a
+/// block boundary. This is exactly LLVM MachineOutliner's mapping scheme.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_OUTLINER_INSTRUCTIONMAPPER_H
+#define MCO_OUTLINER_INSTRUCTIONMAPPER_H
+
+#include "mir/Program.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mco {
+
+/// Why an instruction may not participate in outlining.
+enum class OutliningLegality : uint8_t {
+  Legal,
+  /// Branches and other position-dependent control flow.
+  IllegalBranch,
+  /// Explicit reads/writes of the link register: outlining would corrupt
+  /// the return address handling.
+  IllegalUsesLR,
+  /// NOP and friends carry no size benefit.
+  IllegalOther,
+};
+
+/// Classifies \p MI for the outliner.
+OutliningLegality classifyInstr(const MachineInstr &MI);
+
+/// The mapped view of a module.
+class InstructionMapper {
+public:
+  /// Where a string index came from.
+  struct Location {
+    uint32_t Func = 0;
+    uint32_t Block = 0;
+    uint32_t Instr = 0;
+    /// False for synthetic block terminators and illegal markers that the
+    /// outliner must never touch.
+    bool IsLegal = false;
+  };
+
+  /// Builds the mapping for every function in \p M.
+  explicit InstructionMapper(const Module &M);
+
+  /// The integer string fed to the suffix tree.
+  const std::vector<unsigned> &string() const { return UnsignedString; }
+
+  /// \returns the provenance of string index \p Idx.
+  const Location &location(unsigned Idx) const { return Locations[Idx]; }
+
+  /// \returns the number of distinct legal instruction ids.
+  unsigned numLegalIds() const { return NextLegalId; }
+
+private:
+  struct InstrKey {
+    MachineInstr MI;
+    bool operator==(const InstrKey &O) const { return MI == O.MI; }
+  };
+  struct InstrKeyHash {
+    size_t operator()(const InstrKey &K) const {
+      return static_cast<size_t>(K.MI.hash());
+    }
+  };
+
+  std::vector<unsigned> UnsignedString;
+  std::vector<Location> Locations;
+  std::unordered_map<InstrKey, unsigned, InstrKeyHash> LegalIds;
+  unsigned NextLegalId = 0;
+  unsigned NextIllegalId = 0xFFFFFFF0u;
+};
+
+} // namespace mco
+
+#endif // MCO_OUTLINER_INSTRUCTIONMAPPER_H

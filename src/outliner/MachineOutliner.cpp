@@ -1,0 +1,480 @@
+//===- outliner/MachineOutliner.cpp - Whole-module outlining -------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "outliner/MachineOutliner.h"
+
+#include "outliner/InstructionMapper.h"
+#include "mir/Liveness.h"
+#include "support/SuffixTree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_set>
+
+using namespace mco;
+
+namespace {
+
+/// One occurrence of a pattern, with its call strategy.
+struct Candidate {
+  unsigned StartIdx = 0; ///< Into the mapped string.
+  unsigned Len = 0;
+  uint32_t Func = 0;
+  uint32_t Block = 0;
+  uint32_t InstrStart = 0;
+  CallVariant Variant = CallVariant::NoLRSave;
+  Reg SaveReg = Reg::None;
+};
+
+/// What kind of body the outlined function needs; determined entirely by
+/// the pattern (all occurrences share the instruction sequence).
+enum class BodyClass { TailCall, Thunk, FrameSavesLR, PlainBody };
+
+/// A pattern selected for outlining with its surviving occurrences.
+struct OutlinePlan {
+  std::vector<Candidate> Cands;
+  unsigned Len = 0;
+  BodyClass Body = BodyClass::PlainBody;
+  int64_t Benefit = 0;
+  /// First-candidate location, used to copy the sequence and to break ties
+  /// deterministically.
+  unsigned FirstStart = 0;
+};
+
+BodyClass classifyPattern(const std::vector<MachineInstr> &Seq) {
+  assert(!Seq.empty() && "empty pattern");
+  if (Seq.back().isReturn())
+    return BodyClass::TailCall;
+  unsigned NumCalls = 0;
+  for (const MachineInstr &MI : Seq)
+    if (MI.isCall())
+      ++NumCalls;
+  if (NumCalls == 0)
+    return BodyClass::PlainBody;
+  if (NumCalls == 1 && Seq.back().isCall())
+    return BodyClass::Thunk;
+  return BodyClass::FrameSavesLR;
+}
+
+unsigned frameOverheadForBody(BodyClass B) {
+  switch (B) {
+  case BodyClass::TailCall:
+  case BodyClass::Thunk:
+    return 0;
+  case BodyClass::PlainBody:
+    return 4;
+  case BodyClass::FrameSavesLR:
+    return 12;
+  }
+  return 12;
+}
+
+/// Symbols of functions whose execution depends on entering with exactly
+/// the SP their original call sites had (outlined functions that address
+/// the caller's frame, directly or through calls to other such functions).
+/// A candidate containing a call to one of these must be treated as
+/// SP-using: placing it under a stack-shifting call variant would move
+/// every frame slot it touches by 16.
+using SpSensitiveSet = std::unordered_set<uint32_t>;
+
+/// \returns true if \p MI reads or writes SP in a way that is *not*
+/// shift-invariant. The balanced LR push/pop (STRpre/LDRpost of x30) is a
+/// pure relative push and works at any SP.
+bool isShiftSensitiveSPUse(const MachineInstr &MI) {
+  if ((MI.opcode() == Opcode::STRpre || MI.opcode() == Opcode::LDRpost) &&
+      MI.operand(0).getReg() == LR)
+    return false;
+  return MI.usesOrModifiesSP();
+}
+
+SpSensitiveSet computeSpSensitive(const Module &M) {
+  SpSensitiveSet Sensitive;
+  // Direct sensitivity: outlined functions with caller-frame accesses.
+  for (const MachineFunction &MF : M.Functions) {
+    if (!MF.IsOutlined)
+      continue;
+    for (const MachineBasicBlock &MBB : MF.Blocks)
+      for (const MachineInstr &MI : MBB.Instrs)
+        if (isShiftSensitiveSPUse(MI)) {
+          Sensitive.insert(MF.Name);
+          break;
+        }
+  }
+  // Transitive: an outlined function calling a sensitive one forwards its
+  // (possibly shifted) SP into it.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const MachineFunction &MF : M.Functions) {
+      if (!MF.IsOutlined || Sensitive.count(MF.Name))
+        continue;
+      for (const MachineBasicBlock &MBB : MF.Blocks)
+        for (const MachineInstr &MI : MBB.Instrs)
+          if ((MI.opcode() == Opcode::BL || MI.opcode() == Opcode::Btail) &&
+              Sensitive.count(MI.operand(0).getSym())) {
+            Sensitive.insert(MF.Name);
+            Changed = true;
+            break;
+          }
+    }
+  }
+  return Sensitive;
+}
+
+/// Decides the call variant for one occurrence, or returns false if the
+/// occurrence cannot be outlined (e.g. SP-relative accesses under a
+/// stack-shifting variant).
+bool classifyCandidate(Candidate &C, BodyClass Body,
+                       const MachineFunction &MF, const Liveness &LV,
+                       const SpSensitiveSet &Sensitive,
+                       const OutlinerOptions &Opts) {
+  const auto &Instrs = MF.Blocks[C.Block].Instrs;
+  assert(C.InstrStart + C.Len <= Instrs.size() && "candidate out of range");
+
+  bool UsesSP = false;
+  RegMask Touched = 0;
+  for (unsigned I = C.InstrStart, E = C.InstrStart + C.Len; I != E; ++I) {
+    UsesSP |= Instrs[I].usesOrModifiesSP();
+    if (Instrs[I].opcode() == Opcode::BL &&
+        Sensitive.count(Instrs[I].operand(0).getSym()))
+      UsesSP = true;
+    Touched |= Instrs[I].defs() | Instrs[I].uses();
+  }
+
+  switch (Body) {
+  case BodyClass::TailCall:
+    C.Variant = CallVariant::TailCall;
+    return true;
+  case BodyClass::Thunk:
+    C.Variant = CallVariant::Thunk;
+    return true;
+  case BodyClass::FrameSavesLR:
+    // The outlined frame saves LR with STR lr,[sp,#-16]!, which shifts
+    // every SP-relative offset in the body; reject bodies that touch SP.
+    if (UsesSP)
+      return false;
+    C.Variant = CallVariant::FrameSavesLR;
+    return true;
+  case BodyClass::PlainBody:
+    break;
+  }
+
+  // PlainBody: pick per-occurrence LR handling.
+  //
+  // Inside an already-outlined function we must be fully conservative: its
+  // callers were rewritten under the contract that it behaves exactly like
+  // the original instruction sequence, so it must not clobber *any*
+  // register the sequence did not already clobber (and its own RET needs
+  // LR). Only the self-contained SaveLRToStack call sequence qualifies.
+  const bool Conservative = MF.IsOutlined;
+  const bool LRLiveAfter =
+      Conservative ||
+      maskContains(LV.liveAfter(C.Block, C.InstrStart + C.Len - 1), LR);
+  if (!LRLiveAfter) {
+    C.Variant = CallVariant::NoLRSave;
+    return true;
+  }
+  if (Opts.EnableRegSave && !Conservative) {
+    RegMask Free = regSaveCandidateMask() &
+                   ~LV.liveBefore(C.Block, C.InstrStart) & ~Touched;
+    if (Free != 0) {
+      for (unsigned I = 9; I <= 15; ++I) {
+        if (maskContains(Free, xreg(I))) {
+          C.SaveReg = xreg(I);
+          break;
+        }
+      }
+      C.Variant = CallVariant::RegSave;
+      return true;
+    }
+  }
+  if (UsesSP)
+    return false;
+  C.Variant = CallVariant::SaveLRToStack;
+  return true;
+}
+
+int64_t computeBenefit(const OutlinePlan &Plan) {
+  const int64_t SeqBytes = int64_t(Plan.Len) * InstrBytes;
+  int64_t NotOutlined = SeqBytes * int64_t(Plan.Cands.size());
+  int64_t CallSites = 0;
+  for (const Candidate &C : Plan.Cands)
+    CallSites += callOverheadBytes(C.Variant);
+  int64_t OutlinedCost =
+      CallSites + SeqBytes + frameOverheadForBody(Plan.Body);
+  return NotOutlined - OutlinedCost;
+}
+
+std::vector<MachineInstr> callSiteSequence(const Candidate &C,
+                                           uint32_t OutSym) {
+  using MO = MachineOperand;
+  std::vector<MachineInstr> Seq;
+  switch (C.Variant) {
+  case CallVariant::TailCall:
+    Seq.emplace_back(Opcode::Btail, MO::sym(OutSym));
+    break;
+  case CallVariant::Thunk:
+  case CallVariant::NoLRSave:
+  case CallVariant::FrameSavesLR:
+    Seq.emplace_back(Opcode::BL, MO::sym(OutSym));
+    break;
+  case CallVariant::RegSave:
+    assert(C.SaveReg != Reg::None && "RegSave without a register");
+    Seq.emplace_back(Opcode::MOVrr, MO::reg(C.SaveReg), MO::reg(LR));
+    Seq.emplace_back(Opcode::BL, MO::sym(OutSym));
+    Seq.emplace_back(Opcode::MOVrr, MO::reg(LR), MO::reg(C.SaveReg));
+    break;
+  case CallVariant::SaveLRToStack:
+    Seq.emplace_back(Opcode::STRpre, MO::reg(LR), MO::reg(Reg::SP),
+                     MO::imm(-16));
+    Seq.emplace_back(Opcode::BL, MO::sym(OutSym));
+    Seq.emplace_back(Opcode::LDRpost, MO::reg(LR), MO::reg(Reg::SP),
+                     MO::imm(16));
+    break;
+  }
+  return Seq;
+}
+
+MachineFunction buildOutlinedFunction(const std::vector<MachineInstr> &Seq,
+                                      BodyClass Body, uint32_t NameSym) {
+  using MO = MachineOperand;
+  MachineFunction MF;
+  MF.Name = NameSym;
+  MF.IsOutlined = true;
+  MachineBasicBlock &MBB = MF.addBlock();
+  switch (Body) {
+  case BodyClass::TailCall:
+    MF.FrameKind = OutlinedFrameKind::TailCall;
+    MBB.Instrs = Seq;
+    break;
+  case BodyClass::Thunk: {
+    MF.FrameKind = OutlinedFrameKind::Thunk;
+    MBB.Instrs.assign(Seq.begin(), Seq.end() - 1);
+    assert(Seq.back().opcode() == Opcode::BL && "thunk must end in a call");
+    MBB.push(MachineInstr(Opcode::Btail,
+                          MO::sym(Seq.back().operand(0).getSym())));
+    break;
+  }
+  case BodyClass::PlainBody:
+    MF.FrameKind = OutlinedFrameKind::AppendedRet;
+    MBB.Instrs = Seq;
+    MBB.push(MachineInstr(Opcode::RET));
+    break;
+  case BodyClass::FrameSavesLR:
+    MF.FrameKind = OutlinedFrameKind::SavesLRInFrame;
+    MBB.push(MachineInstr(Opcode::STRpre, MO::reg(LR), MO::reg(Reg::SP),
+                          MO::imm(-16)));
+    for (const MachineInstr &MI : Seq)
+      MBB.push(MI);
+    MBB.push(MachineInstr(Opcode::LDRpost, MO::reg(LR), MO::reg(Reg::SP),
+                          MO::imm(16)));
+    MBB.push(MachineInstr(Opcode::RET));
+    break;
+  }
+  return MF;
+}
+
+} // namespace
+
+OutlineRoundStats mco::runOutlinerRound(Program &Prog, Module &M,
+                                        unsigned Round,
+                                        const OutlinerOptions &Opts) {
+  OutlineRoundStats Stats;
+  Stats.CodeSizeBefore = M.codeSize();
+
+  InstructionMapper Mapper(M);
+  const std::vector<unsigned> &Str = Mapper.string();
+  if (Str.empty()) {
+    Stats.CodeSizeAfter = Stats.CodeSizeBefore;
+    return Stats;
+  }
+
+  // Liveness is computed once per round. This is sound: explicit LR reads
+  // are outlining-illegal, so the LR-liveness facts used to classify one
+  // candidate cannot be invalidated by rewriting another (rewrites only
+  // insert LR *defs* at positions where the original sequence was already
+  // LR-dead, plus scratch-register save/restores that define before use).
+  std::vector<Liveness> LV;
+  LV.reserve(M.Functions.size());
+  for (const MachineFunction &MF : M.Functions)
+    LV.emplace_back(MF);
+
+  const SpSensitiveSet Sensitive = computeSpSensitive(M);
+
+  SuffixTree Tree(Str, Opts.LeafDescendants);
+  std::vector<RepeatedSubstring> Repeats =
+      Tree.repeatedSubstrings(Opts.MinLength);
+
+  // Build plans.
+  std::vector<OutlinePlan> Plans;
+  Plans.reserve(Repeats.size());
+  for (const RepeatedSubstring &RS : Repeats) {
+    ++Stats.PatternsConsidered;
+    OutlinePlan Plan;
+    Plan.Len = RS.Length;
+
+    // Occurrences of one pattern must not overlap each other; keep a
+    // greedy left-to-right non-overlapping subset (indices are sorted).
+    unsigned PrevEnd = 0;
+    bool First = true;
+    for (unsigned Start : RS.StartIndices) {
+      if (!First && Start < PrevEnd)
+        continue;
+      const InstructionMapper::Location &Loc = Mapper.location(Start);
+      if (!Loc.IsLegal)
+        continue; // Defensive; repeated ids are always legal.
+      Candidate C;
+      C.StartIdx = Start;
+      C.Len = RS.Length;
+      C.Func = Loc.Func;
+      C.Block = Loc.Block;
+      C.InstrStart = Loc.Instr;
+      Plan.Cands.push_back(C);
+      PrevEnd = Start + RS.Length;
+      First = false;
+    }
+    if (Plan.Cands.size() < 2)
+      continue;
+
+    // The sequence (identical for every occurrence).
+    const Candidate &C0 = Plan.Cands.front();
+    const auto &Instrs = M.Functions[C0.Func].Blocks[C0.Block].Instrs;
+    std::vector<MachineInstr> Seq(Instrs.begin() + C0.InstrStart,
+                                  Instrs.begin() + C0.InstrStart + C0.Len);
+    Plan.Body = classifyPattern(Seq);
+
+    // Per-occurrence call variants; drop occurrences that can't be called.
+    std::vector<Candidate> Kept;
+    for (Candidate &C : Plan.Cands) {
+      if (classifyCandidate(C, Plan.Body, M.Functions[C.Func], LV[C.Func],
+                            Sensitive, Opts))
+        Kept.push_back(C);
+      else
+        ++Stats.CandidatesDroppedSP;
+    }
+    Plan.Cands = std::move(Kept);
+    if (Plan.Cands.size() < 2)
+      continue;
+
+    Plan.FirstStart = Plan.Cands.front().StartIdx;
+    Plan.Benefit = computeBenefit(Plan);
+    if (Plan.Benefit < 1) {
+      ++Stats.PatternsUnprofitable;
+      continue;
+    }
+    Plans.push_back(std::move(Plan));
+  }
+
+  // Greedy order: the most immediately profitable pattern first — exactly
+  // the heuristic whose myopia motivates repeated outlining (Fig. 11).
+  std::sort(Plans.begin(), Plans.end(),
+            [&Opts](const OutlinePlan &A, const OutlinePlan &B) {
+              if (Opts.SortByBenefit) {
+                if (A.Benefit != B.Benefit)
+                  return A.Benefit > B.Benefit;
+              } else {
+                if (A.Len != B.Len)
+                  return A.Len > B.Len;
+              }
+              if (A.Len != B.Len)
+                return A.Len > B.Len;
+              return A.FirstStart < B.FirstStart;
+            });
+
+  // Commit plans, skipping occurrences that overlap already-taken string
+  // regions, and re-checking profitability on what survives.
+  std::vector<bool> Consumed(Str.size(), false);
+  struct Edit {
+    uint32_t InstrStart;
+    uint32_t Len;
+    std::vector<MachineInstr> Replacement;
+  };
+  // (Func, Block) -> edits.
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<Edit>> Edits;
+  std::vector<MachineFunction> NewFunctions;
+
+  for (OutlinePlan &Plan : Plans) {
+    std::vector<Candidate> Alive;
+    for (const Candidate &C : Plan.Cands) {
+      bool Clobbered = false;
+      for (unsigned I = C.StartIdx, E = C.StartIdx + C.Len; I != E; ++I)
+        if (Consumed[I]) {
+          Clobbered = true;
+          break;
+        }
+      if (!Clobbered)
+        Alive.push_back(C);
+      else
+        ++Stats.CandidatesDroppedOverlap;
+    }
+    if (Alive.size() < 2)
+      continue;
+    Plan.Cands = std::move(Alive);
+    Plan.Benefit = computeBenefit(Plan);
+    if (Plan.Benefit < 1)
+      continue;
+
+    // Materialize the outlined function.
+    const Candidate &C0 = Plan.Cands.front();
+    const auto &Instrs = M.Functions[C0.Func].Blocks[C0.Block].Instrs;
+    std::vector<MachineInstr> Seq(Instrs.begin() + C0.InstrStart,
+                                  Instrs.begin() + C0.InstrStart + C0.Len);
+    uint32_t OutSym = Prog.internSymbol(
+        Opts.NamePrefix + "_" + std::to_string(Round) + "_" +
+        std::to_string(NewFunctions.size()));
+    NewFunctions.push_back(buildOutlinedFunction(Seq, Plan.Body, OutSym));
+    NewFunctions.back().OutlinedCallSites =
+        static_cast<uint32_t>(Plan.Cands.size());
+
+    for (const Candidate &C : Plan.Cands) {
+      for (unsigned I = C.StartIdx, E = C.StartIdx + C.Len; I != E; ++I)
+        Consumed[I] = true;
+      Edits[{C.Func, C.Block}].push_back(
+          Edit{C.InstrStart, C.Len, callSiteSequence(C, OutSym)});
+      ++Stats.SequencesOutlined;
+    }
+    Stats.OutlinedFunctionBytes += NewFunctions.back().codeSize();
+    ++Stats.FunctionsCreated;
+  }
+
+  // Apply edits back-to-front within each block so indices stay valid.
+  for (auto &[Key, BlockEdits] : Edits) {
+    auto &Instrs = M.Functions[Key.first].Blocks[Key.second].Instrs;
+    std::sort(BlockEdits.begin(), BlockEdits.end(),
+              [](const Edit &A, const Edit &B) {
+                return A.InstrStart > B.InstrStart;
+              });
+    for (const Edit &E : BlockEdits) {
+      Instrs.erase(Instrs.begin() + E.InstrStart,
+                   Instrs.begin() + E.InstrStart + E.Len);
+      Instrs.insert(Instrs.begin() + E.InstrStart, E.Replacement.begin(),
+                    E.Replacement.end());
+    }
+  }
+
+  for (MachineFunction &MF : NewFunctions)
+    M.Functions.push_back(std::move(MF));
+
+  Stats.CodeSizeAfter = M.codeSize();
+  assert(Stats.CodeSizeAfter <= Stats.CodeSizeBefore &&
+         "outlining must never grow the code");
+  return Stats;
+}
+
+RepeatedOutlineStats mco::runRepeatedOutliner(Program &Prog, Module &M,
+                                              unsigned MaxRounds,
+                                              const OutlinerOptions &Opts) {
+  RepeatedOutlineStats All;
+  for (unsigned Round = 1; Round <= MaxRounds; ++Round) {
+    OutlineRoundStats RS = runOutlinerRound(Prog, M, Round, Opts);
+    bool Done = RS.FunctionsCreated == 0;
+    All.Rounds.push_back(RS);
+    if (Done)
+      break;
+  }
+  return All;
+}

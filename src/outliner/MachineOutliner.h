@@ -1,0 +1,114 @@
+//===- outliner/MachineOutliner.h - Whole-module outlining ------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine outliner: finds repeated instruction sequences via a suffix
+/// tree, selects profitable ones greedily (largest immediate byte saving
+/// first — the sub-optimal order the paper analyses in Fig. 11), and
+/// rewrites the module. `RepeatedOutliner` drives multiple rounds, which is
+/// the paper's headline contribution (`-outline-repeat-count=N`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_OUTLINER_MACHINEOUTLINER_H
+#define MCO_OUTLINER_MACHINEOUTLINER_H
+
+#include "outliner/CostModel.h"
+#include "mir/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mco {
+
+/// Tunable knobs; defaults match stock LLVM + the paper's configuration.
+struct OutlinerOptions {
+  /// Minimum candidate sequence length in instructions.
+  unsigned MinLength = 2;
+  /// Collect all leaf descendants per suffix-tree node (ablation; stock
+  /// LLVM uses direct leaf children only).
+  bool LeafDescendants = false;
+  /// Allow the RegSave call variant (ablation).
+  bool EnableRegSave = true;
+  /// Greedy priority: true = immediate byte benefit (stock LLVM);
+  /// false = sequence length (ablation).
+  bool SortByBenefit = true;
+  /// Prefix for outlined function names. Per-module pipelines qualify this
+  /// with the module name so clones from different modules stay distinct
+  /// symbols, as the system linker would keep them (paper Section V-A).
+  std::string NamePrefix = "OUTLINED_FUNCTION";
+};
+
+/// Statistics for one outlining round (paper Table II rows), plus
+/// observability counters explaining why candidates were rejected.
+struct OutlineRoundStats {
+  /// Candidate occurrences replaced with calls ("# sequences outlined").
+  uint64_t SequencesOutlined = 0;
+  /// New outlined functions created.
+  uint64_t FunctionsCreated = 0;
+  /// Bytes of code in the newly created outlined functions.
+  uint64_t OutlinedFunctionBytes = 0;
+  uint64_t CodeSizeBefore = 0;
+  uint64_t CodeSizeAfter = 0;
+
+  // Rejection accounting (per round, not cumulative).
+  /// Repeated substrings examined.
+  uint64_t PatternsConsidered = 0;
+  /// Patterns whose best-case byte benefit was below the threshold.
+  uint64_t PatternsUnprofitable = 0;
+  /// Occurrences dropped because SP-relative content cannot live under a
+  /// stack-shifting call variant.
+  uint64_t CandidatesDroppedSP = 0;
+  /// Occurrences dropped because a better pattern already consumed their
+  /// instructions.
+  uint64_t CandidatesDroppedOverlap = 0;
+
+  uint64_t bytesSaved() const { return CodeSizeBefore - CodeSizeAfter; }
+};
+
+/// Runs one greedy outlining round over \p M (all functions, cross-function
+/// within the module). New outlined functions are appended to \p M.
+///
+/// \param Round used in outlined function names for uniqueness.
+/// \returns the round's statistics.
+OutlineRoundStats runOutlinerRound(Program &Prog, Module &M, unsigned Round,
+                                   const OutlinerOptions &Opts = {});
+
+/// Statistics for a full repeated-outlining run.
+struct RepeatedOutlineStats {
+  std::vector<OutlineRoundStats> Rounds;
+
+  uint64_t totalSequencesOutlined() const {
+    uint64_t N = 0;
+    for (const OutlineRoundStats &R : Rounds)
+      N += R.SequencesOutlined;
+    return N;
+  }
+  uint64_t totalFunctionsCreated() const {
+    uint64_t N = 0;
+    for (const OutlineRoundStats &R : Rounds)
+      N += R.FunctionsCreated;
+    return N;
+  }
+  uint64_t totalOutlinedFunctionBytes() const {
+    uint64_t N = 0;
+    for (const OutlineRoundStats &R : Rounds)
+      N += R.OutlinedFunctionBytes;
+    return N;
+  }
+};
+
+/// Runs up to \p MaxRounds rounds of outlining over \p M, stopping early
+/// when a round creates no functions. This is the paper's repeated machine
+/// outlining (`-outline-repeat-count`).
+RepeatedOutlineStats runRepeatedOutliner(Program &Prog, Module &M,
+                                         unsigned MaxRounds,
+                                         const OutlinerOptions &Opts = {});
+
+} // namespace mco
+
+#endif // MCO_OUTLINER_MACHINEOUTLINER_H

@@ -1,0 +1,138 @@
+//===- outliner/PatternStats.cpp - Section IV binary analysis ------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "outliner/PatternStats.h"
+
+#include "outliner/InstructionMapper.h"
+#include "mir/MIRPrinter.h"
+#include "support/SuffixTree.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace mco;
+
+std::vector<int64_t> PatternAnalysis::cumulativeSavingsBestFirst() const {
+  std::vector<int64_t> Savings;
+  Savings.reserve(Patterns.size());
+  for (const PatternRecord &P : Patterns)
+    Savings.push_back(P.ByteSaving);
+  std::sort(Savings.begin(), Savings.end(), std::greater<int64_t>());
+  int64_t Sum = 0;
+  for (int64_t &S : Savings) {
+    Sum += S;
+    S = Sum;
+  }
+  return Savings;
+}
+
+unsigned PatternAnalysis::patternsForShareOfSavings(double Share) const {
+  std::vector<int64_t> Cum = cumulativeSavingsBestFirst();
+  if (Cum.empty())
+    return 0;
+  const double Target = Share * double(Cum.back());
+  for (unsigned I = 0; I < Cum.size(); ++I)
+    if (double(Cum[I]) >= Target)
+      return I + 1;
+  return static_cast<unsigned>(Cum.size());
+}
+
+PatternAnalysis mco::analyzePatterns(const Program &Prog, const Module &M,
+                                     const OutlinerOptions &Opts,
+                                     unsigned MaxListings) {
+  PatternAnalysis A;
+  A.TotalInstrs = M.numInstrs();
+
+  InstructionMapper Mapper(M);
+  SuffixTree Tree(Mapper.string(), Opts.LeafDescendants);
+  std::vector<RepeatedSubstring> Repeats =
+      Tree.repeatedSubstrings(Opts.MinLength);
+
+  for (const RepeatedSubstring &RS : Repeats) {
+    // Non-overlapping occurrence count.
+    uint64_t Freq = 0;
+    unsigned PrevEnd = 0;
+    bool First = true;
+    unsigned FirstStart = 0;
+    for (unsigned Start : RS.StartIndices) {
+      if (!First && Start < PrevEnd)
+        continue;
+      if (First)
+        FirstStart = Start;
+      PrevEnd = Start + RS.Length;
+      First = false;
+      ++Freq;
+    }
+    if (Freq < 2)
+      continue;
+
+    const InstructionMapper::Location &Loc = Mapper.location(FirstStart);
+    const auto &Instrs = M.Functions[Loc.Func].Blocks[Loc.Block].Instrs;
+
+    PatternRecord P;
+    P.Frequency = Freq;
+    P.Length = RS.Length;
+    const MachineInstr &Last = Instrs[Loc.Instr + RS.Length - 1];
+    P.EndsWithCall = Last.isCall();
+    P.EndsWithReturn = Last.isReturn();
+
+    // The paper's profitability bar: at least one byte saved if this
+    // pattern alone were outlined across the binary. Approximate the call
+    // overhead with the cheap 4-byte call and the frame with an appended
+    // RET unless the ending makes it free.
+    const int64_t SeqBytes = int64_t(RS.Length) * InstrBytes;
+    const int64_t Frame =
+        (P.EndsWithCall || P.EndsWithReturn) ? 0 : InstrBytes;
+    P.ByteSaving =
+        SeqBytes * int64_t(Freq) - (4 * int64_t(Freq) + SeqBytes + Frame);
+    if (P.ByteSaving < 1)
+      continue;
+
+    A.Patterns.push_back(std::move(P));
+    A.TotalCandidates += Freq;
+    if (A.Patterns.back().EndsWithCall || A.Patterns.back().EndsWithReturn)
+      A.CallOrRetEndingCandidates += Freq;
+
+    // Remember where the pattern lives so we can render it after ranking.
+    A.Patterns.back().Text =
+        std::to_string(Loc.Func) + ":" + std::to_string(Loc.Block) + ":" +
+        std::to_string(Loc.Instr);
+  }
+
+  // Rank by frequency; ties broken by longer-first then text for
+  // determinism.
+  std::sort(A.Patterns.begin(), A.Patterns.end(),
+            [](const PatternRecord &X, const PatternRecord &Y) {
+              if (X.Frequency != Y.Frequency)
+                return X.Frequency > Y.Frequency;
+              if (X.Length != Y.Length)
+                return X.Length > Y.Length;
+              return X.Text < Y.Text;
+            });
+  for (unsigned I = 0; I < A.Patterns.size(); ++I)
+    A.Patterns[I].Rank = I + 1;
+
+  // Render the top patterns' instruction text (paper Listings 1-8).
+  for (unsigned I = 0; I < A.Patterns.size(); ++I) {
+    PatternRecord &P = A.Patterns[I];
+    if (I >= MaxListings) {
+      P.Text.clear();
+      continue;
+    }
+    // Decode the stored location.
+    unsigned F = 0, B = 0, Ins = 0;
+    if (sscanf(P.Text.c_str(), "%u:%u:%u", &F, &B, &Ins) == 3) {
+      std::string Text;
+      const auto &Instrs = M.Functions[F].Blocks[B].Instrs;
+      for (unsigned K = 0; K < P.Length; ++K) {
+        Text += printInstr(Instrs[Ins + K], Prog);
+        Text += '\n';
+      }
+      P.Text = std::move(Text);
+    }
+  }
+  return A;
+}

@@ -1,0 +1,79 @@
+//===- outliner/PatternStats.h - Section IV binary analysis -----*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The statistics-collection pass the paper inserts after machine-code
+/// generation (Section IV): it logs every repeated machine-code pattern
+/// meeting the one-byte-saving profitability bar, together with its
+/// repetition frequency, length, and how it ends. This feeds Figures 5-8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_OUTLINER_PATTERNSTATS_H
+#define MCO_OUTLINER_PATTERNSTATS_H
+
+#include "outliner/MachineOutliner.h"
+#include "mir/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mco {
+
+/// One profitable repeated pattern.
+struct PatternRecord {
+  /// 1-based rank by repetition frequency (rank 1 repeats the most).
+  unsigned Rank = 0;
+  /// Number of non-overlapping occurrences ("candidates").
+  uint64_t Frequency = 0;
+  /// Sequence length in instructions.
+  unsigned Length = 0;
+  /// Bytes saved if this pattern alone were outlined.
+  int64_t ByteSaving = 0;
+  /// Whether the sequence ends in a call or a return (the paper finds 67%
+  /// of profitable candidates do).
+  bool EndsWithCall = false;
+  bool EndsWithReturn = false;
+  /// Rendered text of the pattern (for listing output).
+  std::string Text;
+};
+
+/// Full analysis of a module's repeated machine-code patterns.
+struct PatternAnalysis {
+  /// Profitable patterns, sorted by Frequency descending (rank order).
+  std::vector<PatternRecord> Patterns;
+  uint64_t TotalInstrs = 0;
+  /// Total candidates over all profitable patterns.
+  uint64_t TotalCandidates = 0;
+  /// Candidates whose pattern ends with a call or return.
+  uint64_t CallOrRetEndingCandidates = 0;
+
+  /// \returns the fraction of profitable candidates ending in call/ret.
+  double callRetEndingShare() const {
+    return TotalCandidates == 0
+               ? 0.0
+               : double(CallOrRetEndingCandidates) / double(TotalCandidates);
+  }
+
+  /// Cumulative byte savings when outlining patterns in best-first order
+  /// (Fig. 7): element K = saving from the K+1 most profitable patterns.
+  std::vector<int64_t> cumulativeSavingsBestFirst() const;
+
+  /// \returns the number of patterns needed to reach \p Share (e.g. 0.9)
+  /// of the total achievable saving (paper: >100 patterns for >90%).
+  unsigned patternsForShareOfSavings(double Share) const;
+};
+
+/// Runs the analysis over \p M. \p MaxListings bounds how many pattern
+/// texts are rendered (rendering all is wasteful for large corpora).
+PatternAnalysis analyzePatterns(const Program &Prog, const Module &M,
+                                const OutlinerOptions &Opts = {},
+                                unsigned MaxListings = 16);
+
+} // namespace mco
+
+#endif // MCO_OUTLINER_PATTERNSTATS_H

@@ -1,0 +1,77 @@
+//===- pipeline/BuildPipeline.cpp - The two iOS build pipelines -----------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/BuildPipeline.h"
+
+#include <chrono>
+
+using namespace mco;
+
+namespace {
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+} // namespace
+
+BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
+  BuildResult R;
+  using Clock = std::chrono::steady_clock;
+
+  if (Opts.WholeProgram) {
+    // Fig. 10: merge IR first, then outline across the whole program.
+    auto T0 = Clock::now();
+    Module &Linked = linkProgram(Prog, Opts.DataLayout);
+    R.LinkIRSeconds = secondsSince(T0);
+
+    T0 = Clock::now();
+    for (unsigned Round = 1; Round <= Opts.OutlineRounds; ++Round) {
+      auto TR = Clock::now();
+      OutlineRoundStats RS =
+          runOutlinerRound(Prog, Linked, Round, Opts.Outliner);
+      R.OutlineRoundSeconds.push_back(secondsSince(TR));
+      R.OutlineStats.Rounds.push_back(RS);
+      if (RS.FunctionsCreated == 0)
+        break;
+    }
+    R.OutlineSeconds = secondsSince(T0);
+  } else {
+    // Fig. 2: outline each module independently, then merge. Clones of
+    // identical OUTLINED_* bodies from different modules survive the link
+    // as distinct local symbols.
+    auto T0 = Clock::now();
+    for (auto &M : Prog.Modules) {
+      OutlinerOptions PerModule = Opts.Outliner;
+      PerModule.NamePrefix += "@" + M->Name;
+      RepeatedOutlineStats MS =
+          runRepeatedOutliner(Prog, *M, Opts.OutlineRounds, PerModule);
+      // Accumulate per-round stats across modules.
+      if (R.OutlineStats.Rounds.size() < MS.Rounds.size())
+        R.OutlineStats.Rounds.resize(MS.Rounds.size());
+      for (size_t I = 0; I < MS.Rounds.size(); ++I) {
+        OutlineRoundStats &Acc = R.OutlineStats.Rounds[I];
+        Acc.SequencesOutlined += MS.Rounds[I].SequencesOutlined;
+        Acc.FunctionsCreated += MS.Rounds[I].FunctionsCreated;
+        Acc.OutlinedFunctionBytes += MS.Rounds[I].OutlinedFunctionBytes;
+        Acc.CodeSizeBefore += MS.Rounds[I].CodeSizeBefore;
+        Acc.CodeSizeAfter += MS.Rounds[I].CodeSizeAfter;
+      }
+    }
+    R.OutlineSeconds = secondsSince(T0);
+
+    T0 = Clock::now();
+    linkProgram(Prog, Opts.DataLayout);
+    R.LinkIRSeconds = secondsSince(T0);
+  }
+
+  auto T0 = Clock::now();
+  BinaryImage Image(Prog);
+  R.LayoutSeconds = secondsSince(T0);
+  R.CodeSize = Image.codeSize();
+  R.DataSize = Image.dataSize();
+  R.BinarySize = Image.binarySize(DefaultResourceBytes);
+  return R;
+}

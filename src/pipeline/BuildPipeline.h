@@ -1,0 +1,75 @@
+//===- pipeline/BuildPipeline.h - The two iOS build pipelines ---*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's two build pipelines:
+///
+///  - Default (Fig. 2): each module is compiled — and outlined — on its
+///    own; the linker then combines the modules, keeping each module's
+///    OUTLINED_* clones as distinct local symbols.
+///
+///  - Whole-program (Fig. 10): modules are merged first (llvm-link),
+///    whole-program optimizations run on the single merged module, and
+///    machine outlining sees every function at once.
+///
+/// Both support 0..N rounds of repeated outlining and report per-phase
+/// wall-clock times for the Section VII-C build-time comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_PIPELINE_BUILDPIPELINE_H
+#define MCO_PIPELINE_BUILDPIPELINE_H
+
+#include "linker/Linker.h"
+#include "outliner/MachineOutliner.h"
+
+#include <vector>
+
+namespace mco {
+
+/// Build configuration.
+struct PipelineOptions {
+  /// Rounds of repeated machine outlining; 0 disables outlining.
+  unsigned OutlineRounds = 5;
+  /// true = whole-program pipeline (Fig. 10); false = per-module (Fig. 2).
+  bool WholeProgram = true;
+  /// Data ordering applied when modules are merged.
+  DataLayoutMode DataLayout = DataLayoutMode::PreserveModuleOrder;
+  /// Outliner knobs (greedy order, discovery mode, RegSave, ...).
+  OutlinerOptions Outliner;
+};
+
+/// Result of a build: sizes, outlining statistics, and phase timings.
+struct BuildResult {
+  uint64_t CodeSize = 0;
+  uint64_t DataSize = 0;
+  /// Code + data + the fixed resource overhead the app carries.
+  uint64_t BinarySize = 0;
+
+  RepeatedOutlineStats OutlineStats;
+
+  /// Wall-clock seconds per phase.
+  double LinkIRSeconds = 0;     ///< llvm-link analogue (merge).
+  double OutlineSeconds = 0;    ///< All outlining rounds (llc analogue).
+  std::vector<double> OutlineRoundSeconds;
+  double LayoutSeconds = 0;     ///< System linker analogue.
+  double totalSeconds() const {
+    return LinkIRSeconds + OutlineSeconds + LayoutSeconds;
+  }
+};
+
+/// Fixed non-code, non-data resource bytes added to BinarySize, scaled to
+/// the corpus (the UberRider binary is ~92% of the app; ~23% of the binary
+/// is non-code).
+inline constexpr uint64_t DefaultResourceBytes = 0;
+
+/// Builds \p Prog in place (modules are merged; outlined functions are
+/// added). \returns sizes and statistics.
+BuildResult buildProgram(Program &Prog, const PipelineOptions &Opts);
+
+} // namespace mco
+
+#endif // MCO_PIPELINE_BUILDPIPELINE_H

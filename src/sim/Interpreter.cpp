@@ -1,0 +1,471 @@
+//===- sim/Interpreter.cpp - Machine-code interpreter ---------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Interpreter.h"
+
+#include "mir/MIRPrinter.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace mco;
+
+void Interpreter::reportFaultTrace() const {
+  std::fprintf(stderr, "last executed instructions (oldest first):\n");
+  for (unsigned I = 0; I < TraceDepth; ++I) {
+    uint64_t Pc = TraceRing[(TraceHead + I) % TraceDepth];
+    const MachineInstr *MI = Image.instrAt(Pc);
+    if (!MI)
+      continue;
+    const uint32_t FuncIdx = Image.functionIndexAt(Pc);
+    std::fprintf(stderr, "  0x%" PRIx64 "  %-28s %s\n", Pc,
+                 Prog.symbolName(Image.funcs()[FuncIdx].MF->Name).c_str(),
+                 printInstr(*MI, Prog).c_str());
+  }
+  for (unsigned I = 0; I < 34; ++I)
+    std::fprintf(stderr, "  %s = 0x%" PRIx64 "\n", regName(regFromIndex(I)),
+                 Regs[I]);
+}
+
+Interpreter::Interpreter(const BinaryImage &Image, const Program &Prog,
+                         const PerfConfig *Perf)
+    : Image(Image), Prog(Prog), Mem(Image, Prog) {
+  Mem.setFaultHook(
+      [](void *Ctx) {
+        static_cast<const Interpreter *>(Ctx)->reportFaultTrace();
+      },
+      this);
+  if (Perf) {
+    PerfEnabled = true;
+    Config = *Perf;
+    ICache = std::make_unique<SetAssocCache>(
+        Config.ICacheBytes, Config.ICacheAssoc, Config.ICacheLineBytes);
+    ITlb = std::make_unique<Tlb>(Config.ITlbEntries, Config.ITlbPageBytes);
+    Branches = std::make_unique<BranchPredictor>(Config.BranchTableEntries);
+    DataPages = std::make_unique<DataPageModel>(Config.DataResidentPages,
+                                                Config.DataPageBytes);
+  }
+}
+
+uint64_t Interpreter::readReg(Reg R) const {
+  if (R == Reg::XZR)
+    return 0;
+  return Regs[regIndex(R)];
+}
+
+void Interpreter::writeReg(Reg R, uint64_t V) {
+  if (R == Reg::XZR)
+    return;
+  Regs[regIndex(R)] = V;
+}
+
+void Interpreter::setFlagsSub(uint64_t A, uint64_t B) {
+  uint64_t R = A - B;
+  FlagN = (R >> 63) & 1;
+  FlagZ = R == 0;
+  FlagC = A >= B; // No borrow.
+  // Signed overflow: operands differ in sign and result sign != A's sign.
+  FlagV = (((A ^ B) & (A ^ R)) >> 63) & 1;
+}
+
+bool Interpreter::condHolds(Cond C) const {
+  switch (C) {
+  case Cond::EQ: return FlagZ;
+  case Cond::NE: return !FlagZ;
+  case Cond::LT: return FlagN != FlagV;
+  case Cond::GE: return FlagN == FlagV;
+  case Cond::GT: return !FlagZ && FlagN == FlagV;
+  case Cond::LE: return FlagZ || FlagN != FlagV;
+  case Cond::LO: return !FlagC;
+  case Cond::HS: return FlagC;
+  }
+  return false;
+}
+
+Interpreter::Builtin Interpreter::builtinFor(uint32_t Sym) const {
+  const std::string &N = Prog.symbolName(Sym);
+  if (N == "swift_retain")
+    return Builtin::SwiftRetain;
+  if (N == "swift_release")
+    return Builtin::SwiftRelease;
+  if (N == "objc_retain")
+    return Builtin::ObjcRetain;
+  if (N == "objc_release")
+    return Builtin::ObjcRelease;
+  if (N == "swift_allocObject")
+    return Builtin::SwiftAllocObject;
+  if (N == "swift_deallocObject")
+    return Builtin::SwiftDeallocObject;
+  if (N == "malloc")
+    return Builtin::Malloc;
+  if (N == "free")
+    return Builtin::Free;
+  return Builtin::None;
+}
+
+void Interpreter::runBuiltin(Builtin B) {
+  uint64_t X0 = Regs[0];
+  switch (B) {
+  case Builtin::SwiftRetain:
+  case Builtin::ObjcRetain:
+    if (X0 != 0)
+      Mem.write64(X0, Mem.read64(X0) + 1);
+    // Returns the object in x0 (unchanged).
+    break;
+  case Builtin::SwiftRelease:
+  case Builtin::ObjcRelease:
+    if (X0 != 0) {
+      uint64_t RC = Mem.read64(X0);
+      if (RC <= 1)
+        Mem.heapFree(X0);
+      else
+        Mem.write64(X0, RC - 1);
+    }
+    Regs[0] = 0;
+    break;
+  case Builtin::SwiftAllocObject: {
+    // (metadata, size, alignMask) per the Swift runtime; refcount word at
+    // offset 0, payload from offset 8.
+    uint64_t Size = Regs[1] < 16 ? 16 : Regs[1];
+    uint64_t Obj = Mem.heapAlloc(Size);
+    Mem.write64(Obj, 1);
+    Regs[0] = Obj;
+    break;
+  }
+  case Builtin::SwiftDeallocObject:
+    if (X0 != 0)
+      Mem.heapFree(X0);
+    Regs[0] = 0;
+    break;
+  case Builtin::Malloc:
+    Regs[0] = Mem.heapAlloc(X0);
+    break;
+  case Builtin::Free:
+    if (X0 != 0)
+      Mem.heapFree(X0);
+    Regs[0] = 0;
+    break;
+  case Builtin::None:
+    break;
+  }
+  Counters.Instrs += BuiltinInstrCost;
+  if (PerfEnabled)
+    Counters.Cycles += BuiltinInstrCost * Config.BaseCyclesPerInstr;
+}
+
+void Interpreter::chargeFetch(uint64_t Pc) {
+  ++Counters.Instrs;
+  if (!PerfEnabled)
+    return;
+  Counters.Cycles += Config.BaseCyclesPerInstr;
+  if (!ICache->access(Pc)) {
+    ++Counters.ICacheMisses;
+    Counters.Cycles += Config.ICacheMissCycles;
+  }
+  if (!ITlb->access(Pc)) {
+    ++Counters.ITlbMisses;
+    Counters.Cycles += Config.ITlbMissCycles;
+  }
+}
+
+void Interpreter::chargeDataAccess(uint64_t Addr) {
+  if (!PerfEnabled)
+    return;
+  if (Mem.isGlobalData(Addr) && DataPages->access(Addr)) {
+    ++Counters.DataPageFaults;
+    Counters.Cycles += Config.DataFaultCycles;
+  }
+}
+
+void Interpreter::chargeBranchPenalty() {
+  if (!PerfEnabled)
+    return;
+  Counters.Cycles += Config.BranchMissCycles;
+}
+
+void Interpreter::foldPredictedBranch() {
+  if (!PerfEnabled)
+    return;
+  // Refund the base issue cost charged at fetch; a predicted branch is
+  // folded in the front end (see PerfConfig::FoldedBranchCycles).
+  Counters.Cycles += Config.FoldedBranchCycles - Config.BaseCyclesPerInstr;
+}
+
+int64_t Interpreter::call(const std::string &FnName,
+                          const std::vector<int64_t> &Args) {
+  uint32_t Sym = Prog.lookupSymbol(FnName);
+  if (Sym == UINT32_MAX || Image.functionAddr(Sym) == 0) {
+    std::fprintf(stderr, "interpreter: no such function '%s'\n",
+                 FnName.c_str());
+    std::abort();
+  }
+  assert(Args.size() <= 8 && "at most 8 register arguments");
+  for (unsigned I = 0; I < 34; ++I)
+    Regs[I] = 0;
+  for (size_t I = 0; I < Args.size(); ++I)
+    Regs[I] = static_cast<uint64_t>(Args[I]);
+  Regs[regIndex(Reg::SP)] = Memory::StackTop - 64;
+  Regs[regIndex(LR)] = ReturnSentinel;
+  execute(Image.functionAddr(Sym));
+  return static_cast<int64_t>(Regs[0]);
+}
+
+void Interpreter::execute(uint64_t EntryAddr) {
+  uint64_t Pc = EntryAddr;
+  uint64_t Budget = Fuel;
+
+  while (Pc != ReturnSentinel) {
+    const MachineInstr *MI = Image.instrAt(Pc);
+    if (!MI) {
+      std::fprintf(stderr, "interpreter: jump to invalid address 0x%" PRIx64
+                           "\n", Pc);
+      std::abort();
+    }
+    if (Budget-- == 0) {
+      std::fprintf(stderr, "interpreter: instruction budget exhausted\n");
+      std::abort();
+    }
+#ifdef MCO_TRACE_TAIL
+    if (Budget < 64) {
+      const uint32_t FI = Image.functionIndexAt(Pc);
+      std::fprintf(stderr, "pc=0x%llx %s\n", (unsigned long long)Pc,
+                   Prog.symbolName(Image.funcs()[FI].MF->Name).c_str());
+    }
+#endif
+    chargeFetch(Pc);
+#ifdef MCO_WATCH_X19
+    {
+      uint64_t V = Regs[19];
+      static uint64_t Last19 = 0;
+      if (V != Last19 && V >= BinaryImage::TextBase &&
+          V < BinaryImage::TextBase + 0x100000) {
+        std::fprintf(stderr, "x19 := 0x%llx at pc=0x%llx (%s)\n",
+                     (unsigned long long)V, (unsigned long long)Pc,
+                     Prog.symbolName(Image.funcs()[Image.functionIndexAt(Pc)]
+                                         .MF->Name)
+                         .c_str());
+        reportFaultTrace();
+      }
+      Last19 = V;
+    }
+#endif
+    TraceRing[TraceHead] = Pc;
+    TraceHead = (TraceHead + 1) % TraceDepth;
+    const uint32_t FuncIdx = Image.functionIndexAt(Pc);
+    if (Image.funcs()[FuncIdx].MF->IsOutlined)
+      ++Counters.OutlinedInstrs;
+
+    uint64_t NextPc = Pc + InstrBytes;
+    auto RegOp = [&](unsigned I) { return MI->operand(I).getReg(); };
+    auto R = [&](unsigned I) { return readReg(RegOp(I)); };
+    auto Imm = [&](unsigned I) {
+      return static_cast<uint64_t>(MI->operand(I).getImm());
+    };
+    auto BlockTarget = [&](unsigned I) {
+      return Image.blockAddr(FuncIdx, MI->operand(I).getBlock());
+    };
+
+    switch (MI->opcode()) {
+    case Opcode::MOVri: writeReg(RegOp(0), Imm(1)); break;
+    case Opcode::MOVrr: writeReg(RegOp(0), R(1)); break;
+    case Opcode::ADDri: writeReg(RegOp(0), R(1) + Imm(2)); break;
+    case Opcode::ADDrr: writeReg(RegOp(0), R(1) + R(2)); break;
+    case Opcode::SUBri: writeReg(RegOp(0), R(1) - Imm(2)); break;
+    case Opcode::SUBrr: writeReg(RegOp(0), R(1) - R(2)); break;
+    case Opcode::MULrr: writeReg(RegOp(0), R(1) * R(2)); break;
+    case Opcode::SDIVrr: {
+      int64_t A = static_cast<int64_t>(R(1));
+      int64_t B = static_cast<int64_t>(R(2));
+      int64_t Q = B == 0 ? 0
+                  : (A == INT64_MIN && B == -1) ? A
+                                                : A / B; // AArch64 semantics.
+      writeReg(RegOp(0), static_cast<uint64_t>(Q));
+      break;
+    }
+    case Opcode::MSUBrr:
+      writeReg(RegOp(0), R(3) - R(1) * R(2));
+      break;
+    case Opcode::ANDrr: writeReg(RegOp(0), R(1) & R(2)); break;
+    case Opcode::ORRrr: writeReg(RegOp(0), R(1) | R(2)); break;
+    case Opcode::EORrr: writeReg(RegOp(0), R(1) ^ R(2)); break;
+    case Opcode::LSLri: writeReg(RegOp(0), R(1) << (Imm(2) & 63)); break;
+    case Opcode::ASRri:
+      writeReg(RegOp(0), static_cast<uint64_t>(
+                             static_cast<int64_t>(R(1)) >> (Imm(2) & 63)));
+      break;
+    case Opcode::LSLrr: writeReg(RegOp(0), R(1) << (R(2) & 63)); break;
+    case Opcode::ASRrr:
+      writeReg(RegOp(0), static_cast<uint64_t>(static_cast<int64_t>(R(1)) >>
+                                               (R(2) & 63)));
+      break;
+    case Opcode::CMPri: setFlagsSub(R(0), Imm(1)); break;
+    case Opcode::CMPrr: setFlagsSub(R(0), R(1)); break;
+    case Opcode::CSET:
+      writeReg(RegOp(0), condHolds(MI->operand(1).getCond()) ? 1 : 0);
+      break;
+    case Opcode::CSEL:
+      writeReg(RegOp(0), condHolds(MI->operand(3).getCond()) ? R(1) : R(2));
+      break;
+    case Opcode::LDRui: {
+      uint64_t Addr = R(1) + Imm(2);
+      chargeDataAccess(Addr);
+      writeReg(RegOp(0), Mem.read64(Addr));
+      break;
+    }
+    case Opcode::STRui: {
+      uint64_t Addr = R(1) + Imm(2);
+      chargeDataAccess(Addr);
+      Mem.write64(Addr, R(0));
+      break;
+    }
+    case Opcode::LDPui: {
+      uint64_t Addr = R(2) + Imm(3);
+      chargeDataAccess(Addr);
+      uint64_t V0 = Mem.read64(Addr);
+      uint64_t V1 = Mem.read64(Addr + 8);
+      writeReg(RegOp(0), V0);
+      writeReg(RegOp(1), V1);
+      break;
+    }
+    case Opcode::STPui: {
+      uint64_t Addr = R(2) + Imm(3);
+      chargeDataAccess(Addr);
+      Mem.write64(Addr, R(0));
+      Mem.write64(Addr + 8, R(1));
+      break;
+    }
+    case Opcode::STRpre: {
+      uint64_t Base = R(1) + Imm(2);
+      writeReg(RegOp(1), Base);
+      chargeDataAccess(Base);
+      Mem.write64(Base, R(0));
+      break;
+    }
+    case Opcode::LDRpost: {
+      uint64_t Base = R(1);
+      chargeDataAccess(Base);
+      writeReg(RegOp(0), Mem.read64(Base));
+      writeReg(RegOp(1), Base + Imm(2));
+      break;
+    }
+    case Opcode::ADR: {
+      uint32_t Sym = MI->operand(1).getSym();
+      uint64_t Addr = Image.globalAddr(Sym);
+      if (Addr == 0)
+        Addr = Image.functionAddr(Sym);
+      if (Addr == 0) {
+        std::fprintf(stderr, "interpreter: adr of undefined symbol '%s'\n",
+                     Prog.symbolName(Sym).c_str());
+        std::abort();
+      }
+      writeReg(RegOp(0), Addr);
+      break;
+    }
+    case Opcode::B:
+      NextPc = BlockTarget(0);
+      foldPredictedBranch();
+      break;
+    case Opcode::Bcc: {
+      bool Taken = condHolds(MI->operand(0).getCond());
+      if (PerfEnabled) {
+        if (!Branches->predictConditional(Pc, Taken)) {
+          ++Counters.BranchMispredicts;
+          chargeBranchPenalty();
+        } else {
+          foldPredictedBranch();
+        }
+      }
+      if (Taken)
+        NextPc = BlockTarget(1);
+      break;
+    }
+    case Opcode::CBZ:
+    case Opcode::CBNZ: {
+      bool Taken = (R(0) == 0) == (MI->opcode() == Opcode::CBZ);
+      if (PerfEnabled) {
+        if (!Branches->predictConditional(Pc, Taken)) {
+          ++Counters.BranchMispredicts;
+          chargeBranchPenalty();
+        } else {
+          foldPredictedBranch();
+        }
+      }
+      if (Taken)
+        NextPc = BlockTarget(1);
+      break;
+    }
+    case Opcode::BL: {
+      uint32_t Sym = MI->operand(0).getSym();
+      uint64_t Target = Image.functionAddr(Sym);
+      writeReg(LR, Pc + InstrBytes);
+      if (Target == 0) {
+        Builtin B = builtinFor(Sym);
+        if (B == Builtin::None) {
+          std::fprintf(stderr, "interpreter: call to undefined '%s'\n",
+                       Prog.symbolName(Sym).c_str());
+          std::abort();
+        }
+        runBuiltin(B);
+        // Control returns immediately; LR already points past the BL.
+      } else {
+        if (PerfEnabled) {
+          Branches->pushCall(Pc + InstrBytes);
+          foldPredictedBranch(); // Direct calls are always predicted.
+        }
+        NextPc = Target;
+      }
+      break;
+    }
+    case Opcode::BLR: {
+      uint64_t Target = R(0);
+      writeReg(LR, Pc + InstrBytes);
+      if (PerfEnabled)
+        Branches->pushCall(Pc + InstrBytes);
+      NextPc = Target;
+      break;
+    }
+    case Opcode::Btail: {
+      uint32_t Sym = MI->operand(0).getSym();
+      uint64_t Target = Image.functionAddr(Sym);
+      if (PerfEnabled && Target != 0)
+        foldPredictedBranch(); // Direct tail calls are always predicted.
+      if (Target == 0) {
+        Builtin B = builtinFor(Sym);
+        if (B == Builtin::None) {
+          std::fprintf(stderr, "interpreter: tail call to undefined '%s'\n",
+                       Prog.symbolName(Sym).c_str());
+          std::abort();
+        }
+        runBuiltin(B);
+        // A tail call returns on the caller's behalf.
+        NextPc = readReg(LR);
+        if (PerfEnabled && !Branches->popReturn(NextPc))
+          chargeBranchPenalty();
+      } else {
+        NextPc = Target;
+      }
+      break;
+    }
+    case Opcode::BR:
+      NextPc = R(0);
+      break;
+    case Opcode::RET:
+      NextPc = readReg(LR);
+      if (PerfEnabled && NextPc != ReturnSentinel) {
+        if (!Branches->popReturn(NextPc))
+          chargeBranchPenalty();
+        else
+          foldPredictedBranch();
+      }
+      break;
+    case Opcode::NOP:
+      break;
+    }
+    Pc = NextPc;
+  }
+}

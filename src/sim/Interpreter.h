@@ -1,0 +1,110 @@
+//===- sim/Interpreter.h - Machine-code interpreter -------------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a laid-out BinaryImage instruction by instruction, with full
+/// semantics for every opcode, a reference-counting runtime
+/// (swift_retain/release, swift_allocObject) for the language idioms the
+/// paper analyzes, and optional microarchitectural cost models. Because
+/// execution is address-based, outlined code runs exactly as transformed —
+/// the test suite uses this to prove outlining preserves program behaviour
+/// at every repeat count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SIM_INTERPRETER_H
+#define MCO_SIM_INTERPRETER_H
+
+#include "linker/Linker.h"
+#include "sim/CacheModel.h"
+#include "sim/Memory.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mco {
+
+/// Executes code from a BinaryImage.
+class Interpreter {
+public:
+  /// \param Perf when non-null, attaches i-cache/i-TLB/branch/data-page
+  ///        models with the given parameters; counters() then reports
+  ///        modeled cycles.
+  Interpreter(const BinaryImage &Image, const Program &Prog,
+              const PerfConfig *Perf = nullptr);
+
+  /// Calls \p FnName with up to 8 integer arguments; \returns x0.
+  /// Aborts the process on simulated faults or fuel exhaustion.
+  int64_t call(const std::string &FnName,
+               const std::vector<int64_t> &Args = {});
+
+  /// Cumulative counters over every call() so far.
+  const PerfCounters &counters() const { return Counters; }
+
+  /// The memory (exposed so tests can inspect heap/global state).
+  Memory &memory() { return Mem; }
+
+  /// Instruction budget per call() (guards against runaway loops).
+  void setFuel(uint64_t MaxInstrs) { Fuel = MaxInstrs; }
+
+private:
+  enum class Builtin {
+    None,
+    SwiftRetain,
+    SwiftRelease,
+    ObjcRetain,
+    ObjcRelease,
+    SwiftAllocObject,
+    SwiftDeallocObject,
+    Malloc,
+    Free,
+  };
+
+  Builtin builtinFor(uint32_t Sym) const;
+  void runBuiltin(Builtin B);
+  uint64_t readReg(Reg R) const;
+  void writeReg(Reg R, uint64_t V);
+  void setFlagsSub(uint64_t A, uint64_t B);
+  bool condHolds(Cond C) const;
+  void execute(uint64_t EntryAddr);
+  void chargeFetch(uint64_t Pc);
+  void chargeDataAccess(uint64_t Addr);
+  void chargeBranchPenalty();
+  void foldPredictedBranch();
+
+  const BinaryImage &Image;
+  const Program &Prog;
+  Memory Mem;
+
+  uint64_t Regs[34] = {};
+  bool FlagN = false, FlagZ = false, FlagC = false, FlagV = false;
+
+  std::unique_ptr<SetAssocCache> ICache;
+  std::unique_ptr<Tlb> ITlb;
+  std::unique_ptr<BranchPredictor> Branches;
+  std::unique_ptr<DataPageModel> DataPages;
+  PerfConfig Config;
+  bool PerfEnabled = false;
+  PerfCounters Counters;
+
+  uint64_t Fuel = 2'000'000'000ull;
+
+  /// Ring buffer of recently executed PCs, reported on simulated faults.
+  static constexpr unsigned TraceDepth = 64;
+  uint64_t TraceRing[TraceDepth] = {};
+  unsigned TraceHead = 0;
+  void reportFaultTrace() const;
+
+  static constexpr uint64_t ReturnSentinel = 0xDEAD00000000ull;
+  /// Cost charged for a runtime builtin, in instructions.
+  static constexpr unsigned BuiltinInstrCost = 8;
+};
+
+} // namespace mco
+
+#endif // MCO_SIM_INTERPRETER_H

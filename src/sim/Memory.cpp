@@ -1,0 +1,90 @@
+//===- sim/Memory.cpp - Segmented simulated memory ------------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Memory.h"
+
+#include "linker/Linker.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace mco;
+
+Memory::Memory(const BinaryImage &Image, const Program &Prog) {
+  (void)Prog;
+  StackSeg.assign(StackBytes, 0);
+  HeapSeg.assign(HeapBytes, 0);
+  DataBase = Image.dataBase();
+  DataSeg.assign(Image.dataSize(), 0);
+  for (const BinaryImage::DataEntry &E : Image.dataEntries()) {
+    uint64_t Off = E.Addr - DataBase;
+    assert(Off + E.G->Bytes.size() <= DataSeg.size() && "data overflows");
+    std::memcpy(DataSeg.data() + Off, E.G->Bytes.data(), E.G->Bytes.size());
+  }
+}
+
+uint8_t *Memory::resolve(uint64_t Addr, uint64_t Size) {
+  if (Addr >= StackTop - StackBytes && Addr + Size <= StackTop)
+    return StackSeg.data() + (Addr - (StackTop - StackBytes));
+  if (Addr >= HeapBase && Addr + Size <= HeapBase + HeapBytes)
+    return HeapSeg.data() + (Addr - HeapBase);
+  if (!DataSeg.empty() && Addr >= DataBase &&
+      Addr + Size <= DataBase + DataSeg.size())
+    return DataSeg.data() + (Addr - DataBase);
+  std::fprintf(stderr,
+               "simulated memory fault: access of %llu bytes at 0x%llx\n",
+               static_cast<unsigned long long>(Size),
+               static_cast<unsigned long long>(Addr));
+  if (FaultHook)
+    FaultHook(FaultCtx);
+  std::abort();
+}
+
+uint64_t Memory::read64(uint64_t Addr) const {
+  uint64_t V;
+  std::memcpy(&V, resolve(Addr, 8), 8);
+  return V;
+}
+
+void Memory::write64(uint64_t Addr, uint64_t Value) {
+  std::memcpy(resolve(Addr, 8), &Value, 8);
+}
+
+uint64_t Memory::heapAlloc(uint64_t Bytes) {
+  if (Bytes == 0)
+    Bytes = 8;
+  Bytes = (Bytes + 15) & ~uint64_t(15);
+
+  uint64_t Addr;
+  auto It = FreeLists.find(Bytes);
+  if (It != FreeLists.end() && !It->second.empty()) {
+    Addr = It->second.back();
+    It->second.pop_back();
+  } else {
+    if (HeapBump + Bytes > HeapBytes) {
+      std::fprintf(stderr, "simulated heap exhausted\n");
+      std::abort();
+    }
+    Addr = HeapBase + HeapBump;
+    HeapBump += Bytes;
+  }
+  std::memset(HeapSeg.data() + (Addr - HeapBase), 0, Bytes);
+  AllocSizes[Addr] = Bytes;
+  LiveHeapBytes += Bytes;
+  return Addr;
+}
+
+void Memory::heapFree(uint64_t Addr) {
+  auto It = AllocSizes.find(Addr);
+  if (It == AllocSizes.end()) {
+    std::fprintf(stderr, "simulated heap: bad free of 0x%llx\n",
+                 static_cast<unsigned long long>(Addr));
+    std::abort();
+  }
+  LiveHeapBytes -= It->second;
+  FreeLists[It->second].push_back(Addr);
+  AllocSizes.erase(It);
+}

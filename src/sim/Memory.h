@@ -1,0 +1,88 @@
+//===- sim/Memory.h - Segmented simulated memory ----------------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated address space: a stack segment (grows down), the global
+/// data segment (initialized from the BinaryImage), and a heap segment with
+/// a bump allocator plus size-bucketed free lists for the reference-counting
+/// runtime (swift_allocObject / swift_release).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SIM_MEMORY_H
+#define MCO_SIM_MEMORY_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+namespace mco {
+
+class BinaryImage;
+class Program;
+
+/// Byte-addressable memory with three segments.
+class Memory {
+public:
+  static constexpr uint64_t StackTop = 0x7FF000000000ull;
+  static constexpr uint64_t StackBytes = 8ull << 20; // 8 MiB
+  static constexpr uint64_t HeapBase = 0x600000000000ull;
+  static constexpr uint64_t HeapBytes = 64ull << 20; // 64 MiB
+
+  /// Initializes the data segment from the image's global initializers.
+  Memory(const BinaryImage &Image, const Program &Prog);
+
+  uint64_t read64(uint64_t Addr) const;
+  void write64(uint64_t Addr, uint64_t Value);
+
+  /// Bump/free-list allocation. \returns the address of \p Bytes of
+  /// zeroed storage.
+  uint64_t heapAlloc(uint64_t Bytes);
+  /// Returns \p Addr (from heapAlloc) to the allocator.
+  void heapFree(uint64_t Addr);
+
+  /// \returns true if \p Addr lies in the global-data segment; used by the
+  /// data-page model, which only tracks globals (the paper's Section VI
+  /// regression was about global data affinity).
+  bool isGlobalData(uint64_t Addr) const {
+    return Addr >= DataBase && Addr < DataBase + DataSeg.size();
+  }
+
+  uint64_t stackLimit() const { return StackTop - StackBytes; }
+  uint64_t liveHeapBytes() const { return LiveHeapBytes; }
+
+  /// Called (if set) before aborting on a simulated memory fault, so the
+  /// interpreter can report the faulting instruction.
+  void setFaultHook(void (*Hook)(void *), void *Ctx) {
+    FaultHook = Hook;
+    FaultCtx = Ctx;
+  }
+
+private:
+  uint8_t *resolve(uint64_t Addr, uint64_t Size);
+  const uint8_t *resolve(uint64_t Addr, uint64_t Size) const {
+    return const_cast<Memory *>(this)->resolve(Addr, Size);
+  }
+
+  std::vector<uint8_t> StackSeg;
+  std::vector<uint8_t> DataSeg;
+  std::vector<uint8_t> HeapSeg;
+  uint64_t DataBase = 0;
+  uint64_t HeapBump = 0;
+  uint64_t LiveHeapBytes = 0;
+  /// Size-bucketed free lists (size -> addresses).
+  std::unordered_map<uint64_t, std::vector<uint64_t>> FreeLists;
+  /// Allocation sizes for heapFree.
+  std::unordered_map<uint64_t, uint64_t> AllocSizes;
+  void (*FaultHook)(void *) = nullptr;
+  void *FaultCtx = nullptr;
+};
+
+} // namespace mco
+
+#endif // MCO_SIM_MEMORY_H

@@ -1,0 +1,147 @@
+//===- support/Random.h - Deterministic random utilities -------*- C++ -*-===//
+//
+// Part of the mco project: a reproduction of "An Experience with Code-Size
+// Optimization for Production iOS Mobile Applications" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generation used throughout the corpus
+/// synthesizer and the performance simulator. All experiments are seeded so
+/// every table and figure in EXPERIMENTS.md is exactly reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SUPPORT_RANDOM_H
+#define MCO_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace mco {
+
+/// A small, fast, deterministic PRNG (xorshift128+).
+///
+/// We intentionally avoid std::mt19937 so that streams are stable across
+/// standard library implementations; figure regeneration must not depend on
+/// the host toolchain.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding to decorrelate nearby seeds.
+    auto Next = [&Seed]() {
+      Seed += 0x9E3779B97F4A7C15ull;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+      return Z ^ (Z >> 31);
+    };
+    State0 = Next();
+    State1 = Next();
+    if (State0 == 0 && State1 == 0)
+      State1 = 1;
+  }
+
+  /// \returns the next raw 64-bit value.
+  uint64_t next() {
+    uint64_t S1 = State0;
+    const uint64_t S0 = State1;
+    State0 = S0;
+    S1 ^= S1 << 23;
+    State1 = S1 ^ S0 ^ (S1 >> 18) ^ (S0 >> 5);
+    return State1 + S0;
+  }
+
+  /// \returns a uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBounded(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// \returns a uniform integer in the closed range [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBounded(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// \returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// \returns true with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// \returns a sample from a standard normal via Box-Muller.
+  double nextGaussian() {
+    double U1 = nextDouble();
+    double U2 = nextDouble();
+    if (U1 < 1e-300)
+      U1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(U1)) * std::cos(6.283185307179586 * U2);
+  }
+
+  /// \returns a log-normally distributed sample exp(N(Mu, Sigma)).
+  ///
+  /// Used to model per-sample latency jitter in the production span
+  /// simulation (Section VII-B of the paper).
+  double nextLogNormal(double Mu, double Sigma) {
+    return std::exp(Mu + Sigma * nextGaussian());
+  }
+
+private:
+  uint64_t State0;
+  uint64_t State1;
+};
+
+/// Samples ranks 1..N from a Zipf distribution p(r) ~ 1 / r^S.
+///
+/// The paper observes (Fig. 5) that machine-code pattern repetition
+/// frequencies follow a power law; the corpus synthesizer uses this sampler
+/// to reproduce that structure.
+class ZipfSampler {
+public:
+  ZipfSampler(unsigned N, double S) : Cdf(N) {
+    assert(N > 0 && "Zipf sampler needs at least one rank");
+    double Sum = 0;
+    for (unsigned I = 0; I < N; ++I) {
+      Sum += 1.0 / std::pow(static_cast<double>(I + 1), S);
+      Cdf[I] = Sum;
+    }
+    for (unsigned I = 0; I < N; ++I)
+      Cdf[I] /= Sum;
+  }
+
+  /// \returns a rank in [1, N], rank 1 being the most frequent.
+  unsigned sample(Rng &R) const {
+    double U = R.nextDouble();
+    // Binary search the CDF.
+    unsigned Lo = 0, Hi = static_cast<unsigned>(Cdf.size());
+    while (Lo < Hi) {
+      unsigned Mid = Lo + (Hi - Lo) / 2;
+      if (Cdf[Mid] < U)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    return Lo + 1;
+  }
+
+  unsigned numRanks() const { return static_cast<unsigned>(Cdf.size()); }
+
+private:
+  std::vector<double> Cdf;
+};
+
+} // namespace mco
+
+#endif // MCO_SUPPORT_RANDOM_H

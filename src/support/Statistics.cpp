@@ -1,0 +1,113 @@
+//===- support/Statistics.cpp - Regression & summary statistics ----------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace mco;
+
+LinearFit mco::fitLinear(const std::vector<double> &Xs,
+                         const std::vector<double> &Ys) {
+  assert(Xs.size() == Ys.size() && "mismatched series");
+  assert(Xs.size() >= 2 && "need at least two points");
+  const double N = static_cast<double>(Xs.size());
+
+  double SumX = 0, SumY = 0, SumXX = 0, SumXY = 0;
+  for (size_t I = 0, E = Xs.size(); I != E; ++I) {
+    SumX += Xs[I];
+    SumY += Ys[I];
+    SumXX += Xs[I] * Xs[I];
+    SumXY += Xs[I] * Ys[I];
+  }
+
+  const double Denom = N * SumXX - SumX * SumX;
+  LinearFit Fit;
+  if (Denom == 0) {
+    // Vertical data; report a flat line through the mean.
+    Fit.Slope = 0;
+    Fit.Intercept = SumY / N;
+    Fit.R2 = 0;
+    return Fit;
+  }
+  Fit.Slope = (N * SumXY - SumX * SumY) / Denom;
+  Fit.Intercept = (SumY - Fit.Slope * SumX) / N;
+
+  const double MeanY = SumY / N;
+  double SSRes = 0, SSTot = 0;
+  for (size_t I = 0, E = Xs.size(); I != E; ++I) {
+    const double Pred = Fit.eval(Xs[I]);
+    SSRes += (Ys[I] - Pred) * (Ys[I] - Pred);
+    SSTot += (Ys[I] - MeanY) * (Ys[I] - MeanY);
+  }
+  Fit.R2 = SSTot == 0 ? 1.0 : 1.0 - SSRes / SSTot;
+  return Fit;
+}
+
+double PowerLawFit::eval(double X) const { return A * std::pow(X, B); }
+
+PowerLawFit mco::fitPowerLaw(const std::vector<double> &Xs,
+                             const std::vector<double> &Ys) {
+  assert(Xs.size() == Ys.size() && "mismatched series");
+  std::vector<double> LogX, LogY;
+  LogX.reserve(Xs.size());
+  LogY.reserve(Ys.size());
+  for (size_t I = 0, E = Xs.size(); I != E; ++I) {
+    assert(Xs[I] > 0 && Ys[I] > 0 && "power-law fit needs positive data");
+    LogX.push_back(std::log(Xs[I]));
+    LogY.push_back(std::log(Ys[I]));
+  }
+  LinearFit LF = fitLinear(LogX, LogY);
+  PowerLawFit Fit;
+  Fit.A = std::exp(LF.Intercept);
+  Fit.B = LF.Slope;
+  Fit.R2 = LF.R2;
+  return Fit;
+}
+
+double mco::percentile(std::vector<double> Values, double P) {
+  assert(!Values.empty() && "percentile of empty set");
+  assert(P >= 0 && P <= 100 && "percentile out of range");
+  std::sort(Values.begin(), Values.end());
+  if (Values.size() == 1)
+    return Values.front();
+  const double Rank = P / 100.0 * static_cast<double>(Values.size() - 1);
+  const size_t Lo = static_cast<size_t>(Rank);
+  const size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  const double Frac = Rank - static_cast<double>(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+}
+
+double mco::geometricMean(const std::vector<double> &Values) {
+  assert(!Values.empty() && "geometric mean of empty set");
+  double SumLog = 0;
+  for (double V : Values) {
+    assert(V > 0 && "geometric mean needs positive values");
+    SumLog += std::log(V);
+  }
+  return std::exp(SumLog / static_cast<double>(Values.size()));
+}
+
+double mco::mean(const std::vector<double> &Values) {
+  assert(!Values.empty() && "mean of empty set");
+  double Sum = 0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+uint64_t IntHistogram::totalCount() const {
+  uint64_t Total = 0;
+  for (const auto &KV : Bins)
+    Total += KV.second;
+  return Total;
+}
+
+uint64_t IntHistogram::maxValue() const {
+  return Bins.empty() ? 0 : Bins.rbegin()->first;
+}

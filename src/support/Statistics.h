@@ -1,0 +1,90 @@
+//===- support/Statistics.h - Regression & summary statistics --*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small numeric helpers used by the evaluation harness: ordinary
+/// least-squares linear regression with R^2 (Fig. 1 slope analysis),
+/// power-law fitting in log-log space (Fig. 5), percentiles (P50 spans),
+/// geometric means, and histogram construction (Fig. 8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SUPPORT_STATISTICS_H
+#define MCO_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace mco {
+
+/// Result of an ordinary least-squares fit y = Slope * x + Intercept.
+struct LinearFit {
+  double Slope = 0;
+  double Intercept = 0;
+  /// Coefficient of determination in [0, 1].
+  double R2 = 0;
+
+  double eval(double X) const { return Slope * X + Intercept; }
+};
+
+/// Fits y = Slope * x + Intercept by least squares.
+///
+/// \pre Xs.size() == Ys.size() and at least two points are provided.
+LinearFit fitLinear(const std::vector<double> &Xs,
+                    const std::vector<double> &Ys);
+
+/// Result of a power-law fit y = A * x^B (fit as a line in log-log space).
+struct PowerLawFit {
+  double A = 0;
+  double B = 0;
+  /// R^2 of the log-log linear fit; the paper reports 99.4% for Fig. 5.
+  double R2 = 0;
+
+  double eval(double X) const;
+};
+
+/// Fits y = A * x^B over strictly positive data.
+PowerLawFit fitPowerLaw(const std::vector<double> &Xs,
+                        const std::vector<double> &Ys);
+
+/// \returns the P-th percentile (P in [0, 100]) by linear interpolation.
+/// The input need not be sorted. \pre Values is non-empty.
+double percentile(std::vector<double> Values, double P);
+
+/// \returns the geometric mean. \pre all values are positive and non-empty.
+double geometricMean(const std::vector<double> &Values);
+
+/// \returns the arithmetic mean. \pre Values is non-empty.
+double mean(const std::vector<double> &Values);
+
+/// A histogram over integer-valued bins (e.g. candidate sequence lengths,
+/// Fig. 8). Bin 'K' counts samples with value exactly K.
+class IntHistogram {
+public:
+  void add(uint64_t Value, uint64_t Count = 1) { Bins[Value] += Count; }
+
+  uint64_t count(uint64_t Value) const {
+    auto It = Bins.find(Value);
+    return It == Bins.end() ? 0 : It->second;
+  }
+
+  uint64_t totalCount() const;
+  uint64_t maxValue() const;
+
+  /// Ordered (value, count) pairs for printing.
+  const std::map<uint64_t, uint64_t> &bins() const { return Bins; }
+
+  bool empty() const { return Bins.empty(); }
+
+private:
+  std::map<uint64_t, uint64_t> Bins;
+};
+
+} // namespace mco
+
+#endif // MCO_SUPPORT_STATISTICS_H

@@ -1,0 +1,254 @@
+//===- support/SuffixTree.cpp - Ukkonen suffix tree ----------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SuffixTree.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mco;
+
+SuffixTree::SuffixTree(const std::vector<unsigned> &Str,
+                       bool CollectLeafDescendants)
+    : Str(Str), LeafDescendantsMode(CollectLeafDescendants) {
+  Nodes.emplace_back(); // The root; StartIdx stays EmptyIdx.
+  Root = 0;
+  Active.Node = Root;
+
+  unsigned SuffixesToAdd = 0;
+  for (unsigned PfxEndIdx = 0, End = static_cast<unsigned>(Str.size());
+       PfxEndIdx < End; ++PfxEndIdx) {
+    ++SuffixesToAdd;
+    LeafEndIdx = PfxEndIdx;
+    SuffixesToAdd = extend(PfxEndIdx, SuffixesToAdd);
+  }
+
+  // Freeze the leaves: every leaf edge runs to the end of the string.
+  for (Node &N : Nodes)
+    if (N.IsLeaf)
+      N.EndIdx = static_cast<unsigned>(Str.size()) - 1;
+
+  setSuffixIndicesAndLeafRanges();
+}
+
+unsigned SuffixTree::edgeSize(const Node &N) const {
+  if (N.isRoot())
+    return 0;
+  unsigned End = N.IsLeaf && N.EndIdx == EmptyIdx ? LeafEndIdx : N.EndIdx;
+  return End - N.StartIdx + 1;
+}
+
+unsigned SuffixTree::makeLeaf(unsigned Parent, unsigned StartIdx,
+                              unsigned Edge) {
+  Nodes.emplace_back();
+  unsigned Idx = static_cast<unsigned>(Nodes.size()) - 1;
+  Node &N = Nodes[Idx];
+  N.StartIdx = StartIdx;
+  N.EndIdx = EmptyIdx; // Implicitly tracks LeafEndIdx until frozen.
+  N.IsLeaf = true;
+  Nodes[Parent].Children[Edge] = Idx;
+  return Idx;
+}
+
+unsigned SuffixTree::makeInternal(unsigned Parent, unsigned StartIdx,
+                                  unsigned EndIdx, unsigned Edge) {
+  assert(StartIdx <= EndIdx && "internal node can't have backwards edge");
+  Nodes.emplace_back();
+  unsigned Idx = static_cast<unsigned>(Nodes.size()) - 1;
+  Node &N = Nodes[Idx];
+  N.StartIdx = StartIdx;
+  N.EndIdx = EndIdx;
+  // Every internal node's suffix link starts at the root and is refined
+  // when a subsequent extension discovers the true target.
+  N.Link = Root;
+  Nodes[Parent].Children[Edge] = Idx;
+  return Idx;
+}
+
+unsigned SuffixTree::extend(unsigned EndIdx, unsigned SuffixesToAdd) {
+  unsigned NeedsLink = EmptyIdx;
+
+  while (SuffixesToAdd > 0) {
+    // If the active length is zero the next suffix starts at EndIdx.
+    if (Active.Len == 0)
+      Active.Idx = EndIdx;
+
+    assert(Active.Idx <= EndIdx && "start index can't be after end index");
+    unsigned FirstChar = Str[Active.Idx];
+
+    auto ChildIt = Nodes[Active.Node].Children.find(FirstChar);
+    if (ChildIt == Nodes[Active.Node].Children.end()) {
+      // No edge starts with FirstChar: insert a fresh leaf.
+      makeLeaf(Active.Node, EndIdx, FirstChar);
+      if (NeedsLink != EmptyIdx) {
+        Nodes[NeedsLink].Link = Active.Node;
+        NeedsLink = EmptyIdx;
+      }
+    } else {
+      unsigned NextNode = ChildIt->second;
+      unsigned SubstringLen = edgeSize(Nodes[NextNode]);
+
+      // Walk down if the active length spans the whole edge.
+      if (Active.Len >= SubstringLen) {
+        Active.Idx += SubstringLen;
+        Active.Len -= SubstringLen;
+        Active.Node = NextNode;
+        continue;
+      }
+
+      unsigned LastChar = Str[EndIdx];
+
+      // Rule 3: the suffix is already implicitly present. Stop this phase.
+      if (Str[Nodes[NextNode].StartIdx + Active.Len] == LastChar) {
+        if (NeedsLink != EmptyIdx && !Nodes[Active.Node].isRoot()) {
+          Nodes[NeedsLink].Link = Active.Node;
+          NeedsLink = EmptyIdx;
+        }
+        ++Active.Len;
+        break;
+      }
+
+      // Rule 2 with a split: the edge matches up to Active.Len and then
+      // diverges. Split the edge and hang a new leaf off the split node.
+      unsigned SplitNode =
+          makeInternal(Active.Node, Nodes[NextNode].StartIdx,
+                       Nodes[NextNode].StartIdx + Active.Len - 1, FirstChar);
+      makeLeaf(SplitNode, EndIdx, LastChar);
+
+      Nodes[NextNode].StartIdx += Active.Len;
+      Nodes[SplitNode].Children[Str[Nodes[NextNode].StartIdx]] = NextNode;
+
+      if (NeedsLink != EmptyIdx)
+        Nodes[NeedsLink].Link = SplitNode;
+      NeedsLink = SplitNode;
+    }
+
+    --SuffixesToAdd;
+
+    if (Nodes[Active.Node].isRoot()) {
+      if (Active.Len > 0) {
+        --Active.Len;
+        Active.Idx = EndIdx - SuffixesToAdd + 1;
+      }
+    } else {
+      assert(Nodes[Active.Node].Link != EmptyIdx &&
+             "internal node must have a suffix link");
+      Active.Node = Nodes[Active.Node].Link;
+    }
+  }
+  return SuffixesToAdd;
+}
+
+void SuffixTree::setSuffixIndicesAndLeafRanges() {
+  // Iterative DFS in sorted-edge order so all downstream consumers observe
+  // a deterministic traversal (unordered_map iteration order is not).
+  struct Frame {
+    unsigned NodeIdx;
+    unsigned ParentConcatLen;
+    bool Entered;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({Root, 0, false});
+
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    Node &N = Nodes[F.NodeIdx];
+    if (!F.Entered) {
+      F.Entered = true;
+      N.ConcatLen = F.ParentConcatLen + edgeSize(N);
+      N.LeftLeaf = static_cast<unsigned>(LeafOrder.size());
+      if (N.IsLeaf) {
+        assert(Str.size() >= N.ConcatLen && "leaf deeper than string");
+        N.SuffixIdx = static_cast<unsigned>(Str.size()) - N.ConcatLen;
+        LeafOrder.push_back(F.NodeIdx);
+        N.RightLeaf = static_cast<unsigned>(LeafOrder.size());
+        Stack.pop_back();
+        continue;
+      }
+      // Push children in reverse-sorted order so they pop sorted.
+      std::vector<unsigned> Keys;
+      Keys.reserve(N.Children.size());
+      for (const auto &KV : N.Children)
+        Keys.push_back(KV.first);
+      std::sort(Keys.begin(), Keys.end(), std::greater<unsigned>());
+      unsigned MyConcat = N.ConcatLen;
+      for (unsigned K : Keys)
+        Stack.push_back({N.Children.at(K), MyConcat, false});
+      continue;
+    }
+    // Post-order exit for an internal node.
+    N.RightLeaf = static_cast<unsigned>(LeafOrder.size());
+    Stack.pop_back();
+  }
+}
+
+std::vector<RepeatedSubstring>
+SuffixTree::repeatedSubstrings(unsigned MinLength, unsigned MinOccurrences,
+                               unsigned MaxLength) const {
+  std::vector<RepeatedSubstring> Result;
+  if (Nodes.size() <= 1)
+    return Result;
+
+  std::vector<unsigned> Stack;
+  Stack.push_back(Root);
+  while (!Stack.empty()) {
+    unsigned Idx = Stack.back();
+    Stack.pop_back();
+    const Node &N = Nodes[Idx];
+    if (N.IsLeaf)
+      continue;
+
+    // Visit children in sorted order for determinism.
+    std::vector<unsigned> Keys;
+    Keys.reserve(N.Children.size());
+    for (const auto &KV : N.Children)
+      Keys.push_back(KV.first);
+    std::sort(Keys.begin(), Keys.end());
+    for (unsigned K : Keys)
+      Stack.push_back(N.Children.at(K));
+
+    if (N.isRoot() || N.ConcatLen < MinLength)
+      continue;
+
+    RepeatedSubstring RS;
+    RS.Length = N.ConcatLen;
+    if (LeafDescendantsMode && N.ConcatLen <= MaxLength) {
+      for (unsigned L = N.LeftLeaf; L != N.RightLeaf; ++L)
+        RS.StartIndices.push_back(Nodes[LeafOrder[L]].SuffixIdx);
+    } else {
+      for (unsigned K : Keys) {
+        const Node &Child = Nodes[N.Children.at(K)];
+        if (Child.IsLeaf)
+          RS.StartIndices.push_back(Child.SuffixIdx);
+      }
+    }
+    if (RS.StartIndices.size() >= MinOccurrences) {
+      std::sort(RS.StartIndices.begin(), RS.StartIndices.end());
+      Result.push_back(std::move(RS));
+    }
+  }
+  return Result;
+}
+
+bool SuffixTree::contains(const std::vector<unsigned> &Pattern) const {
+  if (Pattern.empty())
+    return true;
+  unsigned NodeIdx = Root;
+  size_t P = 0;
+  while (P < Pattern.size()) {
+    const Node &N = Nodes[NodeIdx];
+    auto It = N.Children.find(Pattern[P]);
+    if (It == N.Children.end())
+      return false;
+    const Node &Child = Nodes[It->second];
+    unsigned Len = Child.EndIdx - Child.StartIdx + 1;
+    for (unsigned I = 0; I < Len && P < Pattern.size(); ++I, ++P)
+      if (Str[Child.StartIdx + I] != Pattern[P])
+        return false;
+    NodeIdx = It->second;
+  }
+  return true;
+}

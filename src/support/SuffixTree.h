@@ -1,0 +1,128 @@
+//===- support/SuffixTree.h - Ukkonen suffix tree ---------------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A linear-time generalized suffix tree over sequences of unsigned
+/// integers, built with Ukkonen's online algorithm. This is the candidate
+/// discovery engine of the machine outliner: the instruction mapper turns
+/// the whole program into one integer string (with per-block unique
+/// terminators) and every repeated substring of legal instructions is a
+/// potential outlining pattern.
+///
+/// The design follows LLVM's llvm/Support/SuffixTree.h. In particular,
+/// repeated substrings are reported per *internal node*, and, by default,
+/// the occurrence list contains only the node's direct leaf children — the
+/// same approximation stock LLVM uses. The \c CollectLeafDescendants mode
+/// reports all leaf descendants instead (more occurrences per pattern, at
+/// higher cost); the two modes are compared in the ablation bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SUPPORT_SUFFIXTREE_H
+#define MCO_SUPPORT_SUFFIXTREE_H
+
+#include <cstddef>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace mco {
+
+/// A repeated substring of the mapped string: its length and every start
+/// index at which it occurs.
+struct RepeatedSubstring {
+  unsigned Length = 0;
+  std::vector<unsigned> StartIndices;
+};
+
+/// Suffix tree over a string of unsigned integers.
+class SuffixTree {
+public:
+  /// Sentinel for "no index".
+  static constexpr unsigned EmptyIdx = static_cast<unsigned>(-1);
+
+  /// Builds the tree for \p Str.
+  ///
+  /// \param Str the subject string. The caller must keep it alive for the
+  ///        lifetime of the tree. For complete occurrence reporting the
+  ///        final element should be unique in the string (the instruction
+  ///        mapper guarantees this with per-block terminators).
+  /// \param CollectLeafDescendants if true, repeated substrings report all
+  ///        leaf descendants of each internal node rather than only its
+  ///        direct leaf children.
+  explicit SuffixTree(const std::vector<unsigned> &Str,
+                      bool CollectLeafDescendants = false);
+
+  SuffixTree(const SuffixTree &) = delete;
+  SuffixTree &operator=(const SuffixTree &) = delete;
+
+  /// Enumerates every repeated substring with length >= \p MinLength that
+  /// occurs at least \p MinOccurrences times.
+  ///
+  /// In leaf-descendant mode, substrings longer than \p MaxLength fall back
+  /// to direct-leaf-children reporting to bound the output size.
+  std::vector<RepeatedSubstring>
+  repeatedSubstrings(unsigned MinLength = 2, unsigned MinOccurrences = 2,
+                     unsigned MaxLength = 4096) const;
+
+  /// \returns the number of nodes (diagnostics/tests).
+  size_t numNodes() const { return Nodes.size(); }
+
+  /// \returns true if \p Pattern occurs in the subject string (test helper;
+  /// walks from the root in O(|Pattern|)).
+  bool contains(const std::vector<unsigned> &Pattern) const;
+
+private:
+  struct Node {
+    /// Outgoing edges, keyed by the first element of the edge label.
+    std::unordered_map<unsigned, unsigned> Children;
+    /// First index of the edge label into Str; EmptyIdx for the root.
+    unsigned StartIdx = EmptyIdx;
+    /// Last index (inclusive) of the edge label. For leaves this is fixed
+    /// up to the end of the string when construction finishes.
+    unsigned EndIdx = EmptyIdx;
+    /// Suffix link (Ukkonen); index of target node or EmptyIdx.
+    unsigned Link = EmptyIdx;
+    /// For leaves: start index of the suffix this leaf represents.
+    unsigned SuffixIdx = EmptyIdx;
+    /// Length of the string spelled from the root to this node.
+    unsigned ConcatLen = 0;
+    /// In leaf-descendant mode: the range [LeftLeaf, RightLeaf) into
+    /// LeafOrder holding this subtree's leaves.
+    unsigned LeftLeaf = EmptyIdx;
+    unsigned RightLeaf = EmptyIdx;
+    bool IsLeaf = false;
+
+    bool isRoot() const { return StartIdx == EmptyIdx; }
+  };
+
+  /// Active point for Ukkonen's algorithm.
+  struct ActiveState {
+    unsigned Node = 0;
+    unsigned Idx = EmptyIdx;
+    unsigned Len = 0;
+  };
+
+  unsigned edgeSize(const Node &N) const;
+  unsigned makeLeaf(unsigned Parent, unsigned StartIdx, unsigned Edge);
+  unsigned makeInternal(unsigned Parent, unsigned StartIdx, unsigned EndIdx,
+                        unsigned Edge);
+  unsigned extend(unsigned EndIdx, unsigned SuffixesToAdd);
+  void setSuffixIndicesAndLeafRanges();
+
+  const std::vector<unsigned> &Str;
+  std::deque<Node> Nodes;
+  unsigned Root = 0;
+  unsigned LeafEndIdx = EmptyIdx;
+  ActiveState Active;
+  bool LeafDescendantsMode;
+  /// Leaves in Euler-tour order; used by leaf-descendant reporting.
+  std::vector<unsigned> LeafOrder;
+};
+
+} // namespace mco
+
+#endif // MCO_SUPPORT_SUFFIXTREE_H

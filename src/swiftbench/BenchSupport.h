@@ -1,0 +1,134 @@
+//===- swiftbench/BenchSupport.h - IR-building helpers ----------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured-control-flow helpers used by the 26 Table IV benchmark
+/// programs: counted loops, while loops, and if/else on top of IRBuilder's
+/// raw blocks, plus a deterministic in-IR linear congruential generator so
+/// benchmark inputs are synthesized by the benchmark program itself.
+///
+/// All helpers assume the builder is positioned in an unterminated block
+/// and leave it positioned in a fresh unterminated block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SWIFTBENCH_BENCHSUPPORT_H
+#define MCO_SWIFTBENCH_BENCHSUPPORT_H
+
+#include "ir/IRBuilder.h"
+
+#include <functional>
+
+namespace mco {
+namespace bench {
+
+using ir::IRBuilder;
+using ir::Pred;
+using ir::Value;
+
+/// Emits `for (i = Start; i <Cmp> End; i += Step) Body(i)`.
+inline void forLoop(IRBuilder &B, Value Start, Value End,
+                    const std::function<void(Value)> &Body, int64_t Step = 1,
+                    Pred Cmp = Pred::LT) {
+  Value IVar = B.alloca_(8);
+  B.store(Start, IVar);
+  uint32_t Pre = B.currentBlock();
+  uint32_t Header = B.newBlock();
+  uint32_t BodyBlk = B.newBlock();
+  uint32_t Exit = B.newBlock();
+  B.setBlock(Pre);
+  B.br(Header);
+  B.setBlock(Header);
+  Value Cond = B.icmp(Cmp, B.load(IVar), End);
+  B.condBr(Cond, BodyBlk, Exit);
+  B.setBlock(BodyBlk);
+  Body(B.load(IVar));
+  B.store(B.add(B.load(IVar), B.constInt(Step)), IVar);
+  B.br(Header);
+  B.setBlock(Exit);
+}
+
+/// Emits `while (Cond()) Body()`. \p Cond is evaluated in the loop header.
+inline void whileLoop(IRBuilder &B, const std::function<Value()> &Cond,
+                      const std::function<void()> &Body) {
+  uint32_t Pre = B.currentBlock();
+  uint32_t Header = B.newBlock();
+  uint32_t BodyBlk = B.newBlock();
+  uint32_t Exit = B.newBlock();
+  B.setBlock(Pre);
+  B.br(Header);
+  B.setBlock(Header);
+  Value C = Cond();
+  B.condBr(C, BodyBlk, Exit);
+  B.setBlock(BodyBlk);
+  Body();
+  B.br(Header);
+  B.setBlock(Exit);
+}
+
+/// Emits `if (Cond) Then()`.
+inline void ifThen(IRBuilder &B, Value Cond,
+                   const std::function<void()> &Then) {
+  uint32_t Pre = B.currentBlock();
+  uint32_t T = B.newBlock();
+  uint32_t Exit = B.newBlock();
+  B.setBlock(Pre);
+  B.condBr(Cond, T, Exit);
+  B.setBlock(T);
+  Then();
+  B.br(Exit);
+  B.setBlock(Exit);
+}
+
+/// Emits `if (Cond) Then() else Else()`.
+inline void ifThenElse(IRBuilder &B, Value Cond,
+                       const std::function<void()> &Then,
+                       const std::function<void()> &Else) {
+  uint32_t Pre = B.currentBlock();
+  uint32_t T = B.newBlock();
+  uint32_t E = B.newBlock();
+  uint32_t Exit = B.newBlock();
+  B.setBlock(Pre);
+  B.condBr(Cond, T, E);
+  B.setBlock(T);
+  Then();
+  B.br(Exit);
+  B.setBlock(E);
+  Else();
+  B.br(Exit);
+  B.setBlock(Exit);
+}
+
+/// Advances the LCG state at \p StatePtr and \returns a pseudo-random
+/// value in [0, 2^30).
+inline Value lcgNext(IRBuilder &B, Value StatePtr) {
+  Value S = B.load(StatePtr);
+  Value Next = B.add(B.mul(S, B.constInt(6364136223846793005ll)),
+                     B.constInt(1442695040888963407ll));
+  B.store(Next, StatePtr);
+  Value Shifted = B.ashr(Next, B.constInt(33));
+  return B.and_(Shifted, B.constInt((1ll << 30) - 1));
+}
+
+/// Allocates and seeds an LCG state slot.
+inline Value lcgInit(IRBuilder &B, int64_t Seed) {
+  Value P = B.alloca_(8);
+  B.store(B.constInt(Seed), P);
+  return P;
+}
+
+/// min/max via select.
+inline Value emitMin(IRBuilder &B, Value A, Value V) {
+  return B.select(B.icmp(Pred::LT, A, V), A, V);
+}
+inline Value emitMax(IRBuilder &B, Value A, Value V) {
+  return B.select(B.icmp(Pred::GT, A, V), A, V);
+}
+
+} // namespace bench
+} // namespace mco
+
+#endif // MCO_SWIFTBENCH_BENCHSUPPORT_H

@@ -1,0 +1,60 @@
+//===- swiftbench/Builders.h - Per-benchmark build functions ----*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal declarations of the 26 benchmark IR builders (grouped into
+/// graph / sort / string / tree / math translation units).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SWIFTBENCH_BUILDERS_H
+#define MCO_SWIFTBENCH_BUILDERS_H
+
+#include "ir/IR.h"
+
+namespace mco {
+namespace bench {
+
+// GraphBenches.cpp
+ir::IRModule buildBFS();
+ir::IRModule buildDFS();
+ir::IRModule buildDijkstra();
+ir::IRModule buildTopologicalSort();
+
+// SortBenches.cpp
+ir::IRModule buildQuickSort();
+ir::IRModule buildBucketSort();
+ir::IRModule buildCountingSort();
+ir::IRModule buildCountOccurrences();
+
+// StringBenches.cpp
+ir::IRModule buildBoyerMooreHorspool();
+ir::IRModule buildKnuthMorrisPratt();
+ir::IRModule buildZAlgorithm();
+ir::IRModule buildLCS();
+ir::IRModule buildRunLengthEncoding();
+ir::IRModule buildJSON();
+
+// TreeBenches.cpp
+ir::IRModule buildHashTable();
+ir::IRModule buildLRUCache();
+ir::IRModule buildEncodeAndDecodeTree();
+ir::IRModule buildRedBlackTree();
+ir::IRModule buildSplayTree();
+ir::IRModule buildOctTree();
+
+// MathBenches.cpp
+ir::IRModule buildGCD();
+ir::IRModule buildCombinatorics();
+ir::IRModule buildClosestPair();
+ir::IRModule buildSimulatedAnnealing();
+ir::IRModule buildStrassenMM();
+ir::IRModule buildHuffman();
+
+} // namespace bench
+} // namespace mco
+
+#endif // MCO_SWIFTBENCH_BUILDERS_H

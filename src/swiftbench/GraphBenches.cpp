@@ -1,0 +1,269 @@
+//===- swiftbench/GraphBenches.cpp - BFS/DFS/Dijkstra/Topo ----------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "swiftbench/Builders.h"
+
+#include "swiftbench/BenchSupport.h"
+
+using namespace mco;
+using namespace mco::ir;
+using namespace mco::bench;
+
+namespace {
+
+/// Emits the deterministic edge predicate ((u*17 + v*23 + 3) % 7) < 2 with
+/// u != v, shared by BFS and DFS.
+Value emitEdge(IRBuilder &B, Value U, Value V) {
+  Value T = B.add(B.add(B.mul(U, B.constInt(17)), B.mul(V, B.constInt(23))),
+                  B.constInt(3));
+  Value M = B.srem(T, B.constInt(7));
+  Value Dense = B.icmp(Pred::LT, M, B.constInt(2));
+  Value Diff = B.icmp(Pred::NE, U, V);
+  return B.and_(Dense, Diff);
+}
+
+} // namespace
+
+ir::IRModule bench::buildBFS() {
+  IRModule M;
+  M.Name = "BFS";
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t N = 24;
+  Value NV = B.constInt(N);
+  Value Dist = B.alloca_(8 * N);
+  Value Queue = B.alloca_(8 * N);
+  Value Head = B.alloca_(8);
+  Value Tail = B.alloca_(8);
+
+  forLoop(B, B.constInt(0), NV, [&](Value I) {
+    B.storeIdx(B.constInt(-1), Dist, I);
+  });
+  B.store(B.constInt(0), Head);
+  B.store(B.constInt(1), Tail);
+  B.storeIdx(B.constInt(0), Queue, B.constInt(0));
+  B.storeIdx(B.constInt(0), Dist, B.constInt(0));
+
+  whileLoop(
+      B,
+      [&] { return B.icmp(Pred::LT, B.load(Head), B.load(Tail)); },
+      [&] {
+        Value U = B.loadIdx(Queue, B.load(Head));
+        B.store(B.add(B.load(Head), B.constInt(1)), Head);
+        forLoop(B, B.constInt(0), NV, [&](Value V) {
+          Value IsEdge = emitEdge(B, U, V);
+          Value Unseen =
+              B.icmp(Pred::LT, B.loadIdx(Dist, V), B.constInt(0));
+          ifThen(B, B.and_(IsEdge, Unseen), [&] {
+            B.storeIdx(B.add(B.loadIdx(Dist, U), B.constInt(1)), Dist, V);
+            B.storeIdx(V, Queue, B.load(Tail));
+            B.store(B.add(B.load(Tail), B.constInt(1)), Tail);
+          });
+        });
+      });
+
+  Value Sum = B.alloca_(8);
+  B.store(B.constInt(0), Sum);
+  forLoop(B, B.constInt(0), NV, [&](Value I) {
+    Value D = B.add(B.loadIdx(Dist, I), B.constInt(1));
+    B.store(B.add(B.load(Sum), B.mul(D, B.add(I, B.constInt(1)))), Sum);
+  });
+  B.ret(B.load(Sum));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildDFS() {
+  IRModule M;
+  M.Name = "DFS";
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t N = 24;
+  Value NV = B.constInt(N);
+  Value Visited = B.alloca_(8 * N);
+  Value Order = B.alloca_(8 * N);
+  Value Stack = B.alloca_(8 * N * N); // Generous: duplicates allowed.
+  Value Sp = B.alloca_(8);
+  Value Counter = B.alloca_(8);
+
+  forLoop(B, B.constInt(0), NV, [&](Value I) {
+    B.storeIdx(B.constInt(0), Visited, I);
+    B.storeIdx(B.constInt(0), Order, I);
+  });
+  B.store(B.constInt(1), Sp);
+  B.storeIdx(B.constInt(0), Stack, B.constInt(0));
+  B.store(B.constInt(0), Counter);
+
+  whileLoop(
+      B, [&] { return B.icmp(Pred::GT, B.load(Sp), B.constInt(0)); },
+      [&] {
+        B.store(B.sub(B.load(Sp), B.constInt(1)), Sp);
+        Value U = B.loadIdx(Stack, B.load(Sp));
+        ifThen(B,
+               B.icmp(Pred::EQ, B.loadIdx(Visited, U), B.constInt(0)),
+               [&] {
+                 B.storeIdx(B.constInt(1), Visited, U);
+                 B.storeIdx(B.load(Counter), Order, U);
+                 B.store(B.add(B.load(Counter), B.constInt(1)), Counter);
+                 // Push unvisited neighbours in increasing order.
+                 forLoop(B, B.constInt(0), NV, [&](Value V) {
+                   Value IsEdge = emitEdge(B, U, V);
+                   Value Unseen = B.icmp(Pred::EQ, B.loadIdx(Visited, V),
+                                         B.constInt(0));
+                   ifThen(B, B.and_(IsEdge, Unseen), [&] {
+                     B.storeIdx(V, Stack, B.load(Sp));
+                     B.store(B.add(B.load(Sp), B.constInt(1)), Sp);
+                   });
+                 });
+               });
+      });
+
+  Value Sum = B.alloca_(8);
+  B.store(B.constInt(0), Sum);
+  forLoop(B, B.constInt(0), NV, [&](Value I) {
+    Value Term = B.mul(B.loadIdx(Order, I), B.add(I, B.constInt(3)));
+    B.store(B.add(B.load(Sum), Term), Sum);
+  });
+  B.ret(B.load(Sum));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildDijkstra() {
+  IRModule M;
+  M.Name = "Dijkstra";
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t N = 20;
+  const int64_t Inf = 1 << 28;
+  Value NV = B.constInt(N);
+  Value InfV = B.constInt(Inf);
+  Value Dist = B.alloca_(8 * N);
+  Value Used = B.alloca_(8 * N);
+
+  auto EmitWeight = [&](Value U, Value V) -> Value {
+    // Edge if (u+v) % 3 != 0 with weight ((u*31 + v*17) % 9) + 1.
+    Value S = B.srem(B.add(U, V), B.constInt(3));
+    Value HasEdge = B.icmp(Pred::NE, S, B.constInt(0));
+    Value W = B.add(
+        B.srem(B.add(B.mul(U, B.constInt(31)), B.mul(V, B.constInt(17))),
+               B.constInt(9)),
+        B.constInt(1));
+    return B.select(HasEdge, W, InfV);
+  };
+
+  forLoop(B, B.constInt(0), NV, [&](Value I) {
+    B.storeIdx(InfV, Dist, I);
+    B.storeIdx(B.constInt(0), Used, I);
+  });
+  B.storeIdx(B.constInt(0), Dist, B.constInt(0));
+
+  forLoop(B, B.constInt(0), NV, [&](Value) {
+    // Select the unused vertex with minimum distance.
+    Value Best = B.alloca_(8);
+    Value BestD = B.alloca_(8);
+    B.store(B.constInt(-1), Best);
+    B.store(B.add(InfV, B.constInt(1)), BestD);
+    forLoop(B, B.constInt(0), NV, [&](Value I) {
+      Value Free = B.icmp(Pred::EQ, B.loadIdx(Used, I), B.constInt(0));
+      Value Less = B.icmp(Pred::LT, B.loadIdx(Dist, I), B.load(BestD));
+      ifThen(B, B.and_(Free, Less), [&] {
+        B.store(I, Best);
+        B.store(B.loadIdx(Dist, I), BestD);
+      });
+    });
+    ifThen(B, B.icmp(Pred::GE, B.load(Best), B.constInt(0)), [&] {
+      Value U = B.load(Best);
+      B.storeIdx(B.constInt(1), Used, U);
+      forLoop(B, B.constInt(0), NV, [&](Value V) {
+        Value Cand = B.add(B.loadIdx(Dist, U), EmitWeight(U, V));
+        ifThen(B, B.icmp(Pred::LT, Cand, B.loadIdx(Dist, V)), [&] {
+          B.storeIdx(Cand, Dist, V);
+        });
+      });
+    });
+  });
+
+  Value Sum = B.alloca_(8);
+  B.store(B.constInt(0), Sum);
+  forLoop(B, B.constInt(0), NV, [&](Value I) {
+    B.store(B.add(B.load(Sum), B.loadIdx(Dist, I)), Sum);
+  });
+  B.ret(B.load(Sum));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildTopologicalSort() {
+  IRModule M;
+  M.Name = "TopologicalSort";
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t N = 32;
+  Value NV = B.constInt(N);
+  Value InDeg = B.alloca_(8 * N);
+  Value Pos = B.alloca_(8 * N);
+  Value Queue = B.alloca_(8 * N);
+  Value Head = B.alloca_(8);
+  Value Tail = B.alloca_(8);
+
+  auto EmitDagEdge = [&](Value U, Value V) -> Value {
+    // u -> v iff u < v and (u*5 + v*11) % 4 == 0.
+    Value Lt = B.icmp(Pred::LT, U, V);
+    Value H = B.srem(B.add(B.mul(U, B.constInt(5)), B.mul(V, B.constInt(11))),
+                     B.constInt(4));
+    return B.and_(Lt, B.icmp(Pred::EQ, H, B.constInt(0)));
+  };
+
+  forLoop(B, B.constInt(0), NV, [&](Value I) {
+    B.storeIdx(B.constInt(0), InDeg, I);
+    B.storeIdx(B.constInt(-1), Pos, I);
+  });
+  // Compute in-degrees.
+  forLoop(B, B.constInt(0), NV, [&](Value U) {
+    forLoop(B, B.constInt(0), NV, [&](Value V) {
+      ifThen(B, EmitDagEdge(U, V), [&] {
+        B.storeIdx(B.add(B.loadIdx(InDeg, V), B.constInt(1)), InDeg, V);
+      });
+    });
+  });
+  // Kahn's algorithm.
+  B.store(B.constInt(0), Head);
+  B.store(B.constInt(0), Tail);
+  forLoop(B, B.constInt(0), NV, [&](Value I) {
+    ifThen(B, B.icmp(Pred::EQ, B.loadIdx(InDeg, I), B.constInt(0)), [&] {
+      B.storeIdx(I, Queue, B.load(Tail));
+      B.store(B.add(B.load(Tail), B.constInt(1)), Tail);
+    });
+  });
+  Value Counter = B.alloca_(8);
+  B.store(B.constInt(0), Counter);
+  whileLoop(
+      B, [&] { return B.icmp(Pred::LT, B.load(Head), B.load(Tail)); },
+      [&] {
+        Value U = B.loadIdx(Queue, B.load(Head));
+        B.store(B.add(B.load(Head), B.constInt(1)), Head);
+        B.storeIdx(B.load(Counter), Pos, U);
+        B.store(B.add(B.load(Counter), B.constInt(1)), Counter);
+        forLoop(B, B.constInt(0), NV, [&](Value V) {
+          ifThen(B, EmitDagEdge(U, V), [&] {
+            Value D = B.sub(B.loadIdx(InDeg, V), B.constInt(1));
+            B.storeIdx(D, InDeg, V);
+            ifThen(B, B.icmp(Pred::EQ, D, B.constInt(0)), [&] {
+              B.storeIdx(V, Queue, B.load(Tail));
+              B.store(B.add(B.load(Tail), B.constInt(1)), Tail);
+            });
+          });
+        });
+      });
+
+  Value Sum = B.alloca_(8);
+  B.store(B.constInt(0), Sum);
+  forLoop(B, B.constInt(0), NV, [&](Value I) {
+    Value Term = B.mul(B.add(B.loadIdx(Pos, I), B.constInt(1)),
+                       B.add(I, B.constInt(1)));
+    B.store(B.add(B.load(Sum), Term), Sum);
+  });
+  B.ret(B.load(Sum));
+  B.finish();
+  return M;
+}

@@ -1,0 +1,394 @@
+//===- swiftbench/MathBenches.cpp - Numeric benchmarks --------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "swiftbench/Builders.h"
+
+#include "swiftbench/BenchSupport.h"
+
+using namespace mco;
+using namespace mco::ir;
+using namespace mco::bench;
+
+ir::IRModule bench::buildGCD() {
+  IRModule M;
+  M.Name = "GCD";
+  {
+    IRBuilder B(M, "gcd", 2);
+    Value AVar = B.alloca_(8), BVar = B.alloca_(8);
+    B.store(B.param(0), AVar);
+    B.store(B.param(1), BVar);
+    whileLoop(
+        B,
+        [&] { return B.icmp(Pred::NE, B.load(BVar), B.constInt(0)); },
+        [&] {
+          Value T = B.load(BVar);
+          B.store(B.srem(B.load(AVar), T), BVar);
+          B.store(T, AVar);
+        });
+    B.ret(B.load(AVar));
+    B.finish();
+  }
+  IRBuilder B(M, "bench_main", 0);
+  Value Rng = lcgInit(B, 314159);
+  Value Sum = B.alloca_(8);
+  B.store(B.constInt(0), Sum);
+  forLoop(B, B.constInt(0), B.constInt(300), [&](Value) {
+    Value A = B.add(B.srem(lcgNext(B, Rng), B.constInt(100000)),
+                    B.constInt(1));
+    Value Bv = B.add(B.srem(lcgNext(B, Rng), B.constInt(100000)),
+                     B.constInt(1));
+    B.store(B.add(B.load(Sum), B.call("gcd", {A, Bv})), Sum);
+  });
+  B.ret(B.load(Sum));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildCombinatorics() {
+  IRModule M;
+  M.Name = "Combinatorics";
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t N = 40;
+  // Pascal's triangle row by row, mod a prime to avoid overflow.
+  const int64_t Mod = 1000000007;
+  Value Row = B.alloca_(8 * (N + 1));
+  Value Prev = B.alloca_(8 * (N + 1));
+  Value Check = B.alloca_(8);
+  B.store(B.constInt(0), Check);
+  forLoop(B, B.constInt(0), B.constInt(N + 1), [&](Value I) {
+    B.storeIdx(B.constInt(0), Prev, I);
+    B.storeIdx(B.constInt(0), Row, I);
+  });
+  B.storeIdx(B.constInt(1), Prev, B.constInt(0));
+  forLoop(B, B.constInt(1), B.constInt(N + 1), [&](Value RowIdx) {
+    B.storeIdx(B.constInt(1), Row, B.constInt(0));
+    forLoop(B, B.constInt(1), B.add(RowIdx, B.constInt(1)), [&](Value K) {
+      Value A = B.loadIdx(Prev, B.sub(K, B.constInt(1)));
+      Value Bv = B.loadIdx(Prev, K);
+      B.storeIdx(B.srem(B.add(A, Bv), B.constInt(Mod)), Row, K);
+    });
+    // Fold the row into the checksum, then swap via copy.
+    forLoop(B, B.constInt(0), B.add(RowIdx, B.constInt(1)), [&](Value K) {
+      Value Term = B.mul(B.loadIdx(Row, K), B.add(K, B.constInt(1)));
+      B.store(B.srem(B.add(B.load(Check), Term), B.constInt(Mod)), Check);
+      B.storeIdx(B.loadIdx(Row, K), Prev, K);
+    });
+  });
+  B.ret(B.load(Check));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildClosestPair() {
+  IRModule M;
+  M.Name = "ClosestPair";
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t N = 80;
+  Value Xs = B.alloca_(8 * N);
+  Value Ys = B.alloca_(8 * N);
+  Value Rng = lcgInit(B, 9999);
+  forLoop(B, B.constInt(0), B.constInt(N), [&](Value I) {
+    B.storeIdx(B.srem(lcgNext(B, Rng), B.constInt(10000)), Xs, I);
+    B.storeIdx(B.srem(lcgNext(B, Rng), B.constInt(10000)), Ys, I);
+  });
+  Value Best = B.alloca_(8);
+  B.store(B.constInt(1ll << 60), Best);
+  forLoop(B, B.constInt(0), B.constInt(N), [&](Value I) {
+    forLoop(B, B.add(I, B.constInt(1)), B.constInt(N), [&](Value J) {
+      Value Dx = B.sub(B.loadIdx(Xs, I), B.loadIdx(Xs, J));
+      Value Dy = B.sub(B.loadIdx(Ys, I), B.loadIdx(Ys, J));
+      Value D2 = B.add(B.mul(Dx, Dx), B.mul(Dy, Dy));
+      ifThen(B, B.icmp(Pred::LT, D2, B.load(Best)),
+             [&] { B.store(D2, Best); });
+    });
+  });
+  B.ret(B.load(Best));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildSimulatedAnnealing() {
+  IRModule M;
+  M.Name = "SimulatedAnnealing";
+  {
+    // Energy landscape: (x - 377)^2 + 25 * ((x * 31) % 17).
+    IRBuilder B(M, "energy", 1);
+    Value X = B.param(0);
+    Value D = B.sub(X, B.constInt(377));
+    Value Rough = B.srem(B.mul(X, B.constInt(31)), B.constInt(17));
+    B.ret(B.add(B.mul(D, D), B.mul(Rough, B.constInt(25))));
+    B.finish();
+  }
+  IRBuilder B(M, "bench_main", 0);
+  Value Rng = lcgInit(B, 7131);
+  Value XVar = B.alloca_(8);
+  B.store(B.constInt(900), XVar);
+  Value Temp = B.alloca_(8);
+  B.store(B.constInt(4000), Temp);
+  forLoop(B, B.constInt(0), B.constInt(3000), [&](Value) {
+    // Propose x' = clamp(x + delta, 0, 1023), delta in [-10, 10].
+    Value Delta = B.sub(B.srem(lcgNext(B, Rng), B.constInt(21)),
+                        B.constInt(10));
+    Value Cand = B.add(B.load(XVar), Delta);
+    Cand = emitMax(B, Cand, B.constInt(0));
+    Cand = emitMin(B, Cand, B.constInt(1023));
+    Value ECur = B.call("energy", {B.load(XVar)});
+    Value ENew = B.call("energy", {Cand});
+    // Accept when the new energy beats the current plus temperature slack.
+    Value Slack = B.srem(lcgNext(B, Rng), B.add(B.load(Temp),
+                                                B.constInt(1)));
+    ifThen(B, B.icmp(Pred::LT, ENew, B.add(ECur, Slack)),
+           [&] { B.store(Cand, XVar); });
+    // Cool: T = T * 999 / 1000.
+    B.store(B.sdiv(B.mul(B.load(Temp), B.constInt(999)),
+                   B.constInt(1000)),
+            Temp);
+  });
+  Value EFinal = B.call("energy", {B.load(XVar)});
+  B.ret(B.add(B.mul(EFinal, B.constInt(10000)), B.load(XVar)));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildStrassenMM() {
+  IRModule M;
+  M.Name = "StrassenMM";
+  // All matrices are stored row-major; helpers take (ptr, rowStride).
+
+  // add8/sub8(pa, sa, pb, sb, pc, sc): C = A +/- B over 8x8.
+  for (bool IsAdd : {true, false}) {
+    IRBuilder B(M, IsAdd ? "mat_add8" : "mat_sub8", 6);
+    Value Pa = B.param(0), Sa = B.param(1), Pb = B.param(2),
+          Sb = B.param(3), Pc = B.param(4), Sc = B.param(5);
+    forLoop(B, B.constInt(0), B.constInt(8), [&](Value I) {
+      forLoop(B, B.constInt(0), B.constInt(8), [&](Value J) {
+        Value A = B.loadIdx(Pa, B.add(B.mul(I, Sa), J));
+        Value Bv = B.loadIdx(Pb, B.add(B.mul(I, Sb), J));
+        Value C = IsAdd ? B.add(A, Bv) : B.sub(A, Bv);
+        B.storeIdx(C, Pc, B.add(B.mul(I, Sc), J));
+      });
+    });
+    B.ret(B.constInt(0));
+    B.finish();
+  }
+  // mat_mul8: naive 8x8 base case.
+  {
+    IRBuilder B(M, "mat_mul8", 6);
+    Value Pa = B.param(0), Sa = B.param(1), Pb = B.param(2),
+          Sb = B.param(3), Pc = B.param(4), Sc = B.param(5);
+    forLoop(B, B.constInt(0), B.constInt(8), [&](Value I) {
+      forLoop(B, B.constInt(0), B.constInt(8), [&](Value J) {
+        Value Acc = B.alloca_(8);
+        B.store(B.constInt(0), Acc);
+        forLoop(B, B.constInt(0), B.constInt(8), [&](Value K) {
+          Value A = B.loadIdx(Pa, B.add(B.mul(I, Sa), K));
+          Value Bv = B.loadIdx(Pb, B.add(B.mul(K, Sb), J));
+          B.store(B.add(B.load(Acc), B.mul(A, Bv)), Acc);
+        });
+        B.storeIdx(B.load(Acc), Pc, B.add(B.mul(I, Sc), J));
+      });
+    });
+    B.ret(B.constInt(0));
+    B.finish();
+  }
+  // mat_mul16_naive: reference result.
+  {
+    IRBuilder B(M, "mat_mul16_naive", 3);
+    Value Pa = B.param(0), Pb = B.param(1), Pc = B.param(2);
+    forLoop(B, B.constInt(0), B.constInt(16), [&](Value I) {
+      forLoop(B, B.constInt(0), B.constInt(16), [&](Value J) {
+        Value Acc = B.alloca_(8);
+        B.store(B.constInt(0), Acc);
+        forLoop(B, B.constInt(0), B.constInt(16), [&](Value K) {
+          Value A = B.loadIdx(Pa, B.add(B.mul(I, B.constInt(16)), K));
+          Value Bv = B.loadIdx(Pb, B.add(B.mul(K, B.constInt(16)), J));
+          B.store(B.add(B.load(Acc), B.mul(A, Bv)), Acc);
+        });
+        B.storeIdx(B.load(Acc), Pc, B.add(B.mul(I, B.constInt(16)), J));
+      });
+    });
+    B.ret(B.constInt(0));
+    B.finish();
+  }
+  // mat_strassen16(a, b, c): one level of Strassen over 8x8 quadrants.
+  {
+    IRBuilder B(M, "mat_strassen16", 3);
+    Value Pa = B.param(0), Pb = B.param(1), Pc = B.param(2);
+    Value S16 = B.constInt(16);
+    Value S8 = B.constInt(8);
+    auto Quad = [&](Value P, int64_t R, int64_t C) {
+      return B.add(P, B.constInt(8 * (R * 16 * 8 + C * 8)));
+    };
+    Value A11 = Quad(Pa, 0, 0), A12 = Quad(Pa, 0, 1), A21 = Quad(Pa, 1, 0),
+          A22 = Quad(Pa, 1, 1);
+    Value B11 = Quad(Pb, 0, 0), B12 = Quad(Pb, 0, 1), B21 = Quad(Pb, 1, 0),
+          B22 = Quad(Pb, 1, 1);
+    Value C11 = Quad(Pc, 0, 0), C12 = Quad(Pc, 0, 1), C21 = Quad(Pc, 1, 0),
+          C22 = Quad(Pc, 1, 1);
+    // Temporaries: 2 operand buffers + 7 products, 8x8 each (stride 8).
+    Value T1 = B.alloca_(8 * 64), T2 = B.alloca_(8 * 64);
+    Value Ms[7];
+    for (auto &Mp : Ms)
+      Mp = B.alloca_(8 * 64);
+    auto Add = [&](Value X, Value Sx, Value Y, Value Sy, Value D,
+                   Value Sd) { B.call("mat_add8", {X, Sx, Y, Sy, D, Sd}); };
+    auto Sub = [&](Value X, Value Sx, Value Y, Value Sy, Value D,
+                   Value Sd) { B.call("mat_sub8", {X, Sx, Y, Sy, D, Sd}); };
+    auto Mul = [&](Value X, Value Sx, Value Y, Value Sy, Value D,
+                   Value Sd) { B.call("mat_mul8", {X, Sx, Y, Sy, D, Sd}); };
+    // M1 = (A11 + A22)(B11 + B22)
+    Add(A11, S16, A22, S16, T1, S8);
+    Add(B11, S16, B22, S16, T2, S8);
+    Mul(T1, S8, T2, S8, Ms[0], S8);
+    // M2 = (A21 + A22) B11
+    Add(A21, S16, A22, S16, T1, S8);
+    Mul(T1, S8, B11, S16, Ms[1], S8);
+    // M3 = A11 (B12 - B22)
+    Sub(B12, S16, B22, S16, T2, S8);
+    Mul(A11, S16, T2, S8, Ms[2], S8);
+    // M4 = A22 (B21 - B11)
+    Sub(B21, S16, B11, S16, T2, S8);
+    Mul(A22, S16, T2, S8, Ms[3], S8);
+    // M5 = (A11 + A12) B22
+    Add(A11, S16, A12, S16, T1, S8);
+    Mul(T1, S8, B22, S16, Ms[4], S8);
+    // M6 = (A21 - A11)(B11 + B12)
+    Sub(A21, S16, A11, S16, T1, S8);
+    Add(B11, S16, B12, S16, T2, S8);
+    Mul(T1, S8, T2, S8, Ms[5], S8);
+    // M7 = (A12 - A22)(B21 + B22)
+    Sub(A12, S16, A22, S16, T1, S8);
+    Add(B21, S16, B22, S16, T2, S8);
+    Mul(T1, S8, T2, S8, Ms[6], S8);
+    // C11 = M1 + M4 - M5 + M7
+    Add(Ms[0], S8, Ms[3], S8, T1, S8);
+    Sub(T1, S8, Ms[4], S8, T2, S8);
+    Add(T2, S8, Ms[6], S8, C11, S16);
+    // C12 = M3 + M5
+    Add(Ms[2], S8, Ms[4], S8, C12, S16);
+    // C21 = M2 + M4
+    Add(Ms[1], S8, Ms[3], S8, C21, S16);
+    // C22 = M1 - M2 + M3 + M6
+    Sub(Ms[0], S8, Ms[1], S8, T1, S8);
+    Add(T1, S8, Ms[2], S8, T2, S8);
+    Add(T2, S8, Ms[5], S8, C22, S16);
+    B.ret(B.constInt(0));
+    B.finish();
+  }
+
+  IRBuilder B(M, "bench_main", 0);
+  Value A = B.alloca_(8 * 256);
+  Value Bm = B.alloca_(8 * 256);
+  Value C1 = B.alloca_(8 * 256);
+  Value C2 = B.alloca_(8 * 256);
+  Value Rng = lcgInit(B, 2718);
+  forLoop(B, B.constInt(0), B.constInt(256), [&](Value I) {
+    B.storeIdx(B.srem(lcgNext(B, Rng), B.constInt(10)), A, I);
+    B.storeIdx(B.srem(lcgNext(B, Rng), B.constInt(10)), Bm, I);
+  });
+  B.call("mat_strassen16", {A, Bm, C1});
+  B.call("mat_mul16_naive", {A, Bm, C2});
+  // Equality flag and weighted checksum.
+  Value Equal = B.alloca_(8);
+  Value Sum = B.alloca_(8);
+  B.store(B.constInt(1), Equal);
+  B.store(B.constInt(0), Sum);
+  forLoop(B, B.constInt(0), B.constInt(256), [&](Value I) {
+    Value V1 = B.loadIdx(C1, I);
+    Value V2 = B.loadIdx(C2, I);
+    ifThen(B, B.icmp(Pred::NE, V1, V2),
+           [&] { B.store(B.constInt(0), Equal); });
+    Value W = B.add(B.srem(I, B.constInt(7)), B.constInt(1));
+    B.store(B.add(B.load(Sum), B.srem(B.mul(V1, W), B.constInt(10007))),
+            Sum);
+  });
+  B.ret(B.add(B.mul(B.load(Equal), B.constInt(1000000)), B.load(Sum)));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildHuffman() {
+  IRModule M;
+  M.Name = "Huffman";
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t Symbols = 16, Slots = 2 * Symbols;
+  Value Freq = B.alloca_(8 * Slots);
+  Value Alive = B.alloca_(8 * Slots);
+  Value CountV = B.alloca_(8);
+  Value Cost = B.alloca_(8);
+  forLoop(B, B.constInt(0), B.constInt(Slots), [&](Value I) {
+    B.storeIdx(B.constInt(0), Alive, I);
+    B.storeIdx(B.constInt(0), Freq, I);
+  });
+  forLoop(B, B.constInt(0), B.constInt(Symbols), [&](Value I) {
+    // freq = (i*i*7) % 100 + 1
+    Value F = B.add(B.srem(B.mul(B.mul(I, I), B.constInt(7)),
+                           B.constInt(100)),
+                    B.constInt(1));
+    B.storeIdx(F, Freq, I);
+    B.storeIdx(B.constInt(1), Alive, I);
+  });
+  B.store(B.constInt(Symbols), CountV);
+  B.store(B.constInt(0), Cost);
+
+  // Optimal-merge construction: total cost == weighted path length.
+  Value Remaining = B.alloca_(8);
+  B.store(B.constInt(Symbols), Remaining);
+  whileLoop(
+      B,
+      [&] { return B.icmp(Pred::GT, B.load(Remaining), B.constInt(1)); },
+      [&] {
+        // Find the two smallest alive frequencies.
+        Value Min1 = B.alloca_(8), Min2 = B.alloca_(8);
+        B.store(B.constInt(-1), Min1);
+        B.store(B.constInt(-1), Min2);
+        forLoop(B, B.constInt(0), B.load(CountV), [&](Value I) {
+          ifThen(B, B.icmp(Pred::NE, B.loadIdx(Alive, I), B.constInt(0)),
+                 [&] {
+                   Value F = B.loadIdx(Freq, I);
+                   Value NoM1 =
+                       B.icmp(Pred::LT, B.load(Min1), B.constInt(0));
+                   Value Better1 = B.or_(
+                       NoM1,
+                       B.icmp(Pred::LT, F,
+                              B.loadIdx(Freq,
+                                        emitMax(B, B.load(Min1),
+                                                B.constInt(0)))));
+                   ifThenElse(
+                       B, Better1,
+                       [&] {
+                         B.store(B.load(Min1), Min2);
+                         B.store(I, Min1);
+                       },
+                       [&] {
+                         Value NoM2 = B.icmp(Pred::LT, B.load(Min2),
+                                             B.constInt(0));
+                         Value Better2 = B.or_(
+                             NoM2,
+                             B.icmp(Pred::LT, F,
+                                    B.loadIdx(Freq,
+                                              emitMax(B, B.load(Min2),
+                                                      B.constInt(0)))));
+                         ifThen(B, Better2, [&] { B.store(I, Min2); });
+                       });
+                 });
+        });
+        // Merge them.
+        Value F1 = B.loadIdx(Freq, B.load(Min1));
+        Value F2 = B.loadIdx(Freq, B.load(Min2));
+        Value Merged = B.add(F1, F2);
+        B.store(B.add(B.load(Cost), Merged), Cost);
+        B.storeIdx(B.constInt(0), Alive, B.load(Min1));
+        B.storeIdx(B.constInt(0), Alive, B.load(Min2));
+        B.storeIdx(Merged, Freq, B.load(CountV));
+        B.storeIdx(B.constInt(1), Alive, B.load(CountV));
+        B.store(B.add(B.load(CountV), B.constInt(1)), CountV);
+        B.store(B.sub(B.load(Remaining), B.constInt(1)), Remaining);
+      });
+  B.ret(B.load(Cost));
+  B.finish();
+  return M;
+}

@@ -1,0 +1,221 @@
+//===- swiftbench/SortBenches.cpp - Sorting & searching benchmarks --------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "swiftbench/Builders.h"
+
+#include "swiftbench/BenchSupport.h"
+
+using namespace mco;
+using namespace mco::ir;
+using namespace mco::bench;
+
+namespace {
+
+/// Emits the post-sort checksum: sortedness flag * 10^9 + sum of
+/// (arr[i] % 97) * (i+1).
+Value emitSortChecksum(IRBuilder &B, Value Arr, int64_t N) {
+  Value SortedOK = B.alloca_(8);
+  B.store(B.constInt(1), SortedOK);
+  Value Sum = B.alloca_(8);
+  B.store(B.constInt(0), Sum);
+  forLoop(B, B.constInt(0), B.constInt(N), [&](Value I) {
+    Value V = B.loadIdx(Arr, I);
+    Value Term = B.mul(B.srem(V, B.constInt(97)), B.add(I, B.constInt(1)));
+    B.store(B.add(B.load(Sum), Term), Sum);
+    ifThen(B, B.icmp(Pred::LT, I, B.constInt(N - 1)), [&] {
+      Value Next = B.loadIdx(Arr, B.add(I, B.constInt(1)));
+      ifThen(B, B.icmp(Pred::GT, V, Next),
+             [&] { B.store(B.constInt(0), SortedOK); });
+    });
+  });
+  return B.add(B.mul(B.load(SortedOK), B.constInt(1000000000)),
+               B.load(Sum));
+}
+
+} // namespace
+
+ir::IRModule bench::buildQuickSort() {
+  IRModule M;
+  M.Name = "QuickSort";
+  const int64_t N = 512;
+
+  // quicksort(arr, lo, hi): recursive Lomuto partition.
+  {
+    IRBuilder B(M, "quicksort", 3);
+    Value Arr = B.param(0), Lo = B.param(1), Hi = B.param(2);
+    Value Done = B.icmp(Pred::GE, Lo, Hi);
+    uint32_t Ret0 = B.newBlock();
+    uint32_t Work = B.newBlock();
+    B.setBlock(0);
+    B.condBr(Done, Ret0, Work);
+    B.setBlock(Ret0);
+    B.ret(B.constInt(0));
+    B.setBlock(Work);
+    Value Pivot = B.loadIdx(Arr, Hi);
+    Value IVar = B.alloca_(8);
+    B.store(B.sub(Lo, B.constInt(1)), IVar);
+    forLoop(B, Lo, Hi, [&](Value J) {
+      Value VJ = B.loadIdx(Arr, J);
+      ifThen(B, B.icmp(Pred::LE, VJ, Pivot), [&] {
+        B.store(B.add(B.load(IVar), B.constInt(1)), IVar);
+        Value I = B.load(IVar);
+        Value Tmp = B.loadIdx(Arr, I);
+        B.storeIdx(VJ, Arr, I);
+        B.storeIdx(Tmp, Arr, J);
+      });
+    });
+    Value P = B.add(B.load(IVar), B.constInt(1));
+    Value TmpP = B.loadIdx(Arr, P);
+    B.storeIdx(B.loadIdx(Arr, Hi), Arr, P);
+    B.storeIdx(TmpP, Arr, Hi);
+    B.call("quicksort", {Arr, Lo, B.sub(P, B.constInt(1))});
+    B.call("quicksort", {Arr, B.add(P, B.constInt(1)), Hi});
+    B.ret(B.constInt(0));
+    B.finish();
+  }
+
+  IRBuilder B(M, "bench_main", 0);
+  Value Arr = B.alloca_(8 * N);
+  Value Rng = lcgInit(B, 1234567);
+  forLoop(B, B.constInt(0), B.constInt(N), [&](Value I) {
+    B.storeIdx(lcgNext(B, Rng), Arr, I);
+  });
+  B.call("quicksort", {Arr, B.constInt(0), B.constInt(N - 1)});
+  B.ret(emitSortChecksum(B, Arr, N));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildBucketSort() {
+  IRModule M;
+  M.Name = "BucketSort";
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t N = 256, Buckets = 64;
+  Value Arr = B.alloca_(8 * N);
+  Value Counts = B.alloca_(8 * Buckets);
+  Value Rng = lcgInit(B, 42);
+
+  forLoop(B, B.constInt(0), B.constInt(Buckets), [&](Value I) {
+    B.storeIdx(B.constInt(0), Counts, I);
+  });
+  forLoop(B, B.constInt(0), B.constInt(N), [&](Value I) {
+    Value V = B.srem(lcgNext(B, Rng), B.constInt(Buckets));
+    B.storeIdx(V, Arr, I);
+    B.storeIdx(B.add(B.loadIdx(Counts, V), B.constInt(1)), Counts, V);
+  });
+  // Rebuild in sorted order.
+  Value Out = B.alloca_(8);
+  B.store(B.constInt(0), Out);
+  forLoop(B, B.constInt(0), B.constInt(Buckets), [&](Value Bk) {
+    forLoop(B, B.constInt(0), B.loadIdx(Counts, Bk), [&](Value) {
+      B.storeIdx(Bk, Arr, B.load(Out));
+      B.store(B.add(B.load(Out), B.constInt(1)), Out);
+    });
+  });
+  B.ret(emitSortChecksum(B, Arr, N));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildCountingSort() {
+  IRModule M;
+  M.Name = "CountingSort";
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t N = 400, K = 256;
+  Value In = B.alloca_(8 * N);
+  Value Outp = B.alloca_(8 * N);
+  Value Counts = B.alloca_(8 * (K + 1));
+  Value Rng = lcgInit(B, 77);
+
+  forLoop(B, B.constInt(0), B.constInt(K + 1), [&](Value I) {
+    B.storeIdx(B.constInt(0), Counts, I);
+  });
+  forLoop(B, B.constInt(0), B.constInt(N), [&](Value I) {
+    Value V = B.srem(lcgNext(B, Rng), B.constInt(K));
+    B.storeIdx(V, In, I);
+    Value Slot = B.add(V, B.constInt(1));
+    B.storeIdx(B.add(B.loadIdx(Counts, Slot), B.constInt(1)), Counts, Slot);
+  });
+  // Prefix sums.
+  forLoop(B, B.constInt(1), B.constInt(K + 1), [&](Value I) {
+    Value Prev = B.loadIdx(Counts, B.sub(I, B.constInt(1)));
+    B.storeIdx(B.add(B.loadIdx(Counts, I), Prev), Counts, I);
+  });
+  // Stable placement.
+  forLoop(B, B.constInt(0), B.constInt(N), [&](Value I) {
+    Value V = B.loadIdx(In, I);
+    Value Slot = B.loadIdx(Counts, V);
+    B.storeIdx(V, Outp, Slot);
+    B.storeIdx(B.add(Slot, B.constInt(1)), Counts, V);
+  });
+  B.ret(emitSortChecksum(B, Outp, N));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildCountOccurrences() {
+  IRModule M;
+  M.Name = "CountOccurrences";
+
+  // lower_bound(arr, n, key): first index with arr[i] >= key.
+  {
+    IRBuilder B(M, "lower_bound", 3);
+    Value Arr = B.param(0), N = B.param(1), Key = B.param(2);
+    Value Lo = B.alloca_(8), Hi = B.alloca_(8);
+    B.store(B.constInt(0), Lo);
+    B.store(N, Hi);
+    whileLoop(
+        B, [&] { return B.icmp(Pred::LT, B.load(Lo), B.load(Hi)); },
+        [&] {
+          Value Mid = B.ashr(B.add(B.load(Lo), B.load(Hi)), B.constInt(1));
+          ifThenElse(
+              B, B.icmp(Pred::LT, B.loadIdx(Arr, Mid), Key),
+              [&] { B.store(B.add(Mid, B.constInt(1)), Lo); },
+              [&] { B.store(Mid, Hi); });
+        });
+    B.ret(B.load(Lo));
+    B.finish();
+  }
+  // upper_bound(arr, n, key): first index with arr[i] > key.
+  {
+    IRBuilder B(M, "upper_bound", 3);
+    Value Arr = B.param(0), N = B.param(1), Key = B.param(2);
+    Value Lo = B.alloca_(8), Hi = B.alloca_(8);
+    B.store(B.constInt(0), Lo);
+    B.store(N, Hi);
+    whileLoop(
+        B, [&] { return B.icmp(Pred::LT, B.load(Lo), B.load(Hi)); },
+        [&] {
+          Value Mid = B.ashr(B.add(B.load(Lo), B.load(Hi)), B.constInt(1));
+          ifThenElse(
+              B, B.icmp(Pred::LE, B.loadIdx(Arr, Mid), Key),
+              [&] { B.store(B.add(Mid, B.constInt(1)), Lo); },
+              [&] { B.store(Mid, Hi); });
+        });
+    B.ret(B.load(Lo));
+    B.finish();
+  }
+
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t N = 600;
+  Value Arr = B.alloca_(8 * N);
+  // Non-decreasing fill: arr[i] = (i*7)/10.
+  forLoop(B, B.constInt(0), B.constInt(N), [&](Value I) {
+    B.storeIdx(B.sdiv(B.mul(I, B.constInt(7)), B.constInt(10)), Arr, I);
+  });
+  Value Sum = B.alloca_(8);
+  B.store(B.constInt(0), Sum);
+  forLoop(B, B.constInt(0), B.constInt(64), [&](Value Key) {
+    Value LB = B.call("lower_bound", {Arr, B.constInt(N), Key});
+    Value UB = B.call("upper_bound", {Arr, B.constInt(N), Key});
+    Value Count = B.sub(UB, LB);
+    B.store(B.add(B.load(Sum), B.mul(Count, B.add(Key, B.constInt(1)))),
+            Sum);
+  });
+  B.ret(B.load(Sum));
+  B.finish();
+  return M;
+}

@@ -1,0 +1,381 @@
+//===- swiftbench/StringBenches.cpp - String & encoding benchmarks --------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "swiftbench/Builders.h"
+
+#include "swiftbench/BenchSupport.h"
+
+#include <string>
+
+using namespace mco;
+using namespace mco::ir;
+using namespace mco::bench;
+
+namespace {
+
+/// Fills Arr[0..N) with LCG symbols in [0, Alphabet).
+void emitFillText(IRBuilder &B, Value Arr, int64_t N, int64_t Alphabet,
+                  Value Rng) {
+  forLoop(B, B.constInt(0), B.constInt(N), [&](Value I) {
+    B.storeIdx(B.srem(lcgNext(B, Rng), B.constInt(Alphabet)), Arr, I);
+  });
+}
+
+} // namespace
+
+ir::IRModule bench::buildBoyerMooreHorspool() {
+  IRModule M;
+  M.Name = "BoyerMooreHorspool";
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t N = 800, PatLen = 5, Alphabet = 4;
+  Value Text = B.alloca_(8 * N);
+  Value Pat = B.alloca_(8 * PatLen);
+  Value Shift = B.alloca_(8 * Alphabet);
+  Value Rng = lcgInit(B, 9001);
+  emitFillText(B, Text, N, Alphabet, Rng);
+  // Pattern = text[100..100+PatLen).
+  forLoop(B, B.constInt(0), B.constInt(PatLen), [&](Value I) {
+    B.storeIdx(B.loadIdx(Text, B.add(I, B.constInt(100))), Pat, I);
+  });
+  // Bad-character shift table.
+  forLoop(B, B.constInt(0), B.constInt(Alphabet), [&](Value C) {
+    B.storeIdx(B.constInt(PatLen), Shift, C);
+  });
+  forLoop(B, B.constInt(0), B.constInt(PatLen - 1), [&](Value I) {
+    B.storeIdx(B.sub(B.constInt(PatLen - 1), I), Shift, B.loadIdx(Pat, I));
+  });
+  // Search.
+  Value Matches = B.alloca_(8);
+  Value PosV = B.alloca_(8);
+  B.store(B.constInt(0), Matches);
+  B.store(B.constInt(0), PosV);
+  whileLoop(
+      B,
+      [&] {
+        return B.icmp(Pred::LE, B.load(PosV), B.constInt(N - PatLen));
+      },
+      [&] {
+        Value Pos = B.load(PosV);
+        // Compare right-to-left.
+        Value J = B.alloca_(8);
+        B.store(B.constInt(PatLen - 1), J);
+        whileLoop(
+            B,
+            [&] {
+              Value InRange =
+                  B.icmp(Pred::GE, B.load(J), B.constInt(0));
+              Value Tc = B.loadIdx(Text, B.add(Pos, emitMax(B, B.load(J),
+                                                            B.constInt(0))));
+              Value Pc = B.loadIdx(Pat, emitMax(B, B.load(J), B.constInt(0)));
+              return B.and_(InRange, B.icmp(Pred::EQ, Tc, Pc));
+            },
+            [&] { B.store(B.sub(B.load(J), B.constInt(1)), J); });
+        ifThen(B, B.icmp(Pred::LT, B.load(J), B.constInt(0)), [&] {
+          B.store(B.add(B.load(Matches), B.constInt(1)), Matches);
+        });
+        Value Last = B.loadIdx(Text, B.add(Pos, B.constInt(PatLen - 1)));
+        B.store(B.add(Pos, B.loadIdx(Shift, Last)), PosV);
+      });
+  B.ret(B.add(B.mul(B.load(Matches), B.constInt(1000)), B.load(PosV)));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildKnuthMorrisPratt() {
+  IRModule M;
+  M.Name = "KnuthMorrisPratt";
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t N = 900, PatLen = 6, Alphabet = 3;
+  Value Text = B.alloca_(8 * N);
+  Value Pat = B.alloca_(8 * PatLen);
+  Value Fail = B.alloca_(8 * PatLen);
+  Value Rng = lcgInit(B, 31337);
+  emitFillText(B, Text, N, Alphabet, Rng);
+  forLoop(B, B.constInt(0), B.constInt(PatLen), [&](Value I) {
+    B.storeIdx(B.loadIdx(Text, B.add(I, B.constInt(50))), Pat, I);
+  });
+  // Failure function.
+  B.storeIdx(B.constInt(0), Fail, B.constInt(0));
+  Value K = B.alloca_(8);
+  B.store(B.constInt(0), K);
+  forLoop(B, B.constInt(1), B.constInt(PatLen), [&](Value I) {
+    whileLoop(
+        B,
+        [&] {
+          Value Pos = B.icmp(Pred::GT, B.load(K), B.constInt(0));
+          Value Ne = B.icmp(Pred::NE, B.loadIdx(Pat, B.load(K)),
+                            B.loadIdx(Pat, I));
+          return B.and_(Pos, Ne);
+        },
+        [&] {
+          B.store(B.loadIdx(Fail, B.sub(B.load(K), B.constInt(1))), K);
+        });
+    ifThen(B,
+           B.icmp(Pred::EQ, B.loadIdx(Pat, B.load(K)), B.loadIdx(Pat, I)),
+           [&] { B.store(B.add(B.load(K), B.constInt(1)), K); });
+    B.storeIdx(B.load(K), Fail, I);
+  });
+  // Search.
+  Value Matches = B.alloca_(8);
+  B.store(B.constInt(0), Matches);
+  B.store(B.constInt(0), K);
+  forLoop(B, B.constInt(0), B.constInt(N), [&](Value I) {
+    whileLoop(
+        B,
+        [&] {
+          Value Pos = B.icmp(Pred::GT, B.load(K), B.constInt(0));
+          Value Ne = B.icmp(Pred::NE, B.loadIdx(Pat, B.load(K)),
+                            B.loadIdx(Text, I));
+          return B.and_(Pos, Ne);
+        },
+        [&] {
+          B.store(B.loadIdx(Fail, B.sub(B.load(K), B.constInt(1))), K);
+        });
+    ifThen(B,
+           B.icmp(Pred::EQ, B.loadIdx(Pat, B.load(K)), B.loadIdx(Text, I)),
+           [&] { B.store(B.add(B.load(K), B.constInt(1)), K); });
+    ifThen(B, B.icmp(Pred::EQ, B.load(K), B.constInt(PatLen)), [&] {
+      B.store(B.add(B.load(Matches), B.constInt(1)), Matches);
+      B.store(B.loadIdx(Fail, B.constInt(PatLen - 1)), K);
+    });
+  });
+  B.ret(B.load(Matches));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildZAlgorithm() {
+  IRModule M;
+  M.Name = "ZAlgorithm";
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t N = 600, Alphabet = 3;
+  Value S = B.alloca_(8 * N);
+  Value Z = B.alloca_(8 * N);
+  Value Rng = lcgInit(B, 555);
+  emitFillText(B, S, N, Alphabet, Rng);
+
+  Value L = B.alloca_(8), R = B.alloca_(8);
+  B.store(B.constInt(0), L);
+  B.store(B.constInt(0), R);
+  B.storeIdx(B.constInt(0), Z, B.constInt(0));
+  forLoop(B, B.constInt(1), B.constInt(N), [&](Value I) {
+    Value ZI = B.alloca_(8);
+    B.store(B.constInt(0), ZI);
+    ifThen(B, B.icmp(Pred::LT, I, B.load(R)), [&] {
+      Value Mirror = B.loadIdx(Z, B.sub(I, B.load(L)));
+      Value Cap = B.sub(B.load(R), I);
+      B.store(emitMin(B, Mirror, Cap), ZI);
+    });
+    whileLoop(
+        B,
+        [&] {
+          Value InRange =
+              B.icmp(Pred::LT, B.add(I, B.load(ZI)), B.constInt(N));
+          Value Idx = emitMin(B, B.add(I, B.load(ZI)), B.constInt(N - 1));
+          Value Eq = B.icmp(Pred::EQ, B.loadIdx(S, B.load(ZI)),
+                            B.loadIdx(S, Idx));
+          return B.and_(InRange, Eq);
+        },
+        [&] { B.store(B.add(B.load(ZI), B.constInt(1)), ZI); });
+    B.storeIdx(B.load(ZI), Z, I);
+    ifThen(B, B.icmp(Pred::GT, B.add(I, B.load(ZI)), B.load(R)), [&] {
+      B.store(I, L);
+      B.store(B.add(I, B.load(ZI)), R);
+    });
+  });
+  Value Sum = B.alloca_(8);
+  B.store(B.constInt(0), Sum);
+  forLoop(B, B.constInt(0), B.constInt(N), [&](Value I) {
+    B.store(B.add(B.load(Sum), B.loadIdx(Z, I)), Sum);
+  });
+  B.ret(B.load(Sum));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildLCS() {
+  IRModule M;
+  M.Name = "LCS";
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t NA = 40, NB = 36, Alphabet = 4;
+  Value A = B.alloca_(8 * NA);
+  Value Bs = B.alloca_(8 * NB);
+  Value Dp = B.alloca_(8 * (NA + 1) * (NB + 1));
+  Value Rng = lcgInit(B, 2468);
+  emitFillText(B, A, NA, Alphabet, Rng);
+  emitFillText(B, Bs, NB, Alphabet, Rng);
+
+  const int64_t Stride = NB + 1;
+  auto DpIdx = [&](Value I, Value J) {
+    return B.add(B.mul(I, B.constInt(Stride)), J);
+  };
+  forLoop(B, B.constInt(0), B.constInt((NA + 1) * (NB + 1)), [&](Value I) {
+    B.storeIdx(B.constInt(0), Dp, I);
+  });
+  forLoop(B, B.constInt(1), B.constInt(NA + 1), [&](Value I) {
+    forLoop(B, B.constInt(1), B.constInt(NB + 1), [&](Value J) {
+      Value Ca = B.loadIdx(A, B.sub(I, B.constInt(1)));
+      Value Cb = B.loadIdx(Bs, B.sub(J, B.constInt(1)));
+      Value Diag = B.loadIdx(
+          Dp, DpIdx(B.sub(I, B.constInt(1)), B.sub(J, B.constInt(1))));
+      Value Up = B.loadIdx(Dp, DpIdx(B.sub(I, B.constInt(1)), J));
+      Value Left = B.loadIdx(Dp, DpIdx(I, B.sub(J, B.constInt(1))));
+      Value Match = B.add(Diag, B.constInt(1));
+      Value Best = B.select(B.icmp(Pred::EQ, Ca, Cb), Match,
+                            emitMax(B, Up, Left));
+      B.storeIdx(Best, Dp, DpIdx(I, J));
+    });
+  });
+  B.ret(B.loadIdx(Dp, DpIdx(B.constInt(NA), B.constInt(NB))));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildRunLengthEncoding() {
+  IRModule M;
+  M.Name = "RunLengthEncoding";
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t N = 512;
+  Value In = B.alloca_(8 * N);
+  Value Vals = B.alloca_(8 * N);
+  Value Lens = B.alloca_(8 * N);
+  Value Out = B.alloca_(8 * N);
+  // Runs: value (i/7) % 5.
+  forLoop(B, B.constInt(0), B.constInt(N), [&](Value I) {
+    B.storeIdx(B.srem(B.sdiv(I, B.constInt(7)), B.constInt(5)), In, I);
+  });
+  // Encode.
+  Value Pairs = B.alloca_(8);
+  B.store(B.constInt(0), Pairs);
+  Value Pos = B.alloca_(8);
+  B.store(B.constInt(0), Pos);
+  whileLoop(
+      B, [&] { return B.icmp(Pred::LT, B.load(Pos), B.constInt(N)); },
+      [&] {
+        Value V = B.loadIdx(In, B.load(Pos));
+        Value RunLen = B.alloca_(8);
+        B.store(B.constInt(0), RunLen);
+        whileLoop(
+            B,
+            [&] {
+              Value P = B.add(B.load(Pos), B.load(RunLen));
+              Value InRange = B.icmp(Pred::LT, P, B.constInt(N));
+              Value Idx = emitMin(B, P, B.constInt(N - 1));
+              Value Same = B.icmp(Pred::EQ, B.loadIdx(In, Idx), V);
+              return B.and_(InRange, Same);
+            },
+            [&] { B.store(B.add(B.load(RunLen), B.constInt(1)), RunLen); });
+        B.storeIdx(V, Vals, B.load(Pairs));
+        B.storeIdx(B.load(RunLen), Lens, B.load(Pairs));
+        B.store(B.add(B.load(Pairs), B.constInt(1)), Pairs);
+        B.store(B.add(B.load(Pos), B.load(RunLen)), Pos);
+      });
+  // Decode.
+  Value OutPos = B.alloca_(8);
+  B.store(B.constInt(0), OutPos);
+  forLoop(B, B.constInt(0), B.load(Pairs), [&](Value P) {
+    forLoop(B, B.constInt(0), B.loadIdx(Lens, P), [&](Value) {
+      B.storeIdx(B.loadIdx(Vals, P), Out, B.load(OutPos));
+      B.store(B.add(B.load(OutPos), B.constInt(1)), OutPos);
+    });
+  });
+  // Verify round trip.
+  Value Equal = B.alloca_(8);
+  B.store(B.constInt(1), Equal);
+  forLoop(B, B.constInt(0), B.constInt(N), [&](Value I) {
+    ifThen(B,
+           B.icmp(Pred::NE, B.loadIdx(In, I), B.loadIdx(Out, I)),
+           [&] { B.store(B.constInt(0), Equal); });
+  });
+  Value Check = B.add(B.mul(B.load(Pairs), B.constInt(1000)),
+                      B.mul(B.load(Equal), B.constInt(1000000)));
+  B.ret(Check);
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildJSON() {
+  IRModule M;
+  M.Name = "JSON";
+
+  // Input document as one character word per element.
+  const std::string Doc =
+      "[12,[3,45,[6,789],1],[22,[33,[44,[55]]]],9,[1,2,3,4,5],[[[[8]]]]]";
+  {
+    std::vector<int64_t> Words;
+    for (char C : Doc)
+      Words.push_back(C);
+    Words.push_back(0); // NUL terminator.
+    M.Globals.push_back(ir::IRGlobal::fromWords("json_doc", Words));
+  }
+
+  // parse_value(s, posPtr, depth) -> sum of integers weighted by depth.
+  {
+    IRBuilder B(M, "parse_value", 3);
+    Value S = B.param(0), PosPtr = B.param(1), Depth = B.param(2);
+    auto Cur = [&]() { return B.loadIdx(S, B.load(PosPtr)); };
+    auto Advance = [&]() {
+      B.store(B.add(B.load(PosPtr), B.constInt(1)), PosPtr);
+    };
+
+    Value Sum = B.alloca_(8);
+    B.store(B.constInt(0), Sum);
+    Value IsArray = B.icmp(Pred::EQ, Cur(), B.constInt('['));
+    ifThenElse(
+        B, IsArray,
+        [&] {
+          Advance(); // Consume '['.
+          whileLoop(
+              B,
+              [&] { return B.icmp(Pred::NE, Cur(), B.constInt(']')); },
+              [&] {
+                Value Sub = B.call(
+                    "parse_value",
+                    {S, PosPtr, B.add(Depth, B.constInt(1))});
+                B.store(B.add(B.load(Sum), Sub), Sum);
+                ifThen(B, B.icmp(Pred::EQ, Cur(), B.constInt(',')),
+                       [&] { Advance(); });
+              });
+          Advance(); // Consume ']'.
+        },
+        [&] {
+          // Parse an integer literal.
+          Value Num = B.alloca_(8);
+          B.store(B.constInt(0), Num);
+          whileLoop(
+              B,
+              [&] {
+                Value Ge = B.icmp(Pred::GE, Cur(), B.constInt('0'));
+                Value Le = B.icmp(Pred::LE, Cur(), B.constInt('9'));
+                return B.and_(Ge, Le);
+              },
+              [&] {
+                Value Digit = B.sub(Cur(), B.constInt('0'));
+                B.store(B.add(B.mul(B.load(Num), B.constInt(10)), Digit),
+                        Num);
+                Advance();
+              });
+          B.store(B.mul(B.load(Num), Depth), Sum);
+        });
+    B.ret(B.load(Sum));
+    B.finish();
+  }
+
+  IRBuilder B(M, "bench_main", 0);
+  Value Doc2 = B.globalAddr("json_doc");
+  Value Sum = B.alloca_(8);
+  B.store(B.constInt(0), Sum);
+  // Parse repeatedly to give the benchmark some weight.
+  forLoop(B, B.constInt(0), B.constInt(20), [&](Value) {
+    Value PosPtr = B.alloca_(8);
+    B.store(B.constInt(0), PosPtr);
+    Value V = B.call("parse_value", {Doc2, PosPtr, B.constInt(1)});
+    B.store(B.add(B.load(Sum), V), Sum);
+  });
+  B.ret(B.load(Sum));
+  B.finish();
+  return M;
+}

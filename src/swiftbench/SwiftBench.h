@@ -1,0 +1,51 @@
+//===- swiftbench/SwiftBench.h - The 26 Table IV benchmarks -----*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 26 algorithm benchmarks of the paper's Table IV ("a set of 26 swift
+/// benchmarks that implement popular algorithms"), written against the
+/// mid-level IR and compiled by src/codegen, so outlining operates on
+/// organically generated machine code. Each benchmark exposes a
+/// `bench_main` entry returning a checksum; the checksums are asserted
+/// stable across 0..5 rounds of outlining, proving semantic preservation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SWIFTBENCH_SWIFTBENCH_H
+#define MCO_SWIFTBENCH_SWIFTBENCH_H
+
+#include "ir/IR.h"
+#include "mir/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mco {
+
+/// One Table IV benchmark.
+struct SwiftBenchmark {
+  std::string Name;
+  /// Builds the benchmark's IR module. The entry function is "bench_main"
+  /// (no parameters, returns the checksum).
+  ir::IRModule (*Build)();
+  /// Golden checksum (validated in the test suite).
+  int64_t Expected;
+};
+
+/// \returns all 26 benchmarks in Table IV order.
+const std::vector<SwiftBenchmark> &allSwiftBenchmarks();
+
+/// The pathological micro-benchmark from Section VII-E3: a long-running
+/// tight loop whose straight-line body also occurs (cold) elsewhere in the
+/// module, so the outliner replaces the *hot* body with a call. Built
+/// directly in machine IR so the hot and cold copies are exact clones.
+/// The entry function is "bench_main".
+void buildPathologicalProgram(Program &Prog, Module &M);
+
+} // namespace mco
+
+#endif // MCO_SWIFTBENCH_SWIFTBENCH_H

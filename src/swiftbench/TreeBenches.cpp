@@ -1,0 +1,762 @@
+//===- swiftbench/TreeBenches.cpp - Tree & table benchmarks ---------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "swiftbench/Builders.h"
+
+#include "swiftbench/BenchSupport.h"
+
+using namespace mco;
+using namespace mco::ir;
+using namespace mco::bench;
+
+namespace {
+
+/// Node-array accessors over a global i64 array.
+struct GlobalArray {
+  IRBuilder &B;
+  Value Base;
+  GlobalArray(IRBuilder &B, const std::string &Name)
+      : B(B), Base(B.globalAddr(Name)) {}
+  Value get(Value I) { return B.loadIdx(Base, I); }
+  void set(Value V, Value I) { B.storeIdx(V, Base, I); }
+};
+
+void addNodeGlobals(IRModule &M, const std::string &Prefix, int64_t MaxNodes,
+                    bool WithColor, bool WithParent) {
+  auto Zeros = [&](const std::string &Name, int64_t Words) {
+    M.Globals.push_back(
+        ir::IRGlobal::fromWords(Name, std::vector<int64_t>(Words, 0)));
+  };
+  Zeros(Prefix + "_key", MaxNodes);
+  Zeros(Prefix + "_left", MaxNodes);
+  Zeros(Prefix + "_right", MaxNodes);
+  if (WithParent)
+    Zeros(Prefix + "_parent", MaxNodes);
+  if (WithColor) {
+    // 0 = red, 1 = black. The NIL sentinel (node 0) must be black or the
+    // insert fixup would treat missing uncles as red forever.
+    std::vector<int64_t> Colors(MaxNodes, 0);
+    Colors[0] = 1;
+    M.Globals.push_back(ir::IRGlobal::fromWords(Prefix + "_color", Colors));
+  }
+  Zeros(Prefix + "_root", 1);
+  // Node 0 is NIL; allocation starts at 1.
+  M.Globals.push_back(ir::IRGlobal::fromWords(Prefix + "_count", {1}));
+}
+
+/// Emits `<prefix>_rotate_left(x)` / `<prefix>_rotate_right(x)` over the
+/// node globals (CLRS rotations with parent pointers).
+void emitRotations(IRModule &M, const std::string &P) {
+  for (bool LeftRot : {true, false}) {
+    IRBuilder B(M, P + (LeftRot ? "_rotate_left" : "_rotate_right"), 1);
+    GlobalArray Left(B, P + std::string("_left"));
+    GlobalArray Right(B, P + std::string("_right"));
+    GlobalArray Parent(B, P + std::string("_parent"));
+    Value Root = B.globalAddr(P + "_root");
+    GlobalArray &Down = LeftRot ? Right : Left; // x's child that rises.
+    GlobalArray &Up = LeftRot ? Left : Right;
+
+    Value X = B.param(0);
+    Value Y = Down.get(X);
+    // x.down = y.up
+    Down.set(Up.get(Y), X);
+    ifThen(B, B.icmp(Pred::NE, Up.get(Y), B.constInt(0)),
+           [&] { Parent.set(X, Up.get(Y)); });
+    // y.parent = x.parent
+    Parent.set(Parent.get(X), Y);
+    Value XP = Parent.get(X);
+    ifThenElse(
+        B, B.icmp(Pred::EQ, XP, B.constInt(0)),
+        [&] { B.store(Y, Root); },
+        [&] {
+          ifThenElse(
+              B, B.icmp(Pred::EQ, X, Left.get(XP)),
+              [&] { Left.set(Y, XP); }, [&] { Right.set(Y, XP); });
+        });
+    Up.set(X, Y);
+    Parent.set(Y, X);
+    B.ret(B.constInt(0));
+    B.finish();
+  }
+}
+
+} // namespace
+
+ir::IRModule bench::buildRedBlackTree() {
+  IRModule M;
+  M.Name = "RedBlackTree";
+  const char *P = "rbt";
+  addNodeGlobals(M, P, 256, /*WithColor=*/true, /*WithParent=*/true);
+  emitRotations(M, P);
+
+  // rbt_insert(key): CLRS insert + fixup.
+  {
+    IRBuilder B(M, "rbt_insert", 1);
+    GlobalArray Key(B, "rbt_key");
+    GlobalArray Left(B, "rbt_left");
+    GlobalArray Right(B, "rbt_right");
+    GlobalArray Parent(B, "rbt_parent");
+    GlobalArray Color(B, "rbt_color");
+    Value Root = B.globalAddr("rbt_root");
+    Value Count = B.globalAddr("rbt_count");
+    Value K = B.param(0);
+
+    // Allocate node z.
+    Value Z = B.load(Count);
+    B.store(B.add(Z, B.constInt(1)), Count);
+    Key.set(K, Z);
+    Left.set(B.constInt(0), Z);
+    Right.set(B.constInt(0), Z);
+    Color.set(B.constInt(0), Z); // Red.
+
+    // BST descent.
+    Value YVar = B.alloca_(8), XVar = B.alloca_(8);
+    B.store(B.constInt(0), YVar);
+    B.store(B.load(Root), XVar);
+    whileLoop(
+        B,
+        [&] { return B.icmp(Pred::NE, B.load(XVar), B.constInt(0)); },
+        [&] {
+          Value X = B.load(XVar);
+          B.store(X, YVar);
+          ifThenElse(
+              B, B.icmp(Pred::LT, K, Key.get(X)),
+              [&] { B.store(Left.get(X), XVar); },
+              [&] { B.store(Right.get(X), XVar); });
+        });
+    Value Y = B.load(YVar);
+    Parent.set(Y, Z);
+    ifThenElse(
+        B, B.icmp(Pred::EQ, Y, B.constInt(0)),
+        [&] { B.store(Z, Root); },
+        [&] {
+          ifThenElse(
+              B, B.icmp(Pred::LT, K, Key.get(Y)),
+              [&] { Left.set(Z, Y); }, [&] { Right.set(Z, Y); });
+        });
+
+    // Fixup.
+    Value ZVar = B.alloca_(8);
+    B.store(Z, ZVar);
+    whileLoop(
+        B,
+        [&] {
+          Value Zp = Parent.get(B.load(ZVar));
+          return B.icmp(Pred::EQ, Color.get(Zp), B.constInt(0));
+        },
+        [&] {
+          Value Zc = B.load(ZVar);
+          Value Zp = Parent.get(Zc);
+          Value Zg = Parent.get(Zp);
+          ifThenElse(
+              B, B.icmp(Pred::EQ, Zp, Left.get(Zg)),
+              [&] {
+                Value Uncle = Right.get(Zg);
+                ifThenElse(
+                    B, B.icmp(Pred::EQ, Color.get(Uncle), B.constInt(0)),
+                    [&] {
+                      Color.set(B.constInt(1), Zp);
+                      Color.set(B.constInt(1), Uncle);
+                      Color.set(B.constInt(0), Zg);
+                      B.store(Zg, ZVar);
+                    },
+                    [&] {
+                      ifThen(B, B.icmp(Pred::EQ, Zc, Right.get(Zp)), [&] {
+                        B.store(Zp, ZVar);
+                        B.call("rbt_rotate_left", {B.load(ZVar)});
+                      });
+                      Value Zc2 = B.load(ZVar);
+                      Value Zp2 = Parent.get(Zc2);
+                      Value Zg2 = Parent.get(Zp2);
+                      Color.set(B.constInt(1), Zp2);
+                      Color.set(B.constInt(0), Zg2);
+                      B.call("rbt_rotate_right", {Zg2});
+                    });
+              },
+              [&] {
+                Value Uncle = Left.get(Zg);
+                ifThenElse(
+                    B, B.icmp(Pred::EQ, Color.get(Uncle), B.constInt(0)),
+                    [&] {
+                      Color.set(B.constInt(1), Zp);
+                      Color.set(B.constInt(1), Uncle);
+                      Color.set(B.constInt(0), Zg);
+                      B.store(Zg, ZVar);
+                    },
+                    [&] {
+                      ifThen(B, B.icmp(Pred::EQ, Zc, Left.get(Zp)), [&] {
+                        B.store(Zp, ZVar);
+                        B.call("rbt_rotate_right", {B.load(ZVar)});
+                      });
+                      Value Zc2 = B.load(ZVar);
+                      Value Zp2 = Parent.get(Zc2);
+                      Value Zg2 = Parent.get(Zp2);
+                      Color.set(B.constInt(1), Zp2);
+                      Color.set(B.constInt(0), Zg2);
+                      B.call("rbt_rotate_left", {Zg2});
+                    });
+              });
+        });
+    Color.set(B.constInt(1), B.load(Root));
+    // NIL must stay black (fixup may have recolored it as an "uncle").
+    Color.set(B.constInt(1), B.constInt(0));
+    B.ret(B.constInt(0));
+    B.finish();
+  }
+
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t N = 96;
+  forLoop(B, B.constInt(0), B.constInt(N), [&](Value I) {
+    Value K = B.srem(B.add(B.mul(I, B.constInt(37)), B.constInt(11)),
+                     B.constInt(1000));
+    B.call("rbt_insert", {K});
+  });
+  // Iterative inorder traversal with an explicit stack.
+  GlobalArray Key(B, "rbt_key");
+  GlobalArray Left(B, "rbt_left");
+  GlobalArray Right(B, "rbt_right");
+  GlobalArray Color(B, "rbt_color");
+  Value Root = B.globalAddr("rbt_root");
+  Value Stack = B.alloca_(8 * 64);
+  Value Sp = B.alloca_(8);
+  Value Cur = B.alloca_(8);
+  Value Sum = B.alloca_(8);
+  Value PosC = B.alloca_(8);
+  B.store(B.constInt(0), Sp);
+  B.store(B.load(Root), Cur);
+  B.store(B.constInt(0), Sum);
+  B.store(B.constInt(0), PosC);
+  whileLoop(
+      B,
+      [&] {
+        Value HasCur = B.icmp(Pred::NE, B.load(Cur), B.constInt(0));
+        Value HasStack = B.icmp(Pred::GT, B.load(Sp), B.constInt(0));
+        return B.or_(HasCur, HasStack);
+      },
+      [&] {
+        whileLoop(
+            B,
+            [&] { return B.icmp(Pred::NE, B.load(Cur), B.constInt(0)); },
+            [&] {
+              B.storeIdx(B.load(Cur), Stack, B.load(Sp));
+              B.store(B.add(B.load(Sp), B.constInt(1)), Sp);
+              B.store(Left.get(B.load(Cur)), Cur);
+            });
+        B.store(B.sub(B.load(Sp), B.constInt(1)), Sp);
+        Value Node = B.loadIdx(Stack, B.load(Sp));
+        B.store(B.add(B.load(PosC), B.constInt(1)), PosC);
+        Value Term = B.mul(Key.get(Node), B.load(PosC));
+        B.store(B.add(B.load(Sum), B.srem(Term, B.constInt(1000003))), Sum);
+        B.store(Right.get(Node), Cur);
+      });
+  // Fold in the number of black nodes (checks the recoloring logic).
+  Value Blacks = B.alloca_(8);
+  B.store(B.constInt(0), Blacks);
+  forLoop(B, B.constInt(1), B.constInt(N + 1), [&](Value I) {
+    B.store(B.add(B.load(Blacks), Color.get(I)), Blacks);
+  });
+  B.ret(B.add(B.load(Sum), B.mul(B.load(Blacks), B.constInt(1000000))));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildSplayTree() {
+  IRModule M;
+  M.Name = "SplayTree";
+  const char *P = "spl";
+  addNodeGlobals(M, P, 256, /*WithColor=*/false, /*WithParent=*/true);
+  emitRotations(M, P);
+
+  // spl_rotate_up(x): rotates x one level up.
+  {
+    IRBuilder B(M, "spl_rotate_up", 1);
+    GlobalArray Left(B, "spl_left");
+    GlobalArray Parent(B, "spl_parent");
+    Value X = B.param(0);
+    Value Pn = Parent.get(X);
+    ifThenElse(
+        B, B.icmp(Pred::EQ, X, Left.get(Pn)),
+        [&] { B.call("spl_rotate_right", {Pn}); },
+        [&] { B.call("spl_rotate_left", {Pn}); });
+    B.ret(B.constInt(0));
+    B.finish();
+  }
+  // spl_splay(x): bottom-up splay with zig / zig-zig / zig-zag.
+  {
+    IRBuilder B(M, "spl_splay", 1);
+    GlobalArray Left(B, "spl_left");
+    GlobalArray Parent(B, "spl_parent");
+    Value X = B.param(0);
+    whileLoop(
+        B,
+        [&] { return B.icmp(Pred::NE, Parent.get(X), B.constInt(0)); },
+        [&] {
+          Value Pn = Parent.get(X);
+          Value G = Parent.get(Pn);
+          ifThenElse(
+              B, B.icmp(Pred::EQ, G, B.constInt(0)),
+              [&] { B.call("spl_rotate_up", {X}); }, // Zig.
+              [&] {
+                Value XIsLeft = B.icmp(Pred::EQ, X, Left.get(Pn));
+                Value PIsLeft = B.icmp(Pred::EQ, Pn, Left.get(G));
+                ifThenElse(
+                    B, B.icmp(Pred::EQ, XIsLeft, PIsLeft),
+                    [&] { // Zig-zig: rotate parent first.
+                      B.call("spl_rotate_up", {Pn});
+                      B.call("spl_rotate_up", {X});
+                    },
+                    [&] { // Zig-zag: rotate x twice.
+                      B.call("spl_rotate_up", {X});
+                      B.call("spl_rotate_up", {X});
+                    });
+              });
+        });
+    B.ret(B.constInt(0));
+    B.finish();
+  }
+  // spl_insert(key): plain BST insert, then splay the new node.
+  {
+    IRBuilder B(M, "spl_insert", 1);
+    GlobalArray Key(B, "spl_key");
+    GlobalArray Left(B, "spl_left");
+    GlobalArray Right(B, "spl_right");
+    GlobalArray Parent(B, "spl_parent");
+    Value Root = B.globalAddr("spl_root");
+    Value Count = B.globalAddr("spl_count");
+    Value K = B.param(0);
+    Value Z = B.load(Count);
+    B.store(B.add(Z, B.constInt(1)), Count);
+    Key.set(K, Z);
+    Left.set(B.constInt(0), Z);
+    Right.set(B.constInt(0), Z);
+    Parent.set(B.constInt(0), Z);
+
+    Value YVar = B.alloca_(8), XVar = B.alloca_(8);
+    B.store(B.constInt(0), YVar);
+    B.store(B.load(Root), XVar);
+    whileLoop(
+        B, [&] { return B.icmp(Pred::NE, B.load(XVar), B.constInt(0)); },
+        [&] {
+          Value X = B.load(XVar);
+          B.store(X, YVar);
+          ifThenElse(
+              B, B.icmp(Pred::LT, K, Key.get(X)),
+              [&] { B.store(Left.get(X), XVar); },
+              [&] { B.store(Right.get(X), XVar); });
+        });
+    Value Y = B.load(YVar);
+    Parent.set(Y, Z);
+    ifThenElse(
+        B, B.icmp(Pred::EQ, Y, B.constInt(0)),
+        [&] { B.store(Z, Root); },
+        [&] {
+          ifThenElse(
+              B, B.icmp(Pred::LT, K, Key.get(Y)),
+              [&] { Left.set(Z, Y); }, [&] { Right.set(Z, Y); });
+        });
+    B.call("spl_splay", {Z});
+    B.ret(B.constInt(0));
+    B.finish();
+  }
+
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t N = 80;
+  GlobalArray Key(B, "spl_key");
+  Value Root = B.globalAddr("spl_root");
+  Value Sum = B.alloca_(8);
+  B.store(B.constInt(0), Sum);
+  forLoop(B, B.constInt(0), B.constInt(N), [&](Value I) {
+    Value K = B.srem(B.add(B.mul(I, B.constInt(53)), B.constInt(7)),
+                     B.constInt(997));
+    B.call("spl_insert", {K});
+    // After splaying, the inserted key must be at the root.
+    B.store(B.add(B.load(Sum),
+                  B.srem(Key.get(B.load(Root)), B.constInt(10007))),
+            Sum);
+  });
+  B.ret(B.load(Sum));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildEncodeAndDecodeTree() {
+  IRModule M;
+  M.Name = "EncodeAndDecodeTree";
+  addNodeGlobals(M, "edt", 160, false, false);  // Original tree.
+  addNodeGlobals(M, "edt2", 160, false, false); // Decoded tree.
+  M.Globals.push_back(
+      ir::IRGlobal::fromWords("edt_buf", std::vector<int64_t>(512, 0)));
+
+  // edt_insert(key): plain BST insert into the original tree.
+  {
+    IRBuilder B(M, "edt_insert", 1);
+    GlobalArray Key(B, "edt_key");
+    GlobalArray Left(B, "edt_left");
+    GlobalArray Right(B, "edt_right");
+    Value Root = B.globalAddr("edt_root");
+    Value Count = B.globalAddr("edt_count");
+    Value K = B.param(0);
+    Value Z = B.load(Count);
+    B.store(B.add(Z, B.constInt(1)), Count);
+    Key.set(K, Z);
+    Left.set(B.constInt(0), Z);
+    Right.set(B.constInt(0), Z);
+    ifThenElse(
+        B, B.icmp(Pred::EQ, B.load(Root), B.constInt(0)),
+        [&] { B.store(Z, Root); },
+        [&] {
+          Value Cur = B.alloca_(8);
+          B.store(B.load(Root), Cur);
+          Value Done = B.alloca_(8);
+          B.store(B.constInt(0), Done);
+          whileLoop(
+              B,
+              [&] {
+                return B.icmp(Pred::EQ, B.load(Done), B.constInt(0));
+              },
+              [&] {
+                Value X = B.load(Cur);
+                ifThenElse(
+                    B, B.icmp(Pred::LT, K, Key.get(X)),
+                    [&] {
+                      ifThenElse(
+                          B,
+                          B.icmp(Pred::EQ, Left.get(X), B.constInt(0)),
+                          [&] {
+                            Left.set(Z, X);
+                            B.store(B.constInt(1), Done);
+                          },
+                          [&] { B.store(Left.get(X), Cur); });
+                    },
+                    [&] {
+                      ifThenElse(
+                          B,
+                          B.icmp(Pred::EQ, Right.get(X), B.constInt(0)),
+                          [&] {
+                            Right.set(Z, X);
+                            B.store(B.constInt(1), Done);
+                          },
+                          [&] { B.store(Right.get(X), Cur); });
+                    });
+              });
+        });
+    B.ret(B.constInt(0));
+    B.finish();
+  }
+  // edt_encode(node, posPtr): preorder with -1 sentinels.
+  {
+    IRBuilder B(M, "edt_encode", 2);
+    GlobalArray Key(B, "edt_key");
+    GlobalArray Left(B, "edt_left");
+    GlobalArray Right(B, "edt_right");
+    Value Buf = B.globalAddr("edt_buf");
+    Value Node = B.param(0), PosPtr = B.param(1);
+    auto Push = [&](Value V) {
+      B.storeIdx(V, Buf, B.load(PosPtr));
+      B.store(B.add(B.load(PosPtr), B.constInt(1)), PosPtr);
+    };
+    ifThenElse(
+        B, B.icmp(Pred::EQ, Node, B.constInt(0)),
+        [&] { Push(B.constInt(-1)); },
+        [&] {
+          Push(Key.get(Node));
+          B.call("edt_encode", {Left.get(Node), PosPtr});
+          B.call("edt_encode", {Right.get(Node), PosPtr});
+        });
+    B.ret(B.constInt(0));
+    B.finish();
+  }
+  // edt_decode(posPtr) -> node index in the second tree.
+  {
+    IRBuilder B(M, "edt_decode", 1);
+    GlobalArray Key2(B, "edt2_key");
+    GlobalArray Left2(B, "edt2_left");
+    GlobalArray Right2(B, "edt2_right");
+    Value Count2 = B.globalAddr("edt2_count");
+    Value Buf = B.globalAddr("edt_buf");
+    Value PosPtr = B.param(0);
+    Value V = B.loadIdx(Buf, B.load(PosPtr));
+    B.store(B.add(B.load(PosPtr), B.constInt(1)), PosPtr);
+    Value Ret = B.alloca_(8);
+    ifThenElse(
+        B, B.icmp(Pred::EQ, V, B.constInt(-1)),
+        [&] { B.store(B.constInt(0), Ret); },
+        [&] {
+          Value N = B.load(Count2);
+          B.store(B.add(N, B.constInt(1)), Count2);
+          Key2.set(V, N);
+          Left2.set(B.call("edt_decode", {PosPtr}), N);
+          Right2.set(B.call("edt_decode", {PosPtr}), N);
+          B.store(N, Ret);
+        });
+    B.ret(B.load(Ret));
+    B.finish();
+  }
+  // Weighted inorder checksums of both trees.
+  for (const char *Pfx : {"edt", "edt2"}) {
+    IRBuilder B(M, std::string(Pfx) + "_inorder", 2);
+    GlobalArray Key(B, std::string(Pfx) + "_key");
+    GlobalArray Left(B, std::string(Pfx) + "_left");
+    GlobalArray Right(B, std::string(Pfx) + "_right");
+    Value Node = B.param(0), Depth = B.param(1);
+    Value Ret = B.alloca_(8);
+    ifThenElse(
+        B, B.icmp(Pred::EQ, Node, B.constInt(0)),
+        [&] { B.store(B.constInt(0), Ret); },
+        [&] {
+          Value D1 = B.add(Depth, B.constInt(1));
+          Value L = B.call(std::string(Pfx) + "_inorder",
+                           {Left.get(Node), D1});
+          Value R = B.call(std::string(Pfx) + "_inorder",
+                           {Right.get(Node), D1});
+          Value Mid = B.mul(Key.get(Node), Depth);
+          B.store(B.add(B.add(L, Mid), R), Ret);
+        });
+    B.ret(B.load(Ret));
+    B.finish();
+  }
+
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t N = 64;
+  Value Rng = lcgInit(B, 1357);
+  forLoop(B, B.constInt(0), B.constInt(N), [&](Value) {
+    B.call("edt_insert", {B.srem(lcgNext(B, Rng), B.constInt(4096))});
+  });
+  Value PosPtr = B.alloca_(8);
+  B.store(B.constInt(0), PosPtr);
+  Value Root = B.globalAddr("edt_root");
+  B.call("edt_encode", {B.load(Root), PosPtr});
+  Value EncodedLen = B.load(PosPtr);
+  B.store(B.constInt(0), PosPtr);
+  Value Root2 = B.call("edt_decode", {PosPtr});
+  Value S1 = B.call("edt_inorder", {B.load(Root), B.constInt(1)});
+  Value S2 = B.call("edt2_inorder", {Root2, B.constInt(1)});
+  Value Match = B.icmp(Pred::EQ, S1, S2);
+  B.ret(B.add(B.add(B.mul(Match, B.constInt(100000000)),
+                    B.srem(S1, B.constInt(1000000))),
+              B.mul(EncodedLen, B.constInt(100))));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildHashTable() {
+  IRModule M;
+  M.Name = "HashTable";
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t Cap = 256, Inserts = 150, Lookups = 300;
+  Value Table = B.alloca_(8 * Cap);
+  Value Rng = lcgInit(B, 86420);
+  forLoop(B, B.constInt(0), B.constInt(Cap), [&](Value I) {
+    B.storeIdx(B.constInt(-1), Table, I);
+  });
+  auto EmitHash = [&](Value K) {
+    return B.and_(B.mul(K, B.constInt(2654435761ll)),
+                  B.constInt(Cap - 1));
+  };
+  // Open-addressing insert (linear probing). Keys are < 2^20.
+  forLoop(B, B.constInt(0), B.constInt(Inserts), [&](Value) {
+    Value K = B.and_(lcgNext(B, Rng), B.constInt((1 << 20) - 1));
+    Value Slot = B.alloca_(8);
+    B.store(EmitHash(K), Slot);
+    Value Done = B.alloca_(8);
+    B.store(B.constInt(0), Done);
+    whileLoop(
+        B, [&] { return B.icmp(Pred::EQ, B.load(Done), B.constInt(0)); },
+        [&] {
+          Value Cur = B.loadIdx(Table, B.load(Slot));
+          Value Empty = B.icmp(Pred::EQ, Cur, B.constInt(-1));
+          Value Same = B.icmp(Pred::EQ, Cur, K);
+          ifThenElse(
+              B, B.or_(Empty, Same),
+              [&] {
+                B.storeIdx(K, Table, B.load(Slot));
+                B.store(B.constInt(1), Done);
+              },
+              [&] {
+                B.store(B.and_(B.add(B.load(Slot), B.constInt(1)),
+                               B.constInt(Cap - 1)),
+                        Slot);
+              });
+        });
+  });
+  // Lookups with a fresh generator half-overlapping the inserted keys.
+  Value Rng2 = lcgInit(B, 86420);
+  Value Hits = B.alloca_(8);
+  B.store(B.constInt(0), Hits);
+  forLoop(B, B.constInt(0), B.constInt(Lookups), [&](Value I) {
+    Value Raw = B.and_(lcgNext(B, Rng2), B.constInt((1 << 20) - 1));
+    // Even lookups reuse real keys; odd lookups perturb them.
+    Value K = B.add(Raw, B.srem(I, B.constInt(2)));
+    Value Slot = B.alloca_(8);
+    B.store(EmitHash(K), Slot);
+    Value Probes = B.alloca_(8);
+    B.store(B.constInt(0), Probes);
+    Value Done = B.alloca_(8);
+    B.store(B.constInt(0), Done);
+    whileLoop(
+        B,
+        [&] {
+          Value NotDone = B.icmp(Pred::EQ, B.load(Done), B.constInt(0));
+          Value InBudget =
+              B.icmp(Pred::LT, B.load(Probes), B.constInt(Cap));
+          return B.and_(NotDone, InBudget);
+        },
+        [&] {
+          Value Cur = B.loadIdx(Table, B.load(Slot));
+          ifThenElse(
+              B, B.icmp(Pred::EQ, Cur, K),
+              [&] {
+                B.store(B.add(B.load(Hits), B.constInt(1)), Hits);
+                B.store(B.constInt(1), Done);
+              },
+              [&] {
+                ifThenElse(
+                    B, B.icmp(Pred::EQ, Cur, B.constInt(-1)),
+                    [&] { B.store(B.constInt(1), Done); },
+                    [&] {
+                      B.store(B.and_(B.add(B.load(Slot), B.constInt(1)),
+                                     B.constInt(Cap - 1)),
+                              Slot);
+                      B.store(B.add(B.load(Probes), B.constInt(1)),
+                              Probes);
+                    });
+              });
+        });
+  });
+  // Occupancy.
+  Value Occ = B.alloca_(8);
+  B.store(B.constInt(0), Occ);
+  forLoop(B, B.constInt(0), B.constInt(Cap), [&](Value I) {
+    ifThen(B, B.icmp(Pred::NE, B.loadIdx(Table, I), B.constInt(-1)),
+           [&] { B.store(B.add(B.load(Occ), B.constInt(1)), Occ); });
+  });
+  B.ret(B.add(B.mul(B.load(Hits), B.constInt(1000)), B.load(Occ)));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildLRUCache() {
+  IRModule M;
+  M.Name = "LRUCache";
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t Cap = 16, Ops = 500;
+  Value Keys = B.alloca_(8 * Cap);
+  Value Vals = B.alloca_(8 * Cap);
+  Value Age = B.alloca_(8 * Cap);
+  Value Clock = B.alloca_(8);
+  Value Hits = B.alloca_(8);
+  Value Rng = lcgInit(B, 24680);
+  forLoop(B, B.constInt(0), B.constInt(Cap), [&](Value I) {
+    B.storeIdx(B.constInt(-1), Keys, I);
+    B.storeIdx(B.constInt(0), Vals, I);
+    B.storeIdx(B.constInt(0), Age, I);
+  });
+  B.store(B.constInt(0), Clock);
+  B.store(B.constInt(0), Hits);
+
+  forLoop(B, B.constInt(0), B.constInt(Ops), [&](Value Op) {
+    Value K = B.srem(lcgNext(B, Rng), B.constInt(40));
+    B.store(B.add(B.load(Clock), B.constInt(1)), Clock);
+    // Linear scan for the key.
+    Value Found = B.alloca_(8);
+    B.store(B.constInt(-1), Found);
+    forLoop(B, B.constInt(0), B.constInt(Cap), [&](Value I) {
+      ifThen(B, B.icmp(Pred::EQ, B.loadIdx(Keys, I), K),
+             [&] { B.store(I, Found); });
+    });
+    ifThenElse(
+        B, B.icmp(Pred::GE, B.load(Found), B.constInt(0)),
+        [&] { // Hit: refresh age.
+          B.store(B.add(B.load(Hits), B.constInt(1)), Hits);
+          B.storeIdx(B.load(Clock), Age, B.load(Found));
+        },
+        [&] { // Miss: evict the LRU slot.
+          Value Victim = B.alloca_(8);
+          Value BestAge = B.alloca_(8);
+          B.store(B.constInt(0), Victim);
+          B.store(B.loadIdx(Age, B.constInt(0)), BestAge);
+          forLoop(B, B.constInt(1), B.constInt(Cap), [&](Value I) {
+            ifThen(B, B.icmp(Pred::LT, B.loadIdx(Age, I), B.load(BestAge)),
+                   [&] {
+                     B.store(I, Victim);
+                     B.store(B.loadIdx(Age, I), BestAge);
+                   });
+          });
+          B.storeIdx(K, Keys, B.load(Victim));
+          B.storeIdx(B.mul(K, Op), Vals, B.load(Victim));
+          B.storeIdx(B.load(Clock), Age, B.load(Victim));
+        });
+  });
+  Value VSum = B.alloca_(8);
+  B.store(B.constInt(0), VSum);
+  forLoop(B, B.constInt(0), B.constInt(Cap), [&](Value I) {
+    B.store(B.add(B.load(VSum), B.srem(B.loadIdx(Vals, I),
+                                       B.constInt(1000))),
+            VSum);
+  });
+  B.ret(B.add(B.mul(B.load(Hits), B.constInt(100000)), B.load(VSum)));
+  B.finish();
+  return M;
+}
+
+ir::IRModule bench::buildOctTree() {
+  IRModule M;
+  M.Name = "OctTree";
+  IRBuilder B(M, "bench_main", 0);
+  const int64_t MaxNodes = 1600, Points = 128, Depth = 4;
+  Value Children = B.alloca_(8 * MaxNodes * 8);
+  Value CountVar = B.alloca_(8);
+  Value Rng = lcgInit(B, 111);
+  forLoop(B, B.constInt(0), B.constInt(MaxNodes * 8), [&](Value I) {
+    B.storeIdx(B.constInt(0), Children, I);
+  });
+  B.store(B.constInt(2), CountVar); // 0 unused, 1 = root.
+
+  Value OctSum = B.alloca_(8);
+  B.store(B.constInt(0), OctSum);
+  forLoop(B, B.constInt(0), B.constInt(Points), [&](Value) {
+    Value X = B.srem(lcgNext(B, Rng), B.constInt(64));
+    Value Y = B.srem(lcgNext(B, Rng), B.constInt(64));
+    Value Z = B.srem(lcgNext(B, Rng), B.constInt(64));
+    Value Node = B.alloca_(8);
+    Value Cx = B.alloca_(8), Cy = B.alloca_(8), Cz = B.alloca_(8);
+    Value Half = B.alloca_(8);
+    B.store(B.constInt(1), Node);
+    B.store(B.constInt(32), Cx);
+    B.store(B.constInt(32), Cy);
+    B.store(B.constInt(32), Cz);
+    B.store(B.constInt(16), Half);
+    forLoop(B, B.constInt(0), B.constInt(Depth), [&](Value) {
+      Value Ox = B.icmp(Pred::GE, X, B.load(Cx));
+      Value Oy = B.icmp(Pred::GE, Y, B.load(Cy));
+      Value Oz = B.icmp(Pred::GE, Z, B.load(Cz));
+      Value Oct = B.add(Ox, B.add(B.mul(Oy, B.constInt(2)),
+                                  B.mul(Oz, B.constInt(4))));
+      Value Slot = B.add(B.mul(B.load(Node), B.constInt(8)), Oct);
+      Value Child = B.loadIdx(Children, Slot);
+      ifThen(B, B.icmp(Pred::EQ, Child, B.constInt(0)), [&] {
+        B.storeIdx(B.load(CountVar), Children, Slot);
+        B.store(B.add(B.load(CountVar), B.constInt(1)), CountVar);
+      });
+      B.store(B.loadIdx(Children, Slot), Node);
+      // Move the centre toward the point.
+      auto Step = [&](Value C, Value Flag) {
+        Value Delta = B.select(B.icmp(Pred::NE, Flag, B.constInt(0)),
+                               B.load(Half),
+                               B.sub(B.constInt(0), B.load(Half)));
+        B.store(B.add(B.load(C), Delta), C);
+      };
+      Step(Cx, Ox);
+      Step(Cy, Oy);
+      Step(Cz, Oz);
+      B.store(B.ashr(B.load(Half), B.constInt(1)), Half);
+      B.store(B.add(B.load(OctSum), Oct), OctSum);
+    });
+  });
+  B.ret(B.add(B.mul(B.load(CountVar), B.constInt(31)), B.load(OctSum)));
+  B.finish();
+  return M;
+}

@@ -1,0 +1,592 @@
+//===- synth/CorpusSynthesizer.cpp - Executable corpus generation ---------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/CorpusSynthesizer.h"
+
+#include "mir/MIRBuilder.h"
+
+#include <cassert>
+
+using namespace mco;
+
+namespace {
+
+/// Mixes a stream id into a seed so every module draws an independent,
+/// reproducible random stream.
+uint64_t subSeed(uint64_t Seed, uint64_t Stream) {
+  return Seed * 0x9E3779B97F4A7C15ull + Stream * 0xD1B54A32D192ED03ull + 1;
+}
+
+/// Registers that, at run time, are guaranteed to hold either a live
+/// object or zero (x21 is reserved as the span-driver loop counter and the
+/// feature functions' allocation stash, so it is never used as a
+/// retain/release source).
+const Reg RcSourceRegs[] = {Reg::X19, Reg::X20, Reg::X22, Reg::X23,
+                            Reg::X24, Reg::X25, Reg::X26, Reg::X27,
+                            Reg::X28};
+constexpr unsigned NumRcSources = 9;
+
+/// The four runtime (retain, release) pairs.
+const char *retainName(unsigned Kind) {
+  return Kind == 0 ? "swift_retain" : "objc_retain";
+}
+const char *releaseName(unsigned Kind) {
+  return Kind == 0 ? "swift_release" : "objc_release";
+}
+
+/// Emits the Listing 7 frame-construction sequence: allocate the frame,
+/// save LR, then STP the callee-saved pairs.
+void emitPrologue(MIRBuilder &B, unsigned Pairs, int64_t Frame) {
+  B.subri(Reg::SP, Reg::SP, Frame);
+  B.str(LR, Reg::SP, Frame - 8);
+  for (unsigned Pq = 0; Pq < Pairs; ++Pq)
+    B.stp(xreg(19 + 2 * Pq), xreg(20 + 2 * Pq), Reg::SP, 16 * Pq);
+}
+
+/// Emits the Listing 8 frame-destruction sequence.
+void emitEpilogue(MIRBuilder &B, unsigned Pairs, int64_t Frame) {
+  for (unsigned Pq = Pairs; Pq-- > 0;)
+    B.ldp(xreg(19 + 2 * Pq), xreg(20 + 2 * Pq), Reg::SP, 16 * Pq);
+  B.ldr(LR, Reg::SP, Frame - 8);
+  B.addri(Reg::SP, Reg::SP, Frame);
+  B.ret();
+}
+
+} // namespace
+
+void CorpusSynthesizer::emitSharedModule(Program &Prog) const {
+  Module &M = Prog.addModule("libshared");
+
+  // Class metadata globals for swift_allocObject, plus the stack guard.
+  for (unsigned C = 0; C < P.AllocClassRanks; ++C) {
+    GlobalData G;
+    G.Name = Prog.internSymbol("meta_" + std::to_string(C));
+    G.Bytes.assign(16, 0);
+    G.OriginModule = 0;
+    M.Globals.push_back(G);
+  }
+  {
+    GlobalData G;
+    G.Name = Prog.internSymbol("__stack_chk_guard");
+    G.Bytes.assign(8, 0xAB);
+    G.OriginModule = 0;
+    M.Globals.push_back(G);
+  }
+
+  // Shared helper functions: small leaves with a handful of body shapes.
+  Rng R(subSeed(P.Seed, 0xBEEF));
+  for (unsigned H = 0; H < P.HelperCallRanks; ++H) {
+    MachineFunction MF;
+    MF.Name = Prog.internSymbol("helper_" + std::to_string(H));
+    MF.OriginModule = 0;
+    MIRBuilder B(MF.addBlock());
+    switch (H % 5) {
+    case 0:
+      B.addri(Reg::X0, Reg::X0, (H % 97) + 1);
+      break;
+    case 1:
+      B.eorrr(Reg::X0, Reg::X0, Reg::X1);
+      B.addri(Reg::X0, Reg::X0, (H % 89) + 1);
+      break;
+    case 2:
+      B.addrr(Reg::X0, Reg::X0, Reg::X1);
+      B.asrri(Reg::X0, Reg::X0, (H % 5) + 1);
+      B.addri(Reg::X0, Reg::X0, (H % 83));
+      break;
+    case 3:
+      B.movri(Reg::X9, static_cast<int64_t>(R.nextBounded(1000)));
+      B.addrr(Reg::X0, Reg::X0, Reg::X9);
+      break;
+    case 4:
+      B.lslri(Reg::X0, Reg::X0, 1);
+      B.addri(Reg::X0, Reg::X0, (H % 101));
+      break;
+    }
+    B.ret();
+    M.Functions.push_back(MF);
+  }
+}
+
+void CorpusSynthesizer::emitFeatureModule(Program &Prog,
+                                          unsigned Index) const {
+  const std::string MN = "feature" + std::to_string(Index);
+  Module &M = Prog.addModule(MN);
+  const uint32_t Origin = Index + 1; // 0 is libshared.
+  Rng R(subSeed(P.Seed, Index + 1));
+  ZipfSampler HelperZipf(P.HelperCallRanks, P.ZipfS);
+  ZipfSampler RcZipf(P.RetainReleaseRanks, P.ZipfS);
+  ZipfSampler AllocZipf(P.AllocClassRanks, P.ZipfS);
+  ZipfSampler GlobalZipf(P.GlobalsPerModule, P.ZipfS);
+
+  // Module globals (feature data; same-module affinity matters for the
+  // Section VI experiment).
+  for (unsigned G = 0; G < P.GlobalsPerModule; ++G) {
+    GlobalData GD;
+    GD.Name =
+        Prog.internSymbol("g_" + std::to_string(Index) + "_" +
+                          std::to_string(G));
+    GD.Bytes.assign(P.GlobalWords * 8, 0);
+    GD.OriginModule = Origin;
+    M.Globals.push_back(GD);
+  }
+
+  // Module-local helpers (the non-cross-module share of call idioms).
+  const unsigned NumLocalHelpers = 12;
+  for (unsigned H = 0; H < NumLocalHelpers; ++H) {
+    MachineFunction MF;
+    MF.Name = Prog.internSymbol("lhelper_" + std::to_string(Index) + "_" +
+                                std::to_string(H));
+    MF.OriginModule = Origin;
+    MIRBuilder B(MF.addBlock());
+    B.addri(Reg::X0, Reg::X0, Index * 12 + H + 2);
+    B.eorrr(Reg::X0, Reg::X0, Reg::X1);
+    B.ret();
+    M.Functions.push_back(MF);
+  }
+
+  // Decode helpers used by the try-init class (identity on x0; identical
+  // bodies across modules — MergeFunctions fodder, as in real apps).
+  for (unsigned D = 0; D < 6; ++D) {
+    MachineFunction MF;
+    MF.Name = Prog.internSymbol("decode_" + std::to_string(Index) + "_" +
+                                std::to_string(D));
+    MF.OriginModule = Origin;
+    MIRBuilder B(MF.addBlock());
+    // Identity on x0 with per-(module, kind) scratch work; a handful of
+    // decode bodies still coincide across modules (MergeFunctions fodder,
+    // ~1% as in the paper, not more).
+    B.movrr(Reg::X9, Reg::X0);
+    B.addri(Reg::X10, Reg::X9, (Index * 31 + D * 7) % 600);
+    B.movrr(Reg::X0, Reg::X9);
+    B.ret();
+    M.Functions.push_back(MF);
+  }
+
+  // Config getter families: identical skeletons differing only in one or
+  // two immediates (FMSA-style merge fodder, Table I).
+  for (unsigned Fam = 0; Fam < P.ConfigGetterFamilies; ++Fam) {
+    // The family skeleton (registers, shift, op order) is a deterministic
+    // function of (module, family), so the five members of a family are
+    // identical up to their two immediates — mergeable by the FMSA-style
+    // pass — while different families rarely share whole tails.
+    uint64_t H = subSeed(P.Seed, (uint64_t(Index) << 16) | (Fam + 1));
+    Reg R1 = xreg(8 + (H % 8));
+    Reg R2 = xreg(8 + ((H >> 3) % 8));
+    if (R2 == R1)
+      R2 = xreg(8 + (regIndex(R2) - 8 + 1) % 8);
+    Reg R3 = xreg(8 + ((H >> 6) % 8));
+    if (R3 == R1 || R3 == R2)
+      R3 = xreg(8 + (regIndex(R3) - 8 + 3) % 8);
+    if (R3 == R1 || R3 == R2)
+      R3 = xreg(8 + (regIndex(R3) - 8 + 3) % 8);
+    int64_t Shift = 1 + (H >> 9) % 6;
+    bool EorFirst = ((H >> 12) & 1) != 0;
+    for (unsigned K = 0; K < P.ConfigGetterFamilySize; ++K) {
+      MachineFunction MF;
+      MF.Name = Prog.internSymbol("cfg_" + std::to_string(Index) + "_" +
+                                  std::to_string(Fam) + "_" +
+                                  std::to_string(K));
+      MF.OriginModule = Origin;
+      MIRBuilder B(MF.addBlock());
+      B.movri(R1, static_cast<int64_t>(7919 * Index + 1000 * Fam + 17 * K + 3));
+      B.movri(R2, static_cast<int64_t>(4409 * Index + 500 * Fam + 31 * K + 7));
+      B.addrr(R3, R1, R2);
+      if (EorFirst) {
+        B.eorrr(R3, R3, R1);
+        B.asrri(R3, R3, Shift);
+      } else {
+        B.asrri(R3, R3, Shift);
+        B.eorrr(R3, R3, R1);
+      }
+      B.addrr(Reg::X0, R3, R2);
+      B.ret();
+      M.Functions.push_back(MF);
+    }
+  }
+
+  // Feature functions.
+  for (unsigned F = 0; F < P.FunctionsPerModule; ++F) {
+    MachineFunction MF;
+    MF.Name = Prog.internSymbol("feature_" + std::to_string(Index) + "_" +
+                                std::to_string(F));
+    MF.OriginModule = Origin;
+    const bool IsHotFn = F < P.HotFunctionsPerModule;
+    const unsigned Pairs =
+        IsHotFn ? 1
+                : 1 + static_cast<unsigned>(
+                          R.nextBounded(P.MaxCalleeSavedPairs));
+    const int64_t LocalsBase = 16 * Pairs;
+    const int64_t Frame = LocalsBase + 128 + 16;
+    MIRBuilder B(MF.addBlock());
+    emitPrologue(B, Pairs, Frame);
+
+    // Pending cleanup emitted before the epilogue.
+    std::vector<std::pair<Reg, unsigned>> PendingReleases;
+    bool StashUsed = false;
+
+    // Weighted idiom choice per the profile's mix.
+    enum class Idiom {
+      RetainRelease,
+      HelperCall,
+      AllocRelease,
+      GlobalUpdate,
+      Arith,
+      SpillBurst,
+      StackGuard,
+    };
+    // Maturity model: later modules carry less unique logic and reuse the
+    // app-wide vocabulary more (see AppProfile).
+    unsigned MaturityDrop = Index / P.MaturityArithDivisor;
+    unsigned EffArith = P.WeightArith > P.MinWeightArith + MaturityDrop
+                            ? P.WeightArith - MaturityDrop
+                            : P.MinWeightArith;
+    double EffShare = P.CrossModuleShare + Index * P.MaturityShareStep;
+    if (EffShare > P.MaxCrossModuleShare)
+      EffShare = P.MaxCrossModuleShare;
+    const std::pair<Idiom, unsigned> Mix[] = {
+        {Idiom::RetainRelease, P.WeightRetainRelease},
+        {Idiom::HelperCall, P.WeightHelperCall},
+        {Idiom::AllocRelease, P.WeightAllocRelease},
+        {Idiom::GlobalUpdate, P.WeightGlobalUpdate},
+        {Idiom::Arith, EffArith},
+        {Idiom::SpillBurst, P.WeightSpillBurst},
+        {Idiom::StackGuard, P.WeightStackGuard},
+    };
+    unsigned TotalWeight = 0;
+    for (const auto &KV : Mix)
+      TotalWeight += KV.second;
+    assert(TotalWeight > 0 && "profile has an empty idiom mix");
+    auto SampleIdiom = [&]() {
+      // Hot paths stick to call-convention traffic (retain/release and
+      // shared-helper calls); allocation, cold-data updates, and spill
+      // bursts live in the cold, boilerplate-heavy functions.
+      if (IsHotFn) {
+        // Hot paths: call-convention traffic plus feature-data updates
+        // (the data accesses the Section VI experiment observes).
+        uint64_t Roll = R.nextBounded(10);
+        if (Roll < 2)
+          return Idiom::GlobalUpdate;
+        if (Roll < 6 && P.WeightRetainRelease > 0)
+          return Idiom::RetainRelease;
+        return Idiom::HelperCall;
+      }
+      uint64_t Roll = R.nextBounded(TotalWeight);
+      for (const auto &KV : Mix) {
+        if (Roll < KV.second)
+          return KV.first;
+        Roll -= KV.second;
+      }
+      return Idiom::Arith;
+    };
+
+    // Hot functions carry a couple of idioms plus a long unique body;
+    // cold functions are boilerplate-heavy (see AppProfile).
+    const bool IsHot = IsHotFn;
+    const unsigned NumIdioms =
+        IsHot ? 1 + static_cast<unsigned>(R.nextBounded(2))
+              : P.MeanIdiomsPerFunction / 2 +
+                    static_cast<unsigned>(
+                        R.nextBounded(P.MeanIdiomsPerFunction));
+    if (IsHot) {
+      unsigned Len = P.HotUniqueMinInstrs +
+                     static_cast<unsigned>(R.nextBounded(
+                         P.HotUniqueMaxInstrs - P.HotUniqueMinInstrs + 1));
+      for (unsigned K = 0; K < Len; ++K) {
+        Reg D = xreg(8 + R.nextBounded(8));
+        Reg A = xreg(8 + R.nextBounded(8));
+        switch (R.nextBounded(3)) {
+        case 0:
+          B.addri(D, A, static_cast<int64_t>(R.nextBounded(P.ArithImmRange)));
+          break;
+        case 1:
+          B.eorrr(D, A, xreg(8 + R.nextBounded(8)));
+          break;
+        case 2:
+          B.subri(D, A, static_cast<int64_t>(R.nextBounded(P.ArithImmRange)));
+          break;
+        }
+      }
+    }
+    for (unsigned I = 0; I < NumIdioms; ++I) {
+      switch (SampleIdiom()) {
+      case Idiom::RetainRelease: { // Balanced retain/release (Listings 1-2).
+        // Hot paths hammer the hottest patterns — that is what *makes*
+        // them the top repetition ranks of Section IV, and it is why the
+        // outlined bodies they call stay resident in the cache.
+        unsigned Rank = IsHot ? static_cast<unsigned>(R.nextBounded(6))
+                              : RcZipf.sample(R) - 1;
+        Reg Src = RcSourceRegs[Rank % NumRcSources];
+        unsigned Kind = (Rank / NumRcSources) % 2;
+        B.movrr(Reg::X0, Src);
+        B.bl(Prog.internSymbol(retainName(Kind)));
+        PendingReleases.push_back({Src, Kind});
+        break;
+      }
+      case Idiom::HelperCall: { // 1-3 argument setup (Listings 12/13).
+        unsigned Rank = IsHot ? static_cast<unsigned>(R.nextBounded(10))
+                              : HelperZipf.sample(R) - 1;
+        uint32_t Callee;
+        if (IsHot || R.nextDouble() < EffShare)
+          Callee = Prog.internSymbol("helper_" + std::to_string(Rank));
+        else
+          Callee = Prog.internSymbol(
+              "lhelper_" + std::to_string(Index) + "_" +
+              std::to_string(Rank % NumLocalHelpers));
+        // Arity varies per call site; argument source registers are fixed
+        // per callee rank. Together with high-to-low emission order this
+        // yields the paper's Listing 12/13 structure: a hot short suffix
+        // (mov x0; bl) shared by longer, rarer argument-setup sequences.
+        unsigned Argc = 1 + static_cast<unsigned>(R.nextBounded(5));
+        for (unsigned A = Argc; A-- > 1;)
+          B.movrr(xreg(A), xreg(19 + (Rank + A) % 10));
+        B.movrr(Reg::X0, xreg(19 + Rank % 10));
+        B.bl(Callee);
+        break;
+      }
+      case Idiom::AllocRelease: { // Alloc + release (Listing 3 shape).
+        unsigned C = AllocZipf.sample(R) - 1;
+        B.adr(Reg::X0, Prog.internSymbol("meta_" + std::to_string(C)));
+        B.movri(Reg::X1, 32 + 8 * (C % 6));
+        B.movri(Reg::X2, 7);
+        B.bl(Prog.internSymbol("swift_allocObject"));
+        if (!StashUsed && Pairs >= 2 && R.nextBool(0.5)) {
+          // Stash in x21 (saved when Pairs >= 2; never a retain/release
+          // source) and release before the epilogue.
+          B.movrr(Reg::X21, Reg::X0);
+          StashUsed = true;
+        } else {
+          B.bl(Prog.internSymbol("swift_release"));
+        }
+        break;
+      }
+      case Idiom::GlobalUpdate: { // Module-global counter update. The
+        // register assignment and increment vary per site, as a register
+        // allocator would produce.
+        unsigned G = GlobalZipf.sample(R) - 1;
+        int64_t Off = 8 * static_cast<int64_t>(R.nextBounded(P.GlobalWords));
+        Reg RA = xreg(8 + R.nextBounded(8));
+        Reg RB = xreg(8 + R.nextBounded(8));
+        if (RB == RA)
+          RB = xreg(8 + (regIndex(RB) - 8 + 1) % 8);
+        B.adr(RA, Prog.internSymbol("g_" + std::to_string(Index) + "_" +
+                                    std::to_string(G)));
+        B.ldr(RB, RA, Off);
+        B.addri(RB, RB, 1 + static_cast<int64_t>(R.nextBounded(8)));
+        B.str(RB, RA, Off);
+        break;
+      }
+      case Idiom::Arith: { // Feature logic: mostly-unique arithmetic.
+        unsigned N = P.ArithMinLen +
+                     static_cast<unsigned>(R.nextBounded(
+                         P.ArithMaxLen - P.ArithMinLen + 1));
+        for (unsigned K = 0; K < N; ++K) {
+          Reg D = xreg(8 + R.nextBounded(8));
+          Reg A = xreg(8 + R.nextBounded(8));
+          switch (R.nextBounded(6)) {
+          case 0:
+            B.movri(D, static_cast<int64_t>(R.nextBounded(P.ArithImmRange)));
+            break;
+          case 1:
+            B.addri(D, A,
+                    static_cast<int64_t>(R.nextBounded(P.ArithImmRange)));
+            break;
+          case 2: B.eorrr(D, A, xreg(8 + R.nextBounded(8))); break;
+          case 3: B.lslri(D, A, 1 + static_cast<int64_t>(R.nextBounded(20)));
+            break;
+          case 4: B.addrr(D, A, xreg(8 + R.nextBounded(8))); break;
+          case 5:
+            B.subri(D, A,
+                    static_cast<int64_t>(R.nextBounded(P.ArithImmRange)));
+            break;
+          }
+        }
+        break;
+      }
+      case Idiom::SpillBurst: { // Zero-spill burst (Listing 11 shape).
+        unsigned N = 2 + static_cast<unsigned>(R.nextBounded(4));
+        for (unsigned K = 0; K < N && K < 16; ++K) {
+          B.movri(Reg::X8, 0);
+          B.str(Reg::X8, Reg::SP, LocalsBase + 8 * K);
+        }
+        break;
+      }
+      case Idiom::StackGuard: { // Kernel-style stack-smash check.
+        B.adr(Reg::X8, Prog.internSymbol("__stack_chk_guard"));
+        B.ldr(Reg::X9, Reg::X8, 0);
+        B.str(Reg::X9, Reg::SP, LocalsBase + 120);
+        B.ldr(Reg::X10, Reg::SP, LocalsBase + 120);
+        B.eorrr(Reg::X9, Reg::X9, Reg::X10);
+        break;
+      }
+      }
+    }
+
+    if (StashUsed) {
+      B.movrr(Reg::X0, Reg::X21);
+      B.bl(Prog.internSymbol("swift_release"));
+    }
+    for (auto It = PendingReleases.rbegin(); It != PendingReleases.rend();
+         ++It) {
+      B.movrr(Reg::X0, It->first);
+      B.bl(Prog.internSymbol(releaseName(It->second)));
+    }
+    emitEpilogue(B, Pairs, Frame);
+    M.Functions.push_back(MF);
+  }
+
+  // A try-init deserializer class every 5th module (Section IV obs. 4:
+  // O(N^2) out-of-SSA error paths). Block 0 is the long hoisted happy
+  // path; blocks 1..N are the error arms; block N+1 releases and returns.
+  if (P.TryInitMaxProps > 0 && Index % 5 == 2) {
+    const unsigned Props =
+        P.TryInitMinProps +
+        static_cast<unsigned>(
+            R.nextBounded(P.TryInitMaxProps - P.TryInitMinProps + 1));
+    MachineFunction MF;
+    MF.Name = Prog.internSymbol("init_class_" + std::to_string(Index));
+    MF.OriginModule = Origin;
+    // One saved pair, one "initialized" flag slot per property, LR slot.
+    const int64_t FlagsBase = 16;
+    const int64_t Frame = (16 + 8 * int64_t(Props) + 8 + 15) & ~int64_t(15);
+    MIRBuilder B(MF.addBlock());
+    emitPrologue(B, 1, Frame);
+    // Allocate the object being initialized.
+    B.adr(Reg::X0, Prog.internSymbol("meta_" + std::to_string(Index %
+                                                              P.AllocClassRanks)));
+    B.movri(Reg::X1, 16 + 8 * static_cast<int64_t>(Props));
+    B.movri(Reg::X2, 7);
+    B.bl(Prog.internSymbol("swift_allocObject"));
+    B.movrr(Reg::X19, Reg::X0);
+    const uint32_t TailBlock = Props + 1;
+    for (unsigned Prop = 0; Prop < Props; ++Prop) {
+      B.movrr(Reg::X0, Reg::X19);
+      B.bl(Prog.internSymbol("decode_" + std::to_string(Index) + "_" +
+                             std::to_string(Prop % 6)));
+      B.cbz(Reg::X0, 1 + Prop);
+      B.str(Reg::X0, Reg::X19, 8 + 8 * static_cast<int64_t>(Prop));
+    }
+    B.b(TailBlock);
+    // Error arms: arm i zeroes the i distinct "initialized" flags (the PHI
+    // lowering copies/spills of Fig. 9 / Listing 11), then joins the tail.
+    // Arm i is a prefix of arm i+1 — the nested-pattern structure repeated
+    // outlining exploits.
+    for (unsigned Prop = 0; Prop < Props; ++Prop) {
+      MIRBuilder EB(MF.addBlock());
+      for (unsigned Z = 0; Z < Prop; ++Z) {
+        EB.movri(Reg::X8, 0);
+        EB.str(Reg::X8, Reg::SP, FlagsBase + 8 * Z);
+      }
+      EB.b(TailBlock);
+    }
+    MIRBuilder TB(MF.addBlock());
+    TB.movrr(Reg::X0, Reg::X19);
+    TB.bl(Prog.internSymbol("swift_release"));
+    emitEpilogue(TB, 1, Frame);
+    M.Functions.push_back(MF);
+  }
+
+  // Closure-specialization family every 18th module (Section IV obs. 4:
+  // the longest repeating pattern, three specializations of one body).
+  if (P.ClosureFamilies > 0 && Index % 18 == 3) {
+    for (unsigned S = 0; S < P.ClosureSpecializations; ++S) {
+      MachineFunction MF;
+      MF.Name = Prog.internSymbol("closure_" + std::to_string(Index) + "_" +
+                                  std::to_string(S));
+      MF.OriginModule = Origin;
+      MIRBuilder B(MF.addBlock());
+      B.movri(Reg::X15, static_cast<int64_t>(S) + 1); // Specialization id.
+      uint32_t MapSym = Prog.internSymbol("g_" + std::to_string(Index) +
+                                          "_0");
+      for (unsigned U = 0; U < P.ClosureUnits; ++U) {
+        int64_t Off = 8 * static_cast<int64_t>(U % P.GlobalWords);
+        B.adr(Reg::X8, MapSym);
+        B.ldr(Reg::X9, Reg::X8, Off);
+        B.addri(Reg::X9, Reg::X9, 1);
+        B.str(Reg::X9, Reg::X8, Off);
+      }
+      B.movri(Reg::X0, 0);
+      B.ret();
+      M.Functions.push_back(MF);
+    }
+  }
+}
+
+void CorpusSynthesizer::emitSpanDrivers(Program &Prog,
+                                        unsigned NumModules) const {
+  Module &M = Prog.addModule("main");
+  const uint32_t Origin = NumModules + 1;
+  const unsigned Reps = 4;
+  for (unsigned S = 0; S < P.NumSpans; ++S) {
+    MachineFunction MF;
+    MF.Name = Prog.internSymbol(spanFunctionName(S));
+    MF.OriginModule = Origin;
+    const int64_t Frame = 32 + 16; // Two saved pairs + LR slot.
+    Rng R(subSeed(P.Seed, 0x5BA0 + S));
+
+    MIRBuilder B(MF.addBlock());
+    emitPrologue(B, 2, Frame);
+    // Two live objects for the span's retain/release traffic.
+    B.adr(Reg::X0, Prog.internSymbol("meta_0"));
+    B.movri(Reg::X1, 64);
+    B.movri(Reg::X2, 7);
+    B.bl(Prog.internSymbol("swift_allocObject"));
+    B.movrr(Reg::X19, Reg::X0);
+    B.adr(Reg::X0, Prog.internSymbol("meta_1"));
+    B.movri(Reg::X1, 64);
+    B.movri(Reg::X2, 7);
+    B.bl(Prog.internSymbol("swift_allocObject"));
+    B.movrr(Reg::X20, Reg::X0);
+    B.movri(Reg::X21, Reps);
+    B.b(1);
+
+    MIRBuilder LB(MF.addBlock()); // Block 1: the journey loop.
+    for (unsigned MM = 0; MM < P.ModulesPerSpan; ++MM) {
+      unsigned ModIdx = (S * 7 + MM) % NumModules;
+      // Stream through the module's features once per repetition: UI
+      // spans execute large amounts of code exactly once (Section VII-B:
+      // "no single hotspot"), which is where the smaller instruction
+      // footprint pays off.
+      unsigned Calls = P.SpanCallsPerModule < P.FunctionsPerModule
+                           ? P.SpanCallsPerModule
+                           : P.FunctionsPerModule;
+      for (unsigned C = 0; C < Calls; ++C)
+        LB.bl(Prog.internSymbol("feature_" + std::to_string(ModIdx) + "_" +
+                                std::to_string(C)));
+      // Exercise a deserialization or closure body when the span's
+      // modules contain one.
+      // Deserializers and closure bodies run, but rarely — they are cold
+      // code in production too.
+      if (P.TryInitMaxProps > 0 && ModIdx % 20 == 2)
+        LB.bl(Prog.internSymbol("init_class_" + std::to_string(ModIdx)));
+      if (P.ClosureFamilies > 0 && ModIdx % 36 == 3)
+        LB.bl(Prog.internSymbol(
+            "closure_" + std::to_string(ModIdx) + "_" +
+            std::to_string(S % P.ClosureSpecializations)));
+    }
+    LB.subri(Reg::X21, Reg::X21, 1);
+    LB.cbnz(Reg::X21, 1);
+    LB.b(2);
+
+    MIRBuilder TB(MF.addBlock()); // Block 2: cleanup.
+    TB.movrr(Reg::X0, Reg::X19);
+    TB.bl(Prog.internSymbol("swift_release"));
+    TB.movrr(Reg::X0, Reg::X20);
+    TB.bl(Prog.internSymbol("swift_release"));
+    TB.movri(Reg::X0, 0);
+    emitEpilogue(TB, 2, Frame);
+    M.Functions.push_back(MF);
+  }
+}
+
+std::unique_ptr<Program>
+CorpusSynthesizer::generate(unsigned NumModules) const {
+  auto Prog = std::make_unique<Program>();
+  emitSharedModule(*Prog);
+  for (unsigned I = 0; I < NumModules; ++I)
+    emitFeatureModule(*Prog, I);
+  emitSpanDrivers(*Prog, NumModules);
+  return Prog;
+}

@@ -1,0 +1,62 @@
+//===- synth/CorpusSynthesizer.h - Executable corpus generation -*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates an executable multi-module Program from an AppProfile. Every
+/// generated function is safe to run under the interpreter: reference
+/// counting is balanced, memory accesses target the function's own frame,
+/// its own allocations, or module globals, and error paths are present in
+/// the code (for the size analysis) but not taken at run time.
+///
+/// Module k is a deterministic function of (profile, k), which lets the
+/// AppEvolution driver regenerate historical snapshots by simply varying
+/// the module count (Fig. 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SYNTH_CORPUSSYNTHESIZER_H
+#define MCO_SYNTH_CORPUSSYNTHESIZER_H
+
+#include "synth/AppProfile.h"
+
+#include "mir/Program.h"
+#include "support/Random.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mco {
+
+/// Builds synthetic app corpora.
+class CorpusSynthesizer {
+public:
+  explicit CorpusSynthesizer(const AppProfile &Profile) : P(Profile) {}
+
+  /// Generates the shared-library module plus \p NumModules feature
+  /// modules (defaults to the profile's module count) and the span driver
+  /// functions, into a fresh Program.
+  std::unique_ptr<Program> generate() const {
+    return generate(P.NumModules);
+  }
+  std::unique_ptr<Program> generate(unsigned NumModules) const;
+
+  /// Name of the span driver function for span \p S (0-based).
+  static std::string spanFunctionName(unsigned S) {
+    return "span_" + std::to_string(S);
+  }
+
+private:
+  void emitSharedModule(Program &Prog) const;
+  void emitFeatureModule(Program &Prog, unsigned Index) const;
+  void emitSpanDrivers(Program &Prog, unsigned NumModules) const;
+
+  const AppProfile &P;
+};
+
+} // namespace mco
+
+#endif // MCO_SYNTH_CORPUSSYNTHESIZER_H

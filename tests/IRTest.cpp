@@ -1,0 +1,116 @@
+//===- tests/IRTest.cpp - IR and builder unit tests -----------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include "gtest/gtest.h"
+
+using namespace mco;
+using namespace mco::ir;
+
+namespace {
+
+TEST(IRBuilderTest, BuildsSimpleFunction) {
+  IRModule M;
+  IRBuilder B(M, "addTwo", 1);
+  Value Two = B.constInt(2);
+  Value R = B.add(B.param(0), Two);
+  B.ret(R);
+  B.finish();
+
+  ASSERT_EQ(M.Functions.size(), 1u);
+  const IRFunction &F = M.Functions[0];
+  EXPECT_EQ(F.Name, "addTwo");
+  EXPECT_EQ(F.NumParams, 1u);
+  EXPECT_EQ(F.NumValues, 3u); // param + const + add.
+  ASSERT_EQ(F.Blocks.size(), 1u);
+  EXPECT_EQ(F.Blocks[0].Instrs.size(), 3u);
+  EXPECT_EQ(verify(M), "");
+}
+
+TEST(IRBuilderTest, MultiBlockControlFlow) {
+  IRModule M;
+  IRBuilder B(M, "abs", 1);
+  Value Zero = B.constInt(0);
+  Value Neg = B.icmp(Pred::LT, B.param(0), Zero);
+  uint32_t Entry = B.currentBlock();
+  uint32_t BNeg = B.newBlock();
+  uint32_t BPos = B.newBlock();
+  B.setBlock(Entry);
+  B.condBr(Neg, BNeg, BPos);
+  B.setBlock(BNeg);
+  B.ret(B.sub(Zero, B.param(0)));
+  B.setBlock(BPos);
+  B.ret(B.param(0));
+  B.finish();
+  EXPECT_EQ(verify(M), "");
+}
+
+TEST(IRVerifierTest, CatchesMissingTerminator) {
+  IRModule M;
+  IRBuilder B(M, "bad", 0);
+  B.constInt(1);
+  B.finish();
+  EXPECT_NE(verify(M), "");
+}
+
+TEST(IRVerifierTest, CatchesMidBlockTerminator) {
+  IRModule M;
+  IRFunction F;
+  F.Name = "bad";
+  F.NumValues = 1;
+  IRBlock Blk;
+  IRInstr RetI{IROp::Ret};
+  RetI.Args = {0};
+  IRInstr C{IROp::Const};
+  C.Result = 0;
+  Blk.Instrs.push_back(RetI);
+  Blk.Instrs.push_back(C);
+  F.Blocks.push_back(Blk);
+  M.Functions.push_back(F);
+  EXPECT_NE(verify(M), "");
+}
+
+TEST(IRVerifierTest, CatchesBadBranchTarget) {
+  IRModule M;
+  IRBuilder B(M, "bad", 0);
+  B.br(42);
+  B.finish();
+  EXPECT_NE(verify(M), "");
+}
+
+TEST(IRVerifierTest, CatchesOutOfRangeValue) {
+  IRModule M;
+  IRFunction F;
+  F.Name = "bad";
+  F.NumValues = 1;
+  IRBlock Blk;
+  IRInstr RetI{IROp::Ret};
+  RetI.Args = {99};
+  Blk.Instrs.push_back(RetI);
+  F.Blocks.push_back(Blk);
+  M.Functions.push_back(F);
+  EXPECT_NE(verify(M), "");
+}
+
+TEST(IRGlobalTest, FromWordsLittleEndian) {
+  IRGlobal G = IRGlobal::fromWords("tbl", {1, -1});
+  ASSERT_EQ(G.Bytes.size(), 16u);
+  EXPECT_EQ(G.Bytes[0], 1);
+  EXPECT_EQ(G.Bytes[8], 0xFF);
+  EXPECT_EQ(G.Bytes[15], 0xFF);
+}
+
+TEST(IRModuleTest, FindFunction) {
+  IRModule M;
+  IRBuilder B(M, "f", 0);
+  B.ret(B.constInt(0));
+  B.finish();
+  EXPECT_NE(M.findFunction("f"), nullptr);
+  EXPECT_EQ(M.findFunction("g"), nullptr);
+}
+
+} // namespace

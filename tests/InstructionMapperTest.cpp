@@ -1,0 +1,168 @@
+//===- tests/InstructionMapperTest.cpp - Mapper unit tests ----------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "outliner/InstructionMapper.h"
+
+#include "mir/MIRBuilder.h"
+#include "gtest/gtest.h"
+
+#include <set>
+
+using namespace mco;
+
+namespace {
+
+using MO = MachineOperand;
+
+TEST(LegalityTest, BranchesAreIllegal) {
+  EXPECT_EQ(classifyInstr(MachineInstr(Opcode::B, MO::block(0))),
+            OutliningLegality::IllegalBranch);
+  EXPECT_EQ(classifyInstr(
+                MachineInstr(Opcode::Bcc, MO::cond(Cond::EQ), MO::block(0))),
+            OutliningLegality::IllegalBranch);
+  EXPECT_EQ(
+      classifyInstr(MachineInstr(Opcode::CBZ, MO::reg(Reg::X0), MO::block(0))),
+      OutliningLegality::IllegalBranch);
+  EXPECT_EQ(classifyInstr(MachineInstr(Opcode::BR, MO::reg(Reg::X9))),
+            OutliningLegality::IllegalBranch);
+  EXPECT_EQ(classifyInstr(MachineInstr(Opcode::BLR, MO::reg(Reg::X9))),
+            OutliningLegality::IllegalBranch);
+  EXPECT_EQ(classifyInstr(MachineInstr(Opcode::Btail, MO::sym(0))),
+            OutliningLegality::IllegalBranch);
+}
+
+TEST(LegalityTest, CallsAndReturnsAreLegal) {
+  EXPECT_EQ(classifyInstr(MachineInstr(Opcode::BL, MO::sym(0))),
+            OutliningLegality::Legal);
+  EXPECT_EQ(classifyInstr(MachineInstr(Opcode::RET)),
+            OutliningLegality::Legal);
+}
+
+TEST(LegalityTest, ExplicitLRUsesAreIllegal) {
+  EXPECT_EQ(classifyInstr(
+                MachineInstr(Opcode::MOVrr, MO::reg(Reg::X9), MO::reg(LR))),
+            OutliningLegality::IllegalUsesLR);
+  EXPECT_EQ(classifyInstr(MachineInstr(Opcode::STRpre, MO::reg(LR),
+                                       MO::reg(Reg::SP), MO::imm(-16))),
+            OutliningLegality::IllegalUsesLR);
+  EXPECT_EQ(classifyInstr(MachineInstr(Opcode::LDRpost, MO::reg(LR),
+                                       MO::reg(Reg::SP), MO::imm(16))),
+            OutliningLegality::IllegalUsesLR);
+}
+
+TEST(LegalityTest, OrdinaryInstrsAreLegal) {
+  EXPECT_EQ(classifyInstr(MachineInstr(Opcode::MOVri, MO::reg(Reg::X0),
+                                       MO::imm(42))),
+            OutliningLegality::Legal);
+  EXPECT_EQ(classifyInstr(MachineInstr(Opcode::STPui, MO::reg(Reg::X19),
+                                       MO::reg(Reg::X20), MO::reg(Reg::SP),
+                                       MO::imm(0))),
+            OutliningLegality::Legal);
+  EXPECT_EQ(classifyInstr(MachineInstr(Opcode::NOP)),
+            OutliningLegality::IllegalOther);
+}
+
+TEST(InstructionMapperTest, IdenticalLegalInstrsShareIds) {
+  Program P;
+  Module &M = P.addModule("m");
+  uint32_t G = P.internSymbol("swift_release");
+  for (int F = 0; F < 2; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    MIRBuilder B(MF.addBlock());
+    B.movrr(Reg::X0, Reg::X20);
+    B.bl(G);
+    M.Functions.push_back(MF);
+  }
+  InstructionMapper Mapper(M);
+  const auto &S = Mapper.string();
+  // Layout: [mov, bl, term, mov, bl, term].
+  ASSERT_EQ(S.size(), 6u);
+  EXPECT_EQ(S[0], S[3]);
+  EXPECT_EQ(S[1], S[4]);
+  EXPECT_NE(S[2], S[5]); // Terminators are unique.
+  EXPECT_NE(S[0], S[1]);
+}
+
+TEST(InstructionMapperTest, IllegalInstrsGetUniqueIds) {
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B(MF.addBlock());
+  B.nop();
+  B.nop();
+  M.Functions.push_back(MF);
+  InstructionMapper Mapper(M);
+  const auto &S = Mapper.string();
+  ASSERT_EQ(S.size(), 3u);
+  EXPECT_NE(S[0], S[1]);
+}
+
+TEST(InstructionMapperTest, LocationsRoundTrip) {
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B0(MF.addBlock());
+  B0.movri(Reg::X0, 1);
+  MIRBuilder B1(MF.addBlock());
+  B1.movri(Reg::X1, 2);
+  B1.ret();
+  M.Functions.push_back(MF);
+
+  InstructionMapper Mapper(M);
+  // String: [mov, term, mov, ret, term].
+  ASSERT_EQ(Mapper.string().size(), 5u);
+  EXPECT_TRUE(Mapper.location(0).IsLegal);
+  EXPECT_EQ(Mapper.location(0).Block, 0u);
+  EXPECT_EQ(Mapper.location(0).Instr, 0u);
+  EXPECT_FALSE(Mapper.location(1).IsLegal);
+  EXPECT_TRUE(Mapper.location(2).IsLegal);
+  EXPECT_EQ(Mapper.location(2).Block, 1u);
+  EXPECT_EQ(Mapper.location(2).Instr, 0u);
+  EXPECT_TRUE(Mapper.location(3).IsLegal);
+  EXPECT_EQ(Mapper.location(3).Instr, 1u);
+}
+
+TEST(InstructionMapperTest, StringLengthIsInstrsPlusBlocks) {
+  Program P;
+  Module &M = P.addModule("m");
+  for (int F = 0; F < 3; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    for (int Blk = 0; Blk < 2; ++Blk) {
+      MIRBuilder B(MF.addBlock());
+      B.movri(Reg::X0, F);
+      B.movri(Reg::X1, Blk);
+    }
+    M.Functions.push_back(MF);
+  }
+  InstructionMapper Mapper(M);
+  EXPECT_EQ(Mapper.string().size(), M.numInstrs() + 3 * 2);
+}
+
+TEST(InstructionMapperTest, LegalIdSpaceIsDense) {
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B(MF.addBlock());
+  B.movri(Reg::X0, 1);
+  B.movri(Reg::X1, 2);
+  B.movri(Reg::X0, 1); // Repeat of instr 0.
+  M.Functions.push_back(MF);
+  InstructionMapper Mapper(M);
+  EXPECT_EQ(Mapper.numLegalIds(), 2u);
+  std::set<unsigned> LegalIds;
+  for (unsigned I = 0; I < 3; ++I)
+    LegalIds.insert(Mapper.string()[I]);
+  EXPECT_EQ(LegalIds.size(), 2u);
+  EXPECT_TRUE(LegalIds.count(0));
+  EXPECT_TRUE(LegalIds.count(1));
+}
+
+} // namespace

@@ -1,0 +1,200 @@
+//===- tests/IntegrationTest.cpp - End-to-end pipeline tests --------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Full-stack integration: corpus synthesis -> build pipelines ->
+/// link/layout -> execution under the performance model, checking the
+/// cross-cutting invariants the paper's evaluation depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "outliner/PatternStats.h"
+#include "pipeline/BuildPipeline.h"
+#include "sim/Interpreter.h"
+#include "support/Statistics.h"
+#include "synth/AppEvolution.h"
+#include "synth/CorpusSynthesizer.h"
+#include "transforms/Transforms.h"
+#include "gtest/gtest.h"
+
+using namespace mco;
+
+namespace {
+
+AppProfile testProfile() {
+  AppProfile P = AppProfile::uberRider();
+  P.NumModules = 30;
+  return P;
+}
+
+TEST(IntegrationTest, FullPipelineSizeOrdering) {
+  // None >= PM1 >= PM5 > WP5 and WP1 >= WP5: the Fig. 12 ordering.
+  auto Build = [&](bool WP, unsigned Rounds) {
+    auto Prog = CorpusSynthesizer(testProfile()).generate();
+    PipelineOptions Opts;
+    Opts.WholeProgram = WP;
+    Opts.OutlineRounds = Rounds;
+    return buildProgram(*Prog, Opts).CodeSize;
+  };
+  uint64_t None = Build(false, 0);
+  uint64_t PM1 = Build(false, 1);
+  uint64_t PM5 = Build(false, 5);
+  uint64_t WP1 = Build(true, 1);
+  uint64_t WP5 = Build(true, 5);
+  EXPECT_GT(None, PM1);
+  EXPECT_GE(PM1, PM5);
+  EXPECT_GT(PM5, WP5);
+  EXPECT_GE(WP1, WP5);
+}
+
+TEST(IntegrationTest, OutliningStatsMatchImageSizes) {
+  auto Prog = CorpusSynthesizer(testProfile()).generate();
+  PipelineOptions Opts;
+  Opts.OutlineRounds = 3;
+  BuildResult R = buildProgram(*Prog, Opts);
+  BinaryImage Image(*Prog);
+  EXPECT_EQ(Image.codeSize(), R.CodeSize);
+  EXPECT_EQ(Image.dataSize(), R.DataSize);
+  // Stats record outlined-function sizes at creation time; later rounds
+  // may shrink those bodies further, so the module's current outlined
+  // bytes are bounded above by the stats total.
+  uint64_t OutlinedBytes = 0;
+  for (const MachineFunction &MF : Prog->Modules[0]->Functions)
+    if (MF.IsOutlined)
+      OutlinedBytes += MF.codeSize();
+  EXPECT_LE(OutlinedBytes, R.OutlineStats.totalOutlinedFunctionBytes());
+  EXPECT_GT(OutlinedBytes, 0u);
+}
+
+TEST(IntegrationTest, AllSpansEquivalentAcrossAllBuildConfigs) {
+  // The strongest end-to-end property: every span computes the same
+  // observable global state under every build configuration.
+  AppProfile P = testProfile();
+
+  auto RunAll = [&](bool WP, unsigned Rounds, DataLayoutMode Layout) {
+    auto Prog = CorpusSynthesizer(P).generate();
+    PipelineOptions Opts;
+    Opts.WholeProgram = WP;
+    Opts.OutlineRounds = Rounds;
+    Opts.DataLayout = Layout;
+    buildProgram(*Prog, Opts);
+    BinaryImage Image(*Prog);
+    Interpreter I(Image, *Prog);
+    uint64_t Sum = 1469598103934665603ull;
+    for (unsigned S = 0; S < P.NumSpans; ++S)
+      I.call(CorpusSynthesizer::spanFunctionName(S));
+    for (unsigned M = 0; M < P.NumModules; ++M)
+      for (unsigned G = 0; G < P.GlobalsPerModule; ++G) {
+        uint32_t Sym = Prog->lookupSymbol(
+            "g_" + std::to_string(M) + "_" + std::to_string(G));
+        uint64_t Addr = Image.globalAddr(Sym);
+        for (unsigned W = 0; W < P.GlobalWords; ++W) {
+          Sum ^= I.memory().read64(Addr + 8 * W);
+          Sum *= 1099511628211ull;
+        }
+      }
+    EXPECT_EQ(I.memory().liveHeapBytes(), 0u);
+    return Sum;
+  };
+
+  uint64_t Reference =
+      RunAll(false, 0, DataLayoutMode::PreserveModuleOrder);
+  EXPECT_EQ(RunAll(false, 5, DataLayoutMode::PreserveModuleOrder),
+            Reference);
+  EXPECT_EQ(RunAll(true, 1, DataLayoutMode::PreserveModuleOrder),
+            Reference);
+  EXPECT_EQ(RunAll(true, 5, DataLayoutMode::PreserveModuleOrder),
+            Reference);
+  EXPECT_EQ(RunAll(true, 5, DataLayoutMode::Interleaved), Reference);
+}
+
+TEST(IntegrationTest, TransformsComposeWithOutlining) {
+  // Run the Table I merging passes *then* outlining; everything must
+  // still execute correctly.
+  AppProfile P = testProfile();
+  auto Prog = CorpusSynthesizer(P).generate();
+  Module &M = linkProgram(*Prog);
+  idiomOutliner(*Prog, M);
+  mergeIdenticalFunctions(*Prog, M);
+  mergeSimilarFunctions(*Prog, M);
+  runRepeatedOutliner(*Prog, M, 3);
+  BinaryImage Image(*Prog);
+  Interpreter I(Image, *Prog);
+  for (unsigned S = 0; S < P.NumSpans; ++S)
+    I.call(CorpusSynthesizer::spanFunctionName(S));
+  EXPECT_EQ(I.memory().liveHeapBytes(), 0u);
+}
+
+TEST(IntegrationTest, EvolutionSavingsGrowWithAge) {
+  // Fig. 1's mechanism: the whole-program saving percentage must not
+  // shrink as the app grows (later modules are more redundant).
+  AppEvolution Evo(testProfile(), /*BaseModules=*/10,
+                   /*ModulesPerMonth=*/10);
+  double PrevSaving = -1;
+  for (unsigned Month : {0u, 2u}) {
+    auto Base = Evo.snapshot(Month);
+    uint64_t None = Base->codeSize();
+    auto Opt = Evo.snapshot(Month);
+    PipelineOptions Opts;
+    Opts.OutlineRounds = 5;
+    BuildResult R = buildProgram(*Opt, Opts);
+    double Saving = 100.0 * (double(None) - double(R.CodeSize)) /
+                    double(None);
+    EXPECT_GT(Saving, PrevSaving);
+    PrevSaving = Saving;
+  }
+}
+
+TEST(IntegrationTest, PerfModelSeesFootprintDifference) {
+  // Under a small instruction cache, the optimized build must touch
+  // fewer distinct lines *of original code* even though it executes more
+  // instructions. (Cold-footprint check with an effectively infinite
+  // cache so misses == distinct lines.)
+  AppProfile P = testProfile();
+
+  auto ColdLines = [&](bool Optimized) {
+    auto Prog = CorpusSynthesizer(P).generate();
+    PipelineOptions Opts;
+    Opts.WholeProgram = Optimized;
+    Opts.OutlineRounds = Optimized ? 5 : 0;
+    buildProgram(*Prog, Opts);
+    BinaryImage Image(*Prog);
+    PerfConfig Cfg;
+    Cfg.ICacheBytes = 64 << 20;
+    Interpreter I(Image, *Prog, &Cfg);
+    // Stream the whole app: every span back to back.
+    for (unsigned S = 0; S < P.NumSpans; ++S)
+      I.call(CorpusSynthesizer::spanFunctionName(S));
+    return std::pair<uint64_t, uint64_t>(I.counters().ICacheMisses,
+                                         I.counters().Instrs);
+  };
+  auto [BaseLines, BaseInstrs] = ColdLines(false);
+  auto [OptLines, OptInstrs] = ColdLines(true);
+  EXPECT_GT(OptInstrs, BaseInstrs); // Outlining adds instructions...
+  // ...and the touched-line counts stay within a few percent of each
+  // other (outlined bodies replace inline copies).
+  EXPECT_LT(double(OptLines), double(BaseLines) * 1.15);
+}
+
+TEST(IntegrationTest, PatternStatsConsistentWithOutlinerGains) {
+  // The Section IV profitability estimate must roughly predict what the
+  // outliner achieves in round 1 (within 2x, since the estimate ignores
+  // overlaps and call-variant differences).
+  auto Prog = CorpusSynthesizer(testProfile()).generate();
+  Module &Linked = linkProgram(*Prog);
+  PatternAnalysis A = analyzePatterns(*Prog, Linked);
+  // Per-pattern potentials overlap heavily (every affix of a pattern has
+  // its own entry), so their sum is an upper bound; the single best
+  // pattern's saving is a lower bound for greedy round 1.
+  auto Cum = A.cumulativeSavingsBestFirst();
+  ASSERT_FALSE(Cum.empty());
+  int64_t Best = Cum.front();
+  int64_t UpperBound = Cum.back();
+  OutlineRoundStats R = runOutlinerRound(*Prog, Linked, 1);
+  EXPECT_GE(int64_t(R.bytesSaved()), Best);
+  EXPECT_LT(int64_t(R.bytesSaved()), UpperBound);
+}
+
+} // namespace

@@ -1,0 +1,269 @@
+//===- tests/InterpreterTest.cpp - Interpreter semantic tests -------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Interpreter.h"
+
+#include "mir/MIRBuilder.h"
+#include "outliner/MachineOutliner.h"
+#include "gtest/gtest.h"
+
+#include <cstring>
+
+using namespace mco;
+
+namespace {
+
+TEST(InterpreterTest, MovAndArithmetic) {
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B(MF.addBlock());
+  B.movri(Reg::X1, 20);
+  B.movri(Reg::X2, 22);
+  B.addrr(Reg::X0, Reg::X1, Reg::X2);
+  B.ret();
+  M.Functions.push_back(MF);
+
+  BinaryImage Image(P);
+  Interpreter I(Image, P);
+  EXPECT_EQ(I.call("f"), 42);
+}
+
+TEST(InterpreterTest, FlagsAndConditionalBranch) {
+  // f(a): if (a < 10) return 1; else return 2;
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B0(MF.addBlock());
+  B0.cmpri(Reg::X0, 10);
+  B0.bcc(Cond::LT, 1);
+  B0.b(2);
+  MIRBuilder B1(MF.addBlock());
+  B1.movri(Reg::X0, 1);
+  B1.ret();
+  MIRBuilder B2(MF.addBlock());
+  B2.movri(Reg::X0, 2);
+  B2.ret();
+  M.Functions.push_back(MF);
+
+  BinaryImage Image(P);
+  Interpreter I(Image, P);
+  EXPECT_EQ(I.call("f", {5}), 1);
+  EXPECT_EQ(I.call("f", {15}), 2);
+  EXPECT_EQ(I.call("f", {10}), 2);
+}
+
+TEST(InterpreterTest, CBZAndCBNZ) {
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B0(MF.addBlock());
+  B0.cbz(Reg::X0, 1);
+  B0.movri(Reg::X0, 7);
+  B0.ret();
+  MIRBuilder B1(MF.addBlock());
+  B1.movri(Reg::X0, 3);
+  B1.ret();
+  M.Functions.push_back(MF);
+
+  BinaryImage Image(P);
+  Interpreter I(Image, P);
+  EXPECT_EQ(I.call("f", {0}), 3);
+  EXPECT_EQ(I.call("f", {1}), 7);
+}
+
+TEST(InterpreterTest, StackPairOps) {
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B(MF.addBlock());
+  B.subri(Reg::SP, Reg::SP, 32);
+  B.movri(Reg::X1, 11);
+  B.movri(Reg::X2, 31);
+  B.stp(Reg::X1, Reg::X2, Reg::SP, 0);
+  B.ldp(Reg::X3, Reg::X4, Reg::SP, 0);
+  B.addrr(Reg::X0, Reg::X3, Reg::X4);
+  B.addri(Reg::SP, Reg::SP, 32);
+  B.ret();
+  M.Functions.push_back(MF);
+
+  BinaryImage Image(P);
+  Interpreter I(Image, P);
+  EXPECT_EQ(I.call("f"), 42);
+}
+
+TEST(InterpreterTest, PreAndPostIndexAddressing) {
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B(MF.addBlock());
+  B.movri(Reg::X1, 99);
+  B.strpre(Reg::X1, Reg::SP, -16); // push x1
+  B.movri(Reg::X1, 0);
+  B.ldrpost(Reg::X0, Reg::SP, 16); // pop into x0
+  B.ret();
+  M.Functions.push_back(MF);
+
+  BinaryImage Image(P);
+  Interpreter I(Image, P);
+  EXPECT_EQ(I.call("f"), 99);
+}
+
+TEST(InterpreterTest, CallAndReturnThroughLR) {
+  Program P;
+  Module &M = P.addModule("m");
+  {
+    MachineFunction Callee;
+    Callee.Name = P.internSymbol("callee");
+    MIRBuilder B(Callee.addBlock());
+    B.addri(Reg::X0, Reg::X0, 5);
+    B.ret();
+    M.Functions.push_back(Callee);
+  }
+  {
+    MachineFunction Caller;
+    Caller.Name = P.internSymbol("caller");
+    MIRBuilder B(Caller.addBlock());
+    B.strpre(LR, Reg::SP, -16);
+    B.bl(P.internSymbol("callee"));
+    B.bl(P.internSymbol("callee"));
+    B.ldrpost(LR, Reg::SP, 16);
+    B.ret();
+    M.Functions.push_back(Caller);
+  }
+  BinaryImage Image(P);
+  Interpreter I(Image, P);
+  EXPECT_EQ(I.call("caller", {1}), 11);
+}
+
+TEST(InterpreterTest, IndirectCallThroughRegister) {
+  Program P;
+  Module &M = P.addModule("m");
+  {
+    MachineFunction Callee;
+    Callee.Name = P.internSymbol("target");
+    MIRBuilder B(Callee.addBlock());
+    B.movri(Reg::X0, 1234);
+    B.ret();
+    M.Functions.push_back(Callee);
+  }
+  {
+    MachineFunction Caller;
+    Caller.Name = P.internSymbol("caller");
+    MIRBuilder B(Caller.addBlock());
+    B.strpre(LR, Reg::SP, -16);
+    B.adr(Reg::X9, P.internSymbol("target"));
+    B.blr(Reg::X9);
+    B.ldrpost(LR, Reg::SP, 16);
+    B.ret();
+    M.Functions.push_back(Caller);
+  }
+  BinaryImage Image(P);
+  Interpreter I(Image, P);
+  EXPECT_EQ(I.call("caller"), 1234);
+}
+
+TEST(InterpreterTest, GlobalDataAccess) {
+  Program P;
+  Module &M = P.addModule("m");
+  GlobalData G;
+  G.Name = P.internSymbol("table");
+  G.Bytes.resize(16);
+  int64_t V = 777;
+  std::memcpy(G.Bytes.data() + 8, &V, 8);
+  M.Globals.push_back(G);
+
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B(MF.addBlock());
+  B.adr(Reg::X1, G.Name);
+  B.ldr(Reg::X0, Reg::X1, 8);
+  B.ret();
+  M.Functions.push_back(MF);
+
+  BinaryImage Image(P);
+  Interpreter I(Image, P);
+  EXPECT_EQ(I.call("f"), 777);
+}
+
+TEST(InterpreterTest, RefcountRuntime) {
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B(MF.addBlock());
+  B.strpre(LR, Reg::SP, -16);
+  B.movri(Reg::X0, 0);
+  B.movri(Reg::X1, 32);
+  B.movri(Reg::X2, 7);
+  B.bl(P.internSymbol("swift_allocObject"));
+  B.movrr(Reg::X19, Reg::X0); // Save object.
+  B.bl(P.internSymbol("swift_retain"));
+  B.movrr(Reg::X0, Reg::X19);
+  B.bl(P.internSymbol("swift_release"));
+  B.ldr(Reg::X0, Reg::X19, 0); // Read refcount: must be 1 again.
+  B.ldrpost(LR, Reg::SP, 16);
+  B.ret();
+  M.Functions.push_back(MF);
+
+  BinaryImage Image(P);
+  Interpreter I(Image, P);
+  EXPECT_EQ(I.call("f"), 1);
+}
+
+TEST(InterpreterTest, CountsOutlinedInstructions) {
+  Program P;
+  Module &M = P.addModule("m");
+  for (int F = 0; F < 3; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    MIRBuilder B(MF.addBlock());
+    B.movri(Reg::X0, 77);
+    B.movri(Reg::X1, 88);
+    B.ret();
+    M.Functions.push_back(MF);
+  }
+  runOutlinerRound(P, M, 1);
+  BinaryImage Image(P);
+  Interpreter I(Image, P);
+  EXPECT_EQ(I.call("f0"), 77);
+  EXPECT_GT(I.counters().OutlinedInstrs, 0u);
+  EXPECT_LT(I.counters().OutlinedInstrs, I.counters().Instrs);
+}
+
+TEST(InterpreterTest, PerfModelProducesCycles) {
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B0(MF.addBlock());
+  B0.movri(Reg::X1, 1000); // Counter.
+  MIRBuilder B1(MF.addBlock());
+  B1.subri(Reg::X1, Reg::X1, 1);
+  B1.cmpri(Reg::X1, 0);
+  B1.bcc(Cond::NE, 1);
+  MIRBuilder B2(MF.addBlock());
+  B2.movri(Reg::X0, 0);
+  B2.ret();
+  M.Functions.push_back(MF);
+
+  BinaryImage Image(P);
+  PerfConfig PC;
+  Interpreter I(Image, P, &PC);
+  I.call("f");
+  EXPECT_GT(I.counters().Instrs, 3000u);
+  EXPECT_GT(I.counters().Cycles, 0.0);
+  // A tight loop predicts nearly perfectly and stays in cache: IPC must be
+  // close to the configured width (1/BaseCyclesPerInstr).
+  EXPECT_GT(I.counters().ipc(), 1.5);
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+//===- tests/LinkerTest.cpp - Linker & image tests ------------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "linker/Linker.h"
+
+#include "mir/MIRBuilder.h"
+#include "gtest/gtest.h"
+
+using namespace mco;
+
+namespace {
+
+void addFn(Program &P, Module &M, const std::string &Name,
+           uint32_t OriginModule, unsigned NumInstrs = 2) {
+  MachineFunction MF;
+  MF.Name = P.internSymbol(Name);
+  MF.OriginModule = OriginModule;
+  MIRBuilder B(MF.addBlock());
+  for (unsigned I = 0; I + 1 < NumInstrs; ++I)
+    B.movri(Reg::X0, I);
+  B.ret();
+  M.Functions.push_back(MF);
+}
+
+void addGlobal(Program &P, Module &M, const std::string &Name,
+               uint32_t OriginModule, size_t Bytes = 32) {
+  GlobalData G;
+  G.Name = P.internSymbol(Name);
+  G.OriginModule = OriginModule;
+  G.Bytes.assign(Bytes, 0);
+  M.Globals.push_back(G);
+}
+
+TEST(LinkerTest, MergesAllModules) {
+  Program P;
+  Module &M1 = P.addModule("m1");
+  addFn(P, M1, "a", 1);
+  addGlobal(P, M1, "ga", 1);
+  Module &M2 = P.addModule("m2");
+  addFn(P, M2, "b", 2);
+  addGlobal(P, M2, "gb", 2);
+
+  Module &L = linkProgram(P);
+  EXPECT_EQ(P.Modules.size(), 1u);
+  EXPECT_EQ(L.Functions.size(), 2u);
+  EXPECT_EQ(L.Globals.size(), 2u);
+}
+
+TEST(LinkerTest, PreserveModuleOrderKeepsAffinity) {
+  Program P;
+  // Interleave creation order across modules.
+  Module &M1 = P.addModule("m1");
+  Module &M2 = P.addModule("m2");
+  addGlobal(P, M1, "a1", 1);
+  addGlobal(P, M2, "b1", 2);
+  addGlobal(P, M1, "a2", 1);
+  addGlobal(P, M2, "b2", 2);
+
+  linkProgram(P, DataLayoutMode::PreserveModuleOrder);
+  const Module &L = *P.Modules[0];
+  ASSERT_EQ(L.Globals.size(), 4u);
+  EXPECT_EQ(L.Globals[0].OriginModule, 1u);
+  EXPECT_EQ(L.Globals[1].OriginModule, 1u);
+  EXPECT_EQ(L.Globals[2].OriginModule, 2u);
+  EXPECT_EQ(L.Globals[3].OriginModule, 2u);
+}
+
+TEST(LinkerTest, InterleavedModeMixesModules) {
+  Program P;
+  Module &M1 = P.addModule("m1");
+  Module &M2 = P.addModule("m2");
+  for (int I = 0; I < 16; ++I) {
+    addGlobal(P, M1, "a" + std::to_string(I), 1);
+    addGlobal(P, M2, "b" + std::to_string(I), 2);
+  }
+  linkProgram(P, DataLayoutMode::Interleaved);
+  const Module &L = *P.Modules[0];
+  // Count adjacent same-module pairs: an affinity-preserving order would
+  // have 30 of 31; a hash shuffle has far fewer.
+  unsigned SamePairs = 0;
+  for (size_t I = 1; I < L.Globals.size(); ++I)
+    SamePairs += L.Globals[I].OriginModule == L.Globals[I - 1].OriginModule;
+  EXPECT_LT(SamePairs, 24u);
+}
+
+TEST(BinaryImageTest, AssignsSequentialAddresses) {
+  Program P;
+  Module &M = P.addModule("m");
+  addFn(P, M, "a", 0, 3);
+  addFn(P, M, "b", 0, 2);
+  BinaryImage Img(P);
+  uint64_t AddrA = Img.functionAddr(P.lookupSymbol("a"));
+  uint64_t AddrB = Img.functionAddr(P.lookupSymbol("b"));
+  EXPECT_EQ(AddrA, BinaryImage::TextBase);
+  EXPECT_EQ(AddrB, AddrA + 3 * InstrBytes);
+  EXPECT_EQ(Img.codeSize(), 5 * InstrBytes);
+  EXPECT_EQ(Img.functionIndexAt(AddrB), 1u);
+  EXPECT_NE(Img.instrAt(AddrA), nullptr);
+  EXPECT_EQ(Img.instrAt(AddrA + 100 * InstrBytes), nullptr);
+}
+
+TEST(BinaryImageTest, DataFollowsTextPageAligned) {
+  Program P;
+  Module &M = P.addModule("m");
+  addFn(P, M, "a", 0, 3);
+  addGlobal(P, M, "g", 0, 100);
+  BinaryImage Img(P);
+  EXPECT_EQ(Img.dataBase() % BinaryImage::PageSize, 0u);
+  EXPECT_GE(Img.dataBase(), BinaryImage::TextBase + Img.codeSize());
+  uint64_t GAddr = Img.globalAddr(P.lookupSymbol("g"));
+  EXPECT_EQ(GAddr, Img.dataBase());
+  EXPECT_EQ(Img.dataSize(), 100u);
+}
+
+TEST(BinaryImageTest, UndefinedSymbolsReportZero) {
+  Program P;
+  Module &M = P.addModule("m");
+  addFn(P, M, "a", 0);
+  uint32_t Undef = P.internSymbol("swift_retain");
+  BinaryImage Img(P);
+  EXPECT_EQ(Img.functionAddr(Undef), 0u);
+  EXPECT_EQ(Img.globalAddr(Undef), 0u);
+}
+
+TEST(BinaryImageTest, BlockAddresses) {
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B0(MF.addBlock());
+  B0.movri(Reg::X0, 1);
+  B0.movri(Reg::X1, 2);
+  MIRBuilder B1(MF.addBlock());
+  B1.ret();
+  M.Functions.push_back(MF);
+  BinaryImage Img(P);
+  EXPECT_EQ(Img.blockAddr(0, 0), BinaryImage::TextBase);
+  EXPECT_EQ(Img.blockAddr(0, 1), BinaryImage::TextBase + 2 * InstrBytes);
+}
+
+TEST(BinaryImageTest, BinarySizeIncludesResources) {
+  Program P;
+  Module &M = P.addModule("m");
+  addFn(P, M, "a", 0, 4);
+  addGlobal(P, M, "g", 0, 64);
+  BinaryImage Img(P);
+  EXPECT_EQ(Img.binarySize(1000), Img.codeSize() + Img.dataSize() + 1000);
+}
+
+} // namespace

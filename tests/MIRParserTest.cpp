@@ -1,0 +1,222 @@
+//===- tests/MIRParserTest.cpp - Parser & round-trip tests ----------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mir/MIRParser.h"
+
+#include "mir/MIRPrinter.h"
+#include "mir/MIRVerifier.h"
+#include "outliner/MachineOutliner.h"
+#include "sim/Interpreter.h"
+#include "synth/CorpusSynthesizer.h"
+#include "linker/Linker.h"
+#include "gtest/gtest.h"
+
+using namespace mco;
+
+namespace {
+
+TEST(MIRParserTest, ParsesSimpleFunction) {
+  Program P;
+  ParseResult R = parseModule(P, R"(; module demo
+f:
+  mov    x0, #41
+  add    x0, x0, #1
+  ret
+)");
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R.M->Name, "demo");
+  ASSERT_EQ(R.M->Functions.size(), 1u);
+  EXPECT_EQ(R.M->Functions[0].numInstrs(), 3u);
+
+  BinaryImage Img(P);
+  Interpreter I(Img, P);
+  EXPECT_EQ(I.call("f"), 42);
+}
+
+TEST(MIRParserTest, ParsesBlocksAndBranches) {
+  Program P;
+  ParseResult R = parseModule(P, R"(
+f:
+  cmp    x0, #10
+  b.cc   lt, .LBB2
+  b      .LBB1
+.LBB1:
+  mov    x0, #0
+  ret
+.LBB2:
+  mov    x0, #1
+  ret
+)");
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R.M->Functions[0].numBlocks(), 3u);
+  BinaryImage Img(P);
+  Interpreter I(Img, P);
+  EXPECT_EQ(I.call("f", {5}), 1);
+  EXPECT_EQ(I.call("f", {15}), 0);
+}
+
+TEST(MIRParserTest, ParsesGlobalsAndSymbols) {
+  Program P;
+  ParseResult R = parseModule(P, R"(
+f:
+  adr    x1, table
+  ldr    x0, x1, #8
+  ret
+table: .space 16
+)");
+  ASSERT_TRUE(R) << R.Error;
+  ASSERT_EQ(R.M->Globals.size(), 1u);
+  EXPECT_EQ(R.M->Globals[0].Bytes.size(), 16u);
+}
+
+TEST(MIRParserTest, DisambiguatesRegisterVsImmediateForms) {
+  Program P;
+  ParseResult R = parseModule(P, R"(
+f:
+  add    x0, x1, #4
+  add    x0, x1, x2
+  cmp    x0, #1
+  cmp    x0, x1
+  lsl    x2, x3, #2
+  lsl    x2, x3, x4
+  ret
+)");
+  ASSERT_TRUE(R) << R.Error;
+  const auto &I = R.M->Functions[0].Blocks[0].Instrs;
+  EXPECT_EQ(I[0].opcode(), Opcode::ADDri);
+  EXPECT_EQ(I[1].opcode(), Opcode::ADDrr);
+  EXPECT_EQ(I[2].opcode(), Opcode::CMPri);
+  EXPECT_EQ(I[3].opcode(), Opcode::CMPrr);
+  EXPECT_EQ(I[4].opcode(), Opcode::LSLri);
+  EXPECT_EQ(I[5].opcode(), Opcode::LSLrr);
+}
+
+TEST(MIRParserTest, ReportsErrorsWithLineNumbers) {
+  Program P;
+  ParseResult R = parseModule(P, "f:\n  bogus x0\n");
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("line 2"), std::string::npos);
+
+  ParseResult R2 = parseModule(P, "f:\n  mov x0, x1, x2\n");
+  EXPECT_FALSE(R2);
+
+  ParseResult R3 = parseModule(P, "  mov x0, #1\n");
+  EXPECT_FALSE(R3); // Instruction outside a function.
+}
+
+TEST(MIRParserTest, RoundTripsEveryOpcode) {
+  // Build a function containing every printable opcode form, print it,
+  // parse it back, and require instruction-exact equality.
+  Program P;
+  Module &M = P.addModule("roundtrip");
+  uint32_t Sym = P.internSymbol("callee");
+  uint32_t GSym = P.internSymbol("gdata");
+  {
+    GlobalData G;
+    G.Name = GSym;
+    G.Bytes.assign(64, 0);
+    M.Globals.push_back(G);
+  }
+  MachineFunction MF;
+  MF.Name = P.internSymbol("every_op");
+  {
+    MachineBasicBlock &B0 = MF.addBlock();
+    using MO = MachineOperand;
+    auto Push = [&B0](MachineInstr MI) { B0.push(MI); };
+    Push({Opcode::MOVri, MO::reg(Reg::X0), MO::imm(-7)});
+    Push({Opcode::MOVrr, MO::reg(Reg::X1), MO::reg(Reg::X0)});
+    Push({Opcode::ADDri, MO::reg(Reg::X2), MO::reg(Reg::X1), MO::imm(3)});
+    Push({Opcode::ADDrr, MO::reg(Reg::X3), MO::reg(Reg::X1),
+          MO::reg(Reg::X2)});
+    Push({Opcode::SUBri, MO::reg(Reg::X4), MO::reg(Reg::X3), MO::imm(1)});
+    Push({Opcode::SUBrr, MO::reg(Reg::X5), MO::reg(Reg::X4),
+          MO::reg(Reg::X1)});
+    Push({Opcode::MULrr, MO::reg(Reg::X6), MO::reg(Reg::X5),
+          MO::reg(Reg::X2)});
+    Push({Opcode::SDIVrr, MO::reg(Reg::X7), MO::reg(Reg::X6),
+          MO::reg(Reg::X2)});
+    Push({Opcode::MSUBrr, MO::reg(Reg::X8), MO::reg(Reg::X7),
+          MO::reg(Reg::X2), MO::reg(Reg::X6)});
+    Push({Opcode::ANDrr, MO::reg(Reg::X9), MO::reg(Reg::X8),
+          MO::reg(Reg::X1)});
+    Push({Opcode::ORRrr, MO::reg(Reg::X10), MO::reg(Reg::X9),
+          MO::reg(Reg::X2), });
+    Push({Opcode::EORrr, MO::reg(Reg::X11), MO::reg(Reg::X10),
+          MO::reg(Reg::X3)});
+    Push({Opcode::LSLri, MO::reg(Reg::X12), MO::reg(Reg::X11), MO::imm(2)});
+    Push({Opcode::ASRri, MO::reg(Reg::X13), MO::reg(Reg::X12), MO::imm(1)});
+    Push({Opcode::LSLrr, MO::reg(Reg::X14), MO::reg(Reg::X13),
+          MO::reg(Reg::X1)});
+    Push({Opcode::ASRrr, MO::reg(Reg::X15), MO::reg(Reg::X14),
+          MO::reg(Reg::X1)});
+    Push({Opcode::CMPri, MO::reg(Reg::X15), MO::imm(9)});
+    Push({Opcode::CMPrr, MO::reg(Reg::X15), MO::reg(Reg::X1)});
+    Push({Opcode::CSET, MO::reg(Reg::X16), MO::cond(Cond::LE)});
+    Push({Opcode::CSEL, MO::reg(Reg::X17), MO::reg(Reg::X16),
+          MO::reg(Reg::X15), MO::cond(Cond::NE)});
+    Push({Opcode::LDRui, MO::reg(Reg::X19), MO::reg(Reg::SP), MO::imm(8)});
+    Push({Opcode::STRui, MO::reg(Reg::X19), MO::reg(Reg::SP), MO::imm(16)});
+    Push({Opcode::LDPui, MO::reg(Reg::X20), MO::reg(Reg::X21),
+          MO::reg(Reg::SP), MO::imm(0)});
+    Push({Opcode::STPui, MO::reg(Reg::X20), MO::reg(Reg::X21),
+          MO::reg(Reg::SP), MO::imm(32)});
+    Push({Opcode::STRpre, MO::reg(Reg::X30), MO::reg(Reg::SP),
+          MO::imm(-16)});
+    Push({Opcode::LDRpost, MO::reg(Reg::X30), MO::reg(Reg::SP),
+          MO::imm(16)});
+    Push({Opcode::ADR, MO::reg(Reg::X22), MO::sym(GSym)});
+    Push({Opcode::BL, MO::sym(Sym)});
+    Push({Opcode::CBZ, MO::reg(Reg::X0), MO::block(1)});
+    Push({Opcode::CBNZ, MO::reg(Reg::X0), MO::block(1)});
+    Push({Opcode::Bcc, MO::cond(Cond::HS), MO::block(1)});
+    Push({Opcode::B, MO::block(1)});
+  }
+  {
+    MachineBasicBlock &B1 = MF.addBlock();
+    B1.push(MachineInstr(Opcode::NOP));
+    B1.push(MachineInstr(Opcode::BLR, MachineOperand::reg(Reg::X9)));
+    B1.push(MachineInstr(Opcode::Btail, MachineOperand::sym(Sym)));
+  }
+  M.Functions.push_back(MF);
+
+  std::string Text = printModule(M, P);
+  Program P2;
+  ParseResult R = parseModule(P2, Text);
+  ASSERT_TRUE(R) << R.Error << "\n" << Text;
+  ASSERT_EQ(R.M->Functions.size(), 1u);
+  const MachineFunction &Orig = M.Functions[0];
+  const MachineFunction &Re = R.M->Functions[0];
+  ASSERT_EQ(Orig.numBlocks(), Re.numBlocks());
+  for (uint32_t B = 0; B < Orig.numBlocks(); ++B) {
+    ASSERT_EQ(Orig.Blocks[B].size(), Re.Blocks[B].size()) << "block " << B;
+    for (uint32_t I = 0; I < Orig.Blocks[B].size(); ++I) {
+      const MachineInstr &A = Orig.Blocks[B].Instrs[I];
+      const MachineInstr &Bi = Re.Blocks[B].Instrs[I];
+      EXPECT_EQ(A.opcode(), Bi.opcode()) << printInstr(A, P);
+      EXPECT_EQ(A.numOperands(), Bi.numOperands());
+      // Symbol ids may differ between programs; compare rendered text.
+      EXPECT_EQ(printInstr(A, P), printInstr(Bi, P2));
+    }
+  }
+}
+
+TEST(MIRParserTest, RoundTripsAnOutlinedCorpusModule) {
+  AppProfile Profile = AppProfile::uberRider();
+  Profile.NumModules = 6;
+  auto Prog = CorpusSynthesizer(Profile).generate();
+  Module &Linked = linkProgram(*Prog);
+  runRepeatedOutliner(*Prog, Linked, 2);
+
+  std::string Text = printModule(Linked, *Prog);
+  Program P2;
+  ParseResult R = parseModule(P2, Text);
+  ASSERT_TRUE(R) << R.Error.substr(0, 200);
+  EXPECT_EQ(R.M->numInstrs(), Linked.numInstrs());
+  EXPECT_EQ(R.M->Functions.size(), Linked.Functions.size());
+  EXPECT_EQ(verifyModule(P2, *R.M), "");
+}
+
+} // namespace

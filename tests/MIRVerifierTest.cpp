@@ -1,0 +1,146 @@
+//===- tests/MIRVerifierTest.cpp - Machine verifier tests -----------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mir/MIRVerifier.h"
+
+#include "mir/MIRBuilder.h"
+#include "outliner/MachineOutliner.h"
+#include "pipeline/BuildPipeline.h"
+#include "synth/CorpusSynthesizer.h"
+#include "gtest/gtest.h"
+
+using namespace mco;
+
+namespace {
+
+using MO = MachineOperand;
+
+MachineFunction simpleFn(Program &P, const std::string &Name) {
+  MachineFunction MF;
+  MF.Name = P.internSymbol(Name);
+  MIRBuilder B(MF.addBlock());
+  B.movri(Reg::X0, 1);
+  B.ret();
+  return MF;
+}
+
+TEST(MIRVerifierTest, AcceptsWellFormedFunction) {
+  Program P;
+  MachineFunction MF = simpleFn(P, "f");
+  EXPECT_EQ(verifyFunction(P, MF), "");
+}
+
+TEST(MIRVerifierTest, RejectsEmptyFunction) {
+  Program P;
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  EXPECT_NE(verifyFunction(P, MF), "");
+}
+
+TEST(MIRVerifierTest, RejectsWrongOperandCount) {
+  Program P;
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MF.addBlock().push(MachineInstr(Opcode::MOVri, MO::reg(Reg::X0)));
+  EXPECT_NE(verifyFunction(P, MF), "");
+}
+
+TEST(MIRVerifierTest, RejectsWrongOperandKind) {
+  Program P;
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MF.addBlock().push(
+      MachineInstr(Opcode::MOVri, MO::imm(1), MO::imm(2)));
+  EXPECT_NE(verifyFunction(P, MF), "");
+}
+
+TEST(MIRVerifierTest, RejectsBadBranchTarget) {
+  Program P;
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B(MF.addBlock());
+  B.b(5);
+  EXPECT_NE(verifyFunction(P, MF), "");
+}
+
+TEST(MIRVerifierTest, RejectsUnreachableTail) {
+  Program P;
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B(MF.addBlock());
+  B.ret();
+  B.movri(Reg::X0, 1); // Dead.
+  EXPECT_NE(verifyFunction(P, MF), "");
+}
+
+TEST(MIRVerifierTest, ChecksOutlinedFrameShapes) {
+  Program P;
+  MachineFunction MF = simpleFn(P, "OUTLINED_FUNCTION_1_0");
+  MF.IsOutlined = true;
+  MF.FrameKind = OutlinedFrameKind::NotOutlined; // Inconsistent.
+  EXPECT_NE(verifyFunction(P, MF), "");
+  MF.FrameKind = OutlinedFrameKind::AppendedRet; // Ends with RET: fine.
+  EXPECT_EQ(verifyFunction(P, MF), "");
+  MF.FrameKind = OutlinedFrameKind::Thunk; // Must end with Btail.
+  EXPECT_NE(verifyFunction(P, MF), "");
+}
+
+TEST(MIRVerifierTest, SymbolResolutionCatchesDanglingCalls) {
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B(MF.addBlock());
+  B.strpre(LR, Reg::SP, -16);
+  B.bl(P.internSymbol("missing_function"));
+  B.ldrpost(LR, Reg::SP, 16);
+  B.ret();
+  M.Functions.push_back(MF);
+  VerifyOptions Opts;
+  Opts.CheckSymbolResolution = true;
+  EXPECT_NE(verifyModule(P, M, Opts), "");
+}
+
+TEST(MIRVerifierTest, RuntimeBuiltinsResolve) {
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B(MF.addBlock());
+  B.strpre(LR, Reg::SP, -16);
+  B.bl(P.internSymbol("swift_retain"));
+  B.ldrpost(LR, Reg::SP, 16);
+  B.ret();
+  M.Functions.push_back(MF);
+  VerifyOptions Opts;
+  Opts.CheckSymbolResolution = true;
+  EXPECT_EQ(verifyModule(P, M, Opts), "");
+}
+
+TEST(MIRVerifierTest, WholeSynthesizedAppVerifies) {
+  AppProfile P = AppProfile::uberRider();
+  P.NumModules = 20;
+  auto Prog = CorpusSynthesizer(P).generate();
+  for (const auto &M : Prog->Modules)
+    EXPECT_EQ(verifyModule(*Prog, *M), "") << M->Name;
+}
+
+TEST(MIRVerifierTest, AppVerifiesAfterEveryOutliningRound) {
+  AppProfile P = AppProfile::uberRider();
+  P.NumModules = 12;
+  auto Prog = CorpusSynthesizer(P).generate();
+  Module &Linked = linkProgram(*Prog);
+  VerifyOptions Opts;
+  Opts.CheckSymbolResolution = true;
+  ASSERT_EQ(verifyModule(*Prog, Linked, Opts), "");
+  for (unsigned Round = 1; Round <= 5; ++Round) {
+    runOutlinerRound(*Prog, Linked, Round);
+    ASSERT_EQ(verifyModule(*Prog, Linked, Opts), "")
+        << "after round " << Round;
+  }
+}
+
+} // namespace

@@ -1,0 +1,196 @@
+//===- tests/MachineInstrTest.cpp - MIR unit tests ------------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mir/MachineInstr.h"
+
+#include "mir/MIRBuilder.h"
+#include "mir/MIRPrinter.h"
+#include "mir/Program.h"
+#include "gtest/gtest.h"
+
+using namespace mco;
+
+namespace {
+
+using MO = MachineOperand;
+
+TEST(MachineInstrTest, EqualityExact) {
+  MachineInstr A(Opcode::MOVrr, MO::reg(Reg::X0), MO::reg(Reg::X20));
+  MachineInstr B(Opcode::MOVrr, MO::reg(Reg::X0), MO::reg(Reg::X20));
+  MachineInstr C(Opcode::MOVrr, MO::reg(Reg::X0), MO::reg(Reg::X21));
+  EXPECT_TRUE(A == B);
+  EXPECT_FALSE(A == C);
+}
+
+TEST(MachineInstrTest, HashConsistentWithEquality) {
+  MachineInstr A(Opcode::ADDri, MO::reg(Reg::X1), MO::reg(Reg::X2),
+                 MO::imm(16));
+  MachineInstr B(Opcode::ADDri, MO::reg(Reg::X1), MO::reg(Reg::X2),
+                 MO::imm(16));
+  MachineInstr C(Opcode::ADDri, MO::reg(Reg::X1), MO::reg(Reg::X2),
+                 MO::imm(24));
+  EXPECT_EQ(A.hash(), B.hash());
+  EXPECT_NE(A.hash(), C.hash()); // Overwhelmingly likely for FNV.
+}
+
+TEST(MachineInstrTest, DefsUsesArithmetic) {
+  MachineInstr MI(Opcode::ADDrr, MO::reg(Reg::X0), MO::reg(Reg::X1),
+                  MO::reg(Reg::X2));
+  EXPECT_EQ(MI.defs(), regBit(Reg::X0));
+  EXPECT_EQ(MI.uses(), regBit(Reg::X1) | regBit(Reg::X2));
+}
+
+TEST(MachineInstrTest, XZRIsNeverLive) {
+  MachineInstr MI(Opcode::MOVrr, MO::reg(Reg::X0), MO::reg(Reg::XZR));
+  EXPECT_EQ(MI.uses(), RegMask(0));
+}
+
+TEST(MachineInstrTest, CmpDefinesFlags) {
+  MachineInstr MI(Opcode::CMPri, MO::reg(Reg::X3), MO::imm(0));
+  EXPECT_EQ(MI.defs(), regBit(Reg::NZCV));
+  EXPECT_EQ(MI.uses(), regBit(Reg::X3));
+}
+
+TEST(MachineInstrTest, CallClobbersAndUses) {
+  MachineInstr MI(Opcode::BL, MO::sym(0));
+  EXPECT_TRUE(maskContains(MI.defs(), LR));
+  EXPECT_TRUE(maskContains(MI.defs(), Reg::X0));
+  EXPECT_TRUE(maskContains(MI.defs(), Reg::X17));
+  EXPECT_FALSE(maskContains(MI.defs(), Reg::X19)); // Callee-saved.
+  EXPECT_TRUE(maskContains(MI.uses(), Reg::X7));
+  EXPECT_FALSE(maskContains(MI.uses(), Reg::X8));
+}
+
+TEST(MachineInstrTest, RetUsesLRAndCalleeSaved) {
+  MachineInstr MI(Opcode::RET);
+  EXPECT_TRUE(maskContains(MI.uses(), LR));
+  EXPECT_TRUE(maskContains(MI.uses(), Reg::X19));
+  EXPECT_TRUE(maskContains(MI.uses(), Reg::X0));
+}
+
+TEST(MachineInstrTest, StorePairUsesAll) {
+  MachineInstr MI(Opcode::STPui, MO::reg(Reg::X19), MO::reg(Reg::X20),
+                  MO::reg(Reg::SP), MO::imm(16));
+  EXPECT_EQ(MI.defs(), RegMask(0));
+  EXPECT_TRUE(maskContains(MI.uses(), Reg::X19));
+  EXPECT_TRUE(maskContains(MI.uses(), Reg::X20));
+  EXPECT_TRUE(maskContains(MI.uses(), Reg::SP));
+  EXPECT_TRUE(MI.usesOrModifiesSP());
+}
+
+TEST(MachineInstrTest, PreIndexWritesBase) {
+  MachineInstr MI(Opcode::STRpre, MO::reg(LR), MO::reg(Reg::SP),
+                  MO::imm(-16));
+  EXPECT_TRUE(maskContains(MI.defs(), Reg::SP));
+  EXPECT_TRUE(maskContains(MI.uses(), LR));
+  EXPECT_TRUE(MI.usesOrModifiesSP());
+}
+
+TEST(MachineInstrTest, NonSPInstrDoesNotTouchSP) {
+  MachineInstr MI(Opcode::ADDrr, MO::reg(Reg::X0), MO::reg(Reg::X1),
+                  MO::reg(Reg::X2));
+  EXPECT_FALSE(MI.usesOrModifiesSP());
+}
+
+TEST(MachineInstrTest, BranchPredicates) {
+  EXPECT_TRUE(MachineInstr(Opcode::RET).isBranch());
+  EXPECT_TRUE(MachineInstr(Opcode::RET).isUnconditionalTransfer());
+  EXPECT_TRUE(MachineInstr(Opcode::B, MO::block(0)).isBranch());
+  EXPECT_FALSE(MachineInstr(Opcode::BL, MO::sym(0)).isBranch());
+  EXPECT_TRUE(MachineInstr(Opcode::BL, MO::sym(0)).isCall());
+  MachineInstr Bcc(Opcode::Bcc, MO::cond(Cond::EQ), MO::block(1));
+  EXPECT_TRUE(Bcc.isBranch());
+  EXPECT_FALSE(Bcc.isUnconditionalTransfer());
+}
+
+TEST(MachineInstrTest, InvertCondRoundTrips) {
+  for (Cond C : {Cond::EQ, Cond::NE, Cond::LT, Cond::LE, Cond::GT, Cond::GE,
+                 Cond::LO, Cond::HS})
+    EXPECT_EQ(invertCond(invertCond(C)), C);
+}
+
+TEST(MachineFunctionTest, SuccessorsFallthroughAndBranch) {
+  MachineFunction MF;
+  MIRBuilder B(MF.addBlock());
+  B.cmpri(Reg::X0, 0);
+  B.bcc(Cond::EQ, 2);
+  MF.addBlock(); // Block 1: fallthrough target.
+  MIRBuilder B1(MF.Blocks[1]);
+  B1.ret();
+  MF.addBlock(); // Block 2.
+  MIRBuilder B2(MF.Blocks[2]);
+  B2.ret();
+
+  auto S0 = MF.successors(0);
+  ASSERT_EQ(S0.size(), 2u);
+  EXPECT_EQ(S0[0], 2u); // Branch target.
+  EXPECT_EQ(S0[1], 1u); // Fallthrough.
+  EXPECT_TRUE(MF.successors(1).empty());
+  EXPECT_TRUE(MF.successors(2).empty());
+}
+
+TEST(MachineFunctionTest, UnconditionalBranchBlocksFallthrough) {
+  MachineFunction MF;
+  MIRBuilder B(MF.addBlock());
+  B.b(2);
+  MF.addBlock();
+  MF.addBlock();
+  auto S0 = MF.successors(0);
+  ASSERT_EQ(S0.size(), 1u);
+  EXPECT_EQ(S0[0], 2u);
+}
+
+TEST(MachineFunctionTest, CodeSizeCounts) {
+  MachineFunction MF;
+  MIRBuilder B(MF.addBlock());
+  B.movri(Reg::X0, 1);
+  B.movri(Reg::X1, 2);
+  B.ret();
+  EXPECT_EQ(MF.numInstrs(), 3u);
+  EXPECT_EQ(MF.codeSize(), 12u);
+}
+
+TEST(MIRPrinterTest, RendersInstr) {
+  Program P;
+  uint32_t S = P.internSymbol("swift_release");
+  MachineInstr MI(Opcode::BL, MO::sym(S));
+  EXPECT_EQ(printInstr(MI, P), "bl     swift_release");
+  MachineInstr Mov(Opcode::MOVrr, MO::reg(Reg::X0), MO::reg(Reg::X20));
+  EXPECT_EQ(printInstr(Mov, P), "orr    x0, x20");
+}
+
+TEST(ProgramTest, SymbolInterning) {
+  Program P;
+  uint32_t A = P.internSymbol("foo");
+  uint32_t B = P.internSymbol("bar");
+  uint32_t A2 = P.internSymbol("foo");
+  EXPECT_EQ(A, A2);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(P.symbolName(A), "foo");
+  EXPECT_EQ(P.lookupSymbol("bar"), B);
+  EXPECT_EQ(P.lookupSymbol("baz"), UINT32_MAX);
+}
+
+TEST(ProgramTest, SizesAggregate) {
+  Program P;
+  Module &M1 = P.addModule("m1");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B(MF.addBlock());
+  B.movri(Reg::X0, 0);
+  B.ret();
+  M1.Functions.push_back(MF);
+  GlobalData G;
+  G.Name = P.internSymbol("g");
+  G.Bytes.assign(64, 0);
+  M1.Globals.push_back(G);
+
+  EXPECT_EQ(P.numInstrs(), 2u);
+  EXPECT_EQ(P.codeSize(), 8u);
+  EXPECT_EQ(P.dataSize(), 64u);
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+//===- tests/OptionsMatrixTest.cpp - Outliner option sweeps ---------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property sweep over the outliner's option matrix: for every combination
+/// of candidate-discovery mode, minimum length, greedy key, and RegSave
+/// availability, outlining a synthesized corpus must (a) never grow the
+/// code, (b) produce a verifying module, and (c) leave every span
+/// observationally intact.
+///
+//===----------------------------------------------------------------------===//
+
+#include "linker/Linker.h"
+#include "mir/MIRVerifier.h"
+#include "outliner/MachineOutliner.h"
+#include "sim/Interpreter.h"
+#include "synth/CorpusSynthesizer.h"
+#include "gtest/gtest.h"
+
+using namespace mco;
+
+namespace {
+
+struct MatrixPoint {
+  bool LeafDescendants;
+  unsigned MinLength;
+  bool SortByBenefit;
+  bool EnableRegSave;
+};
+
+std::string pointName(const MatrixPoint &P) {
+  std::string S;
+  S += P.LeafDescendants ? "Descendants" : "LeafChildren";
+  S += "_MinLen" + std::to_string(P.MinLength);
+  S += P.SortByBenefit ? "_Benefit" : "_Length";
+  S += P.EnableRegSave ? "_RegSave" : "_NoRegSave";
+  return S;
+}
+
+class OptionsMatrixTest : public ::testing::TestWithParam<MatrixPoint> {
+protected:
+  static AppProfile profile() {
+    AppProfile P = AppProfile::uberRider();
+    P.NumModules = 16;
+    return P;
+  }
+};
+
+TEST_P(OptionsMatrixTest, ShrinksVerifiesAndPreservesBehaviour) {
+  const MatrixPoint &Pt = GetParam();
+  AppProfile Profile = profile();
+
+  // Reference span checksum from the unoutlined build.
+  uint64_t Reference = 0;
+  {
+    auto Prog = CorpusSynthesizer(Profile).generate();
+    linkProgram(*Prog);
+    BinaryImage Image(*Prog);
+    Interpreter I(Image, *Prog);
+    I.call(CorpusSynthesizer::spanFunctionName(0));
+    uint32_t Sym = Prog->lookupSymbol("g_0_0");
+    uint64_t Addr = Image.globalAddr(Sym);
+    for (unsigned W = 0; W < Profile.GlobalWords; ++W) {
+      Reference ^= I.memory().read64(Addr + 8 * W);
+      Reference *= 1099511628211ull;
+    }
+  }
+
+  auto Prog = CorpusSynthesizer(Profile).generate();
+  Module &Linked = linkProgram(*Prog);
+  uint64_t Before = Linked.codeSize();
+
+  OutlinerOptions Opts;
+  Opts.LeafDescendants = Pt.LeafDescendants;
+  Opts.MinLength = Pt.MinLength;
+  Opts.SortByBenefit = Pt.SortByBenefit;
+  Opts.EnableRegSave = Pt.EnableRegSave;
+  RepeatedOutlineStats S = runRepeatedOutliner(*Prog, Linked, 3, Opts);
+
+  // (a) Monotone shrinkage, round over round.
+  uint64_t Prev = Before;
+  for (const OutlineRoundStats &RS : S.Rounds) {
+    EXPECT_EQ(RS.CodeSizeBefore, Prev);
+    EXPECT_LE(RS.CodeSizeAfter, RS.CodeSizeBefore);
+    Prev = RS.CodeSizeAfter;
+  }
+  EXPECT_LT(Linked.codeSize(), Before);
+
+  // (b) Structural validity including symbol resolution.
+  VerifyOptions VOpts;
+  VOpts.CheckSymbolResolution = true;
+  ASSERT_EQ(verifyModule(*Prog, Linked, VOpts), "") << pointName(Pt);
+
+  // (c) Observational equivalence of a span.
+  BinaryImage Image(*Prog);
+  Interpreter I(Image, *Prog);
+  I.call(CorpusSynthesizer::spanFunctionName(0));
+  uint32_t Sym = Prog->lookupSymbol("g_0_0");
+  uint64_t Addr = Image.globalAddr(Sym);
+  uint64_t Sum = 0;
+  for (unsigned W = 0; W < Profile.GlobalWords; ++W) {
+    Sum ^= I.memory().read64(Addr + 8 * W);
+    Sum *= 1099511628211ull;
+  }
+  EXPECT_EQ(Sum, Reference) << pointName(Pt);
+  EXPECT_EQ(I.memory().liveHeapBytes(), 0u);
+}
+
+TEST_P(OptionsMatrixTest, MinLengthIsRespected) {
+  const MatrixPoint &Pt = GetParam();
+  auto Prog = CorpusSynthesizer(profile()).generate();
+  Module &Linked = linkProgram(*Prog);
+  OutlinerOptions Opts;
+  Opts.LeafDescendants = Pt.LeafDescendants;
+  Opts.MinLength = Pt.MinLength;
+  Opts.SortByBenefit = Pt.SortByBenefit;
+  Opts.EnableRegSave = Pt.EnableRegSave;
+  runOutlinerRound(*Prog, Linked, 1, Opts);
+
+  // Every outlined body must contain at least MinLength original
+  // instructions beyond its frame.
+  for (const MachineFunction &MF : Linked.Functions) {
+    if (!MF.IsOutlined)
+      continue;
+    unsigned Frame = 0;
+    switch (MF.FrameKind) {
+    case OutlinedFrameKind::AppendedRet: Frame = 1; break;
+    case OutlinedFrameKind::SavesLRInFrame: Frame = 3; break;
+    default: Frame = 0; break;
+    }
+    EXPECT_GE(MF.numInstrs(), Opts.MinLength + Frame)
+        << Prog->symbolName(MF.Name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, OptionsMatrixTest,
+    ::testing::Values(MatrixPoint{false, 2, true, true},
+                      MatrixPoint{true, 2, true, true},
+                      MatrixPoint{false, 3, true, true},
+                      MatrixPoint{false, 2, false, true},
+                      MatrixPoint{false, 2, true, false},
+                      MatrixPoint{true, 3, false, false}),
+    [](const ::testing::TestParamInfo<MatrixPoint> &Info) {
+      return pointName(Info.param);
+    });
+
+} // namespace

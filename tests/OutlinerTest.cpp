@@ -1,0 +1,441 @@
+//===- tests/OutlinerTest.cpp - Single-round outliner tests ---------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "outliner/MachineOutliner.h"
+
+#include "mir/MIRBuilder.h"
+#include "gtest/gtest.h"
+
+using namespace mco;
+
+namespace {
+
+/// Makes a function named \p Name whose single block is filled by \p Fill.
+MachineFunction makeFn(Program &P, const std::string &Name,
+                       void (*Fill)(MIRBuilder &, Program &)) {
+  MachineFunction MF;
+  MF.Name = P.internSymbol(Name);
+  MIRBuilder B(MF.addBlock());
+  Fill(B, P);
+  return MF;
+}
+
+/// Counts outlined functions in \p M.
+unsigned countOutlined(const Module &M) {
+  unsigned N = 0;
+  for (const MachineFunction &MF : M.Functions)
+    N += MF.IsOutlined ? 1 : 0;
+  return N;
+}
+
+TEST(OutlinerTest, NoRepeatsNoOutlining) {
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B(MF.addBlock());
+  B.movri(Reg::X0, 1);
+  B.movri(Reg::X1, 2);
+  B.movri(Reg::X2, 3);
+  B.ret();
+  M.Functions.push_back(MF);
+
+  OutlineRoundStats S = runOutlinerRound(P, M, 1);
+  EXPECT_EQ(S.FunctionsCreated, 0u);
+  EXPECT_EQ(S.CodeSizeBefore, S.CodeSizeAfter);
+}
+
+TEST(OutlinerTest, UnprofitablePatternRejected) {
+  // A 2-instruction pattern repeating only twice with NoLRSave costs:
+  // before 16, after 4+4 (calls) + 8 (body) + 4 (ret) = 20. Not profitable.
+  Program P;
+  Module &M = P.addModule("m");
+  for (int F = 0; F < 2; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    MIRBuilder B(MF.addBlock());
+    B.movri(Reg::X1, 11);
+    B.movri(Reg::X2, 22);
+    M.Functions.push_back(MF);
+  }
+  OutlineRoundStats S = runOutlinerRound(P, M, 1);
+  EXPECT_EQ(S.FunctionsCreated, 0u);
+}
+
+TEST(OutlinerTest, TailCallVariant) {
+  // Three functions ending in the same [mov; mov; ret]: outlined with a
+  // tail-call branch at each site; the outlined body keeps the RET.
+  Program P;
+  Module &M = P.addModule("m");
+  for (int F = 0; F < 3; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    MIRBuilder B(MF.addBlock());
+    B.movri(Reg::X9, F); // Unique prefix so only the tail repeats.
+    B.movri(Reg::X0, 77);
+    B.movri(Reg::X1, 88);
+    B.ret();
+    M.Functions.push_back(MF);
+  }
+  uint64_t Before = M.codeSize();
+  OutlineRoundStats S = runOutlinerRound(P, M, 1);
+  ASSERT_EQ(S.FunctionsCreated, 1u);
+  EXPECT_EQ(S.SequencesOutlined, 3u);
+  EXPECT_EQ(M.codeSize(), S.CodeSizeAfter);
+  // Savings: 3 sites x (3 instrs -> 1 Btail) = 24 bytes minus 12-byte body.
+  EXPECT_EQ(Before - S.CodeSizeAfter, 12u);
+
+  const MachineFunction &Out = M.Functions.back();
+  ASSERT_TRUE(Out.IsOutlined);
+  EXPECT_EQ(Out.FrameKind, OutlinedFrameKind::TailCall);
+  ASSERT_EQ(Out.numInstrs(), 3u);
+  EXPECT_EQ(Out.Blocks[0].Instrs.back().opcode(), Opcode::RET);
+  // Call sites end with Btail to the outlined function.
+  for (int F = 0; F < 3; ++F) {
+    const auto &Instrs = M.Functions[F].Blocks[0].Instrs;
+    ASSERT_EQ(Instrs.size(), 2u);
+    EXPECT_EQ(Instrs.back().opcode(), Opcode::Btail);
+    EXPECT_EQ(Instrs.back().operand(0).getSym(), Out.Name);
+  }
+}
+
+TEST(OutlinerTest, ThunkVariant) {
+  // The paper's most common shape: register move + call (Listing 1).
+  Program P;
+  uint32_t Release = P.internSymbol("swift_release");
+  Module &M = P.addModule("m");
+  for (int F = 0; F < 4; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    MIRBuilder B(MF.addBlock());
+    B.movri(Reg::X9, 100 + F); // Unique filler.
+    B.movrr(Reg::X0, Reg::X20);
+    B.bl(Release);
+    B.movri(Reg::X10, 200 + F); // Unique filler.
+    M.Functions.push_back(MF);
+  }
+  OutlineRoundStats S = runOutlinerRound(P, M, 1);
+  ASSERT_EQ(S.FunctionsCreated, 1u);
+  EXPECT_EQ(S.SequencesOutlined, 4u);
+
+  const MachineFunction &Out = M.Functions.back();
+  EXPECT_EQ(Out.FrameKind, OutlinedFrameKind::Thunk);
+  ASSERT_EQ(Out.numInstrs(), 2u);
+  EXPECT_EQ(Out.Blocks[0].Instrs[0].opcode(), Opcode::MOVrr);
+  EXPECT_EQ(Out.Blocks[0].Instrs[1].opcode(), Opcode::Btail);
+  EXPECT_EQ(Out.Blocks[0].Instrs[1].operand(0).getSym(), Release);
+  // Call sites use a single BL.
+  const auto &Instrs = M.Functions[0].Blocks[0].Instrs;
+  ASSERT_EQ(Instrs.size(), 3u);
+  EXPECT_EQ(Instrs[1].opcode(), Opcode::BL);
+  EXPECT_EQ(Instrs[1].operand(0).getSym(), Out.Name);
+}
+
+TEST(OutlinerTest, NoLRSaveWhenLRDead) {
+  // Standard frame: LR saved in prologue, restored in epilogue; body
+  // patterns can be called with a bare BL.
+  Program P;
+  Module &M = P.addModule("m");
+  for (int F = 0; F < 3; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    MIRBuilder B(MF.addBlock());
+    B.strpre(LR, Reg::SP, -16);
+    B.movri(Reg::X1, 10);
+    B.movri(Reg::X2, 20);
+    B.movri(Reg::X3, 30);
+    B.ldrpost(LR, Reg::SP, 16);
+    B.ret();
+    M.Functions.push_back(MF);
+  }
+  OutlineRoundStats S = runOutlinerRound(P, M, 1);
+  ASSERT_EQ(S.FunctionsCreated, 1u);
+  const MachineFunction &Out = M.Functions.back();
+  EXPECT_EQ(Out.FrameKind, OutlinedFrameKind::AppendedRet);
+  ASSERT_EQ(Out.numInstrs(), 4u); // 3 movs + appended RET.
+  // Call site: prologue, BL, epilogue, ret.
+  const auto &Instrs = M.Functions[0].Blocks[0].Instrs;
+  ASSERT_EQ(Instrs.size(), 4u);
+  EXPECT_EQ(Instrs[1].opcode(), Opcode::BL);
+}
+
+TEST(OutlinerTest, RegSaveWhenLRLive) {
+  // Leaf functions with no LR spill: the pattern sits before a unique
+  // instruction and the RET, so LR is live across it. A scratch register
+  // must be used to preserve LR around the call.
+  Program P;
+  Module &M = P.addModule("m");
+  for (int F = 0; F < 3; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    MIRBuilder B(MF.addBlock());
+    for (int K = 0; K < 6; ++K)
+      B.movri(xreg(1 + K), 40 + K);
+    B.movri(Reg::X0, 900 + F); // Unique.
+    B.ret();
+    M.Functions.push_back(MF);
+  }
+  OutlineRoundStats S = runOutlinerRound(P, M, 1);
+  ASSERT_EQ(S.FunctionsCreated, 1u);
+  const auto &Instrs = M.Functions[0].Blocks[0].Instrs;
+  // mov x9, lr; bl OUT; mov lr, x9; mov x0, #900; ret
+  ASSERT_EQ(Instrs.size(), 5u);
+  EXPECT_EQ(Instrs[0].opcode(), Opcode::MOVrr);
+  EXPECT_EQ(Instrs[0].operand(0).getReg(), Reg::X9);
+  EXPECT_EQ(Instrs[0].operand(1).getReg(), LR);
+  EXPECT_EQ(Instrs[1].opcode(), Opcode::BL);
+  EXPECT_EQ(Instrs[2].opcode(), Opcode::MOVrr);
+  EXPECT_EQ(Instrs[2].operand(0).getReg(), LR);
+  EXPECT_EQ(Instrs[2].operand(1).getReg(), Reg::X9);
+}
+
+TEST(OutlinerTest, RegSavePicksFreeRegister) {
+  // Same as above but x9..x11 are used by the pattern, so x12 is chosen.
+  Program P;
+  Module &M = P.addModule("m");
+  for (int F = 0; F < 3; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    MIRBuilder B(MF.addBlock());
+    for (int K = 0; K < 6; ++K)
+      B.movri(xreg(9 + (K % 3)), 40 + K); // Touches x9, x10, x11.
+    B.movri(Reg::X0, 900 + F);
+    B.ret();
+    M.Functions.push_back(MF);
+  }
+  OutlineRoundStats S = runOutlinerRound(P, M, 1);
+  ASSERT_EQ(S.FunctionsCreated, 1u);
+  const auto &Instrs = M.Functions[0].Blocks[0].Instrs;
+  EXPECT_EQ(Instrs[0].operand(0).getReg(), Reg::X12);
+}
+
+TEST(OutlinerTest, SaveLRToStackWhenRegSaveDisabled) {
+  Program P;
+  Module &M = P.addModule("m");
+  for (int F = 0; F < 3; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    MIRBuilder B(MF.addBlock());
+    for (int K = 0; K < 6; ++K)
+      B.movri(xreg(1 + K), 40 + K);
+    B.movri(Reg::X0, 900 + F);
+    B.ret();
+    M.Functions.push_back(MF);
+  }
+  OutlinerOptions Opts;
+  Opts.EnableRegSave = false;
+  OutlineRoundStats S = runOutlinerRound(P, M, 1, Opts);
+  ASSERT_EQ(S.FunctionsCreated, 1u);
+  const auto &Instrs = M.Functions[0].Blocks[0].Instrs;
+  EXPECT_EQ(Instrs[0].opcode(), Opcode::STRpre);
+  EXPECT_EQ(Instrs[1].opcode(), Opcode::BL);
+  EXPECT_EQ(Instrs[2].opcode(), Opcode::LDRpost);
+}
+
+TEST(OutlinerTest, SPUsingPatternRejectedUnderStackSave) {
+  // LR live, RegSave disabled, and the pattern touches SP: outlining would
+  // corrupt the SP-relative offsets, so nothing may be outlined.
+  Program P;
+  Module &M = P.addModule("m");
+  for (int F = 0; F < 3; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    MIRBuilder B(MF.addBlock());
+    B.movri(Reg::X1, 5);
+    B.str(Reg::X1, Reg::SP, 8);
+    B.movri(Reg::X2, 6);
+    B.str(Reg::X2, Reg::SP, 16);
+    B.movri(Reg::X3, 7);
+    B.str(Reg::X3, Reg::SP, 24);
+    B.movri(Reg::X0, 900 + F);
+    B.ret();
+    M.Functions.push_back(MF);
+  }
+  OutlinerOptions Opts;
+  Opts.EnableRegSave = false;
+  OutlineRoundStats S = runOutlinerRound(P, M, 1, Opts);
+  EXPECT_EQ(S.FunctionsCreated, 0u);
+  EXPECT_EQ(countOutlined(M), 0u);
+}
+
+TEST(OutlinerTest, SPUsingPatternAllowedWithRegSave) {
+  // Same pattern, but RegSave available: SP accesses are fine because the
+  // call site does not move SP.
+  Program P;
+  Module &M = P.addModule("m");
+  for (int F = 0; F < 3; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    MIRBuilder B(MF.addBlock());
+    B.movri(Reg::X1, 5);
+    B.str(Reg::X1, Reg::SP, 8);
+    B.movri(Reg::X2, 6);
+    B.str(Reg::X2, Reg::SP, 16);
+    B.movri(Reg::X3, 7);
+    B.str(Reg::X3, Reg::SP, 24);
+    B.movri(Reg::X0, 900 + F);
+    B.ret();
+    M.Functions.push_back(MF);
+  }
+  OutlineRoundStats S = runOutlinerRound(P, M, 1);
+  EXPECT_EQ(S.FunctionsCreated, 1u);
+}
+
+TEST(OutlinerTest, MidCallPatternSavesLRInFrame) {
+  Program P;
+  uint32_t G = P.internSymbol("g");
+  uint32_t H = P.internSymbol("h");
+  Module &M = P.addModule("m");
+  for (int F = 0; F < 3; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    MIRBuilder B(MF.addBlock());
+    B.movri(Reg::X0, 1);
+    B.bl(G);
+    B.movri(Reg::X0, 2);
+    B.bl(H);
+    B.movri(Reg::X9, 700 + F); // Unique.
+    M.Functions.push_back(MF);
+  }
+  OutlineRoundStats S = runOutlinerRound(P, M, 1);
+  ASSERT_EQ(S.FunctionsCreated, 1u);
+  const MachineFunction &Out = M.Functions.back();
+  EXPECT_EQ(Out.FrameKind, OutlinedFrameKind::SavesLRInFrame);
+  const auto &Body = Out.Blocks[0].Instrs;
+  // str lr,[sp,#-16]!; mov; bl g; mov; bl h; ldr lr,[sp],#16; ret
+  ASSERT_EQ(Body.size(), 7u);
+  EXPECT_EQ(Body.front().opcode(), Opcode::STRpre);
+  EXPECT_EQ(Body[Body.size() - 2].opcode(), Opcode::LDRpost);
+  EXPECT_EQ(Body.back().opcode(), Opcode::RET);
+}
+
+TEST(OutlinerTest, SizeAccountingIsExact) {
+  Program P;
+  uint32_t G = P.internSymbol("g");
+  Module &M = P.addModule("m");
+  for (int F = 0; F < 8; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    MIRBuilder B(MF.addBlock());
+    B.movrr(Reg::X0, Reg::X20);
+    B.bl(G);
+    B.movrr(Reg::X0, Reg::X21);
+    B.bl(G);
+    B.movri(Reg::X9, 5000 + F);
+    M.Functions.push_back(MF);
+  }
+  uint64_t Before = M.codeSize();
+  OutlineRoundStats S = runOutlinerRound(P, M, 1);
+  EXPECT_EQ(S.CodeSizeBefore, Before);
+  EXPECT_EQ(S.CodeSizeAfter, M.codeSize());
+  EXPECT_LT(S.CodeSizeAfter, Before);
+}
+
+TEST(OutlinerTest, GreedyPrefersHigherImmediateBenefit) {
+  // A 2-instr pattern with 22 occurrences beats a 3-instr pattern with 6;
+  // stock greedy outlines the short one first (paper Listings 12/13).
+  Program P;
+  Module &M = P.addModule("m");
+  auto AddBlockFn = [&](const std::string &Name, bool WithPrefix) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol(Name);
+    MIRBuilder B(MF.addBlock());
+    if (WithPrefix)
+      B.movri(Reg::X3, 33);
+    B.movri(Reg::X1, 11);
+    B.movri(Reg::X2, 12);
+    M.Functions.push_back(MF);
+  };
+  for (int I = 0; I < 16; ++I)
+    AddBlockFn("short" + std::to_string(I), false);
+  for (int I = 0; I < 6; ++I)
+    AddBlockFn("long" + std::to_string(I), true);
+
+  OutlineRoundStats S = runOutlinerRound(P, M, 1);
+  ASSERT_GE(S.FunctionsCreated, 1u);
+  // The first created outlined function must be the 2-instr pattern body
+  // (+ appended RET = 3 instrs).
+  const MachineFunction *FirstOut = nullptr;
+  for (const MachineFunction &MF : M.Functions)
+    if (MF.IsOutlined) {
+      FirstOut = &MF;
+      break;
+    }
+  ASSERT_NE(FirstOut, nullptr);
+  EXPECT_EQ(FirstOut->numInstrs(), 3u);
+}
+
+TEST(OutlinerTest, RejectionCountersExplainDecisions) {
+  // SP-using pattern with LR live and RegSave disabled: every occurrence
+  // is dropped by the SP restriction and the counters must say so.
+  Program P;
+  Module &M = P.addModule("m");
+  for (int F = 0; F < 3; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    MIRBuilder B(MF.addBlock());
+    B.movri(Reg::X1, 5);
+    B.str(Reg::X1, Reg::SP, 8);
+    B.movri(Reg::X2, 6);
+    B.str(Reg::X2, Reg::SP, 16);
+    B.movri(Reg::X3, 7);
+    B.str(Reg::X3, Reg::SP, 24);
+    B.movri(Reg::X0, 900 + F);
+    B.ret();
+    M.Functions.push_back(MF);
+  }
+  OutlinerOptions Opts;
+  Opts.EnableRegSave = false;
+  OutlineRoundStats S = runOutlinerRound(P, M, 1, Opts);
+  EXPECT_EQ(S.FunctionsCreated, 0u);
+  EXPECT_GT(S.PatternsConsidered, 0u);
+  EXPECT_GT(S.CandidatesDroppedSP, 0u);
+}
+
+TEST(OutlinerTest, OverlapCounterTracksGreedyConsumption) {
+  // Nested short/long patterns: committing the short one consumes the
+  // long one's occurrences.
+  Program P;
+  Module &M = P.addModule("m");
+  auto Add = [&](const std::string &N, bool WithPrefix) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol(N);
+    MIRBuilder B(MF.addBlock());
+    if (WithPrefix)
+      B.movri(Reg::X3, 33);
+    B.movri(Reg::X1, 11);
+    B.movri(Reg::X2, 12);
+    M.Functions.push_back(MF);
+  };
+  for (int I = 0; I < 16; ++I)
+    Add("s" + std::to_string(I), false);
+  for (int I = 0; I < 6; ++I)
+    Add("l" + std::to_string(I), true);
+  OutlineRoundStats S = runOutlinerRound(P, M, 1);
+  EXPECT_GT(S.CandidatesDroppedOverlap, 0u);
+}
+
+TEST(OutlinerTest, OutlinedNamesCarryPrefixAndRound) {
+  Program P;
+  Module &M = P.addModule("m");
+  for (int F = 0; F < 3; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    MIRBuilder B(MF.addBlock());
+    B.movri(Reg::X0, 1);
+    B.movri(Reg::X1, 2);
+    B.ret();
+    M.Functions.push_back(MF);
+  }
+  OutlinerOptions Opts;
+  Opts.NamePrefix = "OUTLINED_FUNCTION@mymod";
+  OutlineRoundStats S = runOutlinerRound(P, M, 7, Opts);
+  ASSERT_EQ(S.FunctionsCreated, 1u);
+  EXPECT_EQ(P.symbolName(M.Functions.back().Name),
+            "OUTLINED_FUNCTION@mymod_7_0");
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+//===- tests/PatternStatsTest.cpp - Section IV analysis tests -------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "outliner/PatternStats.h"
+
+#include "mir/MIRBuilder.h"
+#include "gtest/gtest.h"
+
+using namespace mco;
+
+namespace {
+
+/// Adds \p Count functions each containing the retain/release idiom
+/// `mov x0, <Src>; bl <Callee>` plus unique filler.
+void addIdiomFns(Program &P, Module &M, const std::string &Prefix,
+                 unsigned Count, Reg Src, uint32_t Callee) {
+  for (unsigned I = 0; I < Count; ++I) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol(Prefix + std::to_string(I));
+    MIRBuilder B(MF.addBlock());
+    B.movri(Reg::X9, 10000 + static_cast<int64_t>(M.Functions.size()));
+    B.movrr(Reg::X0, Src);
+    B.bl(Callee);
+    B.movri(Reg::X10, 20000 + static_cast<int64_t>(M.Functions.size()));
+    M.Functions.push_back(MF);
+  }
+}
+
+TEST(PatternStatsTest, RanksByFrequency) {
+  Program P;
+  uint32_t Release = P.internSymbol("swift_release");
+  uint32_t Retain = P.internSymbol("swift_retain");
+  Module &M = P.addModule("m");
+  addIdiomFns(P, M, "a", 30, Reg::X20, Release);
+  addIdiomFns(P, M, "b", 12, Reg::X21, Release);
+  addIdiomFns(P, M, "c", 5, Reg::X19, Retain);
+
+  PatternAnalysis A = analyzePatterns(P, M);
+  ASSERT_GE(A.Patterns.size(), 3u);
+  EXPECT_EQ(A.Patterns[0].Rank, 1u);
+  EXPECT_EQ(A.Patterns[0].Frequency, 30u);
+  EXPECT_EQ(A.Patterns[1].Frequency, 12u);
+  EXPECT_EQ(A.Patterns[2].Frequency, 5u);
+  for (size_t I = 1; I < A.Patterns.size(); ++I)
+    EXPECT_LE(A.Patterns[I].Frequency, A.Patterns[I - 1].Frequency);
+}
+
+TEST(PatternStatsTest, CallEndingShare) {
+  Program P;
+  uint32_t Release = P.internSymbol("swift_release");
+  Module &M = P.addModule("m");
+  addIdiomFns(P, M, "a", 10, Reg::X20, Release);
+
+  PatternAnalysis A = analyzePatterns(P, M);
+  ASSERT_FALSE(A.Patterns.empty());
+  EXPECT_TRUE(A.Patterns[0].EndsWithCall);
+  EXPECT_GT(A.callRetEndingShare(), 0.9);
+}
+
+TEST(PatternStatsTest, UnprofitablePatternsExcluded) {
+  // A 2-instr pattern occurring twice saves nothing; it must not appear.
+  Program P;
+  Module &M = P.addModule("m");
+  for (int I = 0; I < 2; ++I) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(I));
+    MIRBuilder B(MF.addBlock());
+    B.movri(Reg::X1, 1);
+    B.movri(Reg::X2, 2);
+    M.Functions.push_back(MF);
+  }
+  PatternAnalysis A = analyzePatterns(P, M);
+  EXPECT_TRUE(A.Patterns.empty());
+}
+
+TEST(PatternStatsTest, CumulativeSavingsMonotone) {
+  Program P;
+  uint32_t Release = P.internSymbol("swift_release");
+  uint32_t Retain = P.internSymbol("swift_retain");
+  Module &M = P.addModule("m");
+  addIdiomFns(P, M, "a", 30, Reg::X20, Release);
+  addIdiomFns(P, M, "b", 12, Reg::X21, Release);
+  addIdiomFns(P, M, "c", 8, Reg::X19, Retain);
+
+  PatternAnalysis A = analyzePatterns(P, M);
+  auto Cum = A.cumulativeSavingsBestFirst();
+  ASSERT_EQ(Cum.size(), A.Patterns.size());
+  for (size_t I = 1; I < Cum.size(); ++I)
+    EXPECT_GE(Cum[I], Cum[I - 1]);
+  EXPECT_EQ(A.patternsForShareOfSavings(1.0),
+            static_cast<unsigned>(Cum.size()));
+  EXPECT_GE(A.patternsForShareOfSavings(0.5), 1u);
+  EXPECT_LE(A.patternsForShareOfSavings(0.5),
+            A.patternsForShareOfSavings(0.9));
+}
+
+TEST(PatternStatsTest, ListingTextRendered) {
+  Program P;
+  uint32_t Release = P.internSymbol("swift_release");
+  Module &M = P.addModule("m");
+  addIdiomFns(P, M, "a", 10, Reg::X20, Release);
+  PatternAnalysis A = analyzePatterns(P, M);
+  ASSERT_FALSE(A.Patterns.empty());
+  EXPECT_NE(A.Patterns[0].Text.find("bl     swift_release"),
+            std::string::npos);
+  EXPECT_NE(A.Patterns[0].Text.find("orr    x0, x20"), std::string::npos);
+}
+
+TEST(PatternStatsTest, TotalInstrsReported) {
+  Program P;
+  Module &M = P.addModule("m");
+  addIdiomFns(P, M, "a", 3, Reg::X20, P.internSymbol("g"));
+  PatternAnalysis A = analyzePatterns(P, M);
+  EXPECT_EQ(A.TotalInstrs, M.numInstrs());
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+//===- tests/PipelineTest.cpp - Build pipeline tests ----------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/BuildPipeline.h"
+
+#include "mir/MIRBuilder.h"
+#include "synth/CorpusSynthesizer.h"
+#include "gtest/gtest.h"
+
+using namespace mco;
+
+namespace {
+
+AppProfile tinyProfile() {
+  AppProfile P = AppProfile::uberRider();
+  P.NumModules = 8;
+  P.FunctionsPerModule = 10;
+  return P;
+}
+
+TEST(PipelineTest, ZeroRoundsDisablesOutlining) {
+  auto Prog = CorpusSynthesizer(tinyProfile()).generate();
+  uint64_t Before = Prog->codeSize();
+  PipelineOptions Opts;
+  Opts.OutlineRounds = 0;
+  BuildResult R = buildProgram(*Prog, Opts);
+  EXPECT_EQ(R.CodeSize, Before);
+  EXPECT_TRUE(R.OutlineStats.Rounds.empty());
+}
+
+TEST(PipelineTest, WholeProgramMergesModulesFirst) {
+  auto Prog = CorpusSynthesizer(tinyProfile()).generate();
+  PipelineOptions Opts;
+  Opts.OutlineRounds = 1;
+  buildProgram(*Prog, Opts);
+  EXPECT_EQ(Prog->Modules.size(), 1u);
+}
+
+TEST(PipelineTest, PerModuleKeepsClonesDistinct) {
+  auto Prog = CorpusSynthesizer(tinyProfile()).generate();
+  PipelineOptions Opts;
+  Opts.WholeProgram = false;
+  Opts.OutlineRounds = 1;
+  buildProgram(*Prog, Opts);
+  // Outlined names must be module-qualified, so identical bodies from
+  // different modules stay distinct symbols.
+  unsigned Qualified = 0;
+  for (const MachineFunction &MF : Prog->Modules[0]->Functions)
+    if (MF.IsOutlined) {
+      EXPECT_NE(Prog->symbolName(MF.Name).find('@'), std::string::npos);
+      ++Qualified;
+    }
+  EXPECT_GT(Qualified, 0u);
+}
+
+TEST(PipelineTest, StatsAccountSizesExactly) {
+  auto Prog = CorpusSynthesizer(tinyProfile()).generate();
+  uint64_t Before = Prog->codeSize();
+  PipelineOptions Opts;
+  Opts.OutlineRounds = 3;
+  BuildResult R = buildProgram(*Prog, Opts);
+  ASSERT_FALSE(R.OutlineStats.Rounds.empty());
+  EXPECT_EQ(R.OutlineStats.Rounds.front().CodeSizeBefore, Before);
+  // Chain: each round's after == next round's before.
+  for (size_t I = 1; I < R.OutlineStats.Rounds.size(); ++I)
+    EXPECT_EQ(R.OutlineStats.Rounds[I].CodeSizeBefore,
+              R.OutlineStats.Rounds[I - 1].CodeSizeAfter);
+  EXPECT_EQ(R.OutlineStats.Rounds.back().CodeSizeAfter, R.CodeSize);
+}
+
+TEST(PipelineTest, DiminishingRoundsInPipeline) {
+  auto Prog = CorpusSynthesizer(tinyProfile()).generate();
+  PipelineOptions Opts;
+  Opts.OutlineRounds = 6;
+  BuildResult R = buildProgram(*Prog, Opts);
+  ASSERT_GE(R.OutlineStats.Rounds.size(), 2u);
+  for (size_t I = 1; I < R.OutlineStats.Rounds.size(); ++I)
+    EXPECT_LE(R.OutlineStats.Rounds[I].bytesSaved(),
+              R.OutlineStats.Rounds[I - 1].bytesSaved());
+}
+
+TEST(PipelineTest, PhaseTimesReported) {
+  auto Prog = CorpusSynthesizer(tinyProfile()).generate();
+  PipelineOptions Opts;
+  Opts.OutlineRounds = 2;
+  BuildResult R = buildProgram(*Prog, Opts);
+  EXPECT_GT(R.OutlineSeconds, 0.0);
+  EXPECT_GE(R.totalSeconds(), R.OutlineSeconds);
+  EXPECT_EQ(R.OutlineRoundSeconds.size(), R.OutlineStats.Rounds.size());
+}
+
+TEST(PipelineTest, DataLayoutModeReachesLinker) {
+  auto A = CorpusSynthesizer(tinyProfile()).generate();
+  PipelineOptions OA;
+  OA.OutlineRounds = 0;
+  OA.DataLayout = DataLayoutMode::PreserveModuleOrder;
+  buildProgram(*A, OA);
+  const auto &GA = A->Modules[0]->Globals;
+  for (size_t I = 1; I < GA.size(); ++I)
+    EXPECT_LE(GA[I - 1].OriginModule, GA[I].OriginModule);
+
+  auto B = CorpusSynthesizer(tinyProfile()).generate();
+  PipelineOptions OB;
+  OB.OutlineRounds = 0;
+  OB.DataLayout = DataLayoutMode::Interleaved;
+  buildProgram(*B, OB);
+  const auto &GB = B->Modules[0]->Globals;
+  bool Sorted = true;
+  for (size_t I = 1; I < GB.size(); ++I)
+    Sorted &= GB[I - 1].OriginModule <= GB[I].OriginModule;
+  EXPECT_FALSE(Sorted);
+}
+
+} // namespace

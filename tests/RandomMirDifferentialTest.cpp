@@ -1,0 +1,207 @@
+//===- tests/RandomMirDifferentialTest.cpp - Outliner fuzzing -------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Differential fuzzing of the outliner: generate random (but safe by
+/// construction) machine programs seeded with repeated snippets, execute
+/// them, outline them at increasing repeat counts, and require the
+/// observable result to be bit-identical each time. Parameterized over
+/// seeds — each seed is a distinct program shape.
+///
+//===----------------------------------------------------------------------===//
+
+#include "linker/Linker.h"
+#include "mir/MIRBuilder.h"
+#include "mir/MIRVerifier.h"
+#include "outliner/MachineOutliner.h"
+#include "sim/Interpreter.h"
+#include "support/Random.h"
+#include "gtest/gtest.h"
+
+using namespace mco;
+
+namespace {
+
+/// Emits one random ALU instruction over x0..x12 (no memory, no control
+/// flow — always safe).
+void emitRandomAlu(MIRBuilder &B, Rng &R) {
+  Reg D = xreg(R.nextBounded(13));
+  Reg A = xreg(R.nextBounded(13));
+  Reg C = xreg(R.nextBounded(13));
+  switch (R.nextBounded(8)) {
+  case 0: B.movri(D, R.nextInRange(-1000, 1000)); break;
+  case 1: B.addri(D, A, R.nextInRange(0, 4095)); break;
+  case 2: B.subri(D, A, R.nextInRange(0, 4095)); break;
+  case 3: B.addrr(D, A, C); break;
+  case 4: B.eorrr(D, A, C); break;
+  case 5: B.andrr(D, A, C); break;
+  case 6: B.lslri(D, A, 1 + R.nextInRange(0, 7)); break;
+  case 7: B.asrri(D, A, 1 + R.nextInRange(0, 7)); break;
+  }
+}
+
+/// A reusable snippet: a short fixed instruction sequence pasted at
+/// several random positions so the program has outlining candidates.
+std::vector<MachineInstr> makeSnippet(Rng &R, unsigned Len) {
+  MachineFunction Tmp;
+  MIRBuilder B(Tmp.addBlock());
+  for (unsigned I = 0; I < Len; ++I)
+    emitRandomAlu(B, R);
+  return Tmp.Blocks[0].Instrs;
+}
+
+/// Builds a random program and returns the entry function name.
+std::string buildRandomProgram(Program &Prog, uint64_t Seed) {
+  Rng R(Seed);
+  Module &M = Prog.addModule("fuzz");
+
+  // A few leaf helpers the main function calls.
+  const unsigned NumHelpers = 2 + R.nextBounded(3);
+  for (unsigned H = 0; H < NumHelpers; ++H) {
+    MachineFunction MF;
+    MF.Name = Prog.internSymbol("h" + std::to_string(H));
+    MIRBuilder B(MF.addBlock());
+    for (unsigned I = 0, E = 2 + R.nextBounded(5); I < E; ++I)
+      emitRandomAlu(B, R);
+    B.ret();
+    M.Functions.push_back(MF);
+  }
+
+  // Shared snippets (the outlining fodder).
+  std::vector<std::vector<MachineInstr>> Snippets;
+  for (unsigned S = 0, E = 3 + R.nextBounded(4); S < E; ++S)
+    Snippets.push_back(makeSnippet(R, 2 + R.nextBounded(5)));
+
+  MachineFunction MF;
+  MF.Name = Prog.internSymbol("test_main");
+  MIRBuilder B(MF.addBlock());
+  B.strpre(LR, Reg::SP, -16);
+
+  // Straight-line section: random ALU, snippet paste-ins, helper calls.
+  for (unsigned Step = 0, E = 40 + R.nextBounded(80); Step < E; ++Step) {
+    switch (R.nextBounded(4)) {
+    case 0:
+    case 1:
+      emitRandomAlu(B, R);
+      break;
+    case 2: {
+      const auto &Snip = Snippets[R.nextBounded(Snippets.size())];
+      for (const MachineInstr &MI : Snip)
+        B.block().push(MI);
+      break;
+    }
+    case 3:
+      B.bl(Prog.lookupSymbol("h" + std::to_string(
+                                       R.nextBounded(NumHelpers))));
+      break;
+    }
+  }
+
+  // A counted loop whose body also contains a snippet.
+  const int64_t Trip = 3 + R.nextInRange(0, 20);
+  B.movri(Reg::X15, Trip);
+  B.b(1);
+  MF.addBlock();
+  B.setBlock(MF.Blocks[1]);
+  {
+    const auto &Snip = Snippets[R.nextBounded(Snippets.size())];
+    for (const MachineInstr &MI : Snip)
+      B.block().push(MI);
+    emitRandomAlu(B, R);
+    B.subri(Reg::X15, Reg::X15, 1);
+    B.cbnz(Reg::X15, 1);
+  }
+  MF.addBlock();
+  B.setBlock(MF.Blocks[2]);
+  // Fold every live register into x0 so the checksum observes all state.
+  for (unsigned I = 1; I <= 12; ++I)
+    B.eorrr(Reg::X0, Reg::X0, xreg(I));
+  B.ldrpost(LR, Reg::SP, 16);
+  B.ret();
+  M.Functions.push_back(MF);
+  return "test_main";
+}
+
+class RandomMirTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomMirTest, OutliningPreservesResultAtEveryRepeatCount) {
+  const uint64_t Seed = GetParam();
+
+  // Reference result, unoutlined.
+  int64_t Expected;
+  {
+    Program Prog;
+    std::string Entry = buildRandomProgram(Prog, Seed);
+    ASSERT_EQ(verifyModule(Prog, *Prog.Modules[0]), "");
+    BinaryImage Image(Prog);
+    Interpreter I(Image, Prog);
+    Expected = I.call(Entry);
+  }
+
+  for (unsigned Rounds : {1u, 2u, 5u}) {
+    Program Prog;
+    std::string Entry = buildRandomProgram(Prog, Seed);
+    Module &M = *Prog.Modules[0];
+    uint64_t Before = M.codeSize();
+    runRepeatedOutliner(Prog, M, Rounds);
+    EXPECT_LE(M.codeSize(), Before);
+    VerifyOptions Opts;
+    Opts.CheckSymbolResolution = true;
+    ASSERT_EQ(verifyModule(Prog, M, Opts), "")
+        << "seed " << Seed << " rounds " << Rounds;
+    BinaryImage Image(Prog);
+    Interpreter I(Image, Prog);
+    EXPECT_EQ(I.call(Entry), Expected)
+        << "seed " << Seed << " rounds " << Rounds;
+  }
+}
+
+TEST_P(RandomMirTest, LeafDescendantModeAlsoPreservesResult) {
+  const uint64_t Seed = GetParam();
+  int64_t Expected;
+  {
+    Program Prog;
+    std::string Entry = buildRandomProgram(Prog, Seed);
+    BinaryImage Image(Prog);
+    Interpreter I(Image, Prog);
+    Expected = I.call(Entry);
+  }
+  Program Prog;
+  std::string Entry = buildRandomProgram(Prog, Seed);
+  Module &M = *Prog.Modules[0];
+  OutlinerOptions Opts;
+  Opts.LeafDescendants = true;
+  runRepeatedOutliner(Prog, M, 3, Opts);
+  ASSERT_EQ(verifyModule(Prog, M), "");
+  BinaryImage Image(Prog);
+  Interpreter I(Image, Prog);
+  EXPECT_EQ(I.call(Entry), Expected) << "seed " << Seed;
+}
+
+TEST_P(RandomMirTest, RegSaveDisabledAlsoPreservesResult) {
+  const uint64_t Seed = GetParam();
+  int64_t Expected;
+  {
+    Program Prog;
+    std::string Entry = buildRandomProgram(Prog, Seed);
+    BinaryImage Image(Prog);
+    Interpreter I(Image, Prog);
+    Expected = I.call(Entry);
+  }
+  Program Prog;
+  std::string Entry = buildRandomProgram(Prog, Seed);
+  Module &M = *Prog.Modules[0];
+  OutlinerOptions Opts;
+  Opts.EnableRegSave = false;
+  runRepeatedOutliner(Prog, M, 3, Opts);
+  BinaryImage Image(Prog);
+  Interpreter I(Image, Prog);
+  EXPECT_EQ(I.call(Entry), Expected) << "seed " << Seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMirTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+} // namespace

@@ -1,0 +1,96 @@
+//===- tests/RandomTest.cpp - PRNG & Zipf unit tests ----------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace mco;
+
+namespace {
+
+TEST(RandomTest, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDiff = false;
+  for (int I = 0; I < 10; ++I)
+    AnyDiff |= A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(RandomTest, BoundedStaysInBounds) {
+  Rng R(7);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(R.nextBounded(13), 13u);
+}
+
+TEST(RandomTest, RangeInclusive) {
+  Rng R(8);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 10000; ++I) {
+    int64_t V = R.nextInRange(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    SawLo |= V == -2;
+    SawHi |= V == 2;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Rng R(9);
+  for (int I = 0; I < 10000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Rng R(10);
+  double Sum = 0, SumSq = 0;
+  const int N = 50000;
+  for (int I = 0; I < N; ++I) {
+    double G = R.nextGaussian();
+    Sum += G;
+    SumSq += G * G;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.02);
+  EXPECT_NEAR(SumSq / N, 1.0, 0.05);
+}
+
+TEST(RandomTest, ZipfRankOneDominates) {
+  ZipfSampler Z(100, 1.1);
+  Rng R(11);
+  std::vector<unsigned> Counts(101, 0);
+  for (int I = 0; I < 100000; ++I) {
+    unsigned Rank = Z.sample(R);
+    ASSERT_GE(Rank, 1u);
+    ASSERT_LE(Rank, 100u);
+    ++Counts[Rank];
+  }
+  // Monotone-ish decay: rank 1 well above rank 10 well above rank 100.
+  EXPECT_GT(Counts[1], Counts[10]);
+  EXPECT_GT(Counts[10], Counts[100]);
+  // Rank 1 frequency should be roughly 2^1.1 times rank 2.
+  EXPECT_GT(Counts[1], Counts[2]);
+}
+
+TEST(RandomTest, LogNormalPositive) {
+  Rng R(12);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_GT(R.nextLogNormal(0.0, 0.25), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,203 @@
+//===- tests/RepeatedOutlinerTest.cpp - Multi-round outlining -------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "outliner/MachineOutliner.h"
+
+#include "mir/MIRBuilder.h"
+#include "gtest/gtest.h"
+
+using namespace mco;
+
+namespace {
+
+/// Builds the paper's Fig. 11 situation: a short pattern XY that repeats
+/// very often, plus a longer pattern WXY that contains it. Greedy round 1
+/// outlines XY everywhere, truncating the WXY opportunity; round 2 then
+/// outlines the leftover [W, BL] pairs.
+void fillNested(Program &P, Module &M, unsigned NumShort, unsigned NumLong) {
+  for (unsigned I = 0; I < NumShort; ++I) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("s" + std::to_string(I));
+    MIRBuilder B(MF.addBlock());
+    B.movri(Reg::X1, 11); // X
+    B.movri(Reg::X2, 12); // Y
+    M.Functions.push_back(MF);
+  }
+  for (unsigned I = 0; I < NumLong; ++I) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("l" + std::to_string(I));
+    MIRBuilder B(MF.addBlock());
+    B.movri(Reg::X3, 33); // W
+    B.movri(Reg::X1, 11); // X
+    B.movri(Reg::X2, 12); // Y
+    M.Functions.push_back(MF);
+  }
+}
+
+TEST(RepeatedOutlinerTest, SecondRoundRecoversTruncatedPattern) {
+  Program P;
+  Module &M = P.addModule("m");
+  fillNested(P, M, 16, 6);
+
+  RepeatedOutlineStats S = runRepeatedOutliner(P, M, 5);
+  ASSERT_GE(S.Rounds.size(), 2u);
+  // Round 1 outlines the short pattern (22 sites).
+  EXPECT_EQ(S.Rounds[0].FunctionsCreated, 1u);
+  EXPECT_EQ(S.Rounds[0].SequencesOutlined, 22u);
+  // Round 2 outlines the [W, BL OUT] leftover as a thunk (6 sites).
+  EXPECT_EQ(S.Rounds[1].FunctionsCreated, 1u);
+  EXPECT_EQ(S.Rounds[1].SequencesOutlined, 6u);
+  EXPECT_LT(S.Rounds[1].CodeSizeAfter, S.Rounds[0].CodeSizeAfter);
+}
+
+TEST(RepeatedOutlinerTest, OneRoundLeavesMoneyOnTheTable) {
+  Program P1;
+  Module &M1 = P1.addModule("m");
+  fillNested(P1, M1, 16, 6);
+  runRepeatedOutliner(P1, M1, 1);
+
+  Program P5;
+  Module &M5 = P5.addModule("m");
+  fillNested(P5, M5, 16, 6);
+  runRepeatedOutliner(P5, M5, 5);
+
+  EXPECT_LT(M5.codeSize(), M1.codeSize());
+}
+
+TEST(RepeatedOutlinerTest, StopsWhenNoMoreBenefit) {
+  Program P;
+  Module &M = P.addModule("m");
+  fillNested(P, M, 16, 6);
+  RepeatedOutlineStats S = runRepeatedOutliner(P, M, 50);
+  // Must terminate long before 50 rounds.
+  ASSERT_LT(S.Rounds.size(), 6u);
+  EXPECT_EQ(S.Rounds.back().FunctionsCreated, 0u);
+}
+
+TEST(RepeatedOutlinerTest, RoundStatsAccumulate) {
+  Program P;
+  Module &M = P.addModule("m");
+  fillNested(P, M, 16, 6);
+  RepeatedOutlineStats S = runRepeatedOutliner(P, M, 5);
+  EXPECT_EQ(S.totalSequencesOutlined(), 28u);
+  EXPECT_EQ(S.totalFunctionsCreated(), 2u);
+  uint64_t Bytes = 0;
+  for (const MachineFunction &MF : M.Functions)
+    if (MF.IsOutlined)
+      Bytes += MF.codeSize();
+  EXPECT_EQ(S.totalOutlinedFunctionBytes(), Bytes);
+}
+
+TEST(RepeatedOutlinerTest, DiminishingReturnsAcrossRounds) {
+  // With several nesting levels, each round saves less than the previous
+  // (paper Fig. 12's plateau).
+  Program P;
+  Module &M = P.addModule("m");
+  // Level-3 nesting: Z | YZ | XYZ | WXYZ with decreasing frequencies.
+  auto Add = [&](const std::string &N, int Depth, int Count) {
+    for (int I = 0; I < Count; ++I) {
+      MachineFunction MF;
+      MF.Name = P.internSymbol(N + std::to_string(I));
+      MIRBuilder B(MF.addBlock());
+      if (Depth >= 4)
+        B.movri(Reg::X4, 44);
+      if (Depth >= 3)
+        B.movri(Reg::X3, 33);
+      if (Depth >= 2)
+        B.movri(Reg::X2, 22);
+      B.movri(Reg::X1, 11);
+      B.movri(Reg::X0, 10);
+      M.Functions.push_back(MF);
+    }
+  };
+  Add("a", 1, 40);
+  Add("b", 2, 16);
+  Add("c", 3, 10);
+  Add("d", 4, 8);
+
+  RepeatedOutlineStats S = runRepeatedOutliner(P, M, 5);
+  ASSERT_GE(S.Rounds.size(), 2u);
+  for (size_t I = 1; I < S.Rounds.size(); ++I)
+    EXPECT_LE(S.Rounds[I].bytesSaved(), S.Rounds[I - 1].bytesSaved());
+}
+
+TEST(RepeatedOutlinerTest, OutlinedFunctionsAreReoutlined) {
+  // Round 1 creates OUT_p = [prefix_p, S1..S4, RET-appended] (from the big
+  // group) and OUT_tail = [S1..S4, RET-appended] (from the small group's
+  // leftover). Those two *outlined bodies* share [S1..S4, RET], which a
+  // later round outlines out of them — outlined code is itself outlined.
+  Program P;
+  Module &M = P.addModule("m");
+  auto AddGroup = [&](const std::string &N, int Count, int64_t UniqueImm) {
+    for (int I = 0; I < Count; ++I) {
+      MachineFunction MF;
+      MF.Name = P.internSymbol(N + std::to_string(I));
+      MIRBuilder B(MF.addBlock());
+      B.movri(Reg::X5, UniqueImm);
+      B.movri(Reg::X6, UniqueImm + 1);
+      // Shared 4-instruction tail S1..S4.
+      B.movri(Reg::X1, 71);
+      B.movri(Reg::X2, 72);
+      B.movri(Reg::X3, 73);
+      B.movri(Reg::X4, 74);
+      // Unique filler.
+      B.movri(Reg::X9, 1000 + static_cast<int64_t>(M.Functions.size()));
+      M.Functions.push_back(MF);
+    }
+  };
+  AddGroup("p", 12, 100);
+  AddGroup("q", 3, 200);
+
+  RepeatedOutlineStats S = runRepeatedOutliner(P, M, 5);
+  ASSERT_GE(S.Rounds.size(), 2u);
+  // Round 1: the p-group 6-instr pattern (benefit 212) beats the shared
+  // tail (160); the tail is then still profitable on the q-group leftovers.
+  EXPECT_EQ(S.Rounds[0].FunctionsCreated, 2u);
+  // Round 2 outlines [S1..S4, RET] out of the two round-1 bodies (it also
+  // picks up the q-group's leftover prefix thunk).
+  EXPECT_GE(S.Rounds[1].FunctionsCreated, 1u);
+  EXPECT_GE(S.Rounds[1].SequencesOutlined, 2u);
+
+  // An outlined function must now tail-call another outlined function.
+  bool OutlinedCallsOutlined = false;
+  for (const MachineFunction &MF : M.Functions) {
+    if (!MF.IsOutlined)
+      continue;
+    for (const MachineInstr &MI : MF.Blocks[0].Instrs)
+      if (MI.opcode() == Opcode::Btail)
+        for (const MachineFunction &Callee : M.Functions)
+          if (Callee.IsOutlined && Callee.Name == MI.operand(0).getSym())
+            OutlinedCallsOutlined = true;
+  }
+  EXPECT_TRUE(OutlinedCallsOutlined);
+}
+
+TEST(RepeatedOutlinerTest, SemanticsShapePreserved) {
+  // Structural check: every BL introduced by outlining targets an existing
+  // outlined function, and block counts of original functions are intact.
+  Program P;
+  Module &M = P.addModule("m");
+  fillNested(P, M, 16, 6);
+  unsigned OrigFuncs = static_cast<unsigned>(M.Functions.size());
+  runRepeatedOutliner(P, M, 5);
+
+  // Map symbol -> function presence.
+  std::vector<bool> Defined(P.numSymbols(), false);
+  for (const MachineFunction &MF : M.Functions)
+    Defined[MF.Name] = true;
+  for (const MachineFunction &MF : M.Functions)
+    for (const MachineBasicBlock &MBB : MF.Blocks)
+      for (const MachineInstr &MI : MBB.Instrs)
+        if (MI.opcode() == Opcode::BL || MI.opcode() == Opcode::Btail) {
+          uint32_t Sym = MI.operand(0).getSym();
+          EXPECT_TRUE(Defined[Sym])
+              << "dangling call to " << P.symbolName(Sym);
+        }
+  for (unsigned I = 0; I < OrigFuncs; ++I)
+    EXPECT_EQ(M.Functions[I].numBlocks(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+//===- tests/SemanticsSweepTest.cpp - ISA semantic edge cases -------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Parameterized sweeps over the ISA's tricky semantic corners: AArch64
+/// division conventions, NZCV flag computation for every condition code,
+/// conditional select/set, and shift masking. These pin the interpreter's
+/// contract so the differential fuzzers can trust it as an oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mir/MIRBuilder.h"
+#include "linker/Linker.h"
+#include "sim/Interpreter.h"
+#include "gtest/gtest.h"
+
+#include <climits>
+
+using namespace mco;
+
+namespace {
+
+/// Runs a tiny function computing one operation over two arguments.
+int64_t runBinop(Opcode Op, int64_t A, int64_t B0) {
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B(MF.addBlock());
+  switch (Op) {
+  case Opcode::SDIVrr:
+    B.sdivrr(Reg::X0, Reg::X0, Reg::X1);
+    break;
+  case Opcode::LSLrr:
+    B.lslrr(Reg::X0, Reg::X0, Reg::X1);
+    break;
+  case Opcode::ASRrr:
+    B.asrrr(Reg::X0, Reg::X0, Reg::X1);
+    break;
+  case Opcode::MULrr:
+    B.mulrr(Reg::X0, Reg::X0, Reg::X1);
+    break;
+  default:
+    ADD_FAILURE() << "unsupported op in helper";
+  }
+  B.ret();
+  M.Functions.push_back(MF);
+  BinaryImage Img(P);
+  Interpreter I(Img, P);
+  return I.call("f", {A, B0});
+}
+
+TEST(SemanticsTest, DivisionByZeroYieldsZero) {
+  EXPECT_EQ(runBinop(Opcode::SDIVrr, 42, 0), 0);
+  EXPECT_EQ(runBinop(Opcode::SDIVrr, -42, 0), 0);
+  EXPECT_EQ(runBinop(Opcode::SDIVrr, 0, 0), 0);
+}
+
+TEST(SemanticsTest, DivisionOverflowWraps) {
+  // INT64_MIN / -1 == INT64_MIN on AArch64 (no trap).
+  EXPECT_EQ(runBinop(Opcode::SDIVrr, INT64_MIN, -1), INT64_MIN);
+}
+
+TEST(SemanticsTest, SignedDivisionTruncatesTowardZero) {
+  EXPECT_EQ(runBinop(Opcode::SDIVrr, 7, 2), 3);
+  EXPECT_EQ(runBinop(Opcode::SDIVrr, -7, 2), -3);
+  EXPECT_EQ(runBinop(Opcode::SDIVrr, 7, -2), -3);
+  EXPECT_EQ(runBinop(Opcode::SDIVrr, -7, -2), 3);
+}
+
+TEST(SemanticsTest, ShiftAmountsMaskTo64) {
+  EXPECT_EQ(runBinop(Opcode::LSLrr, 1, 65), 2);  // 65 & 63 == 1.
+  EXPECT_EQ(runBinop(Opcode::LSLrr, 1, 64), 1);  // 64 & 63 == 0.
+  EXPECT_EQ(runBinop(Opcode::ASRrr, -8, 66), -2);
+}
+
+TEST(SemanticsTest, MulWrapsModulo64) {
+  EXPECT_EQ(runBinop(Opcode::MULrr, INT64_MAX, 2), -2);
+}
+
+/// (cond, a, b, expected-taken) rows for the condition sweep.
+struct CondCase {
+  Cond C;
+  int64_t A;
+  int64_t B;
+  bool Taken;
+};
+
+class CondSweepTest : public ::testing::TestWithParam<CondCase> {};
+
+TEST_P(CondSweepTest, CSETMatchesComparison) {
+  const CondCase &TC = GetParam();
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B(MF.addBlock());
+  B.cmprr(Reg::X0, Reg::X1);
+  B.cset(Reg::X0, TC.C);
+  B.ret();
+  M.Functions.push_back(MF);
+  BinaryImage Img(P);
+  Interpreter I(Img, P);
+  EXPECT_EQ(I.call("f", {TC.A, TC.B}), TC.Taken ? 1 : 0)
+      << condName(TC.C) << " " << TC.A << " vs " << TC.B;
+}
+
+TEST_P(CondSweepTest, BccTakesTheSameDecision) {
+  const CondCase &TC = GetParam();
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B0(MF.addBlock());
+  B0.cmprr(Reg::X0, Reg::X1);
+  B0.bcc(TC.C, 2);
+  B0.b(1);
+  MIRBuilder B1(MF.addBlock());
+  B1.movri(Reg::X0, 0);
+  B1.ret();
+  MIRBuilder B2(MF.addBlock());
+  B2.movri(Reg::X0, 1);
+  B2.ret();
+  M.Functions.push_back(MF);
+  BinaryImage Img(P);
+  Interpreter I(Img, P);
+  EXPECT_EQ(I.call("f", {TC.A, TC.B}), TC.Taken ? 1 : 0)
+      << condName(TC.C) << " " << TC.A << " vs " << TC.B;
+}
+
+TEST_P(CondSweepTest, CSELSelectsAccordingly) {
+  const CondCase &TC = GetParam();
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B(MF.addBlock());
+  B.movri(Reg::X2, 111);
+  B.movri(Reg::X3, 222);
+  B.cmprr(Reg::X0, Reg::X1);
+  B.csel(Reg::X0, Reg::X2, Reg::X3, TC.C);
+  B.ret();
+  M.Functions.push_back(MF);
+  BinaryImage Img(P);
+  Interpreter I(Img, P);
+  EXPECT_EQ(I.call("f", {TC.A, TC.B}), TC.Taken ? 111 : 222);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConditions, CondSweepTest,
+    ::testing::Values(
+        // EQ / NE.
+        CondCase{Cond::EQ, 5, 5, true}, CondCase{Cond::EQ, 5, 6, false},
+        CondCase{Cond::NE, 5, 6, true}, CondCase{Cond::NE, 5, 5, false},
+        // Signed orderings, incl. overflow-sensitive pairs.
+        CondCase{Cond::LT, -1, 0, true}, CondCase{Cond::LT, 0, -1, false},
+        CondCase{Cond::LT, INT64_MIN, INT64_MAX, true},
+        CondCase{Cond::GT, INT64_MAX, INT64_MIN, true},
+        CondCase{Cond::LE, 3, 3, true}, CondCase{Cond::LE, 4, 3, false},
+        CondCase{Cond::GE, 3, 3, true}, CondCase{Cond::GE, 2, 3, false},
+        // Unsigned orderings: -1 is the largest unsigned value.
+        CondCase{Cond::LO, 0, -1, true}, CondCase{Cond::LO, -1, 0, false},
+        CondCase{Cond::HS, -1, 0, true}, CondCase{Cond::HS, 0, 1, false},
+        CondCase{Cond::HS, 7, 7, true}),
+    [](const ::testing::TestParamInfo<CondCase> &Info) {
+      return std::string(condName(Info.param.C)) + "_" +
+             std::to_string(Info.index);
+    });
+
+} // namespace

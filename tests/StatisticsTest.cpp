@@ -1,0 +1,108 @@
+//===- tests/StatisticsTest.cpp - Statistics unit tests -------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+using namespace mco;
+
+namespace {
+
+TEST(StatisticsTest, PerfectLine) {
+  std::vector<double> X = {0, 1, 2, 3, 4};
+  std::vector<double> Y = {1, 3, 5, 7, 9};
+  LinearFit F = fitLinear(X, Y);
+  EXPECT_NEAR(F.Slope, 2.0, 1e-12);
+  EXPECT_NEAR(F.Intercept, 1.0, 1e-12);
+  EXPECT_NEAR(F.R2, 1.0, 1e-12);
+}
+
+TEST(StatisticsTest, NoisyLineHasHighR2) {
+  std::vector<double> X, Y;
+  for (int I = 0; I < 100; ++I) {
+    X.push_back(I);
+    Y.push_back(2.7 * I + 40 + ((I % 2) ? 0.5 : -0.5));
+  }
+  LinearFit F = fitLinear(X, Y);
+  EXPECT_NEAR(F.Slope, 2.7, 0.01);
+  EXPECT_GT(F.R2, 0.99);
+}
+
+TEST(StatisticsTest, FlatLine) {
+  std::vector<double> X = {1, 2, 3};
+  std::vector<double> Y = {5, 5, 5};
+  LinearFit F = fitLinear(X, Y);
+  EXPECT_NEAR(F.Slope, 0.0, 1e-12);
+  EXPECT_NEAR(F.Intercept, 5.0, 1e-12);
+  // SSTot == 0: by convention a perfect fit.
+  EXPECT_NEAR(F.R2, 1.0, 1e-12);
+}
+
+TEST(StatisticsTest, PowerLawExact) {
+  // y = 3 x^-1.2
+  std::vector<double> X, Y;
+  for (int I = 1; I <= 50; ++I) {
+    X.push_back(I);
+    Y.push_back(3.0 * std::pow(I, -1.2));
+  }
+  PowerLawFit F = fitPowerLaw(X, Y);
+  EXPECT_NEAR(F.A, 3.0, 1e-9);
+  EXPECT_NEAR(F.B, -1.2, 1e-9);
+  EXPECT_NEAR(F.R2, 1.0, 1e-9);
+  EXPECT_NEAR(F.eval(2.0), 3.0 * std::pow(2.0, -1.2), 1e-9);
+}
+
+TEST(StatisticsTest, PercentileBasics) {
+  std::vector<double> V = {4, 1, 3, 2, 5};
+  EXPECT_NEAR(percentile(V, 0), 1.0, 1e-12);
+  EXPECT_NEAR(percentile(V, 100), 5.0, 1e-12);
+  EXPECT_NEAR(percentile(V, 50), 3.0, 1e-12);
+  EXPECT_NEAR(percentile(V, 25), 2.0, 1e-12);
+}
+
+TEST(StatisticsTest, PercentileInterpolates) {
+  std::vector<double> V = {0, 10};
+  EXPECT_NEAR(percentile(V, 50), 5.0, 1e-12);
+  EXPECT_NEAR(percentile(V, 75), 7.5, 1e-12);
+}
+
+TEST(StatisticsTest, PercentileSingleton) {
+  std::vector<double> V = {42};
+  EXPECT_NEAR(percentile(V, 0), 42, 1e-12);
+  EXPECT_NEAR(percentile(V, 50), 42, 1e-12);
+  EXPECT_NEAR(percentile(V, 100), 42, 1e-12);
+}
+
+TEST(StatisticsTest, GeometricMean) {
+  std::vector<double> V = {1, 100};
+  EXPECT_NEAR(geometricMean(V), 10.0, 1e-9);
+  std::vector<double> W = {2, 2, 2};
+  EXPECT_NEAR(geometricMean(W), 2.0, 1e-12);
+}
+
+TEST(StatisticsTest, Mean) {
+  std::vector<double> V = {1, 2, 3, 4};
+  EXPECT_NEAR(mean(V), 2.5, 1e-12);
+}
+
+TEST(StatisticsTest, Histogram) {
+  IntHistogram H;
+  EXPECT_TRUE(H.empty());
+  H.add(2);
+  H.add(2);
+  H.add(5, 3);
+  EXPECT_EQ(H.count(2), 2u);
+  EXPECT_EQ(H.count(5), 3u);
+  EXPECT_EQ(H.count(3), 0u);
+  EXPECT_EQ(H.totalCount(), 5u);
+  EXPECT_EQ(H.maxValue(), 5u);
+  EXPECT_FALSE(H.empty());
+}
+
+} // namespace

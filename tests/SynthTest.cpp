@@ -1,0 +1,222 @@
+//===- tests/SynthTest.cpp - Corpus synthesizer tests ---------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/CorpusSynthesizer.h"
+
+#include "synth/AppEvolution.h"
+#include "outliner/PatternStats.h"
+#include "pipeline/BuildPipeline.h"
+#include "sim/Interpreter.h"
+#include "support/Statistics.h"
+#include "gtest/gtest.h"
+
+using namespace mco;
+
+namespace {
+
+AppProfile smallRider() {
+  AppProfile P = AppProfile::uberRider();
+  P.NumModules = 10;
+  P.FunctionsPerModule = 12;
+  return P;
+}
+
+TEST(SynthTest, Deterministic) {
+  AppProfile P = smallRider();
+  auto A = CorpusSynthesizer(P).generate();
+  auto B = CorpusSynthesizer(P).generate();
+  ASSERT_EQ(A->Modules.size(), B->Modules.size());
+  EXPECT_EQ(A->numInstrs(), B->numInstrs());
+  // Deep structural equality of one module.
+  const Module &MA = *A->Modules[3];
+  const Module &MB = *B->Modules[3];
+  ASSERT_EQ(MA.Functions.size(), MB.Functions.size());
+  for (size_t F = 0; F < MA.Functions.size(); ++F) {
+    ASSERT_EQ(MA.Functions[F].numInstrs(), MB.Functions[F].numInstrs());
+    for (size_t Blk = 0; Blk < MA.Functions[F].Blocks.size(); ++Blk) {
+      const auto &IA = MA.Functions[F].Blocks[Blk].Instrs;
+      const auto &IB = MB.Functions[F].Blocks[Blk].Instrs;
+      for (size_t I = 0; I < IA.size(); ++I)
+        EXPECT_TRUE(IA[I] == IB[I]);
+    }
+  }
+}
+
+TEST(SynthTest, ModuleContentIndependentOfTotalCount) {
+  // Module k must be identical whether the app has 10 or 20 modules — the
+  // basis of the Fig. 1 evolution experiment.
+  AppProfile P = smallRider();
+  auto A = CorpusSynthesizer(P).generate(10);
+  auto B = CorpusSynthesizer(P).generate(20);
+  const Module &MA = *A->Modules[5]; // feature4 in both.
+  const Module &MB = *B->Modules[5];
+  EXPECT_EQ(MA.Name, MB.Name);
+  EXPECT_EQ(MA.numInstrs(), MB.numInstrs());
+}
+
+TEST(SynthTest, AllSpansExecuteAndBalanceHeap) {
+  AppProfile P = smallRider();
+  auto Prog = CorpusSynthesizer(P).generate();
+  BinaryImage Image(*Prog);
+  Interpreter I(Image, *Prog);
+  for (unsigned S = 0; S < P.NumSpans; ++S) {
+    I.call(CorpusSynthesizer::spanFunctionName(S));
+    EXPECT_EQ(I.memory().liveHeapBytes(), 0u) << "span " << S;
+  }
+}
+
+TEST(SynthTest, SpansSurviveFiveRoundsOfOutlining) {
+  // The central semantic property: whole-program repeated outlining must
+  // not change observable behaviour.
+  AppProfile P = smallRider();
+  auto Prog = CorpusSynthesizer(P).generate();
+  PipelineOptions Opts;
+  Opts.OutlineRounds = 5;
+  buildProgram(*Prog, Opts);
+  BinaryImage Image(*Prog);
+  Interpreter I(Image, *Prog);
+  for (unsigned S = 0; S < P.NumSpans; ++S) {
+    I.call(CorpusSynthesizer::spanFunctionName(S));
+    EXPECT_EQ(I.memory().liveHeapBytes(), 0u) << "span " << S;
+  }
+}
+
+TEST(SynthTest, GlobalWriteCountsMatchAcrossOutlining) {
+  // Stronger equivalence: the global side effects (counter updates) of a
+  // span must be identical with and without outlining.
+  AppProfile P = smallRider();
+
+  auto Baseline = CorpusSynthesizer(P).generate();
+  BinaryImage BImg(*Baseline);
+  Interpreter BI(BImg, *Baseline);
+  BI.call(CorpusSynthesizer::spanFunctionName(0));
+
+  auto Optimized = CorpusSynthesizer(P).generate();
+  PipelineOptions Opts;
+  Opts.OutlineRounds = 5;
+  buildProgram(*Optimized, Opts);
+  BinaryImage OImg(*Optimized);
+  Interpreter OI(OImg, *Optimized);
+  OI.call(CorpusSynthesizer::spanFunctionName(0));
+
+  // Compare every module global's final content word by word.
+  for (unsigned M = 0; M < P.NumModules; ++M) {
+    for (unsigned G = 0; G < P.GlobalsPerModule; ++G) {
+      std::string Name =
+          "g_" + std::to_string(M) + "_" + std::to_string(G);
+      uint32_t BSym = Baseline->lookupSymbol(Name);
+      uint32_t OSym = Optimized->lookupSymbol(Name);
+      ASSERT_NE(BSym, UINT32_MAX);
+      ASSERT_NE(OSym, UINT32_MAX);
+      uint64_t BAddr = BImg.globalAddr(BSym);
+      uint64_t OAddr = OImg.globalAddr(OSym);
+      for (unsigned W = 0; W < P.GlobalWords; ++W)
+        ASSERT_EQ(BI.memory().read64(BAddr + 8 * W),
+                  OI.memory().read64(OAddr + 8 * W))
+            << Name << " word " << W;
+    }
+  }
+}
+
+TEST(SynthTest, PatternStructureMatchesPaper) {
+  // Section IV headline facts must hold on the synthesized corpus:
+  // frequencies follow a power law; short patterns dominate; most
+  // profitable candidates end in a call or return.
+  AppProfile P = AppProfile::uberRider();
+  P.NumModules = 16;
+  auto Prog = CorpusSynthesizer(P).generate();
+  Module &Linked = linkProgram(*Prog);
+  PatternAnalysis A = analyzePatterns(*Prog, Linked);
+  ASSERT_GT(A.Patterns.size(), 200u);
+
+  // Power-law fit on rank-frequency.
+  std::vector<double> Ranks, Freqs;
+  for (const PatternRecord &Pt : A.Patterns) {
+    Ranks.push_back(Pt.Rank);
+    Freqs.push_back(static_cast<double>(Pt.Frequency));
+  }
+  PowerLawFit F = fitPowerLaw(Ranks, Freqs);
+  EXPECT_LT(F.B, -0.4);
+  EXPECT_GT(F.R2, 0.7);
+
+  // Length-2 candidates dominate.
+  IntHistogram LenHist;
+  for (const PatternRecord &Pt : A.Patterns)
+    LenHist.add(Pt.Length, Pt.Frequency);
+  uint64_t MaxCount = 0, MaxLen = 0;
+  for (const auto &KV : LenHist.bins())
+    if (KV.second > MaxCount) {
+      MaxCount = KV.second;
+      MaxLen = KV.first;
+    }
+  EXPECT_EQ(MaxLen, 2u);
+
+  // Call/return-ending share is the majority (paper: 67%).
+  EXPECT_GT(A.callRetEndingShare(), 0.4);
+  EXPECT_LT(A.callRetEndingShare(), 0.95);
+}
+
+TEST(SynthTest, WholeProgramBeatsPerModule) {
+  AppProfile P = AppProfile::uberRider();
+  P.NumModules = 16;
+
+  auto PM = CorpusSynthesizer(P).generate();
+  PipelineOptions PMO;
+  PMO.WholeProgram = false;
+  PMO.OutlineRounds = 5;
+  BuildResult RPM = buildProgram(*PM, PMO);
+
+  auto WP = CorpusSynthesizer(P).generate();
+  PipelineOptions WPO;
+  WPO.OutlineRounds = 5;
+  BuildResult RWP = buildProgram(*WP, WPO);
+
+  EXPECT_LT(RWP.CodeSize, RPM.CodeSize);
+}
+
+TEST(SynthTest, RepeatedRoundsAddSavings) {
+  AppProfile P = AppProfile::uberRider();
+  P.NumModules = 16;
+
+  auto One = CorpusSynthesizer(P).generate();
+  PipelineOptions O1;
+  O1.OutlineRounds = 1;
+  BuildResult R1 = buildProgram(*One, O1);
+
+  auto Five = CorpusSynthesizer(P).generate();
+  PipelineOptions O5;
+  O5.OutlineRounds = 5;
+  BuildResult R5 = buildProgram(*Five, O5);
+
+  EXPECT_LT(R5.CodeSize, R1.CodeSize);
+}
+
+TEST(AppEvolutionTest, SnapshotsGrowMonotonically) {
+  AppProfile P = smallRider();
+  AppEvolution Evo(P, /*BaseModules=*/6, /*ModulesPerMonth=*/2);
+  uint64_t Prev = 0;
+  for (unsigned Month = 0; Month < 4; ++Month) {
+    auto Snap = Evo.snapshot(Month);
+    uint64_t Size = Snap->codeSize();
+    EXPECT_GT(Size, Prev);
+    Prev = Size;
+    EXPECT_EQ(Evo.modulesAt(Month), 6 + 2 * Month);
+  }
+}
+
+TEST(SynthTest, ProfilesDiffer) {
+  AppProfile Rider = AppProfile::uberRider();
+  AppProfile Kernel = AppProfile::linuxKernel();
+  Rider.NumModules = Kernel.NumModules = 6;
+  auto A = CorpusSynthesizer(Rider).generate();
+  auto B = CorpusSynthesizer(Kernel).generate();
+  // The kernel profile must contain no retain/release traffic.
+  EXPECT_NE(A->lookupSymbol("swift_retain"), UINT32_MAX);
+  EXPECT_EQ(B->lookupSymbol("swift_retain"), UINT32_MAX);
+  EXPECT_NE(B->lookupSymbol("__stack_chk_guard"), UINT32_MAX);
+}
+
+} // namespace

@@ -1,0 +1,343 @@
+//===- tests/TransformsTest.cpp - Table I baseline pass tests -------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Transforms.h"
+
+#include "outliner/MachineOutliner.h"
+
+#include "mir/MIRBuilder.h"
+#include "linker/Linker.h"
+#include "sim/Interpreter.h"
+#include "gtest/gtest.h"
+
+using namespace mco;
+
+namespace {
+
+/// Adds a leaf function computing (P1 + P2) ^ P1 with given immediates.
+void addCfgFn(Program &P, Module &M, const std::string &Name, int64_t A,
+              int64_t B0) {
+  MachineFunction MF;
+  MF.Name = P.internSymbol(Name);
+  MIRBuilder B(MF.addBlock());
+  B.movri(Reg::X9, A);
+  B.movri(Reg::X10, B0);
+  B.addrr(Reg::X11, Reg::X9, Reg::X10);
+  B.eorrr(Reg::X0, Reg::X11, Reg::X9);
+  B.ret();
+  M.Functions.push_back(MF);
+}
+
+TEST(MergeIdenticalTest, MergesExactClones) {
+  Program P;
+  Module &M = P.addModule("m");
+  addCfgFn(P, M, "a", 1, 2);
+  addCfgFn(P, M, "b", 1, 2); // Identical to a.
+  addCfgFn(P, M, "c", 3, 4); // Different.
+  // A caller referencing the duplicate.
+  MachineFunction Caller;
+  Caller.Name = P.internSymbol("caller");
+  MIRBuilder B(Caller.addBlock());
+  B.strpre(LR, Reg::SP, -16);
+  B.bl(P.lookupSymbol("b"));
+  B.ldrpost(LR, Reg::SP, 16);
+  B.ret();
+  M.Functions.push_back(Caller);
+
+  TransformStats S = mergeIdenticalFunctions(P, M);
+  EXPECT_EQ(S.FunctionsMerged, 1u);
+  EXPECT_GT(S.bytesSaved(), 0u);
+  // b is gone; the caller now calls a.
+  bool FoundB = false;
+  for (const MachineFunction &MF : M.Functions)
+    if (P.symbolName(MF.Name) == "b")
+      FoundB = true;
+  EXPECT_FALSE(FoundB);
+  const MachineFunction &C = M.Functions.back();
+  EXPECT_EQ(C.Blocks[0].Instrs[1].operand(0).getSym(), P.lookupSymbol("a"));
+
+  // Behaviour preserved.
+  BinaryImage Image(P);
+  Interpreter I(Image, P);
+  EXPECT_EQ(I.call("caller"), ((1 + 2) ^ 1));
+}
+
+TEST(MergeIdenticalTest, NoMergeOfDistinctBodies) {
+  Program P;
+  Module &M = P.addModule("m");
+  addCfgFn(P, M, "a", 1, 2);
+  addCfgFn(P, M, "c", 3, 4);
+  TransformStats S = mergeIdenticalFunctions(P, M);
+  EXPECT_EQ(S.FunctionsMerged, 0u);
+  EXPECT_EQ(S.CodeSizeBefore, S.CodeSizeAfter);
+}
+
+TEST(IdiomOutlinerTest, OutlinesWhitelistedPairs) {
+  Program P;
+  uint32_t Release = P.internSymbol("swift_release");
+  Module &M = P.addModule("m");
+  for (int F = 0; F < 5; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    MIRBuilder B(MF.addBlock());
+    B.movri(Reg::X9, 100 + F);
+    B.movrr(Reg::X0, Reg::X20);
+    B.bl(Release);
+    B.movri(Reg::X10, 200 + F);
+    M.Functions.push_back(MF);
+  }
+  TransformStats S = idiomOutliner(P, M);
+  EXPECT_EQ(S.FunctionsMerged, 1u); // One helper created.
+  EXPECT_EQ(S.SequencesRewritten, 5u);
+  EXPECT_GT(S.bytesSaved(), 0u);
+  // Helper body: mov x0, x20; b.tail swift_release.
+  const MachineFunction &H = M.Functions.back();
+  EXPECT_TRUE(H.IsOutlined);
+  ASSERT_EQ(H.numInstrs(), 2u);
+  EXPECT_EQ(H.Blocks[0].Instrs[1].opcode(), Opcode::Btail);
+}
+
+TEST(IdiomOutlinerTest, IgnoresNonWhitelistedCalls) {
+  Program P;
+  uint32_t G = P.internSymbol("some_helper");
+  Module &M = P.addModule("m");
+  for (int F = 0; F < 5; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    MIRBuilder B(MF.addBlock());
+    B.movrr(Reg::X0, Reg::X20);
+    B.bl(G);
+    M.Functions.push_back(MF);
+  }
+  TransformStats S = idiomOutliner(P, M);
+  EXPECT_EQ(S.FunctionsMerged, 0u);
+}
+
+TEST(IdiomOutlinerTest, RespectsMinFrequency) {
+  Program P;
+  uint32_t Release = P.internSymbol("swift_release");
+  Module &M = P.addModule("m");
+  for (int F = 0; F < 2; ++F) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol("f" + std::to_string(F));
+    MIRBuilder B(MF.addBlock());
+    B.movrr(Reg::X0, Reg::X20);
+    B.bl(Release);
+    M.Functions.push_back(MF);
+  }
+  EXPECT_EQ(idiomOutliner(P, M, 3).FunctionsMerged, 0u);
+}
+
+TEST(MergeSimilarTest, MergesImmediateVariants) {
+  Program P;
+  Module &M = P.addModule("m");
+  addCfgFn(P, M, "a", 10, 20);
+  addCfgFn(P, M, "b", 30, 40);
+  addCfgFn(P, M, "c", 50, 60);
+
+  TransformStats S = mergeSimilarFunctions(P, M);
+  EXPECT_EQ(S.FunctionsMerged, 3u);
+  EXPECT_GT(S.bytesSaved(), 0u);
+
+  // All three became thunks into one merged body; behaviour preserved.
+  BinaryImage Image(P);
+  Interpreter I(Image, P);
+  EXPECT_EQ(I.call("a"), ((10 + 20) ^ 10));
+  EXPECT_EQ(I.call("b"), ((30 + 40) ^ 30));
+  EXPECT_EQ(I.call("c"), ((50 + 60) ^ 50));
+}
+
+TEST(MergeSimilarTest, SkipsFunctionsWithCallsBeforeDiffs) {
+  // If the immediates load after a call, x6/x7 would be clobbered; the
+  // pass must skip such functions.
+  Program P;
+  uint32_t G = P.internSymbol("g");
+  Module &M = P.addModule("m");
+  auto Add = [&](const std::string &N, int64_t Imm) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol(N);
+    MIRBuilder B(MF.addBlock());
+    B.strpre(LR, Reg::SP, -16);
+    B.bl(G);
+    B.movri(Reg::X9, Imm);
+    B.addrr(Reg::X0, Reg::X0, Reg::X9);
+    B.ldrpost(LR, Reg::SP, 16);
+    B.ret();
+    M.Functions.push_back(MF);
+  };
+  Add("a", 10);
+  Add("b", 20);
+  TransformStats S = mergeSimilarFunctions(P, M);
+  EXPECT_EQ(S.FunctionsMerged, 0u);
+}
+
+TEST(MergeSimilarTest, SkipsBodiesMentioningParamRegs) {
+  Program P;
+  Module &M = P.addModule("m");
+  auto Add = [&](const std::string &N, int64_t Imm) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol(N);
+    MIRBuilder B(MF.addBlock());
+    B.movri(Reg::X9, Imm);
+    B.movrr(Reg::X6, Reg::X9); // Mentions x6.
+    B.addrr(Reg::X0, Reg::X6, Reg::X9);
+    B.eorrr(Reg::X0, Reg::X0, Reg::X9);
+    B.ret();
+    M.Functions.push_back(MF);
+  };
+  Add("a", 10);
+  Add("b", 20);
+  EXPECT_EQ(mergeSimilarFunctions(P, M).FunctionsMerged, 0u);
+}
+
+TEST(MergeSimilarTest, RejectsThreeOrMoreDiffs) {
+  Program P;
+  Module &M = P.addModule("m");
+  auto Add = [&](const std::string &N, int64_t A, int64_t B0, int64_t C) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol(N);
+    MIRBuilder B(MF.addBlock());
+    B.movri(Reg::X9, A);
+    B.movri(Reg::X10, B0);
+    B.movri(Reg::X11, C);
+    B.addrr(Reg::X0, Reg::X9, Reg::X10);
+    B.addrr(Reg::X0, Reg::X0, Reg::X11);
+    B.ret();
+    M.Functions.push_back(MF);
+  };
+  Add("a", 1, 2, 3);
+  Add("b", 4, 5, 6);
+  EXPECT_EQ(mergeSimilarFunctions(P, M).FunctionsMerged, 0u);
+}
+
+TEST(DeadFunctionTest, RemovesUnreachable) {
+  Program P;
+  Module &M = P.addModule("m");
+  addCfgFn(P, M, "root", 1, 2);
+  addCfgFn(P, M, "reachable", 3, 4);
+  addCfgFn(P, M, "dead", 5, 6);
+  // root calls reachable.
+  M.Functions[0].Blocks[0].Instrs.insert(
+      M.Functions[0].Blocks[0].Instrs.begin(),
+      MachineInstr(Opcode::BL,
+                   MachineOperand::sym(P.lookupSymbol("reachable"))));
+
+  TransformStats S = eliminateDeadFunctions(P, M, {"root"});
+  EXPECT_EQ(S.FunctionsMerged, 1u); // One function removed.
+  EXPECT_EQ(M.Functions.size(), 2u);
+}
+
+TEST(HotLayoutTest, SortsOutlinedByCallSites) {
+  Program P;
+  Module &M = P.addModule("m");
+  auto AddOutlined = [&](const std::string &N, uint32_t Sites) {
+    MachineFunction MF;
+    MF.Name = P.internSymbol(N);
+    MF.IsOutlined = true;
+    MF.FrameKind = OutlinedFrameKind::AppendedRet;
+    MF.OutlinedCallSites = Sites;
+    MIRBuilder B(MF.addBlock());
+    B.movri(Reg::X1, 1);
+    B.ret();
+    M.Functions.push_back(MF);
+  };
+  addCfgFn(P, M, "orig1", 1, 2);
+  AddOutlined("out_cold", 2);
+  addCfgFn(P, M, "orig2", 3, 4);
+  AddOutlined("out_hot", 90);
+  AddOutlined("out_warm", 10);
+
+  uint64_t Before = M.codeSize();
+  TransformStats S = layoutOutlinedByHotness(P, M);
+  EXPECT_EQ(S.CodeSizeBefore, S.CodeSizeAfter);
+  EXPECT_EQ(M.codeSize(), Before);
+  EXPECT_EQ(S.SequencesRewritten, 3u);
+  // Originals first, in order; outlined after, hottest first.
+  ASSERT_EQ(M.Functions.size(), 5u);
+  EXPECT_EQ(P.symbolName(M.Functions[0].Name), "orig1");
+  EXPECT_EQ(P.symbolName(M.Functions[1].Name), "orig2");
+  EXPECT_EQ(P.symbolName(M.Functions[2].Name), "out_hot");
+  EXPECT_EQ(P.symbolName(M.Functions[3].Name), "out_warm");
+  EXPECT_EQ(P.symbolName(M.Functions[4].Name), "out_cold");
+}
+
+TEST(CommutativeNormalizationTest, CanonicalizesAndEnablesOutlining) {
+  // Two groups of functions whose bodies differ only in commuted operand
+  // order: without normalization the outliner sees two patterns; with it,
+  // one pattern with twice the occurrences.
+  auto Build = [](bool Normalize) {
+    Program P;
+    Module &M = P.addModule("m");
+    for (int F = 0; F < 6; ++F) {
+      MachineFunction MF;
+      MF.Name = P.internSymbol("f" + std::to_string(F));
+      MIRBuilder B(MF.addBlock());
+      B.movri(Reg::X9, 9000 + F); // Unique.
+      if (F % 2 == 0) {
+        B.addrr(Reg::X0, Reg::X1, Reg::X2);
+        B.eorrr(Reg::X3, Reg::X4, Reg::X5);
+        B.mulrr(Reg::X6, Reg::X7, Reg::X8);
+      } else {
+        B.addrr(Reg::X0, Reg::X2, Reg::X1);
+        B.eorrr(Reg::X3, Reg::X5, Reg::X4);
+        B.mulrr(Reg::X6, Reg::X8, Reg::X7);
+      }
+      M.Functions.push_back(MF);
+    }
+    if (Normalize) {
+      TransformStats NS = normalizeCommutativeOperands(P, M);
+      EXPECT_EQ(NS.CodeSizeBefore, NS.CodeSizeAfter);
+      EXPECT_EQ(NS.SequencesRewritten, 9u); // Three ops in three odd fns.
+    }
+    OutlineRoundStats S = runOutlinerRound(P, M, 1);
+    return std::pair<uint64_t, uint64_t>(S.bytesSaved(),
+                                         S.FunctionsCreated);
+  };
+  auto [SavedPlain, FnPlain] = Build(false);
+  auto [SavedNorm, FnNorm] = Build(true);
+  // Normalized: one shared pattern with 6 occurrences beats two separate
+  // 3-occurrence patterns in both bytes and function count.
+  EXPECT_GT(SavedNorm, SavedPlain);
+  EXPECT_LE(FnNorm, FnPlain + 1);
+}
+
+TEST(CommutativeNormalizationTest, PreservesExecutionSemantics) {
+  Program P;
+  Module &M = P.addModule("m");
+  MachineFunction MF;
+  MF.Name = P.internSymbol("f");
+  MIRBuilder B(MF.addBlock());
+  B.movri(Reg::X5, 100);
+  B.movri(Reg::X3, 42);
+  B.addrr(Reg::X0, Reg::X5, Reg::X3); // Sources out of canonical order.
+  B.mulrr(Reg::X0, Reg::X0, Reg::X3);
+  B.ret();
+  M.Functions.push_back(MF);
+
+  BinaryImage Before(P);
+  int64_t Ref = Interpreter(Before, P).call("f");
+  normalizeCommutativeOperands(P, M);
+  BinaryImage After(P);
+  EXPECT_EQ(Interpreter(After, P).call("f"), Ref);
+  // The add's sources are now ordered x3, x5.
+  EXPECT_EQ(M.Functions[0].Blocks[0].Instrs[2].operand(1).getReg(),
+            Reg::X3);
+}
+
+TEST(DeadFunctionTest, ADRKeepsFunctionAlive) {
+  Program P;
+  Module &M = P.addModule("m");
+  addCfgFn(P, M, "root", 1, 2);
+  addCfgFn(P, M, "pointee", 3, 4);
+  M.Functions[0].Blocks[0].Instrs.insert(
+      M.Functions[0].Blocks[0].Instrs.begin(),
+      MachineInstr(Opcode::ADR, MachineOperand::reg(Reg::X9),
+                   MachineOperand::sym(P.lookupSymbol("pointee"))));
+  TransformStats S = eliminateDeadFunctions(P, M, {"root"});
+  EXPECT_EQ(S.FunctionsMerged, 0u);
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+//===- tools/mco-build.cpp - Command-line build driver --------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The command-line analogue of the paper artifact's run scripts: pick a
+/// corpus profile, a pipeline, and a repeat count (the artifact's
+/// `-outline-repeat-count=<uint>` flag), build, and report sizes and
+/// statistics. Optionally dumps the final module as text (reloadable with
+/// mco-run) or prints the top repeated patterns.
+///
+///   mco-build [--profile rider|driver|eats|clang|kernel]
+///             [--modules N] [--rounds N] [--per-module]
+///             [--interleave-data] [--normalize-commutative]
+///             [--hot-layout] [--print-patterns N] [--dump FILE]
+///
+//===----------------------------------------------------------------------===//
+
+#include "linker/Linker.h"
+#include "mir/MIRPrinter.h"
+#include "outliner/PatternStats.h"
+#include "pipeline/BuildPipeline.h"
+#include "synth/CorpusSynthesizer.h"
+#include "transforms/Transforms.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+using namespace mco;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: mco-build [--profile rider|driver|eats|clang|kernel]\n"
+      "                 [--modules N] [--rounds N] [--per-module]\n"
+      "                 [--interleave-data] [--normalize-commutative]\n"
+      "                 [--hot-layout] [--print-patterns N] "
+      "[--dump FILE]\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  AppProfile Profile = AppProfile::uberRider();
+  PipelineOptions Opts;
+  Opts.OutlineRounds = 5;
+  bool Normalize = false;
+  bool HotLayout = false;
+  unsigned PrintPatterns = 0;
+  std::string DumpFile;
+  int ModulesOverride = -1;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        usage();
+        std::exit(1);
+      }
+      return argv[++I];
+    };
+    if (A == "--profile") {
+      std::string P = Next();
+      if (P == "rider")
+        Profile = AppProfile::uberRider();
+      else if (P == "driver")
+        Profile = AppProfile::uberDriver();
+      else if (P == "eats")
+        Profile = AppProfile::uberEats();
+      else if (P == "clang")
+        Profile = AppProfile::clangCompiler();
+      else if (P == "kernel")
+        Profile = AppProfile::linuxKernel();
+      else {
+        usage();
+        return 1;
+      }
+    } else if (A == "--modules") {
+      ModulesOverride = std::atoi(Next());
+    } else if (A == "--rounds") {
+      Opts.OutlineRounds = static_cast<unsigned>(std::atoi(Next()));
+    } else if (A == "--per-module") {
+      Opts.WholeProgram = false;
+    } else if (A == "--interleave-data") {
+      Opts.DataLayout = DataLayoutMode::Interleaved;
+    } else if (A == "--normalize-commutative") {
+      Normalize = true;
+    } else if (A == "--hot-layout") {
+      HotLayout = true;
+    } else if (A == "--print-patterns") {
+      PrintPatterns = static_cast<unsigned>(std::atoi(Next()));
+    } else if (A == "--dump") {
+      DumpFile = Next();
+    } else {
+      usage();
+      return 1;
+    }
+  }
+  if (ModulesOverride > 0)
+    Profile.NumModules = static_cast<unsigned>(ModulesOverride);
+
+  std::printf("profile %s, %u modules, %s pipeline, %u round(s)\n",
+              Profile.Name.c_str(), Profile.NumModules,
+              Opts.WholeProgram ? "whole-program" : "per-module",
+              Opts.OutlineRounds);
+
+  auto Prog = CorpusSynthesizer(Profile).generate();
+  uint64_t SizeBefore = Prog->codeSize();
+
+  if (Normalize) {
+    // Pre-normalization runs per module (before any merge), as a compiler
+    // pass would.
+    uint64_t Canon = 0;
+    for (auto &M : Prog->Modules)
+      Canon += normalizeCommutativeOperands(*Prog, *M).SequencesRewritten;
+    std::printf("normalized %llu commutative instruction(s)\n",
+                static_cast<unsigned long long>(Canon));
+  }
+
+  BuildResult R = buildProgram(*Prog, Opts);
+  if (HotLayout)
+    layoutOutlinedByHotness(*Prog, *Prog->Modules[0]);
+
+  std::printf("code size: %.1f KB -> %.1f KB (%.1f%% saved)\n",
+              SizeBefore / 1024.0, R.CodeSize / 1024.0,
+              100.0 * (double(SizeBefore) - double(R.CodeSize)) /
+                  double(SizeBefore));
+  for (size_t I = 0; I < R.OutlineStats.Rounds.size(); ++I) {
+    const OutlineRoundStats &RS = R.OutlineStats.Rounds[I];
+    std::printf("  round %zu: %llu sequences -> %llu functions, "
+                "%llu bytes saved (%.2fs)\n",
+                I + 1,
+                static_cast<unsigned long long>(RS.SequencesOutlined),
+                static_cast<unsigned long long>(RS.FunctionsCreated),
+                static_cast<unsigned long long>(RS.bytesSaved()),
+                I < R.OutlineRoundSeconds.size() ? R.OutlineRoundSeconds[I]
+                                                 : 0.0);
+  }
+  std::printf("build phases: link %.2fs, outline %.2fs, layout %.2fs\n",
+              R.LinkIRSeconds, R.OutlineSeconds, R.LayoutSeconds);
+
+  if (PrintPatterns > 0) {
+    PatternAnalysis A =
+        analyzePatterns(*Prog, *Prog->Modules[0], {}, PrintPatterns);
+    std::printf("\ntop repeated patterns (post-build):\n");
+    for (unsigned I = 0; I < PrintPatterns && I < A.Patterns.size(); ++I)
+      std::printf("-- rank %u: %llu x %u instrs\n%s\n", A.Patterns[I].Rank,
+                  static_cast<unsigned long long>(A.Patterns[I].Frequency),
+                  A.Patterns[I].Length, A.Patterns[I].Text.c_str());
+  }
+
+  if (!DumpFile.empty()) {
+    std::ofstream Out(DumpFile);
+    Out << printModule(*Prog->Modules[0], *Prog);
+    std::printf("dumped module to %s\n", DumpFile.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,124 @@
+//===- tools/mco-run.cpp - Load and execute a dumped module ---------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Loads a textual machine module (as dumped by mco-build or written by
+/// hand), optionally runs extra outlining rounds on it, and executes a
+/// function under the performance model.
+///
+///   mco-run FILE --entry NAME [--args a,b,...] [--rounds N]
+///           [--icache-kb N] [--verify]
+///
+//===----------------------------------------------------------------------===//
+
+#include "linker/Linker.h"
+#include "mir/MIRParser.h"
+#include "mir/MIRVerifier.h"
+#include "outliner/MachineOutliner.h"
+#include "sim/Interpreter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace mco;
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: mco-run FILE --entry NAME [--args a,b,...] "
+                 "[--rounds N] [--icache-kb N] [--verify]\n");
+    return 1;
+  }
+  std::string File = argv[1];
+  std::string Entry = "bench_main";
+  std::vector<int64_t> Args;
+  unsigned Rounds = 0;
+  unsigned ICacheKb = 64;
+  bool Verify = false;
+
+  for (int I = 2; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc)
+        std::exit(1);
+      return argv[++I];
+    };
+    if (A == "--entry")
+      Entry = Next();
+    else if (A == "--args") {
+      std::stringstream SS(Next());
+      std::string Tok;
+      while (std::getline(SS, Tok, ','))
+        Args.push_back(std::strtoll(Tok.c_str(), nullptr, 10));
+    } else if (A == "--rounds")
+      Rounds = static_cast<unsigned>(std::atoi(Next()));
+    else if (A == "--icache-kb")
+      ICacheKb = static_cast<unsigned>(std::atoi(Next()));
+    else if (A == "--verify")
+      Verify = true;
+    else
+      return 1;
+  }
+
+  std::ifstream In(File);
+  if (!In) {
+    std::fprintf(stderr, "mco-run: cannot open '%s'\n", File.c_str());
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+
+  Program Prog;
+  ParseResult R = parseModule(Prog, Buf.str());
+  if (!R) {
+    std::fprintf(stderr, "mco-run: parse error: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::printf("loaded %zu function(s), %llu instructions\n",
+              R.M->Functions.size(),
+              static_cast<unsigned long long>(R.M->numInstrs()));
+
+  if (Verify) {
+    VerifyOptions VOpts;
+    VOpts.CheckSymbolResolution = true;
+    std::string Err = verifyModule(Prog, *R.M, VOpts);
+    if (!Err.empty()) {
+      std::fprintf(stderr, "mco-run: verification failed: %s\n",
+                   Err.c_str());
+      return 1;
+    }
+    std::printf("module verifies\n");
+  }
+
+  if (Rounds > 0) {
+    uint64_t Before = R.M->codeSize();
+    runRepeatedOutliner(Prog, *R.M, Rounds);
+    std::printf("outlined %u round(s): %.1f KB -> %.1f KB\n", Rounds,
+                Before / 1024.0, R.M->codeSize() / 1024.0);
+  }
+
+  PerfConfig Cfg;
+  Cfg.ICacheBytes = uint64_t(ICacheKb) << 10;
+  BinaryImage Image(Prog);
+  Interpreter I(Image, Prog, &Cfg);
+  int64_t Result = I.call(Entry, Args);
+  const PerfCounters &C = I.counters();
+  std::printf("%s(...) = %lld\n", Entry.c_str(),
+              static_cast<long long>(Result));
+  std::printf("instrs %llu (outlined %.1f%%), cycles %.0f, IPC %.2f, "
+              "I$ miss %llu, ITLB miss %llu, br miss %llu\n",
+              static_cast<unsigned long long>(C.Instrs),
+              C.Instrs ? 100.0 * C.OutlinedInstrs / C.Instrs : 0.0,
+              C.Cycles, C.ipc(),
+              static_cast<unsigned long long>(C.ICacheMisses),
+              static_cast<unsigned long long>(C.ITlbMisses),
+              static_cast<unsigned long long>(C.BranchMispredicts));
+  return 0;
+}
