@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_lifelong_growth"
+  "../bench/fig01_lifelong_growth.pdb"
+  "CMakeFiles/fig01_lifelong_growth.dir/fig01_lifelong_growth.cpp.o"
+  "CMakeFiles/fig01_lifelong_growth.dir/fig01_lifelong_growth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_lifelong_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

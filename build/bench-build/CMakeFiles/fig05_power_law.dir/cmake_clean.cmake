@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_power_law"
+  "../bench/fig05_power_law.pdb"
+  "CMakeFiles/fig05_power_law.dir/fig05_power_law.cpp.o"
+  "CMakeFiles/fig05_power_law.dir/fig05_power_law.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_power_law.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

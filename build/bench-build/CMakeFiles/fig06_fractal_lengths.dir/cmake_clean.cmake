@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_fractal_lengths"
+  "../bench/fig06_fractal_lengths.pdb"
+  "CMakeFiles/fig06_fractal_lengths.dir/fig06_fractal_lengths.cpp.o"
+  "CMakeFiles/fig06_fractal_lengths.dir/fig06_fractal_lengths.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_fractal_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

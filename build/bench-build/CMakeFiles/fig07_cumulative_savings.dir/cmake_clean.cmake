@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_cumulative_savings"
+  "../bench/fig07_cumulative_savings.pdb"
+  "CMakeFiles/fig07_cumulative_savings.dir/fig07_cumulative_savings.cpp.o"
+  "CMakeFiles/fig07_cumulative_savings.dir/fig07_cumulative_savings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cumulative_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

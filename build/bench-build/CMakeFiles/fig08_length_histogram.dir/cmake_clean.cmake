@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_length_histogram"
+  "../bench/fig08_length_histogram.pdb"
+  "CMakeFiles/fig08_length_histogram.dir/fig08_length_histogram.cpp.o"
+  "CMakeFiles/fig08_length_histogram.dir/fig08_length_histogram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_length_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

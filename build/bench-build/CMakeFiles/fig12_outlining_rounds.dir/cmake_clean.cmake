@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_outlining_rounds"
+  "../bench/fig12_outlining_rounds.pdb"
+  "CMakeFiles/fig12_outlining_rounds.dir/fig12_outlining_rounds.cpp.o"
+  "CMakeFiles/fig12_outlining_rounds.dir/fig12_outlining_rounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_outlining_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

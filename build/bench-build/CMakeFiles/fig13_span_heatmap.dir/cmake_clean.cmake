@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_span_heatmap"
+  "../bench/fig13_span_heatmap.pdb"
+  "CMakeFiles/fig13_span_heatmap.dir/fig13_span_heatmap.cpp.o"
+  "CMakeFiles/fig13_span_heatmap.dir/fig13_span_heatmap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_span_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

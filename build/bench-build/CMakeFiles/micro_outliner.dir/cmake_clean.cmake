@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_outliner"
+  "../bench/micro_outliner.pdb"
+  "CMakeFiles/micro_outliner.dir/micro_outliner.cpp.o"
+  "CMakeFiles/micro_outliner.dir/micro_outliner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_outliner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

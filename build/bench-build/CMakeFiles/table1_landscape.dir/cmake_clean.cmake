@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_landscape"
+  "../bench/table1_landscape.pdb"
+  "CMakeFiles/table1_landscape.dir/table1_landscape.cpp.o"
+  "CMakeFiles/table1_landscape.dir/table1_landscape.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

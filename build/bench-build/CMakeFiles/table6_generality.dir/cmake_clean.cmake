@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_generality"
+  "../bench/table6_generality.pdb"
+  "CMakeFiles/table6_generality.dir/table6_generality.cpp.o"
+  "CMakeFiles/table6_generality.dir/table6_generality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table7_data_layout.cpp" "bench-build/CMakeFiles/table7_data_layout.dir/table7_data_layout.cpp.o" "gcc" "bench-build/CMakeFiles/table7_data_layout.dir/table7_data_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/swiftbench/CMakeFiles/mco_swiftbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/mco_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/mco_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/mco_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mco_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/mco_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/outliner/CMakeFiles/mco_outliner.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/mco_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mco_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/mir/CMakeFiles/mco_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

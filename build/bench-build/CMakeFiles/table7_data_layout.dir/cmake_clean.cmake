@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_data_layout"
+  "../bench/table7_data_layout.pdb"
+  "CMakeFiles/table7_data_layout.dir/table7_data_layout.cpp.o"
+  "CMakeFiles/table7_data_layout.dir/table7_data_layout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_data_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

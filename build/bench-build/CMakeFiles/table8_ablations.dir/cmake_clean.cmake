@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table8_ablations"
+  "../bench/table8_ablations.pdb"
+  "CMakeFiles/table8_ablations.dir/table8_ablations.cpp.o"
+  "CMakeFiles/table8_ablations.dir/table8_ablations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/app_size_report"
+  "../examples/app_size_report.pdb"
+  "CMakeFiles/app_size_report.dir/app_size_report.cpp.o"
+  "CMakeFiles/app_size_report.dir/app_size_report.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_size_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/compile_and_run"
+  "../examples/compile_and_run.pdb"
+  "CMakeFiles/compile_and_run.dir/compile_and_run.cpp.o"
+  "CMakeFiles/compile_and_run.dir/compile_and_run.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_and_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

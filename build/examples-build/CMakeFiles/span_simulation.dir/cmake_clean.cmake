@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/span_simulation"
+  "../examples/span_simulation.pdb"
+  "CMakeFiles/span_simulation.dir/span_simulation.cpp.o"
+  "CMakeFiles/span_simulation.dir/span_simulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/span_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

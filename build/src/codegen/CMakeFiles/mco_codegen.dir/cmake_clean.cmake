@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_codegen.dir/Codegen.cpp.o"
+  "CMakeFiles/mco_codegen.dir/Codegen.cpp.o.d"
+  "libmco_codegen.a"
+  "libmco_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

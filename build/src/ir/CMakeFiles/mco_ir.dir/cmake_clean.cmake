@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_ir.dir/IR.cpp.o"
+  "CMakeFiles/mco_ir.dir/IR.cpp.o.d"
+  "libmco_ir.a"
+  "libmco_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

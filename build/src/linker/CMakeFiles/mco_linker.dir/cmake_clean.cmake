@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_linker.dir/Linker.cpp.o"
+  "CMakeFiles/mco_linker.dir/Linker.cpp.o.d"
+  "libmco_linker.a"
+  "libmco_linker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

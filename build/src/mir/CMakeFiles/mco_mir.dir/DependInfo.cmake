@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mir/Liveness.cpp" "src/mir/CMakeFiles/mco_mir.dir/Liveness.cpp.o" "gcc" "src/mir/CMakeFiles/mco_mir.dir/Liveness.cpp.o.d"
+  "/root/repo/src/mir/MIRParser.cpp" "src/mir/CMakeFiles/mco_mir.dir/MIRParser.cpp.o" "gcc" "src/mir/CMakeFiles/mco_mir.dir/MIRParser.cpp.o.d"
+  "/root/repo/src/mir/MIRPrinter.cpp" "src/mir/CMakeFiles/mco_mir.dir/MIRPrinter.cpp.o" "gcc" "src/mir/CMakeFiles/mco_mir.dir/MIRPrinter.cpp.o.d"
+  "/root/repo/src/mir/MIRVerifier.cpp" "src/mir/CMakeFiles/mco_mir.dir/MIRVerifier.cpp.o" "gcc" "src/mir/CMakeFiles/mco_mir.dir/MIRVerifier.cpp.o.d"
+  "/root/repo/src/mir/MachineInstr.cpp" "src/mir/CMakeFiles/mco_mir.dir/MachineInstr.cpp.o" "gcc" "src/mir/CMakeFiles/mco_mir.dir/MachineInstr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_mir.dir/Liveness.cpp.o"
+  "CMakeFiles/mco_mir.dir/Liveness.cpp.o.d"
+  "CMakeFiles/mco_mir.dir/MIRParser.cpp.o"
+  "CMakeFiles/mco_mir.dir/MIRParser.cpp.o.d"
+  "CMakeFiles/mco_mir.dir/MIRPrinter.cpp.o"
+  "CMakeFiles/mco_mir.dir/MIRPrinter.cpp.o.d"
+  "CMakeFiles/mco_mir.dir/MIRVerifier.cpp.o"
+  "CMakeFiles/mco_mir.dir/MIRVerifier.cpp.o.d"
+  "CMakeFiles/mco_mir.dir/MachineInstr.cpp.o"
+  "CMakeFiles/mco_mir.dir/MachineInstr.cpp.o.d"
+  "libmco_mir.a"
+  "libmco_mir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_mir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/outliner/InstructionMapper.cpp" "src/outliner/CMakeFiles/mco_outliner.dir/InstructionMapper.cpp.o" "gcc" "src/outliner/CMakeFiles/mco_outliner.dir/InstructionMapper.cpp.o.d"
+  "/root/repo/src/outliner/MachineOutliner.cpp" "src/outliner/CMakeFiles/mco_outliner.dir/MachineOutliner.cpp.o" "gcc" "src/outliner/CMakeFiles/mco_outliner.dir/MachineOutliner.cpp.o.d"
+  "/root/repo/src/outliner/PatternStats.cpp" "src/outliner/CMakeFiles/mco_outliner.dir/PatternStats.cpp.o" "gcc" "src/outliner/CMakeFiles/mco_outliner.dir/PatternStats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mir/CMakeFiles/mco_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_outliner.dir/InstructionMapper.cpp.o"
+  "CMakeFiles/mco_outliner.dir/InstructionMapper.cpp.o.d"
+  "CMakeFiles/mco_outliner.dir/MachineOutliner.cpp.o"
+  "CMakeFiles/mco_outliner.dir/MachineOutliner.cpp.o.d"
+  "CMakeFiles/mco_outliner.dir/PatternStats.cpp.o"
+  "CMakeFiles/mco_outliner.dir/PatternStats.cpp.o.d"
+  "libmco_outliner.a"
+  "libmco_outliner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_outliner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

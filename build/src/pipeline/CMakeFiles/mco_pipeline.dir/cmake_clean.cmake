@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_pipeline.dir/BuildPipeline.cpp.o"
+  "CMakeFiles/mco_pipeline.dir/BuildPipeline.cpp.o.d"
+  "libmco_pipeline.a"
+  "libmco_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/CacheModel.cpp" "src/sim/CMakeFiles/mco_sim.dir/CacheModel.cpp.o" "gcc" "src/sim/CMakeFiles/mco_sim.dir/CacheModel.cpp.o.d"
+  "/root/repo/src/sim/Interpreter.cpp" "src/sim/CMakeFiles/mco_sim.dir/Interpreter.cpp.o" "gcc" "src/sim/CMakeFiles/mco_sim.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/sim/Memory.cpp" "src/sim/CMakeFiles/mco_sim.dir/Memory.cpp.o" "gcc" "src/sim/CMakeFiles/mco_sim.dir/Memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linker/CMakeFiles/mco_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/mir/CMakeFiles/mco_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

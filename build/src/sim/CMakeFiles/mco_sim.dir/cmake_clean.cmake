@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_sim.dir/CacheModel.cpp.o"
+  "CMakeFiles/mco_sim.dir/CacheModel.cpp.o.d"
+  "CMakeFiles/mco_sim.dir/Interpreter.cpp.o"
+  "CMakeFiles/mco_sim.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/mco_sim.dir/Memory.cpp.o"
+  "CMakeFiles/mco_sim.dir/Memory.cpp.o.d"
+  "libmco_sim.a"
+  "libmco_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_support.dir/Statistics.cpp.o"
+  "CMakeFiles/mco_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/mco_support.dir/SuffixTree.cpp.o"
+  "CMakeFiles/mco_support.dir/SuffixTree.cpp.o.d"
+  "libmco_support.a"
+  "libmco_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swiftbench/GraphBenches.cpp" "src/swiftbench/CMakeFiles/mco_swiftbench.dir/GraphBenches.cpp.o" "gcc" "src/swiftbench/CMakeFiles/mco_swiftbench.dir/GraphBenches.cpp.o.d"
+  "/root/repo/src/swiftbench/MathBenches.cpp" "src/swiftbench/CMakeFiles/mco_swiftbench.dir/MathBenches.cpp.o" "gcc" "src/swiftbench/CMakeFiles/mco_swiftbench.dir/MathBenches.cpp.o.d"
+  "/root/repo/src/swiftbench/SortBenches.cpp" "src/swiftbench/CMakeFiles/mco_swiftbench.dir/SortBenches.cpp.o" "gcc" "src/swiftbench/CMakeFiles/mco_swiftbench.dir/SortBenches.cpp.o.d"
+  "/root/repo/src/swiftbench/StringBenches.cpp" "src/swiftbench/CMakeFiles/mco_swiftbench.dir/StringBenches.cpp.o" "gcc" "src/swiftbench/CMakeFiles/mco_swiftbench.dir/StringBenches.cpp.o.d"
+  "/root/repo/src/swiftbench/SwiftBench.cpp" "src/swiftbench/CMakeFiles/mco_swiftbench.dir/SwiftBench.cpp.o" "gcc" "src/swiftbench/CMakeFiles/mco_swiftbench.dir/SwiftBench.cpp.o.d"
+  "/root/repo/src/swiftbench/TreeBenches.cpp" "src/swiftbench/CMakeFiles/mco_swiftbench.dir/TreeBenches.cpp.o" "gcc" "src/swiftbench/CMakeFiles/mco_swiftbench.dir/TreeBenches.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/mco_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_swiftbench.dir/GraphBenches.cpp.o"
+  "CMakeFiles/mco_swiftbench.dir/GraphBenches.cpp.o.d"
+  "CMakeFiles/mco_swiftbench.dir/MathBenches.cpp.o"
+  "CMakeFiles/mco_swiftbench.dir/MathBenches.cpp.o.d"
+  "CMakeFiles/mco_swiftbench.dir/SortBenches.cpp.o"
+  "CMakeFiles/mco_swiftbench.dir/SortBenches.cpp.o.d"
+  "CMakeFiles/mco_swiftbench.dir/StringBenches.cpp.o"
+  "CMakeFiles/mco_swiftbench.dir/StringBenches.cpp.o.d"
+  "CMakeFiles/mco_swiftbench.dir/SwiftBench.cpp.o"
+  "CMakeFiles/mco_swiftbench.dir/SwiftBench.cpp.o.d"
+  "CMakeFiles/mco_swiftbench.dir/TreeBenches.cpp.o"
+  "CMakeFiles/mco_swiftbench.dir/TreeBenches.cpp.o.d"
+  "libmco_swiftbench.a"
+  "libmco_swiftbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_swiftbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/AppProfile.cpp" "src/synth/CMakeFiles/mco_synth.dir/AppProfile.cpp.o" "gcc" "src/synth/CMakeFiles/mco_synth.dir/AppProfile.cpp.o.d"
+  "/root/repo/src/synth/CorpusSynthesizer.cpp" "src/synth/CMakeFiles/mco_synth.dir/CorpusSynthesizer.cpp.o" "gcc" "src/synth/CMakeFiles/mco_synth.dir/CorpusSynthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mir/CMakeFiles/mco_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mco_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

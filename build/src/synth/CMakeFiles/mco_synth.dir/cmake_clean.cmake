@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_synth.dir/AppProfile.cpp.o"
+  "CMakeFiles/mco_synth.dir/AppProfile.cpp.o.d"
+  "CMakeFiles/mco_synth.dir/CorpusSynthesizer.cpp.o"
+  "CMakeFiles/mco_synth.dir/CorpusSynthesizer.cpp.o.d"
+  "libmco_synth.a"
+  "libmco_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mco_transforms.dir/Transforms.cpp.o"
+  "CMakeFiles/mco_transforms.dir/Transforms.cpp.o.d"
+  "libmco_transforms.a"
+  "libmco_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

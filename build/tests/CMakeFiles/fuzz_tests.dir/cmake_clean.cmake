@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_tests.dir/OptionsMatrixTest.cpp.o"
+  "CMakeFiles/fuzz_tests.dir/OptionsMatrixTest.cpp.o.d"
+  "CMakeFiles/fuzz_tests.dir/RandomIRDifferentialTest.cpp.o"
+  "CMakeFiles/fuzz_tests.dir/RandomIRDifferentialTest.cpp.o.d"
+  "CMakeFiles/fuzz_tests.dir/RandomMirDifferentialTest.cpp.o"
+  "CMakeFiles/fuzz_tests.dir/RandomMirDifferentialTest.cpp.o.d"
+  "fuzz_tests"
+  "fuzz_tests.pdb"
+  "fuzz_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linker_tests.dir/LinkerTest.cpp.o"
+  "CMakeFiles/linker_tests.dir/LinkerTest.cpp.o.d"
+  "CMakeFiles/linker_tests.dir/PipelineTest.cpp.o"
+  "CMakeFiles/linker_tests.dir/PipelineTest.cpp.o.d"
+  "linker_tests"
+  "linker_tests.pdb"
+  "linker_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linker_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mir_tests.dir/LivenessTest.cpp.o"
+  "CMakeFiles/mir_tests.dir/LivenessTest.cpp.o.d"
+  "CMakeFiles/mir_tests.dir/MIRParserTest.cpp.o"
+  "CMakeFiles/mir_tests.dir/MIRParserTest.cpp.o.d"
+  "CMakeFiles/mir_tests.dir/MIRVerifierTest.cpp.o"
+  "CMakeFiles/mir_tests.dir/MIRVerifierTest.cpp.o.d"
+  "CMakeFiles/mir_tests.dir/MachineInstrTest.cpp.o"
+  "CMakeFiles/mir_tests.dir/MachineInstrTest.cpp.o.d"
+  "mir_tests"
+  "mir_tests.pdb"
+  "mir_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

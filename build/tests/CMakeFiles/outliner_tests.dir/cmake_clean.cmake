@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outliner_tests.dir/InstructionMapperTest.cpp.o"
+  "CMakeFiles/outliner_tests.dir/InstructionMapperTest.cpp.o.d"
+  "CMakeFiles/outliner_tests.dir/OutlinerTest.cpp.o"
+  "CMakeFiles/outliner_tests.dir/OutlinerTest.cpp.o.d"
+  "CMakeFiles/outliner_tests.dir/PatternStatsTest.cpp.o"
+  "CMakeFiles/outliner_tests.dir/PatternStatsTest.cpp.o.d"
+  "CMakeFiles/outliner_tests.dir/RepeatedOutlinerTest.cpp.o"
+  "CMakeFiles/outliner_tests.dir/RepeatedOutlinerTest.cpp.o.d"
+  "outliner_tests"
+  "outliner_tests.pdb"
+  "outliner_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outliner_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

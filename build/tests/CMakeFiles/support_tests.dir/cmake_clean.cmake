@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_tests.dir/RandomTest.cpp.o"
+  "CMakeFiles/support_tests.dir/RandomTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/StatisticsTest.cpp.o"
+  "CMakeFiles/support_tests.dir/StatisticsTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/SuffixTreeTest.cpp.o"
+  "CMakeFiles/support_tests.dir/SuffixTreeTest.cpp.o.d"
+  "support_tests"
+  "support_tests.pdb"
+  "support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

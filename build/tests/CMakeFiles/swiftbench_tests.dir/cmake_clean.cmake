@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swiftbench_tests.dir/SwiftBenchTest.cpp.o"
+  "CMakeFiles/swiftbench_tests.dir/SwiftBenchTest.cpp.o.d"
+  "swiftbench_tests"
+  "swiftbench_tests.pdb"
+  "swiftbench_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swiftbench_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/mir_tests[1]_include.cmake")
+include("/root/repo/build/tests/outliner_tests[1]_include.cmake")
+include("/root/repo/build/tests/ir_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/linker_tests[1]_include.cmake")
+include("/root/repo/build/tests/transforms_tests[1]_include.cmake")
+include("/root/repo/build/tests/synth_tests[1]_include.cmake")
+include("/root/repo/build/tests/swiftbench_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/mco-build"
+  "../tools/mco-build.pdb"
+  "CMakeFiles/mco-build.dir/mco-build.cpp.o"
+  "CMakeFiles/mco-build.dir/mco-build.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco-build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/mco-run"
+  "../tools/mco-run.pdb"
+  "CMakeFiles/mco-run.dir/mco-run.cpp.o"
+  "CMakeFiles/mco-run.dir/mco-run.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mco-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
