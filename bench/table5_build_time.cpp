@@ -8,7 +8,11 @@
 /// per-module pipeline versus the whole-program pipeline, with per-phase
 /// wall-clock times and per-round outlining cost (the paper: default 21
 /// min; WP 53 min + ~7 min for round 1, diminishing to <30s per extra
-/// round; five rounds total 66 min).
+/// round; five rounds total 66 min). Also compares the parallel and
+/// incremental engine configurations (which must produce identical sizes)
+/// and emits the measurements as machine-readable JSON.
+///
+///   table5_build_time [--modules N] [--threads N] [--json PATH]
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,48 +22,195 @@
 #include "synth/CorpusSynthesizer.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 using namespace mco;
 using namespace mco::benchutil;
 
-int main() {
+namespace {
+
+/// One measured configuration, for the table and the JSON dump.
+struct Measurement {
+  std::string Name;
+  std::string Pipeline;
+  unsigned Threads = 1;
+  bool Incremental = false;
+  unsigned Rounds = 0;
+  BuildResult R;
+  uint64_t CodeSize = 0;
+};
+
+Measurement runConfig(const AppProfile &Profile, const std::string &Name,
+                      bool WholeProgram, unsigned Rounds, unsigned Threads,
+                      bool Incremental) {
+  Measurement M;
+  M.Name = Name;
+  M.Pipeline = WholeProgram ? "whole-program" : "per-module";
+  M.Threads = Threads;
+  M.Incremental = Incremental;
+  M.Rounds = Rounds;
+  auto Prog = CorpusSynthesizer(Profile).withThreads(Threads).generate();
+  PipelineOptions Opts;
+  Opts.WholeProgram = WholeProgram;
+  Opts.OutlineRounds = Rounds;
+  Opts.Threads = Threads;
+  Opts.Outliner.Incremental = Incremental;
+  M.R = buildProgram(*Prog, Opts);
+  M.CodeSize = M.R.CodeSize;
+  return M;
+}
+
+void writeJson(const std::string &Path, unsigned Modules, unsigned Threads,
+               const std::vector<Measurement> &All) {
+  std::ofstream Out(Path);
+  Out << "{\n  \"bench\": \"table5_build_time\",\n";
+  Out << "  \"modules\": " << Modules << ",\n";
+  Out << "  \"threads\": " << Threads << ",\n";
+  Out << "  \"configs\": [\n";
+  for (size_t I = 0; I < All.size(); ++I) {
+    const Measurement &M = All[I];
+    Out << "    {\n";
+    Out << "      \"name\": \"" << M.Name << "\",\n";
+    Out << "      \"pipeline\": \"" << M.Pipeline << "\",\n";
+    Out << "      \"threads\": " << M.Threads << ",\n";
+    Out << "      \"incremental\": " << (M.Incremental ? "true" : "false")
+        << ",\n";
+    Out << "      \"rounds\": " << M.Rounds << ",\n";
+    Out << "      \"link_seconds\": " << M.R.LinkIRSeconds << ",\n";
+    Out << "      \"outline_seconds\": " << M.R.OutlineSeconds << ",\n";
+    Out << "      \"layout_seconds\": " << M.R.LayoutSeconds << ",\n";
+    Out << "      \"total_seconds\": " << M.R.totalSeconds() << ",\n";
+    Out << "      \"round_seconds\": [";
+    for (size_t J = 0; J < M.R.OutlineRoundSeconds.size(); ++J)
+      Out << (J ? ", " : "") << M.R.OutlineRoundSeconds[J];
+    Out << "],\n";
+    Out << "      \"functions_remapped\": [";
+    for (size_t J = 0; J < M.R.OutlineStats.Rounds.size(); ++J)
+      Out << (J ? ", " : "") << M.R.OutlineStats.Rounds[J].FunctionsRemapped;
+    Out << "],\n";
+    Out << "      \"liveness_computed\": [";
+    for (size_t J = 0; J < M.R.OutlineStats.Rounds.size(); ++J)
+      Out << (J ? ", " : "") << M.R.OutlineStats.Rounds[J].LivenessComputed;
+    Out << "],\n";
+    Out << "      \"code_size_bytes\": " << M.CodeSize << "\n";
+    Out << "    }" << (I + 1 < All.size() ? "," : "") << "\n";
+  }
+  Out << "  ]\n}\n";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Modules = 64; // Larger corpus so phase times are measurable.
+  unsigned Threads = 8;
+  std::string JsonPath = "BENCH_build_time.json";
+  for (int I = 1; I < argc; ++I) {
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "usage: table5_build_time [--modules N] "
+                             "[--threads N] [--json PATH]\n");
+        std::exit(1);
+      }
+      return argv[++I];
+    };
+    if (!std::strcmp(argv[I], "--modules"))
+      Modules = static_cast<unsigned>(std::atoi(Next()));
+    else if (!std::strcmp(argv[I], "--threads"))
+      Threads = static_cast<unsigned>(std::atoi(Next()));
+    else if (!std::strcmp(argv[I], "--json"))
+      JsonPath = Next();
+    else {
+      std::fprintf(stderr, "table5_build_time: unknown option '%s'\n",
+                   argv[I]);
+      return 1;
+    }
+  }
+  if (Threads == 0)
+    Threads = 1;
+
   banner("Section VII-C — build time by pipeline and outlining rounds",
          "paper: default 21 min; WP +45 min total at 5 rounds, each extra "
          "round progressively cheaper");
 
   AppProfile Profile = AppProfile::uberRider();
-  Profile.NumModules = 64; // Larger corpus so phase times are measurable.
+  Profile.NumModules = Modules;
+
+  std::vector<Measurement> All;
 
   section("default (per-module) pipeline");
   {
-    auto Prog = CorpusSynthesizer(Profile).generate();
-    PipelineOptions Opts;
-    Opts.WholeProgram = false;
-    Opts.OutlineRounds = 1;
-    BuildResult R = buildProgram(*Prog, Opts);
-    std::printf("outline (per-module): %7.3f s\n", R.OutlineSeconds);
-    std::printf("link:                 %7.3f s\n", R.LinkIRSeconds);
-    std::printf("layout:               %7.3f s\n", R.LayoutSeconds);
-    std::printf("total:                %7.3f s\n", R.totalSeconds());
+    Measurement M =
+        runConfig(Profile, "per_module_j1", /*WholeProgram=*/false,
+                  /*Rounds=*/1, /*Threads=*/1, /*Incremental=*/false);
+    std::printf("outline (per-module): %7.3f s\n", M.R.OutlineSeconds);
+    std::printf("link:                 %7.3f s\n", M.R.LinkIRSeconds);
+    std::printf("layout:               %7.3f s\n", M.R.LayoutSeconds);
+    std::printf("total:                %7.3f s\n", M.R.totalSeconds());
+    All.push_back(M);
   }
 
   section("whole-program pipeline by rounds");
   std::printf("%8s %10s %10s %10s %10s %14s\n", "rounds", "link(s)",
               "outline(s)", "layout(s)", "total(s)", "round times");
   for (unsigned Rounds : {0u, 1u, 2u, 3u, 5u}) {
-    auto Prog = CorpusSynthesizer(Profile).generate();
-    PipelineOptions Opts;
-    Opts.OutlineRounds = Rounds;
-    BuildResult R = buildProgram(*Prog, Opts);
+    Measurement M = runConfig(
+        Profile, "wp_r" + std::to_string(Rounds) + "_j1",
+        /*WholeProgram=*/true, Rounds, /*Threads=*/1, /*Incremental=*/false);
     std::printf("%8u %10.3f %10.3f %10.3f %10.3f   ", Rounds,
-                R.LinkIRSeconds, R.OutlineSeconds, R.LayoutSeconds,
-                R.totalSeconds());
-    for (double T : R.OutlineRoundSeconds)
+                M.R.LinkIRSeconds, M.R.OutlineSeconds, M.R.LayoutSeconds,
+                M.R.totalSeconds());
+    for (double T : M.R.OutlineRoundSeconds)
       std::printf("%.2f ", T);
     std::printf("\n");
+    All.push_back(M);
   }
   std::printf("\n[shape check: whole-program outlining dominates the build; "
               "round 1 is the most expensive round and later rounds cost "
               "progressively less, as in the paper]\n");
-  return 0;
+
+  section("parallel + incremental engine, WP 5 rounds");
+  std::printf("%-22s %10s %10s %12s\n", "config", "outline(s)", "total(s)",
+              "code size");
+  struct Cfg {
+    const char *Name;
+    unsigned Threads;
+    bool Incremental;
+  };
+  const Cfg Cfgs[] = {
+      {"wp5_j1", 1, false},
+      {"wp5_jN", Threads, false},
+      {"wp5_jN_incremental", Threads, true},
+      {"wp5_j1_incremental", 1, true},
+  };
+  uint64_t RefSize = 0;
+  double RefOutline = 0;
+  bool SizesMatch = true;
+  for (const Cfg &C : Cfgs) {
+    Measurement M = runConfig(Profile, C.Name, /*WholeProgram=*/true,
+                              /*Rounds=*/5, C.Threads, C.Incremental);
+    std::printf("%-22s %10.3f %10.3f %12llu\n", C.Name, M.R.OutlineSeconds,
+                M.R.totalSeconds(),
+                static_cast<unsigned long long>(M.CodeSize));
+    if (RefSize == 0) {
+      RefSize = M.CodeSize;
+      RefOutline = M.R.OutlineSeconds;
+    } else if (M.CodeSize != RefSize) {
+      SizesMatch = false;
+    }
+    if (C.Threads == Threads && !C.Incremental && RefOutline > 0)
+      std::printf("  -> speedup vs wp5_j1: %.2fx at %u thread(s)\n",
+                  RefOutline / M.R.OutlineSeconds, Threads);
+    All.push_back(M);
+  }
+  std::printf("\n[determinism check: final code size %s across all engine "
+              "configurations]\n",
+              SizesMatch ? "IDENTICAL" : "MISMATCH (BUG)");
+
+  writeJson(JsonPath, Modules, Threads, All);
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return SizesMatch ? 0 : 1;
 }

@@ -31,6 +31,10 @@ namespace mco {
 /// registers.
 class Liveness {
 public:
+  /// Empty liveness; call recompute() before querying. Lets callers hold
+  /// pre-sized vectors of Liveness that parallel workers fill in place.
+  Liveness() = default;
+
   explicit Liveness(const MachineFunction &MF) { recompute(MF); }
 
   /// Recomputes everything; called once per outlining round (liveness must

@@ -60,11 +60,22 @@ public:
   }
 };
 
+/// Anything that can intern symbol names. Program is the canonical
+/// implementation; DeferredSymbolBatch lets concurrent per-module passes
+/// allocate names without touching the shared Program.
+class SymbolInterner {
+public:
+  virtual ~SymbolInterner() = default;
+
+  /// Interns \p Name, returning its stable symbol id.
+  virtual uint32_t internSymbol(const std::string &Name) = 0;
+};
+
 /// A whole program: a symbol pool shared by all modules, plus the modules.
 ///
 /// Symbol ids are stable for the lifetime of the Program, so the linker can
 /// merge modules without rewriting instruction operands.
-class Program {
+class Program : public SymbolInterner {
 public:
   std::vector<std::unique_ptr<Module>> Modules;
 
@@ -75,7 +86,7 @@ public:
   }
 
   /// Interns \p Name, returning its stable symbol id.
-  uint32_t internSymbol(const std::string &Name) {
+  uint32_t internSymbol(const std::string &Name) override {
     auto It = SymbolIds.find(Name);
     if (It != SymbolIds.end())
       return It->second;
@@ -131,6 +142,75 @@ public:
 private:
   std::vector<std::string> SymbolNames;
   std::unordered_map<std::string, uint32_t> SymbolIds;
+};
+
+/// Collects new symbol names on behalf of one module while other modules
+/// are processed concurrently. New names receive placeholder ids from a
+/// private high range; commit() interns them into the shared Program in
+/// allocation order — exactly the order a serial module-by-module run
+/// would have used, so the final id assignment is bit-identical — and
+/// rewrites the module's placeholder references to the real ids.
+///
+/// While batches are live the shared Program's symbol pool must not be
+/// mutated (lookupSymbol is the only access, and it is read-only).
+class DeferredSymbolBatch final : public SymbolInterner {
+public:
+  /// Placeholder ids start here; real symbol pools must stay below.
+  static constexpr uint32_t TempBase = 0x80000000u;
+  /// Maximum placeholder ids per batch.
+  static constexpr uint32_t TempRange = 0x100000u;
+
+  /// \p BatchIdx keeps concurrent batches' placeholder ranges disjoint.
+  DeferredSymbolBatch(const Program &Prog, uint32_t BatchIdx)
+      : Shared(Prog), Base(TempBase + BatchIdx * TempRange) {
+    assert(Prog.numSymbols() < TempBase && "symbol pool reached temp range");
+  }
+
+  uint32_t internSymbol(const std::string &Name) override {
+    uint32_t Existing = Shared.lookupSymbol(Name);
+    if (Existing != UINT32_MAX)
+      return Existing;
+    auto It = Ids.find(Name);
+    if (It != Ids.end())
+      return It->second;
+    assert(Names.size() < TempRange && "symbol batch overflow");
+    uint32_t Id = Base + static_cast<uint32_t>(Names.size());
+    Names.push_back(Name);
+    Ids.emplace(Name, Id);
+    return Id;
+  }
+
+  /// Interns the batched names into \p Dst and rewrites placeholder ids in
+  /// \p M (function names, symbol operands, global names). Call serially,
+  /// in the order the modules would have been processed serially.
+  void commit(Program &Dst, Module &M) const {
+    if (Names.empty())
+      return;
+    std::vector<uint32_t> Real(Names.size());
+    for (size_t I = 0; I < Names.size(); ++I)
+      Real[I] = Dst.internSymbol(Names[I]);
+    auto Remap = [&](uint32_t Sym) {
+      return Sym >= Base && Sym < Base + Names.size() ? Real[Sym - Base]
+                                                      : Sym;
+    };
+    for (MachineFunction &MF : M.Functions) {
+      MF.Name = Remap(MF.Name);
+      for (MachineBasicBlock &MBB : MF.Blocks)
+        for (MachineInstr &MI : MBB.Instrs)
+          for (unsigned I = 0; I < MI.numOperands(); ++I)
+            if (MI.operand(I).isSym())
+              MI.operand(I) =
+                  MachineOperand::sym(Remap(MI.operand(I).getSym()));
+    }
+    for (GlobalData &G : M.Globals)
+      G.Name = Remap(G.Name);
+  }
+
+private:
+  const Program &Shared;
+  uint32_t Base;
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, uint32_t> Ids;
 };
 
 } // namespace mco

@@ -39,37 +39,65 @@ OutliningLegality mco::classifyInstr(const MachineInstr &MI) {
   return OutliningLegality::Legal;
 }
 
-InstructionMapper::InstructionMapper(const Module &M) {
-  uint64_t Total = M.numInstrs();
-  UnsignedString.reserve(Total + Total / 8);
-  Locations.reserve(Total + Total / 8);
+void InstructionMapper::mapFunction(const Module &M, uint32_t F) {
+  FuncSegment &Seg = Segments[F];
+  Seg.Ids.clear();
+  Seg.Locs.clear();
+  const MachineFunction &MF = M.Functions[F];
+  Seg.Ids.reserve(MF.numInstrs() + MF.numBlocks());
+  Seg.Locs.reserve(MF.numInstrs() + MF.numBlocks());
 
-  for (uint32_t F = 0, FE = static_cast<uint32_t>(M.Functions.size()); F != FE;
-       ++F) {
-    const MachineFunction &MF = M.Functions[F];
-    for (uint32_t B = 0, BE = MF.numBlocks(); B != BE; ++B) {
-      const MachineBasicBlock &MBB = MF.Blocks[B];
-      for (uint32_t I = 0, IE = MBB.size(); I != IE; ++I) {
-        const MachineInstr &MI = MBB.Instrs[I];
-        Location Loc{F, B, I, /*IsLegal=*/false};
-        if (classifyInstr(MI) == OutliningLegality::Legal) {
-          Loc.IsLegal = true;
-          auto [It, Inserted] = LegalIds.try_emplace(InstrKey{MI}, NextLegalId);
-          if (Inserted)
-            ++NextLegalId;
-          UnsignedString.push_back(It->second);
-        } else {
-          assert(NextIllegalId > NextLegalId && "id spaces collided");
-          UnsignedString.push_back(NextIllegalId--);
-        }
-        Locations.push_back(Loc);
+  for (uint32_t B = 0, BE = MF.numBlocks(); B != BE; ++B) {
+    const MachineBasicBlock &MBB = MF.Blocks[B];
+    for (uint32_t I = 0, IE = MBB.size(); I != IE; ++I) {
+      const MachineInstr &MI = MBB.Instrs[I];
+      Location Loc{F, B, I, /*IsLegal=*/false};
+      if (classifyInstr(MI) == OutliningLegality::Legal) {
+        Loc.IsLegal = true;
+        auto [It, Inserted] = LegalIds.try_emplace(InstrKey{MI}, NextLegalId);
+        if (Inserted)
+          ++NextLegalId;
+        Seg.Ids.push_back(It->second);
+      } else {
+        assert(NextIllegalId > NextLegalId && "id spaces collided");
+        Seg.Ids.push_back(NextIllegalId--);
       }
-      // Unique terminator after every block: no candidate spans blocks, and
-      // the final element of the whole string is globally unique, which the
-      // suffix tree needs for complete occurrence reporting.
-      assert(NextIllegalId > NextLegalId && "id spaces collided");
-      UnsignedString.push_back(NextIllegalId--);
-      Locations.push_back(Location{F, B, 0, /*IsLegal=*/false});
+      Seg.Locs.push_back(Loc);
     }
+    // Unique terminator after every block: no candidate spans blocks, and
+    // the final element of the whole string is globally unique, which the
+    // suffix tree needs for complete occurrence reporting.
+    assert(NextIllegalId > NextLegalId && "id spaces collided");
+    Seg.Ids.push_back(NextIllegalId--);
+    Seg.Locs.push_back(Location{F, B, 0, /*IsLegal=*/false});
+  }
+}
+
+void InstructionMapper::update(const Module &M,
+                               const std::vector<bool> &Dirty) {
+  const uint32_t NumFuncs = static_cast<uint32_t>(M.Functions.size());
+  assert(Segments.size() <= NumFuncs &&
+         "functions are only ever appended, never removed");
+  Segments.resize(NumFuncs);
+
+  NumRemapped = 0;
+  for (uint32_t F = 0; F != NumFuncs; ++F) {
+    if (F < Dirty.size() && !Dirty[F])
+      continue;
+    mapFunction(M, F);
+    ++NumRemapped;
+  }
+
+  size_t Total = 0;
+  for (const FuncSegment &Seg : Segments)
+    Total += Seg.Ids.size();
+  UnsignedString.clear();
+  Locations.clear();
+  UnsignedString.reserve(Total);
+  Locations.reserve(Total);
+  for (const FuncSegment &Seg : Segments) {
+    UnsignedString.insert(UnsignedString.end(), Seg.Ids.begin(),
+                          Seg.Ids.end());
+    Locations.insert(Locations.end(), Seg.Locs.begin(), Seg.Locs.end());
   }
 }

@@ -41,6 +41,18 @@ enum class OutliningLegality : uint8_t {
 OutliningLegality classifyInstr(const MachineInstr &MI);
 
 /// The mapped view of a module.
+///
+/// Supports two usage styles:
+///  - one-shot: `InstructionMapper Mapper(M)` maps every function, with
+///    legal ids assigned in first-appearance order starting from zero;
+///  - incremental: default-construct once, then call `update(M, Dirty)`
+///    each round. Functions marked dirty (and any function beyond the
+///    dirty vector — i.e. newly appended ones) are remapped; untouched
+///    functions reuse their cached per-function segment. Ids are stable
+///    across updates: unchanged instructions keep their ids, so the
+///    equality structure of the concatenated string — the only thing the
+///    suffix tree and the plan selection observe — matches a fresh
+///    mapping exactly.
 class InstructionMapper {
 public:
   /// Where a string index came from.
@@ -53,8 +65,17 @@ public:
     bool IsLegal = false;
   };
 
+  /// Empty mapper for incremental use; call update().
+  InstructionMapper() = default;
+
   /// Builds the mapping for every function in \p M.
-  explicit InstructionMapper(const Module &M);
+  explicit InstructionMapper(const Module &M) { update(M, {}); }
+
+  /// Remaps every function F with Dirty[F] true, plus every function at
+  /// index >= Dirty.size() (an empty vector remaps everything), then
+  /// rebuilds the concatenated string. Segments of clean functions are
+  /// reused verbatim — this is the round-over-round mapping reuse.
+  void update(const Module &M, const std::vector<bool> &Dirty);
 
   /// The integer string fed to the suffix tree.
   const std::vector<unsigned> &string() const { return UnsignedString; }
@@ -65,7 +86,18 @@ public:
   /// \returns the number of distinct legal instruction ids.
   unsigned numLegalIds() const { return NextLegalId; }
 
+  /// \returns how many functions the last update() (re)mapped.
+  uint64_t functionsRemapped() const { return NumRemapped; }
+
 private:
+  /// One function's slice of the mapped string, cached across updates.
+  struct FuncSegment {
+    std::vector<unsigned> Ids;
+    std::vector<Location> Locs;
+  };
+
+  void mapFunction(const Module &M, uint32_t F);
+
   struct InstrKey {
     MachineInstr MI;
     bool operator==(const InstrKey &O) const { return MI == O.MI; }
@@ -78,9 +110,11 @@ private:
 
   std::vector<unsigned> UnsignedString;
   std::vector<Location> Locations;
+  std::vector<FuncSegment> Segments;
   std::unordered_map<InstrKey, unsigned, InstrKeyHash> LegalIds;
   unsigned NextLegalId = 0;
   unsigned NextIllegalId = 0xFFFFFFF0u;
+  uint64_t NumRemapped = 0;
 };
 
 } // namespace mco

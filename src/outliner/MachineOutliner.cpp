@@ -3,12 +3,31 @@
 // Part of the mco project (CGO 2021 code-size outlining reproduction).
 //
 //===----------------------------------------------------------------------===//
+//
+// Determinism contract for the parallel/incremental engine:
+//
+//  * The suffix tree's repeated-substring *set* depends only on the equality
+//    structure of the mapped string, never on the id values; ids only steer
+//    traversal (= enumeration) order.
+//  * The plan sort comparator is a strict total order on distinct plans
+//    (Benefit desc, Len desc, FirstStart asc — two distinct same-length
+//    patterns cannot share a first start index), so the committed plan order
+//    is unique regardless of enumeration order.
+//  * Parallel phases write results into index-owned slots of pre-sized
+//    vectors; stats are order-independent sums.
+//
+// Together these make the output bit-identical for any thread count and for
+// incremental mapping reuse (which preserves the equality structure but may
+// assign different id values than a fresh mapping).
+//
+//===----------------------------------------------------------------------===//
 
 #include "outliner/MachineOutliner.h"
 
 #include "outliner/InstructionMapper.h"
 #include "mir/Liveness.h"
 #include "support/SuffixTree.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -278,18 +297,130 @@ MachineFunction buildOutlinedFunction(const std::vector<MachineInstr> &Seq,
   return MF;
 }
 
+/// Outcome of examining one repeated substring. Built concurrently into
+/// index-owned slots; folded serially in enumeration order.
+struct PlanResult {
+  OutlinePlan Plan;
+  bool Valid = false;
+  uint64_t DroppedSP = 0;
+  uint64_t Unprofitable = 0;
+};
+
 } // namespace
 
-OutlineRoundStats mco::runOutlinerRound(Program &Prog, Module &M,
-                                        unsigned Round,
-                                        const OutlinerOptions &Opts) {
+struct OutlinerEngine::State {
+  SymbolInterner &Syms;
+  Module &M;
+  OutlinerOptions Opts;
+  /// Present only when Opts.Threads > 1.
+  std::unique_ptr<ThreadPool> Pool;
+
+  // Round-over-round state, reused when Opts.Incremental.
+  InstructionMapper Mapper;
+  std::vector<Liveness> LV;
+  /// Functions edited by the previous round (sized to the function count
+  /// *before* that round appended its new functions, so appended functions
+  /// are implicitly dirty by being out of range).
+  std::vector<bool> Dirty;
+  bool FirstRound = true;
+
+  State(SymbolInterner &Syms, Module &M, const OutlinerOptions &Opts)
+      : Syms(Syms), M(M), Opts(Opts) {
+    if (Opts.Threads > 1)
+      Pool = std::make_unique<ThreadPool>(Opts.Threads);
+  }
+
+  void forEach(size_t N, const std::function<void(size_t)> &Fn) {
+    if (Pool)
+      Pool->parallelFor(N, Fn);
+    else
+      for (size_t I = 0; I != N; ++I)
+        Fn(I);
+  }
+
+  void buildPlan(const RepeatedSubstring &RS, const SpSensitiveSet &Sensitive,
+                 PlanResult &Out);
+  OutlineRoundStats runRound(unsigned Round);
+};
+
+void OutlinerEngine::State::buildPlan(const RepeatedSubstring &RS,
+                                      const SpSensitiveSet &Sensitive,
+                                      PlanResult &Out) {
+  OutlinePlan &Plan = Out.Plan;
+  Plan.Len = RS.Length;
+
+  // Occurrences of one pattern must not overlap each other; keep a
+  // greedy left-to-right non-overlapping subset (indices are sorted).
+  unsigned PrevEnd = 0;
+  bool First = true;
+  for (unsigned Start : RS.StartIndices) {
+    if (!First && Start < PrevEnd)
+      continue;
+    const InstructionMapper::Location &Loc = Mapper.location(Start);
+    if (!Loc.IsLegal)
+      continue; // Defensive; repeated ids are always legal.
+    Candidate C;
+    C.StartIdx = Start;
+    C.Len = RS.Length;
+    C.Func = Loc.Func;
+    C.Block = Loc.Block;
+    C.InstrStart = Loc.Instr;
+    Plan.Cands.push_back(C);
+    PrevEnd = Start + RS.Length;
+    First = false;
+  }
+  if (Plan.Cands.size() < 2)
+    return;
+
+  // The sequence (identical for every occurrence).
+  const Candidate &C0 = Plan.Cands.front();
+  const auto &Instrs = M.Functions[C0.Func].Blocks[C0.Block].Instrs;
+  std::vector<MachineInstr> Seq(Instrs.begin() + C0.InstrStart,
+                                Instrs.begin() + C0.InstrStart + C0.Len);
+  Plan.Body = classifyPattern(Seq);
+
+  // Per-occurrence call variants; drop occurrences that can't be called.
+  std::vector<Candidate> Kept;
+  for (Candidate &C : Plan.Cands) {
+    if (classifyCandidate(C, Plan.Body, M.Functions[C.Func], LV[C.Func],
+                          Sensitive, Opts))
+      Kept.push_back(C);
+    else
+      ++Out.DroppedSP;
+  }
+  Plan.Cands = std::move(Kept);
+  if (Plan.Cands.size() < 2)
+    return;
+
+  Plan.FirstStart = Plan.Cands.front().StartIdx;
+  Plan.Benefit = computeBenefit(Plan);
+  if (Plan.Benefit < 1) {
+    ++Out.Unprofitable;
+    return;
+  }
+  Out.Valid = true;
+}
+
+OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
   OutlineRoundStats Stats;
   Stats.CodeSizeBefore = M.codeSize();
 
-  InstructionMapper Mapper(M);
+  // Map the module to an integer string. Non-incremental rounds start from
+  // a fresh mapper (ids in first-appearance order, like stock LLVM);
+  // incremental rounds reuse the previous round's segments for clean
+  // functions — the id *values* then differ from a fresh mapping, but the
+  // equality structure (all the algorithm observes) is identical.
+  const bool Reuse = Opts.Incremental && !FirstRound;
+  if (!Opts.Incremental)
+    Mapper = InstructionMapper();
+  Mapper.update(M, Reuse ? Dirty : std::vector<bool>{});
+  Stats.FunctionsRemapped = Mapper.functionsRemapped();
+
   const std::vector<unsigned> &Str = Mapper.string();
   if (Str.empty()) {
     Stats.CodeSizeAfter = Stats.CodeSizeBefore;
+    Dirty.assign(M.Functions.size(), false);
+    FirstRound = false;
     return Stats;
   }
 
@@ -298,10 +429,26 @@ OutlineRoundStats mco::runOutlinerRound(Program &Prog, Module &M,
   // candidate cannot be invalidated by rewriting another (rewrites only
   // insert LR *defs* at positions where the original sequence was already
   // LR-dead, plus scratch-register save/restores that define before use).
-  std::vector<Liveness> LV;
-  LV.reserve(M.Functions.size());
-  for (const MachineFunction &MF : M.Functions)
-    LV.emplace_back(MF);
+  //
+  // Liveness is purely intra-function, so incremental rounds recompute it
+  // only for functions the previous round edited or created.
+  std::vector<uint32_t> ToCompute;
+  const uint32_t NumFuncs = static_cast<uint32_t>(M.Functions.size());
+  if (Reuse) {
+    ToCompute.reserve(NumFuncs - LV.size() + 8);
+    for (uint32_t F = 0; F != NumFuncs; ++F)
+      if (F >= Dirty.size() || Dirty[F])
+        ToCompute.push_back(F);
+  } else {
+    ToCompute.resize(NumFuncs);
+    for (uint32_t F = 0; F != NumFuncs; ++F)
+      ToCompute[F] = F;
+  }
+  LV.resize(NumFuncs);
+  forEach(ToCompute.size(), [&](size_t I) {
+    LV[ToCompute[I]].recompute(M.Functions[ToCompute[I]]);
+  });
+  Stats.LivenessComputed = ToCompute.size();
 
   const SpSensitiveSet Sensitive = computeSpSensitive(M);
 
@@ -309,70 +456,30 @@ OutlineRoundStats mco::runOutlinerRound(Program &Prog, Module &M,
   std::vector<RepeatedSubstring> Repeats =
       Tree.repeatedSubstrings(Opts.MinLength);
 
-  // Build plans.
+  // Build plans, one repeated substring per index-owned slot. Everything
+  // the workers read (module, mapper, liveness, sensitivity) is immutable
+  // during the fan-out.
+  Stats.PatternsConsidered = Repeats.size();
+  std::vector<PlanResult> Results(Repeats.size());
+  forEach(Repeats.size(), [&](size_t RIdx) {
+    buildPlan(Repeats[RIdx], Sensitive, Results[RIdx]);
+  });
+
   std::vector<OutlinePlan> Plans;
-  Plans.reserve(Repeats.size());
-  for (const RepeatedSubstring &RS : Repeats) {
-    ++Stats.PatternsConsidered;
-    OutlinePlan Plan;
-    Plan.Len = RS.Length;
-
-    // Occurrences of one pattern must not overlap each other; keep a
-    // greedy left-to-right non-overlapping subset (indices are sorted).
-    unsigned PrevEnd = 0;
-    bool First = true;
-    for (unsigned Start : RS.StartIndices) {
-      if (!First && Start < PrevEnd)
-        continue;
-      const InstructionMapper::Location &Loc = Mapper.location(Start);
-      if (!Loc.IsLegal)
-        continue; // Defensive; repeated ids are always legal.
-      Candidate C;
-      C.StartIdx = Start;
-      C.Len = RS.Length;
-      C.Func = Loc.Func;
-      C.Block = Loc.Block;
-      C.InstrStart = Loc.Instr;
-      Plan.Cands.push_back(C);
-      PrevEnd = Start + RS.Length;
-      First = false;
-    }
-    if (Plan.Cands.size() < 2)
-      continue;
-
-    // The sequence (identical for every occurrence).
-    const Candidate &C0 = Plan.Cands.front();
-    const auto &Instrs = M.Functions[C0.Func].Blocks[C0.Block].Instrs;
-    std::vector<MachineInstr> Seq(Instrs.begin() + C0.InstrStart,
-                                  Instrs.begin() + C0.InstrStart + C0.Len);
-    Plan.Body = classifyPattern(Seq);
-
-    // Per-occurrence call variants; drop occurrences that can't be called.
-    std::vector<Candidate> Kept;
-    for (Candidate &C : Plan.Cands) {
-      if (classifyCandidate(C, Plan.Body, M.Functions[C.Func], LV[C.Func],
-                            Sensitive, Opts))
-        Kept.push_back(C);
-      else
-        ++Stats.CandidatesDroppedSP;
-    }
-    Plan.Cands = std::move(Kept);
-    if (Plan.Cands.size() < 2)
-      continue;
-
-    Plan.FirstStart = Plan.Cands.front().StartIdx;
-    Plan.Benefit = computeBenefit(Plan);
-    if (Plan.Benefit < 1) {
-      ++Stats.PatternsUnprofitable;
-      continue;
-    }
-    Plans.push_back(std::move(Plan));
+  Plans.reserve(Results.size());
+  for (PlanResult &R : Results) {
+    Stats.CandidatesDroppedSP += R.DroppedSP;
+    Stats.PatternsUnprofitable += R.Unprofitable;
+    if (R.Valid)
+      Plans.push_back(std::move(R.Plan));
   }
 
   // Greedy order: the most immediately profitable pattern first — exactly
   // the heuristic whose myopia motivates repeated outlining (Fig. 11).
+  // The comparator is a strict total order on distinct plans, so the
+  // sorted order does not depend on the enumeration order above.
   std::sort(Plans.begin(), Plans.end(),
-            [&Opts](const OutlinePlan &A, const OutlinePlan &B) {
+            [this](const OutlinePlan &A, const OutlinePlan &B) {
               if (Opts.SortByBenefit) {
                 if (A.Benefit != B.Benefit)
                   return A.Benefit > B.Benefit;
@@ -423,7 +530,7 @@ OutlineRoundStats mco::runOutlinerRound(Program &Prog, Module &M,
     const auto &Instrs = M.Functions[C0.Func].Blocks[C0.Block].Instrs;
     std::vector<MachineInstr> Seq(Instrs.begin() + C0.InstrStart,
                                   Instrs.begin() + C0.InstrStart + C0.Len);
-    uint32_t OutSym = Prog.internSymbol(
+    uint32_t OutSym = Syms.internSymbol(
         Opts.NamePrefix + "_" + std::to_string(Round) + "_" +
         std::to_string(NewFunctions.size()));
     NewFunctions.push_back(buildOutlinedFunction(Seq, Plan.Body, OutSym));
@@ -456,21 +563,54 @@ OutlineRoundStats mco::runOutlinerRound(Program &Prog, Module &M,
     }
   }
 
+  // Next round's invalidation set: functions edited this round. Sized
+  // before the append so the new outlined functions are out of range and
+  // therefore remapped/recomputed unconditionally.
+  Dirty.assign(M.Functions.size(), false);
+  uint32_t PrevFunc = UINT32_MAX;
+  for (const auto &[Key, BlockEdits] : Edits) {
+    (void)BlockEdits;
+    Dirty[Key.first] = true;
+    if (Key.first != PrevFunc) {
+      ++Stats.FunctionsEdited;
+      PrevFunc = Key.first;
+    }
+  }
+
   for (MachineFunction &MF : NewFunctions)
     M.Functions.push_back(std::move(MF));
 
+  FirstRound = false;
   Stats.CodeSizeAfter = M.codeSize();
   assert(Stats.CodeSizeAfter <= Stats.CodeSizeBefore &&
          "outlining must never grow the code");
   return Stats;
 }
 
-RepeatedOutlineStats mco::runRepeatedOutliner(Program &Prog, Module &M,
+OutlinerEngine::OutlinerEngine(SymbolInterner &Syms, Module &M,
+                               const OutlinerOptions &Opts)
+    : S(std::make_unique<State>(Syms, M, Opts)) {}
+
+OutlinerEngine::~OutlinerEngine() = default;
+
+OutlineRoundStats OutlinerEngine::runRound(unsigned Round) {
+  return S->runRound(Round);
+}
+
+OutlineRoundStats mco::runOutlinerRound(SymbolInterner &Syms, Module &M,
+                                        unsigned Round,
+                                        const OutlinerOptions &Opts) {
+  OutlinerEngine Engine(Syms, M, Opts);
+  return Engine.runRound(Round);
+}
+
+RepeatedOutlineStats mco::runRepeatedOutliner(SymbolInterner &Syms, Module &M,
                                               unsigned MaxRounds,
                                               const OutlinerOptions &Opts) {
   RepeatedOutlineStats All;
+  OutlinerEngine Engine(Syms, M, Opts);
   for (unsigned Round = 1; Round <= MaxRounds; ++Round) {
-    OutlineRoundStats RS = runOutlinerRound(Prog, M, Round, Opts);
+    OutlineRoundStats RS = Engine.runRound(Round);
     bool Done = RS.FunctionsCreated == 0;
     All.Rounds.push_back(RS);
     if (Done)

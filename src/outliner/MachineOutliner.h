@@ -20,6 +20,7 @@
 #include "mir/Program.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,17 @@ struct OutlinerOptions {
   /// with the module name so clones from different modules stay distinct
   /// symbols, as the system linker would keep them (paper Section V-A).
   std::string NamePrefix = "OUTLINED_FUNCTION";
+  /// Worker threads for the parallel phases (per-function liveness,
+  /// per-plan candidate classification). 1 = fully serial. Output is
+  /// bit-identical at any setting.
+  unsigned Threads = 1;
+  /// Reuse the previous round's instruction mapping and per-function
+  /// liveness for functions the round left untouched (only functions
+  /// edited in round N, plus the round's new outlined functions, are
+  /// recomputed in round N+1). Output is bit-identical either way; only
+  /// takes effect across rounds driven by one OutlinerEngine (which
+  /// runRepeatedOutliner and the build pipeline use).
+  bool Incremental = false;
 };
 
 /// Statistics for one outlining round (paper Table II rows), plus
@@ -67,15 +79,51 @@ struct OutlineRoundStats {
   /// instructions.
   uint64_t CandidatesDroppedOverlap = 0;
 
+  // Incremental-engine observability (not part of the determinism
+  // contract across Incremental settings; identical across thread counts).
+  /// Functions whose instruction mapping was (re)computed this round.
+  uint64_t FunctionsRemapped = 0;
+  /// Functions whose liveness was (re)computed this round.
+  uint64_t LivenessComputed = 0;
+  /// Distinct pre-existing functions that received edits this round (the
+  /// next round's incremental invalidation set, together with
+  /// FunctionsCreated).
+  uint64_t FunctionsEdited = 0;
+
   uint64_t bytesSaved() const { return CodeSizeBefore - CodeSizeAfter; }
+};
+
+/// Drives outlining rounds over one module. Holds the round-over-round
+/// state (instruction mapping, per-function liveness, the edited-function
+/// set) that Opts.Incremental reuses, plus the thread pool for the
+/// parallel phases. Rounds must be run in increasing order; the module
+/// must not be modified between rounds by anyone else.
+class OutlinerEngine {
+public:
+  OutlinerEngine(SymbolInterner &Syms, Module &M,
+                 const OutlinerOptions &Opts = {});
+  ~OutlinerEngine();
+
+  OutlinerEngine(const OutlinerEngine &) = delete;
+  OutlinerEngine &operator=(const OutlinerEngine &) = delete;
+
+  /// Runs one greedy outlining round. \p Round is used in outlined
+  /// function names for uniqueness.
+  OutlineRoundStats runRound(unsigned Round);
+
+private:
+  struct State;
+  std::unique_ptr<State> S;
 };
 
 /// Runs one greedy outlining round over \p M (all functions, cross-function
 /// within the module). New outlined functions are appended to \p M.
+/// One-shot convenience wrapper over OutlinerEngine (no cross-round reuse).
 ///
 /// \param Round used in outlined function names for uniqueness.
 /// \returns the round's statistics.
-OutlineRoundStats runOutlinerRound(Program &Prog, Module &M, unsigned Round,
+OutlineRoundStats runOutlinerRound(SymbolInterner &Syms, Module &M,
+                                   unsigned Round,
                                    const OutlinerOptions &Opts = {});
 
 /// Statistics for a full repeated-outlining run.
@@ -105,7 +153,7 @@ struct RepeatedOutlineStats {
 /// Runs up to \p MaxRounds rounds of outlining over \p M, stopping early
 /// when a round creates no functions. This is the paper's repeated machine
 /// outlining (`-outline-repeat-count`).
-RepeatedOutlineStats runRepeatedOutliner(Program &Prog, Module &M,
+RepeatedOutlineStats runRepeatedOutliner(SymbolInterner &Syms, Module &M,
                                          unsigned MaxRounds,
                                          const OutlinerOptions &Opts = {});
 

@@ -6,7 +6,11 @@
 
 #include "pipeline/BuildPipeline.h"
 
+#include "support/ThreadPool.h"
+
+#include <algorithm>
 #include <chrono>
+#include <memory>
 
 using namespace mco;
 
@@ -28,10 +32,13 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
     R.LinkIRSeconds = secondsSince(T0);
 
     T0 = Clock::now();
+    OutlinerOptions EOpts = Opts.Outliner;
+    if (Opts.Threads > 1)
+      EOpts.Threads = Opts.Threads;
+    OutlinerEngine Engine(Prog, Linked, EOpts);
     for (unsigned Round = 1; Round <= Opts.OutlineRounds; ++Round) {
       auto TR = Clock::now();
-      OutlineRoundStats RS =
-          runOutlinerRound(Prog, Linked, Round, Opts.Outliner);
+      OutlineRoundStats RS = Engine.runRound(Round);
       R.OutlineRoundSeconds.push_back(secondsSince(TR));
       R.OutlineStats.Rounds.push_back(RS);
       if (RS.FunctionsCreated == 0)
@@ -43,21 +50,69 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
     // identical OUTLINED_* bodies from different modules survive the link
     // as distinct local symbols.
     auto T0 = Clock::now();
-    for (auto &M : Prog.Modules) {
+    const size_t NumMods = Prog.Modules.size();
+    std::vector<RepeatedOutlineStats> ModStats(NumMods);
+
+    auto outlineModule = [&](size_t I, SymbolInterner &Syms,
+                             unsigned InnerThreads) {
       OutlinerOptions PerModule = Opts.Outliner;
-      PerModule.NamePrefix += "@" + M->Name;
-      RepeatedOutlineStats MS =
-          runRepeatedOutliner(Prog, *M, Opts.OutlineRounds, PerModule);
-      // Accumulate per-round stats across modules.
-      if (R.OutlineStats.Rounds.size() < MS.Rounds.size())
-        R.OutlineStats.Rounds.resize(MS.Rounds.size());
-      for (size_t I = 0; I < MS.Rounds.size(); ++I) {
-        OutlineRoundStats &Acc = R.OutlineStats.Rounds[I];
-        Acc.SequencesOutlined += MS.Rounds[I].SequencesOutlined;
-        Acc.FunctionsCreated += MS.Rounds[I].FunctionsCreated;
-        Acc.OutlinedFunctionBytes += MS.Rounds[I].OutlinedFunctionBytes;
-        Acc.CodeSizeBefore += MS.Rounds[I].CodeSizeBefore;
-        Acc.CodeSizeAfter += MS.Rounds[I].CodeSizeAfter;
+      PerModule.NamePrefix += "@" + Prog.Modules[I]->Name;
+      PerModule.Threads = InnerThreads;
+      ModStats[I] = runRepeatedOutliner(Syms, *Prog.Modules[I],
+                                        Opts.OutlineRounds, PerModule);
+    };
+
+    if (Opts.Threads > 1 && NumMods > 1) {
+      // Modules are independent except for symbol interning. Each worker
+      // collects new names in a DeferredSymbolBatch; committing the
+      // batches serially in module order reproduces the exact symbol ids
+      // a serial run would have assigned.
+      std::vector<std::unique_ptr<DeferredSymbolBatch>> Batches(NumMods);
+      for (size_t I = 0; I < NumMods; ++I)
+        Batches[I] = std::make_unique<DeferredSymbolBatch>(
+            Prog, static_cast<uint32_t>(I));
+      ThreadPool Pool(Opts.Threads);
+      Pool.parallelFor(NumMods, [&](size_t I) {
+        outlineModule(I, *Batches[I], /*InnerThreads=*/1);
+      });
+      for (size_t I = 0; I < NumMods; ++I)
+        Batches[I]->commit(Prog, *Prog.Modules[I]);
+    } else {
+      for (size_t I = 0; I < NumMods; ++I)
+        outlineModule(I, Prog, Opts.Outliner.Threads);
+    }
+
+    // Accumulate per-round stats across modules into a program-level
+    // trajectory. Modules converge at different rounds; for rounds past a
+    // module's last, carry its final size forward so CodeSizeBefore/After
+    // of every round describe the whole program, not just the modules
+    // still active.
+    size_t MaxRounds = 0;
+    for (const RepeatedOutlineStats &MS : ModStats)
+      MaxRounds = std::max(MaxRounds, MS.Rounds.size());
+    R.OutlineStats.Rounds.resize(MaxRounds);
+    for (const RepeatedOutlineStats &MS : ModStats) {
+      for (size_t J = 0; J < MaxRounds; ++J) {
+        OutlineRoundStats &Acc = R.OutlineStats.Rounds[J];
+        if (J < MS.Rounds.size()) {
+          const OutlineRoundStats &RS = MS.Rounds[J];
+          Acc.SequencesOutlined += RS.SequencesOutlined;
+          Acc.FunctionsCreated += RS.FunctionsCreated;
+          Acc.OutlinedFunctionBytes += RS.OutlinedFunctionBytes;
+          Acc.CodeSizeBefore += RS.CodeSizeBefore;
+          Acc.CodeSizeAfter += RS.CodeSizeAfter;
+          Acc.PatternsConsidered += RS.PatternsConsidered;
+          Acc.PatternsUnprofitable += RS.PatternsUnprofitable;
+          Acc.CandidatesDroppedSP += RS.CandidatesDroppedSP;
+          Acc.CandidatesDroppedOverlap += RS.CandidatesDroppedOverlap;
+          Acc.FunctionsRemapped += RS.FunctionsRemapped;
+          Acc.LivenessComputed += RS.LivenessComputed;
+          Acc.FunctionsEdited += RS.FunctionsEdited;
+        } else if (!MS.Rounds.empty()) {
+          uint64_t Final = MS.Rounds.back().CodeSizeAfter;
+          Acc.CodeSizeBefore += Final;
+          Acc.CodeSizeAfter += Final;
+        }
       }
     }
     R.OutlineSeconds = secondsSince(T0);

@@ -40,6 +40,10 @@ struct PipelineOptions {
   DataLayoutMode DataLayout = DataLayoutMode::PreserveModuleOrder;
   /// Outliner knobs (greedy order, discovery mode, RegSave, ...).
   OutlinerOptions Outliner;
+  /// Worker threads. Whole-program builds parallelize inside the outliner
+  /// (liveness, candidate classification); per-module builds outline whole
+  /// modules concurrently. Output is bit-identical at any setting.
+  unsigned Threads = 1;
 };
 
 /// Result of a build: sizes, outlining statistics, and phase timings.

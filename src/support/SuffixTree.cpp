@@ -27,9 +27,12 @@ SuffixTree::SuffixTree(const std::vector<unsigned> &Str,
   }
 
   // Freeze the leaves: every leaf edge runs to the end of the string.
-  for (Node &N : Nodes)
-    if (N.IsLeaf)
-      N.EndIdx = static_cast<unsigned>(Str.size()) - 1;
+  // (An empty string builds a root-only tree; Str.size() - 1 would
+  // wrap to EmptyIdx, so skip the fix-up entirely.)
+  if (!Str.empty())
+    for (Node &N : Nodes)
+      if (N.IsLeaf)
+        N.EndIdx = static_cast<unsigned>(Str.size()) - 1;
 
   setSuffixIndicesAndLeafRanges();
 }
@@ -144,7 +147,8 @@ unsigned SuffixTree::extend(unsigned EndIdx, unsigned SuffixesToAdd) {
 
 void SuffixTree::setSuffixIndicesAndLeafRanges() {
   // Iterative DFS in sorted-edge order so all downstream consumers observe
-  // a deterministic traversal (unordered_map iteration order is not).
+  // a deterministic traversal (Children is ordered, so pushing edges in
+  // descending key order pops them ascending).
   struct Frame {
     unsigned NodeIdx;
     unsigned ParentConcatLen;
@@ -169,14 +173,10 @@ void SuffixTree::setSuffixIndicesAndLeafRanges() {
         continue;
       }
       // Push children in reverse-sorted order so they pop sorted.
-      std::vector<unsigned> Keys;
-      Keys.reserve(N.Children.size());
-      for (const auto &KV : N.Children)
-        Keys.push_back(KV.first);
-      std::sort(Keys.begin(), Keys.end(), std::greater<unsigned>());
       unsigned MyConcat = N.ConcatLen;
-      for (unsigned K : Keys)
-        Stack.push_back({N.Children.at(K), MyConcat, false});
+      for (auto It = N.Children.rbegin(), E = N.Children.rend(); It != E;
+           ++It)
+        Stack.push_back({It->second, MyConcat, false});
       continue;
     }
     // Post-order exit for an internal node.
@@ -201,14 +201,10 @@ SuffixTree::repeatedSubstrings(unsigned MinLength, unsigned MinOccurrences,
     if (N.IsLeaf)
       continue;
 
-    // Visit children in sorted order for determinism.
-    std::vector<unsigned> Keys;
-    Keys.reserve(N.Children.size());
+    // Visit children in sorted order for determinism (Children is an
+    // ordered map, so in-order iteration is already sorted by key).
     for (const auto &KV : N.Children)
-      Keys.push_back(KV.first);
-    std::sort(Keys.begin(), Keys.end());
-    for (unsigned K : Keys)
-      Stack.push_back(N.Children.at(K));
+      Stack.push_back(KV.second);
 
     if (N.isRoot() || N.ConcatLen < MinLength)
       continue;
@@ -219,8 +215,8 @@ SuffixTree::repeatedSubstrings(unsigned MinLength, unsigned MinOccurrences,
       for (unsigned L = N.LeftLeaf; L != N.RightLeaf; ++L)
         RS.StartIndices.push_back(Nodes[LeafOrder[L]].SuffixIdx);
     } else {
-      for (unsigned K : Keys) {
-        const Node &Child = Nodes[N.Children.at(K)];
+      for (const auto &KV : N.Children) {
+        const Node &Child = Nodes[KV.second];
         if (Child.IsLeaf)
           RS.StartIndices.push_back(Child.SuffixIdx);
       }

@@ -26,7 +26,7 @@
 
 #include <cstddef>
 #include <deque>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 namespace mco {
@@ -77,8 +77,10 @@ public:
 
 private:
   struct Node {
-    /// Outgoing edges, keyed by the first element of the edge label.
-    std::unordered_map<unsigned, unsigned> Children;
+    /// Outgoing edges, keyed by the first element of the edge label. An
+    /// ordered map so every traversal is deterministic by construction —
+    /// no per-node key collection and sort at query time.
+    std::map<unsigned, unsigned> Children;
     /// First index of the edge label into Str; EmptyIdx for the root.
     unsigned StartIdx = EmptyIdx;
     /// Last index (inclusive) of the edge label. For leaves this is fixed

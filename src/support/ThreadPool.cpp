@@ -1,0 +1,123 @@
+//===- support/ThreadPool.cpp - Deterministic bulk-parallel helper --------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace mco;
+
+unsigned ThreadPool::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  unsigned Lanes = Threads == 0 ? 1 : Threads;
+  Workers.reserve(Lanes - 1);
+  for (unsigned I = 1; I < Lanes; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(Mtx);
+    Stopping = true;
+  }
+  JobCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::runChunks(const std::function<void(size_t)> &Fn, size_t N) {
+  for (;;) {
+    size_t I = NextIdx.fetch_add(1, std::memory_order_relaxed);
+    if (I >= N)
+      return;
+    try {
+      Fn(I);
+    } catch (...) {
+      std::lock_guard<std::mutex> L(ErrMtx);
+      if (!FirstError)
+        FirstError = std::current_exception();
+    }
+    if (Pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last index done; wake the caller (lock so the wakeup can't race
+      // past the caller's predicate check).
+      std::lock_guard<std::mutex> L(Mtx);
+      DoneCV.notify_all();
+    }
+  }
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    const std::function<void(size_t)> *Fn = nullptr;
+    size_t N = 0;
+    {
+      std::unique_lock<std::mutex> L(Mtx);
+      // JobOpen gates late wakeups: once the caller has observed
+      // completion and returned, its job (and the function object it
+      // points to) must not be joined anymore.
+      JobCV.wait(L, [&] {
+        return Stopping || (JobOpen && Generation != SeenGeneration);
+      });
+      if (Stopping)
+        return;
+      SeenGeneration = Generation;
+      Fn = JobFn;
+      N = JobN;
+      ++ActiveWorkers;
+    }
+    runChunks(*Fn, N);
+    {
+      std::lock_guard<std::mutex> L(Mtx);
+      --ActiveWorkers;
+    }
+    DoneCV.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (Workers.empty() || N == 1) {
+    // Inline path: exceptions propagate directly.
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> L(Mtx);
+    JobFn = &Fn;
+    JobN = N;
+    NextIdx.store(0, std::memory_order_relaxed);
+    Pending.store(N, std::memory_order_relaxed);
+    ++Generation;
+    JobOpen = true;
+  }
+  JobCV.notify_all();
+  runChunks(Fn, N);
+  {
+    // Wait for all indices to complete AND all joined workers to leave,
+    // then close the job so late wakeups can't touch a stale Fn before
+    // the next parallelFor republishes.
+    std::unique_lock<std::mutex> L(Mtx);
+    DoneCV.wait(L, [&] {
+      return Pending.load(std::memory_order_acquire) == 0 &&
+             ActiveWorkers == 0;
+    });
+    JobOpen = false;
+  }
+  std::exception_ptr E;
+  {
+    std::lock_guard<std::mutex> L(ErrMtx);
+    E = FirstError;
+    FirstError = nullptr;
+  }
+  if (E)
+    std::rethrow_exception(E);
+}

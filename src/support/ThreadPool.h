@@ -1,0 +1,92 @@
+//===- support/ThreadPool.h - Deterministic bulk-parallel helper -*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size thread pool running index-based bulk jobs. This is the
+/// parallel engine behind the outliner's per-function liveness and
+/// per-plan candidate classification, the per-module pipeline fan-out, and
+/// corpus synthesis.
+///
+/// Determinism contract: parallelFor(N, Fn) invokes Fn(I) exactly once for
+/// every I in [0, N). Which lane runs which index is unspecified, so Fn
+/// must only write state owned by index I (e.g. slot I of a pre-sized
+/// vector). Under that rule the observable result is identical to the
+/// serial loop `for (I = 0; I < N; ++I) Fn(I);` at any thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SUPPORT_THREADPOOL_H
+#define MCO_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mco {
+
+class ThreadPool {
+public:
+  /// Creates a pool with max(1, Threads) lanes. The calling thread is one
+  /// lane; Threads <= 1 spawns no workers and every job runs inline.
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of lanes, counting the calling thread.
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size()) + 1;
+  }
+
+  /// Runs Fn(I) for every I in [0, N) across the pool's lanes and blocks
+  /// until all invocations finish. Rethrows the first exception thrown by
+  /// any invocation (remaining indices still run). Not reentrant: must not
+  /// be called from inside a job running on the same pool.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+  /// The machine's hardware concurrency (>= 1).
+  static unsigned hardwareThreads();
+
+private:
+  void workerLoop();
+  void runChunks(const std::function<void(size_t)> &Fn, size_t N);
+
+  std::vector<std::thread> Workers;
+  std::mutex Mtx;
+  std::condition_variable JobCV;  ///< Workers wait here for a new job.
+  std::condition_variable DoneCV; ///< The caller waits here for completion.
+  // Current job; published under Mtx, read by workers under Mtx.
+  const std::function<void(size_t)> *JobFn = nullptr;
+  size_t JobN = 0;
+  uint64_t Generation = 0;
+  unsigned ActiveWorkers = 0; ///< Workers currently inside runChunks.
+  bool JobOpen = false; ///< True while the published job may be joined.
+  bool Stopping = false;
+  std::atomic<size_t> NextIdx{0};
+  std::atomic<size_t> Pending{0};
+  std::mutex ErrMtx;
+  std::exception_ptr FirstError;
+};
+
+/// Maps [0, N) through \p Make into an index-ordered vector in parallel.
+/// Make(I) must be independent of every other index.
+template <typename T, typename MakeFn>
+std::vector<T> parallelMap(ThreadPool &Pool, size_t N, MakeFn Make) {
+  std::vector<T> Out(N);
+  Pool.parallelFor(N, [&](size_t I) { Out[I] = Make(I); });
+  return Out;
+}
+
+} // namespace mco
+
+#endif // MCO_SUPPORT_THREADPOOL_H

@@ -7,6 +7,7 @@
 #include "synth/CorpusSynthesizer.h"
 
 #include "mir/MIRBuilder.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 
@@ -581,12 +582,45 @@ void CorpusSynthesizer::emitSpanDrivers(Program &Prog,
   }
 }
 
+void CorpusSynthesizer::adoptModule(Program &Dst, Program &Src) {
+  assert(Src.Modules.size() == 1 && "worker programs hold one module");
+  const uint32_t NumSyms = Src.numSymbols();
+  std::vector<uint32_t> Real(NumSyms);
+  for (uint32_t L = 0; L < NumSyms; ++L)
+    Real[L] = Dst.internSymbol(Src.symbolName(L));
+
+  std::unique_ptr<Module> M = std::move(Src.Modules.front());
+  for (MachineFunction &MF : M->Functions) {
+    MF.Name = Real[MF.Name];
+    for (MachineBasicBlock &MBB : MF.Blocks)
+      for (MachineInstr &MI : MBB.Instrs)
+        for (unsigned I = 0; I < MI.numOperands(); ++I)
+          if (MI.operand(I).isSym())
+            MI.operand(I) =
+                MachineOperand::sym(Real[MI.operand(I).getSym()]);
+  }
+  for (GlobalData &G : M->Globals)
+    G.Name = Real[G.Name];
+  Dst.Modules.push_back(std::move(M));
+}
+
 std::unique_ptr<Program>
 CorpusSynthesizer::generate(unsigned NumModules) const {
   auto Prog = std::make_unique<Program>();
   emitSharedModule(*Prog);
-  for (unsigned I = 0; I < NumModules; ++I)
-    emitFeatureModule(*Prog, I);
+  if (Threads > 1 && NumModules > 1) {
+    std::vector<std::unique_ptr<Program>> Locals(NumModules);
+    ThreadPool Pool(Threads);
+    Pool.parallelFor(NumModules, [&](size_t I) {
+      Locals[I] = std::make_unique<Program>();
+      emitFeatureModule(*Locals[I], static_cast<unsigned>(I));
+    });
+    for (unsigned I = 0; I < NumModules; ++I)
+      adoptModule(*Prog, *Locals[I]);
+  } else {
+    for (unsigned I = 0; I < NumModules; ++I)
+      emitFeatureModule(*Prog, I);
+  }
   emitSpanDrivers(*Prog, NumModules);
   return Prog;
 }

@@ -36,6 +36,15 @@ class CorpusSynthesizer {
 public:
   explicit CorpusSynthesizer(const AppProfile &Profile) : P(Profile) {}
 
+  /// Generates feature modules on \p N threads. Module k is a pure
+  /// function of (profile, k): workers emit into private Programs that a
+  /// serial merge re-interns in module order, so the result — including
+  /// every symbol id — is bit-identical to a single-threaded run.
+  CorpusSynthesizer &withThreads(unsigned N) {
+    Threads = N;
+    return *this;
+  }
+
   /// Generates the shared-library module plus \p NumModules feature
   /// modules (defaults to the profile's module count) and the span driver
   /// functions, into a fresh Program.
@@ -54,7 +63,13 @@ private:
   void emitFeatureModule(Program &Prog, unsigned Index) const;
   void emitSpanDrivers(Program &Prog, unsigned NumModules) const;
 
+  /// Moves \p Src's single module into \p Dst, re-interning every symbol
+  /// in \p Src's first-use order (which matches the order a serial
+  /// emission into \p Dst would have used).
+  static void adoptModule(Program &Dst, Program &Src);
+
   const AppProfile &P;
+  unsigned Threads = 1;
 };
 
 } // namespace mco

@@ -1,0 +1,179 @@
+//===- tests/ParallelDeterminismTest.cpp - Engine bit-identity ------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The parallel/incremental engine's hard requirement: every configuration
+/// (any thread count, incremental on or off) must produce *bit-identical*
+/// output — same outlined function names, same order in M.Functions, same
+/// stats, and even the same symbol id values (the Interleaved data layout
+/// hashes ids, so name-level equality alone is not enough).
+///
+//===----------------------------------------------------------------------===//
+
+#include "mir/MIRPrinter.h"
+#include "pipeline/BuildPipeline.h"
+#include "synth/CorpusSynthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+using namespace mco;
+
+namespace {
+
+/// Full textual state of a program: every module's listing plus the symbol
+/// table in id order (pins the id *values*, not just the names).
+std::string snapshot(const Program &Prog) {
+  std::string S;
+  for (const auto &M : Prog.Modules)
+    S += printModule(*M, Prog);
+  S += "--- symbols ---\n";
+  for (uint32_t I = 0; I < Prog.numSymbols(); ++I)
+    S += std::to_string(I) + " " + Prog.symbolName(I) + "\n";
+  return S;
+}
+
+AppProfile testProfile() {
+  AppProfile P = AppProfile::uberRider();
+  P.NumModules = 12;
+  return P;
+}
+
+struct BuildOutput {
+  std::string Snapshot;
+  RepeatedOutlineStats Stats;
+  uint64_t CodeSize = 0;
+};
+
+BuildOutput runBuild(bool WholeProgram, unsigned Threads, bool Incremental) {
+  auto Prog = CorpusSynthesizer(testProfile()).withThreads(Threads).generate();
+  PipelineOptions Opts;
+  Opts.WholeProgram = WholeProgram;
+  Opts.OutlineRounds = 5;
+  Opts.Threads = Threads;
+  Opts.Outliner.Incremental = Incremental;
+  BuildResult R = buildProgram(*Prog, Opts);
+  return {snapshot(*Prog), R.OutlineStats, R.CodeSize};
+}
+
+/// Compares every round stat. The recompute counters (FunctionsRemapped,
+/// LivenessComputed) are only comparable when both runs used the same
+/// Incremental setting.
+void expectStatsEqual(const RepeatedOutlineStats &A,
+                      const RepeatedOutlineStats &B,
+                      bool CompareRecomputeCounters) {
+  ASSERT_EQ(A.Rounds.size(), B.Rounds.size());
+  for (size_t I = 0; I < A.Rounds.size(); ++I) {
+    SCOPED_TRACE("round " + std::to_string(I + 1));
+    const OutlineRoundStats &X = A.Rounds[I];
+    const OutlineRoundStats &Y = B.Rounds[I];
+    EXPECT_EQ(X.SequencesOutlined, Y.SequencesOutlined);
+    EXPECT_EQ(X.FunctionsCreated, Y.FunctionsCreated);
+    EXPECT_EQ(X.OutlinedFunctionBytes, Y.OutlinedFunctionBytes);
+    EXPECT_EQ(X.CodeSizeBefore, Y.CodeSizeBefore);
+    EXPECT_EQ(X.CodeSizeAfter, Y.CodeSizeAfter);
+    EXPECT_EQ(X.PatternsConsidered, Y.PatternsConsidered);
+    EXPECT_EQ(X.PatternsUnprofitable, Y.PatternsUnprofitable);
+    EXPECT_EQ(X.CandidatesDroppedSP, Y.CandidatesDroppedSP);
+    EXPECT_EQ(X.CandidatesDroppedOverlap, Y.CandidatesDroppedOverlap);
+    EXPECT_EQ(X.FunctionsEdited, Y.FunctionsEdited);
+    if (CompareRecomputeCounters) {
+      EXPECT_EQ(X.FunctionsRemapped, Y.FunctionsRemapped);
+      EXPECT_EQ(X.LivenessComputed, Y.LivenessComputed);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, SynthesizerOutputIdenticalAcrossThreads) {
+  auto P1 = CorpusSynthesizer(testProfile()).withThreads(1).generate();
+  auto P8 = CorpusSynthesizer(testProfile()).withThreads(8).generate();
+  EXPECT_EQ(snapshot(*P1), snapshot(*P8));
+}
+
+TEST(ParallelDeterminismTest, WholeProgramIdenticalAcrossThreads) {
+  BuildOutput J1 = runBuild(/*WholeProgram=*/true, 1, false);
+  BuildOutput J8 = runBuild(/*WholeProgram=*/true, 8, false);
+  EXPECT_EQ(J1.CodeSize, J8.CodeSize);
+  EXPECT_EQ(J1.Snapshot, J8.Snapshot);
+  expectStatsEqual(J1.Stats, J8.Stats, /*CompareRecomputeCounters=*/true);
+}
+
+TEST(ParallelDeterminismTest, PerModuleIdenticalAcrossThreads) {
+  BuildOutput J1 = runBuild(/*WholeProgram=*/false, 1, false);
+  BuildOutput J8 = runBuild(/*WholeProgram=*/false, 8, false);
+  EXPECT_EQ(J1.CodeSize, J8.CodeSize);
+  EXPECT_EQ(J1.Snapshot, J8.Snapshot);
+  expectStatsEqual(J1.Stats, J8.Stats, /*CompareRecomputeCounters=*/true);
+}
+
+TEST(ParallelDeterminismTest, IncrementalIdenticalToFromScratch) {
+  BuildOutput Fresh = runBuild(/*WholeProgram=*/true, 1, false);
+  BuildOutput Inc = runBuild(/*WholeProgram=*/true, 1, true);
+  EXPECT_EQ(Fresh.CodeSize, Inc.CodeSize);
+  EXPECT_EQ(Fresh.Snapshot, Inc.Snapshot);
+  expectStatsEqual(Fresh.Stats, Inc.Stats,
+                   /*CompareRecomputeCounters=*/false);
+}
+
+TEST(ParallelDeterminismTest, ThreadsAndIncrementalCombined) {
+  BuildOutput Base = runBuild(/*WholeProgram=*/true, 1, false);
+  BuildOutput Both = runBuild(/*WholeProgram=*/true, 8, true);
+  EXPECT_EQ(Base.CodeSize, Both.CodeSize);
+  EXPECT_EQ(Base.Snapshot, Both.Snapshot);
+  expectStatsEqual(Base.Stats, Both.Stats,
+                   /*CompareRecomputeCounters=*/false);
+}
+
+TEST(ParallelDeterminismTest, IncrementalRecomputesOnlyInvalidatedState) {
+  BuildOutput Inc = runBuild(/*WholeProgram=*/true, 1, true);
+  const std::vector<OutlineRoundStats> &R = Inc.Stats.Rounds;
+  ASSERT_GE(R.size(), 2u);
+  // Round 1 starts cold: everything is mapped and analyzed.
+  EXPECT_EQ(R[0].FunctionsRemapped, R[0].LivenessComputed);
+  EXPECT_GT(R[0].FunctionsRemapped, 0u);
+  // From round 2 on, exactly the functions the previous round edited plus
+  // the functions it created are recomputed — nothing else. A from-scratch
+  // round I would recompute every function alive (the initial count plus
+  // everything created so far); incremental must never exceed that, and
+  // must beat it overall (round 2 can tie if round 1 edited everything,
+  // but converging rounds edit ever fewer functions).
+  uint64_t Alive = R[0].FunctionsRemapped;
+  uint64_t IncTotal = R[0].FunctionsRemapped;
+  uint64_t FreshTotal = R[0].FunctionsRemapped;
+  for (size_t I = 1; I < R.size(); ++I) {
+    SCOPED_TRACE("round " + std::to_string(I + 1));
+    uint64_t Invalidated = R[I - 1].FunctionsEdited + R[I - 1].FunctionsCreated;
+    EXPECT_EQ(R[I].FunctionsRemapped, Invalidated);
+    EXPECT_EQ(R[I].LivenessComputed, Invalidated);
+    Alive += R[I - 1].FunctionsCreated;
+    EXPECT_LE(R[I].FunctionsRemapped, Alive);
+    IncTotal += R[I].FunctionsRemapped;
+    FreshTotal += Alive;
+  }
+  EXPECT_LT(IncTotal, FreshTotal);
+}
+
+TEST(ParallelDeterminismTest, NonIncrementalRecomputesEverything) {
+  BuildOutput Fresh = runBuild(/*WholeProgram=*/true, 1, false);
+  const std::vector<OutlineRoundStats> &R = Fresh.Stats.Rounds;
+  ASSERT_GE(R.size(), 2u);
+  uint64_t PrevCreated = 0;
+  uint64_t Total = 0;
+  for (size_t I = 0; I < R.size(); ++I) {
+    SCOPED_TRACE("round " + std::to_string(I + 1));
+    if (I == 0)
+      Total = R[0].FunctionsRemapped;
+    else
+      Total += PrevCreated;
+    EXPECT_EQ(R[I].FunctionsRemapped, Total);
+    EXPECT_EQ(R[I].LivenessComputed, Total);
+    PrevCreated = R[I].FunctionsCreated;
+  }
+}
+
+} // namespace

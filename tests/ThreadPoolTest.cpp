@@ -1,0 +1,94 @@
+//===- tests/ThreadPoolTest.cpp - ThreadPool unit tests -------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+using namespace mco;
+
+namespace {
+
+TEST(ThreadPoolTest, ZeroTasksIsANoop) {
+  ThreadPool Pool(4);
+  bool Ran = false;
+  Pool.parallelFor(0, [&](size_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.numThreads(), 1u);
+  std::vector<int> Hits(100, 0);
+  Pool.parallelFor(Hits.size(), [&](size_t I) { ++Hits[I]; });
+  for (int H : Hits)
+    EXPECT_EQ(H, 1);
+}
+
+TEST(ThreadPoolTest, MoreTasksThanThreadsEachIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  constexpr size_t N = 10000;
+  std::vector<std::atomic<unsigned>> Hits(N);
+  Pool.parallelFor(N, [&](size_t I) {
+    Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1u) << "index " << I;
+}
+
+TEST(ThreadPoolTest, IndexOwnedWritesMatchSerialResult) {
+  ThreadPool Pool(8);
+  constexpr size_t N = 5000;
+  std::vector<uint64_t> Out(N);
+  Pool.parallelFor(N, [&](size_t I) { Out[I] = I * I + 1; });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Out[I], I * I + 1);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelFor(100,
+                                [&](size_t I) {
+                                  if (I == 37)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool must survive a failed job and run the next one cleanly.
+  std::atomic<size_t> Count{0};
+  Pool.parallelFor(64, [&](size_t) { Count.fetch_add(1); });
+  EXPECT_EQ(Count.load(), 64u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool Pool(4);
+  for (unsigned Job = 0; Job < 50; ++Job) {
+    std::atomic<uint64_t> Sum{0};
+    Pool.parallelFor(Job + 1, [&](size_t I) {
+      Sum.fetch_add(I + 1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(Sum.load(), uint64_t(Job + 1) * (Job + 2) / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesIndexOrder) {
+  ThreadPool Pool(4);
+  std::vector<int> Out =
+      parallelMap<int>(Pool, 1000, [](size_t I) { return int(I) * 3; });
+  ASSERT_EQ(Out.size(), 1000u);
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I], int(I) * 3);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+} // namespace

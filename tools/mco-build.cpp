@@ -12,6 +12,7 @@
 ///
 ///   mco-build [--profile rider|driver|eats|clang|kernel]
 ///             [--modules N] [--rounds N] [--per-module]
+///             [-j N | --threads N] [--incremental]
 ///             [--interleave-data] [--normalize-commutative]
 ///             [--hot-layout] [--print-patterns N] [--dump FILE]
 ///
@@ -39,9 +40,13 @@ void usage() {
       stderr,
       "usage: mco-build [--profile rider|driver|eats|clang|kernel]\n"
       "                 [--modules N] [--rounds N] [--per-module]\n"
+      "                 [-j N | --threads N] [--incremental]\n"
       "                 [--interleave-data] [--normalize-commutative]\n"
       "                 [--hot-layout] [--print-patterns N] "
-      "[--dump FILE]\n");
+      "[--dump FILE]\n"
+      "  -j N           worker threads for synthesis and outlining\n"
+      "                 (output is bit-identical at any N)\n"
+      "  --incremental  reuse mapping/liveness across outlining rounds\n");
 }
 
 } // namespace
@@ -87,6 +92,12 @@ int main(int argc, char **argv) {
       Opts.OutlineRounds = static_cast<unsigned>(std::atoi(Next()));
     } else if (A == "--per-module") {
       Opts.WholeProgram = false;
+    } else if (A == "-j" || A == "--threads") {
+      Opts.Threads = static_cast<unsigned>(std::atoi(Next()));
+      if (Opts.Threads == 0)
+        Opts.Threads = 1;
+    } else if (A == "--incremental") {
+      Opts.Outliner.Incremental = true;
     } else if (A == "--interleave-data") {
       Opts.DataLayout = DataLayoutMode::Interleaved;
     } else if (A == "--normalize-commutative") {
@@ -105,12 +116,15 @@ int main(int argc, char **argv) {
   if (ModulesOverride > 0)
     Profile.NumModules = static_cast<unsigned>(ModulesOverride);
 
-  std::printf("profile %s, %u modules, %s pipeline, %u round(s)\n",
+  std::printf("profile %s, %u modules, %s pipeline, %u round(s), "
+              "%u thread(s)%s\n",
               Profile.Name.c_str(), Profile.NumModules,
               Opts.WholeProgram ? "whole-program" : "per-module",
-              Opts.OutlineRounds);
+              Opts.OutlineRounds, Opts.Threads,
+              Opts.Outliner.Incremental ? ", incremental" : "");
 
-  auto Prog = CorpusSynthesizer(Profile).generate();
+  auto Prog =
+      CorpusSynthesizer(Profile).withThreads(Opts.Threads).generate();
   uint64_t SizeBefore = Prog->codeSize();
 
   if (Normalize) {

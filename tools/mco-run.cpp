@@ -9,6 +9,7 @@
 /// function under the performance model.
 ///
 ///   mco-run FILE --entry NAME [--args a,b,...] [--rounds N]
+///           [-j N | --threads N] [--incremental]
 ///           [--icache-kb N] [--verify]
 ///
 //===----------------------------------------------------------------------===//
@@ -33,13 +34,16 @@ int main(int argc, char **argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: mco-run FILE --entry NAME [--args a,b,...] "
-                 "[--rounds N] [--icache-kb N] [--verify]\n");
+                 "[--rounds N] [-j N | --threads N] [--incremental] "
+                 "[--icache-kb N] [--verify]\n");
     return 1;
   }
   std::string File = argv[1];
   std::string Entry = "bench_main";
   std::vector<int64_t> Args;
   unsigned Rounds = 0;
+  unsigned Threads = 1;
+  bool Incremental = false;
   unsigned ICacheKb = 64;
   bool Verify = false;
 
@@ -59,6 +63,12 @@ int main(int argc, char **argv) {
         Args.push_back(std::strtoll(Tok.c_str(), nullptr, 10));
     } else if (A == "--rounds")
       Rounds = static_cast<unsigned>(std::atoi(Next()));
+    else if (A == "-j" || A == "--threads") {
+      Threads = static_cast<unsigned>(std::atoi(Next()));
+      if (Threads == 0)
+        Threads = 1;
+    } else if (A == "--incremental")
+      Incremental = true;
     else if (A == "--icache-kb")
       ICacheKb = static_cast<unsigned>(std::atoi(Next()));
     else if (A == "--verify")
@@ -99,7 +109,10 @@ int main(int argc, char **argv) {
 
   if (Rounds > 0) {
     uint64_t Before = R.M->codeSize();
-    runRepeatedOutliner(Prog, *R.M, Rounds);
+    OutlinerOptions OOpts;
+    OOpts.Threads = Threads;
+    OOpts.Incremental = Incremental;
+    runRepeatedOutliner(Prog, *R.M, Rounds, OOpts);
     std::printf("outlined %u round(s): %.1f KB -> %.1f KB\n", Rounds,
                 Before / 1024.0, R.M->codeSize() / 1024.0);
   }
