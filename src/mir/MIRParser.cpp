@@ -54,22 +54,33 @@ bool parseCond(const std::string &Tok, Cond &Out) {
   return true;
 }
 
+/// One comma-separated operand token plus its offset within the operand
+/// string (for column-accurate diagnostics).
+struct OperandTok {
+  std::string Text;
+  size_t Offset = 0;
+};
+
 /// Splits an operand list on commas (the printer never emits commas
-/// inside operands).
-std::vector<std::string> splitOperands(const std::string &S) {
-  std::vector<std::string> Out;
-  std::string Cur;
-  for (char C : S) {
-    if (C == ',') {
-      Out.push_back(trim(Cur));
-      Cur.clear();
-    } else {
-      Cur += C;
+/// inside operands), recording where each token starts.
+std::vector<OperandTok> splitOperands(const std::string &S) {
+  std::vector<OperandTok> Out;
+  size_t Start = 0;
+  auto Emit = [&](size_t End) {
+    size_t B = S.find_first_not_of(" \t", Start);
+    if (B == std::string::npos || B >= End)
+      B = Start;
+    std::string Tok = trim(S.substr(Start, End - Start));
+    Out.push_back({std::move(Tok), B});
+  };
+  for (size_t I = 0; I < S.size(); ++I)
+    if (S[I] == ',') {
+      Emit(I);
+      Start = I + 1;
     }
-  }
-  Cur = trim(Cur);
-  if (!Cur.empty())
-    Out.push_back(Cur);
+  size_t B = S.find_first_not_of(" \t", Start);
+  if (B != std::string::npos)
+    Emit(S.size());
   return Out;
 }
 
@@ -78,21 +89,43 @@ class ModuleParser {
 public:
   ModuleParser(Program &Prog, Module &M) : Prog(Prog), M(M) {}
 
-  std::string parse(const std::string &Text) {
+  std::vector<ParseDiag> parse(const std::string &Text) {
     std::istringstream In(Text);
-    std::string Line;
+    std::string Raw;
     unsigned LineNo = 0;
-    while (std::getline(In, Line)) {
+    bool Skipping = false;
+    while (std::getline(In, Raw)) {
       ++LineNo;
-      std::string Err = parseLine(trim(Line));
-      if (!Err.empty())
-        return "line " + std::to_string(LineNo) + ": " + Err;
+      size_t Indent = Raw.find_first_not_of(" \t\r\n");
+      std::string Line = trim(Raw);
+      if (Skipping) {
+        // Recover at the next function header so every broken function in
+        // the file is reported in one parse.
+        if (!isFunctionHeader(Line))
+          continue;
+        Skipping = false;
+      }
+      ErrColumn = 0;
+      std::string Err = parseLine(Line);
+      if (!Err.empty()) {
+        unsigned Col = static_cast<unsigned>(
+            (Indent == std::string::npos ? 0 : Indent) + ErrColumn + 1);
+        Diags.push_back({LineNo, Col, Err});
+        Skipping = true;
+      }
     }
-    return "";
+    return std::move(Diags);
   }
 
 private:
   using MO = MachineOperand;
+
+  /// "<name>:" for a function (not a block label, not a global).
+  static bool isFunctionHeader(const std::string &Line) {
+    return !Line.empty() && Line.back() == ':' &&
+           Line.find(':') == Line.size() - 1 &&
+           Line.rfind(".LBB", 0) != 0 && Line[0] != ';';
+  }
 
   MachineBasicBlock &currentBlock() {
     return M.Functions.back().Blocks.back();
@@ -181,15 +214,20 @@ private:
   std::string parseInstr(const std::string &Line) {
     size_t Sp = Line.find_first_of(" \t");
     std::string Mn = Sp == std::string::npos ? Line : Line.substr(0, Sp);
-    std::vector<std::string> Ops =
-        Sp == std::string::npos
-            ? std::vector<std::string>{}
-            : splitOperands(trim(Line.substr(Sp)));
+    std::vector<OperandTok> Ops = Sp == std::string::npos
+                                      ? std::vector<OperandTok>{}
+                                      : splitOperands(Line.substr(Sp));
+    // Token offsets are relative to the operand section; rebase them onto
+    // the (trimmed) line for diagnostics.
+    for (OperandTok &O : Ops)
+      O.Offset += Sp;
     const size_t N = Ops.size();
-    for (const std::string &O : Ops)
-      if (O.empty())
+    for (const OperandTok &O : Ops)
+      if (O.Text.empty()) {
+        ErrColumn = O.Offset;
         return "empty operand";
-    auto IsImm = [&](size_t I) { return I < N && Ops[I][0] == '#'; };
+      }
+    auto IsImm = [&](size_t I) { return I < N && Ops[I].Text[0] == '#'; };
 
     // Resolve (mnemonic, arity, operand shapes) to an opcode with the
     // operand kind string: r = register, i = immediate, b = block,
@@ -270,14 +308,16 @@ private:
     for (size_t I = 0; I < Kinds.size(); ++I) {
       std::string Err;
       switch (Kinds[I]) {
-      case 'r': Err = regOp(Ops[I], Parsed[I]); break;
-      case 'i': Err = immOp(Ops[I], Parsed[I]); break;
-      case 'b': Err = blockOp(Ops[I], Parsed[I]); break;
-      case 'c': Err = condOp(Ops[I], Parsed[I]); break;
-      case 's': Err = symOp(Ops[I], Parsed[I]); break;
+      case 'r': Err = regOp(Ops[I].Text, Parsed[I]); break;
+      case 'i': Err = immOp(Ops[I].Text, Parsed[I]); break;
+      case 'b': Err = blockOp(Ops[I].Text, Parsed[I]); break;
+      case 'c': Err = condOp(Ops[I].Text, Parsed[I]); break;
+      case 's': Err = symOp(Ops[I].Text, Parsed[I]); break;
       }
-      if (!Err.empty())
+      if (!Err.empty()) {
+        ErrColumn = Ops[I].Offset;
         return Err;
+      }
     }
 
     MachineInstr MI;
@@ -296,6 +336,9 @@ private:
 
   Program &Prog;
   Module &M;
+  std::vector<ParseDiag> Diags;
+  /// Column (0-based, within the trimmed line) of the current error.
+  size_t ErrColumn = 0;
 };
 
 } // namespace
@@ -304,8 +347,9 @@ ParseResult mco::parseModule(Program &Prog, const std::string &Text) {
   ParseResult R;
   Module &M = Prog.addModule("parsed");
   ModuleParser P(Prog, M);
-  R.Error = P.parse(Text);
-  if (!R.Error.empty()) {
+  R.Diags = P.parse(Text);
+  if (!R.Diags.empty()) {
+    R.Error = R.Diags.front().render();
     Prog.Modules.pop_back();
     return R;
   }

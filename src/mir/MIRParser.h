@@ -28,14 +28,32 @@
 #include "mir/Program.h"
 
 #include <string>
+#include <vector>
 
 namespace mco {
 
-/// Result of a parse: the module (appended to \p Prog) or a diagnostic.
+/// One parse diagnostic with its source position (1-based line and
+/// column, pointing at the offending token where known).
+struct ParseDiag {
+  unsigned Line = 0;
+  unsigned Column = 0;
+  std::string Message;
+
+  std::string render() const {
+    return "line " + std::to_string(Line) + ", col " +
+           std::to_string(Column) + ": " + Message;
+  }
+};
+
+/// Result of a parse: the module (appended to \p Prog) or diagnostics.
+/// The parser recovers at the next function header after an error, so a
+/// single parse can report every broken function, not just the first.
 struct ParseResult {
   Module *M = nullptr;
-  /// Empty on success; otherwise "line N: message".
+  /// Empty on success; otherwise the first diagnostic, rendered.
   std::string Error;
+  /// Every diagnostic, in source order (empty on success).
+  std::vector<ParseDiag> Diags;
 
   explicit operator bool() const { return Error.empty(); }
 };

@@ -96,11 +96,20 @@ bool isRuntimeBuiltin(const std::string &Name) {
   return Builtins.count(Name) != 0;
 }
 
+/// Renders \p Id for diagnostics without assuming it is interned: ids from
+/// a live DeferredSymbolBatch are outside the program's pool.
+std::string displayName(const Program &Prog, uint32_t Id) {
+  if (Id < Prog.numSymbols())
+    return Prog.symbolName(Id);
+  return "<sym#" + std::to_string(Id) + ">";
+}
+
 } // namespace
 
 std::string mco::verifyFunction(const Program &Prog,
-                                const MachineFunction &MF) {
-  const std::string FnName = Prog.symbolName(MF.Name);
+                                const MachineFunction &MF,
+                                const VerifyOptions &Opts) {
+  const std::string FnName = displayName(Prog, MF.Name);
   if (MF.Blocks.empty())
     return "function '" + FnName + "' has no blocks";
 
@@ -133,7 +142,9 @@ std::string mco::verifyFunction(const Program &Prog,
           return At + " branches to nonexistent block " +
                  std::to_string(MI.operand(O).getBlock());
         if (MI.operand(O).isSym() &&
-            MI.operand(O).getSym() >= Prog.numSymbols())
+            MI.operand(O).getSym() >= Prog.numSymbols() &&
+            !(Opts.AllowPlaceholderSymbols &&
+              MI.operand(O).getSym() >= DeferredSymbolBatch::TempBase))
           return At + " references an uninterned symbol id";
       }
       if (MI.isUnconditionalTransfer())
@@ -176,7 +187,7 @@ std::string mco::verifyFunction(const Program &Prog,
 std::string mco::verifyModule(const Program &Prog, const Module &M,
                               const VerifyOptions &Opts) {
   for (const MachineFunction &MF : M.Functions) {
-    std::string Err = verifyFunction(Prog, MF);
+    std::string Err = verifyFunction(Prog, MF, Opts);
     if (!Err.empty())
       return Err;
   }
@@ -195,10 +206,10 @@ std::string mco::verifyModule(const Program &Prog, const Module &M,
               continue;
             uint32_t Sym = MI.operand(O).getSym();
             if (!Defined.count(Sym) &&
-                !isRuntimeBuiltin(Prog.symbolName(Sym)))
-              return "function '" + Prog.symbolName(MF.Name) +
+                !isRuntimeBuiltin(displayName(Prog, Sym)))
+              return "function '" + displayName(Prog, MF.Name) +
                      "' references undefined symbol '" +
-                     Prog.symbolName(Sym) + "'";
+                     displayName(Prog, Sym) + "'";
           }
   }
   return "";

@@ -35,11 +35,20 @@ struct VerifyOptions {
   /// or a runtime builtin (enable after linking; per-module code may
   /// legitimately reference other modules).
   bool CheckSymbolResolution = false;
+  /// Accept placeholder symbol ids (>= DeferredSymbolBatch::TempBase)
+  /// instead of flagging them as uninterned. Needed when verifying a
+  /// module mid-fan-out, before its symbol batch commits.
+  bool AllowPlaceholderSymbols = false;
 };
 
 /// Verifies \p MF in isolation. \returns "" when valid, else a diagnostic
 /// naming the function, block, and instruction.
-std::string verifyFunction(const Program &Prog, const MachineFunction &MF);
+std::string verifyFunction(const Program &Prog, const MachineFunction &MF,
+                           const VerifyOptions &Opts);
+inline std::string verifyFunction(const Program &Prog,
+                                  const MachineFunction &MF) {
+  return verifyFunction(Prog, MF, VerifyOptions{});
+}
 
 /// Verifies every function of \p M (plus symbol resolution if requested).
 /// \returns "" when valid, else the first diagnostic.

@@ -6,6 +6,8 @@
 
 #include "outliner/InstructionMapper.h"
 
+#include "support/FaultInjection.h"
+
 #include <cassert>
 
 using namespace mco;
@@ -55,8 +57,16 @@ void InstructionMapper::mapFunction(const Module &M, uint32_t F) {
       if (classifyInstr(MI) == OutliningLegality::Legal) {
         Loc.IsLegal = true;
         auto [It, Inserted] = LegalIds.try_emplace(InstrKey{MI}, NextLegalId);
-        if (Inserted)
-          ++NextLegalId;
+        if (Inserted) {
+          if (NextLegalId > 0 && faultSiteFires(FaultMapperHashCollide))
+            // Simulated hash collision: this distinct instruction aliases
+            // the previous id, so the suffix tree sees bogus "repeats" of
+            // non-identical code. Structurally valid, semantically wrong —
+            // only the guard's integrity/exec checks can catch it.
+            It->second = NextLegalId - 1;
+          else
+            ++NextLegalId;
+        }
         Seg.Ids.push_back(It->second);
       } else {
         assert(NextIllegalId > NextLegalId && "id spaces collided");

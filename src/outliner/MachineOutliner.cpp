@@ -26,6 +26,7 @@
 
 #include "outliner/InstructionMapper.h"
 #include "mir/Liveness.h"
+#include "support/FaultInjection.h"
 #include "support/SuffixTree.h"
 #include "support/ThreadPool.h"
 
@@ -306,7 +307,26 @@ struct PlanResult {
   uint64_t Unprofitable = 0;
 };
 
+/// Replaces the call of an injected-corrupt rewrite with a branch to a
+/// block that cannot exist, keeping the instruction count (and therefore
+/// the round's size accounting) unchanged. verifyModule catches this.
+void corruptCallSite(std::vector<MachineInstr> &Repl) {
+  for (MachineInstr &MI : Repl)
+    if (MI.opcode() == Opcode::BL || MI.opcode() == Opcode::Btail) {
+      MI = MachineInstr(Opcode::B, MachineOperand::block(0x00FFFFFFu));
+      return;
+    }
+}
+
 } // namespace
+
+uint64_t mco::hashPattern(const std::vector<MachineInstr> &Seq) {
+  uint64_t H = 0xCBF29CE484222325ull ^ Seq.size();
+  for (const MachineInstr &MI : Seq) {
+    H ^= MI.hash() + 0x9E3779B97F4A7C15ull + (H << 6) + (H >> 2);
+  }
+  return H;
+}
 
 struct OutlinerEngine::State {
   SymbolInterner &Syms;
@@ -324,10 +344,32 @@ struct OutlinerEngine::State {
   std::vector<bool> Dirty;
   bool FirstRound = true;
 
+  // Guarded-outlining state.
+  RoundTransaction Txn;
+  std::unordered_set<uint64_t> Quarantined;
+
   State(SymbolInterner &Syms, Module &M, const OutlinerOptions &Opts)
       : Syms(Syms), M(M), Opts(Opts) {
     if (Opts.Threads > 1)
       Pool = std::make_unique<ThreadPool>(Opts.Threads);
+  }
+
+  void resetIncremental() {
+    Mapper = InstructionMapper();
+    LV.clear();
+    Dirty.clear();
+    FirstRound = true;
+  }
+
+  void rollbackLastRound() {
+    assert(Txn.Valid && "no transaction to roll back");
+    M.Functions.resize(Txn.FuncCountBefore);
+    for (auto &[F, Saved] : Txn.SavedFunctions)
+      M.Functions[F] = std::move(Saved);
+    Txn = RoundTransaction{};
+    // Mapper/liveness segments describe the rolled-back bodies; recompute
+    // from scratch next round.
+    resetIncremental();
   }
 
   void forEach(size_t N, const std::function<void(size_t)> &Fn) {
@@ -404,6 +446,12 @@ void OutlinerEngine::State::buildPlan(const RepeatedSubstring &RS,
 OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
   OutlineRoundStats Stats;
   Stats.CodeSizeBefore = M.codeSize();
+  faultSetRound(Round);
+  Txn = RoundTransaction{};
+  if (Opts.Transactional) {
+    Txn.Valid = true;
+    Txn.FuncCountBefore = M.Functions.size();
+  }
 
   // Map the module to an integer string. Non-incremental rounds start from
   // a fresh mapper (ids in first-appearance order, like stock LLVM);
@@ -499,6 +547,7 @@ OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
     uint32_t InstrStart;
     uint32_t Len;
     std::vector<MachineInstr> Replacement;
+    uint32_t NewFuncIdx;
   };
   // (Func, Block) -> edits.
   std::map<std::pair<uint32_t, uint32_t>, std::vector<Edit>> Edits;
@@ -530,22 +579,56 @@ OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
     const auto &Instrs = M.Functions[C0.Func].Blocks[C0.Block].Instrs;
     std::vector<MachineInstr> Seq(Instrs.begin() + C0.InstrStart,
                                   Instrs.begin() + C0.InstrStart + C0.Len);
+    uint64_t PatternHash = 0;
+    if (Opts.Transactional || !Quarantined.empty()) {
+      PatternHash = hashPattern(Seq);
+      if (Quarantined.count(PatternHash)) {
+        // A previous attempt failed verification on this pattern; skip it.
+        // Its string region stays unconsumed, so later plans may claim it.
+        ++Stats.PatternsQuarantined;
+        continue;
+      }
+    }
     uint32_t OutSym = Syms.internSymbol(
         Opts.NamePrefix + "_" + std::to_string(Round) + "_" +
         std::to_string(NewFunctions.size()));
     NewFunctions.push_back(buildOutlinedFunction(Seq, Plan.Body, OutSym));
     NewFunctions.back().OutlinedCallSites =
         static_cast<uint32_t>(Plan.Cands.size());
+    const uint32_t NewFuncIdx =
+        static_cast<uint32_t>(NewFunctions.size()) - 1;
+    if (Opts.Transactional)
+      Txn.PatternHashes.push_back(PatternHash);
 
     for (const Candidate &C : Plan.Cands) {
       for (unsigned I = C.StartIdx, E = C.StartIdx + C.Len; I != E; ++I)
         Consumed[I] = true;
+      std::vector<MachineInstr> Repl = callSiteSequence(C, OutSym);
+      if (faultSiteFires(FaultOutlinerRewriteCorrupt))
+        corruptCallSite(Repl);
       Edits[{C.Func, C.Block}].push_back(
-          Edit{C.InstrStart, C.Len, callSiteSequence(C, OutSym)});
+          Edit{C.InstrStart, C.Len, std::move(Repl), NewFuncIdx});
       ++Stats.SequencesOutlined;
     }
     Stats.OutlinedFunctionBytes += NewFunctions.back().codeSize();
     ++Stats.FunctionsCreated;
+  }
+
+  // Snapshot the functions the round is about to edit (deep copies taken
+  // before any rewrite is applied), plus the edit list for the integrity
+  // check. Edits is sorted by (Func, Block), so same-function groups are
+  // adjacent.
+  if (Opts.Transactional) {
+    uint32_t PrevSaved = UINT32_MAX;
+    for (const auto &[Key, BlockEdits] : Edits) {
+      if (Key.first != PrevSaved) {
+        Txn.SavedFunctions.emplace_back(Key.first, M.Functions[Key.first]);
+        PrevSaved = Key.first;
+      }
+      for (const Edit &E : BlockEdits)
+        Txn.Edits.push_back(
+            {Key.first, Key.second, E.InstrStart, E.Len, E.NewFuncIdx});
+    }
   }
 
   // Apply edits back-to-front within each block so indices stay valid.
@@ -595,6 +678,22 @@ OutlinerEngine::~OutlinerEngine() = default;
 
 OutlineRoundStats OutlinerEngine::runRound(unsigned Round) {
   return S->runRound(Round);
+}
+
+const RoundTransaction &OutlinerEngine::lastTransaction() const {
+  return S->Txn;
+}
+
+void OutlinerEngine::rollbackLastRound() { S->rollbackLastRound(); }
+
+void OutlinerEngine::resetIncrementalState() { S->resetIncremental(); }
+
+void OutlinerEngine::quarantinePattern(uint64_t PatternHash) {
+  S->Quarantined.insert(PatternHash);
+}
+
+size_t OutlinerEngine::numQuarantinedPatterns() const {
+  return S->Quarantined.size();
 }
 
 OutlineRoundStats mco::runOutlinerRound(SymbolInterner &Syms, Module &M,

@@ -53,6 +53,11 @@ struct OutlinerOptions {
   /// takes effect across rounds driven by one OutlinerEngine (which
   /// runRepeatedOutliner and the build pipeline use).
   bool Incremental = false;
+  /// Record a RoundTransaction while running each round (pre-edit
+  /// snapshots of edited functions + the edit list), enabling
+  /// rollbackLastRound(). Does not change what the round commits.
+  /// OutlineGuard turns this on.
+  bool Transactional = false;
 };
 
 /// Statistics for one outlining round (paper Table II rows), plus
@@ -90,8 +95,45 @@ struct OutlineRoundStats {
   /// FunctionsCreated).
   uint64_t FunctionsEdited = 0;
 
+  // Guarded-outlining observability (zero unless OutlineGuard is active).
+  /// Plans skipped because their pattern hash is quarantined from an
+  /// earlier failed attempt.
+  uint64_t PatternsQuarantined = 0;
+  /// Failed attempts at this round that were rolled back (or aborted
+  /// before committing) prior to the attempt these stats describe.
+  uint64_t RoundsRolledBack = 0;
+
   uint64_t bytesSaved() const { return CodeSizeBefore - CodeSizeAfter; }
 };
+
+/// One call-site rewrite committed by a round, recorded for rollback and
+/// post-round integrity checking.
+struct RoundEditRecord {
+  uint32_t Func = 0;       ///< Edited function (pre-round index).
+  uint32_t Block = 0;
+  uint32_t InstrStart = 0; ///< Original sequence start within the block.
+  uint32_t Len = 0;        ///< Original sequence length (instructions).
+  /// Index of the outlined function this site now calls, relative to the
+  /// round's first new function.
+  uint32_t NewFuncLocalIdx = 0;
+};
+
+/// Everything needed to undo one round and attribute its failures:
+/// pre-edit deep copies of the functions the round modified, the edit
+/// list, and one content hash per new outlined function's pattern.
+struct RoundTransaction {
+  bool Valid = false;
+  /// Function count before the round appended its outlined functions.
+  size_t FuncCountBefore = 0;
+  /// (pre-round function index, pre-edit copy), ascending by index.
+  std::vector<std::pair<uint32_t, MachineFunction>> SavedFunctions;
+  std::vector<RoundEditRecord> Edits;
+  /// PatternHashes[i] is the hash of new function i's source sequence.
+  std::vector<uint64_t> PatternHashes;
+};
+
+/// Content hash of an instruction sequence, used as the quarantine key.
+uint64_t hashPattern(const std::vector<MachineInstr> &Seq);
 
 /// Drives outlining rounds over one module. Holds the round-over-round
 /// state (instruction mapping, per-function liveness, the edited-function
@@ -110,6 +152,25 @@ public:
   /// Runs one greedy outlining round. \p Round is used in outlined
   /// function names for uniqueness.
   OutlineRoundStats runRound(unsigned Round);
+
+  /// The transaction recorded by the last runRound (Valid only when
+  /// Opts.Transactional and a round has run).
+  const RoundTransaction &lastTransaction() const;
+
+  /// Undoes the last round: restores the pre-edit function bodies, drops
+  /// the round's new functions, and resets the incremental state (the
+  /// mapping no longer matches the module). Requires a valid transaction.
+  void rollbackLastRound();
+
+  /// Discards the cross-round mapping/liveness state so the next round
+  /// recomputes from scratch (used after an aborted round may have left
+  /// the mapper inconsistent with the module).
+  void resetIncrementalState();
+
+  /// Bans a pattern: later rounds skip plans whose source sequence hashes
+  /// to \p PatternHash (counted in OutlineRoundStats::PatternsQuarantined).
+  void quarantinePattern(uint64_t PatternHash);
+  size_t numQuarantinedPatterns() const;
 
 private:
   struct State;

@@ -1,0 +1,296 @@
+//===- outliner/OutlineGuard.cpp - Guarded outlining rounds ---------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "outliner/OutlineGuard.h"
+
+#include "linker/Linker.h"
+#include "mir/MIRVerifier.h"
+#include "sim/Interpreter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <exception>
+
+using namespace mco;
+
+namespace {
+
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+/// Checks that outlined function \p MF's body is exactly the original
+/// sequence \p Seq it was created from, modulo the frame its kind adds.
+/// A mapper hash collision outlines occurrences with *different* content
+/// into one function; the structural verifier cannot see that, but the
+/// pre-edit snapshot can.
+bool bodyMatchesSequence(const MachineFunction &MF,
+                         const std::vector<MachineInstr> &Seq) {
+  if (MF.Blocks.empty())
+    return false;
+  const std::vector<MachineInstr> &Body = MF.Blocks.front().Instrs;
+  const size_t Len = Seq.size();
+  switch (MF.FrameKind) {
+  case OutlinedFrameKind::TailCall:
+    // Body is the sequence verbatim (it ends with the original RET).
+    if (Body.size() != Len)
+      return false;
+    for (size_t I = 0; I < Len; ++I)
+      if (!(Body[I] == Seq[I]))
+        return false;
+    return true;
+  case OutlinedFrameKind::AppendedRet:
+    // Body is the sequence plus an appended RET.
+    if (Body.size() != Len + 1 || !Body.back().isReturn())
+      return false;
+    for (size_t I = 0; I < Len; ++I)
+      if (!(Body[I] == Seq[I]))
+        return false;
+    return true;
+  case OutlinedFrameKind::Thunk:
+    // Body is the sequence with its final BL turned into a tail call.
+    if (Body.size() != Len || Len == 0)
+      return false;
+    for (size_t I = 0; I + 1 < Len; ++I)
+      if (!(Body[I] == Seq[I]))
+        return false;
+    return Seq.back().opcode() == Opcode::BL &&
+           Body.back().opcode() == Opcode::Btail &&
+           Body.back().operand(0).getSym() == Seq.back().operand(0).getSym();
+  case OutlinedFrameKind::SavesLRInFrame:
+    // STRpre [seq] LDRpost RET.
+    if (Body.size() != Len + 3)
+      return false;
+    for (size_t I = 0; I < Len; ++I)
+      if (!(Body[I + 1] == Seq[I]))
+        return false;
+    return true;
+  case OutlinedFrameKind::NotOutlined:
+    break;
+  }
+  return false;
+}
+
+} // namespace
+
+OutlineGuard::OutlineGuard(const Program &Prog, SymbolInterner &Syms,
+                           Module &M, const OutlinerOptions &OOpts,
+                           const GuardOptions &GOpts)
+    : Prog(Prog), M(M), GOpts(GOpts), Engine(Syms, M, [&] {
+        OutlinerOptions O = OOpts;
+        O.Transactional = true; // Rollback needs the round transaction.
+        return O;
+      }()) {}
+
+std::string OutlineGuard::verifyLastRound() {
+  const RoundTransaction &Txn = Engine.lastTransaction();
+  assert(Txn.Valid && "verify without a committed transaction");
+  VerifyOptions VOpts;
+  VOpts.AllowPlaceholderSymbols = GOpts.AllowPlaceholderSymbols;
+
+  // Structural check of the round's new functions.
+  for (size_t F = Txn.FuncCountBefore; F < M.Functions.size(); ++F) {
+    std::string Err = verifyFunction(Prog, M.Functions[F], VOpts);
+    if (!Err.empty()) {
+      Engine.quarantinePattern(Txn.PatternHashes[F - Txn.FuncCountBefore]);
+      return "new outlined function is invalid: " + Err;
+    }
+  }
+
+  // Structural check of every function the round edited. A corrupt
+  // call-site rewrite shows up here (e.g. a branch out of block range).
+  for (const auto &[Idx, Saved] : Txn.SavedFunctions) {
+    (void)Saved;
+    std::string Err = verifyFunction(Prog, M.Functions[Idx], VOpts);
+    if (!Err.empty()) {
+      // Any of the patterns whose call sites landed in this function may
+      // be the culprit; quarantine them all.
+      for (const RoundEditRecord &E : Txn.Edits)
+        if (E.Func == Idx)
+          Engine.quarantinePattern(Txn.PatternHashes[E.NewFuncLocalIdx]);
+      return "edited function is invalid: " + Err;
+    }
+  }
+
+  // Edit integrity: every replaced sequence must be exactly the body of
+  // the function its call site now reaches.
+  const MachineFunction *SavedMF = nullptr;
+  uint32_t SavedIdx = UINT32_MAX;
+  for (const RoundEditRecord &E : Txn.Edits) {
+    if (E.Func != SavedIdx) {
+      SavedMF = nullptr;
+      for (const auto &[Idx, Saved] : Txn.SavedFunctions)
+        if (Idx == E.Func) {
+          SavedMF = &Saved;
+          break;
+        }
+      SavedIdx = E.Func;
+    }
+    assert(SavedMF && "edit without a pre-edit snapshot");
+    const std::vector<MachineInstr> &Orig =
+        SavedMF->Blocks[E.Block].Instrs;
+    std::vector<MachineInstr> Seq(Orig.begin() + E.InstrStart,
+                                  Orig.begin() + E.InstrStart + E.Len);
+    const MachineFunction &NewF =
+        M.Functions[Txn.FuncCountBefore + E.NewFuncLocalIdx];
+    if (!bodyMatchesSequence(NewF, Seq)) {
+      Engine.quarantinePattern(Txn.PatternHashes[E.NewFuncLocalIdx]);
+      return "outlined body does not match the sequence it replaced "
+             "(function " +
+             std::to_string(E.Func) + " block " + std::to_string(E.Block) +
+             " at " + std::to_string(E.InstrStart) + ")";
+    }
+  }
+  return "";
+}
+
+std::vector<std::string>
+OutlineGuard::pickSamples(unsigned Round) const {
+  // Callable functions with real (interned) names; placeholder-named
+  // functions from a live symbol batch cannot be looked up by name.
+  std::vector<std::string> Eligible;
+  for (const MachineFunction &MF : M.Functions)
+    if (MF.Name < Prog.numSymbols())
+      Eligible.push_back(Prog.symbolName(MF.Name));
+  std::vector<std::string> Samples;
+  if (Eligible.empty() || GOpts.VerifyExecSamples == 0)
+    return Samples;
+  std::vector<bool> Taken(Eligible.size(), false);
+  const unsigned Want =
+      std::min<unsigned>(GOpts.VerifyExecSamples,
+                         static_cast<unsigned>(Eligible.size()));
+  for (uint64_t Draw = 0; Samples.size() < Want && Draw < Want * 8ull;
+       ++Draw) {
+    uint64_t H = splitmix64(GOpts.VerifyExecSeed ^
+                            (uint64_t(Round) << 32) ^ Draw);
+    size_t Idx = H % Eligible.size();
+    if (Taken[Idx])
+      continue;
+    Taken[Idx] = true;
+    Samples.push_back(Eligible[Idx]);
+  }
+  return Samples;
+}
+
+std::vector<std::string> OutlineGuard::runSamples(
+    const std::vector<std::string> &Samples) const {
+  // A private sandbox: its own symbol pool (copied id-for-id) and a deep
+  // copy of the module, so sampling is race-free during parallel
+  // per-module fan-out and never perturbs the real build.
+  Program Sandbox;
+  for (uint32_t I = 0; I < Prog.numSymbols(); ++I)
+    Sandbox.internSymbol(Prog.symbolName(I));
+  Module &Copy = Sandbox.addModule(M.Name);
+  Copy.Functions = M.Functions;
+  Copy.Globals = M.Globals;
+
+  BinaryImage Image(Sandbox);
+  Interpreter Interp(Image, Sandbox);
+  Interp.setFuel(GOpts.VerifyExecFuel);
+
+  static const std::vector<int64_t> Args = {11, 7, 5, 3};
+  std::vector<std::string> Outcomes;
+  Outcomes.reserve(Samples.size());
+  for (const std::string &Fn : Samples) {
+    Expected<int64_t> R = Interp.tryCall(Fn, Args);
+    if (R.ok())
+      Outcomes.push_back("=" + std::to_string(*R));
+    else
+      Outcomes.push_back("!" + R.status().message());
+  }
+  return Outcomes;
+}
+
+void OutlineGuard::recordFailure(unsigned Round, unsigned Attempt,
+                                 const std::string &Why) {
+  Failures.push_back("round " + std::to_string(Round) + " attempt " +
+                     std::to_string(Attempt) + ": " + Why);
+}
+
+GuardRoundResult OutlineGuard::runGuardedRound(unsigned Round) {
+  const unsigned MaxAttempts = GOpts.MaxRetriesPerRound + 1;
+  uint64_t FailedAttempts = 0;
+
+  std::vector<std::string> Samples, Pre;
+  if (GOpts.VerifyExecSamples > 0) {
+    Samples = pickSamples(Round);
+    Pre = runSamples(Samples);
+  }
+
+  for (unsigned Attempt = 1; Attempt <= MaxAttempts; ++Attempt) {
+    const size_t FuncCountBefore = M.Functions.size();
+    OutlineRoundStats Stats;
+    try {
+      Stats = Engine.runRound(Round);
+    } catch (const std::exception &E) {
+      // The throw escaped before the commit phase, so the module bodies
+      // are untouched; drop anything appended and rebuild the engine's
+      // cross-round state, which may be mid-update.
+      if (M.Functions.size() > FuncCountBefore)
+        M.Functions.resize(FuncCountBefore);
+      Engine.resetIncrementalState();
+      recordFailure(Round, Attempt,
+                    std::string("round aborted: ") + E.what());
+      ++FailedAttempts;
+      continue;
+    }
+
+    std::string Err = verifyLastRound();
+    if (Err.empty() && !Samples.empty()) {
+      std::vector<std::string> Post = runSamples(Samples);
+      if (Post != Pre) {
+        // Execution diverged; without finer attribution, every pattern
+        // the round committed is suspect.
+        for (uint64_t H : Engine.lastTransaction().PatternHashes)
+          Engine.quarantinePattern(H);
+        for (size_t I = 0; I < Samples.size(); ++I)
+          if (Post[I] != Pre[I]) {
+            Err = "differential execution diverged on '" + Samples[I] +
+                  "': before [" + Pre[I] + "] after [" + Post[I] + "]";
+            break;
+          }
+      }
+    }
+
+    if (Err.empty()) {
+      GuardRoundResult R;
+      R.Stats = Stats;
+      R.Stats.RoundsRolledBack = FailedAttempts;
+      TotalRolledBack += FailedAttempts;
+      return R;
+    }
+
+    Engine.rollbackLastRound();
+    recordFailure(Round, Attempt, Err);
+    ++FailedAttempts;
+  }
+
+  // Every attempt failed: degrade to a no-op round, leaving the module in
+  // its verified pre-round state.
+  GuardRoundResult R;
+  R.Skipped = true;
+  R.Stats.CodeSizeBefore = R.Stats.CodeSizeAfter = M.codeSize();
+  R.Stats.RoundsRolledBack = FailedAttempts;
+  TotalRolledBack += FailedAttempts;
+  return R;
+}
+
+RepeatedOutlineStats OutlineGuard::runGuardedRepeated(unsigned MaxRounds) {
+  RepeatedOutlineStats All;
+  for (unsigned Round = 1; Round <= MaxRounds; ++Round) {
+    GuardRoundResult R = runGuardedRound(Round);
+    All.Rounds.push_back(R.Stats);
+    // A skipped round keeps going: its quarantine may unblock the next
+    // round. A clean round that found nothing ends the run, as unguarded
+    // repeated outlining does.
+    if (!R.Skipped && R.Stats.FunctionsCreated == 0)
+      break;
+  }
+  return All;
+}

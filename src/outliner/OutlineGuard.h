@@ -1,0 +1,115 @@
+//===- outliner/OutlineGuard.h - Guarded outlining rounds -------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs outlining rounds under a verify-and-rollback transaction. After
+/// every round the guard structurally verifies the round's new functions
+/// and every function it edited, checks that each outlined body is
+/// byte-for-byte the sequence it replaced (the only detector for a mapper
+/// hash collision, which produces structurally valid but semantically
+/// wrong code), and optionally executes a deterministic sample of
+/// functions before and after the round in a sandboxed interpreter,
+/// comparing outcomes. On any failure the module is rolled back to its
+/// pre-round state, the offending pattern hashes are quarantined so the
+/// retry cannot re-commit them, and the round is retried a bounded number
+/// of times before degrading to a no-op round.
+///
+/// With no faults injected, a guarded build commits exactly what an
+/// unguarded build commits: every round passes verification on the first
+/// attempt and the guard never perturbs the engine's decisions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_OUTLINER_OUTLINEGUARD_H
+#define MCO_OUTLINER_OUTLINEGUARD_H
+
+#include "outliner/MachineOutliner.h"
+
+#include <string>
+#include <vector>
+
+namespace mco {
+
+/// Knobs for guarded outlining.
+struct GuardOptions {
+  /// Master switch, consumed by the build pipeline (the guard class itself
+  /// is always active once constructed).
+  bool Enabled = false;
+  /// Failed attempts are retried (with the failing patterns quarantined)
+  /// up to this many times; after that the round degrades to a no-op.
+  unsigned MaxRetriesPerRound = 2;
+  /// When nonzero, this many functions are executed in a sandboxed
+  /// interpreter before and after every round and their outcomes compared
+  /// (--verify-exec=N). 0 disables differential execution.
+  unsigned VerifyExecSamples = 0;
+  /// Seed for the deterministic sample selection.
+  uint64_t VerifyExecSeed = 0x9E3779B97F4A7C15ull;
+  /// Instruction budget per sampled call; exhaustion is an outcome (both
+  /// sides must agree), not a process abort.
+  uint64_t VerifyExecFuel = 250'000;
+  /// Forwarded to the verifier: accept placeholder symbol ids from a live
+  /// DeferredSymbolBatch (per-module fan-out).
+  bool AllowPlaceholderSymbols = false;
+};
+
+/// Outcome of one guarded round.
+struct GuardRoundResult {
+  OutlineRoundStats Stats;
+  /// True when every attempt failed and the round committed nothing; the
+  /// stats then describe an empty round (sizes unchanged) whose
+  /// RoundsRolledBack counts the failed attempts.
+  bool Skipped = false;
+};
+
+/// Wraps an OutlinerEngine with per-round verify + rollback + quarantine.
+/// \p Prog is the shared program (symbol names for diagnostics and the
+/// sandbox); \p Syms is the interner the engine should use — the Program
+/// itself, or a DeferredSymbolBatch during per-module fan-out.
+class OutlineGuard {
+public:
+  OutlineGuard(const Program &Prog, SymbolInterner &Syms, Module &M,
+               const OutlinerOptions &OOpts, const GuardOptions &GOpts);
+
+  /// Runs round \p Round with up to MaxRetriesPerRound retries.
+  GuardRoundResult runGuardedRound(unsigned Round);
+
+  /// Runs up to \p MaxRounds guarded rounds, stopping early when a round
+  /// commits cleanly but creates no functions (a skipped round does not
+  /// stop the run — its quarantine may let the next round succeed).
+  RepeatedOutlineStats runGuardedRepeated(unsigned MaxRounds);
+
+  /// Human-readable record of every failed attempt.
+  const std::vector<std::string> &failureLog() const { return Failures; }
+  size_t numQuarantinedPatterns() const {
+    return Engine.numQuarantinedPatterns();
+  }
+  uint64_t totalRoundsRolledBack() const { return TotalRolledBack; }
+
+private:
+  /// Verifies the last committed round (structure + edit integrity).
+  /// \returns "" on success; otherwise quarantines the offending pattern
+  /// hashes and returns a description.
+  std::string verifyLastRound();
+  /// Deterministically picks up to VerifyExecSamples callable functions.
+  std::vector<std::string> pickSamples(unsigned Round) const;
+  /// Executes \p Samples in a fresh sandboxed interpreter; one outcome
+  /// string per sample (return value or fault message).
+  std::vector<std::string> runSamples(
+      const std::vector<std::string> &Samples) const;
+  void recordFailure(unsigned Round, unsigned Attempt,
+                     const std::string &Why);
+
+  const Program &Prog;
+  Module &M;
+  GuardOptions GOpts;
+  OutlinerEngine Engine;
+  std::vector<std::string> Failures;
+  uint64_t TotalRolledBack = 0;
+};
+
+} // namespace mco
+
+#endif // MCO_OUTLINER_OUTLINEGUARD_H

@@ -6,10 +6,12 @@
 
 #include "pipeline/BuildPipeline.h"
 
+#include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 #include <memory>
 
 using namespace mco;
@@ -35,14 +37,41 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
     OutlinerOptions EOpts = Opts.Outliner;
     if (Opts.Threads > 1)
       EOpts.Threads = Opts.Threads;
-    OutlinerEngine Engine(Prog, Linked, EOpts);
-    for (unsigned Round = 1; Round <= Opts.OutlineRounds; ++Round) {
-      auto TR = Clock::now();
-      OutlineRoundStats RS = Engine.runRound(Round);
-      R.OutlineRoundSeconds.push_back(secondsSince(TR));
-      R.OutlineStats.Rounds.push_back(RS);
-      if (RS.FunctionsCreated == 0)
-        break;
+    try {
+      faultSetRound(1);
+      faultSiteCheck(FaultPipelineModuleFail);
+      if (Opts.Guard.Enabled) {
+        OutlineGuard Guard(Prog, Prog, Linked, EOpts, Opts.Guard);
+        for (unsigned Round = 1; Round <= Opts.OutlineRounds; ++Round) {
+          auto TR = Clock::now();
+          GuardRoundResult RS = Guard.runGuardedRound(Round);
+          R.OutlineRoundSeconds.push_back(secondsSince(TR));
+          R.OutlineStats.Rounds.push_back(RS.Stats);
+          if (!RS.Skipped && RS.Stats.FunctionsCreated == 0)
+            break;
+        }
+        R.RoundsRolledBack = Guard.totalRoundsRolledBack();
+        R.PatternsQuarantined = Guard.numQuarantinedPatterns();
+        for (const std::string &F : Guard.failureLog())
+          R.FailureLog.push_back("linked: " + F);
+      } else {
+        OutlinerEngine Engine(Prog, Linked, EOpts);
+        for (unsigned Round = 1; Round <= Opts.OutlineRounds; ++Round) {
+          auto TR = Clock::now();
+          OutlineRoundStats RS = Engine.runRound(Round);
+          R.OutlineRoundSeconds.push_back(secondsSince(TR));
+          R.OutlineStats.Rounds.push_back(RS);
+          if (RS.FunctionsCreated == 0)
+            break;
+        }
+      }
+    } catch (const std::exception &E) {
+      // Whole-program outlining died mid-flight. Rounds already committed
+      // are verified-or-unguarded-but-complete; the aborted round never
+      // touched the module, so the build continues with what it has.
+      ++R.ModulesDegraded;
+      R.FailureLog.push_back(std::string("linked: outlining failed: ") +
+                             E.what());
     }
     R.OutlineSeconds = secondsSince(T0);
   } else {
@@ -52,14 +81,44 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
     auto T0 = Clock::now();
     const size_t NumMods = Prog.Modules.size();
     std::vector<RepeatedOutlineStats> ModStats(NumMods);
+    // Per-module outcome: 0 = the fan-out task never ran, 1 = outlined,
+    // 2 = failed and restored to its unoutlined form.
+    std::vector<uint8_t> ModOutcome(NumMods, 0);
+    std::vector<uint64_t> ModRolledBack(NumMods, 0);
+    std::vector<uint64_t> ModQuarantined(NumMods, 0);
+    std::vector<std::vector<std::string>> ModLog(NumMods);
 
     auto outlineModule = [&](size_t I, SymbolInterner &Syms,
-                             unsigned InnerThreads) {
+                             unsigned InnerThreads, bool InBatch) {
+      Module &Mod = *Prog.Modules[I];
       OutlinerOptions PerModule = Opts.Outliner;
-      PerModule.NamePrefix += "@" + Prog.Modules[I]->Name;
+      PerModule.NamePrefix += "@" + Mod.Name;
       PerModule.Threads = InnerThreads;
-      ModStats[I] = runRepeatedOutliner(Syms, *Prog.Modules[I],
-                                        Opts.OutlineRounds, PerModule);
+      faultSetRound(1);
+      // Snapshot for graceful degradation: if outlining this module fails
+      // beyond what the guard can absorb, ship it unoutlined.
+      Module Backup = Mod;
+      try {
+        faultSiteCheck(FaultPipelineModuleFail);
+        if (Opts.Guard.Enabled) {
+          GuardOptions G = Opts.Guard;
+          G.AllowPlaceholderSymbols |= InBatch;
+          OutlineGuard Guard(Prog, Syms, Mod, PerModule, G);
+          ModStats[I] = Guard.runGuardedRepeated(Opts.OutlineRounds);
+          ModRolledBack[I] = Guard.totalRoundsRolledBack();
+          ModQuarantined[I] = Guard.numQuarantinedPatterns();
+          ModLog[I] = Guard.failureLog();
+        } else {
+          ModStats[I] = runRepeatedOutliner(Syms, Mod, Opts.OutlineRounds,
+                                            PerModule);
+        }
+        ModOutcome[I] = 1;
+      } catch (const std::exception &E) {
+        Mod = Backup;
+        ModStats[I] = RepeatedOutlineStats{};
+        ModOutcome[I] = 2;
+        ModLog[I].push_back(std::string("outlining failed: ") + E.what());
+      }
     };
 
     if (Opts.Threads > 1 && NumMods > 1) {
@@ -72,14 +131,33 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
         Batches[I] = std::make_unique<DeferredSymbolBatch>(
             Prog, static_cast<uint32_t>(I));
       ThreadPool Pool(Opts.Threads);
-      Pool.parallelFor(NumMods, [&](size_t I) {
-        outlineModule(I, *Batches[I], /*InnerThreads=*/1);
-      });
+      try {
+        Pool.parallelFor(NumMods, [&](size_t I) {
+          outlineModule(I, *Batches[I], /*InnerThreads=*/1, /*InBatch=*/true);
+        });
+      } catch (const std::exception &) {
+        // A fan-out task died before reaching outlineModule's own guard
+        // (e.g. an injected pool fault). Its module never ran and keeps
+        // its unoutlined form; ModOutcome stays 0 and is counted below.
+      }
+      // Batches of failed or skipped modules hold at most dead names;
+      // committing them is harmless and keeps id assignment serial-order.
       for (size_t I = 0; I < NumMods; ++I)
         Batches[I]->commit(Prog, *Prog.Modules[I]);
     } else {
       for (size_t I = 0; I < NumMods; ++I)
-        outlineModule(I, Prog, Opts.Outliner.Threads);
+        outlineModule(I, Prog, Opts.Outliner.Threads, /*InBatch=*/false);
+    }
+
+    for (size_t I = 0; I < NumMods; ++I) {
+      if (ModOutcome[I] != 1)
+        ++R.ModulesDegraded;
+      if (ModOutcome[I] == 0)
+        ModLog[I].push_back("never outlined (fan-out task failed)");
+      R.RoundsRolledBack += ModRolledBack[I];
+      R.PatternsQuarantined += ModQuarantined[I];
+      for (const std::string &F : ModLog[I])
+        R.FailureLog.push_back("module " + Prog.Modules[I]->Name + ": " + F);
     }
 
     // Accumulate per-round stats across modules into a program-level
@@ -108,6 +186,8 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
           Acc.FunctionsRemapped += RS.FunctionsRemapped;
           Acc.LivenessComputed += RS.LivenessComputed;
           Acc.FunctionsEdited += RS.FunctionsEdited;
+          Acc.PatternsQuarantined += RS.PatternsQuarantined;
+          Acc.RoundsRolledBack += RS.RoundsRolledBack;
         } else if (!MS.Rounds.empty()) {
           uint64_t Final = MS.Rounds.back().CodeSizeAfter;
           Acc.CodeSizeBefore += Final;

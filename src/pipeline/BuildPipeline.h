@@ -25,7 +25,9 @@
 
 #include "linker/Linker.h"
 #include "outliner/MachineOutliner.h"
+#include "outliner/OutlineGuard.h"
 
+#include <string>
 #include <vector>
 
 namespace mco {
@@ -44,6 +46,10 @@ struct PipelineOptions {
   /// (liveness, candidate classification); per-module builds outline whole
   /// modules concurrently. Output is bit-identical at any setting.
   unsigned Threads = 1;
+  /// Guarded outlining: per-round verify + rollback + quarantine (see
+  /// OutlineGuard). Guard.Enabled turns it on; with it off and no faults
+  /// injected the build is bit-identical to a guarded one.
+  GuardOptions Guard;
 };
 
 /// Result of a build: sizes, outlining statistics, and phase timings.
@@ -54,6 +60,18 @@ struct BuildResult {
   uint64_t BinarySize = 0;
 
   RepeatedOutlineStats OutlineStats;
+
+  // Failure-handling observability. A build that hits an unrecoverable
+  // per-module failure still completes: the module ships unoutlined.
+  /// Modules (or the whole linked module) that fell back to their
+  /// unoutlined form because outlining failed outright.
+  uint64_t ModulesDegraded = 0;
+  /// Failed round attempts rolled back by the guard across all modules.
+  uint64_t RoundsRolledBack = 0;
+  /// Patterns quarantined by the guard across all modules.
+  uint64_t PatternsQuarantined = 0;
+  /// Human-readable record of every failure the build absorbed.
+  std::vector<std::string> FailureLog;
 
   /// Wall-clock seconds per phase.
   double LinkIRSeconds = 0;     ///< llvm-link analogue (merge).

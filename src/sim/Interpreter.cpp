@@ -15,6 +15,25 @@
 
 using namespace mco;
 
+namespace {
+
+/// Renders \p Sym without assuming it is interned: modules verified mid
+/// fan-out carry placeholder ids outside the program's pool.
+std::string safeSymName(const Program &Prog, uint32_t Sym) {
+  if (Sym < Prog.numSymbols())
+    return Prog.symbolName(Sym);
+  return "<sym#" + std::to_string(Sym) + ">";
+}
+
+} // namespace
+
+void Interpreter::fault(const std::string &Msg) const {
+  if (TrapMode)
+    throw SimFault(Msg);
+  std::fprintf(stderr, "interpreter: %s\n", Msg.c_str());
+  std::abort();
+}
+
 void Interpreter::reportFaultTrace() const {
   std::fprintf(stderr, "last executed instructions (oldest first):\n");
   for (unsigned I = 0; I < TraceDepth; ++I) {
@@ -88,6 +107,8 @@ bool Interpreter::condHolds(Cond C) const {
 }
 
 Interpreter::Builtin Interpreter::builtinFor(uint32_t Sym) const {
+  if (Sym >= Prog.numSymbols())
+    return Builtin::None;
   const std::string &N = Prog.symbolName(Sym);
   if (N == "swift_retain")
     return Builtin::SwiftRetain;
@@ -215,21 +236,43 @@ int64_t Interpreter::call(const std::string &FnName,
   return static_cast<int64_t>(Regs[0]);
 }
 
+Expected<int64_t> Interpreter::tryCall(const std::string &FnName,
+                                       const std::vector<int64_t> &Args) {
+  uint32_t Sym = Prog.lookupSymbol(FnName);
+  if (Sym == UINT32_MAX || Image.functionAddr(Sym) == 0)
+    return MCO_ERROR("no such function '" + FnName + "'");
+  if (Args.size() > 8)
+    return MCO_ERROR("at most 8 register arguments");
+  for (unsigned I = 0; I < 34; ++I)
+    Regs[I] = 0;
+  for (size_t I = 0; I < Args.size(); ++I)
+    Regs[I] = static_cast<uint64_t>(Args[I]);
+  Regs[regIndex(Reg::SP)] = Memory::StackTop - 64;
+  Regs[regIndex(LR)] = ReturnSentinel;
+  TrapMode = true;
+  Mem.setTrapOnFault(true);
+  try {
+    execute(Image.functionAddr(Sym));
+  } catch (const SimFault &F) {
+    TrapMode = false;
+    Mem.setTrapOnFault(false);
+    return MCO_ERROR(std::string("simulated fault: ") + F.what());
+  }
+  TrapMode = false;
+  Mem.setTrapOnFault(false);
+  return static_cast<int64_t>(Regs[0]);
+}
+
 void Interpreter::execute(uint64_t EntryAddr) {
   uint64_t Pc = EntryAddr;
   uint64_t Budget = Fuel;
 
   while (Pc != ReturnSentinel) {
     const MachineInstr *MI = Image.instrAt(Pc);
-    if (!MI) {
-      std::fprintf(stderr, "interpreter: jump to invalid address 0x%" PRIx64
-                           "\n", Pc);
-      std::abort();
-    }
-    if (Budget-- == 0) {
-      std::fprintf(stderr, "interpreter: instruction budget exhausted\n");
-      std::abort();
-    }
+    if (!MI)
+      fault("jump to invalid address " + std::to_string(Pc));
+    if (Budget-- == 0)
+      fault("instruction budget exhausted");
 #ifdef MCO_TRACE_TAIL
     if (Budget < 64) {
       const uint32_t FI = Image.functionIndexAt(Pc);
@@ -358,11 +401,8 @@ void Interpreter::execute(uint64_t EntryAddr) {
       uint64_t Addr = Image.globalAddr(Sym);
       if (Addr == 0)
         Addr = Image.functionAddr(Sym);
-      if (Addr == 0) {
-        std::fprintf(stderr, "interpreter: adr of undefined symbol '%s'\n",
-                     Prog.symbolName(Sym).c_str());
-        std::abort();
-      }
+      if (Addr == 0)
+        fault("adr of undefined symbol '" + safeSymName(Prog, Sym) + "'");
       writeReg(RegOp(0), Addr);
       break;
     }
@@ -405,11 +445,8 @@ void Interpreter::execute(uint64_t EntryAddr) {
       writeReg(LR, Pc + InstrBytes);
       if (Target == 0) {
         Builtin B = builtinFor(Sym);
-        if (B == Builtin::None) {
-          std::fprintf(stderr, "interpreter: call to undefined '%s'\n",
-                       Prog.symbolName(Sym).c_str());
-          std::abort();
-        }
+        if (B == Builtin::None)
+          fault("call to undefined '" + safeSymName(Prog, Sym) + "'");
         runBuiltin(B);
         // Control returns immediately; LR already points past the BL.
       } else {
@@ -436,11 +473,8 @@ void Interpreter::execute(uint64_t EntryAddr) {
         foldPredictedBranch(); // Direct tail calls are always predicted.
       if (Target == 0) {
         Builtin B = builtinFor(Sym);
-        if (B == Builtin::None) {
-          std::fprintf(stderr, "interpreter: tail call to undefined '%s'\n",
-                       Prog.symbolName(Sym).c_str());
-          std::abort();
-        }
+        if (B == Builtin::None)
+          fault("tail call to undefined '" + safeSymName(Prog, Sym) + "'");
         runBuiltin(B);
         // A tail call returns on the caller's behalf.
         NextPc = readReg(LR);

@@ -21,6 +21,7 @@
 #include "linker/Linker.h"
 #include "sim/CacheModel.h"
 #include "sim/Memory.h"
+#include "support/Error.h"
 
 #include <cstdint>
 #include <memory>
@@ -42,6 +43,14 @@ public:
   /// Aborts the process on simulated faults or fuel exhaustion.
   int64_t call(const std::string &FnName,
                const std::vector<int64_t> &Args = {});
+
+  /// Like call(), but simulated faults (bad memory access, undefined call
+  /// target, fuel exhaustion, ...) return an error Status instead of
+  /// aborting, so possibly-corrupt code can be executed safely. The fault
+  /// message is deterministic for a deterministic execution, which the
+  /// guard's pre/post differential check relies on.
+  Expected<int64_t> tryCall(const std::string &FnName,
+                            const std::vector<int64_t> &Args = {});
 
   /// Cumulative counters over every call() so far.
   const PerfCounters &counters() const { return Counters; }
@@ -67,6 +76,8 @@ private:
 
   Builtin builtinFor(uint32_t Sym) const;
   void runBuiltin(Builtin B);
+  /// Throws SimFault in trap mode; prints and aborts otherwise.
+  [[noreturn]] void fault(const std::string &Msg) const;
   uint64_t readReg(Reg R) const;
   void writeReg(Reg R, uint64_t V);
   void setFlagsSub(uint64_t A, uint64_t B);
@@ -93,6 +104,8 @@ private:
   PerfCounters Counters;
 
   uint64_t Fuel = 2'000'000'000ull;
+  /// True while inside tryCall (simulated faults throw instead of abort).
+  bool TrapMode = false;
 
   /// Ring buffer of recently executed PCs, reported on simulated faults.
   static constexpr unsigned TraceDepth = 64;

@@ -34,6 +34,9 @@ uint8_t *Memory::resolve(uint64_t Addr, uint64_t Size) {
   if (!DataSeg.empty() && Addr >= DataBase &&
       Addr + Size <= DataBase + DataSeg.size())
     return DataSeg.data() + (Addr - DataBase);
+  if (TrapOnFault)
+    throw SimFault("memory fault: access of " + std::to_string(Size) +
+                   " bytes at address " + std::to_string(Addr));
   std::fprintf(stderr,
                "simulated memory fault: access of %llu bytes at 0x%llx\n",
                static_cast<unsigned long long>(Size),
@@ -65,6 +68,8 @@ uint64_t Memory::heapAlloc(uint64_t Bytes) {
     It->second.pop_back();
   } else {
     if (HeapBump + Bytes > HeapBytes) {
+      if (TrapOnFault)
+        throw SimFault("heap exhausted");
       std::fprintf(stderr, "simulated heap exhausted\n");
       std::abort();
     }
@@ -80,6 +85,8 @@ uint64_t Memory::heapAlloc(uint64_t Bytes) {
 void Memory::heapFree(uint64_t Addr) {
   auto It = AllocSizes.find(Addr);
   if (It == AllocSizes.end()) {
+    if (TrapOnFault)
+      throw SimFault("bad free of address " + std::to_string(Addr));
     std::fprintf(stderr, "simulated heap: bad free of 0x%llx\n",
                  static_cast<unsigned long long>(Addr));
     std::abort();

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -25,6 +27,15 @@ namespace mco {
 
 class BinaryImage;
 class Program;
+
+/// A simulated fault (bad memory access, heap misuse, invalid control
+/// transfer, fuel exhaustion) raised instead of aborting the process when
+/// trap mode is on — the guard's differential-execution checks run
+/// possibly-corrupt code and must survive its crashes.
+class SimFault : public std::runtime_error {
+public:
+  explicit SimFault(const std::string &What) : std::runtime_error(What) {}
+};
 
 /// Byte-addressable memory with three segments.
 class Memory {
@@ -63,6 +74,10 @@ public:
     FaultCtx = Ctx;
   }
 
+  /// When on, simulated faults throw SimFault instead of printing a trace
+  /// and aborting the process.
+  void setTrapOnFault(bool On) { TrapOnFault = On; }
+
 private:
   uint8_t *resolve(uint64_t Addr, uint64_t Size);
   const uint8_t *resolve(uint64_t Addr, uint64_t Size) const {
@@ -81,6 +96,7 @@ private:
   std::unordered_map<uint64_t, uint64_t> AllocSizes;
   void (*FaultHook)(void *) = nullptr;
   void *FaultCtx = nullptr;
+  bool TrapOnFault = false;
 };
 
 } // namespace mco

@@ -1,0 +1,18 @@
+//===- support/Error.cpp - Status/Expected error propagation --------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+using namespace mco;
+
+std::string Status::render() const {
+  if (ok())
+    return "";
+  if (!D->File)
+    return D->Message;
+  return std::string(D->File) + ":" + std::to_string(D->Line) + ": " +
+         D->Message;
+}

@@ -1,0 +1,111 @@
+//===- support/Error.h - Status/Expected error propagation -----*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight recoverable-error types for the parser -> pipeline -> tool
+/// path. A Status is either ok or carries a message plus the source
+/// location that raised it; Expected<T> is a value-or-Status. Neither uses
+/// exceptions, so library code can hand failures up to main() instead of
+/// calling std::exit mid-pipeline (the paper's production constraint: an
+/// optimizer bug must cost a candidate, never the build).
+///
+/// Raise errors with MCO_ERROR("message") so the diagnostic records
+/// file:line of the raise site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SUPPORT_ERROR_H
+#define MCO_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace mco {
+
+/// Success, or an error message with its raise location. Cheap to copy
+/// (one shared_ptr); the ok state allocates nothing.
+class Status {
+public:
+  /// Default-constructed Status is ok.
+  Status() = default;
+
+  static Status success() { return Status(); }
+
+  /// \p File should be a string with static storage duration (__FILE__).
+  static Status error(std::string Message, const char *File = nullptr,
+                      int Line = 0) {
+    Status S;
+    S.D = std::make_shared<const Payload>(
+        Payload{std::move(Message), File, Line});
+    return S;
+  }
+
+  bool ok() const { return D == nullptr; }
+  explicit operator bool() const { return ok(); }
+
+  /// The raw message. Only valid when !ok().
+  const std::string &message() const {
+    assert(D && "message() on an ok Status");
+    return D->Message;
+  }
+
+  /// "file:line: message" (or just the message when no location was
+  /// recorded); "" when ok.
+  std::string render() const;
+
+  const char *file() const { return D ? D->File : nullptr; }
+  int line() const { return D ? D->Line : 0; }
+
+private:
+  struct Payload {
+    std::string Message;
+    const char *File;
+    int Line;
+  };
+  std::shared_ptr<const Payload> D;
+};
+
+/// Raises a Status error annotated with the current source location.
+#define MCO_ERROR(MsgExpr) ::mco::Status::error((MsgExpr), __FILE__, __LINE__)
+
+/// A value of type T or the Status explaining why there is none.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Val(std::move(Value)), HasVal(true) {}
+  Expected(Status Err) : Err(std::move(Err)) {
+    assert(!this->Err.ok() && "Expected built from an ok Status");
+  }
+
+  bool ok() const { return HasVal; }
+  explicit operator bool() const { return HasVal; }
+
+  T &get() {
+    assert(HasVal && "get() on a failed Expected");
+    return Val;
+  }
+  const T &get() const {
+    assert(HasVal && "get() on a failed Expected");
+    return Val;
+  }
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  /// The error. ok (empty) when a value is present.
+  const Status &status() const { return Err; }
+
+private:
+  T Val{};
+  Status Err;
+  bool HasVal = false;
+};
+
+} // namespace mco
+
+#endif // MCO_SUPPORT_ERROR_H

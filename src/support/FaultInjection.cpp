@@ -1,0 +1,156 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection ---------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace mco;
+
+std::atomic<bool> mco::fault_detail::Armed{false};
+
+FaultInjection &FaultInjection::instance() {
+  static FaultInjection Registry;
+  return Registry;
+}
+
+const std::vector<std::string> &FaultInjection::knownSites() {
+  static const std::vector<std::string> Sites = {
+      FaultOutlinerRewriteCorrupt, FaultMapperHashCollide,
+      FaultPipelineModuleFail, FaultThreadPoolTaskThrow};
+  return Sites;
+}
+
+namespace {
+
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 0xCBF29CE484222325ull;
+  for (char C : S)
+    H = (H ^ static_cast<uint8_t>(C)) * 0x100000001B3ull;
+  return H;
+}
+
+/// Splits \p S on \p Sep, trimming ASCII spaces.
+std::vector<std::string> splitTrim(const std::string &S, char Sep) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  auto Flush = [&] {
+    size_t B = Cur.find_first_not_of(" \t");
+    if (B == std::string::npos) {
+      Cur.clear();
+      return;
+    }
+    size_t E = Cur.find_last_not_of(" \t");
+    Out.push_back(Cur.substr(B, E - B + 1));
+    Cur.clear();
+  };
+  for (char C : S) {
+    if (C == Sep)
+      Flush();
+    else
+      Cur += C;
+  }
+  Flush();
+  return Out;
+}
+
+} // namespace
+
+void FaultInjection::clear() {
+  fault_detail::Armed.store(false, std::memory_order_relaxed);
+  Specs.clear();
+  CurrentRound.store(0, std::memory_order_relaxed);
+}
+
+Status FaultInjection::configure(const std::string &SpecList) {
+  clear();
+  std::vector<std::unique_ptr<SiteSpec>> Parsed;
+  for (const std::string &Entry : splitTrim(SpecList, ';')) {
+    auto Spec = std::make_unique<SiteSpec>();
+    // site[@round][:rate[,seed]]
+    std::string Head = Entry;
+    size_t Colon = Head.find(':');
+    if (Colon != std::string::npos) {
+      std::string Tail = Head.substr(Colon + 1);
+      Head = Head.substr(0, Colon);
+      size_t Comma = Tail.find(',');
+      std::string RateTok =
+          Comma == std::string::npos ? Tail : Tail.substr(0, Comma);
+      char *End = nullptr;
+      Spec->Rate = std::strtod(RateTok.c_str(), &End);
+      if (End == RateTok.c_str() || Spec->Rate < 0.0 || Spec->Rate > 1.0)
+        return MCO_ERROR("fault spec '" + Entry +
+                         "': rate must be a number in [0, 1]");
+      if (Comma != std::string::npos)
+        Spec->Seed = std::strtoull(Tail.c_str() + Comma + 1, nullptr, 10);
+    }
+    size_t At = Head.find('@');
+    if (At != std::string::npos) {
+      Spec->Round =
+          static_cast<unsigned>(std::strtoul(Head.c_str() + At + 1,
+                                             nullptr, 10));
+      Head = Head.substr(0, At);
+    }
+    Spec->Site = Head;
+    const std::vector<std::string> &Known = knownSites();
+    if (std::find(Known.begin(), Known.end(), Spec->Site) == Known.end()) {
+      std::string Msg = "unknown fault site '" + Spec->Site + "'; known:";
+      for (const std::string &K : Known)
+        Msg += " " + K;
+      return MCO_ERROR(Msg);
+    }
+    Parsed.push_back(std::move(Spec));
+  }
+  Specs = std::move(Parsed);
+  if (!Specs.empty())
+    fault_detail::Armed.store(true, std::memory_order_relaxed);
+  return Status::success();
+}
+
+bool FaultInjection::shouldFireSlow(const char *Site) {
+  bool Fires = false;
+  for (const std::unique_ptr<SiteSpec> &Spec : Specs) {
+    if (Spec->Site != Site)
+      continue;
+    if (Spec->Round != 0 &&
+        Spec->Round != CurrentRound.load(std::memory_order_relaxed))
+      continue;
+    uint64_t Draw = Spec->Draws.fetch_add(1, std::memory_order_relaxed);
+    // Decision depends only on (seed, site, draw index), never on timing.
+    uint64_t H = splitmix64(Spec->Seed ^ fnv1a(Spec->Site) ^
+                            (Draw * 0x100000001B3ull));
+    double U = double(H >> 11) * (1.0 / 9007199254740992.0);
+    if (U < Spec->Rate) {
+      Spec->Fired.fetch_add(1, std::memory_order_relaxed);
+      Fires = true;
+    }
+  }
+  return Fires;
+}
+
+uint64_t FaultInjection::firedCount(const std::string &Site) const {
+  uint64_t N = 0;
+  for (const std::unique_ptr<SiteSpec> &Spec : Specs)
+    if (Spec->Site == Site)
+      N += Spec->Fired.load(std::memory_order_relaxed);
+  return N;
+}
+
+std::vector<FaultInjection::SiteReport> FaultInjection::report() const {
+  std::vector<SiteReport> Out;
+  for (const std::unique_ptr<SiteSpec> &Spec : Specs)
+    Out.push_back({Spec->Site, Spec->Draws.load(std::memory_order_relaxed),
+                   Spec->Fired.load(std::memory_order_relaxed)});
+  return Out;
+}

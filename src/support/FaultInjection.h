@@ -1,0 +1,153 @@
+//===- support/FaultInjection.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of named fault-injection sites used to exercise
+/// the guarded-outlining recovery paths (rollback, quarantine, module
+/// degradation) deterministically. Sites are compiled into the production
+/// code paths but cost one relaxed atomic load while disarmed.
+///
+/// Registered sites:
+///
+///   outliner.rewrite.corrupt  - a call-site rewrite emits a branch to a
+///                               nonexistent block (caught by verifyModule)
+///   mapper.hash.collide       - two distinct instructions receive the same
+///                               mapping id, producing semantically wrong
+///                               "repeats" (caught by the guard's
+///                               edit-integrity / differential-exec checks)
+///   pipeline.module.fail      - outlining a module throws before it starts
+///                               (per-module fan-out degradation path)
+///   threadpool.task.throw     - a parallelFor task throws (exception
+///                               propagation across pool lanes)
+///
+/// A spec configures one site: `site[@round][:rate[,seed]]` with rate in
+/// [0,1] (default 1) and round 0/omitted meaning "any round"; several specs
+/// are separated by ';'. The fire decision for the Nth check of a site is
+/// a pure function of (seed, site, N), so runs are reproducible at any
+/// thread count even though the *interleaving* of checks is not.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SUPPORT_FAULTINJECTION_H
+#define MCO_SUPPORT_FAULTINJECTION_H
+
+#include "support/Error.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mco {
+
+/// Thrown by sites configured to fail by throwing.
+class InjectedFault : public std::runtime_error {
+public:
+  explicit InjectedFault(const std::string &Site)
+      : std::runtime_error("injected fault at site '" + Site + "'"),
+        SiteName(Site) {}
+  const std::string &site() const { return SiteName; }
+
+private:
+  std::string SiteName;
+};
+
+namespace fault_detail {
+/// True while at least one spec is configured. Read on the hot path.
+extern std::atomic<bool> Armed;
+} // namespace fault_detail
+
+class FaultInjection {
+public:
+  /// The process-wide registry.
+  static FaultInjection &instance();
+
+  /// The names every spec must use.
+  static const std::vector<std::string> &knownSites();
+
+  /// Parses and installs \p SpecList ("site[@round][:rate[,seed]]", ';'
+  /// separated; empty clears). Replaces any previous configuration. Not
+  /// thread-safe against concurrent checks: configure before starting a
+  /// build, as the tools and tests do.
+  Status configure(const std::string &SpecList);
+
+  /// Disarms every site and resets counters.
+  void clear();
+
+  bool armed() const {
+    return fault_detail::Armed.load(std::memory_order_relaxed);
+  }
+
+  /// Current outlining round for `@round`-filtered specs. One global slot:
+  /// concurrent per-module engines at different rounds overwrite each
+  /// other, so round filters are exact for whole-program builds and
+  /// approximate under the per-module fan-out (documented in DESIGN.md).
+  void setRound(unsigned Round) {
+    CurrentRound.store(Round, std::memory_order_relaxed);
+  }
+  unsigned round() const {
+    return CurrentRound.load(std::memory_order_relaxed);
+  }
+
+  /// Draws the site's next deterministic decision. Call through
+  /// faultSiteFires(), which short-circuits while disarmed.
+  bool shouldFireSlow(const char *Site);
+
+  /// Total times \p Site fired since the last configure()/clear().
+  uint64_t firedCount(const std::string &Site) const;
+
+  struct SiteReport {
+    std::string Site;
+    uint64_t Draws = 0;
+    uint64_t Fired = 0;
+  };
+  /// One entry per configured spec.
+  std::vector<SiteReport> report() const;
+
+private:
+  struct SiteSpec {
+    std::string Site;
+    unsigned Round = 0; ///< 0 = any round.
+    double Rate = 1.0;
+    uint64_t Seed = 0;
+    std::atomic<uint64_t> Draws{0};
+    std::atomic<uint64_t> Fired{0};
+  };
+  std::vector<std::unique_ptr<SiteSpec>> Specs;
+  std::atomic<unsigned> CurrentRound{0};
+};
+
+/// \returns true if the armed registry decides \p Site fails this time.
+inline bool faultSiteFires(const char *Site) {
+  return fault_detail::Armed.load(std::memory_order_relaxed) &&
+         FaultInjection::instance().shouldFireSlow(Site);
+}
+
+/// Throws InjectedFault when \p Site fires.
+inline void faultSiteCheck(const char *Site) {
+  if (faultSiteFires(Site))
+    throw InjectedFault(Site);
+}
+
+/// Publishes the round for `@round` spec filters; no-op while disarmed.
+inline void faultSetRound(unsigned Round) {
+  if (fault_detail::Armed.load(std::memory_order_relaxed))
+    FaultInjection::instance().setRound(Round);
+}
+
+// Site name constants (use these, not string literals, at check sites).
+inline constexpr const char *FaultOutlinerRewriteCorrupt =
+    "outliner.rewrite.corrupt";
+inline constexpr const char *FaultMapperHashCollide = "mapper.hash.collide";
+inline constexpr const char *FaultPipelineModuleFail = "pipeline.module.fail";
+inline constexpr const char *FaultThreadPoolTaskThrow =
+    "threadpool.task.throw";
+
+} // namespace mco
+
+#endif // MCO_SUPPORT_FAULTINJECTION_H

@@ -6,6 +6,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/FaultInjection.h"
+
 using namespace mco;
 
 unsigned ThreadPool::hardwareThreads() {
@@ -36,6 +38,7 @@ void ThreadPool::runChunks(const std::function<void(size_t)> &Fn, size_t N) {
     if (I >= N)
       return;
     try {
+      faultSiteCheck(FaultThreadPoolTaskThrow);
       Fn(I);
     } catch (...) {
       std::lock_guard<std::mutex> L(ErrMtx);
@@ -86,8 +89,10 @@ void ThreadPool::parallelFor(size_t N,
     return;
   if (Workers.empty() || N == 1) {
     // Inline path: exceptions propagate directly.
-    for (size_t I = 0; I < N; ++I)
+    for (size_t I = 0; I < N; ++I) {
+      faultSiteCheck(FaultThreadPoolTaskThrow);
       Fn(I);
+    }
     return;
   }
   {

@@ -107,6 +107,65 @@ TEST(MIRParserTest, ReportsErrorsWithLineNumbers) {
   EXPECT_FALSE(R3); // Instruction outside a function.
 }
 
+TEST(MIRParserTest, RecoversAtNextFunctionAndReportsEveryError) {
+  // One parse reports all broken functions: after an error the parser
+  // skips to the next function header, so a good function between two
+  // bad ones still parses and both errors are diagnosed.
+  Program P;
+  ParseResult R = parseModule(P, R"(; module multi
+f:
+  bogus x0
+g:
+  mov x0, #1
+  ret
+h:
+  mov x0, zzz
+  ret
+)");
+  ASSERT_FALSE(R);
+  ASSERT_EQ(R.Diags.size(), 2u);
+  EXPECT_EQ(R.Diags[0].Line, 3u);
+  EXPECT_NE(R.Diags[0].Message.find("bogus"), std::string::npos);
+  EXPECT_EQ(R.Diags[1].Line, 8u);
+  // The rendered Error is the first diagnostic.
+  EXPECT_EQ(R.Error, R.Diags[0].render());
+  // The failed module must not be left half-appended to the program.
+  EXPECT_TRUE(P.Modules.empty());
+}
+
+TEST(MIRParserTest, ReportsColumnOfOffendingOperand) {
+  Program P;
+  ParseResult R = parseModule(P, "f:\n  mov x0, zzz\n");
+  ASSERT_FALSE(R);
+  ASSERT_EQ(R.Diags.size(), 1u);
+  EXPECT_EQ(R.Diags[0].Line, 2u);
+  // "  mov x0, zzz": the bad operand's 'z' is at 1-based column 11.
+  EXPECT_EQ(R.Diags[0].Column, 11u);
+  EXPECT_NE(R.Diags[0].render().find("line 2, col 11"), std::string::npos);
+
+  // An unknown mnemonic points at the start of the instruction.
+  ParseResult R2 = parseModule(P, "f:\n  bogus x0\n");
+  ASSERT_FALSE(R2);
+  ASSERT_EQ(R2.Diags.size(), 1u);
+  EXPECT_EQ(R2.Diags[0].Column, 3u);
+}
+
+TEST(MIRParserTest, ErrorsInDistinctBlocksOfOneFunctionReportOnce) {
+  // Recovery is at function granularity: a second error inside the same
+  // broken function is not re-reported as noise.
+  Program P;
+  ParseResult R = parseModule(P, R"(
+f:
+  bogus x0
+  more junk here
+g:
+  ret
+)");
+  ASSERT_FALSE(R);
+  EXPECT_EQ(R.Diags.size(), 1u);
+  EXPECT_EQ(R.Diags[0].Line, 3u);
+}
+
 TEST(MIRParserTest, RoundTripsEveryOpcode) {
   // Build a function containing every printable opcode form, print it,
   // parse it back, and require instruction-exact equality.

@@ -6,6 +6,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/FaultInjection.h"
+
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -89,6 +91,73 @@ TEST(ThreadPoolTest, ParallelMapPreservesIndexOrder) {
 
 TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
   EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, AllOtherIndicesStillRunWhenOneThrows) {
+  // One poisoned index must not wedge the other lanes or skip their
+  // work: every non-throwing index still runs exactly once.
+  ThreadPool Pool(4);
+  constexpr size_t N = 64;
+  std::vector<std::atomic<unsigned>> Hits(N);
+  EXPECT_THROW(Pool.parallelFor(N,
+                                [&](size_t I) {
+                                  if (I == 20)
+                                    throw std::runtime_error("poisoned");
+                                  Hits[I].fetch_add(1);
+                                }),
+               std::runtime_error);
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), I == 20 ? 0u : 1u) << "index " << I;
+}
+
+TEST(ThreadPoolTest, SurvivesManyConsecutiveFailingGenerations) {
+  // Back-to-back failing jobs must each propagate their own exception
+  // and leave the pool fully usable for the generation that follows.
+  ThreadPool Pool(4);
+  for (unsigned Gen = 0; Gen < 10; ++Gen) {
+    EXPECT_THROW(Pool.parallelFor(32,
+                                  [&](size_t I) {
+                                    if (I % 4 == Gen % 4)
+                                      throw std::runtime_error("gen fail");
+                                  }),
+                 std::runtime_error);
+    std::atomic<size_t> Count{0};
+    Pool.parallelFor(32, [&](size_t) { Count.fetch_add(1); });
+    EXPECT_EQ(Count.load(), 32u) << "generation " << Gen;
+  }
+}
+
+TEST(ThreadPoolTest, InlinePathPropagatesExceptionsToo) {
+  // With one lane parallelFor runs inline; a throw must escape directly
+  // and the pool must keep working.
+  ThreadPool Pool(1);
+  EXPECT_THROW(Pool.parallelFor(8,
+                                [&](size_t I) {
+                                  if (I == 3)
+                                    throw std::runtime_error("inline");
+                                }),
+               std::runtime_error);
+  std::atomic<size_t> Count{0};
+  Pool.parallelFor(8, [&](size_t) { Count.fetch_add(1); });
+  EXPECT_EQ(Count.load(), 8u);
+}
+
+TEST(ThreadPoolTest, InjectedTaskThrowPropagatesAndClears) {
+  // The threadpool.task.throw fault site throws InjectedFault from
+  // inside the pool's task wrapper -- before the user function runs --
+  // and parallelFor must surface it like any user exception.
+  ASSERT_TRUE(
+      FaultInjection::instance().configure("threadpool.task.throw:1.0,3").ok());
+  ThreadPool Pool(4);
+  std::atomic<size_t> Ran{0};
+  EXPECT_THROW(Pool.parallelFor(16, [&](size_t) { Ran.fetch_add(1); }),
+               InjectedFault);
+  EXPECT_EQ(Ran.load(), 0u);
+
+  // Disarming restores normal service on the same pool.
+  FaultInjection::instance().clear();
+  Pool.parallelFor(16, [&](size_t) { Ran.fetch_add(1); });
+  EXPECT_EQ(Ran.load(), 16u);
 }
 
 } // namespace

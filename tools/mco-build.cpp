@@ -15,13 +15,21 @@
 ///             [-j N | --threads N] [--incremental]
 ///             [--interleave-data] [--normalize-commutative]
 ///             [--hot-layout] [--print-patterns N] [--dump FILE]
+///             [--guard] [--max-retries N] [--verify-exec N]
+///             [--fault-inject SPEC] [--diag-json FILE]
+///
+/// All failures propagate as Status up to main(), which is the only place
+/// that turns them into a nonzero exit.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "linker/Linker.h"
 #include "mir/MIRPrinter.h"
+#include "mir/MIRVerifier.h"
 #include "outliner/PatternStats.h"
 #include "pipeline/BuildPipeline.h"
+#include "support/Error.h"
+#include "support/FaultInjection.h"
 #include "synth/CorpusSynthesizer.h"
 #include "transforms/Transforms.h"
 
@@ -44,90 +52,215 @@ void usage() {
       "                 [--interleave-data] [--normalize-commutative]\n"
       "                 [--hot-layout] [--print-patterns N] "
       "[--dump FILE]\n"
+      "                 [--guard] [--max-retries N] [--verify-exec N]\n"
+      "                 [--fault-inject SPEC] [--diag-json FILE]\n"
       "  -j N           worker threads for synthesis and outlining\n"
       "                 (output is bit-identical at any N)\n"
-      "  --incremental  reuse mapping/liveness across outlining rounds\n");
+      "  --incremental  reuse mapping/liveness across outlining rounds\n"
+      "  --guard        verify every outlining round; roll back and\n"
+      "                 quarantine on failure\n"
+      "  --verify-exec N  also execute N sampled functions before/after\n"
+      "                 each round and compare outcomes (implies --guard)\n"
+      "  --fault-inject SPEC  deterministic fault injection;\n"
+      "                 SPEC = site[@round][:rate[,seed]][;...]\n"
+      "  --diag-json FILE  write a machine-readable build report\n");
 }
 
-} // namespace
-
-int main(int argc, char **argv) {
+/// Everything the command line configures.
+struct BuildConfig {
   AppProfile Profile = AppProfile::uberRider();
   PipelineOptions Opts;
-  Opts.OutlineRounds = 5;
   bool Normalize = false;
   bool HotLayout = false;
   unsigned PrintPatterns = 0;
   std::string DumpFile;
+  std::string DiagFile;
+  std::string FaultSpec;
   int ModulesOverride = -1;
+};
 
+Status parseArgs(int argc, char **argv, BuildConfig &C) {
+  C.Opts.OutlineRounds = 5;
   for (int I = 1; I < argc; ++I) {
     std::string A = argv[I];
     auto Next = [&]() -> const char * {
-      if (I + 1 >= argc) {
-        usage();
-        std::exit(1);
-      }
-      return argv[++I];
+      return I + 1 < argc ? argv[++I] : nullptr;
     };
+    auto NextOr = [&](const char *&V) -> Status {
+      V = Next();
+      if (!V)
+        return MCO_ERROR("option '" + A + "' requires a value");
+      return Status::success();
+    };
+    const char *V = nullptr;
     if (A == "--profile") {
-      std::string P = Next();
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      std::string P = V;
       if (P == "rider")
-        Profile = AppProfile::uberRider();
+        C.Profile = AppProfile::uberRider();
       else if (P == "driver")
-        Profile = AppProfile::uberDriver();
+        C.Profile = AppProfile::uberDriver();
       else if (P == "eats")
-        Profile = AppProfile::uberEats();
+        C.Profile = AppProfile::uberEats();
       else if (P == "clang")
-        Profile = AppProfile::clangCompiler();
+        C.Profile = AppProfile::clangCompiler();
       else if (P == "kernel")
-        Profile = AppProfile::linuxKernel();
-      else {
-        usage();
-        return 1;
-      }
+        C.Profile = AppProfile::linuxKernel();
+      else
+        return MCO_ERROR("unknown profile '" + P + "'");
     } else if (A == "--modules") {
-      ModulesOverride = std::atoi(Next());
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.ModulesOverride = std::atoi(V);
     } else if (A == "--rounds") {
-      Opts.OutlineRounds = static_cast<unsigned>(std::atoi(Next()));
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Opts.OutlineRounds = static_cast<unsigned>(std::atoi(V));
     } else if (A == "--per-module") {
-      Opts.WholeProgram = false;
+      C.Opts.WholeProgram = false;
     } else if (A == "-j" || A == "--threads") {
-      Opts.Threads = static_cast<unsigned>(std::atoi(Next()));
-      if (Opts.Threads == 0)
-        Opts.Threads = 1;
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Opts.Threads = static_cast<unsigned>(std::atoi(V));
+      if (C.Opts.Threads == 0)
+        C.Opts.Threads = 1;
     } else if (A == "--incremental") {
-      Opts.Outliner.Incremental = true;
+      C.Opts.Outliner.Incremental = true;
     } else if (A == "--interleave-data") {
-      Opts.DataLayout = DataLayoutMode::Interleaved;
+      C.Opts.DataLayout = DataLayoutMode::Interleaved;
     } else if (A == "--normalize-commutative") {
-      Normalize = true;
+      C.Normalize = true;
     } else if (A == "--hot-layout") {
-      HotLayout = true;
+      C.HotLayout = true;
     } else if (A == "--print-patterns") {
-      PrintPatterns = static_cast<unsigned>(std::atoi(Next()));
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.PrintPatterns = static_cast<unsigned>(std::atoi(V));
     } else if (A == "--dump") {
-      DumpFile = Next();
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.DumpFile = V;
+    } else if (A == "--guard") {
+      C.Opts.Guard.Enabled = true;
+    } else if (A == "--max-retries") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Opts.Guard.MaxRetriesPerRound = static_cast<unsigned>(std::atoi(V));
+    } else if (A == "--verify-exec") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Opts.Guard.VerifyExecSamples = static_cast<unsigned>(std::atoi(V));
+      C.Opts.Guard.Enabled = true;
+    } else if (A == "--fault-inject") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.FaultSpec = V;
+    } else if (A == "--diag-json") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.DiagFile = V;
     } else {
-      usage();
-      return 1;
+      return MCO_ERROR("unknown option '" + A + "'");
     }
   }
-  if (ModulesOverride > 0)
-    Profile.NumModules = static_cast<unsigned>(ModulesOverride);
+  if (C.ModulesOverride > 0)
+    C.Profile.NumModules = static_cast<unsigned>(C.ModulesOverride);
+  return Status::success();
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(Ch) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", Ch);
+        Out += Buf;
+      } else {
+        Out += Ch;
+      }
+    }
+  }
+  return Out;
+}
+
+Status writeDiagJson(const std::string &Path, const BuildConfig &C,
+                     const BuildResult &R, uint64_t SizeBefore,
+                     const std::string &FinalVerify) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return MCO_ERROR("cannot open diag file '" + Path + "'");
+  auto U64 = [](uint64_t V) { return std::to_string(V); };
+  Out << "{\n";
+  Out << "  \"profile\": \"" << jsonEscape(C.Profile.Name) << "\",\n";
+  Out << "  \"pipeline\": \""
+      << (C.Opts.WholeProgram ? "whole-program" : "per-module") << "\",\n";
+  Out << "  \"rounds_requested\": " << C.Opts.OutlineRounds << ",\n";
+  Out << "  \"guard\": " << (C.Opts.Guard.Enabled ? "true" : "false")
+      << ",\n";
+  Out << "  \"code_size_before\": " << U64(SizeBefore) << ",\n";
+  Out << "  \"code_size_after\": " << U64(R.CodeSize) << ",\n";
+  Out << "  \"binary_size\": " << U64(R.BinarySize) << ",\n";
+  Out << "  \"modules_degraded\": " << U64(R.ModulesDegraded) << ",\n";
+  Out << "  \"rounds_rolled_back\": " << U64(R.RoundsRolledBack) << ",\n";
+  Out << "  \"patterns_quarantined\": " << U64(R.PatternsQuarantined)
+      << ",\n";
+  Out << "  \"final_verify\": \"" << jsonEscape(FinalVerify) << "\",\n";
+  Out << "  \"failure_log\": [";
+  for (size_t I = 0; I < R.FailureLog.size(); ++I)
+    Out << (I ? ", " : "") << "\"" << jsonEscape(R.FailureLog[I]) << "\"";
+  Out << "],\n";
+  Out << "  \"fault_sites\": [";
+  const auto Sites = FaultInjection::instance().report();
+  for (size_t I = 0; I < Sites.size(); ++I)
+    Out << (I ? ", " : "") << "{\"site\": \"" << jsonEscape(Sites[I].Site)
+        << "\", \"draws\": " << U64(Sites[I].Draws)
+        << ", \"fired\": " << U64(Sites[I].Fired) << "}";
+  Out << "],\n";
+  Out << "  \"rounds\": [";
+  for (size_t I = 0; I < R.OutlineStats.Rounds.size(); ++I) {
+    const OutlineRoundStats &RS = R.OutlineStats.Rounds[I];
+    Out << (I ? ", " : "") << "{\"round\": " << (I + 1)
+        << ", \"sequences\": " << U64(RS.SequencesOutlined)
+        << ", \"functions\": " << U64(RS.FunctionsCreated)
+        << ", \"bytes_saved\": " << U64(RS.bytesSaved())
+        << ", \"quarantined\": " << U64(RS.PatternsQuarantined)
+        << ", \"rolled_back\": " << U64(RS.RoundsRolledBack) << "}";
+  }
+  Out << "]\n";
+  Out << "}\n";
+  if (!Out)
+    return MCO_ERROR("failed writing diag file '" + Path + "'");
+  return Status::success();
+}
+
+Status runBuild(BuildConfig &C) {
+  if (!C.FaultSpec.empty()) {
+    if (Status S = FaultInjection::instance().configure(C.FaultSpec);
+        !S.ok())
+      return S;
+  }
 
   std::printf("profile %s, %u modules, %s pipeline, %u round(s), "
-              "%u thread(s)%s\n",
-              Profile.Name.c_str(), Profile.NumModules,
-              Opts.WholeProgram ? "whole-program" : "per-module",
-              Opts.OutlineRounds, Opts.Threads,
-              Opts.Outliner.Incremental ? ", incremental" : "");
+              "%u thread(s)%s%s\n",
+              C.Profile.Name.c_str(), C.Profile.NumModules,
+              C.Opts.WholeProgram ? "whole-program" : "per-module",
+              C.Opts.OutlineRounds, C.Opts.Threads,
+              C.Opts.Outliner.Incremental ? ", incremental" : "",
+              C.Opts.Guard.Enabled ? ", guarded" : "");
 
   auto Prog =
-      CorpusSynthesizer(Profile).withThreads(Opts.Threads).generate();
+      CorpusSynthesizer(C.Profile).withThreads(C.Opts.Threads).generate();
   uint64_t SizeBefore = Prog->codeSize();
 
-  if (Normalize) {
+  if (C.Normalize) {
     // Pre-normalization runs per module (before any merge), as a compiler
     // pass would.
     uint64_t Canon = 0;
@@ -137,8 +270,8 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(Canon));
   }
 
-  BuildResult R = buildProgram(*Prog, Opts);
-  if (HotLayout)
+  BuildResult R = buildProgram(*Prog, C.Opts);
+  if (C.HotLayout)
     layoutOutlinedByHotness(*Prog, *Prog->Modules[0]);
 
   std::printf("code size: %.1f KB -> %.1f KB (%.1f%% saved)\n",
@@ -159,20 +292,73 @@ int main(int argc, char **argv) {
   std::printf("build phases: link %.2fs, outline %.2fs, layout %.2fs\n",
               R.LinkIRSeconds, R.OutlineSeconds, R.LayoutSeconds);
 
-  if (PrintPatterns > 0) {
+  const bool FaultsActive = !C.FaultSpec.empty();
+  if (C.Opts.Guard.Enabled || FaultsActive) {
+    std::printf("guard: %llu round attempt(s) rolled back, %llu pattern(s) "
+                "quarantined, %llu module(s) degraded\n",
+                static_cast<unsigned long long>(R.RoundsRolledBack),
+                static_cast<unsigned long long>(R.PatternsQuarantined),
+                static_cast<unsigned long long>(R.ModulesDegraded));
+    const size_t MaxShown = 10;
+    for (size_t I = 0; I < R.FailureLog.size() && I < MaxShown; ++I)
+      std::printf("  %s\n", R.FailureLog[I].c_str());
+    if (R.FailureLog.size() > MaxShown)
+      std::printf("  ... and %zu more\n", R.FailureLog.size() - MaxShown);
+  }
+
+  // The robustness contract: however many faults were injected, the
+  // program we ship must verify.
+  std::string FinalVerify;
+  if (C.Opts.Guard.Enabled || FaultsActive || !C.DiagFile.empty()) {
+    VerifyOptions VOpts;
+    VOpts.CheckSymbolResolution = true;
+    FinalVerify = verifyModule(*Prog, *Prog->Modules[0], VOpts);
+    std::printf("final verify: %s\n",
+                FinalVerify.empty() ? "ok" : FinalVerify.c_str());
+  }
+
+  if (C.PrintPatterns > 0) {
     PatternAnalysis A =
-        analyzePatterns(*Prog, *Prog->Modules[0], {}, PrintPatterns);
+        analyzePatterns(*Prog, *Prog->Modules[0], {}, C.PrintPatterns);
     std::printf("\ntop repeated patterns (post-build):\n");
-    for (unsigned I = 0; I < PrintPatterns && I < A.Patterns.size(); ++I)
+    for (unsigned I = 0; I < C.PrintPatterns && I < A.Patterns.size(); ++I)
       std::printf("-- rank %u: %llu x %u instrs\n%s\n", A.Patterns[I].Rank,
                   static_cast<unsigned long long>(A.Patterns[I].Frequency),
                   A.Patterns[I].Length, A.Patterns[I].Text.c_str());
   }
 
-  if (!DumpFile.empty()) {
-    std::ofstream Out(DumpFile);
+  if (!C.DumpFile.empty()) {
+    std::ofstream Out(C.DumpFile);
+    if (!Out)
+      return MCO_ERROR("cannot open dump file '" + C.DumpFile + "'");
     Out << printModule(*Prog->Modules[0], *Prog);
-    std::printf("dumped module to %s\n", DumpFile.c_str());
+    std::printf("dumped module to %s\n", C.DumpFile.c_str());
+  }
+
+  if (!C.DiagFile.empty()) {
+    if (Status S = writeDiagJson(C.DiagFile, C, R, SizeBefore, FinalVerify);
+        !S.ok())
+      return S;
+    std::printf("wrote diagnostics to %s\n", C.DiagFile.c_str());
+  }
+
+  if (!FinalVerify.empty())
+    return MCO_ERROR("final verification failed: " + FinalVerify);
+  return Status::success();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BuildConfig C;
+  if (Status S = parseArgs(argc, argv, C); !S.ok()) {
+    std::fprintf(stderr, "mco-build: %s\n", S.render().c_str());
+    usage();
+    return 1;
+  }
+  if (Status S = runBuild(C); !S.ok()) {
+    std::fprintf(stderr, "mco-build: %s\n", S.render().c_str());
+    return 1;
   }
   return 0;
 }

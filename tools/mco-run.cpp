@@ -11,14 +11,21 @@
 ///   mco-run FILE --entry NAME [--args a,b,...] [--rounds N]
 ///           [-j N | --threads N] [--incremental]
 ///           [--icache-kb N] [--verify]
+///           [--guard] [--max-retries N] [--verify-exec N]
+///           [--fault-inject SPEC]
+///
+/// All failures propagate as Status up to main(), which is the only place
+/// that turns them into a nonzero exit.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "linker/Linker.h"
 #include "mir/MIRParser.h"
 #include "mir/MIRVerifier.h"
-#include "outliner/MachineOutliner.h"
+#include "outliner/OutlineGuard.h"
 #include "sim/Interpreter.h"
+#include "support/Error.h"
+#include "support/FaultInjection.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,108 +37,175 @@
 
 using namespace mco;
 
-int main(int argc, char **argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: mco-run FILE --entry NAME [--args a,b,...] "
-                 "[--rounds N] [-j N | --threads N] [--incremental] "
-                 "[--icache-kb N] [--verify]\n");
-    return 1;
-  }
-  std::string File = argv[1];
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: mco-run FILE --entry NAME [--args a,b,...] "
+               "[--rounds N] [-j N | --threads N] [--incremental] "
+               "[--icache-kb N] [--verify]\n"
+               "              [--guard] [--max-retries N] [--verify-exec N] "
+               "[--fault-inject SPEC]\n");
+}
+
+struct RunConfig {
+  std::string File;
   std::string Entry = "bench_main";
   std::vector<int64_t> Args;
   unsigned Rounds = 0;
-  unsigned Threads = 1;
-  bool Incremental = false;
+  OutlinerOptions OOpts;
+  GuardOptions GOpts;
   unsigned ICacheKb = 64;
   bool Verify = false;
+  std::string FaultSpec;
+};
 
+Status parseArgs(int argc, char **argv, RunConfig &C) {
+  if (argc < 2)
+    return MCO_ERROR("missing input file");
+  C.File = argv[1];
   for (int I = 2; I < argc; ++I) {
     std::string A = argv[I];
-    auto Next = [&]() -> const char * {
+    auto NextOr = [&](const char *&V) -> Status {
       if (I + 1 >= argc)
-        std::exit(1);
-      return argv[++I];
+        return MCO_ERROR("option '" + A + "' requires a value");
+      V = argv[++I];
+      return Status::success();
     };
-    if (A == "--entry")
-      Entry = Next();
-    else if (A == "--args") {
-      std::stringstream SS(Next());
+    const char *V = nullptr;
+    if (A == "--entry") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Entry = V;
+    } else if (A == "--args") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      std::stringstream SS{std::string(V)};
       std::string Tok;
       while (std::getline(SS, Tok, ','))
-        Args.push_back(std::strtoll(Tok.c_str(), nullptr, 10));
-    } else if (A == "--rounds")
-      Rounds = static_cast<unsigned>(std::atoi(Next()));
-    else if (A == "-j" || A == "--threads") {
-      Threads = static_cast<unsigned>(std::atoi(Next()));
-      if (Threads == 0)
-        Threads = 1;
-    } else if (A == "--incremental")
-      Incremental = true;
-    else if (A == "--icache-kb")
-      ICacheKb = static_cast<unsigned>(std::atoi(Next()));
-    else if (A == "--verify")
-      Verify = true;
-    else
-      return 1;
+        C.Args.push_back(std::strtoll(Tok.c_str(), nullptr, 10));
+    } else if (A == "--rounds") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Rounds = static_cast<unsigned>(std::atoi(V));
+    } else if (A == "-j" || A == "--threads") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.OOpts.Threads = static_cast<unsigned>(std::atoi(V));
+      if (C.OOpts.Threads == 0)
+        C.OOpts.Threads = 1;
+    } else if (A == "--incremental") {
+      C.OOpts.Incremental = true;
+    } else if (A == "--icache-kb") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.ICacheKb = static_cast<unsigned>(std::atoi(V));
+    } else if (A == "--verify") {
+      C.Verify = true;
+    } else if (A == "--guard") {
+      C.GOpts.Enabled = true;
+    } else if (A == "--max-retries") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.GOpts.MaxRetriesPerRound = static_cast<unsigned>(std::atoi(V));
+    } else if (A == "--verify-exec") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.GOpts.VerifyExecSamples = static_cast<unsigned>(std::atoi(V));
+      C.GOpts.Enabled = true;
+    } else if (A == "--fault-inject") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.FaultSpec = V;
+    } else {
+      return MCO_ERROR("unknown option '" + A + "'");
+    }
+  }
+  return Status::success();
+}
+
+Status run(RunConfig &C) {
+  if (!C.FaultSpec.empty()) {
+    if (Status S = FaultInjection::instance().configure(C.FaultSpec);
+        !S.ok())
+      return S;
   }
 
-  std::ifstream In(File);
-  if (!In) {
-    std::fprintf(stderr, "mco-run: cannot open '%s'\n", File.c_str());
-    return 1;
-  }
+  std::ifstream In(C.File);
+  if (!In)
+    return MCO_ERROR("cannot open '" + C.File + "'");
   std::stringstream Buf;
   Buf << In.rdbuf();
 
   Program Prog;
   ParseResult R = parseModule(Prog, Buf.str());
-  if (!R) {
-    std::fprintf(stderr, "mco-run: parse error: %s\n", R.Error.c_str());
-    return 1;
-  }
+  if (!R)
+    return MCO_ERROR("parse error: " + R.Error);
   std::printf("loaded %zu function(s), %llu instructions\n",
               R.M->Functions.size(),
               static_cast<unsigned long long>(R.M->numInstrs()));
 
-  if (Verify) {
+  if (C.Verify) {
     VerifyOptions VOpts;
     VOpts.CheckSymbolResolution = true;
     std::string Err = verifyModule(Prog, *R.M, VOpts);
-    if (!Err.empty()) {
-      std::fprintf(stderr, "mco-run: verification failed: %s\n",
-                   Err.c_str());
-      return 1;
-    }
+    if (!Err.empty())
+      return MCO_ERROR("verification failed: " + Err);
     std::printf("module verifies\n");
   }
 
-  if (Rounds > 0) {
+  if (C.Rounds > 0) {
     uint64_t Before = R.M->codeSize();
-    OutlinerOptions OOpts;
-    OOpts.Threads = Threads;
-    OOpts.Incremental = Incremental;
-    runRepeatedOutliner(Prog, *R.M, Rounds, OOpts);
-    std::printf("outlined %u round(s): %.1f KB -> %.1f KB\n", Rounds,
-                Before / 1024.0, R.M->codeSize() / 1024.0);
+    if (C.GOpts.Enabled) {
+      OutlineGuard Guard(Prog, Prog, *R.M, C.OOpts, C.GOpts);
+      Guard.runGuardedRepeated(C.Rounds);
+      std::printf("outlined %u guarded round(s): %.1f KB -> %.1f KB "
+                  "(%llu attempt(s) rolled back, %zu pattern(s) "
+                  "quarantined)\n",
+                  C.Rounds, Before / 1024.0, R.M->codeSize() / 1024.0,
+                  static_cast<unsigned long long>(
+                      Guard.totalRoundsRolledBack()),
+                  Guard.numQuarantinedPatterns());
+      for (const std::string &F : Guard.failureLog())
+        std::printf("  %s\n", F.c_str());
+    } else {
+      runRepeatedOutliner(Prog, *R.M, C.Rounds, C.OOpts);
+      std::printf("outlined %u round(s): %.1f KB -> %.1f KB\n", C.Rounds,
+                  Before / 1024.0, R.M->codeSize() / 1024.0);
+    }
   }
 
   PerfConfig Cfg;
-  Cfg.ICacheBytes = uint64_t(ICacheKb) << 10;
+  Cfg.ICacheBytes = uint64_t(C.ICacheKb) << 10;
   BinaryImage Image(Prog);
   Interpreter I(Image, Prog, &Cfg);
-  int64_t Result = I.call(Entry, Args);
-  const PerfCounters &C = I.counters();
-  std::printf("%s(...) = %lld\n", Entry.c_str(),
+  int64_t Result = I.call(C.Entry, C.Args);
+  const PerfCounters &Cnt = I.counters();
+  std::printf("%s(...) = %lld\n", C.Entry.c_str(),
               static_cast<long long>(Result));
   std::printf("instrs %llu (outlined %.1f%%), cycles %.0f, IPC %.2f, "
               "I$ miss %llu, ITLB miss %llu, br miss %llu\n",
-              static_cast<unsigned long long>(C.Instrs),
-              C.Instrs ? 100.0 * C.OutlinedInstrs / C.Instrs : 0.0,
-              C.Cycles, C.ipc(),
-              static_cast<unsigned long long>(C.ICacheMisses),
-              static_cast<unsigned long long>(C.ITlbMisses),
-              static_cast<unsigned long long>(C.BranchMispredicts));
+              static_cast<unsigned long long>(Cnt.Instrs),
+              Cnt.Instrs ? 100.0 * Cnt.OutlinedInstrs / Cnt.Instrs : 0.0,
+              Cnt.Cycles, Cnt.ipc(),
+              static_cast<unsigned long long>(Cnt.ICacheMisses),
+              static_cast<unsigned long long>(Cnt.ITlbMisses),
+              static_cast<unsigned long long>(Cnt.BranchMispredicts));
+  return Status::success();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  RunConfig C;
+  if (Status S = parseArgs(argc, argv, C); !S.ok()) {
+    std::fprintf(stderr, "mco-run: %s\n", S.render().c_str());
+    usage();
+    return 1;
+  }
+  if (Status S = run(C); !S.ok()) {
+    std::fprintf(stderr, "mco-run: %s\n", S.render().c_str());
+    return 1;
+  }
   return 0;
 }
