@@ -12,6 +12,9 @@
 /// incremental engine configurations (which must produce identical sizes)
 /// and emits the measurements as machine-readable JSON.
 ///
+/// Also measures the crash-safe artifact cache: a cold (populating) build,
+/// a warm rebuild served entirely from cache, and a journaled resume.
+///
 ///   table5_build_time [--modules N] [--threads N] [--json PATH]
 ///
 //===----------------------------------------------------------------------===//
@@ -24,6 +27,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -46,7 +50,8 @@ struct Measurement {
 
 Measurement runConfig(const AppProfile &Profile, const std::string &Name,
                       bool WholeProgram, unsigned Rounds, unsigned Threads,
-                      bool Incremental) {
+                      bool Incremental,
+                      const ResilienceOptions *Resilience = nullptr) {
   Measurement M;
   M.Name = Name;
   M.Pipeline = WholeProgram ? "whole-program" : "per-module";
@@ -59,6 +64,8 @@ Measurement runConfig(const AppProfile &Profile, const std::string &Name,
   Opts.OutlineRounds = Rounds;
   Opts.Threads = Threads;
   Opts.Outliner.Incremental = Incremental;
+  if (Resilience)
+    Opts.Resilience = *Resilience;
   M.R = buildProgram(*Prog, Opts);
   M.CodeSize = M.R.CodeSize;
   return M;
@@ -96,6 +103,9 @@ void writeJson(const std::string &Path, unsigned Modules, unsigned Threads,
     for (size_t J = 0; J < M.R.OutlineStats.Rounds.size(); ++J)
       Out << (J ? ", " : "") << M.R.OutlineStats.Rounds[J].LivenessComputed;
     Out << "],\n";
+    Out << "      \"cache_hits\": " << M.R.CacheHits << ",\n";
+    Out << "      \"cache_misses\": " << M.R.CacheMisses << ",\n";
+    Out << "      \"modules_resumed\": " << M.R.ModulesResumed << ",\n";
     Out << "      \"code_size_bytes\": " << M.CodeSize << "\n";
     Out << "    }" << (I + 1 < All.size() ? "," : "") << "\n";
   }
@@ -209,6 +219,47 @@ int main(int argc, char **argv) {
   std::printf("\n[determinism check: final code size %s across all engine "
               "configurations]\n",
               SizesMatch ? "IDENTICAL" : "MISMATCH (BUG)");
+
+  section("artifact cache: cold build vs warm rebuild vs resume");
+  {
+    const std::string CacheDir = "./.mco-cache-bench";
+    std::error_code EC;
+    std::filesystem::remove_all(CacheDir, EC);
+    ResilienceOptions Res;
+    Res.CacheDir = CacheDir;
+
+    Measurement Cold = runConfig(Profile, "pm1_cache_cold",
+                                 /*WholeProgram=*/false, /*Rounds=*/1,
+                                 /*Threads=*/1, /*Incremental=*/false, &Res);
+    Measurement Warm = runConfig(Profile, "pm1_cache_warm",
+                                 /*WholeProgram=*/false, /*Rounds=*/1,
+                                 /*Threads=*/1, /*Incremental=*/false, &Res);
+    Res.Resume = true;
+    Measurement Resume = runConfig(Profile, "pm1_cache_resume",
+                                   /*WholeProgram=*/false, /*Rounds=*/1,
+                                   /*Threads=*/1, /*Incremental=*/false,
+                                   &Res);
+    std::printf("%-18s %10s %10s %8s %8s %10s\n", "config", "outline(s)",
+                "total(s)", "hits", "misses", "resumed");
+    for (const Measurement *M : {&Cold, &Warm, &Resume})
+      std::printf("%-18s %10.3f %10.3f %8llu %8llu %10llu\n",
+                  M->Name.c_str(), M->R.OutlineSeconds, M->R.totalSeconds(),
+                  static_cast<unsigned long long>(M->R.CacheHits),
+                  static_cast<unsigned long long>(M->R.CacheMisses),
+                  static_cast<unsigned long long>(M->R.ModulesResumed));
+    const bool CacheSizesMatch =
+        Warm.CodeSize == Cold.CodeSize && Resume.CodeSize == Cold.CodeSize;
+    const bool WarmAllHits = Warm.R.CacheMisses == 0 && Warm.R.CacheHits > 0;
+    std::printf("\n[cache check: warm/resume sizes %s cold; warm build %s]\n",
+                CacheSizesMatch ? "MATCH" : "MISMATCH (BUG)",
+                WarmAllHits ? "served entirely from cache"
+                            : "MISSED the cache (BUG)");
+    SizesMatch = SizesMatch && CacheSizesMatch && WarmAllHits;
+    All.push_back(Cold);
+    All.push_back(Warm);
+    All.push_back(Resume);
+    std::filesystem::remove_all(CacheDir, EC);
+  }
 
   writeJson(JsonPath, Modules, Threads, All);
   std::printf("wrote %s\n", JsonPath.c_str());

@@ -1,0 +1,553 @@
+//===- cache/ArtifactCache.cpp - Checksummed artifact cache ---------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/ArtifactCache.h"
+
+#include "support/Checksum.h"
+#include "support/FaultInjection.h"
+#include "support/FileAtomics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <unordered_map>
+#include <vector>
+
+using namespace mco;
+
+namespace fs = std::filesystem;
+
+//===----------------------------------------------------------------------===//
+// MCOM v1 serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// Little-endian fixed-width writers.
+void putU8(std::string &B, uint8_t V) { B.push_back(static_cast<char>(V)); }
+void putU16(std::string &B, uint16_t V) {
+  for (int I = 0; I < 2; ++I)
+    B.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+void putU32(std::string &B, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    B.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+void putU64(std::string &B, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    B.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+void putI64(std::string &B, int64_t V) { putU64(B, static_cast<uint64_t>(V)); }
+void putStr(std::string &B, const std::string &S) {
+  putU32(B, static_cast<uint32_t>(S.size()));
+  B += S;
+}
+
+/// Interns symbol names into a local table in first-use order, so the
+/// encoding depends only on module *contents*, never on the symbol ids the
+/// producing build happened to assign.
+class StringTable {
+public:
+  explicit StringTable(const SymbolNameFn &NameOf) : NameOf(NameOf) {}
+
+  uint32_t indexOf(uint32_t SymbolId) {
+    std::string Name = NameOf(SymbolId);
+    auto It = Index.find(Name);
+    if (It != Index.end())
+      return It->second;
+    uint32_t Idx = static_cast<uint32_t>(Strings.size());
+    Strings.push_back(Name);
+    Index.emplace(std::move(Name), Idx);
+    return Idx;
+  }
+
+  const std::vector<std::string> &strings() const { return Strings; }
+
+private:
+  const SymbolNameFn &NameOf;
+  std::vector<std::string> Strings;
+  std::unordered_map<std::string, uint32_t> Index;
+};
+
+/// Encodes functions + globals into \p Body, filling \p Table.
+void encodeBody(const Module &M, StringTable &Table, std::string &Body) {
+  putU32(Body, static_cast<uint32_t>(M.Functions.size()));
+  for (const MachineFunction &MF : M.Functions) {
+    putU32(Body, Table.indexOf(MF.Name));
+    putU8(Body, MF.IsOutlined ? 1 : 0);
+    putU8(Body, static_cast<uint8_t>(MF.FrameKind));
+    putU16(Body, 0); // pad
+    putU32(Body, MF.OutlinedCallSites);
+    putU32(Body, MF.OriginModule);
+    putU32(Body, static_cast<uint32_t>(MF.Blocks.size()));
+    for (const MachineBasicBlock &MBB : MF.Blocks) {
+      putU32(Body, static_cast<uint32_t>(MBB.Instrs.size()));
+      for (const MachineInstr &MI : MBB.Instrs) {
+        putU8(Body, static_cast<uint8_t>(MI.opcode()));
+        putU8(Body, static_cast<uint8_t>(MI.numOperands()));
+        for (unsigned I = 0; I < MI.numOperands(); ++I) {
+          const MachineOperand &Op = MI.operand(I);
+          putU8(Body, static_cast<uint8_t>(Op.K));
+          putU8(Body, static_cast<uint8_t>(Op.R));
+          putU8(Body, static_cast<uint8_t>(Op.C));
+          putI64(Body, Op.isSym() ? Table.indexOf(Op.getSym()) : Op.Val);
+        }
+      }
+    }
+  }
+  putU32(Body, static_cast<uint32_t>(M.Globals.size()));
+  for (const GlobalData &G : M.Globals) {
+    putU32(Body, Table.indexOf(G.Name));
+    putU32(Body, G.OriginModule);
+    putU32(Body, static_cast<uint32_t>(G.Bytes.size()));
+    Body.append(reinterpret_cast<const char *>(G.Bytes.data()),
+                G.Bytes.size());
+  }
+}
+
+void encodeRoundStats(std::string &B, const OutlineRoundStats &RS) {
+  putU64(B, RS.SequencesOutlined);
+  putU64(B, RS.FunctionsCreated);
+  putU64(B, RS.OutlinedFunctionBytes);
+  putU64(B, RS.CodeSizeBefore);
+  putU64(B, RS.CodeSizeAfter);
+  putU64(B, RS.PatternsConsidered);
+  putU64(B, RS.PatternsUnprofitable);
+  putU64(B, RS.CandidatesDroppedSP);
+  putU64(B, RS.CandidatesDroppedOverlap);
+  putU64(B, RS.FunctionsRemapped);
+  putU64(B, RS.LivenessComputed);
+  putU64(B, RS.FunctionsEdited);
+  putU64(B, RS.PatternsQuarantined);
+  putU64(B, RS.RoundsRolledBack);
+}
+
+/// Bounds-checked little-endian reader. The first failed read poisons the
+/// cursor; subsequent reads return zeros, so callers check fail() at
+/// structural boundaries instead of after every field.
+class Reader {
+public:
+  explicit Reader(const std::string &B) : B(B) {}
+
+  bool fail() const { return Failed; }
+  const std::string &error() const { return Err; }
+  size_t remaining() const { return Failed ? 0 : B.size() - Pos; }
+  bool atEnd() const { return !Failed && Pos == B.size(); }
+
+  uint8_t u8() {
+    uint8_t V = 0;
+    take(&V, 1);
+    return V;
+  }
+  uint16_t u16() { return static_cast<uint16_t>(fixed(2)); }
+  uint32_t u32() { return static_cast<uint32_t>(fixed(4)); }
+  uint64_t u64() { return fixed(8); }
+  int64_t i64() { return static_cast<int64_t>(fixed(8)); }
+
+  std::string str() {
+    uint32_t Len = u32();
+    if (Len > remaining()) {
+      poison("string length exceeds payload");
+      return {};
+    }
+    std::string S = B.substr(Pos, Len);
+    Pos += Len;
+    return S;
+  }
+
+  bool literal(const char *Bytes, size_t N) {
+    if (N > remaining() || std::memcmp(B.data() + Pos, Bytes, N) != 0) {
+      poison("bad magic");
+      return false;
+    }
+    Pos += N;
+    return true;
+  }
+
+  void poison(const std::string &Why) {
+    if (!Failed) {
+      Failed = true;
+      Err = Why;
+    }
+  }
+
+  /// Guards a count field: each of \p Count elements occupies at least
+  /// \p MinBytes, so a count the payload cannot hold is structural damage
+  /// (and would otherwise drive a huge allocation).
+  bool plausibleCount(uint64_t Count, size_t MinBytes, const char *What) {
+    if (Count * MinBytes > remaining()) {
+      poison(std::string("implausible ") + What + " count");
+      return false;
+    }
+    return true;
+  }
+
+private:
+  uint64_t fixed(unsigned N) {
+    uint8_t Buf[8] = {};
+    take(Buf, N);
+    uint64_t V = 0;
+    for (unsigned I = 0; I < N; ++I)
+      V |= static_cast<uint64_t>(Buf[I]) << (8 * I);
+    return V;
+  }
+
+  void take(void *Out, size_t N) {
+    if (Failed || N > B.size() - Pos) {
+      poison("truncated payload");
+      std::memset(Out, 0, N);
+      return;
+    }
+    std::memcpy(Out, B.data() + Pos, N);
+    Pos += N;
+  }
+
+  const std::string &B;
+  size_t Pos = 0;
+  bool Failed = false;
+  std::string Err;
+};
+
+MachineInstr makeInstr(Opcode Op, const MachineOperand *Ops, unsigned N) {
+  switch (N) {
+  case 0:
+    return MachineInstr(Op);
+  case 1:
+    return MachineInstr(Op, Ops[0]);
+  case 2:
+    return MachineInstr(Op, Ops[0], Ops[1]);
+  case 3:
+    return MachineInstr(Op, Ops[0], Ops[1], Ops[2]);
+  default:
+    return MachineInstr(Op, Ops[0], Ops[1], Ops[2], Ops[3]);
+  }
+}
+
+void decodeRoundStats(Reader &R, OutlineRoundStats &RS) {
+  RS.SequencesOutlined = R.u64();
+  RS.FunctionsCreated = R.u64();
+  RS.OutlinedFunctionBytes = R.u64();
+  RS.CodeSizeBefore = R.u64();
+  RS.CodeSizeAfter = R.u64();
+  RS.PatternsConsidered = R.u64();
+  RS.PatternsUnprofitable = R.u64();
+  RS.CandidatesDroppedSP = R.u64();
+  RS.CandidatesDroppedOverlap = R.u64();
+  RS.FunctionsRemapped = R.u64();
+  RS.LivenessComputed = R.u64();
+  RS.FunctionsEdited = R.u64();
+  RS.PatternsQuarantined = R.u64();
+  RS.RoundsRolledBack = R.u64();
+}
+
+} // namespace
+
+std::string mco::serializeModuleContent(const Module &M,
+                                        const SymbolNameFn &NameOf) {
+  StringTable Table(NameOf);
+  std::string Body;
+  encodeBody(M, Table, Body);
+
+  std::string Out;
+  Out += ModuleArtifactMagic;
+  putU8(Out, ModuleArtifactVersion);
+  putStr(Out, M.Name);
+  putU32(Out, static_cast<uint32_t>(Table.strings().size()));
+  for (const std::string &S : Table.strings())
+    putStr(Out, S);
+  Out += Body;
+  return Out;
+}
+
+std::string mco::serializeModuleArtifact(const Module &M,
+                                         const RepeatedOutlineStats &Stats,
+                                         uint64_t RoundsRolledBack,
+                                         uint64_t PatternsQuarantined,
+                                         const SymbolNameFn &NameOf) {
+  std::string Out = serializeModuleContent(M, NameOf);
+  putU32(Out, static_cast<uint32_t>(Stats.Rounds.size()));
+  for (const OutlineRoundStats &RS : Stats.Rounds)
+    encodeRoundStats(Out, RS);
+  putU64(Out, RoundsRolledBack);
+  putU64(Out, PatternsQuarantined);
+  return Out;
+}
+
+Expected<ModuleArtifact> mco::deserializeModuleArtifact(
+    const std::string &Bytes, SymbolInterner &Syms) {
+  Reader R(Bytes);
+  auto Fail = [&](const std::string &Why) -> Expected<ModuleArtifact> {
+    return MCO_ERROR("module artifact: " +
+                     (R.fail() ? R.error() : Why));
+  };
+
+  if (!R.literal(ModuleArtifactMagic, std::strlen(ModuleArtifactMagic)))
+    return Fail("bad magic");
+  if (R.u8() != ModuleArtifactVersion)
+    return Fail("unsupported version");
+
+  ModuleArtifact A;
+  A.M.Name = R.str();
+
+  uint32_t NumStrings = R.u32();
+  if (!R.plausibleCount(NumStrings, 4, "string-table"))
+    return Fail("");
+  std::vector<uint32_t> SymOf(NumStrings);
+  for (uint32_t I = 0; I < NumStrings; ++I) {
+    std::string S = R.str();
+    if (R.fail())
+      return Fail("");
+    SymOf[I] = Syms.internSymbol(S);
+  }
+  auto Resolve = [&](uint32_t Idx, uint32_t &Out) {
+    if (Idx >= NumStrings) {
+      R.poison("string index out of range");
+      return false;
+    }
+    Out = SymOf[Idx];
+    return true;
+  };
+
+  uint32_t NumFuncs = R.u32();
+  if (!R.plausibleCount(NumFuncs, 18, "function"))
+    return Fail("");
+  A.M.Functions.reserve(NumFuncs);
+  for (uint32_t FI = 0; FI < NumFuncs; ++FI) {
+    MachineFunction MF;
+    if (!Resolve(R.u32(), MF.Name))
+      return Fail("");
+    MF.IsOutlined = R.u8() != 0;
+    uint8_t Frame = R.u8();
+    if (Frame > static_cast<uint8_t>(OutlinedFrameKind::Thunk))
+      return Fail("invalid frame kind");
+    MF.FrameKind = static_cast<OutlinedFrameKind>(Frame);
+    R.u16(); // pad
+    MF.OutlinedCallSites = R.u32();
+    MF.OriginModule = R.u32();
+    uint32_t NumBlocks = R.u32();
+    if (!R.plausibleCount(NumBlocks, 4, "block"))
+      return Fail("");
+    MF.Blocks.reserve(NumBlocks);
+    for (uint32_t BI = 0; BI < NumBlocks; ++BI) {
+      MachineBasicBlock &MBB = MF.addBlock();
+      uint32_t NumInstrs = R.u32();
+      if (!R.plausibleCount(NumInstrs, 2, "instruction"))
+        return Fail("");
+      MBB.Instrs.reserve(NumInstrs);
+      for (uint32_t II = 0; II < NumInstrs; ++II) {
+        uint8_t OpByte = R.u8();
+        if (OpByte > static_cast<uint8_t>(Opcode::NOP))
+          return Fail("invalid opcode");
+        uint8_t NumOps = R.u8();
+        if (NumOps > MachineInstr::MaxOperands)
+          return Fail("invalid operand count");
+        MachineOperand Ops[MachineInstr::MaxOperands];
+        for (uint8_t OI = 0; OI < NumOps; ++OI) {
+          uint8_t Kind = R.u8();
+          if (Kind > static_cast<uint8_t>(MachineOperand::Kind::CondK))
+            return Fail("invalid operand kind");
+          uint8_t RegByte = R.u8();
+          if (RegByte >= static_cast<uint8_t>(Reg::NumRegs) &&
+              RegByte != static_cast<uint8_t>(Reg::None))
+            return Fail("invalid register");
+          uint8_t CondByte = R.u8();
+          if (CondByte > static_cast<uint8_t>(Cond::HS))
+            return Fail("invalid condition");
+          int64_t Val = R.i64();
+          MachineOperand &Op = Ops[OI];
+          Op.K = static_cast<MachineOperand::Kind>(Kind);
+          Op.R = static_cast<Reg>(RegByte);
+          Op.C = static_cast<Cond>(CondByte);
+          if (Op.isSym()) {
+            uint32_t Sym = 0;
+            if (!Resolve(static_cast<uint32_t>(Val), Sym))
+              return Fail("");
+            Op.Val = Sym;
+          } else {
+            Op.Val = Val;
+          }
+        }
+        if (R.fail())
+          return Fail("");
+        MBB.push(makeInstr(static_cast<Opcode>(OpByte), Ops, NumOps));
+      }
+    }
+    A.M.Functions.push_back(std::move(MF));
+  }
+
+  uint32_t NumGlobals = R.u32();
+  if (!R.plausibleCount(NumGlobals, 12, "global"))
+    return Fail("");
+  A.M.Globals.reserve(NumGlobals);
+  for (uint32_t GI = 0; GI < NumGlobals; ++GI) {
+    GlobalData G;
+    if (!Resolve(R.u32(), G.Name))
+      return Fail("");
+    G.OriginModule = R.u32();
+    std::string Raw = R.str();
+    if (R.fail())
+      return Fail("");
+    G.Bytes.assign(Raw.begin(), Raw.end());
+    A.M.Globals.push_back(std::move(G));
+  }
+
+  uint32_t NumRounds = R.u32();
+  if (!R.plausibleCount(NumRounds, 14 * 8, "round-stats"))
+    return Fail("");
+  A.Stats.Rounds.resize(NumRounds);
+  for (uint32_t RI = 0; RI < NumRounds; ++RI)
+    decodeRoundStats(R, A.Stats.Rounds[RI]);
+  A.RoundsRolledBack = R.u64();
+  A.PatternsQuarantined = R.u64();
+
+  if (R.fail())
+    return Fail("");
+  if (!R.atEnd())
+    return Fail("trailing bytes after artifact");
+  return A;
+}
+
+std::string mco::cacheKeyOfContent(const std::vector<std::string> &Chunks,
+                                   const std::string &OptionsFingerprint) {
+  Fnv64 H1(0xCBF29CE484222325ull);
+  Fnv64 H2(0x9AE16A3B2F90404Full);
+  for (const std::string &C : Chunks) {
+    H1.update(C);
+    H2.update(C);
+  }
+  H1.update(OptionsFingerprint);
+  H2.update(OptionsFingerprint);
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%016llx%016llx",
+                static_cast<unsigned long long>(H1.value()),
+                static_cast<unsigned long long>(H2.value()));
+  return Buf;
+}
+
+std::string mco::cacheKey(const Module &M, const SymbolNameFn &NameOf,
+                          const std::string &OptionsFingerprint) {
+  return cacheKeyOfContent({serializeModuleContent(M, NameOf)},
+                           OptionsFingerprint);
+}
+
+//===----------------------------------------------------------------------===//
+// ArtifactCache
+//===----------------------------------------------------------------------===//
+
+Status ArtifactCache::prepare() {
+  if (Status S = ensureDir(CacheDir); !S.ok())
+    return S;
+  if (Status S = ensureDir(CacheDir + "/objects"); !S.ok())
+    return S;
+  return ensureDir(quarantineDir());
+}
+
+std::string ArtifactCache::objectPath(const std::string &Key) const {
+  return CacheDir + "/objects/" + Key + ".mco";
+}
+
+std::string ArtifactCache::quarantineDir() const {
+  return CacheDir + "/quarantine";
+}
+
+ArtifactCache::LoadResult ArtifactCache::load(const std::string &Key,
+                                              SymbolInterner &Syms) {
+  LoadResult LR;
+  const std::string Path = objectPath(Key);
+
+  Expected<std::string> Sealed = readFileBytes(Path);
+  if (!Sealed.ok()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return LR;
+  }
+
+  auto Reject = [&](const std::string &Why) {
+    // Move the damaged entry aside: it must never be re-read as a
+    // candidate hit, and keeping the bytes makes the corruption
+    // inspectable after the build.
+    std::error_code EC;
+    fs::rename(Path, quarantineDir() + "/" + Key + ".mco", EC);
+    if (EC)
+      fs::remove(Path, EC);
+    Corrupt.fetch_add(1, std::memory_order_relaxed);
+    LR.Outcome = LoadOutcome::Corrupt;
+    LR.Note = Why;
+  };
+
+  Expected<std::string> Payload = unsealArtifact(*Sealed);
+  if (!Payload.ok()) {
+    Reject(Payload.status().message());
+    return LR;
+  }
+  Expected<ModuleArtifact> A = deserializeModuleArtifact(*Payload, Syms);
+  if (!A.ok()) {
+    Reject(A.status().message());
+    return LR;
+  }
+
+  // Refresh recency so eviction is LRU, not insertion-order.
+  std::error_code EC;
+  fs::last_write_time(Path, fs::file_time_type::clock::now(), EC);
+
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  LR.Outcome = LoadOutcome::Hit;
+  LR.Artifact = std::move(*A);
+  return LR;
+}
+
+Status ArtifactCache::store(const std::string &Key, const Module &M,
+                            const RepeatedOutlineStats &Stats,
+                            uint64_t RoundsRolledBack,
+                            uint64_t PatternsQuarantined,
+                            const SymbolNameFn &NameOf) {
+  std::string Sealed = sealArtifact(serializeModuleArtifact(
+      M, Stats, RoundsRolledBack, PatternsQuarantined, NameOf));
+  if (faultSiteFires(FaultCacheEntryCorrupt) && !Sealed.empty())
+    Sealed.back() ^= 0x01; // Flip one payload byte under the seal.
+  if (Status S = atomicWriteFile(objectPath(Key), Sealed); !S.ok())
+    return S;
+  evictToLimit();
+  return Status::success();
+}
+
+void ArtifactCache::evictToLimit() {
+  if (MaxBytes == 0)
+    return;
+  struct Entry {
+    fs::file_time_type MTime;
+    uint64_t Size;
+    std::string Path;
+  };
+  std::vector<Entry> Entries;
+  uint64_t Total = 0;
+  std::error_code EC;
+  for (const fs::directory_entry &DE :
+       fs::directory_iterator(CacheDir + "/objects", EC)) {
+    std::error_code FEC;
+    uint64_t Size = DE.file_size(FEC);
+    fs::file_time_type MTime = DE.last_write_time(FEC);
+    if (FEC)
+      continue; // Raced with a concurrent eviction.
+    Entries.push_back({MTime, Size, DE.path().string()});
+    Total += Size;
+  }
+  if (EC || Total <= MaxBytes)
+    return;
+  std::sort(Entries.begin(), Entries.end(), [](const Entry &A,
+                                               const Entry &B) {
+    return A.MTime != B.MTime ? A.MTime < B.MTime : A.Path < B.Path;
+  });
+  for (const Entry &E : Entries) {
+    if (Total <= MaxBytes)
+      break;
+    std::error_code REC;
+    if (fs::remove(E.Path, REC) && !REC) {
+      Total -= E.Size;
+      Evicted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}

@@ -1,0 +1,146 @@
+//===- cache/ArtifactCache.h - Checksummed artifact cache -------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent, content-addressed store of per-module build products. The
+/// key is a digest of the module's *pre-outlining* contents plus a
+/// fingerprint of every option that can change what outlining produces, so
+/// a hit is only possible when the cached bytes are exactly what this build
+/// would have computed. Entries are sealed (support/Checksum.h) and written
+/// atomically (support/FileAtomics.h); a torn write, a kill -9 mid-store,
+/// or a bit flip on disk is detected at load, the entry is quarantined, and
+/// the build falls back to rebuilding the module — cache corruption can
+/// degrade warm-build speed, never correctness.
+///
+/// The cached payload is the "MCOM" binary module format, not the textual
+/// MIR: the text form drops function metadata (IsOutlined, FrameKind,
+/// OutlinedCallSites, OriginModule) that the linker's layout decisions and
+/// the size accounting depend on, and it carries no statistics. MCOM
+/// round-trips the module exactly and appends the outlining stats the
+/// original build reported, so a warm build's numbers match the cold one's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_CACHE_ARTIFACTCACHE_H
+#define MCO_CACHE_ARTIFACTCACHE_H
+
+#include "outliner/MachineOutliner.h"
+#include "support/Error.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mco {
+
+/// Resolves a symbol id to its name during serialization. The pipeline
+/// supplies a resolver that consults the live DeferredSymbolBatch first
+/// (per-module fan-out serializes before placeholder ids are committed)
+/// and the shared Program otherwise.
+using SymbolNameFn = std::function<std::string(uint32_t)>;
+
+/// One cached per-module build product: the post-outlining module plus the
+/// statistics the build reported when it produced it.
+struct ModuleArtifact {
+  Module M;
+  RepeatedOutlineStats Stats;
+  /// Guard counters for the module (BuildResult accumulates these).
+  uint64_t RoundsRolledBack = 0;
+  uint64_t PatternsQuarantined = 0;
+};
+
+/// First bytes of the binary module format.
+inline constexpr const char *ModuleArtifactMagic = "MCOM";
+inline constexpr uint8_t ModuleArtifactVersion = 1;
+
+/// Serializes just the module contents (no stats trailer) with symbol ids
+/// replaced by string-table references. Deterministic: equal modules with
+/// equal names produce equal bytes regardless of symbol id assignment —
+/// which is what makes it usable for both cache keys and cached payloads.
+std::string serializeModuleContent(const Module &M, const SymbolNameFn &NameOf);
+
+/// serializeModuleContent plus the stats trailer.
+std::string serializeModuleArtifact(const Module &M,
+                                    const RepeatedOutlineStats &Stats,
+                                    uint64_t RoundsRolledBack,
+                                    uint64_t PatternsQuarantined,
+                                    const SymbolNameFn &NameOf);
+
+/// Parses an MCOM artifact, interning every referenced symbol name through
+/// \p Syms. Fully bounds-checked; any structural damage (that survived the
+/// outer checksum seal) fails cleanly.
+Expected<ModuleArtifact> deserializeModuleArtifact(const std::string &Bytes,
+                                                   SymbolInterner &Syms);
+
+/// Key over pre-serialized content chunks: 32 hex chars from two
+/// independently seeded FNV-1a-64 digests over the chunks and the
+/// fingerprint. The whole-program pipeline keys its single linked artifact
+/// on every input module's serialized content.
+std::string cacheKeyOfContent(const std::vector<std::string> &Chunks,
+                              const std::string &OptionsFingerprint);
+
+/// Derives the cache key for \p M under \p OptionsFingerprint.
+std::string cacheKey(const Module &M, const SymbolNameFn &NameOf,
+                     const std::string &OptionsFingerprint);
+
+/// The on-disk store. Layout under dir():
+///
+///   objects/<key>.mco     sealed MCOM artifacts
+///   quarantine/<file>     corrupt entries moved aside for post-mortem
+///
+/// All writes are atomic; concurrent same-key writers are safe (the entries
+/// are bit-identical by construction, and the last rename wins).
+class ArtifactCache {
+public:
+  ArtifactCache(std::string Dir, uint64_t MaxBytes)
+      : CacheDir(std::move(Dir)), MaxBytes(MaxBytes) {}
+
+  /// Creates the directory layout. Call once before load()/store().
+  Status prepare();
+
+  enum class LoadOutcome { Hit, Miss, Corrupt };
+  struct LoadResult {
+    LoadOutcome Outcome = LoadOutcome::Miss;
+    ModuleArtifact Artifact; ///< Valid only on Hit.
+    std::string Note;        ///< Why a Corrupt entry was rejected.
+  };
+
+  /// Looks up \p Key. A Hit refreshes the entry's recency; a Corrupt entry
+  /// is moved to quarantine/ so the same damage is never re-read.
+  LoadResult load(const std::string &Key, SymbolInterner &Syms);
+
+  /// Seals and atomically writes the artifact under \p Key, then evicts
+  /// least-recently-used entries until the store fits MaxBytes. The
+  /// `cache.entry.corrupt` fault site flips one payload byte after sealing,
+  /// planting exactly the damage load() must catch.
+  Status store(const std::string &Key, const Module &M,
+               const RepeatedOutlineStats &Stats, uint64_t RoundsRolledBack,
+               uint64_t PatternsQuarantined, const SymbolNameFn &NameOf);
+
+  std::string objectPath(const std::string &Key) const;
+  std::string quarantineDir() const;
+  const std::string &dir() const { return CacheDir; }
+
+  uint64_t hits() const { return Hits.load(); }
+  uint64_t misses() const { return Misses.load(); }
+  uint64_t corrupt() const { return Corrupt.load(); }
+  uint64_t evicted() const { return Evicted.load(); }
+
+private:
+  void evictToLimit();
+
+  std::string CacheDir;
+  uint64_t MaxBytes;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Corrupt{0};
+  std::atomic<uint64_t> Evicted{0};
+};
+
+} // namespace mco
+
+#endif // MCO_CACHE_ARTIFACTCACHE_H

@@ -180,6 +180,15 @@ public:
     return Id;
   }
 
+  /// \returns the batched name behind placeholder id \p Id, or nullptr when
+  /// \p Id is not one of this batch's placeholders. Lets serializers resolve
+  /// names for a module whose batch has not been committed yet.
+  const std::string *placeholderName(uint32_t Id) const {
+    if (Id < Base || Id - Base >= Names.size())
+      return nullptr;
+    return &Names[Id - Base];
+  }
+
   /// Interns the batched names into \p Dst and rewrites placeholder ids in
   /// \p M (function names, symbol operands, global names). Call serially,
   /// in the order the modules would have been processed serially.

@@ -380,6 +380,13 @@ struct OutlinerEngine::State {
         Fn(I);
   }
 
+  /// Cooperative cancellation point (see OutlinerOptions::CancelFlag).
+  void checkCancelled() const {
+    if (Opts.CancelFlag &&
+        Opts.CancelFlag->load(std::memory_order_relaxed))
+      throw OutlineCancelled();
+  }
+
   void buildPlan(const RepeatedSubstring &RS, const SpSensitiveSet &Sensitive,
                  PlanResult &Out);
   OutlineRoundStats runRound(unsigned Round);
@@ -444,6 +451,7 @@ void OutlinerEngine::State::buildPlan(const RepeatedSubstring &RS,
 }
 
 OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
+  checkCancelled();
   OutlineRoundStats Stats;
   Stats.CodeSizeBefore = M.codeSize();
   faultSetRound(Round);
@@ -504,6 +512,8 @@ OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
   std::vector<RepeatedSubstring> Repeats =
       Tree.repeatedSubstrings(Opts.MinLength);
 
+  checkCancelled();
+
   // Build plans, one repeated substring per index-owned slot. Everything
   // the workers read (module, mapper, liveness, sensitivity) is immutable
   // during the fan-out.
@@ -539,6 +549,10 @@ OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
                 return A.Len > B.Len;
               return A.FirstStart < B.FirstStart;
             });
+
+  // Last cancellation point: past here the round mutates the module, and
+  // a cancel must never leave a half-committed round behind.
+  checkCancelled();
 
   // Commit plans, skipping occurrences that overlap already-taken string
   // regions, and re-checking profitability on what survives.

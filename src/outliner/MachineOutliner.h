@@ -19,12 +19,22 @@
 #include "outliner/CostModel.h"
 #include "mir/Program.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace mco {
+
+/// Thrown by the engine when its OutlinerOptions::CancelFlag is raised.
+/// The watchdog's cooperative cancel: the round aborts before committing
+/// anything, so the module is exactly as the last completed round left it.
+class OutlineCancelled : public std::runtime_error {
+public:
+  OutlineCancelled() : std::runtime_error("outlining cancelled") {}
+};
 
 /// Tunable knobs; defaults match stock LLVM + the paper's configuration.
 struct OutlinerOptions {
@@ -58,6 +68,11 @@ struct OutlinerOptions {
   /// rollbackLastRound(). Does not change what the round commits.
   /// OutlineGuard turns this on.
   bool Transactional = false;
+  /// When set, the engine polls this flag at round boundaries (entry,
+  /// before the plan fan-out, before committing edits) and throws
+  /// OutlineCancelled when it is true. The watchdog raises it when a
+  /// module overruns --module-timeout-ms. Null = never cancelled.
+  const std::atomic<bool> *CancelFlag = nullptr;
 };
 
 /// Statistics for one outlining round (paper Table II rows), plus

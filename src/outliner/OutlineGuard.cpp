@@ -86,7 +86,12 @@ OutlineGuard::OutlineGuard(const Program &Prog, SymbolInterner &Syms,
         OutlinerOptions O = OOpts;
         O.Transactional = true; // Rollback needs the round transaction.
         return O;
-      }()) {}
+      }()) {
+  // A resumed build replays the quarantine decisions its predecessor made,
+  // so the retry produces the same module the crashed build would have.
+  for (uint64_t Hash : GOpts.InitialQuarantine)
+    Engine.quarantinePattern(Hash);
+}
 
 std::string OutlineGuard::verifyLastRound() {
   const RoundTransaction &Txn = Engine.lastTransaction();
@@ -228,6 +233,14 @@ GuardRoundResult OutlineGuard::runGuardedRound(unsigned Round) {
     OutlineRoundStats Stats;
     try {
       Stats = Engine.runRound(Round);
+    } catch (const OutlineCancelled &) {
+      // The watchdog cancelled the module; retrying here would just burn
+      // the remaining attempts against a raised flag. Cancellation aborts
+      // before the commit phase, so the module is untouched — propagate
+      // and let the pipeline's timeout policy decide.
+      if (M.Functions.size() > FuncCountBefore)
+        M.Functions.resize(FuncCountBefore);
+      throw;
     } catch (const std::exception &E) {
       // The throw escaped before the commit phase, so the module bodies
       // are untouched; drop anything appended and rebuild the engine's

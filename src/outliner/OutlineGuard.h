@@ -53,6 +53,9 @@ struct GuardOptions {
   /// Forwarded to the verifier: accept placeholder symbol ids from a live
   /// DeferredSymbolBatch (per-module fan-out).
   bool AllowPlaceholderSymbols = false;
+  /// Pattern hashes quarantined before the first round runs (a resumed or
+  /// retried build replaying an earlier attempt's quarantine decisions).
+  std::vector<uint64_t> InitialQuarantine;
 };
 
 /// Outcome of one guarded round.

@@ -1,0 +1,168 @@
+//===- pipeline/BuildJournal.cpp - Crash-safe build journal ---------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/BuildJournal.h"
+
+#include "support/Checksum.h"
+#include "support/FileAtomics.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+using namespace mco;
+
+namespace {
+
+/// Splits one journal line into whitespace-separated tokens.
+std::vector<std::string> tokens(const std::string &Line) {
+  std::vector<std::string> Out;
+  std::istringstream In(Line);
+  std::string T;
+  while (In >> T)
+    Out.push_back(T);
+  return Out;
+}
+
+/// Strips and verifies the `<crc8hex> ` prefix. \returns the payload, or
+/// nothing when the line is torn or damaged.
+bool checkLine(const std::string &Line, std::string &Payload) {
+  if (Line.size() < 10 || Line[8] != ' ')
+    return false;
+  const std::string Hex = Line.substr(0, 8);
+  if (Hex.find_first_not_of("0123456789abcdefABCDEF") != std::string::npos)
+    return false;
+  unsigned long Crc = std::strtoul(Hex.c_str(), nullptr, 16);
+  Payload = Line.substr(9);
+  return Crc32c::of(Payload) == static_cast<uint32_t>(Crc);
+}
+
+} // namespace
+
+ResumeState ResumeState::load(const std::string &Path) {
+  ResumeState RS;
+  Expected<std::string> Bytes = readFileBytes(Path);
+  if (!Bytes.ok())
+    return RS;
+
+  std::istringstream In(*Bytes);
+  std::string Line, Payload;
+  bool First = true;
+  while (std::getline(In, Line)) {
+    if (!checkLine(Line, Payload))
+      return RS; // Torn tail: keep the intact prefix parsed so far.
+    std::vector<std::string> T = tokens(Payload);
+    if (First) {
+      if (T.size() != 4 || T[0] != "mcoj1" || (T[3] != "wp" && T[3] != "pm"))
+        return RS;
+      RS.Fingerprint = T[1];
+      RS.NumModules = std::strtoull(T[2].c_str(), nullptr, 10);
+      RS.WholeProgram = T[3] == "wp";
+      RS.Valid = true;
+      First = false;
+      continue;
+    }
+    if (T.size() == 4 && T[0] == "done") {
+      ModuleRecord R;
+      R.K = ModuleRecord::Done;
+      R.Idx = static_cast<uint32_t>(std::strtoul(T[1].c_str(), nullptr, 10));
+      R.Key = T[2];
+      R.Name = T[3];
+      RS.Records.push_back(std::move(R));
+    } else if (T.size() == 3 && T[0] == "degraded") {
+      ModuleRecord R;
+      R.K = ModuleRecord::Degraded;
+      R.Idx = static_cast<uint32_t>(std::strtoul(T[1].c_str(), nullptr, 10));
+      R.Name = T[2];
+      RS.Records.push_back(std::move(R));
+    } else if (T.size() == 1 && T[0] == "end") {
+      RS.Ended = true;
+    } else {
+      return RS; // Unknown record: treat like damage, keep the prefix.
+    }
+  }
+  return RS;
+}
+
+BuildJournal::~BuildJournal() { close(); }
+
+Status BuildJournal::open(const std::string &Path,
+                          const std::string &Fingerprint, uint64_t NumModules,
+                          bool WholeProgram) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd >= 0)
+    return MCO_ERROR("journal already open");
+  Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return MCO_ERROR("cannot open journal '" + Path +
+                     "': " + std::strerror(errno));
+  if (const char *Env = std::getenv("MCO_CRASH_AFTER_MODULES"))
+    CrashAfterModules = std::strtol(Env, nullptr, 10);
+  appendLine("mcoj1 " + Fingerprint + " " + std::to_string(NumModules) +
+             (WholeProgram ? " wp" : " pm"));
+  return Status::success();
+}
+
+void BuildJournal::appendLine(const std::string &Payload) {
+  if (Fd < 0)
+    return;
+  char Prefix[16];
+  std::snprintf(Prefix, sizeof(Prefix), "%08x ", Crc32c::of(Payload));
+  std::string Line = Prefix + Payload + "\n";
+  size_t Off = 0;
+  while (Off < Line.size()) {
+    ssize_t N = ::write(Fd, Line.data() + Off, Line.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      // A failing journal must not fail the build; stop journaling. The
+      // worst outcome is a resume that rebuilds more than it had to.
+      ::close(Fd);
+      Fd = -1;
+      return;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  ::fsync(Fd);
+}
+
+void BuildJournal::recordModuleDone(uint32_t Idx, const std::string &Name,
+                                    const std::string &Key,
+                                    bool FreshlyBuilt) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  appendLine("done " + std::to_string(Idx) + " " + Key + " " + Name);
+  if (FreshlyBuilt && CrashAfterModules >= 0 &&
+      static_cast<long>(++FreshModules) >= CrashAfterModules) {
+    // The crash-test hook: die the hard way, right after the record above
+    // became durable. No destructors, no atexit — exactly a kill -9.
+    ::raise(SIGKILL);
+  }
+}
+
+void BuildJournal::recordModuleDegraded(uint32_t Idx,
+                                        const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  appendLine("degraded " + std::to_string(Idx) + " " + Name);
+}
+
+void BuildJournal::recordEnd() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  appendLine("end");
+}
+
+void BuildJournal::close() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}

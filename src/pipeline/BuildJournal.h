@@ -1,0 +1,109 @@
+//===- pipeline/BuildJournal.h - Crash-safe build journal -------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An append-only, per-line-checksummed record of build progress. Every
+/// line is `<crc32c-8hex> <payload>`, fsynced as it is appended, so a
+/// kill -9 at any instant leaves a journal whose intact prefix is exactly
+/// the set of modules whose artifacts were durably stored before the
+/// crash. `mco-build --resume <dir>` replays that prefix: modules with a
+/// `done` record reload from the artifact cache, `degraded` modules stay
+/// degraded, and only the unfinished tail is rebuilt.
+///
+/// Journal grammar (one record per line, after the CRC prefix):
+///
+///   mcoj1 <build-fingerprint> <num-modules> <wp|pm>   header, line 1
+///   done <idx> <key> <name>                           module outlined+cached
+///   degraded <idx> <name>                             module shipped unoutlined
+///   end                                               build completed
+///
+/// A resumed build whose fingerprint differs (different corpus, options,
+/// or fault config) ignores the journal entirely: stale progress must
+/// never leak across configurations.
+///
+/// The env var MCO_CRASH_AFTER_MODULES=N makes the writer raise SIGKILL
+/// immediately after durably recording the Nth *freshly built* module —
+/// the crash-test hook. Resumed/cache-hit re-records do not count, so a
+/// chained crash-resume-crash test makes forward progress every run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_PIPELINE_BUILDJOURNAL_H
+#define MCO_PIPELINE_BUILDJOURNAL_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mco {
+
+/// What a prior build durably recorded before it stopped.
+struct ResumeState {
+  bool Valid = false; ///< Header parsed and fingerprint-checkable.
+  std::string Fingerprint;
+  uint64_t NumModules = 0;
+  bool WholeProgram = false;
+  bool Ended = false; ///< The prior build ran to completion.
+
+  struct ModuleRecord {
+    enum Kind { Done, Degraded } K = Done;
+    uint32_t Idx = 0;
+    std::string Key;  ///< Artifact-cache key (Done only).
+    std::string Name; ///< Module name, for cross-checking.
+  };
+  std::vector<ModuleRecord> Records;
+
+  /// Parses the journal at \p Path, stopping at the first line whose CRC
+  /// or structure is damaged (the torn tail of a crashed append). Missing
+  /// file or bad header → !Valid; a damaged tail still yields the intact
+  /// prefix.
+  static ResumeState load(const std::string &Path);
+};
+
+/// The append side. All methods are thread-safe and become no-ops when the
+/// journal failed to open (cache disabled ≠ build failed).
+class BuildJournal {
+public:
+  BuildJournal() = default;
+  ~BuildJournal();
+
+  BuildJournal(const BuildJournal &) = delete;
+  BuildJournal &operator=(const BuildJournal &) = delete;
+
+  /// Truncates \p Path and writes the header line.
+  Status open(const std::string &Path, const std::string &Fingerprint,
+              uint64_t NumModules, bool WholeProgram);
+
+  /// Records module \p Idx as outlined and cached under \p Key.
+  /// \p FreshlyBuilt is false when re-recording a resumed or cache-hit
+  /// module; only fresh records trip the MCO_CRASH_AFTER_MODULES hook.
+  void recordModuleDone(uint32_t Idx, const std::string &Name,
+                        const std::string &Key, bool FreshlyBuilt);
+
+  /// Records module \p Idx as shipped unoutlined.
+  void recordModuleDegraded(uint32_t Idx, const std::string &Name);
+
+  /// Records that the build completed.
+  void recordEnd();
+
+  void close();
+  bool isOpen() const { return Fd >= 0; }
+
+private:
+  void appendLine(const std::string &Payload);
+
+  std::mutex Mu;
+  int Fd = -1;
+  uint64_t FreshModules = 0;
+  long CrashAfterModules = -1; ///< From MCO_CRASH_AFTER_MODULES; -1 = off.
+};
+
+} // namespace mco
+
+#endif // MCO_PIPELINE_BUILDJOURNAL_H

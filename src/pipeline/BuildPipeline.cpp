@@ -6,13 +6,22 @@
 
 #include "pipeline/BuildPipeline.h"
 
+#include "cache/ArtifactCache.h"
+#include "pipeline/BuildJournal.h"
+#include "support/Checksum.h"
 #include "support/FaultInjection.h"
+#include "support/FileAtomics.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <exception>
+#include <future>
 #include <memory>
+#include <sstream>
+#include <thread>
 
 using namespace mco;
 
@@ -21,59 +30,303 @@ double secondsSince(std::chrono::steady_clock::time_point T0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
       .count();
 }
+
+/// Renders every option that can change the *content* a build produces.
+/// Threads and Transactional are excluded (bit-identical by contract), and
+/// so are the watchdog knobs: a module that beats its deadline produces
+/// exactly what an unwatched build would, and a module that doesn't is
+/// degraded and never cached. Fault specs for non-cache sites are folded
+/// in so a fault-injected build can never serve artifacts to a clean one.
+std::string optionsFingerprint(const PipelineOptions &Opts) {
+  const OutlinerOptions &O = Opts.Outliner;
+  const GuardOptions &G = Opts.Guard;
+  std::ostringstream S;
+  S << "v1;rounds=" << Opts.OutlineRounds << ";wp=" << Opts.WholeProgram
+    << ";layout=" << static_cast<int>(Opts.DataLayout)
+    << ";minlen=" << O.MinLength << ";leafdesc=" << O.LeafDescendants
+    << ";regsave=" << O.EnableRegSave << ";bybenefit=" << O.SortByBenefit
+    << ";prefix=" << O.NamePrefix << ";incremental=" << O.Incremental
+    << ";guard=" << G.Enabled << ";retries=" << G.MaxRetriesPerRound
+    << ";vexec=" << G.VerifyExecSamples << ";vseed=" << G.VerifyExecSeed
+    << ";vfuel=" << G.VerifyExecFuel << ";quarantine=";
+  for (uint64_t H : G.InitialQuarantine)
+    S << H << ",";
+  S << ";faults=" << FaultInjection::instance().contentAffectingConfig();
+  return S.str();
+}
+
+/// Everything the crash-safe layer holds for one build. When Enabled is
+/// false (no --cache-dir, or the cache could not be set up) every use
+/// site no-ops and the build runs exactly as it would have before the
+/// cache existed.
+struct ResilienceCtx {
+  bool Enabled = false;
+  std::unique_ptr<ArtifactCache> Cache;
+  FileLock Lock;
+  BuildJournal Journal;
+  std::string OptsFp;
+  std::vector<std::string> Keys; ///< Per-module keys (per-module path).
+  std::string WholeKey;          ///< Linked-module key (WP path).
+  std::string BuildFp;           ///< Journal header fingerprint.
+  ResumeState Prior;             ///< Usable prior journal (if resuming).
+};
+
+/// Spends time at the `pipeline.module.hang` site until the watchdog's
+/// cancel arrives. Without a watchdog the hang is capped and degrades the
+/// module through the ordinary failure path instead of wedging the build.
+void hangUntilCancelled(const std::atomic<bool> *Cancel) {
+  auto Start = std::chrono::steady_clock::now();
+  for (;;) {
+    if (Cancel && Cancel->load(std::memory_order_relaxed))
+      throw OutlineCancelled();
+    if (secondsSince(Start) > 10.0)
+      throw InjectedFault(FaultPipelineModuleHang);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+enum class DeadlineOutcome { Completed, TimedOut, Failed };
+
+/// Runs \p Body on its own thread with a deadline. On overrun, raises
+/// \p Cancel and joins: cancellation is cooperative (the engine polls at
+/// round boundaries, the hang site every 2 ms), so the join is bounded by
+/// the distance to the next poll point, not by the module's total work.
+DeadlineOutcome runWithDeadline(uint64_t Ms, std::atomic<bool> &Cancel,
+                                const std::function<void()> &Body,
+                                std::exception_ptr &Err) {
+  auto Done = std::make_shared<std::promise<void>>();
+  std::future<void> F = Done->get_future();
+  std::thread T([&Body, Done] {
+    try {
+      Body();
+      Done->set_value();
+    } catch (...) {
+      Done->set_exception(std::current_exception());
+    }
+  });
+  if (F.wait_for(std::chrono::milliseconds(Ms)) ==
+      std::future_status::timeout)
+    Cancel.store(true, std::memory_order_relaxed);
+  T.join();
+  try {
+    F.get();
+    return DeadlineOutcome::Completed;
+  } catch (const OutlineCancelled &) {
+    return DeadlineOutcome::TimedOut;
+  } catch (...) {
+    Err = std::current_exception();
+    return DeadlineOutcome::Failed;
+  }
+}
+
+void initResilience(ResilienceCtx &RC, BuildResult &R, Program &Prog,
+                    const PipelineOptions &Opts) {
+  const ResilienceOptions &RO = Opts.Resilience;
+  if (RO.CacheDir.empty())
+    return;
+  RC.Cache = std::make_unique<ArtifactCache>(RO.CacheDir, RO.CacheMaxBytes);
+  Status S = RC.Cache->prepare();
+  if (S.ok())
+    S = RC.Lock.acquire(RO.CacheDir + "/build.lock");
+  if (!S.ok()) {
+    // A broken or busy cache must degrade warm-build speed, never the
+    // build itself: run uncached.
+    R.FailureLog.push_back("cache disabled: " + S.message());
+    RC.Cache.reset();
+    return;
+  }
+  RC.Enabled = true;
+  R.StaleLocksRecovered = RC.Lock.staleLocksRecovered();
+  RC.OptsFp = optionsFingerprint(Opts);
+
+  SymbolNameFn NameOf = [&Prog](uint32_t Id) { return Prog.symbolName(Id); };
+  Fnv64 B(0x84222325CBF29CE4ull);
+  B.update(RC.OptsFp);
+  if (Opts.WholeProgram) {
+    std::vector<std::string> Chunks;
+    Chunks.reserve(Prog.Modules.size());
+    for (const auto &M : Prog.Modules)
+      Chunks.push_back(serializeModuleContent(*M, NameOf));
+    RC.WholeKey = cacheKeyOfContent(Chunks, RC.OptsFp);
+    B.update(RC.WholeKey);
+  } else {
+    RC.Keys.reserve(Prog.Modules.size());
+    for (const auto &M : Prog.Modules) {
+      RC.Keys.push_back(cacheKey(*M, NameOf, RC.OptsFp));
+      B.update(RC.Keys.back());
+    }
+  }
+  char FBuf[24];
+  std::snprintf(FBuf, sizeof(FBuf), "%016llx",
+                static_cast<unsigned long long>(B.value()));
+  RC.BuildFp = FBuf;
+
+  const std::string JPath = RO.CacheDir + "/journal.mcoj";
+  if (RO.Resume) {
+    RC.Prior = ResumeState::load(JPath);
+    if (RC.Prior.Valid && RC.Prior.Fingerprint != RC.BuildFp) {
+      // Stale progress from a different corpus/options/fault config must
+      // never leak into this build.
+      R.FailureLog.push_back(
+          "resume: journal fingerprint mismatch; rebuilding everything");
+      RC.Prior = ResumeState{};
+    }
+  }
+  if (Status JS = RC.Journal.open(JPath, RC.BuildFp, Prog.Modules.size(),
+                                  Opts.WholeProgram);
+      !JS.ok())
+    R.FailureLog.push_back("journal disabled: " + JS.message());
+}
+
 } // namespace
 
 BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
   BuildResult R;
   using Clock = std::chrono::steady_clock;
 
-  if (Opts.WholeProgram) {
-    // Fig. 10: merge IR first, then outline across the whole program.
-    auto T0 = Clock::now();
-    Module &Linked = linkProgram(Prog, Opts.DataLayout);
-    R.LinkIRSeconds = secondsSince(T0);
+  ResilienceCtx RC;
+  initResilience(RC, R, Prog, Opts);
+  const uint64_t TimeoutMs = Opts.Resilience.ModuleTimeoutMs;
 
-    T0 = Clock::now();
-    OutlinerOptions EOpts = Opts.Outliner;
-    if (Opts.Threads > 1)
-      EOpts.Threads = Opts.Threads;
-    try {
-      faultSetRound(1);
-      faultSiteCheck(FaultPipelineModuleFail);
-      if (Opts.Guard.Enabled) {
-        OutlineGuard Guard(Prog, Prog, Linked, EOpts, Opts.Guard);
-        for (unsigned Round = 1; Round <= Opts.OutlineRounds; ++Round) {
-          auto TR = Clock::now();
-          GuardRoundResult RS = Guard.runGuardedRound(Round);
-          R.OutlineRoundSeconds.push_back(secondsSince(TR));
-          R.OutlineStats.Rounds.push_back(RS.Stats);
-          if (!RS.Skipped && RS.Stats.FunctionsCreated == 0)
-            break;
+  if (Opts.WholeProgram) {
+    // Fig. 10: merge IR first, then outline across the whole program. The
+    // cached artifact is the fully outlined *linked* module, keyed on the
+    // pre-link contents of every input module.
+    bool WpCached = false;
+    if (RC.Enabled) {
+      bool FromResume = false;
+      if (Opts.Resilience.Resume && RC.Prior.Valid)
+        for (const ResumeState::ModuleRecord &MR : RC.Prior.Records)
+          FromResume |= MR.K == ResumeState::ModuleRecord::Done &&
+                        MR.Key == RC.WholeKey;
+      ArtifactCache::LoadResult LR = RC.Cache->load(RC.WholeKey, Prog);
+      if (LR.Outcome == ArtifactCache::LoadOutcome::Hit) {
+        Prog.Modules.clear();
+        Prog.Modules.push_back(
+            std::make_unique<Module>(std::move(LR.Artifact.M)));
+        R.OutlineStats = std::move(LR.Artifact.Stats);
+        R.RoundsRolledBack = LR.Artifact.RoundsRolledBack;
+        R.PatternsQuarantined = LR.Artifact.PatternsQuarantined;
+        if (FromResume)
+          R.ModulesResumed = 1;
+        RC.Journal.recordModuleDone(0, Prog.Modules[0]->Name, RC.WholeKey,
+                                    /*FreshlyBuilt=*/false);
+        WpCached = true;
+      } else if (LR.Outcome == ArtifactCache::LoadOutcome::Corrupt) {
+        R.FailureLog.push_back("cache: linked artifact corrupt (" + LR.Note +
+                               "); quarantined, rebuilding");
+      }
+    }
+
+    if (!WpCached) {
+      auto T0 = Clock::now();
+      Module &Linked = linkProgram(Prog, Opts.DataLayout);
+      R.LinkIRSeconds = secondsSince(T0);
+
+      T0 = Clock::now();
+      OutlinerOptions EOpts = Opts.Outliner;
+      if (Opts.Threads > 1)
+        EOpts.Threads = Opts.Threads;
+
+      // One deadline covers all rounds of the single linked module.
+      // Committed rounds are kept on timeout (each is complete and
+      // verified-or-complete), so there is nothing to retry from — the
+      // build just ships with fewer rounds than asked for.
+      auto RunRounds = [&](const std::atomic<bool> *Cancel) {
+        faultSetRound(1);
+        faultSiteCheck(FaultPipelineModuleFail);
+        if (faultSiteFires(FaultPipelineModuleHang))
+          hangUntilCancelled(Cancel);
+        OutlinerOptions RoundOpts = EOpts;
+        RoundOpts.CancelFlag = Cancel;
+        if (Opts.Guard.Enabled) {
+          OutlineGuard Guard(Prog, Prog, Linked, RoundOpts, Opts.Guard);
+          auto Capture = [&] {
+            R.RoundsRolledBack = Guard.totalRoundsRolledBack();
+            R.PatternsQuarantined = Guard.numQuarantinedPatterns();
+            for (const std::string &F : Guard.failureLog())
+              R.FailureLog.push_back("linked: " + F);
+          };
+          try {
+            for (unsigned Round = 1; Round <= Opts.OutlineRounds; ++Round) {
+              auto TR = Clock::now();
+              GuardRoundResult RS = Guard.runGuardedRound(Round);
+              R.OutlineRoundSeconds.push_back(secondsSince(TR));
+              R.OutlineStats.Rounds.push_back(RS.Stats);
+              if (!RS.Skipped && RS.Stats.FunctionsCreated == 0)
+                break;
+            }
+          } catch (...) {
+            Capture();
+            throw;
+          }
+          Capture();
+        } else {
+          OutlinerEngine Engine(Prog, Linked, RoundOpts);
+          for (unsigned Round = 1; Round <= Opts.OutlineRounds; ++Round) {
+            auto TR = Clock::now();
+            OutlineRoundStats RS = Engine.runRound(Round);
+            R.OutlineRoundSeconds.push_back(secondsSince(TR));
+            R.OutlineStats.Rounds.push_back(RS);
+            if (RS.FunctionsCreated == 0)
+              break;
+          }
         }
-        R.RoundsRolledBack = Guard.totalRoundsRolledBack();
-        R.PatternsQuarantined = Guard.numQuarantinedPatterns();
-        for (const std::string &F : Guard.failureLog())
-          R.FailureLog.push_back("linked: " + F);
-      } else {
-        OutlinerEngine Engine(Prog, Linked, EOpts);
-        for (unsigned Round = 1; Round <= Opts.OutlineRounds; ++Round) {
-          auto TR = Clock::now();
-          OutlineRoundStats RS = Engine.runRound(Round);
-          R.OutlineRoundSeconds.push_back(secondsSince(TR));
-          R.OutlineStats.Rounds.push_back(RS);
-          if (RS.FunctionsCreated == 0)
-            break;
+      };
+
+      bool Degraded = false;
+      try {
+        if (TimeoutMs > 0) {
+          std::atomic<bool> Cancel{false};
+          std::exception_ptr Err;
+          DeadlineOutcome O = runWithDeadline(
+              TimeoutMs, Cancel, [&] { RunRounds(&Cancel); }, Err);
+          if (O == DeadlineOutcome::Failed)
+            std::rethrow_exception(Err);
+          if (O == DeadlineOutcome::TimedOut) {
+            Degraded = true;
+            ++R.WatchdogTimeouts;
+            ++R.ModulesTimedOut;
+            ++R.ModulesDegraded;
+            R.FailureLog.push_back(
+                "linked: outlining timed out after " +
+                std::to_string(TimeoutMs) + " ms; keeping " +
+                std::to_string(R.OutlineStats.Rounds.size()) +
+                " committed rounds");
+          }
+        } else {
+          RunRounds(nullptr);
+        }
+      } catch (const std::exception &E) {
+        // Whole-program outlining died mid-flight. Rounds already
+        // committed are complete; the aborted round never touched the
+        // module, so the build continues with what it has.
+        Degraded = true;
+        ++R.ModulesDegraded;
+        R.FailureLog.push_back(std::string("linked: outlining failed: ") +
+                               E.what());
+      }
+      R.OutlineSeconds = secondsSince(T0);
+
+      if (RC.Enabled) {
+        if (!Degraded) {
+          SymbolNameFn NameOf = [&Prog](uint32_t Id) {
+            return Prog.symbolName(Id);
+          };
+          Status S =
+              RC.Cache->store(RC.WholeKey, Linked, R.OutlineStats,
+                              R.RoundsRolledBack, R.PatternsQuarantined,
+                              NameOf);
+          if (S.ok())
+            RC.Journal.recordModuleDone(0, Linked.Name, RC.WholeKey,
+                                        /*FreshlyBuilt=*/true);
+          else
+            R.FailureLog.push_back("cache store failed: " + S.message());
+        } else {
+          RC.Journal.recordModuleDegraded(0, Linked.Name);
         }
       }
-    } catch (const std::exception &E) {
-      // Whole-program outlining died mid-flight. Rounds already committed
-      // are verified-or-unguarded-but-complete; the aborted round never
-      // touched the module, so the build continues with what it has.
-      ++R.ModulesDegraded;
-      R.FailureLog.push_back(std::string("linked: outlining failed: ") +
-                             E.what());
     }
-    R.OutlineSeconds = secondsSince(T0);
   } else {
     // Fig. 2: outline each module independently, then merge. Clones of
     // identical OUTLINED_* bodies from different modules survive the link
@@ -84,40 +337,162 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
     // Per-module outcome: 0 = the fan-out task never ran, 1 = outlined,
     // 2 = failed and restored to its unoutlined form.
     std::vector<uint8_t> ModOutcome(NumMods, 0);
+    std::vector<uint8_t> ModTimedOut(NumMods, 0);
     std::vector<uint64_t> ModRolledBack(NumMods, 0);
     std::vector<uint64_t> ModQuarantined(NumMods, 0);
     std::vector<std::vector<std::string>> ModLog(NumMods);
+    std::vector<uint8_t> Prefilled(NumMods, 0);
+    std::atomic<uint64_t> WatchdogCancels{0};
 
-    auto outlineModule = [&](size_t I, SymbolInterner &Syms,
-                             unsigned InnerThreads, bool InBatch) {
+    // Serial pre-pass: satisfy modules from the journal + cache before the
+    // fan-out, in module order, so symbol interning for cached modules is
+    // as deterministic as the build itself. Runs before any batch exists
+    // (deserialization interns through the shared Program).
+    if (RC.Enabled) {
+      std::vector<const ResumeState::ModuleRecord *> Rec(NumMods, nullptr);
+      if (Opts.Resilience.Resume && RC.Prior.Valid)
+        for (const ResumeState::ModuleRecord &MR : RC.Prior.Records)
+          if (MR.Idx < NumMods && MR.Name == Prog.Modules[MR.Idx]->Name)
+            Rec[MR.Idx] = &MR;
+      for (size_t I = 0; I < NumMods; ++I) {
+        if (Rec[I] && Rec[I]->K == ResumeState::ModuleRecord::Degraded) {
+          // The interrupted build shipped this module unoutlined; replay
+          // that decision so the resumed output matches what it would
+          // have produced.
+          Prefilled[I] = 1;
+          ModOutcome[I] = 2;
+          ++R.ModulesResumed;
+          ModLog[I].push_back("resumed: degraded in the interrupted build");
+          RC.Journal.recordModuleDegraded(I, Prog.Modules[I]->Name);
+          continue;
+        }
+        bool FromResume = Rec[I] && Rec[I]->Key == RC.Keys[I];
+        ArtifactCache::LoadResult LR = RC.Cache->load(RC.Keys[I], Prog);
+        if (LR.Outcome == ArtifactCache::LoadOutcome::Hit) {
+          *Prog.Modules[I] = std::move(LR.Artifact.M);
+          ModStats[I] = std::move(LR.Artifact.Stats);
+          ModRolledBack[I] = LR.Artifact.RoundsRolledBack;
+          ModQuarantined[I] = LR.Artifact.PatternsQuarantined;
+          Prefilled[I] = 1;
+          ModOutcome[I] = 1;
+          if (FromResume)
+            ++R.ModulesResumed;
+          RC.Journal.recordModuleDone(I, Prog.Modules[I]->Name, RC.Keys[I],
+                                      /*FreshlyBuilt=*/false);
+        } else if (LR.Outcome == ArtifactCache::LoadOutcome::Corrupt) {
+          ModLog[I].push_back("cache entry corrupt (" + LR.Note +
+                              "); quarantined, rebuilding");
+        }
+      }
+    }
+
+    // Store + journal a freshly outlined module. Runs on the worker that
+    // built it; the artifact is durable before the journal says `done`.
+    auto publishModule = [&](size_t I, const DeferredSymbolBatch *Batch) {
+      if (!RC.Enabled)
+        return;
+      SymbolNameFn NameOf = [&Prog, Batch](uint32_t Id) -> std::string {
+        if (Batch)
+          if (const std::string *N = Batch->placeholderName(Id))
+            return *N;
+        return Prog.symbolName(Id);
+      };
+      Module &Mod = *Prog.Modules[I];
+      Status S = RC.Cache->store(RC.Keys[I], Mod, ModStats[I],
+                                 ModRolledBack[I], ModQuarantined[I], NameOf);
+      if (!S.ok()) {
+        ModLog[I].push_back("cache store failed: " + S.message());
+        return; // No `done` record without a durable artifact.
+      }
+      RC.Journal.recordModuleDone(I, Mod.Name, RC.Keys[I],
+                                  /*FreshlyBuilt=*/true);
+    };
+
+    // One outlining attempt over the real module. Throws on injected
+    // faults, guard exhaustion, or watchdog cancellation.
+    auto outlineOnce = [&](size_t I, SymbolInterner &Syms,
+                           unsigned InnerThreads, bool InBatch,
+                           const std::atomic<bool> *Cancel) {
       Module &Mod = *Prog.Modules[I];
       OutlinerOptions PerModule = Opts.Outliner;
       PerModule.NamePrefix += "@" + Mod.Name;
       PerModule.Threads = InnerThreads;
+      PerModule.CancelFlag = Cancel;
       faultSetRound(1);
+      faultSiteCheck(FaultPipelineModuleFail);
+      if (faultSiteFires(FaultPipelineModuleHang))
+        hangUntilCancelled(Cancel);
+      if (Opts.Guard.Enabled) {
+        GuardOptions G = Opts.Guard;
+        G.AllowPlaceholderSymbols |= InBatch;
+        OutlineGuard Guard(Prog, Syms, Mod, PerModule, G);
+        ModStats[I] = Guard.runGuardedRepeated(Opts.OutlineRounds);
+        ModRolledBack[I] = Guard.totalRoundsRolledBack();
+        ModQuarantined[I] = Guard.numQuarantinedPatterns();
+        for (const std::string &F : Guard.failureLog())
+          ModLog[I].push_back(F);
+      } else {
+        ModStats[I] = runRepeatedOutliner(Syms, Mod, Opts.OutlineRounds,
+                                          PerModule);
+      }
+    };
+
+    auto outlineModule = [&](size_t I, SymbolInterner &Syms,
+                             unsigned InnerThreads, bool InBatch,
+                             const DeferredSymbolBatch *Batch) {
+      if (Prefilled[I])
+        return;
+      Module &Mod = *Prog.Modules[I];
       // Snapshot for graceful degradation: if outlining this module fails
-      // beyond what the guard can absorb, ship it unoutlined.
+      // beyond what the guard can absorb, ship it unoutlined. Also the
+      // restart point for watchdog retries — every attempt starts from
+      // the pristine module, so a successful retry commits exactly what
+      // an unwatched build would have.
       Module Backup = Mod;
+      const unsigned MaxAttempts =
+          TimeoutMs > 0 ? Opts.Resilience.TimeoutRetries + 1 : 1;
+      uint64_t DeadlineMs = TimeoutMs;
       try {
-        faultSiteCheck(FaultPipelineModuleFail);
-        if (Opts.Guard.Enabled) {
-          GuardOptions G = Opts.Guard;
-          G.AllowPlaceholderSymbols |= InBatch;
-          OutlineGuard Guard(Prog, Syms, Mod, PerModule, G);
-          ModStats[I] = Guard.runGuardedRepeated(Opts.OutlineRounds);
-          ModRolledBack[I] = Guard.totalRoundsRolledBack();
-          ModQuarantined[I] = Guard.numQuarantinedPatterns();
-          ModLog[I] = Guard.failureLog();
-        } else {
-          ModStats[I] = runRepeatedOutliner(Syms, Mod, Opts.OutlineRounds,
-                                            PerModule);
+        for (unsigned Attempt = 1;; ++Attempt) {
+          if (TimeoutMs == 0) {
+            outlineOnce(I, Syms, InnerThreads, InBatch, nullptr);
+            break;
+          }
+          std::atomic<bool> Cancel{false};
+          std::exception_ptr Err;
+          DeadlineOutcome O = runWithDeadline(
+              DeadlineMs, Cancel,
+              [&] { outlineOnce(I, Syms, InnerThreads, InBatch, &Cancel); },
+              Err);
+          if (O == DeadlineOutcome::Completed)
+            break;
+          if (O == DeadlineOutcome::Failed)
+            std::rethrow_exception(Err);
+          WatchdogCancels.fetch_add(1, std::memory_order_relaxed);
+          ModLog[I].push_back("watchdog: attempt " + std::to_string(Attempt) +
+                              " cancelled after " +
+                              std::to_string(DeadlineMs) + " ms");
+          if (Attempt >= MaxAttempts) {
+            ModTimedOut[I] = 1;
+            throw std::runtime_error("timed out in " +
+                                     std::to_string(MaxAttempts) +
+                                     " attempts");
+          }
+          // Exponential backoff: maybe the deadline was just too tight.
+          Mod = Backup;
+          ModStats[I] = RepeatedOutlineStats{};
+          ModRolledBack[I] = ModQuarantined[I] = 0;
+          DeadlineMs *= 2;
         }
         ModOutcome[I] = 1;
+        publishModule(I, Batch);
       } catch (const std::exception &E) {
         Mod = Backup;
         ModStats[I] = RepeatedOutlineStats{};
+        ModRolledBack[I] = ModQuarantined[I] = 0;
         ModOutcome[I] = 2;
         ModLog[I].push_back(std::string("outlining failed: ") + E.what());
+        RC.Journal.recordModuleDegraded(I, Mod.Name);
       }
     };
 
@@ -133,7 +508,8 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
       ThreadPool Pool(Opts.Threads);
       try {
         Pool.parallelFor(NumMods, [&](size_t I) {
-          outlineModule(I, *Batches[I], /*InnerThreads=*/1, /*InBatch=*/true);
+          outlineModule(I, *Batches[I], /*InnerThreads=*/1, /*InBatch=*/true,
+                        Batches[I].get());
         });
       } catch (const std::exception &) {
         // A fan-out task died before reaching outlineModule's own guard
@@ -146,7 +522,8 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
         Batches[I]->commit(Prog, *Prog.Modules[I]);
     } else {
       for (size_t I = 0; I < NumMods; ++I)
-        outlineModule(I, Prog, Opts.Outliner.Threads, /*InBatch=*/false);
+        outlineModule(I, Prog, Opts.Outliner.Threads, /*InBatch=*/false,
+                      /*Batch=*/nullptr);
     }
 
     for (size_t I = 0; I < NumMods; ++I) {
@@ -154,11 +531,13 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
         ++R.ModulesDegraded;
       if (ModOutcome[I] == 0)
         ModLog[I].push_back("never outlined (fan-out task failed)");
+      R.ModulesTimedOut += ModTimedOut[I];
       R.RoundsRolledBack += ModRolledBack[I];
       R.PatternsQuarantined += ModQuarantined[I];
       for (const std::string &F : ModLog[I])
         R.FailureLog.push_back("module " + Prog.Modules[I]->Name + ": " + F);
     }
+    R.WatchdogTimeouts = WatchdogCancels.load(std::memory_order_relaxed);
 
     // Accumulate per-round stats across modules into a program-level
     // trajectory. Modules converge at different rounds; for rounds past a
@@ -208,5 +587,14 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
   R.CodeSize = Image.codeSize();
   R.DataSize = Image.dataSize();
   R.BinarySize = Image.binarySize(DefaultResourceBytes);
+
+  if (RC.Enabled) {
+    R.CacheHits = RC.Cache->hits();
+    R.CacheMisses = RC.Cache->misses();
+    R.CacheCorrupt = RC.Cache->corrupt();
+    R.CacheEvicted = RC.Cache->evicted();
+    RC.Journal.recordEnd();
+    RC.Journal.close();
+  }
   return R;
 }

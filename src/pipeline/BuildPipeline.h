@@ -32,6 +32,30 @@
 
 namespace mco {
 
+/// Crash-safety knobs: the artifact cache, the build journal, and the
+/// per-module watchdog. All default-off; with CacheDir empty and
+/// ModuleTimeoutMs zero the pipeline behaves exactly as it did before
+/// these existed.
+struct ResilienceOptions {
+  /// Directory for the artifact cache, build journal, and build lock.
+  /// Empty disables all three.
+  std::string CacheDir;
+  /// Consult the journal in CacheDir and skip modules a prior (crashed or
+  /// completed) build already finished.
+  bool Resume = false;
+  /// Per-module outlining deadline in milliseconds; 0 disables the
+  /// watchdog. Cancellation is cooperative (the engine polls at round
+  /// boundaries), so a module stuck inside one phase overshoots the
+  /// deadline until the next poll point.
+  uint64_t ModuleTimeoutMs = 0;
+  /// Extra attempts after a timeout, each with double the previous
+  /// deadline; a module that times out through every attempt ships
+  /// unoutlined (counted in ModulesDegraded + ModulesTimedOut).
+  unsigned TimeoutRetries = 2;
+  /// Cache size limit; least-recently-used entries are evicted past it.
+  uint64_t CacheMaxBytes = 256ull * 1024 * 1024;
+};
+
 /// Build configuration.
 struct PipelineOptions {
   /// Rounds of repeated machine outlining; 0 disables outlining.
@@ -50,6 +74,8 @@ struct PipelineOptions {
   /// OutlineGuard). Guard.Enabled turns it on; with it off and no faults
   /// injected the build is bit-identical to a guarded one.
   GuardOptions Guard;
+  /// Crash safety: artifact cache, journal/resume, watchdog.
+  ResilienceOptions Resilience;
 };
 
 /// Result of a build: sizes, outlining statistics, and phase timings.
@@ -70,8 +96,27 @@ struct BuildResult {
   uint64_t RoundsRolledBack = 0;
   /// Patterns quarantined by the guard across all modules.
   uint64_t PatternsQuarantined = 0;
+  /// Modules degraded because they overran the watchdog deadline through
+  /// every retry (a subset of ModulesDegraded).
+  uint64_t ModulesTimedOut = 0;
+  /// Individual attempts the watchdog cancelled (retries that later
+  /// succeeded count here but not in ModulesTimedOut).
+  uint64_t WatchdogTimeouts = 0;
   /// Human-readable record of every failure the build absorbed.
   std::vector<std::string> FailureLog;
+
+  // Artifact-cache observability (all zero when the cache is disabled).
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  /// Entries that failed the checksum or structural validation at load;
+  /// each was quarantined and its module rebuilt.
+  uint64_t CacheCorrupt = 0;
+  uint64_t CacheEvicted = 0;
+  /// Modules skipped because the journal + cache carried them over from a
+  /// prior build (--resume).
+  uint64_t ModulesResumed = 0;
+  /// Dead-owner build locks recovered while acquiring the cache lock.
+  uint64_t StaleLocksRecovered = 0;
 
   /// Wall-clock seconds per phase.
   double LinkIRSeconds = 0;     ///< llvm-link analogue (merge).

@@ -1,0 +1,83 @@
+//===- support/Checksum.cpp - Streaming digests & sealed artifacts --------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Checksum.h"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace mco;
+
+namespace {
+
+/// Byte-at-a-time CRC32C table for the reflected polynomial 0x82F63B78.
+const std::array<uint32_t, 256> &crcTable() {
+  static const std::array<uint32_t, 256> Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? (C >> 1) ^ 0x82F63B78u : C >> 1;
+      T[I] = C;
+    }
+    return T;
+  }();
+  return Table;
+}
+
+} // namespace
+
+void Crc32c::update(const void *Data, size_t Len) {
+  const auto *P = static_cast<const uint8_t *>(Data);
+  const std::array<uint32_t, 256> &T = crcTable();
+  uint32_t C = State;
+  for (size_t I = 0; I < Len; ++I)
+    C = T[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  State = C;
+}
+
+std::string mco::sealArtifact(const std::string &Payload) {
+  char Header[64];
+  std::snprintf(Header, sizeof(Header), "%s %zu %08x\n", ArtifactSealMagic,
+                Payload.size(), Crc32c::of(Payload));
+  std::string Out(Header);
+  Out += Payload;
+  return Out;
+}
+
+Expected<std::string> mco::unsealArtifact(const std::string &Sealed) {
+  const std::string Magic = std::string(ArtifactSealMagic) + " ";
+  if (Sealed.rfind(Magic, 0) != 0)
+    return MCO_ERROR("sealed artifact: bad magic");
+  size_t Eol = Sealed.find('\n');
+  if (Eol == std::string::npos)
+    return MCO_ERROR("sealed artifact: truncated header");
+  // "<size> <crc>"
+  const char *P = Sealed.c_str() + Magic.size();
+  char *End = nullptr;
+  unsigned long long Size = std::strtoull(P, &End, 10);
+  if (End == P || *End != ' ')
+    return MCO_ERROR("sealed artifact: malformed size field");
+  unsigned long long Crc = std::strtoull(End + 1, &End, 16);
+  if (static_cast<size_t>(End - Sealed.c_str()) != Eol)
+    return MCO_ERROR("sealed artifact: malformed checksum field");
+  std::string Payload = Sealed.substr(Eol + 1);
+  if (Payload.size() != Size)
+    return MCO_ERROR("sealed artifact: size mismatch (header says " +
+                     std::to_string(Size) + ", have " +
+                     std::to_string(Payload.size()) + ")");
+  uint32_t Got = Crc32c::of(Payload);
+  if (Got != static_cast<uint32_t>(Crc)) {
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf),
+                  "sealed artifact: checksum mismatch (header %08llx, "
+                  "payload %08x)",
+                  Crc, Got);
+    return MCO_ERROR(std::string(Buf));
+  }
+  return Payload;
+}

@@ -1,0 +1,84 @@
+//===- support/Checksum.h - Streaming digests & sealed artifacts -*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming CRC32C (Castagnoli) and FNV-1a digests, plus the sealed
+/// artifact envelope every on-disk intermediate is wrapped in. A build that
+/// is killed mid-write, a torn rename, or a bit flip on disk must never
+/// feed corrupt bytes back into a later build; the seal makes corruption a
+/// detected cache miss instead of a wrong binary.
+///
+/// Sealed format (the payload is opaque bytes):
+///
+///   MCOA1 <payload-size-decimal> <crc32c-8hex>\n<payload>
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SUPPORT_CHECKSUM_H
+#define MCO_SUPPORT_CHECKSUM_H
+
+#include "support/Error.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mco {
+
+/// Streaming CRC32C (polynomial 0x1EDC6F41, reflected). Software
+/// table-driven; of("123456789") == 0xE3069283.
+class Crc32c {
+public:
+  void update(const void *Data, size_t Len);
+  void update(const std::string &S) { update(S.data(), S.size()); }
+
+  /// The digest of everything fed so far (the object stays usable).
+  uint32_t value() const { return ~State; }
+
+  static uint32_t of(const std::string &S) {
+    Crc32c C;
+    C.update(S);
+    return C.value();
+  }
+
+private:
+  uint32_t State = 0xFFFFFFFFu;
+};
+
+/// Streaming 64-bit FNV-1a. Used for cache keys, where we want a cheap
+/// digest whose seed can be varied to get independent hashes.
+class Fnv64 {
+public:
+  explicit Fnv64(uint64_t Seed = 0xCBF29CE484222325ull) : H(Seed) {}
+
+  void update(const void *Data, size_t Len) {
+    const auto *P = static_cast<const uint8_t *>(Data);
+    for (size_t I = 0; I < Len; ++I)
+      H = (H ^ P[I]) * 0x100000001B3ull;
+  }
+  void update(const std::string &S) { update(S.data(), S.size()); }
+  void update(uint64_t V) { update(&V, sizeof(V)); }
+
+  uint64_t value() const { return H; }
+
+private:
+  uint64_t H;
+};
+
+/// First bytes of every sealed artifact.
+inline constexpr const char *ArtifactSealMagic = "MCOA1";
+
+/// Wraps \p Payload in the sealed envelope (header + CRC32C).
+std::string sealArtifact(const std::string &Payload);
+
+/// Verifies and strips the envelope. Fails on a bad magic, a truncated
+/// file, a size mismatch, or a checksum mismatch — every way a kill -9 or
+/// disk corruption can mangle an artifact.
+Expected<std::string> unsealArtifact(const std::string &Sealed);
+
+} // namespace mco
+
+#endif // MCO_SUPPORT_CHECKSUM_H

@@ -7,6 +7,7 @@
 #include "support/FaultInjection.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 using namespace mco;
@@ -21,7 +22,9 @@ FaultInjection &FaultInjection::instance() {
 const std::vector<std::string> &FaultInjection::knownSites() {
   static const std::vector<std::string> Sites = {
       FaultOutlinerRewriteCorrupt, FaultMapperHashCollide,
-      FaultPipelineModuleFail, FaultThreadPoolTaskThrow};
+      FaultPipelineModuleFail,     FaultThreadPoolTaskThrow,
+      FaultCacheEntryCorrupt,      FaultCacheLockStale,
+      FaultPipelineModuleHang};
   return Sites;
 }
 
@@ -145,6 +148,24 @@ uint64_t FaultInjection::firedCount(const std::string &Site) const {
     if (Spec->Site == Site)
       N += Spec->Fired.load(std::memory_order_relaxed);
   return N;
+}
+
+std::string FaultInjection::contentAffectingConfig() const {
+  std::string Out;
+  for (const std::unique_ptr<SiteSpec> &Spec : Specs) {
+    if (Spec->Site.rfind("cache.", 0) == 0)
+      continue;
+    if (!Out.empty())
+      Out += ';';
+    Out += Spec->Site;
+    if (Spec->Round != 0)
+      Out += "@" + std::to_string(Spec->Round);
+    char Buf[48];
+    std::snprintf(Buf, sizeof(Buf), ":%.17g,%llu", Spec->Rate,
+                  static_cast<unsigned long long>(Spec->Seed));
+    Out += Buf;
+  }
+  return Out;
 }
 
 std::vector<FaultInjection::SiteReport> FaultInjection::report() const {

@@ -22,6 +22,14 @@
 ///                               (per-module fan-out degradation path)
 ///   threadpool.task.throw     - a parallelFor task throws (exception
 ///                               propagation across pool lanes)
+///   cache.entry.corrupt       - an artifact-cache store writes a bit-flipped
+///                               entry (caught at load by the checksum seal;
+///                               quarantined, rebuilt)
+///   cache.lock.stale          - a dead-owner lock file is planted before an
+///                               acquire (stale-lock recovery path)
+///   pipeline.module.hang      - outlining a module stalls until the
+///                               watchdog's cooperative cancel fires
+///                               (--module-timeout-ms degradation path)
 ///
 /// A spec configures one site: `site[@round][:rate[,seed]]` with rate in
 /// [0,1] (default 1) and round 0/omitted meaning "any round"; several specs
@@ -109,6 +117,13 @@ public:
   /// One entry per configured spec.
   std::vector<SiteReport> report() const;
 
+  /// Canonical rendering of the configured specs whose sites can change the
+  /// *content* a build produces (everything except the cache.* sites, which
+  /// only perturb the artifact store around the build). The artifact cache
+  /// folds this into its keys so a fault-injected build can never serve its
+  /// artifacts to a clean build.
+  std::string contentAffectingConfig() const;
+
 private:
   struct SiteSpec {
     std::string Site;
@@ -147,6 +162,9 @@ inline constexpr const char *FaultMapperHashCollide = "mapper.hash.collide";
 inline constexpr const char *FaultPipelineModuleFail = "pipeline.module.fail";
 inline constexpr const char *FaultThreadPoolTaskThrow =
     "threadpool.task.throw";
+inline constexpr const char *FaultCacheEntryCorrupt = "cache.entry.corrupt";
+inline constexpr const char *FaultCacheLockStale = "cache.lock.stale";
+inline constexpr const char *FaultPipelineModuleHang = "pipeline.module.hang";
 
 } // namespace mco
 

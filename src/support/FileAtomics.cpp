@@ -1,0 +1,210 @@
+//===- support/FileAtomics.cpp - Crash-safe file primitives ---------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileAtomics.h"
+
+#include "support/FaultInjection.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace mco;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string errnoMessage(const std::string &What) {
+  return What + ": " + std::strerror(errno);
+}
+
+/// fsyncs the directory containing \p Path so a rename into it is durable.
+/// Best-effort: some filesystems reject directory fsync; a failure there
+/// narrows the crash window but cannot corrupt anything (the rename itself
+/// was atomic).
+void fsyncParentDir(const std::string &Path) {
+  fs::path Dir = fs::path(Path).parent_path();
+  if (Dir.empty())
+    Dir = ".";
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0)
+    return;
+  ::fsync(Fd);
+  ::close(Fd);
+}
+
+} // namespace
+
+Status mco::ensureDir(const std::string &Path) {
+  std::error_code EC;
+  fs::create_directories(Path, EC);
+  if (EC && !fs::is_directory(Path))
+    return MCO_ERROR("cannot create directory '" + Path +
+                     "': " + EC.message());
+  return Status::success();
+}
+
+bool mco::fileExists(const std::string &Path) {
+  std::error_code EC;
+  return fs::exists(Path, EC);
+}
+
+Expected<std::string> mco::readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return MCO_ERROR("cannot open '" + Path + "' for reading");
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  if (In.bad())
+    return MCO_ERROR("read failed on '" + Path + "'");
+  return Buf.str();
+}
+
+Status mco::atomicWriteFile(const std::string &Path,
+                            const std::string &Bytes) {
+  // Unique temp name in the same directory (rename must not cross
+  // filesystems). pid + counter keeps concurrent writers apart.
+  static std::atomic<uint64_t> Counter{0};
+  char Suffix[64];
+  std::snprintf(Suffix, sizeof(Suffix), ".tmp.%ld.%llu",
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(
+                    Counter.fetch_add(1, std::memory_order_relaxed)));
+  const std::string Tmp = Path + Suffix;
+
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return MCO_ERROR(errnoMessage("cannot create temp file '" + Tmp + "'"));
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Status S = MCO_ERROR(errnoMessage("write failed on '" + Tmp + "'"));
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      return S;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  if (::fsync(Fd) != 0) {
+    Status S = MCO_ERROR(errnoMessage("fsync failed on '" + Tmp + "'"));
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return S;
+  }
+  ::close(Fd);
+
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    Status S = MCO_ERROR(
+        errnoMessage("rename '" + Tmp + "' -> '" + Path + "' failed"));
+    ::unlink(Tmp.c_str());
+    return S;
+  }
+  fsyncParentDir(Path);
+  return Status::success();
+}
+
+Status mco::removeFileIfExists(const std::string &Path) {
+  if (::unlink(Path.c_str()) != 0 && errno != ENOENT)
+    return MCO_ERROR(errnoMessage("cannot remove '" + Path + "'"));
+  return Status::success();
+}
+
+bool FileLock::processAlive(long Pid) {
+  if (Pid <= 0)
+    return false;
+  // Signal 0 probes existence without delivering anything; EPERM still
+  // means the pid exists (owned by another user).
+  return ::kill(static_cast<pid_t>(Pid), 0) == 0 || errno == EPERM;
+}
+
+namespace {
+
+/// Writes a lock file at \p Path owned by a pid that cannot be alive
+/// (beyond the kernel's pid ceiling), simulating a build that died while
+/// holding the lock.
+void plantStaleLock(const std::string &Path) {
+  std::string Body = "pid 536870911\n";
+  int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (Fd < 0)
+    return; // Someone really holds it; nothing to plant.
+  (void)!::write(Fd, Body.data(), Body.size());
+  ::close(Fd);
+}
+
+/// \returns the pid recorded in lock file \p Path, or -1 if unreadable.
+long lockOwner(const std::string &Path) {
+  Expected<std::string> Bytes = readFileBytes(Path);
+  if (!Bytes.ok())
+    return -1;
+  long Pid = -1;
+  if (std::sscanf(Bytes->c_str(), "pid %ld", &Pid) != 1)
+    return -1;
+  return Pid;
+}
+
+} // namespace
+
+Status FileLock::acquire(const std::string &Path) {
+  if (Held)
+    return MCO_ERROR("lock already held: '" + LockPath + "'");
+
+  if (faultSiteFires(FaultCacheLockStale))
+    plantStaleLock(Path);
+
+  char Body[64];
+  std::snprintf(Body, sizeof(Body), "pid %ld\n",
+                static_cast<long>(::getpid()));
+
+  // A bounded number of steal attempts: two stealers can race on the same
+  // stale lock; exactly one O_EXCL create wins each round.
+  for (int Attempt = 0; Attempt < 4; ++Attempt) {
+    int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (Fd >= 0) {
+      (void)!::write(Fd, Body, std::strlen(Body));
+      ::fsync(Fd);
+      ::close(Fd);
+      fsyncParentDir(Path);
+      LockPath = Path;
+      Held = true;
+      return Status::success();
+    }
+    if (errno != EEXIST)
+      return MCO_ERROR(errnoMessage("cannot create lock '" + Path + "'"));
+
+    long Owner = lockOwner(Path);
+    if (Owner > 0 && Owner != static_cast<long>(::getpid()) &&
+        processAlive(Owner))
+      return MCO_ERROR("lock '" + Path + "' held by live pid " +
+                       std::to_string(Owner));
+    // Dead owner (or unreadable lock, e.g. torn by a kill mid-write):
+    // recover and retry.
+    ::unlink(Path.c_str());
+    ++StaleRecovered;
+  }
+  return MCO_ERROR("lock '" + Path +
+                   "' could not be acquired (repeated steal races)");
+}
+
+void FileLock::release() {
+  if (!Held)
+    return;
+  ::unlink(LockPath.c_str());
+  Held = false;
+  LockPath.clear();
+}

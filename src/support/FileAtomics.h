@@ -1,0 +1,83 @@
+//===- support/FileAtomics.h - Crash-safe file primitives -------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The filesystem discipline the crash-safe build layer is built on:
+///
+///  - atomicWriteFile: write-to-temp + fsync + rename + directory fsync, so
+///    a reader never observes a half-written file — after a kill -9 the
+///    path holds either the old bytes or the new bytes, never a mix.
+///  - FileLock: an owner-pid lock file with stale-lock recovery. A build
+///    that dies holding the lock leaves a lock file whose pid is dead; the
+///    next build detects that and steals the lock instead of deadlocking.
+///
+/// The `cache.lock.stale` fault site plants a dead-owner lock file right
+/// before an acquire, exercising the recovery path deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SUPPORT_FILEATOMICS_H
+#define MCO_SUPPORT_FILEATOMICS_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+
+namespace mco {
+
+/// mkdir -p. Ok when the directory already exists.
+Status ensureDir(const std::string &Path);
+
+bool fileExists(const std::string &Path);
+
+/// Reads the whole file as bytes.
+Expected<std::string> readFileBytes(const std::string &Path);
+
+/// Atomically replaces \p Path with \p Bytes: writes a unique temp file in
+/// the same directory, fsyncs it, renames it over \p Path, and fsyncs the
+/// directory. Concurrent writers to the same path are safe (last rename
+/// wins; every observable state is a complete file).
+Status atomicWriteFile(const std::string &Path, const std::string &Bytes);
+
+/// Removes \p Path; ok when it does not exist.
+Status removeFileIfExists(const std::string &Path);
+
+/// An exclusive lock file carrying its owner's pid. acquire() is
+/// non-blocking: it fails when a *live* process holds the lock, and
+/// recovers (unlinks and retries) when the recorded owner is dead.
+class FileLock {
+public:
+  FileLock() = default;
+  ~FileLock() { release(); }
+
+  FileLock(const FileLock &) = delete;
+  FileLock &operator=(const FileLock &) = delete;
+
+  /// Tries to take the lock at \p Path. Fails with a "held by pid N"
+  /// Status when a live owner holds it.
+  Status acquire(const std::string &Path);
+
+  /// Releases (unlinks) the lock if held. Safe to call when not held.
+  void release();
+
+  bool held() const { return Held; }
+
+  /// Dead-owner lock files this lock recovered from during acquire().
+  uint64_t staleLocksRecovered() const { return StaleRecovered; }
+
+  /// \returns true when \p Pid names a live process.
+  static bool processAlive(long Pid);
+
+private:
+  std::string LockPath;
+  bool Held = false;
+  uint64_t StaleRecovered = 0;
+};
+
+} // namespace mco
+
+#endif // MCO_SUPPORT_FILEATOMICS_H

@@ -1,0 +1,414 @@
+//===- tests/ArtifactCacheTest.cpp - Artifact cache & crash-safe IO -------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit coverage for the crash-safe storage layer: CRC32C known answers,
+/// the sealed-artifact envelope, atomic file writes, pid lock files with
+/// stale-owner recovery, the MCOM binary module codec, and the
+/// content-addressed artifact cache (hit/miss, corruption quarantine,
+/// LRU eviction, concurrent same-key writers, injected corruption).
+///
+//===----------------------------------------------------------------------===//
+
+#include "cache/ArtifactCache.h"
+
+#include "mir/MIRBuilder.h"
+#include "support/Checksum.h"
+#include "support/FaultInjection.h"
+#include "support/FileAtomics.h"
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace mco;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Configures fault injection for one test and clears it on exit.
+struct FaultScope {
+  explicit FaultScope(const std::string &Spec) {
+    Status S = FaultInjection::instance().configure(Spec);
+    EXPECT_TRUE(S.ok()) << S.message();
+  }
+  ~FaultScope() { FaultInjection::instance().clear(); }
+};
+
+/// A fresh scratch directory per test, removed on teardown.
+struct ScratchDir {
+  fs::path P;
+  explicit ScratchDir(const std::string &Name) {
+    P = fs::temp_directory_path() /
+        ("mco_cache_test_" + std::to_string(::getpid()) + "_" + Name);
+    fs::remove_all(P);
+    fs::create_directories(P);
+  }
+  ~ScratchDir() {
+    std::error_code EC;
+    fs::remove_all(P, EC);
+  }
+  std::string str(const std::string &Leaf = "") const {
+    return (Leaf.empty() ? P : P / Leaf).string();
+  }
+};
+
+/// Builds a module exercising every serialized feature: symbol operands,
+/// condition codes, immediates, block refs, outlining metadata, globals.
+Module &makeRichModule(Program &Prog, const std::string &Name) {
+  Module &M = Prog.addModule(Name);
+
+  M.Functions.emplace_back();
+  MachineFunction &F = M.Functions.back();
+  F.Name = Prog.internSymbol("rich_main");
+  F.OriginModule = 7;
+  F.addBlock();
+  F.addBlock();
+  MIRBuilder B(F.Blocks[0]);
+  B.movri(Reg::X0, 42);
+  B.addri(Reg::X1, Reg::X0, -9);
+  B.cmpri(Reg::X1, 0);
+  B.cset(Reg::X2, Cond::HS);
+  B.adr(Reg::X3, Prog.internSymbol("rich_data"));
+  B.bl(Prog.internSymbol("rich_callee"));
+  B.bcc(Cond::NE, 1);
+  B.setBlock(F.Blocks[1]);
+  B.ret();
+
+  M.Functions.emplace_back();
+  MachineFunction &G = M.Functions.back();
+  G.Name = Prog.internSymbol("OUTLINED_0_0@" + Name);
+  G.IsOutlined = true;
+  G.FrameKind = OutlinedFrameKind::Thunk;
+  G.OutlinedCallSites = 3;
+  G.OriginModule = 7;
+  MIRBuilder GB(G.addBlock());
+  GB.movri(Reg::X9, 1);
+  GB.btail(Prog.internSymbol("rich_callee"));
+
+  M.Globals.emplace_back();
+  GlobalData &D = M.Globals.back();
+  D.Name = Prog.internSymbol("rich_data");
+  D.Bytes = {0xde, 0xad, 0xbe, 0xef, 0x00};
+  D.OriginModule = 7;
+  return M;
+}
+
+RepeatedOutlineStats makeStats() {
+  RepeatedOutlineStats St;
+  St.Rounds.emplace_back();
+  St.Rounds.back().SequencesOutlined = 11;
+  St.Rounds.back().FunctionsCreated = 2;
+  St.Rounds.back().CodeSizeBefore = 400;
+  St.Rounds.back().CodeSizeAfter = 360;
+  St.Rounds.emplace_back();
+  St.Rounds.back().PatternsQuarantined = 1;
+  St.Rounds.back().RoundsRolledBack = 4;
+  return St;
+}
+
+SymbolNameFn nameFn(const Program &Prog) {
+  return [&Prog](uint32_t Id) { return Prog.symbolName(Id); };
+}
+
+//===----------------------------------------------------------------------===//
+// Checksums & the sealed envelope
+//===----------------------------------------------------------------------===//
+
+TEST(ChecksumTest, Crc32cKnownAnswer) {
+  // The canonical CRC32C check value.
+  EXPECT_EQ(Crc32c::of("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c::of(""), 0u);
+}
+
+TEST(ChecksumTest, Crc32cStreamingMatchesOneShot) {
+  Crc32c C;
+  C.update("1234");
+  C.update("56789");
+  EXPECT_EQ(C.value(), Crc32c::of("123456789"));
+}
+
+TEST(ChecksumTest, SealUnsealRoundTrip) {
+  const std::string Payload("binary\0payload\nwith newlines", 28);
+  Expected<std::string> Back = unsealArtifact(sealArtifact(Payload));
+  ASSERT_TRUE(Back.ok()) << Back.status().message();
+  EXPECT_EQ(*Back, Payload);
+}
+
+TEST(ChecksumTest, UnsealDetectsEveryMangling) {
+  const std::string Sealed = sealArtifact("the payload");
+  // Bad magic.
+  EXPECT_FALSE(unsealArtifact("XXXX1 11 00000000\npayload").ok());
+  // Truncations at every prefix length: a kill -9 mid-write can stop
+  // anywhere (atomicWriteFile prevents this on the real path, but the
+  // seal must stand on its own).
+  for (size_t Len = 0; Len < Sealed.size(); ++Len)
+    EXPECT_FALSE(unsealArtifact(Sealed.substr(0, Len)).ok()) << Len;
+  // A single bit flip anywhere must be caught.
+  for (size_t I = 0; I < Sealed.size(); ++I) {
+    std::string Bad = Sealed;
+    Bad[I] ^= 0x10;
+    EXPECT_FALSE(unsealArtifact(Bad).ok()) << "flip at " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Atomic files & locks
+//===----------------------------------------------------------------------===//
+
+TEST(FileAtomicsTest, AtomicWriteThenRead) {
+  ScratchDir D("atomic");
+  const std::string Path = D.str("file.bin");
+  EXPECT_FALSE(fileExists(Path));
+  ASSERT_TRUE(atomicWriteFile(Path, "first").ok());
+  ASSERT_TRUE(fileExists(Path));
+  // Replacement is in-place atomic: the path always reads complete bytes.
+  ASSERT_TRUE(atomicWriteFile(Path, std::string("sec\0nd", 6)).ok());
+  Expected<std::string> Back = readFileBytes(Path);
+  ASSERT_TRUE(Back.ok());
+  EXPECT_EQ(*Back, std::string("sec\0nd", 6));
+  // No temp droppings left behind.
+  size_t Entries = 0;
+  for (const auto &E : fs::directory_iterator(D.P)) {
+    (void)E;
+    ++Entries;
+  }
+  EXPECT_EQ(Entries, 1u);
+  EXPECT_TRUE(removeFileIfExists(Path).ok());
+  EXPECT_TRUE(removeFileIfExists(Path).ok()); // Idempotent.
+  EXPECT_FALSE(readFileBytes(Path).ok());
+}
+
+TEST(FileAtomicsTest, LockExcludesLiveOwnerAndReleases) {
+  ScratchDir D("lock");
+  const std::string Path = D.str("build.lock");
+  // A lock held by a live foreign process must hold (pid 1 is always
+  // alive; kill(1, 0) yields EPERM, which still means "exists"). A lock
+  // recorded under our *own* pid is deliberately treated as stale — a
+  // crashed earlier incarnation that recycled the pid — so it cannot be
+  // used to test exclusion in-process.
+  ASSERT_TRUE(atomicWriteFile(Path, "pid 1\n").ok());
+  FileLock B;
+  EXPECT_FALSE(B.acquire(Path).ok());
+  EXPECT_FALSE(B.held());
+  ASSERT_TRUE(removeFileIfExists(Path).ok());
+  ASSERT_TRUE(B.acquire(Path).ok());
+  EXPECT_TRUE(B.held());
+  // Re-acquiring through an object that already holds is an error.
+  EXPECT_FALSE(B.acquire(Path).ok());
+  B.release();
+  EXPECT_FALSE(B.held());
+  FileLock C;
+  EXPECT_TRUE(C.acquire(Path).ok());
+}
+
+TEST(FileAtomicsTest, LockRecoversDeadOwner) {
+  ScratchDir D("stale");
+  const std::string Path = D.str("build.lock");
+  // Plant a lock whose owner pid cannot exist (beyond any pid_max).
+  ASSERT_TRUE(atomicWriteFile(Path, "pid 536870911\n").ok());
+  FileLock L;
+  ASSERT_TRUE(L.acquire(Path).ok());
+  EXPECT_EQ(L.staleLocksRecovered(), 1u);
+}
+
+TEST(FileAtomicsTest, LockStaleFaultSitePlantsAndRecovers) {
+  ScratchDir D("stalefault");
+  FaultScope F("cache.lock.stale:1");
+  FileLock L;
+  ASSERT_TRUE(L.acquire(D.str("build.lock")).ok());
+  EXPECT_GE(L.staleLocksRecovered(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The MCOM codec
+//===----------------------------------------------------------------------===//
+
+TEST(ModuleArtifactTest, RoundTripPreservesEverything) {
+  Program Prog;
+  Module &M = makeRichModule(Prog, "m_rt");
+  RepeatedOutlineStats St = makeStats();
+  std::string Bytes = serializeModuleArtifact(M, St, 4, 1, nameFn(Prog));
+
+  Program Fresh; // Different interner: ids must not leak through names.
+  Fresh.internSymbol("occupy_id_0");
+  Expected<ModuleArtifact> A = deserializeModuleArtifact(Bytes, Fresh);
+  ASSERT_TRUE(A.ok()) << A.status().message();
+  EXPECT_EQ(A->M.Name, "m_rt");
+  ASSERT_EQ(A->M.Functions.size(), 2u);
+  EXPECT_EQ(Fresh.symbolName(A->M.Functions[0].Name), "rich_main");
+  const MachineFunction &G = A->M.Functions[1];
+  EXPECT_TRUE(G.IsOutlined);
+  EXPECT_EQ(G.FrameKind, OutlinedFrameKind::Thunk);
+  EXPECT_EQ(G.OutlinedCallSites, 3u);
+  EXPECT_EQ(G.OriginModule, 7u);
+  ASSERT_EQ(A->M.Globals.size(), 1u);
+  EXPECT_EQ(Fresh.symbolName(A->M.Globals[0].Name), "rich_data");
+  EXPECT_EQ(A->M.Globals[0].Bytes,
+            (std::vector<uint8_t>{0xde, 0xad, 0xbe, 0xef, 0x00}));
+  ASSERT_EQ(A->Stats.Rounds.size(), 2u);
+  EXPECT_EQ(A->Stats.Rounds[0].SequencesOutlined, 11u);
+  EXPECT_EQ(A->Stats.Rounds[1].RoundsRolledBack, 4u);
+  EXPECT_EQ(A->RoundsRolledBack, 4u);
+  EXPECT_EQ(A->PatternsQuarantined, 1u);
+
+  // Content serialization is id-independent: re-serializing from the
+  // fresh program reproduces the original bytes.
+  EXPECT_EQ(serializeModuleContent(A->M, nameFn(Fresh)),
+            serializeModuleContent(M, nameFn(Prog)));
+}
+
+TEST(ModuleArtifactTest, CacheKeyTracksContentAndOptions) {
+  Program Prog;
+  Module &M = makeRichModule(Prog, "m_key");
+  std::string K1 = cacheKey(M, nameFn(Prog), "opts-a");
+  EXPECT_EQ(K1.size(), 32u);
+  EXPECT_EQ(K1, cacheKey(M, nameFn(Prog), "opts-a"));
+  EXPECT_NE(K1, cacheKey(M, nameFn(Prog), "opts-b"));
+  M.Functions[0].Blocks[0].Instrs[0].operand(1) = MachineOperand::imm(43);
+  EXPECT_NE(K1, cacheKey(M, nameFn(Prog), "opts-a"));
+}
+
+TEST(ModuleArtifactTest, DeserializeRejectsStructuralDamage) {
+  Program Prog;
+  Module &M = makeRichModule(Prog, "m_bad");
+  std::string Bytes =
+      serializeModuleArtifact(M, makeStats(), 0, 0, nameFn(Prog));
+  // Truncation at any point must fail, never crash or mis-parse.
+  for (size_t Len = 0; Len < Bytes.size(); Len += 3) {
+    Program Fresh;
+    EXPECT_FALSE(deserializeModuleArtifact(Bytes.substr(0, Len), Fresh).ok())
+        << Len;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The cache proper
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactCacheTest, MissThenStoreThenHit) {
+  ScratchDir D("hitmiss");
+  Program Prog;
+  Module &M = makeRichModule(Prog, "m_c");
+  const std::string Key = cacheKey(M, nameFn(Prog), "o");
+
+  ArtifactCache C(D.str(), 1 << 20);
+  ASSERT_TRUE(C.prepare().ok());
+  EXPECT_EQ(C.load(Key, Prog).Outcome, ArtifactCache::LoadOutcome::Miss);
+  ASSERT_TRUE(C.store(Key, M, makeStats(), 4, 1, nameFn(Prog)).ok());
+
+  Program Fresh;
+  ArtifactCache::LoadResult LR = C.load(Key, Fresh);
+  ASSERT_EQ(LR.Outcome, ArtifactCache::LoadOutcome::Hit) << LR.Note;
+  EXPECT_EQ(serializeModuleContent(LR.Artifact.M, nameFn(Fresh)),
+            serializeModuleContent(M, nameFn(Prog)));
+  EXPECT_EQ(LR.Artifact.RoundsRolledBack, 4u);
+  EXPECT_EQ(C.hits(), 1u);
+  EXPECT_EQ(C.misses(), 1u);
+}
+
+TEST(ArtifactCacheTest, BitFlipQuarantinesAndRebuilds) {
+  ScratchDir D("flip");
+  Program Prog;
+  Module &M = makeRichModule(Prog, "m_f");
+  const std::string Key = cacheKey(M, nameFn(Prog), "o");
+  ArtifactCache C(D.str(), 1 << 20);
+  ASSERT_TRUE(C.prepare().ok());
+  ASSERT_TRUE(C.store(Key, M, {}, 0, 0, nameFn(Prog)).ok());
+
+  // Flip one payload bit on disk.
+  Expected<std::string> Raw = readFileBytes(C.objectPath(Key));
+  ASSERT_TRUE(Raw.ok());
+  std::string Bad = *Raw;
+  Bad[Bad.size() / 2] ^= 0x01;
+  ASSERT_TRUE(atomicWriteFile(C.objectPath(Key), Bad).ok());
+
+  Program Fresh;
+  ArtifactCache::LoadResult LR = C.load(Key, Fresh);
+  EXPECT_EQ(LR.Outcome, ArtifactCache::LoadOutcome::Corrupt);
+  EXPECT_FALSE(LR.Note.empty());
+  EXPECT_EQ(C.corrupt(), 1u);
+  // The damaged entry was moved aside: the next lookup is a clean miss,
+  // and the evidence survives in quarantine/ for post-mortem.
+  EXPECT_FALSE(fileExists(C.objectPath(Key)));
+  EXPECT_EQ(C.load(Key, Fresh).Outcome, ArtifactCache::LoadOutcome::Miss);
+  EXPECT_FALSE(fs::is_empty(C.quarantineDir()));
+  // Storing again repairs the entry.
+  ASSERT_TRUE(C.store(Key, M, {}, 0, 0, nameFn(Prog)).ok());
+  EXPECT_EQ(C.load(Key, Fresh).Outcome, ArtifactCache::LoadOutcome::Hit);
+}
+
+TEST(ArtifactCacheTest, InjectedCorruptionIsDetected) {
+  ScratchDir D("inject");
+  Program Prog;
+  Module &M = makeRichModule(Prog, "m_i");
+  const std::string Key = cacheKey(M, nameFn(Prog), "o");
+  ArtifactCache C(D.str(), 1 << 20);
+  ASSERT_TRUE(C.prepare().ok());
+  {
+    FaultScope F("cache.entry.corrupt:1");
+    ASSERT_TRUE(C.store(Key, M, {}, 0, 0, nameFn(Prog)).ok());
+  }
+  Program Fresh;
+  EXPECT_EQ(C.load(Key, Fresh).Outcome, ArtifactCache::LoadOutcome::Corrupt);
+}
+
+TEST(ArtifactCacheTest, EvictsLeastRecentlyUsedPastLimit) {
+  ScratchDir D("evict");
+  Program Prog;
+  Module &M = makeRichModule(Prog, "m_e");
+  const SymbolNameFn NameOf = nameFn(Prog);
+  // Each sealed entry is a few hundred bytes; cap the store at roughly
+  // two entries so the third store must evict.
+  const uint64_t EntryBytes =
+      sealArtifact(serializeModuleArtifact(M, {}, 0, 0, NameOf)).size();
+  ArtifactCache C(D.str(), EntryBytes * 2 + EntryBytes / 2);
+  ASSERT_TRUE(C.prepare().ok());
+
+  ASSERT_TRUE(C.store("a" + std::string(31, '0'), M, {}, 0, 0, NameOf).ok());
+  // Backdate entry "a" so it is unambiguously the LRU victim.
+  fs::last_write_time(C.objectPath("a" + std::string(31, '0')),
+                      fs::file_time_type::clock::now() -
+                          std::chrono::hours(2));
+  ASSERT_TRUE(C.store("b" + std::string(31, '0'), M, {}, 0, 0, NameOf).ok());
+  ASSERT_TRUE(C.store("c" + std::string(31, '0'), M, {}, 0, 0, NameOf).ok());
+
+  EXPECT_GE(C.evicted(), 1u);
+  EXPECT_FALSE(fileExists(C.objectPath("a" + std::string(31, '0'))));
+  EXPECT_TRUE(fileExists(C.objectPath("c" + std::string(31, '0'))));
+}
+
+TEST(ArtifactCacheTest, ConcurrentSameKeyWritersAreSafe) {
+  ScratchDir D("race");
+  Program Prog;
+  Module &M = makeRichModule(Prog, "m_r");
+  const SymbolNameFn NameOf = nameFn(Prog);
+  const std::string Key = cacheKey(M, NameOf, "o");
+  ArtifactCache C(D.str(), 1 << 20);
+  ASSERT_TRUE(C.prepare().ok());
+
+  // Same-key stores are bit-identical by construction; whatever
+  // interleaving of temp writes and renames happens, the final file must
+  // be a complete, valid entry.
+  std::vector<std::thread> Ws;
+  for (int T = 0; T < 8; ++T)
+    Ws.emplace_back([&] {
+      for (int Rep = 0; Rep < 8; ++Rep)
+        EXPECT_TRUE(C.store(Key, M, {}, 0, 0, NameOf).ok());
+    });
+  for (std::thread &W : Ws)
+    W.join();
+
+  Program Fresh;
+  ArtifactCache::LoadResult LR = C.load(Key, Fresh);
+  ASSERT_EQ(LR.Outcome, ArtifactCache::LoadOutcome::Hit) << LR.Note;
+  EXPECT_EQ(serializeModuleContent(LR.Artifact.M, nameFn(Fresh)),
+            serializeModuleContent(M, NameOf));
+}
+
+} // namespace

@@ -1,0 +1,257 @@
+//===- tests/CrashResumeTest.cpp - kill -9 / resume end-to-end ------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end crash-safety: spawns the real mco-build binary (path baked
+/// in via MCO_BUILD_TOOL_PATH), kills it with SIGKILL mid-build using the
+/// MCO_CRASH_AFTER_MODULES hook, resumes with --resume, and requires the
+/// final dumped module to be byte-identical to an uninterrupted build's.
+/// Also covers warm-cache rebuilds, on-disk corruption absorption, the
+/// per-module watchdog, and the diag-json-on-failure contract.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Small corpus, two rounds: big enough that outlining does real work in
+/// every module, small enough that a full build is fast.
+const std::vector<std::string> BaseArgs = {
+    "--modules", "6", "--rounds", "2", "--per-module"};
+
+struct RunResult {
+  int ExitCode = -1;
+  bool Signaled = false;
+  int Signal = 0;
+};
+
+/// Runs mco-build with \p Args (appended to BaseArgs unless \p Bare), with
+/// \p Env ("K=V") entries added to the child environment.
+RunResult runBuild(const std::vector<std::string> &Args,
+                   const std::vector<std::string> &Env = {},
+                   bool Bare = false) {
+  RunResult R;
+  pid_t Pid = ::fork();
+  if (Pid < 0)
+    return R;
+  if (Pid == 0) {
+    for (const std::string &E : Env) {
+      const size_t Eq = E.find('=');
+      ::setenv(E.substr(0, Eq).c_str(), E.substr(Eq + 1).c_str(), 1);
+    }
+    std::vector<std::string> All;
+    All.push_back(MCO_BUILD_TOOL_PATH);
+    if (!Bare)
+      All.insert(All.end(), BaseArgs.begin(), BaseArgs.end());
+    All.insert(All.end(), Args.begin(), Args.end());
+    std::vector<char *> Argv;
+    for (std::string &S : All)
+      Argv.push_back(S.data());
+    Argv.push_back(nullptr);
+    // Quiet the child; its stdout is uninteresting and interleaves badly.
+    std::freopen("/dev/null", "w", stdout);
+    ::execv(MCO_BUILD_TOOL_PATH, Argv.data());
+    ::_exit(127);
+  }
+  int WStatus = 0;
+  ::waitpid(Pid, &WStatus, 0);
+  if (WIFEXITED(WStatus))
+    R.ExitCode = WEXITSTATUS(WStatus);
+  if (WIFSIGNALED(WStatus)) {
+    R.Signaled = true;
+    R.Signal = WTERMSIG(WStatus);
+  }
+  return R;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Extracts `"key": <number>` from the diag JSON.
+long long diagInt(const std::string &Json, const std::string &Key) {
+  const std::string Needle = "\"" + Key + "\": ";
+  size_t P = Json.find(Needle);
+  if (P == std::string::npos)
+    return -1;
+  return std::atoll(Json.c_str() + P + Needle.size());
+}
+
+struct ScratchDir {
+  fs::path P;
+  explicit ScratchDir(const std::string &Name) {
+    P = fs::temp_directory_path() /
+        ("mco_crash_test_" + std::to_string(::getpid()) + "_" + Name);
+    fs::remove_all(P);
+    fs::create_directories(P);
+  }
+  ~ScratchDir() {
+    std::error_code EC;
+    fs::remove_all(P, EC);
+  }
+  std::string str(const std::string &Leaf) const { return (P / Leaf).string(); }
+};
+
+TEST(CrashResumeTest, SigkillMidBuildResumesToIdenticalOutput) {
+  ScratchDir D("sigkill");
+  const std::string Cache = D.str("cache");
+  const std::string Ref = D.str("ref.mir");
+  const std::string Out = D.str("out.mir");
+
+  // Reference: one uninterrupted, uncached build.
+  RunResult R = runBuild({"--dump", Ref});
+  ASSERT_EQ(R.ExitCode, 0);
+  const std::string RefBytes = slurp(Ref);
+  ASSERT_FALSE(RefBytes.empty());
+
+  // Crash the build after every freshly built module, resuming each time.
+  // Each run makes exactly one module of forward progress, so the chain
+  // must SIGKILL several times and then terminate.
+  int Crashes = 0;
+  for (int Attempt = 0; Attempt < 20; ++Attempt) {
+    RunResult C = runBuild({"--resume", Cache, "--dump", Out},
+                           {"MCO_CRASH_AFTER_MODULES=1"});
+    if (C.Signaled) {
+      ASSERT_EQ(C.Signal, SIGKILL);
+      ++Crashes;
+      continue;
+    }
+    ASSERT_EQ(C.ExitCode, 0);
+    break;
+  }
+  EXPECT_GE(Crashes, 2) << "the crash hook never fired";
+
+  // The final (non-crashing) run completed from journaled state; its
+  // output must be byte-identical to the uninterrupted build's.
+  EXPECT_EQ(slurp(Out), RefBytes);
+}
+
+TEST(CrashResumeTest, WarmCacheRebuildIsIdenticalAndAllHits) {
+  ScratchDir D("warm");
+  const std::string Cache = D.str("cache");
+  const std::string Cold = D.str("cold.mir");
+  const std::string Warm = D.str("warm.mir");
+  const std::string ColdDiag = D.str("cold.json");
+  const std::string Diag = D.str("diag.json");
+
+  ASSERT_EQ(runBuild({"--cache-dir", Cache, "--dump", Cold, "--diag-json",
+                      ColdDiag})
+                .ExitCode,
+            0);
+  const long long NumMods = diagInt(slurp(ColdDiag), "cache_misses");
+  ASSERT_GT(NumMods, 1);
+  ASSERT_EQ(runBuild({"--resume", Cache, "--dump", Warm, "--diag-json", Diag})
+                .ExitCode,
+            0);
+  EXPECT_EQ(slurp(Warm), slurp(Cold));
+  const std::string Json = slurp(Diag);
+  EXPECT_EQ(diagInt(Json, "cache_hits"), NumMods);
+  EXPECT_EQ(diagInt(Json, "cache_misses"), 0);
+  EXPECT_EQ(diagInt(Json, "modules_resumed"), NumMods);
+  EXPECT_EQ(diagInt(Json, "modules_degraded"), 0);
+}
+
+TEST(CrashResumeTest, BitFlippedEntryIsQuarantinedAndRebuilt) {
+  ScratchDir D("corrupt");
+  const std::string Cache = D.str("cache");
+  const std::string Cold = D.str("cold.mir");
+  const std::string Warm = D.str("warm.mir");
+  const std::string ColdDiag = D.str("cold.json");
+  const std::string Diag = D.str("diag.json");
+
+  ASSERT_EQ(runBuild({"--cache-dir", Cache, "--dump", Cold, "--diag-json",
+                      ColdDiag})
+                .ExitCode,
+            0);
+  const long long NumMods = diagInt(slurp(ColdDiag), "cache_misses");
+  ASSERT_GT(NumMods, 1);
+
+  // Flip one bit in one cached artifact.
+  fs::path Victim;
+  for (const auto &E : fs::directory_iterator(fs::path(Cache) / "objects")) {
+    Victim = E.path();
+    break;
+  }
+  ASSERT_FALSE(Victim.empty());
+  std::string Bytes = slurp(Victim.string());
+  Bytes[Bytes.size() / 2] ^= 0x40;
+  std::ofstream(Victim, std::ios::binary) << Bytes;
+
+  // The warm build detects the damage, quarantines the entry, rebuilds
+  // that one module, and still produces identical output with exit 0.
+  ASSERT_EQ(
+      runBuild({"--cache-dir", Cache, "--dump", Warm, "--diag-json", Diag})
+          .ExitCode,
+      0);
+  EXPECT_EQ(slurp(Warm), slurp(Cold));
+  const std::string Json = slurp(Diag);
+  EXPECT_EQ(diagInt(Json, "cache_corrupt"), 1);
+  EXPECT_EQ(diagInt(Json, "cache_hits"), NumMods - 1);
+  EXPECT_EQ(diagInt(Json, "modules_degraded"), 0);
+  EXPECT_TRUE(fs::exists(fs::path(Cache) / "quarantine"));
+  EXPECT_FALSE(fs::is_empty(fs::path(Cache) / "quarantine"));
+}
+
+TEST(CrashResumeTest, WatchdogDegradesHangingModule) {
+  ScratchDir D("hang");
+  const std::string Diag = D.str("diag.json");
+  // Every module hangs on every attempt; the watchdog must cancel each
+  // one through every retry and still ship the build (unoutlined).
+  RunResult R = runBuild({"--fault-inject", "pipeline.module.hang:1",
+                          "--module-timeout-ms", "100", "--timeout-retries",
+                          "1", "--diag-json", Diag});
+  ASSERT_EQ(R.ExitCode, 0);
+  const std::string Json = slurp(Diag);
+  const long long TimedOut = diagInt(Json, "modules_timed_out");
+  EXPECT_GE(TimedOut, 6); // Every module (the corpus has >= 6).
+  EXPECT_EQ(diagInt(Json, "watchdog_timeouts"), 2 * TimedOut); // 2 attempts.
+  EXPECT_EQ(diagInt(Json, "modules_degraded"), TimedOut);
+}
+
+TEST(CrashResumeTest, StaleLockIsRecovered) {
+  ScratchDir D("stalelock");
+  const std::string Cache = D.str("cache");
+  const std::string Diag = D.str("diag.json");
+  RunResult R = runBuild({"--cache-dir", Cache, "--fault-inject",
+                          "cache.lock.stale:1", "--diag-json", Diag});
+  ASSERT_EQ(R.ExitCode, 0);
+  EXPECT_GE(diagInt(slurp(Diag), "stale_locks_recovered"), 1);
+}
+
+TEST(CrashResumeTest, FailingBuildStillWritesDiagJson) {
+  ScratchDir D("faildiag");
+  const std::string Diag = D.str("diag.json");
+  RunResult R = runBuild(
+      {"--dump", (D.P / "no" / "such" / "dir" / "x.mir").string(),
+       "--diag-json", Diag});
+  EXPECT_EQ(R.ExitCode, 1);
+  const std::string Json = slurp(Diag);
+  ASSERT_FALSE(Json.empty()) << "diag JSON missing after failed build";
+  EXPECT_NE(Json.find("\"error\": \""), std::string::npos);
+  EXPECT_NE(Json.find("cannot open dump file"), std::string::npos);
+  EXPECT_EQ(Json.find("\"error\": \"\""), std::string::npos)
+      << "error field empty on a failed build";
+  // The report still carries the build's real statistics.
+  EXPECT_GT(diagInt(Json, "code_size_after"), 0);
+}
+
+} // namespace

@@ -17,9 +17,13 @@
 ///             [--hot-layout] [--print-patterns N] [--dump FILE]
 ///             [--guard] [--max-retries N] [--verify-exec N]
 ///             [--fault-inject SPEC] [--diag-json FILE]
+///             [--cache] [--cache-dir DIR] [--resume DIR]
+///             [--module-timeout-ms N] [--timeout-retries N]
 ///
 /// All failures propagate as Status up to main(), which is the only place
-/// that turns them into a nonzero exit.
+/// that turns them into a nonzero exit — after writing the --diag-json
+/// report (with an "error" field), so a failed build still leaves a
+/// machine-readable record of how far it got.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -54,6 +58,8 @@ void usage() {
       "[--dump FILE]\n"
       "                 [--guard] [--max-retries N] [--verify-exec N]\n"
       "                 [--fault-inject SPEC] [--diag-json FILE]\n"
+      "                 [--cache] [--cache-dir DIR] [--resume DIR]\n"
+      "                 [--module-timeout-ms N] [--timeout-retries N]\n"
       "  -j N           worker threads for synthesis and outlining\n"
       "                 (output is bit-identical at any N)\n"
       "  --incremental  reuse mapping/liveness across outlining rounds\n"
@@ -63,7 +69,15 @@ void usage() {
       "                 each round and compare outcomes (implies --guard)\n"
       "  --fault-inject SPEC  deterministic fault injection;\n"
       "                 SPEC = site[@round][:rate[,seed]][;...]\n"
-      "  --diag-json FILE  write a machine-readable build report\n");
+      "  --diag-json FILE  write a machine-readable build report\n"
+      "  --cache        cache per-module artifacts in ./.mco-cache\n"
+      "  --cache-dir DIR  like --cache, in DIR\n"
+      "  --resume DIR   skip modules a prior (crashed) build in DIR\n"
+      "                 already finished\n"
+      "  --module-timeout-ms N  per-module outlining deadline; modules\n"
+      "                 that time out through every retry ship unoutlined\n"
+      "  --timeout-retries N  extra attempts after a timeout, each with\n"
+      "                 double the deadline (default 2)\n");
 }
 
 /// Everything the command line configures.
@@ -160,6 +174,27 @@ Status parseArgs(int argc, char **argv, BuildConfig &C) {
       if (Status S = NextOr(V); !S.ok())
         return S;
       C.DiagFile = V;
+    } else if (A == "--cache") {
+      if (C.Opts.Resilience.CacheDir.empty())
+        C.Opts.Resilience.CacheDir = "./.mco-cache";
+    } else if (A == "--cache-dir") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Opts.Resilience.CacheDir = V;
+    } else if (A == "--resume") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Opts.Resilience.CacheDir = V;
+      C.Opts.Resilience.Resume = true;
+    } else if (A == "--module-timeout-ms") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Opts.Resilience.ModuleTimeoutMs =
+          static_cast<uint64_t>(std::atoll(V));
+    } else if (A == "--timeout-retries") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Opts.Resilience.TimeoutRetries = static_cast<unsigned>(std::atoi(V));
     } else {
       return MCO_ERROR("unknown option '" + A + "'");
     }
@@ -191,9 +226,18 @@ std::string jsonEscape(const std::string &S) {
   return Out;
 }
 
+/// Everything the diag report needs, collected as the build progresses so
+/// a failing build can still report how far it got.
+struct DiagState {
+  BuildResult R;
+  uint64_t SizeBefore = 0;
+  std::string FinalVerify;
+  std::string Error; ///< Non-empty when the build is exiting nonzero.
+};
+
 Status writeDiagJson(const std::string &Path, const BuildConfig &C,
-                     const BuildResult &R, uint64_t SizeBefore,
-                     const std::string &FinalVerify) {
+                     const DiagState &D) {
+  const BuildResult &R = D.R;
   std::ofstream Out(Path);
   if (!Out)
     return MCO_ERROR("cannot open diag file '" + Path + "'");
@@ -205,14 +249,24 @@ Status writeDiagJson(const std::string &Path, const BuildConfig &C,
   Out << "  \"rounds_requested\": " << C.Opts.OutlineRounds << ",\n";
   Out << "  \"guard\": " << (C.Opts.Guard.Enabled ? "true" : "false")
       << ",\n";
-  Out << "  \"code_size_before\": " << U64(SizeBefore) << ",\n";
+  Out << "  \"error\": \"" << jsonEscape(D.Error) << "\",\n";
+  Out << "  \"code_size_before\": " << U64(D.SizeBefore) << ",\n";
   Out << "  \"code_size_after\": " << U64(R.CodeSize) << ",\n";
   Out << "  \"binary_size\": " << U64(R.BinarySize) << ",\n";
   Out << "  \"modules_degraded\": " << U64(R.ModulesDegraded) << ",\n";
   Out << "  \"rounds_rolled_back\": " << U64(R.RoundsRolledBack) << ",\n";
   Out << "  \"patterns_quarantined\": " << U64(R.PatternsQuarantined)
       << ",\n";
-  Out << "  \"final_verify\": \"" << jsonEscape(FinalVerify) << "\",\n";
+  Out << "  \"modules_timed_out\": " << U64(R.ModulesTimedOut) << ",\n";
+  Out << "  \"watchdog_timeouts\": " << U64(R.WatchdogTimeouts) << ",\n";
+  Out << "  \"cache_hits\": " << U64(R.CacheHits) << ",\n";
+  Out << "  \"cache_misses\": " << U64(R.CacheMisses) << ",\n";
+  Out << "  \"cache_corrupt\": " << U64(R.CacheCorrupt) << ",\n";
+  Out << "  \"cache_evicted\": " << U64(R.CacheEvicted) << ",\n";
+  Out << "  \"modules_resumed\": " << U64(R.ModulesResumed) << ",\n";
+  Out << "  \"stale_locks_recovered\": " << U64(R.StaleLocksRecovered)
+      << ",\n";
+  Out << "  \"final_verify\": \"" << jsonEscape(D.FinalVerify) << "\",\n";
   Out << "  \"failure_log\": [";
   for (size_t I = 0; I < R.FailureLog.size(); ++I)
     Out << (I ? ", " : "") << "\"" << jsonEscape(R.FailureLog[I]) << "\"";
@@ -241,7 +295,7 @@ Status writeDiagJson(const std::string &Path, const BuildConfig &C,
   return Status::success();
 }
 
-Status runBuild(BuildConfig &C) {
+Status runBuild(BuildConfig &C, DiagState &D) {
   if (!C.FaultSpec.empty()) {
     if (Status S = FaultInjection::instance().configure(C.FaultSpec);
         !S.ok())
@@ -259,6 +313,7 @@ Status runBuild(BuildConfig &C) {
   auto Prog =
       CorpusSynthesizer(C.Profile).withThreads(C.Opts.Threads).generate();
   uint64_t SizeBefore = Prog->codeSize();
+  D.SizeBefore = SizeBefore;
 
   if (C.Normalize) {
     // Pre-normalization runs per module (before any merge), as a compiler
@@ -271,6 +326,7 @@ Status runBuild(BuildConfig &C) {
   }
 
   BuildResult R = buildProgram(*Prog, C.Opts);
+  D.R = R;
   if (C.HotLayout)
     layoutOutlinedByHotness(*Prog, *Prog->Modules[0]);
 
@@ -306,6 +362,22 @@ Status runBuild(BuildConfig &C) {
       std::printf("  ... and %zu more\n", R.FailureLog.size() - MaxShown);
   }
 
+  if (!C.Opts.Resilience.CacheDir.empty())
+    std::printf("cache: %llu hit(s), %llu miss(es), %llu corrupt, "
+                "%llu evicted, %llu module(s) resumed, %llu stale lock(s) "
+                "recovered\n",
+                static_cast<unsigned long long>(R.CacheHits),
+                static_cast<unsigned long long>(R.CacheMisses),
+                static_cast<unsigned long long>(R.CacheCorrupt),
+                static_cast<unsigned long long>(R.CacheEvicted),
+                static_cast<unsigned long long>(R.ModulesResumed),
+                static_cast<unsigned long long>(R.StaleLocksRecovered));
+  if (C.Opts.Resilience.ModuleTimeoutMs > 0)
+    std::printf("watchdog: %llu attempt(s) cancelled, %llu module(s) "
+                "timed out\n",
+                static_cast<unsigned long long>(R.WatchdogTimeouts),
+                static_cast<unsigned long long>(R.ModulesTimedOut));
+
   // The robustness contract: however many faults were injected, the
   // program we ship must verify.
   std::string FinalVerify;
@@ -316,6 +388,7 @@ Status runBuild(BuildConfig &C) {
     std::printf("final verify: %s\n",
                 FinalVerify.empty() ? "ok" : FinalVerify.c_str());
   }
+  D.FinalVerify = FinalVerify;
 
   if (C.PrintPatterns > 0) {
     PatternAnalysis A =
@@ -335,13 +408,6 @@ Status runBuild(BuildConfig &C) {
     std::printf("dumped module to %s\n", C.DumpFile.c_str());
   }
 
-  if (!C.DiagFile.empty()) {
-    if (Status S = writeDiagJson(C.DiagFile, C, R, SizeBefore, FinalVerify);
-        !S.ok())
-      return S;
-    std::printf("wrote diagnostics to %s\n", C.DiagFile.c_str());
-  }
-
   if (!FinalVerify.empty())
     return MCO_ERROR("final verification failed: " + FinalVerify);
   return Status::success();
@@ -356,7 +422,22 @@ int main(int argc, char **argv) {
     usage();
     return 1;
   }
-  if (Status S = runBuild(C); !S.ok()) {
+  DiagState D;
+  Status S = runBuild(C, D);
+  if (!S.ok())
+    D.Error = S.render();
+  // The diag report is written on success AND failure: a crashed or
+  // erroring build must still leave a machine-readable record.
+  if (!C.DiagFile.empty()) {
+    if (Status DS = writeDiagJson(C.DiagFile, C, D); !DS.ok()) {
+      std::fprintf(stderr, "mco-build: %s\n", DS.render().c_str());
+      if (S.ok())
+        return 1;
+    } else {
+      std::printf("wrote diagnostics to %s\n", C.DiagFile.c_str());
+    }
+  }
+  if (!S.ok()) {
     std::fprintf(stderr, "mco-build: %s\n", S.render().c_str());
     return 1;
   }

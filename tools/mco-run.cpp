@@ -4,9 +4,10 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// Loads a textual machine module (as dumped by mco-build or written by
-/// hand), optionally runs extra outlining rounds on it, and executes a
-/// function under the performance model.
+/// Loads a machine module — textual MIR (as dumped by mco-build or written
+/// by hand), or a sealed MCOM artifact straight out of the artifact cache
+/// (.mco-cache/objects/*.mco) — optionally runs extra outlining rounds on
+/// it, and executes a function under the performance model.
 ///
 ///   mco-run FILE --entry NAME [--args a,b,...] [--rounds N]
 ///           [-j N | --threads N] [--incremental]
@@ -19,11 +20,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "cache/ArtifactCache.h"
 #include "linker/Linker.h"
 #include "mir/MIRParser.h"
 #include "mir/MIRVerifier.h"
 #include "outliner/OutlineGuard.h"
 #include "sim/Interpreter.h"
+#include "support/Checksum.h"
 #include "support/Error.h"
 #include "support/FaultInjection.h"
 
@@ -131,47 +134,67 @@ Status run(RunConfig &C) {
       return S;
   }
 
-  std::ifstream In(C.File);
+  std::ifstream In(C.File, std::ios::binary);
   if (!In)
     return MCO_ERROR("cannot open '" + C.File + "'");
   std::stringstream Buf;
   Buf << In.rdbuf();
+  const std::string Bytes = Buf.str();
 
   Program Prog;
-  ParseResult R = parseModule(Prog, Buf.str());
-  if (!R)
-    return MCO_ERROR("parse error: " + R.Error);
+  Module *M = nullptr;
+  if (Bytes.rfind(ArtifactSealMagic, 0) == 0) {
+    // A sealed artifact from the cache: checksum-verify, then decode the
+    // binary MCOM payload (full fidelity, including outlining metadata the
+    // text form drops).
+    Expected<std::string> Payload = unsealArtifact(Bytes);
+    if (!Payload.ok())
+      return MCO_ERROR("sealed artifact '" + C.File +
+                       "': " + Payload.status().message());
+    Expected<ModuleArtifact> A = deserializeModuleArtifact(*Payload, Prog);
+    if (!A.ok())
+      return MCO_ERROR("artifact '" + C.File +
+                       "': " + A.status().message());
+    Prog.Modules.push_back(std::make_unique<Module>(std::move(A->M)));
+    M = Prog.Modules.back().get();
+    std::printf("loaded sealed artifact (checksum ok)\n");
+  } else {
+    ParseResult R = parseModule(Prog, Bytes);
+    if (!R)
+      return MCO_ERROR("parse error: " + R.Error);
+    M = R.M;
+  }
   std::printf("loaded %zu function(s), %llu instructions\n",
-              R.M->Functions.size(),
-              static_cast<unsigned long long>(R.M->numInstrs()));
+              M->Functions.size(),
+              static_cast<unsigned long long>(M->numInstrs()));
 
   if (C.Verify) {
     VerifyOptions VOpts;
     VOpts.CheckSymbolResolution = true;
-    std::string Err = verifyModule(Prog, *R.M, VOpts);
+    std::string Err = verifyModule(Prog, *M, VOpts);
     if (!Err.empty())
       return MCO_ERROR("verification failed: " + Err);
     std::printf("module verifies\n");
   }
 
   if (C.Rounds > 0) {
-    uint64_t Before = R.M->codeSize();
+    uint64_t Before = M->codeSize();
     if (C.GOpts.Enabled) {
-      OutlineGuard Guard(Prog, Prog, *R.M, C.OOpts, C.GOpts);
+      OutlineGuard Guard(Prog, Prog, *M, C.OOpts, C.GOpts);
       Guard.runGuardedRepeated(C.Rounds);
       std::printf("outlined %u guarded round(s): %.1f KB -> %.1f KB "
                   "(%llu attempt(s) rolled back, %zu pattern(s) "
                   "quarantined)\n",
-                  C.Rounds, Before / 1024.0, R.M->codeSize() / 1024.0,
+                  C.Rounds, Before / 1024.0, M->codeSize() / 1024.0,
                   static_cast<unsigned long long>(
                       Guard.totalRoundsRolledBack()),
                   Guard.numQuarantinedPatterns());
       for (const std::string &F : Guard.failureLog())
         std::printf("  %s\n", F.c_str());
     } else {
-      runRepeatedOutliner(Prog, *R.M, C.Rounds, C.OOpts);
+      runRepeatedOutliner(Prog, *M, C.Rounds, C.OOpts);
       std::printf("outlined %u round(s): %.1f KB -> %.1f KB\n", C.Rounds,
-                  Before / 1024.0, R.M->codeSize() / 1024.0);
+                  Before / 1024.0, M->codeSize() / 1024.0);
     }
   }
 
