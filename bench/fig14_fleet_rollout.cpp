@@ -1,0 +1,144 @@
+//===- bench/fig14_fleet_rollout.cpp - Staged-rollout fleet bench ---------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The fleet-rollout companion to Table 7: builds the affinity-preserving
+/// baseline and the merged-interleaved candidate, ramps each scenario
+/// through the staged-rollout comparator across a synthetic device fleet,
+/// and prints the per-stage verdicts. The identity scenario (candidate ==
+/// baseline) must ramp clean; the Table 7 scenario must halt on the data
+/// page-fault threshold — the regression the paper's production fleet
+/// monitoring caught.
+///
+///   fig14_fleet_rollout [--modules N] [--devices N] [--seed S]
+///                       [--threads N] [--json PATH]
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "pipeline/BuildPipeline.h"
+#include "support/FileAtomics.h"
+#include "synth/CorpusSynthesizer.h"
+#include "telemetry/FleetSim.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace mco;
+using namespace mco::benchutil;
+
+namespace {
+
+std::unique_ptr<Program> buildArtifact(unsigned Modules, unsigned Threads,
+                                       DataLayoutMode L) {
+  AppProfile P = AppProfile::uberRider();
+  P.NumModules = Modules;
+  auto Prog = CorpusSynthesizer(P).withThreads(Threads).generate();
+  PipelineOptions Opts;
+  Opts.OutlineRounds = 2;
+  Opts.WholeProgram = true;
+  Opts.DataLayout = L;
+  Opts.Threads = Threads;
+  buildProgram(*Prog, Opts);
+  return Prog;
+}
+
+void printVerdict(const char *Scenario, const RolloutVerdict &V) {
+  std::printf("%-9s ", Scenario);
+  for (const StageVerdict &S : V.Stages)
+    std::printf(" %5.1f%%:%s", S.Percent, S.Ok ? "ok" : "HALT");
+  std::printf("   %s\n", V.Summary.c_str());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Modules = 60, Devices = 32, Threads = 4;
+  uint64_t Seed = 0x5EED;
+  std::string JsonPath = "BENCH_fleet_rollout.json";
+  for (int I = 1; I < argc; ++I) {
+    auto Next = [&]() { return I + 1 < argc ? argv[++I] : ""; };
+    if (!std::strcmp(argv[I], "--modules"))
+      Modules = std::atoi(Next());
+    else if (!std::strcmp(argv[I], "--devices"))
+      Devices = std::atoi(Next());
+    else if (!std::strcmp(argv[I], "--seed"))
+      Seed = std::strtoull(Next(), nullptr, 0);
+    else if (!std::strcmp(argv[I], "--threads"))
+      Threads = std::atoi(Next());
+    else if (!std::strcmp(argv[I], "--json"))
+      JsonPath = Next();
+    else {
+      std::fprintf(stderr,
+                   "usage: fig14_fleet_rollout [--modules N] [--devices N] "
+                   "[--seed S] [--threads N] [--json PATH]\n");
+      return 1;
+    }
+  }
+
+  banner("Fig. 14 — staged-rollout fleet verdicts",
+         "Sections V-VII fleet methodology; Table 7 page-fault regression "
+         "caught at the 1% stage");
+  std::printf("%u modules, %u devices, seed 0x%llx, %u thread(s)\n", Modules,
+              Devices, static_cast<unsigned long long>(Seed), Threads);
+
+  FleetOptions O;
+  O.NumDevices = Devices;
+  O.Seed = Seed;
+  O.Threads = Threads;
+  const AppProfile P = AppProfile::uberRider();
+  for (unsigned S = 0; S < P.NumSpans; ++S)
+    O.Entries.push_back(CorpusSynthesizer::spanFunctionName(S));
+
+  auto Base = buildArtifact(Modules, Threads, DataLayoutMode::PreserveModuleOrder);
+  auto Cand = buildArtifact(Modules, Threads, DataLayoutMode::Interleaved);
+
+  section("ramp verdicts");
+  RolloutVerdict Identity = runStagedRollout(*Base, *Base, O);
+  RolloutVerdict Table7 = runStagedRollout(*Base, *Cand, O);
+  printVerdict("identity", Identity);
+  printVerdict("table7", Table7);
+
+  section("table7 halt-stage deltas");
+  if (!Table7.Stages.empty()) {
+    const StageVerdict &Halt = Table7.Stages.back();
+    for (const MetricDelta &D : Halt.Deltas)
+      std::printf("  %-22s %12.1f -> %12.1f  %+8.2f%%%s\n", D.Metric.c_str(),
+                  D.Base, D.Cand, D.DeltaPct, D.Breach ? "  << BREACH" : "");
+  }
+
+  // Machine-readable record for CI trend tracking: both scenarios'
+  // verdicts under one roof, atomically written.
+  std::string J = "{\n  \"bench\": \"fleet_rollout\",\n";
+  J += "  \"modules\": " + std::to_string(Modules) + ",\n";
+  J += "  \"devices\": " + std::to_string(Devices) + ",\n";
+  J += "  \"identity\": " +
+       rolloutVerdictJson(Identity, O, defaultStagePercents(), {}) + ",\n";
+  J += "  \"table7\": " +
+       rolloutVerdictJson(Table7, O, defaultStagePercents(), {}) + "\n}\n";
+  if (Status S = atomicWriteFile(JsonPath, J); !S.ok()) {
+    std::fprintf(stderr, "fig14_fleet_rollout: %s\n", S.render().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", JsonPath.c_str());
+
+  // The bench doubles as a regression check: identity must ramp clean and
+  // table7 must halt.
+  if (Identity.Regression) {
+    std::fprintf(stderr, "FAIL: identity rollout flagged a regression\n");
+    return 1;
+  }
+  if (!Table7.Regression) {
+    std::fprintf(stderr, "FAIL: table7 rollout did not halt\n");
+    return 1;
+  }
+  std::printf("verdicts as expected: identity clean, table7 halted\n");
+  return 0;
+}

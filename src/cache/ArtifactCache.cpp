@@ -9,6 +9,8 @@
 #include "support/Checksum.h"
 #include "support/FaultInjection.h"
 #include "support/FileAtomics.h"
+#include "telemetry/Metrics.h"
+#include "telemetry/Tracer.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -456,12 +458,14 @@ std::string ArtifactCache::quarantineDir() const {
 
 ArtifactCache::LoadResult ArtifactCache::load(const std::string &Key,
                                               SymbolInterner &Syms) {
+  MCO_TRACE_SPAN("cache.load", "cache");
   LoadResult LR;
   const std::string Path = objectPath(Key);
 
   Expected<std::string> Sealed = readFileBytes(Path);
   if (!Sealed.ok()) {
     Misses.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::global().counter("cache.load_misses").add(1);
     return LR;
   }
 
@@ -494,6 +498,7 @@ ArtifactCache::LoadResult ArtifactCache::load(const std::string &Key,
   fs::last_write_time(Path, fs::file_time_type::clock::now(), EC);
 
   Hits.fetch_add(1, std::memory_order_relaxed);
+  MetricsRegistry::global().counter("cache.load_hits").add(1);
   LR.Outcome = LoadOutcome::Hit;
   LR.Artifact = std::move(*A);
   return LR;
@@ -504,6 +509,7 @@ Status ArtifactCache::store(const std::string &Key, const Module &M,
                             uint64_t RoundsRolledBack,
                             uint64_t PatternsQuarantined,
                             const SymbolNameFn &NameOf) {
+  MCO_TRACE_SPAN("cache.store", "cache");
   std::string Sealed = sealArtifact(serializeModuleArtifact(
       M, Stats, RoundsRolledBack, PatternsQuarantined, NameOf));
   if (faultSiteFires(FaultCacheEntryCorrupt) && !Sealed.empty())

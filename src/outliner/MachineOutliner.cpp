@@ -29,6 +29,8 @@
 #include "support/FaultInjection.h"
 #include "support/SuffixTree.h"
 #include "support/ThreadPool.h"
+#include "telemetry/Metrics.h"
+#include "telemetry/Tracer.h"
 
 #include <algorithm>
 #include <cassert>
@@ -451,6 +453,7 @@ void OutlinerEngine::State::buildPlan(const RepeatedSubstring &RS,
 }
 
 OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
+  MCO_TRACE_SPAN("outliner.round:" + std::to_string(Round), "outliner");
   checkCancelled();
   OutlineRoundStats Stats;
   Stats.CodeSizeBefore = M.codeSize();
@@ -469,7 +472,10 @@ OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
   const bool Reuse = Opts.Incremental && !FirstRound;
   if (!Opts.Incremental)
     Mapper = InstructionMapper();
-  Mapper.update(M, Reuse ? Dirty : std::vector<bool>{});
+  {
+    MCO_TRACE_SPAN("outliner.map", "outliner");
+    Mapper.update(M, Reuse ? Dirty : std::vector<bool>{});
+  }
   Stats.FunctionsRemapped = Mapper.functionsRemapped();
 
   const std::vector<unsigned> &Str = Mapper.string();
@@ -501,16 +507,22 @@ OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
       ToCompute[F] = F;
   }
   LV.resize(NumFuncs);
-  forEach(ToCompute.size(), [&](size_t I) {
-    LV[ToCompute[I]].recompute(M.Functions[ToCompute[I]]);
-  });
+  {
+    MCO_TRACE_SPAN("outliner.liveness", "outliner");
+    forEach(ToCompute.size(), [&](size_t I) {
+      LV[ToCompute[I]].recompute(M.Functions[ToCompute[I]]);
+    });
+  }
   Stats.LivenessComputed = ToCompute.size();
 
   const SpSensitiveSet Sensitive = computeSpSensitive(M);
 
-  SuffixTree Tree(Str, Opts.LeafDescendants);
-  std::vector<RepeatedSubstring> Repeats =
-      Tree.repeatedSubstrings(Opts.MinLength);
+  std::vector<RepeatedSubstring> Repeats;
+  {
+    MCO_TRACE_SPAN("outliner.suffix_tree", "outliner");
+    SuffixTree Tree(Str, Opts.LeafDescendants);
+    Repeats = Tree.repeatedSubstrings(Opts.MinLength);
+  }
 
   checkCancelled();
 
@@ -519,9 +531,12 @@ OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
   // during the fan-out.
   Stats.PatternsConsidered = Repeats.size();
   std::vector<PlanResult> Results(Repeats.size());
-  forEach(Repeats.size(), [&](size_t RIdx) {
-    buildPlan(Repeats[RIdx], Sensitive, Results[RIdx]);
-  });
+  {
+    MCO_TRACE_SPAN("outliner.plan", "outliner");
+    forEach(Repeats.size(), [&](size_t RIdx) {
+      buildPlan(Repeats[RIdx], Sensitive, Results[RIdx]);
+    });
+  }
 
   std::vector<OutlinePlan> Plans;
   Plans.reserve(Results.size());
@@ -567,6 +582,7 @@ OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
   std::map<std::pair<uint32_t, uint32_t>, std::vector<Edit>> Edits;
   std::vector<MachineFunction> NewFunctions;
 
+  MCO_TRACE_SPAN("outliner.commit", "outliner");
   for (OutlinePlan &Plan : Plans) {
     std::vector<Candidate> Alive;
     for (const Candidate &C : Plan.Cands) {
@@ -681,6 +697,15 @@ OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
   Stats.CodeSizeAfter = M.codeSize();
   assert(Stats.CodeSizeAfter <= Stats.CodeSizeBefore &&
          "outlining must never grow the code");
+
+  // Work counters (add semantics): rolled-back guard attempts count too —
+  // these measure work performed, not what shipped (BuildResult carries
+  // the shipped totals).
+  MetricsRegistry &MR = MetricsRegistry::global();
+  MR.counter("outliner.rounds_run").add(1);
+  MR.counter("outliner.patterns_considered").add(Stats.PatternsConsidered);
+  MR.counter("outliner.sequences_outlined").add(Stats.SequencesOutlined);
+  MR.counter("outliner.functions_created").add(Stats.FunctionsCreated);
   return Stats;
 }
 

@@ -9,6 +9,8 @@
 #include "linker/Linker.h"
 #include "mir/MIRVerifier.h"
 #include "sim/Interpreter.h"
+#include "telemetry/Metrics.h"
+#include "telemetry/Tracer.h"
 
 #include <algorithm>
 #include <cassert>
@@ -219,6 +221,7 @@ void OutlineGuard::recordFailure(unsigned Round, unsigned Attempt,
 }
 
 GuardRoundResult OutlineGuard::runGuardedRound(unsigned Round) {
+  MCO_TRACE_SPAN("guard.round:" + std::to_string(Round), "guard");
   const unsigned MaxAttempts = GOpts.MaxRetriesPerRound + 1;
   uint64_t FailedAttempts = 0;
 
@@ -280,6 +283,7 @@ GuardRoundResult OutlineGuard::runGuardedRound(unsigned Round) {
     }
 
     Engine.rollbackLastRound();
+    MetricsRegistry::global().counter("guard.attempts_rolled_back").add(1);
     recordFailure(Round, Attempt, Err);
     ++FailedAttempts;
   }

@@ -8,10 +8,12 @@
 
 #include "outliner/InstructionMapper.h"
 #include "mir/MIRPrinter.h"
+#include "support/FileAtomics.h"
 #include "support/SuffixTree.h"
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 
 using namespace mco;
 
@@ -52,29 +54,43 @@ PatternAnalysis mco::analyzePatterns(const Program &Prog, const Module &M,
       Tree.repeatedSubstrings(Opts.MinLength);
 
   for (const RepeatedSubstring &RS : Repeats) {
-    // Non-overlapping occurrence count.
-    uint64_t Freq = 0;
+    // Non-overlapping occurrences.
+    std::vector<unsigned> Starts;
     unsigned PrevEnd = 0;
     bool First = true;
-    unsigned FirstStart = 0;
     for (unsigned Start : RS.StartIndices) {
       if (!First && Start < PrevEnd)
         continue;
-      if (First)
-        FirstStart = Start;
       PrevEnd = Start + RS.Length;
       First = false;
-      ++Freq;
+      Starts.push_back(Start);
     }
+    const uint64_t Freq = Starts.size();
     if (Freq < 2)
       continue;
 
+    const unsigned FirstStart = Starts.front();
     const InstructionMapper::Location &Loc = Mapper.location(FirstStart);
     const auto &Instrs = M.Functions[Loc.Func].Blocks[Loc.Block].Instrs;
 
     PatternRecord P;
     P.Frequency = Freq;
     P.Length = RS.Length;
+    P.Hash = hashPattern(std::vector<MachineInstr>(
+        Instrs.begin() + Loc.Instr, Instrs.begin() + Loc.Instr + RS.Length));
+
+    // Provenance: which module/function each occurrence lives in. Keyed
+    // by (origin-module index, function name) — the origin index survives
+    // the whole-program merge even though module names do not.
+    std::map<std::pair<uint32_t, std::string>, uint64_t> ByOrigin;
+    for (unsigned Start : Starts) {
+      const InstructionMapper::Location &L = Mapper.location(Start);
+      const MachineFunction &MF = M.Functions[L.Func];
+      ++ByOrigin[{MF.OriginModule, Prog.symbolName(MF.Name)}];
+    }
+    P.Origins.reserve(ByOrigin.size());
+    for (const auto &[Key, Count] : ByOrigin)
+      P.Origins.push_back(PatternOrigin{Key.first, Key.second, Count});
     const MachineInstr &Last = Instrs[Loc.Instr + RS.Length - 1];
     P.EndsWithCall = Last.isCall();
     P.EndsWithReturn = Last.isReturn();
@@ -135,4 +151,70 @@ PatternAnalysis mco::analyzePatterns(const Program &Prog, const Module &M,
     }
   }
   return A;
+}
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char Ch : S) {
+    if (Ch == '"' || Ch == '\\')
+      Out += '\\';
+    if (Ch == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += Ch;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string
+mco::patternProvenanceJson(const PatternAnalysis &A,
+                           const std::vector<std::string> &ModuleNames) {
+  auto NameOf = [&](uint32_t Idx) {
+    return Idx < ModuleNames.size() ? ModuleNames[Idx]
+                                    : "module_" + std::to_string(Idx);
+  };
+  char Buf[32];
+  std::string Out = "{\n";
+  Out += "  \"schema\": \"mco-pattern-provenance-v1\",\n";
+  Out += "  \"total_instrs\": " + std::to_string(A.TotalInstrs) + ",\n";
+  Out += "  \"total_candidates\": " + std::to_string(A.TotalCandidates) +
+         ",\n";
+  Out += "  \"patterns\": [\n";
+  for (size_t I = 0; I < A.Patterns.size(); ++I) {
+    const PatternRecord &P = A.Patterns[I];
+    std::snprintf(Buf, sizeof(Buf), "%016llx",
+                  static_cast<unsigned long long>(P.Hash));
+    Out += "    {\"rank\": " + std::to_string(P.Rank) + ", \"hash\": \"" +
+           Buf + "\", \"frequency\": " + std::to_string(P.Frequency) +
+           ", \"length\": " + std::to_string(P.Length) +
+           ", \"byte_saving\": " + std::to_string(P.ByteSaving) +
+           ", \"ends_with_call\": " + (P.EndsWithCall ? "true" : "false") +
+           ", \"ends_with_return\": " +
+           (P.EndsWithReturn ? "true" : "false") + ",\n";
+    Out += "     \"origins\": [";
+    for (size_t J = 0; J < P.Origins.size(); ++J) {
+      const PatternOrigin &O = P.Origins[J];
+      Out += (J ? ", " : "") +
+             ("{\"module\": \"" + jsonEscape(NameOf(O.ModuleIdx)) +
+              "\", \"function\": \"" + jsonEscape(O.Function) +
+              "\", \"occurrences\": " + std::to_string(O.Occurrences) + "}");
+    }
+    Out += "]}";
+    Out += I + 1 < A.Patterns.size() ? ",\n" : "\n";
+  }
+  Out += "  ]\n}\n";
+  return Out;
+}
+
+Status
+mco::writePatternProvenance(const PatternAnalysis &A,
+                            const std::vector<std::string> &ModuleNames,
+                            const std::string &Path) {
+  return atomicWriteFile(Path, patternProvenanceJson(A, ModuleNames));
 }

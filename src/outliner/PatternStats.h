@@ -17,6 +17,7 @@
 
 #include "outliner/MachineOutliner.h"
 #include "mir/Program.h"
+#include "support/Error.h"
 
 #include <cstdint>
 #include <string>
@@ -24,10 +25,23 @@
 
 namespace mco {
 
+/// Where (part of) a pattern's occurrences come from: one originating
+/// function, identified by name plus the index of the module that emitted
+/// it (MachineFunction::OriginModule — the linker destroys module names
+/// but preserves the index, so provenance survives a whole-program merge).
+struct PatternOrigin {
+  uint32_t ModuleIdx = 0;
+  std::string Function;
+  uint64_t Occurrences = 0;
+};
+
 /// One profitable repeated pattern.
 struct PatternRecord {
   /// 1-based rank by repetition frequency (rank 1 repeats the most).
   unsigned Rank = 0;
+  /// Stable content hash of the instruction sequence (hashPattern — the
+  /// same hash the guard's quarantine uses).
+  uint64_t Hash = 0;
   /// Number of non-overlapping occurrences ("candidates").
   uint64_t Frequency = 0;
   /// Sequence length in instructions.
@@ -38,6 +52,9 @@ struct PatternRecord {
   /// of profitable candidates do).
   bool EndsWithCall = false;
   bool EndsWithReturn = false;
+  /// Originating functions, sorted by (module, function); the occurrence
+  /// counts sum to Frequency.
+  std::vector<PatternOrigin> Origins;
   /// Rendered text of the pattern (for listing output).
   std::string Text;
 };
@@ -73,6 +90,20 @@ struct PatternAnalysis {
 PatternAnalysis analyzePatterns(const Program &Prog, const Module &M,
                                 const OutlinerOptions &Opts = {},
                                 unsigned MaxListings = 16);
+
+/// Deterministic JSON provenance report: every profitable pattern's hash,
+/// frequency, length, byte saving, and originating modules/functions.
+/// \p ModuleNames maps PatternOrigin::ModuleIdx to a module name — capture
+/// Program module names *before* building, since the whole-program merge
+/// destroys them; indices without a name render as "module_<idx>".
+std::string patternProvenanceJson(const PatternAnalysis &A,
+                                  const std::vector<std::string> &ModuleNames);
+
+/// Atomically writes patternProvenanceJson to \p Path (FileAtomics
+/// write-temp + rename, SIGKILL-safe).
+Status writePatternProvenance(const PatternAnalysis &A,
+                              const std::vector<std::string> &ModuleNames,
+                              const std::string &Path);
 
 } // namespace mco
 

@@ -12,6 +12,8 @@
 #include "support/FaultInjection.h"
 #include "support/FileAtomics.h"
 #include "support/ThreadPool.h"
+#include "telemetry/Metrics.h"
+#include "telemetry/Tracer.h"
 
 #include <algorithm>
 #include <atomic>
@@ -178,9 +180,41 @@ void initResilience(ResilienceCtx &RC, BuildResult &R, Program &Prog,
     R.FailureLog.push_back("journal disabled: " + JS.message());
 }
 
+/// Publishes the build's aggregate counters into the process-wide metrics
+/// registry. set() semantics: the BuildResult totals are authoritative, so
+/// any live increments recorded mid-build are overwritten with the final
+/// values every exporter (diag JSON, benches) reads.
+void publishBuildMetrics(const BuildResult &R) {
+  MetricsRegistry &M = MetricsRegistry::global();
+  M.counter("pipeline.modules_degraded").set(R.ModulesDegraded);
+  M.counter("pipeline.modules_timed_out").set(R.ModulesTimedOut);
+  M.counter("pipeline.modules_resumed").set(R.ModulesResumed);
+  M.counter("guard.rounds_rolled_back").set(R.RoundsRolledBack);
+  M.counter("guard.patterns_quarantined").set(R.PatternsQuarantined);
+  M.counter("watchdog.timeouts").set(R.WatchdogTimeouts);
+  M.counter("cache.hits").set(R.CacheHits);
+  M.counter("cache.misses").set(R.CacheMisses);
+  M.counter("cache.corrupt").set(R.CacheCorrupt);
+  M.counter("cache.evicted").set(R.CacheEvicted);
+  M.counter("cache.stale_locks_recovered").set(R.StaleLocksRecovered);
+  M.counter("pipeline.code_size_after").set(R.CodeSize);
+  M.counter("pipeline.binary_size").set(R.BinarySize);
+  M.gauge("pipeline.link_seconds").set(R.LinkIRSeconds);
+  M.gauge("pipeline.outline_seconds").set(R.OutlineSeconds);
+  M.gauge("pipeline.layout_seconds").set(R.LayoutSeconds);
+  Histogram &H = M.histogram("pipeline.outline_round_seconds");
+  for (double S : R.OutlineRoundSeconds)
+    H.observe(S);
+}
+
 } // namespace
 
 BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
+  MCO_TRACE_SPAN("pipeline.build", "pipeline");
+  // Fresh per-build metrics: one process may run several builds (tests,
+  // benches, the fleet comparator); exporters read the last build's values
+  // plus whatever is recorded after it.
+  MetricsRegistry::global().reset();
   BuildResult R;
   using Clock = std::chrono::steady_clock;
 
@@ -220,7 +254,12 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
 
     if (!WpCached) {
       auto T0 = Clock::now();
-      Module &Linked = linkProgram(Prog, Opts.DataLayout);
+      Module *LinkedP;
+      {
+        MCO_TRACE_SPAN("pipeline.link", "pipeline");
+        LinkedP = &linkProgram(Prog, Opts.DataLayout);
+      }
+      Module &Linked = *LinkedP;
       R.LinkIRSeconds = secondsSince(T0);
 
       T0 = Clock::now();
@@ -233,6 +272,7 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
       // verified-or-complete), so there is nothing to retry from — the
       // build just ships with fewer rounds than asked for.
       auto RunRounds = [&](const std::atomic<bool> *Cancel) {
+        MCO_TRACE_SPAN("pipeline.outline:linked", "pipeline");
         faultSetRound(1);
         faultSiteCheck(FaultPipelineModuleFail);
         if (faultSiteFires(FaultPipelineModuleHang))
@@ -349,6 +389,7 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
     // as deterministic as the build itself. Runs before any batch exists
     // (deserialization interns through the shared Program).
     if (RC.Enabled) {
+      MCO_TRACE_SPAN("pipeline.cache_prepass", "cache");
       std::vector<const ResumeState::ModuleRecord *> Rec(NumMods, nullptr);
       if (Opts.Resilience.Resume && RC.Prior.Valid)
         for (const ResumeState::ModuleRecord &MR : RC.Prior.Records)
@@ -442,6 +483,7 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
                              const DeferredSymbolBatch *Batch) {
       if (Prefilled[I])
         return;
+      MCO_TRACE_SPAN("pipeline.module:" + Prog.Modules[I]->Name, "pipeline");
       Module &Mod = *Prog.Modules[I];
       // Snapshot for graceful degradation: if outlining this module fails
       // beyond what the guard can absorb, ship it unoutlined. Also the
@@ -577,16 +619,22 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
     R.OutlineSeconds = secondsSince(T0);
 
     T0 = Clock::now();
-    linkProgram(Prog, Opts.DataLayout);
+    {
+      MCO_TRACE_SPAN("pipeline.link", "pipeline");
+      linkProgram(Prog, Opts.DataLayout);
+    }
     R.LinkIRSeconds = secondsSince(T0);
   }
 
   auto T0 = Clock::now();
-  BinaryImage Image(Prog);
+  {
+    MCO_TRACE_SPAN("pipeline.layout", "pipeline");
+    BinaryImage Image(Prog);
+    R.CodeSize = Image.codeSize();
+    R.DataSize = Image.dataSize();
+    R.BinarySize = Image.binarySize(DefaultResourceBytes);
+  }
   R.LayoutSeconds = secondsSince(T0);
-  R.CodeSize = Image.codeSize();
-  R.DataSize = Image.dataSize();
-  R.BinarySize = Image.binarySize(DefaultResourceBytes);
 
   if (RC.Enabled) {
     R.CacheHits = RC.Cache->hits();
@@ -596,5 +644,6 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
     RC.Journal.recordEnd();
     RC.Journal.close();
   }
+  publishBuildMetrics(R);
   return R;
 }

@@ -1,0 +1,453 @@
+//===- telemetry/FleetSim.cpp - Device-fleet simulation & rollout ---------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/FleetSim.h"
+
+#include "linker/Linker.h"
+#include "sim/Interpreter.h"
+#include "support/FileAtomics.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include "support/ThreadPool.h"
+#include "telemetry/Metrics.h"
+#include "telemetry/Tracer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+using namespace mco;
+
+std::vector<DeviceClass> mco::defaultDeviceClasses() {
+  // Four (hardware, OS) generations, legacy-heavy the way production
+  // mobile fleets are. Newer cores get bigger i-caches, deeper TLBs, and
+  // more resident data pages; the constrained end is where the Section VI
+  // data-layout regression shows first. Faults are soft page-ins.
+  std::vector<DeviceClass> Classes(4);
+
+  Classes[0].Name = "a14-ios14";
+  Classes[0].Weight = 0.2;
+  Classes[0].Cfg.ICacheBytes = 128 << 10;
+  Classes[0].Cfg.ICacheAssoc = 8;
+  Classes[0].Cfg.ITlbEntries = 64;
+  Classes[0].Cfg.DataResidentPages = 48;
+  Classes[0].Cfg.DataFaultCycles = 300;
+  Classes[0].Cfg.BaseCyclesPerInstr = 0.40;
+
+  Classes[1].Name = "a12-ios13";
+  Classes[1].Weight = 0.3;
+  Classes[1].Cfg.ICacheBytes = 64 << 10;
+  Classes[1].Cfg.ICacheAssoc = 4;
+  Classes[1].Cfg.ITlbEntries = 48;
+  Classes[1].Cfg.DataResidentPages = 32;
+  Classes[1].Cfg.DataFaultCycles = 300;
+  Classes[1].Cfg.BaseCyclesPerInstr = 0.50;
+
+  Classes[2].Name = "a10-ios13";
+  Classes[2].Weight = 0.3;
+  Classes[2].Cfg.ICacheBytes = 64 << 10;
+  Classes[2].Cfg.ICacheAssoc = 4;
+  Classes[2].Cfg.ITlbEntries = 48;
+  Classes[2].Cfg.DataResidentPages = 24;
+  Classes[2].Cfg.DataFaultCycles = 300;
+  Classes[2].Cfg.BaseCyclesPerInstr = 0.55;
+
+  Classes[3].Name = "a8-ios12";
+  Classes[3].Weight = 0.2;
+  Classes[3].Cfg.ICacheBytes = 32 << 10;
+  Classes[3].Cfg.ICacheAssoc = 4;
+  Classes[3].Cfg.ITlbEntries = 32;
+  Classes[3].Cfg.DataResidentPages = 16;
+  Classes[3].Cfg.DataFaultCycles = 300;
+  Classes[3].Cfg.BaseCyclesPerInstr = 0.65;
+
+  return Classes;
+}
+
+std::vector<double> mco::defaultStagePercents() { return {1, 10, 50, 100}; }
+
+namespace {
+
+/// Device k's RNG; a pure function of (seed, k) so the fan-out order can
+/// never leak into the results.
+Rng deviceRng(uint64_t Seed, uint32_t Index) {
+  return Rng(Seed ^ (uint64_t(Index) * 0x9E3779B97F4A7C15ull +
+                     0xD1B54A32D192ED03ull));
+}
+
+DeviceResult simulateDevice(const BinaryImage &Image, const Program &Prog,
+                            const FleetOptions &Opts, uint32_t Index) {
+  MCO_TRACE_SPAN("fleet.device", "fleet");
+  DeviceResult D;
+  D.Index = Index;
+
+  Rng R = deviceRng(Opts.Seed, Index);
+  // Weighted class pick.
+  double TotalW = 0;
+  for (const DeviceClass &C : Opts.Classes)
+    TotalW += C.Weight;
+  double U = R.nextDouble() * TotalW;
+  uint32_t ClassIdx = 0;
+  for (; ClassIdx + 1 < Opts.Classes.size(); ++ClassIdx) {
+    U -= Opts.Classes[ClassIdx].Weight;
+    if (U < 0)
+      break;
+  }
+  D.ClassIdx = ClassIdx;
+
+  // Per-device memory-pressure jitter: +-15% of the class's resident data
+  // pages — two devices of the same class are under different pressure.
+  PerfConfig Cfg = Opts.Classes[ClassIdx].Cfg;
+  const double Jitter = 0.85 + 0.30 * R.nextDouble();
+  Cfg.DataResidentPages = std::max(
+      4u, static_cast<unsigned>(std::llround(Cfg.DataResidentPages * Jitter)));
+
+  Interpreter I(Image, Prog, &Cfg);
+  I.setFuel(Opts.FuelPerCall);
+  D.SpanCycles.reserve(Opts.Entries.size());
+  for (const std::string &Entry : Opts.Entries) {
+    const double Before = I.counters().Cycles;
+    Expected<int64_t> Res = I.tryCall(Entry);
+    if (!Res.ok() && D.FaultMsg.empty())
+      D.FaultMsg = Entry + ": " + Res.status().message();
+    D.SpanCycles.push_back(I.counters().Cycles - Before);
+  }
+  D.Counters = I.counters();
+  return D;
+}
+
+double relPct(double Base, double Cand) {
+  if (Base <= 1e-12)
+    return Cand <= 1e-12 ? 0.0 : 100.0;
+  return 100.0 * (Cand - Base) / Base;
+}
+
+std::string fmtDouble(double V) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+  return Buf;
+}
+
+std::string metricsJson(const FleetMetrics &M) {
+  std::string Out = "{";
+  Out += "\"devices\": " + std::to_string(M.Devices);
+  Out += ", \"cycles_p50\": " + fmtDouble(M.CyclesP50);
+  Out += ", \"cycles_p95\": " + fmtDouble(M.CyclesP95);
+  Out += ", \"ipc_mean\": " + fmtDouble(M.IpcMean);
+  Out += ", \"icache_miss_p50\": " + fmtDouble(M.ICacheMissP50);
+  Out += ", \"icache_miss_p95\": " + fmtDouble(M.ICacheMissP95);
+  Out += ", \"itlb_miss_p50\": " + fmtDouble(M.ITlbMissP50);
+  Out += ", \"branch_miss_p50\": " + fmtDouble(M.BranchMissP50);
+  Out += ", \"data_page_faults_p50\": " + fmtDouble(M.DataFaultsP50);
+  Out += ", \"data_page_faults_p95\": " + fmtDouble(M.DataFaultsP95);
+  Out += ", \"total_instrs\": " + std::to_string(M.TotalInstrs);
+  Out += "}";
+  return Out;
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char Ch : S) {
+    if (Ch == '"' || Ch == '\\')
+      Out += '\\';
+    Out += Ch;
+  }
+  return Out;
+}
+
+} // namespace
+
+FleetReport mco::runFleet(const Program &Prog, const FleetOptions &Opts) {
+  MCO_TRACE_SPAN("fleet.run", "fleet");
+  FleetReport R;
+  R.Seed = Opts.Seed;
+  R.Entries = Opts.Entries;
+  for (const DeviceClass &C : Opts.Classes)
+    R.ClassNames.push_back(C.Name);
+
+  const BinaryImage Image(Prog);
+
+  {
+    MCO_TRACE_SPAN("fleet.devices", "fleet");
+    ThreadPool Pool(Opts.Threads);
+    R.Devices = parallelMap<DeviceResult>(
+        Pool, Opts.NumDevices, [&](size_t I) {
+          return simulateDevice(Image, Prog, Opts,
+                                static_cast<uint32_t>(I));
+        });
+  }
+
+  MCO_TRACE_SPAN("fleet.aggregate", "fleet");
+  R.Overall = aggregateDevices(R, R.Devices.size());
+
+  // Per-span latency aggregates over the whole fleet.
+  for (size_t E = 0; E < R.Entries.size(); ++E) {
+    std::vector<double> Cycles;
+    Cycles.reserve(R.Devices.size());
+    for (const DeviceResult &D : R.Devices)
+      if (E < D.SpanCycles.size())
+        Cycles.push_back(D.SpanCycles[E]);
+    SpanAggregate A;
+    A.Name = R.Entries[E];
+    if (!Cycles.empty()) {
+      A.CyclesP50 = percentile(Cycles, 50);
+      A.CyclesP95 = percentile(Cycles, 95);
+    }
+    R.Spans.push_back(std::move(A));
+  }
+
+  MetricsRegistry &MR = MetricsRegistry::global();
+  MR.counter("fleet.devices_run").add(R.Devices.size());
+  Histogram &H = MR.histogram("fleet.device_cycles");
+  uint64_t Faults = 0;
+  for (const DeviceResult &D : R.Devices) {
+    H.observe(D.Counters.Cycles);
+    Faults += D.FaultMsg.empty() ? 0 : 1;
+  }
+  MR.counter("fleet.devices_faulted").add(Faults);
+  return R;
+}
+
+FleetMetrics mco::aggregateDevices(const FleetReport &R, size_t FirstN) {
+  FleetMetrics M;
+  const size_t N = std::min(FirstN, R.Devices.size());
+  if (N == 0)
+    return M;
+  M.Devices = N;
+  std::vector<double> Cycles, Ipc, ICache, ITlb, Branch, Faults;
+  Cycles.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    const PerfCounters &C = R.Devices[I].Counters;
+    Cycles.push_back(C.Cycles);
+    Ipc.push_back(C.ipc());
+    ICache.push_back(double(C.ICacheMisses));
+    ITlb.push_back(double(C.ITlbMisses));
+    Branch.push_back(double(C.BranchMispredicts));
+    Faults.push_back(double(C.DataPageFaults));
+    M.TotalInstrs += C.Instrs;
+  }
+  M.CyclesP50 = percentile(Cycles, 50);
+  M.CyclesP95 = percentile(Cycles, 95);
+  M.IpcMean = mean(Ipc);
+  M.ICacheMissP50 = percentile(ICache, 50);
+  M.ICacheMissP95 = percentile(ICache, 95);
+  M.ITlbMissP50 = percentile(ITlb, 50);
+  M.BranchMissP50 = percentile(Branch, 50);
+  M.DataFaultsP50 = percentile(Faults, 50);
+  M.DataFaultsP95 = percentile(Faults, 95);
+  return M;
+}
+
+std::string mco::fleetReportJson(const FleetReport &R) {
+  std::string Out = "{\n";
+  Out += "  \"schema\": \"mco-fleet-report-v1\",\n";
+  Out += "  \"seed\": " + std::to_string(R.Seed) + ",\n";
+  Out += "  \"devices\": " + std::to_string(R.Devices.size()) + ",\n";
+  Out += "  \"entries\": [";
+  for (size_t I = 0; I < R.Entries.size(); ++I)
+    Out += (I ? ", " : "") + ("\"" + jsonEscape(R.Entries[I]) + "\"");
+  Out += "],\n";
+  Out += "  \"device_classes\": [";
+  for (size_t I = 0; I < R.ClassNames.size(); ++I)
+    Out += (I ? ", " : "") + ("\"" + jsonEscape(R.ClassNames[I]) + "\"");
+  Out += "],\n";
+  Out += "  \"overall\": " + metricsJson(R.Overall) + ",\n";
+  Out += "  \"spans\": [\n";
+  for (size_t I = 0; I < R.Spans.size(); ++I) {
+    const SpanAggregate &A = R.Spans[I];
+    Out += "    {\"name\": \"" + jsonEscape(A.Name) +
+           "\", \"cycles_p50\": " + fmtDouble(A.CyclesP50) +
+           ", \"cycles_p95\": " + fmtDouble(A.CyclesP95) + "}";
+    Out += I + 1 < R.Spans.size() ? ",\n" : "\n";
+  }
+  Out += "  ],\n";
+  Out += "  \"per_device\": [\n";
+  for (size_t I = 0; I < R.Devices.size(); ++I) {
+    const DeviceResult &D = R.Devices[I];
+    const PerfCounters &C = D.Counters;
+    const std::string Cls = D.ClassIdx < R.ClassNames.size()
+                                ? R.ClassNames[D.ClassIdx]
+                                : std::to_string(D.ClassIdx);
+    Out += "    {\"device\": " + std::to_string(D.Index) + ", \"class\": \"" +
+           jsonEscape(Cls) + "\", \"cycles\": " + fmtDouble(C.Cycles) +
+           ", \"instrs\": " + std::to_string(C.Instrs) +
+           ", \"ipc\": " + fmtDouble(C.ipc()) +
+           ", \"icache_misses\": " + std::to_string(C.ICacheMisses) +
+           ", \"itlb_misses\": " + std::to_string(C.ITlbMisses) +
+           ", \"branch_mispredicts\": " + std::to_string(C.BranchMispredicts) +
+           ", \"data_page_faults\": " + std::to_string(C.DataPageFaults) +
+           ", \"fault\": \"" + jsonEscape(D.FaultMsg) + "\"}";
+    Out += I + 1 < R.Devices.size() ? ",\n" : "\n";
+  }
+  Out += "  ]\n}\n";
+  return Out;
+}
+
+Status mco::writeFleetReport(const FleetReport &R, const std::string &Path) {
+  return atomicWriteFile(Path, fleetReportJson(R));
+}
+
+namespace {
+
+/// Fills a stage's deltas and Ok flag. Metric order is fixed so verdict
+/// JSON is stable.
+void compareStage(StageVerdict &SV, const RegressionThresholds &Th) {
+  const FleetMetrics &B = SV.Baseline;
+  const FleetMetrics &C = SV.Candidate;
+  auto Add = [&](const char *Name, double Base, double Cand, double ThPct,
+                 bool Breach) {
+    MetricDelta D;
+    D.Metric = Name;
+    D.Base = Base;
+    D.Cand = Cand;
+    D.DeltaPct = relPct(Base, Cand);
+    D.ThresholdPct = ThPct;
+    D.Breach = Breach;
+    SV.Deltas.push_back(std::move(D));
+    SV.Ok &= !Breach;
+  };
+
+  Add("cycles_p50", B.CyclesP50, C.CyclesP50, Th.CyclesP50Pct,
+      relPct(B.CyclesP50, C.CyclesP50) > Th.CyclesP50Pct);
+  Add("cycles_p95", B.CyclesP95, C.CyclesP95, Th.CyclesP95Pct,
+      relPct(B.CyclesP95, C.CyclesP95) > Th.CyclesP95Pct);
+  // IPC regresses downward; the absolute guard ignores sub-1% noise.
+  Add("ipc_mean", B.IpcMean, C.IpcMean, Th.IpcDropPct,
+      relPct(B.IpcMean, C.IpcMean) < -Th.IpcDropPct);
+  // Count metrics get absolute floors so near-zero baselines cannot turn
+  // one stray miss into a 100% "regression".
+  Add("icache_miss_p50", B.ICacheMissP50, C.ICacheMissP50, Th.ICacheMissPct,
+      relPct(B.ICacheMissP50, C.ICacheMissP50) > Th.ICacheMissPct &&
+          C.ICacheMissP50 - B.ICacheMissP50 > 16);
+  Add("data_page_faults_p50", B.DataFaultsP50, C.DataFaultsP50,
+      Th.DataFaultsPct,
+      relPct(B.DataFaultsP50, C.DataFaultsP50) > Th.DataFaultsPct &&
+          C.DataFaultsP50 - B.DataFaultsP50 > 1);
+  Add("data_page_faults_p95", B.DataFaultsP95, C.DataFaultsP95,
+      Th.DataFaultsPct,
+      relPct(B.DataFaultsP95, C.DataFaultsP95) > Th.DataFaultsPct &&
+          C.DataFaultsP95 - B.DataFaultsP95 > 1);
+}
+
+} // namespace
+
+RolloutVerdict mco::runStagedRollout(const Program &Baseline,
+                                     const Program &Candidate,
+                                     const FleetOptions &Opts,
+                                     const std::vector<double> &StagePercents,
+                                     const RegressionThresholds &Th,
+                                     FleetReport *BaseOut,
+                                     FleetReport *CandOut) {
+  MCO_TRACE_SPAN("fleet.rollout", "fleet");
+  FleetReport RB = runFleet(Baseline, Opts);
+  FleetReport RC = runFleet(Candidate, Opts);
+
+  RolloutVerdict V;
+  const size_t N = RB.Devices.size();
+  for (double Pct : StagePercents) {
+    size_t K = static_cast<size_t>(std::llround(double(N) * Pct / 100.0));
+    K = std::min(std::max<size_t>(K, 1), N);
+
+    StageVerdict SV;
+    SV.Percent = Pct;
+    SV.Devices = static_cast<unsigned>(K);
+    SV.Baseline = aggregateDevices(RB, K);
+    SV.Candidate = aggregateDevices(RC, K);
+    compareStage(SV, Th);
+    const bool Ok = SV.Ok;
+    V.HaltedAtPercent = Pct;
+    V.Stages.push_back(std::move(SV));
+    if (!Ok) {
+      V.Regression = true;
+      std::string Breached;
+      for (const MetricDelta &D : V.Stages.back().Deltas)
+        if (D.Breach) {
+          if (!Breached.empty())
+            Breached += ", ";
+          char Buf[64];
+          std::snprintf(Buf, sizeof(Buf), "%s %+.1f%% (threshold %.1f%%)",
+                        D.Metric.c_str(), D.DeltaPct, D.ThresholdPct);
+          Breached += Buf;
+        }
+      char Head[64];
+      std::snprintf(Head, sizeof(Head), "halted at %.0f%% stage: ", Pct);
+      V.Summary = Head + Breached;
+      break;
+    }
+  }
+  if (!V.Regression) {
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf),
+                  "clean: ramped to %.0f%% over %zu stage(s)",
+                  V.HaltedAtPercent, V.Stages.size());
+    V.Summary = Buf;
+  }
+
+  MetricsRegistry::global()
+      .counter(V.Regression ? "fleet.rollouts_halted" : "fleet.rollouts_clean")
+      .add(1);
+  if (BaseOut)
+    *BaseOut = std::move(RB);
+  if (CandOut)
+    *CandOut = std::move(RC);
+  return V;
+}
+
+std::string mco::rolloutVerdictJson(const RolloutVerdict &V,
+                                    const FleetOptions &Opts,
+                                    const std::vector<double> &StagePercents,
+                                    const RegressionThresholds &Th) {
+  std::string Out = "{\n";
+  Out += "  \"schema\": \"mco-fleet-verdict-v1\",\n";
+  Out += "  \"seed\": " + std::to_string(Opts.Seed) + ",\n";
+  Out += "  \"devices\": " + std::to_string(Opts.NumDevices) + ",\n";
+  Out += "  \"stage_percents\": [";
+  for (size_t I = 0; I < StagePercents.size(); ++I)
+    Out += (I ? ", " : "") + fmtDouble(StagePercents[I]);
+  Out += "],\n";
+  Out += "  \"thresholds\": {\"cycles_p50_pct\": " + fmtDouble(Th.CyclesP50Pct) +
+         ", \"cycles_p95_pct\": " + fmtDouble(Th.CyclesP95Pct) +
+         ", \"data_faults_pct\": " + fmtDouble(Th.DataFaultsPct) +
+         ", \"icache_miss_pct\": " + fmtDouble(Th.ICacheMissPct) +
+         ", \"ipc_drop_pct\": " + fmtDouble(Th.IpcDropPct) + "},\n";
+  Out += "  \"stages\": [\n";
+  for (size_t I = 0; I < V.Stages.size(); ++I) {
+    const StageVerdict &S = V.Stages[I];
+    Out += "    {\"percent\": " + fmtDouble(S.Percent) +
+           ", \"devices\": " + std::to_string(S.Devices) +
+           ", \"ok\": " + (S.Ok ? "true" : "false") + ",\n";
+    Out += "     \"baseline\": " + metricsJson(S.Baseline) + ",\n";
+    Out += "     \"candidate\": " + metricsJson(S.Candidate) + ",\n";
+    Out += "     \"deltas\": [";
+    for (size_t J = 0; J < S.Deltas.size(); ++J) {
+      const MetricDelta &D = S.Deltas[J];
+      Out += (J ? ", " : "") +
+             ("{\"metric\": \"" + D.Metric + "\", \"base\": " +
+              fmtDouble(D.Base) + ", \"cand\": " + fmtDouble(D.Cand) +
+              ", \"delta_pct\": " + fmtDouble(D.DeltaPct) +
+              ", \"threshold_pct\": " + fmtDouble(D.ThresholdPct) +
+              ", \"breach\": " + (D.Breach ? "true" : "false") + "}");
+    }
+    Out += "]}";
+    Out += I + 1 < V.Stages.size() ? ",\n" : "\n";
+  }
+  Out += "  ],\n";
+  Out += std::string("  \"verdict\": \"") +
+         (V.Regression ? "regression" : "ok") + "\",\n";
+  Out += "  \"halted_at_percent\": " + fmtDouble(V.HaltedAtPercent) + ",\n";
+  Out += "  \"summary\": \"" + jsonEscape(V.Summary) + "\"\n";
+  Out += "}\n";
+  return Out;
+}
+
+Status mco::writeRolloutVerdict(const RolloutVerdict &V,
+                                const FleetOptions &Opts,
+                                const std::vector<double> &StagePercents,
+                                const RegressionThresholds &Th,
+                                const std::string &Path) {
+  return atomicWriteFile(Path, rolloutVerdictJson(V, Opts, StagePercents, Th));
+}

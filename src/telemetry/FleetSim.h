@@ -1,0 +1,193 @@
+//===- telemetry/FleetSim.h - Device-fleet simulation & rollout -*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet-scale measurement layer behind the paper's production
+/// evaluation (Sections V-VII): the real system watched P50 span latencies
+/// from millions of phones during staged rollouts, which is how the
+/// Section VI data-layout page-fault regression was caught. This module
+/// replays that methodology in simulation:
+///
+///  - runFleet executes a built artifact across N synthetic devices. Each
+///    device samples a (hardware, OS) class — i-cache size, TLB reach,
+///    resident data pages, base CPI — plus per-device memory-pressure
+///    jitter, all seeded deterministically from (seed, device index), and
+///    runs the corpus span drivers under the performance model. Devices
+///    fan out on the ThreadPool; device k's result is a pure function of
+///    (artifact, options, k), so the fleet report is byte-identical at any
+///    thread count.
+///
+///  - runStagedRollout ramps a candidate artifact against a baseline in
+///    stages (1% -> 10% -> 50% -> 100% by default): at each stage the
+///    comparator aggregates both artifacts over the stage's device cohort,
+///    applies per-metric regression thresholds (span-cycle P50/P95, data
+///    page faults, i-cache misses, IPC), and HALTS the ramp on the first
+///    breach, emitting a machine-readable verdict. The Table 7 scenario —
+///    affinity-preserving vs. merged-interleaved data layout — must trip
+///    the page-fault threshold here, in simulation, rather than in
+///    production.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_TELEMETRY_FLEETSIM_H
+#define MCO_TELEMETRY_FLEETSIM_H
+
+#include "sim/CacheModel.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mco {
+
+class Program;
+
+/// One (hardware, OS) cell of the fleet, like a Fig. 13 heatmap cell.
+struct DeviceClass {
+  std::string Name;
+  PerfConfig Cfg;
+  double Weight = 1.0; ///< Relative share of the fleet.
+};
+
+/// Four device generations, legacy-heavy the way mobile fleets are; the
+/// constrained classes are what surface data-locality regressions.
+std::vector<DeviceClass> defaultDeviceClasses();
+
+/// Fleet-run configuration.
+struct FleetOptions {
+  unsigned NumDevices = 64;
+  uint64_t Seed = 0x5EED;
+  /// Worker threads for the device fan-out. Reports are byte-identical at
+  /// any setting.
+  unsigned Threads = 1;
+  /// Entry functions each device executes, in order (span drivers).
+  std::vector<std::string> Entries;
+  std::vector<DeviceClass> Classes = defaultDeviceClasses();
+  /// Interpreter fuel per entry call.
+  uint64_t FuelPerCall = 200'000'000ull;
+};
+
+/// One device's run.
+struct DeviceResult {
+  uint32_t Index = 0;
+  uint32_t ClassIdx = 0;
+  PerfCounters Counters;          ///< Cumulative over every entry.
+  std::vector<double> SpanCycles; ///< Modeled cycles per entry.
+  std::string FaultMsg;           ///< Non-empty if some entry faulted.
+};
+
+/// Aggregate metrics over a device cohort. All values are modeled
+/// (simulation-deterministic), never wall-clock.
+struct FleetMetrics {
+  uint64_t Devices = 0;
+  double CyclesP50 = 0, CyclesP95 = 0; ///< Per-device total span cycles.
+  double IpcMean = 0;
+  double ICacheMissP50 = 0, ICacheMissP95 = 0;
+  double ITlbMissP50 = 0;
+  double BranchMissP50 = 0;
+  double DataFaultsP50 = 0, DataFaultsP95 = 0;
+  uint64_t TotalInstrs = 0;
+};
+
+/// Per-entry latency aggregate across the fleet.
+struct SpanAggregate {
+  std::string Name;
+  double CyclesP50 = 0, CyclesP95 = 0;
+};
+
+/// The full fleet report.
+struct FleetReport {
+  uint64_t Seed = 0;
+  std::vector<std::string> Entries;
+  std::vector<std::string> ClassNames;
+  std::vector<DeviceResult> Devices; ///< Index order (device 0 first).
+  std::vector<SpanAggregate> Spans;  ///< Over the whole fleet.
+  FleetMetrics Overall;              ///< Over the whole fleet.
+};
+
+/// Lays out \p Prog and executes it across the fleet. \p Prog must be a
+/// fully built artifact (post-buildProgram). Thread-safe fan-out: each
+/// device owns an Interpreter over the shared read-only image.
+FleetReport runFleet(const Program &Prog, const FleetOptions &Opts);
+
+/// Aggregates the first \p FirstN devices of \p R (a rollout-stage cohort).
+FleetMetrics aggregateDevices(const FleetReport &R, size_t FirstN);
+
+/// Deterministic JSON rendering of a fleet report (byte-identical for a
+/// fixed seed at any thread count).
+std::string fleetReportJson(const FleetReport &R);
+
+/// Atomically writes fleetReportJson to \p Path (FileAtomics rename path).
+Status writeFleetReport(const FleetReport &R, const std::string &Path);
+
+/// Per-metric regression thresholds, in percent worse-than-baseline.
+struct RegressionThresholds {
+  double CyclesP50Pct = 2.0;
+  double CyclesP95Pct = 5.0;
+  double DataFaultsPct = 10.0;
+  double ICacheMissPct = 15.0;
+  double IpcDropPct = 5.0;
+};
+
+/// One compared metric at one stage.
+struct MetricDelta {
+  std::string Metric;
+  double Base = 0, Cand = 0;
+  double DeltaPct = 0;     ///< Positive = candidate worse.
+  double ThresholdPct = 0;
+  bool Breach = false;
+};
+
+/// One rollout stage's comparison.
+struct StageVerdict {
+  double Percent = 0;
+  unsigned Devices = 0;
+  FleetMetrics Baseline, Candidate;
+  std::vector<MetricDelta> Deltas;
+  bool Ok = true;
+};
+
+/// The whole ramp's verdict.
+struct RolloutVerdict {
+  std::vector<StageVerdict> Stages; ///< Up to and including the halt stage.
+  bool Regression = false;
+  /// Stage percent the ramp halted at (== the last stage percent when the
+  /// ramp completed cleanly).
+  double HaltedAtPercent = 0;
+  std::string Summary;
+};
+
+/// Default ramp: 1% -> 10% -> 50% -> 100%.
+std::vector<double> defaultStagePercents();
+
+/// Runs both artifacts over the same synthetic fleet and ramps the
+/// candidate stage by stage, halting at the first threshold breach.
+/// \p BaseOut / \p CandOut (optional) receive the full fleet reports.
+RolloutVerdict runStagedRollout(const Program &Baseline,
+                                const Program &Candidate,
+                                const FleetOptions &Opts,
+                                const std::vector<double> &StagePercents =
+                                    defaultStagePercents(),
+                                const RegressionThresholds &Th = {},
+                                FleetReport *BaseOut = nullptr,
+                                FleetReport *CandOut = nullptr);
+
+/// Deterministic JSON rendering of a rollout verdict.
+std::string rolloutVerdictJson(const RolloutVerdict &V,
+                               const FleetOptions &Opts,
+                               const std::vector<double> &StagePercents,
+                               const RegressionThresholds &Th);
+
+/// Atomically writes rolloutVerdictJson to \p Path.
+Status writeRolloutVerdict(const RolloutVerdict &V, const FleetOptions &Opts,
+                           const std::vector<double> &StagePercents,
+                           const RegressionThresholds &Th,
+                           const std::string &Path);
+
+} // namespace mco
+
+#endif // MCO_TELEMETRY_FLEETSIM_H

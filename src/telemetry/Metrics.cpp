@@ -1,0 +1,164 @@
+//===- telemetry/Metrics.cpp - Typed metrics registry ---------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Metrics.h"
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace mco;
+
+void Histogram::observe(double X) {
+  std::lock_guard<std::mutex> G(Mtx);
+  Samples.push_back(X);
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> G(Mtx);
+  return Samples.size();
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> G(Mtx);
+  double S = 0;
+  for (double X : Samples)
+    S += X;
+  return S;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> G(Mtx);
+  return Samples.empty()
+             ? 0
+             : *std::min_element(Samples.begin(), Samples.end());
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> G(Mtx);
+  return Samples.empty()
+             ? 0
+             : *std::max_element(Samples.begin(), Samples.end());
+}
+
+double Histogram::percentile(double P) const {
+  std::lock_guard<std::mutex> G(Mtx);
+  if (Samples.empty())
+    return 0;
+  return mco::percentile(Samples, P);
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry R;
+  return R;
+}
+
+std::string MetricsRegistry::keyFor(const std::string &Name,
+                                    const MetricLabels &Labels) {
+  if (Labels.empty())
+    return Name;
+  MetricLabels Sorted = Labels;
+  std::sort(Sorted.begin(), Sorted.end());
+  std::string Key = Name + "{";
+  for (size_t I = 0; I < Sorted.size(); ++I) {
+    if (I)
+      Key += ",";
+    Key += Sorted[I].first + "=\"" + Sorted[I].second + "\"";
+  }
+  Key += "}";
+  return Key;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name,
+                                  const MetricLabels &Labels) {
+  std::lock_guard<std::mutex> G(Mtx);
+  Entry &E = Entries[keyFor(Name, Labels)];
+  if (!E.C)
+    E.C = std::make_unique<Counter>();
+  return *E.C;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name,
+                              const MetricLabels &Labels) {
+  std::lock_guard<std::mutex> G(Mtx);
+  Entry &E = Entries[keyFor(Name, Labels)];
+  if (!E.G)
+    E.G = std::make_unique<Gauge>();
+  return *E.G;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      const MetricLabels &Labels) {
+  std::lock_guard<std::mutex> G(Mtx);
+  Entry &E = Entries[keyFor(Name, Labels)];
+  if (!E.H)
+    E.H = std::make_unique<Histogram>();
+  return *E.H;
+}
+
+uint64_t MetricsRegistry::counterValue(const std::string &Name,
+                                       const MetricLabels &Labels) const {
+  std::lock_guard<std::mutex> G(Mtx);
+  auto It = Entries.find(keyFor(Name, Labels));
+  return It != Entries.end() && It->second.C ? It->second.C->value() : 0;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> G(Mtx);
+  Entries.clear();
+}
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char Ch : S) {
+    if (Ch == '"' || Ch == '\\')
+      Out += '\\';
+    Out += Ch;
+  }
+  return Out;
+}
+
+std::string fmtDouble(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+  return Buf;
+}
+
+} // namespace
+
+std::string MetricsRegistry::toJson() const {
+  std::lock_guard<std::mutex> G(Mtx);
+  std::string Counters, Gauges, Histos;
+  for (const auto &[Key, E] : Entries) {
+    const std::string K = "\"" + jsonEscape(Key) + "\": ";
+    if (E.C) {
+      if (!Counters.empty())
+        Counters += ", ";
+      Counters += K + std::to_string(E.C->value());
+    }
+    if (E.G) {
+      if (!Gauges.empty())
+        Gauges += ", ";
+      Gauges += K + fmtDouble(E.G->value());
+    }
+    if (E.H) {
+      if (!Histos.empty())
+        Histos += ", ";
+      Histos += K + "{\"count\": " + std::to_string(E.H->count()) +
+                ", \"sum\": " + fmtDouble(E.H->sum()) +
+                ", \"min\": " + fmtDouble(E.H->min()) +
+                ", \"max\": " + fmtDouble(E.H->max()) +
+                ", \"p50\": " + fmtDouble(E.H->percentile(50)) +
+                ", \"p95\": " + fmtDouble(E.H->percentile(95)) + "}";
+    }
+  }
+  return "{\"counters\": {" + Counters + "}, \"gauges\": {" + Gauges +
+         "}, \"histograms\": {" + Histos + "}}";
+}

@@ -1,0 +1,130 @@
+//===- telemetry/Metrics.h - Typed metrics registry -------------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A typed metrics registry: named counters, gauges, and histograms, each
+/// optionally carrying a small label set. This replaces the hand-rolled
+/// counter struct fields that used to be threaded from the pipeline into
+/// the diag JSON: the build increments registry metrics as it goes, and
+/// every exporter (mco-build --diag-json, the fleet simulator, benches)
+/// reads from the one registry.
+///
+/// Naming scheme: `<subsystem>.<noun>[_<unit>]`, all lowercase, dots
+/// between subsystem and metric, underscores inside the metric name —
+/// e.g. `cache.hits`, `guard.rounds_rolled_back`, `fleet.span_cycles`.
+/// Labels qualify a metric without multiplying names:
+/// `{module="core", round="3"}`.
+///
+/// Export order is deterministic (sorted by name, then rendered labels),
+/// so two runs that record the same values serialize identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_TELEMETRY_METRICS_H
+#define MCO_TELEMETRY_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mco {
+
+/// Label set: (key, value) pairs. Order-insensitive — the registry sorts.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter. add() for event counting; set() for counters whose
+/// authoritative total is computed elsewhere (e.g. summed across modules).
+class Counter {
+public:
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  void set(uint64_t N) { V.store(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-written-value gauge.
+class Gauge {
+public:
+  void set(double X) {
+    std::lock_guard<std::mutex> G(Mtx);
+    V = X;
+  }
+  double value() const {
+    std::lock_guard<std::mutex> G(Mtx);
+    return V;
+  }
+
+private:
+  mutable std::mutex Mtx;
+  double V = 0;
+};
+
+/// Sample-keeping histogram: count, sum, min/max, and exact percentiles.
+/// Samples are kept (the corpora here are small); callers needing only
+/// count/sum pay a vector push per observation.
+class Histogram {
+public:
+  void observe(double X);
+  uint64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, P in [0, 100]. 0 when empty.
+  double percentile(double P) const;
+
+private:
+  mutable std::mutex Mtx;
+  std::vector<double> Samples;
+};
+
+/// The registry. get-or-create accessors are thread-safe; returned
+/// references stay valid until reset().
+class MetricsRegistry {
+public:
+  /// The process-wide registry the pipeline and tools share.
+  static MetricsRegistry &global();
+
+  Counter &counter(const std::string &Name, const MetricLabels &Labels = {});
+  Gauge &gauge(const std::string &Name, const MetricLabels &Labels = {});
+  Histogram &histogram(const std::string &Name,
+                       const MetricLabels &Labels = {});
+
+  /// Counter value by name, 0 when absent (exporters read through this so
+  /// a build that never touched a subsystem still reports a zero).
+  uint64_t counterValue(const std::string &Name,
+                        const MetricLabels &Labels = {}) const;
+
+  /// Drops every metric. Builds call this at entry so one process running
+  /// several builds (tests, benches) reports per-build values.
+  void reset();
+
+  /// Deterministic JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, min, max, p50, p95}}}.
+  std::string toJson() const;
+
+private:
+  struct Entry {
+    std::unique_ptr<Counter> C;
+    std::unique_ptr<Gauge> G;
+    std::unique_ptr<Histogram> H;
+  };
+  static std::string keyFor(const std::string &Name,
+                            const MetricLabels &Labels);
+
+  mutable std::mutex Mtx;
+  std::map<std::string, Entry> Entries; ///< Sorted — export determinism.
+};
+
+} // namespace mco
+
+#endif // MCO_TELEMETRY_METRICS_H

@@ -1,0 +1,180 @@
+//===- telemetry/Tracer.cpp - Structured scoped-span tracing --------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Tracer.h"
+
+#include "support/FileAtomics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+using namespace mco;
+
+namespace {
+
+uint64_t steadyNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(Ch) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", Ch);
+        Out += Buf;
+      } else {
+        Out += Ch;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+Tracer &Tracer::instance() {
+  static Tracer T;
+  return T;
+}
+
+void Tracer::enable(size_t Capacity) {
+  std::lock_guard<std::mutex> G(Mtx);
+  Ring.clear();
+  Ring.resize(std::max<size_t>(Capacity, 1));
+  Total = 0;
+  EpochNs = steadyNs();
+  Enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() { Enabled.store(false, std::memory_order_relaxed); }
+
+uint64_t Tracer::nowNs() const {
+  uint64_t Now = steadyNs();
+  // EpochNs is only written under Mtx in enable(); a racing span started
+  // before enable() can see the old epoch, which at worst skews that one
+  // span's timestamp.
+  return Now >= EpochNs ? Now - EpochNs : 0;
+}
+
+uint32_t Tracer::currentThreadId() {
+  static std::atomic<uint32_t> NextTid{0};
+  thread_local uint32_t Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+  return Tid;
+}
+
+void Tracer::record(std::string Name, const char *Cat, uint64_t StartNs,
+                    uint64_t DurNs) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = Cat;
+  E.Tid = currentThreadId();
+  E.StartNs = StartNs;
+  E.DurNs = DurNs;
+  std::lock_guard<std::mutex> G(Mtx);
+  Ring[Total % Ring.size()] = std::move(E);
+  ++Total;
+}
+
+uint64_t Tracer::eventsRecorded() const {
+  std::lock_guard<std::mutex> G(Mtx);
+  return Total;
+}
+
+uint64_t Tracer::eventsDropped() const {
+  std::lock_guard<std::mutex> G(Mtx);
+  return Total > Ring.size() ? Total - Ring.size() : 0;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> G(Mtx);
+  std::vector<TraceEvent> Out;
+  if (Ring.empty())
+    return Out;
+  const size_t Kept = std::min<size_t>(Total, Ring.size());
+  Out.reserve(Kept);
+  // Oldest surviving event first. When the ring has wrapped, the oldest
+  // survivor sits right after the most recently written slot.
+  const size_t Start = Total > Ring.size() ? Total % Ring.size() : 0;
+  for (size_t I = 0; I < Kept; ++I)
+    Out.push_back(Ring[(Start + I) % Ring.size()]);
+  return Out;
+}
+
+std::string Tracer::toChromeJson() const {
+  std::vector<TraceEvent> Events = snapshot();
+  std::sort(Events.begin(), Events.end(),
+            [](const TraceEvent &A, const TraceEvent &B) {
+              if (A.StartNs != B.StartNs)
+                return A.StartNs < B.StartNs;
+              if (A.Tid != B.Tid)
+                return A.Tid < B.Tid;
+              return A.Name < B.Name;
+            });
+  std::string Out = "{\"traceEvents\": [\n";
+  char Buf[64];
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const TraceEvent &E = Events[I];
+    Out += "  {\"name\": \"" + jsonEscape(E.Name) + "\", \"cat\": \"" +
+           jsonEscape(E.Cat ? E.Cat : "") + "\", \"ph\": \"X\", \"pid\": 1";
+    std::snprintf(Buf, sizeof(Buf), ", \"tid\": %u", E.Tid);
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf), ", \"ts\": %llu.%03llu",
+                  static_cast<unsigned long long>(E.StartNs / 1000),
+                  static_cast<unsigned long long>(E.StartNs % 1000));
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf), ", \"dur\": %llu.%03llu}",
+                  static_cast<unsigned long long>(E.DurNs / 1000),
+                  static_cast<unsigned long long>(E.DurNs % 1000));
+    Out += Buf;
+    Out += I + 1 < Events.size() ? ",\n" : "\n";
+  }
+  std::lock_guard<std::mutex> G(Mtx);
+  Out += "], \"otherData\": {\"events_recorded\": " + std::to_string(Total) +
+         ", \"events_dropped\": " +
+         std::to_string(Total > Ring.size() ? Total - Ring.size() : 0) +
+         "}}\n";
+  return Out;
+}
+
+Status Tracer::exportChromeJson(const std::string &Path) const {
+  return atomicWriteFile(Path, toChromeJson());
+}
+
+ScopedSpan::ScopedSpan(const char *Name, const char *Cat)
+    : ScopedSpan(std::string(Name), Cat) {}
+
+ScopedSpan::ScopedSpan(std::string NameStr, const char *CatStr) {
+  Tracer &T = Tracer::instance();
+  if (!T.enabled())
+    return;
+  Active = true;
+  Name = std::move(NameStr);
+  Cat = CatStr;
+  StartNs = T.nowNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!Active)
+    return;
+  Tracer &T = Tracer::instance();
+  const uint64_t End = T.nowNs();
+  T.record(std::move(Name), Cat, StartNs,
+           End >= StartNs ? End - StartNs : 0);
+}

@@ -1,0 +1,124 @@
+//===- telemetry/Tracer.h - Structured scoped-span tracing ------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A low-overhead structured tracer for the build pipeline, the outliner,
+/// and the artifact cache. Spans are RAII-scoped (ScopedSpan / the
+/// MCO_TRACE_SPAN macro), carry a stable per-thread id and monotonic
+/// timestamps, and land in a fixed-capacity ring buffer: when the ring
+/// wraps, the oldest spans are dropped and counted, never the newest — a
+/// long build keeps its tail, which is where problems usually live.
+///
+/// The buffer exports as Chrome `trace_event` JSON (load it in
+/// chrome://tracing or Perfetto) through the FileAtomics atomic
+/// write/rename path, so a crash mid-export never leaves a truncated file.
+///
+/// When the tracer is disabled — the default — a span costs one relaxed
+/// atomic load and no clock reads, so instrumentation can stay in the hot
+/// paths unconditionally. Tracing never affects build output; it only
+/// observes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_TELEMETRY_TRACER_H
+#define MCO_TELEMETRY_TRACER_H
+
+#include "support/Error.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mco {
+
+/// One completed span.
+struct TraceEvent {
+  std::string Name;   ///< e.g. "outliner.round" or "pipeline.module:core".
+  const char *Cat;    ///< Static category string ("pipeline", "outliner"...).
+  uint32_t Tid = 0;   ///< Stable small integer; 0 is the first thread seen.
+  uint64_t StartNs = 0; ///< Monotonic, relative to the tracer's epoch.
+  uint64_t DurNs = 0;
+};
+
+/// Process-wide span collector. All methods are thread-safe.
+class Tracer {
+public:
+  static constexpr size_t DefaultCapacity = 1 << 16;
+
+  static Tracer &instance();
+
+  /// Starts collecting with a ring of \p Capacity events and resets the
+  /// epoch, the ring, and the drop counters.
+  void enable(size_t Capacity = DefaultCapacity);
+  /// Stops collecting. Already-buffered events are kept for export.
+  void disable();
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Records a completed span. No-op while disabled.
+  void record(std::string Name, const char *Cat, uint64_t StartNs,
+              uint64_t DurNs);
+
+  /// Monotonic nanoseconds since the tracer's epoch (enable() resets it).
+  uint64_t nowNs() const;
+
+  /// Stable small id for the calling thread (assigned on first use).
+  static uint32_t currentThreadId();
+
+  /// Spans accepted since enable(), including ones the ring later dropped.
+  uint64_t eventsRecorded() const;
+  /// Spans overwritten by ring wrap-around.
+  uint64_t eventsDropped() const;
+
+  /// The buffered events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Renders the buffer as Chrome trace_event JSON. Events are sorted by
+  /// (start, tid, name) so the rendering is stable for a given buffer.
+  std::string toChromeJson() const;
+
+  /// Atomically writes toChromeJson() to \p Path (write-temp + rename), so
+  /// a SIGKILL mid-export never leaves a truncated trace file.
+  Status exportChromeJson(const std::string &Path) const;
+
+private:
+  Tracer() = default;
+
+  std::atomic<bool> Enabled{false};
+  mutable std::mutex Mtx;
+  std::vector<TraceEvent> Ring; ///< Capacity slots; Total tells how many used.
+  uint64_t Total = 0;           ///< Events ever recorded since enable().
+  uint64_t EpochNs = 0;         ///< steady_clock ns at enable().
+};
+
+/// RAII span: records [construction, destruction) into the tracer.
+/// Costs one atomic load when tracing is off.
+class ScopedSpan {
+public:
+  explicit ScopedSpan(const char *Name, const char *Cat = "build");
+  ScopedSpan(std::string Name, const char *Cat = "build");
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+private:
+  std::string Name;
+  const char *Cat = "";
+  uint64_t StartNs = 0;
+  bool Active = false;
+};
+
+#define MCO_TRACE_CONCAT_IMPL(A, B) A##B
+#define MCO_TRACE_CONCAT(A, B) MCO_TRACE_CONCAT_IMPL(A, B)
+/// Drops a scoped span covering the rest of the enclosing block.
+#define MCO_TRACE_SPAN(...)                                                   \
+  ::mco::ScopedSpan MCO_TRACE_CONCAT(McoSpan_, __LINE__)(__VA_ARGS__)
+
+} // namespace mco
+
+#endif // MCO_TELEMETRY_TRACER_H

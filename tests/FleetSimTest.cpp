@@ -1,0 +1,148 @@
+//===- tests/FleetSimTest.cpp - Fleet simulator + rollout tests -----------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+// End-to-end checks of the fleet-scale measurement layer: determinism of
+// the fleet report across thread counts, a clean identity ramp (no-change
+// release), and the Table 7 interleaved-data-layout regression being
+// caught and halted by the staged-rollout comparator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/FleetSim.h"
+
+#include "pipeline/BuildPipeline.h"
+#include "synth/CorpusSynthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace mco;
+
+namespace {
+
+/// Builds a whole-program artifact from the deterministic rider corpus.
+/// Two calls with different layouts yield programs differing only in
+/// global-data order — exactly the Table 7 A/B pair.
+std::unique_ptr<Program> buildArtifact(unsigned Modules, DataLayoutMode L) {
+  AppProfile P = AppProfile::uberRider();
+  P.NumModules = Modules;
+  auto Prog = CorpusSynthesizer(P).withThreads(4).generate();
+  PipelineOptions Opts;
+  Opts.OutlineRounds = 1;
+  Opts.WholeProgram = true;
+  Opts.DataLayout = L;
+  Opts.Threads = 4;
+  buildProgram(*Prog, Opts);
+  return Prog;
+}
+
+FleetOptions fleetOptions(unsigned Devices) {
+  FleetOptions O;
+  O.NumDevices = Devices;
+  O.Seed = 0x5EED;
+  const AppProfile P = AppProfile::uberRider();
+  for (unsigned S = 0; S < P.NumSpans; ++S)
+    O.Entries.push_back(CorpusSynthesizer::spanFunctionName(S));
+  return O;
+}
+
+TEST(FleetSimTest, ReportIsByteIdenticalAcrossThreadCounts) {
+  auto Prog = buildArtifact(12, DataLayoutMode::PreserveModuleOrder);
+  FleetOptions O = fleetOptions(24);
+
+  O.Threads = 1;
+  const std::string J1 = fleetReportJson(runFleet(*Prog, O));
+  O.Threads = 8;
+  const std::string J8 = fleetReportJson(runFleet(*Prog, O));
+  EXPECT_EQ(J1, J8);
+  EXPECT_NE(J1.find("\"mco-fleet-report-v1\""), std::string::npos);
+}
+
+TEST(FleetSimTest, FleetRunsEveryDeviceWithoutFaults) {
+  auto Prog = buildArtifact(12, DataLayoutMode::PreserveModuleOrder);
+  FleetOptions O = fleetOptions(16);
+  O.Threads = 4;
+  FleetReport R = runFleet(*Prog, O);
+
+  ASSERT_EQ(R.Devices.size(), 16u);
+  EXPECT_EQ(R.Overall.Devices, 16u);
+  EXPECT_GT(R.Overall.TotalInstrs, 0u);
+  EXPECT_GT(R.Overall.CyclesP50, 0.0);
+  ASSERT_EQ(R.Spans.size(), O.Entries.size());
+  for (const DeviceResult &D : R.Devices) {
+    EXPECT_TRUE(D.FaultMsg.empty()) << D.FaultMsg;
+    EXPECT_LT(D.ClassIdx, defaultDeviceClasses().size());
+    EXPECT_EQ(D.SpanCycles.size(), O.Entries.size());
+  }
+}
+
+TEST(FleetSimTest, IdentityRolloutRampsClean) {
+  auto Prog = buildArtifact(12, DataLayoutMode::PreserveModuleOrder);
+  FleetOptions O = fleetOptions(16);
+  O.Threads = 4;
+
+  // A no-change release: candidate IS the baseline. Every stage must pass
+  // and the ramp must reach 100%.
+  RolloutVerdict V = runStagedRollout(*Prog, *Prog, O);
+  EXPECT_FALSE(V.Regression);
+  EXPECT_DOUBLE_EQ(V.HaltedAtPercent, 100.0);
+  ASSERT_EQ(V.Stages.size(), defaultStagePercents().size());
+  for (const StageVerdict &S : V.Stages) {
+    EXPECT_TRUE(S.Ok);
+    for (const MetricDelta &D : S.Deltas) {
+      EXPECT_FALSE(D.Breach);
+      EXPECT_DOUBLE_EQ(D.DeltaPct, 0.0);
+    }
+  }
+}
+
+TEST(FleetSimTest, Table7InterleavedLayoutHaltsTheRamp) {
+  // The Section VI regression needs modules >> span reach (ModulesPerSpan)
+  // so the interleaved layout scatters a span's working set across more
+  // pages than the constrained devices keep resident.
+  auto Base = buildArtifact(60, DataLayoutMode::PreserveModuleOrder);
+  auto Cand = buildArtifact(60, DataLayoutMode::Interleaved);
+  FleetOptions O = fleetOptions(16);
+  O.Threads = 4;
+
+  FleetReport BaseRep, CandRep;
+  RolloutVerdict V = runStagedRollout(*Base, *Cand, O,
+                                      defaultStagePercents(), {}, &BaseRep,
+                                      &CandRep);
+  EXPECT_TRUE(V.Regression);
+  EXPECT_LT(V.HaltedAtPercent, 100.0);
+  ASSERT_FALSE(V.Stages.empty());
+
+  // The halting stage is the last one, and data page faults must be among
+  // the breached metrics — that is the regression the paper's fleet
+  // monitoring caught.
+  const StageVerdict &Halt = V.Stages.back();
+  EXPECT_FALSE(Halt.Ok);
+  bool FaultBreach = false;
+  for (const MetricDelta &D : Halt.Deltas)
+    if (D.Breach && D.Metric.rfind("data_page_faults", 0) == 0) {
+      FaultBreach = true;
+      EXPECT_GT(D.Cand, D.Base);
+    }
+  EXPECT_TRUE(FaultBreach);
+  // The fleet-level fault counts corroborate the verdict.
+  EXPECT_GT(CandRep.Overall.DataFaultsP50, BaseRep.Overall.DataFaultsP50);
+}
+
+TEST(FleetSimTest, VerdictJsonIsDeterministic) {
+  auto Prog = buildArtifact(12, DataLayoutMode::PreserveModuleOrder);
+  FleetOptions O = fleetOptions(8);
+  O.Threads = 2;
+  RolloutVerdict V = runStagedRollout(*Prog, *Prog, O);
+
+  const std::string J = rolloutVerdictJson(V, O, defaultStagePercents(), {});
+  EXPECT_EQ(J, rolloutVerdictJson(V, O, defaultStagePercents(), {}));
+  EXPECT_NE(J.find("\"mco-fleet-verdict-v1\""), std::string::npos);
+  EXPECT_NE(J.find("\"verdict\": \"ok\""), std::string::npos);
+}
+
+} // namespace

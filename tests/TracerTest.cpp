@@ -1,0 +1,197 @@
+//===- tests/TracerTest.cpp - Tracer + metrics registry tests -------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Metrics.h"
+#include "telemetry/Tracer.h"
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace mco;
+
+namespace {
+
+/// Every test owns the process-global tracer/registry for its duration and
+/// leaves both disabled/empty behind.
+class TelemetryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Tracer::instance().disable();
+    MetricsRegistry::global().reset();
+  }
+  void TearDown() override {
+    Tracer::instance().disable();
+    MetricsRegistry::global().reset();
+  }
+};
+
+TEST_F(TelemetryTest, DisabledSpansAreNoOps) {
+  const uint64_t Before = Tracer::instance().eventsRecorded();
+  {
+    MCO_TRACE_SPAN("should.not.record", "test");
+    MCO_TRACE_SPAN(std::string("also.not.recorded"), "test");
+  }
+  EXPECT_EQ(Tracer::instance().eventsRecorded(), Before);
+}
+
+TEST_F(TelemetryTest, RecordsNestedScopedSpans) {
+  Tracer &T = Tracer::instance();
+  T.enable();
+  {
+    MCO_TRACE_SPAN("outer", "test");
+    { MCO_TRACE_SPAN("inner", "test"); }
+  }
+  T.disable();
+
+  std::vector<TraceEvent> Ev = T.snapshot();
+  ASSERT_EQ(Ev.size(), 2u);
+  // The inner span ends (and records) first.
+  EXPECT_EQ(Ev[0].Name, "inner");
+  EXPECT_EQ(Ev[1].Name, "outer");
+  EXPECT_STREQ(Ev[0].Cat, "test");
+  // The inner span nests inside the outer one on the monotonic clock.
+  EXPECT_GE(Ev[0].StartNs, Ev[1].StartNs);
+  EXPECT_LE(Ev[0].StartNs + Ev[0].DurNs, Ev[1].StartNs + Ev[1].DurNs);
+}
+
+TEST_F(TelemetryTest, RingKeepsNewestOnOverflow) {
+  Tracer &T = Tracer::instance();
+  T.enable(/*Capacity=*/8);
+  for (int I = 0; I < 20; ++I)
+    T.record("span" + std::to_string(I), "test", /*StartNs=*/I, /*DurNs=*/1);
+  T.disable();
+
+  EXPECT_EQ(T.eventsRecorded(), 20u);
+  EXPECT_EQ(T.eventsDropped(), 12u);
+  std::vector<TraceEvent> Ev = T.snapshot();
+  ASSERT_EQ(Ev.size(), 8u);
+  // The newest 8 survive, oldest first.
+  for (int I = 0; I < 8; ++I)
+    EXPECT_EQ(Ev[I].Name, "span" + std::to_string(12 + I));
+}
+
+TEST_F(TelemetryTest, ThreadPoolFanOutRecordsEverySpan) {
+  Tracer &T = Tracer::instance();
+  T.enable();
+  constexpr size_t N = 500;
+  ThreadPool Pool(8);
+  Pool.parallelFor(N, [](size_t I) {
+    MCO_TRACE_SPAN("worker:" + std::to_string(I), "test");
+  });
+  T.disable();
+  EXPECT_EQ(T.eventsRecorded(), N);
+  EXPECT_EQ(T.snapshot().size(), N);
+}
+
+TEST_F(TelemetryTest, ChromeJsonIsWellFormedAndStable) {
+  Tracer &T = Tracer::instance();
+  T.enable();
+  T.record("alpha", "test", 1000, 500);
+  T.record("beta \"quoted\"\\", "test", 2000, 250);
+  T.disable();
+
+  const std::string J = T.toChromeJson();
+  EXPECT_NE(J.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(J.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(J.find("\"ph\": \"X\""), std::string::npos);
+  // Escaping: the quote and backslash must not leak raw into the JSON.
+  EXPECT_NE(J.find("beta \\\"quoted\\\"\\\\"), std::string::npos);
+  // Same buffer renders byte-identically.
+  EXPECT_EQ(J, T.toChromeJson());
+}
+
+TEST_F(TelemetryTest, ExportWritesTraceFile) {
+  Tracer &T = Tracer::instance();
+  T.enable();
+  { MCO_TRACE_SPAN("exported", "test"); }
+  T.disable();
+
+  const std::string Path = ::testing::TempDir() + "tracer_export.trace.json";
+  ASSERT_TRUE(T.exportChromeJson(Path).ok());
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Buf.str(), T.toChromeJson());
+  std::remove(Path.c_str());
+}
+
+TEST_F(TelemetryTest, CounterAddSetAndAbsentReads) {
+  MetricsRegistry &M = MetricsRegistry::global();
+  M.counter("test.events").add();
+  M.counter("test.events").add(4);
+  EXPECT_EQ(M.counterValue("test.events"), 5u);
+  // set() overwrites live increments — authoritative totals win.
+  M.counter("test.events").set(2);
+  EXPECT_EQ(M.counterValue("test.events"), 2u);
+  // Absent counters read as zero, not as an error.
+  EXPECT_EQ(M.counterValue("test.never_touched"), 0u);
+}
+
+TEST_F(TelemetryTest, LabelsDistinguishSeriesAndAreOrderInsensitive) {
+  MetricsRegistry &M = MetricsRegistry::global();
+  M.counter("test.hits", {{"module", "a"}}).add(1);
+  M.counter("test.hits", {{"module", "b"}}).add(2);
+  EXPECT_EQ(M.counterValue("test.hits", {{"module", "a"}}), 1u);
+  EXPECT_EQ(M.counterValue("test.hits", {{"module", "b"}}), 2u);
+  EXPECT_EQ(M.counterValue("test.hits"), 0u); // Unlabeled is its own series.
+
+  M.counter("test.pair", {{"x", "1"}, {"y", "2"}}).add(7);
+  EXPECT_EQ(M.counterValue("test.pair", {{"y", "2"}, {"x", "1"}}), 7u);
+}
+
+TEST_F(TelemetryTest, HistogramPercentilesAndGauges) {
+  MetricsRegistry &M = MetricsRegistry::global();
+  Histogram &H = M.histogram("test.latency");
+  for (int I = 1; I <= 100; ++I)
+    H.observe(double(I));
+  EXPECT_EQ(H.count(), 100u);
+  EXPECT_DOUBLE_EQ(H.min(), 1.0);
+  EXPECT_DOUBLE_EQ(H.max(), 100.0);
+  EXPECT_NEAR(H.percentile(50), 50.5, 1.0);
+  EXPECT_NEAR(H.percentile(95), 95.0, 1.5);
+  EXPECT_DOUBLE_EQ(H.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(H.percentile(100), 100.0);
+
+  M.gauge("test.seconds").set(1.25);
+  EXPECT_DOUBLE_EQ(M.gauge("test.seconds").value(), 1.25);
+}
+
+TEST_F(TelemetryTest, ConcurrentCounterAddsAreExact) {
+  MetricsRegistry &M = MetricsRegistry::global();
+  Counter &C = M.counter("test.concurrent");
+  constexpr size_t N = 10000;
+  ThreadPool Pool(8);
+  Pool.parallelFor(N, [&](size_t) { C.add(); });
+  EXPECT_EQ(C.value(), N);
+}
+
+TEST_F(TelemetryTest, JsonExportIsSortedAndResetDropsAll) {
+  MetricsRegistry &M = MetricsRegistry::global();
+  // Insert deliberately out of order; export must sort by name.
+  M.counter("test.zebra").add(1);
+  M.counter("test.apple").add(2);
+  M.gauge("test.mid").set(3);
+  const std::string J = M.toJson();
+  const size_t A = J.find("test.apple");
+  const size_t Z = J.find("test.zebra");
+  ASSERT_NE(A, std::string::npos);
+  ASSERT_NE(Z, std::string::npos);
+  EXPECT_LT(A, Z);
+  EXPECT_EQ(J, M.toJson());
+
+  M.reset();
+  EXPECT_EQ(M.counterValue("test.zebra"), 0u);
+  EXPECT_EQ(M.toJson().find("test.apple"), std::string::npos);
+}
+
+} // namespace

@@ -35,6 +35,8 @@
 #include "support/Error.h"
 #include "support/FaultInjection.h"
 #include "synth/CorpusSynthesizer.h"
+#include "telemetry/Metrics.h"
+#include "telemetry/Tracer.h"
 #include "transforms/Transforms.h"
 
 #include <cstdio>
@@ -60,6 +62,7 @@ void usage() {
       "                 [--fault-inject SPEC] [--diag-json FILE]\n"
       "                 [--cache] [--cache-dir DIR] [--resume DIR]\n"
       "                 [--module-timeout-ms N] [--timeout-retries N]\n"
+      "                 [--trace-json FILE] [--pattern-provenance FILE]\n"
       "  -j N           worker threads for synthesis and outlining\n"
       "                 (output is bit-identical at any N)\n"
       "  --incremental  reuse mapping/liveness across outlining rounds\n"
@@ -77,7 +80,12 @@ void usage() {
       "  --module-timeout-ms N  per-module outlining deadline; modules\n"
       "                 that time out through every retry ship unoutlined\n"
       "  --timeout-retries N  extra attempts after a timeout, each with\n"
-      "                 double the deadline (default 2)\n");
+      "                 double the deadline (default 2)\n"
+      "  --trace-json FILE  export build spans as Chrome trace_event JSON\n"
+      "                 (load in chrome://tracing or Perfetto)\n"
+      "  --pattern-provenance FILE  write a JSON report mapping each\n"
+      "                 post-build repeated pattern (by hash) to the\n"
+      "                 modules/functions it originates from\n");
 }
 
 /// Everything the command line configures.
@@ -90,6 +98,8 @@ struct BuildConfig {
   std::string DumpFile;
   std::string DiagFile;
   std::string FaultSpec;
+  std::string TraceFile;
+  std::string ProvenanceFile;
   int ModulesOverride = -1;
 };
 
@@ -195,6 +205,14 @@ Status parseArgs(int argc, char **argv, BuildConfig &C) {
       if (Status S = NextOr(V); !S.ok())
         return S;
       C.Opts.Resilience.TimeoutRetries = static_cast<unsigned>(std::atoi(V));
+    } else if (A == "--trace-json") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.TraceFile = V;
+    } else if (A == "--pattern-provenance") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.ProvenanceFile = V;
     } else {
       return MCO_ERROR("unknown option '" + A + "'");
     }
@@ -238,10 +256,18 @@ struct DiagState {
 Status writeDiagJson(const std::string &Path, const BuildConfig &C,
                      const DiagState &D) {
   const BuildResult &R = D.R;
+  // The counter fields below read from the one metrics registry the build
+  // populated (publishBuildMetrics sets the authoritative totals at build
+  // exit), so the diag report and every other exporter agree by
+  // construction. Keys are unchanged from the pre-registry schema.
+  const MetricsRegistry &M = MetricsRegistry::global();
   std::ofstream Out(Path);
   if (!Out)
     return MCO_ERROR("cannot open diag file '" + Path + "'");
   auto U64 = [](uint64_t V) { return std::to_string(V); };
+  auto Ctr = [&M](const char *Name) {
+    return std::to_string(M.counterValue(Name));
+  };
   Out << "{\n";
   Out << "  \"profile\": \"" << jsonEscape(C.Profile.Name) << "\",\n";
   Out << "  \"pipeline\": \""
@@ -251,21 +277,27 @@ Status writeDiagJson(const std::string &Path, const BuildConfig &C,
       << ",\n";
   Out << "  \"error\": \"" << jsonEscape(D.Error) << "\",\n";
   Out << "  \"code_size_before\": " << U64(D.SizeBefore) << ",\n";
-  Out << "  \"code_size_after\": " << U64(R.CodeSize) << ",\n";
-  Out << "  \"binary_size\": " << U64(R.BinarySize) << ",\n";
-  Out << "  \"modules_degraded\": " << U64(R.ModulesDegraded) << ",\n";
-  Out << "  \"rounds_rolled_back\": " << U64(R.RoundsRolledBack) << ",\n";
-  Out << "  \"patterns_quarantined\": " << U64(R.PatternsQuarantined)
+  Out << "  \"code_size_after\": " << Ctr("pipeline.code_size_after")
       << ",\n";
-  Out << "  \"modules_timed_out\": " << U64(R.ModulesTimedOut) << ",\n";
-  Out << "  \"watchdog_timeouts\": " << U64(R.WatchdogTimeouts) << ",\n";
-  Out << "  \"cache_hits\": " << U64(R.CacheHits) << ",\n";
-  Out << "  \"cache_misses\": " << U64(R.CacheMisses) << ",\n";
-  Out << "  \"cache_corrupt\": " << U64(R.CacheCorrupt) << ",\n";
-  Out << "  \"cache_evicted\": " << U64(R.CacheEvicted) << ",\n";
-  Out << "  \"modules_resumed\": " << U64(R.ModulesResumed) << ",\n";
-  Out << "  \"stale_locks_recovered\": " << U64(R.StaleLocksRecovered)
+  Out << "  \"binary_size\": " << Ctr("pipeline.binary_size") << ",\n";
+  Out << "  \"modules_degraded\": " << Ctr("pipeline.modules_degraded")
       << ",\n";
+  Out << "  \"rounds_rolled_back\": " << Ctr("guard.rounds_rolled_back")
+      << ",\n";
+  Out << "  \"patterns_quarantined\": " << Ctr("guard.patterns_quarantined")
+      << ",\n";
+  Out << "  \"modules_timed_out\": " << Ctr("pipeline.modules_timed_out")
+      << ",\n";
+  Out << "  \"watchdog_timeouts\": " << Ctr("watchdog.timeouts") << ",\n";
+  Out << "  \"cache_hits\": " << Ctr("cache.hits") << ",\n";
+  Out << "  \"cache_misses\": " << Ctr("cache.misses") << ",\n";
+  Out << "  \"cache_corrupt\": " << Ctr("cache.corrupt") << ",\n";
+  Out << "  \"cache_evicted\": " << Ctr("cache.evicted") << ",\n";
+  Out << "  \"modules_resumed\": " << Ctr("pipeline.modules_resumed")
+      << ",\n";
+  Out << "  \"stale_locks_recovered\": "
+      << Ctr("cache.stale_locks_recovered") << ",\n";
+  Out << "  \"metrics\": " << M.toJson() << ",\n";
   Out << "  \"final_verify\": \"" << jsonEscape(D.FinalVerify) << "\",\n";
   Out << "  \"failure_log\": [";
   for (size_t I = 0; I < R.FailureLog.size(); ++I)
@@ -314,6 +346,13 @@ Status runBuild(BuildConfig &C, DiagState &D) {
       CorpusSynthesizer(C.Profile).withThreads(C.Opts.Threads).generate();
   uint64_t SizeBefore = Prog->codeSize();
   D.SizeBefore = SizeBefore;
+
+  // Module names must be captured before the build: the whole-program
+  // merge destroys them, and provenance only keeps origin indices.
+  std::vector<std::string> ModuleNames;
+  ModuleNames.reserve(Prog->Modules.size());
+  for (const auto &M : Prog->Modules)
+    ModuleNames.push_back(M->Name);
 
   if (C.Normalize) {
     // Pre-normalization runs per module (before any merge), as a compiler
@@ -390,14 +429,24 @@ Status runBuild(BuildConfig &C, DiagState &D) {
   }
   D.FinalVerify = FinalVerify;
 
-  if (C.PrintPatterns > 0) {
+  if (C.PrintPatterns > 0 || !C.ProvenanceFile.empty()) {
     PatternAnalysis A =
         analyzePatterns(*Prog, *Prog->Modules[0], {}, C.PrintPatterns);
-    std::printf("\ntop repeated patterns (post-build):\n");
-    for (unsigned I = 0; I < C.PrintPatterns && I < A.Patterns.size(); ++I)
-      std::printf("-- rank %u: %llu x %u instrs\n%s\n", A.Patterns[I].Rank,
-                  static_cast<unsigned long long>(A.Patterns[I].Frequency),
-                  A.Patterns[I].Length, A.Patterns[I].Text.c_str());
+    if (C.PrintPatterns > 0) {
+      std::printf("\ntop repeated patterns (post-build):\n");
+      for (unsigned I = 0; I < C.PrintPatterns && I < A.Patterns.size();
+           ++I)
+        std::printf("-- rank %u: %llu x %u instrs\n%s\n", A.Patterns[I].Rank,
+                    static_cast<unsigned long long>(A.Patterns[I].Frequency),
+                    A.Patterns[I].Length, A.Patterns[I].Text.c_str());
+    }
+    if (!C.ProvenanceFile.empty()) {
+      if (Status S = writePatternProvenance(A, ModuleNames, C.ProvenanceFile);
+          !S.ok())
+        return S;
+      std::printf("wrote pattern provenance to %s\n",
+                  C.ProvenanceFile.c_str());
+    }
   }
 
   if (!C.DumpFile.empty()) {
@@ -423,9 +472,23 @@ int main(int argc, char **argv) {
     return 1;
   }
   DiagState D;
+  if (!C.TraceFile.empty())
+    Tracer::instance().enable();
   Status S = runBuild(C, D);
   if (!S.ok())
     D.Error = S.render();
+  // Like the diag report, the trace is exported on success AND failure.
+  if (!C.TraceFile.empty()) {
+    Tracer::instance().disable();
+    if (Status TS = Tracer::instance().exportChromeJson(C.TraceFile);
+        !TS.ok()) {
+      std::fprintf(stderr, "mco-build: %s\n", TS.render().c_str());
+      if (S.ok())
+        return 1;
+    } else {
+      std::printf("wrote trace to %s\n", C.TraceFile.c_str());
+    }
+  }
   // The diag report is written on success AND failure: a crashed or
   // erroring build must still leave a machine-readable record.
   if (!C.DiagFile.empty()) {

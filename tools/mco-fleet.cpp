@@ -1,0 +1,308 @@
+//===- tools/mco-fleet.cpp - Staged-rollout fleet comparator --------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The staged-rollout A/B comparator from the paper's production
+/// methodology (Sections V-VII): build a baseline and a candidate artifact
+/// from the same corpus, execute both across a synthetic device fleet, and
+/// ramp the candidate in stages (1% -> 10% -> 50% -> 100%), halting on the
+/// first per-metric regression-threshold breach.
+///
+///   mco-fleet [--scenario identity|table7]
+///             [--profile rider|driver|eats|clang|kernel] [--modules N]
+///             [--rounds N] [-j N | --threads N]
+///             [--devices N] [--seed S] [--stages 1,10,50,100]
+///             [--th-cycles-p50 PCT] [--th-cycles-p95 PCT]
+///             [--th-faults PCT] [--th-icache PCT] [--th-ipc PCT]
+///             [--verdict FILE] [--base-report FILE] [--cand-report FILE]
+///             [--trace-json FILE]
+///
+/// Scenarios:
+///   identity  candidate == baseline (a no-change release); the ramp must
+///             reach 100% clean.
+///   table7    candidate merges globals in interleaved (hash) order while
+///             the baseline preserves module order — the Section VI data
+///             page-fault regression. The ramp must halt.
+///
+/// Exit status: 0 = ramp completed clean, 2 = ramp halted on a regression,
+/// 1 = usage or build error. CI asserts on 0/2, so a verdict flip fails
+/// the pipeline rather than shipping the regression.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/BuildPipeline.h"
+#include "support/Error.h"
+#include "synth/CorpusSynthesizer.h"
+#include "telemetry/FleetSim.h"
+#include "telemetry/Tracer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace mco;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: mco-fleet [--scenario identity|table7]\n"
+      "                 [--profile rider|driver|eats|clang|kernel]\n"
+      "                 [--modules N] [--rounds N] [-j N | --threads N]\n"
+      "                 [--devices N] [--seed S] [--stages 1,10,50,100]\n"
+      "                 [--th-cycles-p50 PCT] [--th-cycles-p95 PCT]\n"
+      "                 [--th-faults PCT] [--th-icache PCT] [--th-ipc PCT]\n"
+      "                 [--verdict FILE] [--base-report FILE]\n"
+      "                 [--cand-report FILE] [--trace-json FILE]\n"
+      "  --scenario identity  candidate == baseline; must ramp to 100%%\n"
+      "  --scenario table7    candidate uses interleaved data layout (the\n"
+      "                 Section VI page-fault regression); must halt\n"
+      "  --devices N    synthetic fleet size (default 64)\n"
+      "  --stages CSV   ramp percents (default 1,10,50,100)\n"
+      "  --th-* PCT     per-metric regression thresholds, in percent\n"
+      "  --verdict FILE machine-readable rollout verdict (atomic write)\n"
+      "  exit status: 0 clean ramp, 2 regression halt, 1 error\n");
+}
+
+struct FleetConfig {
+  AppProfile Profile = AppProfile::uberRider();
+  std::string Scenario = "identity";
+  unsigned Rounds = 3;
+  unsigned Threads = 1;
+  int ModulesOverride = -1;
+  FleetOptions Fleet;
+  std::vector<double> Stages = defaultStagePercents();
+  RegressionThresholds Th;
+  std::string VerdictFile;
+  std::string BaseReportFile;
+  std::string CandReportFile;
+  std::string TraceFile;
+};
+
+Status parseArgs(int argc, char **argv, FleetConfig &C) {
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    auto NextOr = [&](const char *&V) -> Status {
+      V = Next();
+      if (!V)
+        return MCO_ERROR("option '" + A + "' requires a value");
+      return Status::success();
+    };
+    const char *V = nullptr;
+    if (A == "--scenario") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Scenario = V;
+      if (C.Scenario != "identity" && C.Scenario != "table7")
+        return MCO_ERROR("unknown scenario '" + C.Scenario + "'");
+    } else if (A == "--profile") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      std::string P = V;
+      if (P == "rider")
+        C.Profile = AppProfile::uberRider();
+      else if (P == "driver")
+        C.Profile = AppProfile::uberDriver();
+      else if (P == "eats")
+        C.Profile = AppProfile::uberEats();
+      else if (P == "clang")
+        C.Profile = AppProfile::clangCompiler();
+      else if (P == "kernel")
+        C.Profile = AppProfile::linuxKernel();
+      else
+        return MCO_ERROR("unknown profile '" + P + "'");
+    } else if (A == "--modules") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.ModulesOverride = std::atoi(V);
+    } else if (A == "--rounds") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Rounds = static_cast<unsigned>(std::atoi(V));
+    } else if (A == "-j" || A == "--threads") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Threads = static_cast<unsigned>(std::atoi(V));
+      if (C.Threads == 0)
+        C.Threads = 1;
+    } else if (A == "--devices") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Fleet.NumDevices = static_cast<unsigned>(std::atoi(V));
+      if (C.Fleet.NumDevices == 0)
+        C.Fleet.NumDevices = 1;
+    } else if (A == "--seed") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Fleet.Seed = static_cast<uint64_t>(std::strtoull(V, nullptr, 0));
+    } else if (A == "--stages") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Stages.clear();
+      for (const char *P = V; *P;) {
+        char *End = nullptr;
+        double Pct = std::strtod(P, &End);
+        if (End == P || Pct <= 0 || Pct > 100)
+          return MCO_ERROR("bad --stages value '" + std::string(V) + "'");
+        C.Stages.push_back(Pct);
+        P = *End == ',' ? End + 1 : End;
+      }
+      if (C.Stages.empty())
+        return MCO_ERROR("--stages needs at least one percent");
+    } else if (A == "--th-cycles-p50") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Th.CyclesP50Pct = std::atof(V);
+    } else if (A == "--th-cycles-p95") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Th.CyclesP95Pct = std::atof(V);
+    } else if (A == "--th-faults") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Th.DataFaultsPct = std::atof(V);
+    } else if (A == "--th-icache") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Th.ICacheMissPct = std::atof(V);
+    } else if (A == "--th-ipc") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Th.IpcDropPct = std::atof(V);
+    } else if (A == "--verdict") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.VerdictFile = V;
+    } else if (A == "--base-report") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.BaseReportFile = V;
+    } else if (A == "--cand-report") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.CandReportFile = V;
+    } else if (A == "--trace-json") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.TraceFile = V;
+    } else {
+      return MCO_ERROR("unknown option '" + A + "'");
+    }
+  }
+  if (C.ModulesOverride > 0)
+    C.Profile.NumModules = static_cast<unsigned>(C.ModulesOverride);
+  return Status::success();
+}
+
+/// Synthesizes the corpus and builds it with the given data-layout mode.
+/// Synthesis is deterministic, so calling this twice with different modes
+/// yields artifacts that differ ONLY in global-data order.
+std::unique_ptr<Program> buildArtifact(const FleetConfig &C,
+                                       DataLayoutMode Layout) {
+  MCO_TRACE_SPAN("fleet.build_artifact", "fleet");
+  auto Prog = CorpusSynthesizer(C.Profile).withThreads(C.Threads).generate();
+  PipelineOptions Opts;
+  Opts.OutlineRounds = C.Rounds;
+  Opts.WholeProgram = true;
+  Opts.DataLayout = Layout;
+  Opts.Threads = C.Threads;
+  buildProgram(*Prog, Opts);
+  return Prog;
+}
+
+int run(FleetConfig &C) {
+  std::printf("scenario %s: profile %s, %u modules, %u round(s), "
+              "%u device(s), seed 0x%llx, %u thread(s)\n",
+              C.Scenario.c_str(), C.Profile.Name.c_str(),
+              C.Profile.NumModules, C.Rounds, C.Fleet.NumDevices,
+              static_cast<unsigned long long>(C.Fleet.Seed), C.Threads);
+
+  C.Fleet.Threads = C.Threads;
+  for (unsigned S = 0; S < C.Profile.NumSpans; ++S)
+    C.Fleet.Entries.push_back(CorpusSynthesizer::spanFunctionName(S));
+
+  std::unique_ptr<Program> Baseline =
+      buildArtifact(C, DataLayoutMode::PreserveModuleOrder);
+  std::unique_ptr<Program> Candidate =
+      C.Scenario == "table7"
+          ? buildArtifact(C, DataLayoutMode::Interleaved)
+          : nullptr;
+  const Program &Cand = Candidate ? *Candidate : *Baseline;
+
+  FleetReport BaseReport, CandReport;
+  RolloutVerdict V = runStagedRollout(*Baseline, Cand, C.Fleet, C.Stages,
+                                      C.Th, &BaseReport, &CandReport);
+
+  for (const StageVerdict &S : V.Stages) {
+    std::printf("stage %5.1f%% (%u device(s)): %s\n", S.Percent, S.Devices,
+                S.Ok ? "ok" : "REGRESSION");
+    for (const MetricDelta &D : S.Deltas)
+      if (D.Breach || !S.Ok)
+        std::printf("  %-22s %12.1f -> %12.1f  %+7.2f%% (threshold "
+                    "%.1f%%)%s\n",
+                    D.Metric.c_str(), D.Base, D.Cand, D.DeltaPct,
+                    D.ThresholdPct, D.Breach ? "  << BREACH" : "");
+  }
+  std::printf("verdict: %s — %s\n", V.Regression ? "REGRESSION" : "ok",
+              V.Summary.c_str());
+
+  auto WriteOr = [](Status S, const char *What, const std::string &Path) {
+    if (!S.ok()) {
+      std::fprintf(stderr, "mco-fleet: writing %s: %s\n", What,
+                   S.render().c_str());
+      return false;
+    }
+    std::printf("wrote %s to %s\n", What, Path.c_str());
+    return true;
+  };
+  bool WriteOk = true;
+  if (!C.BaseReportFile.empty())
+    WriteOk &= WriteOr(writeFleetReport(BaseReport, C.BaseReportFile),
+                       "baseline fleet report", C.BaseReportFile);
+  if (!C.CandReportFile.empty())
+    WriteOk &= WriteOr(writeFleetReport(CandReport, C.CandReportFile),
+                       "candidate fleet report", C.CandReportFile);
+  if (!C.VerdictFile.empty())
+    WriteOk &= WriteOr(
+        writeRolloutVerdict(V, C.Fleet, C.Stages, C.Th, C.VerdictFile),
+        "rollout verdict", C.VerdictFile);
+  if (!WriteOk)
+    return 1;
+  return V.Regression ? 2 : 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  FleetConfig C;
+  if (Status S = parseArgs(argc, argv, C); !S.ok()) {
+    std::fprintf(stderr, "mco-fleet: %s\n", S.render().c_str());
+    usage();
+    return 1;
+  }
+  if (!C.TraceFile.empty())
+    Tracer::instance().enable();
+  int Rc = run(C);
+  if (!C.TraceFile.empty()) {
+    Tracer::instance().disable();
+    if (Status S = Tracer::instance().exportChromeJson(C.TraceFile);
+        !S.ok()) {
+      std::fprintf(stderr, "mco-fleet: writing trace: %s\n",
+                   S.render().c_str());
+      if (Rc == 0)
+        Rc = 1;
+    } else {
+      std::printf("wrote trace to %s\n", C.TraceFile.c_str());
+    }
+  }
+  return Rc;
+}

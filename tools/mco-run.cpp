@@ -29,6 +29,7 @@
 #include "support/Checksum.h"
 #include "support/Error.h"
 #include "support/FaultInjection.h"
+#include "telemetry/Tracer.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -48,7 +49,7 @@ void usage() {
                "[--rounds N] [-j N | --threads N] [--incremental] "
                "[--icache-kb N] [--verify]\n"
                "              [--guard] [--max-retries N] [--verify-exec N] "
-               "[--fault-inject SPEC]\n");
+               "[--fault-inject SPEC] [--trace-json FILE]\n");
 }
 
 struct RunConfig {
@@ -61,6 +62,7 @@ struct RunConfig {
   unsigned ICacheKb = 64;
   bool Verify = false;
   std::string FaultSpec;
+  std::string TraceFile;
 };
 
 Status parseArgs(int argc, char **argv, RunConfig &C) {
@@ -120,6 +122,10 @@ Status parseArgs(int argc, char **argv, RunConfig &C) {
       if (Status S = NextOr(V); !S.ok())
         return S;
       C.FaultSpec = V;
+    } else if (A == "--trace-json") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.TraceFile = V;
     } else {
       return MCO_ERROR("unknown option '" + A + "'");
     }
@@ -226,7 +232,21 @@ int main(int argc, char **argv) {
     usage();
     return 1;
   }
-  if (Status S = run(C); !S.ok()) {
+  if (!C.TraceFile.empty())
+    Tracer::instance().enable();
+  Status S = run(C);
+  if (!C.TraceFile.empty()) {
+    Tracer::instance().disable();
+    if (Status TS = Tracer::instance().exportChromeJson(C.TraceFile);
+        !TS.ok()) {
+      std::fprintf(stderr, "mco-run: %s\n", TS.render().c_str());
+      if (S.ok())
+        return 1;
+    } else {
+      std::printf("wrote trace to %s\n", C.TraceFile.c_str());
+    }
+  }
+  if (!S.ok()) {
     std::fprintf(stderr, "mco-run: %s\n", S.render().c_str());
     return 1;
   }
