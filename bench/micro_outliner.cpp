@@ -5,9 +5,17 @@
 //===----------------------------------------------------------------------===//
 ///
 /// Throughput micro-benchmarks of the outlining machinery itself (the
-/// Section VII-C build-time costs in miniature): suffix-tree construction,
-/// repeated-substring enumeration, one outlining round, and liveness
-/// recomputation, across corpus sizes.
+/// Section VII-C build-time costs in miniature): both candidate discovery
+/// engines (suffix tree and SA-IS suffix array), repeated-substring
+/// enumeration, one outlining round, and liveness recomputation, across
+/// corpus sizes.
+///
+/// Besides the google-benchmark mode, `--json PATH [--modules N]` runs a
+/// head-to-head discovery report on the table5 corpus: per-engine wall
+/// time (construction and enumeration separately), peak bytes, and
+/// patterns considered, then builds the program once with each engine and
+/// fails (exit 1) unless the outlining stats and final code size are
+/// identical.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,11 +23,22 @@
 #include "mir/Liveness.h"
 #include "outliner/InstructionMapper.h"
 #include "outliner/MachineOutliner.h"
+#include "pipeline/BuildPipeline.h"
 #include "support/Random.h"
+#include "support/SuffixArray.h"
 #include "support/SuffixTree.h"
 #include "synth/CorpusSynthesizer.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
 
 using namespace mco;
 
@@ -45,6 +64,16 @@ void BM_SuffixTreeBuild(benchmark::State &State) {
 }
 BENCHMARK(BM_SuffixTreeBuild)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
 
+void BM_SuffixArrayBuild(benchmark::State &State) {
+  auto S = randomString(static_cast<size_t>(State.range(0)), 64);
+  for (auto _ : State) {
+    SuffixArray A(S);
+    benchmark::DoNotOptimize(A.suffixArray().size());
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_SuffixArrayBuild)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
 void BM_RepeatedSubstrings(benchmark::State &State) {
   auto S = randomString(static_cast<size_t>(State.range(0)), 16);
   SuffixTree T(S);
@@ -55,6 +84,17 @@ void BM_RepeatedSubstrings(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * State.range(0));
 }
 BENCHMARK(BM_RepeatedSubstrings)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_RepeatedSubstringsSarray(benchmark::State &State) {
+  auto S = randomString(static_cast<size_t>(State.range(0)), 16);
+  SuffixArray A(S);
+  for (auto _ : State) {
+    auto Reps = A.repeatedSubstrings(2);
+    benchmark::DoNotOptimize(Reps.size());
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_RepeatedSubstringsSarray)->Arg(1 << 12)->Arg(1 << 15);
 
 AppProfile scaledProfile(int Modules) {
   AppProfile P = AppProfile::uberRider();
@@ -103,6 +143,391 @@ void BM_Liveness(benchmark::State &State) {
 }
 BENCHMARK(BM_Liveness)->Unit(benchmark::kMillisecond);
 
+/// The previous generation of the suffix tree, kept verbatim in the bench
+/// as the discovery-report baseline: Ukkonen with one std::map<symbol,
+/// child> red-black tree per node (the layout stock LLVM uses), and
+/// materialized repeatedSubstrings() output. The production engines in
+/// src/support/ are measured against this so the report's speedups track
+/// "what the outliner used to pay", not just the two current engines
+/// against each other.
+class BaselineMapTree {
+public:
+  static constexpr unsigned EmptyIdx = static_cast<unsigned>(-1);
+
+  explicit BaselineMapTree(const std::vector<unsigned> &Str) : Str(Str) {
+    Nodes.emplace_back(); // The root; StartIdx stays EmptyIdx.
+    Active.Node = Root;
+    unsigned SuffixesToAdd = 0;
+    for (unsigned PfxEndIdx = 0, End = static_cast<unsigned>(Str.size());
+         PfxEndIdx < End; ++PfxEndIdx) {
+      ++SuffixesToAdd;
+      LeafEndIdx = PfxEndIdx;
+      SuffixesToAdd = extend(PfxEndIdx, SuffixesToAdd);
+    }
+    if (!Str.empty())
+      for (Node &N : Nodes)
+        if (N.IsLeaf)
+          N.EndIdx = static_cast<unsigned>(Str.size()) - 1;
+    setSuffixIndices();
+  }
+
+  std::vector<RepeatedSubstring> repeatedSubstrings(unsigned MinLength) const {
+    std::vector<RepeatedSubstring> Result;
+    if (Nodes.size() <= 1)
+      return Result;
+    std::vector<unsigned> Stack;
+    Stack.push_back(Root);
+    while (!Stack.empty()) {
+      unsigned Idx = Stack.back();
+      Stack.pop_back();
+      const Node &N = Nodes[Idx];
+      if (N.IsLeaf)
+        continue;
+      for (const auto &KV : N.Children)
+        Stack.push_back(KV.second);
+      if (N.isRoot() || N.ConcatLen < MinLength)
+        continue;
+      RepeatedSubstring RS;
+      RS.Length = N.ConcatLen;
+      for (const auto &KV : N.Children) {
+        const Node &Child = Nodes[KV.second];
+        if (Child.IsLeaf)
+          RS.StartIndices.push_back(Child.SuffixIdx);
+      }
+      if (RS.StartIndices.size() >= 2) {
+        std::sort(RS.StartIndices.begin(), RS.StartIndices.end());
+        Result.push_back(std::move(RS));
+      }
+    }
+    return Result;
+  }
+
+  /// Rough retained-bytes estimate: the node array plus one red-black
+  /// tree node (~3 pointers + color + key/value, allocator-rounded) per
+  /// edge.
+  size_t memoryBytes() const {
+    size_t Edges = Nodes.empty() ? 0 : Nodes.size() - 1;
+    return Nodes.capacity() * sizeof(Node) + Edges * 56;
+  }
+
+private:
+  struct Node {
+    std::map<unsigned, unsigned> Children;
+    unsigned StartIdx = EmptyIdx;
+    unsigned EndIdx = EmptyIdx;
+    unsigned Link = EmptyIdx;
+    unsigned SuffixIdx = EmptyIdx;
+    unsigned ConcatLen = 0;
+    bool IsLeaf = false;
+    bool isRoot() const { return StartIdx == EmptyIdx; }
+  };
+  struct ActiveState {
+    unsigned Node = 0;
+    unsigned Idx = EmptyIdx;
+    unsigned Len = 0;
+  };
+
+  unsigned edgeSize(const Node &N) const {
+    if (N.isRoot())
+      return 0;
+    unsigned End = N.IsLeaf && N.EndIdx == EmptyIdx ? LeafEndIdx : N.EndIdx;
+    return End - N.StartIdx + 1;
+  }
+
+  unsigned makeLeaf(unsigned Parent, unsigned StartIdx, unsigned Edge) {
+    Nodes.emplace_back();
+    unsigned Idx = static_cast<unsigned>(Nodes.size()) - 1;
+    Nodes[Idx].StartIdx = StartIdx;
+    Nodes[Idx].IsLeaf = true;
+    Nodes[Parent].Children[Edge] = Idx;
+    return Idx;
+  }
+
+  unsigned makeInternal(unsigned Parent, unsigned StartIdx, unsigned EndIdx,
+                        unsigned Edge) {
+    Nodes.emplace_back();
+    unsigned Idx = static_cast<unsigned>(Nodes.size()) - 1;
+    Nodes[Idx].StartIdx = StartIdx;
+    Nodes[Idx].EndIdx = EndIdx;
+    Nodes[Idx].Link = Root;
+    Nodes[Parent].Children[Edge] = Idx;
+    return Idx;
+  }
+
+  unsigned extend(unsigned EndIdx, unsigned SuffixesToAdd) {
+    unsigned NeedsLink = EmptyIdx;
+    while (SuffixesToAdd > 0) {
+      if (Active.Len == 0)
+        Active.Idx = EndIdx;
+      unsigned FirstChar = Str[Active.Idx];
+      auto ChildIt = Nodes[Active.Node].Children.find(FirstChar);
+      if (ChildIt == Nodes[Active.Node].Children.end()) {
+        makeLeaf(Active.Node, EndIdx, FirstChar);
+        if (NeedsLink != EmptyIdx) {
+          Nodes[NeedsLink].Link = Active.Node;
+          NeedsLink = EmptyIdx;
+        }
+      } else {
+        unsigned NextNode = ChildIt->second;
+        unsigned SubstringLen = edgeSize(Nodes[NextNode]);
+        if (Active.Len >= SubstringLen) {
+          Active.Idx += SubstringLen;
+          Active.Len -= SubstringLen;
+          Active.Node = NextNode;
+          continue;
+        }
+        unsigned LastChar = Str[EndIdx];
+        if (Str[Nodes[NextNode].StartIdx + Active.Len] == LastChar) {
+          if (NeedsLink != EmptyIdx && !Nodes[Active.Node].isRoot()) {
+            Nodes[NeedsLink].Link = Active.Node;
+            NeedsLink = EmptyIdx;
+          }
+          ++Active.Len;
+          break;
+        }
+        unsigned SplitNode =
+            makeInternal(Active.Node, Nodes[NextNode].StartIdx,
+                         Nodes[NextNode].StartIdx + Active.Len - 1,
+                         FirstChar);
+        makeLeaf(SplitNode, EndIdx, LastChar);
+        Nodes[NextNode].StartIdx += Active.Len;
+        Nodes[SplitNode].Children[Str[Nodes[NextNode].StartIdx]] = NextNode;
+        if (NeedsLink != EmptyIdx)
+          Nodes[NeedsLink].Link = SplitNode;
+        NeedsLink = SplitNode;
+      }
+      --SuffixesToAdd;
+      if (Nodes[Active.Node].isRoot()) {
+        if (Active.Len > 0) {
+          --Active.Len;
+          Active.Idx = EndIdx - SuffixesToAdd + 1;
+        }
+      } else {
+        Active.Node = Nodes[Active.Node].Link;
+      }
+    }
+    return SuffixesToAdd;
+  }
+
+  void setSuffixIndices() {
+    struct Frame {
+      unsigned NodeIdx;
+      unsigned ParentConcatLen;
+    };
+    std::vector<Frame> Stack;
+    Stack.push_back({Root, 0});
+    while (!Stack.empty()) {
+      Frame F = Stack.back();
+      Stack.pop_back();
+      Node &N = Nodes[F.NodeIdx];
+      N.ConcatLen = F.ParentConcatLen + edgeSize(N);
+      if (N.IsLeaf) {
+        N.SuffixIdx = static_cast<unsigned>(Str.size()) - N.ConcatLen;
+        continue;
+      }
+      for (const auto &KV : N.Children)
+        Stack.push_back({KV.second, N.ConcatLen});
+    }
+  }
+
+  const std::vector<unsigned> &Str;
+  std::vector<Node> Nodes;
+  unsigned Root = 0;
+  unsigned LeafEndIdx = EmptyIdx;
+  ActiveState Active;
+};
+
+/// One engine's discovery-phase measurement (best of the repetitions).
+struct EngineReport {
+  double BuildSeconds = 0;
+  double EnumerateSeconds = 0;
+  size_t PeakBytes = 0;
+  uint64_t Patterns = 0;
+  uint64_t Occurrences = 0;
+
+  double totalSeconds() const { return BuildSeconds + EnumerateSeconds; }
+};
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+template <typename Engine>
+EngineReport measureEngine(const std::vector<unsigned> &Str, int Reps) {
+  EngineReport Best;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    EngineReport R;
+    auto T0 = std::chrono::steady_clock::now();
+    Engine E(Str, /*CollectLeafDescendants=*/false);
+    R.BuildSeconds = secondsSince(T0);
+    T0 = std::chrono::steady_clock::now();
+    E.forEachRepeatedSubstring(
+        2, 2, 4096,
+        [&R](unsigned, const unsigned *, size_t NumStarts) {
+          ++R.Patterns;
+          R.Occurrences += NumStarts;
+        });
+    R.EnumerateSeconds = secondsSince(T0);
+    R.PeakBytes = E.memoryBytes();
+    if (Rep == 0 || R.totalSeconds() < Best.totalSeconds())
+      Best = R;
+  }
+  return Best;
+}
+
+/// Measures the pre-PR discovery path: map-based tree construction plus
+/// materialized repeatedSubstrings() (exactly what the outliner round used
+/// to execute).
+EngineReport measureBaseline(const std::vector<unsigned> &Str, int Reps) {
+  EngineReport Best;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    EngineReport R;
+    auto T0 = std::chrono::steady_clock::now();
+    BaselineMapTree T(Str);
+    R.BuildSeconds = secondsSince(T0);
+    T0 = std::chrono::steady_clock::now();
+    auto Repeats = T.repeatedSubstrings(2);
+    R.EnumerateSeconds = secondsSince(T0);
+    R.Patterns = Repeats.size();
+    for (const RepeatedSubstring &RS : Repeats)
+      R.Occurrences += RS.StartIndices.size();
+    R.PeakBytes = T.memoryBytes();
+    if (Rep == 0 || R.totalSeconds() < Best.totalSeconds())
+      Best = R;
+  }
+  return Best;
+}
+
+BuildResult buildWith(const AppProfile &Profile, DiscoveryEngine Discovery,
+                      uint64_t &CodeSize) {
+  auto Prog = CorpusSynthesizer(Profile).withThreads(4).generate();
+  PipelineOptions Opts;
+  Opts.WholeProgram = true;
+  Opts.OutlineRounds = 3;
+  Opts.Threads = 4;
+  Opts.Outliner.Discovery = Discovery;
+  BuildResult R = buildProgram(*Prog, Opts);
+  CodeSize = R.CodeSize;
+  return R;
+}
+
+void writeEngineJson(std::ofstream &Out, const char *Name,
+                     const EngineReport &R, bool TrailingComma) {
+  Out << "    \"" << Name << "\": {\n";
+  Out << "      \"build_seconds\": " << R.BuildSeconds << ",\n";
+  Out << "      \"enumerate_seconds\": " << R.EnumerateSeconds << ",\n";
+  Out << "      \"total_seconds\": " << R.totalSeconds() << ",\n";
+  Out << "      \"peak_bytes\": " << R.PeakBytes << ",\n";
+  Out << "      \"patterns_considered\": " << R.Patterns << ",\n";
+  Out << "      \"occurrences_reported\": " << R.Occurrences << "\n";
+  Out << "    }" << (TrailingComma ? "," : "") << "\n";
+}
+
+/// The `--json` head-to-head mode. \returns the process exit code.
+int runDiscoveryReport(const std::string &JsonPath, unsigned Modules) {
+  AppProfile Profile = AppProfile::uberRider();
+  Profile.NumModules = Modules;
+
+  // The discovery phase's input: the table5 corpus, linked whole-program
+  // and mapped to one integer string, exactly as runRound sees it.
+  auto Prog = CorpusSynthesizer(Profile).withThreads(4).generate();
+  Module &Linked = linkProgram(*Prog);
+  InstructionMapper Mapper(Linked);
+  const std::vector<unsigned> &Str = Mapper.string();
+  std::printf("discovery corpus: %u modules, mapped string length %zu\n",
+              Modules, Str.size());
+
+  const int Reps = 3;
+  EngineReport Legacy = measureBaseline(Str, Reps);
+  EngineReport Tree = measureEngine<SuffixTree>(Str, Reps);
+  EngineReport Arr = measureEngine<SuffixArray>(Str, Reps);
+  const double Speedup =
+      Arr.totalSeconds() > 0 ? Tree.totalSeconds() / Arr.totalSeconds() : 0;
+  const double SpeedupVsLegacy =
+      Arr.totalSeconds() > 0 ? Legacy.totalSeconds() / Arr.totalSeconds() : 0;
+  std::printf("tree_prepr : build %.4fs + enumerate %.4fs, %zu bytes, "
+              "%llu patterns\n",
+              Legacy.BuildSeconds, Legacy.EnumerateSeconds, Legacy.PeakBytes,
+              static_cast<unsigned long long>(Legacy.Patterns));
+  std::printf("tree       : build %.4fs + enumerate %.4fs, %zu bytes, "
+              "%llu patterns\n",
+              Tree.BuildSeconds, Tree.EnumerateSeconds, Tree.PeakBytes,
+              static_cast<unsigned long long>(Tree.Patterns));
+  std::printf("sarray     : build %.4fs + enumerate %.4fs, %zu bytes, "
+              "%llu patterns\n",
+              Arr.BuildSeconds, Arr.EnumerateSeconds, Arr.PeakBytes,
+              static_cast<unsigned long long>(Arr.Patterns));
+  std::printf("speedup (sarray vs tree):       %.2fx\n", Speedup);
+  std::printf("speedup (sarray vs pre-PR tree): %.2fx\n", SpeedupVsLegacy);
+
+  bool Identical = Tree.Patterns == Arr.Patterns &&
+                   Tree.Occurrences == Arr.Occurrences &&
+                   Legacy.Patterns == Arr.Patterns &&
+                   Legacy.Occurrences == Arr.Occurrences;
+
+  // End-to-end: a full build per engine must agree on every outlining
+  // stat and the final code size.
+  uint64_t SizeTree = 0, SizeArr = 0;
+  BuildResult RT = buildWith(Profile, DiscoveryEngine::Tree, SizeTree);
+  BuildResult RA = buildWith(Profile, DiscoveryEngine::SuffixArray, SizeArr);
+  Identical = Identical && SizeTree == SizeArr &&
+              RT.OutlineStats.Rounds.size() == RA.OutlineStats.Rounds.size();
+  if (Identical) {
+    for (size_t I = 0; I < RT.OutlineStats.Rounds.size(); ++I) {
+      const OutlineRoundStats &X = RT.OutlineStats.Rounds[I];
+      const OutlineRoundStats &Y = RA.OutlineStats.Rounds[I];
+      Identical = Identical && X.SequencesOutlined == Y.SequencesOutlined &&
+                  X.FunctionsCreated == Y.FunctionsCreated &&
+                  X.OutlinedFunctionBytes == Y.OutlinedFunctionBytes &&
+                  X.CodeSizeAfter == Y.CodeSizeAfter &&
+                  X.PatternsConsidered == Y.PatternsConsidered;
+    }
+  }
+  std::printf("[engine check: outlining output %s across discovery "
+              "engines]\n",
+              Identical ? "IDENTICAL" : "MISMATCH (BUG)");
+
+  std::ofstream Out(JsonPath);
+  Out << "{\n  \"bench\": \"micro_outliner_discovery\",\n";
+  Out << "  \"modules\": " << Modules << ",\n";
+  Out << "  \"string_length\": " << Str.size() << ",\n";
+  Out << "  \"engines\": {\n";
+  writeEngineJson(Out, "tree_prepr", Legacy, /*TrailingComma=*/true);
+  writeEngineJson(Out, "tree", Tree, /*TrailingComma=*/true);
+  writeEngineJson(Out, "sarray", Arr, /*TrailingComma=*/false);
+  Out << "  },\n";
+  Out << "  \"speedup_sarray_vs_tree\": " << Speedup << ",\n";
+  Out << "  \"speedup_sarray_vs_prepr_tree\": " << SpeedupVsLegacy << ",\n";
+  Out << "  \"outlining_identical\": " << (Identical ? "true" : "false")
+      << ",\n";
+  Out << "  \"code_size_bytes\": " << SizeArr << "\n";
+  Out << "}\n";
+  std::printf("wrote %s\n", JsonPath.c_str());
+  return Identical ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  std::string JsonPath;
+  unsigned Modules = 64; // Table5 corpus size.
+  std::vector<char *> BenchArgs{argv[0]};
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
+      JsonPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--modules") && I + 1 < argc)
+      Modules = static_cast<unsigned>(std::atoi(argv[++I]));
+    else
+      BenchArgs.push_back(argv[I]);
+  }
+  if (!JsonPath.empty())
+    return runDiscoveryReport(JsonPath, Modules == 0 ? 1 : Modules);
+
+  int BenchArgc = static_cast<int>(BenchArgs.size());
+  benchmark::Initialize(&BenchArgc, BenchArgs.data());
+  if (benchmark::ReportUnrecognizedArguments(BenchArgc, BenchArgs.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -6,9 +6,11 @@
 //
 // Determinism contract for the parallel/incremental engine:
 //
-//  * The suffix tree's repeated-substring *set* depends only on the equality
-//    structure of the mapped string, never on the id values; ids only steer
-//    traversal (= enumeration) order.
+//  * The discovery engines' repeated-substring *set* depends only on the
+//    equality structure of the mapped string, never on the id values; ids
+//    only steer traversal (= enumeration) order. The suffix tree and the
+//    suffix array report the same set (differential-tested), so the engine
+//    choice does not change the output either.
 //  * The plan sort comparator is a strict total order on distinct plans
 //    (Benefit desc, Len desc, FirstStart asc — two distinct same-length
 //    patterns cannot share a first start index), so the committed plan order
@@ -27,6 +29,7 @@
 #include "outliner/InstructionMapper.h"
 #include "mir/Liveness.h"
 #include "support/FaultInjection.h"
+#include "support/SuffixArray.h"
 #include "support/SuffixTree.h"
 #include "support/ThreadPool.h"
 #include "telemetry/Metrics.h"
@@ -34,7 +37,7 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
+#include <chrono>
 #include <unordered_set>
 
 using namespace mco;
@@ -389,22 +392,24 @@ struct OutlinerEngine::State {
       throw OutlineCancelled();
   }
 
-  void buildPlan(const RepeatedSubstring &RS, const SpSensitiveSet &Sensitive,
-                 PlanResult &Out);
+  void buildPlan(unsigned Length, const unsigned *Starts, size_t NumStarts,
+                 const SpSensitiveSet &Sensitive, PlanResult &Out);
   OutlineRoundStats runRound(unsigned Round);
 };
 
-void OutlinerEngine::State::buildPlan(const RepeatedSubstring &RS,
+void OutlinerEngine::State::buildPlan(unsigned Length, const unsigned *Starts,
+                                      size_t NumStarts,
                                       const SpSensitiveSet &Sensitive,
                                       PlanResult &Out) {
   OutlinePlan &Plan = Out.Plan;
-  Plan.Len = RS.Length;
+  Plan.Len = Length;
 
   // Occurrences of one pattern must not overlap each other; keep a
   // greedy left-to-right non-overlapping subset (indices are sorted).
   unsigned PrevEnd = 0;
   bool First = true;
-  for (unsigned Start : RS.StartIndices) {
+  for (size_t SI = 0; SI != NumStarts; ++SI) {
+    const unsigned Start = Starts[SI];
     if (!First && Start < PrevEnd)
       continue;
     const InstructionMapper::Location &Loc = Mapper.location(Start);
@@ -412,12 +417,12 @@ void OutlinerEngine::State::buildPlan(const RepeatedSubstring &RS,
       continue; // Defensive; repeated ids are always legal.
     Candidate C;
     C.StartIdx = Start;
-    C.Len = RS.Length;
+    C.Len = Length;
     C.Func = Loc.Func;
     C.Block = Loc.Block;
     C.InstrStart = Loc.Instr;
     Plan.Cands.push_back(C);
-    PrevEnd = Start + RS.Length;
+    PrevEnd = Start + Length;
     First = false;
   }
   if (Plan.Cands.size() < 2)
@@ -517,24 +522,71 @@ OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
 
   const SpSensitiveSet Sensitive = computeSpSensitive(M);
 
-  std::vector<RepeatedSubstring> Repeats;
+  // Discover repeated substrings, streaming each pattern into one flat
+  // staging arena (a shared start-index pool plus fixed-size PatternRef
+  // records) instead of materializing a std::vector<RepeatedSubstring> —
+  // one heap vector per pattern — between discovery and planning. Either
+  // engine reports the identical pattern set (differential-tested), and
+  // the plan sort below is a strict total order, so the engines' different
+  // enumeration orders cannot change the committed output.
+  struct PatternRef {
+    uint32_t Length;
+    uint32_t Offset; ///< Into StartArena.
+    uint32_t Count;
+  };
+  std::vector<unsigned> StartArena;
+  std::vector<PatternRef> Patterns;
+  const bool UseTree = Opts.Discovery == DiscoveryEngine::Tree;
+  const char *EngineName = UseTree ? "tree" : "sarray";
+  size_t DiscoveryBytes = 0;
   {
-    MCO_TRACE_SPAN("outliner.suffix_tree", "outliner");
-    SuffixTree Tree(Str, Opts.LeafDescendants);
-    Repeats = Tree.repeatedSubstrings(Opts.MinLength);
+    MCO_TRACE_SPAN(UseTree ? "outliner.discovery:tree"
+                           : "outliner.discovery:sarray",
+                   "outliner");
+    const auto T0 = std::chrono::steady_clock::now();
+    RepeatedSubstringSink Stage = [&](unsigned Length,
+                                      const unsigned *Starts,
+                                      size_t NumStarts) {
+      Patterns.push_back({Length, static_cast<uint32_t>(StartArena.size()),
+                          static_cast<uint32_t>(NumStarts)});
+      StartArena.insert(StartArena.end(), Starts, Starts + NumStarts);
+    };
+    if (UseTree) {
+      SuffixTree Tree(Str, Opts.LeafDescendants);
+      Tree.forEachRepeatedSubstring(Opts.MinLength, /*MinOccurrences=*/2,
+                                    /*MaxLength=*/4096, Stage);
+      DiscoveryBytes = Tree.memoryBytes();
+    } else {
+      SuffixArray Arr(Str, Opts.LeafDescendants);
+      Arr.forEachRepeatedSubstring(Opts.MinLength, /*MinOccurrences=*/2,
+                                   /*MaxLength=*/4096, Stage);
+      DiscoveryBytes = Arr.memoryBytes();
+    }
+    const double Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count();
+    MetricsRegistry &MR = MetricsRegistry::global();
+    MR.histogram("outliner.discovery.seconds", {{"engine", EngineName}})
+        .observe(Seconds);
+    MR.histogram("outliner.discovery.bytes", {{"engine", EngineName}})
+        .observe(static_cast<double>(DiscoveryBytes));
+    MR.histogram("outliner.discovery.patterns", {{"engine", EngineName}})
+        .observe(static_cast<double>(Patterns.size()));
   }
 
   checkCancelled();
 
   // Build plans, one repeated substring per index-owned slot. Everything
-  // the workers read (module, mapper, liveness, sensitivity) is immutable
-  // during the fan-out.
-  Stats.PatternsConsidered = Repeats.size();
-  std::vector<PlanResult> Results(Repeats.size());
+  // the workers read (module, mapper, liveness, sensitivity, the staging
+  // arena) is immutable during the fan-out.
+  Stats.PatternsConsidered = Patterns.size();
+  std::vector<PlanResult> Results(Patterns.size());
   {
     MCO_TRACE_SPAN("outliner.plan", "outliner");
-    forEach(Repeats.size(), [&](size_t RIdx) {
-      buildPlan(Repeats[RIdx], Sensitive, Results[RIdx]);
+    forEach(Patterns.size(), [&](size_t RIdx) {
+      const PatternRef &P = Patterns[RIdx];
+      buildPlan(P.Length, StartArena.data() + P.Offset, P.Count, Sensitive,
+                Results[RIdx]);
     });
   }
 
@@ -573,13 +625,18 @@ OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
   // regions, and re-checking profitability on what survives.
   std::vector<bool> Consumed(Str.size(), false);
   struct Edit {
+    uint32_t Func;
+    uint32_t Block;
     uint32_t InstrStart;
     uint32_t Len;
     std::vector<MachineInstr> Replacement;
     uint32_t NewFuncIdx;
   };
-  // (Func, Block) -> edits.
-  std::map<std::pair<uint32_t, uint32_t>, std::vector<Edit>> Edits;
+  // Collected flat in plan order, then keyed once by a single sort —
+  // (Func, Block, InstrStart desc) — instead of a per-insert red-black
+  // tree of per-block vectors. Keys are distinct because committed string
+  // regions are disjoint (Consumed), so the sort is deterministic.
+  std::vector<Edit> Edits;
   std::vector<MachineFunction> NewFunctions;
 
   MCO_TRACE_SPAN("outliner.commit", "outliner");
@@ -636,44 +693,48 @@ OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
       std::vector<MachineInstr> Repl = callSiteSequence(C, OutSym);
       if (faultSiteFires(FaultOutlinerRewriteCorrupt))
         corruptCallSite(Repl);
-      Edits[{C.Func, C.Block}].push_back(
-          Edit{C.InstrStart, C.Len, std::move(Repl), NewFuncIdx});
+      Edits.push_back(Edit{C.Func, C.Block, C.InstrStart, C.Len,
+                           std::move(Repl), NewFuncIdx});
       ++Stats.SequencesOutlined;
     }
     Stats.OutlinedFunctionBytes += NewFunctions.back().codeSize();
     ++Stats.FunctionsCreated;
   }
 
+  // Key the edit list once: functions ascending (the transaction wants
+  // same-function groups adjacent, in index order), blocks ascending, and
+  // InstrStart *descending* within a block so a plain forward walk applies
+  // back-to-front and never invalidates a later edit's indices.
+  std::sort(Edits.begin(), Edits.end(), [](const Edit &A, const Edit &B) {
+    if (A.Func != B.Func)
+      return A.Func < B.Func;
+    if (A.Block != B.Block)
+      return A.Block < B.Block;
+    return A.InstrStart > B.InstrStart;
+  });
+
   // Snapshot the functions the round is about to edit (deep copies taken
   // before any rewrite is applied), plus the edit list for the integrity
-  // check. Edits is sorted by (Func, Block), so same-function groups are
-  // adjacent.
+  // check.
   if (Opts.Transactional) {
     uint32_t PrevSaved = UINT32_MAX;
-    for (const auto &[Key, BlockEdits] : Edits) {
-      if (Key.first != PrevSaved) {
-        Txn.SavedFunctions.emplace_back(Key.first, M.Functions[Key.first]);
-        PrevSaved = Key.first;
+    for (const Edit &E : Edits) {
+      if (E.Func != PrevSaved) {
+        Txn.SavedFunctions.emplace_back(E.Func, M.Functions[E.Func]);
+        PrevSaved = E.Func;
       }
-      for (const Edit &E : BlockEdits)
-        Txn.Edits.push_back(
-            {Key.first, Key.second, E.InstrStart, E.Len, E.NewFuncIdx});
+      Txn.Edits.push_back({E.Func, E.Block, E.InstrStart, E.Len,
+                           E.NewFuncIdx});
     }
   }
 
-  // Apply edits back-to-front within each block so indices stay valid.
-  for (auto &[Key, BlockEdits] : Edits) {
-    auto &Instrs = M.Functions[Key.first].Blocks[Key.second].Instrs;
-    std::sort(BlockEdits.begin(), BlockEdits.end(),
-              [](const Edit &A, const Edit &B) {
-                return A.InstrStart > B.InstrStart;
-              });
-    for (const Edit &E : BlockEdits) {
-      Instrs.erase(Instrs.begin() + E.InstrStart,
-                   Instrs.begin() + E.InstrStart + E.Len);
-      Instrs.insert(Instrs.begin() + E.InstrStart, E.Replacement.begin(),
-                    E.Replacement.end());
-    }
+  // Apply. The sort put each block's edits back-to-front already.
+  for (const Edit &E : Edits) {
+    auto &Instrs = M.Functions[E.Func].Blocks[E.Block].Instrs;
+    Instrs.erase(Instrs.begin() + E.InstrStart,
+                 Instrs.begin() + E.InstrStart + E.Len);
+    Instrs.insert(Instrs.begin() + E.InstrStart, E.Replacement.begin(),
+                  E.Replacement.end());
   }
 
   // Next round's invalidation set: functions edited this round. Sized
@@ -681,12 +742,11 @@ OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
   // therefore remapped/recomputed unconditionally.
   Dirty.assign(M.Functions.size(), false);
   uint32_t PrevFunc = UINT32_MAX;
-  for (const auto &[Key, BlockEdits] : Edits) {
-    (void)BlockEdits;
-    Dirty[Key.first] = true;
-    if (Key.first != PrevFunc) {
+  for (const Edit &E : Edits) {
+    Dirty[E.Func] = true;
+    if (E.Func != PrevFunc) {
       ++Stats.FunctionsEdited;
-      PrevFunc = Key.first;
+      PrevFunc = E.Func;
     }
   }
 

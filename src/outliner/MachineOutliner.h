@@ -36,10 +36,24 @@ public:
   OutlineCancelled() : std::runtime_error("outlining cancelled") {}
 };
 
+/// Which engine enumerates repeated instruction sequences. Both report the
+/// identical pattern set (a ctest-asserted invariant), so the choice only
+/// affects discovery-phase time and memory: the suffix array's flat
+/// integer arrays are smaller and scanned sequentially, the tree is kept
+/// for comparison and for consumers that walk its structure.
+enum class DiscoveryEngine : uint8_t {
+  Tree,        ///< Ukkonen suffix tree (support/SuffixTree.h).
+  SuffixArray, ///< SA-IS + LCP intervals (support/SuffixArray.h).
+};
+
 /// Tunable knobs; defaults match stock LLVM + the paper's configuration.
 struct OutlinerOptions {
   /// Minimum candidate sequence length in instructions.
   unsigned MinLength = 2;
+  /// Candidate discovery engine. The suffix array is the default (faster
+  /// and smaller on large mapped strings); `--discovery tree` restores the
+  /// suffix tree.
+  DiscoveryEngine Discovery = DiscoveryEngine::SuffixArray;
   /// Collect all leaf descendants per suffix-tree node (ablation; stock
   /// LLVM uses direct leaf children only).
   bool LeafDescendants = false;

@@ -1,0 +1,355 @@
+//===- support/SuffixArray.cpp - SA-IS enhanced suffix array -------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SuffixArray.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mco;
+
+namespace {
+
+constexpr uint32_t Empty = ~0u;
+
+/// SA-IS core (Nong/Zhang/Chan). Sorts the n suffixes of S into SA.
+/// Preconditions: n >= 1, values of S in [0, K), and S[n-1] == 0 is the
+/// unique minimum (the sentinel). Both the top-level call and the
+/// recursion on the reduced string establish this invariant.
+void saisCore(const uint32_t *S, uint32_t *SA, uint32_t N, uint32_t K) {
+  if (N == 1) {
+    SA[0] = 0;
+    return;
+  }
+
+  // Type pass: IsS[i] = suffix i is S-type (smaller than suffix i+1).
+  std::vector<bool> IsS(N);
+  IsS[N - 1] = true;
+  for (uint32_t I = N - 1; I-- > 0;)
+    IsS[I] = S[I] < S[I + 1] || (S[I] == S[I + 1] && IsS[I + 1]);
+  auto IsLMS = [&](uint32_t I) { return I > 0 && IsS[I] && !IsS[I - 1]; };
+
+  std::vector<uint32_t> Bkt(K);
+  auto BucketEnds = [&] {
+    std::fill(Bkt.begin(), Bkt.end(), 0);
+    for (uint32_t I = 0; I < N; ++I)
+      ++Bkt[S[I]];
+    uint32_t Sum = 0;
+    for (uint32_t C = 0; C < K; ++C) {
+      Sum += Bkt[C];
+      Bkt[C] = Sum; // One past the end of bucket C.
+    }
+  };
+  auto BucketStarts = [&] {
+    std::fill(Bkt.begin(), Bkt.end(), 0);
+    for (uint32_t I = 0; I < N; ++I)
+      ++Bkt[S[I]];
+    uint32_t Sum = 0;
+    for (uint32_t C = 0; C < K; ++C) {
+      uint32_t Cnt = Bkt[C];
+      Bkt[C] = Sum; // Start of bucket C.
+      Sum += Cnt;
+    }
+  };
+
+  // Induced sort: given LMS suffixes placed in their buckets, derive the
+  // order of all L-type then all S-type suffixes in two linear sweeps.
+  auto Induce = [&] {
+    BucketStarts();
+    for (uint32_t I = 0; I < N; ++I) {
+      uint32_t J = SA[I];
+      if (J != Empty && J != 0 && !IsS[J - 1])
+        SA[Bkt[S[J - 1]]++] = J - 1;
+    }
+    BucketEnds();
+    for (uint32_t I = N; I-- > 0;) {
+      uint32_t J = SA[I];
+      if (J != Empty && J != 0 && IsS[J - 1])
+        SA[--Bkt[S[J - 1]]] = J - 1;
+    }
+  };
+
+  // Stage 1: approximate — place LMS suffixes at their bucket ends in
+  // string order, induce. Afterwards the LMS suffixes appear in sorted
+  // LMS-*substring* order.
+  std::fill(SA, SA + N, Empty);
+  BucketEnds();
+  for (uint32_t I = 1; I < N; ++I)
+    if (IsLMS(I))
+      SA[--Bkt[S[I]]] = I;
+  Induce();
+
+  // Compact the LMS suffixes (now sorted by LMS substring) to the front.
+  uint32_t NumLMS = 0;
+  for (uint32_t I = 0; I < N; ++I)
+    if (SA[I] != Empty && IsLMS(SA[I]))
+      SA[NumLMS++] = SA[I];
+
+  // Name the LMS substrings in the upper half of SA (LMS positions are at
+  // least 2 apart, so Pos/2 slots don't collide; NumLMS <= N/2 leaves
+  // room).
+  std::fill(SA + NumLMS, SA + N, Empty);
+  auto LmsSubstringsEqual = [&](uint32_t P, uint32_t Q) {
+    // Compares the substrings spanning [P, next LMS] and [Q, next LMS].
+    // The sentinel's uniqueness guarantees the scan terminates in-range.
+    if (S[P] != S[Q])
+      return false;
+    for (uint32_t D = 1;; ++D) {
+      if (S[P + D] != S[Q + D])
+        return false;
+      bool LP = IsLMS(P + D), LQ = IsLMS(Q + D);
+      if (LP != LQ)
+        return false;
+      if (LP)
+        return true;
+    }
+  };
+  uint32_t NumNames = 0;
+  uint32_t Prev = Empty;
+  for (uint32_t I = 0; I < NumLMS; ++I) {
+    uint32_t Pos = SA[I];
+    if (Prev == Empty || !LmsSubstringsEqual(Prev, Pos))
+      ++NumNames;
+    SA[NumLMS + (Pos >> 1)] = NumNames - 1;
+    Prev = Pos;
+  }
+
+  // Reduced string: the LMS substring names in string order, packed into
+  // the tail of SA.
+  uint32_t *S1 = SA + N - NumLMS;
+  for (uint32_t I = N, J = N; I-- > NumLMS;)
+    if (SA[I] != Empty)
+      SA[--J] = SA[I];
+
+  if (NumNames < NumLMS) {
+    // Names collide: sort the reduced string recursively. Its last
+    // element is the sentinel's LMS substring — the unique minimum name 0
+    // — so the precondition holds.
+    saisCore(S1, SA, NumLMS, NumNames);
+  } else {
+    // All names unique: the reduced suffix array is the inverse.
+    for (uint32_t I = 0; I < NumLMS; ++I)
+      SA[S1[I]] = I;
+  }
+
+  // Translate reduced indices back to LMS positions (ascending scan
+  // rebuilds the position list in the S1 slots the recursion no longer
+  // needs).
+  {
+    uint32_t J = 0;
+    for (uint32_t I = 1; I < N; ++I)
+      if (IsLMS(I))
+        S1[J++] = I;
+    for (uint32_t I = 0; I < NumLMS; ++I)
+      SA[I] = S1[SA[I]];
+  }
+
+  // Stage 2: exact — place the now fully sorted LMS suffixes at their
+  // bucket ends and induce the final order.
+  std::fill(SA + NumLMS, SA + N, Empty);
+  BucketEnds();
+  for (uint32_t I = NumLMS; I-- > 0;) {
+    uint32_t J = SA[I];
+    SA[I] = Empty;
+    SA[--Bkt[S[J]]] = J;
+  }
+  Induce();
+}
+
+} // namespace
+
+std::vector<uint32_t>
+mco::buildSuffixArray(const std::vector<unsigned> &Str) {
+  const size_t N = Str.size();
+  if (N == 0)
+    return {};
+
+  // Rank-compress the alphabet so bucket arrays stay dense: instruction
+  // ids are sparse 32-bit values (illegal markers count down from
+  // 0xFFFFFFF0), but only |distinct| buckets are ever occupied. Rank 0 is
+  // reserved for the appended sentinel, making it the unique minimum
+  // SA-IS requires.
+  std::vector<unsigned> Sorted(Str);
+  std::sort(Sorted.begin(), Sorted.end());
+  Sorted.erase(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+
+  std::vector<uint32_t> S(N + 1);
+  for (size_t I = 0; I < N; ++I)
+    S[I] = static_cast<uint32_t>(std::lower_bound(Sorted.begin(),
+                                                  Sorted.end(), Str[I]) -
+                                 Sorted.begin()) +
+           1;
+  S[N] = 0;
+
+  std::vector<uint32_t> SA(N + 1);
+  saisCore(S.data(), SA.data(), static_cast<uint32_t>(N + 1),
+           static_cast<uint32_t>(Sorted.size() + 1));
+  assert(SA[0] == N && "sentinel suffix must sort first");
+
+  // Drop the sentinel suffix.
+  return std::vector<uint32_t>(SA.begin() + 1, SA.end());
+}
+
+std::vector<uint32_t>
+mco::buildLcpArray(const std::vector<unsigned> &Str,
+                   const std::vector<uint32_t> &SA) {
+  const size_t N = SA.size();
+  std::vector<uint32_t> LCP(N, 0);
+  if (N == 0)
+    return LCP;
+  // Kasai: walk suffixes in string order; the lcp with the SA-predecessor
+  // shrinks by at most one per step, so the total extension work is O(n).
+  std::vector<uint32_t> Rank(N);
+  for (uint32_t K = 0; K < N; ++K)
+    Rank[SA[K]] = K;
+  uint32_t H = 0;
+  for (uint32_t I = 0; I < N; ++I) {
+    uint32_t R = Rank[I];
+    if (R > 0) {
+      uint32_t J = SA[R - 1];
+      while (I + H < N && J + H < N && Str[I + H] == Str[J + H])
+        ++H;
+      LCP[R] = H;
+      if (H > 0)
+        --H;
+    } else {
+      H = 0;
+    }
+  }
+  return LCP;
+}
+
+SuffixArray::SuffixArray(const std::vector<unsigned> &Str,
+                         bool CollectLeafDescendants)
+    : Str(Str), LeafDescendantsMode(CollectLeafDescendants) {
+  SA = buildSuffixArray(Str);
+  LCP = buildLcpArray(Str, SA);
+  // Construction peak (estimate): the retained SA + LCP, the
+  // rank-compressed copy + working SA inside buildSuffixArray, the type
+  // bits, and the Kasai rank array. Recursion levels shrink geometrically
+  // and are ignored.
+  PeakBytes = (SA.capacity() + LCP.capacity()) * sizeof(uint32_t) +
+              (Str.size() + 1) * 2 * sizeof(uint32_t) + Str.size() / 8 +
+              Str.size() * sizeof(uint32_t);
+}
+
+void SuffixArray::forEachRepeatedSubstring(
+    unsigned MinLength, unsigned MinOccurrences, unsigned MaxLength,
+    const RepeatedSubstringSink &Sink) const {
+  const uint32_t M = static_cast<uint32_t>(SA.size());
+  if (M < 2)
+    return;
+  // The root interval (lcp 0) is never reported, mirroring the tree
+  // skipping its root; a floor of 1 keeps that true for MinLength == 0.
+  const unsigned MinLen = MinLength < 1 ? 1 : MinLength;
+
+  /// A completed child interval of the frame below it on the stack.
+  struct ChildSpan {
+    uint32_t Lb, Rb;
+  };
+  /// An open lcp-interval: its value, left boundary, and the child
+  /// intervals found so far (left to right). Positions of [Lb..Rb] not
+  /// covered by a child span are singleton children — exactly the suffix
+  /// tree's direct leaf children.
+  struct Frame {
+    uint32_t Lcp = 0, Lb = 0;
+    std::vector<ChildSpan> Children;
+  };
+
+  std::vector<Frame> Stack;
+  std::vector<std::vector<ChildSpan>> Pool; // Recycled child vectors.
+  std::vector<unsigned> Scratch;
+  Stack.emplace_back(); // Root: lcp 0, lb 0.
+
+  auto Process = [&](const Frame &F, uint32_t Rb) {
+    if (F.Lcp < MinLen)
+      return;
+    Scratch.clear();
+    if (LeafDescendantsMode && F.Lcp <= MaxLength) {
+      // Every occurrence: all suffixes of the interval.
+      Scratch.assign(SA.begin() + F.Lb, SA.begin() + Rb + 1);
+    } else {
+      // Direct leaf children: the gaps between child intervals.
+      uint32_t Pos = F.Lb;
+      for (const ChildSpan &C : F.Children) {
+        assert(Pos <= C.Lb && "child spans must be disjoint and ordered");
+        for (uint32_t K = Pos; K < C.Lb; ++K)
+          Scratch.push_back(SA[K]);
+        Pos = C.Rb + 1;
+      }
+      for (uint32_t K = Pos; K <= Rb; ++K)
+        Scratch.push_back(SA[K]);
+    }
+    if (Scratch.size() >= MinOccurrences) {
+      std::sort(Scratch.begin(), Scratch.end());
+      Sink(F.Lcp, Scratch.data(), Scratch.size());
+    }
+  };
+
+  auto TakeChildVector = [&]() {
+    std::vector<ChildSpan> V;
+    if (!Pool.empty()) {
+      V = std::move(Pool.back());
+      Pool.pop_back();
+    }
+    return V;
+  };
+
+  // Bottom-up sweep (Abouelhoda/Kurtz/Ohlebusch): LCP[K] closes every
+  // interval on the stack deeper than it; the virtual LCP[M] = 0 flushes
+  // everything but the root.
+  bool HavePending = false;
+  ChildSpan Pending{0, 0};
+  for (uint32_t K = 1; K <= M; ++K) {
+    const uint32_t LcpK = K < M ? LCP[K] : 0;
+    uint32_t Lb = K - 1;
+    while (LcpK < Stack.back().Lcp) {
+      Frame F = std::move(Stack.back());
+      Stack.pop_back();
+      const uint32_t Rb = K - 1;
+      Process(F, Rb);
+      Lb = F.Lb;
+      F.Children.clear();
+      Pool.push_back(std::move(F.Children));
+      if (LcpK <= Stack.back().Lcp) {
+        Stack.back().Children.push_back({Lb, Rb});
+      } else {
+        // The popped interval becomes the first child of the interval
+        // about to be pushed.
+        Pending = {Lb, Rb};
+        HavePending = true;
+      }
+    }
+    if (LcpK > Stack.back().Lcp) {
+      Frame NF;
+      NF.Lcp = LcpK;
+      NF.Lb = Lb;
+      NF.Children = TakeChildVector();
+      if (HavePending) {
+        NF.Children.push_back(Pending);
+        HavePending = false;
+      }
+      Stack.push_back(std::move(NF));
+    }
+    assert(!HavePending && "popped interval must find a parent");
+  }
+  assert(Stack.size() == 1 && "only the root interval survives the sweep");
+}
+
+std::vector<RepeatedSubstring>
+SuffixArray::repeatedSubstrings(unsigned MinLength, unsigned MinOccurrences,
+                                unsigned MaxLength) const {
+  std::vector<RepeatedSubstring> Result;
+  forEachRepeatedSubstring(
+      MinLength, MinOccurrences, MaxLength,
+      [&Result](unsigned Length, const unsigned *Starts, size_t NumStarts) {
+        RepeatedSubstring RS;
+        RS.Length = Length;
+        RS.StartIndices.assign(Starts, Starts + NumStarts);
+        Result.push_back(std::move(RS));
+      });
+  return Result;
+}

@@ -1,0 +1,110 @@
+//===- support/SuffixArray.h - SA-IS enhanced suffix array ------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cache-efficient candidate discovery engine: a suffix array built
+/// with the linear-time SA-IS induced-sorting algorithm (Nong, Zhang,
+/// Chan, "Two Efficient Algorithms for Linear Time Suffix Array
+/// Construction"), the Kasai longest-common-prefix array, and a bottom-up
+/// LCP-interval enumeration in the style of Abouelhoda, Kurtz, Ohlebusch
+/// ("Replacing Suffix Trees with Enhanced Suffix Arrays").
+///
+/// The lcp-interval tree of the (SA, LCP) pair is exactly the internal-node
+/// structure of the suffix tree, so this engine reports the same repeated
+/// substrings as support/SuffixTree.h — including the direct-leaf-children
+/// approximation (a direct leaf child of an internal node is a singleton
+/// child interval) and the leaf-descendant mode with its MaxLength
+/// fallback. When the subject string ends in an element unique to the
+/// string (the instruction mapper guarantees this with per-block
+/// terminators), the two engines' repeated-substring sets are identical;
+/// the machine outliner relies on this and produces byte-identical output
+/// with either engine.
+///
+/// Unlike the tree (~60 bytes and one hash probe per node), the working
+/// set here is a handful of flat integer arrays scanned sequentially, which
+/// is the whole point: per-round candidate discovery over a mapped
+/// 28M-instruction string is memory-bound, and the array engine trades
+/// pointer chasing for prefetchable linear passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SUPPORT_SUFFIXARRAY_H
+#define MCO_SUPPORT_SUFFIXARRAY_H
+
+#include "support/SuffixTree.h" // RepeatedSubstring, RepeatedSubstringSink
+
+#include <cstdint>
+#include <vector>
+
+namespace mco {
+
+/// Enhanced suffix array (SA + LCP) over a string of unsigned integers.
+class SuffixArray {
+public:
+  /// Builds the suffix array and LCP array for \p Str.
+  ///
+  /// \param Str the subject string. The caller must keep it alive for the
+  ///        lifetime of this object. For engine-equivalent occurrence
+  ///        reporting the final element should be unique in the string.
+  /// \param CollectLeafDescendants if true, repeated substrings report
+  ///        every occurrence (all suffixes of the lcp-interval) rather
+  ///        than only singleton child intervals (= the suffix tree's
+  ///        direct leaf children).
+  explicit SuffixArray(const std::vector<unsigned> &Str,
+                       bool CollectLeafDescendants = false);
+
+  SuffixArray(const SuffixArray &) = delete;
+  SuffixArray &operator=(const SuffixArray &) = delete;
+
+  /// The suffix array: SA[k] is the start index of the k-th smallest
+  /// suffix. Size == Str.size().
+  const std::vector<uint32_t> &suffixArray() const { return SA; }
+
+  /// LCP[k] = longest common prefix of suffixes SA[k-1] and SA[k];
+  /// LCP[0] == 0. Size == Str.size().
+  const std::vector<uint32_t> &lcpArray() const { return LCP; }
+
+  /// Enumerates every repeated substring with length >= \p MinLength that
+  /// occurs at least \p MinOccurrences times; same contract as
+  /// SuffixTree::repeatedSubstrings (in leaf-descendant mode, substrings
+  /// longer than \p MaxLength fall back to direct-children reporting).
+  std::vector<RepeatedSubstring>
+  repeatedSubstrings(unsigned MinLength = 2, unsigned MinOccurrences = 2,
+                     unsigned MaxLength = 4096) const;
+
+  /// Streaming variant: invokes \p Sink once per reported pattern with
+  /// occurrence start indices sorted ascending. Deterministic bottom-up
+  /// lcp-interval order.
+  void forEachRepeatedSubstring(unsigned MinLength, unsigned MinOccurrences,
+                                unsigned MaxLength,
+                                const RepeatedSubstringSink &Sink) const;
+
+  /// \returns the bytes held by the SA/LCP arrays (capacity; the
+  /// construction scratch is freed before the constructor returns, and its
+  /// peak is included).
+  size_t memoryBytes() const { return PeakBytes; }
+
+private:
+  const std::vector<unsigned> &Str;
+  std::vector<uint32_t> SA;
+  std::vector<uint32_t> LCP;
+  bool LeafDescendantsMode;
+  size_t PeakBytes = 0;
+};
+
+/// Standalone SA-IS: \returns the suffix array of \p Str (values may be
+/// arbitrary unsigned ints; the alphabet is rank-compressed internally).
+/// Exposed for tests and benches.
+std::vector<uint32_t> buildSuffixArray(const std::vector<unsigned> &Str);
+
+/// Standalone Kasai: \returns the LCP array for \p Str and its suffix
+/// array \p SA (LCP[0] == 0). Exposed for tests and benches.
+std::vector<uint32_t> buildLcpArray(const std::vector<unsigned> &Str,
+                                    const std::vector<uint32_t> &SA);
+
+} // namespace mco
+
+#endif // MCO_SUPPORT_SUFFIXARRAY_H

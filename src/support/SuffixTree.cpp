@@ -11,9 +11,71 @@
 
 using namespace mco;
 
+//===----------------------------------------------------------------------===//
+// EdgeTable
+//===----------------------------------------------------------------------===//
+
+static inline uint64_t mixKey(uint64_t X) {
+  // splitmix64 finalizer: full-avalanche, so clustered (node, symbol) pairs
+  // spread evenly over the table.
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+void SuffixTree::EdgeTable::init(size_t ExpectedEdges) {
+  size_t Cap = 16;
+  // Load factor <= ~0.6 at the edge bound, so construction never rehashes.
+  while (Cap * 3 < (ExpectedEdges + 1) * 5)
+    Cap <<= 1;
+  Keys.assign(Cap, EmptyKey);
+  Vals.assign(Cap, 0);
+  Mask = Cap - 1;
+  Count = 0;
+}
+
+size_t SuffixTree::EdgeTable::slotFor(uint64_t Key) const {
+  size_t Slot = static_cast<size_t>(mixKey(Key)) & Mask;
+  while (Keys[Slot] != EmptyKey && Keys[Slot] != Key)
+    Slot = (Slot + 1) & Mask;
+  return Slot;
+}
+
+unsigned SuffixTree::EdgeTable::find(unsigned Parent, unsigned Symbol) const {
+  uint64_t Key = (static_cast<uint64_t>(Parent) << 32) | Symbol;
+  size_t Slot = slotFor(Key);
+  return Keys[Slot] == Key ? Vals[Slot] : EmptyIdx;
+}
+
+void SuffixTree::EdgeTable::set(unsigned Parent, unsigned Symbol,
+                                unsigned Child) {
+  uint64_t Key = (static_cast<uint64_t>(Parent) << 32) | Symbol;
+  size_t Slot = slotFor(Key);
+  if (Keys[Slot] == EmptyKey) {
+    Keys[Slot] = Key;
+    ++Count;
+    // The table is pre-sized for the 2n edge bound; growing would mean the
+    // bound was violated.
+    assert(Count * 3 <= Keys.size() * 2 && "edge table over-full");
+  }
+  Vals[Slot] = Child;
+}
+
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
+
 SuffixTree::SuffixTree(const std::vector<unsigned> &Str,
                        bool CollectLeafDescendants)
     : Str(Str), LeafDescendantsMode(CollectLeafDescendants) {
+  // Ukkonen's bound: at most n leaves and n-1 internal nodes plus the
+  // root. Reserving up front keeps the arena stable (no reallocation, so
+  // in-flight references stay valid) and contiguous.
+  const size_t NodeBound = 2 * Str.size() + 2;
+  Nodes.reserve(NodeBound);
+  Building.init(NodeBound);
+
   Nodes.emplace_back(); // The root; StartIdx stays EmptyIdx.
   Root = 0;
   Active.Node = Root;
@@ -34,6 +96,7 @@ SuffixTree::SuffixTree(const std::vector<unsigned> &Str,
       if (N.IsLeaf)
         N.EndIdx = static_cast<unsigned>(Str.size()) - 1;
 
+  freezeEdges();
   setSuffixIndicesAndLeafRanges();
 }
 
@@ -46,19 +109,21 @@ unsigned SuffixTree::edgeSize(const Node &N) const {
 
 unsigned SuffixTree::makeLeaf(unsigned Parent, unsigned StartIdx,
                               unsigned Edge) {
+  assert(Nodes.size() < Nodes.capacity() && "node arena bound violated");
   Nodes.emplace_back();
   unsigned Idx = static_cast<unsigned>(Nodes.size()) - 1;
   Node &N = Nodes[Idx];
   N.StartIdx = StartIdx;
   N.EndIdx = EmptyIdx; // Implicitly tracks LeafEndIdx until frozen.
   N.IsLeaf = true;
-  Nodes[Parent].Children[Edge] = Idx;
+  Building.set(Parent, Edge, Idx);
   return Idx;
 }
 
 unsigned SuffixTree::makeInternal(unsigned Parent, unsigned StartIdx,
                                   unsigned EndIdx, unsigned Edge) {
   assert(StartIdx <= EndIdx && "internal node can't have backwards edge");
+  assert(Nodes.size() < Nodes.capacity() && "node arena bound violated");
   Nodes.emplace_back();
   unsigned Idx = static_cast<unsigned>(Nodes.size()) - 1;
   Node &N = Nodes[Idx];
@@ -67,7 +132,7 @@ unsigned SuffixTree::makeInternal(unsigned Parent, unsigned StartIdx,
   // Every internal node's suffix link starts at the root and is refined
   // when a subsequent extension discovers the true target.
   N.Link = Root;
-  Nodes[Parent].Children[Edge] = Idx;
+  Building.set(Parent, Edge, Idx);
   return Idx;
 }
 
@@ -82,8 +147,8 @@ unsigned SuffixTree::extend(unsigned EndIdx, unsigned SuffixesToAdd) {
     assert(Active.Idx <= EndIdx && "start index can't be after end index");
     unsigned FirstChar = Str[Active.Idx];
 
-    auto ChildIt = Nodes[Active.Node].Children.find(FirstChar);
-    if (ChildIt == Nodes[Active.Node].Children.end()) {
+    unsigned NextNode = Building.find(Active.Node, FirstChar);
+    if (NextNode == EmptyIdx) {
       // No edge starts with FirstChar: insert a fresh leaf.
       makeLeaf(Active.Node, EndIdx, FirstChar);
       if (NeedsLink != EmptyIdx) {
@@ -91,7 +156,6 @@ unsigned SuffixTree::extend(unsigned EndIdx, unsigned SuffixesToAdd) {
         NeedsLink = EmptyIdx;
       }
     } else {
-      unsigned NextNode = ChildIt->second;
       unsigned SubstringLen = edgeSize(Nodes[NextNode]);
 
       // Walk down if the active length spans the whole edge.
@@ -122,7 +186,7 @@ unsigned SuffixTree::extend(unsigned EndIdx, unsigned SuffixesToAdd) {
       makeLeaf(SplitNode, EndIdx, LastChar);
 
       Nodes[NextNode].StartIdx += Active.Len;
-      Nodes[SplitNode].Children[Str[Nodes[NextNode].StartIdx]] = NextNode;
+      Building.set(SplitNode, Str[Nodes[NextNode].StartIdx], NextNode);
 
       if (NeedsLink != EmptyIdx)
         Nodes[NeedsLink].Link = SplitNode;
@@ -145,15 +209,61 @@ unsigned SuffixTree::extend(unsigned EndIdx, unsigned SuffixesToAdd) {
   return SuffixesToAdd;
 }
 
+void SuffixTree::freezeEdges() {
+  assert((Nodes.empty() || Building.size() == Nodes.size() - 1) &&
+         "every non-root node has exactly one parent edge");
+  Edges.resize(Building.size());
+
+  // Counting sort by parent: count, prefix-sum into FirstEdge, scatter.
+  for (Node &N : Nodes)
+    N.NumEdges = 0;
+  Building.forEach([this](unsigned Parent, unsigned, unsigned) {
+    ++Nodes[Parent].NumEdges;
+  });
+  uint32_t Offset = 0;
+  for (Node &N : Nodes) {
+    N.FirstEdge = Offset;
+    Offset += N.NumEdges;
+    N.NumEdges = 0; // Reused as the scatter cursor below.
+  }
+  Building.forEach([this](unsigned Parent, unsigned Symbol, unsigned Child) {
+    Node &P = Nodes[Parent];
+    Edges[P.FirstEdge + P.NumEdges++] = {Symbol, Child};
+  });
+
+  // The hash table iterates in slot order; sort each node's range by
+  // symbol so every traversal is deterministic by construction.
+  for (Node &N : Nodes)
+    if (N.NumEdges > 1)
+      std::sort(Edges.begin() + N.FirstEdge,
+                Edges.begin() + N.FirstEdge + N.NumEdges,
+                [](const Edge &A, const Edge &B) {
+                  return A.Symbol < B.Symbol;
+                });
+
+  // Construction is done; drop the table (the CSR answers all queries).
+  Building = EdgeTable();
+}
+
+unsigned SuffixTree::findChild(const Node &N, unsigned Symbol) const {
+  const Edge *First = Edges.data() + N.FirstEdge;
+  const Edge *Last = First + N.NumEdges;
+  const Edge *It = std::lower_bound(
+      First, Last, Symbol,
+      [](const Edge &E, unsigned S) { return E.Symbol < S; });
+  return (It != Last && It->Symbol == Symbol) ? It->Child : EmptyIdx;
+}
+
 void SuffixTree::setSuffixIndicesAndLeafRanges() {
   // Iterative DFS in sorted-edge order so all downstream consumers observe
-  // a deterministic traversal (Children is ordered, so pushing edges in
-  // descending key order pops them ascending).
+  // a deterministic traversal (edges are sorted, so pushing them in
+  // descending symbol order pops them ascending).
   struct Frame {
     unsigned NodeIdx;
     unsigned ParentConcatLen;
     bool Entered;
   };
+  LeafOrder.reserve(Str.size());
   std::vector<Frame> Stack;
   Stack.push_back({Root, 0, false});
 
@@ -167,16 +277,15 @@ void SuffixTree::setSuffixIndicesAndLeafRanges() {
       if (N.IsLeaf) {
         assert(Str.size() >= N.ConcatLen && "leaf deeper than string");
         N.SuffixIdx = static_cast<unsigned>(Str.size()) - N.ConcatLen;
-        LeafOrder.push_back(F.NodeIdx);
+        LeafOrder.push_back(N.SuffixIdx);
         N.RightLeaf = static_cast<unsigned>(LeafOrder.size());
         Stack.pop_back();
         continue;
       }
       // Push children in reverse-sorted order so they pop sorted.
       unsigned MyConcat = N.ConcatLen;
-      for (auto It = N.Children.rbegin(), E = N.Children.rend(); It != E;
-           ++It)
-        Stack.push_back({It->second, MyConcat, false});
+      for (uint32_t E = N.NumEdges; E != 0; --E)
+        Stack.push_back({Edges[N.FirstEdge + E - 1].Child, MyConcat, false});
       continue;
     }
     // Post-order exit for an internal node.
@@ -185,13 +294,17 @@ void SuffixTree::setSuffixIndicesAndLeafRanges() {
   }
 }
 
-std::vector<RepeatedSubstring>
-SuffixTree::repeatedSubstrings(unsigned MinLength, unsigned MinOccurrences,
-                               unsigned MaxLength) const {
-  std::vector<RepeatedSubstring> Result;
-  if (Nodes.size() <= 1)
-    return Result;
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
 
+void SuffixTree::forEachRepeatedSubstring(
+    unsigned MinLength, unsigned MinOccurrences, unsigned MaxLength,
+    const RepeatedSubstringSink &Sink) const {
+  if (Nodes.size() <= 1)
+    return;
+
+  std::vector<unsigned> Scratch;
   std::vector<unsigned> Stack;
   Stack.push_back(Root);
   while (!Stack.empty()) {
@@ -201,32 +314,51 @@ SuffixTree::repeatedSubstrings(unsigned MinLength, unsigned MinOccurrences,
     if (N.IsLeaf)
       continue;
 
-    // Visit children in sorted order for determinism (Children is an
-    // ordered map, so in-order iteration is already sorted by key).
-    for (const auto &KV : N.Children)
-      Stack.push_back(KV.second);
+    // Push children in reverse-sorted order so internal nodes are visited
+    // pre-order with ascending edge symbols — deterministic and identical
+    // across runs.
+    for (uint32_t E = N.NumEdges; E != 0; --E)
+      Stack.push_back(Edges[N.FirstEdge + E - 1].Child);
 
     if (N.isRoot() || N.ConcatLen < MinLength)
       continue;
 
-    RepeatedSubstring RS;
-    RS.Length = N.ConcatLen;
+    Scratch.clear();
     if (LeafDescendantsMode && N.ConcatLen <= MaxLength) {
-      for (unsigned L = N.LeftLeaf; L != N.RightLeaf; ++L)
-        RS.StartIndices.push_back(Nodes[LeafOrder[L]].SuffixIdx);
+      Scratch.assign(LeafOrder.begin() + N.LeftLeaf,
+                     LeafOrder.begin() + N.RightLeaf);
     } else {
-      for (const auto &KV : N.Children) {
-        const Node &Child = Nodes[KV.second];
+      for (uint32_t E = 0; E != N.NumEdges; ++E) {
+        const Node &Child = Nodes[Edges[N.FirstEdge + E].Child];
         if (Child.IsLeaf)
-          RS.StartIndices.push_back(Child.SuffixIdx);
+          Scratch.push_back(Child.SuffixIdx);
       }
     }
-    if (RS.StartIndices.size() >= MinOccurrences) {
-      std::sort(RS.StartIndices.begin(), RS.StartIndices.end());
-      Result.push_back(std::move(RS));
+    if (Scratch.size() >= MinOccurrences) {
+      std::sort(Scratch.begin(), Scratch.end());
+      Sink(N.ConcatLen, Scratch.data(), Scratch.size());
     }
   }
+}
+
+std::vector<RepeatedSubstring>
+SuffixTree::repeatedSubstrings(unsigned MinLength, unsigned MinOccurrences,
+                               unsigned MaxLength) const {
+  std::vector<RepeatedSubstring> Result;
+  forEachRepeatedSubstring(
+      MinLength, MinOccurrences, MaxLength,
+      [&Result](unsigned Length, const unsigned *Starts, size_t NumStarts) {
+        RepeatedSubstring RS;
+        RS.Length = Length;
+        RS.StartIndices.assign(Starts, Starts + NumStarts);
+        Result.push_back(std::move(RS));
+      });
   return Result;
+}
+
+size_t SuffixTree::memoryBytes() const {
+  return Nodes.capacity() * sizeof(Node) + Edges.capacity() * sizeof(Edge) +
+         LeafOrder.capacity() * sizeof(unsigned);
 }
 
 bool SuffixTree::contains(const std::vector<unsigned> &Pattern) const {
@@ -235,16 +367,15 @@ bool SuffixTree::contains(const std::vector<unsigned> &Pattern) const {
   unsigned NodeIdx = Root;
   size_t P = 0;
   while (P < Pattern.size()) {
-    const Node &N = Nodes[NodeIdx];
-    auto It = N.Children.find(Pattern[P]);
-    if (It == N.Children.end())
+    unsigned ChildIdx = findChild(Nodes[NodeIdx], Pattern[P]);
+    if (ChildIdx == EmptyIdx)
       return false;
-    const Node &Child = Nodes[It->second];
+    const Node &Child = Nodes[ChildIdx];
     unsigned Len = Child.EndIdx - Child.StartIdx + 1;
     for (unsigned I = 0; I < Len && P < Pattern.size(); ++I, ++P)
       if (Str[Child.StartIdx + I] != Pattern[P])
         return false;
-    NodeIdx = It->second;
+    NodeIdx = ChildIdx;
   }
   return true;
 }

@@ -6,9 +6,10 @@
 ///
 /// \file
 /// A linear-time generalized suffix tree over sequences of unsigned
-/// integers, built with Ukkonen's online algorithm. This is the candidate
-/// discovery engine of the machine outliner: the instruction mapper turns
-/// the whole program into one integer string (with per-block unique
+/// integers, built with Ukkonen's online algorithm. This is one of the two
+/// candidate discovery engines of the machine outliner (the other is the
+/// enhanced suffix array in support/SuffixArray.h): the instruction mapper
+/// turns the whole program into one integer string (with per-block unique
 /// terminators) and every repeated substring of legal instructions is a
 /// potential outlining pattern.
 ///
@@ -19,14 +20,22 @@
 /// reports all leaf descendants instead (more occurrences per pattern, at
 /// higher cost); the two modes are compared in the ablation bench.
 ///
+/// Storage is cache-conscious: nodes live in one contiguous arena
+/// (\c std::vector with capacity reserved to Ukkonen's 2n bound), child
+/// edges are looked up through a single open-addressing (node, symbol)
+/// table during construction, and construction finishes by freezing the
+/// edges into a flat CSR layout sorted by edge symbol, so every traversal
+/// is a deterministic sweep over contiguous memory — no per-node
+/// red-black trees, no pointer chasing through a deque.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MCO_SUPPORT_SUFFIXTREE_H
 #define MCO_SUPPORT_SUFFIXTREE_H
 
 #include <cstddef>
-#include <deque>
-#include <map>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace mco {
@@ -37,6 +46,17 @@ struct RepeatedSubstring {
   unsigned Length = 0;
   std::vector<unsigned> StartIndices;
 };
+
+/// Streaming sink for repeated-substring enumeration. Called once per
+/// pattern with (Length, Starts, NumStarts); Starts points into
+/// engine-owned scratch storage that is only valid for the duration of the
+/// call, and the indices are sorted ascending. Streaming lets the consumer
+/// build its own compact representation (the outliner stages candidates
+/// into one flat arena) without the engine materializing a
+/// std::vector<RepeatedSubstring> — one heap vector per pattern — first.
+using RepeatedSubstringSink =
+    std::function<void(unsigned Length, const unsigned *Starts,
+                       size_t NumStarts)>;
 
 /// Suffix tree over a string of unsigned integers.
 class SuffixTree {
@@ -68,19 +88,28 @@ public:
   repeatedSubstrings(unsigned MinLength = 2, unsigned MinOccurrences = 2,
                      unsigned MaxLength = 4096) const;
 
+  /// Streaming variant of repeatedSubstrings: invokes \p Sink once per
+  /// reported pattern instead of materializing the result vector. The
+  /// enumeration order is deterministic (pre-order over the tree with
+  /// children in ascending edge-symbol order).
+  void forEachRepeatedSubstring(unsigned MinLength, unsigned MinOccurrences,
+                                unsigned MaxLength,
+                                const RepeatedSubstringSink &Sink) const;
+
   /// \returns the number of nodes (diagnostics/tests).
   size_t numNodes() const { return Nodes.size(); }
 
+  /// \returns the bytes held by the tree's node arena, edge CSR, and
+  /// auxiliary arrays (bench/diagnostics; capacity, not size, because the
+  /// arena is the peak allocation).
+  size_t memoryBytes() const;
+
   /// \returns true if \p Pattern occurs in the subject string (test helper;
-  /// walks from the root in O(|Pattern|)).
+  /// walks from the root in O(|Pattern| * log maxdegree)).
   bool contains(const std::vector<unsigned> &Pattern) const;
 
 private:
   struct Node {
-    /// Outgoing edges, keyed by the first element of the edge label. An
-    /// ordered map so every traversal is deterministic by construction —
-    /// no per-node key collection and sort at query time.
-    std::map<unsigned, unsigned> Children;
     /// First index of the edge label into Str; EmptyIdx for the root.
     unsigned StartIdx = EmptyIdx;
     /// Last index (inclusive) of the edge label. For leaves this is fixed
@@ -96,9 +125,54 @@ private:
     /// LeafOrder holding this subtree's leaves.
     unsigned LeftLeaf = EmptyIdx;
     unsigned RightLeaf = EmptyIdx;
+    /// CSR range [FirstEdge, FirstEdge + NumEdges) into Edges, filled by
+    /// freezeEdges(); edges are sorted by symbol.
+    uint32_t FirstEdge = 0;
+    uint32_t NumEdges = 0;
     bool IsLeaf = false;
 
     bool isRoot() const { return StartIdx == EmptyIdx; }
+  };
+
+  /// One frozen child edge: the first symbol of the edge label and the
+  /// child node index.
+  struct Edge {
+    unsigned Symbol;
+    unsigned Child;
+  };
+
+  /// Open-addressing (parent node, first symbol) -> child map used only
+  /// while Ukkonen's algorithm runs; frozen into the CSR afterwards.
+  /// Pre-sized to the 2n edge bound so construction never rehashes.
+  class EdgeTable {
+  public:
+    void init(size_t ExpectedEdges);
+    /// \returns the child for (Parent, Symbol), or EmptyIdx.
+    unsigned find(unsigned Parent, unsigned Symbol) const;
+    /// Inserts or overwrites (Parent, Symbol) -> Child.
+    void set(unsigned Parent, unsigned Symbol, unsigned Child);
+    size_t size() const { return Count; }
+    size_t memoryBytes() const {
+      return Keys.capacity() * sizeof(uint64_t) +
+             Vals.capacity() * sizeof(unsigned);
+    }
+    /// Iterates every (parent, symbol, child) entry in table order
+    /// (unordered; callers sort).
+    template <typename Fn> void forEach(Fn F) const {
+      for (size_t I = 0; I != Keys.size(); ++I)
+        if (Keys[I] != EmptyKey)
+          F(static_cast<unsigned>(Keys[I] >> 32),
+            static_cast<unsigned>(Keys[I]), Vals[I]);
+    }
+
+  private:
+    static constexpr uint64_t EmptyKey = ~0ull;
+    size_t slotFor(uint64_t Key) const;
+
+    std::vector<uint64_t> Keys;
+    std::vector<unsigned> Vals;
+    size_t Mask = 0;
+    size_t Count = 0;
   };
 
   /// Active point for Ukkonen's algorithm.
@@ -113,15 +187,23 @@ private:
   unsigned makeInternal(unsigned Parent, unsigned StartIdx, unsigned EndIdx,
                         unsigned Edge);
   unsigned extend(unsigned EndIdx, unsigned SuffixesToAdd);
+  /// Moves the construction-time edge table into the per-node CSR, sorted
+  /// by symbol within each node.
+  void freezeEdges();
   void setSuffixIndicesAndLeafRanges();
+  /// Binary search for \p Symbol among \p N's frozen edges.
+  unsigned findChild(const Node &N, unsigned Symbol) const;
 
   const std::vector<unsigned> &Str;
-  std::deque<Node> Nodes;
+  std::vector<Node> Nodes;
+  std::vector<Edge> Edges;
+  EdgeTable Building;
   unsigned Root = 0;
   unsigned LeafEndIdx = EmptyIdx;
   ActiveState Active;
   bool LeafDescendantsMode;
-  /// Leaves in Euler-tour order; used by leaf-descendant reporting.
+  /// Leaves' suffix indices in Euler-tour order; used by leaf-descendant
+  /// reporting.
   std::vector<unsigned> LeafOrder;
 };
 

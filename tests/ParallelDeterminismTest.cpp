@@ -50,13 +50,15 @@ struct BuildOutput {
   uint64_t CodeSize = 0;
 };
 
-BuildOutput runBuild(bool WholeProgram, unsigned Threads, bool Incremental) {
+BuildOutput runBuild(bool WholeProgram, unsigned Threads, bool Incremental,
+                     DiscoveryEngine Discovery = DiscoveryEngine::SuffixArray) {
   auto Prog = CorpusSynthesizer(testProfile()).withThreads(Threads).generate();
   PipelineOptions Opts;
   Opts.WholeProgram = WholeProgram;
   Opts.OutlineRounds = 5;
   Opts.Threads = Threads;
   Opts.Outliner.Incremental = Incremental;
+  Opts.Outliner.Discovery = Discovery;
   BuildResult R = buildProgram(*Prog, Opts);
   return {snapshot(*Prog), R.OutlineStats, R.CodeSize};
 }
@@ -123,6 +125,45 @@ TEST(ParallelDeterminismTest, IncrementalIdenticalToFromScratch) {
 TEST(ParallelDeterminismTest, ThreadsAndIncrementalCombined) {
   BuildOutput Base = runBuild(/*WholeProgram=*/true, 1, false);
   BuildOutput Both = runBuild(/*WholeProgram=*/true, 8, true);
+  EXPECT_EQ(Base.CodeSize, Both.CodeSize);
+  EXPECT_EQ(Base.Snapshot, Both.Snapshot);
+  expectStatsEqual(Base.Stats, Both.Stats,
+                   /*CompareRecomputeCounters=*/false);
+}
+
+TEST(ParallelDeterminismTest, DiscoveryEnginesProduceIdenticalOutput) {
+  // The tentpole invariant: tree and suffix-array discovery commit
+  // byte-identical programs — same snapshot (listings + symbol id values)
+  // and same per-round stats, including PatternsConsidered (the engines
+  // report 1:1 pattern sets, not just equivalent outcomes).
+  BuildOutput Tree =
+      runBuild(/*WholeProgram=*/true, 1, false, DiscoveryEngine::Tree);
+  BuildOutput Arr =
+      runBuild(/*WholeProgram=*/true, 1, false, DiscoveryEngine::SuffixArray);
+  EXPECT_EQ(Tree.CodeSize, Arr.CodeSize);
+  EXPECT_EQ(Tree.Snapshot, Arr.Snapshot);
+  expectStatsEqual(Tree.Stats, Arr.Stats, /*CompareRecomputeCounters=*/true);
+}
+
+TEST(ParallelDeterminismTest, DiscoveryEnginesIdenticalPerModuleParallel) {
+  // Same invariant under the per-module pipeline with threading and
+  // incremental mapping reuse stacked on top.
+  BuildOutput Tree =
+      runBuild(/*WholeProgram=*/false, 8, true, DiscoveryEngine::Tree);
+  BuildOutput Arr =
+      runBuild(/*WholeProgram=*/false, 8, true, DiscoveryEngine::SuffixArray);
+  EXPECT_EQ(Tree.CodeSize, Arr.CodeSize);
+  EXPECT_EQ(Tree.Snapshot, Arr.Snapshot);
+  expectStatsEqual(Tree.Stats, Arr.Stats, /*CompareRecomputeCounters=*/true);
+}
+
+TEST(ParallelDeterminismTest, SarrayIdenticalAcrossThreadsAndIncremental) {
+  // The new default engine honors the original contract on its own:
+  // j1 fresh == j8 incremental.
+  BuildOutput Base =
+      runBuild(/*WholeProgram=*/true, 1, false, DiscoveryEngine::SuffixArray);
+  BuildOutput Both =
+      runBuild(/*WholeProgram=*/true, 8, true, DiscoveryEngine::SuffixArray);
   EXPECT_EQ(Base.CodeSize, Both.CodeSize);
   EXPECT_EQ(Base.Snapshot, Both.Snapshot);
   expectStatsEqual(Base.Stats, Both.Stats,

@@ -1,0 +1,214 @@
+//===- tests/SuffixArrayTest.cpp - Suffix array unit + differential tests -===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SuffixArray.h"
+
+#include "support/Random.h"
+#include "support/SuffixTree.h"
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+using namespace mco;
+
+namespace {
+
+/// Naive O(n^2 log n) suffix sort for cross-checking SA-IS.
+std::vector<uint32_t> naiveSuffixArray(const std::vector<unsigned> &S) {
+  std::vector<uint32_t> SA(S.size());
+  for (uint32_t I = 0; I < S.size(); ++I)
+    SA[I] = I;
+  std::sort(SA.begin(), SA.end(), [&](uint32_t A, uint32_t B) {
+    return std::lexicographical_compare(S.begin() + A, S.end(),
+                                        S.begin() + B, S.end());
+  });
+  return SA;
+}
+
+/// Naive lcp of two suffixes.
+uint32_t naiveLcp(const std::vector<unsigned> &S, uint32_t A, uint32_t B) {
+  uint32_t H = 0;
+  while (A + H < S.size() && B + H < S.size() && S[A + H] == S[B + H])
+    ++H;
+  return H;
+}
+
+/// Canonical form of a repeated-substring set: both engines sort start
+/// indices ascending, so (Length, StartIndices) pairs compare directly.
+using RepeatSet = std::set<std::pair<unsigned, std::vector<unsigned>>>;
+
+RepeatSet canon(const std::vector<RepeatedSubstring> &Repeats) {
+  RepeatSet Out;
+  for (const RepeatedSubstring &RS : Repeats) {
+    auto Inserted = Out.emplace(RS.Length, RS.StartIndices);
+    EXPECT_TRUE(Inserted.second) << "duplicate pattern reported";
+  }
+  return Out;
+}
+
+/// A random string with repeat-friendly structure: small alphabets, runs,
+/// and a unique terminator (the instruction-mapper contract both engines
+/// assume for identical occurrence reporting).
+std::vector<unsigned> randomSubject(Rng &R, unsigned CaseIdx) {
+  static const unsigned Alphabets[] = {2, 3, 4, 8, 16, 64};
+  unsigned Sigma = Alphabets[CaseIdx % (sizeof(Alphabets) / sizeof(unsigned))];
+  size_t Len = 8 + R.nextBounded(300);
+  std::vector<unsigned> S;
+  S.reserve(Len + 1);
+  while (S.size() < Len) {
+    unsigned Sym = static_cast<unsigned>(R.nextBounded(Sigma));
+    // Occasionally emit a run or replay an earlier window to create deep
+    // repeat structure (the hard case for both engines).
+    unsigned Mode = static_cast<unsigned>(R.nextBounded(4));
+    if (Mode == 0) {
+      size_t RunLen = 1 + R.nextBounded(6);
+      for (size_t K = 0; K < RunLen && S.size() < Len; ++K)
+        S.push_back(Sym);
+    } else if (Mode == 1 && S.size() > 4) {
+      size_t From = R.nextBounded(S.size() - 2);
+      size_t CopyLen = 1 + R.nextBounded(S.size() - From);
+      for (size_t K = 0; K < CopyLen && S.size() < Len; ++K)
+        S.push_back(S[From + K]);
+    } else {
+      S.push_back(Sym);
+    }
+  }
+  // Unique terminator; vary the value (including sparse mapper-style ids)
+  // to exercise alphabet rank compression.
+  S.push_back(CaseIdx % 2 ? 0xFFFFFFF0u - CaseIdx : 1000000u + CaseIdx);
+  return S;
+}
+
+TEST(SuffixArrayTest, EmptyString) {
+  std::vector<unsigned> S;
+  EXPECT_TRUE(buildSuffixArray(S).empty());
+  SuffixArray A(S);
+  EXPECT_TRUE(A.repeatedSubstrings().empty());
+}
+
+TEST(SuffixArrayTest, SingleElement) {
+  std::vector<unsigned> S = {42};
+  auto SA = buildSuffixArray(S);
+  ASSERT_EQ(SA.size(), 1u);
+  EXPECT_EQ(SA[0], 0u);
+  SuffixArray A(S);
+  EXPECT_TRUE(A.repeatedSubstrings().empty());
+}
+
+TEST(SuffixArrayTest, KnownSmallString) {
+  // "banana" with a=1 b=2 n=3: suffixes sorted are
+  // a(5) ana(3) anana(1) banana(0) na(4) nana(2).
+  std::vector<unsigned> S = {2, 1, 3, 1, 3, 1};
+  auto SA = buildSuffixArray(S);
+  std::vector<uint32_t> Expected = {5, 3, 1, 0, 4, 2};
+  EXPECT_EQ(SA, Expected);
+  auto LCP = buildLcpArray(S, SA);
+  std::vector<uint32_t> ExpectedLcp = {0, 1, 3, 0, 0, 2};
+  EXPECT_EQ(LCP, ExpectedLcp);
+}
+
+TEST(SuffixArrayTest, AllEqualSymbols) {
+  std::vector<unsigned> S(37, 9);
+  auto SA = buildSuffixArray(S);
+  EXPECT_EQ(SA, naiveSuffixArray(S));
+  auto LCP = buildLcpArray(S, SA);
+  for (uint32_t K = 1; K < SA.size(); ++K)
+    EXPECT_EQ(LCP[K], naiveLcp(S, SA[K - 1], SA[K]));
+}
+
+TEST(SuffixArrayTest, SaIsMatchesNaiveSortOnRandomStrings) {
+  Rng R(0xA11CE5ull);
+  for (unsigned Case = 0; Case < 60; ++Case) {
+    std::vector<unsigned> S = randomSubject(R, Case);
+    auto SA = buildSuffixArray(S);
+    ASSERT_EQ(SA, naiveSuffixArray(S)) << "case " << Case;
+    auto LCP = buildLcpArray(S, SA);
+    ASSERT_EQ(LCP.size(), SA.size());
+    EXPECT_EQ(LCP.empty() ? 0u : LCP[0], 0u);
+    for (uint32_t K = 1; K < SA.size(); ++K)
+      ASSERT_EQ(LCP[K], naiveLcp(S, SA[K - 1], SA[K]))
+          << "case " << Case << " rank " << K;
+  }
+}
+
+TEST(SuffixArrayTest, SparseAlphabetRankCompression) {
+  // Mapper-style ids: dense legal ids plus 0xFFFFFFF0-descending illegal
+  // terminators. Bucket arrays must not scale with the value range.
+  std::vector<unsigned> S = {100, 200, 100, 200, 0xFFFFFFEFu,
+                             100, 200, 100, 200, 0xFFFFFFEEu,
+                             7,   100, 200, 7,   0xFFFFFFEDu};
+  auto SA = buildSuffixArray(S);
+  EXPECT_EQ(SA, naiveSuffixArray(S));
+  SuffixArray A(S);
+  SuffixTree T(S);
+  EXPECT_EQ(canon(A.repeatedSubstrings(2)), canon(T.repeatedSubstrings(2)));
+}
+
+TEST(SuffixArrayTest, DifferentialTreeVsArrayDirectChildren) {
+  // The headline equivalence: on ~200 seeded random strings the two
+  // discovery engines report identical (length, starts) pattern sets in
+  // the default direct-leaf-children mode.
+  Rng R(0xD1FFull);
+  for (unsigned Case = 0; Case < 200; ++Case) {
+    std::vector<unsigned> S = randomSubject(R, Case);
+    unsigned MinLen = 2 + static_cast<unsigned>(R.nextBounded(4));
+    SuffixTree T(S, /*CollectLeafDescendants=*/false);
+    SuffixArray A(S, /*CollectLeafDescendants=*/false);
+    ASSERT_EQ(canon(T.repeatedSubstrings(MinLen)),
+              canon(A.repeatedSubstrings(MinLen)))
+        << "case " << Case << " minlen " << MinLen;
+  }
+}
+
+TEST(SuffixArrayTest, DifferentialTreeVsArrayLeafDescendants) {
+  // Leaf-descendant mode, including MaxLength values small enough to
+  // trigger the direct-children fallback on some intervals.
+  Rng R(0x1EAFull);
+  for (unsigned Case = 0; Case < 120; ++Case) {
+    std::vector<unsigned> S = randomSubject(R, Case);
+    unsigned MinLen = 2 + static_cast<unsigned>(R.nextBounded(3));
+    unsigned MaxLen = Case % 3 == 0 ? 3 + static_cast<unsigned>(R.nextBounded(5))
+                                    : 4096;
+    SuffixTree T(S, /*CollectLeafDescendants=*/true);
+    SuffixArray A(S, /*CollectLeafDescendants=*/true);
+    ASSERT_EQ(canon(T.repeatedSubstrings(MinLen, 2, MaxLen)),
+              canon(A.repeatedSubstrings(MinLen, 2, MaxLen)))
+        << "case " << Case << " minlen " << MinLen << " maxlen " << MaxLen;
+  }
+}
+
+TEST(SuffixArrayTest, StreamingMatchesMaterialized) {
+  Rng R(0x57ull);
+  std::vector<unsigned> S = randomSubject(R, 3);
+  SuffixArray A(S);
+  std::vector<RepeatedSubstring> Streamed;
+  A.forEachRepeatedSubstring(
+      2, 2, 4096,
+      [&](unsigned Length, const unsigned *Starts, size_t NumStarts) {
+        RepeatedSubstring RS;
+        RS.Length = Length;
+        RS.StartIndices.assign(Starts, Starts + NumStarts);
+        Streamed.push_back(std::move(RS));
+      });
+  auto Materialized = A.repeatedSubstrings(2);
+  ASSERT_EQ(Streamed.size(), Materialized.size());
+  for (size_t I = 0; I < Streamed.size(); ++I) {
+    EXPECT_EQ(Streamed[I].Length, Materialized[I].Length);
+    EXPECT_EQ(Streamed[I].StartIndices, Materialized[I].StartIndices);
+  }
+}
+
+TEST(SuffixArrayTest, MemoryBytesIsPopulated) {
+  Rng R(0x99ull);
+  std::vector<unsigned> S = randomSubject(R, 5);
+  SuffixArray A(S);
+  // At minimum the retained SA + LCP arrays.
+  EXPECT_GE(A.memoryBytes(), 2 * S.size() * sizeof(uint32_t));
+}
+
+} // namespace

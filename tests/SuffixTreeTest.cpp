@@ -6,6 +6,8 @@
 
 #include "support/SuffixTree.h"
 
+#include "support/SuffixArray.h"
+
 #include "support/Random.h"
 #include "gtest/gtest.h"
 
@@ -219,6 +221,53 @@ TEST(SuffixTreeTest, DeterministicEnumeration) {
     EXPECT_EQ(A[I].Length, B[I].Length);
     EXPECT_EQ(A[I].StartIndices, B[I].StartIndices);
   }
+}
+
+TEST(SuffixTreeTest, MaxLengthFallsBackToDirectLeafChildren) {
+  // Pattern P = 1..6 occurs four times. Two occurrences continue
+  // identically (7, 8), so below P's node they hang off an internal child;
+  // the other two diverge immediately and are P's direct leaf children.
+  std::vector<unsigned> S = {
+      1, 2, 3, 4, 5, 6, 7, 8, 100, // occ 0, extended by (7, 8)
+      1, 2, 3, 4, 5, 6, 7, 8, 101, // occ 9, extended by (7, 8)
+      1, 2, 3, 4, 5, 6, 9, 102,    // occ 18, direct leaf
+      1, 2, 3, 4, 5, 6, 10, 103,   // occ 26, direct leaf
+  };
+  SuffixTree T(S, /*CollectLeafDescendants=*/true);
+
+  auto FindLen6WithStart26 = [](const std::vector<RepeatedSubstring> &Rs)
+      -> const RepeatedSubstring * {
+    for (const RepeatedSubstring &RS : Rs)
+      if (RS.Length == 6 &&
+          std::find(RS.StartIndices.begin(), RS.StartIndices.end(), 26u) !=
+              RS.StartIndices.end())
+        return &RS;
+    return nullptr;
+  };
+
+  // MaxLength large enough: every occurrence (all leaf descendants).
+  auto Full = T.repeatedSubstrings(6, 2, 4096);
+  const RepeatedSubstring *P = FindLen6WithStart26(Full);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->StartIndices, (std::vector<unsigned>{0, 9, 18, 26}));
+
+  // MaxLength below the pattern length: the leaf-descendant walk is
+  // skipped and reporting falls back to direct leaf children only.
+  auto Capped = T.repeatedSubstrings(6, 2, 4);
+  P = FindLen6WithStart26(Capped);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->StartIndices, (std::vector<unsigned>{18, 26}));
+
+  // The suffix array engine applies the identical fallback rule.
+  SuffixArray A(S, /*CollectLeafDescendants=*/true);
+  auto ArrFull = A.repeatedSubstrings(6, 2, 4096);
+  auto ArrCapped = A.repeatedSubstrings(6, 2, 4);
+  P = FindLen6WithStart26(ArrFull);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->StartIndices, (std::vector<unsigned>{0, 9, 18, 26}));
+  P = FindLen6WithStart26(ArrCapped);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->StartIndices, (std::vector<unsigned>{18, 26}));
 }
 
 } // namespace

@@ -13,6 +13,7 @@
 ///   mco-build [--profile rider|driver|eats|clang|kernel]
 ///             [--modules N] [--rounds N] [--per-module]
 ///             [-j N | --threads N] [--incremental]
+///             [--discovery tree|sarray]
 ///             [--interleave-data] [--normalize-commutative]
 ///             [--hot-layout] [--print-patterns N] [--dump FILE]
 ///             [--guard] [--max-retries N] [--verify-exec N]
@@ -55,6 +56,7 @@ void usage() {
       "usage: mco-build [--profile rider|driver|eats|clang|kernel]\n"
       "                 [--modules N] [--rounds N] [--per-module]\n"
       "                 [-j N | --threads N] [--incremental]\n"
+      "                 [--discovery tree|sarray]\n"
       "                 [--interleave-data] [--normalize-commutative]\n"
       "                 [--hot-layout] [--print-patterns N] "
       "[--dump FILE]\n"
@@ -66,6 +68,9 @@ void usage() {
       "  -j N           worker threads for synthesis and outlining\n"
       "                 (output is bit-identical at any N)\n"
       "  --incremental  reuse mapping/liveness across outlining rounds\n"
+      "  --discovery tree|sarray  candidate discovery engine: Ukkonen\n"
+      "                 suffix tree or SA-IS suffix array (default;\n"
+      "                 same output, faster discovery)\n"
       "  --guard        verify every outlining round; roll back and\n"
       "                 quarantine on failure\n"
       "  --verify-exec N  also execute N sampled functions before/after\n"
@@ -151,6 +156,17 @@ Status parseArgs(int argc, char **argv, BuildConfig &C) {
         C.Opts.Threads = 1;
     } else if (A == "--incremental") {
       C.Opts.Outliner.Incremental = true;
+    } else if (A == "--discovery") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      std::string E = V;
+      if (E == "tree")
+        C.Opts.Outliner.Discovery = DiscoveryEngine::Tree;
+      else if (E == "sarray")
+        C.Opts.Outliner.Discovery = DiscoveryEngine::SuffixArray;
+      else
+        return MCO_ERROR("unknown discovery engine '" + E +
+                         "' (expected 'tree' or 'sarray')");
     } else if (A == "--interleave-data") {
       C.Opts.DataLayout = DataLayoutMode::Interleaved;
     } else if (A == "--normalize-commutative") {
@@ -335,10 +351,12 @@ Status runBuild(BuildConfig &C, DiagState &D) {
   }
 
   std::printf("profile %s, %u modules, %s pipeline, %u round(s), "
-              "%u thread(s)%s%s\n",
+              "%u thread(s), %s discovery%s%s\n",
               C.Profile.Name.c_str(), C.Profile.NumModules,
               C.Opts.WholeProgram ? "whole-program" : "per-module",
               C.Opts.OutlineRounds, C.Opts.Threads,
+              C.Opts.Outliner.Discovery == DiscoveryEngine::Tree ? "tree"
+                                                                 : "sarray",
               C.Opts.Outliner.Incremental ? ", incremental" : "",
               C.Opts.Guard.Enabled ? ", guarded" : "");
 
