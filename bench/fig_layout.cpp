@@ -1,0 +1,244 @@
+//===- bench/fig_layout.cpp - Layout-strategy fleet comparison ------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Head-to-head of the pluggable code-layout strategies over the closed
+/// measure->layout->verify loop: builds the Table 5 corpus, captures
+/// startup traces from an original-layout fleet run, replans with each
+/// strategy through the real build pipeline, and re-measures on the same
+/// fleet. Prints per-strategy startup metrics and layout planning cost,
+/// and emits BENCH_layout.json for CI trend tracking.
+///
+/// The bench doubles as the layout_smoke regression gate:
+///   - bp must beat original on simulated text page faults, and
+///   - no strategy may change code size or outlining stats (layout moves
+///     addresses, never bytes).
+///
+///   fig_layout [--modules N] [--devices N] [--rounds N] [--seed S]
+///              [--threads N] [--json PATH]
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "linker/LayoutStrategy.h"
+#include "pipeline/BuildPipeline.h"
+#include "support/FileAtomics.h"
+#include "synth/CorpusSynthesizer.h"
+#include "telemetry/FleetSim.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace mco;
+using namespace mco::benchutil;
+
+namespace {
+
+struct StrategyRow {
+  std::string Name;
+  uint64_t CodeSize = 0;
+  uint64_t SequencesOutlined = 0;
+  uint64_t FunctionsCreated = 0;
+  uint64_t FunctionsTraced = 0;
+  uint64_t EstimatedTextFaults = 0;
+  uint64_t SimulatedTextFaults = 0; ///< Summed over every fleet device.
+  double LayoutSeconds = 0;
+  FleetMetrics Fleet;
+};
+
+std::string rowJson(const StrategyRow &R) {
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"strategy\": \"%s\", \"code_size\": %llu, "
+      "\"sequences_outlined\": %llu, \"functions_traced\": %llu, "
+      "\"estimated_text_faults\": %llu, \"simulated_text_faults\": %llu, "
+      "\"layout_seconds\": %.6f, \"cycles_p50\": %.1f, \"cycles_p95\": "
+      "%.1f, \"text_page_faults_p50\": %.1f, \"text_page_faults_p95\": "
+      "%.1f, \"data_page_faults_p50\": %.1f, \"data_page_faults_p95\": "
+      "%.1f, \"icache_miss_p50\": %.1f, \"icache_miss_p95\": %.1f}",
+      R.Name.c_str(), static_cast<unsigned long long>(R.CodeSize),
+      static_cast<unsigned long long>(R.SequencesOutlined),
+      static_cast<unsigned long long>(R.FunctionsTraced),
+      static_cast<unsigned long long>(R.EstimatedTextFaults),
+      static_cast<unsigned long long>(R.SimulatedTextFaults), R.LayoutSeconds,
+      R.Fleet.CyclesP50, R.Fleet.CyclesP95, R.Fleet.TextFaultsP50,
+      R.Fleet.TextFaultsP95, R.Fleet.DataFaultsP50, R.Fleet.DataFaultsP95,
+      R.Fleet.ICacheMissP50, R.Fleet.ICacheMissP95);
+  return Buf;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Modules = 64, Devices = 32, Rounds = 3, Threads = 4;
+  uint64_t Seed = 0x5EED;
+  std::string JsonPath = "BENCH_layout.json";
+  for (int I = 1; I < argc; ++I) {
+    auto Next = [&]() { return I + 1 < argc ? argv[++I] : ""; };
+    if (!std::strcmp(argv[I], "--modules"))
+      Modules = std::atoi(Next());
+    else if (!std::strcmp(argv[I], "--devices"))
+      Devices = std::atoi(Next());
+    else if (!std::strcmp(argv[I], "--rounds"))
+      Rounds = std::atoi(Next());
+    else if (!std::strcmp(argv[I], "--seed"))
+      Seed = std::strtoull(Next(), nullptr, 0);
+    else if (!std::strcmp(argv[I], "--threads"))
+      Threads = std::atoi(Next());
+    else if (!std::strcmp(argv[I], "--json"))
+      JsonPath = Next();
+    else {
+      std::fprintf(stderr,
+                   "usage: fig_layout [--modules N] [--devices N] "
+                   "[--rounds N] [--seed S] [--threads N] [--json PATH]\n");
+      return 1;
+    }
+  }
+
+  banner("Code-layout strategies — fleet startup comparison",
+         "Section VI layout sensitivity; bp (arxiv 2211.09285) and "
+         "Codestitcher (arxiv 1810.00905) vs module order");
+  std::printf("%u modules, %u devices, %u round(s), seed 0x%llx, "
+              "%u thread(s)\n",
+              Modules, Devices, Rounds,
+              static_cast<unsigned long long>(Seed), Threads);
+
+  FleetOptions O;
+  O.NumDevices = Devices;
+  O.Seed = Seed;
+  O.Threads = Threads;
+  const AppProfile AP = AppProfile::uberRider();
+  for (unsigned S = 0; S < AP.NumSpans; ++S)
+    O.Entries.push_back(CorpusSynthesizer::spanFunctionName(S));
+
+  // One pipeline build per strategy over the same deterministic corpus;
+  // bp/stitch consume the traces the original-layout fleet run captured —
+  // the closed loop, in process.
+  auto buildWith = [&](const std::string &Strategy,
+                       const TraceProfile *Profile, BuildResult &R) {
+    AppProfile P = AppProfile::uberRider();
+    P.NumModules = Modules;
+    auto Prog = CorpusSynthesizer(P).withThreads(Threads).generate();
+    PipelineOptions Opts;
+    Opts.OutlineRounds = Rounds;
+    Opts.WholeProgram = true;
+    Opts.Threads = Threads;
+    Opts.Layout.Strategy = Strategy;
+    Opts.Layout.Profile = Profile;
+    R = buildProgram(*Prog, Opts);
+    return Prog;
+  };
+
+  BuildResult OrigBuild;
+  auto Orig = buildWith("original", nullptr, OrigBuild);
+  TraceProfile Traces;
+  const FleetReport OrigReport = runFleet(*Orig, O, nullptr, &Traces);
+
+  auto sumTextFaults = [](const FleetReport &R) {
+    uint64_t N = 0;
+    for (const DeviceResult &D : R.Devices)
+      N += D.Counters.TextPageFaults;
+    return N;
+  };
+
+  std::vector<StrategyRow> Rows;
+  bool BytesDiffer = false;
+  for (const std::string &Name : layoutStrategyNames()) {
+    StrategyRow Row;
+    Row.Name = Name;
+    BuildResult B = OrigBuild;
+    std::unique_ptr<Program> Prog;
+    FleetReport Rep;
+    if (Name == "original") {
+      Rep = OrigReport;
+      Prog = nullptr;
+      Row.Fleet = OrigReport.Overall;
+    } else {
+      Prog = buildWith(Name, &Traces, B);
+      Rep = runFleet(*Prog, O, &B.Layout);
+      Row.Fleet = Rep.Overall;
+    }
+    Row.CodeSize = B.CodeSize;
+    Row.SequencesOutlined = B.OutlineStats.totalSequencesOutlined();
+    Row.FunctionsCreated = B.OutlineStats.totalFunctionsCreated();
+    Row.FunctionsTraced = B.Layout.FunctionsTraced;
+    Row.EstimatedTextFaults = B.Layout.EstimatedTextFaults;
+    Row.SimulatedTextFaults = sumTextFaults(Rep);
+    Row.LayoutSeconds = B.Layout.Seconds;
+    if (B.CodeSize != OrigBuild.CodeSize ||
+        Row.SequencesOutlined !=
+            OrigBuild.OutlineStats.totalSequencesOutlined() ||
+        Row.FunctionsCreated !=
+            OrigBuild.OutlineStats.totalFunctionsCreated())
+      BytesDiffer = true;
+    Rows.push_back(Row);
+  }
+
+  section("per-strategy fleet startup metrics");
+  std::printf("%-9s %12s %12s %10s %10s %10s %10s %9s\n", "strategy",
+              "cycles_p50", "cycles_p95", "text_p50", "text_p95",
+              "icache_p50", "sim_faults", "plan_sec");
+  for (const StrategyRow &R : Rows)
+    std::printf("%-9s %12.0f %12.0f %10.1f %10.1f %10.1f %10llu %9.3f\n",
+                R.Name.c_str(), R.Fleet.CyclesP50, R.Fleet.CyclesP95,
+                R.Fleet.TextFaultsP50, R.Fleet.TextFaultsP95,
+                R.Fleet.ICacheMissP50,
+                static_cast<unsigned long long>(R.SimulatedTextFaults),
+                R.LayoutSeconds);
+
+  std::string J = "{\n  \"bench\": \"layout\",\n";
+  J += "  \"modules\": " + std::to_string(Modules) + ",\n";
+  J += "  \"devices\": " + std::to_string(Devices) + ",\n";
+  J += "  \"rounds\": " + std::to_string(Rounds) + ",\n";
+  J += "  \"strategies\": [\n";
+  for (size_t I = 0; I < Rows.size(); ++I)
+    J += "    " + rowJson(Rows[I]) + (I + 1 < Rows.size() ? ",\n" : "\n");
+  J += "  ]\n}\n";
+  if (Status S = atomicWriteFile(JsonPath, J); !S.ok()) {
+    std::fprintf(stderr, "fig_layout: %s\n", S.render().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", JsonPath.c_str());
+
+  // Regression gate (the layout_smoke ctest): bp must cut simulated text
+  // page faults, and layout must never change bytes or outlining stats.
+  const StrategyRow *OrigRow = nullptr, *BpRow = nullptr;
+  for (const StrategyRow &R : Rows) {
+    if (R.Name == "original")
+      OrigRow = &R;
+    if (R.Name == "bp")
+      BpRow = &R;
+  }
+  if (BytesDiffer) {
+    std::fprintf(stderr,
+                 "FAIL: a layout strategy changed code size or outlining "
+                 "stats\n");
+    return 1;
+  }
+  if (!OrigRow || !BpRow ||
+      BpRow->SimulatedTextFaults >= OrigRow->SimulatedTextFaults) {
+    std::fprintf(stderr,
+                 "FAIL: bp did not beat original on simulated text page "
+                 "faults (%llu vs %llu)\n",
+                 static_cast<unsigned long long>(
+                     BpRow ? BpRow->SimulatedTextFaults : 0),
+                 static_cast<unsigned long long>(
+                     OrigRow ? OrigRow->SimulatedTextFaults : 0));
+    return 1;
+  }
+  std::printf("layout gate: bp cut simulated text faults %llu -> %llu "
+              "(%.1f%%), bytes identical across strategies\n",
+              static_cast<unsigned long long>(OrigRow->SimulatedTextFaults),
+              static_cast<unsigned long long>(BpRow->SimulatedTextFaults),
+              savingPercent(OrigRow->SimulatedTextFaults,
+                            BpRow->SimulatedTextFaults));
+  return 0;
+}

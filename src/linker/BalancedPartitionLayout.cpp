@@ -1,0 +1,315 @@
+//===- linker/BalancedPartitionLayout.cpp - bp layout strategy ------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The `bp` strategy: balanced-partitioning function layout after
+/// "Optimizing Function Layout for Mobile Applications" (arxiv 2211.09285).
+///
+/// Each device's startup entry stream is cut into fixed-width windows of
+/// consecutively executed functions; a window is a *utility*. Functions
+/// sharing many utilities ran close together during startup, so placing
+/// them on the same text pages turns N page faults into one. The layout
+/// recursively bisects the traced function set, refining each split with
+/// Kernighan–Lin-style swap passes that minimize the number of utilities
+/// split across the two sides (objective per utility: min(left members,
+/// right members) — a utility fully on one side costs nothing). Leaves
+/// keep first-seen trace order; functions seen only on call edges follow
+/// (warm), then untraced functions in module order.
+///
+/// Deterministic by construction: no RNG, index-based tie-breaks, and the
+/// whole computation is single-threaded over data that is a pure function
+/// of (program, traces) — so the plan is byte-identical at any -j.
+///
+//===----------------------------------------------------------------------===//
+
+#include "linker/LayoutStrategy.h"
+
+#include "mir/Program.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace mco;
+using namespace mco::layout_detail;
+
+namespace {
+
+/// Entry-stream window width, in function entries. Small enough that a
+/// window approximates one "moment" of startup, large enough to capture
+/// cross-function locality.
+constexpr size_t WindowEntries = 16;
+/// Stop bisecting below this many functions — a leaf fits well inside a
+/// page anyway.
+constexpr size_t LeafSize = 4;
+/// Swap-refinement passes per bisection node.
+constexpr unsigned RefinePasses = 16;
+
+class BalancedPartitionLayout : public LayoutStrategy {
+public:
+  std::string name() const override { return "bp"; }
+
+  Expected<LayoutPlan> plan(const Program &Prog,
+                            const TraceProfile &Traces) const override;
+};
+
+struct Bisector {
+  /// Utility membership: per traced-slot utility ids, per-utility member
+  /// slots.
+  std::vector<std::vector<uint32_t>> SlotUtils;
+  std::vector<std::vector<uint32_t>> UtilMembers;
+  /// Per-utility side counts, valid for the node being refined (entries
+  /// reset via TouchedUtils).
+  std::vector<int> KLeft, KRight;
+  /// 0 = outside the current node, 1 = left, 2 = right.
+  std::vector<uint8_t> Side;
+  std::vector<uint32_t> Out; ///< Bisected slot order, leaves appended.
+
+  /// min(kL, kR) delta of moving one member from its side to the other;
+  /// positive = improvement.
+  static int moveGain(int KSame, int KOther) {
+    return std::min(KSame, KOther) - std::min(KSame - 1, KOther + 1);
+  }
+
+  /// Fresh unilateral gain of moving \p S to the other side, from the
+  /// current counts.
+  int unilateralGain(uint32_t S) const {
+    int G = 0;
+    for (uint32_t U : SlotUtils[S])
+      G += Side[S] == 1 ? moveGain(KLeft[U], KRight[U])
+                        : moveGain(KRight[U], KLeft[U]);
+    return G;
+  }
+
+  /// Actual objective delta of swapping \p A (left) with \p B (right):
+  /// the two unilateral gains double-count utilities containing both — a
+  /// swap leaves such a utility's counts unchanged — so the shared terms
+  /// are subtracted out. SlotUtils lists are sorted, enabling a
+  /// two-pointer intersection.
+  int pairGain(uint32_t A, uint32_t B) const {
+    int G = unilateralGain(A) + unilateralGain(B);
+    const std::vector<uint32_t> &UA = SlotUtils[A], &UB = SlotUtils[B];
+    size_t I = 0, J = 0;
+    while (I < UA.size() && J < UB.size()) {
+      if (UA[I] < UB[J])
+        ++I;
+      else if (UA[I] > UB[J])
+        ++J;
+      else {
+        const uint32_t U = UA[I];
+        G -= moveGain(KLeft[U], KRight[U]) + moveGain(KRight[U], KLeft[U]);
+        ++I;
+        ++J;
+      }
+    }
+    return G;
+  }
+
+  void applySwap(uint32_t A, uint32_t B) {
+    for (uint32_t U : SlotUtils[A]) {
+      --KLeft[U];
+      ++KRight[U];
+    }
+    for (uint32_t U : SlotUtils[B]) {
+      ++KLeft[U];
+      --KRight[U];
+    }
+    Side[A] = 2;
+    Side[B] = 1;
+  }
+
+  void refine(std::vector<uint32_t> &Node, size_t Mid) {
+    for (size_t I = 0; I < Node.size(); ++I)
+      Side[Node[I]] = I < Mid ? 1 : 2;
+
+    // Collect the utilities with members in this node and their counts.
+    std::vector<uint32_t> TouchedUtils;
+    for (uint32_t S : Node)
+      for (uint32_t U : SlotUtils[S]) {
+        if (KLeft[U] == 0 && KRight[U] == 0)
+          TouchedUtils.push_back(U);
+        (Side[S] == 1 ? KLeft[U] : KRight[U]) += 1;
+      }
+
+    // Candidate R partners examined per L candidate; a small window keeps
+    // refinement near-linear while still escaping the symmetric-gain trap
+    // a strict rank-for-rank pairing falls into.
+    constexpr size_t PartnerWindow = 8;
+
+    std::vector<std::pair<int, uint32_t>> GainL, GainR;
+    for (unsigned Pass = 0; Pass < RefinePasses; ++Pass) {
+      GainL.clear();
+      GainR.clear();
+      for (uint32_t S : Node)
+        (Side[S] == 1 ? GainL : GainR).push_back({unilateralGain(S), S});
+      // Highest gain first; ties broken by slot id for determinism.
+      auto ByGain = [](const std::pair<int, uint32_t> &A,
+                       const std::pair<int, uint32_t> &B) {
+        return A.first != B.first ? A.first > B.first : A.second < B.second;
+      };
+      std::sort(GainL.begin(), GainL.end(), ByGain);
+      std::sort(GainR.begin(), GainR.end(), ByGain);
+
+      size_t Swaps = 0;
+      std::vector<uint8_t> Used(GainR.size(), 0);
+      for (const auto &[StaleG, A] : GainL) {
+        (void)StaleG;
+        if (Side[A] != 1)
+          continue;
+        int BestG = 0;
+        size_t BestJ = SIZE_MAX;
+        size_t Seen = 0;
+        for (size_t J = 0; J < GainR.size() && Seen < PartnerWindow; ++J) {
+          if (Used[J] || Side[GainR[J].second] != 2)
+            continue;
+          ++Seen;
+          const int G = pairGain(A, GainR[J].second);
+          if (G > BestG) {
+            BestG = G;
+            BestJ = J;
+          }
+        }
+        if (BestJ == SIZE_MAX)
+          continue;
+        applySwap(A, GainR[BestJ].second);
+        Used[BestJ] = 1;
+        ++Swaps;
+      }
+      if (Swaps == 0)
+        break;
+    }
+
+    // Re-partition the node in place, preserving relative order per side.
+    std::vector<uint32_t> L, R;
+    L.reserve(Mid);
+    for (uint32_t S : Node)
+      (Side[S] == 1 ? L : R).push_back(S);
+    size_t W = 0;
+    for (uint32_t S : L)
+      Node[W++] = S;
+    for (uint32_t S : R)
+      Node[W++] = S;
+
+    for (uint32_t U : TouchedUtils)
+      KLeft[U] = KRight[U] = 0;
+    for (uint32_t S : Node)
+      Side[S] = 0;
+  }
+
+  void bisect(std::vector<uint32_t> Node, unsigned Depth) {
+    if (Node.size() <= LeafSize || Depth >= 32) {
+      Out.insert(Out.end(), Node.begin(), Node.end());
+      return;
+    }
+    const size_t Mid = Node.size() / 2;
+    refine(Node, Mid);
+    // refine() leaves the left side first; Mid members stay on the left
+    // because swaps are pairwise.
+    std::vector<uint32_t> L(Node.begin(), Node.begin() + Mid);
+    std::vector<uint32_t> R(Node.begin() + Mid, Node.end());
+    bisect(std::move(L), Depth + 1);
+    bisect(std::move(R), Depth + 1);
+  }
+};
+
+Expected<LayoutPlan>
+BalancedPartitionLayout::plan(const Program &Prog,
+                              const TraceProfile &Traces) const {
+  LayoutPlan P;
+  P.Strategy = name();
+  P.Data = dataLayout();
+
+  const FunctionTable FT = flattenFunctions(Prog);
+  const std::vector<uint32_t> Map = mapProfileToProgram(Prog, FT, Traces);
+
+  // Traced functions in first-seen order across devices (device index
+  // order, entry order within a device).
+  std::vector<uint32_t> TracedFlat; // slot -> flat index
+  std::vector<uint32_t> FlatToSlot(FT.size(), UINT32_MAX);
+  for (const DeviceTrace &D : Traces.Devices)
+    for (uint32_t Id : D.Entries) {
+      if (Id >= Map.size() || Map[Id] == UINT32_MAX)
+        continue;
+      const uint32_t Flat = Map[Id];
+      if (FlatToSlot[Flat] == UINT32_MAX) {
+        FlatToSlot[Flat] = static_cast<uint32_t>(TracedFlat.size());
+        TracedFlat.push_back(Flat);
+      }
+    }
+  P.FunctionsTraced = TracedFlat.size();
+
+  if (TracedFlat.size() > 1) {
+    // Utilities: fixed-width windows over each device's entry stream,
+    // deduplicated within the window.
+    Bisector B;
+    B.SlotUtils.resize(TracedFlat.size());
+    std::vector<uint32_t> Window;
+    for (const DeviceTrace &D : Traces.Devices) {
+      for (size_t Off = 0; Off < D.Entries.size(); Off += WindowEntries) {
+        Window.clear();
+        const size_t End = std::min(Off + WindowEntries, D.Entries.size());
+        for (size_t J = Off; J < End; ++J) {
+          const uint32_t Id = D.Entries[J];
+          if (Id >= Map.size() || Map[Id] == UINT32_MAX)
+            continue;
+          const uint32_t Slot = FlatToSlot[Map[Id]];
+          if (std::find(Window.begin(), Window.end(), Slot) == Window.end())
+            Window.push_back(Slot);
+        }
+        if (Window.size() < 2)
+          continue; // A single-member utility cannot be split.
+        const uint32_t U = static_cast<uint32_t>(B.UtilMembers.size());
+        std::sort(Window.begin(), Window.end());
+        for (uint32_t Slot : Window)
+          B.SlotUtils[Slot].push_back(U);
+        B.UtilMembers.push_back(Window);
+      }
+    }
+    B.KLeft.assign(B.UtilMembers.size(), 0);
+    B.KRight.assign(B.UtilMembers.size(), 0);
+    B.Side.assign(TracedFlat.size(), 0);
+
+    std::vector<uint32_t> All(TracedFlat.size());
+    std::iota(All.begin(), All.end(), 0u);
+    B.bisect(std::move(All), 0);
+
+    P.Order.reserve(FT.size());
+    for (uint32_t Slot : B.Out)
+      P.Order.push_back(TracedFlat[Slot]);
+  } else {
+    P.Order.reserve(FT.size());
+    for (uint32_t Flat : TracedFlat)
+      P.Order.push_back(Flat);
+  }
+
+  // Warm tier: functions the fleet saw only on call edges (called past
+  // the entry-stream cap) still execute during startup, so they follow
+  // the bisected region rather than scattering through cold pages.
+  // Truly untraced functions keep module order at the end.
+  std::vector<uint8_t> Warm(FT.size(), 0);
+  for (const DeviceTrace &D : Traces.Devices)
+    for (const TraceCallEdge &E : D.Calls) {
+      if (E.Caller < Map.size() && Map[E.Caller] != UINT32_MAX)
+        Warm[Map[E.Caller]] = 1;
+      if (E.Callee < Map.size() && Map[E.Callee] != UINT32_MAX)
+        Warm[Map[E.Callee]] = 1;
+    }
+  for (uint32_t Flat = 0; Flat < FT.size(); ++Flat)
+    if (FlatToSlot[Flat] == UINT32_MAX && Warm[Flat])
+      P.Order.push_back(Flat);
+  for (uint32_t Flat = 0; Flat < FT.size(); ++Flat)
+    if (FlatToSlot[Flat] == UINT32_MAX && !Warm[Flat])
+      P.Order.push_back(Flat);
+
+  P.EstimatedTextFaults = estimateTextFaults(Prog, P.Order, Traces);
+  return P;
+}
+
+} // namespace
+
+namespace mco {
+std::unique_ptr<LayoutStrategy> makeBalancedPartitionLayout() {
+  return std::unique_ptr<LayoutStrategy>(new BalancedPartitionLayout());
+}
+} // namespace mco

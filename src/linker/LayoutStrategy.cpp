@@ -1,0 +1,133 @@
+//===- linker/LayoutStrategy.cpp - Pluggable code-layout policies ---------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "linker/LayoutStrategy.h"
+
+#include "mir/Program.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace mco;
+using namespace mco::layout_detail;
+
+FunctionTable mco::layout_detail::flattenFunctions(const Program &Prog) {
+  FunctionTable FT;
+  for (const auto &M : Prog.Modules)
+    for (const MachineFunction &MF : M->Functions) {
+      FT.Syms.push_back(MF.Name);
+      FT.Bytes.push_back(MF.codeSize());
+    }
+  return FT;
+}
+
+std::vector<uint32_t>
+mco::layout_detail::mapProfileToProgram(const Program &Prog,
+                                        const FunctionTable &FT,
+                                        const TraceProfile &Traces) {
+  std::unordered_map<uint32_t, uint32_t> SymToFlat;
+  SymToFlat.reserve(FT.size());
+  for (size_t I = 0; I < FT.size(); ++I)
+    SymToFlat.emplace(FT.Syms[I], static_cast<uint32_t>(I));
+
+  std::vector<uint32_t> Map(Traces.Functions.size(), UINT32_MAX);
+  for (size_t I = 0; I < Traces.Functions.size(); ++I) {
+    uint32_t Sym = Prog.lookupSymbol(Traces.Functions[I]);
+    if (Sym == UINT32_MAX)
+      continue;
+    auto It = SymToFlat.find(Sym);
+    if (It != SymToFlat.end())
+      Map[I] = It->second;
+  }
+  return Map;
+}
+
+uint64_t mco::estimateTextFaults(const Program &Prog,
+                                 const std::vector<uint32_t> &Order,
+                                 const TraceProfile &Traces) {
+  const FunctionTable FT = flattenFunctions(Prog);
+  const size_t N = FT.size();
+  const uint64_t PageBytes = Traces.PageBytes ? Traces.PageBytes : 16384;
+
+  // Address of each flat function under the given order.
+  std::vector<uint64_t> Addr(N, 0);
+  uint64_t A = 0;
+  if (Order.empty()) {
+    for (size_t I = 0; I < N; ++I) {
+      Addr[I] = A;
+      A += FT.Bytes[I];
+    }
+  } else {
+    for (uint32_t Flat : Order) {
+      Addr[Flat] = A;
+      A += FT.Bytes[Flat];
+    }
+  }
+
+  const std::vector<uint32_t> Map = mapProfileToProgram(Prog, FT, Traces);
+  uint64_t Faults = 0;
+  std::unordered_set<uint64_t> Pages;
+  for (const DeviceTrace &D : Traces.Devices) {
+    Pages.clear();
+    for (uint32_t Id : D.Entries) {
+      if (Id >= Map.size() || Map[Id] == UINT32_MAX)
+        continue;
+      const uint32_t Flat = Map[Id];
+      const uint64_t First = Addr[Flat] / PageBytes;
+      const uint64_t Bytes = FT.Bytes[Flat] ? FT.Bytes[Flat] : 1;
+      const uint64_t Last = (Addr[Flat] + Bytes - 1) / PageBytes;
+      for (uint64_t Pg = First; Pg <= Last; ++Pg)
+        Pages.insert(Pg);
+    }
+    Faults += Pages.size();
+  }
+  return Faults;
+}
+
+namespace {
+
+/// `original`: module order, the pre-strategy behaviour and the rollout
+/// baseline. Emits an empty Order so BinaryImage takes its legacy path.
+class OriginalLayout : public LayoutStrategy {
+public:
+  std::string name() const override { return "original"; }
+
+  Expected<LayoutPlan> plan(const Program &Prog,
+                            const TraceProfile &Traces) const override {
+    LayoutPlan P;
+    P.Strategy = name();
+    P.Data = dataLayout();
+    P.EstimatedTextFaults = estimateTextFaults(Prog, P.Order, Traces);
+    return P;
+  }
+};
+
+} // namespace
+
+namespace mco {
+// Defined in BalancedPartitionLayout.cpp / StitchLayout.cpp.
+std::unique_ptr<LayoutStrategy> makeBalancedPartitionLayout();
+std::unique_ptr<LayoutStrategy> makeStitchLayout();
+} // namespace mco
+
+Expected<std::unique_ptr<LayoutStrategy>>
+mco::createLayoutStrategy(const std::string &Name) {
+  if (Name == "original" || Name.empty())
+    return std::unique_ptr<LayoutStrategy>(new OriginalLayout());
+  if (Name == "bp")
+    return makeBalancedPartitionLayout();
+  if (Name == "stitch")
+    return makeStitchLayout();
+  std::string Valid;
+  for (const std::string &N : layoutStrategyNames())
+    Valid += (Valid.empty() ? "" : ", ") + N;
+  return MCO_ERROR("unknown layout strategy '" + Name + "' (valid: " + Valid +
+                   ")");
+}
+
+std::vector<std::string> mco::layoutStrategyNames() {
+  return {"original", "bp", "stitch"};
+}

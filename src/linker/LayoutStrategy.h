@@ -1,0 +1,138 @@
+//===- linker/LayoutStrategy.h - Pluggable code-layout policies -*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pluggable function-layout strategies for BinaryImage. The paper's
+/// Section VI shows layout — not just size — decides device performance;
+/// this turns the linker's single hard-coded policy (module order) into a
+/// strategy interface driven by fleet startup traces:
+///
+///  - `original`  module order, exactly the pre-strategy behaviour. The
+///                default and the rollout baseline.
+///  - `bp`        balanced-partitioning function layout ("Optimizing
+///                Function Layout for Mobile Applications", arxiv
+///                2211.09285): recursively bisects the traced function
+///                set so functions sharing startup-trace utilities
+///                (co-execution windows) land on the same side — and
+///                ultimately the same 16 KiB text pages — minimizing
+///                startup page faults.
+///  - `stitch`    Codestitcher-style layout (arxiv 1810.00905): chains
+///                hot caller->callee pairs from the weighted dynamic call
+///                graph, merging chains only while they fit a 16 KiB page
+///                budget, then orders chains by heat density.
+///
+/// A strategy is a pure function of (program, traces): deterministic at
+/// any thread count, no RNG. It emits a LayoutPlan — a permutation of the
+/// program's functions plus the strategy's data-layout affinity — which
+/// BinaryImage::create applies. Instruction bytes and outlining stats are
+/// untouched; only addresses move.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_LINKER_LAYOUTSTRATEGY_H
+#define MCO_LINKER_LAYOUTSTRATEGY_H
+
+#include "linker/Linker.h"
+#include "linker/StartupTrace.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mco {
+
+/// The output of a layout strategy: how BinaryImage should place code and
+/// how linkProgram should order data.
+struct LayoutPlan {
+  std::string Strategy = "original";
+  /// Permutation of the program's functions, as indices into the flat
+  /// module-order enumeration (module 0's functions first, then module
+  /// 1's, ...). Empty = keep module order.
+  std::vector<uint32_t> Order;
+  /// The strategy's data affinity (DataLayoutMode folded into the
+  /// strategy interface; the legacy --data-layout flag overrides it).
+  DataLayoutMode Data = DataLayoutMode::PreserveModuleOrder;
+  /// First-touch text pages the plan's order costs over the profile's
+  /// device entry streams (the quantity bp minimizes); 0 when no traces.
+  uint64_t EstimatedTextFaults = 0;
+  /// Wall-clock seconds spent planning.
+  double Seconds = 0;
+  /// Profile functions matched to program functions.
+  uint64_t FunctionsTraced = 0;
+  /// stitch only: laid-out chain sizes in bytes (page-budget invariant:
+  /// every multi-function chain fits PageBudgetBytes).
+  std::vector<uint64_t> ChainSizes;
+};
+
+/// A layout policy. Stateless apart from configuration; plan() may be
+/// called concurrently on distinct programs.
+class LayoutStrategy {
+public:
+  virtual ~LayoutStrategy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Computes the layout plan for \p Prog from \p Traces. Deterministic:
+  /// a pure function of the arguments. Strategies that need traces fall
+  /// back to the original order when \p Traces is empty (a cold build),
+  /// never fail on it.
+  virtual Expected<LayoutPlan> plan(const Program &Prog,
+                                    const TraceProfile &Traces) const = 0;
+
+  /// The strategy's data-layout affinity (satellite: DataLayoutMode is a
+  /// property of the strategy, not a separate pipeline knob).
+  DataLayoutMode dataLayout() const { return DataMode; }
+  /// Folds the legacy --data-layout / --interleave-data flag in: an
+  /// explicit override wins over the strategy's default affinity.
+  void overrideDataLayout(DataLayoutMode M) { DataMode = M; }
+
+protected:
+  DataLayoutMode DataMode = DataLayoutMode::PreserveModuleOrder;
+};
+
+/// \returns the strategy registered under \p Name (original | bp |
+/// stitch), or an error listing the valid names.
+Expected<std::unique_ptr<LayoutStrategy>>
+createLayoutStrategy(const std::string &Name);
+
+/// The registered strategy names, in presentation order.
+std::vector<std::string> layoutStrategyNames();
+
+/// The 16 KiB page budget Codestitcher chains are packed under.
+inline constexpr uint64_t PageBudgetBytes = 16384;
+
+/// Counts the first-touch text pages an order costs over the profile's
+/// device entry streams: functions are laid out in \p Order, each device
+/// touches the page span of every function it enters, and distinct pages
+/// are summed across devices. The shared estimator behind
+/// LayoutPlan::EstimatedTextFaults and the `linker.layout.*` metrics.
+/// \p Order empty = module order.
+uint64_t estimateTextFaults(const Program &Prog,
+                            const std::vector<uint32_t> &Order,
+                            const TraceProfile &Traces);
+
+namespace layout_detail {
+
+/// Flat module-order function enumeration shared by the strategies:
+/// for each function, its interned symbol and its code size in bytes.
+struct FunctionTable {
+  std::vector<uint32_t> Syms;
+  std::vector<uint64_t> Bytes;
+  size_t size() const { return Syms.size(); }
+};
+FunctionTable flattenFunctions(const Program &Prog);
+
+/// Maps profile function ids to flat function indices (UINT32_MAX when a
+/// traced name does not exist in the program).
+std::vector<uint32_t> mapProfileToProgram(const Program &Prog,
+                                          const FunctionTable &FT,
+                                          const TraceProfile &Traces);
+
+} // namespace layout_detail
+
+} // namespace mco
+
+#endif // MCO_LINKER_LAYOUTSTRATEGY_H

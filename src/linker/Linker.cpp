@@ -6,6 +6,8 @@
 
 #include "linker/Linker.h"
 
+#include "linker/LayoutStrategy.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
@@ -57,30 +59,78 @@ Module &mco::linkProgram(Program &Prog, DataLayoutMode Mode) {
 }
 
 BinaryImage::BinaryImage(const Program &Prog) {
-  uint64_t Addr = TextBase;
-  for (const auto &M : Prog.Modules) {
-    for (const MachineFunction &MF : M->Functions) {
-      FuncLayout FL;
-      FL.MF = &MF;
-      FL.Addr = Addr;
-      for (const MachineBasicBlock &MBB : MF.Blocks) {
-        FL.BlockAddrs.push_back(Addr);
-        for (const MachineInstr &MI : MBB.Instrs) {
-          FlatInstrs.push_back(&MI);
-          FlatFuncIdx.push_back(static_cast<uint32_t>(Funcs.size()));
-          Addr += InstrBytes;
-        }
-      }
-      auto [It, Inserted] =
-          SymToFunc.emplace(MF.Name, static_cast<uint32_t>(Funcs.size()));
-      (void)It;
-      if (!Inserted) {
-        std::fprintf(stderr, "linker error: duplicate symbol '%s'\n",
-                     Prog.symbolName(MF.Name).c_str());
-        std::abort();
-      }
-      Funcs.push_back(std::move(FL));
+  if (Status S = init(Prog, nullptr); !S.ok()) {
+    std::fprintf(stderr, "linker error: %s\n", S.message().c_str());
+    std::abort();
+  }
+}
+
+BinaryImage::BinaryImage(const Program &Prog, const LayoutPlan &Plan) {
+  if (Status S = init(Prog, &Plan); !S.ok()) {
+    std::fprintf(stderr, "linker error: %s\n", S.message().c_str());
+    std::abort();
+  }
+}
+
+Expected<BinaryImage> BinaryImage::create(const Program &Prog,
+                                          const LayoutPlan *Plan) {
+  BinaryImage Img;
+  if (Status S = Img.init(Prog, Plan); !S.ok())
+    return S;
+  return Img;
+}
+
+Status BinaryImage::init(const Program &Prog, const LayoutPlan *Plan) {
+  // Flat module-order function enumeration — the index space LayoutPlan
+  // orders refer to.
+  std::vector<const MachineFunction *> Flat;
+  for (const auto &M : Prog.Modules)
+    for (const MachineFunction &MF : M->Functions)
+      Flat.push_back(&MF);
+
+  // Resolve the layout order. An empty plan order means module order.
+  std::vector<uint32_t> Order;
+  if (Plan && !Plan->Order.empty()) {
+    Order = Plan->Order;
+    if (Order.size() != Flat.size())
+      return MCO_ERROR("layout plan orders " + std::to_string(Order.size()) +
+                       " function(s), program has " +
+                       std::to_string(Flat.size()));
+    std::vector<uint8_t> Seen(Flat.size(), 0);
+    for (uint32_t Idx : Order) {
+      if (Idx >= Flat.size())
+        return MCO_ERROR("layout plan index " + std::to_string(Idx) +
+                         " out of range");
+      if (Seen[Idx]++)
+        return MCO_ERROR("layout plan repeats function index " +
+                         std::to_string(Idx));
     }
+  } else {
+    Order.resize(Flat.size());
+    for (uint32_t I = 0; I < Flat.size(); ++I)
+      Order[I] = I;
+  }
+
+  uint64_t Addr = TextBase;
+  for (uint32_t FlatIdx : Order) {
+    const MachineFunction &MF = *Flat[FlatIdx];
+    FuncLayout FL;
+    FL.MF = &MF;
+    FL.Addr = Addr;
+    for (const MachineBasicBlock &MBB : MF.Blocks) {
+      FL.BlockAddrs.push_back(Addr);
+      for (const MachineInstr &MI : MBB.Instrs) {
+        FlatInstrs.push_back(&MI);
+        FlatFuncIdx.push_back(static_cast<uint32_t>(Funcs.size()));
+        Addr += InstrBytes;
+      }
+    }
+    bool Inserted =
+        SymToFunc.emplace(MF.Name, static_cast<uint32_t>(Funcs.size()))
+            .second;
+    if (!Inserted)
+      return MCO_ERROR("duplicate symbol '" + Prog.symbolName(MF.Name) + "'");
+    Funcs.push_back(std::move(FL));
   }
   CodeBytes = Addr - TextBase;
 
@@ -93,13 +143,12 @@ BinaryImage::BinaryImage(const Program &Prog) {
       DAddr = (DAddr + 7) & ~uint64_t(7);
       Data.push_back(DataEntry{&G, DAddr});
       bool Inserted = SymToData.emplace(G.Name, DAddr).second;
-      if (!Inserted) {
-        std::fprintf(stderr, "linker error: duplicate global '%s'\n",
-                     Prog.symbolName(G.Name).c_str());
-        std::abort();
-      }
+      if (!Inserted)
+        return MCO_ERROR("duplicate global '" + Prog.symbolName(G.Name) +
+                         "'");
       DAddr += G.Bytes.size();
     }
   }
   DataBytes = DAddr - DataBaseAddr;
+  return Status::success();
 }

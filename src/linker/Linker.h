@@ -26,12 +26,15 @@
 #define MCO_LINKER_LINKER_H
 
 #include "mir/Program.h"
+#include "support/Error.h"
 
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace mco {
+
+struct LayoutPlan;
 
 /// How `linkProgram` orders global data from different modules.
 enum class DataLayoutMode : uint8_t {
@@ -59,8 +62,20 @@ public:
   /// and every global (in each module's stored order — run linkProgram
   /// first to apply a data-layout policy program-wide).
   ///
-  /// \p Prog must outlive the image. Aborts on duplicate function symbols.
+  /// \p Prog must outlive the image. Aborts on duplicate function symbols;
+  /// use create() for the Status-returning path.
   explicit BinaryImage(const Program &Prog);
+
+  /// Like the ctor, but applies \p Plan's function order (a LayoutStrategy
+  /// product; see LayoutStrategy.h). Aborts on layout errors.
+  BinaryImage(const Program &Prog, const LayoutPlan &Plan);
+
+  /// The recoverable construction path: \returns the laid-out image, or a
+  /// Status on duplicate function/global symbols or a malformed plan
+  /// (Order not a permutation of the program's functions). \p Plan may be
+  /// null (module order).
+  static Expected<BinaryImage> create(const Program &Prog,
+                                      const LayoutPlan *Plan = nullptr);
 
   /// \returns the address of function \p Sym, or 0 if undefined (e.g. a
   /// runtime builtin the simulator provides).
@@ -121,6 +136,14 @@ public:
   }
 
 private:
+  /// Expected<BinaryImage> needs an empty image to default-construct;
+  /// create() fills it via init().
+  BinaryImage() = default;
+  friend class Expected<BinaryImage>;
+
+  /// The one layout routine behind every construction path.
+  Status init(const Program &Prog, const LayoutPlan *Plan);
+
   std::vector<FuncLayout> Funcs;
   std::unordered_map<uint32_t, uint32_t> SymToFunc;
   std::vector<DataEntry> Data;

@@ -1,0 +1,355 @@
+//===- linker/StartupTrace.cpp - Fleet startup-trace profiles -------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "linker/StartupTrace.h"
+
+#include "support/FileAtomics.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace mco;
+
+uint32_t TraceProfile::functionId(const std::string &Name) {
+  auto It = NameToId.find(Name);
+  if (It != NameToId.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(Functions.size());
+  Functions.push_back(Name);
+  NameToId.emplace(Name, Id);
+  return Id;
+}
+
+uint64_t TraceProfile::totalEntries() const {
+  uint64_t N = 0;
+  for (const DeviceTrace &D : Devices)
+    N += D.Entries.size();
+  return N;
+}
+
+uint64_t TraceProfile::totalTextFaults() const {
+  uint64_t N = 0;
+  for (const DeviceTrace &D : Devices)
+    N += D.TextFaults;
+  return N;
+}
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char Ch : S) {
+    if (Ch == '"' || Ch == '\\')
+      Out += '\\';
+    Out += Ch;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string mco::traceProfileJson(const TraceProfile &P) {
+  std::string Out = "{\n";
+  Out += "  \"schema\": \"mco-traces-v1\",\n";
+  Out += "  \"page_bytes\": " + std::to_string(P.PageBytes) + ",\n";
+  Out += "  \"functions\": [";
+  for (size_t I = 0; I < P.Functions.size(); ++I)
+    Out += (I ? ", " : "") + ("\"" + jsonEscape(P.Functions[I]) + "\"");
+  Out += "],\n";
+  Out += "  \"devices\": [\n";
+  for (size_t I = 0; I < P.Devices.size(); ++I) {
+    const DeviceTrace &D = P.Devices[I];
+    Out += "    {\"device\": " + std::to_string(D.Device) + ",\n";
+    Out += "     \"entries\": [";
+    for (size_t J = 0; J < D.Entries.size(); ++J)
+      Out += (J ? "," : "") + std::to_string(D.Entries[J]);
+    Out += "],\n";
+    Out += "     \"calls\": [";
+    for (size_t J = 0; J < D.Calls.size(); ++J) {
+      const TraceCallEdge &E = D.Calls[J];
+      Out += (J ? "," : "") +
+             ("[" + std::to_string(E.Caller) + "," + std::to_string(E.Callee) +
+              "," + std::to_string(E.Count) + "]");
+    }
+    Out += "],\n";
+    Out += "     \"page_touches\": [";
+    for (size_t J = 0; J < D.PageTouches.size(); ++J)
+      Out += (J ? "," : "") + std::to_string(D.PageTouches[J]);
+    Out += "],\n";
+    Out += "     \"text_faults\": " + std::to_string(D.TextFaults) + "}";
+    Out += I + 1 < P.Devices.size() ? ",\n" : "\n";
+  }
+  Out += "  ]\n}\n";
+  return Out;
+}
+
+Status mco::writeTraceProfile(const TraceProfile &P, const std::string &Path) {
+  return atomicWriteFile(Path, traceProfileJson(P));
+}
+
+namespace {
+
+/// A minimal recursive-descent JSON reader, sufficient for the fixed
+/// `mco-traces-v1` shape (objects, arrays, strings, unsigned integers).
+/// No external JSON dependency is available in this toolchain.
+class JsonCursor {
+public:
+  explicit JsonCursor(const std::string &S) : S(S) {}
+
+  Status fail(const std::string &Msg) const {
+    return MCO_ERROR("traces JSON: " + Msg + " at offset " +
+                     std::to_string(Pos));
+  }
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool peek(char C) {
+    skipWs();
+    return Pos < S.size() && S[Pos] == C;
+  }
+
+  Status expect(char C) {
+    if (!consume(C))
+      return fail(std::string("expected '") + C + "'");
+    return Status::success();
+  }
+
+  Status parseString(std::string &Out) {
+    if (Status St = expect('"'); !St.ok())
+      return St;
+    Out.clear();
+    while (Pos < S.size() && S[Pos] != '"') {
+      char Ch = S[Pos++];
+      if (Ch == '\\' && Pos < S.size())
+        Ch = S[Pos++];
+      Out += Ch;
+    }
+    if (Pos >= S.size())
+      return fail("unterminated string");
+    ++Pos; // closing quote
+    return Status::success();
+  }
+
+  Status parseUInt(uint64_t &Out) {
+    skipWs();
+    if (Pos >= S.size() || S[Pos] < '0' || S[Pos] > '9')
+      return fail("expected number");
+    Out = 0;
+    while (Pos < S.size() && S[Pos] >= '0' && S[Pos] <= '9')
+      Out = Out * 10 + uint64_t(S[Pos++] - '0');
+    return Status::success();
+  }
+
+  /// Skips any value (used for unknown keys, forward compatibility).
+  Status skipValue() {
+    skipWs();
+    if (Pos >= S.size())
+      return fail("unexpected end of input");
+    char C = S[Pos];
+    if (C == '"') {
+      std::string Tmp;
+      return parseString(Tmp);
+    }
+    if (C == '{' || C == '[') {
+      char Close = C == '{' ? '}' : ']';
+      ++Pos;
+      unsigned Depth = 1;
+      bool InStr = false;
+      while (Pos < S.size() && Depth > 0) {
+        char Ch = S[Pos++];
+        if (InStr) {
+          if (Ch == '\\')
+            ++Pos;
+          else if (Ch == '"')
+            InStr = false;
+        } else if (Ch == '"') {
+          InStr = true;
+        } else if (Ch == C) {
+          ++Depth;
+        } else if (Ch == Close) {
+          --Depth;
+        }
+      }
+      return Depth == 0 ? Status::success() : fail("unbalanced value");
+    }
+    // Number / literal: consume until a delimiter.
+    while (Pos < S.size() && S[Pos] != ',' && S[Pos] != '}' && S[Pos] != ']' &&
+           S[Pos] != ' ' && S[Pos] != '\n' && S[Pos] != '\t' && S[Pos] != '\r')
+      ++Pos;
+    return Status::success();
+  }
+
+  /// Iterates `"key": value` pairs of an object; \p OnKey parses the value.
+  template <typename Fn> Status parseObject(Fn OnKey) {
+    if (Status St = expect('{'); !St.ok())
+      return St;
+    if (consume('}'))
+      return Status::success();
+    for (;;) {
+      std::string Key;
+      if (Status St = parseString(Key); !St.ok())
+        return St;
+      if (Status St = expect(':'); !St.ok())
+        return St;
+      if (Status St = OnKey(Key); !St.ok())
+        return St;
+      if (consume(','))
+        continue;
+      return expect('}');
+    }
+  }
+
+  /// Iterates the elements of an array; \p OnElem parses each.
+  template <typename Fn> Status parseArray(Fn OnElem) {
+    if (Status St = expect('['); !St.ok())
+      return St;
+    if (consume(']'))
+      return Status::success();
+    for (;;) {
+      if (Status St = OnElem(); !St.ok())
+        return St;
+      if (consume(','))
+        continue;
+      return expect(']');
+    }
+  }
+
+private:
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+Expected<TraceProfile> mco::parseTraceProfile(const std::string &Json) {
+  TraceProfile P;
+  P.PageBytes = 0;
+  std::string Schema;
+  std::vector<std::string> Functions;
+  JsonCursor C(Json);
+
+  Status St = C.parseObject([&](const std::string &Key) -> Status {
+    if (Key == "schema")
+      return C.parseString(Schema);
+    if (Key == "page_bytes")
+      return C.parseUInt(P.PageBytes);
+    if (Key == "functions")
+      return C.parseArray([&]() -> Status {
+        std::string Name;
+        if (Status S2 = C.parseString(Name); !S2.ok())
+          return S2;
+        Functions.push_back(std::move(Name));
+        return Status::success();
+      });
+    if (Key == "devices")
+      return C.parseArray([&]() -> Status {
+        DeviceTrace D;
+        Status S2 = C.parseObject([&](const std::string &DK) -> Status {
+          if (DK == "device") {
+            uint64_t V = 0;
+            Status S3 = C.parseUInt(V);
+            D.Device = static_cast<uint32_t>(V);
+            return S3;
+          }
+          if (DK == "entries")
+            return C.parseArray([&]() -> Status {
+              uint64_t V = 0;
+              Status S3 = C.parseUInt(V);
+              D.Entries.push_back(static_cast<uint32_t>(V));
+              return S3;
+            });
+          if (DK == "calls")
+            return C.parseArray([&]() -> Status {
+              TraceCallEdge E;
+              uint64_t V0 = 0, V1 = 0;
+              if (Status S3 = C.expect('['); !S3.ok())
+                return S3;
+              if (Status S3 = C.parseUInt(V0); !S3.ok())
+                return S3;
+              if (Status S3 = C.expect(','); !S3.ok())
+                return S3;
+              if (Status S3 = C.parseUInt(V1); !S3.ok())
+                return S3;
+              if (Status S3 = C.expect(','); !S3.ok())
+                return S3;
+              if (Status S3 = C.parseUInt(E.Count); !S3.ok())
+                return S3;
+              if (Status S3 = C.expect(']'); !S3.ok())
+                return S3;
+              E.Caller = static_cast<uint32_t>(V0);
+              E.Callee = static_cast<uint32_t>(V1);
+              D.Calls.push_back(E);
+              return Status::success();
+            });
+          if (DK == "page_touches")
+            return C.parseArray([&]() -> Status {
+              uint64_t V = 0;
+              Status S3 = C.parseUInt(V);
+              D.PageTouches.push_back(V);
+              return S3;
+            });
+          if (DK == "text_faults")
+            return C.parseUInt(D.TextFaults);
+          return C.skipValue();
+        });
+        if (!S2.ok())
+          return S2;
+        P.Devices.push_back(std::move(D));
+        return Status::success();
+      });
+    return C.skipValue();
+  });
+  if (!St.ok())
+    return St;
+
+  if (Schema != "mco-traces-v1")
+    return MCO_ERROR("traces JSON: unsupported schema '" + Schema +
+                     "' (want mco-traces-v1)");
+  if (P.PageBytes == 0)
+    P.PageBytes = 16384;
+  // Re-intern function names so functionId() works on the parsed profile.
+  for (const std::string &Name : Functions)
+    P.functionId(Name);
+  const uint32_t NumFuncs = static_cast<uint32_t>(P.Functions.size());
+  for (const DeviceTrace &D : P.Devices) {
+    for (uint32_t Id : D.Entries)
+      if (Id >= NumFuncs)
+        return MCO_ERROR("traces JSON: entry id " + std::to_string(Id) +
+                         " out of range (" + std::to_string(NumFuncs) +
+                         " functions)");
+    for (const TraceCallEdge &E : D.Calls)
+      if (E.Caller >= NumFuncs || E.Callee >= NumFuncs)
+        return MCO_ERROR("traces JSON: call edge id out of range");
+  }
+  return P;
+}
+
+Expected<TraceProfile> mco::readTraceProfile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return MCO_ERROR("cannot open traces file '" + Path + "'");
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Expected<TraceProfile> P = parseTraceProfile(Buf.str());
+  if (!P.ok())
+    return MCO_ERROR("'" + Path + "': " + P.status().message());
+  return P;
+}

@@ -1,0 +1,138 @@
+//===- linker/StartupTrace.h - Fleet startup-trace profiles -----*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profile format feeding the layout strategies: per-device startup
+/// traces captured by the fleet simulator. Each device records
+///
+///  - the ordered sequence of function entries its startup spans executed
+///    (capped, first ~4K entries — startup is what layout optimizes),
+///  - the aggregated caller->callee call counts (the weighted call graph
+///    Codestitcher-style layout consumes), and
+///  - the first-touch order of 16 KiB text pages plus the resulting
+///    text-page fault count (the quantity balanced-partitioning layout
+///    minimizes).
+///
+/// Functions are named symbolically (not by address), so a profile taken
+/// from one build of a program can drive the layout of a later build as
+/// long as symbol names persist — the same contract production PGO/layout
+/// systems rely on. Serialized as `mco-traces-v1` JSON
+/// (`mco-fleet --emit-traces`, consumed by `mco-build --profile FILE`).
+///
+/// This lives in the linker library (not telemetry) because the layout
+/// strategies consume it and mco_linker must not depend on mco_telemetry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_LINKER_STARTUPTRACE_H
+#define MCO_LINKER_STARTUPTRACE_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mco {
+
+/// One aggregated caller->callee edge of a device's dynamic call graph.
+struct TraceCallEdge {
+  uint32_t Caller = 0; ///< TraceProfile function id.
+  uint32_t Callee = 0; ///< TraceProfile function id.
+  uint64_t Count = 0;
+};
+
+/// One device's startup trace.
+struct DeviceTrace {
+  uint32_t Device = 0;
+  /// Ordered function entries (TraceProfile function ids), capped at the
+  /// recorder's entry limit.
+  std::vector<uint32_t> Entries;
+  /// Aggregated call edges, sorted (Caller, Callee) ascending.
+  std::vector<TraceCallEdge> Calls;
+  /// Text pages in first-touch order (page index = offset / PageBytes).
+  std::vector<uint64_t> PageTouches;
+  /// Simulated text page faults (== PageTouches.size() under the
+  /// first-touch model, kept explicit so re-serialized profiles survive
+  /// entry capping).
+  uint64_t TextFaults = 0;
+};
+
+/// A whole fleet's worth of startup traces.
+struct TraceProfile {
+  /// Function id -> symbol name. Ids are profile-local.
+  std::vector<std::string> Functions;
+  uint64_t PageBytes = 16384;
+  std::vector<DeviceTrace> Devices;
+
+  /// Interns \p Name, returning its stable profile-local id.
+  uint32_t functionId(const std::string &Name);
+
+  /// Total function entries recorded across all devices.
+  uint64_t totalEntries() const;
+  /// Total text page faults across all devices.
+  uint64_t totalTextFaults() const;
+
+private:
+  std::unordered_map<std::string, uint32_t> NameToId;
+};
+
+/// Deterministic `mco-traces-v1` JSON rendering.
+std::string traceProfileJson(const TraceProfile &P);
+
+/// Atomically writes traceProfileJson to \p Path.
+Status writeTraceProfile(const TraceProfile &P, const std::string &Path);
+
+/// Parses an `mco-traces-v1` JSON document.
+Expected<TraceProfile> parseTraceProfile(const std::string &Json);
+
+/// Reads and parses an `mco-traces-v1` file.
+Expected<TraceProfile> readTraceProfile(const std::string &Path);
+
+/// Records one device's startup trace during simulation. The interpreter
+/// calls the record hooks with *image function indices*; the fleet
+/// harness converts those to symbolic TraceProfile ids afterwards. All
+/// recording is deterministic: a pure function of the executed
+/// instruction stream.
+class StartupTraceRecorder {
+public:
+  /// \p MaxEntries caps the ordered entry record (call edges and page
+  /// touches are never capped — they aggregate).
+  explicit StartupTraceRecorder(size_t MaxEntries = 4096)
+      : MaxEntries(MaxEntries) {}
+
+  void recordEntry(uint32_t FuncIdx) {
+    if (Entries.size() < MaxEntries)
+      Entries.push_back(FuncIdx);
+  }
+
+  void recordCall(uint32_t CallerIdx, uint32_t CalleeIdx) {
+    ++CallCounts[(uint64_t(CallerIdx) << 32) | CalleeIdx];
+  }
+
+  /// \p PageIdx is the 0-based text page index; callers invoke this only
+  /// on first touch (the text-page model deduplicates).
+  void recordPageTouch(uint64_t PageIdx) { PageTouches.push_back(PageIdx); }
+
+  const std::vector<uint32_t> &entries() const { return Entries; }
+  const std::vector<uint64_t> &pageTouches() const { return PageTouches; }
+  /// Call edges keyed (caller << 32) | callee.
+  const std::unordered_map<uint64_t, uint64_t> &callCounts() const {
+    return CallCounts;
+  }
+
+private:
+  size_t MaxEntries;
+  std::vector<uint32_t> Entries;
+  std::vector<uint64_t> PageTouches;
+  std::unordered_map<uint64_t, uint64_t> CallCounts;
+};
+
+} // namespace mco
+
+#endif // MCO_LINKER_STARTUPTRACE_H

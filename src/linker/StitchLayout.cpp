@@ -1,0 +1,201 @@
+//===- linker/StitchLayout.cpp - stitch layout strategy -------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The `stitch` strategy: Codestitcher-style layout ("Codestitcher:
+/// Inter-Procedural Basic Block Layout Optimization", arxiv 1810.00905),
+/// at function granularity — the unit this linker places.
+///
+/// The fleet traces' aggregated caller->callee counts form a weighted
+/// dynamic call graph. Edges are visited hottest-first; an edge merges the
+/// caller's chain tail onto the callee's chain head (Pettis–Hansen chain
+/// merging) — but only while the combined chain still fits the 16 KiB
+/// page budget, Codestitcher's key constraint: a hot caller/callee pair
+/// is only worth co-locating if both ends land on the *same* page.
+/// Finished chains are emitted hottest-density-first, then a warm tier —
+/// traced functions whose merges all failed, in first-execution order —
+/// so every function startup touches stays compact, and untraced cold
+/// functions keep module order at the end.
+///
+/// Deterministic: edges sort by (weight desc, caller, callee), all
+/// tie-breaks are index-based, no RNG.
+///
+//===----------------------------------------------------------------------===//
+
+#include "linker/LayoutStrategy.h"
+
+#include "mir/Program.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace mco;
+using namespace mco::layout_detail;
+
+namespace {
+
+class StitchLayout : public LayoutStrategy {
+public:
+  std::string name() const override { return "stitch"; }
+
+  Expected<LayoutPlan> plan(const Program &Prog,
+                            const TraceProfile &Traces) const override;
+};
+
+struct Chain {
+  std::vector<uint32_t> Flats; ///< Member functions, layout order.
+  uint64_t Bytes = 0;
+  uint64_t Heat = 0; ///< Total weight of edges merged into the chain.
+  bool Live = true;
+};
+
+Expected<LayoutPlan> StitchLayout::plan(const Program &Prog,
+                                        const TraceProfile &Traces) const {
+  LayoutPlan P;
+  P.Strategy = name();
+  P.Data = dataLayout();
+
+  const FunctionTable FT = flattenFunctions(Prog);
+  const size_t N = FT.size();
+  const std::vector<uint32_t> Map = mapProfileToProgram(Prog, FT, Traces);
+
+  // Aggregate call weights across devices onto flat-index edges.
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> EdgeW;
+  for (const DeviceTrace &D : Traces.Devices)
+    for (const TraceCallEdge &E : D.Calls) {
+      if (E.Caller >= Map.size() || E.Callee >= Map.size())
+        continue;
+      const uint32_t A = Map[E.Caller], B = Map[E.Callee];
+      if (A == UINT32_MAX || B == UINT32_MAX || A == B)
+        continue;
+      EdgeW[{A, B}] += E.Count;
+    }
+  struct Edge {
+    uint64_t W;
+    uint32_t Src, Dst;
+  };
+  std::vector<Edge> Edges;
+  Edges.reserve(EdgeW.size());
+  for (const auto &[Key, W] : EdgeW)
+    Edges.push_back({W, Key.first, Key.second});
+  std::sort(Edges.begin(), Edges.end(), [](const Edge &A, const Edge &B) {
+    if (A.W != B.W)
+      return A.W > B.W;
+    if (A.Src != B.Src)
+      return A.Src < B.Src;
+    return A.Dst < B.Dst;
+  });
+  // A function is traced if the fleet saw it execute: it appears in some
+  // device's entry stream or on a call edge. FirstSeen orders the warm
+  // tier by first execution across the concatenated device streams
+  // (edge-only functions — called past the entry cap — rank after all
+  // entered ones, by flat index).
+  std::vector<uint32_t> FirstSeen(N, UINT32_MAX);
+  uint32_t SeenRank = 0;
+  for (const DeviceTrace &D : Traces.Devices)
+    for (uint32_t Id : D.Entries) {
+      if (Id >= Map.size())
+        continue;
+      const uint32_t F = Map[Id];
+      if (F != UINT32_MAX && FirstSeen[F] == UINT32_MAX)
+        FirstSeen[F] = SeenRank++;
+    }
+  std::vector<uint8_t> Traced(N, 0);
+  for (uint32_t F = 0; F < N; ++F)
+    Traced[F] = FirstSeen[F] != UINT32_MAX;
+  for (const Edge &E : Edges) {
+    Traced[E.Src] = 1;
+    Traced[E.Dst] = 1;
+  }
+  P.FunctionsTraced = 0;
+  for (uint8_t S : Traced)
+    P.FunctionsTraced += S;
+
+  // Every function starts as its own chain.
+  std::vector<Chain> Chains(N);
+  std::vector<uint32_t> ChainOf(N);
+  for (uint32_t F = 0; F < N; ++F) {
+    Chains[F].Flats = {F};
+    Chains[F].Bytes = FT.Bytes[F];
+    ChainOf[F] = F;
+  }
+
+  // Hottest-first chain merging under the page budget. The caller must be
+  // its chain's tail and the callee its chain's head, so the merged
+  // layout actually places the pair adjacently (fall-through locality).
+  for (const Edge &E : Edges) {
+    const uint32_t CA = ChainOf[E.Src], CB = ChainOf[E.Dst];
+    if (CA == CB)
+      continue;
+    Chain &A = Chains[CA];
+    Chain &B = Chains[CB];
+    if (A.Flats.back() != E.Src || B.Flats.front() != E.Dst)
+      continue;
+    if (A.Bytes + B.Bytes > PageBudgetBytes)
+      continue; // Codestitcher's page budget: never grow past one page.
+    for (uint32_t F : B.Flats) {
+      ChainOf[F] = CA;
+      A.Flats.push_back(F);
+    }
+    A.Bytes += B.Bytes;
+    A.Heat += B.Heat + E.W;
+    B.Live = false;
+    B.Flats.clear();
+  }
+
+  // Hot chains first, by heat density (heat per byte) so a short hot pair
+  // outranks a long lukewarm chain. A heat-0 live chain is a never-merged
+  // singleton: traced ones form the warm tier (first-execution order) so
+  // startup code stays compact even when every merge missed its budget or
+  // adjacency; untraced ones are cold and keep module order.
+  std::vector<uint32_t> Hot, Warm, Cold;
+  for (uint32_t C = 0; C < N; ++C) {
+    if (!Chains[C].Live)
+      continue;
+    if (Chains[C].Heat > 0)
+      Hot.push_back(C);
+    else if (Traced[Chains[C].Flats.front()])
+      Warm.push_back(C);
+    else
+      Cold.push_back(C);
+  }
+  std::sort(Hot.begin(), Hot.end(), [&](uint32_t A, uint32_t B) {
+    const double DA = double(Chains[A].Heat) / double(Chains[A].Bytes + 1);
+    const double DB = double(Chains[B].Heat) / double(Chains[B].Bytes + 1);
+    if (DA != DB)
+      return DA > DB;
+    return Chains[A].Flats.front() < Chains[B].Flats.front();
+  });
+  std::sort(Warm.begin(), Warm.end(), [&](uint32_t A, uint32_t B) {
+    const uint32_t FA = Chains[A].Flats.front(), FB = Chains[B].Flats.front();
+    if (FirstSeen[FA] != FirstSeen[FB])
+      return FirstSeen[FA] < FirstSeen[FB];
+    return FA < FB;
+  });
+
+  P.Order.reserve(N);
+  for (uint32_t C : Hot) {
+    P.ChainSizes.push_back(Chains[C].Bytes);
+    for (uint32_t F : Chains[C].Flats)
+      P.Order.push_back(F);
+  }
+  for (uint32_t C : Warm)
+    for (uint32_t F : Chains[C].Flats)
+      P.Order.push_back(F);
+  for (uint32_t C : Cold)
+    for (uint32_t F : Chains[C].Flats)
+      P.Order.push_back(F);
+
+  P.EstimatedTextFaults = estimateTextFaults(Prog, P.Order, Traces);
+  return P;
+}
+
+} // namespace
+
+namespace mco {
+std::unique_ptr<LayoutStrategy> makeStitchLayout() {
+  return std::unique_ptr<LayoutStrategy>(new StitchLayout());
+}
+} // namespace mco

@@ -202,6 +202,13 @@ void publishBuildMetrics(const BuildResult &R) {
   M.gauge("pipeline.link_seconds").set(R.LinkIRSeconds);
   M.gauge("pipeline.outline_seconds").set(R.OutlineSeconds);
   M.gauge("pipeline.layout_seconds").set(R.LayoutSeconds);
+  M.counter("linker.layout.strategy", {{"strategy", R.Layout.Strategy}})
+      .set(1);
+  M.gauge("linker.layout.seconds").set(R.Layout.Seconds);
+  M.gauge("linker.layout.estimated_text_faults")
+      .set(double(R.Layout.EstimatedTextFaults));
+  M.gauge("linker.layout.functions_traced")
+      .set(double(R.Layout.FunctionsTraced));
   Histogram &H = M.histogram("pipeline.outline_round_seconds");
   for (double S : R.OutlineRoundSeconds)
     H.observe(S);
@@ -221,6 +228,42 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
   ResilienceCtx RC;
   initResilience(RC, R, Prog, Opts);
   const uint64_t TimeoutMs = Opts.Resilience.ModuleTimeoutMs;
+
+  // Resolve the code-layout strategy up front: its data affinity decides
+  // how linkProgram orders globals (DataLayoutMode folded into the
+  // strategy; the legacy Opts.DataLayout flag overrides when non-default,
+  // so --interleave-data behaves exactly as before). An unknown strategy
+  // name degrades to original order — the build still ships.
+  std::unique_ptr<LayoutStrategy> Strategy;
+  {
+    Expected<std::unique_ptr<LayoutStrategy>> SE =
+        createLayoutStrategy(Opts.Layout.Strategy);
+    if (SE.ok()) {
+      Strategy = std::move(SE.get());
+    } else {
+      R.FailureLog.push_back("layout: " + SE.status().message() +
+                             "; using original order");
+      Strategy = std::move(createLayoutStrategy("original").get());
+    }
+  }
+  if (Opts.DataLayout != DataLayoutMode::PreserveModuleOrder)
+    Strategy->overrideDataLayout(Opts.DataLayout);
+  const DataLayoutMode EffDataLayout = Strategy->dataLayout();
+
+  // The startup-trace profile feeding the strategy (see StartupTrace.h).
+  TraceProfile OwnedProfile;
+  const TraceProfile *Profile = Opts.Layout.Profile;
+  if (!Profile && !Opts.Layout.ProfilePath.empty()) {
+    Expected<TraceProfile> PE = readTraceProfile(Opts.Layout.ProfilePath);
+    if (PE.ok()) {
+      OwnedProfile = std::move(PE.get());
+      Profile = &OwnedProfile;
+    } else {
+      R.FailureLog.push_back("layout: profile '" + Opts.Layout.ProfilePath +
+                             "': " + PE.status().message() +
+                             "; planning without traces");
+    }
+  }
 
   if (Opts.WholeProgram) {
     // Fig. 10: merge IR first, then outline across the whole program. The
@@ -257,7 +300,7 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
       Module *LinkedP;
       {
         MCO_TRACE_SPAN("pipeline.link", "pipeline");
-        LinkedP = &linkProgram(Prog, Opts.DataLayout);
+        LinkedP = &linkProgram(Prog, EffDataLayout);
       }
       Module &Linked = *LinkedP;
       R.LinkIRSeconds = secondsSince(T0);
@@ -621,7 +664,7 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
     T0 = Clock::now();
     {
       MCO_TRACE_SPAN("pipeline.link", "pipeline");
-      linkProgram(Prog, Opts.DataLayout);
+      linkProgram(Prog, EffDataLayout);
     }
     R.LinkIRSeconds = secondsSince(T0);
   }
@@ -629,7 +672,28 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
   auto T0 = Clock::now();
   {
     MCO_TRACE_SPAN("pipeline.layout", "pipeline");
-    BinaryImage Image(Prog);
+    const TraceProfile Empty;
+    auto TPlan = Clock::now();
+    Expected<LayoutPlan> PlanE = Strategy->plan(Prog, Profile ? *Profile : Empty);
+    if (PlanE.ok()) {
+      R.Layout = std::move(PlanE.get());
+    } else {
+      R.FailureLog.push_back("layout: planning failed (" +
+                             PlanE.status().message() +
+                             "); using original order");
+      R.Layout = LayoutPlan{};
+    }
+    R.Layout.Seconds = secondsSince(TPlan);
+
+    Expected<BinaryImage> ImageE = BinaryImage::create(Prog, &R.Layout);
+    if (!ImageE.ok()) {
+      R.FailureLog.push_back("layout: plan rejected (" +
+                             ImageE.status().message() +
+                             "); using original order");
+      R.Layout = LayoutPlan{};
+      ImageE = BinaryImage::create(Prog, nullptr);
+    }
+    const BinaryImage &Image = ImageE.get();
     R.CodeSize = Image.codeSize();
     R.DataSize = Image.dataSize();
     R.BinarySize = Image.binarySize(DefaultResourceBytes);

@@ -23,6 +23,7 @@
 #ifndef MCO_PIPELINE_BUILDPIPELINE_H
 #define MCO_PIPELINE_BUILDPIPELINE_H
 
+#include "linker/LayoutStrategy.h"
 #include "linker/Linker.h"
 #include "outliner/MachineOutliner.h"
 #include "outliner/OutlineGuard.h"
@@ -56,14 +57,35 @@ struct ResilienceOptions {
   uint64_t CacheMaxBytes = 256ull * 1024 * 1024;
 };
 
+/// Code-layout configuration: which LayoutStrategy orders the final
+/// image's functions, and the startup-trace profile driving it (the
+/// measure->layout->verify loop's "layout" step).
+struct LayoutOptions {
+  /// Strategy name: "original" (module order), "bp", or "stitch". An
+  /// unknown name degrades the build to original order (logged in
+  /// FailureLog) rather than failing it; CLIs validate names up front.
+  std::string Strategy = "original";
+  /// Path to an `mco-traces-v1` profile (mco-fleet --emit-traces). Empty
+  /// = no profile; profile-driven strategies then keep module order.
+  std::string ProfilePath;
+  /// Pre-parsed profile; takes precedence over ProfilePath. Not owned —
+  /// must outlive the build.
+  const TraceProfile *Profile = nullptr;
+};
+
 /// Build configuration.
 struct PipelineOptions {
   /// Rounds of repeated machine outlining; 0 disables outlining.
   unsigned OutlineRounds = 5;
   /// true = whole-program pipeline (Fig. 10); false = per-module (Fig. 2).
   bool WholeProgram = true;
-  /// Data ordering applied when modules are merged.
+  /// Data ordering applied when modules are merged. Legacy alias: the
+  /// strategy's data affinity (LayoutStrategy::dataLayout) is
+  /// authoritative, and a non-default value here overrides it, so
+  /// --data-layout / --interleave-data keep their exact old meaning.
   DataLayoutMode DataLayout = DataLayoutMode::PreserveModuleOrder;
+  /// Code-layout strategy + profile.
+  LayoutOptions Layout;
   /// Outliner knobs (greedy order, discovery mode, RegSave, ...).
   OutlinerOptions Outliner;
   /// Worker threads. Whole-program builds parallelize inside the outliner
@@ -86,6 +108,10 @@ struct BuildResult {
   uint64_t BinarySize = 0;
 
   RepeatedOutlineStats OutlineStats;
+
+  /// The layout plan the final image was built with (Strategy "original"
+  /// with an empty Order when no strategy/profile was configured).
+  LayoutPlan Layout;
 
   // Failure-handling observability. A build that hits an unrecoverable
   // per-module failure still completes: the module ships unoutlined.

@@ -21,6 +21,16 @@ unsigned log2Exact(uint64_t V) {
 }
 } // namespace
 
+TextPageModel::TextPageModel(uint64_t PageBytes)
+    : PageShift(log2Exact(PageBytes)) {}
+
+bool TextPageModel::access(uint64_t Addr) {
+  if (!Touched.insert(Addr >> PageShift).second)
+    return false;
+  ++Faults;
+  return true;
+}
+
 SetAssocCache::SetAssocCache(uint64_t SizeBytes, unsigned Assoc,
                              unsigned LineBytes)
     : Assoc(Assoc), LineShift(log2Exact(LineBytes)) {

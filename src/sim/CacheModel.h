@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace mco {
@@ -114,6 +115,28 @@ private:
   uint64_t Faults = 0;
 };
 
+/// First-touch model of text pages: code pages fault in from the binary
+/// the first time any instruction on them executes and (being clean) are
+/// never written back, so the startup cost is the number of *distinct*
+/// pages the launch path touches — the quantity the layout strategies
+/// minimize. Unlike DataPageModel there is no eviction: re-faulting clean
+/// text is cheap relative to the cold first touch, and the first-touch
+/// count is what a layout reordering moves.
+class TextPageModel {
+public:
+  explicit TextPageModel(uint64_t PageBytes);
+
+  /// Touches the page of \p Addr. \returns true on first touch (fault).
+  bool access(uint64_t Addr);
+
+  uint64_t faults() const { return Faults; }
+
+private:
+  unsigned PageShift;
+  std::unordered_set<uint64_t> Touched;
+  uint64_t Faults = 0;
+};
+
 /// Device/OS-dependent cost parameters. The span benches instantiate one
 /// per (hardware, OS) cell of the paper's Fig. 13 heatmap.
 struct PerfConfig {
@@ -133,6 +156,11 @@ struct PerfConfig {
   unsigned DataResidentPages = 64;
   uint64_t DataPageBytes = 16 << 10;
   unsigned DataFaultCycles = 3000;
+  // Text paging (first-touch; see TextPageModel). TextFaultCycles
+  // defaults to 0 so pre-existing cycle models are unchanged; the fleet
+  // device classes opt in.
+  uint64_t TextPageBytes = 16 << 10;
+  unsigned TextFaultCycles = 0;
   // Base cost per instruction (inverse superscalar width).
   double BaseCyclesPerInstr = 0.5;
   // Correctly-predicted direct branches, calls, and returns are folded in
@@ -151,6 +179,7 @@ struct PerfCounters {
   uint64_t ITlbMisses = 0;
   uint64_t BranchMispredicts = 0;
   uint64_t DataPageFaults = 0;
+  uint64_t TextPageFaults = 0;
   double Cycles = 0;
   uint64_t OutlinedInstrs = 0;
 

@@ -68,7 +68,18 @@ Interpreter::Interpreter(const BinaryImage &Image, const Program &Prog,
     Branches = std::make_unique<BranchPredictor>(Config.BranchTableEntries);
     DataPages = std::make_unique<DataPageModel>(Config.DataResidentPages,
                                                 Config.DataPageBytes);
+    TextPages = std::make_unique<TextPageModel>(Config.TextPageBytes);
   }
+}
+
+void Interpreter::traceCallTo(uint64_t TargetAddr, uint32_t CallerIdx) {
+  if (!TraceRec || TargetAddr == 0 || !Image.instrAt(TargetAddr))
+    return;
+  const uint32_t CalleeIdx = Image.functionIndexAt(TargetAddr);
+  if (Image.funcs()[CalleeIdx].Addr != TargetAddr)
+    return; // A mid-function target is not a function entry.
+  TraceRec->recordEntry(CalleeIdx);
+  TraceRec->recordCall(CallerIdx, CalleeIdx);
 }
 
 uint64_t Interpreter::readReg(Reg R) const {
@@ -192,6 +203,13 @@ void Interpreter::chargeFetch(uint64_t Pc) {
     ++Counters.ITlbMisses;
     Counters.Cycles += Config.ITlbMissCycles;
   }
+  if (TextPages->access(Pc)) {
+    ++Counters.TextPageFaults;
+    Counters.Cycles += Config.TextFaultCycles;
+    if (TraceRec)
+      TraceRec->recordPageTouch((Pc - BinaryImage::TextBase) /
+                                Config.TextPageBytes);
+  }
 }
 
 void Interpreter::chargeDataAccess(uint64_t Addr) {
@@ -232,6 +250,8 @@ int64_t Interpreter::call(const std::string &FnName,
     Regs[I] = static_cast<uint64_t>(Args[I]);
   Regs[regIndex(Reg::SP)] = Memory::StackTop - 64;
   Regs[regIndex(LR)] = ReturnSentinel;
+  if (TraceRec)
+    TraceRec->recordEntry(Image.functionIndexAt(Image.functionAddr(Sym)));
   execute(Image.functionAddr(Sym));
   return static_cast<int64_t>(Regs[0]);
 }
@@ -249,6 +269,8 @@ Expected<int64_t> Interpreter::tryCall(const std::string &FnName,
     Regs[I] = static_cast<uint64_t>(Args[I]);
   Regs[regIndex(Reg::SP)] = Memory::StackTop - 64;
   Regs[regIndex(LR)] = ReturnSentinel;
+  if (TraceRec)
+    TraceRec->recordEntry(Image.functionIndexAt(Image.functionAddr(Sym)));
   TrapMode = true;
   Mem.setTrapOnFault(true);
   try {
@@ -454,6 +476,7 @@ void Interpreter::execute(uint64_t EntryAddr) {
           Branches->pushCall(Pc + InstrBytes);
           foldPredictedBranch(); // Direct calls are always predicted.
         }
+        traceCallTo(Target, FuncIdx);
         NextPc = Target;
       }
       break;
@@ -463,6 +486,7 @@ void Interpreter::execute(uint64_t EntryAddr) {
       writeReg(LR, Pc + InstrBytes);
       if (PerfEnabled)
         Branches->pushCall(Pc + InstrBytes);
+      traceCallTo(Target, FuncIdx);
       NextPc = Target;
       break;
     }
@@ -481,6 +505,7 @@ void Interpreter::execute(uint64_t EntryAddr) {
         if (PerfEnabled && !Branches->popReturn(NextPc))
           chargeBranchPenalty();
       } else {
+        traceCallTo(Target, FuncIdx);
         NextPc = Target;
       }
       break;

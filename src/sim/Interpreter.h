@@ -19,6 +19,7 @@
 #define MCO_SIM_INTERPRETER_H
 
 #include "linker/Linker.h"
+#include "linker/StartupTrace.h"
 #include "sim/CacheModel.h"
 #include "sim/Memory.h"
 #include "support/Error.h"
@@ -61,6 +62,13 @@ public:
   /// Instruction budget per call() (guards against runaway loops).
   void setFuel(uint64_t MaxInstrs) { Fuel = MaxInstrs; }
 
+  /// Attaches a startup-trace recorder (see linker/StartupTrace.h): the
+  /// interpreter reports function entries and caller->callee edges by
+  /// image function index, and — when the performance model is on —
+  /// first-touch text pages. Recording never changes execution or the
+  /// modeled cycles. Pass nullptr to detach.
+  void setTraceRecorder(StartupTraceRecorder *R) { TraceRec = R; }
+
 private:
   enum class Builtin {
     None,
@@ -95,10 +103,16 @@ private:
   uint64_t Regs[34] = {};
   bool FlagN = false, FlagZ = false, FlagC = false, FlagV = false;
 
+  /// Records a control transfer into the function at \p TargetAddr (0 =
+  /// not a laid-out function entry, ignored) from \p CallerIdx.
+  void traceCallTo(uint64_t TargetAddr, uint32_t CallerIdx);
+
   std::unique_ptr<SetAssocCache> ICache;
   std::unique_ptr<Tlb> ITlb;
   std::unique_ptr<BranchPredictor> Branches;
   std::unique_ptr<DataPageModel> DataPages;
+  std::unique_ptr<TextPageModel> TextPages;
+  StartupTraceRecorder *TraceRec = nullptr;
   PerfConfig Config;
   bool PerfEnabled = false;
   PerfCounters Counters;

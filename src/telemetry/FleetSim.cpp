@@ -6,6 +6,7 @@
 
 #include "telemetry/FleetSim.h"
 
+#include "linker/LayoutStrategy.h"
 #include "linker/Linker.h"
 #include "sim/Interpreter.h"
 #include "support/FileAtomics.h"
@@ -35,6 +36,7 @@ std::vector<DeviceClass> mco::defaultDeviceClasses() {
   Classes[0].Cfg.ITlbEntries = 64;
   Classes[0].Cfg.DataResidentPages = 48;
   Classes[0].Cfg.DataFaultCycles = 300;
+  Classes[0].Cfg.TextFaultCycles = 300;
   Classes[0].Cfg.BaseCyclesPerInstr = 0.40;
 
   Classes[1].Name = "a12-ios13";
@@ -44,6 +46,7 @@ std::vector<DeviceClass> mco::defaultDeviceClasses() {
   Classes[1].Cfg.ITlbEntries = 48;
   Classes[1].Cfg.DataResidentPages = 32;
   Classes[1].Cfg.DataFaultCycles = 300;
+  Classes[1].Cfg.TextFaultCycles = 300;
   Classes[1].Cfg.BaseCyclesPerInstr = 0.50;
 
   Classes[2].Name = "a10-ios13";
@@ -53,6 +56,7 @@ std::vector<DeviceClass> mco::defaultDeviceClasses() {
   Classes[2].Cfg.ITlbEntries = 48;
   Classes[2].Cfg.DataResidentPages = 24;
   Classes[2].Cfg.DataFaultCycles = 300;
+  Classes[2].Cfg.TextFaultCycles = 300;
   Classes[2].Cfg.BaseCyclesPerInstr = 0.55;
 
   Classes[3].Name = "a8-ios12";
@@ -62,6 +66,7 @@ std::vector<DeviceClass> mco::defaultDeviceClasses() {
   Classes[3].Cfg.ITlbEntries = 32;
   Classes[3].Cfg.DataResidentPages = 16;
   Classes[3].Cfg.DataFaultCycles = 300;
+  Classes[3].Cfg.TextFaultCycles = 300;
   Classes[3].Cfg.BaseCyclesPerInstr = 0.65;
 
   return Classes;
@@ -79,7 +84,8 @@ Rng deviceRng(uint64_t Seed, uint32_t Index) {
 }
 
 DeviceResult simulateDevice(const BinaryImage &Image, const Program &Prog,
-                            const FleetOptions &Opts, uint32_t Index) {
+                            const FleetOptions &Opts, uint32_t Index,
+                            StartupTraceRecorder *Rec) {
   MCO_TRACE_SPAN("fleet.device", "fleet");
   DeviceResult D;
   D.Index = Index;
@@ -107,6 +113,8 @@ DeviceResult simulateDevice(const BinaryImage &Image, const Program &Prog,
 
   Interpreter I(Image, Prog, &Cfg);
   I.setFuel(Opts.FuelPerCall);
+  if (Rec)
+    I.setTraceRecorder(Rec);
   D.SpanCycles.reserve(Opts.Entries.size());
   for (const std::string &Entry : Opts.Entries) {
     const double Before = I.counters().Cycles;
@@ -143,6 +151,8 @@ std::string metricsJson(const FleetMetrics &M) {
   Out += ", \"branch_miss_p50\": " + fmtDouble(M.BranchMissP50);
   Out += ", \"data_page_faults_p50\": " + fmtDouble(M.DataFaultsP50);
   Out += ", \"data_page_faults_p95\": " + fmtDouble(M.DataFaultsP95);
+  Out += ", \"text_page_faults_p50\": " + fmtDouble(M.TextFaultsP50);
+  Out += ", \"text_page_faults_p95\": " + fmtDouble(M.TextFaultsP95);
   Out += ", \"total_instrs\": " + std::to_string(M.TotalInstrs);
   Out += "}";
   return Out;
@@ -161,7 +171,8 @@ std::string jsonEscape(const std::string &S) {
 
 } // namespace
 
-FleetReport mco::runFleet(const Program &Prog, const FleetOptions &Opts) {
+FleetReport mco::runFleet(const Program &Prog, const FleetOptions &Opts,
+                          const LayoutPlan *Plan, TraceProfile *TracesOut) {
   MCO_TRACE_SPAN("fleet.run", "fleet");
   FleetReport R;
   R.Seed = Opts.Seed;
@@ -169,16 +180,64 @@ FleetReport mco::runFleet(const Program &Prog, const FleetOptions &Opts) {
   for (const DeviceClass &C : Opts.Classes)
     R.ClassNames.push_back(C.Name);
 
-  const BinaryImage Image(Prog);
+  const BinaryImage Image =
+      Plan ? BinaryImage(Prog, *Plan) : BinaryImage(Prog);
+
+  // One recorder per device slot: device k writes only to Recorders[k], so
+  // capture is race-free under the fan-out and the converted profile is
+  // byte-identical at any thread count.
+  std::vector<StartupTraceRecorder> Recorders;
+  if (TracesOut)
+    Recorders.resize(Opts.NumDevices);
 
   {
     MCO_TRACE_SPAN("fleet.devices", "fleet");
     ThreadPool Pool(Opts.Threads);
     R.Devices = parallelMap<DeviceResult>(
         Pool, Opts.NumDevices, [&](size_t I) {
-          return simulateDevice(Image, Prog, Opts,
-                                static_cast<uint32_t>(I));
+          return simulateDevice(Image, Prog, Opts, static_cast<uint32_t>(I),
+                                TracesOut ? &Recorders[I] : nullptr);
         });
+  }
+
+  if (TracesOut) {
+    // Convert image function indices to symbolic profile ids (ids are
+    // assigned in first-use order across devices, so the profile is a
+    // pure function of the execution).
+    TraceProfile P;
+    auto IdOf = [&](uint32_t ImgIdx) {
+      return P.functionId(Prog.symbolName(Image.funcs()[ImgIdx].MF->Name));
+    };
+    for (uint32_t DI = 0; DI < Recorders.size(); ++DI) {
+      const StartupTraceRecorder &Rec = Recorders[DI];
+      DeviceTrace T;
+      T.Device = DI;
+      T.Entries.reserve(Rec.entries().size());
+      for (uint32_t Idx : Rec.entries())
+        T.Entries.push_back(IdOf(Idx));
+      std::vector<std::pair<uint64_t, uint64_t>> Packed(
+          Rec.callCounts().begin(), Rec.callCounts().end());
+      std::sort(Packed.begin(), Packed.end());
+      T.Calls.reserve(Packed.size());
+      for (const auto &KV : Packed) {
+        TraceCallEdge E;
+        E.Caller = IdOf(static_cast<uint32_t>(KV.first >> 32));
+        E.Callee = IdOf(static_cast<uint32_t>(KV.first));
+        E.Count = KV.second;
+        T.Calls.push_back(E);
+      }
+      std::sort(T.Calls.begin(), T.Calls.end(),
+                [](const TraceCallEdge &A, const TraceCallEdge &B) {
+                  return A.Caller != B.Caller ? A.Caller < B.Caller
+                                              : A.Callee < B.Callee;
+                });
+      T.PageTouches = Rec.pageTouches();
+      T.TextFaults = DI < R.Devices.size()
+                         ? R.Devices[DI].Counters.TextPageFaults
+                         : 0;
+      P.Devices.push_back(std::move(T));
+    }
+    *TracesOut = std::move(P);
   }
 
   MCO_TRACE_SPAN("fleet.aggregate", "fleet");
@@ -209,6 +268,14 @@ FleetReport mco::runFleet(const Program &Prog, const FleetOptions &Opts) {
     Faults += D.FaultMsg.empty() ? 0 : 1;
   }
   MR.counter("fleet.devices_faulted").add(Faults);
+  if (Plan) {
+    uint64_t TextFaults = 0;
+    for (const DeviceResult &D : R.Devices)
+      TextFaults += D.Counters.TextPageFaults;
+    MR.gauge("linker.layout.simulated_text_faults",
+             {{"strategy", Plan->Strategy}})
+        .set(double(TextFaults));
+  }
   return R;
 }
 
@@ -218,7 +285,7 @@ FleetMetrics mco::aggregateDevices(const FleetReport &R, size_t FirstN) {
   if (N == 0)
     return M;
   M.Devices = N;
-  std::vector<double> Cycles, Ipc, ICache, ITlb, Branch, Faults;
+  std::vector<double> Cycles, Ipc, ICache, ITlb, Branch, Faults, TextFaults;
   Cycles.reserve(N);
   for (size_t I = 0; I < N; ++I) {
     const PerfCounters &C = R.Devices[I].Counters;
@@ -228,6 +295,7 @@ FleetMetrics mco::aggregateDevices(const FleetReport &R, size_t FirstN) {
     ITlb.push_back(double(C.ITlbMisses));
     Branch.push_back(double(C.BranchMispredicts));
     Faults.push_back(double(C.DataPageFaults));
+    TextFaults.push_back(double(C.TextPageFaults));
     M.TotalInstrs += C.Instrs;
   }
   M.CyclesP50 = percentile(Cycles, 50);
@@ -239,6 +307,8 @@ FleetMetrics mco::aggregateDevices(const FleetReport &R, size_t FirstN) {
   M.BranchMissP50 = percentile(Branch, 50);
   M.DataFaultsP50 = percentile(Faults, 50);
   M.DataFaultsP95 = percentile(Faults, 95);
+  M.TextFaultsP50 = percentile(TextFaults, 50);
+  M.TextFaultsP95 = percentile(TextFaults, 95);
   return M;
 }
 
@@ -280,6 +350,7 @@ std::string mco::fleetReportJson(const FleetReport &R) {
            ", \"itlb_misses\": " + std::to_string(C.ITlbMisses) +
            ", \"branch_mispredicts\": " + std::to_string(C.BranchMispredicts) +
            ", \"data_page_faults\": " + std::to_string(C.DataPageFaults) +
+           ", \"text_page_faults\": " + std::to_string(C.TextPageFaults) +
            ", \"fault\": \"" + jsonEscape(D.FaultMsg) + "\"}";
     Out += I + 1 < R.Devices.size() ? ",\n" : "\n";
   }
@@ -331,6 +402,14 @@ void compareStage(StageVerdict &SV, const RegressionThresholds &Th) {
       Th.DataFaultsPct,
       relPct(B.DataFaultsP95, C.DataFaultsP95) > Th.DataFaultsPct &&
           C.DataFaultsP95 - B.DataFaultsP95 > 1);
+  Add("text_page_faults_p50", B.TextFaultsP50, C.TextFaultsP50,
+      Th.TextFaultsPct,
+      relPct(B.TextFaultsP50, C.TextFaultsP50) > Th.TextFaultsPct &&
+          C.TextFaultsP50 - B.TextFaultsP50 > 1);
+  Add("text_page_faults_p95", B.TextFaultsP95, C.TextFaultsP95,
+      Th.TextFaultsPct,
+      relPct(B.TextFaultsP95, C.TextFaultsP95) > Th.TextFaultsPct &&
+          C.TextFaultsP95 - B.TextFaultsP95 > 1);
 }
 
 } // namespace
@@ -341,10 +420,12 @@ RolloutVerdict mco::runStagedRollout(const Program &Baseline,
                                      const std::vector<double> &StagePercents,
                                      const RegressionThresholds &Th,
                                      FleetReport *BaseOut,
-                                     FleetReport *CandOut) {
+                                     FleetReport *CandOut,
+                                     const LayoutPlan *BasePlan,
+                                     const LayoutPlan *CandPlan) {
   MCO_TRACE_SPAN("fleet.rollout", "fleet");
-  FleetReport RB = runFleet(Baseline, Opts);
-  FleetReport RC = runFleet(Candidate, Opts);
+  FleetReport RB = runFleet(Baseline, Opts, BasePlan);
+  FleetReport RC = runFleet(Candidate, Opts, CandPlan);
 
   RolloutVerdict V;
   const size_t N = RB.Devices.size();
@@ -412,6 +493,7 @@ std::string mco::rolloutVerdictJson(const RolloutVerdict &V,
   Out += "  \"thresholds\": {\"cycles_p50_pct\": " + fmtDouble(Th.CyclesP50Pct) +
          ", \"cycles_p95_pct\": " + fmtDouble(Th.CyclesP95Pct) +
          ", \"data_faults_pct\": " + fmtDouble(Th.DataFaultsPct) +
+         ", \"text_faults_pct\": " + fmtDouble(Th.TextFaultsPct) +
          ", \"icache_miss_pct\": " + fmtDouble(Th.ICacheMissPct) +
          ", \"ipc_drop_pct\": " + fmtDouble(Th.IpcDropPct) + "},\n";
   Out += "  \"stages\": [\n";

@@ -35,6 +35,7 @@
 #ifndef MCO_TELEMETRY_FLEETSIM_H
 #define MCO_TELEMETRY_FLEETSIM_H
 
+#include "linker/StartupTrace.h"
 #include "sim/CacheModel.h"
 #include "support/Error.h"
 
@@ -45,6 +46,7 @@
 namespace mco {
 
 class Program;
+struct LayoutPlan;
 
 /// One (hardware, OS) cell of the fleet, like a Fig. 13 heatmap cell.
 struct DeviceClass {
@@ -90,6 +92,7 @@ struct FleetMetrics {
   double ITlbMissP50 = 0;
   double BranchMissP50 = 0;
   double DataFaultsP50 = 0, DataFaultsP95 = 0;
+  double TextFaultsP50 = 0, TextFaultsP95 = 0;
   uint64_t TotalInstrs = 0;
 };
 
@@ -112,7 +115,16 @@ struct FleetReport {
 /// Lays out \p Prog and executes it across the fleet. \p Prog must be a
 /// fully built artifact (post-buildProgram). Thread-safe fan-out: each
 /// device owns an Interpreter over the shared read-only image.
-FleetReport runFleet(const Program &Prog, const FleetOptions &Opts);
+///
+/// \p Plan (optional) is a LayoutStrategy product applied to the image —
+/// the closed loop's "measure under the optimized layout" step.
+/// \p TracesOut (optional) receives per-device startup traces
+/// (`mco-traces-v1`): ordered function entries, aggregated call edges,
+/// and first-touch text pages. Capture is passive — the report is
+/// byte-identical with or without it.
+FleetReport runFleet(const Program &Prog, const FleetOptions &Opts,
+                     const LayoutPlan *Plan = nullptr,
+                     TraceProfile *TracesOut = nullptr);
 
 /// Aggregates the first \p FirstN devices of \p R (a rollout-stage cohort).
 FleetMetrics aggregateDevices(const FleetReport &R, size_t FirstN);
@@ -129,6 +141,7 @@ struct RegressionThresholds {
   double CyclesP50Pct = 2.0;
   double CyclesP95Pct = 5.0;
   double DataFaultsPct = 10.0;
+  double TextFaultsPct = 10.0;
   double ICacheMissPct = 15.0;
   double IpcDropPct = 5.0;
 };
@@ -167,6 +180,9 @@ std::vector<double> defaultStagePercents();
 /// Runs both artifacts over the same synthetic fleet and ramps the
 /// candidate stage by stage, halting at the first threshold breach.
 /// \p BaseOut / \p CandOut (optional) receive the full fleet reports.
+/// \p BasePlan / \p CandPlan (optional) apply layout-strategy plans to
+/// the respective artifacts, so a rollout can compare two *layouts* of
+/// one program the same way it compares two programs.
 RolloutVerdict runStagedRollout(const Program &Baseline,
                                 const Program &Candidate,
                                 const FleetOptions &Opts,
@@ -174,7 +190,9 @@ RolloutVerdict runStagedRollout(const Program &Baseline,
                                     defaultStagePercents(),
                                 const RegressionThresholds &Th = {},
                                 FleetReport *BaseOut = nullptr,
-                                FleetReport *CandOut = nullptr);
+                                FleetReport *CandOut = nullptr,
+                                const LayoutPlan *BasePlan = nullptr,
+                                const LayoutPlan *CandPlan = nullptr);
 
 /// Deterministic JSON rendering of a rollout verdict.
 std::string rolloutVerdictJson(const RolloutVerdict &V,

@@ -1,0 +1,359 @@
+//===- tests/LayoutStrategyTest.cpp - Layout strategy tests ---------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+// The fleet-profile-driven layout loop: strategy determinism across
+// thread counts and seeds, bp bisection correctness on a hand-built
+// trace, stitch page-budget invariants, the duplicate-symbol Status path
+// through BinaryImage::create, and the closed loop end to end — traces
+// from a fleet run feed bp, whose layout must cut simulated text page
+// faults versus module order on the same fleet.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linker/LayoutStrategy.h"
+
+#include "mir/MIRBuilder.h"
+#include "pipeline/BuildPipeline.h"
+#include "synth/CorpusSynthesizer.h"
+#include "telemetry/FleetSim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace mco;
+
+namespace {
+
+void addFn(Program &P, Module &M, const std::string &Name,
+           unsigned NumInstrs = 2) {
+  MachineFunction MF;
+  MF.Name = P.internSymbol(Name);
+  MIRBuilder B(MF.addBlock());
+  for (unsigned I = 0; I + 1 < NumInstrs; ++I)
+    B.movri(Reg::X0, I);
+  B.ret();
+  M.Functions.push_back(MF);
+}
+
+/// Names of Plan.Order in layout order (flat module-order indices mapped
+/// back through the symbol table).
+std::vector<std::string> orderedNames(const Program &Prog,
+                                      const LayoutPlan &Plan) {
+  const layout_detail::FunctionTable FT =
+      layout_detail::flattenFunctions(Prog);
+  std::vector<std::string> Names;
+  for (uint32_t Flat : Plan.Order)
+    Names.push_back(Prog.symbolName(FT.Syms[Flat]));
+  return Names;
+}
+
+std::unique_ptr<Program> buildArtifact(unsigned Modules) {
+  AppProfile P = AppProfile::uberRider();
+  P.NumModules = Modules;
+  auto Prog = CorpusSynthesizer(P).withThreads(4).generate();
+  PipelineOptions Opts;
+  Opts.OutlineRounds = 1;
+  Opts.WholeProgram = true;
+  Opts.Threads = 4;
+  buildProgram(*Prog, Opts);
+  return Prog;
+}
+
+FleetOptions fleetOptions(unsigned Devices, uint64_t Seed = 0x5EED) {
+  FleetOptions O;
+  O.NumDevices = Devices;
+  O.Seed = Seed;
+  const AppProfile P = AppProfile::uberRider();
+  for (unsigned S = 0; S < P.NumSpans; ++S)
+    O.Entries.push_back(CorpusSynthesizer::spanFunctionName(S));
+  return O;
+}
+
+uint64_t totalTextFaults(const FleetReport &R) {
+  uint64_t N = 0;
+  for (const DeviceResult &D : R.Devices)
+    N += D.Counters.TextPageFaults;
+  return N;
+}
+
+TEST(LayoutStrategyTest, RegistryListsAllStrategies) {
+  const std::vector<std::string> Names = layoutStrategyNames();
+  ASSERT_EQ(Names.size(), 3u);
+  for (const std::string &N : Names) {
+    auto SE = createLayoutStrategy(N);
+    ASSERT_TRUE(SE.ok()) << N;
+    EXPECT_EQ(SE.get()->name(), N);
+    // DataLayoutMode is folded into the strategy: every strategy defaults
+    // to affinity-preserving data, and the legacy flag overrides it.
+    EXPECT_EQ(SE.get()->dataLayout(), DataLayoutMode::PreserveModuleOrder);
+    SE.get()->overrideDataLayout(DataLayoutMode::Interleaved);
+    EXPECT_EQ(SE.get()->dataLayout(), DataLayoutMode::Interleaved);
+  }
+  EXPECT_FALSE(createLayoutStrategy("no-such-strategy").ok());
+}
+
+TEST(LayoutStrategyTest, PlansAreDeterministicAcrossThreadsAndSeeds) {
+  auto Prog = buildArtifact(12);
+
+  for (uint64_t Seed : {uint64_t(0x5EED), uint64_t(1)}) {
+    // Trace capture must be byte-identical at any fleet thread count.
+    FleetOptions O = fleetOptions(16, Seed);
+    O.Threads = 1;
+    TraceProfile T1;
+    runFleet(*Prog, O, nullptr, &T1);
+    O.Threads = 8;
+    TraceProfile T8;
+    runFleet(*Prog, O, nullptr, &T8);
+    EXPECT_EQ(traceProfileJson(T1), traceProfileJson(T8));
+
+    // A strategy is a pure function of (program, traces): repeated plans
+    // and plans over the identically-captured profile must match.
+    for (const std::string &Name : layoutStrategyNames()) {
+      auto SE = createLayoutStrategy(Name);
+      ASSERT_TRUE(SE.ok());
+      auto PA = SE.get()->plan(*Prog, T1);
+      auto PB = SE.get()->plan(*Prog, T1);
+      auto PC = SE.get()->plan(*Prog, T8);
+      ASSERT_TRUE(PA.ok() && PB.ok() && PC.ok()) << Name;
+      EXPECT_EQ(PA.get().Order, PB.get().Order) << Name;
+      EXPECT_EQ(PA.get().Order, PC.get().Order) << Name;
+      EXPECT_EQ(PA.get().EstimatedTextFaults, PB.get().EstimatedTextFaults);
+      EXPECT_EQ(PA.get().ChainSizes, PC.get().ChainSizes) << Name;
+    }
+  }
+}
+
+TEST(LayoutStrategyTest, BpBisectionGroupsCoExecutedFunctions) {
+  // Ten functions; the trace makes {f0,f2,f4,f6} and {f1,f3,f5,f7} two
+  // startup phases whose members co-execute, while a mixed stream pins
+  // first-seen order to the interleaved f0..f7 — so module order (and the
+  // initial bisection split) cuts straight through both groups. The
+  // Kernighan-Lin refinement must regroup them. f8/f9 are never traced.
+  Program P;
+  Module &M = P.addModule("m");
+  for (int I = 0; I < 10; ++I)
+    addFn(P, M, "f" + std::to_string(I), 8);
+
+  TraceProfile T;
+  std::vector<uint32_t> Id;
+  for (int I = 0; I < 8; ++I)
+    Id.push_back(T.functionId("f" + std::to_string(I)));
+
+  DeviceTrace Mix;
+  Mix.Device = 0;
+  for (int Rep = 0; Rep < 2; ++Rep)
+    for (int I = 0; I < 8; ++I)
+      Mix.Entries.push_back(Id[I]);
+  T.Devices.push_back(Mix);
+  for (int G = 0; G < 2; ++G) {
+    DeviceTrace D;
+    D.Device = 1 + G;
+    for (int Rep = 0; Rep < 12; ++Rep)
+      for (int I = G; I < 8; I += 2)
+        D.Entries.push_back(Id[I]);
+    T.Devices.push_back(D);
+  }
+
+  auto SE = createLayoutStrategy("bp");
+  ASSERT_TRUE(SE.ok());
+  auto PE = SE.get()->plan(P, T);
+  ASSERT_TRUE(PE.ok());
+  const LayoutPlan &Plan = PE.get();
+  EXPECT_EQ(Plan.Strategy, "bp");
+  EXPECT_EQ(Plan.FunctionsTraced, 8u);
+  ASSERT_EQ(Plan.Order.size(), 10u);
+
+  const std::vector<std::string> Names = orderedNames(P, Plan);
+  const std::set<std::string> FirstHalf(Names.begin(), Names.begin() + 4);
+  const std::set<std::string> SecondHalf(Names.begin() + 4,
+                                         Names.begin() + 8);
+  const std::set<std::string> Even = {"f0", "f2", "f4", "f6"};
+  const std::set<std::string> Odd = {"f1", "f3", "f5", "f7"};
+  EXPECT_TRUE((FirstHalf == Even && SecondHalf == Odd) ||
+              (FirstHalf == Odd && SecondHalf == Even))
+      << "bisection failed to regroup co-executed functions";
+  // Untraced functions keep module order at the end.
+  EXPECT_EQ(Names[8], "f8");
+  EXPECT_EQ(Names[9], "f9");
+}
+
+TEST(LayoutStrategyTest, StitchMergesHotPairsUnderPageBudget) {
+  // a->b is hot and both fit one page: they must be stitched adjacently.
+  // big->tiny is hotter still, but big alone exceeds the 16 KiB budget,
+  // so Codestitcher's constraint forbids the merge; both stay heat-0
+  // singletons in the warm tier (they did execute), ahead of the
+  // untraced cold pair.
+  Program P;
+  Module &M = P.addModule("m");
+  const unsigned BigInstrs =
+      static_cast<unsigned>(PageBudgetBytes / InstrBytes) + 16;
+  addFn(P, M, "big", BigInstrs);
+  addFn(P, M, "tiny", 4);
+  addFn(P, M, "a", 8);
+  addFn(P, M, "b", 8);
+  addFn(P, M, "cold1", 2);
+  addFn(P, M, "cold2", 2);
+
+  TraceProfile T;
+  DeviceTrace D;
+  D.Device = 0;
+  D.Calls.push_back({T.functionId("big"), T.functionId("tiny"), 200});
+  D.Calls.push_back({T.functionId("a"), T.functionId("b"), 100});
+  T.Devices.push_back(D);
+
+  auto SE = createLayoutStrategy("stitch");
+  ASSERT_TRUE(SE.ok());
+  auto PE = SE.get()->plan(P, T);
+  ASSERT_TRUE(PE.ok());
+  const LayoutPlan &Plan = PE.get();
+  EXPECT_EQ(Plan.FunctionsTraced, 4u);
+
+  const std::vector<std::string> Names = orderedNames(P, Plan);
+  const std::vector<std::string> Want = {"a",     "b",     "big",
+                                         "tiny",  "cold1", "cold2"};
+  EXPECT_EQ(Names, Want);
+  // Exactly one hot chain (a+b), within the page budget.
+  ASSERT_EQ(Plan.ChainSizes.size(), 1u);
+  EXPECT_EQ(Plan.ChainSizes[0], 2 * 8 * InstrBytes);
+  EXPECT_LE(Plan.ChainSizes[0], PageBudgetBytes);
+}
+
+TEST(LayoutStrategyTest, StitchPageBudgetHoldsOnFleetTraces) {
+  auto Prog = buildArtifact(16);
+  FleetOptions O = fleetOptions(16);
+  O.Threads = 4;
+  TraceProfile T;
+  runFleet(*Prog, O, nullptr, &T);
+  ASSERT_FALSE(T.Devices.empty());
+
+  auto SE = createLayoutStrategy("stitch");
+  ASSERT_TRUE(SE.ok());
+  auto PE = SE.get()->plan(*Prog, T);
+  ASSERT_TRUE(PE.ok());
+  const LayoutPlan &Plan = PE.get();
+
+  // The invariant the strategy is named for: every stitched (multi-
+  // function) chain fits one 16 KiB page.
+  EXPECT_FALSE(Plan.ChainSizes.empty());
+  for (uint64_t Bytes : Plan.ChainSizes)
+    EXPECT_LE(Bytes, PageBudgetBytes);
+
+  // And the order is a permutation of the program's functions.
+  const layout_detail::FunctionTable FT =
+      layout_detail::flattenFunctions(*Prog);
+  ASSERT_EQ(Plan.Order.size(), FT.size());
+  std::vector<uint32_t> Sorted(Plan.Order);
+  std::sort(Sorted.begin(), Sorted.end());
+  for (uint32_t I = 0; I < Sorted.size(); ++I)
+    EXPECT_EQ(Sorted[I], I);
+}
+
+TEST(LayoutStrategyTest, CreateRejectsDuplicateSymbolsWithStatus) {
+  // The duplicate-symbol path used to abort the process; create() now
+  // returns a Status the caller can surface and recover from.
+  Program P;
+  Module &M = P.addModule("m");
+  addFn(P, M, "dup", 4);
+  addFn(P, M, "dup", 4);
+
+  auto IE = BinaryImage::create(P);
+  ASSERT_FALSE(IE.ok());
+  EXPECT_NE(IE.status().message().find("duplicate symbol"),
+            std::string::npos);
+  EXPECT_NE(IE.status().message().find("dup"), std::string::npos);
+
+  Program PG;
+  Module &MG = PG.addModule("m");
+  addFn(PG, MG, "f", 4);
+  GlobalData G;
+  G.Name = PG.internSymbol("g");
+  G.Bytes.assign(16, 0);
+  MG.Globals.push_back(G);
+  MG.Globals.push_back(G);
+  auto GE = BinaryImage::create(PG);
+  ASSERT_FALSE(GE.ok());
+  EXPECT_NE(GE.status().message().find("duplicate global"),
+            std::string::npos);
+
+  // A clean program still succeeds through the same path.
+  Program POk;
+  Module &MOk = POk.addModule("m");
+  addFn(POk, MOk, "f", 4);
+  EXPECT_TRUE(BinaryImage::create(POk).ok());
+}
+
+TEST(LayoutStrategyTest, PlansMoveAddressesNotBytes) {
+  auto Prog = buildArtifact(12);
+  FleetOptions O = fleetOptions(8);
+  O.Threads = 4;
+  TraceProfile T;
+  runFleet(*Prog, O, nullptr, &T);
+
+  auto Orig = BinaryImage::create(*Prog);
+  ASSERT_TRUE(Orig.ok());
+  auto SE = createLayoutStrategy("bp");
+  ASSERT_TRUE(SE.ok());
+  auto PE = SE.get()->plan(*Prog, T);
+  ASSERT_TRUE(PE.ok());
+  auto Opt = BinaryImage::create(*Prog, &PE.get());
+  ASSERT_TRUE(Opt.ok());
+
+  // Same bytes: identical code/data sizes and the identical function set
+  // (the plan is a permutation — instruction bytes and outlining stats
+  // are untouched, only addresses move).
+  EXPECT_EQ(Orig.get().codeSize(), Opt.get().codeSize());
+  EXPECT_EQ(Orig.get().dataSize(), Opt.get().dataSize());
+  ASSERT_EQ(Orig.get().funcs().size(), Opt.get().funcs().size());
+  std::set<const MachineFunction *> A, B;
+  bool Moved = false;
+  for (size_t I = 0; I < Orig.get().funcs().size(); ++I) {
+    A.insert(Orig.get().funcs()[I].MF);
+    B.insert(Opt.get().funcs()[I].MF);
+    Moved |= Orig.get().funcs()[I].MF != Opt.get().funcs()[I].MF;
+  }
+  EXPECT_EQ(A, B);
+  EXPECT_TRUE(Moved) << "bp plan left every function in module order";
+}
+
+TEST(LayoutStrategyTest, BpCutsSimulatedTextFaultsEndToEnd) {
+  // The closed loop: measure the original layout on the fleet, plan from
+  // its traces, and re-measure — the optimized layout must touch fewer
+  // text pages on the very same devices, and the staged rollout must ramp
+  // it clean to 100%.
+  auto Prog = buildArtifact(32);
+  FleetOptions O = fleetOptions(16);
+  O.Threads = 4;
+
+  TraceProfile T;
+  const FleetReport Base = runFleet(*Prog, O, nullptr, &T);
+  EXPECT_GT(T.totalEntries(), 0u);
+  const uint64_t BaseFaults = totalTextFaults(Base);
+  ASSERT_GT(BaseFaults, 0u);
+
+  for (const std::string &Name : {std::string("bp"), std::string("stitch")}) {
+    auto SE = createLayoutStrategy(Name);
+    ASSERT_TRUE(SE.ok());
+    auto PE = SE.get()->plan(*Prog, T);
+    ASSERT_TRUE(PE.ok());
+    const FleetReport Opt = runFleet(*Prog, O, &PE.get());
+    EXPECT_LT(totalTextFaults(Opt), BaseFaults) << Name;
+  }
+
+  auto SE = createLayoutStrategy("bp");
+  ASSERT_TRUE(SE.ok());
+  auto PE = SE.get()->plan(*Prog, T);
+  ASSERT_TRUE(PE.ok());
+  RolloutVerdict V = runStagedRollout(*Prog, *Prog, O, defaultStagePercents(),
+                                      {}, nullptr, nullptr, nullptr,
+                                      &PE.get());
+  EXPECT_FALSE(V.Regression) << V.Summary;
+  EXPECT_DOUBLE_EQ(V.HaltedAtPercent, 100.0);
+}
+
+} // namespace

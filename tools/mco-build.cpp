@@ -10,7 +10,8 @@
 /// statistics. Optionally dumps the final module as text (reloadable with
 /// mco-run) or prints the top repeated patterns.
 ///
-///   mco-build [--profile rider|driver|eats|clang|kernel]
+///   mco-build [--profile rider|driver|eats|clang|kernel|TRACES.json]
+///             [--layout original|bp|stitch] [--data-layout MODE]
 ///             [--modules N] [--rounds N] [--per-module]
 ///             [-j N | --threads N] [--incremental]
 ///             [--discovery tree|sarray]
@@ -53,7 +54,9 @@ namespace {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: mco-build [--profile rider|driver|eats|clang|kernel]\n"
+      "usage: mco-build [--profile rider|driver|eats|clang|kernel|FILE]\n"
+      "                 [--layout original|bp|stitch]\n"
+      "                 [--data-layout preserve|interleave]\n"
       "                 [--modules N] [--rounds N] [--per-module]\n"
       "                 [-j N | --threads N] [--incremental]\n"
       "                 [--discovery tree|sarray]\n"
@@ -65,6 +68,15 @@ void usage() {
       "                 [--cache] [--cache-dir DIR] [--resume DIR]\n"
       "                 [--module-timeout-ms N] [--timeout-retries N]\n"
       "                 [--trace-json FILE] [--pattern-provenance FILE]\n"
+      "  --profile X    corpus profile to synthesize, or the path of an\n"
+      "                 mco-traces-v1 startup-trace file (mco-fleet\n"
+      "                 --emit-traces) driving the layout strategy; the\n"
+      "                 two uses may be combined by passing both\n"
+      "  --layout S     code-layout strategy for the final image:\n"
+      "                 original (module order, default), bp (balanced\n"
+      "                 partitioning), stitch (Codestitcher chains)\n"
+      "  --data-layout preserve|interleave  global-data ordering; alias\n"
+      "                 of --interleave-data folded into the strategy\n"
       "  -j N           worker threads for synthesis and outlining\n"
       "                 (output is bit-identical at any N)\n"
       "  --incremental  reuse mapping/liveness across outlining rounds\n"
@@ -136,8 +148,13 @@ Status parseArgs(int argc, char **argv, BuildConfig &C) {
         C.Profile = AppProfile::clangCompiler();
       else if (P == "kernel")
         C.Profile = AppProfile::linuxKernel();
+      else if (std::ifstream(P).good())
+        // Dual use: a path names an mco-traces-v1 startup-trace profile
+        // feeding the layout strategy (the measure->layout->verify loop).
+        C.Opts.Layout.ProfilePath = P;
       else
-        return MCO_ERROR("unknown profile '" + P + "'");
+        return MCO_ERROR("unknown profile '" + P +
+                         "' (not a corpus name or a readable trace file)");
     } else if (A == "--modules") {
       if (Status S = NextOr(V); !S.ok())
         return S;
@@ -169,6 +186,32 @@ Status parseArgs(int argc, char **argv, BuildConfig &C) {
                          "' (expected 'tree' or 'sarray')");
     } else if (A == "--interleave-data") {
       C.Opts.DataLayout = DataLayoutMode::Interleaved;
+    } else if (A == "--data-layout") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      std::string M = V;
+      if (M == "preserve")
+        C.Opts.DataLayout = DataLayoutMode::PreserveModuleOrder;
+      else if (M == "interleave")
+        C.Opts.DataLayout = DataLayoutMode::Interleaved;
+      else
+        return MCO_ERROR("unknown data layout '" + M +
+                         "' (expected 'preserve' or 'interleave')");
+    } else if (A == "--layout") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      std::string L = V;
+      bool Known = false;
+      for (const std::string &N : layoutStrategyNames())
+        Known |= N == L;
+      if (!Known) {
+        std::string Valid;
+        for (const std::string &N : layoutStrategyNames())
+          Valid += (Valid.empty() ? "" : ", ") + N;
+        return MCO_ERROR("unknown layout strategy '" + L + "' (expected " +
+                         Valid + ")");
+      }
+      C.Opts.Layout.Strategy = L;
     } else if (A == "--normalize-commutative") {
       C.Normalize = true;
     } else if (A == "--hot-layout") {
@@ -296,6 +339,12 @@ Status writeDiagJson(const std::string &Path, const BuildConfig &C,
   Out << "  \"code_size_after\": " << Ctr("pipeline.code_size_after")
       << ",\n";
   Out << "  \"binary_size\": " << Ctr("pipeline.binary_size") << ",\n";
+  Out << "  \"layout_strategy\": \"" << jsonEscape(R.Layout.Strategy)
+      << "\",\n";
+  Out << "  \"layout_functions_traced\": " << U64(R.Layout.FunctionsTraced)
+      << ",\n";
+  Out << "  \"layout_estimated_text_faults\": "
+      << U64(R.Layout.EstimatedTextFaults) << ",\n";
   Out << "  \"modules_degraded\": " << Ctr("pipeline.modules_degraded")
       << ",\n";
   Out << "  \"rounds_rolled_back\": " << Ctr("guard.rounds_rolled_back")
@@ -404,6 +453,14 @@ Status runBuild(BuildConfig &C, DiagState &D) {
   }
   std::printf("build phases: link %.2fs, outline %.2fs, layout %.2fs\n",
               R.LinkIRSeconds, R.OutlineSeconds, R.LayoutSeconds);
+  if (C.Opts.Layout.Strategy != "original" ||
+      !C.Opts.Layout.ProfilePath.empty())
+    std::printf("code layout: strategy %s, %llu traced function(s), "
+                "estimated %llu text page fault(s) (%.3fs)\n",
+                R.Layout.Strategy.c_str(),
+                static_cast<unsigned long long>(R.Layout.FunctionsTraced),
+                static_cast<unsigned long long>(R.Layout.EstimatedTextFaults),
+                R.Layout.Seconds);
 
   const bool FaultsActive = !C.FaultSpec.empty();
   if (C.Opts.Guard.Enabled || FaultsActive) {

@@ -10,12 +10,13 @@
 /// ramp the candidate in stages (1% -> 10% -> 50% -> 100%), halting on the
 /// first per-metric regression-threshold breach.
 ///
-///   mco-fleet [--scenario identity|table7]
+///   mco-fleet [--scenario identity|table7|bp|stitch]
 ///             [--profile rider|driver|eats|clang|kernel] [--modules N]
 ///             [--rounds N] [-j N | --threads N]
 ///             [--devices N] [--seed S] [--stages 1,10,50,100]
 ///             [--th-cycles-p50 PCT] [--th-cycles-p95 PCT]
-///             [--th-faults PCT] [--th-icache PCT] [--th-ipc PCT]
+///             [--th-faults PCT] [--th-text PCT] [--th-icache PCT]
+///             [--th-ipc PCT] [--emit-traces FILE]
 ///             [--verdict FILE] [--base-report FILE] [--cand-report FILE]
 ///             [--trace-json FILE]
 ///
@@ -25,6 +26,16 @@
 ///   table7    candidate merges globals in interleaved (hash) order while
 ///             the baseline preserves module order — the Section VI data
 ///             page-fault regression. The ramp must halt.
+///   bp        the closed measure->layout->verify loop: one fleet pass over
+///             the module-order artifact captures startup traces, the
+///             balanced-partitioning strategy plans a layout from them, and
+///             the rollout ramps the re-laid-out image against module order
+///             on the same program. Must ramp clean (layout cuts text page
+///             faults; it never regresses the guarded metrics).
+///   stitch    same loop with the Codestitcher chain strategy.
+///
+/// `--emit-traces FILE` writes the captured traces as `mco-traces-v1` JSON
+/// (consumed by `mco-build --profile FILE`), with any scenario.
 ///
 /// Exit status: 0 = ramp completed clean, 2 = ramp halted on a regression,
 /// 1 = usage or build error. CI asserts on 0/2, so a verdict flip fails
@@ -32,6 +43,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "linker/LayoutStrategy.h"
 #include "pipeline/BuildPipeline.h"
 #include "support/Error.h"
 #include "synth/CorpusSynthesizer.h"
@@ -52,17 +64,24 @@ namespace {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: mco-fleet [--scenario identity|table7]\n"
+      "usage: mco-fleet [--scenario identity|table7|bp|stitch]\n"
       "                 [--profile rider|driver|eats|clang|kernel]\n"
       "                 [--modules N] [--rounds N] [-j N | --threads N]\n"
       "                 [--devices N] [--seed S] [--stages 1,10,50,100]\n"
       "                 [--th-cycles-p50 PCT] [--th-cycles-p95 PCT]\n"
-      "                 [--th-faults PCT] [--th-icache PCT] [--th-ipc PCT]\n"
+      "                 [--th-faults PCT] [--th-text PCT]\n"
+      "                 [--th-icache PCT] [--th-ipc PCT]\n"
+      "                 [--emit-traces FILE]\n"
       "                 [--verdict FILE] [--base-report FILE]\n"
       "                 [--cand-report FILE] [--trace-json FILE]\n"
       "  --scenario identity  candidate == baseline; must ramp to 100%%\n"
       "  --scenario table7    candidate uses interleaved data layout (the\n"
       "                 Section VI page-fault regression); must halt\n"
+      "  --scenario bp|stitch  the closed layout loop: capture startup\n"
+      "                 traces, plan a bp/stitch layout from them, ramp\n"
+      "                 the re-laid-out image against module order\n"
+      "  --emit-traces FILE  write captured startup traces as\n"
+      "                 mco-traces-v1 JSON (feed to mco-build --profile)\n"
       "  --devices N    synthetic fleet size (default 64)\n"
       "  --stages CSV   ramp percents (default 1,10,50,100)\n"
       "  --th-* PCT     per-metric regression thresholds, in percent\n"
@@ -83,6 +102,7 @@ struct FleetConfig {
   std::string BaseReportFile;
   std::string CandReportFile;
   std::string TraceFile;
+  std::string EmitTracesFile;
 };
 
 Status parseArgs(int argc, char **argv, FleetConfig &C) {
@@ -102,7 +122,8 @@ Status parseArgs(int argc, char **argv, FleetConfig &C) {
       if (Status S = NextOr(V); !S.ok())
         return S;
       C.Scenario = V;
-      if (C.Scenario != "identity" && C.Scenario != "table7")
+      if (C.Scenario != "identity" && C.Scenario != "table7" &&
+          C.Scenario != "bp" && C.Scenario != "stitch")
         return MCO_ERROR("unknown scenario '" + C.Scenario + "'");
     } else if (A == "--profile") {
       if (Status S = NextOr(V); !S.ok())
@@ -170,6 +191,10 @@ Status parseArgs(int argc, char **argv, FleetConfig &C) {
       if (Status S = NextOr(V); !S.ok())
         return S;
       C.Th.DataFaultsPct = std::atof(V);
+    } else if (A == "--th-text") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Th.TextFaultsPct = std::atof(V);
     } else if (A == "--th-icache") {
       if (Status S = NextOr(V); !S.ok())
         return S;
@@ -194,6 +219,10 @@ Status parseArgs(int argc, char **argv, FleetConfig &C) {
       if (Status S = NextOr(V); !S.ok())
         return S;
       C.TraceFile = V;
+    } else if (A == "--emit-traces") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.EmitTracesFile = V;
     } else {
       return MCO_ERROR("unknown option '" + A + "'");
     }
@@ -230,6 +259,17 @@ int run(FleetConfig &C) {
   for (unsigned S = 0; S < C.Profile.NumSpans; ++S)
     C.Fleet.Entries.push_back(CorpusSynthesizer::spanFunctionName(S));
 
+  auto WriteOr = [](Status S, const char *What, const std::string &Path) {
+    if (!S.ok()) {
+      std::fprintf(stderr, "mco-fleet: writing %s: %s\n", What,
+                   S.render().c_str());
+      return false;
+    }
+    std::printf("wrote %s to %s\n", What, Path.c_str());
+    return true;
+  };
+  bool WriteOk = true;
+
   std::unique_ptr<Program> Baseline =
       buildArtifact(C, DataLayoutMode::PreserveModuleOrder);
   std::unique_ptr<Program> Candidate =
@@ -238,9 +278,68 @@ int run(FleetConfig &C) {
           : nullptr;
   const Program &Cand = Candidate ? *Candidate : *Baseline;
 
+  // Measure: one fleet pass over the module-order layout captures the
+  // per-device startup traces the layout strategies consume.
+  const bool LayoutScenario = C.Scenario == "bp" || C.Scenario == "stitch";
+  TraceProfile Traces;
+  if (LayoutScenario || !C.EmitTracesFile.empty()) {
+    runFleet(*Baseline, C.Fleet, nullptr, &Traces);
+    std::printf("captured startup traces: %zu device(s), %zu function(s), "
+                "%llu entries, %llu text page fault(s)\n",
+                Traces.Devices.size(), Traces.Functions.size(),
+                static_cast<unsigned long long>(Traces.totalEntries()),
+                static_cast<unsigned long long>(Traces.totalTextFaults()));
+    if (!C.EmitTracesFile.empty())
+      WriteOk &= WriteOr(writeTraceProfile(Traces, C.EmitTracesFile),
+                         "startup traces", C.EmitTracesFile);
+  }
+
+  // Layout: plan the candidate order from the measured traces. The
+  // rollout then verifies the loop end to end: same program, original
+  // layout as baseline versus the strategy's layout as candidate.
+  LayoutPlan CandPlan;
+  if (LayoutScenario) {
+    Expected<std::unique_ptr<LayoutStrategy>> SE =
+        createLayoutStrategy(C.Scenario);
+    if (!SE.ok()) {
+      std::fprintf(stderr, "mco-fleet: %s\n", SE.status().render().c_str());
+      return 1;
+    }
+    Expected<LayoutPlan> PE = SE.get()->plan(*Baseline, Traces);
+    if (!PE.ok()) {
+      std::fprintf(stderr, "mco-fleet: layout planning: %s\n",
+                   PE.status().render().c_str());
+      return 1;
+    }
+    CandPlan = std::move(PE.get());
+    std::printf("layout plan: strategy %s, %llu traced function(s), "
+                "estimated %llu text page fault(s)\n",
+                CandPlan.Strategy.c_str(),
+                static_cast<unsigned long long>(CandPlan.FunctionsTraced),
+                static_cast<unsigned long long>(CandPlan.EstimatedTextFaults));
+  }
+
   FleetReport BaseReport, CandReport;
-  RolloutVerdict V = runStagedRollout(*Baseline, Cand, C.Fleet, C.Stages,
-                                      C.Th, &BaseReport, &CandReport);
+  RolloutVerdict V =
+      runStagedRollout(*Baseline, Cand, C.Fleet, C.Stages, C.Th, &BaseReport,
+                       &CandReport, nullptr,
+                       LayoutScenario ? &CandPlan : nullptr);
+
+  if (LayoutScenario) {
+    uint64_t BaseFaults = 0, CandFaults = 0;
+    for (const DeviceResult &D : BaseReport.Devices)
+      BaseFaults += D.Counters.TextPageFaults;
+    for (const DeviceResult &D : CandReport.Devices)
+      CandFaults += D.Counters.TextPageFaults;
+    std::printf("simulated text page faults: original %llu -> %s %llu "
+                "(%+.1f%%)\n",
+                static_cast<unsigned long long>(BaseFaults),
+                C.Scenario.c_str(),
+                static_cast<unsigned long long>(CandFaults),
+                BaseFaults ? 100.0 * (double(CandFaults) - double(BaseFaults)) /
+                                 double(BaseFaults)
+                           : 0.0);
+  }
 
   for (const StageVerdict &S : V.Stages) {
     std::printf("stage %5.1f%% (%u device(s)): %s\n", S.Percent, S.Devices,
@@ -255,16 +354,6 @@ int run(FleetConfig &C) {
   std::printf("verdict: %s — %s\n", V.Regression ? "REGRESSION" : "ok",
               V.Summary.c_str());
 
-  auto WriteOr = [](Status S, const char *What, const std::string &Path) {
-    if (!S.ok()) {
-      std::fprintf(stderr, "mco-fleet: writing %s: %s\n", What,
-                   S.render().c_str());
-      return false;
-    }
-    std::printf("wrote %s to %s\n", What, Path.c_str());
-    return true;
-  };
-  bool WriteOk = true;
   if (!C.BaseReportFile.empty())
     WriteOk &= WriteOr(writeFleetReport(BaseReport, C.BaseReportFile),
                        "baseline fleet report", C.BaseReportFile);
