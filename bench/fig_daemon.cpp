@@ -1,0 +1,375 @@
+//===- bench/fig_daemon.cpp - Build-daemon service-level bench ------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Service-level numbers for mco-buildd, the paper's distributed-build
+/// posture (Section 6 discusses outlining inside Uber's BuckBuild remote
+/// workers): spawns the real daemon binary, drives it with concurrent
+/// in-process clients, and reports
+///
+///   - cold-burst throughput and P50/P95/P99 request latency,
+///   - warm-burst latency and the shared-cache hit rate,
+///   - recovery time after SIGKILL mid-request (restart with --resume
+///     until the socket answers again, then until every in-flight
+///     request drains).
+///
+/// Doubles as the `daemon_smoke` CI gate: every request in every phase
+/// must complete with the same artifact digest, the warm burst must be
+/// all cache hits, and the killed daemon's requests must survive the
+/// restart — a regression in any failure domain fails the run.
+///
+///   fig_daemon [--requests N] [--modules N] [--workers N] [--clients N]
+///              [--json PATH]
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "daemon/Client.h"
+#include "support/FileAtomics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace mco;
+using namespace mco::benchutil;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Options {
+  unsigned Requests = 12;
+  unsigned Modules = 8;
+  unsigned Workers = 2;
+  unsigned Clients = 4;
+  std::string JsonPath;
+};
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - T0).count();
+}
+
+struct DaemonProc {
+  pid_t Pid = -1;
+  std::string Socket, State;
+
+  /// fork+exec the real mco-buildd; waits until it answers a ping.
+  /// \returns false if it never became ready.
+  bool start(unsigned Workers, bool Resume, const char *CrashEnv) {
+    std::vector<std::string> Args = {
+        "mco-buildd", "--socket", Socket, "--state", State,
+        "--workers",  std::to_string(Workers)};
+    if (Resume)
+      Args.push_back("--resume");
+    Pid = ::fork();
+    if (Pid == 0) {
+      if (CrashEnv)
+        ::setenv("MCO_CRASH_AFTER_MODULES", CrashEnv, 1);
+      std::vector<char *> Argv;
+      for (std::string &S : Args)
+        Argv.push_back(S.data());
+      Argv.push_back(nullptr);
+      std::freopen("/dev/null", "w", stderr);
+      ::execv(MCO_BUILDD_TOOL_PATH, Argv.data());
+      ::_exit(127);
+    }
+    if (Pid < 0)
+      return false;
+    ClientOptions CO;
+    CO.SocketPath = Socket;
+    CO.MaxAttempts = 1;
+    CO.ReplyTimeoutMs = 2000;
+    DaemonClient Probe(CO);
+    RpcMessage Ping;
+    Ping.Type = "ping";
+    for (int I = 0; I < 400; ++I) {
+      Expected<RpcMessage> R = Probe.call(Ping);
+      if (R.ok() && R->Type == "pong")
+        return true;
+      ::usleep(10 * 1000);
+    }
+    return false;
+  }
+
+  /// Blocks until the daemon process exits; reports SIGKILL death.
+  bool waitKilled() {
+    int WStatus = 0;
+    ::waitpid(Pid, &WStatus, 0);
+    Pid = -1;
+    return WIFSIGNALED(WStatus) && WTERMSIG(WStatus) == SIGKILL;
+  }
+
+  void shutdown() {
+    if (Pid <= 0)
+      return;
+    ClientOptions CO;
+    CO.SocketPath = Socket;
+    CO.MaxAttempts = 1;
+    DaemonClient C(CO);
+    RpcMessage M;
+    M.Type = "shutdown";
+    (void)C.call(M);
+    int WStatus = 0;
+    ::waitpid(Pid, &WStatus, 0);
+    Pid = -1;
+  }
+
+  ~DaemonProc() {
+    if (Pid > 0) {
+      ::kill(Pid, SIGKILL);
+      int WStatus = 0;
+      ::waitpid(Pid, &WStatus, 0);
+    }
+  }
+};
+
+RpcMessage buildRequest(const std::string &Id, unsigned Modules) {
+  RpcMessage Req;
+  Req.Type = "build";
+  Req.Str["id"] = Id;
+  Req.Str["profile"] = "rider";
+  Req.Int["modules"] = int64_t(Modules);
+  Req.Int["rounds"] = 2;
+  Req.Int["per_module"] = 1;
+  return Req;
+}
+
+struct BurstResult {
+  std::vector<double> LatenciesMs; ///< Completed requests only.
+  unsigned Failed = 0;
+  double WallMs = 0;
+  std::string Digest; ///< "" until set; "MIXED" on divergence.
+  uint64_t CacheHits = 0, CacheMisses = 0;
+};
+
+/// Submits \p Count requests (ids "<prefix>-<i>") from \p Clients threads.
+BurstResult runBurst(const std::string &Socket, const std::string &Prefix,
+                     unsigned Count, unsigned Modules, unsigned Clients) {
+  BurstResult B;
+  std::mutex Mu;
+  auto T0 = Clock::now();
+  std::vector<std::thread> Pool;
+  std::atomic<unsigned> NextIdx{0};
+  for (unsigned C = 0; C < std::max(1u, Clients); ++C)
+    Pool.emplace_back([&] {
+      ClientOptions CO;
+      CO.SocketPath = Socket;
+      CO.MaxAttempts = 60;
+      DaemonClient Client(CO);
+      for (;;) {
+        unsigned I = NextIdx.fetch_add(1);
+        if (I >= Count)
+          return;
+        auto R0 = Clock::now();
+        Expected<RpcMessage> R = Client.submitBuild(
+            buildRequest(Prefix + "-" + std::to_string(I), Modules));
+        double Ms = msSince(R0);
+        std::lock_guard<std::mutex> Lock(Mu);
+        if (!R.ok() || R->strOr("state", "") != "completed") {
+          ++B.Failed;
+          continue;
+        }
+        B.LatenciesMs.push_back(Ms);
+        const std::string D = R->strOr("artifact_digest", "");
+        if (B.Digest.empty())
+          B.Digest = D;
+        else if (B.Digest != D)
+          B.Digest = "MIXED";
+        B.CacheHits += uint64_t(R->intOr("cache_hits", 0));
+        B.CacheMisses += uint64_t(R->intOr("cache_misses", 0));
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  B.WallMs = msSince(T0);
+  std::sort(B.LatenciesMs.begin(), B.LatenciesMs.end());
+  return B;
+}
+
+double pct(const std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t I = size_t(P * double(Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(I, Sorted.size() - 1)];
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opt;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() { return I + 1 < argc ? argv[++I] : "0"; };
+    if (A == "--requests")
+      Opt.Requests = unsigned(std::atoi(Next()));
+    else if (A == "--modules")
+      Opt.Modules = unsigned(std::atoi(Next()));
+    else if (A == "--workers")
+      Opt.Workers = unsigned(std::atoi(Next()));
+    else if (A == "--clients")
+      Opt.Clients = unsigned(std::atoi(Next()));
+    else if (A == "--json")
+      Opt.JsonPath = Next();
+    else {
+      std::fprintf(stderr, "fig_daemon: bad argument '%s'\n", A.c_str());
+      return 2;
+    }
+  }
+
+  banner("Build daemon: throughput, tail latency, crash recovery",
+         "Section 6 (outlining in distributed/remote builds) + the "
+         "production failure-domain requirements");
+
+  fs::path Scratch = fs::temp_directory_path() /
+                     ("mco_fig_daemon_" + std::to_string(::getpid()));
+  fs::remove_all(Scratch);
+  fs::create_directories(Scratch);
+  unsigned Violations = 0;
+
+  // --- Phase 1+2: cold burst, then warm burst, same daemon ---------------
+  DaemonProc Svc;
+  Svc.Socket = (Scratch / "sock").string();
+  Svc.State = (Scratch / "state").string();
+  if (!Svc.start(Opt.Workers, /*Resume=*/false, nullptr)) {
+    std::fprintf(stderr, "fig_daemon: daemon never became ready\n");
+    return 1;
+  }
+
+  section("cold burst (empty shared cache)");
+  BurstResult Cold = runBurst(Svc.Socket, "cold", Opt.Requests, Opt.Modules,
+                              Opt.Clients);
+  double ColdRps = 1000.0 * double(Cold.LatenciesMs.size()) / Cold.WallMs;
+  std::printf("%u requests, %u clients, %u workers: %.1f req/s\n",
+              Opt.Requests, Opt.Clients, Opt.Workers, ColdRps);
+  std::printf("latency ms: p50 %.1f  p95 %.1f  p99 %.1f  (failed: %u)\n",
+              pct(Cold.LatenciesMs, 0.50), pct(Cold.LatenciesMs, 0.95),
+              pct(Cold.LatenciesMs, 0.99), Cold.Failed);
+
+  section("warm burst (cache populated by the cold burst)");
+  BurstResult Warm = runBurst(Svc.Socket, "warm", Opt.Requests, Opt.Modules,
+                              Opt.Clients);
+  double WarmRps = 1000.0 * double(Warm.LatenciesMs.size()) / Warm.WallMs;
+  double HitRate = double(Warm.CacheHits) /
+                   double(std::max<uint64_t>(1, Warm.CacheHits +
+                                                    Warm.CacheMisses));
+  std::printf("%.1f req/s; latency ms: p50 %.1f  p95 %.1f  p99 %.1f\n",
+              WarmRps, pct(Warm.LatenciesMs, 0.50),
+              pct(Warm.LatenciesMs, 0.95), pct(Warm.LatenciesMs, 0.99));
+  std::printf("shared-cache hit rate: %.1f%% (%llu hits, %llu misses)\n",
+              100.0 * HitRate, (unsigned long long)Warm.CacheHits,
+              (unsigned long long)Warm.CacheMisses);
+  Svc.shutdown();
+
+  // --- Phase 3: SIGKILL mid-request, restart --resume --------------------
+  section("crash recovery (SIGKILL mid-request, restart with --resume)");
+  DaemonProc Svc2;
+  Svc2.Socket = (Scratch / "sock2").string();
+  Svc2.State = (Scratch / "state2").string();
+  // The crash hook SIGKILLs the daemon mid-request — deterministically
+  // inside one build, before its last module is durable, so the request
+  // is still unfinished at the crash.
+  const unsigned CrashAfter =
+      Opt.Modules > 1 ? std::min(5u, Opt.Modules - 1) : 1;
+  if (!Svc2.start(Opt.Workers, /*Resume=*/false,
+                  std::to_string(CrashAfter).c_str())) {
+    std::fprintf(stderr, "fig_daemon: crash-phase daemon never ready\n");
+    return 1;
+  }
+  const unsigned KillReqs = std::min(Opt.Requests, 4u);
+  BurstResult Killed;
+  std::thread KillBurst([&] {
+    Killed = runBurst(Svc2.Socket, "kill", KillReqs, Opt.Modules,
+                      Opt.Clients);
+  });
+  bool WasKilled = Svc2.waitKilled();
+  auto TDead = Clock::now();
+  if (!WasKilled) {
+    std::fprintf(stderr, "fig_daemon: crash hook never fired\n");
+    ++Violations;
+  }
+  if (!Svc2.start(Opt.Workers, /*Resume=*/true, nullptr)) {
+    std::fprintf(stderr, "fig_daemon: restarted daemon never ready\n");
+    return 1;
+  }
+  double ReadyMs = msSince(TDead);
+  KillBurst.join();
+  double DrainMs = msSince(TDead);
+  std::printf("restart-to-ready %.1f ms; all in-flight requests drained "
+              "%.1f ms after the kill\n",
+              ReadyMs, DrainMs);
+  Svc2.shutdown();
+
+  // --- The gate ----------------------------------------------------------
+  section("gate");
+  auto Check = [&](bool Ok, const char *What) {
+    std::printf("  [%s] %s\n", Ok ? "ok" : "FAIL", What);
+    if (!Ok)
+      ++Violations;
+  };
+  Check(Cold.Failed == 0 && Cold.LatenciesMs.size() == Opt.Requests,
+        "every cold-burst request completed");
+  Check(Warm.Failed == 0 && Warm.LatenciesMs.size() == Opt.Requests,
+        "every warm-burst request completed");
+  Check(!Cold.Digest.empty() && Cold.Digest != "MIXED" &&
+            Cold.Digest == Warm.Digest,
+        "one artifact digest across cold and warm bursts");
+  Check(Warm.CacheMisses == 0 && HitRate >= 1.0,
+        "warm burst was all cache hits");
+  Check(Killed.Failed == 0 && Killed.LatenciesMs.size() == KillReqs,
+        "every request submitted around the SIGKILL completed");
+  Check(Killed.Digest == Cold.Digest,
+        "post-crash artifacts byte-identical to the healthy daemon's");
+
+  if (!Opt.JsonPath.empty()) {
+    char Buf[1024];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "{\n"
+        "  \"requests\": %u,\n  \"modules\": %u,\n  \"workers\": %u,\n"
+        "  \"clients\": %u,\n"
+        "  \"cold_rps\": %.2f,\n  \"cold_p50_ms\": %.2f,\n"
+        "  \"cold_p95_ms\": %.2f,\n  \"cold_p99_ms\": %.2f,\n"
+        "  \"warm_rps\": %.2f,\n  \"warm_p50_ms\": %.2f,\n"
+        "  \"warm_p95_ms\": %.2f,\n  \"warm_p99_ms\": %.2f,\n"
+        "  \"warm_hit_rate\": %.4f,\n"
+        "  \"recovery_ready_ms\": %.2f,\n  \"recovery_drain_ms\": %.2f,\n"
+        "  \"violations\": %u\n"
+        "}\n",
+        Opt.Requests, Opt.Modules, Opt.Workers, Opt.Clients, ColdRps,
+        pct(Cold.LatenciesMs, 0.50), pct(Cold.LatenciesMs, 0.95),
+        pct(Cold.LatenciesMs, 0.99), WarmRps, pct(Warm.LatenciesMs, 0.50),
+        pct(Warm.LatenciesMs, 0.95), pct(Warm.LatenciesMs, 0.99), HitRate,
+        ReadyMs, DrainMs, Violations);
+    if (Status S = atomicWriteFile(Opt.JsonPath, Buf); !S.ok()) {
+      std::fprintf(stderr, "fig_daemon: %s\n", S.render().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", Opt.JsonPath.c_str());
+  }
+
+  std::error_code EC;
+  fs::remove_all(Scratch, EC);
+  if (Violations) {
+    std::printf("\nFAILED: %u gate violation(s)\n", Violations);
+    return 1;
+  }
+  std::printf("\nall gates passed\n");
+  return 0;
+}

@@ -13,9 +13,14 @@
 #include "telemetry/Tracer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -436,6 +441,15 @@ std::string mco::cacheKey(const Module &M, const SymbolNameFn &NameOf,
                            OptionsFingerprint);
 }
 
+std::string mco::programContentDigest(Program &Prog) {
+  SymbolNameFn NameOf = [&Prog](uint32_t Id) { return Prog.symbolName(Id); };
+  std::vector<std::string> Chunks;
+  Chunks.reserve(Prog.Modules.size());
+  for (const auto &M : Prog.Modules)
+    Chunks.push_back(serializeModuleContent(*M, NameOf));
+  return cacheKeyOfContent(Chunks, "mco-artifact-digest-v1");
+}
+
 //===----------------------------------------------------------------------===//
 // ArtifactCache
 //===----------------------------------------------------------------------===//
@@ -454,6 +468,52 @@ std::string ArtifactCache::objectPath(const std::string &Key) const {
 
 std::string ArtifactCache::quarantineDir() const {
   return CacheDir + "/quarantine";
+}
+
+std::string ArtifactCache::writerLockPath() const {
+  return CacheDir + "/writer.lock";
+}
+
+namespace {
+
+/// One mutex per cache directory, shared by every ArtifactCache in the
+/// process. Daemon workers each hold their own cache object over the same
+/// directory, and the pid-stamped file lock cannot tell them apart.
+std::mutex &dirMutexFor(const std::string &Dir) {
+  static std::mutex MapMutex;
+  static std::map<std::string, std::unique_ptr<std::mutex>> Mutexes;
+  std::lock_guard<std::mutex> G(MapMutex);
+  std::unique_ptr<std::mutex> &Slot = Mutexes[Dir];
+  if (!Slot)
+    Slot = std::make_unique<std::mutex>();
+  return *Slot;
+}
+
+} // namespace
+
+Status ArtifactCache::withWriterLock(const std::function<Status()> &Fn) {
+  if (!Shared)
+    return Fn();
+  std::lock_guard<std::mutex> InProcess(dirMutexFor(CacheDir));
+  FileLock Lock;
+  constexpr int MaxAttempts = 10;
+  for (int Attempt = 0;; ++Attempt) {
+    Status S = faultSiteFires(FaultCacheWriterContend)
+                   ? MCO_ERROR("writer lock contended (injected)")
+                   : Lock.acquire(writerLockPath());
+    if (S.ok())
+      break;
+    WriterContended.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::global().counter("cache.writer_contended").add(1);
+    if (Attempt + 1 >= MaxAttempts)
+      return MCO_ERROR("shared cache writer lock unavailable: " +
+                       S.message());
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(1u << std::min(Attempt, 6)));
+  }
+  Status S = Fn();
+  Lock.release();
+  return S;
 }
 
 ArtifactCache::LoadResult ArtifactCache::load(const std::string &Key,
@@ -514,10 +574,12 @@ Status ArtifactCache::store(const std::string &Key, const Module &M,
       M, Stats, RoundsRolledBack, PatternsQuarantined, NameOf));
   if (faultSiteFires(FaultCacheEntryCorrupt) && !Sealed.empty())
     Sealed.back() ^= 0x01; // Flip one payload byte under the seal.
-  if (Status S = atomicWriteFile(objectPath(Key), Sealed); !S.ok())
-    return S;
-  evictToLimit();
-  return Status::success();
+  return withWriterLock([&]() -> Status {
+    if (Status S = atomicWriteFile(objectPath(Key), Sealed); !S.ok())
+      return S;
+    evictToLimit();
+    return Status::success();
+  });
 }
 
 void ArtifactCache::evictToLimit() {

@@ -87,13 +87,24 @@ std::string cacheKeyOfContent(const std::vector<std::string> &Chunks,
 std::string cacheKey(const Module &M, const SymbolNameFn &NameOf,
                      const std::string &OptionsFingerprint);
 
+/// Content digest over every module of a built program — the byte-identity
+/// witness: two builds with equal digests produced bit-identical serialized
+/// artifacts. mco-build reports it in --diag-json, mco-buildd in every
+/// `result` message, and the chaos tests compare the two.
+std::string programContentDigest(Program &Prog);
+
 /// The on-disk store. Layout under dir():
 ///
 ///   objects/<key>.mco     sealed MCOM artifacts
 ///   quarantine/<file>     corrupt entries moved aside for post-mortem
+///   writer.lock           single-writer lock (shared mode only)
 ///
 /// All writes are atomic; concurrent same-key writers are safe (the entries
-/// are bit-identical by construction, and the last rename wins).
+/// are bit-identical by construction, and the last rename wins). In shared
+/// mode (setShared), every store — write plus eviction pass — additionally
+/// runs under a single-writer discipline so several client processes and
+/// daemon workers can hammer one store without interleaved evictions
+/// double-counting or racing a write.
 class ArtifactCache {
 public:
   ArtifactCache(std::string Dir, uint64_t MaxBytes)
@@ -123,22 +134,38 @@ public:
 
   std::string objectPath(const std::string &Key) const;
   std::string quarantineDir() const;
+  std::string writerLockPath() const;
   const std::string &dir() const { return CacheDir; }
+
+  /// Promotes this cache to a shared multi-client store: store() runs
+  /// under a process-wide per-directory mutex (file locks deliberately
+  /// treat same-pid owners as stale, so they cannot exclude two caches in
+  /// one process) plus an owner-pid writer.lock excluding other client
+  /// processes. Acquisition retries with exponential backoff; the
+  /// `cache.writer.contend` fault site forces the contended path
+  /// deterministically.
+  void setShared(bool S) { Shared = S; }
+  bool shared() const { return Shared; }
 
   uint64_t hits() const { return Hits.load(); }
   uint64_t misses() const { return Misses.load(); }
   uint64_t corrupt() const { return Corrupt.load(); }
   uint64_t evicted() const { return Evicted.load(); }
+  /// Writer-lock acquisition attempts that hit contention (shared mode).
+  uint64_t writerContended() const { return WriterContended.load(); }
 
 private:
+  Status withWriterLock(const std::function<Status()> &Fn);
   void evictToLimit();
 
   std::string CacheDir;
   uint64_t MaxBytes;
+  bool Shared = false;
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> Corrupt{0};
   std::atomic<uint64_t> Evicted{0};
+  std::atomic<uint64_t> WriterContended{0};
 };
 
 } // namespace mco

@@ -1,0 +1,579 @@
+//===- daemon/BuildService.cpp - The mco-buildd daemon core ---------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/BuildService.h"
+
+#include "cache/ArtifactCache.h"
+#include "daemon/Socket.h"
+#include "pipeline/BuildPipeline.h"
+#include "support/FaultInjection.h"
+#include "synth/CorpusSynthesizer.h"
+#include "telemetry/Tracer.h"
+
+#include <chrono>
+#include <exception>
+#include <future>
+
+using namespace mco;
+
+namespace {
+
+/// Client-chosen ids become path components and journal tokens, so the
+/// protocol boundary is strict: short, and nothing but [A-Za-z0-9._-].
+bool validRequestId(const std::string &Id) {
+  if (Id.empty() || Id.size() > 128)
+    return false;
+  for (char C : Id) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '.' || C == '_' || C == '-';
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Spends time at the `daemon.request.hang` site until the request
+/// watchdog's cancel arrives; capped so an unwatched daemon degrades the
+/// request instead of wedging a worker forever.
+void hangUntilCancelled(const std::atomic<bool> *Cancel) {
+  auto Start = std::chrono::steady_clock::now();
+  for (;;) {
+    if (Cancel && Cancel->load(std::memory_order_relaxed))
+      throw InjectedFault(FaultDaemonRequestHang);
+    if (secondsSince(Start) > 10.0)
+      throw InjectedFault(FaultDaemonRequestHang);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+enum class DeadlineOutcome { Completed, TimedOut, Failed };
+
+/// Same discipline as the pipeline's per-module watchdog: run \p Body on
+/// its own thread, raise \p Cancel on overrun, and join — the join is
+/// bounded by the distance to the next cooperative poll point (the hang
+/// site polls every 2 ms; the build is bounded by its module watchdogs).
+DeadlineOutcome runWithDeadline(uint64_t Ms, std::atomic<bool> &Cancel,
+                                const std::function<void()> &Body,
+                                std::exception_ptr &Err) {
+  auto Done = std::make_shared<std::promise<void>>();
+  std::future<void> F = Done->get_future();
+  std::thread T([&Body, Done] {
+    try {
+      Body();
+      Done->set_value();
+    } catch (...) {
+      Done->set_exception(std::current_exception());
+    }
+  });
+  if (F.wait_for(std::chrono::milliseconds(Ms)) ==
+      std::future_status::timeout)
+    Cancel.store(true, std::memory_order_relaxed);
+  T.join();
+  try {
+    F.get();
+    return DeadlineOutcome::Completed;
+  } catch (const InjectedFault &E) {
+    if (E.site() == FaultDaemonRequestHang &&
+        Cancel.load(std::memory_order_relaxed))
+      return DeadlineOutcome::TimedOut;
+    Err = std::current_exception();
+    return DeadlineOutcome::Failed;
+  } catch (...) {
+    Err = std::current_exception();
+    return DeadlineOutcome::Failed;
+  }
+}
+
+RpcMessage errorMessage(const std::string &Why, bool Retryable) {
+  RpcMessage M;
+  M.Type = "error";
+  M.Str["message"] = Why;
+  M.Int["retryable"] = Retryable ? 1 : 0;
+  return M;
+}
+
+AppProfile profileByName(const std::string &Name) {
+  if (Name == "driver")
+    return AppProfile::uberDriver();
+  if (Name == "eats")
+    return AppProfile::uberEats();
+  if (Name == "clang")
+    return AppProfile::clangCompiler();
+  if (Name == "kernel")
+    return AppProfile::linuxKernel();
+  return AppProfile::uberRider();
+}
+
+} // namespace
+
+BuildService::~BuildService() {
+  requestStop();
+  if (!Workers.empty() || !Conns.empty()) {
+    // serve() normally joins these; cover the start()-without-serve()
+    // paths (test harness errors) too.
+    for (std::thread &T : Workers)
+      if (T.joinable())
+        T.join();
+    for (std::thread &T : Conns)
+      if (T.joinable())
+        T.join();
+  }
+  closeFd(ListenFd);
+}
+
+std::string BuildService::requestDir(const std::string &Id) const {
+  return Opts.StateDir + "/requests/" + Id;
+}
+
+Status BuildService::start() {
+  if (Status S = ensureDir(Opts.StateDir); !S.ok())
+    return S;
+  if (Status S = ensureDir(Opts.StateDir + "/requests"); !S.ok())
+    return S;
+  // One daemon per state dir. A SIGKILLed daemon leaves a dead-owner lock
+  // the restart steals (FileLock stale recovery).
+  if (Status S = DaemonLock.acquire(Opts.StateDir + "/daemon.lock"); !S.ok())
+    return S;
+  if (Status S = Requests.open(Opts.StateDir + "/requests.mcoj"); !S.ok())
+    return S;
+  if (Opts.Resume)
+    if (Status S = resumeOutstanding(); !S.ok())
+      return S;
+  Expected<int> L = listenUnix(Opts.SocketPath, 64);
+  if (!L.ok())
+    return L.status();
+  ListenFd = *L;
+  for (unsigned I = 0; I < std::max(1u, Opts.Workers); ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+  return Status::success();
+}
+
+Status BuildService::resumeOutstanding() {
+  RequestResumeState RS =
+      RequestResumeState::load(Opts.StateDir + "/requests.mcoj");
+  if (!RS.Valid)
+    return Status::success(); // Fresh state dir: nothing to replay.
+  for (const std::string &Id : RS.Unfinished) {
+    Expected<std::string> Bytes =
+        readFileBytes(requestDir(Id) + "/request.json");
+    if (!Bytes.ok()) {
+      // recv was journaled but the crash beat request.json's rename (or
+      // the dir was damaged): the request cannot be replayed; close it
+      // out so the client's retry re-submits cleanly.
+      Requests.recordFailed(Id);
+      continue;
+    }
+    Expected<RpcMessage> Req = decodeRpcMessage(*Bytes);
+    if (!Req.ok()) {
+      Requests.recordFailed(Id);
+      continue;
+    }
+    auto St = std::make_shared<RequestState>();
+    St->Request = *Req;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      States[Id] = St;
+      Queue.push_back(Id);
+    }
+    Stats.RequestsResumed.fetch_add(1, std::memory_order_relaxed);
+  }
+  QueueCv.notify_all();
+  return Status::success();
+}
+
+void BuildService::requestStop() {
+  Stop.store(true, std::memory_order_relaxed);
+  QueueCv.notify_all();
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &[Id, St] : States)
+    St->Cv.notify_all();
+}
+
+size_t BuildService::pendingRequests() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t N = 0;
+  for (const auto &[Id, St] : States)
+    N += St->Ph != RequestState::Terminal;
+  return N;
+}
+
+void BuildService::serve() {
+  acceptLoop();
+  // Past here Stop is set: drain the worker pool and every connection
+  // handler before returning to the tool's main().
+  QueueCv.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+  Workers.clear();
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (auto &[Id, St] : States)
+      St->Cv.notify_all();
+  }
+  for (std::thread &T : Conns)
+    T.join();
+  Conns.clear();
+  closeFd(ListenFd);
+  ListenFd = -1;
+}
+
+void BuildService::acceptLoop() {
+  while (!stopRequested()) {
+    Expected<int> C = acceptUnix(ListenFd, Opts.AcceptPollMs);
+    if (!C.ok())
+      return; // The listen socket itself broke; nothing left to serve.
+    if (*C < 0)
+      continue; // Poll timeout: re-check stop.
+    int Fd = *C;
+    Conns.emplace_back([this, Fd] { handleConnection(Fd); });
+  }
+}
+
+void BuildService::handleConnection(int Fd) {
+  // One frame-recv at a time; a client may pipeline several requests on
+  // one connection (the bench does).
+  while (!stopRequested()) {
+    Expected<RpcMessage> M = recvMessage(Fd, Opts.FrameTimeoutMs);
+    if (!M.ok()) {
+      // EOF, reset, injected drop, or an idle client: all end the
+      // connection, never the daemon.
+      Stats.ConnDropped.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (M->Type == "hello") {
+      RpcMessage R;
+      if (M->strOr("proto", "") == RpcProtocolId) {
+        R.Type = "hello_ok";
+        R.Str["proto"] = RpcProtocolId;
+      } else {
+        R = errorMessage("unsupported protocol '" + M->strOr("proto", "") +
+                             "' (daemon speaks " + RpcProtocolId + ")",
+                         /*Retryable=*/false);
+      }
+      if (!sendMessage(Fd, R).ok())
+        break;
+    } else if (M->Type == "ping") {
+      RpcMessage R;
+      R.Type = "pong";
+      if (!sendMessage(Fd, R).ok())
+        break;
+    } else if (M->Type == "stats") {
+      RpcMessage R;
+      R.Type = "stats_ok";
+      R.Int["requests_received"] = int64_t(Stats.RequestsReceived.load());
+      R.Int["requests_completed"] = int64_t(Stats.RequestsCompleted.load());
+      R.Int["requests_degraded"] = int64_t(Stats.RequestsDegraded.load());
+      R.Int["requests_failed"] = int64_t(Stats.RequestsFailed.load());
+      R.Int["requests_rejected"] = int64_t(Stats.RequestsRejected.load());
+      R.Int["requests_resumed"] = int64_t(Stats.RequestsResumed.load());
+      R.Int["requests_attached"] = int64_t(Stats.RequestsAttached.load());
+      R.Int["results_reserved"] = int64_t(Stats.ResultsReserved.load());
+      R.Int["conn_dropped"] = int64_t(Stats.ConnDropped.load());
+      R.Int["worker_crashes"] = int64_t(Stats.WorkerCrashes.load());
+      R.Int["request_watchdog_cancels"] =
+          int64_t(Stats.RequestWatchdogCancels.load());
+      R.Int["request_watchdog_retries"] =
+          int64_t(Stats.RequestWatchdogRetries.load());
+      R.Int["cache_hits"] = int64_t(Stats.CacheHits.load());
+      R.Int["cache_misses"] = int64_t(Stats.CacheMisses.load());
+      R.Int["cache_corrupt"] = int64_t(Stats.CacheCorrupt.load());
+      R.Int["pending"] = int64_t(pendingRequests());
+      if (!sendMessage(Fd, R).ok())
+        break;
+    } else if (M->Type == "shutdown") {
+      RpcMessage R;
+      R.Type = "shutdown_ok";
+      (void)sendMessage(Fd, R);
+      requestStop();
+      break;
+    } else if (M->Type == "build") {
+      handleBuild(Fd, *M);
+    } else {
+      if (!sendMessage(Fd, errorMessage("unknown message type '" + M->Type +
+                                            "'",
+                                        /*Retryable=*/false))
+               .ok())
+        break;
+    }
+  }
+  closeFd(Fd);
+}
+
+void BuildService::handleBuild(int Fd, const RpcMessage &Req) {
+  const std::string Id = Req.strOr("id", "");
+  if (!validRequestId(Id)) {
+    (void)sendMessage(
+        Fd, errorMessage("invalid request id", /*Retryable=*/false));
+    return;
+  }
+  Stats.RequestsReceived.fetch_add(1, std::memory_order_relaxed);
+
+  std::shared_ptr<RequestState> St;
+  bool Fresh = false;
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    auto It = States.find(Id);
+    if (It != States.end() && It->second->Ph == RequestState::Terminal &&
+        It->second->Result.Type != "result") {
+      // The previous attempt under this id failed (worker crash, injected
+      // fault). A failed id is re-submittable: only durable *results* are
+      // idempotently re-served. Earlier waiters already got the error.
+      States.erase(It);
+      It = States.end();
+    }
+    if (It != States.end()) {
+      St = It->second;
+      Stats.RequestsAttached.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // A restarted daemon may hold this id's result only on disk.
+      Expected<std::string> Durable =
+          readFileBytes(requestDir(Id) + "/result.json");
+      if (Durable.ok()) {
+        if (Expected<RpcMessage> R = decodeRpcMessage(*Durable); R.ok()) {
+          St = std::make_shared<RequestState>();
+          St->Ph = RequestState::Terminal;
+          St->Result = *R;
+          States[Id] = St;
+          Stats.ResultsReserved.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (!St) {
+        // Admission control: a full queue (or the injected overflow)
+        // pushes back instead of buffering unboundedly.
+        if (Queue.size() >= Opts.QueueLimit ||
+            faultSiteFires(FaultDaemonQueueOverflow)) {
+          Stats.RequestsRejected.fetch_add(1, std::memory_order_relaxed);
+          Lock.unlock();
+          RpcMessage R;
+          R.Type = "retry_after";
+          R.Int["millis"] = 50;
+          (void)sendMessage(Fd, R);
+          return;
+        }
+        St = std::make_shared<RequestState>();
+        St->Request = Req;
+        States[Id] = St;
+        Fresh = true;
+      }
+    }
+  }
+
+  if (Fresh) {
+    // Durability order: request.json first, `recv` second — a crash
+    // between the two leaves no record, and the client's retry
+    // re-submits; the reverse order could journal a request that can
+    // never be replayed.
+    Status S = ensureDir(requestDir(Id));
+    if (S.ok())
+      S = atomicWriteFile(requestDir(Id) + "/request.json",
+                          encodeRpcMessage(Req));
+    if (!S.ok()) {
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        States.erase(Id);
+      }
+      (void)sendMessage(
+          Fd, errorMessage("cannot persist request: " + S.message(),
+                           /*Retryable=*/true));
+      return;
+    }
+    Requests.recordReceived(Id);
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Queue.push_back(Id);
+    }
+    QueueCv.notify_one();
+  }
+
+  // Block this connection until the request is terminal, then reply. An
+  // attached re-submission takes the exact same path — one build, many
+  // replies.
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    St->Cv.wait(Lock, [&] {
+      return St->Ph == RequestState::Terminal || stopRequested();
+    });
+    if (St->Ph != RequestState::Terminal) {
+      Lock.unlock();
+      (void)sendMessage(Fd, errorMessage("daemon shutting down",
+                                         /*Retryable=*/true));
+      return;
+    }
+  }
+  (void)sendMessage(Fd, St->Result);
+}
+
+void BuildService::workerLoop() {
+  for (;;) {
+    std::string Id;
+    std::shared_ptr<RequestState> St;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      QueueCv.wait(Lock, [&] { return !Queue.empty() || stopRequested(); });
+      if (Queue.empty())
+        return; // Stop with nothing queued.
+      Id = Queue.front();
+      Queue.pop_front();
+      St = States[Id];
+      St->Ph = RequestState::Running;
+    }
+
+    RpcMessage Result = processRequest(Id, St->Request);
+
+    // Durability order mirrors receipt: result.json first, the terminal
+    // journal record second. A crash between the two replays the request
+    // on resume; the shared cache makes the replay cheap and
+    // byte-identical, and the rewrite produces the same result.json.
+    const std::string State = Result.strOr("state", "");
+    if (Result.Type == "result") {
+      Status S = atomicWriteFile(requestDir(Id) + "/result.json",
+                                 encodeRpcMessage(Result));
+      if (S.ok()) {
+        Requests.recordDone(Id, State == "degraded" ? "degraded"
+                                                    : "completed");
+        if (State == "degraded")
+          Stats.RequestsDegraded.fetch_add(1, std::memory_order_relaxed);
+        else
+          Stats.RequestsCompleted.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        Result = errorMessage("cannot persist result: " + S.message(),
+                              /*Retryable=*/true);
+      }
+    }
+    if (Result.Type != "result") {
+      Requests.recordFailed(Id);
+      Stats.RequestsFailed.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      St->Result = std::move(Result);
+      St->Ph = RequestState::Terminal;
+      St->Cv.notify_all();
+    }
+  }
+}
+
+RpcMessage BuildService::processRequest(const std::string &Id,
+                                        const RpcMessage &Req) {
+  MCO_TRACE_SPAN("daemon.request:" + Id, "daemon");
+  try {
+    // An injected worker crash dies before touching any request state, so
+    // the reply is cleanly retryable and a retry starts from scratch.
+    if (faultSiteFires(FaultDaemonWorkerCrash)) {
+      Stats.WorkerCrashes.fetch_add(1, std::memory_order_relaxed);
+      throw InjectedFault(FaultDaemonWorkerCrash);
+    }
+
+    AppProfile Profile = profileByName(Req.strOr("profile", "rider"));
+    int64_t Modules = Req.intOr("modules", 0);
+    if (Modules > 0)
+      Profile.NumModules = static_cast<unsigned>(Modules);
+
+    PipelineOptions PO;
+    PO.OutlineRounds = static_cast<unsigned>(Req.intOr("rounds", 2));
+    PO.WholeProgram = Req.intOr("per_module", 0) == 0;
+    PO.Threads = static_cast<unsigned>(
+        Req.intOr("threads", int64_t(Opts.BuildThreads)));
+    if (PO.Threads == 0)
+      PO.Threads = 1;
+    PO.Resilience.CacheDir = Opts.StateDir + "/cache";
+    PO.Resilience.SharedCache = true;
+    PO.Resilience.JournalDir = requestDir(Id);
+    PO.Resilience.CacheMaxBytes = Opts.CacheMaxBytes;
+    // Always resume against the request's own journal: after a daemon
+    // crash mid-build the replay skips every module the dead build made
+    // durable, which is what keeps crash-resume byte-identical AND
+    // forward-progressing under MCO_CRASH_AFTER_MODULES chains.
+    PO.Resilience.Resume = true;
+    PO.Resilience.ModuleTimeoutMs = Opts.ModuleTimeoutMs;
+    PO.Resilience.TimeoutRetries = Opts.TimeoutRetries;
+
+    uint64_t RequestRetries = 0;
+    bool DegradedLadder = false;
+    BuildResult R;
+    std::unique_ptr<Program> Prog;
+
+    auto RunBuild = [&](const std::atomic<bool> *Cancel, bool AllowHang,
+                        unsigned Rounds) {
+      if (AllowHang && faultSiteFires(FaultDaemonRequestHang))
+        hangUntilCancelled(Cancel);
+      PipelineOptions Attempt = PO;
+      Attempt.OutlineRounds = Rounds;
+      Prog = CorpusSynthesizer(Profile).withThreads(Attempt.Threads)
+                 .generate();
+      R = buildProgram(*Prog, Attempt);
+    };
+
+    if (Opts.RequestTimeoutMs == 0) {
+      RunBuild(nullptr, /*AllowHang=*/true, PO.OutlineRounds);
+    } else {
+      uint64_t DeadlineMs = Opts.RequestTimeoutMs;
+      const unsigned MaxAttempts = Opts.RequestRetries + 1;
+      bool Built = false;
+      for (unsigned Attempt = 1; Attempt <= MaxAttempts && !Built;
+           ++Attempt) {
+        std::atomic<bool> Cancel{false};
+        std::exception_ptr Err;
+        DeadlineOutcome O = runWithDeadline(
+            DeadlineMs, Cancel,
+            [&] { RunBuild(&Cancel, /*AllowHang=*/true, PO.OutlineRounds); },
+            Err);
+        if (O == DeadlineOutcome::Completed) {
+          Built = true;
+          break;
+        }
+        if (O == DeadlineOutcome::Failed)
+          std::rethrow_exception(Err);
+        Stats.RequestWatchdogCancels.fetch_add(1, std::memory_order_relaxed);
+        if (Attempt < MaxAttempts) {
+          // Exponential backoff: maybe the deadline was just too tight.
+          Stats.RequestWatchdogRetries.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          ++RequestRetries;
+          DeadlineMs *= 2;
+        }
+      }
+      if (!Built) {
+        // The degradation ladder's last rung: ship the app unoutlined
+        // (rounds=0 cannot hang — there is no outlining to stall and the
+        // hang site is skipped) and mark the result degraded.
+        DegradedLadder = true;
+        RunBuild(nullptr, /*AllowHang=*/false, 0);
+      }
+    }
+
+    Stats.CacheHits.fetch_add(R.CacheHits, std::memory_order_relaxed);
+    Stats.CacheMisses.fetch_add(R.CacheMisses, std::memory_order_relaxed);
+    Stats.CacheCorrupt.fetch_add(R.CacheCorrupt, std::memory_order_relaxed);
+
+    RpcMessage Out;
+    Out.Type = "result";
+    Out.Str["id"] = Id;
+    Out.Str["state"] = DegradedLadder ? "degraded" : "completed";
+    Out.Str["artifact_digest"] = programContentDigest(*Prog);
+    Out.Int["code_size"] = int64_t(R.CodeSize);
+    Out.Int["binary_size"] = int64_t(R.BinarySize);
+    Out.Int["modules_degraded"] = int64_t(R.ModulesDegraded);
+    Out.Int["modules_timed_out"] = int64_t(R.ModulesTimedOut);
+    Out.Int["modules_resumed"] = int64_t(R.ModulesResumed);
+    Out.Int["watchdog_retries"] = int64_t(R.WatchdogRetries);
+    Out.Int["request_retries"] = int64_t(RequestRetries);
+    Out.Int["cache_hits"] = int64_t(R.CacheHits);
+    Out.Int["cache_misses"] = int64_t(R.CacheMisses);
+    Out.Int["cache_corrupt"] = int64_t(R.CacheCorrupt);
+    Out.Int["cache_writer_contended"] = int64_t(R.CacheWriterContended);
+    return Out;
+  } catch (const std::exception &E) {
+    return errorMessage(std::string("build failed: ") + E.what(),
+                        /*Retryable=*/true);
+  }
+}

@@ -1,0 +1,181 @@
+//===- daemon/BuildService.h - The mco-buildd daemon core -------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived build service behind mco-buildd: accepts `mco-rpc-v1`
+/// build requests over a Unix socket, shards them across a worker pool,
+/// and backs every client with one shared content-addressed ArtifactCache
+/// under the single-writer lock discipline.
+///
+/// Failure-domain design (the headline, per DESIGN.md "Build service &
+/// failure domains"):
+///
+///  - Admission control: the request queue is bounded; past the limit the
+///    daemon replies `retry_after` instead of queueing unboundedly. The
+///    `daemon.queue.overflow` fault site forces that reply.
+///  - Idempotent request ids: a durable result is re-served byte-for-byte
+///    on re-submission, and a re-submitted in-flight id attaches to the
+///    running request — a dropped connection never double-builds.
+///  - Watchdogs: per-request deadlines (exponential-backoff retries,
+///    reusing the cooperative OutlinerOptions::CancelFlag discipline) on
+///    top of the pipeline's per-module watchdog.
+///  - Degradation ladder: a request that exhausts its watchdog retries is
+///    rebuilt once with outlining disabled and shipped `degraded` rather
+///    than failed — the paper's production rule that an optimizer problem
+///    costs optimization, never the build.
+///  - Crash-resume: request.json is durable before the request table
+///    records `recv`, the result before `done`; `mco-buildd --resume`
+///    replays exactly the unfinished ids, and per-request BuildJournals +
+///    the shared cache make the replay byte-identical.
+///
+/// On-disk layout under StateDir:
+///
+///   daemon.lock               owner-pid lock (one daemon per state dir)
+///   requests.mcoj             RequestJournal (request table)
+///   cache/                    the shared ArtifactCache
+///   requests/<id>/request.json   the accepted request, durable
+///   requests/<id>/journal.mcoj   the request's own BuildJournal
+///   requests/<id>/result.json    the durable result (terminal)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_DAEMON_BUILDSERVICE_H
+#define MCO_DAEMON_BUILDSERVICE_H
+
+#include "daemon/Rpc.h"
+#include "pipeline/BuildJournal.h"
+#include "support/Error.h"
+#include "support/FileAtomics.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mco {
+
+struct DaemonOptions {
+  std::string SocketPath;
+  std::string StateDir;
+  /// Worker threads building requests concurrently.
+  unsigned Workers = 2;
+  /// Bound on queued-but-not-running requests; past it, `retry_after`.
+  unsigned QueueLimit = 8;
+  /// Per-request deadline (ms); 0 disables the request watchdog.
+  uint64_t RequestTimeoutMs = 0;
+  /// Extra attempts after a request timeout, each with double the
+  /// deadline, before the degradation ladder's unoutlined rebuild.
+  unsigned RequestRetries = 2;
+  /// Per-module watchdog, passed through to the pipeline.
+  uint64_t ModuleTimeoutMs = 0;
+  unsigned TimeoutRetries = 2;
+  uint64_t CacheMaxBytes = 256ull * 1024 * 1024;
+  /// Replay unfinished requests from the request table before serving.
+  bool Resume = false;
+  /// Threads given to each request's build (synthesis + outlining).
+  unsigned BuildThreads = 1;
+  /// accept() poll interval — how often the accept loop re-checks stop.
+  int AcceptPollMs = 100;
+  /// Per-frame receive timeout on daemon-side connections.
+  int FrameTimeoutMs = 30000;
+};
+
+/// Daemon-lifetime counters. Deliberately NOT MetricsRegistry: every
+/// buildProgram resets the process-wide registry, so a long-lived
+/// multi-request service keeps its own atomics and exports them over the
+/// `stats` RPC.
+struct DaemonStats {
+  std::atomic<uint64_t> RequestsReceived{0};
+  std::atomic<uint64_t> RequestsCompleted{0};
+  std::atomic<uint64_t> RequestsDegraded{0};
+  std::atomic<uint64_t> RequestsFailed{0};
+  std::atomic<uint64_t> RequestsRejected{0}; ///< retry_after backpressure.
+  std::atomic<uint64_t> RequestsResumed{0};
+  std::atomic<uint64_t> RequestsAttached{0}; ///< Idempotent re-submissions.
+  std::atomic<uint64_t> ResultsReserved{0};  ///< Served from result.json.
+  std::atomic<uint64_t> ConnDropped{0};
+  std::atomic<uint64_t> WorkerCrashes{0};
+  std::atomic<uint64_t> RequestWatchdogCancels{0};
+  std::atomic<uint64_t> RequestWatchdogRetries{0};
+  std::atomic<uint64_t> CacheHits{0};   ///< Summed over finished requests.
+  std::atomic<uint64_t> CacheMisses{0};
+  std::atomic<uint64_t> CacheCorrupt{0};
+};
+
+class BuildService {
+public:
+  explicit BuildService(DaemonOptions Opts) : Opts(std::move(Opts)) {}
+  ~BuildService();
+
+  BuildService(const BuildService &) = delete;
+  BuildService &operator=(const BuildService &) = delete;
+
+  /// Prepares the state dir (lock, request table, cache layout), replays
+  /// unfinished requests when resuming, binds the socket, and starts the
+  /// worker pool. Fails when another live daemon owns StateDir.
+  Status start();
+
+  /// Runs the accept loop in the calling thread until requestStop().
+  /// start() must have succeeded.
+  void serve();
+
+  /// Asks serve() and all workers to wind down. Safe from any thread
+  /// (connection handlers call it for the `shutdown` RPC).
+  void requestStop();
+  bool stopRequested() const {
+    return Stop.load(std::memory_order_relaxed);
+  }
+
+  const DaemonOptions &options() const { return Opts; }
+  const DaemonStats &stats() const { return Stats; }
+
+  /// Queued + running requests (for tests and the stats RPC).
+  size_t pendingRequests();
+
+private:
+  struct RequestState {
+    RpcMessage Request;
+    enum Phase { Queued, Running, Terminal } Ph = Queued;
+    RpcMessage Result; ///< Valid once Ph == Terminal.
+    std::condition_variable Cv;
+  };
+
+  std::string requestDir(const std::string &Id) const;
+  Status resumeOutstanding();
+
+  void acceptLoop();
+  void handleConnection(int Fd);
+  void handleBuild(int Fd, const RpcMessage &Req);
+
+  void workerLoop();
+  /// Builds one request end to end; never throws (every failure becomes
+  /// an `error`/degraded result message).
+  RpcMessage processRequest(const std::string &Id, const RpcMessage &Req);
+
+  DaemonOptions Opts;
+  DaemonStats Stats;
+  FileLock DaemonLock;
+  RequestJournal Requests;
+  int ListenFd = -1;
+
+  std::mutex Mu;
+  std::map<std::string, std::shared_ptr<RequestState>> States;
+  std::deque<std::string> Queue;
+  std::condition_variable QueueCv;
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Workers;
+  std::vector<std::thread> Conns;
+};
+
+} // namespace mco
+
+#endif // MCO_DAEMON_BUILDSERVICE_H

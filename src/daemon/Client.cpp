@@ -1,0 +1,84 @@
+//===- daemon/Client.cpp - mco-buildd client with retry/backoff -----------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Client.h"
+
+#include "daemon/Socket.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+using namespace mco;
+
+Expected<RpcMessage> DaemonClient::call(const RpcMessage &Req) {
+  Expected<int> C = connectUnix(Opts.SocketPath);
+  if (!C.ok())
+    return C.status();
+  int Fd = *C;
+
+  RpcMessage Hello;
+  Hello.Type = "hello";
+  Hello.Str["proto"] = RpcProtocolId;
+  Status S = sendMessage(Fd, Hello);
+  Expected<RpcMessage> HelloReply =
+      S.ok() ? recvMessage(Fd, Opts.ReplyTimeoutMs) : Expected<RpcMessage>(S);
+  if (!HelloReply.ok()) {
+    closeFd(Fd);
+    return HelloReply.status();
+  }
+  if (HelloReply->Type != "hello_ok") {
+    closeFd(Fd);
+    return MCO_ERROR("daemon refused handshake: " +
+                     HelloReply->strOr("message", HelloReply->Type));
+  }
+
+  S = sendMessage(Fd, Req);
+  Expected<RpcMessage> Reply =
+      S.ok() ? recvMessage(Fd, Opts.ReplyTimeoutMs) : Expected<RpcMessage>(S);
+  closeFd(Fd);
+  return Reply;
+}
+
+Expected<RpcMessage> DaemonClient::submitBuild(const RpcMessage &Req) {
+  uint64_t BackoffMs = Opts.InitialBackoffMs;
+  Status Last = MCO_ERROR("no attempts made");
+  for (unsigned Attempt = 1; Attempt <= std::max(1u, Opts.MaxAttempts);
+       ++Attempt) {
+    Expected<RpcMessage> Reply = call(Req);
+    uint64_t SleepMs = BackoffMs;
+    if (Reply.ok()) {
+      if (Reply->Type == "result")
+        return Reply;
+      if (Reply->Type == "retry_after") {
+        // The daemon's hint outranks our own schedule: it knows its
+        // queue depth, we only know our attempt count.
+        SleepMs = std::max<uint64_t>(
+            1, uint64_t(Reply->intOr("millis", int64_t(BackoffMs))));
+        Last = MCO_ERROR("daemon busy (retry_after)");
+      } else if (Reply->Type == "error") {
+        if (Reply->intOr("retryable", 0) == 0)
+          return MCO_ERROR("daemon error: " +
+                           Reply->strOr("message", "(no message)"));
+        Last = MCO_ERROR("daemon error (retryable): " +
+                         Reply->strOr("message", "(no message)"));
+      } else {
+        return MCO_ERROR("unexpected reply type '" + Reply->Type + "'");
+      }
+    } else {
+      // Connect refused (daemon restarting), dropped connection, frame
+      // timeout: all retryable — the id makes the retry idempotent.
+      Last = Reply.status();
+    }
+    if (Attempt < Opts.MaxAttempts) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(SleepMs));
+      BackoffMs = std::min(BackoffMs * 2, Opts.MaxBackoffMs);
+    }
+  }
+  return MCO_ERROR("build '" + Req.strOr("id", "?") + "' not served after " +
+                   std::to_string(Opts.MaxAttempts) +
+                   " attempts; last: " + Last.message());
+}

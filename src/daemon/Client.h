@@ -1,0 +1,67 @@
+//===- daemon/Client.h - mco-buildd client with retry/backoff ---*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of `mco-rpc-v1`. A DaemonClient opens a fresh
+/// connection per call (hello handshake included), and submitBuild()
+/// wraps that in the retry loop the failure-domain design depends on:
+/// deterministic exponential backoff, honoring the daemon's `retry_after`
+/// hint, re-submitting the SAME request id every attempt so a dropped
+/// connection or a daemon restart can never double-build — the daemon
+/// either attaches the retry to the in-flight request or re-serves the
+/// durable result byte-for-byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_DAEMON_CLIENT_H
+#define MCO_DAEMON_CLIENT_H
+
+#include "daemon/Rpc.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+
+namespace mco {
+
+struct ClientOptions {
+  std::string SocketPath;
+  /// Total tries for submitBuild() (connect + handshake + reply each).
+  unsigned MaxAttempts = 10;
+  /// First retry delay; doubles per attempt up to MaxBackoffMs.
+  uint64_t InitialBackoffMs = 25;
+  uint64_t MaxBackoffMs = 2000;
+  /// How long one attempt waits for the build result frame. Builds are
+  /// slow; connection-level frame reads reuse this too.
+  int ReplyTimeoutMs = 120000;
+};
+
+class DaemonClient {
+public:
+  explicit DaemonClient(ClientOptions Opts) : Opts(std::move(Opts)) {}
+
+  /// One round trip on a fresh connection: connect, hello handshake,
+  /// send \p Req, return the reply. No retries — callers that want the
+  /// failure-domain behaviour use submitBuild().
+  Expected<RpcMessage> call(const RpcMessage &Req);
+
+  /// Submits a build request and retries until a terminal `result`
+  /// arrives or attempts are exhausted. Retries connection failures,
+  /// `retry_after` (sleeping the hinted millis), and `error` replies
+  /// marked retryable; a non-retryable `error` fails immediately.
+  /// \p Req must carry the idempotent `id` — it is reused verbatim on
+  /// every attempt.
+  Expected<RpcMessage> submitBuild(const RpcMessage &Req);
+
+  const ClientOptions &options() const { return Opts; }
+
+private:
+  ClientOptions Opts;
+};
+
+} // namespace mco
+
+#endif // MCO_DAEMON_CLIENT_H

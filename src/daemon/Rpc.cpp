@@ -1,0 +1,304 @@
+//===- daemon/Rpc.cpp - mco-rpc-v1 framing and messages -------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Rpc.h"
+
+#include "support/FaultInjection.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace mco;
+
+//===----------------------------------------------------------------------===//
+// JSON encode/decode
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(Ch) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", Ch);
+        Out += Buf;
+      } else {
+        Out += Ch;
+      }
+    }
+  }
+  return Out;
+}
+
+/// A minimal recursive-descent reader for the flat message shape (one
+/// object, string or integer values). Same discipline as the traces
+/// parser: no external JSON dependency is available in this toolchain.
+class MsgCursor {
+public:
+  explicit MsgCursor(const std::string &S) : S(S) {}
+
+  Status fail(const std::string &Msg) const {
+    return MCO_ERROR("rpc JSON: " + Msg + " at offset " +
+                     std::to_string(Pos));
+  }
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool atEnd() {
+    skipWs();
+    return Pos == S.size();
+  }
+
+  Status string(std::string &Out) {
+    if (!consume('"'))
+      return fail("expected string");
+    Out.clear();
+    while (Pos < S.size() && S[Pos] != '"') {
+      char Ch = S[Pos++];
+      if (Ch == '\\') {
+        if (Pos >= S.size())
+          return fail("truncated escape");
+        char E = S[Pos++];
+        switch (E) {
+        case '"': Out += '"'; break;
+        case '\\': Out += '\\'; break;
+        case 'n': Out += '\n'; break;
+        case 't': Out += '\t'; break;
+        case 'u': {
+          if (Pos + 4 > S.size())
+            return fail("truncated \\u escape");
+          unsigned V = 0;
+          for (int I = 0; I < 4; ++I) {
+            char H = S[Pos++];
+            V <<= 4;
+            if (H >= '0' && H <= '9')
+              V |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              V |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              V |= static_cast<unsigned>(H - 'A' + 10);
+            else
+              return fail("bad \\u escape");
+          }
+          Out += static_cast<char>(V & 0xFF); // Flat ASCII payloads only.
+          break;
+        }
+        default:
+          return fail("unknown escape");
+        }
+      } else {
+        Out += Ch;
+      }
+    }
+    if (!consume('"'))
+      return fail("unterminated string");
+    return Status::success();
+  }
+
+  Status integer(int64_t &Out) {
+    skipWs();
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() && S[Pos] >= '0' && S[Pos] <= '9')
+      ++Pos;
+    if (Pos == Start || (S[Start] == '-' && Pos == Start + 1))
+      return fail("expected integer");
+    Out = std::strtoll(S.substr(Start, Pos - Start).c_str(), nullptr, 10);
+    return Status::success();
+  }
+
+private:
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::string mco::encodeRpcMessage(const RpcMessage &M) {
+  std::string Out = "{\"type\": \"" + jsonEscape(M.Type) + "\"";
+  // std::map iteration is sorted, so equal messages encode to equal bytes.
+  for (const auto &[K, V] : M.Str)
+    Out += ", \"" + jsonEscape(K) + "\": \"" + jsonEscape(V) + "\"";
+  for (const auto &[K, V] : M.Int)
+    Out += ", \"" + jsonEscape(K) + "\": " + std::to_string(V);
+  Out += "}";
+  return Out;
+}
+
+Expected<RpcMessage> mco::decodeRpcMessage(const std::string &Bytes) {
+  MsgCursor C(Bytes);
+  RpcMessage M;
+  if (!C.consume('{'))
+    return C.fail("expected object");
+  bool First = true;
+  while (!C.consume('}')) {
+    if (!First && !C.consume(','))
+      return C.fail("expected ',' or '}'");
+    First = false;
+    std::string Key;
+    if (Status S = C.string(Key); !S.ok())
+      return S;
+    if (!C.consume(':'))
+      return C.fail("expected ':'");
+    // A value is a string or an integer. string() consumes nothing when
+    // the next character is not a quote, so the fallback is safe; a quote
+    // with a damaged body fails both paths and reports the string error.
+    std::string SV;
+    int64_t IV = 0;
+    if (Status S = C.string(SV); S.ok()) {
+      if (Key == "type")
+        M.Type = SV;
+      else
+        M.Str[Key] = SV;
+    } else if (Status I = C.integer(IV); I.ok()) {
+      M.Int[Key] = IV;
+    } else {
+      return S;
+    }
+  }
+  if (!C.atEnd())
+    return C.fail("trailing bytes after message");
+  if (M.Type.empty())
+    return MCO_ERROR("rpc JSON: message has no type");
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Status dropConnection(int Fd, const char *What) {
+  // A hard shutdown, not a polite close: the peer sees a reset/EOF in the
+  // middle of a frame, exactly what a crashed process produces.
+  ::shutdown(Fd, SHUT_RDWR);
+  return MCO_ERROR(std::string("connection dropped (injected) during ") +
+                   What);
+}
+
+Status writeAll(int Fd, const void *Data, size_t N) {
+  const char *P = static_cast<const char *>(Data);
+  size_t Off = 0;
+  while (Off < N) {
+    // MSG_NOSIGNAL: a peer that died mid-frame must surface as EPIPE, not
+    // kill the daemon with SIGPIPE.
+    ssize_t W = ::send(Fd, P + Off, N - Off, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return MCO_ERROR(std::string("frame write failed: ") +
+                       std::strerror(errno));
+    }
+    if (W == 0)
+      return MCO_ERROR("frame write: connection closed");
+    Off += static_cast<size_t>(W);
+  }
+  return Status::success();
+}
+
+Status readAll(int Fd, void *Data, size_t N, int TimeoutMs) {
+  char *P = static_cast<char *>(Data);
+  size_t Off = 0;
+  while (Off < N) {
+    if (TimeoutMs > 0) {
+      struct pollfd PFd = {Fd, POLLIN, 0};
+      int R = ::poll(&PFd, 1, TimeoutMs);
+      if (R == 0)
+        return MCO_ERROR("frame read timed out after " +
+                         std::to_string(TimeoutMs) + " ms");
+      if (R < 0 && errno != EINTR)
+        return MCO_ERROR(std::string("frame poll failed: ") +
+                         std::strerror(errno));
+      if (R < 0)
+        continue;
+    }
+    ssize_t R = ::read(Fd, P + Off, N - Off);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return MCO_ERROR(std::string("frame read failed: ") +
+                       std::strerror(errno));
+    }
+    if (R == 0)
+      return MCO_ERROR("frame read: connection closed by peer");
+    Off += static_cast<size_t>(R);
+  }
+  return Status::success();
+}
+
+} // namespace
+
+Status mco::sendFrame(int Fd, const std::string &Payload) {
+  if (Payload.size() > RpcMaxFrameBytes)
+    return MCO_ERROR("frame too large: " + std::to_string(Payload.size()) +
+                     " bytes");
+  if (faultSiteFires(FaultDaemonConnDrop))
+    return dropConnection(Fd, "send");
+  uint8_t Len[4];
+  for (int I = 0; I < 4; ++I)
+    Len[I] = static_cast<uint8_t>((Payload.size() >> (8 * I)) & 0xFF);
+  if (Status S = writeAll(Fd, Len, 4); !S.ok())
+    return S;
+  return writeAll(Fd, Payload.data(), Payload.size());
+}
+
+Expected<std::string> mco::recvFrame(int Fd, int TimeoutMs) {
+  if (faultSiteFires(FaultDaemonConnDrop))
+    return dropConnection(Fd, "recv");
+  uint8_t Len[4];
+  if (Status S = readAll(Fd, Len, 4, TimeoutMs); !S.ok())
+    return S;
+  uint32_t N = 0;
+  for (int I = 0; I < 4; ++I)
+    N |= static_cast<uint32_t>(Len[I]) << (8 * I);
+  if (N > RpcMaxFrameBytes)
+    return MCO_ERROR("frame length " + std::to_string(N) +
+                     " exceeds protocol maximum");
+  std::string Payload(N, '\0');
+  if (N > 0)
+    if (Status S = readAll(Fd, Payload.data(), N, TimeoutMs); !S.ok())
+      return S;
+  return Payload;
+}
+
+Status mco::sendMessage(int Fd, const RpcMessage &M) {
+  return sendFrame(Fd, encodeRpcMessage(M));
+}
+
+Expected<RpcMessage> mco::recvMessage(int Fd, int TimeoutMs) {
+  Expected<std::string> Frame = recvFrame(Fd, TimeoutMs);
+  if (!Frame.ok())
+    return Frame.status();
+  return decodeRpcMessage(*Frame);
+}

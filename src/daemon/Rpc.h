@@ -1,0 +1,92 @@
+//===- daemon/Rpc.h - mco-rpc-v1 framing and messages ----------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `mco-rpc-v1` wire protocol between mco-client and mco-buildd: each
+/// frame is a u32 little-endian payload length followed by that many bytes
+/// of JSON. Messages are flat objects — a "type" tag plus string and
+/// integer fields — which keeps the parser small (no external JSON
+/// dependency is available in this toolchain) and the encoding
+/// deterministic (keys are emitted in sorted order).
+///
+/// Message types:
+///
+///   hello       client -> daemon  {proto}                 handshake
+///   hello_ok    daemon -> client  {proto}
+///   build       client -> daemon  {id, profile, modules, rounds,
+///                                  per_module, threads}
+///   result      daemon -> client  {id, state=completed|degraded,
+///                                  code_size, binary_size, artifact_digest,
+///                                  modules_degraded, watchdog_retries,
+///                                  cache_hits, cache_misses, ...}
+///   retry_after daemon -> client  {millis}                backpressure
+///   error       daemon -> client  {message, retryable}
+///   ping/pong, stats/stats_ok, shutdown/shutdown_ok
+///
+/// The `daemon.conn.drop` fault site fires inside sendFrame/recvFrame and
+/// hard-closes the connection — the deterministic stand-in for a peer
+/// dying mid-frame, which both ends must treat as retryable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_DAEMON_RPC_H
+#define MCO_DAEMON_RPC_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mco {
+
+/// The protocol id both ends must agree on.
+inline constexpr const char *RpcProtocolId = "mco-rpc-v1";
+
+/// Frames larger than this are protocol damage, not data.
+inline constexpr uint32_t RpcMaxFrameBytes = 16u * 1024 * 1024;
+
+/// One flat message: a type tag plus string and integer fields.
+struct RpcMessage {
+  std::string Type;
+  std::map<std::string, std::string> Str;
+  std::map<std::string, int64_t> Int;
+
+  int64_t intOr(const std::string &Key, int64_t Default) const {
+    auto It = Int.find(Key);
+    return It == Int.end() ? Default : It->second;
+  }
+  std::string strOr(const std::string &Key, const std::string &Default) const {
+    auto It = Str.find(Key);
+    return It == Str.end() ? Default : It->second;
+  }
+};
+
+/// Renders \p M as a JSON object ("type" first, then sorted keys).
+std::string encodeRpcMessage(const RpcMessage &M);
+
+/// Parses a flat JSON object (string and integer values only).
+Expected<RpcMessage> decodeRpcMessage(const std::string &Bytes);
+
+/// Writes one length-prefixed frame. On the `daemon.conn.drop` fault the
+/// connection is shut down mid-protocol and an error returned.
+Status sendFrame(int Fd, const std::string &Payload);
+
+/// Reads one length-prefixed frame. A peer that vanished (EOF, reset) or
+/// an injected drop is an error the caller treats as retryable;
+/// \p TimeoutMs bounds the wait for the first byte and between bytes
+/// (0 = wait forever).
+Expected<std::string> recvFrame(int Fd, int TimeoutMs);
+
+/// sendFrame(encodeRpcMessage(M)).
+Status sendMessage(int Fd, const RpcMessage &M);
+
+/// decodeRpcMessage(recvFrame(Fd, TimeoutMs)).
+Expected<RpcMessage> recvMessage(int Fd, int TimeoutMs);
+
+} // namespace mco
+
+#endif // MCO_DAEMON_RPC_H

@@ -1,0 +1,94 @@
+//===- daemon/Socket.cpp - Unix-domain socket helpers ---------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace mco;
+
+namespace {
+
+Status fillAddr(const std::string &Path, sockaddr_un &Addr) {
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return MCO_ERROR("socket path too long: '" + Path + "'");
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return Status::success();
+}
+
+} // namespace
+
+Expected<int> mco::listenUnix(const std::string &Path, int Backlog) {
+  sockaddr_un Addr;
+  if (Status S = fillAddr(Path, Addr); !S.ok())
+    return S;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return MCO_ERROR(std::string("socket() failed: ") + std::strerror(errno));
+  ::unlink(Path.c_str()); // Stale socket from a killed daemon.
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Status S = MCO_ERROR("bind('" + Path + "') failed: " +
+                         std::strerror(errno));
+    ::close(Fd);
+    return S;
+  }
+  if (::listen(Fd, Backlog) != 0) {
+    Status S = MCO_ERROR("listen('" + Path + "') failed: " +
+                         std::strerror(errno));
+    ::close(Fd);
+    return S;
+  }
+  return Fd;
+}
+
+Expected<int> mco::acceptUnix(int ListenFd, int TimeoutMs) {
+  struct pollfd PFd = {ListenFd, POLLIN, 0};
+  int R = ::poll(&PFd, 1, TimeoutMs);
+  if (R == 0)
+    return -1; // Timeout: the accept loop re-checks its stop flag.
+  if (R < 0) {
+    if (errno == EINTR)
+      return -1;
+    return MCO_ERROR(std::string("poll(listen) failed: ") +
+                     std::strerror(errno));
+  }
+  int Fd = ::accept(ListenFd, nullptr, nullptr);
+  if (Fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED)
+      return -1; // The would-be peer is already gone; keep serving.
+    return MCO_ERROR(std::string("accept() failed: ") + std::strerror(errno));
+  }
+  return Fd;
+}
+
+Expected<int> mco::connectUnix(const std::string &Path) {
+  sockaddr_un Addr;
+  if (Status S = fillAddr(Path, Addr); !S.ok())
+    return S;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return MCO_ERROR(std::string("socket() failed: ") + std::strerror(errno));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Status S = MCO_ERROR("connect('" + Path + "') failed: " +
+                         std::strerror(errno));
+    ::close(Fd);
+    return S;
+  }
+  return Fd;
+}
+
+void mco::closeFd(int Fd) {
+  if (Fd >= 0)
+    ::close(Fd);
+}

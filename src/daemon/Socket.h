@@ -1,0 +1,43 @@
+//===- daemon/Socket.h - Unix-domain socket helpers -------------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin wrappers over AF_UNIX stream sockets for the build service. All
+/// are blocking with poll-based timeouts; SIGPIPE is suppressed per-write
+/// (a peer dying mid-frame must surface as an error Status, never a
+/// signal).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_DAEMON_SOCKET_H
+#define MCO_DAEMON_SOCKET_H
+
+#include "support/Error.h"
+
+#include <string>
+
+namespace mco {
+
+/// Binds and listens on \p Path, unlinking any stale socket file first
+/// (the daemon's lock file, not the socket, is what prevents two daemons —
+/// a leftover socket from a SIGKILLed daemon must not block restart).
+Expected<int> listenUnix(const std::string &Path, int Backlog);
+
+/// Accepts one connection. \returns the connection fd, or -1 when
+/// \p TimeoutMs elapsed with nothing to accept (so callers can poll a
+/// stop flag), or an error Status.
+Expected<int> acceptUnix(int ListenFd, int TimeoutMs);
+
+/// Connects to \p Path. Fails fast when nothing listens there (the
+/// client's retry loop owns the backoff).
+Expected<int> connectUnix(const std::string &Path);
+
+/// close() that tolerates -1 and EINTR.
+void closeFd(int Fd);
+
+} // namespace mco
+
+#endif // MCO_DAEMON_SOCKET_H

@@ -166,3 +166,127 @@ void BuildJournal::close() {
     Fd = -1;
   }
 }
+
+//===----------------------------------------------------------------------===//
+// RequestJournal
+//===----------------------------------------------------------------------===//
+
+RequestResumeState RequestResumeState::load(const std::string &Path) {
+  RequestResumeState RS;
+  Expected<std::string> Bytes = readFileBytes(Path);
+  if (!Bytes.ok())
+    return RS;
+
+  // Receipt order matters for replay fairness, so keep a vector and mark
+  // terminal ids instead of erasing (an id can legally recur: recv after
+  // done is an idempotent re-submission the daemon answered from the
+  // durable result).
+  std::vector<std::string> Order;
+  std::vector<std::string> Terminal;
+  std::istringstream In(*Bytes);
+  std::string Line, Payload;
+  bool First = true;
+  while (std::getline(In, Line)) {
+    if (!checkLine(Line, Payload))
+      break; // Torn tail: keep the intact prefix parsed so far.
+    std::vector<std::string> T = tokens(Payload);
+    if (First) {
+      if (T.size() != 1 || T[0] != "mcoreq1")
+        return RS;
+      RS.Valid = true;
+      First = false;
+      continue;
+    }
+    if (T.size() == 2 && T[0] == "recv") {
+      Order.push_back(T[1]);
+    } else if (T.size() == 3 && T[0] == "done") {
+      Terminal.push_back(T[1]);
+    } else if (T.size() == 2 && T[0] == "failed") {
+      Terminal.push_back(T[1]);
+    } else {
+      break; // Unknown record: treat like damage, keep the prefix.
+    }
+  }
+  if (!RS.Valid)
+    return RS;
+  auto IsTerminal = [&Terminal](const std::string &Id) {
+    for (const std::string &T : Terminal)
+      if (T == Id)
+        return true;
+    return false;
+  };
+  for (const std::string &Id : Order) {
+    bool Seen = false;
+    for (const std::string &U : RS.Unfinished)
+      Seen |= U == Id;
+    for (const std::string &F : RS.Finished)
+      Seen |= F == Id;
+    if (Seen)
+      continue;
+    (IsTerminal(Id) ? RS.Finished : RS.Unfinished).push_back(Id);
+  }
+  return RS;
+}
+
+RequestJournal::~RequestJournal() { close(); }
+
+Status RequestJournal::open(const std::string &Path) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd >= 0)
+    return MCO_ERROR("request journal already open");
+  Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (Fd < 0)
+    return MCO_ERROR("cannot open request journal '" + Path +
+                     "': " + std::strerror(errno));
+  off_t End = ::lseek(Fd, 0, SEEK_END);
+  if (End == 0)
+    appendLine("mcoreq1");
+  return Status::success();
+}
+
+void RequestJournal::appendLine(const std::string &Payload) {
+  if (Fd < 0)
+    return;
+  char Prefix[16];
+  std::snprintf(Prefix, sizeof(Prefix), "%08x ", Crc32c::of(Payload));
+  std::string Line = Prefix + Payload + "\n";
+  size_t Off = 0;
+  while (Off < Line.size()) {
+    ssize_t N = ::write(Fd, Line.data() + Off, Line.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      // Same policy as BuildJournal: a failing journal must not fail the
+      // service; the worst outcome is a resume that replays more work.
+      ::close(Fd);
+      Fd = -1;
+      return;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  ::fsync(Fd);
+}
+
+void RequestJournal::recordReceived(const std::string &Id) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  appendLine("recv " + Id);
+}
+
+void RequestJournal::recordDone(const std::string &Id,
+                                const std::string &State) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  appendLine("done " + Id + " " + State);
+}
+
+void RequestJournal::recordFailed(const std::string &Id) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  appendLine("failed " + Id);
+}
+
+void RequestJournal::close() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}

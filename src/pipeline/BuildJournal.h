@@ -104,6 +104,61 @@ private:
   long CrashAfterModules = -1; ///< From MCO_CRASH_AFTER_MODULES; -1 = off.
 };
 
+/// What the daemon's request table durably recorded: which accepted
+/// requests never reached a terminal record. `mco-buildd --resume` replays
+/// exactly these.
+struct RequestResumeState {
+  bool Valid = false; ///< Header parsed; a missing file is simply !Valid.
+  /// Ids with a `recv` record but no `done`/`failed`, in receipt order.
+  std::vector<std::string> Unfinished;
+  /// Ids with a terminal record (for idempotent re-submissions).
+  std::vector<std::string> Finished;
+
+  /// Parses the request table at \p Path with the same torn-tail
+  /// discipline as ResumeState::load: the intact CRC prefix is the truth.
+  static RequestResumeState load(const std::string &Path);
+};
+
+/// The daemon's request table: the same CRC-per-line append-only format as
+/// BuildJournal, but opened in *append* mode — it spans daemon restarts,
+/// which is what makes crash-resume of in-flight requests possible.
+///
+/// Grammar (after the CRC prefix):
+///
+///   mcoreq1                          header, first line of a fresh file
+///   recv <id>                        request accepted into the queue
+///   done <id> <completed|degraded>   request finished, result durable
+///   failed <id>                      request failed terminally (the
+///                                    client may retry under a new id)
+///
+/// Ids are client-chosen tokens without whitespace; the daemon rejects
+/// anything else at the protocol boundary.
+class RequestJournal {
+public:
+  RequestJournal() = default;
+  ~RequestJournal();
+
+  RequestJournal(const RequestJournal &) = delete;
+  RequestJournal &operator=(const RequestJournal &) = delete;
+
+  /// Opens \p Path for appending, creating it (with the header line) when
+  /// absent or empty.
+  Status open(const std::string &Path);
+
+  void recordReceived(const std::string &Id);
+  void recordDone(const std::string &Id, const std::string &State);
+  void recordFailed(const std::string &Id);
+
+  void close();
+  bool isOpen() const { return Fd >= 0; }
+
+private:
+  void appendLine(const std::string &Payload);
+
+  std::mutex Mu;
+  int Fd = -1;
+};
+
 } // namespace mco
 
 #endif // MCO_PIPELINE_BUILDJOURNAL_H

@@ -127,9 +127,17 @@ void initResilience(ResilienceCtx &RC, BuildResult &R, Program &Prog,
   if (RO.CacheDir.empty())
     return;
   RC.Cache = std::make_unique<ArtifactCache>(RO.CacheDir, RO.CacheMaxBytes);
+  RC.Cache->setShared(RO.SharedCache);
+  // The build lock and journal are private to one build; when several
+  // builds share the cache they keep their state in their own JournalDir
+  // instead of serializing whole builds on one lock in the cache.
+  const std::string StateDir =
+      RO.JournalDir.empty() ? RO.CacheDir : RO.JournalDir;
   Status S = RC.Cache->prepare();
+  if (S.ok() && !RO.JournalDir.empty())
+    S = ensureDir(RO.JournalDir);
   if (S.ok())
-    S = RC.Lock.acquire(RO.CacheDir + "/build.lock");
+    S = RC.Lock.acquire(StateDir + "/build.lock");
   if (!S.ok()) {
     // A broken or busy cache must degrade warm-build speed, never the
     // build itself: run uncached.
@@ -163,7 +171,7 @@ void initResilience(ResilienceCtx &RC, BuildResult &R, Program &Prog,
                 static_cast<unsigned long long>(B.value()));
   RC.BuildFp = FBuf;
 
-  const std::string JPath = RO.CacheDir + "/journal.mcoj";
+  const std::string JPath = StateDir + "/journal.mcoj";
   if (RO.Resume) {
     RC.Prior = ResumeState::load(JPath);
     if (RC.Prior.Valid && RC.Prior.Fingerprint != RC.BuildFp) {
@@ -192,11 +200,13 @@ void publishBuildMetrics(const BuildResult &R) {
   M.counter("guard.rounds_rolled_back").set(R.RoundsRolledBack);
   M.counter("guard.patterns_quarantined").set(R.PatternsQuarantined);
   M.counter("watchdog.timeouts").set(R.WatchdogTimeouts);
+  M.counter("watchdog.retries").set(R.WatchdogRetries);
   M.counter("cache.hits").set(R.CacheHits);
   M.counter("cache.misses").set(R.CacheMisses);
   M.counter("cache.corrupt").set(R.CacheCorrupt);
   M.counter("cache.evicted").set(R.CacheEvicted);
   M.counter("cache.stale_locks_recovered").set(R.StaleLocksRecovered);
+  M.counter("cache.writer_contended").set(R.CacheWriterContended);
   M.counter("pipeline.code_size_after").set(R.CodeSize);
   M.counter("pipeline.binary_size").set(R.BinarySize);
   M.gauge("pipeline.link_seconds").set(R.LinkIRSeconds);
@@ -426,6 +436,7 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
     std::vector<std::vector<std::string>> ModLog(NumMods);
     std::vector<uint8_t> Prefilled(NumMods, 0);
     std::atomic<uint64_t> WatchdogCancels{0};
+    std::atomic<uint64_t> WatchdogRetryLaunches{0};
 
     // Serial pre-pass: satisfy modules from the journal + cache before the
     // fan-out, in module order, so symbol interning for cached modules is
@@ -564,6 +575,7 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
                                      " attempts");
           }
           // Exponential backoff: maybe the deadline was just too tight.
+          WatchdogRetryLaunches.fetch_add(1, std::memory_order_relaxed);
           Mod = Backup;
           ModStats[I] = RepeatedOutlineStats{};
           ModRolledBack[I] = ModQuarantined[I] = 0;
@@ -623,6 +635,7 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
         R.FailureLog.push_back("module " + Prog.Modules[I]->Name + ": " + F);
     }
     R.WatchdogTimeouts = WatchdogCancels.load(std::memory_order_relaxed);
+    R.WatchdogRetries = WatchdogRetryLaunches.load(std::memory_order_relaxed);
 
     // Accumulate per-round stats across modules into a program-level
     // trajectory. Modules converge at different rounds; for rounds past a
@@ -705,6 +718,7 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
     R.CacheMisses = RC.Cache->misses();
     R.CacheCorrupt = RC.Cache->corrupt();
     R.CacheEvicted = RC.Cache->evicted();
+    R.CacheWriterContended = RC.Cache->writerContended();
     RC.Journal.recordEnd();
     RC.Journal.close();
   }

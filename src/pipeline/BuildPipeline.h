@@ -55,6 +55,15 @@ struct ResilienceOptions {
   unsigned TimeoutRetries = 2;
   /// Cache size limit; least-recently-used entries are evicted past it.
   uint64_t CacheMaxBytes = 256ull * 1024 * 1024;
+  /// The cache at CacheDir is shared between concurrent clients: stores go
+  /// through the single-writer lock discipline (ArtifactCache::setShared),
+  /// and the exclusive build lock + journal move to JournalDir so sharers
+  /// do not serialize whole builds against each other.
+  bool SharedCache = false;
+  /// Directory for the build lock + journal when it must be private to
+  /// this build (daemon per-request state dirs; concurrent clients of a
+  /// shared cache). Empty = alongside the cache in CacheDir.
+  std::string JournalDir;
 };
 
 /// Code-layout configuration: which LayoutStrategy orders the final
@@ -128,6 +137,10 @@ struct BuildResult {
   /// Individual attempts the watchdog cancelled (retries that later
   /// succeeded count here but not in ModulesTimedOut).
   uint64_t WatchdogTimeouts = 0;
+  /// Retry attempts launched after a watchdog cancel — including the
+  /// retry a module degrades on, so dashboards can diff runs even when
+  /// every retry was spent.
+  uint64_t WatchdogRetries = 0;
   /// Human-readable record of every failure the build absorbed.
   std::vector<std::string> FailureLog;
 
@@ -143,6 +156,8 @@ struct BuildResult {
   uint64_t ModulesResumed = 0;
   /// Dead-owner build locks recovered while acquiring the cache lock.
   uint64_t StaleLocksRecovered = 0;
+  /// Writer-lock acquisitions that hit contention (shared cache only).
+  uint64_t CacheWriterContended = 0;
 
   /// Wall-clock seconds per phase.
   double LinkIRSeconds = 0;     ///< llvm-link analogue (merge).

@@ -24,7 +24,9 @@ const std::vector<std::string> &FaultInjection::knownSites() {
       FaultOutlinerRewriteCorrupt, FaultMapperHashCollide,
       FaultPipelineModuleFail,     FaultThreadPoolTaskThrow,
       FaultCacheEntryCorrupt,      FaultCacheLockStale,
-      FaultPipelineModuleHang};
+      FaultPipelineModuleHang,     FaultCacheWriterContend,
+      FaultDaemonConnDrop,         FaultDaemonWorkerCrash,
+      FaultDaemonQueueOverflow,    FaultDaemonRequestHang};
   return Sites;
 }
 
@@ -153,7 +155,11 @@ uint64_t FaultInjection::firedCount(const std::string &Site) const {
 std::string FaultInjection::contentAffectingConfig() const {
   std::string Out;
   for (const std::unique_ptr<SiteSpec> &Spec : Specs) {
-    if (Spec->Site.rfind("cache.", 0) == 0)
+    // cache.* sites only perturb the artifact store around the build;
+    // daemon.* sites only perturb the service's transport and scheduling.
+    // Neither changes the bytes a build produces.
+    if (Spec->Site.rfind("cache.", 0) == 0 ||
+        Spec->Site.rfind("daemon.", 0) == 0)
       continue;
     if (!Out.empty())
       Out += ';';

@@ -30,6 +30,17 @@
 ///   pipeline.module.hang      - outlining a module stalls until the
 ///                               watchdog's cooperative cancel fires
 ///                               (--module-timeout-ms degradation path)
+///   cache.writer.contend      - a shared-store writer-lock acquisition
+///                               attempt is treated as contended, forcing
+///                               the backoff/retry path
+///   daemon.conn.drop          - an mco-rpc-v1 frame send/receive abruptly
+///                               closes the connection (client retry path)
+///   daemon.worker.crash       - a daemon worker throws at the top of
+///                               request processing (retryable-error reply)
+///   daemon.queue.overflow     - admission control reports the bounded
+///                               queue full (RETRY_AFTER backpressure)
+///   daemon.request.hang       - request processing stalls until the
+///                               per-request watchdog cancels it
 ///
 /// A spec configures one site: `site[@round][:rate[,seed]]` with rate in
 /// [0,1] (default 1) and round 0/omitted meaning "any round"; several specs
@@ -165,6 +176,12 @@ inline constexpr const char *FaultThreadPoolTaskThrow =
 inline constexpr const char *FaultCacheEntryCorrupt = "cache.entry.corrupt";
 inline constexpr const char *FaultCacheLockStale = "cache.lock.stale";
 inline constexpr const char *FaultPipelineModuleHang = "pipeline.module.hang";
+inline constexpr const char *FaultCacheWriterContend = "cache.writer.contend";
+inline constexpr const char *FaultDaemonConnDrop = "daemon.conn.drop";
+inline constexpr const char *FaultDaemonWorkerCrash = "daemon.worker.crash";
+inline constexpr const char *FaultDaemonQueueOverflow =
+    "daemon.queue.overflow";
+inline constexpr const char *FaultDaemonRequestHang = "daemon.request.hang";
 
 } // namespace mco
 

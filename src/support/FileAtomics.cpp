@@ -167,19 +167,31 @@ Status FileLock::acquire(const std::string &Path) {
   if (faultSiteFires(FaultCacheLockStale))
     plantStaleLock(Path);
 
+  const long MyPid = static_cast<long>(::getpid());
   char Body[64];
-  std::snprintf(Body, sizeof(Body), "pid %ld\n",
-                static_cast<long>(::getpid()));
+  std::snprintf(Body, sizeof(Body), "pid %ld\n", MyPid);
+  static std::atomic<uint64_t> StealCounter{0};
 
-  // A bounded number of steal attempts: two stealers can race on the same
-  // stale lock; exactly one O_EXCL create wins each round.
-  for (int Attempt = 0; Attempt < 4; ++Attempt) {
+  // Takeover protocol (multi-client safe): a stale lock is consumed with
+  // an atomic rename, so two stealers that both observed the same dead
+  // pid can never both consume it — the loser's rename fails with ENOENT
+  // and the subsequent O_EXCL create is the single arbiter. Nobody ever
+  // unlinks the live path, so a fresh lock cannot be destroyed by a
+  // racing takeover; and every successful create re-reads the path to
+  // confirm it still records this process before reporting success.
+  for (int Attempt = 0; Attempt < 8; ++Attempt) {
     int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
     if (Fd >= 0) {
       (void)!::write(Fd, Body, std::strlen(Body));
       ::fsync(Fd);
       ::close(Fd);
       fsyncParentDir(Path);
+      // Post-acquire verification: if a mis-sequenced takeover replaced
+      // the file we just created, the path no longer records our pid —
+      // back off (never removing the replacement) instead of returning a
+      // lock two processes believe they hold.
+      if (lockOwner(Path) != MyPid)
+        continue;
       LockPath = Path;
       Held = true;
       return Status::success();
@@ -188,13 +200,39 @@ Status FileLock::acquire(const std::string &Path) {
       return MCO_ERROR(errnoMessage("cannot create lock '" + Path + "'"));
 
     long Owner = lockOwner(Path);
-    if (Owner > 0 && Owner != static_cast<long>(::getpid()) &&
-        processAlive(Owner))
+    if (Owner > 0 && Owner != MyPid && processAlive(Owner))
       return MCO_ERROR("lock '" + Path + "' held by live pid " +
                        std::to_string(Owner));
+
+    if (TestHookBeforeSteal)
+      TestHookBeforeSteal();
+
     // Dead owner (or unreadable lock, e.g. torn by a kill mid-write):
-    // recover and retry.
-    ::unlink(Path.c_str());
+    // consume the stale incarnation atomically.
+    char Suffix[64];
+    std::snprintf(Suffix, sizeof(Suffix), ".stale.%ld.%llu", MyPid,
+                  static_cast<unsigned long long>(StealCounter.fetch_add(
+                      1, std::memory_order_relaxed)));
+    const std::string Stolen = Path + Suffix;
+    if (::rename(Path.c_str(), Stolen.c_str()) != 0) {
+      if (errno == ENOENT)
+        continue; // A racing stealer consumed it first; re-contend.
+      return MCO_ERROR(errnoMessage("cannot steal stale lock '" + Path +
+                                    "'"));
+    }
+    // Re-verify what was actually stolen: between observing the dead
+    // owner and the rename, a racing stealer may have completed its own
+    // takeover, making the file at Path a live lock again. Restore it —
+    // its owner's post-acquire verification tolerates the round trip.
+    long StolenOwner = lockOwner(Stolen);
+    if (StolenOwner > 0 && StolenOwner != MyPid &&
+        processAlive(StolenOwner)) {
+      ::rename(Stolen.c_str(), Path.c_str());
+      return MCO_ERROR("lock '" + Path + "' held by live pid " +
+                       std::to_string(StolenOwner) +
+                       " (acquired during takeover)");
+    }
+    ::unlink(Stolen.c_str());
     ++StaleRecovered;
   }
   return MCO_ERROR("lock '" + Path +

@@ -14,6 +14,14 @@
 ///    that dies holding the lock leaves a lock file whose pid is dead; the
 ///    next build detects that and steals the lock instead of deadlocking.
 ///
+/// Stale-lock takeover is multi-client safe: the stale file is consumed
+/// with an atomic rename (two racing stealers cannot both consume the same
+/// incarnation), a steal that turns out to have grabbed a *live* lock is
+/// rolled back, and a successful acquire re-reads the lock file to verify
+/// it still records this process before reporting success. Without these
+/// three steps, two clients that both observed the same dead pid could
+/// unlink each other's freshly created locks and both "hold" the lock.
+///
 /// The `cache.lock.stale` fault site plants a dead-owner lock file right
 /// before an acquire, exercising the recovery path deterministically.
 ///
@@ -25,6 +33,7 @@
 #include "support/Error.h"
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace mco {
@@ -71,6 +80,11 @@ public:
 
   /// \returns true when \p Pid names a live process.
   static bool processAlive(long Pid);
+
+  /// Test-only: invoked after acquire() observes a dead owner and before
+  /// it consumes the stale file, so tests can interleave a racing client
+  /// in exactly the window the takeover protocol must survive.
+  std::function<void()> TestHookBeforeSteal;
 
 private:
   std::string LockPath;

@@ -20,10 +20,12 @@
 #include "support/FileAtomics.h"
 #include "gtest/gtest.h"
 
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <thread>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 using namespace mco;
@@ -223,6 +225,67 @@ TEST(FileAtomicsTest, LockStaleFaultSitePlantsAndRecovers) {
   FileLock L;
   ASSERT_TRUE(L.acquire(D.str("build.lock")).ok());
   EXPECT_GE(L.staleLocksRecovered(), 1u);
+}
+
+TEST(FileAtomicsTest, StaleTakeoverRaceLosesCleanlyToConcurrentStealer) {
+  // Regression: two clients observe the same dead-owner lock and both
+  // start takeover. The unlink-based recovery this replaced let the
+  // slower client delete the *winner's* fresh lock, leaving both holding.
+  // The rename-steal protocol consumes exactly one stale incarnation, so
+  // the loser must end with "held by live pid" and the winner's lock
+  // intact on disk.
+  ScratchDir D("steal_race");
+  const std::string Path = D.str("writer.lock");
+  const std::string Flag = D.str("child_holds");
+  ASSERT_TRUE(atomicWriteFile(Path, "pid 536870911\n").ok());
+
+  pid_t Child = -1;
+  FileLock Loser;
+  Loser.TestHookBeforeSteal = [&] {
+    // Between "saw a stale owner" and our rename-steal, a rival process
+    // completes the whole takeover and holds a live lock.
+    Child = ::fork();
+    if (Child == 0) {
+      FileLock Winner;
+      if (!Winner.acquire(Path).ok())
+        ::_exit(3);
+      if (!atomicWriteFile(Flag, "held\n").ok())
+        ::_exit(4);
+      for (;;) // Hold until the parent kills us.
+        ::usleep(50 * 1000);
+    }
+    ASSERT_GT(Child, 0);
+    for (int I = 0; I < 2000 && !fileExists(Flag); ++I)
+      ::usleep(1000);
+    ASSERT_TRUE(fileExists(Flag)) << "rival never acquired";
+  };
+
+  Status S = Loser.acquire(Path);
+  ASSERT_FALSE(S.ok()) << "both clients hold the lock";
+  EXPECT_FALSE(Loser.held());
+  EXPECT_NE(S.message().find("held by live pid"), std::string::npos)
+      << S.message();
+
+  // The winner's lock survived the loser's rollback: the file still names
+  // the (live) child, and no .stale.* intermediate leaked.
+  Expected<std::string> Bytes = readFileBytes(Path);
+  ASSERT_TRUE(Bytes.ok());
+  EXPECT_EQ(*Bytes, "pid " + std::to_string(Child) + "\n");
+  size_t StaleDroppings = 0;
+  for (const auto &E : fs::directory_iterator(D.P))
+    StaleDroppings +=
+        E.path().filename().string().find(".stale.") != std::string::npos;
+  EXPECT_EQ(StaleDroppings, 0u);
+
+  // Once the winner dies, its lock is an ordinary dead-owner stale and
+  // the loser's next acquire takes it over normally.
+  ASSERT_GT(Child, 0);
+  ::kill(Child, SIGKILL);
+  int WStatus = 0;
+  ::waitpid(Child, &WStatus, 0);
+  FileLock Retry;
+  ASSERT_TRUE(Retry.acquire(Path).ok());
+  EXPECT_EQ(Retry.staleLocksRecovered(), 1u);
 }
 
 //===----------------------------------------------------------------------===//

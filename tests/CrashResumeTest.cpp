@@ -41,16 +41,16 @@ struct RunResult {
   int Signal = 0;
 };
 
-/// Runs mco-build with \p Args (appended to BaseArgs unless \p Bare), with
-/// \p Env ("K=V") entries added to the child environment.
-RunResult runBuild(const std::vector<std::string> &Args,
-                   const std::vector<std::string> &Env = {},
-                   bool Bare = false) {
-  RunResult R;
+/// Forks mco-build with \p Args (appended to BaseArgs unless \p Bare),
+/// with \p Env ("K=V") entries added to the child environment. Pair with
+/// waitBuild(); runBuild() does both.
+pid_t spawnBuild(const std::vector<std::string> &Args,
+                 const std::vector<std::string> &Env = {},
+                 bool Bare = false) {
   pid_t Pid = ::fork();
-  if (Pid < 0)
-    return R;
-  if (Pid == 0) {
+  if (Pid != 0)
+    return Pid;
+  {
     for (const std::string &E : Env) {
       const size_t Eq = E.find('=');
       ::setenv(E.substr(0, Eq).c_str(), E.substr(Eq + 1).c_str(), 1);
@@ -69,6 +69,12 @@ RunResult runBuild(const std::vector<std::string> &Args,
     ::execv(MCO_BUILD_TOOL_PATH, Argv.data());
     ::_exit(127);
   }
+}
+
+RunResult waitBuild(pid_t Pid) {
+  RunResult R;
+  if (Pid < 0)
+    return R;
   int WStatus = 0;
   ::waitpid(Pid, &WStatus, 0);
   if (WIFEXITED(WStatus))
@@ -78,6 +84,12 @@ RunResult runBuild(const std::vector<std::string> &Args,
     R.Signal = WTERMSIG(WStatus);
   }
   return R;
+}
+
+RunResult runBuild(const std::vector<std::string> &Args,
+                   const std::vector<std::string> &Env = {},
+                   bool Bare = false) {
+  return waitBuild(spawnBuild(Args, Env, Bare));
 }
 
 std::string slurp(const std::string &Path) {
@@ -94,6 +106,17 @@ long long diagInt(const std::string &Json, const std::string &Key) {
   if (P == std::string::npos)
     return -1;
   return std::atoll(Json.c_str() + P + Needle.size());
+}
+
+/// Extracts `"key": "value"` from the diag JSON.
+std::string diagStr(const std::string &Json, const std::string &Key) {
+  const std::string Needle = "\"" + Key + "\": \"";
+  size_t P = Json.find(Needle);
+  if (P == std::string::npos)
+    return {};
+  P += Needle.size();
+  size_t E = Json.find('"', P);
+  return E == std::string::npos ? std::string() : Json.substr(P, E - P);
 }
 
 struct ScratchDir {
@@ -235,6 +258,86 @@ TEST(CrashResumeTest, StaleLockIsRecovered) {
                           "cache.lock.stale:1", "--diag-json", Diag});
   ASSERT_EQ(R.ExitCode, 0);
   EXPECT_GE(diagInt(slurp(Diag), "stale_locks_recovered"), 1);
+}
+
+TEST(CrashResumeTest, TwoClientSharedCacheHammer) {
+  ScratchDir D("hammer");
+  const std::string Cache = D.str("cache");
+  const std::string RefDiag = D.str("ref.json");
+
+  // Reference digest: one clean, uncached build.
+  ASSERT_EQ(runBuild({"--diag-json", RefDiag}).ExitCode, 0);
+  const std::string RefDigest = diagStr(slurp(RefDiag), "artifact_digest");
+  ASSERT_FALSE(RefDigest.empty());
+
+  // Phase 1 — eviction interleave: two clients share one store whose
+  // budget holds only a fraction of the corpus, so every store triggers
+  // an eviction pass racing the other client's. The writer lock is what
+  // keeps that safe; both builds must still come out byte-identical.
+  auto ClientArgs = [&](int N, const char *Diag) {
+    return std::vector<std::string>{
+        "--cache-dir",  Cache,
+        "--shared-cache",
+        "--journal-dir", D.str("j" + std::to_string(N)),
+        "--cache-max-bytes", "8192",
+        "--diag-json",  D.str(Diag)};
+  };
+  pid_t A = spawnBuild(ClientArgs(1, "a.json"));
+  pid_t B = spawnBuild(ClientArgs(2, "b.json"));
+  RunResult RA = waitBuild(A), RB = waitBuild(B);
+  ASSERT_EQ(RA.ExitCode, 0);
+  ASSERT_EQ(RB.ExitCode, 0);
+  const std::string JsonA = slurp(D.str("a.json"));
+  const std::string JsonB = slurp(D.str("b.json"));
+  EXPECT_EQ(diagStr(JsonA, "artifact_digest"), RefDigest);
+  EXPECT_EQ(diagStr(JsonB, "artifact_digest"), RefDigest);
+  EXPECT_GT(diagInt(JsonA, "cache_evicted") + diagInt(JsonB, "cache_evicted"),
+            0)
+      << "the budget never forced an eviction: not a hammer";
+  EXPECT_EQ(diagInt(JsonA, "modules_degraded"), 0);
+  EXPECT_EQ(diagInt(JsonB, "modules_degraded"), 0);
+
+  // Phase 2 — corruption under two clients: populate a fresh roomy store,
+  // flip a byte in one entry, then hit it from both clients at once. One
+  // of them finds the damage first, quarantines it, and rebuilds; both
+  // must ship the reference bytes with exit 0.
+  const std::string Cache2 = D.str("cache2");
+  ASSERT_EQ(runBuild({"--cache-dir", Cache2, "--shared-cache",
+                      "--journal-dir", D.str("j3")})
+                .ExitCode,
+            0);
+  fs::path Victim;
+  for (const auto &E : fs::directory_iterator(fs::path(Cache2) / "objects")) {
+    Victim = E.path();
+    break;
+  }
+  ASSERT_FALSE(Victim.empty());
+  std::string Bytes = slurp(Victim.string());
+  Bytes[Bytes.size() / 2] ^= 0x40;
+  std::ofstream(Victim, std::ios::binary) << Bytes;
+
+  auto WarmArgs = [&](int N, const char *Diag) {
+    return std::vector<std::string>{
+        "--cache-dir",  Cache2,
+        "--shared-cache",
+        "--journal-dir", D.str("j" + std::to_string(N)),
+        "--diag-json",  D.str(Diag)};
+  };
+  pid_t A2 = spawnBuild(WarmArgs(4, "a2.json"));
+  pid_t B2 = spawnBuild(WarmArgs(5, "b2.json"));
+  RunResult RA2 = waitBuild(A2), RB2 = waitBuild(B2);
+  ASSERT_EQ(RA2.ExitCode, 0);
+  ASSERT_EQ(RB2.ExitCode, 0);
+  const std::string JsonA2 = slurp(D.str("a2.json"));
+  const std::string JsonB2 = slurp(D.str("b2.json"));
+  EXPECT_EQ(diagStr(JsonA2, "artifact_digest"), RefDigest);
+  EXPECT_EQ(diagStr(JsonB2, "artifact_digest"), RefDigest);
+  EXPECT_GE(diagInt(JsonA2, "cache_corrupt") +
+                diagInt(JsonB2, "cache_corrupt"),
+            1)
+      << "nobody noticed the corrupt entry";
+  EXPECT_TRUE(fs::exists(fs::path(Cache2) / "quarantine"));
+  EXPECT_FALSE(fs::is_empty(fs::path(Cache2) / "quarantine"));
 }
 
 TEST(CrashResumeTest, FailingBuildStillWritesDiagJson) {

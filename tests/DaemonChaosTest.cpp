@@ -1,0 +1,460 @@
+//===- tests/DaemonChaosTest.cpp - mco-buildd chaos matrix ----------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end chaos testing of the build daemon: spawns the real
+/// mco-buildd and mco-client binaries (paths baked in via
+/// MCO_BUILDD_TOOL_PATH / MCO_CLIENT_TOOL_PATH) and drives the fault
+/// matrix the failure-domain design promises to absorb — connection drops
+/// at every protocol state, worker crashes, queue overflow backpressure,
+/// request hangs through the watchdog ladder, SIGKILL mid-request with a
+/// --resume restart, and a corrupt shared-cache entry under two
+/// concurrent clients. Every scenario must end completed, degraded with
+/// honest counters, or cleanly retryable — never hung, and never with
+/// artifacts that differ from a plain mco-build's (compared through
+/// programContentDigest, the byte-identity witness both tools report).
+///
+/// Also hosts the mco-rpc-v1 codec unit tests (same library, no daemon).
+///
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Rpc.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace mco;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Matches the mco-build reference invocation below: every daemon build in
+/// this file uses the same corpus so digests are comparable.
+const char *Modules = "8";
+const char *Rounds = "2";
+
+struct RunResult {
+  int ExitCode = -1;
+  bool Signaled = false;
+  int Signal = 0;
+};
+
+pid_t spawnTool(const std::string &Tool, const std::vector<std::string> &Args,
+                const std::string &StdoutFile = "/dev/null",
+                const std::vector<std::string> &Env = {}) {
+  pid_t Pid = ::fork();
+  if (Pid != 0)
+    return Pid;
+  for (const std::string &E : Env) {
+    const size_t Eq = E.find('=');
+    ::setenv(E.substr(0, Eq).c_str(), E.substr(Eq + 1).c_str(), 1);
+  }
+  std::vector<std::string> All;
+  All.push_back(Tool);
+  All.insert(All.end(), Args.begin(), Args.end());
+  std::vector<char *> Argv;
+  for (std::string &S : All)
+    Argv.push_back(S.data());
+  Argv.push_back(nullptr);
+  std::freopen(StdoutFile.c_str(), "w", stdout);
+  std::freopen("/dev/null", "w", stderr);
+  ::execv(Tool.c_str(), Argv.data());
+  ::_exit(127);
+}
+
+RunResult waitTool(pid_t Pid) {
+  RunResult R;
+  if (Pid < 0)
+    return R;
+  int WStatus = 0;
+  ::waitpid(Pid, &WStatus, 0);
+  if (WIFEXITED(WStatus))
+    R.ExitCode = WEXITSTATUS(WStatus);
+  if (WIFSIGNALED(WStatus)) {
+    R.Signaled = true;
+    R.Signal = WTERMSIG(WStatus);
+  }
+  return R;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+long long jsonInt(const std::string &Json, const std::string &Key) {
+  const std::string Needle = "\"" + Key + "\": ";
+  size_t P = Json.find(Needle);
+  if (P == std::string::npos)
+    return -1;
+  return std::atoll(Json.c_str() + P + Needle.size());
+}
+
+std::string jsonStr(const std::string &Json, const std::string &Key) {
+  const std::string Needle = "\"" + Key + "\": \"";
+  size_t P = Json.find(Needle);
+  if (P == std::string::npos)
+    return {};
+  P += Needle.size();
+  size_t E = Json.find('"', P);
+  return E == std::string::npos ? std::string() : Json.substr(P, E - P);
+}
+
+struct ScratchDir {
+  fs::path P;
+  explicit ScratchDir(const std::string &Name) {
+    P = fs::temp_directory_path() /
+        ("mco_daemon_test_" + std::to_string(::getpid()) + "_" + Name);
+    fs::remove_all(P);
+    fs::create_directories(P);
+  }
+  ~ScratchDir() {
+    std::error_code EC;
+    fs::remove_all(P, EC);
+  }
+  std::string str(const std::string &Leaf) const { return (P / Leaf).string(); }
+};
+
+/// One daemon instance on a scratch socket/state pair. Started with extra
+/// args (fault specs, watchdog settings); stopped via the shutdown RPC,
+/// or by SIGKILL from the test/crash hook.
+struct Daemon {
+  ScratchDir &D;
+  pid_t Pid = -1;
+  std::string Socket, State;
+
+  explicit Daemon(ScratchDir &D)
+      : D(D), Socket(D.str("sock")), State(D.str("state")) {}
+
+  void start(const std::vector<std::string> &Extra = {},
+             const std::vector<std::string> &Env = {}) {
+    std::vector<std::string> Args = {"--socket", Socket, "--state", State,
+                                     "--workers", "2"};
+    Args.insert(Args.end(), Extra.begin(), Extra.end());
+    Pid = spawnTool(MCO_BUILDD_TOOL_PATH, Args, "/dev/null", Env);
+    ASSERT_GT(Pid, 0);
+    // Ready when it answers a ping.
+    for (int I = 0; I < 200; ++I) {
+      pid_t C = spawnTool(MCO_CLIENT_TOOL_PATH, {"--socket", Socket,
+                                                 "--ping"});
+      if (waitTool(C).ExitCode == 0)
+        return;
+      ::usleep(25 * 1000);
+    }
+    FAIL() << "daemon never became ready";
+  }
+
+  /// Client submit; returns the parsed reply JSON ("" on client failure).
+  std::string submit(const std::string &Id,
+                     const std::vector<std::string> &Extra = {},
+                     int Retries = 30) {
+    const std::string Out = D.str("reply_" + Id + ".json");
+    std::vector<std::string> Args = {
+        "--socket", Socket,        "--id",     Id,
+        "--modules", Modules,      "--rounds", Rounds,
+        "--per-module",
+        "--retries", std::to_string(Retries)};
+    Args.insert(Args.end(), Extra.begin(), Extra.end());
+    RunResult R = waitTool(spawnTool(MCO_CLIENT_TOOL_PATH, Args, Out));
+    return R.ExitCode == 0 ? slurp(Out) : std::string();
+  }
+
+  std::string stats() {
+    const std::string Out = D.str("stats.json");
+    RunResult R = waitTool(spawnTool(
+        MCO_CLIENT_TOOL_PATH, {"--socket", Socket, "--stats"}, Out));
+    return R.ExitCode == 0 ? slurp(Out) : std::string();
+  }
+
+  void shutdown() {
+    if (Pid <= 0)
+      return;
+    // The shutdown RPC itself rides the faulted transport (conn-drop
+    // tests), so retry it, and fall back to SIGTERM — the daemon installs
+    // a handler that requestStop()s — rather than ever hanging the test.
+    for (int Attempt = 0; Attempt < 5; ++Attempt) {
+      waitTool(spawnTool(MCO_CLIENT_TOOL_PATH,
+                         {"--socket", Socket, "--shutdown"}));
+      for (int I = 0; I < 20; ++I) {
+        int WStatus = 0;
+        if (::waitpid(Pid, &WStatus, WNOHANG) == Pid) {
+          Pid = -1;
+          return;
+        }
+        ::usleep(25 * 1000);
+      }
+    }
+    ::kill(Pid, SIGTERM);
+    waitTool(Pid);
+    Pid = -1;
+  }
+
+  ~Daemon() {
+    if (Pid > 0) {
+      ::kill(Pid, SIGKILL);
+      waitTool(Pid);
+    }
+  }
+};
+
+/// The reference digest: what a plain, daemon-free mco-build produces for
+/// the exact corpus every test submits. Computed once.
+std::string referenceDigest() {
+  static std::string Digest = [] {
+    ScratchDir D("ref");
+    const std::string Diag = D.str("ref.json");
+    RunResult R = waitTool(spawnTool(
+        MCO_BUILD_TOOL_PATH,
+        {"--profile", "rider", "--modules", Modules, "--rounds", Rounds,
+         "--per-module", "--diag-json", Diag}));
+    if (R.ExitCode != 0)
+      return std::string();
+    return jsonStr(slurp(Diag), "artifact_digest");
+  }();
+  return Digest;
+}
+
+//===----------------------------------------------------------------------===//
+// mco-rpc-v1 codec
+//===----------------------------------------------------------------------===//
+
+TEST(RpcCodecTest, RoundTripsAllFieldKinds) {
+  RpcMessage M;
+  M.Type = "result";
+  M.Str["id"] = "req-42";
+  M.Str["weird"] = "a\"b\\c\nd\te\x01";
+  M.Int["zero"] = 0;
+  M.Int["negative"] = -7;
+  M.Int["big"] = 1ll << 60;
+  Expected<RpcMessage> Back = decodeRpcMessage(encodeRpcMessage(M));
+  ASSERT_TRUE(Back.ok()) << Back.status().message();
+  EXPECT_EQ(Back->Type, "result");
+  EXPECT_EQ(Back->Str, M.Str);
+  EXPECT_EQ(Back->Int, M.Int);
+}
+
+TEST(RpcCodecTest, EncodingIsDeterministic) {
+  RpcMessage A, B;
+  A.Type = B.Type = "build";
+  // Insertion order differs; sorted-key encoding must not care.
+  A.Str["profile"] = "rider";
+  A.Str["id"] = "x";
+  B.Str["id"] = "x";
+  B.Str["profile"] = "rider";
+  A.Int["rounds"] = 2;
+  A.Int["modules"] = 8;
+  B.Int["modules"] = 8;
+  B.Int["rounds"] = 2;
+  EXPECT_EQ(encodeRpcMessage(A), encodeRpcMessage(B));
+}
+
+TEST(RpcCodecTest, RejectsDamage) {
+  EXPECT_FALSE(decodeRpcMessage("").ok());
+  EXPECT_FALSE(decodeRpcMessage("{}").ok()); // No type.
+  EXPECT_FALSE(decodeRpcMessage("{\"type\": \"x\"").ok());
+  EXPECT_FALSE(decodeRpcMessage("{\"type\": \"x\", \"n\": }").ok());
+  EXPECT_FALSE(decodeRpcMessage("[1, 2]").ok());
+  RpcMessage M;
+  M.Type = "ping";
+  std::string Wire = encodeRpcMessage(M);
+  EXPECT_FALSE(decodeRpcMessage(Wire.substr(0, Wire.size() - 1)).ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos matrix
+//===----------------------------------------------------------------------===//
+
+TEST(DaemonChaosTest, CleanBuildMatchesPlainBuildByteForByte) {
+  ASSERT_FALSE(referenceDigest().empty());
+  ScratchDir D("clean");
+  Daemon Svc(D);
+  Svc.start();
+  std::string Reply = Svc.submit("clean-1");
+  ASSERT_FALSE(Reply.empty());
+  EXPECT_EQ(jsonStr(Reply, "state"), "completed");
+  EXPECT_EQ(jsonStr(Reply, "artifact_digest"), referenceDigest());
+  EXPECT_EQ(jsonInt(Reply, "modules_degraded"), 0);
+  // Warm resubmit under a new id: all hits, same bytes.
+  std::string Warm = Svc.submit("clean-2");
+  ASSERT_FALSE(Warm.empty());
+  EXPECT_EQ(jsonStr(Warm, "artifact_digest"), referenceDigest());
+  EXPECT_EQ(jsonInt(Warm, "cache_misses"), 0);
+  EXPECT_GT(jsonInt(Warm, "cache_hits"), 0);
+  Svc.shutdown();
+}
+
+TEST(DaemonChaosTest, ConnectionDropsAtEveryStateStillComplete) {
+  ASSERT_FALSE(referenceDigest().empty());
+  ScratchDir D("conndrop");
+  Daemon Svc(D);
+  // Every send and receive on every daemon connection has a 25% chance of
+  // an abrupt close — hello, request receipt, and result delivery all get
+  // hit across the retry sequence. The client's idempotent id makes the
+  // retries safe; the request must complete exactly once.
+  Svc.start({"--fault-inject", "daemon.conn.drop:0.25,11"});
+  std::string Reply = Svc.submit("drop-1", {}, /*Retries=*/40);
+  ASSERT_FALSE(Reply.empty()) << "client exhausted retries";
+  EXPECT_EQ(jsonStr(Reply, "state"), "completed");
+  EXPECT_EQ(jsonStr(Reply, "artifact_digest"), referenceDigest());
+  Svc.shutdown();
+}
+
+TEST(DaemonChaosTest, QueueOverflowPushesBackThenCompletes) {
+  ASSERT_FALSE(referenceDigest().empty());
+  ScratchDir D("overflow");
+  Daemon Svc(D);
+  // Admission control reports "full" 60% of the time; the client must be
+  // told retry_after (not hung, not errored) and eventually get through.
+  Svc.start({"--fault-inject", "daemon.queue.overflow:0.6,5"});
+  std::string Reply = Svc.submit("ovf-1", {}, /*Retries=*/40);
+  ASSERT_FALSE(Reply.empty());
+  EXPECT_EQ(jsonStr(Reply, "state"), "completed");
+  EXPECT_EQ(jsonStr(Reply, "artifact_digest"), referenceDigest());
+  std::string St = Svc.stats();
+  EXPECT_GE(jsonInt(St, "requests_rejected"), 1) << St;
+  Svc.shutdown();
+}
+
+TEST(DaemonChaosTest, WorkerCrashIsRetryableAndRecovers) {
+  ASSERT_FALSE(referenceDigest().empty());
+  ScratchDir D("crash");
+  Daemon Svc(D);
+  // Most request-processing attempts die at the top (this seed's first
+  // several draws all fire). The reply is a retryable error; the client's
+  // resubmission reclaims the id (failed ids are re-buildable) and the
+  // first surviving attempt completes it.
+  Svc.start({"--fault-inject", "daemon.worker.crash:0.75,1"});
+  std::string Reply = Svc.submit("crash-1", {}, /*Retries=*/40);
+  ASSERT_FALSE(Reply.empty());
+  EXPECT_EQ(jsonStr(Reply, "state"), "completed");
+  EXPECT_EQ(jsonStr(Reply, "artifact_digest"), referenceDigest());
+  std::string St = Svc.stats();
+  EXPECT_GE(jsonInt(St, "worker_crashes"), 1) << St;
+  EXPECT_GE(jsonInt(St, "requests_failed"), 1) << St;
+  Svc.shutdown();
+}
+
+TEST(DaemonChaosTest, RequestHangRidesTheDegradationLadder) {
+  ScratchDir D("hang");
+  Daemon Svc(D);
+  // Every outlined build attempt hangs. The request watchdog cancels at
+  // 300ms, retries once at 600ms (hangs again), then the ladder's last
+  // rung ships the app unoutlined and marks it degraded — the paper's
+  // rule that an optimizer problem costs optimization, never the build.
+  Svc.start({"--fault-inject", "daemon.request.hang:1",
+             "--request-timeout-ms", "300", "--request-retries", "1"});
+  std::string Reply = Svc.submit("hang-1");
+  ASSERT_FALSE(Reply.empty()) << "request hung instead of degrading";
+  EXPECT_EQ(jsonStr(Reply, "state"), "degraded");
+  EXPECT_GT(jsonInt(Reply, "code_size"), 0);
+  EXPECT_FALSE(jsonStr(Reply, "artifact_digest").empty());
+  EXPECT_EQ(jsonInt(Reply, "request_retries"), 1);
+  std::string St = Svc.stats();
+  EXPECT_EQ(jsonInt(St, "request_watchdog_cancels"), 2) << St;
+  EXPECT_EQ(jsonInt(St, "request_watchdog_retries"), 1) << St;
+  EXPECT_EQ(jsonInt(St, "requests_degraded"), 1) << St;
+  Svc.shutdown();
+}
+
+TEST(DaemonChaosTest, SigkillMidRequestResumesByteIdentical) {
+  ASSERT_FALSE(referenceDigest().empty());
+  ScratchDir D("sigkill");
+  Daemon Svc(D);
+  // The crash hook SIGKILLs the daemon after its build journals the 3rd
+  // freshly built module of the request — mid-request, mid-cache-write
+  // window, the worst spot.
+  Svc.start({}, {"MCO_CRASH_AFTER_MODULES=3"});
+
+  const std::string Out = D.str("reply_kill-1.json");
+  pid_t Client = spawnTool(
+      MCO_CLIENT_TOOL_PATH,
+      {"--socket", Svc.Socket, "--id", "kill-1", "--modules", Modules,
+       "--rounds", Rounds, "--per-module", "--retries", "60"},
+      Out);
+  ASSERT_GT(Client, 0);
+
+  RunResult Crash = waitTool(Svc.Pid);
+  Svc.Pid = -1;
+  ASSERT_TRUE(Crash.Signaled);
+  ASSERT_EQ(Crash.Signal, SIGKILL);
+
+  // Restart on the same state dir with --resume (no crash hook): the
+  // request table says kill-1 is unfinished, so it is replayed; its own
+  // BuildJournal + the shared cache skip the modules the dead daemon
+  // already made durable. The still-retrying client reattaches.
+  Svc.start({"--resume"});
+  RunResult CR = waitTool(Client);
+  ASSERT_EQ(CR.ExitCode, 0) << "client never recovered across the restart";
+  std::string Reply = slurp(Out);
+  EXPECT_EQ(jsonStr(Reply, "state"), "completed");
+  EXPECT_EQ(jsonStr(Reply, "artifact_digest"), referenceDigest());
+  std::string St = Svc.stats();
+  EXPECT_GE(jsonInt(St, "requests_resumed"), 1) << St;
+  EXPECT_GT(jsonInt(Reply, "modules_resumed") + jsonInt(Reply, "cache_hits"),
+            0)
+      << "the resumed build redid everything: " << Reply;
+  Svc.shutdown();
+}
+
+TEST(DaemonChaosTest, CorruptSharedCacheEntryUnderTwoClients) {
+  ASSERT_FALSE(referenceDigest().empty());
+  ScratchDir D("corrupt");
+  Daemon Svc(D);
+  Svc.start();
+  // Populate the shared cache, then flip a byte in one sealed artifact.
+  std::string Cold = Svc.submit("pop-1");
+  ASSERT_FALSE(Cold.empty());
+  ASSERT_EQ(jsonStr(Cold, "artifact_digest"), referenceDigest());
+  fs::path Victim;
+  for (const auto &E :
+       fs::directory_iterator(fs::path(Svc.State) / "cache" / "objects")) {
+    Victim = E.path();
+    break;
+  }
+  ASSERT_FALSE(Victim.empty());
+  std::string Bytes = slurp(Victim.string());
+  Bytes[Bytes.size() / 2] ^= 0x40;
+  std::ofstream(Victim, std::ios::binary) << Bytes;
+
+  // Two clients race onto the damaged store. Whoever loads the victim
+  // first quarantines it and rebuilds that module; both must end with the
+  // reference bytes, and the corruption must be counted, not hidden.
+  const std::string OutA = D.str("reply_two-a.json");
+  const std::string OutB = D.str("reply_two-b.json");
+  auto ClientArgs = [&](const char *Id) {
+    return std::vector<std::string>{
+        "--socket", Svc.Socket, "--id", Id, "--modules", Modules,
+        "--rounds", Rounds, "--per-module", "--retries", "30"};
+  };
+  pid_t A = spawnTool(MCO_CLIENT_TOOL_PATH, ClientArgs("two-a"), OutA);
+  pid_t B = spawnTool(MCO_CLIENT_TOOL_PATH, ClientArgs("two-b"), OutB);
+  RunResult RA = waitTool(A), RB = waitTool(B);
+  ASSERT_EQ(RA.ExitCode, 0);
+  ASSERT_EQ(RB.ExitCode, 0);
+  const std::string ReplyA = slurp(OutA), ReplyB = slurp(OutB);
+  EXPECT_EQ(jsonStr(ReplyA, "artifact_digest"), referenceDigest());
+  EXPECT_EQ(jsonStr(ReplyB, "artifact_digest"), referenceDigest());
+  std::string St = Svc.stats();
+  EXPECT_GE(jsonInt(St, "cache_corrupt"), 1) << St;
+  const fs::path Quarantine = fs::path(Svc.State) / "cache" / "quarantine";
+  EXPECT_TRUE(fs::exists(Quarantine));
+  EXPECT_FALSE(fs::is_empty(Quarantine));
+  Svc.shutdown();
+}
+
+} // namespace

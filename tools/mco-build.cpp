@@ -20,6 +20,7 @@
 ///             [--guard] [--max-retries N] [--verify-exec N]
 ///             [--fault-inject SPEC] [--diag-json FILE]
 ///             [--cache] [--cache-dir DIR] [--resume DIR]
+///             [--shared-cache] [--journal-dir DIR]
 ///             [--module-timeout-ms N] [--timeout-retries N]
 ///
 /// All failures propagate as Status up to main(), which is the only place
@@ -29,6 +30,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "cache/ArtifactCache.h"
 #include "linker/Linker.h"
 #include "mir/MIRPrinter.h"
 #include "mir/MIRVerifier.h"
@@ -66,6 +68,7 @@ void usage() {
       "                 [--guard] [--max-retries N] [--verify-exec N]\n"
       "                 [--fault-inject SPEC] [--diag-json FILE]\n"
       "                 [--cache] [--cache-dir DIR] [--resume DIR]\n"
+      "                 [--shared-cache] [--journal-dir DIR]\n"
       "                 [--module-timeout-ms N] [--timeout-retries N]\n"
       "                 [--trace-json FILE] [--pattern-provenance FILE]\n"
       "  --profile X    corpus profile to synthesize, or the path of an\n"
@@ -94,6 +97,11 @@ void usage() {
       "  --cache-dir DIR  like --cache, in DIR\n"
       "  --resume DIR   skip modules a prior (crashed) build in DIR\n"
       "                 already finished\n"
+      "  --shared-cache   the cache is shared with concurrent clients;\n"
+      "                 stores go through the single-writer lock\n"
+      "  --journal-dir DIR  keep this build's lock + journal in DIR\n"
+      "                 (required for concurrent sharers of one cache)\n"
+      "  --cache-max-bytes N  cache size budget; LRU-evicted past it\n"
       "  --module-timeout-ms N  per-module outlining deadline; modules\n"
       "                 that time out through every retry ship unoutlined\n"
       "  --timeout-retries N  extra attempts after a timeout, each with\n"
@@ -255,6 +263,17 @@ Status parseArgs(int argc, char **argv, BuildConfig &C) {
         return S;
       C.Opts.Resilience.CacheDir = V;
       C.Opts.Resilience.Resume = true;
+    } else if (A == "--shared-cache") {
+      C.Opts.Resilience.SharedCache = true;
+    } else if (A == "--journal-dir") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Opts.Resilience.JournalDir = V;
+    } else if (A == "--cache-max-bytes") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.Opts.Resilience.CacheMaxBytes =
+          static_cast<uint64_t>(std::atoll(V));
     } else if (A == "--module-timeout-ms") {
       if (Status S = NextOr(V); !S.ok())
         return S;
@@ -309,6 +328,10 @@ struct DiagState {
   BuildResult R;
   uint64_t SizeBefore = 0;
   std::string FinalVerify;
+  /// programContentDigest of the built program — the byte-identity
+  /// witness compared against mco-buildd results and across crash-resume
+  /// chains.
+  std::string ArtifactDigest;
   std::string Error; ///< Non-empty when the build is exiting nonzero.
 };
 
@@ -354,6 +377,7 @@ Status writeDiagJson(const std::string &Path, const BuildConfig &C,
   Out << "  \"modules_timed_out\": " << Ctr("pipeline.modules_timed_out")
       << ",\n";
   Out << "  \"watchdog_timeouts\": " << Ctr("watchdog.timeouts") << ",\n";
+  Out << "  \"watchdog_retries\": " << Ctr("watchdog.retries") << ",\n";
   Out << "  \"cache_hits\": " << Ctr("cache.hits") << ",\n";
   Out << "  \"cache_misses\": " << Ctr("cache.misses") << ",\n";
   Out << "  \"cache_corrupt\": " << Ctr("cache.corrupt") << ",\n";
@@ -362,6 +386,10 @@ Status writeDiagJson(const std::string &Path, const BuildConfig &C,
       << ",\n";
   Out << "  \"stale_locks_recovered\": "
       << Ctr("cache.stale_locks_recovered") << ",\n";
+  Out << "  \"cache_writer_contended\": " << Ctr("cache.writer_contended")
+      << ",\n";
+  Out << "  \"artifact_digest\": \"" << jsonEscape(D.ArtifactDigest)
+      << "\",\n";
   Out << "  \"metrics\": " << M.toJson() << ",\n";
   Out << "  \"final_verify\": \"" << jsonEscape(D.FinalVerify) << "\",\n";
   Out << "  \"failure_log\": [";
@@ -433,6 +461,7 @@ Status runBuild(BuildConfig &C, DiagState &D) {
 
   BuildResult R = buildProgram(*Prog, C.Opts);
   D.R = R;
+  D.ArtifactDigest = programContentDigest(*Prog);
   if (C.HotLayout)
     layoutOutlinedByHotness(*Prog, *Prog->Modules[0]);
 

@@ -1,0 +1,172 @@
+//===- tools/mco-buildd.cpp - The outlining build daemon ------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Outlining-as-a-service: a long-lived daemon accepting `mco-rpc-v1`
+/// build requests over a Unix socket (see daemon/BuildService.h for the
+/// failure-domain design: bounded queue + retry_after backpressure,
+/// request watchdogs, the degradation ladder, and --resume crash
+/// recovery).
+///
+///   mco-buildd --socket PATH --state DIR
+///              [--workers N] [--queue-limit N]
+///              [--request-timeout-ms N] [--request-retries N]
+///              [--module-timeout-ms N] [--timeout-retries N]
+///              [--cache-max-bytes N] [--threads N]
+///              [--resume] [--fault-inject SPEC]
+///
+/// Runs in the foreground until a client sends `shutdown` or the process
+/// receives SIGINT/SIGTERM. kill -9 is the supported crash mode: the next
+/// `mco-buildd --resume` on the same state dir replays exactly the
+/// unfinished requests, byte-identically.
+///
+//===----------------------------------------------------------------------===//
+
+#include "daemon/BuildService.h"
+#include "support/FaultInjection.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace mco;
+
+namespace {
+
+BuildService *ActiveService = nullptr;
+
+void onSignal(int) {
+  if (ActiveService)
+    ActiveService->requestStop();
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: mco-buildd --socket PATH --state DIR\n"
+      "                  [--workers N] [--queue-limit N]\n"
+      "                  [--request-timeout-ms N] [--request-retries N]\n"
+      "                  [--module-timeout-ms N] [--timeout-retries N]\n"
+      "                  [--cache-max-bytes N] [--threads N]\n"
+      "                  [--resume] [--fault-inject SPEC]\n"
+      "  --socket PATH  Unix socket to listen on\n"
+      "  --state DIR    daemon state: lock, request table, shared cache,\n"
+      "                 per-request journals\n"
+      "  --workers N    concurrent build workers (default 2)\n"
+      "  --queue-limit N  queued-request bound; past it clients get\n"
+      "                 retry_after (default 8)\n"
+      "  --request-timeout-ms N  per-request watchdog deadline; 0 = off\n"
+      "  --request-retries N  watchdog retries, each with double the\n"
+      "                 deadline, before the unoutlined degraded rebuild\n"
+      "  --module-timeout-ms N / --timeout-retries N  the pipeline's\n"
+      "                 per-module watchdog, passed through\n"
+      "  --cache-max-bytes N  shared-cache size budget\n"
+      "  --threads N    build threads per request (default 1)\n"
+      "  --resume       replay unfinished requests from the request\n"
+      "                 table before serving\n"
+      "  --fault-inject SPEC  site[@round][:rate[,seed]][;...]\n");
+}
+
+bool parseU64(const char *S, uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 10);
+  if (!End || *End)
+    return false;
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  DaemonOptions Opts;
+  std::string FaultSpec;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    uint64_t V = 0;
+    const char *Arg = nullptr;
+    if (A == "--socket" && (Arg = Next())) {
+      Opts.SocketPath = Arg;
+    } else if (A == "--state" && (Arg = Next())) {
+      Opts.StateDir = Arg;
+    } else if (A == "--workers" && (Arg = Next()) && parseU64(Arg, V)) {
+      Opts.Workers = unsigned(V);
+    } else if (A == "--queue-limit" && (Arg = Next()) && parseU64(Arg, V)) {
+      Opts.QueueLimit = unsigned(V);
+    } else if (A == "--request-timeout-ms" && (Arg = Next()) &&
+               parseU64(Arg, V)) {
+      Opts.RequestTimeoutMs = V;
+    } else if (A == "--request-retries" && (Arg = Next()) &&
+               parseU64(Arg, V)) {
+      Opts.RequestRetries = unsigned(V);
+    } else if (A == "--module-timeout-ms" && (Arg = Next()) &&
+               parseU64(Arg, V)) {
+      Opts.ModuleTimeoutMs = V;
+    } else if (A == "--timeout-retries" && (Arg = Next()) &&
+               parseU64(Arg, V)) {
+      Opts.TimeoutRetries = unsigned(V);
+    } else if (A == "--cache-max-bytes" && (Arg = Next()) &&
+               parseU64(Arg, V)) {
+      Opts.CacheMaxBytes = V;
+    } else if (A == "--threads" && (Arg = Next()) && parseU64(Arg, V)) {
+      Opts.BuildThreads = unsigned(V);
+    } else if (A == "--resume") {
+      Opts.Resume = true;
+    } else if (A == "--fault-inject" && (Arg = Next())) {
+      FaultSpec = Arg;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "mco-buildd: bad argument '%s'\n", A.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (Opts.SocketPath.empty() || Opts.StateDir.empty()) {
+    usage();
+    return 2;
+  }
+
+  if (!FaultSpec.empty()) {
+    if (Status S = FaultInjection::instance().configure(FaultSpec); !S.ok()) {
+      std::fprintf(stderr, "mco-buildd: %s\n", S.render().c_str());
+      return 1;
+    }
+  }
+
+  BuildService Service(Opts);
+  if (Status S = Service.start(); !S.ok()) {
+    std::fprintf(stderr, "mco-buildd: %s\n", S.render().c_str());
+    return 1;
+  }
+
+  ActiveService = &Service;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  std::fprintf(stderr, "mco-buildd: serving on %s (state %s, %u workers)\n",
+               Opts.SocketPath.c_str(), Opts.StateDir.c_str(),
+               std::max(1u, Opts.Workers));
+  Service.serve();
+  ActiveService = nullptr;
+
+  const DaemonStats &St = Service.stats();
+  std::fprintf(stderr,
+               "mco-buildd: stopped; received=%llu completed=%llu "
+               "degraded=%llu failed=%llu rejected=%llu resumed=%llu\n",
+               (unsigned long long)St.RequestsReceived.load(),
+               (unsigned long long)St.RequestsCompleted.load(),
+               (unsigned long long)St.RequestsDegraded.load(),
+               (unsigned long long)St.RequestsFailed.load(),
+               (unsigned long long)St.RequestsRejected.load(),
+               (unsigned long long)St.RequestsResumed.load());
+  return 0;
+}
