@@ -6,6 +6,7 @@
 
 #include "cache/ArtifactCache.h"
 
+#include "support/BinReader.h"
 #include "support/Checksum.h"
 #include "support/FaultInjection.h"
 #include "support/FileAtomics.h"
@@ -133,92 +134,6 @@ void encodeRoundStats(std::string &B, const OutlineRoundStats &RS) {
   putU64(B, RS.RoundsRolledBack);
 }
 
-/// Bounds-checked little-endian reader. The first failed read poisons the
-/// cursor; subsequent reads return zeros, so callers check fail() at
-/// structural boundaries instead of after every field.
-class Reader {
-public:
-  explicit Reader(const std::string &B) : B(B) {}
-
-  bool fail() const { return Failed; }
-  const std::string &error() const { return Err; }
-  size_t remaining() const { return Failed ? 0 : B.size() - Pos; }
-  bool atEnd() const { return !Failed && Pos == B.size(); }
-
-  uint8_t u8() {
-    uint8_t V = 0;
-    take(&V, 1);
-    return V;
-  }
-  uint16_t u16() { return static_cast<uint16_t>(fixed(2)); }
-  uint32_t u32() { return static_cast<uint32_t>(fixed(4)); }
-  uint64_t u64() { return fixed(8); }
-  int64_t i64() { return static_cast<int64_t>(fixed(8)); }
-
-  std::string str() {
-    uint32_t Len = u32();
-    if (Len > remaining()) {
-      poison("string length exceeds payload");
-      return {};
-    }
-    std::string S = B.substr(Pos, Len);
-    Pos += Len;
-    return S;
-  }
-
-  bool literal(const char *Bytes, size_t N) {
-    if (N > remaining() || std::memcmp(B.data() + Pos, Bytes, N) != 0) {
-      poison("bad magic");
-      return false;
-    }
-    Pos += N;
-    return true;
-  }
-
-  void poison(const std::string &Why) {
-    if (!Failed) {
-      Failed = true;
-      Err = Why;
-    }
-  }
-
-  /// Guards a count field: each of \p Count elements occupies at least
-  /// \p MinBytes, so a count the payload cannot hold is structural damage
-  /// (and would otherwise drive a huge allocation).
-  bool plausibleCount(uint64_t Count, size_t MinBytes, const char *What) {
-    if (Count * MinBytes > remaining()) {
-      poison(std::string("implausible ") + What + " count");
-      return false;
-    }
-    return true;
-  }
-
-private:
-  uint64_t fixed(unsigned N) {
-    uint8_t Buf[8] = {};
-    take(Buf, N);
-    uint64_t V = 0;
-    for (unsigned I = 0; I < N; ++I)
-      V |= static_cast<uint64_t>(Buf[I]) << (8 * I);
-    return V;
-  }
-
-  void take(void *Out, size_t N) {
-    if (Failed || N > B.size() - Pos) {
-      poison("truncated payload");
-      std::memset(Out, 0, N);
-      return;
-    }
-    std::memcpy(Out, B.data() + Pos, N);
-    Pos += N;
-  }
-
-  const std::string &B;
-  size_t Pos = 0;
-  bool Failed = false;
-  std::string Err;
-};
-
 MachineInstr makeInstr(Opcode Op, const MachineOperand *Ops, unsigned N) {
   switch (N) {
   case 0:
@@ -234,7 +149,7 @@ MachineInstr makeInstr(Opcode Op, const MachineOperand *Ops, unsigned N) {
   }
 }
 
-void decodeRoundStats(Reader &R, OutlineRoundStats &RS) {
+void decodeRoundStats(BinReader &R, OutlineRoundStats &RS) {
   RS.SequencesOutlined = R.u64();
   RS.FunctionsCreated = R.u64();
   RS.OutlinedFunctionBytes = R.u64();
@@ -284,12 +199,126 @@ std::string mco::serializeModuleArtifact(const Module &M,
   return Out;
 }
 
+Status mco::validateModuleArtifactBytes(const std::string &Bytes) {
+  // Structure-only FormatValidator walk: the same grammar the decoder
+  // consumes, with every range checked, but no Module is built and no
+  // symbol is interned. The decoder below repeats the checks it needs for
+  // memory safety; this pass exists so damage is rejected before any
+  // object construction.
+  BinReader R(Bytes);
+  auto Fail = [&](const std::string &Why) -> Status {
+    if (R.fail())
+      return R.status("module artifact");
+    return MCO_CORRUPT("module artifact: " + Why + " at byte " +
+                       std::to_string(R.offset()));
+  };
+
+  R.literal(ModuleArtifactMagic, std::strlen(ModuleArtifactMagic));
+  uint8_t Version = R.u8();
+  if (R.fail())
+    return Fail("");
+  if (Version != ModuleArtifactVersion)
+    return Fail("unsupported version " + std::to_string(Version));
+  R.str(); // module name
+
+  uint32_t NumStrings = R.u32();
+  if (!R.plausibleCount(NumStrings, 4, "string-table"))
+    return Fail("");
+  for (uint32_t I = 0; I < NumStrings; ++I) {
+    R.str();
+    if (R.fail())
+      return Fail("");
+  }
+
+  uint32_t NumFuncs = R.u32();
+  if (!R.plausibleCount(NumFuncs, 18, "function"))
+    return Fail("");
+  for (uint32_t FI = 0; FI < NumFuncs; ++FI) {
+    if (R.u32() >= NumStrings && !R.fail())
+      return Fail("function name index out of range");
+    R.u8(); // IsOutlined
+    if (R.u8() > static_cast<uint8_t>(OutlinedFrameKind::Thunk) && !R.fail())
+      return Fail("invalid frame kind");
+    R.u16(); // pad
+    R.u32(); // OutlinedCallSites
+    R.u32(); // OriginModule
+    uint32_t NumBlocks = R.u32();
+    if (!R.plausibleCount(NumBlocks, 4, "block"))
+      return Fail("");
+    for (uint32_t BI = 0; BI < NumBlocks; ++BI) {
+      uint32_t NumInstrs = R.u32();
+      if (!R.plausibleCount(NumInstrs, 2, "instruction"))
+        return Fail("");
+      for (uint32_t II = 0; II < NumInstrs; ++II) {
+        uint8_t OpByte = R.u8();
+        if (OpByte > static_cast<uint8_t>(Opcode::NOP) && !R.fail())
+          return Fail("invalid opcode");
+        uint8_t NumOps = R.u8();
+        if (NumOps > MachineInstr::MaxOperands && !R.fail())
+          return Fail("invalid operand count");
+        for (uint8_t OI = 0; OI < NumOps; ++OI) {
+          uint8_t Kind = R.u8();
+          if (Kind > static_cast<uint8_t>(MachineOperand::Kind::CondK) &&
+              !R.fail())
+            return Fail("invalid operand kind");
+          uint8_t RegByte = R.u8();
+          if (RegByte >= static_cast<uint8_t>(Reg::NumRegs) &&
+              RegByte != static_cast<uint8_t>(Reg::None) && !R.fail())
+            return Fail("invalid register");
+          uint8_t CondByte = R.u8();
+          if (CondByte > static_cast<uint8_t>(Cond::HS) && !R.fail())
+            return Fail("invalid condition");
+          int64_t Val = R.i64();
+          if (Kind == static_cast<uint8_t>(MachineOperand::Kind::Symbol) &&
+              !R.fail() &&
+              (Val < 0 || static_cast<uint64_t>(Val) >= NumStrings))
+            return Fail("symbol index out of range");
+        }
+        if (R.fail())
+          return Fail("");
+      }
+    }
+  }
+
+  uint32_t NumGlobals = R.u32();
+  if (!R.plausibleCount(NumGlobals, 12, "global"))
+    return Fail("");
+  for (uint32_t GI = 0; GI < NumGlobals; ++GI) {
+    if (R.u32() >= NumStrings && !R.fail())
+      return Fail("global name index out of range");
+    R.u32(); // OriginModule
+    R.str(); // bytes
+    if (R.fail())
+      return Fail("");
+  }
+
+  uint32_t NumRounds = R.u32();
+  if (!R.plausibleCount(NumRounds, 14 * 8, "round-stats"))
+    return Fail("");
+  for (uint64_t RI = 0; RI < uint64_t(NumRounds) * 14; ++RI)
+    R.u64();
+  R.u64(); // RoundsRolledBack
+  R.u64(); // PatternsQuarantined
+
+  if (R.fail())
+    return Fail("");
+  if (!R.atEnd())
+    return Fail("trailing bytes after artifact");
+  return Status::success();
+}
+
 Expected<ModuleArtifact> mco::deserializeModuleArtifact(
     const std::string &Bytes, SymbolInterner &Syms) {
-  Reader R(Bytes);
+  // FormatValidator pass first: after the envelope CRC, before any object
+  // construction.
+  if (Status V = validateModuleArtifactBytes(Bytes); !V.ok())
+    return V;
+
+  BinReader R(Bytes);
   auto Fail = [&](const std::string &Why) -> Expected<ModuleArtifact> {
-    return MCO_ERROR("module artifact: " +
-                     (R.fail() ? R.error() : Why));
+    if (R.fail())
+      return R.status("module artifact");
+    return MCO_CORRUPT("module artifact: " + Why);
   };
 
   if (!R.literal(ModuleArtifactMagic, std::strlen(ModuleArtifactMagic)))

@@ -70,9 +70,19 @@ std::string serializeModuleArtifact(const Module &M,
                                     uint64_t PatternsQuarantined,
                                     const SymbolNameFn &NameOf);
 
+/// The MCOM FormatValidator pass: walks the full structure with a
+/// bounds-checked cursor — magic, version, counts, opcode/operand/enum
+/// ranges, string-table indices, the stats trailer, trailing bytes —
+/// WITHOUT constructing any object or interning any symbol. Runs after the
+/// seal's CRC and before deserializeModuleArtifact builds the module, so
+/// hostile length fields and out-of-range indices are rejected before they
+/// can drive allocations or table growth.
+Status validateModuleArtifactBytes(const std::string &Bytes);
+
 /// Parses an MCOM artifact, interning every referenced symbol name through
-/// \p Syms. Fully bounds-checked; any structural damage (that survived the
-/// outer checksum seal) fails cleanly.
+/// \p Syms. Runs validateModuleArtifactBytes first; any structural damage
+/// (that survived the outer checksum seal) fails cleanly with a byte
+/// offset.
 Expected<ModuleArtifact> deserializeModuleArtifact(const std::string &Bytes,
                                                    SymbolInterner &Syms);
 

@@ -10,6 +10,7 @@
 #include "daemon/Socket.h"
 #include "pipeline/BuildPipeline.h"
 #include "support/FaultInjection.h"
+#include "support/FormatValidator.h"
 #include "synth/CorpusSynthesizer.h"
 #include "telemetry/Tracer.h"
 
@@ -22,17 +23,10 @@ using namespace mco;
 namespace {
 
 /// Client-chosen ids become path components and journal tokens, so the
-/// protocol boundary is strict: short, and nothing but [A-Za-z0-9._-].
+/// protocol boundary is strict: short, and nothing but [A-Za-z0-9._-]
+/// (the journal loader re-checks the same invariant on replay).
 bool validRequestId(const std::string &Id) {
-  if (Id.empty() || Id.size() > 128)
-    return false;
-  for (char C : Id) {
-    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
-              (C >= '0' && C <= '9') || C == '.' || C == '_' || C == '-';
-    if (!Ok)
-      return false;
-  }
-  return true;
+  return validate::isRequestIdToken(Id);
 }
 
 double secondsSince(std::chrono::steady_clock::time_point T0) {
@@ -241,11 +235,23 @@ void BuildService::handleConnection(int Fd) {
   // One frame-recv at a time; a client may pipeline several requests on
   // one connection (the bench does).
   while (!stopRequested()) {
-    Expected<RpcMessage> M = recvMessage(Fd, Opts.FrameTimeoutMs);
-    if (!M.ok()) {
+    Expected<std::string> Frame = recvFrame(Fd, Opts.FrameTimeoutMs);
+    if (!Frame.ok()) {
       // EOF, reset, injected drop, or an idle client: all end the
       // connection, never the daemon.
       Stats.ConnDropped.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    Expected<RpcMessage> M = decodeRpcMessage(*Frame);
+    if (!M.ok()) {
+      // A frame that arrived intact but does not decode is protocol
+      // damage from THIS client (garbled bytes, wrong wire format). Tell
+      // it why with a fatal (non-retryable) error, then close the
+      // connection; the worker and every other connection keep serving.
+      Stats.MalformedFrames.fetch_add(1, std::memory_order_relaxed);
+      (void)sendMessage(
+          Fd, errorMessage("malformed frame: " + M.status().message(),
+                           /*Retryable=*/false));
       break;
     }
     if (M->Type == "hello") {
@@ -277,6 +283,7 @@ void BuildService::handleConnection(int Fd) {
       R.Int["requests_attached"] = int64_t(Stats.RequestsAttached.load());
       R.Int["results_reserved"] = int64_t(Stats.ResultsReserved.load());
       R.Int["conn_dropped"] = int64_t(Stats.ConnDropped.load());
+      R.Int["malformed_frames"] = int64_t(Stats.MalformedFrames.load());
       R.Int["worker_crashes"] = int64_t(Stats.WorkerCrashes.load());
       R.Int["request_watchdog_cancels"] =
           int64_t(Stats.RequestWatchdogCancels.load());

@@ -103,6 +103,7 @@ struct DaemonStats {
   std::atomic<uint64_t> RequestsAttached{0}; ///< Idempotent re-submissions.
   std::atomic<uint64_t> ResultsReserved{0};  ///< Served from result.json.
   std::atomic<uint64_t> ConnDropped{0};
+  std::atomic<uint64_t> MalformedFrames{0}; ///< Fatal-error replies sent.
   std::atomic<uint64_t> WorkerCrashes{0};
   std::atomic<uint64_t> RequestWatchdogCancels{0};
   std::atomic<uint64_t> RequestWatchdogRetries{0};

@@ -58,13 +58,13 @@ Expected<RpcMessage> DaemonClient::submitBuild(const RpcMessage &Req) {
         // queue depth, we only know our attempt count.
         SleepMs = std::max<uint64_t>(
             1, uint64_t(Reply->intOr("millis", int64_t(BackoffMs))));
-        Last = MCO_ERROR("daemon busy (retry_after)");
+        Last = MCO_TRANSIENT("daemon busy (retry_after)");
       } else if (Reply->Type == "error") {
         if (Reply->intOr("retryable", 0) == 0)
           return MCO_ERROR("daemon error: " +
                            Reply->strOr("message", "(no message)"));
-        Last = MCO_ERROR("daemon error (retryable): " +
-                         Reply->strOr("message", "(no message)"));
+        Last = MCO_TRANSIENT("daemon error (retryable): " +
+                             Reply->strOr("message", "(no message)"));
       } else {
         return MCO_ERROR("unexpected reply type '" + Reply->Type + "'");
       }
@@ -78,7 +78,10 @@ Expected<RpcMessage> DaemonClient::submitBuild(const RpcMessage &Req) {
       BackoffMs = std::min(BackoffMs * 2, Opts.MaxBackoffMs);
     }
   }
-  return MCO_ERROR("build '" + Req.strOr("id", "?") + "' not served after " +
-                   std::to_string(Opts.MaxAttempts) +
-                   " attempts; last: " + Last.message());
+  // Exhausting the retry budget is itself Transient: the same command,
+  // re-run when the daemon has recovered, may well succeed.
+  return MCO_TRANSIENT("build '" + Req.strOr("id", "?") +
+                       "' not served after " +
+                       std::to_string(Opts.MaxAttempts) +
+                       " attempts; last: " + Last.message());
 }

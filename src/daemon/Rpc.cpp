@@ -7,6 +7,7 @@
 #include "daemon/Rpc.h"
 
 #include "support/FaultInjection.h"
+#include "support/FormatValidator.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -54,8 +55,8 @@ public:
   explicit MsgCursor(const std::string &S) : S(S) {}
 
   Status fail(const std::string &Msg) const {
-    return MCO_ERROR("rpc JSON: " + Msg + " at offset " +
-                     std::to_string(Pos));
+    return MCO_CORRUPT("rpc JSON: " + Msg + " at byte " +
+                       std::to_string(Pos));
   }
 
   void skipWs() {
@@ -155,16 +156,42 @@ std::string mco::encodeRpcMessage(const RpcMessage &M) {
   return Out;
 }
 
+Status mco::validateRpcMessage(const RpcMessage &M) {
+  if (M.Type.empty())
+    return MCO_CORRUPT("rpc message: empty type");
+  if (M.Type.size() > RpcMaxKeyBytes)
+    return MCO_CORRUPT("rpc message: type too long");
+  if (Status S = validate::countWithin(M.Str.size() + M.Int.size(),
+                                       RpcMaxFields, "rpc field");
+      !S.ok())
+    return S;
+  for (const auto &[K, V] : M.Str) {
+    if (K.empty() || K.size() > RpcMaxKeyBytes)
+      return MCO_CORRUPT("rpc message: bad key length");
+    if (V.size() > RpcMaxValueBytes)
+      return MCO_CORRUPT("rpc message: value for '" + K + "' too long");
+  }
+  for (const auto &[K, V] : M.Int) {
+    (void)V;
+    if (K.empty() || K.size() > RpcMaxKeyBytes)
+      return MCO_CORRUPT("rpc message: bad key length");
+  }
+  return Status::success();
+}
+
 Expected<RpcMessage> mco::decodeRpcMessage(const std::string &Bytes) {
   MsgCursor C(Bytes);
   RpcMessage M;
   if (!C.consume('{'))
     return C.fail("expected object");
   bool First = true;
+  size_t Fields = 0;
   while (!C.consume('}')) {
     if (!First && !C.consume(','))
       return C.fail("expected ',' or '}'");
     First = false;
+    if (++Fields > RpcMaxFields)
+      return C.fail("too many fields");
     std::string Key;
     if (Status S = C.string(Key); !S.ok())
       return S;
@@ -189,7 +216,11 @@ Expected<RpcMessage> mco::decodeRpcMessage(const std::string &Bytes) {
   if (!C.atEnd())
     return C.fail("trailing bytes after message");
   if (M.Type.empty())
-    return MCO_ERROR("rpc JSON: message has no type");
+    return MCO_CORRUPT("rpc JSON: message has no type");
+  // FormatValidator pass: shape caps, after parse and before any consumer
+  // acts on the message.
+  if (Status S = validateRpcMessage(M); !S.ok())
+    return S;
   return M;
 }
 
@@ -203,9 +234,12 @@ Status dropConnection(int Fd, const char *What) {
   // A hard shutdown, not a polite close: the peer sees a reset/EOF in the
   // middle of a frame, exactly what a crashed process produces.
   ::shutdown(Fd, SHUT_RDWR);
-  return MCO_ERROR(std::string("connection dropped (injected) during ") +
-                   What);
+  return MCO_TRANSIENT(std::string("connection dropped (injected) during ") +
+                       What);
 }
+
+// Transport failures are Transient: the idempotent request id makes a
+// retry safe, and exit-code mapping must say "try again", not "bug".
 
 Status writeAll(int Fd, const void *Data, size_t N) {
   const char *P = static_cast<const char *>(Data);
@@ -217,11 +251,11 @@ Status writeAll(int Fd, const void *Data, size_t N) {
     if (W < 0) {
       if (errno == EINTR)
         continue;
-      return MCO_ERROR(std::string("frame write failed: ") +
-                       std::strerror(errno));
+      return MCO_TRANSIENT(std::string("frame write failed: ") +
+                           std::strerror(errno));
     }
     if (W == 0)
-      return MCO_ERROR("frame write: connection closed");
+      return MCO_TRANSIENT("frame write: connection closed");
     Off += static_cast<size_t>(W);
   }
   return Status::success();
@@ -235,11 +269,11 @@ Status readAll(int Fd, void *Data, size_t N, int TimeoutMs) {
       struct pollfd PFd = {Fd, POLLIN, 0};
       int R = ::poll(&PFd, 1, TimeoutMs);
       if (R == 0)
-        return MCO_ERROR("frame read timed out after " +
-                         std::to_string(TimeoutMs) + " ms");
+        return MCO_TRANSIENT("frame read timed out after " +
+                             std::to_string(TimeoutMs) + " ms");
       if (R < 0 && errno != EINTR)
-        return MCO_ERROR(std::string("frame poll failed: ") +
-                         std::strerror(errno));
+        return MCO_TRANSIENT(std::string("frame poll failed: ") +
+                             std::strerror(errno));
       if (R < 0)
         continue;
     }
@@ -247,11 +281,11 @@ Status readAll(int Fd, void *Data, size_t N, int TimeoutMs) {
     if (R < 0) {
       if (errno == EINTR)
         continue;
-      return MCO_ERROR(std::string("frame read failed: ") +
-                       std::strerror(errno));
+      return MCO_TRANSIENT(std::string("frame read failed: ") +
+                           std::strerror(errno));
     }
     if (R == 0)
-      return MCO_ERROR("frame read: connection closed by peer");
+      return MCO_TRANSIENT("frame read: connection closed by peer");
     Off += static_cast<size_t>(R);
   }
   return Status::success();
@@ -268,6 +302,19 @@ Status mco::sendFrame(int Fd, const std::string &Payload) {
   uint8_t Len[4];
   for (int I = 0; I < 4; ++I)
     Len[I] = static_cast<uint8_t>((Payload.size() >> (8 * I)) & 0xFF);
+  if (faultSiteFires(FaultRpcFrameGarble)) {
+    // Deliver a structurally intact frame whose JSON is damaged: flip a
+    // bit in the opening byte (the length prefix stays honest, so the
+    // receiver reads the whole frame and fails in decode, not in
+    // framing). Deterministic stand-in for memory corruption or a buggy
+    // peer speaking the right framing with the wrong bytes.
+    std::string Garbled = Payload;
+    if (!Garbled.empty())
+      Garbled[0] ^= 0x04;
+    if (Status S = writeAll(Fd, Len, 4); !S.ok())
+      return S;
+    return writeAll(Fd, Garbled.data(), Garbled.size());
+  }
   if (Status S = writeAll(Fd, Len, 4); !S.ok())
     return S;
   return writeAll(Fd, Payload.data(), Payload.size());
@@ -283,8 +330,8 @@ Expected<std::string> mco::recvFrame(int Fd, int TimeoutMs) {
   for (int I = 0; I < 4; ++I)
     N |= static_cast<uint32_t>(Len[I]) << (8 * I);
   if (N > RpcMaxFrameBytes)
-    return MCO_ERROR("frame length " + std::to_string(N) +
-                     " exceeds protocol maximum");
+    return MCO_CORRUPT("frame length " + std::to_string(N) +
+                       " exceeds protocol maximum");
   std::string Payload(N, '\0');
   if (N > 0)
     if (Status S = readAll(Fd, Payload.data(), N, TimeoutMs); !S.ok())

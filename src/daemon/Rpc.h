@@ -28,7 +28,11 @@
 ///
 /// The `daemon.conn.drop` fault site fires inside sendFrame/recvFrame and
 /// hard-closes the connection — the deterministic stand-in for a peer
-/// dying mid-frame, which both ends must treat as retryable.
+/// dying mid-frame, which both ends must treat as retryable. The
+/// `rpc.frame.garble` site corrupts a payload byte on send: the frame
+/// arrives structurally intact but its JSON no longer decodes, which the
+/// daemon must answer with a fatal-error reply (and close) rather than
+/// dying or hanging.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -65,10 +69,23 @@ struct RpcMessage {
   }
 };
 
+// Shape caps enforced by the FormatValidator pass on every decoded
+// message: a hostile peer must not be able to grow tables or buffers past
+// what any legitimate message needs.
+inline constexpr size_t RpcMaxFields = 256;
+inline constexpr size_t RpcMaxKeyBytes = 64;
+inline constexpr size_t RpcMaxValueBytes = 1u << 20;
+
 /// Renders \p M as a JSON object ("type" first, then sorted keys).
 std::string encodeRpcMessage(const RpcMessage &M);
 
-/// Parses a flat JSON object (string and integer values only).
+/// The mco-rpc-v1 FormatValidator pass: type/key/value length caps and a
+/// total field cap. decodeRpcMessage runs it on everything it parses;
+/// exposed separately so tests can drive it directly.
+Status validateRpcMessage(const RpcMessage &M);
+
+/// Parses a flat JSON object (string and integer values only) and
+/// validates its shape. All failures are CorruptInput with byte offsets.
 Expected<RpcMessage> decodeRpcMessage(const std::string &Bytes);
 
 /// Writes one length-prefixed frame. On the `daemon.conn.drop` fault the

@@ -80,8 +80,10 @@ Expected<int> mco::connectUnix(const std::string &Path) {
   if (Fd < 0)
     return MCO_ERROR(std::string("socket() failed: ") + std::strerror(errno));
   if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
-    Status S = MCO_ERROR("connect('" + Path + "') failed: " +
-                         std::strerror(errno));
+    // Transient: the daemon may simply be restarting; the idempotent
+    // request id makes a retry safe, and tools exit 75 ("try again").
+    Status S = MCO_TRANSIENT("connect('" + Path + "') failed: " +
+                             std::strerror(errno));
     ::close(Fd);
     return S;
   }

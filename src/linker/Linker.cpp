@@ -60,6 +60,10 @@ Module &mco::linkProgram(Program &Prog, DataLayoutMode Mode) {
 
 BinaryImage::BinaryImage(const Program &Prog) {
   if (Status S = init(Prog, nullptr); !S.ok()) {
+    // The aborting constructors serve trusted Programs (synthesized
+    // corpora, already-validated fixtures) where a link failure is a bug.
+    // Anything built from external bytes must use create(), which
+    // propagates init's Status instead.
     std::fprintf(stderr, "linker error: %s\n", S.message().c_str());
     std::abort();
   }
@@ -67,6 +71,8 @@ BinaryImage::BinaryImage(const Program &Prog) {
 
 BinaryImage::BinaryImage(const Program &Prog, const LayoutPlan &Plan) {
   if (Status S = init(Prog, &Plan); !S.ok()) {
+    // Same contract as above: trusted callers only; use create() for
+    // input-derived Programs.
     std::fprintf(stderr, "linker error: %s\n", S.message().c_str());
     std::abort();
   }

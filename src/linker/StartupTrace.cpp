@@ -7,6 +7,7 @@
 #include "linker/StartupTrace.h"
 
 #include "support/FileAtomics.h"
+#include "support/FormatValidator.h"
 
 #include <cstdio>
 #include <fstream>
@@ -94,16 +95,23 @@ Status mco::writeTraceProfile(const TraceProfile &P, const std::string &Path) {
 
 namespace {
 
+/// Longest string any mco-traces-v1 document legitimately contains (a
+/// mangled function name); anything longer is damage or an attack on the
+/// parser's memory, not data.
+constexpr size_t TraceMaxStringBytes = 1u << 20;
+
 /// A minimal recursive-descent JSON reader, sufficient for the fixed
 /// `mco-traces-v1` shape (objects, arrays, strings, unsigned integers).
-/// No external JSON dependency is available in this toolchain.
+/// No external JSON dependency is available in this toolchain. Untrusted
+/// input: every read is bounds-checked, numbers are overflow-checked, and
+/// nesting spends a recursion budget.
 class JsonCursor {
 public:
   explicit JsonCursor(const std::string &S) : S(S) {}
 
   Status fail(const std::string &Msg) const {
-    return MCO_ERROR("traces JSON: " + Msg + " at offset " +
-                     std::to_string(Pos));
+    return MCO_CORRUPT("traces JSON: " + Msg + " at byte " +
+                       std::to_string(Pos));
   }
 
   void skipWs() {
@@ -137,6 +145,8 @@ public:
       return St;
     Out.clear();
     while (Pos < S.size() && S[Pos] != '"') {
+      if (Out.size() >= TraceMaxStringBytes)
+        return fail("string too long");
       char Ch = S[Pos++];
       if (Ch == '\\' && Pos < S.size())
         Ch = S[Pos++];
@@ -153,12 +163,20 @@ public:
     if (Pos >= S.size() || S[Pos] < '0' || S[Pos] > '9')
       return fail("expected number");
     Out = 0;
-    while (Pos < S.size() && S[Pos] >= '0' && S[Pos] <= '9')
-      Out = Out * 10 + uint64_t(S[Pos++] - '0');
+    while (Pos < S.size() && S[Pos] >= '0' && S[Pos] <= '9') {
+      uint64_t Digit = uint64_t(S[Pos] - '0');
+      // Overflow check: a 21+-digit number is damage, and wrapping would
+      // silently turn it into a plausible id.
+      if (Out > (UINT64_MAX - Digit) / 10)
+        return fail("number too large");
+      Out = Out * 10 + Digit;
+      ++Pos;
+    }
     return Status::success();
   }
 
-  /// Skips any value (used for unknown keys, forward compatibility).
+  /// Skips any value (used for unknown keys, forward compatibility). The
+  /// nesting budget bounds how deep a hostile document can push the scan.
   Status skipValue() {
     skipWs();
     if (Pos >= S.size())
@@ -169,9 +187,11 @@ public:
       return parseString(Tmp);
     }
     if (C == '{' || C == '[') {
-      char Close = C == '{' ? '}' : ']';
       ++Pos;
-      unsigned Depth = 1;
+      // One iterative scan over both bracket kinds, depth-budgeted.
+      char Stack[validate::JsonMaxDepth];
+      unsigned Depth = 0;
+      Stack[Depth++] = C == '{' ? '}' : ']';
       bool InStr = false;
       while (Pos < S.size() && Depth > 0) {
         char Ch = S[Pos++];
@@ -182,9 +202,13 @@ public:
             InStr = false;
         } else if (Ch == '"') {
           InStr = true;
-        } else if (Ch == C) {
-          ++Depth;
-        } else if (Ch == Close) {
+        } else if (Ch == '{' || Ch == '[') {
+          if (Depth >= validate::JsonMaxDepth)
+            return fail("value nests too deep");
+          Stack[Depth++] = Ch == '{' ? '}' : ']';
+        } else if (Ch == '}' || Ch == ']') {
+          if (Ch != Stack[Depth - 1])
+            return fail("mismatched bracket");
           --Depth;
         }
       }
@@ -321,25 +345,58 @@ Expected<TraceProfile> mco::parseTraceProfile(const std::string &Json) {
     return St;
 
   if (Schema != "mco-traces-v1")
-    return MCO_ERROR("traces JSON: unsupported schema '" + Schema +
-                     "' (want mco-traces-v1)");
+    return MCO_CORRUPT("traces JSON: unsupported schema '" + Schema +
+                       "' (want mco-traces-v1)");
   if (P.PageBytes == 0)
     P.PageBytes = 16384;
   // Re-intern function names so functionId() works on the parsed profile.
   for (const std::string &Name : Functions)
     P.functionId(Name);
+  // FormatValidator pass before any consumer indexes with these ids.
+  if (Status V = validateTraceProfile(P); !V.ok())
+    return V;
+  return P;
+}
+
+Status mco::validateTraceProfile(const TraceProfile &P) {
+  if (Status S = validate::countWithin(P.Functions.size(), 1u << 20,
+                                       "traces function");
+      !S.ok())
+    return S;
+  if (Status S = validate::countWithin(P.Devices.size(), 1u << 16,
+                                       "traces device");
+      !S.ok())
+    return S;
   const uint32_t NumFuncs = static_cast<uint32_t>(P.Functions.size());
   for (const DeviceTrace &D : P.Devices) {
+    if (Status S = validate::countWithin(D.Entries.size(), 1u << 22,
+                                         "traces entry");
+        !S.ok())
+      return S;
+    if (Status S = validate::countWithin(D.Calls.size(), 1u << 22,
+                                         "traces call edge");
+        !S.ok())
+      return S;
+    if (Status S = validate::countWithin(D.PageTouches.size(), 1u << 22,
+                                         "traces page touch");
+        !S.ok())
+      return S;
     for (uint32_t Id : D.Entries)
-      if (Id >= NumFuncs)
-        return MCO_ERROR("traces JSON: entry id " + std::to_string(Id) +
-                         " out of range (" + std::to_string(NumFuncs) +
-                         " functions)");
-    for (const TraceCallEdge &E : D.Calls)
-      if (E.Caller >= NumFuncs || E.Callee >= NumFuncs)
-        return MCO_ERROR("traces JSON: call edge id out of range");
+      if (Status S = validate::indexInRange(Id, NumFuncs, "traces entry");
+          !S.ok())
+        return S;
+    for (const TraceCallEdge &E : D.Calls) {
+      if (Status S = validate::indexInRange(E.Caller, NumFuncs,
+                                            "traces call caller");
+          !S.ok())
+        return S;
+      if (Status S = validate::indexInRange(E.Callee, NumFuncs,
+                                            "traces call callee");
+          !S.ok())
+        return S;
+    }
   }
-  return P;
+  return Status::success();
 }
 
 Expected<TraceProfile> mco::readTraceProfile(const std::string &Path) {

@@ -88,7 +88,16 @@ std::string traceProfileJson(const TraceProfile &P);
 /// Atomically writes traceProfileJson to \p Path.
 Status writeTraceProfile(const TraceProfile &P, const std::string &Path);
 
-/// Parses an `mco-traces-v1` JSON document.
+/// The `mco-traces-v1` FormatValidator pass: schema tag, size caps
+/// (functions, devices, per-device arrays), and id-range checks (every
+/// entry and call-edge id must name a declared function). parseTraceProfile
+/// runs it on everything it parses; exposed separately so synthetic
+/// profiles can be checked before use.
+Status validateTraceProfile(const TraceProfile &P);
+
+/// Parses an `mco-traces-v1` JSON document with a bounds-checked,
+/// recursion-budgeted reader; all failures are CorruptInput with byte
+/// offsets.
 Expected<TraceProfile> parseTraceProfile(const std::string &Json);
 
 /// Reads and parses an `mco-traces-v1` file.

@@ -6,8 +6,10 @@
 
 #include "pipeline/BuildJournal.h"
 
+#include "support/BinReader.h"
 #include "support/Checksum.h"
 #include "support/FileAtomics.h"
+#include "support/FormatValidator.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -36,26 +38,47 @@ std::vector<std::string> tokens(const std::string &Line) {
 /// Strips and verifies the `<crc8hex> ` prefix. \returns the payload, or
 /// nothing when the line is torn or damaged.
 bool checkLine(const std::string &Line, std::string &Payload) {
-  if (Line.size() < 10 || Line[8] != ' ')
+  BinReader R(Line);
+  uint32_t Crc = R.hexU32(8, "crc prefix");
+  R.skipChar(' ', "crc prefix");
+  if (R.fail())
     return false;
-  const std::string Hex = Line.substr(0, 8);
-  if (Hex.find_first_not_of("0123456789abcdefABCDEF") != std::string::npos)
-    return false;
-  unsigned long Crc = std::strtoul(Hex.c_str(), nullptr, 16);
-  Payload = Line.substr(9);
-  return Crc32c::of(Payload) == static_cast<uint32_t>(Crc);
+  Payload = R.rest();
+  return !Payload.empty() && Crc32c::of(Payload) == Crc;
 }
+
+/// Strict full-token decimal parse (strtoul would accept "12junk").
+bool parseIndexToken(const std::string &Tok, uint64_t &Out) {
+  BinReader R(Tok);
+  Out = R.decimalU64("index");
+  return !R.fail() && R.atEnd();
+}
+
+/// Journals are bounded by the corpus; a header claiming more modules than
+/// any real build is damage, and capping it keeps the duplicate-index
+/// bitmap allocation proportional to real data.
+constexpr uint64_t JournalMaxModules = 1u << 20;
 
 } // namespace
 
 ResumeState ResumeState::load(const std::string &Path) {
-  ResumeState RS;
   Expected<std::string> Bytes = readFileBytes(Path);
   if (!Bytes.ok())
-    return RS;
+    return ResumeState();
+  return loadFromBytes(*Bytes);
+}
 
-  std::istringstream In(*Bytes);
+ResumeState ResumeState::loadFromBytes(const std::string &Bytes) {
+  ResumeState RS;
+
+  // Per-record FormatValidator pass (after each line's CRC): indices must
+  // parse strictly, fall inside the header's module count, and never
+  // repeat; keys must be 32 hex chars; nothing may follow `end`. Any
+  // violation is treated exactly like a torn tail — the validated prefix
+  // stands, the rest of the build is "unfinished".
+  std::istringstream In(Bytes);
   std::string Line, Payload;
+  std::vector<bool> SeenIdx;
   bool First = true;
   while (std::getline(In, Line)) {
     if (!checkLine(Line, Payload))
@@ -64,24 +87,41 @@ ResumeState ResumeState::load(const std::string &Path) {
     if (First) {
       if (T.size() != 4 || T[0] != "mcoj1" || (T[3] != "wp" && T[3] != "pm"))
         return RS;
+      uint64_t N = 0;
+      if (!parseIndexToken(T[2], N) || N > JournalMaxModules)
+        return RS;
       RS.Fingerprint = T[1];
-      RS.NumModules = std::strtoull(T[2].c_str(), nullptr, 10);
+      RS.NumModules = N;
       RS.WholeProgram = T[3] == "wp";
       RS.Valid = true;
+      SeenIdx.assign(N, false);
       First = false;
       continue;
     }
+    if (RS.Ended)
+      return RS; // A record after `end` is damage; keep the prefix.
+    uint64_t Idx = 0;
+    auto ValidIdx = [&](const std::string &Tok) {
+      return parseIndexToken(Tok, Idx) && Idx < RS.NumModules &&
+             !SeenIdx[Idx];
+    };
     if (T.size() == 4 && T[0] == "done") {
+      if (!ValidIdx(T[1]) || !validate::isHexToken(T[2], 32))
+        return RS;
+      SeenIdx[Idx] = true;
       ModuleRecord R;
       R.K = ModuleRecord::Done;
-      R.Idx = static_cast<uint32_t>(std::strtoul(T[1].c_str(), nullptr, 10));
+      R.Idx = static_cast<uint32_t>(Idx);
       R.Key = T[2];
       R.Name = T[3];
       RS.Records.push_back(std::move(R));
     } else if (T.size() == 3 && T[0] == "degraded") {
+      if (!ValidIdx(T[1]))
+        return RS;
+      SeenIdx[Idx] = true;
       ModuleRecord R;
       R.K = ModuleRecord::Degraded;
-      R.Idx = static_cast<uint32_t>(std::strtoul(T[1].c_str(), nullptr, 10));
+      R.Idx = static_cast<uint32_t>(Idx);
       R.Name = T[2];
       RS.Records.push_back(std::move(R));
     } else if (T.size() == 1 && T[0] == "end") {
@@ -172,10 +212,14 @@ void BuildJournal::close() {
 //===----------------------------------------------------------------------===//
 
 RequestResumeState RequestResumeState::load(const std::string &Path) {
-  RequestResumeState RS;
   Expected<std::string> Bytes = readFileBytes(Path);
   if (!Bytes.ok())
-    return RS;
+    return RequestResumeState();
+  return loadFromBytes(*Bytes);
+}
+
+RequestResumeState RequestResumeState::loadFromBytes(const std::string &Bytes) {
+  RequestResumeState RS;
 
   // Receipt order matters for replay fairness, so keep a vector and mark
   // terminal ids instead of erasing (an id can legally recur: recv after
@@ -183,7 +227,7 @@ RequestResumeState RequestResumeState::load(const std::string &Path) {
   // durable result).
   std::vector<std::string> Order;
   std::vector<std::string> Terminal;
-  std::istringstream In(*Bytes);
+  std::istringstream In(Bytes);
   std::string Line, Payload;
   bool First = true;
   while (std::getline(In, Line)) {
@@ -197,14 +241,21 @@ RequestResumeState RequestResumeState::load(const std::string &Path) {
       First = false;
       continue;
     }
-    if (T.size() == 2 && T[0] == "recv") {
+    // Per-record validation: ids were charset-checked by the daemon at
+    // the protocol boundary, so anything else here is damage; `done`
+    // records only ever carry the two terminal states.
+    if (T.size() == 2 && T[0] == "recv" &&
+        validate::isRequestIdToken(T[1])) {
       Order.push_back(T[1]);
-    } else if (T.size() == 3 && T[0] == "done") {
+    } else if (T.size() == 3 && T[0] == "done" &&
+               validate::isRequestIdToken(T[1]) &&
+               (T[2] == "completed" || T[2] == "degraded")) {
       Terminal.push_back(T[1]);
-    } else if (T.size() == 2 && T[0] == "failed") {
+    } else if (T.size() == 2 && T[0] == "failed" &&
+               validate::isRequestIdToken(T[1])) {
       Terminal.push_back(T[1]);
     } else {
-      break; // Unknown record: treat like damage, keep the prefix.
+      break; // Unknown or damaged record: keep the prefix.
     }
   }
   if (!RS.Valid)

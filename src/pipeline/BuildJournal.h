@@ -64,6 +64,10 @@ struct ResumeState {
   /// file or bad header → !Valid; a damaged tail still yields the intact
   /// prefix.
   static ResumeState load(const std::string &Path);
+
+  /// Same parse on in-memory bytes (what the corruption-fuzz harness
+  /// drives — no file round-trip per case).
+  static ResumeState loadFromBytes(const std::string &Bytes);
 };
 
 /// The append side. All methods are thread-safe and become no-ops when the
@@ -117,6 +121,9 @@ struct RequestResumeState {
   /// Parses the request table at \p Path with the same torn-tail
   /// discipline as ResumeState::load: the intact CRC prefix is the truth.
   static RequestResumeState load(const std::string &Path);
+
+  /// Same parse on in-memory bytes (fuzz-harness entry point).
+  static RequestResumeState loadFromBytes(const std::string &Bytes);
 };
 
 /// The daemon's request table: the same CRC-per-line append-only format as

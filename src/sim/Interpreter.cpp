@@ -28,6 +28,10 @@ std::string safeSymName(const Program &Prog, uint32_t Sym) {
 } // namespace
 
 void Interpreter::fault(const std::string &Msg) const {
+  // tryCall sets TrapMode around every untrusted execution, so input-
+  // triggered faults surface as a recoverable SimFault; the abort below
+  // fires only for trusted internal callers using call(), where a fault
+  // means the simulator or a generator is broken.
   if (TrapMode)
     throw SimFault(Msg);
   std::fprintf(stderr, "interpreter: %s\n", Msg.c_str());
@@ -239,10 +243,15 @@ int64_t Interpreter::call(const std::string &FnName,
                           const std::vector<int64_t> &Args) {
   uint32_t Sym = Prog.lookupSymbol(FnName);
   if (Sym == UINT32_MAX || Image.functionAddr(Sym) == 0) {
+    // call() is the trusted-caller entry: the callee name is a compile-
+    // time constant in benchmarks and tests, never input. Tools loading
+    // untrusted modules go through tryCall, which returns Status instead.
     std::fprintf(stderr, "interpreter: no such function '%s'\n",
                  FnName.c_str());
     std::abort();
   }
+  // Caller-contract invariant (tryCall validates the same bound and
+  // returns Status for input-derived argument lists).
   assert(Args.size() <= 8 && "at most 8 register arguments");
   for (unsigned I = 0; I < 34; ++I)
     Regs[I] = 0;

@@ -21,6 +21,11 @@ Memory::Memory(const BinaryImage &Image, const Program &Prog) {
   DataSeg.assign(Image.dataSize(), 0);
   for (const BinaryImage::DataEntry &E : Image.dataEntries()) {
     uint64_t Off = E.Addr - DataBase;
+    // Invariant, not input validation: the linker computed both the entry
+    // addresses and the segment size from the same layout walk, so an
+    // overflow here is a linker bug. Untrusted bytes never reach this
+    // path — they are rejected by the artifact validator before a Program
+    // exists.
     assert(Off + E.G->Bytes.size() <= DataSeg.size() && "data overflows");
     std::memcpy(DataSeg.data() + Off, E.G->Bytes.data(), E.G->Bytes.size());
   }
@@ -34,6 +39,10 @@ uint8_t *Memory::resolve(uint64_t Addr, uint64_t Size) {
   if (!DataSeg.empty() && Addr >= DataBase &&
       Addr + Size <= DataBase + DataSeg.size())
     return DataSeg.data() + (Addr - DataBase);
+  // Every untrusted-input path executes under tryCall, which sets
+  // TrapOnFault and turns this into a recoverable SimFault. The abort
+  // below is only reachable from trusted internal callers (benchmarks,
+  // verifier-checked fixtures) where a wild access is a simulator bug.
   if (TrapOnFault)
     throw SimFault("memory fault: access of " + std::to_string(Size) +
                    " bytes at address " + std::to_string(Addr));
@@ -68,6 +77,8 @@ uint64_t Memory::heapAlloc(uint64_t Bytes) {
     It->second.pop_back();
   } else {
     if (HeapBump + Bytes > HeapBytes) {
+      // Trap-gated like resolve(): untrusted code runs with TrapOnFault
+      // set and degrades; the abort is for trusted internal runs only.
       if (TrapOnFault)
         throw SimFault("heap exhausted");
       std::fprintf(stderr, "simulated heap exhausted\n");
@@ -85,6 +96,8 @@ uint64_t Memory::heapAlloc(uint64_t Bytes) {
 void Memory::heapFree(uint64_t Addr) {
   auto It = AllocSizes.find(Addr);
   if (It == AllocSizes.end()) {
+    // Trap-gated like resolve(): untrusted code runs with TrapOnFault
+    // set and degrades; the abort is for trusted internal runs only.
     if (TrapOnFault)
       throw SimFault("bad free of address " + std::to_string(Addr));
     std::fprintf(stderr, "simulated heap: bad free of 0x%llx\n",

@@ -1,0 +1,161 @@
+//===- support/BinReader.cpp - Bounds-checked input cursor ----------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BinReader.h"
+
+#include <cstring>
+
+using namespace mco;
+
+Status BinReader::status(const std::string &What) const {
+  if (!Failed)
+    return Status::success();
+  return MCO_CORRUPT(What + ": " + Err + " at byte " +
+                     std::to_string(FailPos));
+}
+
+void BinReader::poison(const std::string &Why) {
+  if (!Failed) {
+    Failed = true;
+    FailPos = Pos;
+    Err = Why;
+  }
+}
+
+uint64_t BinReader::fixed(unsigned N) {
+  uint8_t Buf[8] = {};
+  take(Buf, N);
+  uint64_t V = 0;
+  for (unsigned I = 0; I < N; ++I)
+    V |= static_cast<uint64_t>(Buf[I]) << (8 * I);
+  return V;
+}
+
+void BinReader::take(void *Out, size_t N) {
+  if (Failed || N > B.size() - Pos) {
+    poison("truncated payload");
+    std::memset(Out, 0, N);
+    return;
+  }
+  std::memcpy(Out, B.data() + Pos, N);
+  Pos += N;
+}
+
+std::string BinReader::str() {
+  uint32_t Len = u32();
+  if (Failed)
+    return {};
+  if (Len > remaining()) {
+    poison("string length " + std::to_string(Len) + " exceeds payload");
+    return {};
+  }
+  std::string S = B.substr(Pos, Len);
+  Pos += Len;
+  return S;
+}
+
+std::string BinReader::bytes(size_t N) {
+  if (Failed)
+    return {};
+  if (N > remaining()) {
+    poison("truncated payload");
+    return {};
+  }
+  std::string S = B.substr(Pos, N);
+  Pos += N;
+  return S;
+}
+
+bool BinReader::literal(const char *Bytes, size_t N) {
+  if (Failed)
+    return false;
+  if (N > remaining() || std::memcmp(B.data() + Pos, Bytes, N) != 0) {
+    poison("bad magic");
+    return false;
+  }
+  Pos += N;
+  return true;
+}
+
+bool BinReader::plausibleCount(uint64_t Count, size_t MinBytes,
+                               const char *What) {
+  if (Failed)
+    return false;
+  // Division, not multiplication: Count * MinBytes can wrap.
+  if (MinBytes != 0 && Count > remaining() / MinBytes) {
+    poison(std::string("implausible ") + What + " count " +
+           std::to_string(Count));
+    return false;
+  }
+  return true;
+}
+
+uint64_t BinReader::decimalU64(const char *What) {
+  if (Failed)
+    return 0;
+  size_t Start = Pos;
+  uint64_t V = 0;
+  while (Pos < B.size() && B[Pos] >= '0' && B[Pos] <= '9') {
+    if (Pos - Start >= 19) {
+      Pos = Start;
+      poison(std::string(What) + ": number too large");
+      return 0;
+    }
+    V = V * 10 + uint64_t(B[Pos] - '0');
+    ++Pos;
+  }
+  if (Pos == Start) {
+    poison(std::string(What) + ": expected decimal number");
+    return 0;
+  }
+  return V;
+}
+
+uint32_t BinReader::hexU32(unsigned Digits, const char *What) {
+  if (Failed)
+    return 0;
+  if (Digits > remaining()) {
+    poison(std::string(What) + ": truncated hex field");
+    return 0;
+  }
+  uint32_t V = 0;
+  for (unsigned I = 0; I < Digits; ++I) {
+    char C = B[Pos + I];
+    uint32_t D;
+    if (C >= '0' && C <= '9')
+      D = uint32_t(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      D = uint32_t(C - 'a' + 10);
+    else if (C >= 'A' && C <= 'F')
+      D = uint32_t(C - 'A' + 10);
+    else {
+      poison(std::string(What) + ": expected hex digit");
+      return 0;
+    }
+    V = (V << 4) | D;
+  }
+  Pos += Digits;
+  return V;
+}
+
+bool BinReader::skipChar(char C, const char *What) {
+  if (Failed)
+    return false;
+  if (Pos >= B.size() || B[Pos] != C) {
+    poison(std::string(What) + ": expected '" + std::string(1, C) + "'");
+    return false;
+  }
+  ++Pos;
+  return true;
+}
+
+std::string BinReader::rest() {
+  if (Failed)
+    return {};
+  std::string S = B.substr(Pos);
+  Pos = B.size();
+  return S;
+}

@@ -1,0 +1,113 @@
+//===- support/BinReader.h - Bounds-checked input cursor -------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one bounds-checked cursor every persisted-format reader is built
+/// on: MCOA1 sealed envelopes, MCOM cache entries, `.mcoj` journal lines,
+/// `mco-rpc-v1` frames, and `mco-traces-v1` profiles. Untrusted bytes come
+/// from disk and sockets; a truncated file, an inflated length field, or a
+/// hostile count must become a Status with a byte offset, never an
+/// out-of-bounds read, a huge allocation, or an abort.
+///
+/// Failure model (inherited from the original MCOM decoder): the first
+/// failed read *poisons* the cursor and records why + where; subsequent
+/// reads return zeros/empties without advancing, so decode loops check
+/// fail() at structural boundaries instead of after every field. status()
+/// renders the poison as a CorruptInput Status: "<what>: <why> at byte
+/// <offset>".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SUPPORT_BINREADER_H
+#define MCO_SUPPORT_BINREADER_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+
+namespace mco {
+
+class BinReader {
+public:
+  /// \p Bytes must outlive the reader (it holds a reference).
+  explicit BinReader(const std::string &Bytes) : B(Bytes) {}
+
+  bool fail() const { return Failed; }
+  const std::string &error() const { return Err; }
+  /// Byte offset of the cursor; when poisoned, the offset at which the
+  /// failing read started.
+  size_t offset() const { return Failed ? FailPos : Pos; }
+  size_t remaining() const { return Failed ? 0 : B.size() - Pos; }
+  bool atEnd() const { return !Failed && Pos == B.size(); }
+
+  /// The poison as a CorruptInput Status ("<what>: <why> at byte <off>"),
+  /// or ok when nothing failed.
+  Status status(const std::string &What) const;
+
+  // Little-endian fixed-width reads. A read past the end poisons and
+  // returns zero.
+  uint8_t u8() {
+    uint8_t V = 0;
+    take(&V, 1);
+    return V;
+  }
+  uint16_t u16() { return static_cast<uint16_t>(fixed(2)); }
+  uint32_t u32() { return static_cast<uint32_t>(fixed(4)); }
+  uint64_t u64() { return fixed(8); }
+  int64_t i64() { return static_cast<int64_t>(fixed(8)); }
+
+  /// u32 length-prefixed string. A length past the end of the payload (an
+  /// inflated length field) poisons instead of allocating.
+  std::string str();
+
+  /// Exactly the next \p N raw bytes.
+  std::string bytes(size_t N);
+
+  /// Consumes \p Bytes or poisons ("bad magic").
+  bool literal(const char *Bytes, size_t N);
+
+  /// Guards a count field read from the input: each of \p Count elements
+  /// occupies at least \p MinBytes, so a count the remaining payload
+  /// cannot hold is structural damage (and would otherwise drive a huge
+  /// reserve()).
+  bool plausibleCount(uint64_t Count, size_t MinBytes, const char *What);
+
+  // Text helpers, for the formats with human-readable headers (the MCOA1
+  // envelope line, `.mcoj` CRC prefixes).
+
+  /// Consumes ASCII decimal digits (at most 19: every valid value fits,
+  /// and anything longer is damage, not data). Poisons when the cursor is
+  /// not on a digit or the value overflows.
+  uint64_t decimalU64(const char *What);
+
+  /// Consumes exactly \p Digits hex digits.
+  uint32_t hexU32(unsigned Digits, const char *What);
+
+  /// Consumes one expected character.
+  bool skipChar(char C, const char *What);
+
+  /// All bytes from the cursor to the end (empty once poisoned).
+  std::string rest();
+
+  /// Marks the reader failed at the current offset. Only the first poison
+  /// sticks.
+  void poison(const std::string &Why);
+
+private:
+  uint64_t fixed(unsigned N);
+  void take(void *Out, size_t N);
+
+  const std::string &B;
+  size_t Pos = 0;
+  size_t FailPos = 0;
+  bool Failed = false;
+  std::string Err;
+};
+
+} // namespace mco
+
+#endif // MCO_SUPPORT_BINREADER_H

@@ -6,9 +6,12 @@
 
 #include "support/Checksum.h"
 
+#include "support/BinReader.h"
+#include "support/FaultInjection.h"
+
 #include <array>
 #include <cstdio>
-#include <cstdlib>
+#include <cstring>
 
 using namespace mco;
 
@@ -46,38 +49,39 @@ std::string mco::sealArtifact(const std::string &Payload) {
                 Payload.size(), Crc32c::of(Payload));
   std::string Out(Header);
   Out += Payload;
+  // The `artifact.seal.garble` site mangles the *header* of a sealed write
+  // (vs cache.entry.corrupt, which flips a payload byte): flipping the
+  // first size digit out of the digit range proves the unseal path
+  // rejects structural damage, not just checksum damage.
+  if (faultSiteFires(FaultArtifactSealGarble))
+    Out[std::strlen(ArtifactSealMagic) + 1] ^= 0x20;
   return Out;
 }
 
 Expected<std::string> mco::unsealArtifact(const std::string &Sealed) {
-  const std::string Magic = std::string(ArtifactSealMagic) + " ";
-  if (Sealed.rfind(Magic, 0) != 0)
-    return MCO_ERROR("sealed artifact: bad magic");
-  size_t Eol = Sealed.find('\n');
-  if (Eol == std::string::npos)
-    return MCO_ERROR("sealed artifact: truncated header");
-  // "<size> <crc>"
-  const char *P = Sealed.c_str() + Magic.size();
-  char *End = nullptr;
-  unsigned long long Size = std::strtoull(P, &End, 10);
-  if (End == P || *End != ' ')
-    return MCO_ERROR("sealed artifact: malformed size field");
-  unsigned long long Crc = std::strtoull(End + 1, &End, 16);
-  if (static_cast<size_t>(End - Sealed.c_str()) != Eol)
-    return MCO_ERROR("sealed artifact: malformed checksum field");
-  std::string Payload = Sealed.substr(Eol + 1);
-  if (Payload.size() != Size)
-    return MCO_ERROR("sealed artifact: size mismatch (header says " +
-                     std::to_string(Size) + ", have " +
-                     std::to_string(Payload.size()) + ")");
+  // Header: "MCOA1 <payload-size-decimal> <crc32c-8hex>\n".
+  BinReader R(Sealed);
+  std::string Magic = std::string(ArtifactSealMagic) + " ";
+  R.literal(Magic.data(), Magic.size());
+  uint64_t Size = R.decimalU64("size field");
+  R.skipChar(' ', "header");
+  uint32_t Crc = R.hexU32(8, "checksum field");
+  R.skipChar('\n', "header");
+  if (R.fail())
+    return R.status("sealed artifact");
+  if (R.remaining() != Size)
+    return MCO_CORRUPT("sealed artifact: size mismatch (header says " +
+                       std::to_string(Size) + ", have " +
+                       std::to_string(R.remaining()) + ")");
+  std::string Payload = R.rest();
   uint32_t Got = Crc32c::of(Payload);
-  if (Got != static_cast<uint32_t>(Crc)) {
+  if (Got != Crc) {
     char Buf[96];
     std::snprintf(Buf, sizeof(Buf),
-                  "sealed artifact: checksum mismatch (header %08llx, "
+                  "sealed artifact: checksum mismatch (header %08x, "
                   "payload %08x)",
                   Crc, Got);
-    return MCO_ERROR(std::string(Buf));
+    return MCO_CORRUPT(std::string(Buf));
   }
   return Payload;
 }

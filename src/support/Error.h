@@ -27,6 +27,16 @@
 
 namespace mco {
 
+/// Coarse error class carried by a Status so tools can map failures to
+/// distinct exit codes (sysexits-style) and fleet tooling can tell "bad
+/// artifact" from "bug" without parsing messages.
+enum class StatusCode : uint8_t {
+  Internal = 0,     ///< Unclassified / internal error (exit 70).
+  Usage = 1,        ///< Bad command line or API misuse (exit 64).
+  CorruptInput = 2, ///< Malformed, truncated, or invalid input (exit 65).
+  Transient = 3,    ///< Retryable: busy peer, lost connection (exit 75).
+};
+
 /// Success, or an error message with its raise location. Cheap to copy
 /// (one shared_ptr); the ok state allocates nothing.
 class Status {
@@ -38,10 +48,11 @@ public:
 
   /// \p File should be a string with static storage duration (__FILE__).
   static Status error(std::string Message, const char *File = nullptr,
-                      int Line = 0) {
+                      int Line = 0,
+                      StatusCode Code = StatusCode::Internal) {
     Status S;
     S.D = std::make_shared<const Payload>(
-        Payload{std::move(Message), File, Line});
+        Payload{std::move(Message), File, Line, Code});
     return S;
   }
 
@@ -61,17 +72,37 @@ public:
   const char *file() const { return D ? D->File : nullptr; }
   int line() const { return D ? D->Line : 0; }
 
+  /// The error class; Internal when ok (callers should check ok() first).
+  StatusCode code() const { return D ? D->Code : StatusCode::Internal; }
+
 private:
   struct Payload {
     std::string Message;
     const char *File;
     int Line;
+    StatusCode Code = StatusCode::Internal;
   };
   std::shared_ptr<const Payload> D;
 };
 
 /// Raises a Status error annotated with the current source location.
 #define MCO_ERROR(MsgExpr) ::mco::Status::error((MsgExpr), __FILE__, __LINE__)
+
+/// Raises a classified Status error (see StatusCode).
+#define MCO_ERROR_CODE(Code, MsgExpr)                                         \
+  ::mco::Status::error((MsgExpr), __FILE__, __LINE__, (Code))
+
+/// Raises a corrupt/invalid-input error: the bytes, not the program, are
+/// at fault. Tools map this to exit 65.
+#define MCO_CORRUPT(MsgExpr)                                                  \
+  ::mco::Status::error((MsgExpr), __FILE__, __LINE__,                         \
+                       ::mco::StatusCode::CorruptInput)
+
+/// Raises a retryable error (lost connection, busy peer). Tools map this
+/// to exit 75.
+#define MCO_TRANSIENT(MsgExpr)                                                \
+  ::mco::Status::error((MsgExpr), __FILE__, __LINE__,                         \
+                       ::mco::StatusCode::Transient)
 
 /// A value of type T or the Status explaining why there is none.
 template <typename T> class Expected {

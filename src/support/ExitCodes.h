@@ -1,0 +1,56 @@
+//===- support/ExitCodes.h - Tool exit-code discipline ---------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one exit-code convention every mco tool follows (sysexits-style),
+/// so fleet tooling can distinguish "bad artifact" from "bug" from "retry
+/// later" without parsing stderr:
+///
+///   0   success (including served-but-degraded builds)
+///   64  usage: bad command line
+///   65  corrupt or invalid input (artifact, journal, profile, MIR)
+///   70  internal error (a bug, or a broken environment)
+///   75  transient failure: retrying the same command may succeed
+///
+/// main() should funnel every failure through exitCodeFor(Status) rather
+/// than picking numbers locally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SUPPORT_EXITCODES_H
+#define MCO_SUPPORT_EXITCODES_H
+
+#include "support/Error.h"
+
+namespace mco {
+
+inline constexpr int ExitOk = 0;
+inline constexpr int ExitUsage = 64;
+inline constexpr int ExitCorruptInput = 65;
+inline constexpr int ExitInternal = 70;
+inline constexpr int ExitTransient = 75;
+
+/// Maps a failed Status to the tool exit code for its class (ExitOk when
+/// the Status is ok).
+inline int exitCodeFor(const Status &S) {
+  if (S.ok())
+    return ExitOk;
+  switch (S.code()) {
+  case StatusCode::Usage:
+    return ExitUsage;
+  case StatusCode::CorruptInput:
+    return ExitCorruptInput;
+  case StatusCode::Transient:
+    return ExitTransient;
+  case StatusCode::Internal:
+    break;
+  }
+  return ExitInternal;
+}
+
+} // namespace mco
+
+#endif // MCO_SUPPORT_EXITCODES_H

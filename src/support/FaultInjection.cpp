@@ -26,7 +26,8 @@ const std::vector<std::string> &FaultInjection::knownSites() {
       FaultCacheEntryCorrupt,      FaultCacheLockStale,
       FaultPipelineModuleHang,     FaultCacheWriterContend,
       FaultDaemonConnDrop,         FaultDaemonWorkerCrash,
-      FaultDaemonQueueOverflow,    FaultDaemonRequestHang};
+      FaultDaemonQueueOverflow,    FaultDaemonRequestHang,
+      FaultRpcFrameGarble,         FaultArtifactSealGarble};
   return Sites;
 }
 
@@ -156,10 +157,14 @@ std::string FaultInjection::contentAffectingConfig() const {
   std::string Out;
   for (const std::unique_ptr<SiteSpec> &Spec : Specs) {
     // cache.* sites only perturb the artifact store around the build;
-    // daemon.* sites only perturb the service's transport and scheduling.
-    // Neither changes the bytes a build produces.
+    // daemon.* sites only perturb the service's transport and scheduling;
+    // rpc.*/artifact.* sites corrupt frames and sealed envelopes, all of
+    // which is detected and degraded around the build. None changes the
+    // bytes a build produces.
     if (Spec->Site.rfind("cache.", 0) == 0 ||
-        Spec->Site.rfind("daemon.", 0) == 0)
+        Spec->Site.rfind("daemon.", 0) == 0 ||
+        Spec->Site.rfind("rpc.", 0) == 0 ||
+        Spec->Site.rfind("artifact.", 0) == 0)
       continue;
     if (!Out.empty())
       Out += ';';

@@ -41,6 +41,14 @@
 ///                               queue full (RETRY_AFTER backpressure)
 ///   daemon.request.hang       - request processing stalls until the
 ///                               per-request watchdog cancels it
+///   rpc.frame.garble          - an mco-rpc-v1 frame is sent with corrupted
+///                               payload bytes (malformed JSON on a live
+///                               connection; the receiver must reply with a
+///                               fatal error and close, never die)
+///   artifact.seal.garble      - a sealed artifact is written with a
+///                               mangled envelope header (structural
+///                               damage, vs cache.entry.corrupt's payload
+///                               bit flip; quarantined at load)
 ///
 /// A spec configures one site: `site[@round][:rate[,seed]]` with rate in
 /// [0,1] (default 1) and round 0/omitted meaning "any round"; several specs
@@ -129,8 +137,9 @@ public:
   std::vector<SiteReport> report() const;
 
   /// Canonical rendering of the configured specs whose sites can change the
-  /// *content* a build produces (everything except the cache.* sites, which
-  /// only perturb the artifact store around the build). The artifact cache
+  /// *content* a build produces (everything except the cache.*, daemon.*,
+  /// rpc.*, and artifact.* sites, which only perturb the store/transport
+  /// around the build). The artifact cache
   /// folds this into its keys so a fault-injected build can never serve its
   /// artifacts to a clean build.
   std::string contentAffectingConfig() const;
@@ -182,6 +191,8 @@ inline constexpr const char *FaultDaemonWorkerCrash = "daemon.worker.crash";
 inline constexpr const char *FaultDaemonQueueOverflow =
     "daemon.queue.overflow";
 inline constexpr const char *FaultDaemonRequestHang = "daemon.request.hang";
+inline constexpr const char *FaultRpcFrameGarble = "rpc.frame.garble";
+inline constexpr const char *FaultArtifactSealGarble = "artifact.seal.garble";
 
 } // namespace mco
 

@@ -1,0 +1,44 @@
+//===- support/FormatValidator.cpp - Structural invariant checks ----------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FormatValidator.h"
+
+using namespace mco;
+
+Status validate::indexInRange(uint64_t Idx, uint64_t Bound,
+                              const char *What) {
+  if (Idx < Bound)
+    return Status::success();
+  return MCO_CORRUPT(std::string(What) + " index " + std::to_string(Idx) +
+                     " out of range (bound " + std::to_string(Bound) + ")");
+}
+
+Status validate::countWithin(uint64_t Count, uint64_t Cap, const char *What) {
+  if (Count <= Cap)
+    return Status::success();
+  return MCO_CORRUPT(std::string(What) + " count " + std::to_string(Count) +
+                     " exceeds cap " + std::to_string(Cap));
+}
+
+bool validate::isHexToken(const std::string &S, size_t Digits) {
+  if (S.size() != Digits)
+    return false;
+  for (char C : S)
+    if (!((C >= '0' && C <= '9') || (C >= 'a' && C <= 'f') ||
+          (C >= 'A' && C <= 'F')))
+      return false;
+  return true;
+}
+
+bool validate::isRequestIdToken(const std::string &S) {
+  if (S.empty() || S.size() > 128)
+    return false;
+  for (char C : S)
+    if (!((C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+          (C >= '0' && C <= '9') || C == '.' || C == '_' || C == '-'))
+      return false;
+  return true;
+}

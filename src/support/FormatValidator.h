@@ -1,0 +1,69 @@
+//===- support/FormatValidator.h - Structural invariant checks -*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared vocabulary for the per-format validator passes that run *after*
+/// a CRC check and *before* any object construction: index-range and
+/// count-cap checks, token charsets, and a recursion budget for the JSON
+/// cursors. Each format keeps its own validator next to its decoder
+/// (validateModuleArtifactBytes, validateRpcMessage, validateTraceProfile,
+/// the journal record checks); this header is the common floor so every
+/// pass fails the same way — a CorruptInput Status naming the invariant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SUPPORT_FORMATVALIDATOR_H
+#define MCO_SUPPORT_FORMATVALIDATOR_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+
+namespace mco {
+namespace validate {
+
+/// \p Idx must be < \p Bound.
+Status indexInRange(uint64_t Idx, uint64_t Bound, const char *What);
+
+/// \p Count must be <= \p Cap (caps hostile length fields before they
+/// drive allocations).
+Status countWithin(uint64_t Count, uint64_t Cap, const char *What);
+
+/// Exactly \p Digits lowercase/uppercase hex digits.
+bool isHexToken(const std::string &S, size_t Digits);
+
+/// A client-chosen request id: 1..128 chars of [A-Za-z0-9._-]. The daemon
+/// enforces this at the protocol boundary, so anything else appearing in
+/// a request journal is damage, not data.
+bool isRequestIdToken(const std::string &S);
+
+/// Depth budget for recursive-descent parsers over untrusted input: each
+/// descend() spends one level; exhaustion means the input nests deeper
+/// than any valid document and the parser must fail instead of recursing.
+class RecursionBudget {
+public:
+  explicit RecursionBudget(unsigned MaxDepth) : Left(MaxDepth) {}
+  bool descend() {
+    if (Left == 0)
+      return false;
+    --Left;
+    return true;
+  }
+  void ascend() { ++Left; }
+
+private:
+  unsigned Left;
+};
+
+/// Nesting allowance for the trace/RPC JSON shapes (both are at most ~4
+/// levels deep; 64 leaves headroom without permitting stack exhaustion).
+inline constexpr unsigned JsonMaxDepth = 64;
+
+} // namespace validate
+} // namespace mco
+
+#endif // MCO_SUPPORT_FORMATVALIDATOR_H

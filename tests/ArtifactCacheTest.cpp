@@ -159,6 +159,41 @@ TEST(ChecksumTest, UnsealDetectsEveryMangling) {
   }
 }
 
+TEST(ChecksumTest, UnsealRejectsHostileHeaders) {
+  // Table-driven header damage, one named case per envelope field. Every
+  // rejection must be a clean CorruptInput Status, never an allocation
+  // driven by the claimed size.
+  const struct {
+    const char *Name;
+    const char *Input;
+  } Cases[] = {
+      {"empty", ""},
+      {"magic only", "MCOA1 "},
+      {"wrong magic", "MCOB1 3 00000000\nabc"},
+      {"lowercase magic", "mcoa1 3 00000000\nabc"},
+      {"no size digits", "MCOA1  00000000\nabc"},
+      {"negative size", "MCOA1 -3 00000000\nabc"},
+      {"size overflows u64", "MCOA1 99999999999999999999 00000000\nabc"},
+      {"size inflated past payload", "MCOA1 4294967295 00000000\nabc"},
+      {"size smaller than payload", "MCOA1 2 00000000\nabc"},
+      {"crc not hex", "MCOA1 3 zzzzzzzz\nabc"},
+      {"crc too short", "MCOA1 3 0000000\nabc"},
+      {"missing space before crc", "MCOA1 3_00000000\nabc"},
+      {"missing newline", "MCOA1 3 00000000 abc"},
+      {"wrong crc", "MCOA1 3 deadbeef\nabc"},
+  };
+  for (const auto &C : Cases) {
+    Expected<std::string> P = unsealArtifact(C.Input);
+    EXPECT_FALSE(P.ok()) << C.Name;
+    if (!P.ok())
+      EXPECT_EQ(P.status().code(), StatusCode::CorruptInput) << C.Name;
+  }
+  // And the exact valid header still works, so the table above is testing
+  // the fields, not some always-failing path.
+  const std::string Ok = sealArtifact("abc");
+  EXPECT_TRUE(unsealArtifact(Ok).ok());
+}
+
 //===----------------------------------------------------------------------===//
 // Atomic files & locks
 //===----------------------------------------------------------------------===//
@@ -419,6 +454,32 @@ TEST(ArtifactCacheTest, InjectedCorruptionIsDetected) {
   }
   Program Fresh;
   EXPECT_EQ(C.load(Key, Fresh).Outcome, ArtifactCache::LoadOutcome::Corrupt);
+}
+
+TEST(ArtifactCacheTest, SealGarbleFaultIsDetectedAndQuarantined) {
+  // artifact.seal.garble mangles the *envelope* mid-bytes (vs
+  // cache.entry.corrupt, which flips a payload byte): the header/CRC
+  // machinery itself is the thing under attack. The cache must classify
+  // the entry corrupt and quarantine it like any other damage.
+  ScratchDir D("garble");
+  Program Prog;
+  Module &M = makeRichModule(Prog, "m_g");
+  const std::string Key = cacheKey(M, nameFn(Prog), "o");
+  ArtifactCache C(D.str(), 1 << 20);
+  ASSERT_TRUE(C.prepare().ok());
+  {
+    FaultScope F("artifact.seal.garble:1");
+    ASSERT_TRUE(C.store(Key, M, {}, 0, 0, nameFn(Prog)).ok());
+  }
+  Program Fresh;
+  EXPECT_EQ(C.load(Key, Fresh).Outcome, ArtifactCache::LoadOutcome::Corrupt);
+  EXPECT_TRUE(fs::exists(fs::path(D.str()) / "quarantine"));
+  EXPECT_FALSE(fs::is_empty(fs::path(D.str()) / "quarantine"));
+  // A re-store with the fault gone heals the entry (quarantine-and-
+  // rebuild, not fail-forever).
+  ASSERT_TRUE(C.store(Key, M, {}, 0, 0, nameFn(Prog)).ok());
+  Program Fresh2;
+  EXPECT_EQ(C.load(Key, Fresh2).Outcome, ArtifactCache::LoadOutcome::Hit);
 }
 
 TEST(ArtifactCacheTest, EvictsLeastRecentlyUsedPastLimit) {

@@ -21,6 +21,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "daemon/Rpc.h"
+#include "daemon/Socket.h"
+#include "support/FaultInjection.h"
 
 #include "gtest/gtest.h"
 
@@ -33,6 +35,7 @@
 #include <vector>
 
 #include <csignal>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -275,9 +278,125 @@ TEST(RpcCodecTest, RejectsDamage) {
   EXPECT_FALSE(decodeRpcMessage(Wire.substr(0, Wire.size() - 1)).ok());
 }
 
+TEST(RpcCodecTest, RecvFrameSurvivesTruncationAtEveryByte) {
+  // A peer can die after writing any prefix of a frame: the 4-byte length
+  // header included. recvFrame must return a clean Status at every cut —
+  // a hang or crash here would wedge a daemon connection thread.
+  RpcMessage M;
+  M.Type = "build";
+  M.Str["id"] = "trunc";
+  const std::string Payload = encodeRpcMessage(M);
+  std::string Frame;
+  for (int I = 0; I < 4; ++I)
+    Frame.push_back(static_cast<char>((Payload.size() >> (8 * I)) & 0xFF));
+  Frame += Payload;
+
+  for (size_t Cut = 0; Cut < Frame.size(); ++Cut) {
+    int Fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+    ASSERT_EQ(::write(Fds[1], Frame.data(), Cut),
+              static_cast<ssize_t>(Cut));
+    ::close(Fds[1]); // The peer "dies" here.
+    Expected<std::string> R = recvFrame(Fds[0], /*TimeoutMs=*/2000);
+    EXPECT_FALSE(R.ok()) << "cut at " << Cut;
+    if (!R.ok())
+      EXPECT_EQ(R.status().code(), StatusCode::Transient) << "cut at " << Cut;
+    ::close(Fds[0]);
+  }
+
+  // The full frame still decodes, so the sweep above exercised real cuts.
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  ASSERT_EQ(::write(Fds[1], Frame.data(), Frame.size()),
+            static_cast<ssize_t>(Frame.size()));
+  ::close(Fds[1]);
+  Expected<std::string> R = recvFrame(Fds[0], 2000);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(*R, Payload);
+  ::close(Fds[0]);
+}
+
+TEST(RpcCodecTest, FrameGarbleFaultBreaksDecodeNotFraming) {
+  // rpc.frame.garble's contract: the frame still *frames* (honest length
+  // prefix, every byte delivered) but the JSON inside no longer decodes.
+  struct FaultScope {
+    explicit FaultScope(const std::string &Spec) {
+      EXPECT_TRUE(FaultInjection::instance().configure(Spec).ok());
+    }
+    ~FaultScope() { FaultInjection::instance().clear(); }
+  };
+  RpcMessage M;
+  M.Type = "ping";
+  const std::string Payload = encodeRpcMessage(M);
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  {
+    FaultScope F("rpc.frame.garble:1");
+    ASSERT_TRUE(sendFrame(Fds[1], Payload).ok());
+  }
+  Expected<std::string> Frame = recvFrame(Fds[0], 2000);
+  ASSERT_TRUE(Frame.ok()) << "framing must survive the garble";
+  EXPECT_EQ(Frame->size(), Payload.size());
+  EXPECT_NE(*Frame, Payload);
+  Expected<RpcMessage> Decoded = decodeRpcMessage(*Frame);
+  EXPECT_FALSE(Decoded.ok());
+  if (!Decoded.ok())
+    EXPECT_EQ(Decoded.status().code(), StatusCode::CorruptInput);
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+TEST(RpcCodecTest, RecvFrameRejectsInflatedLength) {
+  // A header claiming more than the protocol maximum must be rejected
+  // before any allocation or read of that size.
+  const uint32_t Huge = RpcMaxFrameBytes + 1;
+  std::string Header;
+  for (int I = 0; I < 4; ++I)
+    Header.push_back(static_cast<char>((Huge >> (8 * I)) & 0xFF));
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  ASSERT_EQ(::write(Fds[1], Header.data(), 4), 4);
+  Expected<std::string> R = recvFrame(Fds[0], 2000);
+  EXPECT_FALSE(R.ok());
+  if (!R.ok())
+    EXPECT_EQ(R.status().code(), StatusCode::CorruptInput);
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
 //===----------------------------------------------------------------------===//
 // Chaos matrix
 //===----------------------------------------------------------------------===//
+
+TEST(DaemonChaosTest, MalformedFrameGetsFatalErrorReplyAndDaemonSurvives) {
+  ScratchDir D("garble");
+  Daemon Dm(D);
+  Dm.start();
+
+  // Speak raw mco-rpc-v1: a structurally valid frame whose payload is not
+  // JSON. The daemon must answer with a non-retryable error reply and
+  // close the connection — and must NOT die.
+  Expected<int> C = connectUnix(Dm.Socket);
+  ASSERT_TRUE(C.ok()) << C.status().message();
+  ASSERT_TRUE(sendFrame(*C, "this is not json").ok());
+  Expected<RpcMessage> Reply = recvMessage(*C, 5000);
+  ASSERT_TRUE(Reply.ok()) << Reply.status().message();
+  EXPECT_EQ(Reply->Type, "error");
+  EXPECT_EQ(Reply->intOr("retryable", -1), 0);
+  EXPECT_NE(Reply->strOr("message", "").find("malformed frame"),
+            std::string::npos);
+  // The daemon closed its end after the reply.
+  Expected<RpcMessage> After = recvMessage(*C, 5000);
+  EXPECT_FALSE(After.ok());
+  closeFd(*C);
+
+  // Still alive: a fresh, well-formed session works, and the stats verb
+  // counts what happened.
+  const std::string Stats = Dm.stats();
+  ASSERT_FALSE(Stats.empty()) << "daemon died after malformed frame";
+  EXPECT_GE(jsonInt(Stats, "malformed_frames"), 1);
+  Dm.shutdown();
+}
 
 TEST(DaemonChaosTest, CleanBuildMatchesPlainBuildByteForByte) {
   ASSERT_FALSE(referenceDigest().empty());

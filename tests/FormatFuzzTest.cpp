@@ -1,0 +1,510 @@
+//===- tests/FormatFuzzTest.cpp - Deterministic corruption fuzzing --------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The corruption-fuzz harness for every persisted format: MCOA1 sealed
+/// artifacts, MCOM cache payloads, `.mcoj` CRC journals (build + request),
+/// `mco-rpc-v1` frames, `mco-traces-v1` profiles, and textual `.mir`.
+///
+/// For each format the harness takes one known-valid specimen and derives
+/// thousands of corrupted inputs with four seeded-xorshift mutators:
+///
+///   - truncate at EVERY byte boundary (a kill -9 mid-write stops anywhere),
+///   - random single/multi bit flips,
+///   - length-field inflation (4-byte windows overwritten with huge values),
+///   - splicing two valid files at random split points.
+///
+/// The contract under test is uniform: every loader must return a clean
+/// Status/Expected/ParseResult or its documented degradation (journals keep
+/// the intact prefix) — never crash, hang, or trip a sanitizer. No case
+/// asserts on parse *success*: a mutation can land in don't-care bytes and
+/// still decode, which is fine; what must never happen is an abort.
+///
+/// Everything is a pure function of the seed — no wall clock, no pid, no
+/// filesystem in the hot loop — so a failure reproduces exactly.
+/// MCO_FUZZ_ITERS overrides the per-mutator random-case count (default
+/// 1500; truncation sweeps are always exhaustive).
+///
+/// The same file carries the exit-code discipline tests: they spawn the
+/// real tools against corrupt/absent/misused inputs and assert the
+/// sysexits-style codes (64 usage, 65 corrupt input, 70 internal,
+/// 75 transient) from support/ExitCodes.h.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cache/ArtifactCache.h"
+#include "daemon/Rpc.h"
+#include "linker/StartupTrace.h"
+#include "mir/MIRBuilder.h"
+#include "mir/MIRParser.h"
+#include "mir/MIRPrinter.h"
+#include "pipeline/BuildJournal.h"
+#include "support/Checksum.h"
+#include "support/ExitCodes.h"
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace mco;
+namespace fs = std::filesystem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Deterministic randomness
+//===----------------------------------------------------------------------===//
+
+/// xorshift64*: tiny, seeded, and identical on every platform — the whole
+/// harness is a pure function of these streams.
+struct Xorshift {
+  uint64_t State;
+  explicit Xorshift(uint64_t Seed) : State(Seed ? Seed : 0x9E3779B97F4A7C15) {}
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1D;
+  }
+  /// Uniform in [0, Bound); Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+};
+
+size_t fuzzIters() {
+  if (const char *Env = std::getenv("MCO_FUZZ_ITERS")) {
+    long V = std::strtol(Env, nullptr, 10);
+    if (V > 0)
+      return static_cast<size_t>(V);
+  }
+  return 1500;
+}
+
+//===----------------------------------------------------------------------===//
+// The four mutators
+//===----------------------------------------------------------------------===//
+
+/// Feeds every corrupted input derived from \p Specimen (and a second
+/// valid \p Other for splicing) to \p Consume. The consumer's only
+/// obligation is to return; whatever it returns is legal.
+void fuzzFormat(const std::string &Specimen, const std::string &Other,
+                uint64_t Seed,
+                const std::function<void(const std::string &)> &Consume) {
+  ASSERT_FALSE(Specimen.empty());
+  const size_t Iters = fuzzIters();
+
+  // 1. Truncation at every byte boundary, exhaustively (including empty).
+  for (size_t Len = 0; Len <= Specimen.size(); ++Len)
+    Consume(Specimen.substr(0, Len));
+
+  // 2. Bit flips: 1..4 random flips per case.
+  {
+    Xorshift R(Seed ^ 0xB17F11B5);
+    for (size_t I = 0; I < Iters; ++I) {
+      std::string Bad = Specimen;
+      const size_t Flips = 1 + R.below(4);
+      for (size_t F = 0; F < Flips; ++F)
+        Bad[R.below(Bad.size())] ^= static_cast<char>(1u << R.below(8));
+      Consume(Bad);
+    }
+  }
+
+  // 3. Length-field inflation: overwrite a 4-byte window with an extreme
+  // value. When the window lands on a length/count field this is the
+  // classic hostile-header case; when it lands elsewhere it is garbage
+  // the parsers must also survive.
+  {
+    Xorshift R(Seed ^ 0x1E46F1E1D);
+    static const uint32_t Extremes[] = {0xFFFFFFFFu, 0x7FFFFFFFu,
+                                        0x00FFFFFFu, 0x80000000u};
+    for (size_t I = 0; I < Iters; ++I) {
+      std::string Bad = Specimen;
+      if (Bad.size() < 4)
+        break;
+      const size_t At = R.below(Bad.size() - 3);
+      const uint32_t V = Extremes[R.below(4)];
+      for (int B = 0; B < 4; ++B)
+        Bad[At + B] = static_cast<char>((V >> (8 * B)) & 0xFF);
+      Consume(Bad);
+    }
+  }
+
+  // 4. Splice two valid files: prefix of one + suffix of the other. Both
+  // halves carry internally-consistent bytes, so this defeats parsers
+  // that only sanity-check locally.
+  {
+    Xorshift R(Seed ^ 0x5F11CE00);
+    for (size_t I = 0; I < Iters; ++I) {
+      const size_t CutA = R.below(Specimen.size() + 1);
+      const size_t CutB = R.below(Other.size() + 1);
+      Consume(Specimen.substr(0, CutA) + Other.substr(CutB));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Specimens
+//===----------------------------------------------------------------------===//
+
+/// A module exercising every serialized feature (mirrors the cache tests'
+/// rich module): symbols, condition codes, immediates, block refs,
+/// outlined functions with frame kinds, globals.
+Module &makeRichModule(Program &Prog, const std::string &Name) {
+  Module &M = Prog.addModule(Name);
+  M.Functions.emplace_back();
+  MachineFunction &F = M.Functions.back();
+  F.Name = Prog.internSymbol("fuzz_main");
+  F.OriginModule = 3;
+  F.addBlock();
+  F.addBlock();
+  MIRBuilder B(F.Blocks[0]);
+  B.movri(Reg::X0, 42);
+  B.addri(Reg::X1, Reg::X0, -9);
+  B.cmpri(Reg::X1, 0);
+  B.cset(Reg::X2, Cond::HS);
+  B.adr(Reg::X3, Prog.internSymbol("fuzz_data"));
+  B.bl(Prog.internSymbol("fuzz_callee"));
+  B.bcc(Cond::NE, 1);
+  B.setBlock(F.Blocks[1]);
+  B.ret();
+
+  M.Functions.emplace_back();
+  MachineFunction &G = M.Functions.back();
+  G.Name = Prog.internSymbol("OUTLINED_0_0@" + Name);
+  G.IsOutlined = true;
+  G.FrameKind = OutlinedFrameKind::Thunk;
+  G.OutlinedCallSites = 2;
+  MIRBuilder GB(G.addBlock());
+  GB.movri(Reg::X9, 1);
+  GB.btail(Prog.internSymbol("fuzz_callee"));
+
+  M.Globals.emplace_back();
+  GlobalData &D = M.Globals.back();
+  D.Name = Prog.internSymbol("fuzz_data");
+  D.Bytes = {1, 2, 3, 4, 5, 6, 7, 8};
+  return M;
+}
+
+std::string richArtifactBytes(const std::string &Name) {
+  Program Prog;
+  Module &M = makeRichModule(Prog, Name);
+  RepeatedOutlineStats St;
+  St.Rounds.emplace_back();
+  St.Rounds.back().SequencesOutlined = 5;
+  St.Rounds.back().FunctionsCreated = 1;
+  return serializeModuleArtifact(
+      M, St, 1, 2, [&Prog](uint32_t Id) { return Prog.symbolName(Id); });
+}
+
+std::string journalLine(const std::string &Payload) {
+  char Prefix[16];
+  std::snprintf(Prefix, sizeof(Prefix), "%08x ", Crc32c::of(Payload));
+  return Prefix + Payload + "\n";
+}
+
+std::string buildJournalSpecimen(const std::string &Fp, unsigned Modules) {
+  std::string J =
+      journalLine("mcoj1 " + Fp + " " + std::to_string(Modules) + " pm");
+  for (unsigned I = 0; I < Modules; ++I) {
+    if (I % 3 == 2)
+      J += journalLine("degraded " + std::to_string(I) + " m" +
+                       std::to_string(I));
+    else
+      J += journalLine("done " + std::to_string(I) + " " +
+                       std::string(32, "0123456789abcdef"[I % 16]) + " m" +
+                       std::to_string(I));
+  }
+  J += journalLine("end");
+  return J;
+}
+
+std::string requestJournalSpecimen(unsigned N) {
+  std::string J = journalLine("mcoreq1");
+  for (unsigned I = 0; I < N; ++I) {
+    const std::string Id = "req-" + std::to_string(I);
+    J += journalLine("recv " + Id);
+    if (I % 4 == 1)
+      J += journalLine("done " + Id + (I % 2 ? " completed" : " degraded"));
+    else if (I % 4 == 2)
+      J += journalLine("failed " + Id);
+  }
+  return J;
+}
+
+RpcMessage rpcSpecimenMessage() {
+  RpcMessage M;
+  M.Type = "build";
+  M.Str["id"] = "fuzz-req-1";
+  M.Str["profile"] = "rider";
+  M.Str["note"] = "quotes \" and \\ and\nnewlines";
+  M.Int["modules"] = 24;
+  M.Int["rounds"] = 3;
+  M.Int["threads"] = -1;
+  return M;
+}
+
+TraceProfile traceSpecimenProfile() {
+  TraceProfile P;
+  for (int I = 0; I < 12; ++I)
+    P.functionId("traced_fn_" + std::to_string(I));
+  for (uint32_t Dev = 0; Dev < 3; ++Dev) {
+    DeviceTrace D;
+    D.Device = Dev;
+    for (uint32_t I = 0; I < 20; ++I)
+      D.Entries.push_back((I * 7 + Dev) % 12);
+    for (uint32_t I = 0; I + 1 < 12; ++I)
+      D.Calls.push_back({I, I + 1, uint64_t(I) * 3 + 1});
+    for (uint64_t Pg = 0; Pg < 6; ++Pg)
+      D.PageTouches.push_back(Pg * (Dev + 1));
+    D.TextFaults = 6;
+    P.Devices.push_back(std::move(D));
+  }
+  return P;
+}
+
+std::string mirSpecimen() {
+  Program Prog;
+  Module &M = makeRichModule(Prog, "fuzz.mir");
+  return printModule(M, Prog);
+}
+
+//===----------------------------------------------------------------------===//
+// The per-format fuzz tests
+//===----------------------------------------------------------------------===//
+
+TEST(FormatFuzzTest, SealedArtifactEnvelope) {
+  const std::string A = sealArtifact(richArtifactBytes("mod.a"));
+  const std::string B = sealArtifact(std::string(200, 'x'));
+  fuzzFormat(A, B, 0xA57E'FAC7, [](const std::string &Bytes) {
+    Expected<std::string> P = unsealArtifact(Bytes);
+    if (P.ok())
+      (void)P->size();
+  });
+}
+
+TEST(FormatFuzzTest, McomModulePayload) {
+  const std::string A = richArtifactBytes("mod.a");
+  const std::string B = richArtifactBytes("other.name");
+  fuzzFormat(A, B, 0x3C0'3C0, [](const std::string &Bytes) {
+    // The validator must never crash...
+    (void)validateModuleArtifactBytes(Bytes);
+    // ...and neither may the full decoder (which runs it first, then
+    // builds objects — a second chance for anything that slipped past).
+    Program Fresh;
+    Expected<ModuleArtifact> A2 = deserializeModuleArtifact(Bytes, Fresh);
+    if (A2.ok())
+      (void)A2->M.codeSize();
+  });
+}
+
+TEST(FormatFuzzTest, BuildJournal) {
+  const std::string A =
+      buildJournalSpecimen(std::string(32, 'a'), /*Modules=*/10);
+  const std::string B = buildJournalSpecimen(std::string(32, 'b'), 4);
+  fuzzFormat(A, B, 0x10A6'4A1, [](const std::string &Bytes) {
+    ResumeState RS = ResumeState::loadFromBytes(Bytes);
+    // Documented degradation: whatever survived must be structurally
+    // sound — in-range, duplicate-free indices.
+    std::vector<bool> Seen(RS.NumModules, false);
+    for (const auto &R : RS.Records) {
+      ASSERT_LT(R.Idx, RS.NumModules);
+      ASSERT_FALSE(Seen[R.Idx]) << "duplicate surviving record";
+      Seen[R.Idx] = true;
+    }
+    if (!RS.Valid)
+      ASSERT_TRUE(RS.Records.empty());
+  });
+}
+
+TEST(FormatFuzzTest, RequestJournal) {
+  const std::string A = requestJournalSpecimen(12);
+  const std::string B = requestJournalSpecimen(3);
+  fuzzFormat(A, B, 0x4E0'4E57, [](const std::string &Bytes) {
+    RequestResumeState RS = RequestResumeState::loadFromBytes(Bytes);
+    for (const std::string &Id : RS.Unfinished)
+      ASSERT_FALSE(Id.empty());
+    if (!RS.Valid) {
+      ASSERT_TRUE(RS.Unfinished.empty());
+      ASSERT_TRUE(RS.Finished.empty());
+    }
+  });
+}
+
+TEST(FormatFuzzTest, RpcMessageDecode) {
+  const std::string A = encodeRpcMessage(rpcSpecimenMessage());
+  RpcMessage SB;
+  SB.Type = "result";
+  SB.Str["id"] = "other";
+  SB.Int["code_size"] = 123456;
+  const std::string B = encodeRpcMessage(SB);
+  fuzzFormat(A, B, 0x4BC'F4A3E, [](const std::string &Bytes) {
+    Expected<RpcMessage> M = decodeRpcMessage(Bytes);
+    // Anything that decodes must also satisfy the shape validator (decode
+    // runs it, so a success here is a double-check it stayed wired).
+    if (M.ok())
+      ASSERT_TRUE(validateRpcMessage(*M).ok());
+  });
+}
+
+TEST(FormatFuzzTest, TraceProfileJson) {
+  const std::string A = traceProfileJson(traceSpecimenProfile());
+  TraceProfile Small;
+  Small.functionId("lone");
+  DeviceTrace D;
+  D.Entries.push_back(0);
+  Small.Devices.push_back(D);
+  const std::string B = traceProfileJson(Small);
+  fuzzFormat(A, B, 0x7247'CE5, [](const std::string &Bytes) {
+    Expected<TraceProfile> P = parseTraceProfile(Bytes);
+    // Anything that parses must pass the id-range/caps validator.
+    if (P.ok())
+      ASSERT_TRUE(validateTraceProfile(*P).ok());
+  });
+}
+
+TEST(FormatFuzzTest, MirText) {
+  const std::string A = mirSpecimen();
+  Program Prog2;
+  Module &M2 = Prog2.addModule("tiny");
+  M2.Functions.emplace_back();
+  MachineFunction &F2 = M2.Functions.back();
+  F2.Name = Prog2.internSymbol("tiny_fn");
+  MIRBuilder B2(F2.addBlock());
+  B2.movri(Reg::X0, 7);
+  B2.ret();
+  const std::string B = printModule(M2, Prog2);
+  fuzzFormat(A, B, 0x312'7E27, [](const std::string &Bytes) {
+    Program Fresh;
+    ParseResult R = parseModule(Fresh, Bytes);
+    if (R)
+      (void)R.M->numInstrs();
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Exit-code discipline (spawns the real tools)
+//===----------------------------------------------------------------------===//
+
+struct ToolResult {
+  int ExitCode = -1;
+  bool Signaled = false;
+};
+
+ToolResult runTool(const std::string &Tool,
+                   const std::vector<std::string> &Args) {
+  pid_t Pid = ::fork();
+  if (Pid == 0) {
+    std::vector<std::string> All;
+    All.push_back(Tool);
+    All.insert(All.end(), Args.begin(), Args.end());
+    std::vector<char *> Argv;
+    for (std::string &S : All)
+      Argv.push_back(S.data());
+    Argv.push_back(nullptr);
+    std::freopen("/dev/null", "w", stdout);
+    std::freopen("/dev/null", "w", stderr);
+    ::execv(Tool.c_str(), Argv.data());
+    ::_exit(127);
+  }
+  ToolResult R;
+  int WStatus = 0;
+  ::waitpid(Pid, &WStatus, 0);
+  if (WIFEXITED(WStatus))
+    R.ExitCode = WEXITSTATUS(WStatus);
+  R.Signaled = WIFSIGNALED(WStatus);
+  return R;
+}
+
+struct ScratchDir {
+  fs::path P;
+  explicit ScratchDir(const std::string &Name) {
+    P = fs::temp_directory_path() /
+        ("mco_fuzz_test_" + std::to_string(::getpid()) + "_" + Name);
+    fs::remove_all(P);
+    fs::create_directories(P);
+  }
+  ~ScratchDir() {
+    std::error_code EC;
+    fs::remove_all(P, EC);
+  }
+  std::string str(const std::string &Leaf) const { return (P / Leaf).string(); }
+  std::string file(const std::string &Leaf, const std::string &Bytes) const {
+    const std::string Path = (P / Leaf).string();
+    std::ofstream Out(Path, std::ios::binary);
+    Out.write(Bytes.data(), std::streamsize(Bytes.size()));
+    return Path;
+  }
+};
+
+TEST(ExitCodeTest, UsageErrorsExit64) {
+  EXPECT_EQ(runTool(MCO_RUN_TOOL_PATH, {}).ExitCode, ExitUsage);
+  EXPECT_EQ(runTool(MCO_RUN_TOOL_PATH, {"/dev/null", "--no-such-flag"})
+                .ExitCode,
+            ExitUsage);
+  EXPECT_EQ(runTool(MCO_BUILD_TOOL_PATH, {"--no-such-flag"}).ExitCode,
+            ExitUsage);
+  EXPECT_EQ(runTool(MCO_BUILD_TOOL_PATH, {"--profile", "nope"}).ExitCode,
+            ExitUsage);
+  EXPECT_EQ(runTool(MCO_CLIENT_TOOL_PATH, {"--bogus"}).ExitCode, ExitUsage);
+  // Missing --socket is usage, too.
+  EXPECT_EQ(runTool(MCO_CLIENT_TOOL_PATH, {"--ping"}).ExitCode, ExitUsage);
+}
+
+TEST(ExitCodeTest, CorruptInputsExit65) {
+  ScratchDir D("exit65");
+  // Missing file.
+  EXPECT_EQ(runTool(MCO_RUN_TOOL_PATH, {D.str("nope.mir")}).ExitCode,
+            ExitCorruptInput);
+  // Unparseable MIR.
+  const std::string BadMir = D.file("bad.mir", "func @x {\n  frobnicate\n");
+  EXPECT_EQ(runTool(MCO_RUN_TOOL_PATH, {BadMir}).ExitCode, ExitCorruptInput);
+  // A sealed artifact with a mangled payload byte: the seal must catch it
+  // and the tool must say "corrupt input", not crash.
+  std::string Sealed = sealArtifact(richArtifactBytes("mod.x"));
+  Sealed[Sealed.size() / 2] ^= 0x01;
+  const std::string BadMco = D.file("bad.mco", Sealed);
+  EXPECT_EQ(runTool(MCO_RUN_TOOL_PATH, {BadMco}).ExitCode, ExitCorruptInput);
+  // Valid seal, valid MCOM, but the entry point does not exist: still
+  // invalid input, still 65 (and notably not an abort).
+  const std::string GoodMco =
+      D.file("good.mco", sealArtifact(richArtifactBytes("mod.x")));
+  ToolResult R =
+      runTool(MCO_RUN_TOOL_PATH, {GoodMco, "--entry", "no_such_entry"});
+  EXPECT_FALSE(R.Signaled);
+  EXPECT_EQ(R.ExitCode, ExitCorruptInput);
+}
+
+TEST(ExitCodeTest, TransientFailuresExit75) {
+  ScratchDir D("exit75");
+  // No daemon behind the socket: connect fails, retries exhaust, exit 75.
+  EXPECT_EQ(runTool(MCO_CLIENT_TOOL_PATH,
+                    {"--socket", D.str("no-daemon.sock"), "--id", "t1",
+                     "--retries", "2"})
+                .ExitCode,
+            ExitTransient);
+  EXPECT_EQ(runTool(MCO_CLIENT_TOOL_PATH,
+                    {"--socket", D.str("no-daemon.sock"), "--ping"})
+                .ExitCode,
+            ExitTransient);
+}
+
+TEST(ExitCodeTest, InternalErrorsExit70) {
+  ScratchDir D("exit70");
+  // An unwritable output path is an environment problem: exit 70.
+  EXPECT_EQ(runTool(MCO_BUILD_TOOL_PATH,
+                    {"--modules", "2", "--rounds", "1", "--dump",
+                     D.str("no") + "/such/dir/x.mir"})
+                .ExitCode,
+            ExitInternal);
+}
+
+} // namespace

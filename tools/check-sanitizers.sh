@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+#===- tools/check-sanitizers.sh - Sanitized robustness-suite runner ------===#
+#
+# Part of the mco project (CGO 2021 code-size outlining reproduction).
+#
+# Builds the tree twice — once with -DMCO_SANITIZE=address, once with
+# =undefined — and runs the robustness suites (format_fuzz, daemon_chaos,
+# guard_faults) under each. The corruption-fuzz contract is "clean Status,
+# never a sanitizer report", and this script is how that claim gets
+# checked without slowing the default (unsanitized) ctest run.
+#
+#   tools/check-sanitizers.sh [SOURCE_DIR] [BUILD_ROOT]
+#
+# SOURCE_DIR defaults to the repo root containing this script; BUILD_ROOT
+# defaults to SOURCE_DIR/build-sanitize (one subdirectory per sanitizer,
+# kept for incremental re-runs). MCO_FUZZ_ITERS is forwarded if set, so a
+# quick pass is `MCO_FUZZ_ITERS=100 tools/check-sanitizers.sh`.
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+SRC="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+ROOT="${2:-${SRC}/build-sanitize}"
+LABELS='format_fuzz|daemon_chaos|guard_faults'
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+for SAN in address undefined; do
+  BUILD="${ROOT}/${SAN}"
+  echo "==> [${SAN}] configure + build (${BUILD})"
+  cmake -B "${BUILD}" -S "${SRC}" -DMCO_SANITIZE="${SAN}" >/dev/null
+  cmake --build "${BUILD}" -j "${JOBS}" >/dev/null
+  echo "==> [${SAN}] ctest -L '${LABELS}'"
+  # halt_on_error makes any ASan/UBSan report a test failure, not a log line.
+  ( cd "${BUILD}" &&
+    ASAN_OPTIONS="halt_on_error=1:abort_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}" \
+    ctest -L "${LABELS}" --output-on-failure -j "${JOBS}" )
+done
+
+echo "==> all sanitized robustness suites passed"

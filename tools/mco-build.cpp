@@ -37,6 +37,7 @@
 #include "outliner/PatternStats.h"
 #include "pipeline/BuildPipeline.h"
 #include "support/Error.h"
+#include "support/ExitCodes.h"
 #include "support/FaultInjection.h"
 #include "synth/CorpusSynthesizer.h"
 #include "telemetry/Metrics.h"
@@ -138,7 +139,8 @@ Status parseArgs(int argc, char **argv, BuildConfig &C) {
     auto NextOr = [&](const char *&V) -> Status {
       V = Next();
       if (!V)
-        return MCO_ERROR("option '" + A + "' requires a value");
+        return MCO_ERROR_CODE(StatusCode::Usage,
+                              "option '" + A + "' requires a value");
       return Status::success();
     };
     const char *V = nullptr;
@@ -161,7 +163,7 @@ Status parseArgs(int argc, char **argv, BuildConfig &C) {
         // feeding the layout strategy (the measure->layout->verify loop).
         C.Opts.Layout.ProfilePath = P;
       else
-        return MCO_ERROR("unknown profile '" + P +
+        return MCO_ERROR_CODE(StatusCode::Usage, "unknown profile '" + P +
                          "' (not a corpus name or a readable trace file)");
     } else if (A == "--modules") {
       if (Status S = NextOr(V); !S.ok())
@@ -190,7 +192,8 @@ Status parseArgs(int argc, char **argv, BuildConfig &C) {
       else if (E == "sarray")
         C.Opts.Outliner.Discovery = DiscoveryEngine::SuffixArray;
       else
-        return MCO_ERROR("unknown discovery engine '" + E +
+        return MCO_ERROR_CODE(StatusCode::Usage,
+                              "unknown discovery engine '" + E +
                          "' (expected 'tree' or 'sarray')");
     } else if (A == "--interleave-data") {
       C.Opts.DataLayout = DataLayoutMode::Interleaved;
@@ -203,7 +206,7 @@ Status parseArgs(int argc, char **argv, BuildConfig &C) {
       else if (M == "interleave")
         C.Opts.DataLayout = DataLayoutMode::Interleaved;
       else
-        return MCO_ERROR("unknown data layout '" + M +
+        return MCO_ERROR_CODE(StatusCode::Usage, "unknown data layout '" + M +
                          "' (expected 'preserve' or 'interleave')");
     } else if (A == "--layout") {
       if (Status S = NextOr(V); !S.ok())
@@ -216,7 +219,8 @@ Status parseArgs(int argc, char **argv, BuildConfig &C) {
         std::string Valid;
         for (const std::string &N : layoutStrategyNames())
           Valid += (Valid.empty() ? "" : ", ") + N;
-        return MCO_ERROR("unknown layout strategy '" + L + "' (expected " +
+        return MCO_ERROR_CODE(StatusCode::Usage,
+                            "unknown layout strategy '" + L + "' (expected " +
                          Valid + ")");
       }
       C.Opts.Layout.Strategy = L;
@@ -292,7 +296,8 @@ Status parseArgs(int argc, char **argv, BuildConfig &C) {
         return S;
       C.ProvenanceFile = V;
     } else {
-      return MCO_ERROR("unknown option '" + A + "'");
+      return MCO_ERROR_CODE(StatusCode::Usage,
+                            "unknown option '" + A + "'");
     }
   }
   if (C.ModulesOverride > 0)
@@ -424,7 +429,7 @@ Status runBuild(BuildConfig &C, DiagState &D) {
   if (!C.FaultSpec.empty()) {
     if (Status S = FaultInjection::instance().configure(C.FaultSpec);
         !S.ok())
-      return S;
+      return MCO_ERROR_CODE(StatusCode::Usage, S.message());
   }
 
   std::printf("profile %s, %u modules, %s pipeline, %u round(s), "
@@ -573,7 +578,7 @@ int main(int argc, char **argv) {
   if (Status S = parseArgs(argc, argv, C); !S.ok()) {
     std::fprintf(stderr, "mco-build: %s\n", S.render().c_str());
     usage();
-    return 1;
+    return exitCodeFor(S);
   }
   DiagState D;
   if (!C.TraceFile.empty())
@@ -588,7 +593,7 @@ int main(int argc, char **argv) {
         !TS.ok()) {
       std::fprintf(stderr, "mco-build: %s\n", TS.render().c_str());
       if (S.ok())
-        return 1;
+        return ExitInternal;
     } else {
       std::printf("wrote trace to %s\n", C.TraceFile.c_str());
     }
@@ -599,14 +604,14 @@ int main(int argc, char **argv) {
     if (Status DS = writeDiagJson(C.DiagFile, C, D); !DS.ok()) {
       std::fprintf(stderr, "mco-build: %s\n", DS.render().c_str());
       if (S.ok())
-        return 1;
+        return ExitInternal;
     } else {
       std::printf("wrote diagnostics to %s\n", C.DiagFile.c_str());
     }
   }
   if (!S.ok()) {
     std::fprintf(stderr, "mco-build: %s\n", S.render().c_str());
-    return 1;
+    return exitCodeFor(S);
   }
   return 0;
 }

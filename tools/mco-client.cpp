@@ -19,6 +19,8 @@
 
 #include "daemon/Client.h"
 
+#include "support/ExitCodes.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -104,12 +106,12 @@ int main(int argc, char **argv) {
     } else {
       std::fprintf(stderr, "mco-client: bad argument '%s'\n", A.c_str());
       usage();
-      return 2;
+      return ExitUsage;
     }
   }
   if (Opts.SocketPath.empty()) {
     usage();
-    return 2;
+    return ExitUsage;
   }
 
   DaemonClient Client(Opts);
@@ -120,7 +122,7 @@ int main(int argc, char **argv) {
     Expected<RpcMessage> R = Client.call(M);
     if (!R.ok()) {
       std::fprintf(stderr, "mco-client: %s\n", R.status().render().c_str());
-      return 1;
+      return exitCodeFor(R.status());
     }
     printMessageJson(*R);
     return 0;
@@ -129,13 +131,13 @@ int main(int argc, char **argv) {
   if (Req.strOr("id", "").empty()) {
     std::fprintf(stderr, "mco-client: --id is required for builds\n");
     usage();
-    return 2;
+    return ExitUsage;
   }
 
   Expected<RpcMessage> R = Client.submitBuild(Req);
   if (!R.ok()) {
     std::fprintf(stderr, "mco-client: %s\n", R.status().render().c_str());
-    return 1;
+    return exitCodeFor(R.status());
   }
   printMessageJson(*R);
   // A degraded build is a served build (the degradation ladder's whole

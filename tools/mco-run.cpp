@@ -28,6 +28,7 @@
 #include "sim/Interpreter.h"
 #include "support/Checksum.h"
 #include "support/Error.h"
+#include "support/ExitCodes.h"
 #include "support/FaultInjection.h"
 #include "telemetry/Tracer.h"
 
@@ -67,13 +68,18 @@ struct RunConfig {
 
 Status parseArgs(int argc, char **argv, RunConfig &C) {
   if (argc < 2)
-    return MCO_ERROR("missing input file");
+    return MCO_ERROR_CODE(StatusCode::Usage, "missing input file");
+  if (argv[1][0] == '-')
+    return MCO_ERROR_CODE(StatusCode::Usage,
+                          "expected input file, got option '" +
+                              std::string(argv[1]) + "'");
   C.File = argv[1];
   for (int I = 2; I < argc; ++I) {
     std::string A = argv[I];
     auto NextOr = [&](const char *&V) -> Status {
       if (I + 1 >= argc)
-        return MCO_ERROR("option '" + A + "' requires a value");
+        return MCO_ERROR_CODE(StatusCode::Usage,
+                              "option '" + A + "' requires a value");
       V = argv[++I];
       return Status::success();
     };
@@ -127,7 +133,7 @@ Status parseArgs(int argc, char **argv, RunConfig &C) {
         return S;
       C.TraceFile = V;
     } else {
-      return MCO_ERROR("unknown option '" + A + "'");
+      return MCO_ERROR_CODE(StatusCode::Usage, "unknown option '" + A + "'");
     }
   }
   return Status::success();
@@ -137,12 +143,12 @@ Status run(RunConfig &C) {
   if (!C.FaultSpec.empty()) {
     if (Status S = FaultInjection::instance().configure(C.FaultSpec);
         !S.ok())
-      return S;
+      return MCO_ERROR_CODE(StatusCode::Usage, S.message());
   }
 
   std::ifstream In(C.File, std::ios::binary);
   if (!In)
-    return MCO_ERROR("cannot open '" + C.File + "'");
+    return MCO_CORRUPT("cannot open '" + C.File + "'");
   std::stringstream Buf;
   Buf << In.rdbuf();
   const std::string Bytes = Buf.str();
@@ -155,19 +161,19 @@ Status run(RunConfig &C) {
     // text form drops).
     Expected<std::string> Payload = unsealArtifact(Bytes);
     if (!Payload.ok())
-      return MCO_ERROR("sealed artifact '" + C.File +
-                       "': " + Payload.status().message());
+      return MCO_CORRUPT("sealed artifact '" + C.File +
+                         "': " + Payload.status().message());
     Expected<ModuleArtifact> A = deserializeModuleArtifact(*Payload, Prog);
     if (!A.ok())
-      return MCO_ERROR("artifact '" + C.File +
-                       "': " + A.status().message());
+      return MCO_CORRUPT("artifact '" + C.File +
+                         "': " + A.status().message());
     Prog.Modules.push_back(std::make_unique<Module>(std::move(A->M)));
     M = Prog.Modules.back().get();
     std::printf("loaded sealed artifact (checksum ok)\n");
   } else {
     ParseResult R = parseModule(Prog, Bytes);
     if (!R)
-      return MCO_ERROR("parse error: " + R.Error);
+      return MCO_CORRUPT("parse error: " + R.Error);
     M = R.M;
   }
   std::printf("loaded %zu function(s), %llu instructions\n",
@@ -179,7 +185,7 @@ Status run(RunConfig &C) {
     VOpts.CheckSymbolResolution = true;
     std::string Err = verifyModule(Prog, *M, VOpts);
     if (!Err.empty())
-      return MCO_ERROR("verification failed: " + Err);
+      return MCO_CORRUPT("verification failed: " + Err);
     std::printf("module verifies\n");
   }
 
@@ -206,12 +212,19 @@ Status run(RunConfig &C) {
 
   PerfConfig Cfg;
   Cfg.ICacheBytes = uint64_t(C.ICacheKb) << 10;
-  BinaryImage Image(Prog);
-  Interpreter I(Image, Prog, &Cfg);
-  int64_t Result = I.call(C.Entry, C.Args);
+  // The Status-returning link/execute paths: an input that parsed but
+  // does not link or faults under execution is corrupt input (exit 65),
+  // not a tool crash.
+  Expected<BinaryImage> Image = BinaryImage::create(Prog);
+  if (!Image.ok())
+    return MCO_CORRUPT("link failed: " + Image.status().message());
+  Interpreter I(*Image, Prog, &Cfg);
+  Expected<int64_t> Result = I.tryCall(C.Entry, C.Args);
+  if (!Result.ok())
+    return MCO_CORRUPT("execution faulted: " + Result.status().message());
   const PerfCounters &Cnt = I.counters();
   std::printf("%s(...) = %lld\n", C.Entry.c_str(),
-              static_cast<long long>(Result));
+              static_cast<long long>(*Result));
   std::printf("instrs %llu (outlined %.1f%%), cycles %.0f, IPC %.2f, "
               "I$ miss %llu, ITLB miss %llu, br miss %llu\n",
               static_cast<unsigned long long>(Cnt.Instrs),
@@ -230,7 +243,7 @@ int main(int argc, char **argv) {
   if (Status S = parseArgs(argc, argv, C); !S.ok()) {
     std::fprintf(stderr, "mco-run: %s\n", S.render().c_str());
     usage();
-    return 1;
+    return exitCodeFor(S);
   }
   if (!C.TraceFile.empty())
     Tracer::instance().enable();
@@ -241,14 +254,14 @@ int main(int argc, char **argv) {
         !TS.ok()) {
       std::fprintf(stderr, "mco-run: %s\n", TS.render().c_str());
       if (S.ok())
-        return 1;
+        return ExitInternal;
     } else {
       std::printf("wrote trace to %s\n", C.TraceFile.c_str());
     }
   }
   if (!S.ok()) {
     std::fprintf(stderr, "mco-run: %s\n", S.render().c_str());
-    return 1;
+    return exitCodeFor(S);
   }
   return 0;
 }
