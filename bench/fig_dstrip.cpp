@@ -1,0 +1,300 @@
+//===- bench/fig_dstrip.cpp - Dead-strip ablation ------------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Dead-strip ablation on the Table 5 corpus: strip-only vs outline-only
+/// vs both, measured the way the paper measures binaries — per-segment
+/// (__TEXT/__DATA) bytes and 16 KiB page counts, read back from the MCOB1
+/// container each variant emits. The corpus is salted with a known set of
+/// unreachable functions (plus a dead global) so the strip pass has real
+/// work whose removal can be verified exactly.
+///
+/// The bench doubles as the dstrip_smoke regression gate:
+///   - every injected dead symbol must be removed when stripping is on,
+///   - stripping must never remove a reachable function: every span of
+///     every variant must execute with the same result and instruction
+///     count as the unstripped baseline, and
+///   - strip-then-outline must save at least as many __TEXT bytes as
+///     either pass alone.
+///
+///   fig_dstrip [--modules N] [--rounds N] [--dead N] [--threads N]
+///              [--json PATH]
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "linker/Linker.h"
+#include "mir/MIRBuilder.h"
+#include "objfile/ObjectFile.h"
+#include "pipeline/BuildPipeline.h"
+#include "sim/Interpreter.h"
+#include "support/FileAtomics.h"
+#include "synth/CorpusSynthesizer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace mco;
+using namespace mco::benchutil;
+
+namespace {
+
+/// Salts \p Prog with \p N unreachable functions (a call chain) plus one
+/// global referenced only from the chain — the known-dead set the gate
+/// checks for exact removal.
+void injectDeadCode(Program &Prog, unsigned N) {
+  Module &M = *Prog.Modules.back();
+  for (unsigned I = 0; I < N; ++I) {
+    M.Functions.emplace_back();
+    MachineFunction &F = M.Functions.back();
+    F.Name = Prog.internSymbol("dead_fn_" + std::to_string(I));
+    MIRBuilder B(F.addBlock());
+    B.movri(Reg::X0, static_cast<int64_t>(I));
+    if (I == 0)
+      B.adr(Reg::X1, Prog.internSymbol("dead_data"));
+    if (I + 1 < N)
+      B.bl(Prog.internSymbol("dead_fn_" + std::to_string(I + 1)));
+    B.ret();
+  }
+  M.Globals.emplace_back();
+  GlobalData &G = M.Globals.back();
+  G.Name = Prog.internSymbol("dead_data");
+  G.Bytes = {0xde, 0xad, 0xde, 0xad};
+}
+
+bool hasSymbolPrefixed(const Program &Prog, const std::string &Prefix) {
+  for (const auto &M : Prog.Modules) {
+    for (const MachineFunction &MF : M->Functions)
+      if (Prog.symbolName(MF.Name).rfind(Prefix, 0) == 0)
+        return true;
+    for (const GlobalData &G : M->Globals)
+      if (Prog.symbolName(G.Name).rfind(Prefix, 0) == 0)
+        return true;
+  }
+  return false;
+}
+
+uint64_t pagesOf(uint64_t VmAddr, uint64_t VmSize) {
+  if (VmSize == 0)
+    return 0;
+  return (VmAddr + VmSize - 1) / BinaryImage::PageSize -
+         VmAddr / BinaryImage::PageSize + 1;
+}
+
+struct VariantRow {
+  std::string Name;
+  uint64_t TextBytes = 0;
+  uint64_t TextPages = 0;
+  uint64_t DataBytes = 0;
+  uint64_t DataPages = 0;
+  uint64_t FunctionsRemoved = 0;
+  uint64_t BytesRemoved = 0;
+  uint64_t GlobalsRemoved = 0;
+  uint64_t SequencesOutlined = 0;
+  std::vector<int64_t> SpanResults;
+  std::vector<uint64_t> SpanInstrs;
+};
+
+std::string rowJson(const VariantRow &R) {
+  char Buf[384];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"variant\": \"%s\", \"text_bytes\": %llu, \"text_pages\": %llu, "
+      "\"data_bytes\": %llu, \"data_pages\": %llu, "
+      "\"functions_removed\": %llu, \"bytes_removed\": %llu, "
+      "\"globals_removed\": %llu, \"sequences_outlined\": %llu}",
+      R.Name.c_str(), static_cast<unsigned long long>(R.TextBytes),
+      static_cast<unsigned long long>(R.TextPages),
+      static_cast<unsigned long long>(R.DataBytes),
+      static_cast<unsigned long long>(R.DataPages),
+      static_cast<unsigned long long>(R.FunctionsRemoved),
+      static_cast<unsigned long long>(R.BytesRemoved),
+      static_cast<unsigned long long>(R.GlobalsRemoved),
+      static_cast<unsigned long long>(R.SequencesOutlined));
+  return Buf;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Modules = 32, Rounds = 3, Dead = 24, Threads = 4;
+  std::string JsonPath = "BENCH_dstrip.json";
+  for (int I = 1; I < argc; ++I) {
+    auto Next = [&]() { return I + 1 < argc ? argv[++I] : ""; };
+    if (!std::strcmp(argv[I], "--modules"))
+      Modules = std::atoi(Next());
+    else if (!std::strcmp(argv[I], "--rounds"))
+      Rounds = std::atoi(Next());
+    else if (!std::strcmp(argv[I], "--dead"))
+      Dead = std::atoi(Next());
+    else if (!std::strcmp(argv[I], "--threads"))
+      Threads = std::atoi(Next());
+    else if (!std::strcmp(argv[I], "--json"))
+      JsonPath = Next();
+    else {
+      std::fprintf(stderr,
+                   "usage: fig_dstrip [--modules N] [--rounds N] [--dead N] "
+                   "[--threads N] [--json PATH]\n");
+      return 1;
+    }
+  }
+
+  banner("Whole-program dead-strip — ablation vs outlining",
+         "ld -dead_strip analogue over the symbol+reference graph; "
+         "composes with Section IV repeated outlining");
+  std::printf("%u modules, %u outline round(s), %u injected dead "
+              "function(s), %u thread(s)\n",
+              Modules, Rounds, Dead, Threads);
+
+  AppProfile P = AppProfile::uberRider();
+  P.NumModules = Modules;
+
+  struct VariantSpec {
+    const char *Name;
+    bool Strip;
+    unsigned Rounds;
+  };
+  const VariantSpec Specs[] = {{"baseline", false, 0},
+                               {"strip_only", true, 0},
+                               {"outline_only", false, Rounds},
+                               {"strip_outline", true, Rounds}};
+
+  std::vector<VariantRow> Rows;
+  bool GateFailed = false;
+  for (const VariantSpec &Spec : Specs) {
+    auto Prog = CorpusSynthesizer(P).withThreads(Threads).generate();
+    injectDeadCode(*Prog, Dead);
+
+    PipelineOptions Opts;
+    Opts.OutlineRounds = Spec.Rounds;
+    Opts.WholeProgram = true;
+    Opts.Threads = Threads;
+    Opts.DeadStrip.Enabled = Spec.Strip;
+    BuildResult B = buildProgram(*Prog, Opts);
+
+    VariantRow Row;
+    Row.Name = Spec.Name;
+    Row.FunctionsRemoved = B.DeadStrip.FunctionsRemoved;
+    Row.BytesRemoved = B.DeadStrip.BytesRemoved;
+    Row.GlobalsRemoved = B.DeadStrip.GlobalsRemoved;
+    Row.SequencesOutlined = B.OutlineStats.totalSequencesOutlined();
+
+    // Per-segment accounting, read back from the emitted container the
+    // way mco-size reads it.
+    const Module &M = *Prog->Modules[0];
+    Expected<LoadedObject> O =
+        readObjectFile(serializeObjectFile(M, B.OutlineStats, 0, 0, [&](
+            uint32_t Id) { return Prog->symbolName(Id); }));
+    if (!O.ok()) {
+      std::fprintf(stderr, "FAIL: %s container unreadable: %s\n", Spec.Name,
+                   O.status().message().c_str());
+      return 1;
+    }
+    Row.TextBytes = O->Sections[0].VmSize;
+    Row.TextPages = pagesOf(O->Sections[0].VmAddr, O->Sections[0].VmSize);
+    Row.DataBytes = O->Sections[1].VmSize;
+    Row.DataPages = pagesOf(O->Sections[1].VmAddr, O->Sections[1].VmSize);
+
+    // Gate 1: with stripping on, every injected dead symbol is gone; with
+    // it off, they all survive to keep the ablation honest.
+    const bool DeadLeft = hasSymbolPrefixed(*Prog, "dead_");
+    if (Spec.Strip && DeadLeft) {
+      std::fprintf(stderr,
+                   "FAIL: %s left injected dead symbols in the program\n",
+                   Spec.Name);
+      GateFailed = true;
+    }
+    if (!Spec.Strip && !DeadLeft) {
+      std::fprintf(stderr, "FAIL: %s lost symbols without stripping\n",
+                   Spec.Name);
+      GateFailed = true;
+    }
+
+    // Gate 2 input: execute every span; a strip pass that removed
+    // reachable code either faults here or diverges from the baseline.
+    BinaryImage Image(*Prog);
+    Interpreter Interp(Image, *Prog);
+    for (unsigned S = 0; S < P.NumSpans; ++S) {
+      Row.SpanResults.push_back(
+          Interp.call(CorpusSynthesizer::spanFunctionName(S)));
+      Row.SpanInstrs.push_back(Interp.counters().Instrs);
+    }
+    Rows.push_back(std::move(Row));
+  }
+
+  const VariantRow &Base = Rows[0];
+  for (const VariantRow &R : Rows) {
+    // Outlining changes instruction counts; stripping may not change
+    // results for any variant, and may not change counts unless the
+    // variant outlines.
+    if (R.SpanResults != Base.SpanResults) {
+      std::fprintf(stderr,
+                   "FAIL: %s changed a span result — a reachable function "
+                   "was removed or damaged\n",
+                   R.Name.c_str());
+      GateFailed = true;
+    }
+  }
+  if (Rows[1].SpanInstrs != Base.SpanInstrs) {
+    std::fprintf(stderr,
+                 "FAIL: strip_only changed executed instruction counts\n");
+    GateFailed = true;
+  }
+
+  section("per-variant segment sizes and page counts");
+  std::printf("%-14s %12s %10s %12s %10s %10s %10s\n", "variant",
+              "text_bytes", "text_pgs", "data_bytes", "data_pgs",
+              "fn_removed", "outlined");
+  for (const VariantRow &R : Rows)
+    std::printf("%-14s %12llu %10llu %12llu %10llu %10llu %10llu\n",
+                R.Name.c_str(), static_cast<unsigned long long>(R.TextBytes),
+                static_cast<unsigned long long>(R.TextPages),
+                static_cast<unsigned long long>(R.DataBytes),
+                static_cast<unsigned long long>(R.DataPages),
+                static_cast<unsigned long long>(R.FunctionsRemoved),
+                static_cast<unsigned long long>(R.SequencesOutlined));
+
+  std::string J = "{\n  \"bench\": \"dstrip\",\n";
+  J += "  \"modules\": " + std::to_string(Modules) + ",\n";
+  J += "  \"rounds\": " + std::to_string(Rounds) + ",\n";
+  J += "  \"injected_dead\": " + std::to_string(Dead) + ",\n";
+  J += "  \"variants\": [\n";
+  for (size_t I = 0; I < Rows.size(); ++I)
+    J += "    " + rowJson(Rows[I]) + (I + 1 < Rows.size() ? ",\n" : "\n");
+  J += "  ]\n}\n";
+  if (Status S = atomicWriteFile(JsonPath, J); !S.ok()) {
+    std::fprintf(stderr, "fig_dstrip: %s\n", S.render().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", JsonPath.c_str());
+
+  // Gate 3: composition — strip+outline must end at least as small as
+  // either pass alone.
+  const uint64_t Both = Rows[3].TextBytes;
+  if (Both > Rows[1].TextBytes || Both > Rows[2].TextBytes) {
+    std::fprintf(stderr,
+                 "FAIL: strip+outline (%llu) larger than strip-only (%llu) "
+                 "or outline-only (%llu)\n",
+                 static_cast<unsigned long long>(Both),
+                 static_cast<unsigned long long>(Rows[1].TextBytes),
+                 static_cast<unsigned long long>(Rows[2].TextBytes));
+    GateFailed = true;
+  }
+  if (GateFailed)
+    return 1;
+
+  std::printf("dstrip gate: %llu dead function(s) removed exactly, spans "
+              "identical across variants, strip+outline text %.1f KB vs "
+              "baseline %.1f KB (%.1f%% saved)\n",
+              static_cast<unsigned long long>(Rows[1].FunctionsRemoved),
+              kb(Both), kb(Base.TextBytes),
+              savingPercent(Base.TextBytes, Both));
+  return 0;
+}

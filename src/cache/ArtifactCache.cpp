@@ -6,6 +6,7 @@
 
 #include "cache/ArtifactCache.h"
 
+#include "objfile/ObjectFile.h"
 #include "support/BinReader.h"
 #include "support/Checksum.h"
 #include "support/FaultInjection.h"
@@ -471,12 +472,15 @@ std::string mco::cacheKey(const Module &M, const SymbolNameFn &NameOf,
 }
 
 std::string mco::programContentDigest(Program &Prog) {
+  // v2: the digest covers the MCOB1 object-container encoding — the bytes
+  // the build actually persists and ships — so two programs agree exactly
+  // when their emitted containers would.
   SymbolNameFn NameOf = [&Prog](uint32_t Id) { return Prog.symbolName(Id); };
   std::vector<std::string> Chunks;
   Chunks.reserve(Prog.Modules.size());
   for (const auto &M : Prog.Modules)
-    Chunks.push_back(serializeModuleContent(*M, NameOf));
-  return cacheKeyOfContent(Chunks, "mco-artifact-digest-v1");
+    Chunks.push_back(serializeObjectContent(*M, NameOf));
+  return cacheKeyOfContent(Chunks, "mco-artifact-digest-v2");
 }
 
 //===----------------------------------------------------------------------===//
@@ -576,7 +580,13 @@ ArtifactCache::LoadResult ArtifactCache::load(const std::string &Key,
     Reject(Payload.status().message());
     return LR;
   }
-  Expected<ModuleArtifact> A = deserializeModuleArtifact(*Payload, Syms);
+  // Entries written by this version carry an MCOB1 object container under
+  // the seal; entries from older caches carry the flat MCOM payload. Both
+  // decode; both reject (and quarantine) gracefully on damage.
+  Expected<ModuleArtifact> A =
+      Payload->rfind(ObjectFileMagic, 0) == 0
+          ? deserializeObjectFile(*Payload, Syms)
+          : deserializeModuleArtifact(*Payload, Syms);
   if (!A.ok()) {
     Reject(A.status().message());
     return LR;
@@ -599,7 +609,7 @@ Status ArtifactCache::store(const std::string &Key, const Module &M,
                             uint64_t PatternsQuarantined,
                             const SymbolNameFn &NameOf) {
   MCO_TRACE_SPAN("cache.store", "cache");
-  std::string Sealed = sealArtifact(serializeModuleArtifact(
+  std::string Sealed = sealArtifact(serializeObjectFile(
       M, Stats, RoundsRolledBack, PatternsQuarantined, NameOf));
   if (faultSiteFires(FaultCacheEntryCorrupt) && !Sealed.empty())
     Sealed.back() ^= 0x01; // Flip one payload byte under the seal.

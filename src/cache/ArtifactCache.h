@@ -15,12 +15,15 @@
 /// the build falls back to rebuilding the module — cache corruption can
 /// degrade warm-build speed, never correctness.
 ///
-/// The cached payload is the "MCOM" binary module format, not the textual
-/// MIR: the text form drops function metadata (IsOutlined, FrameKind,
-/// OutlinedCallSites, OriginModule) that the linker's layout decisions and
-/// the size accounting depend on, and it carries no statistics. MCOM
-/// round-trips the module exactly and appends the outlining stats the
-/// original build reported, so a warm build's numbers match the cold one's.
+/// The cached payload is the "MCOB1" object-file container (see
+/// objfile/ObjectFile.h), not the textual MIR: the text form drops function
+/// metadata (IsOutlined, FrameKind, OutlinedCallSites, OriginModule) that
+/// the linker's layout decisions and the size accounting depend on, and it
+/// carries no statistics. The container round-trips the module exactly —
+/// through a symbol table and relocation records rather than inline ids —
+/// and appends the outlining stats the original build reported, so a warm
+/// build's numbers match the cold one's. Entries written by older versions
+/// carry the legacy flat "MCOM" payload, which load() still decodes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -105,7 +108,7 @@ std::string programContentDigest(Program &Prog);
 
 /// The on-disk store. Layout under dir():
 ///
-///   objects/<key>.mco     sealed MCOM artifacts
+///   objects/<key>.mco     sealed MCOB1 object containers
 ///   quarantine/<file>     corrupt entries moved aside for post-mortem
 ///   writer.lock           single-writer lock (shared mode only)
 ///

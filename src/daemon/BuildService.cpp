@@ -488,6 +488,7 @@ RpcMessage BuildService::processRequest(const std::string &Id,
     PipelineOptions PO;
     PO.OutlineRounds = static_cast<unsigned>(Req.intOr("rounds", 2));
     PO.WholeProgram = Req.intOr("per_module", 0) == 0;
+    PO.DeadStrip.Enabled = Req.intOr("dead_strip", 0) != 0;
     PO.Threads = static_cast<unsigned>(
         Req.intOr("threads", int64_t(Opts.BuildThreads)));
     if (PO.Threads == 0)

@@ -1,0 +1,103 @@
+//===- objfile/DeadStrip.cpp - Whole-program dead-code elimination --------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "objfile/DeadStrip.h"
+
+#include "mir/Program.h"
+#include "objfile/ObjectFile.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace mco;
+
+DeadStripStats mco::runDeadStrip(Program &Prog, const DeadStripOptions &Opts) {
+  DeadStripStats Stats;
+  if (!Opts.Enabled)
+    return Stats;
+  const auto T0 = std::chrono::steady_clock::now();
+
+  std::unordered_set<std::string> Extra(Opts.ExportedSymbols.begin(),
+                                        Opts.ExportedSymbols.end());
+  auto IsRoot = [&](const std::string &N) {
+    return isDefaultExportedName(N) || Extra.count(N) != 0;
+  };
+
+  // Index every definition by symbol id. Duplicate definitions are the
+  // linker's error to report, not ours — first one wins here, and since
+  // liveness is per-symbol both copies survive or neither does.
+  std::unordered_map<uint32_t, const MachineFunction *> FuncBySym;
+  std::unordered_set<uint32_t> GlobalSyms;
+  for (const std::unique_ptr<Module> &M : Prog.Modules) {
+    for (const MachineFunction &MF : M->Functions) {
+      FuncBySym.emplace(MF.Name, &MF);
+      ++Stats.FunctionsScanned;
+    }
+    for (const GlobalData &G : M->Globals)
+      GlobalSyms.insert(G.Name);
+  }
+
+  // Mark: conservative reachability over every Symbol operand of every
+  // live function — opcode-independent, so an ADR-taken function address
+  // that later feeds a BLR keeps its target live.
+  std::unordered_set<uint32_t> Live;
+  std::vector<uint32_t> Worklist;
+  auto MarkLive = [&](uint32_t Sym) {
+    if (!Live.insert(Sym).second)
+      return;
+    if (FuncBySym.count(Sym))
+      Worklist.push_back(Sym);
+  };
+  for (const auto &[Sym, MF] : FuncBySym)
+    if (IsRoot(Prog.symbolName(Sym)))
+      MarkLive(Sym);
+  for (uint32_t Sym : GlobalSyms)
+    if (IsRoot(Prog.symbolName(Sym)))
+      Live.insert(Sym);
+  Stats.Roots = Live.size();
+
+  while (!Worklist.empty()) {
+    const MachineFunction *MF = FuncBySym[Worklist.back()];
+    Worklist.pop_back();
+    for (const MachineBasicBlock &MBB : MF->Blocks)
+      for (const MachineInstr &MI : MBB.Instrs)
+        for (unsigned OI = 0; OI < MI.numOperands(); ++OI)
+          if (MI.operand(OI).isSym())
+            MarkLive(MI.operand(OI).getSym());
+  }
+
+  // Sweep.
+  for (std::unique_ptr<Module> &M : Prog.Modules) {
+    auto DeadF = [&](const MachineFunction &MF) {
+      if (Live.count(MF.Name))
+        return false;
+      ++Stats.FunctionsRemoved;
+      Stats.BytesRemoved += MF.codeSize();
+      return true;
+    };
+    M->Functions.erase(
+        std::remove_if(M->Functions.begin(), M->Functions.end(), DeadF),
+        M->Functions.end());
+    auto DeadG = [&](const GlobalData &G) {
+      if (Live.count(G.Name))
+        return false;
+      ++Stats.GlobalsRemoved;
+      Stats.GlobalBytesRemoved += G.Bytes.size();
+      return true;
+    };
+    M->Globals.erase(
+        std::remove_if(M->Globals.begin(), M->Globals.end(), DeadG),
+        M->Globals.end());
+  }
+
+  Stats.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  return Stats;
+}

@@ -1,0 +1,61 @@
+//===- objfile/DeadStrip.h - Whole-program dead-code elimination -*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-program dead-strip over the symbol + reference graph, run as a
+/// pipeline pass BEFORE outlining (stripping first means the outliner never
+/// wastes candidates on code that will not ship, and outlined results for
+/// fully-live programs are unchanged by construction).
+///
+/// Roots are the exported symbols: the default policy
+/// (isDefaultExportedName: `main`, `bench_main`, `span_*` drivers) plus any
+/// names supplied through `--export`. Reachability walks every Symbol
+/// operand of every reachable function — calls (BL/Btail) and global
+/// address materializations (ADR) alike — so an indirect call through a
+/// function whose address was taken (ADR then BLR) keeps its target live.
+/// Unreachable functions and globals are removed; everything else is
+/// untouched, so a program with no dead code round-trips bit-identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_OBJFILE_DEADSTRIP_H
+#define MCO_OBJFILE_DEADSTRIP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mco {
+
+class Program;
+
+struct DeadStripOptions {
+  /// Off by default: stripping changes what the outliner sees, so it is an
+  /// opt-in build mode (`--dead-strip`) with `--no-dead-strip` as the
+  /// explicit escape hatch once enabled in a config.
+  bool Enabled = false;
+  /// Extra root names on top of the default exported-name policy
+  /// (`--export name,name,...`).
+  std::vector<std::string> ExportedSymbols;
+};
+
+struct DeadStripStats {
+  uint64_t Roots = 0;
+  uint64_t FunctionsScanned = 0;
+  uint64_t FunctionsRemoved = 0;
+  uint64_t BytesRemoved = 0;
+  uint64_t GlobalsRemoved = 0;
+  uint64_t GlobalBytesRemoved = 0;
+  double Seconds = 0.0;
+};
+
+/// Marks from the roots and sweeps unreachable functions and globals from
+/// every module of \p Prog.
+DeadStripStats runDeadStrip(Program &Prog, const DeadStripOptions &Opts);
+
+} // namespace mco
+
+#endif // MCO_OBJFILE_DEADSTRIP_H

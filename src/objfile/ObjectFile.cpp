@@ -1,0 +1,1113 @@
+//===- objfile/ObjectFile.cpp - MCOB1 segmented object container ----------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "objfile/ObjectFile.h"
+
+#include "linker/Linker.h"
+#include "support/BinReader.h"
+#include "support/FaultInjection.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace mco;
+
+//===----------------------------------------------------------------------===//
+// MCOB1 v1 serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// Little-endian fixed-width writers (the MCOM codec idiom).
+void putU8(std::string &B, uint8_t V) { B.push_back(static_cast<char>(V)); }
+void putU16(std::string &B, uint16_t V) {
+  for (int I = 0; I < 2; ++I)
+    B.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+void putU32(std::string &B, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    B.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+void putU64(std::string &B, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    B.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+void putI64(std::string &B, int64_t V) { putU64(B, static_cast<uint64_t>(V)); }
+void putStr(std::string &B, const std::string &S) {
+  putU32(B, static_cast<uint32_t>(S.size()));
+  B += S;
+}
+
+constexpr const char *SegTextName = "__TEXT";
+constexpr const char *SegDataName = "__DATA";
+constexpr const char *SectTextName = "__text";
+constexpr const char *SectConstName = "__const";
+
+/// Interns symbol names into a local table in first-use order, so the
+/// encoding depends only on module *contents*, never on the symbol ids the
+/// producing build happened to assign.
+class StringTable {
+public:
+  explicit StringTable(const SymbolNameFn &NameOf) : NameOf(NameOf) {}
+
+  uint32_t indexOf(uint32_t SymbolId) {
+    std::string Name = NameOf(SymbolId);
+    auto It = Index.find(Name);
+    if (It != Index.end())
+      return It->second;
+    uint32_t Idx = static_cast<uint32_t>(Strings.size());
+    Strings.push_back(Name);
+    Index.emplace(std::move(Name), Idx);
+    return Idx;
+  }
+
+  const std::vector<std::string> &strings() const { return Strings; }
+
+private:
+  const SymbolNameFn &NameOf;
+  std::vector<std::string> Strings;
+  std::unordered_map<std::string, uint32_t> Index;
+};
+
+uint8_t relocKindOf(Opcode Op) {
+  switch (Op) {
+  case Opcode::BL:
+    return ObjRelocCall;
+  case Opcode::Btail:
+    return ObjRelocTailCall;
+  case Opcode::ADR:
+    return ObjRelocAdr;
+  default:
+    return ObjRelocOther;
+  }
+}
+
+/// The writer-side symbol-table row; Name is kept for trie construction.
+struct SymRec {
+  uint32_t NameIdx = 0;
+  std::string Name;
+  ObjSymbolKind Kind = ObjSymbolKind::Undefined;
+  ObjVisibility Vis = ObjVisibility::Global;
+  uint8_t Sect = ObjSectNone;
+  uint8_t Flags = 0;
+  uint8_t Frame = 0;
+  uint32_t CallSites = 0;
+  uint32_t Origin = 0;
+  uint64_t Addr = 0;
+  uint64_t Size = 0;
+};
+
+/// Compressed-prefix export trie, built as a tree and flattened
+/// breadth-first so node i's children occupy one consecutive index run —
+/// the layout the validator can prove cycle-free with a single counter.
+struct TrieTreeNode {
+  std::string Frag;
+  bool Terminal = false;
+  uint32_t SymIdx = 0;
+  std::vector<std::unique_ptr<TrieTreeNode>> Kids;
+};
+
+/// Attaches children for Names[Lo,Hi) — sorted, all sharing a prefix of
+/// length Depth, none equal to it — grouping maximal common prefixes.
+void buildTrieKids(TrieTreeNode &Parent,
+                   const std::vector<std::pair<std::string, uint32_t>> &Names,
+                   size_t Lo, size_t Hi, size_t Depth) {
+  size_t I = Lo;
+  while (I < Hi) {
+    char First = Names[I].first[Depth];
+    size_t J = I;
+    while (J < Hi && Names[J].first[Depth] == First)
+      ++J;
+    // Longest common prefix of the group beyond Depth.
+    size_t Lcp = Names[I].first.size() - Depth;
+    for (size_t K = I + 1; K < J; ++K) {
+      const std::string &A = Names[I].first;
+      const std::string &B = Names[K].first;
+      size_t C = 0;
+      while (Depth + C < A.size() && Depth + C < B.size() &&
+             A[Depth + C] == B[Depth + C])
+        ++C;
+      Lcp = std::min(Lcp, C);
+    }
+    auto Kid = std::make_unique<TrieTreeNode>();
+    Kid->Frag = Names[I].first.substr(Depth, Lcp);
+    size_t NewDepth = Depth + Lcp;
+    size_t Start = I;
+    if (Names[I].first.size() == NewDepth) {
+      Kid->Terminal = true;
+      Kid->SymIdx = Names[I].second;
+      ++Start;
+    }
+    buildTrieKids(*Kid, Names, Start, J, NewDepth);
+    Parent.Kids.push_back(std::move(Kid));
+    I = J;
+  }
+}
+
+void encodeTrie(const std::vector<SymRec> &Syms, std::string &Blob) {
+  std::vector<std::pair<std::string, uint32_t>> Exported;
+  for (size_t I = 0; I < Syms.size(); ++I)
+    if (Syms[I].Vis == ObjVisibility::Exported)
+      Exported.emplace_back(Syms[I].Name, static_cast<uint32_t>(I));
+  std::sort(Exported.begin(), Exported.end());
+  // A function and a global sharing an exported name collapse to one
+  // terminal (the loader compares against the deduplicated name set).
+  Exported.erase(std::unique(Exported.begin(), Exported.end(),
+                             [](const auto &A, const auto &B) {
+                               return A.first == B.first;
+                             }),
+                 Exported.end());
+  if (Exported.empty()) {
+    putU32(Blob, 0);
+    return;
+  }
+  TrieTreeNode Root;
+  buildTrieKids(Root, Exported, 0, Exported.size(), 0);
+
+  // Breadth-first flatten: children of the Nth emitted node are claimed by
+  // one running counter, so FirstChild values are forced, not free.
+  std::vector<const TrieTreeNode *> Order;
+  Order.push_back(&Root);
+  for (size_t I = 0; I < Order.size(); ++I)
+    for (const auto &K : Order[I]->Kids)
+      Order.push_back(K.get());
+  putU32(Blob, static_cast<uint32_t>(Order.size()));
+  uint32_t NextChild = 1;
+  for (const TrieTreeNode *N : Order) {
+    putStr(Blob, N->Frag);
+    putU8(Blob, N->Terminal ? 1 : 0);
+    putU32(Blob, N->Terminal ? N->SymIdx : 0);
+    if (N->Kids.empty()) {
+      putU32(Blob, 0);
+      putU32(Blob, 0);
+    } else {
+      putU32(Blob, NextChild);
+      putU32(Blob, static_cast<uint32_t>(N->Kids.size()));
+      NextChild += static_cast<uint32_t>(N->Kids.size());
+    }
+  }
+}
+
+void encodeRoundStats(std::string &B, const OutlineRoundStats &RS) {
+  putU64(B, RS.SequencesOutlined);
+  putU64(B, RS.FunctionsCreated);
+  putU64(B, RS.OutlinedFunctionBytes);
+  putU64(B, RS.CodeSizeBefore);
+  putU64(B, RS.CodeSizeAfter);
+  putU64(B, RS.PatternsConsidered);
+  putU64(B, RS.PatternsUnprofitable);
+  putU64(B, RS.CandidatesDroppedSP);
+  putU64(B, RS.CandidatesDroppedOverlap);
+  putU64(B, RS.FunctionsRemapped);
+  putU64(B, RS.LivenessComputed);
+  putU64(B, RS.FunctionsEdited);
+  putU64(B, RS.PatternsQuarantined);
+  putU64(B, RS.RoundsRolledBack);
+}
+
+void decodeRoundStats(BinReader &R, OutlineRoundStats &RS) {
+  RS.SequencesOutlined = R.u64();
+  RS.FunctionsCreated = R.u64();
+  RS.OutlinedFunctionBytes = R.u64();
+  RS.CodeSizeBefore = R.u64();
+  RS.CodeSizeAfter = R.u64();
+  RS.PatternsConsidered = R.u64();
+  RS.PatternsUnprofitable = R.u64();
+  RS.CandidatesDroppedSP = R.u64();
+  RS.CandidatesDroppedOverlap = R.u64();
+  RS.FunctionsRemapped = R.u64();
+  RS.LivenessComputed = R.u64();
+  RS.FunctionsEdited = R.u64();
+  RS.PatternsQuarantined = R.u64();
+  RS.RoundsRolledBack = R.u64();
+}
+
+MachineInstr makeInstr(Opcode Op, const MachineOperand *Ops, unsigned N) {
+  switch (N) {
+  case 0:
+    return MachineInstr(Op);
+  case 1:
+    return MachineInstr(Op, Ops[0]);
+  case 2:
+    return MachineInstr(Op, Ops[0], Ops[1]);
+  case 3:
+    return MachineInstr(Op, Ops[0], Ops[1], Ops[2]);
+  default:
+    return MachineInstr(Op, Ops[0], Ops[1], Ops[2], Ops[3]);
+  }
+}
+
+struct ContainerParts {
+  std::string Bytes;
+  /// Offset of the relocation-table count field in Bytes.
+  size_t RelocTableOff = 0;
+  uint32_t NumRelocs = 0;
+};
+
+/// The one writer behind both serialize entry points. Layout is computed
+/// from the module alone, with BinaryImage's exact rules for a standalone
+/// module: text sequential from TextBase in stored order, data at the next
+/// 16 KiB page with 8-byte-aligned globals. (A per-module artifact's
+/// addresses are thus "as if linked alone"; the loader verifies them and
+/// relocations carry symbol indices, so the final program layout is still
+/// BinaryImage's business.)
+ContainerParts buildContainer(const Module &M, const SymbolNameFn &NameOf,
+                              const std::vector<std::string> *Exports) {
+  std::unordered_set<std::string> Extra;
+  if (Exports)
+    Extra.insert(Exports->begin(), Exports->end());
+  auto IsExported = [&](const std::string &N) {
+    return isDefaultExportedName(N) || Extra.count(N) != 0;
+  };
+
+  StringTable Table(NameOf);
+  std::vector<SymRec> Syms;
+  std::unordered_map<std::string, uint32_t> FuncIdx, GlobalIdx, UndefIdx;
+
+  // Defined functions: sequential text layout from TextBase.
+  uint64_t Addr = BinaryImage::TextBase;
+  for (const MachineFunction &MF : M.Functions) {
+    SymRec S;
+    S.NameIdx = Table.indexOf(MF.Name);
+    S.Name = NameOf(MF.Name);
+    S.Kind = ObjSymbolKind::Function;
+    S.Vis = MF.IsOutlined ? ObjVisibility::Local
+            : IsExported(S.Name) ? ObjVisibility::Exported
+                                 : ObjVisibility::Global;
+    S.Sect = ObjSectText;
+    S.Flags = MF.IsOutlined ? 1 : 0;
+    S.Frame = static_cast<uint8_t>(MF.FrameKind);
+    S.CallSites = MF.OutlinedCallSites;
+    S.Origin = MF.OriginModule;
+    S.Addr = Addr;
+    S.Size = MF.codeSize();
+    Addr += S.Size;
+    FuncIdx.emplace(S.Name, static_cast<uint32_t>(Syms.size()));
+    Syms.push_back(std::move(S));
+  }
+  const uint64_t CodeBytes = Addr - BinaryImage::TextBase;
+
+  // Defined globals: next page boundary, 8-byte-aligned each.
+  const uint64_t DataBase = (Addr + BinaryImage::PageSize - 1) &
+                            ~(BinaryImage::PageSize - 1);
+  uint64_t DAddr = DataBase;
+  for (const GlobalData &G : M.Globals) {
+    DAddr = (DAddr + 7) & ~uint64_t(7);
+    SymRec S;
+    S.NameIdx = Table.indexOf(G.Name);
+    S.Name = NameOf(G.Name);
+    S.Kind = ObjSymbolKind::Global;
+    S.Vis = IsExported(S.Name) ? ObjVisibility::Exported
+                               : ObjVisibility::Global;
+    S.Sect = ObjSectConst;
+    S.Origin = G.OriginModule;
+    S.Addr = DAddr;
+    S.Size = G.Bytes.size();
+    DAddr += S.Size;
+    GlobalIdx.emplace(S.Name, static_cast<uint32_t>(Syms.size()));
+    Syms.push_back(std::move(S));
+  }
+  const uint64_t DataBytes = DAddr - DataBase;
+
+  // Text payload + relocation records. Symbol operands are stored zeroed;
+  // every one gets a relocation. References to names not defined here
+  // (runtime builtins, cross-module callees of a per-module artifact)
+  // append undefined symbols in first-use order.
+  auto UndefFor = [&](const std::string &Name, uint32_t SymId) -> uint32_t {
+    auto It = UndefIdx.find(Name);
+    if (It != UndefIdx.end())
+      return It->second;
+    SymRec S;
+    S.NameIdx = Table.indexOf(SymId);
+    S.Name = Name;
+    S.Kind = ObjSymbolKind::Undefined;
+    S.Vis = ObjVisibility::Global;
+    S.Sect = ObjSectNone;
+    uint32_t Idx = static_cast<uint32_t>(Syms.size());
+    UndefIdx.emplace(Name, Idx);
+    Syms.push_back(std::move(S));
+    return Idx;
+  };
+
+  std::string Text;
+  std::vector<ObjRelocation> Relocs;
+  for (size_t FI = 0; FI < M.Functions.size(); ++FI) {
+    const MachineFunction &MF = M.Functions[FI];
+    putU32(Text, static_cast<uint32_t>(MF.Blocks.size()));
+    uint32_t InstrIdx = 0;
+    for (const MachineBasicBlock &MBB : MF.Blocks) {
+      putU32(Text, static_cast<uint32_t>(MBB.Instrs.size()));
+      for (const MachineInstr &MI : MBB.Instrs) {
+        putU8(Text, static_cast<uint8_t>(MI.opcode()));
+        putU8(Text, static_cast<uint8_t>(MI.numOperands()));
+        for (unsigned OI = 0; OI < MI.numOperands(); ++OI) {
+          const MachineOperand &Op = MI.operand(OI);
+          putU8(Text, static_cast<uint8_t>(Op.K));
+          putU8(Text, static_cast<uint8_t>(Op.R));
+          putU8(Text, static_cast<uint8_t>(Op.C));
+          if (Op.isSym()) {
+            const std::string TName = NameOf(Op.getSym());
+            const uint8_t RK = relocKindOf(MI.opcode());
+            uint32_t Target;
+            if (RK == ObjRelocAdr) {
+              auto It = GlobalIdx.find(TName);
+              Target = It != GlobalIdx.end() ? It->second
+                                             : UndefFor(TName, Op.getSym());
+            } else if (RK == ObjRelocCall || RK == ObjRelocTailCall) {
+              auto It = FuncIdx.find(TName);
+              Target = It != FuncIdx.end() ? It->second
+                                           : UndefFor(TName, Op.getSym());
+            } else {
+              auto FIt = FuncIdx.find(TName);
+              auto GIt = GlobalIdx.find(TName);
+              Target = FIt != FuncIdx.end()   ? FIt->second
+                       : GIt != GlobalIdx.end() ? GIt->second
+                                                : UndefFor(TName, Op.getSym());
+            }
+            ObjRelocation Rl;
+            Rl.FuncSym = static_cast<uint32_t>(FI);
+            Rl.InstrIdx = InstrIdx;
+            Rl.OperandIdx = static_cast<uint8_t>(OI);
+            Rl.Kind = RK;
+            Rl.TargetSym = Target;
+            Relocs.push_back(Rl);
+            putI64(Text, 0);
+          } else {
+            putI64(Text, Op.Val);
+          }
+        }
+        ++InstrIdx;
+      }
+    }
+  }
+
+  // Data payload: the packed vm image of __const (alignment padding
+  // included), so filesize == vmsize.
+  std::string Data;
+  uint64_t Cur = DataBase;
+  for (const GlobalData &G : M.Globals) {
+    uint64_t A = (Cur + 7) & ~uint64_t(7);
+    Data.append(static_cast<size_t>(A - Cur), '\0');
+    Data.append(reinterpret_cast<const char *>(G.Bytes.data()),
+                G.Bytes.size());
+    Cur = A + G.Bytes.size();
+  }
+
+  std::string TrieBlob;
+  encodeTrie(Syms, TrieBlob);
+
+  std::string SymBlob;
+  putU32(SymBlob, static_cast<uint32_t>(Syms.size()));
+  for (const SymRec &S : Syms) {
+    putU32(SymBlob, S.NameIdx);
+    putU8(SymBlob, static_cast<uint8_t>(S.Kind));
+    putU8(SymBlob, static_cast<uint8_t>(S.Vis));
+    putU8(SymBlob, S.Sect);
+    putU8(SymBlob, S.Flags);
+    putU8(SymBlob, S.Frame);
+    putU8(SymBlob, 0);  // pad
+    putU16(SymBlob, 0); // pad
+    putU32(SymBlob, S.CallSites);
+    putU32(SymBlob, S.Origin);
+    putU64(SymBlob, S.Addr);
+    putU64(SymBlob, S.Size);
+  }
+
+  std::string RelocBlob;
+  putU32(RelocBlob, static_cast<uint32_t>(Relocs.size()));
+  for (const ObjRelocation &Rl : Relocs) {
+    putU32(RelocBlob, Rl.FuncSym);
+    putU32(RelocBlob, Rl.InstrIdx);
+    putU8(RelocBlob, Rl.OperandIdx);
+    putU8(RelocBlob, Rl.Kind);
+    putU16(RelocBlob, 0); // pad
+    putU32(RelocBlob, Rl.TargetSym);
+  }
+
+  std::string StrBlob;
+  putU32(StrBlob, static_cast<uint32_t>(Table.strings().size()));
+  for (const std::string &S : Table.strings())
+    putStr(StrBlob, S);
+
+  // File offsets: everything before the payloads has a known size now.
+  auto SegEntryLen = [](const char *Seg, const char *Sect) {
+    return (4 + std::strlen(Seg)) + 4 * 8 + 4 + (4 + std::strlen(Sect)) +
+           4 * 8;
+  };
+  const size_t SegsLen = 1 + SegEntryLen(SegTextName, SectTextName) +
+                         SegEntryLen(SegDataName, SectConstName);
+  const size_t Prefix =
+      std::strlen(ObjectFileMagic) + 1 + 4 + M.Name.size();
+  const size_t RelocOff =
+      Prefix + StrBlob.size() + SegsLen + SymBlob.size() + TrieBlob.size();
+  const size_t TextOff = RelocOff + RelocBlob.size();
+  const size_t DataOff = TextOff + Text.size();
+
+  std::string Segs;
+  putU8(Segs, 2);
+  auto PutSeg = [&](const char *Seg, const char *Sect, uint64_t VmAddr,
+                    uint64_t VmSize, uint64_t FileOff, uint64_t FileSize) {
+    putStr(Segs, Seg);
+    putU64(Segs, VmAddr);
+    putU64(Segs, VmSize);
+    putU64(Segs, FileOff);
+    putU64(Segs, FileSize);
+    putU32(Segs, 1); // one section per segment
+    putStr(Segs, Sect);
+    putU64(Segs, VmAddr);
+    putU64(Segs, VmSize);
+    putU64(Segs, FileOff);
+    putU64(Segs, FileSize);
+  };
+  PutSeg(SegTextName, SectTextName, BinaryImage::TextBase, CodeBytes,
+         TextOff, Text.size());
+  PutSeg(SegDataName, SectConstName, DataBase, DataBytes, DataOff,
+         Data.size());
+
+  ContainerParts Parts;
+  std::string &Out = Parts.Bytes;
+  Out.reserve(DataOff + Data.size());
+  Out += ObjectFileMagic;
+  putU8(Out, ObjectFileVersion);
+  putStr(Out, M.Name);
+  Out += StrBlob;
+  Out += Segs;
+  Out += SymBlob;
+  Out += TrieBlob;
+  Out += RelocBlob;
+  Out += Text;
+  Out += Data;
+  Parts.RelocTableOff = RelocOff;
+  Parts.NumRelocs = static_cast<uint32_t>(Relocs.size());
+  return Parts;
+}
+
+} // namespace
+
+bool mco::isDefaultExportedName(const std::string &Name) {
+  return Name == "main" || Name == "bench_main" ||
+         Name.rfind("span_", 0) == 0;
+}
+
+std::string
+mco::serializeObjectContent(const Module &M, const SymbolNameFn &NameOf,
+                            const std::vector<std::string> *Exports) {
+  return buildContainer(M, NameOf, Exports).Bytes;
+}
+
+std::string
+mco::serializeObjectFile(const Module &M, const RepeatedOutlineStats &Stats,
+                         uint64_t RoundsRolledBack,
+                         uint64_t PatternsQuarantined,
+                         const SymbolNameFn &NameOf,
+                         const std::vector<std::string> *Exports) {
+  ContainerParts Parts = buildContainer(M, NameOf, Exports);
+  std::string &Out = Parts.Bytes;
+  putU32(Out, static_cast<uint32_t>(Stats.Rounds.size()));
+  for (const OutlineRoundStats &RS : Stats.Rounds)
+    encodeRoundStats(Out, RS);
+  putU64(Out, RoundsRolledBack);
+  putU64(Out, PatternsQuarantined);
+  if (Parts.NumRelocs > 0 && faultSiteFires(FaultObjfileRelocGarble)) {
+    // Flip the top bit of the first relocation's target index: an
+    // always-out-of-range symbol reference the loader's validation must
+    // report as a Status (never dereference). Layout: u32 count, then
+    // per record the target is the little-endian u32 at +12.
+    Out[Parts.RelocTableOff + 4 + 12 + 3] ^= static_cast<char>(0x80);
+  }
+  return Out;
+}
+
+Status mco::validateObjectFileBytes(const std::string &Bytes) {
+  // Structure-only FormatValidator walk: the same grammar the decoder
+  // consumes, with every range checked, but no object is built and no
+  // symbol is interned. readObjectFile repeats the checks it needs for
+  // memory safety and adds the semantic layer (layout recomputation,
+  // relocation coverage, trie/symbol agreement) on top.
+  BinReader R(Bytes);
+  auto Fail = [&](const std::string &Why) -> Status {
+    if (R.fail())
+      return R.status("object file");
+    return MCO_CORRUPT("object file: " + Why + " at byte " +
+                       std::to_string(R.offset()));
+  };
+
+  R.literal(ObjectFileMagic, std::strlen(ObjectFileMagic));
+  uint8_t Version = R.u8();
+  if (R.fail())
+    return Fail("");
+  if (Version != ObjectFileVersion)
+    return Fail("unsupported version " + std::to_string(Version));
+  R.str(); // module name
+
+  uint32_t NumStrings = R.u32();
+  if (!R.plausibleCount(NumStrings, 4, "string-table"))
+    return Fail("");
+  for (uint32_t I = 0; I < NumStrings; ++I) {
+    R.str();
+    if (R.fail())
+      return Fail("");
+  }
+
+  uint8_t NumSegs = R.u8();
+  if (R.fail())
+    return Fail("");
+  if (NumSegs != 2)
+    return Fail("expected 2 segments");
+  const char *SegNames[2] = {SegTextName, SegDataName};
+  const char *SectNames[2] = {SectTextName, SectConstName};
+  uint64_t SegOff[2] = {0, 0};
+  uint64_t SegSize[2] = {0, 0};
+  for (unsigned I = 0; I < 2; ++I) {
+    std::string SN = R.str();
+    if (R.fail())
+      return Fail("");
+    if (SN != SegNames[I])
+      return Fail("bad segment name '" + SN + "'");
+    R.u64(); // vmaddr (semantic: checked against recomputed layout)
+    R.u64(); // vmsize
+    SegOff[I] = R.u64();
+    SegSize[I] = R.u64();
+    uint32_t NumSects = R.u32();
+    if (R.fail())
+      return Fail("");
+    if (NumSects != 1)
+      return Fail("expected 1 section in " + SN);
+    std::string SectN = R.str();
+    if (R.fail())
+      return Fail("");
+    if (SectN != SectNames[I])
+      return Fail("bad section name '" + SectN + "'");
+    R.u64(); // vmaddr
+    R.u64(); // vmsize
+    uint64_t SOff = R.u64();
+    uint64_t SSize = R.u64();
+    if (R.fail())
+      return Fail("");
+    if (SOff != SegOff[I] || SSize != SegSize[I])
+      return Fail("section extent disagrees with its segment");
+  }
+
+  uint32_t NumSyms = R.u32();
+  if (!R.plausibleCount(NumSyms, 36, "symbol"))
+    return Fail("");
+  uint32_t NumFuncs = 0;
+  uint32_t NumExported = 0;
+  uint8_t PrevKind = 0;
+  for (uint32_t I = 0; I < NumSyms; ++I) {
+    if (R.u32() >= NumStrings && !R.fail())
+      return Fail("symbol name index out of range");
+    uint8_t Kind = R.u8();
+    uint8_t Vis = R.u8();
+    uint8_t Sect = R.u8();
+    uint8_t Flags = R.u8();
+    uint8_t Frame = R.u8();
+    uint8_t Pad8 = R.u8();
+    uint16_t Pad16 = R.u16();
+    R.u32(); // OutlinedCallSites
+    R.u32(); // OriginModule
+    R.u64(); // Addr (semantic)
+    R.u64(); // Size (semantic)
+    if (R.fail())
+      return Fail("");
+    if (Kind > static_cast<uint8_t>(ObjSymbolKind::Undefined))
+      return Fail("invalid symbol kind");
+    if (Vis > static_cast<uint8_t>(ObjVisibility::Exported))
+      return Fail("invalid symbol visibility");
+    if (Flags > 1)
+      return Fail("invalid symbol flags");
+    if (Frame > static_cast<uint8_t>(OutlinedFrameKind::Thunk))
+      return Fail("invalid frame kind");
+    if (Pad8 != 0 || Pad16 != 0)
+      return Fail("nonzero symbol padding");
+    const bool SectOk =
+        (Kind == static_cast<uint8_t>(ObjSymbolKind::Function) &&
+         Sect == ObjSectText) ||
+        (Kind == static_cast<uint8_t>(ObjSymbolKind::Global) &&
+         Sect == ObjSectConst) ||
+        (Kind == static_cast<uint8_t>(ObjSymbolKind::Undefined) &&
+         Sect == ObjSectNone);
+    if (!SectOk)
+      return Fail("symbol kind/section mismatch");
+    if (Kind == static_cast<uint8_t>(ObjSymbolKind::Undefined) &&
+        Vis == static_cast<uint8_t>(ObjVisibility::Exported))
+      return Fail("undefined symbol cannot be exported");
+    if (Kind < PrevKind)
+      return Fail("symbols not ordered functions/globals/undefined");
+    PrevKind = Kind;
+    if (Kind == static_cast<uint8_t>(ObjSymbolKind::Function))
+      ++NumFuncs;
+    if (Vis == static_cast<uint8_t>(ObjVisibility::Exported))
+      ++NumExported;
+  }
+
+  // Export trie: breadth-first node layout proven tree-shaped by one
+  // running child counter — no index can be claimed twice, so a reader's
+  // traversal cannot cycle or recurse unboundedly.
+  uint32_t NumNodes = R.u32();
+  if (!R.plausibleCount(NumNodes, 17, "export-trie node"))
+    return Fail("");
+  if (NumNodes == 0 && NumExported != 0)
+    return Fail("exported symbols but empty export trie");
+  uint64_t NextChild = 1;
+  uint32_t NumTerminals = 0;
+  for (uint32_t I = 0; I < NumNodes; ++I) {
+    std::string Frag = R.str();
+    uint8_t Terminal = R.u8();
+    uint32_t SymIdx = R.u32();
+    uint32_t FirstChild = R.u32();
+    uint32_t NumChildren = R.u32();
+    if (R.fail())
+      return Fail("");
+    if (I == 0 && (!Frag.empty() || Terminal))
+      return Fail("trie root must be a non-terminal empty fragment");
+    if (I > 0 && Frag.empty())
+      return Fail("empty trie fragment");
+    if (Terminal > 1)
+      return Fail("invalid trie terminal flag");
+    if (Terminal) {
+      if (SymIdx >= NumSyms)
+        return Fail("trie symbol index out of range");
+      ++NumTerminals;
+    } else if (SymIdx != 0) {
+      return Fail("non-terminal trie node carries a symbol");
+    }
+    if (NumChildren == 0) {
+      if (FirstChild != 0)
+        return Fail("leaf trie node claims children");
+    } else {
+      if (FirstChild != NextChild)
+        return Fail("trie layout not breadth-first");
+      NextChild += NumChildren;
+      if (NextChild > NumNodes)
+        return Fail("trie children out of range");
+    }
+  }
+  if (NumNodes > 0 && NextChild != NumNodes)
+    return Fail("unclaimed trie nodes");
+
+  uint32_t NumRelocs = R.u32();
+  if (!R.plausibleCount(NumRelocs, 16, "relocation"))
+    return Fail("");
+  for (uint32_t I = 0; I < NumRelocs; ++I) {
+    uint32_t FuncSym = R.u32();
+    R.u32(); // InstrIdx (checked against the decoded body by the reader)
+    uint8_t OperandIdx = R.u8();
+    uint8_t Kind = R.u8();
+    uint16_t Pad = R.u16();
+    uint32_t Target = R.u32();
+    if (R.fail())
+      return Fail("");
+    if (FuncSym >= NumFuncs)
+      return Fail("relocation function index out of range");
+    if (OperandIdx >= MachineInstr::MaxOperands)
+      return Fail("relocation operand index out of range");
+    if (Kind > ObjRelocOther)
+      return Fail("invalid relocation kind");
+    if (Pad != 0)
+      return Fail("nonzero relocation padding");
+    if (Target >= NumSyms)
+      return Fail("relocation target out of range");
+  }
+
+  // Text payload: must start exactly where __TEXT's fileoff says.
+  if (R.offset() != SegOff[0])
+    return Fail("__TEXT fileoff disagrees with payload position");
+  for (uint32_t FI = 0; FI < NumFuncs; ++FI) {
+    uint32_t NumBlocks = R.u32();
+    if (!R.plausibleCount(NumBlocks, 4, "block"))
+      return Fail("");
+    for (uint32_t BI = 0; BI < NumBlocks; ++BI) {
+      uint32_t NumInstrs = R.u32();
+      if (!R.plausibleCount(NumInstrs, 2, "instruction"))
+        return Fail("");
+      for (uint32_t II = 0; II < NumInstrs; ++II) {
+        uint8_t OpByte = R.u8();
+        if (OpByte > static_cast<uint8_t>(Opcode::NOP) && !R.fail())
+          return Fail("invalid opcode");
+        uint8_t NumOps = R.u8();
+        if (NumOps > MachineInstr::MaxOperands && !R.fail())
+          return Fail("invalid operand count");
+        for (uint8_t OI = 0; OI < NumOps; ++OI) {
+          uint8_t Kind = R.u8();
+          if (Kind > static_cast<uint8_t>(MachineOperand::Kind::CondK) &&
+              !R.fail())
+            return Fail("invalid operand kind");
+          uint8_t RegByte = R.u8();
+          if (RegByte >= static_cast<uint8_t>(Reg::NumRegs) &&
+              RegByte != static_cast<uint8_t>(Reg::None) && !R.fail())
+            return Fail("invalid register");
+          uint8_t CondByte = R.u8();
+          if (CondByte > static_cast<uint8_t>(Cond::HS) && !R.fail())
+            return Fail("invalid condition");
+          int64_t Val = R.i64();
+          if (Kind == static_cast<uint8_t>(MachineOperand::Kind::Symbol) &&
+              !R.fail() && Val != 0)
+            return Fail("symbol operand not stored zeroed for relocation");
+        }
+        if (R.fail())
+          return Fail("");
+      }
+    }
+  }
+  if (R.fail())
+    return Fail("");
+  if (R.offset() != SegOff[0] + SegSize[0])
+    return Fail("__TEXT filesize disagrees with payload");
+
+  // Data payload.
+  if (R.offset() != SegOff[1])
+    return Fail("__DATA fileoff disagrees with payload position");
+  R.bytes(static_cast<size_t>(SegSize[1]));
+  if (R.fail())
+    return Fail("");
+
+  uint32_t NumRounds = R.u32();
+  if (!R.plausibleCount(NumRounds, 14 * 8, "round-stats"))
+    return Fail("");
+  for (uint64_t RI = 0; RI < uint64_t(NumRounds) * 14; ++RI)
+    R.u64();
+  R.u64(); // RoundsRolledBack
+  R.u64(); // PatternsQuarantined
+
+  if (R.fail())
+    return Fail("");
+  if (!R.atEnd())
+    return Fail("trailing bytes after object file");
+  return Status::success();
+}
+
+Expected<LoadedObject> mco::readObjectFile(const std::string &Bytes) {
+  // FormatValidator pass first: every structural range below is already
+  // proven, so the decode is straight-line.
+  if (Status V = validateObjectFileBytes(Bytes); !V.ok())
+    return V;
+
+  BinReader R(Bytes);
+  auto Corrupt = [](const std::string &Why) -> Status {
+    return MCO_CORRUPT("object file: " + Why);
+  };
+
+  R.literal(ObjectFileMagic, std::strlen(ObjectFileMagic));
+  R.u8(); // version
+
+  LoadedObject O;
+  O.ModuleName = R.str();
+
+  uint32_t NumStrings = R.u32();
+  std::vector<std::string> Strings(NumStrings);
+  for (uint32_t I = 0; I < NumStrings; ++I)
+    Strings[I] = R.str();
+
+  R.u8(); // nsegs == 2
+  O.Sections.resize(2);
+  for (unsigned I = 0; I < 2; ++I) {
+    ObjSectionInfo &Sect = O.Sections[I];
+    Sect.Segment = R.str();
+    R.u64(); // segment vmaddr (== section's)
+    R.u64();
+    R.u64();
+    R.u64();
+    R.u32(); // nsects == 1
+    Sect.Name = R.str();
+    Sect.VmAddr = R.u64();
+    Sect.VmSize = R.u64();
+    Sect.FileOff = R.u64();
+    Sect.FileSize = R.u64();
+  }
+
+  uint32_t NumSyms = R.u32();
+  O.Symbols.resize(NumSyms);
+  uint32_t NumFuncs = 0;
+  for (uint32_t I = 0; I < NumSyms; ++I) {
+    ObjSymbol &S = O.Symbols[I];
+    S.Name = Strings[R.u32()];
+    S.Kind = static_cast<ObjSymbolKind>(R.u8());
+    S.Vis = static_cast<ObjVisibility>(R.u8());
+    S.Section = R.u8();
+    S.IsOutlined = (R.u8() & 1) != 0;
+    S.FrameKind = static_cast<OutlinedFrameKind>(R.u8());
+    R.u8();  // pad
+    R.u16(); // pad
+    S.OutlinedCallSites = R.u32();
+    S.OriginModule = R.u32();
+    S.Addr = R.u64();
+    S.Size = R.u64();
+    if (S.Kind == ObjSymbolKind::Function)
+      ++NumFuncs;
+  }
+
+  struct TrieNode {
+    std::string Frag;
+    bool Terminal;
+    uint32_t SymIdx;
+    uint32_t FirstChild;
+    uint32_t NumChildren;
+  };
+  uint32_t NumNodes = R.u32();
+  std::vector<TrieNode> Trie(NumNodes);
+  for (uint32_t I = 0; I < NumNodes; ++I) {
+    Trie[I].Frag = R.str();
+    Trie[I].Terminal = R.u8() != 0;
+    Trie[I].SymIdx = R.u32();
+    Trie[I].FirstChild = R.u32();
+    Trie[I].NumChildren = R.u32();
+  }
+
+  uint32_t NumRelocs = R.u32();
+  O.Relocations.resize(NumRelocs);
+  for (uint32_t I = 0; I < NumRelocs; ++I) {
+    ObjRelocation &Rl = O.Relocations[I];
+    Rl.FuncSym = R.u32();
+    Rl.InstrIdx = R.u32();
+    Rl.OperandIdx = R.u8();
+    Rl.Kind = R.u8();
+    R.u16(); // pad
+    Rl.TargetSym = R.u32();
+  }
+
+  O.FunctionBodies.resize(NumFuncs);
+  for (uint32_t FI = 0; FI < NumFuncs; ++FI) {
+    uint32_t NumBlocks = R.u32();
+    O.FunctionBodies[FI].resize(NumBlocks);
+    for (uint32_t BI = 0; BI < NumBlocks; ++BI) {
+      MachineBasicBlock &MBB = O.FunctionBodies[FI][BI];
+      uint32_t NumInstrs = R.u32();
+      MBB.Instrs.reserve(NumInstrs);
+      for (uint32_t II = 0; II < NumInstrs; ++II) {
+        uint8_t OpByte = R.u8();
+        uint8_t NumOps = R.u8();
+        MachineOperand Ops[MachineInstr::MaxOperands];
+        for (uint8_t OI = 0; OI < NumOps; ++OI) {
+          MachineOperand &Op = Ops[OI];
+          Op.K = static_cast<MachineOperand::Kind>(R.u8());
+          Op.R = static_cast<Reg>(R.u8());
+          Op.C = static_cast<Cond>(R.u8());
+          Op.Val = R.i64();
+        }
+        MBB.push(makeInstr(static_cast<Opcode>(OpByte), Ops, NumOps));
+      }
+    }
+  }
+
+  O.DataPayload = R.bytes(static_cast<size_t>(O.Sections[1].FileSize));
+
+  uint32_t NumRounds = R.u32();
+  O.Stats.Rounds.resize(NumRounds);
+  for (uint32_t RI = 0; RI < NumRounds; ++RI)
+    decodeRoundStats(R, O.Stats.Rounds[RI]);
+  O.RoundsRolledBack = R.u64();
+  O.PatternsQuarantined = R.u64();
+  if (R.fail())
+    return R.status("object file");
+
+  //===--------------------------------------------------------------------===//
+  // Semantic layer: the structure parses; now every cross-reference and
+  // every layout claim must agree with what this loader would compute.
+  //===--------------------------------------------------------------------===//
+
+  // (1) Addresses are deterministic: recompute the standalone layout and
+  // compare every recorded address and size.
+  uint64_t Addr = BinaryImage::TextBase;
+  uint32_t FuncI = 0;
+  for (const ObjSymbol &S : O.Symbols) {
+    if (S.Kind != ObjSymbolKind::Function)
+      continue;
+    uint64_t Instrs = 0;
+    for (const MachineBasicBlock &MBB : O.FunctionBodies[FuncI])
+      Instrs += MBB.size();
+    const uint64_t Sz = Instrs * InstrBytes;
+    if (S.Addr != Addr || S.Size != Sz)
+      return Corrupt("function '" + S.Name +
+                     "' address/size disagrees with deterministic layout");
+    Addr += Sz;
+    ++FuncI;
+  }
+  const uint64_t CodeBytes = Addr - BinaryImage::TextBase;
+  if (O.Sections[0].VmAddr != BinaryImage::TextBase ||
+      O.Sections[0].VmSize != CodeBytes)
+    return Corrupt("__text extent disagrees with laid-out code");
+
+  const uint64_t DataBase = (Addr + BinaryImage::PageSize - 1) &
+                            ~(BinaryImage::PageSize - 1);
+  const uint64_t PayloadSize = O.DataPayload.size();
+  uint64_t DAddr = DataBase;
+  for (const ObjSymbol &S : O.Symbols) {
+    if (S.Kind != ObjSymbolKind::Global)
+      continue;
+    DAddr = (DAddr + 7) & ~uint64_t(7);
+    if (DAddr - DataBase > PayloadSize ||
+        S.Size > PayloadSize - (DAddr - DataBase))
+      return Corrupt("global '" + S.Name + "' overruns the data payload");
+    if (S.Addr != DAddr)
+      return Corrupt("global '" + S.Name +
+                     "' address disagrees with deterministic layout");
+    DAddr += S.Size;
+  }
+  const uint64_t DataBytes = DAddr - DataBase;
+  if (O.Sections[1].VmAddr != DataBase || O.Sections[1].VmSize != DataBytes ||
+      DataBytes != PayloadSize)
+    return Corrupt("__const extent disagrees with laid-out data");
+
+  // (2) Undefined symbols carry no storage; defined names are unique
+  // within their kind (exactly what BinaryImage will demand later).
+  std::unordered_set<std::string> FuncNames, GlobalNames;
+  for (const ObjSymbol &S : O.Symbols) {
+    if (S.Kind == ObjSymbolKind::Undefined) {
+      if (S.Addr != 0 || S.Size != 0)
+        return Corrupt("undefined symbol '" + S.Name + "' has storage");
+      continue;
+    }
+    auto &Set = S.Kind == ObjSymbolKind::Function ? FuncNames : GlobalNames;
+    if (!Set.insert(S.Name).second)
+      return Corrupt("duplicate symbol '" + S.Name + "'");
+  }
+
+  // (3) Relocate: each symbol operand must be assigned by exactly one
+  // in-range record whose kind agrees with the opcode; the target's kind
+  // must be one the opcode can reference. Until a record lands, operands
+  // hold the zero the writer stored.
+  std::vector<std::vector<MachineInstr *>> Flat(NumFuncs);
+  std::vector<std::vector<uint8_t>> Covered(NumFuncs);
+  for (uint32_t FI = 0; FI < NumFuncs; ++FI) {
+    for (MachineBasicBlock &MBB : O.FunctionBodies[FI])
+      for (MachineInstr &MI : MBB.Instrs)
+        Flat[FI].push_back(&MI);
+    Covered[FI].assign(Flat[FI].size(), 0);
+  }
+  for (const ObjRelocation &Rl : O.Relocations) {
+    if (Rl.InstrIdx >= Flat[Rl.FuncSym].size())
+      return Corrupt("relocation instruction index out of range");
+    MachineInstr &MI = *Flat[Rl.FuncSym][Rl.InstrIdx];
+    if (Rl.OperandIdx >= MI.numOperands())
+      return Corrupt("relocation operand index out of range");
+    MachineOperand &Op = MI.operand(Rl.OperandIdx);
+    if (!Op.isSym())
+      return Corrupt("relocation targets a non-symbol operand");
+    if (relocKindOf(MI.opcode()) != Rl.Kind)
+      return Corrupt("relocation kind disagrees with its opcode");
+    const ObjSymbolKind TK = O.Symbols[Rl.TargetSym].Kind;
+    if ((Rl.Kind == ObjRelocCall || Rl.Kind == ObjRelocTailCall) &&
+        TK == ObjSymbolKind::Global)
+      return Corrupt("call relocation targets a data symbol");
+    if (Rl.Kind == ObjRelocAdr && TK == ObjSymbolKind::Function)
+      return Corrupt("address relocation targets a function symbol");
+    uint8_t &Bits = Covered[Rl.FuncSym][Rl.InstrIdx];
+    const uint8_t Bit = static_cast<uint8_t>(1u << Rl.OperandIdx);
+    if (Bits & Bit)
+      return Corrupt("operand relocated twice");
+    Bits |= Bit;
+    Op.Val = Rl.TargetSym;
+  }
+  for (uint32_t FI = 0; FI < NumFuncs; ++FI)
+    for (size_t II = 0; II < Flat[FI].size(); ++II) {
+      const MachineInstr &MI = *Flat[FI][II];
+      for (unsigned OI = 0; OI < MI.numOperands(); ++OI)
+        if (MI.operand(OI).isSym() &&
+            !(Covered[FI][II] & (1u << OI)))
+          return Corrupt("symbol operand not covered by a relocation");
+    }
+
+  // (4) The export trie must spell out exactly the exported symbol names,
+  // sorted. The breadth-first layout proven by the validator makes this
+  // walk cycle-free; an explicit stack keeps hostile depth from becoming
+  // native recursion.
+  if (NumNodes > 0) {
+    std::vector<std::pair<uint32_t, std::string>> Stack;
+    Stack.emplace_back(0, std::string());
+    while (!Stack.empty()) {
+      auto [Idx, Prefix] = std::move(Stack.back());
+      Stack.pop_back();
+      const TrieNode &N = Trie[Idx];
+      std::string Full = Prefix + N.Frag;
+      if (N.Terminal) {
+        const ObjSymbol &S = O.Symbols[N.SymIdx];
+        if (S.Name != Full || S.Vis != ObjVisibility::Exported)
+          return Corrupt("export trie entry '" + Full +
+                         "' disagrees with the symbol table");
+        O.ExportedNames.push_back(Full);
+      }
+      for (uint32_t C = N.NumChildren; C > 0; --C)
+        Stack.emplace_back(N.FirstChild + C - 1, Full);
+    }
+  }
+  for (size_t I = 1; I < O.ExportedNames.size(); ++I)
+    if (!(O.ExportedNames[I - 1] < O.ExportedNames[I]))
+      return Corrupt("export trie names not sorted");
+  std::vector<std::string> Expected;
+  for (const ObjSymbol &S : O.Symbols)
+    if (S.Vis == ObjVisibility::Exported)
+      Expected.push_back(S.Name);
+  std::sort(Expected.begin(), Expected.end());
+  Expected.erase(std::unique(Expected.begin(), Expected.end()),
+                 Expected.end());
+  if (Expected != O.ExportedNames)
+    return Corrupt("export trie disagrees with exported symbols");
+
+  return O;
+}
+
+Expected<ModuleArtifact> mco::toModuleArtifact(const LoadedObject &O,
+                                               SymbolInterner &Syms) {
+  ModuleArtifact A;
+  A.M.Name = O.ModuleName;
+  A.Stats = O.Stats;
+  A.RoundsRolledBack = O.RoundsRolledBack;
+  A.PatternsQuarantined = O.PatternsQuarantined;
+
+  std::vector<uint32_t> IdOf(O.Symbols.size());
+  for (size_t I = 0; I < O.Symbols.size(); ++I)
+    IdOf[I] = Syms.internSymbol(O.Symbols[I].Name);
+
+  const uint64_t DataBase = O.Sections[1].VmAddr;
+  size_t FuncI = 0;
+  for (size_t I = 0; I < O.Symbols.size(); ++I) {
+    const ObjSymbol &S = O.Symbols[I];
+    if (S.Kind == ObjSymbolKind::Function) {
+      MachineFunction MF;
+      MF.Name = IdOf[I];
+      MF.IsOutlined = S.IsOutlined;
+      MF.FrameKind = S.FrameKind;
+      MF.OutlinedCallSites = S.OutlinedCallSites;
+      MF.OriginModule = S.OriginModule;
+      MF.Blocks = O.FunctionBodies[FuncI++];
+      for (MachineBasicBlock &MBB : MF.Blocks)
+        for (MachineInstr &MI : MBB.Instrs)
+          for (unsigned OI = 0; OI < MI.numOperands(); ++OI) {
+            MachineOperand &Op = MI.operand(OI);
+            if (!Op.isSym())
+              continue;
+            const uint32_t Idx = Op.getSym();
+            if (Idx >= IdOf.size())
+              return MCO_CORRUPT("object file: unrelocated symbol operand");
+            Op = MachineOperand::sym(IdOf[Idx]);
+          }
+      A.M.Functions.push_back(std::move(MF));
+    } else if (S.Kind == ObjSymbolKind::Global) {
+      GlobalData G;
+      G.Name = IdOf[I];
+      G.OriginModule = S.OriginModule;
+      const size_t Off = static_cast<size_t>(S.Addr - DataBase);
+      G.Bytes.assign(O.DataPayload.begin() + Off,
+                     O.DataPayload.begin() + Off +
+                         static_cast<size_t>(S.Size));
+      A.M.Globals.push_back(std::move(G));
+    }
+  }
+  return A;
+}
+
+Expected<ModuleArtifact> mco::deserializeObjectFile(const std::string &Bytes,
+                                                    SymbolInterner &Syms) {
+  Expected<LoadedObject> O = readObjectFile(Bytes);
+  if (!O.ok())
+    return O.status();
+  return toModuleArtifact(*O, Syms);
+}

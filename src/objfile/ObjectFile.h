@@ -1,0 +1,188 @@
+//===- objfile/ObjectFile.h - MCOB1 segmented object container --*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "MCOB1" object-file container: the Mach-O-shaped persisted form of a
+/// built module, replacing the flat MCOM payload as what the pipeline emits
+/// and what mco-run loads. Where MCOM is a bare module dump, MCOB1 records
+/// what the paper measures on a real binary:
+///
+///   - a `__TEXT`/`__DATA` segment split, each with one section (`__text`,
+///     `__const`) carrying vm addresses, vm sizes, file offsets, and file
+///     sizes — the inputs to 16 KiB page accounting (BinaryImage::PageSize);
+///   - a symbol table with local/global/exported visibility, section
+///     membership, addresses, and sizes, covering defined functions,
+///     defined globals, AND every undefined reference (runtime builtins,
+///     cross-module callees of a per-module artifact);
+///   - a sorted export trie over the exported symbols (compressed-prefix,
+///     breadth-first node layout so hostile bytes cannot drive unbounded
+///     recursion in a reader);
+///   - relocation records for every inter-function and global reference:
+///     symbol operands in the text payload are stored zeroed, and the
+///     loader *relocates* them back through the relocation table instead
+///     of trusting inline targets.
+///
+/// Addresses are deterministic: functions are laid out sequentially from
+/// BinaryImage::TextBase in stored order, data at the next 16 KiB page
+/// boundary with 8-byte-aligned globals — exactly BinaryImage's rules — so
+/// the loader can verify every recorded address against a recomputation
+/// and reject any container whose layout claims are inconsistent.
+///
+/// Trust boundary: bytes reaching these readers come from disk (cache
+/// entries, --emit-obj products) and are untrusted. validateObjectFileBytes
+/// is the FormatValidator pass — a structure-only bounds-checked walk that
+/// runs before any object is constructed; readObjectFile then performs the
+/// semantic checks (layout recomputation, relocation coverage, export-trie
+/// / symbol-table agreement). Every failure is a CorruptInput Status (tool
+/// exit 65), never an abort.
+///
+/// The `objfile.reloc.garble` fault site flips one relocation target at
+/// write time, planting exactly the damage the loader's range checks must
+/// catch (the loader reports a Status; it never "jumps" to a bogus
+/// address by decoding a garbled target into an operand).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_OBJFILE_OBJECTFILE_H
+#define MCO_OBJFILE_OBJECTFILE_H
+
+#include "cache/ArtifactCache.h"
+#include "mir/Program.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mco {
+
+/// First bytes of the container format.
+inline constexpr const char *ObjectFileMagic = "MCOB1";
+inline constexpr uint8_t ObjectFileVersion = 1;
+
+enum class ObjSymbolKind : uint8_t { Function = 0, Global = 1, Undefined = 2 };
+
+/// nm-style visibility: Local symbols (outlined clones) print lowercase,
+/// Global print uppercase, Exported additionally appear in the export trie.
+enum class ObjVisibility : uint8_t { Local = 0, Global = 1, Exported = 2 };
+
+/// 1-based section ordinals (0 = no section, i.e. undefined).
+inline constexpr uint8_t ObjSectNone = 0;
+inline constexpr uint8_t ObjSectText = 1;
+inline constexpr uint8_t ObjSectConst = 2;
+
+/// One symbol-table entry, fully decoded (names resolved).
+struct ObjSymbol {
+  std::string Name;
+  ObjSymbolKind Kind = ObjSymbolKind::Undefined;
+  ObjVisibility Vis = ObjVisibility::Global;
+  uint8_t Section = ObjSectNone;
+  bool IsOutlined = false;
+  OutlinedFrameKind FrameKind = OutlinedFrameKind::NotOutlined;
+  uint32_t OutlinedCallSites = 0;
+  uint32_t OriginModule = 0;
+  uint64_t Addr = 0;
+  uint64_t Size = 0;
+};
+
+/// One section, with its owning segment name.
+struct ObjSectionInfo {
+  std::string Segment; ///< "__TEXT" or "__DATA".
+  std::string Name;    ///< "__text" or "__const".
+  uint64_t VmAddr = 0;
+  uint64_t VmSize = 0;
+  uint64_t FileOff = 0;
+  uint64_t FileSize = 0;
+};
+
+/// Relocation kinds, derived from the referencing opcode.
+inline constexpr uint8_t ObjRelocCall = 0;     ///< BL
+inline constexpr uint8_t ObjRelocTailCall = 1; ///< Btail
+inline constexpr uint8_t ObjRelocAdr = 2;      ///< ADR (global address)
+inline constexpr uint8_t ObjRelocOther = 3;    ///< any other symbol operand
+
+struct ObjRelocation {
+  uint32_t FuncSym = 0;  ///< Symbol-table index of the containing function.
+  uint32_t InstrIdx = 0; ///< Flat instruction index within that function.
+  uint8_t OperandIdx = 0;
+  uint8_t Kind = ObjRelocOther;
+  uint32_t TargetSym = 0; ///< Symbol-table index of the referenced symbol.
+};
+
+/// A fully decoded container. Function bodies carry symbol operands whose
+/// Val is an index into Symbols (relocations already applied and
+/// cross-checked); toModuleArtifact() interns real symbol ids.
+struct LoadedObject {
+  std::string ModuleName;
+  std::vector<ObjSectionInfo> Sections; ///< [0] __text, [1] __const.
+  std::vector<ObjSymbol> Symbols;
+  std::vector<ObjRelocation> Relocations;
+  /// Exported names decoded from the trie, in sorted order (the trie's
+  /// DFS order; the loader verifies it matches the exported symbols).
+  std::vector<std::string> ExportedNames;
+  /// Decoded function bodies, parallel to the Function entries of Symbols
+  /// (in symbol-table order). Symbol operands hold Symbols indices.
+  std::vector<std::vector<MachineBasicBlock>> FunctionBodies;
+  /// Raw `__const` payload; each Global symbol's bytes are the
+  /// [Addr - DataBase, +Size) slice.
+  std::string DataPayload;
+  RepeatedOutlineStats Stats;
+  uint64_t RoundsRolledBack = 0;
+  uint64_t PatternsQuarantined = 0;
+
+  uint64_t textVmSize() const { return Sections[0].VmSize; }
+  uint64_t dataVmSize() const { return Sections[1].VmSize; }
+};
+
+/// The default dead-strip/export root policy: span drivers and the classic
+/// entry points. `--export` extends this set at the tools.
+bool isDefaultExportedName(const std::string &Name);
+
+/// Serializes \p M as an MCOB1 container WITHOUT the stats trailer —
+/// deterministic and symbol-id-independent, the chunk programContentDigest
+/// hashes. \p Exports (optional) adds names to the exported set on top of
+/// the default policy.
+std::string
+serializeObjectContent(const Module &M, const SymbolNameFn &NameOf,
+                       const std::vector<std::string> *Exports = nullptr);
+
+/// serializeObjectContent plus the outlining-stats trailer — the persisted
+/// artifact form (cache payload under the MCOA1 seal, --emit-obj output).
+/// The `objfile.reloc.garble` fault site fires here.
+std::string
+serializeObjectFile(const Module &M, const RepeatedOutlineStats &Stats,
+                    uint64_t RoundsRolledBack, uint64_t PatternsQuarantined,
+                    const SymbolNameFn &NameOf,
+                    const std::vector<std::string> *Exports = nullptr);
+
+/// The MCOB1 FormatValidator pass: a structure-only, bounds-checked walk of
+/// the full grammar — magic, string table, segment/section ranges, symbol
+/// fields, export-trie node layout (breadth-first, cycle-free), relocation
+/// indices, text/data payload extents, stats trailer, trailing bytes —
+/// WITHOUT constructing any object or interning any symbol.
+Status validateObjectFileBytes(const std::string &Bytes);
+
+/// Decodes a container into a LoadedObject: runs validateObjectFileBytes,
+/// then the semantic layer — recomputes the deterministic layout and
+/// compares every recorded address/size, applies relocations (each symbol
+/// operand must be covered by exactly one in-range relocation), and walks
+/// the export trie verifying it is the sorted set of exported symbols.
+/// No symbol is interned; tools (mco-nm, mco-size) stop here.
+Expected<LoadedObject> readObjectFile(const std::string &Bytes);
+
+/// Rebuilds the module (+stats) from a decoded container, interning every
+/// referenced name through \p Syms.
+Expected<ModuleArtifact> toModuleArtifact(const LoadedObject &O,
+                                          SymbolInterner &Syms);
+
+/// readObjectFile + toModuleArtifact: the one-call load path used by the
+/// artifact cache and mco-run.
+Expected<ModuleArtifact> deserializeObjectFile(const std::string &Bytes,
+                                               SymbolInterner &Syms);
+
+} // namespace mco
+
+#endif // MCO_OBJFILE_OBJECTFILE_H

@@ -53,6 +53,9 @@ std::string optionsFingerprint(const PipelineOptions &Opts) {
     << ";vfuel=" << G.VerifyExecFuel << ";quarantine=";
   for (uint64_t H : G.InitialQuarantine)
     S << H << ",";
+  S << ";dce=" << Opts.DeadStrip.Enabled << ";dceexp=";
+  for (const std::string &E : Opts.DeadStrip.ExportedSymbols)
+    S << E << ",";
   S << ";faults=" << FaultInjection::instance().contentAffectingConfig();
   return S.str();
 }
@@ -222,6 +225,13 @@ void publishBuildMetrics(const BuildResult &R) {
   Histogram &H = M.histogram("pipeline.outline_round_seconds");
   for (double S : R.OutlineRoundSeconds)
     H.observe(S);
+  M.counter("dce.roots").set(R.DeadStrip.Roots);
+  M.counter("dce.functions_scanned").set(R.DeadStrip.FunctionsScanned);
+  M.counter("dce.functions_removed").set(R.DeadStrip.FunctionsRemoved);
+  M.counter("dce.bytes_removed").set(R.DeadStrip.BytesRemoved);
+  M.counter("dce.globals_removed").set(R.DeadStrip.GlobalsRemoved);
+  M.counter("dce.global_bytes_removed").set(R.DeadStrip.GlobalBytesRemoved);
+  M.gauge("dce.seconds").set(R.DeadStrip.Seconds);
 }
 
 } // namespace
@@ -234,6 +244,12 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
   MetricsRegistry::global().reset();
   BuildResult R;
   using Clock = std::chrono::steady_clock;
+
+  // Dead-strip runs before everything else — before the cache keys are
+  // derived (a stripped corpus is different content) and before outlining
+  // (the outliner must never see code that will not ship).
+  if (Opts.DeadStrip.Enabled)
+    R.DeadStrip = runDeadStrip(Prog, Opts.DeadStrip);
 
   ResilienceCtx RC;
   initResilience(RC, R, Prog, Opts);

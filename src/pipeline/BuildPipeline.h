@@ -25,6 +25,7 @@
 
 #include "linker/LayoutStrategy.h"
 #include "linker/Linker.h"
+#include "objfile/DeadStrip.h"
 #include "outliner/MachineOutliner.h"
 #include "outliner/OutlineGuard.h"
 
@@ -105,6 +106,10 @@ struct PipelineOptions {
   /// OutlineGuard). Guard.Enabled turns it on; with it off and no faults
   /// injected the build is bit-identical to a guarded one.
   GuardOptions Guard;
+  /// Whole-program dead-strip, run before outlining (off by default; see
+  /// DeadStripOptions). Stripping first keeps outlined output unchanged
+  /// for fully-live programs.
+  DeadStripOptions DeadStrip;
   /// Crash safety: artifact cache, journal/resume, watchdog.
   ResilienceOptions Resilience;
 };
@@ -117,6 +122,9 @@ struct BuildResult {
   uint64_t BinarySize = 0;
 
   RepeatedOutlineStats OutlineStats;
+
+  /// Dead-strip pass accounting (all zero when the pass is disabled).
+  DeadStripStats DeadStrip;
 
   /// The layout plan the final image was built with (Strategy "original"
   /// with an empty Order when no strategy/profile was configured).

@@ -27,7 +27,8 @@ const std::vector<std::string> &FaultInjection::knownSites() {
       FaultPipelineModuleHang,     FaultCacheWriterContend,
       FaultDaemonConnDrop,         FaultDaemonWorkerCrash,
       FaultDaemonQueueOverflow,    FaultDaemonRequestHang,
-      FaultRpcFrameGarble,         FaultArtifactSealGarble};
+      FaultRpcFrameGarble,         FaultArtifactSealGarble,
+      FaultObjfileRelocGarble};
   return Sites;
 }
 
@@ -158,13 +159,14 @@ std::string FaultInjection::contentAffectingConfig() const {
   for (const std::unique_ptr<SiteSpec> &Spec : Specs) {
     // cache.* sites only perturb the artifact store around the build;
     // daemon.* sites only perturb the service's transport and scheduling;
-    // rpc.*/artifact.* sites corrupt frames and sealed envelopes, all of
-    // which is detected and degraded around the build. None changes the
-    // bytes a build produces.
+    // rpc.*/artifact.*/objfile.* sites corrupt frames, sealed envelopes,
+    // and persisted containers, all of which is detected and degraded
+    // around the build. None changes the bytes a build produces.
     if (Spec->Site.rfind("cache.", 0) == 0 ||
         Spec->Site.rfind("daemon.", 0) == 0 ||
         Spec->Site.rfind("rpc.", 0) == 0 ||
-        Spec->Site.rfind("artifact.", 0) == 0)
+        Spec->Site.rfind("artifact.", 0) == 0 ||
+        Spec->Site.rfind("objfile.", 0) == 0)
       continue;
     if (!Out.empty())
       Out += ';';

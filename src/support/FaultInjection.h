@@ -49,6 +49,11 @@
 ///                               mangled envelope header (structural
 ///                               damage, vs cache.entry.corrupt's payload
 ///                               bit flip; quarantined at load)
+///   objfile.reloc.garble      - an MCOB1 container is written with one
+///                               relocation target flipped out of range
+///                               (the loader's relocation validation must
+///                               report a Status, never resolve a bogus
+///                               symbol index)
 ///
 /// A spec configures one site: `site[@round][:rate[,seed]]` with rate in
 /// [0,1] (default 1) and round 0/omitted meaning "any round"; several specs
@@ -193,6 +198,7 @@ inline constexpr const char *FaultDaemonQueueOverflow =
 inline constexpr const char *FaultDaemonRequestHang = "daemon.request.hang";
 inline constexpr const char *FaultRpcFrameGarble = "rpc.frame.garble";
 inline constexpr const char *FaultArtifactSealGarble = "artifact.seal.garble";
+inline constexpr const char *FaultObjfileRelocGarble = "objfile.reloc.garble";
 
 } // namespace mco
 

@@ -15,6 +15,7 @@
 #include "cache/ArtifactCache.h"
 
 #include "mir/MIRBuilder.h"
+#include "objfile/ObjectFile.h"
 #include "support/Checksum.h"
 #include "support/FaultInjection.h"
 #include "support/FileAtomics.h"
@@ -487,10 +488,11 @@ TEST(ArtifactCacheTest, EvictsLeastRecentlyUsedPastLimit) {
   Program Prog;
   Module &M = makeRichModule(Prog, "m_e");
   const SymbolNameFn NameOf = nameFn(Prog);
-  // Each sealed entry is a few hundred bytes; cap the store at roughly
-  // two entries so the third store must evict.
+  // Each sealed entry is a few hundred bytes (the cache stores sealed
+  // MCOB1 containers); cap the store at roughly two entries so the third
+  // store must evict.
   const uint64_t EntryBytes =
-      sealArtifact(serializeModuleArtifact(M, {}, 0, 0, NameOf)).size();
+      sealArtifact(serializeObjectFile(M, {}, 0, 0, NameOf)).size();
   ArtifactCache C(D.str(), EntryBytes * 2 + EntryBytes / 2);
   ASSERT_TRUE(C.prepare().ok());
 

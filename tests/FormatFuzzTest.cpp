@@ -40,6 +40,7 @@
 #include "mir/MIRBuilder.h"
 #include "mir/MIRParser.h"
 #include "mir/MIRPrinter.h"
+#include "objfile/ObjectFile.h"
 #include "pipeline/BuildJournal.h"
 #include "support/Checksum.h"
 #include "support/ExitCodes.h"
@@ -205,6 +206,21 @@ std::string richArtifactBytes(const std::string &Name) {
       M, St, 1, 2, [&Prog](uint32_t Id) { return Prog.symbolName(Id); });
 }
 
+std::string richObjectBytes(const std::string &Name) {
+  Program Prog;
+  Module &M = makeRichModule(Prog, Name);
+  RepeatedOutlineStats St;
+  St.Rounds.emplace_back();
+  St.Rounds.back().SequencesOutlined = 5;
+  St.Rounds.back().FunctionsCreated = 1;
+  // Export a name so the specimen carries a nonempty export trie — the
+  // mutators then get to attack the trie's node layout too.
+  const std::vector<std::string> Exports = {"fuzz_main"};
+  return serializeObjectFile(
+      M, St, 1, 2, [&Prog](uint32_t Id) { return Prog.symbolName(Id); },
+      &Exports);
+}
+
 std::string journalLine(const std::string &Payload) {
   char Prefix[16];
   std::snprintf(Prefix, sizeof(Prefix), "%08x ", Crc32c::of(Payload));
@@ -303,6 +319,25 @@ TEST(FormatFuzzTest, McomModulePayload) {
     Expected<ModuleArtifact> A2 = deserializeModuleArtifact(Bytes, Fresh);
     if (A2.ok())
       (void)A2->M.codeSize();
+  });
+}
+
+TEST(FormatFuzzTest, McobObjectContainer) {
+  const std::string A = richObjectBytes("mod.a");
+  const std::string B = richObjectBytes("other.name");
+  fuzzFormat(A, B, 0x0B'1EC7, [](const std::string &Bytes) {
+    // The structure-only validator must never crash...
+    (void)validateObjectFileBytes(Bytes);
+    // ...nor the semantic reader behind it (layout recomputation,
+    // relocation coverage, export-trie verification)...
+    Expected<LoadedObject> O = readObjectFile(Bytes);
+    if (O.ok())
+      (void)O->textVmSize();
+    // ...nor the full loader that interns symbols and rebuilds a module.
+    Program Fresh;
+    Expected<ModuleArtifact> M = deserializeObjectFile(Bytes, Fresh);
+    if (M.ok())
+      (void)M->M.codeSize();
   });
 }
 
@@ -481,6 +516,57 @@ TEST(ExitCodeTest, CorruptInputsExit65) {
       runTool(MCO_RUN_TOOL_PATH, {GoodMco, "--entry", "no_such_entry"});
   EXPECT_FALSE(R.Signaled);
   EXPECT_EQ(R.ExitCode, ExitCorruptInput);
+}
+
+TEST(ExitCodeTest, InspectionToolUsageErrorsExit64) {
+  EXPECT_EQ(runTool(MCO_NM_TOOL_PATH, {}).ExitCode, ExitUsage);
+  EXPECT_EQ(runTool(MCO_NM_TOOL_PATH, {"--no-such-flag"}).ExitCode,
+            ExitUsage);
+  EXPECT_EQ(runTool(MCO_NM_TOOL_PATH, {"a.mcob", "b.mcob"}).ExitCode,
+            ExitUsage);
+  EXPECT_EQ(runTool(MCO_SIZE_TOOL_PATH, {}).ExitCode, ExitUsage);
+  EXPECT_EQ(runTool(MCO_SIZE_TOOL_PATH, {"--no-such-flag"}).ExitCode,
+            ExitUsage);
+  EXPECT_EQ(runTool(MCO_SIZE_TOOL_PATH, {"a.mcob", "b.mcob"}).ExitCode,
+            ExitUsage);
+}
+
+TEST(ExitCodeTest, InspectionToolCorruptInputsExit65) {
+  ScratchDir D("nm65");
+  const std::string Good = richObjectBytes("mod.ok");
+  for (const char *Tool : {MCO_NM_TOOL_PATH, MCO_SIZE_TOOL_PATH}) {
+    // Missing file.
+    EXPECT_EQ(runTool(Tool, {D.str("nope.mcob")}).ExitCode,
+              ExitCorruptInput);
+    // Not a container at all.
+    const std::string Junk = D.file("junk.bin", "definitely not MCOB1");
+    EXPECT_EQ(runTool(Tool, {Junk}).ExitCode, ExitCorruptInput);
+    // Truncated mid-container.
+    const std::string Short =
+        D.file("short.mcob", Good.substr(0, Good.size() / 2));
+    EXPECT_EQ(runTool(Tool, {Short}).ExitCode, ExitCorruptInput);
+    // A sealed container with a flipped payload byte: the seal's CRC is
+    // the first line of defence, and the failure is still exit 65.
+    std::string Sealed = sealArtifact(Good);
+    Sealed[Sealed.size() / 2] ^= 0x01;
+    const std::string BadSeal = D.file("badseal.mco", Sealed);
+    ToolResult R = runTool(Tool, {BadSeal});
+    EXPECT_FALSE(R.Signaled);
+    EXPECT_EQ(R.ExitCode, ExitCorruptInput);
+  }
+}
+
+TEST(ExitCodeTest, InspectionToolsExitZeroOnGoodContainers) {
+  ScratchDir D("nm0");
+  const std::string Bare = D.file("good.mcob", richObjectBytes("mod.ok"));
+  const std::string Sealed =
+      D.file("good.mco", sealArtifact(richObjectBytes("mod.ok")));
+  for (const std::string &File : {Bare, Sealed}) {
+    EXPECT_EQ(runTool(MCO_NM_TOOL_PATH, {File}).ExitCode, 0);
+    EXPECT_EQ(runTool(MCO_NM_TOOL_PATH, {File, "--exports"}).ExitCode, 0);
+    EXPECT_EQ(runTool(MCO_SIZE_TOOL_PATH, {File}).ExitCode, 0);
+    EXPECT_EQ(runTool(MCO_SIZE_TOOL_PATH, {File, "--pages"}).ExitCode, 0);
+  }
 }
 
 TEST(ExitCodeTest, TransientFailuresExit75) {

@@ -1,0 +1,478 @@
+//===- tests/ObjectFileTest.cpp - MCOB1 container tests -------------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The MCOB1 object-container contract:
+///
+///   - serialize -> read -> toModuleArtifact round-trips a module (bodies,
+///     outlining metadata, globals, stats) with full fidelity;
+///   - recorded addresses equal BinaryImage's layout for the same program,
+///     and page counts derived from the section headers equal what the
+///     first-touch TextPageModel observes;
+///   - the export trie is exactly the sorted exported-name set (default
+///     policy plus --export extras);
+///   - the objfile.reloc.garble fault site is caught by the loader's range
+///     checks — a Status, never a decoded bogus target;
+///   - a sealed MCOB1 artifact executes byte-identically (mco-run stdout)
+///     to the legacy sealed-MCOM path, and mco-build --emit-obj output is
+///     byte-identical across -j1/-j8 and layout strategies.
+///
+//===----------------------------------------------------------------------===//
+
+#include "objfile/ObjectFile.h"
+
+#include "cache/ArtifactCache.h"
+#include "linker/Linker.h"
+#include "mir/MIRBuilder.h"
+#include "mir/MIRPrinter.h"
+#include "pipeline/BuildPipeline.h"
+#include "sim/CacheModel.h"
+#include "support/Checksum.h"
+#include "support/FaultInjection.h"
+#include "synth/CorpusSynthesizer.h"
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace mco;
+namespace fs = std::filesystem;
+
+namespace {
+
+SymbolNameFn nameFn(const Program &Prog) {
+  return [&Prog](uint32_t Id) { return Prog.symbolName(Id); };
+}
+
+/// Configures fault injection for one test and clears it on exit.
+struct FaultScope {
+  explicit FaultScope(const std::string &Spec) {
+    Status S = FaultInjection::instance().configure(Spec);
+    EXPECT_TRUE(S.ok()) << S.message();
+  }
+  ~FaultScope() { FaultInjection::instance().clear(); }
+};
+
+struct ScratchDir {
+  fs::path P;
+  explicit ScratchDir(const std::string &Name) {
+    P = fs::temp_directory_path() /
+        ("mco_objfile_test_" + std::to_string(::getpid()) + "_" + Name);
+    fs::remove_all(P);
+    fs::create_directories(P);
+  }
+  ~ScratchDir() {
+    std::error_code EC;
+    fs::remove_all(P, EC);
+  }
+  std::string str(const std::string &Leaf) const { return (P / Leaf).string(); }
+  std::string file(const std::string &Leaf, const std::string &Bytes) const {
+    const std::string Path = (P / Leaf).string();
+    std::ofstream Out(Path, std::ios::binary);
+    Out.write(Bytes.data(), std::streamsize(Bytes.size()));
+    return Path;
+  }
+};
+
+/// Spawns \p Tool, captures its stdout (stderr goes to /dev/null), and
+/// returns (exit code, stdout bytes). Used for the byte-identity
+/// differentials, where the *exact* output is the contract.
+struct CaptureResult {
+  int ExitCode = -1;
+  std::string Out;
+};
+
+CaptureResult runToolCapture(const std::string &Tool,
+                             const std::vector<std::string> &Args) {
+  int Pipe[2];
+  CaptureResult R;
+  if (::pipe(Pipe) != 0)
+    return R;
+  pid_t Pid = ::fork();
+  if (Pid == 0) {
+    ::close(Pipe[0]);
+    ::dup2(Pipe[1], 1);
+    ::close(Pipe[1]);
+    std::freopen("/dev/null", "w", stderr);
+    std::vector<std::string> All;
+    All.push_back(Tool);
+    All.insert(All.end(), Args.begin(), Args.end());
+    std::vector<char *> Argv;
+    for (std::string &S : All)
+      Argv.push_back(S.data());
+    Argv.push_back(nullptr);
+    ::execv(Tool.c_str(), Argv.data());
+    ::_exit(127);
+  }
+  ::close(Pipe[1]);
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::read(Pipe[0], Buf, sizeof(Buf))) > 0)
+    R.Out.append(Buf, static_cast<size_t>(N));
+  ::close(Pipe[0]);
+  int WStatus = 0;
+  ::waitpid(Pid, &WStatus, 0);
+  if (WIFEXITED(WStatus))
+    R.ExitCode = WEXITSTATUS(WStatus);
+  return R;
+}
+
+/// Everything serializable in one module: plain + outlined functions,
+/// branches, ADR-of-global, calls to defined and undefined symbols, and an
+/// exported entry (`main`) next to internal helpers.
+Module &makeObjModule(Program &Prog, const std::string &Name) {
+  Module &M = Prog.addModule(Name);
+
+  M.Functions.emplace_back();
+  MachineFunction &F = M.Functions.back();
+  F.Name = Prog.internSymbol("main");
+  F.OriginModule = 1;
+  F.addBlock();
+  F.addBlock();
+  MIRBuilder B(F.Blocks[0]);
+  B.movri(Reg::X0, 42);
+  B.addri(Reg::X1, Reg::X0, -9);
+  B.cmpri(Reg::X1, 0);
+  B.cset(Reg::X2, Cond::HS);
+  B.adr(Reg::X3, Prog.internSymbol("obj_data"));
+  B.bl(Prog.internSymbol("obj_helper"));
+  B.bl(Prog.internSymbol("undefined_builtin"));
+  B.bcc(Cond::NE, 1);
+  B.setBlock(F.Blocks[1]);
+  B.ret();
+
+  M.Functions.emplace_back();
+  MachineFunction &H = M.Functions.back();
+  H.Name = Prog.internSymbol("obj_helper");
+  H.OriginModule = 2;
+  MIRBuilder HB(H.addBlock());
+  HB.movri(Reg::X9, 7);
+  HB.ret();
+
+  M.Functions.emplace_back();
+  MachineFunction &G = M.Functions.back();
+  G.Name = Prog.internSymbol("OUTLINED_0_0@" + Name);
+  G.IsOutlined = true;
+  G.FrameKind = OutlinedFrameKind::Thunk;
+  G.OutlinedCallSites = 2;
+  MIRBuilder GB(G.addBlock());
+  GB.movri(Reg::X9, 1);
+  GB.btail(Prog.internSymbol("obj_helper"));
+
+  M.Globals.emplace_back();
+  GlobalData &D = M.Globals.back();
+  D.Name = Prog.internSymbol("obj_data");
+  D.Bytes = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  D.OriginModule = 1;
+  return M;
+}
+
+RepeatedOutlineStats someStats() {
+  RepeatedOutlineStats St;
+  St.Rounds.emplace_back();
+  St.Rounds.back().SequencesOutlined = 5;
+  St.Rounds.back().FunctionsCreated = 1;
+  return St;
+}
+
+TEST(ObjectFileTest, RoundTripPreservesModuleAndStats) {
+  Program Prog;
+  Module &M = makeObjModule(Prog, "rt.mod");
+  const std::string Bytes =
+      serializeObjectFile(M, someStats(), 3, 4, nameFn(Prog));
+  ASSERT_EQ(Bytes.rfind(ObjectFileMagic, 0), 0u);
+
+  Program Fresh;
+  Expected<ModuleArtifact> A = deserializeObjectFile(Bytes, Fresh);
+  ASSERT_TRUE(A.ok()) << A.status().message();
+
+  // Textual MIR resolves symbol ids to names, so printing both modules is
+  // a full-fidelity body comparison that tolerates different id pools.
+  EXPECT_EQ(printModule(A->M, Fresh), printModule(M, Prog));
+
+  ASSERT_EQ(A->M.Functions.size(), M.Functions.size());
+  for (size_t I = 0; I < M.Functions.size(); ++I) {
+    const MachineFunction &Want = M.Functions[I];
+    const MachineFunction &Got = A->M.Functions[I];
+    EXPECT_EQ(Fresh.symbolName(Got.Name), Prog.symbolName(Want.Name));
+    EXPECT_EQ(Got.IsOutlined, Want.IsOutlined);
+    EXPECT_EQ(Got.FrameKind, Want.FrameKind);
+    EXPECT_EQ(Got.OutlinedCallSites, Want.OutlinedCallSites);
+    EXPECT_EQ(Got.OriginModule, Want.OriginModule);
+  }
+  ASSERT_EQ(A->M.Globals.size(), M.Globals.size());
+  for (size_t I = 0; I < M.Globals.size(); ++I) {
+    EXPECT_EQ(Fresh.symbolName(A->M.Globals[I].Name),
+              Prog.symbolName(M.Globals[I].Name));
+    EXPECT_EQ(A->M.Globals[I].Bytes, M.Globals[I].Bytes);
+  }
+  ASSERT_EQ(A->Stats.Rounds.size(), 1u);
+  EXPECT_EQ(A->Stats.Rounds[0].SequencesOutlined, 5u);
+  EXPECT_EQ(A->Stats.Rounds[0].FunctionsCreated, 1u);
+  EXPECT_EQ(A->RoundsRolledBack, 3u);
+  EXPECT_EQ(A->PatternsQuarantined, 4u);
+}
+
+TEST(ObjectFileTest, ContentBytesAreSymbolIdIndependent) {
+  // Same module, but one program interns a pile of unrelated symbols
+  // first, shifting every id. The content serialization must not notice.
+  Program A;
+  Module &MA = makeObjModule(A, "ids.mod");
+  Program B;
+  for (int I = 0; I < 100; ++I)
+    B.internSymbol("noise_" + std::to_string(I));
+  Module &MB = makeObjModule(B, "ids.mod");
+  EXPECT_EQ(serializeObjectContent(MA, nameFn(A)),
+            serializeObjectContent(MB, nameFn(B)));
+}
+
+TEST(ObjectFileTest, AddressesMatchBinaryImageLayout) {
+  Program Prog;
+  Module &M = makeObjModule(Prog, "addr.mod");
+  Expected<BinaryImage> Image = BinaryImage::create(Prog);
+  ASSERT_TRUE(Image.ok()) << Image.status().message();
+
+  Expected<LoadedObject> O =
+      readObjectFile(serializeObjectFile(M, {}, 0, 0, nameFn(Prog)));
+  ASSERT_TRUE(O.ok()) << O.status().message();
+
+  EXPECT_EQ(O->Sections[0].VmAddr, BinaryImage::TextBase);
+  EXPECT_EQ(O->Sections[0].VmSize, Image->codeSize());
+  EXPECT_EQ(O->Sections[1].VmAddr, Image->dataBase());
+
+  for (const ObjSymbol &S : O->Symbols) {
+    const uint32_t Id = Prog.lookupSymbol(S.Name);
+    ASSERT_NE(Id, UINT32_MAX) << S.Name;
+    switch (S.Kind) {
+    case ObjSymbolKind::Function:
+      EXPECT_EQ(S.Addr, Image->functionAddr(Id)) << S.Name;
+      break;
+    case ObjSymbolKind::Global:
+      EXPECT_EQ(S.Addr, Image->globalAddr(Id)) << S.Name;
+      break;
+    case ObjSymbolKind::Undefined:
+      EXPECT_EQ(S.Addr, 0u) << S.Name;
+      EXPECT_EQ(Image->functionAddr(Id), 0u) << S.Name;
+      break;
+    }
+  }
+}
+
+TEST(ObjectFileTest, ExportTrieIsSortedDefaultPolicyPlusExtras) {
+  Program Prog;
+  Module &M = Prog.addModule("trie.mod");
+  for (const char *Name : {"span_1", "main", "span_0", "span_10", "helper"}) {
+    M.Functions.emplace_back();
+    MachineFunction &F = M.Functions.back();
+    F.Name = Prog.internSymbol(Name);
+    MIRBuilder B(F.addBlock());
+    B.movri(Reg::X0, 1);
+    B.ret();
+  }
+
+  Expected<LoadedObject> O =
+      readObjectFile(serializeObjectFile(M, {}, 0, 0, nameFn(Prog)));
+  ASSERT_TRUE(O.ok()) << O.status().message();
+  EXPECT_EQ(O->ExportedNames,
+            (std::vector<std::string>{"main", "span_0", "span_1", "span_10"}));
+
+  // --export extends the root set; the trie stays sorted.
+  const std::vector<std::string> Extra = {"helper"};
+  Expected<LoadedObject> O2 =
+      readObjectFile(serializeObjectFile(M, {}, 0, 0, nameFn(Prog), &Extra));
+  ASSERT_TRUE(O2.ok()) << O2.status().message();
+  EXPECT_EQ(O2->ExportedNames,
+            (std::vector<std::string>{"helper", "main", "span_0", "span_1",
+                                      "span_10"}));
+  for (const ObjSymbol &S : O2->Symbols)
+    if (S.Name == "helper")
+      EXPECT_EQ(S.Vis, ObjVisibility::Exported);
+}
+
+TEST(ObjectFileTest, RelocGarbleFaultIsReportedNotFollowed) {
+  Program Prog;
+  Module &M = makeObjModule(Prog, "garble.mod");
+
+  std::string Garbled;
+  {
+    FaultScope F("objfile.reloc.garble:1");
+    Garbled = serializeObjectFile(M, {}, 0, 0, nameFn(Prog));
+  }
+  const std::string Clean = serializeObjectFile(M, {}, 0, 0, nameFn(Prog));
+  ASSERT_NE(Garbled, Clean) << "fault site did not fire";
+
+  // The validator's relocation range check catches the bogus target before
+  // any object exists; the loader therefore reports CorruptInput rather
+  // than resolving an operand to a fabricated symbol.
+  EXPECT_FALSE(validateObjectFileBytes(Garbled).ok());
+  Expected<LoadedObject> O = readObjectFile(Garbled);
+  ASSERT_FALSE(O.ok());
+  EXPECT_EQ(O.status().code(), StatusCode::CorruptInput);
+  Program Fresh;
+  EXPECT_FALSE(deserializeObjectFile(Garbled, Fresh).ok());
+
+  // The clean bytes still load.
+  EXPECT_TRUE(readObjectFile(Clean).ok());
+}
+
+TEST(ObjectFileTest, PageCountsMatchTextPageModel) {
+  AppProfile P = AppProfile::uberRider();
+  P.NumModules = 6;
+  auto Prog = CorpusSynthesizer(P).generate();
+  PipelineOptions Opts;
+  Opts.OutlineRounds = 1;
+  buildProgram(*Prog, Opts);
+  ASSERT_EQ(Prog->Modules.size(), 1u);
+
+  Expected<LoadedObject> O = readObjectFile(
+      serializeObjectFile(*Prog->Modules[0], {}, 0, 0, nameFn(*Prog)));
+  ASSERT_TRUE(O.ok()) << O.status().message();
+
+  // mco-size's arithmetic: pages the [vmaddr, vmaddr+vmsize) span covers.
+  auto PagesOf = [](uint64_t VmAddr, uint64_t VmSize) -> uint64_t {
+    if (VmSize == 0)
+      return 0;
+    return (VmAddr + VmSize - 1) / BinaryImage::PageSize -
+           VmAddr / BinaryImage::PageSize + 1;
+  };
+
+  // The model's count: touch every byte of each section, count faults.
+  for (const ObjSectionInfo &S : O->Sections) {
+    TextPageModel PM(BinaryImage::PageSize);
+    for (uint64_t A = S.VmAddr; A < S.VmAddr + S.VmSize; ++A)
+      PM.access(A);
+    EXPECT_EQ(PM.faults(), PagesOf(S.VmAddr, S.VmSize))
+        << S.Segment << "," << S.Name;
+  }
+}
+
+TEST(ObjectFileTest, SealedContainerRunsIdenticallyToSealedMcom) {
+  AppProfile P = AppProfile::uberRider();
+  P.NumModules = 6;
+  auto Prog = CorpusSynthesizer(P).generate();
+  PipelineOptions Opts;
+  Opts.OutlineRounds = 2;
+  BuildResult R = buildProgram(*Prog, Opts);
+  ASSERT_EQ(Prog->Modules.size(), 1u);
+  const Module &M = *Prog->Modules[0];
+  const SymbolNameFn NameOf = nameFn(*Prog);
+
+  ScratchDir D("diff");
+  const std::string McomPath = D.file(
+      "legacy.mco", sealArtifact(serializeModuleArtifact(
+                        M, R.OutlineStats, R.RoundsRolledBack,
+                        R.PatternsQuarantined, NameOf)));
+  const std::string McobPath = D.file(
+      "obj.mco", sealArtifact(serializeObjectFile(
+                     M, R.OutlineStats, R.RoundsRolledBack,
+                     R.PatternsQuarantined, NameOf)));
+  const std::string BarePath = D.file(
+      "obj.mcob", serializeObjectFile(M, R.OutlineStats, R.RoundsRolledBack,
+                                      R.PatternsQuarantined, NameOf));
+
+  const std::vector<std::string> Spans = {"span_0", "span_1", "span_2"};
+  for (const std::string &Span : Spans) {
+    CaptureResult Legacy =
+        runToolCapture(MCO_RUN_TOOL_PATH, {McomPath, "--entry", Span});
+    CaptureResult Sealed =
+        runToolCapture(MCO_RUN_TOOL_PATH, {McobPath, "--entry", Span});
+    CaptureResult Bare =
+        runToolCapture(MCO_RUN_TOOL_PATH, {BarePath, "--entry", Span});
+    ASSERT_EQ(Legacy.ExitCode, 0) << Legacy.Out;
+    ASSERT_EQ(Sealed.ExitCode, 0) << Sealed.Out;
+    ASSERT_EQ(Bare.ExitCode, 0) << Bare.Out;
+    // Sealed MCOB1 vs sealed MCOM: stdout must be byte-identical — same
+    // "loaded sealed artifact" banner, same function/instruction counts,
+    // same execution result, same performance counters.
+    EXPECT_EQ(Sealed.Out, Legacy.Out) << "span " << Span;
+    // The bare container differs only in the loader banner.
+    const size_t Cut = Bare.Out.find('\n');
+    const size_t LegacyCut = Legacy.Out.find('\n');
+    ASSERT_NE(Cut, std::string::npos);
+    ASSERT_NE(LegacyCut, std::string::npos);
+    EXPECT_EQ(Bare.Out.substr(0, Cut),
+              "loaded object container (relocations applied)");
+    EXPECT_EQ(Bare.Out.substr(Cut), Legacy.Out.substr(LegacyCut))
+        << "span " << Span;
+  }
+}
+
+TEST(ObjectFileTest, NmAndSizeOutputIsDeterministicAndSorted) {
+  Program Prog;
+  Module &M = makeObjModule(Prog, "tools.mod");
+  ScratchDir D("tools");
+  const std::string File =
+      D.file("m.mcob", serializeObjectFile(M, someStats(), 0, 0,
+                                           nameFn(Prog)));
+
+  CaptureResult Nm1 = runToolCapture(MCO_NM_TOOL_PATH, {File});
+  CaptureResult Nm2 = runToolCapture(MCO_NM_TOOL_PATH, {File});
+  ASSERT_EQ(Nm1.ExitCode, 0) << Nm1.Out;
+  EXPECT_EQ(Nm1.Out, Nm2.Out);
+
+  // Addresses print in nondecreasing order (undefined symbols lead with a
+  // blank address field, which sorts as spaces before any hex digit).
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos < Nm1.Out.size()) {
+    const size_t End = Nm1.Out.find('\n', Pos);
+    Lines.push_back(Nm1.Out.substr(Pos, End - Pos));
+    Pos = End == std::string::npos ? Nm1.Out.size() : End + 1;
+  }
+  ASSERT_GE(Lines.size(), 5u); // 4 defined + at least 1 undefined.
+  for (size_t I = 1; I < Lines.size(); ++I)
+    EXPECT_LE(Lines[I - 1].substr(0, 16), Lines[I].substr(0, 16));
+
+  CaptureResult Ex = runToolCapture(MCO_NM_TOOL_PATH, {File, "--exports"});
+  ASSERT_EQ(Ex.ExitCode, 0);
+  EXPECT_EQ(Ex.Out, "main\n");
+
+  CaptureResult Sz1 = runToolCapture(MCO_SIZE_TOOL_PATH, {File, "--pages"});
+  CaptureResult Sz2 = runToolCapture(MCO_SIZE_TOOL_PATH, {File, "--pages"});
+  ASSERT_EQ(Sz1.ExitCode, 0) << Sz1.Out;
+  EXPECT_EQ(Sz1.Out, Sz2.Out);
+  EXPECT_NE(Sz1.Out.find("Segment __TEXT"), std::string::npos);
+  EXPECT_NE(Sz1.Out.find("Segment __DATA"), std::string::npos);
+  EXPECT_NE(Sz1.Out.find("total "), std::string::npos);
+}
+
+TEST(ObjectFileTest, EmitObjIsDeterministicAcrossThreadsAndLayouts) {
+  ScratchDir D("emit");
+  struct Config {
+    const char *Leaf;
+    const char *Threads;
+    const char *Layout;
+  };
+  const Config Configs[] = {{"j1_orig.mcob", "1", "original"},
+                            {"j8_orig.mcob", "8", "original"},
+                            {"j1_bp.mcob", "1", "bp"},
+                            {"j8_bp.mcob", "8", "bp"}};
+  std::vector<std::string> Emitted;
+  for (const Config &C : Configs) {
+    const std::string Out = D.str(C.Leaf);
+    CaptureResult R = runToolCapture(
+        MCO_BUILD_TOOL_PATH,
+        {"--profile", "rider", "--modules", "6", "--rounds", "2", "-j",
+         C.Threads, "--layout", C.Layout, "--emit-obj", Out});
+    ASSERT_EQ(R.ExitCode, 0) << R.Out;
+    std::ifstream In(Out, std::ios::binary);
+    ASSERT_TRUE(In.good()) << Out;
+    std::string Bytes((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_EQ(Bytes.rfind(ObjectFileMagic, 0), 0u);
+    Emitted.push_back(std::move(Bytes));
+  }
+  for (size_t I = 1; I < Emitted.size(); ++I)
+    EXPECT_EQ(Emitted[I], Emitted[0])
+        << Configs[I].Leaf << " differs from " << Configs[0].Leaf;
+}
+
+} // namespace

@@ -34,11 +34,13 @@
 #include "linker/Linker.h"
 #include "mir/MIRPrinter.h"
 #include "mir/MIRVerifier.h"
+#include "objfile/ObjectFile.h"
 #include "outliner/PatternStats.h"
 #include "pipeline/BuildPipeline.h"
 #include "support/Error.h"
 #include "support/ExitCodes.h"
 #include "support/FaultInjection.h"
+#include "support/FileAtomics.h"
 #include "synth/CorpusSynthesizer.h"
 #include "telemetry/Metrics.h"
 #include "telemetry/Tracer.h"
@@ -72,6 +74,8 @@ void usage() {
       "                 [--shared-cache] [--journal-dir DIR]\n"
       "                 [--module-timeout-ms N] [--timeout-retries N]\n"
       "                 [--trace-json FILE] [--pattern-provenance FILE]\n"
+      "                 [--dead-strip | --no-dead-strip] [--export LIST]\n"
+      "                 [--emit-obj FILE]\n"
       "  --profile X    corpus profile to synthesize, or the path of an\n"
       "                 mco-traces-v1 startup-trace file (mco-fleet\n"
       "                 --emit-traces) driving the layout strategy; the\n"
@@ -111,7 +115,19 @@ void usage() {
       "                 (load in chrome://tracing or Perfetto)\n"
       "  --pattern-provenance FILE  write a JSON report mapping each\n"
       "                 post-build repeated pattern (by hash) to the\n"
-      "                 modules/functions it originates from\n");
+      "                 modules/functions it originates from\n"
+      "  --dead-strip   whole-program dead-code elimination before\n"
+      "                 outlining: unreachable functions and globals are\n"
+      "                 removed (roots: main, bench_main, span_*, and\n"
+      "                 --export names)\n"
+      "  --no-dead-strip  the escape hatch: force dead-strip off\n"
+      "  --export LIST  comma-separated extra exported symbol names, kept\n"
+      "                 as dead-strip roots and marked Exported in the\n"
+      "                 emitted container's symbol table + export trie\n"
+      "  --emit-obj FILE  write the built program as an MCOB1 object\n"
+      "                 container (segments, symbol table, export trie,\n"
+      "                 relocations; inspect with mco-nm/mco-size, execute\n"
+      "                 with mco-run)\n");
 }
 
 /// Everything the command line configures.
@@ -122,6 +138,7 @@ struct BuildConfig {
   bool HotLayout = false;
   unsigned PrintPatterns = 0;
   std::string DumpFile;
+  std::string EmitObjFile;
   std::string DiagFile;
   std::string FaultSpec;
   std::string TraceFile;
@@ -236,6 +253,29 @@ Status parseArgs(int argc, char **argv, BuildConfig &C) {
       if (Status S = NextOr(V); !S.ok())
         return S;
       C.DumpFile = V;
+    } else if (A == "--emit-obj") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.EmitObjFile = V;
+    } else if (A == "--dead-strip") {
+      C.Opts.DeadStrip.Enabled = true;
+    } else if (A == "--no-dead-strip") {
+      C.Opts.DeadStrip.Enabled = false;
+    } else if (A == "--export") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      std::string Name;
+      for (const char *P = V;; ++P) {
+        if (*P == ',' || *P == '\0') {
+          if (!Name.empty())
+            C.Opts.DeadStrip.ExportedSymbols.push_back(Name);
+          Name.clear();
+          if (*P == '\0')
+            break;
+        } else {
+          Name += *P;
+        }
+      }
     } else if (A == "--guard") {
       C.Opts.Guard.Enabled = true;
     } else if (A == "--max-retries") {
@@ -393,6 +433,12 @@ Status writeDiagJson(const std::string &Path, const BuildConfig &C,
       << Ctr("cache.stale_locks_recovered") << ",\n";
   Out << "  \"cache_writer_contended\": " << Ctr("cache.writer_contended")
       << ",\n";
+  Out << "  \"dce_roots\": " << Ctr("dce.roots") << ",\n";
+  Out << "  \"dce_functions_removed\": " << Ctr("dce.functions_removed")
+      << ",\n";
+  Out << "  \"dce_bytes_removed\": " << Ctr("dce.bytes_removed") << ",\n";
+  Out << "  \"dce_globals_removed\": " << Ctr("dce.globals_removed")
+      << ",\n";
   Out << "  \"artifact_digest\": \"" << jsonEscape(D.ArtifactDigest)
       << "\",\n";
   Out << "  \"metrics\": " << M.toJson() << ",\n";
@@ -467,6 +513,16 @@ Status runBuild(BuildConfig &C, DiagState &D) {
   BuildResult R = buildProgram(*Prog, C.Opts);
   D.R = R;
   D.ArtifactDigest = programContentDigest(*Prog);
+  if (C.Opts.DeadStrip.Enabled)
+    std::printf("dead-strip: %llu root(s), %llu/%llu function(s) removed "
+                "(%llu bytes), %llu global(s) removed (%llu bytes)\n",
+                static_cast<unsigned long long>(R.DeadStrip.Roots),
+                static_cast<unsigned long long>(R.DeadStrip.FunctionsRemoved),
+                static_cast<unsigned long long>(R.DeadStrip.FunctionsScanned),
+                static_cast<unsigned long long>(R.DeadStrip.BytesRemoved),
+                static_cast<unsigned long long>(R.DeadStrip.GlobalsRemoved),
+                static_cast<unsigned long long>(
+                    R.DeadStrip.GlobalBytesRemoved));
   if (C.HotLayout)
     layoutOutlinedByHotness(*Prog, *Prog->Modules[0]);
 
@@ -564,6 +620,29 @@ Status runBuild(BuildConfig &C, DiagState &D) {
       return MCO_ERROR("cannot open dump file '" + C.DumpFile + "'");
     Out << printModule(*Prog->Modules[0], *Prog);
     std::printf("dumped module to %s\n", C.DumpFile.c_str());
+  }
+
+  if (!C.EmitObjFile.empty()) {
+    // Merge the built program into one image-order module (the identity
+    // merge for a whole-program build; the linker's module order for a
+    // per-module build), so the container's deterministic layout is the
+    // layout BinaryImage would compute.
+    Module Linked;
+    Linked.Name = "linked";
+    for (const auto &M : Prog->Modules) {
+      for (const MachineFunction &MF : M->Functions)
+        Linked.Functions.push_back(MF);
+      for (const GlobalData &G : M->Globals)
+        Linked.Globals.push_back(G);
+    }
+    SymbolNameFn NameOf = [&](uint32_t Id) { return Prog->symbolName(Id); };
+    const std::string Obj = serializeObjectFile(
+        Linked, R.OutlineStats, R.RoundsRolledBack, R.PatternsQuarantined,
+        NameOf, &C.Opts.DeadStrip.ExportedSymbols);
+    if (Status S = atomicWriteFile(C.EmitObjFile, Obj); !S.ok())
+      return S;
+    std::printf("wrote object container to %s (%zu bytes)\n",
+                C.EmitObjFile.c_str(), Obj.size());
   }
 
   if (!FinalVerify.empty())

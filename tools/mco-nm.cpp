@@ -1,0 +1,144 @@
+//===- tools/mco-nm.cpp - List symbols of an MCOB1 object container -------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// nm for the MCOB1 container: prints every symbol with its address,
+/// section letter, and name, sorted by (address, name) so output is
+/// deterministic. Letter case encodes visibility the way nm does — Local
+/// symbols (outlined clones) print lowercase, Global/Exported uppercase:
+///
+///   T/t  defined in __TEXT,__text
+///   D/d  defined in __DATA,__const
+///   U    undefined (runtime builtins, cross-module references)
+///
+///   mco-nm FILE [--exports]
+///
+/// --exports prints the export-trie names (one per line, sorted) instead
+/// of the symbol table. FILE may be a bare container or an MCOA1-sealed
+/// one straight out of the artifact cache. Corrupt input exits 65; usage
+/// errors exit 64.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cache/ArtifactCache.h"
+#include "objfile/ObjectFile.h"
+#include "support/Checksum.h"
+#include "support/Error.h"
+#include "support/ExitCodes.h"
+#include "support/FileAtomics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace mco;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr, "usage: mco-nm FILE [--exports]\n");
+}
+
+struct NmConfig {
+  std::string File;
+  bool ExportsOnly = false;
+};
+
+Status parseArgs(int argc, char **argv, NmConfig &C) {
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--exports") {
+      C.ExportsOnly = true;
+    } else if (!A.empty() && A[0] == '-') {
+      return MCO_ERROR_CODE(StatusCode::Usage, "unknown option '" + A + "'");
+    } else if (C.File.empty()) {
+      C.File = A;
+    } else {
+      return MCO_ERROR_CODE(StatusCode::Usage,
+                            "unexpected argument '" + A + "'");
+    }
+  }
+  if (C.File.empty())
+    return MCO_ERROR_CODE(StatusCode::Usage, "missing input file");
+  return Status::success();
+}
+
+char sectionLetter(const ObjSymbol &S) {
+  char L;
+  switch (S.Section) {
+  case ObjSectText:
+    L = 'T';
+    break;
+  case ObjSectConst:
+    L = 'D';
+    break;
+  default:
+    return 'U';
+  }
+  return S.Vis == ObjVisibility::Local
+             ? static_cast<char>(L - 'A' + 'a')
+             : L;
+}
+
+Status run(const NmConfig &C) {
+  Expected<std::string> Bytes = readFileBytes(C.File);
+  if (!Bytes.ok())
+    return MCO_CORRUPT("cannot read '" + C.File +
+                       "': " + Bytes.status().message());
+  std::string Raw = std::move(*Bytes);
+  if (Raw.rfind(ArtifactSealMagic, 0) == 0) {
+    Expected<std::string> Payload = unsealArtifact(Raw);
+    if (!Payload.ok())
+      return MCO_CORRUPT("sealed artifact '" + C.File +
+                         "': " + Payload.status().message());
+    Raw = std::move(*Payload);
+  }
+  Expected<LoadedObject> O = readObjectFile(Raw);
+  if (!O.ok())
+    return MCO_CORRUPT("'" + C.File + "': " + O.status().message());
+
+  if (C.ExportsOnly) {
+    for (const std::string &N : O->ExportedNames)
+      std::printf("%s\n", N.c_str());
+    return Status::success();
+  }
+
+  std::vector<const ObjSymbol *> Sorted;
+  Sorted.reserve(O->Symbols.size());
+  for (const ObjSymbol &S : O->Symbols)
+    Sorted.push_back(&S);
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const ObjSymbol *A, const ObjSymbol *B) {
+              if (A->Addr != B->Addr)
+                return A->Addr < B->Addr;
+              return A->Name < B->Name;
+            });
+  for (const ObjSymbol *S : Sorted) {
+    if (S->Kind == ObjSymbolKind::Undefined)
+      std::printf("%16s U %s\n", "", S->Name.c_str());
+    else
+      std::printf("%016llx %c %s\n",
+                  static_cast<unsigned long long>(S->Addr),
+                  sectionLetter(*S), S->Name.c_str());
+  }
+  return Status::success();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  NmConfig C;
+  if (Status S = parseArgs(argc, argv, C); !S.ok()) {
+    std::fprintf(stderr, "mco-nm: %s\n", S.render().c_str());
+    usage();
+    return exitCodeFor(S);
+  }
+  if (Status S = run(C); !S.ok()) {
+    std::fprintf(stderr, "mco-nm: %s\n", S.render().c_str());
+    return exitCodeFor(S);
+  }
+  return 0;
+}

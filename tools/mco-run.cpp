@@ -5,9 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// Loads a machine module — textual MIR (as dumped by mco-build or written
-/// by hand), or a sealed MCOM artifact straight out of the artifact cache
-/// (.mco-cache/objects/*.mco) — optionally runs extra outlining rounds on
-/// it, and executes a function under the performance model.
+/// by hand), a bare MCOB1 object container (mco-build --emit-obj), or a
+/// sealed artifact straight out of the artifact cache
+/// (.mco-cache/objects/*.mco; MCOB1 or legacy MCOM under the seal) —
+/// optionally runs extra outlining rounds on it, and executes a function
+/// under the performance model.
 ///
 ///   mco-run FILE --entry NAME [--args a,b,...] [--rounds N]
 ///           [-j N | --threads N] [--incremental]
@@ -23,6 +25,7 @@
 #include "cache/ArtifactCache.h"
 #include "linker/Linker.h"
 #include "mir/MIRParser.h"
+#include "objfile/ObjectFile.h"
 #include "mir/MIRVerifier.h"
 #include "outliner/OutlineGuard.h"
 #include "sim/Interpreter.h"
@@ -157,19 +160,33 @@ Status run(RunConfig &C) {
   Module *M = nullptr;
   if (Bytes.rfind(ArtifactSealMagic, 0) == 0) {
     // A sealed artifact from the cache: checksum-verify, then decode the
-    // binary MCOM payload (full fidelity, including outlining metadata the
-    // text form drops).
+    // binary payload (full fidelity, including outlining metadata the
+    // text form drops). Current caches seal MCOB1 object containers;
+    // legacy entries carry the flat MCOM payload.
     Expected<std::string> Payload = unsealArtifact(Bytes);
     if (!Payload.ok())
       return MCO_CORRUPT("sealed artifact '" + C.File +
                          "': " + Payload.status().message());
-    Expected<ModuleArtifact> A = deserializeModuleArtifact(*Payload, Prog);
+    Expected<ModuleArtifact> A =
+        Payload->rfind(ObjectFileMagic, 0) == 0
+            ? deserializeObjectFile(*Payload, Prog)
+            : deserializeModuleArtifact(*Payload, Prog);
     if (!A.ok())
       return MCO_CORRUPT("artifact '" + C.File +
                          "': " + A.status().message());
     Prog.Modules.push_back(std::make_unique<Module>(std::move(A->M)));
     M = Prog.Modules.back().get();
     std::printf("loaded sealed artifact (checksum ok)\n");
+  } else if (Bytes.rfind(ObjectFileMagic, 0) == 0) {
+    // A bare MCOB1 object container (mco-build --emit-obj): validate,
+    // relocate, and rebuild the module from the symbol + relocation graph.
+    Expected<ModuleArtifact> A = deserializeObjectFile(Bytes, Prog);
+    if (!A.ok())
+      return MCO_CORRUPT("object file '" + C.File +
+                         "': " + A.status().message());
+    Prog.Modules.push_back(std::make_unique<Module>(std::move(A->M)));
+    M = Prog.Modules.back().get();
+    std::printf("loaded object container (relocations applied)\n");
   } else {
     ParseResult R = parseModule(Prog, Bytes);
     if (!R)

@@ -1,0 +1,140 @@
+//===- tools/mco-size.cpp - Segment/section/page size breakdown -----------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// `size -m` for the MCOB1 container: per-segment and per-section vm sizes
+/// plus the 16 KiB page accounting the paper measures apps by. Page counts
+/// use the same arithmetic as the first-touch TextPageModel: the number of
+/// BinaryImage::PageSize pages a section's [vmaddr, vmaddr+vmsize) span
+/// touches.
+///
+///   mco-size FILE [--pages]
+///
+/// --pages additionally prints one line per occupied page. FILE may be a
+/// bare container or an MCOA1-sealed one. Corrupt input exits 65; usage
+/// errors exit 64.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cache/ArtifactCache.h"
+#include "linker/Linker.h"
+#include "objfile/ObjectFile.h"
+#include "support/Checksum.h"
+#include "support/Error.h"
+#include "support/ExitCodes.h"
+#include "support/FileAtomics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+using namespace mco;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr, "usage: mco-size FILE [--pages]\n");
+}
+
+struct SizeConfig {
+  std::string File;
+  bool Pages = false;
+};
+
+Status parseArgs(int argc, char **argv, SizeConfig &C) {
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--pages") {
+      C.Pages = true;
+    } else if (!A.empty() && A[0] == '-') {
+      return MCO_ERROR_CODE(StatusCode::Usage, "unknown option '" + A + "'");
+    } else if (C.File.empty()) {
+      C.File = A;
+    } else {
+      return MCO_ERROR_CODE(StatusCode::Usage,
+                            "unexpected argument '" + A + "'");
+    }
+  }
+  if (C.File.empty())
+    return MCO_ERROR_CODE(StatusCode::Usage, "missing input file");
+  return Status::success();
+}
+
+/// Pages a [vmaddr, vmaddr+vmsize) span touches — identical to counting
+/// first-touch faults when every byte of the span is accessed.
+uint64_t pagesOf(uint64_t VmAddr, uint64_t VmSize) {
+  if (VmSize == 0)
+    return 0;
+  const uint64_t First = VmAddr / BinaryImage::PageSize;
+  const uint64_t Last = (VmAddr + VmSize - 1) / BinaryImage::PageSize;
+  return Last - First + 1;
+}
+
+Status run(const SizeConfig &C) {
+  Expected<std::string> Bytes = readFileBytes(C.File);
+  if (!Bytes.ok())
+    return MCO_CORRUPT("cannot read '" + C.File +
+                       "': " + Bytes.status().message());
+  std::string Raw = std::move(*Bytes);
+  if (Raw.rfind(ArtifactSealMagic, 0) == 0) {
+    Expected<std::string> Payload = unsealArtifact(Raw);
+    if (!Payload.ok())
+      return MCO_CORRUPT("sealed artifact '" + C.File +
+                         "': " + Payload.status().message());
+    Raw = std::move(*Payload);
+  }
+  Expected<LoadedObject> O = readObjectFile(Raw);
+  if (!O.ok())
+    return MCO_CORRUPT("'" + C.File + "': " + O.status().message());
+
+  uint64_t TotalBytes = 0;
+  uint64_t TotalPages = 0;
+  for (const ObjSectionInfo &S : O->Sections) {
+    const uint64_t Pages = pagesOf(S.VmAddr, S.VmSize);
+    std::printf("Segment %s: %llu bytes\n", S.Segment.c_str(),
+                static_cast<unsigned long long>(S.VmSize));
+    std::printf("  Section %s,%s: %llu bytes, vmaddr 0x%llx, "
+                "%llu page(s) of %llu bytes\n",
+                S.Segment.c_str(), S.Name.c_str(),
+                static_cast<unsigned long long>(S.VmSize),
+                static_cast<unsigned long long>(S.VmAddr),
+                static_cast<unsigned long long>(Pages),
+                static_cast<unsigned long long>(BinaryImage::PageSize));
+    if (C.Pages && S.VmSize > 0) {
+      const uint64_t First = S.VmAddr / BinaryImage::PageSize;
+      for (uint64_t P = 0; P < Pages; ++P) {
+        const uint64_t Base = (First + P) * BinaryImage::PageSize;
+        const uint64_t Lo = std::max(S.VmAddr, Base);
+        const uint64_t Hi =
+            std::min(S.VmAddr + S.VmSize, Base + BinaryImage::PageSize);
+        std::printf("    page 0x%llx: %llu bytes\n",
+                    static_cast<unsigned long long>(Base),
+                    static_cast<unsigned long long>(Hi - Lo));
+      }
+    }
+    TotalBytes += S.VmSize;
+    TotalPages += Pages;
+  }
+  std::printf("total %llu bytes, %llu page(s)\n",
+              static_cast<unsigned long long>(TotalBytes),
+              static_cast<unsigned long long>(TotalPages));
+  return Status::success();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  SizeConfig C;
+  if (Status S = parseArgs(argc, argv, C); !S.ok()) {
+    std::fprintf(stderr, "mco-size: %s\n", S.render().c_str());
+    usage();
+    return exitCodeFor(S);
+  }
+  if (Status S = run(C); !S.ok()) {
+    std::fprintf(stderr, "mco-size: %s\n", S.render().c_str());
+    return exitCodeFor(S);
+  }
+  return 0;
+}
