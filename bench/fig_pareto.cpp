@@ -1,0 +1,289 @@
+//===- bench/fig_pareto.cpp - Size/latency Pareto front of hot-thresholds -===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The size/latency Pareto sweep behind profile-guided hot/cold outlining
+/// (Section V-B's "don't outline the hot 10%" guidance, closed-loop):
+/// builds the Table 5 corpus unoutlined, captures an mco-heat-v1 profile
+/// from a fleet run of that baseline, then rebuilds at --hot-threshold
+/// 0/50/90/99/100 and replays every build through the same fleet. Prints
+/// the per-threshold size-vs-P50-startup-cycles front and emits
+/// BENCH_pareto.json for CI trend tracking.
+///
+/// The bench doubles as the pareto_smoke regression gate:
+///   - threshold 0 must be byte-identical to a profile-free build
+///     (digest equality — heat off is really off),
+///   - outlining everything (threshold 100) must cost startup cycles
+///     over the unoutlined baseline (the regression being traded away),
+///   - threshold 90 must recover >= 50% of that P50 cycle regression
+///     while retaining >= 85% of threshold 100's text-size savings.
+///
+///   fig_pareto [--modules N] [--devices N] [--rounds N] [--repeat K]
+///              [--seed S] [--threads N] [--json PATH]
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "cache/ArtifactCache.h"
+#include "pipeline/BuildPipeline.h"
+#include "sim/HeatProfile.h"
+#include "support/FileAtomics.h"
+#include "synth/CorpusSynthesizer.h"
+#include "telemetry/FleetSim.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace mco;
+using namespace mco::benchutil;
+
+namespace {
+
+struct ThresholdRow {
+  int Threshold = -1; ///< -1 = unoutlined baseline, -2 = profile-free.
+  uint64_t CodeSize = 0;
+  uint64_t SavingsBytes = 0;
+  uint64_t DroppedHot = 0;
+  uint64_t SuppressedOccurrences = 0;
+  uint64_t HotFunctions = 0;
+  std::string Digest;
+  FleetMetrics Fleet;
+};
+
+const char *rowName(const ThresholdRow &R) {
+  static char Buf[24];
+  if (R.Threshold == -1)
+    return "rounds0";
+  if (R.Threshold == -2)
+    return "no-heat";
+  std::snprintf(Buf, sizeof(Buf), "th%d", R.Threshold);
+  return Buf;
+}
+
+std::string rowJson(const ThresholdRow &R) {
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"arm\": \"%s\", \"hot_threshold\": %d, \"code_size\": %llu, "
+      "\"savings_bytes\": %llu, \"dropped_hot\": %llu, "
+      "\"suppressed_occurrences\": %llu, \"hot_functions\": %llu, "
+      "\"cycles_p50\": %.1f, \"cycles_p95\": %.1f, "
+      "\"text_page_faults_p50\": %.1f, \"digest\": \"%s\"}",
+      rowName(R), R.Threshold, static_cast<unsigned long long>(R.CodeSize),
+      static_cast<unsigned long long>(R.SavingsBytes),
+      static_cast<unsigned long long>(R.DroppedHot),
+      static_cast<unsigned long long>(R.SuppressedOccurrences),
+      static_cast<unsigned long long>(R.HotFunctions), R.Fleet.CyclesP50,
+      R.Fleet.CyclesP95, R.Fleet.TextFaultsP50, R.Digest.c_str());
+  return Buf;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Modules = 64, Devices = 16, Rounds = 2, Threads = 4, Repeat = 3;
+  uint64_t Seed = 0x5EED;
+  std::string JsonPath = "BENCH_pareto.json";
+  for (int I = 1; I < argc; ++I) {
+    auto Next = [&]() { return I + 1 < argc ? argv[++I] : ""; };
+    if (!std::strcmp(argv[I], "--modules"))
+      Modules = std::atoi(Next());
+    else if (!std::strcmp(argv[I], "--devices"))
+      Devices = std::atoi(Next());
+    else if (!std::strcmp(argv[I], "--rounds"))
+      Rounds = std::atoi(Next());
+    else if (!std::strcmp(argv[I], "--repeat"))
+      Repeat = std::atoi(Next());
+    else if (!std::strcmp(argv[I], "--seed"))
+      Seed = std::strtoull(Next(), nullptr, 0);
+    else if (!std::strcmp(argv[I], "--threads"))
+      Threads = std::atoi(Next());
+    else if (!std::strcmp(argv[I], "--json"))
+      JsonPath = Next();
+    else {
+      std::fprintf(stderr,
+                   "usage: fig_pareto [--modules N] [--devices N] "
+                   "[--rounds N] [--repeat K] [--seed S] [--threads N] "
+                   "[--json PATH]\n");
+      return 1;
+    }
+  }
+  if (Repeat == 0)
+    Repeat = 1;
+
+  banner("Hot-threshold sweep — size/latency Pareto front",
+         "Section V-B: profile-guided hot/cold outlining; measure on the "
+         "unoutlined fleet, rebuild per threshold, replay");
+  std::printf("%u modules, %u devices, %u round(s), spans x%u, "
+              "seed 0x%llx, %u thread(s)\n",
+              Modules, Devices, Rounds, Repeat,
+              static_cast<unsigned long long>(Seed), Threads);
+
+  FleetOptions O;
+  O.NumDevices = Devices;
+  O.Seed = Seed;
+  O.Threads = Threads;
+  const AppProfile AP = AppProfile::uberRider();
+  // Each span repeated: the first pass pays the cold-start page/cache
+  // faults, the repeats are steady-state execution, which is where the
+  // outlined-call overhead (the latency being traded for size) lives.
+  for (unsigned K = 0; K < Repeat; ++K)
+    for (unsigned S = 0; S < AP.NumSpans; ++S)
+      O.Entries.push_back(CorpusSynthesizer::spanFunctionName(S));
+
+  auto buildArm = [&](unsigned OutlineRounds, const HeatProfile *Heat,
+                      unsigned HotPct, BuildResult &R) {
+    AppProfile P = AppProfile::uberRider();
+    P.NumModules = Modules;
+    auto Prog = CorpusSynthesizer(P).withThreads(Threads).generate();
+    PipelineOptions Opts;
+    Opts.OutlineRounds = OutlineRounds;
+    Opts.WholeProgram = true;
+    Opts.Threads = Threads;
+    Opts.Heat.Profile = Heat;
+    Opts.Heat.HotThresholdPct = HotPct;
+    R = buildProgram(*Prog, Opts);
+    return Prog;
+  };
+
+  auto fillRow = [&](ThresholdRow &Row, const BuildResult &B, Program &Prog,
+                     uint64_t SizeBefore, const FleetReport &Rep) {
+    Row.CodeSize = B.CodeSize;
+    Row.SavingsBytes = SizeBefore - B.CodeSize;
+    for (const OutlineRoundStats &RS : B.OutlineStats.Rounds)
+      Row.DroppedHot += RS.CandidatesDroppedHot;
+    Row.SuppressedOccurrences = B.Remarks.suppressedOccurrences();
+    for (const SizeRemark &SR : B.Remarks.Remarks)
+      Row.HotFunctions += SR.Heat == HeatClass::Hot;
+    Row.Digest = programContentDigest(Prog);
+    Row.Fleet = Rep.Overall;
+  };
+
+  // Arm 1: the unoutlined baseline — the measurement vehicle. Its fleet
+  // run is what captures the heat profile every guided arm consumes
+  // (measure -> classify -> rebuild, the production loop in-process).
+  BuildResult BaseBuild;
+  auto BaseProg = buildArm(0, nullptr, 0, BaseBuild);
+  const uint64_t SizeBefore = BaseProg->codeSize();
+  HeatProfile Heat;
+  const FleetReport BaseRep = runFleet(*BaseProg, O, nullptr, nullptr, &Heat);
+  ThresholdRow BaseRow;
+  BaseRow.Threshold = -1;
+  fillRow(BaseRow, BaseBuild, *BaseProg, SizeBefore, BaseRep);
+  std::printf("baseline: %.1f KB unoutlined, heat profile: %zu function(s), "
+              "%llu cycle(s)\n",
+              SizeBefore / 1024.0, Heat.Functions.size(),
+              static_cast<unsigned long long>(Heat.totalCycles()));
+
+  // Arm 2: profile-free outlining, the pre-heat pipeline verbatim; its
+  // digest is the byte-identity reference for threshold 0.
+  BuildResult FreeBuild;
+  auto FreeProg = buildArm(Rounds, nullptr, 0, FreeBuild);
+  ThresholdRow FreeRow;
+  FreeRow.Threshold = -2;
+  fillRow(FreeRow, FreeBuild, *FreeProg, SizeBefore,
+          runFleet(*FreeProg, O));
+
+  std::vector<ThresholdRow> Rows;
+  Rows.push_back(BaseRow);
+  Rows.push_back(FreeRow);
+  const int Sweep[] = {0, 50, 90, 99, 100};
+  for (int Th : Sweep) {
+    BuildResult B;
+    auto Prog = buildArm(Rounds, &Heat, static_cast<unsigned>(Th), B);
+    ThresholdRow Row;
+    Row.Threshold = Th;
+    fillRow(Row, B, *Prog, SizeBefore, runFleet(*Prog, O));
+    Rows.push_back(Row);
+  }
+
+  section("per-threshold size/latency front");
+  std::printf("%-8s %10s %10s %12s %12s %8s %8s\n", "arm", "code_kb",
+              "saved_kb", "cycles_p50", "cycles_p95", "hot_fns", "dropped");
+  for (const ThresholdRow &R : Rows)
+    std::printf("%-8s %10.1f %10.1f %12.0f %12.0f %8llu %8llu\n", rowName(R),
+                R.CodeSize / 1024.0, R.SavingsBytes / 1024.0,
+                R.Fleet.CyclesP50, R.Fleet.CyclesP95,
+                static_cast<unsigned long long>(R.HotFunctions),
+                static_cast<unsigned long long>(R.DroppedHot));
+
+  std::string J = "{\n  \"bench\": \"pareto\",\n";
+  J += "  \"modules\": " + std::to_string(Modules) + ",\n";
+  J += "  \"devices\": " + std::to_string(Devices) + ",\n";
+  J += "  \"rounds\": " + std::to_string(Rounds) + ",\n";
+  J += "  \"span_repeat\": " + std::to_string(Repeat) + ",\n";
+  J += "  \"code_size_unoutlined\": " + std::to_string(SizeBefore) + ",\n";
+  J += "  \"arms\": [\n";
+  for (size_t I = 0; I < Rows.size(); ++I)
+    J += "    " + rowJson(Rows[I]) + (I + 1 < Rows.size() ? ",\n" : "\n");
+  J += "  ]\n}\n";
+  if (Status S = atomicWriteFile(JsonPath, J); !S.ok()) {
+    std::fprintf(stderr, "fig_pareto: %s\n", S.render().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", JsonPath.c_str());
+
+  auto row = [&](int Th) -> const ThresholdRow & {
+    for (const ThresholdRow &R : Rows)
+      if (R.Threshold == Th)
+        return R;
+    return Rows.front();
+  };
+  const ThresholdRow &Th0 = row(0), &Th90 = row(90), &Th100 = row(100);
+
+  // Gate 1: threshold 0 is heat fully off — byte-identical artifact.
+  if (Th0.Digest != FreeRow.Digest) {
+    std::fprintf(stderr,
+                 "FAIL: threshold 0 differs from the profile-free build "
+                 "(%s vs %s)\n",
+                 Th0.Digest.c_str(), FreeRow.Digest.c_str());
+    return 1;
+  }
+
+  // Gate 2: outlining everything must regress P50 startup cycles over the
+  // unoutlined baseline (otherwise there is nothing to trade), and
+  // threshold 90 must claw back at least half of that regression.
+  const double Regression = Th100.Fleet.CyclesP50 - BaseRow.Fleet.CyclesP50;
+  const double Recovered = Th100.Fleet.CyclesP50 - Th90.Fleet.CyclesP50;
+  if (Regression <= 0) {
+    std::fprintf(stderr,
+                 "FAIL: outline-everything did not regress P50 cycles "
+                 "(%.0f -> %.0f)\n",
+                 BaseRow.Fleet.CyclesP50, Th100.Fleet.CyclesP50);
+    return 1;
+  }
+  if (Recovered < 0.5 * Regression) {
+    std::fprintf(stderr,
+                 "FAIL: threshold 90 recovered %.0f of %.0f regressed P50 "
+                 "cycle(s) (%.1f%%, need >= 50%%)\n",
+                 Recovered, Regression, 100.0 * Recovered / Regression);
+    return 1;
+  }
+
+  // Gate 3: the recovery may not torch the size win — threshold 90 keeps
+  // >= 85% of outline-everything's text savings.
+  if (Th100.SavingsBytes == 0 ||
+      Th90.SavingsBytes * 100 < Th100.SavingsBytes * 85) {
+    std::fprintf(stderr,
+                 "FAIL: threshold 90 kept %llu of %llu saved byte(s) "
+                 "(need >= 85%%)\n",
+                 static_cast<unsigned long long>(Th90.SavingsBytes),
+                 static_cast<unsigned long long>(Th100.SavingsBytes));
+    return 1;
+  }
+
+  std::printf("pareto gate: th0 byte-identical to profile-free; th90 "
+              "recovered %.0f/%.0f P50 cycle(s) (%.1f%%) keeping %.1f%% of "
+              "th100's %.1f KB savings\n",
+              Recovered, Regression, 100.0 * Recovered / Regression,
+              100.0 * double(Th90.SavingsBytes) / double(Th100.SavingsBytes),
+              Th100.SavingsBytes / 1024.0);
+  return 0;
+}

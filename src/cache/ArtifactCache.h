@@ -58,7 +58,7 @@ struct ModuleArtifact {
 
 /// First bytes of the binary module format.
 inline constexpr const char *ModuleArtifactMagic = "MCOM";
-inline constexpr uint8_t ModuleArtifactVersion = 1;
+inline constexpr uint8_t ModuleArtifactVersion = 2;
 
 /// Serializes just the module contents (no stats trailer) with symbol ids
 /// replaced by string-table references. Deterministic: equal modules with

@@ -493,6 +493,14 @@ RpcMessage BuildService::processRequest(const std::string &Id,
         Req.intOr("threads", int64_t(Opts.BuildThreads)));
     if (PO.Threads == 0)
       PO.Threads = 1;
+    // Heat guidance is degrade-only on this route: a missing or corrupt
+    // profile file is recorded in the build's FailureLog and the build
+    // proceeds profile-free (daemon clients get no exit-65 affordance).
+    PO.Heat.ProfilePath = Req.strOr("heat_file", "");
+    int64_t HotPct = Req.intOr("hot_threshold", 0);
+    if (HotPct < 0 || HotPct > 100)
+      HotPct = 0;
+    PO.Heat.HotThresholdPct = static_cast<unsigned>(HotPct);
     PO.Resilience.CacheDir = Opts.StateDir + "/cache";
     PO.Resilience.SharedCache = true;
     PO.Resilience.JournalDir = requestDir(Id);

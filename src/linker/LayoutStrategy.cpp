@@ -50,7 +50,8 @@ uint64_t mco::estimateTextFaults(const Program &Prog,
                                  const TraceProfile &Traces) {
   const FunctionTable FT = flattenFunctions(Prog);
   const size_t N = FT.size();
-  const uint64_t PageBytes = Traces.PageBytes ? Traces.PageBytes : 16384;
+  const uint64_t PageBytes =
+      Traces.PageBytes ? Traces.PageBytes : TextPageBytes16K;
 
   // Address of each flat function under the given order.
   std::vector<uint64_t> Addr(N, 0);

@@ -37,6 +37,7 @@
 
 #include "linker/Linker.h"
 #include "linker/StartupTrace.h"
+#include "support/PageSize.h"
 
 #include <memory>
 #include <string>
@@ -101,8 +102,9 @@ createLayoutStrategy(const std::string &Name);
 /// The registered strategy names, in presentation order.
 std::vector<std::string> layoutStrategyNames();
 
-/// The 16 KiB page budget Codestitcher chains are packed under.
-inline constexpr uint64_t PageBudgetBytes = 16384;
+/// The 16 KiB page budget Codestitcher chains are packed under (the
+/// shared text-page size; see support/PageSize.h).
+inline constexpr uint64_t PageBudgetBytes = TextPageBytes16K;
 
 /// Counts the first-touch text pages an order costs over the profile's
 /// device entry streams: functions are laid out in \p Order, each device

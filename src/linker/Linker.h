@@ -27,6 +27,7 @@
 
 #include "mir/Program.h"
 #include "support/Error.h"
+#include "support/PageSize.h"
 
 #include <string>
 #include <unordered_map>
@@ -56,7 +57,7 @@ class BinaryImage {
 public:
   /// Default bases; data follows text at the next page boundary.
   static constexpr uint64_t TextBase = 0x100000000ull;
-  static constexpr uint64_t PageSize = 0x4000; // 16 KiB, as on iOS.
+  static constexpr uint64_t PageSize = TextPageBytes16K; // see PageSize.h
 
   /// Lays out every function of every module of \p Prog (in module order)
   /// and every global (in each module's stored order — run linkProgram

@@ -31,6 +31,7 @@
 #define MCO_LINKER_STARTUPTRACE_H
 
 #include "support/Error.h"
+#include "support/PageSize.h"
 
 #include <cstdint>
 #include <string>
@@ -67,7 +68,7 @@ struct DeviceTrace {
 struct TraceProfile {
   /// Function id -> symbol name. Ids are profile-local.
   std::vector<std::string> Functions;
-  uint64_t PageBytes = 16384;
+  uint64_t PageBytes = TextPageBytes16K;
   std::vector<DeviceTrace> Devices;
 
   /// Interns \p Name, returning its stable profile-local id.

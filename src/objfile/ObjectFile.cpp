@@ -210,6 +210,7 @@ void encodeRoundStats(std::string &B, const OutlineRoundStats &RS) {
   putU64(B, RS.FunctionsEdited);
   putU64(B, RS.PatternsQuarantined);
   putU64(B, RS.RoundsRolledBack);
+  putU64(B, RS.CandidatesDroppedHot);
 }
 
 void decodeRoundStats(BinReader &R, OutlineRoundStats &RS) {
@@ -227,6 +228,7 @@ void decodeRoundStats(BinReader &R, OutlineRoundStats &RS) {
   RS.FunctionsEdited = R.u64();
   RS.PatternsQuarantined = R.u64();
   RS.RoundsRolledBack = R.u64();
+  RS.CandidatesDroppedHot = R.u64();
 }
 
 MachineInstr makeInstr(Opcode Op, const MachineOperand *Ops, unsigned N) {
@@ -770,9 +772,9 @@ Status mco::validateObjectFileBytes(const std::string &Bytes) {
     return Fail("");
 
   uint32_t NumRounds = R.u32();
-  if (!R.plausibleCount(NumRounds, 14 * 8, "round-stats"))
+  if (!R.plausibleCount(NumRounds, 15 * 8, "round-stats"))
     return Fail("");
-  for (uint64_t RI = 0; RI < uint64_t(NumRounds) * 14; ++RI)
+  for (uint64_t RI = 0; RI < uint64_t(NumRounds) * 15; ++RI)
     R.u64();
   R.u64(); // RoundsRolledBack
   R.u64(); // PatternsQuarantined

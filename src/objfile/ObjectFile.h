@@ -61,7 +61,7 @@ namespace mco {
 
 /// First bytes of the container format.
 inline constexpr const char *ObjectFileMagic = "MCOB1";
-inline constexpr uint8_t ObjectFileVersion = 1;
+inline constexpr uint8_t ObjectFileVersion = 2;
 
 enum class ObjSymbolKind : uint8_t { Function = 0, Global = 1, Undefined = 2 };
 

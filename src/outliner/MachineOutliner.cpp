@@ -150,13 +150,24 @@ SpSensitiveSet computeSpSensitive(const Module &M) {
   return Sensitive;
 }
 
+/// \returns the heat class of module function \p Func under \p Opts. Warm
+/// when heat guidance is off or the index is out of range (functions
+/// appended by later rounds have no profile entry).
+HeatClass heatClassOf(const OutlinerOptions &Opts, uint32_t Func) {
+  if (!Opts.HeatGuided || Func >= Opts.FunctionHeatClasses.size())
+    return HeatClass::Warm;
+  return static_cast<HeatClass>(Opts.FunctionHeatClasses[Func]);
+}
+
 /// Decides the call variant for one occurrence, or returns false if the
 /// occurrence cannot be outlined (e.g. SP-relative accesses under a
-/// stack-shifting variant).
+/// stack-shifting variant). \p ColdFunc marks occurrences in Cold
+/// functions, where size wins every latency trade: the RegSave variant is
+/// accepted even when the EnableRegSave ablation turned it off.
 bool classifyCandidate(Candidate &C, BodyClass Body,
                        const MachineFunction &MF, const Liveness &LV,
                        const SpSensitiveSet &Sensitive,
-                       const OutlinerOptions &Opts) {
+                       const OutlinerOptions &Opts, bool ColdFunc) {
   const auto &Instrs = MF.Blocks[C.Block].Instrs;
   assert(C.InstrStart + C.Len <= Instrs.size() && "candidate out of range");
 
@@ -203,7 +214,7 @@ bool classifyCandidate(Candidate &C, BodyClass Body,
     C.Variant = CallVariant::NoLRSave;
     return true;
   }
-  if (Opts.EnableRegSave && !Conservative) {
+  if ((Opts.EnableRegSave || ColdFunc) && !Conservative) {
     RegMask Free = regSaveCandidateMask() &
                    ~LV.liveBefore(C.Block, C.InstrStart) & ~Touched;
     if (Free != 0) {
@@ -310,6 +321,8 @@ struct PlanResult {
   bool Valid = false;
   uint64_t DroppedSP = 0;
   uint64_t Unprofitable = 0;
+  uint64_t DroppedHot = 0;
+  std::vector<HeatSuppressedSite> HotSites;
 };
 
 /// Replaces the call of an injected-corrupt rewrite with a branch to a
@@ -406,6 +419,11 @@ void OutlinerEngine::State::buildPlan(unsigned Length, const unsigned *Starts,
 
   // Occurrences of one pattern must not overlap each other; keep a
   // greedy left-to-right non-overlapping subset (indices are sorted).
+  // Heat guidance filters here, before the overlap subset is chosen, so a
+  // refused occurrence never shadows an outlineable one: Hot functions are
+  // never outlined from, and patterns below MinLength (discovered only for
+  // the cold floor) keep cold-function occurrences only.
+  const bool ColdOnlyPattern = Opts.HeatGuided && Length < Opts.MinLength;
   unsigned PrevEnd = 0;
   bool First = true;
   for (size_t SI = 0; SI != NumStarts; ++SI) {
@@ -415,6 +433,14 @@ void OutlinerEngine::State::buildPlan(unsigned Length, const unsigned *Starts,
     const InstructionMapper::Location &Loc = Mapper.location(Start);
     if (!Loc.IsLegal)
       continue; // Defensive; repeated ids are always legal.
+    const HeatClass HC = heatClassOf(Opts, Loc.Func);
+    if (HC == HeatClass::Hot) {
+      ++Out.DroppedHot;
+      Out.HotSites.push_back({Loc.Func, Loc.Block, Loc.Instr, Length});
+      continue;
+    }
+    if (ColdOnlyPattern && HC != HeatClass::Cold)
+      continue;
     Candidate C;
     C.StartIdx = Start;
     C.Len = Length;
@@ -439,7 +465,8 @@ void OutlinerEngine::State::buildPlan(unsigned Length, const unsigned *Starts,
   std::vector<Candidate> Kept;
   for (Candidate &C : Plan.Cands) {
     if (classifyCandidate(C, Plan.Body, M.Functions[C.Func], LV[C.Func],
-                          Sensitive, Opts))
+                          Sensitive, Opts,
+                          heatClassOf(Opts, C.Func) == HeatClass::Cold))
       Kept.push_back(C);
     else
       ++Out.DroppedSP;
@@ -551,14 +578,21 @@ OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
                           static_cast<uint32_t>(NumStarts)});
       StartArena.insert(StartArena.end(), Starts, Starts + NumStarts);
     };
+    // Heat guidance lowers the discovery floor to the cold minimum (the
+    // shorter patterns are then filtered to cold-function occurrences in
+    // buildPlan). With stock knobs ColdMinLength == MinLength, so the
+    // floor — and therefore the pattern set — is unchanged.
+    const unsigned DiscMinLength =
+        Opts.HeatGuided ? std::min(Opts.MinLength, Opts.ColdMinLength)
+                        : Opts.MinLength;
     if (UseTree) {
       SuffixTree Tree(Str, Opts.LeafDescendants);
-      Tree.forEachRepeatedSubstring(Opts.MinLength, /*MinOccurrences=*/2,
+      Tree.forEachRepeatedSubstring(DiscMinLength, /*MinOccurrences=*/2,
                                     /*MaxLength=*/4096, Stage);
       DiscoveryBytes = Tree.memoryBytes();
     } else {
       SuffixArray Arr(Str, Opts.LeafDescendants);
-      Arr.forEachRepeatedSubstring(Opts.MinLength, /*MinOccurrences=*/2,
+      Arr.forEachRepeatedSubstring(DiscMinLength, /*MinOccurrences=*/2,
                                    /*MaxLength=*/4096, Stage);
       DiscoveryBytes = Arr.memoryBytes();
     }
@@ -595,6 +629,9 @@ OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
   for (PlanResult &R : Results) {
     Stats.CandidatesDroppedSP += R.DroppedSP;
     Stats.PatternsUnprofitable += R.Unprofitable;
+    Stats.CandidatesDroppedHot += R.DroppedHot;
+    Stats.HeatSuppressed.insert(Stats.HeatSuppressed.end(),
+                                R.HotSites.begin(), R.HotSites.end());
     if (R.Valid)
       Plans.push_back(std::move(R.Plan));
   }
@@ -766,6 +803,11 @@ OutlineRoundStats OutlinerEngine::State::runRound(unsigned Round) {
   MR.counter("outliner.patterns_considered").add(Stats.PatternsConsidered);
   MR.counter("outliner.sequences_outlined").add(Stats.SequencesOutlined);
   MR.counter("outliner.functions_created").add(Stats.FunctionsCreated);
+  if (Opts.HeatGuided) {
+    MR.counter("outliner.heat.rounds_guided").add(1);
+    MR.counter("outliner.heat.candidates_dropped_hot")
+        .add(Stats.CandidatesDroppedHot);
+  }
   return Stats;
 }
 

@@ -18,6 +18,7 @@
 
 #include "outliner/CostModel.h"
 #include "mir/Program.h"
+#include "sim/HeatProfile.h"
 
 #include <atomic>
 #include <cstdint>
@@ -87,6 +88,37 @@ struct OutlinerOptions {
   /// OutlineCancelled when it is true. The watchdog raises it when a
   /// module overruns --module-timeout-ms. Null = never cancelled.
   const std::atomic<bool> *CancelFlag = nullptr;
+
+  // Profile-guided hot/cold outlining (the paper's latency concession:
+  // outlining in hot code trades call overhead and i-cache locality for
+  // size; see sim/HeatProfile.h).
+  /// Master switch. When false the two fields below are ignored and the
+  /// round behaves exactly as profile-free outlining.
+  bool HeatGuided = false;
+  /// HeatClass value per module function index. Out-of-range indices (e.g.
+  /// functions appended by later rounds) are Warm. Hot functions never
+  /// have occurrences outlined from them; Cold functions outline more
+  /// aggressively (RegSave accepted even with EnableRegSave off, and
+  /// patterns down to ColdMinLength are considered for occurrences that
+  /// live in cold functions).
+  std::vector<uint8_t> FunctionHeatClasses;
+  /// Discovery floor for cold-function occurrences when HeatGuided. Only
+  /// takes effect below MinLength; the default equals the default
+  /// MinLength, so heat guidance with stock knobs changes hot handling
+  /// only.
+  unsigned ColdMinLength = 2;
+};
+
+/// One candidate occurrence the heat model refused to outline because its
+/// function is Hot. Recorded so size remarks can report exactly which
+/// sites the profile suppressed. \p Func is a module-local function index
+/// (the pipeline resolves it to a symbol name before remarks are
+/// written).
+struct HeatSuppressedSite {
+  uint32_t Func = 0;
+  uint32_t Block = 0;
+  uint32_t InstrStart = 0; ///< Within the block.
+  uint32_t Len = 0;        ///< Pattern length in instructions.
 };
 
 /// Statistics for one outlining round (paper Table II rows), plus
@@ -112,6 +144,14 @@ struct OutlineRoundStats {
   /// Occurrences dropped because a better pattern already consumed their
   /// instructions.
   uint64_t CandidatesDroppedOverlap = 0;
+  /// Occurrences refused because their function is Hot (zero unless
+  /// OutlinerOptions::HeatGuided). Counted per pattern occurrence, like
+  /// CandidatesDroppedSP.
+  uint64_t CandidatesDroppedHot = 0;
+  /// The refused sites behind CandidatesDroppedHot, for size remarks. Not
+  /// part of the artifact codecs: a cache-hit module replays the scalar
+  /// counter but not the per-site detail.
+  std::vector<HeatSuppressedSite> HeatSuppressed;
 
   // Incremental-engine observability (not part of the determinism
   // contract across Incremental settings; identical across thread counts).

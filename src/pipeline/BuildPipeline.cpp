@@ -21,9 +21,11 @@
 #include <cstdio>
 #include <exception>
 #include <future>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
 
 using namespace mco;
 
@@ -39,7 +41,8 @@ double secondsSince(std::chrono::steady_clock::time_point T0) {
 /// exactly what an unwatched build would, and a module that doesn't is
 /// degraded and never cached. Fault specs for non-cache sites are folded
 /// in so a fault-injected build can never serve artifacts to a clean one.
-std::string optionsFingerprint(const PipelineOptions &Opts) {
+std::string optionsFingerprint(const PipelineOptions &Opts,
+                               const HeatProfile *Heat, bool HeatGuided) {
   const OutlinerOptions &O = Opts.Outliner;
   const GuardOptions &G = Opts.Guard;
   std::ostringstream S;
@@ -57,6 +60,16 @@ std::string optionsFingerprint(const PipelineOptions &Opts) {
   for (const std::string &E : Opts.DeadStrip.ExportedSymbols)
     S << E << ",";
   S << ";faults=" << FaultInjection::instance().contentAffectingConfig();
+  // Heat guidance changes what a build produces, so the threshold and the
+  // profile *content* join the fingerprint — but only when active, so a
+  // --hot-threshold 0 (or profile-free) build shares cache entries with
+  // builds from before heat existed.
+  if (HeatGuided && Heat) {
+    Fnv64 HF;
+    HF.update(heatProfileJson(*Heat));
+    S << ";heatpct=" << Opts.Heat.HotThresholdPct << ";heatfp=" << std::hex
+      << HF.value() << std::dec;
+  }
   return S.str();
 }
 
@@ -125,7 +138,8 @@ DeadlineOutcome runWithDeadline(uint64_t Ms, std::atomic<bool> &Cancel,
 }
 
 void initResilience(ResilienceCtx &RC, BuildResult &R, Program &Prog,
-                    const PipelineOptions &Opts) {
+                    const PipelineOptions &Opts, const HeatProfile *Heat,
+                    bool HeatGuided) {
   const ResilienceOptions &RO = Opts.Resilience;
   if (RO.CacheDir.empty())
     return;
@@ -150,7 +164,7 @@ void initResilience(ResilienceCtx &RC, BuildResult &R, Program &Prog,
   }
   RC.Enabled = true;
   R.StaleLocksRecovered = RC.Lock.staleLocksRecovered();
-  RC.OptsFp = optionsFingerprint(Opts);
+  RC.OptsFp = optionsFingerprint(Opts, Heat, HeatGuided);
 
   SymbolNameFn NameOf = [&Prog](uint32_t Id) { return Prog.symbolName(Id); };
   Fnv64 B(0x84222325CBF29CE4ull);
@@ -232,6 +246,15 @@ void publishBuildMetrics(const BuildResult &R) {
   M.counter("dce.globals_removed").set(R.DeadStrip.GlobalsRemoved);
   M.counter("dce.global_bytes_removed").set(R.DeadStrip.GlobalBytesRemoved);
   M.gauge("dce.seconds").set(R.DeadStrip.Seconds);
+  uint64_t DroppedHot = 0;
+  for (const OutlineRoundStats &RS : R.OutlineStats.Rounds)
+    DroppedHot += RS.CandidatesDroppedHot;
+  M.counter("pipeline.heat.guided").set(R.Remarks.HeatGuided ? 1 : 0);
+  M.counter("pipeline.heat.hot_threshold_pct")
+      .set(R.Remarks.HotThresholdPct);
+  M.counter("pipeline.heat.candidates_dropped_hot").set(DroppedHot);
+  M.counter("pipeline.heat.suppressed_occurrences")
+      .set(R.Remarks.suppressedOccurrences());
 }
 
 } // namespace
@@ -251,8 +274,73 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
   if (Opts.DeadStrip.Enabled)
     R.DeadStrip = runDeadStrip(Prog, Opts.DeadStrip);
 
+  // The heat profile feeding the outliner's hot/cold cost model. Loaded
+  // before the resilience layer because an *active* profile joins the
+  // cache fingerprint. A missing or corrupt file degrades to profile-free
+  // outlining: the build still ships, byte-identical to one that never
+  // had a profile, with the failure on record.
+  HeatProfile OwnedHeat;
+  const HeatProfile *Heat = Opts.Heat.Profile;
+  const unsigned HotPct = Opts.Heat.HotThresholdPct;
+  if (HotPct > 0 && !Heat && !Opts.Heat.ProfilePath.empty()) {
+    Expected<HeatProfile> HE = readHeatProfile(Opts.Heat.ProfilePath);
+    if (HE.ok()) {
+      OwnedHeat = std::move(HE.get());
+      Heat = &OwnedHeat;
+    } else {
+      R.FailureLog.push_back("heat: profile '" + Opts.Heat.ProfilePath +
+                             "': " + HE.status().message() +
+                             "; outlining without heat");
+    }
+  }
+  const bool HeatGuided = Heat && HotPct > 0 && HotPct <= 100;
+  std::unordered_map<std::string, HeatClass> HeatByName;
+  if (HeatGuided)
+    HeatByName = classifyHeat(*Heat, HotPct);
+  // The class of a module function: profiled functions keep their
+  // classification; functions absent from the profile never executed on
+  // any device and are Cold.
+  auto classOf = [&](uint32_t NameSym) -> HeatClass {
+    auto It = HeatByName.find(Prog.symbolName(NameSym));
+    return It == HeatByName.end() ? HeatClass::Cold : It->second;
+  };
+  auto heatClassesFor = [&](const Module &Mod) {
+    std::vector<uint8_t> V;
+    V.reserve(Mod.Functions.size());
+    for (const MachineFunction &MF : Mod.Functions)
+      V.push_back(static_cast<uint8_t>(classOf(MF.Name)));
+    return V;
+  };
+
+  // Size-remark "before" snapshot: per-function MI counts of everything
+  // that survived dead-strip, keyed by symbol name (stable through the
+  // merge and the outliner's rewrites).
+  auto miCount = [](const MachineFunction &MF) {
+    uint64_t N = 0;
+    for (const MachineBasicBlock &MBB : MF.Blocks)
+      N += MBB.Instrs.size();
+    return N;
+  };
+  std::unordered_map<std::string, uint64_t> MIBefore;
+  for (const auto &M : Prog.Modules)
+    for (const MachineFunction &MF : M->Functions)
+      MIBefore[Prog.symbolName(MF.Name)] += miCount(MF);
+
+  // Heat-suppressed candidate sites, aggregated to (function, pattern
+  // length) -> occurrence count. std::map so the remark order is the
+  // canonical sorted order with no extra pass.
+  std::map<std::pair<std::string, uint32_t>, uint64_t> SuppressedAgg;
+  auto collectSuppressed = [&](const Module &Mod,
+                               const std::vector<OutlineRoundStats> &Rounds) {
+    for (const OutlineRoundStats &RS : Rounds)
+      for (const HeatSuppressedSite &Site : RS.HeatSuppressed)
+        if (Site.Func < Mod.Functions.size())
+          ++SuppressedAgg[{Prog.symbolName(Mod.Functions[Site.Func].Name),
+                           Site.Len}];
+  };
+
   ResilienceCtx RC;
-  initResilience(RC, R, Prog, Opts);
+  initResilience(RC, R, Prog, Opts, Heat, HeatGuided);
   const uint64_t TimeoutMs = Opts.Resilience.ModuleTimeoutMs;
 
   // Resolve the code-layout strategy up front: its data affinity decides
@@ -335,6 +423,10 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
       OutlinerOptions EOpts = Opts.Outliner;
       if (Opts.Threads > 1)
         EOpts.Threads = Opts.Threads;
+      if (HeatGuided) {
+        EOpts.HeatGuided = true;
+        EOpts.FunctionHeatClasses = heatClassesFor(Linked);
+      }
 
       // One deadline covers all rounds of the single linked module.
       // Committed rounds are kept on timeout (each is complete and
@@ -416,6 +508,8 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
                                E.what());
       }
       R.OutlineSeconds = secondsSince(T0);
+      if (HeatGuided)
+        collectSuppressed(Linked, R.OutlineStats.Rounds);
 
       if (RC.Enabled) {
         if (!Degraded) {
@@ -497,6 +591,14 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
       }
     }
 
+    // Per-module heat class vectors, computed serially before the fan-out
+    // (prefilled modules skip outlining, so theirs are left empty).
+    std::vector<std::vector<uint8_t>> ModHeatClasses(NumMods);
+    if (HeatGuided)
+      for (size_t I = 0; I < NumMods; ++I)
+        if (!Prefilled[I])
+          ModHeatClasses[I] = heatClassesFor(*Prog.Modules[I]);
+
     // Store + journal a freshly outlined module. Runs on the worker that
     // built it; the artifact is durable before the journal says `done`.
     auto publishModule = [&](size_t I, const DeferredSymbolBatch *Batch) {
@@ -529,6 +631,10 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
       PerModule.NamePrefix += "@" + Mod.Name;
       PerModule.Threads = InnerThreads;
       PerModule.CancelFlag = Cancel;
+      if (HeatGuided) {
+        PerModule.HeatGuided = true;
+        PerModule.FunctionHeatClasses = ModHeatClasses[I];
+      }
       faultSetRound(1);
       faultSiteCheck(FaultPipelineModuleFail);
       if (faultSiteFires(FaultPipelineModuleHang))
@@ -647,6 +753,8 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
       R.ModulesTimedOut += ModTimedOut[I];
       R.RoundsRolledBack += ModRolledBack[I];
       R.PatternsQuarantined += ModQuarantined[I];
+      if (HeatGuided)
+        collectSuppressed(*Prog.Modules[I], ModStats[I].Rounds);
       for (const std::string &F : ModLog[I])
         R.FailureLog.push_back("module " + Prog.Modules[I]->Name + ": " + F);
     }
@@ -681,6 +789,7 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
           Acc.FunctionsEdited += RS.FunctionsEdited;
           Acc.PatternsQuarantined += RS.PatternsQuarantined;
           Acc.RoundsRolledBack += RS.RoundsRolledBack;
+          Acc.CandidatesDroppedHot += RS.CandidatesDroppedHot;
         } else if (!MS.Rounds.empty()) {
           uint64_t Final = MS.Rounds.back().CodeSizeAfter;
           Acc.CodeSizeBefore += Final;
@@ -728,6 +837,38 @@ BuildResult mco::buildProgram(Program &Prog, const PipelineOptions &Opts) {
     R.BinarySize = Image.binarySize(DefaultResourceBytes);
   }
   R.LayoutSeconds = secondsSince(T0);
+
+  // Per-function size remarks: recount everything that ships and pair it
+  // with the pre-outlining snapshot. Keyed through a std::map so the
+  // remark order is the canonical name-sorted order regardless of module
+  // layout, thread count, or discovery engine.
+  {
+    std::map<std::string, SizeRemark> ByName;
+    for (const auto &M : Prog.Modules)
+      for (const MachineFunction &MF : M->Functions) {
+        std::string Name = Prog.symbolName(MF.Name);
+        SizeRemark &SR = ByName[Name];
+        if (SR.Function.empty())
+          SR.Function = std::move(Name);
+        SR.MIInstrsAfter += miCount(MF);
+        SR.IsOutlined |= MF.IsOutlined;
+      }
+    R.Remarks.HeatGuided = HeatGuided;
+    R.Remarks.HotThresholdPct = HeatGuided ? HotPct : 0;
+    R.Remarks.Remarks.reserve(ByName.size());
+    for (auto &[Name, SR] : ByName) {
+      auto It = MIBefore.find(Name);
+      SR.MIInstrsBefore = It == MIBefore.end() ? 0 : It->second;
+      if (HeatGuided) {
+        auto H = HeatByName.find(Name);
+        SR.Heat = H == HeatByName.end() ? HeatClass::Cold : H->second;
+      }
+      R.Remarks.Remarks.push_back(std::move(SR));
+    }
+    R.Remarks.Suppressed.reserve(SuppressedAgg.size());
+    for (const auto &[Key, N] : SuppressedAgg)
+      R.Remarks.Suppressed.push_back({Key.first, Key.second, N});
+  }
 
   if (RC.Enabled) {
     R.CacheHits = RC.Cache->hits();

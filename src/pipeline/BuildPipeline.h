@@ -28,6 +28,8 @@
 #include "objfile/DeadStrip.h"
 #include "outliner/MachineOutliner.h"
 #include "outliner/OutlineGuard.h"
+#include "pipeline/SizeRemarks.h"
+#include "sim/HeatProfile.h"
 
 #include <string>
 #include <vector>
@@ -83,6 +85,25 @@ struct LayoutOptions {
   const TraceProfile *Profile = nullptr;
 };
 
+/// Profile-guided hot/cold outlining configuration (the `mco-heat-v1`
+/// analogue of LayoutOptions): which heat profile steers the outliner's
+/// cost model, and the hot-percentile threshold.
+struct HeatOptions {
+  /// Path to an `mco-heat-v1` profile (mco-fleet --emit-heat). Empty = no
+  /// file. An unreadable or corrupt file degrades the build to
+  /// profile-free outlining (logged in FailureLog) rather than failing
+  /// it; CLIs validate the file up front.
+  std::string ProfilePath;
+  /// Pre-parsed profile; takes precedence over ProfilePath. Not owned —
+  /// must outlive the build.
+  const HeatProfile *Profile = nullptr;
+  /// Hot percentile threshold in [0, 100]. 0 disables heat guidance
+  /// entirely (the build is byte-identical to a profile-free one); 100
+  /// makes the hot set empty (outline everything, cold rules still
+  /// apply). See classifyHeat.
+  unsigned HotThresholdPct = 0;
+};
+
 /// Build configuration.
 struct PipelineOptions {
   /// Rounds of repeated machine outlining; 0 disables outlining.
@@ -96,6 +117,8 @@ struct PipelineOptions {
   DataLayoutMode DataLayout = DataLayoutMode::PreserveModuleOrder;
   /// Code-layout strategy + profile.
   LayoutOptions Layout;
+  /// Profile-guided hot/cold outlining (heat profile + threshold).
+  HeatOptions Heat;
   /// Outliner knobs (greedy order, discovery mode, RegSave, ...).
   OutlinerOptions Outliner;
   /// Worker threads. Whole-program builds parallelize inside the outliner
@@ -122,6 +145,12 @@ struct BuildResult {
   uint64_t BinarySize = 0;
 
   RepeatedOutlineStats OutlineStats;
+
+  /// Per-function size remarks: before/after MI counts for every function
+  /// that ships, plus the candidates the heat model suppressed. Always
+  /// populated; --size-remarks decides whether they are written out.
+  /// Deterministic at any thread count and across discovery engines.
+  SizeRemarkSet Remarks;
 
   /// Dead-strip pass accounting (all zero when the pass is disabled).
   DeadStripStats DeadStrip;

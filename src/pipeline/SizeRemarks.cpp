@@ -1,0 +1,118 @@
+//===- pipeline/SizeRemarks.cpp - Per-function size remarks ---------------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/SizeRemarks.h"
+
+#include "support/FileAtomics.h"
+
+namespace mco {
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+/// YAML single-quoted scalar: the only escape is doubling the quote.
+std::string yamlQuote(const std::string &S) {
+  std::string Out = "'";
+  for (char C : S) {
+    Out += C;
+    if (C == '\'')
+      Out += '\'';
+  }
+  Out += "'";
+  return Out;
+}
+
+} // namespace
+
+std::string sizeRemarksYaml(const SizeRemarkSet &S) {
+  std::string Out;
+  for (const SizeRemark &R : S.Remarks) {
+    Out += "--- !Analysis\n";
+    Out += "Pass:            size-info\n";
+    Out += "Name:            FunctionMISizeChange\n";
+    Out += "Function:        " + yamlQuote(R.Function) + "\n";
+    Out += std::string("Hotness:         ") + heatClassName(R.Heat) + "\n";
+    Out += std::string("Outlined:        ") +
+           (R.IsOutlined ? "true" : "false") + "\n";
+    Out += "Args:\n";
+    Out += "  - MIInstrsBefore: " + std::to_string(R.MIInstrsBefore) + "\n";
+    Out += "  - MIInstrsAfter:  " + std::to_string(R.MIInstrsAfter) + "\n";
+    Out += "  - Delta:          " + std::to_string(R.delta()) + "\n";
+    Out += "...\n";
+  }
+  for (const HeatSuppressedRemark &M : S.Suppressed) {
+    Out += "--- !Missed\n";
+    Out += "Pass:            machine-outliner\n";
+    Out += "Name:            HeatSuppressedCandidate\n";
+    Out += "Function:        " + yamlQuote(M.Function) + "\n";
+    Out += "Args:\n";
+    Out += "  - PatternLen:     " + std::to_string(M.PatternLen) + "\n";
+    Out += "  - Occurrences:    " + std::to_string(M.Occurrences) + "\n";
+    Out += "...\n";
+  }
+  return Out;
+}
+
+std::string sizeRemarksJson(const SizeRemarkSet &S) {
+  std::string Out = "{\n  \"schema\": \"mco-size-remarks-v1\",\n";
+  Out += std::string("  \"heat_guided\": ") +
+         (S.HeatGuided ? "true" : "false") + ",\n";
+  Out += "  \"hot_threshold_pct\": " + std::to_string(S.HotThresholdPct) +
+         ",\n";
+  Out += "  \"remarks\": [";
+  for (size_t I = 0; I < S.Remarks.size(); ++I) {
+    const SizeRemark &R = S.Remarks[I];
+    Out += I ? ",\n    " : "\n    ";
+    Out += "[\"" + jsonEscape(R.Function) + "\", " +
+           std::to_string(R.MIInstrsBefore) + ", " +
+           std::to_string(R.MIInstrsAfter) + ", " +
+           std::to_string(R.delta()) + ", \"" + heatClassName(R.Heat) +
+           "\", " + (R.IsOutlined ? "true" : "false") + "]";
+  }
+  Out += S.Remarks.empty() ? "],\n" : "\n  ],\n";
+  Out += "  \"heat_suppressed\": [";
+  for (size_t I = 0; I < S.Suppressed.size(); ++I) {
+    const HeatSuppressedRemark &M = S.Suppressed[I];
+    Out += I ? ",\n    " : "\n    ";
+    Out += "[\"" + jsonEscape(M.Function) + "\", " +
+           std::to_string(M.PatternLen) + ", " +
+           std::to_string(M.Occurrences) + "]";
+  }
+  Out += S.Suppressed.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return Out;
+}
+
+Status writeSizeRemarks(const SizeRemarkSet &S, const std::string &Path) {
+  const bool Json =
+      Path.size() >= 5 && Path.compare(Path.size() - 5, 5, ".json") == 0;
+  return atomicWriteFile(Path, Json ? sizeRemarksJson(S)
+                                    : sizeRemarksYaml(S));
+}
+
+} // namespace mco

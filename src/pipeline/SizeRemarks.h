@@ -1,0 +1,91 @@
+//===- pipeline/SizeRemarks.h - Per-function size remarks -------*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function size remarks, the build's answer to "what did outlining do
+/// to *my* function?": before/after machine-instruction counts for every
+/// function that ships, each tagged with its heat class, plus the exact
+/// candidate sites the profile's hot-suppression refused to outline.
+/// Modeled on LLVM's `size-info` optimization remarks
+/// (`FunctionMISizeChange`), extended with the hotness dimension.
+///
+/// Renderings are deterministic — the remark set is sorted by function
+/// name and carries no timestamps or paths — so a remarks file is
+/// byte-identical at any thread count and across both discovery engines.
+/// `--size-remarks FILE` writes YAML by default, JSON when the path ends
+/// in `.json`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_PIPELINE_SIZEREMARKS_H
+#define MCO_PIPELINE_SIZEREMARKS_H
+
+#include "sim/HeatProfile.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mco {
+
+/// One function's size change through the build. Functions the outliner
+/// created have MIInstrsBefore == 0 and IsOutlined set.
+struct SizeRemark {
+  std::string Function;
+  uint64_t MIInstrsBefore = 0;
+  uint64_t MIInstrsAfter = 0;
+  HeatClass Heat = HeatClass::Warm;
+  bool IsOutlined = false;
+
+  int64_t delta() const {
+    return static_cast<int64_t>(MIInstrsAfter) -
+           static_cast<int64_t>(MIInstrsBefore);
+  }
+};
+
+/// One (hot function, pattern length) the heat model refused to outline,
+/// with how many candidate occurrences it suppressed there.
+struct HeatSuppressedRemark {
+  std::string Function;
+  uint32_t PatternLen = 0;
+  uint64_t Occurrences = 0;
+};
+
+/// The whole build's remark set, in canonical order: Remarks ascending by
+/// function name, Suppressed ascending by (function name, pattern length).
+struct SizeRemarkSet {
+  /// Whether heat guidance was active (false = Hotness below is Warm for
+  /// everything and Suppressed is empty).
+  bool HeatGuided = false;
+  /// The threshold the build classified with (0 when not heat-guided).
+  unsigned HotThresholdPct = 0;
+  std::vector<SizeRemark> Remarks;
+  std::vector<HeatSuppressedRemark> Suppressed;
+
+  uint64_t suppressedOccurrences() const {
+    uint64_t N = 0;
+    for (const HeatSuppressedRemark &S : Suppressed)
+      N += S.Occurrences;
+    return N;
+  }
+};
+
+/// LLVM-style YAML rendering: one `--- !Analysis` document per function
+/// (Pass: size-info, Name: FunctionMISizeChange) followed by one
+/// `--- !Missed` document per heat-suppressed site group.
+std::string sizeRemarksYaml(const SizeRemarkSet &S);
+
+/// Deterministic JSON rendering (`mco-size-remarks-v1`).
+std::string sizeRemarksJson(const SizeRemarkSet &S);
+
+/// Atomically writes the remark set to \p Path: JSON when the path ends
+/// in `.json`, YAML otherwise.
+Status writeSizeRemarks(const SizeRemarkSet &S, const std::string &Path);
+
+} // namespace mco
+
+#endif // MCO_PIPELINE_SIZEREMARKS_H

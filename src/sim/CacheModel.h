@@ -16,6 +16,8 @@
 #ifndef MCO_SIM_CACHEMODEL_H
 #define MCO_SIM_CACHEMODEL_H
 
+#include "support/PageSize.h"
+
 #include <cstdint>
 #include <list>
 #include <unordered_map>
@@ -147,19 +149,19 @@ struct PerfConfig {
   unsigned ICacheMissCycles = 14;
   // Instruction TLB.
   unsigned ITlbEntries = 48;
-  uint64_t ITlbPageBytes = 16 << 10;
+  uint64_t ITlbPageBytes = TextPageBytes16K;
   unsigned ITlbMissCycles = 30;
   // Branches.
   unsigned BranchTableEntries = 4096;
   unsigned BranchMissCycles = 12;
   // Global-data paging.
   unsigned DataResidentPages = 64;
-  uint64_t DataPageBytes = 16 << 10;
+  uint64_t DataPageBytes = TextPageBytes16K;
   unsigned DataFaultCycles = 3000;
   // Text paging (first-touch; see TextPageModel). TextFaultCycles
   // defaults to 0 so pre-existing cycle models are unchanged; the fleet
   // device classes opt in.
-  uint64_t TextPageBytes = 16 << 10;
+  uint64_t TextPageBytes = TextPageBytes16K;
   unsigned TextFaultCycles = 0;
   // Base cost per instruction (inverse superscalar width).
   double BaseCyclesPerInstr = 0.5;

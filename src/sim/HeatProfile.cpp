@@ -1,0 +1,203 @@
+//===- sim/HeatProfile.cpp - Per-function execution-heat profiles ---------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/HeatProfile.h"
+
+#include "support/FileAtomics.h"
+#include "support/FormatValidator.h"
+#include "support/JsonCursor.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+using namespace mco;
+
+namespace {
+
+/// Caps on any counter a legitimate profile can carry: 2^56 cycles is
+/// ~2 years of simulated time, and capping per-function values means the
+/// totals of a maximally-sized profile cannot wrap uint64.
+constexpr uint64_t HeatMaxCounter = 1ull << 56;
+constexpr uint64_t HeatMaxFunctions = 1u << 20;
+constexpr uint64_t HeatMaxDevices = 1u << 16;
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char Ch : S) {
+    if (Ch == '"' || Ch == '\\')
+      Out += '\\';
+    Out += Ch;
+  }
+  return Out;
+}
+
+} // namespace
+
+uint64_t HeatProfile::totalCycles() const {
+  uint64_t N = 0;
+  for (const FunctionHeat &F : Functions)
+    N += F.Cycles;
+  return N;
+}
+
+std::string mco::heatProfileJson(const HeatProfile &P) {
+  std::string Out = "{\n";
+  Out += "  \"schema\": \"mco-heat-v1\",\n";
+  Out += "  \"devices\": " + std::to_string(P.Devices) + ",\n";
+  Out += "  \"functions\": [";
+  for (size_t I = 0; I < P.Functions.size(); ++I) {
+    const FunctionHeat &F = P.Functions[I];
+    Out += I ? ",\n    " : "\n    ";
+    Out += "[\"" + jsonEscape(F.Name) + "\", " + std::to_string(F.Calls) +
+           ", " + std::to_string(F.Instrs) + ", " + std::to_string(F.Cycles) +
+           "]";
+  }
+  Out += P.Functions.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return Out;
+}
+
+Status mco::writeHeatProfile(const HeatProfile &P, const std::string &Path) {
+  return atomicWriteFile(Path, heatProfileJson(P));
+}
+
+Status mco::validateHeatProfile(const HeatProfile &P) {
+  if (Status S = validate::countWithin(P.Functions.size(), HeatMaxFunctions,
+                                       "heat function");
+      !S.ok())
+    return S;
+  if (Status S = validate::countWithin(P.Devices, HeatMaxDevices,
+                                       "heat device");
+      !S.ok())
+    return S;
+  for (size_t I = 0; I < P.Functions.size(); ++I) {
+    const FunctionHeat &F = P.Functions[I];
+    if (F.Name.empty())
+      return MCO_CORRUPT("heat function " + std::to_string(I) +
+                         ": empty name");
+    // Canonical order doubles as the uniqueness check: a duplicated or
+    // shuffled function list is damage (or a splice), not data.
+    if (I > 0 && !(P.Functions[I - 1].Name < F.Name))
+      return MCO_CORRUPT("heat function " + std::to_string(I) + " ('" +
+                         F.Name + "'): names not strictly ascending");
+    if (Status S = validate::countWithin(F.Calls, HeatMaxCounter,
+                                         "heat calls");
+        !S.ok())
+      return S;
+    if (Status S = validate::countWithin(F.Instrs, HeatMaxCounter,
+                                         "heat instrs");
+        !S.ok())
+      return S;
+    if (Status S = validate::countWithin(F.Cycles, HeatMaxCounter,
+                                         "heat cycles");
+        !S.ok())
+      return S;
+  }
+  return Status::success();
+}
+
+Expected<HeatProfile> mco::parseHeatProfile(const std::string &Json) {
+  HeatProfile P;
+  std::string Schema;
+  JsonCursor C(Json, "heat JSON");
+
+  Status St = C.parseObject([&](const std::string &Key) -> Status {
+    if (Key == "schema")
+      return C.parseString(Schema);
+    if (Key == "devices")
+      return C.parseUInt(P.Devices);
+    if (Key == "functions")
+      return C.parseArray([&]() -> Status {
+        FunctionHeat F;
+        if (Status S2 = C.expect('['); !S2.ok())
+          return S2;
+        if (Status S2 = C.parseString(F.Name); !S2.ok())
+          return S2;
+        if (Status S2 = C.expect(','); !S2.ok())
+          return S2;
+        if (Status S2 = C.parseUInt(F.Calls); !S2.ok())
+          return S2;
+        if (Status S2 = C.expect(','); !S2.ok())
+          return S2;
+        if (Status S2 = C.parseUInt(F.Instrs); !S2.ok())
+          return S2;
+        if (Status S2 = C.expect(','); !S2.ok())
+          return S2;
+        if (Status S2 = C.parseUInt(F.Cycles); !S2.ok())
+          return S2;
+        if (Status S2 = C.expect(']'); !S2.ok())
+          return S2;
+        P.Functions.push_back(std::move(F));
+        return Status::success();
+      });
+    return C.skipValue();
+  });
+  if (!St.ok())
+    return St;
+
+  if (Schema != "mco-heat-v1")
+    return MCO_CORRUPT("heat JSON: unsupported schema '" + Schema +
+                       "' (want mco-heat-v1)");
+  // FormatValidator pass before any consumer classifies with this data.
+  if (Status V = validateHeatProfile(P); !V.ok())
+    return V;
+  return P;
+}
+
+Expected<HeatProfile> mco::readHeatProfile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return MCO_CORRUPT("cannot open heat file '" + Path + "'");
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Expected<HeatProfile> P = parseHeatProfile(Buf.str());
+  if (!P.ok())
+    return MCO_ERROR_CODE(P.status().code(),
+                          "'" + Path + "': " + P.status().message());
+  return P;
+}
+
+const char *mco::heatClassName(HeatClass C) {
+  switch (C) {
+  case HeatClass::Warm:
+    return "warm";
+  case HeatClass::Cold:
+    return "cold";
+  case HeatClass::Hot:
+    return "hot";
+  }
+  return "warm";
+}
+
+std::unordered_map<std::string, HeatClass>
+mco::classifyHeat(const HeatProfile &P, unsigned HotThresholdPct) {
+  std::unordered_map<std::string, HeatClass> M;
+  if (HotThresholdPct == 0 || HotThresholdPct > 100)
+    return M; // Heat disabled; callers gate before classifying.
+  std::vector<const FunctionHeat *> Executed;
+  Executed.reserve(P.Functions.size());
+  for (const FunctionHeat &F : P.Functions) {
+    if (F.Cycles == 0)
+      M.emplace(F.Name, HeatClass::Cold);
+    else
+      Executed.push_back(&F);
+  }
+  // Cycle-percentile over the functions that actually executed: the top
+  // (100 - PCT)% by cycles are Hot. Name tiebreak keeps the cut
+  // deterministic under equal cycle counts.
+  std::sort(Executed.begin(), Executed.end(),
+            [](const FunctionHeat *A, const FunctionHeat *B) {
+              if (A->Cycles != B->Cycles)
+                return A->Cycles > B->Cycles;
+              return A->Name < B->Name;
+            });
+  const size_t NumHot = Executed.size() * (100 - HotThresholdPct) / 100;
+  for (size_t I = 0; I < Executed.size(); ++I)
+    M.emplace(Executed[I]->Name,
+              I < NumHot ? HeatClass::Hot : HeatClass::Warm);
+  return M;
+}

@@ -1,0 +1,146 @@
+//===- sim/HeatProfile.h - Per-function execution-heat profiles -*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profile format feeding the outliner's hot/cold cost model: per-
+/// function execution heat (call counts, retired instructions, modeled
+/// cycles) aggregated across every simulated device of a fleet run. The
+/// paper concedes outlining is latency-hostile when it lands in hot code
+/// (call overhead plus worse i-cache locality); this profile is how the
+/// build knows where "hot" is.
+///
+/// Functions are named symbolically (not by address or index), so a
+/// profile captured from one build can steer the outliner of a later
+/// build as long as symbol names persist — the same contract
+/// `mco-traces-v1` layout profiles rely on. Serialized as `mco-heat-v1`
+/// JSON (`mco-fleet --emit-heat`, consumed by
+/// `mco-build --profile-heat FILE --hot-threshold PCT`), with a
+/// validating loader per the input-boundary discipline: bounds-checked
+/// parse, overflow-checked numbers, a FormatValidator pass before any
+/// consumer touches the data.
+///
+/// This lives in the sim library: the interpreter produces the raw
+/// per-function costs (HeatRecorder), and both mco_telemetry (fleet
+/// aggregation) and mco_outliner (cost model) already link mco_sim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SIM_HEATPROFILE_H
+#define MCO_SIM_HEATPROFILE_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mco {
+
+/// One function's aggregated heat across the fleet.
+struct FunctionHeat {
+  std::string Name;
+  uint64_t Calls = 0;  ///< Entries (calls into the function).
+  uint64_t Instrs = 0; ///< Instructions retired inside it.
+  uint64_t Cycles = 0; ///< Modeled cycles attributed to it (rounded).
+};
+
+/// A whole fleet's worth of per-function heat. Canonical form (what the
+/// validator enforces and the writer emits): Functions strictly ascending
+/// by name, so the serialization is deterministic and diffs are stable.
+struct HeatProfile {
+  /// Devices aggregated into the totals (observability; not consumed).
+  uint64_t Devices = 0;
+  std::vector<FunctionHeat> Functions;
+
+  uint64_t totalCycles() const;
+};
+
+/// Deterministic `mco-heat-v1` JSON rendering.
+std::string heatProfileJson(const HeatProfile &P);
+
+/// Atomically writes heatProfileJson to \p Path.
+Status writeHeatProfile(const HeatProfile &P, const std::string &Path);
+
+/// The `mco-heat-v1` FormatValidator pass: size caps, per-counter value
+/// caps (so totals can never wrap), non-empty names in strictly ascending
+/// order. parseHeatProfile runs it on everything it parses; exposed
+/// separately so synthetic profiles can be checked before use.
+Status validateHeatProfile(const HeatProfile &P);
+
+/// Parses an `mco-heat-v1` JSON document with a bounds-checked reader;
+/// all failures are CorruptInput with byte offsets.
+Expected<HeatProfile> parseHeatProfile(const std::string &Json);
+
+/// Reads and parses an `mco-heat-v1` file.
+Expected<HeatProfile> readHeatProfile(const std::string &Path);
+
+/// The outliner's view of a function's heat. Warm is the default (profile
+/// present but unremarkable): outlining behaves exactly as it would
+/// profile-free. Hot functions are never outlined from; cold functions
+/// may be outlined more aggressively.
+enum class HeatClass : uint8_t { Warm = 0, Cold = 1, Hot = 2 };
+
+/// "warm" | "cold" | "hot".
+const char *heatClassName(HeatClass C);
+
+/// Classifies every profiled function by cycle percentile.
+/// \p HotThresholdPct in (0, 100]: among functions that executed
+/// (Cycles > 0), the top (100 - PCT)% by cycle count — ties broken by
+/// name — are Hot; the rest are Warm. Functions with zero recorded cycles
+/// are Cold. PCT == 100 makes the hot set empty (outline everything);
+/// PCT == 0 means "heat disabled" and callers must not classify at all.
+/// Functions absent from the returned map never executed on any device:
+/// consumers treat them as Cold.
+std::unordered_map<std::string, HeatClass>
+classifyHeat(const HeatProfile &P, unsigned HotThresholdPct);
+
+/// Records one device's per-function heat during simulation. The
+/// interpreter calls the record hooks with *image function indices*; the
+/// fleet harness converts those to symbolic names afterwards. Cycles
+/// accumulate as double (the interpreter's cycle counter is fractional)
+/// and are rounded once at profile-build time. Recording is deterministic
+/// and never changes execution or the modeled cycles.
+class HeatRecorder {
+public:
+  void recordEntry(uint32_t FuncIdx) {
+    grow(FuncIdx);
+    ++CallsV[FuncIdx];
+  }
+
+  /// Charges \p Instrs retired instructions and \p Cycles modeled cycles
+  /// to \p FuncIdx. The interpreter attributes the cost of instructions
+  /// executed inside outlined functions to the innermost non-outlined
+  /// caller, so heat lands on the function a human (and the outliner's
+  /// hot-suppression) can act on.
+  void recordCost(uint32_t FuncIdx, uint64_t Instrs, double Cycles) {
+    grow(FuncIdx);
+    InstrsV[FuncIdx] += Instrs;
+    CyclesV[FuncIdx] += Cycles;
+  }
+
+  size_t size() const { return CallsV.size(); }
+  uint64_t calls(size_t I) const { return CallsV[I]; }
+  uint64_t instrs(size_t I) const { return InstrsV[I]; }
+  double cycles(size_t I) const { return CyclesV[I]; }
+
+private:
+  void grow(uint32_t FuncIdx) {
+    if (FuncIdx >= CallsV.size()) {
+      CallsV.resize(FuncIdx + 1, 0);
+      InstrsV.resize(FuncIdx + 1, 0);
+      CyclesV.resize(FuncIdx + 1, 0.0);
+    }
+  }
+
+  std::vector<uint64_t> CallsV;
+  std::vector<uint64_t> InstrsV;
+  std::vector<double> CyclesV;
+};
+
+} // namespace mco
+
+#endif // MCO_SIM_HEATPROFILE_H

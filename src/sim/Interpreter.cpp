@@ -77,13 +77,17 @@ Interpreter::Interpreter(const BinaryImage &Image, const Program &Prog,
 }
 
 void Interpreter::traceCallTo(uint64_t TargetAddr, uint32_t CallerIdx) {
-  if (!TraceRec || TargetAddr == 0 || !Image.instrAt(TargetAddr))
+  if ((!TraceRec && !HeatRec) || TargetAddr == 0 || !Image.instrAt(TargetAddr))
     return;
   const uint32_t CalleeIdx = Image.functionIndexAt(TargetAddr);
   if (Image.funcs()[CalleeIdx].Addr != TargetAddr)
     return; // A mid-function target is not a function entry.
-  TraceRec->recordEntry(CalleeIdx);
-  TraceRec->recordCall(CallerIdx, CalleeIdx);
+  if (TraceRec) {
+    TraceRec->recordEntry(CalleeIdx);
+    TraceRec->recordCall(CallerIdx, CalleeIdx);
+  }
+  if (HeatRec)
+    HeatRec->recordEntry(CalleeIdx);
 }
 
 uint64_t Interpreter::readReg(Reg R) const {
@@ -261,6 +265,8 @@ int64_t Interpreter::call(const std::string &FnName,
   Regs[regIndex(LR)] = ReturnSentinel;
   if (TraceRec)
     TraceRec->recordEntry(Image.functionIndexAt(Image.functionAddr(Sym)));
+  if (HeatRec)
+    HeatRec->recordEntry(Image.functionIndexAt(Image.functionAddr(Sym)));
   execute(Image.functionAddr(Sym));
   return static_cast<int64_t>(Regs[0]);
 }
@@ -280,6 +286,8 @@ Expected<int64_t> Interpreter::tryCall(const std::string &FnName,
   Regs[regIndex(LR)] = ReturnSentinel;
   if (TraceRec)
     TraceRec->recordEntry(Image.functionIndexAt(Image.functionAddr(Sym)));
+  if (HeatRec)
+    HeatRec->recordEntry(Image.functionIndexAt(Image.functionAddr(Sym)));
   TrapMode = true;
   Mem.setTrapOnFault(true);
   try {
@@ -297,6 +305,9 @@ Expected<int64_t> Interpreter::tryCall(const std::string &FnName,
 void Interpreter::execute(uint64_t EntryAddr) {
   uint64_t Pc = EntryAddr;
   uint64_t Budget = Fuel;
+  // Heat attribution: cost inside outlined bodies is charged to the
+  // innermost non-outlined caller (entry functions are never outlined).
+  uint32_t HeatAttrIdx = HeatRec ? Image.functionIndexAt(EntryAddr) : 0;
 
   while (Pc != ReturnSentinel) {
     const MachineInstr *MI = Image.instrAt(Pc);
@@ -304,6 +315,12 @@ void Interpreter::execute(uint64_t EntryAddr) {
       fault("jump to invalid address " + std::to_string(Pc));
     if (Budget-- == 0)
       fault("instruction budget exhausted");
+    double HeatCycles0 = 0;
+    uint64_t HeatInstrs0 = 0;
+    if (HeatRec) {
+      HeatCycles0 = Counters.Cycles;
+      HeatInstrs0 = Counters.Instrs;
+    }
 #ifdef MCO_TRACE_TAIL
     if (Budget < 64) {
       const uint32_t FI = Image.functionIndexAt(Pc);
@@ -331,8 +348,11 @@ void Interpreter::execute(uint64_t EntryAddr) {
     TraceRing[TraceHead] = Pc;
     TraceHead = (TraceHead + 1) % TraceDepth;
     const uint32_t FuncIdx = Image.functionIndexAt(Pc);
-    if (Image.funcs()[FuncIdx].MF->IsOutlined)
+    const bool InOutlined = Image.funcs()[FuncIdx].MF->IsOutlined;
+    if (InOutlined)
       ++Counters.OutlinedInstrs;
+    if (HeatRec && !InOutlined)
+      HeatAttrIdx = FuncIdx;
 
     uint64_t NextPc = Pc + InstrBytes;
     auto RegOp = [&](unsigned I) { return MI->operand(I).getReg(); };
@@ -534,6 +554,9 @@ void Interpreter::execute(uint64_t EntryAddr) {
     case Opcode::NOP:
       break;
     }
+    if (HeatRec)
+      HeatRec->recordCost(HeatAttrIdx, Counters.Instrs - HeatInstrs0,
+                          Counters.Cycles - HeatCycles0);
     Pc = NextPc;
   }
 }

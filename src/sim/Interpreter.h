@@ -21,6 +21,7 @@
 #include "linker/Linker.h"
 #include "linker/StartupTrace.h"
 #include "sim/CacheModel.h"
+#include "sim/HeatProfile.h"
 #include "sim/Memory.h"
 #include "support/Error.h"
 
@@ -69,6 +70,15 @@ public:
   /// modeled cycles. Pass nullptr to detach.
   void setTraceRecorder(StartupTraceRecorder *R) { TraceRec = R; }
 
+  /// Attaches a per-function heat recorder (see sim/HeatProfile.h): the
+  /// interpreter reports entries and charges each executed instruction's
+  /// retired count + modeled cycles to a function, by image function
+  /// index. Cost inside outlined functions is attributed to the innermost
+  /// non-outlined caller (the function the outliner's hot-suppression can
+  /// act on). Recording never changes execution or the modeled cycles.
+  /// Pass nullptr to detach.
+  void setHeatRecorder(HeatRecorder *R) { HeatRec = R; }
+
 private:
   enum class Builtin {
     None,
@@ -113,6 +123,7 @@ private:
   std::unique_ptr<DataPageModel> DataPages;
   std::unique_ptr<TextPageModel> TextPages;
   StartupTraceRecorder *TraceRec = nullptr;
+  HeatRecorder *HeatRec = nullptr;
   PerfConfig Config;
   bool PerfEnabled = false;
   PerfCounters Counters;

@@ -1,0 +1,195 @@
+//===- support/JsonCursor.h - Hardened JSON reader for loaders -*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal recursive-descent JSON reader shared by the validating
+/// loaders of the JSON-shaped persisted formats (`mco-traces-v1`,
+/// `mco-heat-v1`): objects, arrays, strings, unsigned integers. No
+/// external JSON dependency is available in this toolchain. Input is
+/// untrusted: every read is bounds-checked, numbers are overflow-checked,
+/// strings are length-capped, and nesting spends the shared
+/// validate::JsonMaxDepth budget. All failures are CorruptInput naming the
+/// format and the byte offset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SUPPORT_JSONCURSOR_H
+#define MCO_SUPPORT_JSONCURSOR_H
+
+#include "support/Error.h"
+#include "support/FormatValidator.h"
+
+#include <cstdint>
+#include <string>
+
+namespace mco {
+
+/// Longest string any of our JSON documents legitimately contains (a
+/// mangled function name); anything longer is damage or an attack on the
+/// parser's memory, not data.
+inline constexpr size_t JsonMaxStringBytes = 1u << 20;
+
+class JsonCursor {
+public:
+  /// \p What prefixes every error ("traces JSON", "heat JSON", ...).
+  JsonCursor(const std::string &S, const char *What) : S(S), What(What) {}
+
+  Status fail(const std::string &Msg) const {
+    return MCO_CORRUPT(std::string(What) + ": " + Msg + " at byte " +
+                       std::to_string(Pos));
+  }
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool peek(char C) {
+    skipWs();
+    return Pos < S.size() && S[Pos] == C;
+  }
+
+  Status expect(char C) {
+    if (!consume(C))
+      return fail(std::string("expected '") + C + "'");
+    return Status::success();
+  }
+
+  Status parseString(std::string &Out) {
+    if (Status St = expect('"'); !St.ok())
+      return St;
+    Out.clear();
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (Out.size() >= JsonMaxStringBytes)
+        return fail("string too long");
+      char Ch = S[Pos++];
+      if (Ch == '\\' && Pos < S.size())
+        Ch = S[Pos++];
+      Out += Ch;
+    }
+    if (Pos >= S.size())
+      return fail("unterminated string");
+    ++Pos; // closing quote
+    return Status::success();
+  }
+
+  Status parseUInt(uint64_t &Out) {
+    skipWs();
+    if (Pos >= S.size() || S[Pos] < '0' || S[Pos] > '9')
+      return fail("expected number");
+    Out = 0;
+    while (Pos < S.size() && S[Pos] >= '0' && S[Pos] <= '9') {
+      uint64_t Digit = uint64_t(S[Pos] - '0');
+      // Overflow check: a 21+-digit number is damage, and wrapping would
+      // silently turn it into a plausible id.
+      if (Out > (UINT64_MAX - Digit) / 10)
+        return fail("number too large");
+      Out = Out * 10 + Digit;
+      ++Pos;
+    }
+    return Status::success();
+  }
+
+  /// Skips any value (used for unknown keys, forward compatibility). The
+  /// nesting budget bounds how deep a hostile document can push the scan.
+  Status skipValue() {
+    skipWs();
+    if (Pos >= S.size())
+      return fail("unexpected end of input");
+    char C = S[Pos];
+    if (C == '"') {
+      std::string Tmp;
+      return parseString(Tmp);
+    }
+    if (C == '{' || C == '[') {
+      ++Pos;
+      // One iterative scan over both bracket kinds, depth-budgeted.
+      char Stack[validate::JsonMaxDepth];
+      unsigned Depth = 0;
+      Stack[Depth++] = C == '{' ? '}' : ']';
+      bool InStr = false;
+      while (Pos < S.size() && Depth > 0) {
+        char Ch = S[Pos++];
+        if (InStr) {
+          if (Ch == '\\')
+            ++Pos;
+          else if (Ch == '"')
+            InStr = false;
+        } else if (Ch == '"') {
+          InStr = true;
+        } else if (Ch == '{' || Ch == '[') {
+          if (Depth >= validate::JsonMaxDepth)
+            return fail("value nests too deep");
+          Stack[Depth++] = Ch == '{' ? '}' : ']';
+        } else if (Ch == '}' || Ch == ']') {
+          if (Ch != Stack[Depth - 1])
+            return fail("mismatched bracket");
+          --Depth;
+        }
+      }
+      return Depth == 0 ? Status::success() : fail("unbalanced value");
+    }
+    // Number / literal: consume until a delimiter.
+    while (Pos < S.size() && S[Pos] != ',' && S[Pos] != '}' && S[Pos] != ']' &&
+           S[Pos] != ' ' && S[Pos] != '\n' && S[Pos] != '\t' && S[Pos] != '\r')
+      ++Pos;
+    return Status::success();
+  }
+
+  /// Iterates `"key": value` pairs of an object; \p OnKey parses the value.
+  template <typename Fn> Status parseObject(Fn OnKey) {
+    if (Status St = expect('{'); !St.ok())
+      return St;
+    if (consume('}'))
+      return Status::success();
+    for (;;) {
+      std::string Key;
+      if (Status St = parseString(Key); !St.ok())
+        return St;
+      if (Status St = expect(':'); !St.ok())
+        return St;
+      if (Status St = OnKey(Key); !St.ok())
+        return St;
+      if (consume(','))
+        continue;
+      return expect('}');
+    }
+  }
+
+  /// Iterates the elements of an array; \p OnElem parses each.
+  template <typename Fn> Status parseArray(Fn OnElem) {
+    if (Status St = expect('['); !St.ok())
+      return St;
+    if (consume(']'))
+      return Status::success();
+    for (;;) {
+      if (Status St = OnElem(); !St.ok())
+        return St;
+      if (consume(','))
+        continue;
+      return expect(']');
+    }
+  }
+
+private:
+  const std::string &S;
+  const char *What;
+  size_t Pos = 0;
+};
+
+} // namespace mco
+
+#endif // MCO_SUPPORT_JSONCURSOR_H

@@ -1,0 +1,30 @@
+//===- support/PageSize.h - The shared 16 KiB text-page size ---*- C++ -*-===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 16 KiB page size iOS maps text with — the unit the paper measures
+/// app size in and every page-granular model in this tree shares:
+/// BinaryImage::PageSize, the first-touch TextPageModel, the i-TLB and
+/// data-page cost models, the Codestitcher chain budget, mco-traces-v1
+/// page indices, and the `mco-size --pages` accounting. One definition so
+/// the models can't drift apart: a layout packed under one page size must
+/// be charged faults under the same one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCO_SUPPORT_PAGESIZE_H
+#define MCO_SUPPORT_PAGESIZE_H
+
+#include <cstdint>
+
+namespace mco {
+
+/// 16 KiB, as on iOS (arm64 Darwin maps 16 KiB pages).
+inline constexpr uint64_t TextPageBytes16K = 16384;
+
+} // namespace mco
+
+#endif // MCO_SUPPORT_PAGESIZE_H

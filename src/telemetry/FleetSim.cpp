@@ -85,7 +85,7 @@ Rng deviceRng(uint64_t Seed, uint32_t Index) {
 
 DeviceResult simulateDevice(const BinaryImage &Image, const Program &Prog,
                             const FleetOptions &Opts, uint32_t Index,
-                            StartupTraceRecorder *Rec) {
+                            StartupTraceRecorder *Rec, HeatRecorder *Heat) {
   MCO_TRACE_SPAN("fleet.device", "fleet");
   DeviceResult D;
   D.Index = Index;
@@ -115,6 +115,8 @@ DeviceResult simulateDevice(const BinaryImage &Image, const Program &Prog,
   I.setFuel(Opts.FuelPerCall);
   if (Rec)
     I.setTraceRecorder(Rec);
+  if (Heat)
+    I.setHeatRecorder(Heat);
   D.SpanCycles.reserve(Opts.Entries.size());
   for (const std::string &Entry : Opts.Entries) {
     const double Before = I.counters().Cycles;
@@ -172,7 +174,8 @@ std::string jsonEscape(const std::string &S) {
 } // namespace
 
 FleetReport mco::runFleet(const Program &Prog, const FleetOptions &Opts,
-                          const LayoutPlan *Plan, TraceProfile *TracesOut) {
+                          const LayoutPlan *Plan, TraceProfile *TracesOut,
+                          HeatProfile *HeatOut) {
   MCO_TRACE_SPAN("fleet.run", "fleet");
   FleetReport R;
   R.Seed = Opts.Seed;
@@ -189,6 +192,9 @@ FleetReport mco::runFleet(const Program &Prog, const FleetOptions &Opts,
   std::vector<StartupTraceRecorder> Recorders;
   if (TracesOut)
     Recorders.resize(Opts.NumDevices);
+  std::vector<HeatRecorder> HeatRecs;
+  if (HeatOut)
+    HeatRecs.resize(Opts.NumDevices);
 
   {
     MCO_TRACE_SPAN("fleet.devices", "fleet");
@@ -196,7 +202,8 @@ FleetReport mco::runFleet(const Program &Prog, const FleetOptions &Opts,
     R.Devices = parallelMap<DeviceResult>(
         Pool, Opts.NumDevices, [&](size_t I) {
           return simulateDevice(Image, Prog, Opts, static_cast<uint32_t>(I),
-                                TracesOut ? &Recorders[I] : nullptr);
+                                TracesOut ? &Recorders[I] : nullptr,
+                                HeatOut ? &HeatRecs[I] : nullptr);
         });
   }
 
@@ -238,6 +245,40 @@ FleetReport mco::runFleet(const Program &Prog, const FleetOptions &Opts,
       P.Devices.push_back(std::move(T));
     }
     *TracesOut = std::move(P);
+  }
+
+  if (HeatOut) {
+    // Sum every device slot's per-index heat, then name the functions
+    // symbolically and emit in canonical (name-ascending) order — a pure
+    // function of the execution, byte-identical at any thread count.
+    size_t MaxIdx = 0;
+    for (const HeatRecorder &HR : HeatRecs)
+      MaxIdx = std::max(MaxIdx, HR.size());
+    std::vector<uint64_t> Calls(MaxIdx, 0), Instrs(MaxIdx, 0);
+    std::vector<double> Cycles(MaxIdx, 0.0);
+    for (const HeatRecorder &HR : HeatRecs)
+      for (size_t I = 0; I < HR.size(); ++I) {
+        Calls[I] += HR.calls(I);
+        Instrs[I] += HR.instrs(I);
+        Cycles[I] += HR.cycles(I);
+      }
+    HeatProfile H;
+    H.Devices = Opts.NumDevices;
+    for (size_t I = 0; I < MaxIdx; ++I) {
+      if (Calls[I] == 0 && Instrs[I] == 0)
+        continue; // Never entered, never charged: not part of the profile.
+      FunctionHeat F;
+      F.Name = Prog.symbolName(Image.funcs()[I].MF->Name);
+      F.Calls = Calls[I];
+      F.Instrs = Instrs[I];
+      F.Cycles = static_cast<uint64_t>(std::llround(Cycles[I]));
+      H.Functions.push_back(std::move(F));
+    }
+    std::sort(H.Functions.begin(), H.Functions.end(),
+              [](const FunctionHeat &A, const FunctionHeat &B) {
+                return A.Name < B.Name;
+              });
+    *HeatOut = std::move(H);
   }
 
   MCO_TRACE_SPAN("fleet.aggregate", "fleet");

@@ -37,6 +37,7 @@
 
 #include "linker/StartupTrace.h"
 #include "sim/CacheModel.h"
+#include "sim/HeatProfile.h"
 #include "support/Error.h"
 
 #include <cstdint>
@@ -122,9 +123,14 @@ struct FleetReport {
 /// (`mco-traces-v1`): ordered function entries, aggregated call edges,
 /// and first-touch text pages. Capture is passive — the report is
 /// byte-identical with or without it.
+/// \p HeatOut (optional) receives the fleet-aggregated per-function heat
+/// profile (`mco-heat-v1`): calls, retired instructions, and modeled
+/// cycles summed across every device, in canonical name order. Capture is
+/// passive here too.
 FleetReport runFleet(const Program &Prog, const FleetOptions &Opts,
                      const LayoutPlan *Plan = nullptr,
-                     TraceProfile *TracesOut = nullptr);
+                     TraceProfile *TracesOut = nullptr,
+                     HeatProfile *HeatOut = nullptr);
 
 /// Aggregates the first \p FirstN devices of \p R (a rollout-stage cohort).
 FleetMetrics aggregateDevices(const FleetReport &R, size_t FirstN);

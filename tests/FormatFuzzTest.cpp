@@ -42,6 +42,7 @@
 #include "mir/MIRPrinter.h"
 #include "objfile/ObjectFile.h"
 #include "pipeline/BuildJournal.h"
+#include "sim/HeatProfile.h"
 #include "support/Checksum.h"
 #include "support/ExitCodes.h"
 #include "gtest/gtest.h"
@@ -406,6 +407,35 @@ TEST(FormatFuzzTest, TraceProfileJson) {
   });
 }
 
+TEST(FormatFuzzTest, HeatProfileJson) {
+  HeatProfile Big;
+  Big.Devices = 5;
+  for (int I = 0; I < 14; ++I) {
+    FunctionHeat F;
+    F.Name = std::string("heat_fn_") + static_cast<char>('a' + I);
+    F.Calls = uint64_t(I) * 11 + 1;
+    F.Instrs = uint64_t(I) * 400 + 7;
+    F.Cycles = uint64_t(I) * 150;
+    Big.Functions.push_back(F);
+  }
+  // Names must be strictly ascending for the specimen to be valid.
+  std::sort(Big.Functions.begin(), Big.Functions.end(),
+            [](const FunctionHeat &A, const FunctionHeat &B) {
+              return A.Name < B.Name;
+            });
+  const std::string A = heatProfileJson(Big);
+  HeatProfile Small;
+  Small.Devices = 1;
+  Small.Functions.push_back({"lone", 1, 2, 3});
+  const std::string B = heatProfileJson(Small);
+  fuzzFormat(A, B, 0x6EA7'F00D, [](const std::string &Bytes) {
+    Expected<HeatProfile> P = parseHeatProfile(Bytes);
+    // Anything that parses must pass the caps/ordering validator.
+    if (P.ok())
+      ASSERT_TRUE(validateHeatProfile(*P).ok());
+  });
+}
+
 TEST(FormatFuzzTest, MirText) {
   const std::string A = mirSpecimen();
   Program Prog2;
@@ -516,6 +546,41 @@ TEST(ExitCodeTest, CorruptInputsExit65) {
       runTool(MCO_RUN_TOOL_PATH, {GoodMco, "--entry", "no_such_entry"});
   EXPECT_FALSE(R.Signaled);
   EXPECT_EQ(R.ExitCode, ExitCorruptInput);
+}
+
+TEST(ExitCodeTest, HeatFlagsUsageErrorsExit64) {
+  // --hot-threshold outside [0, 100] (or non-numeric) is a usage error.
+  EXPECT_EQ(runTool(MCO_BUILD_TOOL_PATH, {"--hot-threshold", "101"}).ExitCode,
+            ExitUsage);
+  EXPECT_EQ(runTool(MCO_BUILD_TOOL_PATH, {"--hot-threshold", "-1"}).ExitCode,
+            ExitUsage);
+  EXPECT_EQ(runTool(MCO_BUILD_TOOL_PATH, {"--hot-threshold", "hot"}).ExitCode,
+            ExitUsage);
+  EXPECT_EQ(runTool(MCO_BUILD_TOOL_PATH, {"--hot-threshold"}).ExitCode,
+            ExitUsage);
+  EXPECT_EQ(runTool(MCO_BUILD_TOOL_PATH, {"--profile-heat"}).ExitCode,
+            ExitUsage);
+}
+
+TEST(ExitCodeTest, HeatProfileCorruptInputsExit65) {
+  ScratchDir D("heat65");
+  // Missing file: the CLI validates --profile-heat up front.
+  EXPECT_EQ(runTool(MCO_BUILD_TOOL_PATH,
+                    {"--profile-heat", D.str("nope.json")})
+                .ExitCode,
+            ExitCorruptInput);
+  // Unparseable JSON.
+  const std::string Junk = D.file("junk.json", "not a heat profile");
+  EXPECT_EQ(runTool(MCO_BUILD_TOOL_PATH, {"--profile-heat", Junk}).ExitCode,
+            ExitCorruptInput);
+  // Parses as JSON but violates the validator (names out of order).
+  const std::string BadOrder = D.file(
+      "order.json", "{\n  \"schema\": \"mco-heat-v1\",\n  \"devices\": 1,\n"
+                    "  \"functions\": [\n    [\"zz\", 1, 1, 1],\n"
+                    "    [\"aa\", 1, 1, 1]\n  ]\n}\n");
+  EXPECT_EQ(
+      runTool(MCO_BUILD_TOOL_PATH, {"--profile-heat", BadOrder}).ExitCode,
+      ExitCorruptInput);
 }
 
 TEST(ExitCodeTest, InspectionToolUsageErrorsExit64) {

@@ -1,0 +1,308 @@
+//===- tests/HeatOutliningTest.cpp - Profile-guided outlining tests -------===//
+//
+// Part of the mco project (CGO 2021 code-size outlining reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Profile-guided hot/cold outlining and per-function size remarks:
+///
+///   - mco-heat-v1 round-trips (writer -> parser) and the validator
+///     rejects damage (order, caps, schema);
+///   - classifyHeat's count-based percentile semantics, including the
+///     never-executed -> Cold rule and both endpoints;
+///   - the hot-function property: a heat-guided build never shrinks a
+///     hot function (its candidates are refused, and every refusal is
+///     accounted for in the suppressed remarks);
+///   - threshold 0 and a missing/corrupt profile both leave the artifact
+///     byte-identical to a profile-free build (the former silently, the
+///     latter with a FailureLog entry);
+///   - differential execution: heat-guided outlining never changes what
+///     the program computes;
+///   - determinism: remarks are byte-identical at any thread count and
+///     across discovery engines, and the fleet's captured heat profile is
+///     byte-identical at any thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cache/ArtifactCache.h"
+#include "pipeline/BuildPipeline.h"
+#include "sim/HeatProfile.h"
+#include "sim/Interpreter.h"
+#include "synth/CorpusSynthesizer.h"
+#include "telemetry/FleetSim.h"
+#include "gtest/gtest.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace mco;
+
+namespace {
+
+AppProfile tinyProfile() {
+  AppProfile P = AppProfile::uberRider();
+  P.NumModules = 8;
+  return P;
+}
+
+FleetOptions tinyFleet() {
+  FleetOptions O;
+  O.NumDevices = 4;
+  const AppProfile AP = AppProfile::uberRider();
+  for (unsigned S = 0; S < AP.NumSpans; ++S)
+    O.Entries.push_back(CorpusSynthesizer::spanFunctionName(S));
+  return O;
+}
+
+/// Captures a heat profile from a fleet run of the unoutlined corpus —
+/// the same measure-then-build loop production uses.
+HeatProfile capturedHeat(unsigned Threads = 1) {
+  auto Prog = CorpusSynthesizer(tinyProfile()).generate();
+  FleetOptions O = tinyFleet();
+  O.Threads = Threads;
+  HeatProfile Heat;
+  runFleet(*Prog, O, nullptr, nullptr, &Heat);
+  return Heat;
+}
+
+PipelineOptions heatOpts(const HeatProfile *Heat, unsigned Pct,
+                         unsigned Threads = 1) {
+  PipelineOptions Opts;
+  Opts.OutlineRounds = 2;
+  Opts.WholeProgram = true;
+  Opts.Threads = Threads;
+  Opts.Heat.Profile = Heat;
+  Opts.Heat.HotThresholdPct = Pct;
+  return Opts;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Format round-trip + validator
+//===----------------------------------------------------------------------===//
+
+TEST(HeatProfileTest, JsonRoundTrip) {
+  HeatProfile P;
+  P.Devices = 3;
+  P.Functions.push_back({"alpha", 10, 2000, 900});
+  P.Functions.push_back({"beta", 0, 0, 0});
+  P.Functions.push_back({"gamma \"q\" \\ tricky", 7, 70, 7});
+  const std::string Json = heatProfileJson(P);
+  Expected<HeatProfile> Back = parseHeatProfile(Json);
+  ASSERT_TRUE(Back.ok()) << Back.status().render();
+  EXPECT_EQ(Back->Devices, 3u);
+  ASSERT_EQ(Back->Functions.size(), 3u);
+  EXPECT_EQ(Back->Functions[2].Name, "gamma \"q\" \\ tricky");
+  EXPECT_EQ(Back->Functions[0].Cycles, 900u);
+  EXPECT_EQ(Back->Functions[1].Calls, 0u);
+  // Canonical rendering is a fixed point.
+  EXPECT_EQ(heatProfileJson(*Back), Json);
+  EXPECT_EQ(Back->totalCycles(), 907u);
+}
+
+TEST(HeatProfileTest, ValidatorRejectsDamage) {
+  HeatProfile P;
+  P.Functions.push_back({"b", 1, 1, 1});
+  P.Functions.push_back({"a", 1, 1, 1});
+  EXPECT_FALSE(validateHeatProfile(P).ok()) << "names must ascend";
+
+  HeatProfile Dup;
+  Dup.Functions.push_back({"a", 1, 1, 1});
+  Dup.Functions.push_back({"a", 2, 2, 2});
+  EXPECT_FALSE(validateHeatProfile(Dup).ok()) << "duplicates are damage";
+
+  HeatProfile Empty;
+  Empty.Functions.push_back({"", 1, 1, 1});
+  EXPECT_FALSE(validateHeatProfile(Empty).ok()) << "empty name";
+
+  HeatProfile Wrap;
+  Wrap.Functions.push_back({"a", 1ull << 60, 1, 1});
+  EXPECT_FALSE(validateHeatProfile(Wrap).ok()) << "counter cap";
+
+  EXPECT_FALSE(parseHeatProfile("{\"schema\": \"mco-heat-v2\", "
+                                "\"devices\": 1, \"functions\": []}")
+                   .ok())
+      << "unknown schema";
+  EXPECT_FALSE(parseHeatProfile("junk").ok());
+
+  HeatProfile Ok;
+  Ok.Devices = 1;
+  Ok.Functions.push_back({"a", 1, 1, 1});
+  EXPECT_TRUE(validateHeatProfile(Ok).ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Classification semantics
+//===----------------------------------------------------------------------===//
+
+TEST(HeatProfileTest, ClassifyHeatPercentiles) {
+  HeatProfile P;
+  // Ten executed functions with distinct cycle counts (f9 hottest), plus
+  // two never-executed ones.
+  for (int I = 0; I < 10; ++I)
+    P.Functions.push_back({"f" + std::to_string(I), 1, 10,
+                           uint64_t(I + 1) * 100});
+  P.Functions.push_back({"never_a", 5, 50, 0});
+  P.Functions.push_back({"never_b", 0, 0, 0});
+
+  // P90: top 10% of the 10 executed = 1 hot function, the hottest.
+  auto M90 = classifyHeat(P, 90);
+  EXPECT_EQ(M90.at("f9"), HeatClass::Hot);
+  EXPECT_EQ(M90.at("f8"), HeatClass::Warm);
+  EXPECT_EQ(M90.at("f0"), HeatClass::Warm);
+  EXPECT_EQ(M90.at("never_a"), HeatClass::Cold);
+  EXPECT_EQ(M90.at("never_b"), HeatClass::Cold);
+
+  // P50: top half hot.
+  auto M50 = classifyHeat(P, 50);
+  EXPECT_EQ(M50.at("f5"), HeatClass::Hot);
+  EXPECT_EQ(M50.at("f4"), HeatClass::Warm);
+
+  // P100: the hot set is empty — outline everything.
+  auto M100 = classifyHeat(P, 100);
+  for (const auto &KV : M100)
+    EXPECT_NE(KV.second, HeatClass::Hot) << KV.first;
+  EXPECT_EQ(M100.at("f9"), HeatClass::Warm);
+
+  // Threshold 0 (and out-of-range) = heat disabled: empty map.
+  EXPECT_TRUE(classifyHeat(P, 0).empty());
+  EXPECT_TRUE(classifyHeat(P, 101).empty());
+
+  // Equal cycles tiebreak on name: deterministic cut.
+  HeatProfile Tie;
+  Tie.Functions.push_back({"x", 1, 1, 500});
+  Tie.Functions.push_back({"y", 1, 1, 500});
+  auto MT = classifyHeat(Tie, 50);
+  EXPECT_EQ(MT.at("x"), HeatClass::Hot);
+  EXPECT_EQ(MT.at("y"), HeatClass::Warm);
+}
+
+//===----------------------------------------------------------------------===//
+// The hot-function property + suppression accounting
+//===----------------------------------------------------------------------===//
+
+TEST(HeatOutliningTest, HotFunctionsNeverShrink) {
+  const HeatProfile Heat = capturedHeat();
+  auto Prog = CorpusSynthesizer(tinyProfile()).generate();
+  BuildResult R = buildProgram(*Prog, heatOpts(&Heat, 90));
+  ASSERT_TRUE(R.Remarks.HeatGuided);
+  EXPECT_EQ(R.Remarks.HotThresholdPct, 90u);
+
+  uint64_t HotFns = 0;
+  for (const SizeRemark &SR : R.Remarks.Remarks) {
+    if (SR.Heat != HeatClass::Hot)
+      continue;
+    ++HotFns;
+    EXPECT_EQ(SR.MIInstrsBefore, SR.MIInstrsAfter)
+        << SR.Function << " is hot but changed size";
+    EXPECT_FALSE(SR.IsOutlined) << SR.Function;
+  }
+  EXPECT_GT(HotFns, 0u) << "the corpus must classify some hot functions";
+
+  // Every refused pattern occurrence is accounted for: the round stats'
+  // dropped counter equals the suppressed remarks' occurrence total, and
+  // suppression only names hot functions.
+  uint64_t Dropped = 0;
+  for (const OutlineRoundStats &RS : R.OutlineStats.Rounds)
+    Dropped += RS.CandidatesDroppedHot;
+  EXPECT_GT(Dropped, 0u);
+  EXPECT_EQ(Dropped, R.Remarks.suppressedOccurrences());
+  for (const HeatSuppressedRemark &S : R.Remarks.Suppressed) {
+    bool FoundHot = false;
+    for (const SizeRemark &SR : R.Remarks.Remarks)
+      if (SR.Function == S.Function) {
+        FoundHot = SR.Heat == HeatClass::Hot;
+        break;
+      }
+    EXPECT_TRUE(FoundHot) << S.Function << " suppressed but not hot";
+  }
+}
+
+TEST(HeatOutliningTest, ThresholdZeroIsByteIdenticalToProfileFree) {
+  const HeatProfile Heat = capturedHeat();
+  auto Plain = CorpusSynthesizer(tinyProfile()).generate();
+  BuildResult RP = buildProgram(*Plain, heatOpts(nullptr, 0));
+  auto Zero = CorpusSynthesizer(tinyProfile()).generate();
+  BuildResult RZ = buildProgram(*Zero, heatOpts(&Heat, 0));
+
+  EXPECT_EQ(programContentDigest(*Plain), programContentDigest(*Zero));
+  EXPECT_EQ(RP.CodeSize, RZ.CodeSize);
+  EXPECT_TRUE(RZ.FailureLog.empty());
+  EXPECT_FALSE(RZ.Remarks.HeatGuided);
+  // With heat off every remark is Warm and nothing is suppressed.
+  for (const SizeRemark &SR : RZ.Remarks.Remarks)
+    EXPECT_EQ(SR.Heat, HeatClass::Warm) << SR.Function;
+  EXPECT_TRUE(RZ.Remarks.Suppressed.empty());
+  EXPECT_EQ(sizeRemarksYaml(RP.Remarks), sizeRemarksYaml(RZ.Remarks));
+}
+
+TEST(HeatOutliningTest, MissingProfileDegradesWithFailureLog) {
+  auto Plain = CorpusSynthesizer(tinyProfile()).generate();
+  BuildResult RP = buildProgram(*Plain, heatOpts(nullptr, 0));
+
+  auto Degraded = CorpusSynthesizer(tinyProfile()).generate();
+  PipelineOptions Opts = heatOpts(nullptr, 90);
+  Opts.Heat.ProfilePath = "/nonexistent/heat.json";
+  BuildResult RD = buildProgram(*Degraded, Opts);
+
+  // The build completes, records the failure, and ships the profile-free
+  // artifact byte for byte.
+  ASSERT_EQ(RD.FailureLog.size(), 1u);
+  EXPECT_NE(RD.FailureLog[0].find("heat"), std::string::npos);
+  EXPECT_FALSE(RD.Remarks.HeatGuided);
+  EXPECT_EQ(programContentDigest(*Plain), programContentDigest(*Degraded));
+}
+
+TEST(HeatOutliningTest, DifferentialExecutionUnchanged) {
+  const HeatProfile Heat = capturedHeat();
+  const AppProfile P = tinyProfile();
+  auto Plain = CorpusSynthesizer(P).generate();
+  buildProgram(*Plain, heatOpts(nullptr, 0));
+  auto Guided = CorpusSynthesizer(P).generate();
+  buildProgram(*Guided, heatOpts(&Heat, 90));
+
+  BinaryImage PlainImg(*Plain);
+  Interpreter PI(PlainImg, *Plain);
+  BinaryImage GuidedImg(*Guided);
+  Interpreter GI(GuidedImg, *Guided);
+  for (unsigned S = 0; S < P.NumSpans; ++S) {
+    const std::string Span = CorpusSynthesizer::spanFunctionName(S);
+    EXPECT_EQ(GI.call(Span), PI.call(Span)) << Span;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism
+//===----------------------------------------------------------------------===//
+
+TEST(HeatOutliningTest, RemarksDeterministicAcrossThreadsAndEngines) {
+  const HeatProfile Heat = capturedHeat();
+  auto build = [&](unsigned Threads, DiscoveryEngine Engine,
+                   bool PerModule) {
+    auto Prog = CorpusSynthesizer(tinyProfile()).withThreads(Threads)
+                    .generate();
+    PipelineOptions Opts = heatOpts(&Heat, 90, Threads);
+    Opts.WholeProgram = !PerModule;
+    Opts.Outliner.Discovery = Engine;
+    BuildResult R = buildProgram(*Prog, Opts);
+    return sizeRemarksYaml(R.Remarks) + sizeRemarksJson(R.Remarks);
+  };
+  const std::string Ref = build(1, DiscoveryEngine::SuffixArray, false);
+  EXPECT_EQ(build(8, DiscoveryEngine::SuffixArray, false), Ref);
+  EXPECT_EQ(build(1, DiscoveryEngine::Tree, false), Ref);
+  const std::string PerModRef = build(1, DiscoveryEngine::SuffixArray, true);
+  EXPECT_EQ(build(8, DiscoveryEngine::SuffixArray, true), PerModRef);
+}
+
+TEST(HeatOutliningTest, FleetHeatCaptureDeterministicAcrossThreads) {
+  const std::string A = heatProfileJson(capturedHeat(1));
+  const std::string B = heatProfileJson(capturedHeat(4));
+  EXPECT_EQ(A, B);
+  // And the capture is non-trivial: functions executed, cycles charged.
+  Expected<HeatProfile> P = parseHeatProfile(A);
+  ASSERT_TRUE(P.ok());
+  EXPECT_GT(P->Functions.size(), 10u);
+  EXPECT_GT(P->totalCycles(), 0u);
+}

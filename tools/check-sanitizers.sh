@@ -5,7 +5,7 @@
 #
 # Builds the tree twice — once with -DMCO_SANITIZE=address, once with
 # =undefined — and runs the robustness suites (format_fuzz, daemon_chaos,
-# guard_faults, objfile, dstrip) under each. The corruption-fuzz contract
+# guard_faults, objfile, dstrip, heat, pareto_smoke) under each. The corruption-fuzz contract
 # is "clean Status, never a sanitizer report", and this script is how that
 # claim gets checked without slowing the default (unsanitized) ctest run.
 #
@@ -21,7 +21,7 @@ set -euo pipefail
 
 SRC="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 ROOT="${2:-${SRC}/build-sanitize}"
-LABELS='format_fuzz|daemon_chaos|guard_faults|objfile|dstrip'
+LABELS='format_fuzz|daemon_chaos|guard_faults|objfile|dstrip|heat|pareto_smoke'
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 for SAN in address undefined; do

@@ -22,6 +22,8 @@
 ///             [--cache] [--cache-dir DIR] [--resume DIR]
 ///             [--shared-cache] [--journal-dir DIR]
 ///             [--module-timeout-ms N] [--timeout-retries N]
+///             [--profile-heat FILE] [--hot-threshold PCT]
+///             [--size-remarks FILE]
 ///
 /// All failures propagate as Status up to main(), which is the only place
 /// that turns them into a nonzero exit — after writing the --diag-json
@@ -75,7 +77,8 @@ void usage() {
       "                 [--module-timeout-ms N] [--timeout-retries N]\n"
       "                 [--trace-json FILE] [--pattern-provenance FILE]\n"
       "                 [--dead-strip | --no-dead-strip] [--export LIST]\n"
-      "                 [--emit-obj FILE]\n"
+      "                 [--profile-heat FILE] [--hot-threshold PCT]\n"
+      "                 [--size-remarks FILE] [--emit-obj FILE]\n"
       "  --profile X    corpus profile to synthesize, or the path of an\n"
       "                 mco-traces-v1 startup-trace file (mco-fleet\n"
       "                 --emit-traces) driving the layout strategy; the\n"
@@ -124,6 +127,16 @@ void usage() {
       "  --export LIST  comma-separated extra exported symbol names, kept\n"
       "                 as dead-strip roots and marked Exported in the\n"
       "                 emitted container's symbol table + export trie\n"
+      "  --profile-heat FILE  mco-heat-v1 per-function heat profile\n"
+      "                 (mco-fleet --emit-heat) steering hot/cold\n"
+      "                 outlining; validated up front (corrupt = exit 65)\n"
+      "  --hot-threshold PCT  hot percentile in [0,100]: the hottest\n"
+      "                 (100-PCT)%% of executed functions are never\n"
+      "                 outlined, never-executed ones are outlined\n"
+      "                 aggressively; 0 (default) disables heat guidance\n"
+      "  --size-remarks FILE  write per-function size remarks (before/\n"
+      "                 after MI counts, hotness, suppressed candidates);\n"
+      "                 YAML by default, JSON when FILE ends in .json\n"
       "  --emit-obj FILE  write the built program as an MCOB1 object\n"
       "                 container (segments, symbol table, export trie,\n"
       "                 relocations; inspect with mco-nm/mco-size, execute\n"
@@ -143,6 +156,7 @@ struct BuildConfig {
   std::string FaultSpec;
   std::string TraceFile;
   std::string ProvenanceFile;
+  std::string SizeRemarksFile;
   int ModulesOverride = -1;
 };
 
@@ -335,6 +349,28 @@ Status parseArgs(int argc, char **argv, BuildConfig &C) {
       if (Status S = NextOr(V); !S.ok())
         return S;
       C.ProvenanceFile = V;
+    } else if (A == "--profile-heat") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      // Validate up front: an unreadable or corrupt profile is a CLI
+      // error (exit 65), not a silent degrade like the daemon route.
+      if (Expected<HeatProfile> H = readHeatProfile(V); !H.ok())
+        return H.status();
+      C.Opts.Heat.ProfilePath = V;
+    } else if (A == "--hot-threshold") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      const int Pct = std::atoi(V);
+      if (Pct < 0 || Pct > 100 ||
+          (Pct == 0 && std::string(V) != "0" && std::string(V) != "00"))
+        return MCO_ERROR_CODE(StatusCode::Usage,
+                              "bad --hot-threshold '" + std::string(V) +
+                                  "' (expected an integer in [0, 100])");
+      C.Opts.Heat.HotThresholdPct = static_cast<unsigned>(Pct);
+    } else if (A == "--size-remarks") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.SizeRemarksFile = V;
     } else {
       return MCO_ERROR_CODE(StatusCode::Usage,
                             "unknown option '" + A + "'");
@@ -413,6 +449,14 @@ Status writeDiagJson(const std::string &Path, const BuildConfig &C,
       << ",\n";
   Out << "  \"layout_estimated_text_faults\": "
       << U64(R.Layout.EstimatedTextFaults) << ",\n";
+  Out << "  \"heat_guided\": " << (R.Remarks.HeatGuided ? "true" : "false")
+      << ",\n";
+  Out << "  \"heat_hot_threshold_pct\": " << R.Remarks.HotThresholdPct
+      << ",\n";
+  Out << "  \"heat_candidates_dropped_hot\": "
+      << Ctr("pipeline.heat.candidates_dropped_hot") << ",\n";
+  Out << "  \"heat_suppressed_occurrences\": "
+      << U64(R.Remarks.suppressedOccurrences()) << ",\n";
   Out << "  \"modules_degraded\": " << Ctr("pipeline.modules_degraded")
       << ",\n";
   Out << "  \"rounds_rolled_back\": " << Ctr("guard.rounds_rolled_back")
@@ -551,6 +595,32 @@ Status runBuild(BuildConfig &C, DiagState &D) {
                 static_cast<unsigned long long>(R.Layout.FunctionsTraced),
                 static_cast<unsigned long long>(R.Layout.EstimatedTextFaults),
                 R.Layout.Seconds);
+
+  if (C.Opts.Heat.HotThresholdPct > 0) {
+    uint64_t Hot = 0, Warm = 0, Cold = 0;
+    for (const SizeRemark &SR : R.Remarks.Remarks)
+      (SR.Heat == HeatClass::Hot ? Hot
+                                 : SR.Heat == HeatClass::Cold ? Cold : Warm)++;
+    uint64_t DroppedHot = 0;
+    for (const OutlineRoundStats &RS : R.OutlineStats.Rounds)
+      DroppedHot += RS.CandidatesDroppedHot;
+    std::printf("heat: %s at P%u, %llu hot / %llu warm / %llu cold "
+                "function(s), %llu candidate occurrence(s) suppressed\n",
+                R.Remarks.HeatGuided ? "guided" : "degraded (no profile)",
+                C.Opts.Heat.HotThresholdPct,
+                static_cast<unsigned long long>(Hot),
+                static_cast<unsigned long long>(Warm),
+                static_cast<unsigned long long>(Cold),
+                static_cast<unsigned long long>(DroppedHot));
+  }
+  if (!C.SizeRemarksFile.empty()) {
+    if (Status S = writeSizeRemarks(R.Remarks, C.SizeRemarksFile); !S.ok())
+      return S;
+    std::printf("wrote size remarks to %s (%zu function(s), "
+                "%zu suppressed pattern group(s))\n",
+                C.SizeRemarksFile.c_str(), R.Remarks.Remarks.size(),
+                R.Remarks.Suppressed.size());
+  }
 
   const bool FaultsActive = !C.FaultSpec.empty();
   if (C.Opts.Guard.Enabled || FaultsActive) {

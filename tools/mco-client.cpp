@@ -37,10 +37,15 @@ void usage() {
       "                  [--profile rider|driver|eats|clang|kernel]\n"
       "                  [--modules N] [--rounds N] [--per-module]\n"
       "                  [--threads N] [--retries N]\n"
+      "                  [--heat FILE] [--hot-threshold PCT]\n"
       "                  [--reply-timeout-ms N]\n"
       "       mco-client --socket PATH --ping | --stats | --shutdown\n"
       "  --id ID        idempotent request id; resubmitting the same id\n"
       "                 never double-builds\n"
+      "  --heat FILE    mco-heat-v1 profile path for hot/cold outlining;\n"
+      "                 an unreadable file degrades the build (see its\n"
+      "                 failure_log) rather than failing the request\n"
+      "  --hot-threshold PCT  hot percentile in [0,100] (0 = off)\n"
       "  --retries N    total submit attempts (default 10), doubling\n"
       "                 backoff from 25ms, honoring daemon retry_after\n");
 }
@@ -89,6 +94,11 @@ int main(int argc, char **argv) {
       Req.Int["per_module"] = 1;
     } else if (A == "--threads" && (Arg = Next()) && parseU64(Arg, V)) {
       Req.Int["threads"] = int64_t(V);
+    } else if (A == "--heat" && (Arg = Next())) {
+      Req.Str["heat_file"] = Arg;
+    } else if (A == "--hot-threshold" && (Arg = Next()) && parseU64(Arg, V) &&
+               V <= 100) {
+      Req.Int["hot_threshold"] = int64_t(V);
     } else if (A == "--retries" && (Arg = Next()) && parseU64(Arg, V)) {
       Opts.MaxAttempts = unsigned(V);
     } else if (A == "--reply-timeout-ms" && (Arg = Next()) &&

@@ -16,7 +16,7 @@
 ///             [--devices N] [--seed S] [--stages 1,10,50,100]
 ///             [--th-cycles-p50 PCT] [--th-cycles-p95 PCT]
 ///             [--th-faults PCT] [--th-text PCT] [--th-icache PCT]
-///             [--th-ipc PCT] [--emit-traces FILE]
+///             [--th-ipc PCT] [--emit-traces FILE] [--emit-heat FILE]
 ///             [--verdict FILE] [--base-report FILE] [--cand-report FILE]
 ///             [--trace-json FILE]
 ///
@@ -36,6 +36,8 @@
 ///
 /// `--emit-traces FILE` writes the captured traces as `mco-traces-v1` JSON
 /// (consumed by `mco-build --profile FILE`), with any scenario.
+/// `--emit-heat FILE` writes the fleet-aggregated per-function heat profile
+/// as `mco-heat-v1` JSON (consumed by `mco-build --profile-heat FILE`).
 ///
 /// Exit status: 0 = ramp completed clean, 2 = ramp halted on a regression,
 /// 1 = usage or build error. CI asserts on 0/2, so a verdict flip fails
@@ -71,7 +73,7 @@ void usage() {
       "                 [--th-cycles-p50 PCT] [--th-cycles-p95 PCT]\n"
       "                 [--th-faults PCT] [--th-text PCT]\n"
       "                 [--th-icache PCT] [--th-ipc PCT]\n"
-      "                 [--emit-traces FILE]\n"
+      "                 [--emit-traces FILE] [--emit-heat FILE]\n"
       "                 [--verdict FILE] [--base-report FILE]\n"
       "                 [--cand-report FILE] [--trace-json FILE]\n"
       "  --scenario identity  candidate == baseline; must ramp to 100%%\n"
@@ -82,6 +84,9 @@ void usage() {
       "                 the re-laid-out image against module order\n"
       "  --emit-traces FILE  write captured startup traces as\n"
       "                 mco-traces-v1 JSON (feed to mco-build --profile)\n"
+      "  --emit-heat FILE  write the fleet-aggregated per-function heat\n"
+      "                 profile as mco-heat-v1 JSON (feed to mco-build\n"
+      "                 --profile-heat)\n"
       "  --devices N    synthetic fleet size (default 64)\n"
       "  --stages CSV   ramp percents (default 1,10,50,100)\n"
       "  --th-* PCT     per-metric regression thresholds, in percent\n"
@@ -103,6 +108,7 @@ struct FleetConfig {
   std::string CandReportFile;
   std::string TraceFile;
   std::string EmitTracesFile;
+  std::string EmitHeatFile;
 };
 
 Status parseArgs(int argc, char **argv, FleetConfig &C) {
@@ -223,6 +229,10 @@ Status parseArgs(int argc, char **argv, FleetConfig &C) {
       if (Status S = NextOr(V); !S.ok())
         return S;
       C.EmitTracesFile = V;
+    } else if (A == "--emit-heat") {
+      if (Status S = NextOr(V); !S.ok())
+        return S;
+      C.EmitHeatFile = V;
     } else {
       return MCO_ERROR("unknown option '" + A + "'");
     }
@@ -282,8 +292,10 @@ int run(FleetConfig &C) {
   // per-device startup traces the layout strategies consume.
   const bool LayoutScenario = C.Scenario == "bp" || C.Scenario == "stitch";
   TraceProfile Traces;
-  if (LayoutScenario || !C.EmitTracesFile.empty()) {
-    runFleet(*Baseline, C.Fleet, nullptr, &Traces);
+  HeatProfile Heat;
+  if (LayoutScenario || !C.EmitTracesFile.empty() || !C.EmitHeatFile.empty()) {
+    runFleet(*Baseline, C.Fleet, nullptr, &Traces,
+             C.EmitHeatFile.empty() ? nullptr : &Heat);
     std::printf("captured startup traces: %zu device(s), %zu function(s), "
                 "%llu entries, %llu text page fault(s)\n",
                 Traces.Devices.size(), Traces.Functions.size(),
@@ -292,6 +304,14 @@ int run(FleetConfig &C) {
     if (!C.EmitTracesFile.empty())
       WriteOk &= WriteOr(writeTraceProfile(Traces, C.EmitTracesFile),
                          "startup traces", C.EmitTracesFile);
+    if (!C.EmitHeatFile.empty()) {
+      std::printf("captured heat profile: %zu function(s), %llu total "
+                  "cycle(s)\n",
+                  Heat.Functions.size(),
+                  static_cast<unsigned long long>(Heat.totalCycles()));
+      WriteOk &= WriteOr(writeHeatProfile(Heat, C.EmitHeatFile),
+                         "heat profile", C.EmitHeatFile);
+    }
   }
 
   // Layout: plan the candidate order from the measured traces. The
